@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation §III-B1: should clean victims be cached in the LLC at all?
+ *
+ * The paper evaluated dropping clean victims entirely ("lost in the
+ * air") and found *inconsistent* improvement/degradation: it helps
+ * when clean victims would pollute the LLC (read-once data) and hurts
+ * when another agent re-reads the line soon after the eviction.  This
+ * harness reproduces that comparison.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace hsc;
+using namespace hsc::bench;
+
+int
+main()
+{
+    std::vector<SystemConfig> configs = {
+        noCleanVicToMemConfig(), // §III-B: clean victims still cached
+        noCleanVicToLlcConfig(), // §III-B1: clean victims dropped
+    };
+
+    std::cout << "Ablation (§III-B1): caching clean victims in the LLC\n\n";
+
+    ResultMatrix results = runMatrix(workloadIds(), configs);
+
+    TableWriter tw(std::cout);
+    tw.header({"benchmark", "cached cyc", "dropped cyc", "saved%",
+               "cached LLC hit%", "dropped LLC hit%"});
+    std::vector<double> saved;
+    auto hit_pct = [](const RunMetrics &m) {
+        return m.llcReads ? 100.0 * double(m.llcHits) / double(m.llcReads)
+                          : 0.0;
+    };
+    for (const std::string &wl : workloadIds()) {
+        auto &row = results[wl];
+        const RunMetrics &cached = row["noWBcleanVic"];
+        const RunMetrics &dropped = row["noCleanVicLLC"];
+        double s = pctSaved(double(cached.cycles), double(dropped.cycles));
+        saved.push_back(s);
+        tw.row({wl, TableWriter::fmt(cached.cycles),
+                TableWriter::fmt(dropped.cycles), TableWriter::fmt(s),
+                TableWriter::fmt(hit_pct(cached)),
+                TableWriter::fmt(hit_pct(dropped))});
+    }
+    tw.rule();
+    tw.row({"average", "", "", TableWriter::fmt(mean(saved)), "", ""});
+
+    std::cout << "\npaper reference: inconsistent improvement and "
+                 "degradation across benchmarks (§III-B1), which is why "
+                 "the variant is evaluated but not adopted.\n";
+    return 0;
+}

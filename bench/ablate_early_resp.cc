@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation §III-A: early-dirty-response sensitivity to memory latency.
+ *
+ * The paper argues the early response matters most "when the latency
+ * of memory or LLC access is significantly higher than the probe
+ * round-trip".  This harness sweeps the memory latency and reports
+ * the cycles saved by §III-A on the probe-heavy workloads, plus the
+ * number of transactions that actually took the early path.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace hsc;
+using namespace hsc::bench;
+
+int
+main()
+{
+    const std::vector<Cycles> latencies = {60, 150, 400};
+
+    std::cout << "Ablation (§III-A): early dirty response vs memory "
+                 "latency\n\n";
+
+    TableWriter tw(std::cout);
+    tw.header({"benchmark", "memLat", "base cyc", "early cyc", "saved%",
+               "earlyResponses"});
+    for (Cycles lat : latencies) {
+        std::vector<double> saved;
+        for (const std::string &wl : {std::string("tq"),
+                                      std::string("trns"),
+                                      std::string("rscd")}) {
+            SystemConfig base = baselineConfig();
+            SystemConfig early = earlyRespConfig();
+            base.memLatency = early.memLatency = lat;
+            scaleHierarchy(base);
+            scaleHierarchy(early);
+            RunMetrics mb = benchWorkload(wl, base, figureParams());
+            RunMetrics me = benchWorkload(wl, early, figureParams());
+            double s = pctSaved(double(mb.cycles), double(me.cycles));
+            saved.push_back(s);
+            tw.row({wl, TableWriter::fmt(std::uint64_t(lat)),
+                    TableWriter::fmt(mb.cycles),
+                    TableWriter::fmt(me.cycles), TableWriter::fmt(s),
+                    TableWriter::fmt(me.earlyResponses)});
+        }
+        tw.rule();
+    }
+
+    std::cout << "\npaper reference: early probe responses 'do not "
+                 "produce significant improvements' at the evaluated "
+                 "latencies; the benefit grows with the memory/probe "
+                 "latency ratio.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation §IV-B: limited-pointer sharer lists vs the full map.
+ *
+ * Sweeps the number of exact sharer pointers (1, 2, 4) against the
+ * full-map code and owner-only tracking, reporting probes and cycles.
+ * The paper notes exhaustive sharer tracking "scales area linearly"
+ * and may pass the point of diminishing returns — this sweep
+ * quantifies where the probe-traffic benefit saturates.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace hsc;
+using namespace hsc::bench;
+
+int
+main()
+{
+    std::vector<SystemConfig> configs = {
+        ownerTrackingConfig(),
+        limitedPointerConfig(1),
+        limitedPointerConfig(2),
+        limitedPointerConfig(4),
+        sharerTrackingConfig(), // full map
+    };
+
+    std::cout << "Ablation (§IV-B): sharer-pointer budget sweep\n\n";
+
+    ResultMatrix results = runMatrix(coherenceActiveIds(), configs);
+
+    TableWriter tw(std::cout);
+    tw.header({"benchmark", "owner", "ptr1", "ptr2", "ptr4", "fullMap"});
+    std::cout << "probes sent by the directory:\n";
+    for (const std::string &wl : coherenceActiveIds()) {
+        auto &row = results[wl];
+        tw.row({wl, TableWriter::fmt(row["ownerTracking"].probes),
+                TableWriter::fmt(row["limitedPtr1"].probes),
+                TableWriter::fmt(row["limitedPtr2"].probes),
+                TableWriter::fmt(row["limitedPtr4"].probes),
+                TableWriter::fmt(row["sharersTracking"].probes)});
+    }
+    tw.rule();
+    std::cout << "cycles:\n";
+    for (const std::string &wl : coherenceActiveIds()) {
+        auto &row = results[wl];
+        tw.row({wl, TableWriter::fmt(row["ownerTracking"].cycles),
+                TableWriter::fmt(row["limitedPtr1"].cycles),
+                TableWriter::fmt(row["limitedPtr2"].cycles),
+                TableWriter::fmt(row["limitedPtr4"].cycles),
+                TableWriter::fmt(row["sharersTracking"].cycles)});
+    }
+
+    std::cout << "\npaper reference: owner-only tracking already captures "
+                 "most of the benefit; a few pointers close most of the "
+                 "remaining gap to the full map.\n";
+    return 0;
+}

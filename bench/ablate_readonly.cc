@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation (§IX future work): not tracking read-only data.
+ *
+ * The paper's conclusion reserves "investigation of the advantages of
+ * not tracking certain read-only memory pages" for future work.  This
+ * harness implements it: the read-shared input arrays of rsct (every
+ * agent scans all points) are declared read-only, so their reads
+ * allocate no directory entries.  With a small directory this frees
+ * capacity for the contended read-write lines.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace hsc;
+using namespace hsc::bench;
+
+int
+main()
+{
+    std::cout << "Ablation (§IX): read-only region tracking elision "
+                 "(rsct, small directory)\n\n";
+
+    TableWriter tw(std::cout);
+    tw.header({"dir entries", "mode", "cycles", "dirEvictions",
+               "probes", "roElided"});
+
+    for (unsigned entries : {64u, 128u, 256u}) {
+        for (bool ro : {false, true}) {
+            SystemConfig cfg = sharerTrackingConfig();
+            scaleHierarchy(cfg);
+            cfg.dir.dirEntries = entries;
+            cfg.dir.dirAssoc = 8;
+            if (ro) {
+                // The rsct points arrays are the first allocations of
+                // the workload heap: px then py, 128*scale u32 each.
+                WorkloadParams p = figureParams();
+                Addr base = 0x100000;
+                cfg.dir.readOnlyBase = base;
+                cfg.dir.readOnlyLimit =
+                    base + 2ull * 128 * p.scale * 4;
+            }
+            cfg.label = ro ? "readOnly" : "tracked";
+            RunMetrics m = benchWorkload("rsct", cfg, figureParams());
+            if (!m.ok)
+                std::cerr << "WARNING: rsct failed\n";
+            tw.row({TableWriter::fmt(std::uint64_t(entries)), cfg.label,
+                    TableWriter::fmt(m.cycles),
+                    TableWriter::fmt(m.dirEvictions),
+                    TableWriter::fmt(m.probes),
+                    TableWriter::fmt(m.readOnlyElided)});
+        }
+        tw.rule();
+    }
+
+    std::cout << "\nReads of the declared region allocate no directory "
+                 "entries, freeing capacity for contended read-write "
+                 "lines (paper §IX future work).\n";
+    return 0;
+}

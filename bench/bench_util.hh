@@ -1,0 +1,89 @@
+/** @file Shared helpers for the figure-regeneration harnesses. */
+
+#ifndef HSC_BENCH_BENCH_UTIL_HH
+#define HSC_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/run_report.hh"
+#include "workloads/workload.hh"
+
+namespace hsc::bench
+{
+
+/** Default problem size used by every figure harness. */
+inline WorkloadParams
+figureParams()
+{
+    WorkloadParams p;
+    p.scale = 4;
+    return p;
+}
+
+/**
+ * Scale the cache hierarchy down proportionally to the scaled-down
+ * workload working sets, so capacity-induced victim traffic (which
+ * Figs. 4 and 5 measure the handling of) matches what full-size CHAI
+ * inputs produce against the Table II hierarchy.  Latencies and
+ * organisation are unchanged.  See EXPERIMENTS.md.
+ */
+inline void
+scaleHierarchy(SystemConfig &cfg)
+{
+    cfg.corePair.l2Geom = {16, 8};   // 8 KB
+    cfg.corePair.l1dGeom = {8, 2};   // 1 KB
+    cfg.corePair.l1iGeom = {8, 2};   // 1 KB
+    cfg.tcp.geom = {8, 4};           // 2 KB
+    cfg.tcc.geom = {16, 4};          // 4 KB
+    cfg.sqc.geom = {8, 4};           // 2 KB
+    cfg.llc.geom = {128, 8};         // 64 KB
+    cfg.dir.dirEntries = 1024;
+    cfg.dir.dirAssoc = 16;
+}
+
+/** Result matrix: [workload][config label] -> metrics. */
+using ResultMatrix =
+    std::map<std::string, std::map<std::string, RunMetrics>>;
+
+/**
+ * Run every (workload, config) pair and collect the metrics; failed
+ * runs are reported and keep ok=false.
+ */
+inline ResultMatrix
+runMatrix(const std::vector<std::string> &workloads,
+          const std::vector<SystemConfig> &configs,
+          const WorkloadParams &params = figureParams())
+{
+    ResultMatrix results;
+    for (const std::string &wl : workloads) {
+        for (SystemConfig cfg : configs) {
+            scaleHierarchy(cfg);
+            RunMetrics m = benchWorkload(wl, cfg, params);
+            if (!m.ok) {
+                std::cerr << "WARNING: " << wl << " [" << cfg.label
+                          << "] failed verification\n";
+            }
+            results[wl][cfg.label] = m;
+        }
+    }
+    return results;
+}
+
+/** Geometric-style arithmetic mean over a vector. */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double sum = 0;
+    for (double x : v)
+        sum += x;
+    return sum / double(v.size());
+}
+
+} // namespace hsc::bench
+
+#endif // HSC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulation substrates: how
+ * fast the event queue, tag arrays, replacement policies and data
+ * blocks run on the host.  These gate the wall-clock cost of the
+ * figure harnesses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.hh"
+#include "mem/data_block.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace hsc
+{
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < n; ++i)
+            eq.schedule(Tick(i % 97), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_EventQueueSelfScheduling(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        int remaining = n;
+        std::function<void()> tick = [&] {
+            if (--remaining > 0)
+                eq.scheduleIn(1, tick);
+        };
+        eq.schedule(0, tick);
+        eq.run();
+        benchmark::DoNotOptimize(remaining);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueSelfScheduling)->Arg(4096);
+
+struct Payload
+{
+    int state = 0;
+};
+
+void
+BM_CacheArrayLookupHit(benchmark::State &state)
+{
+    CacheArray<Payload> arr("bench", {1024, 8});
+    Rng rng(1);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4096; ++i) {
+        Addr a = blockAlign(rng.next() % (1 << 22));
+        if (!arr.lookup(a) && arr.hasFreeWay(a)) {
+            arr.allocate(a);
+            addrs.push_back(a);
+        }
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arr.lookup(addrs[i % addrs.size()]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookupHit);
+
+void
+BM_TreePlruVictim(benchmark::State &state)
+{
+    TreePlruPolicy plru(256, 16);
+    Rng rng(2);
+    for (unsigned s = 0; s < 256; ++s)
+        for (unsigned w = 0; w < 16; ++w)
+            plru.fill(s, w);
+    for (auto _ : state) {
+        unsigned set = unsigned(rng.below(256));
+        unsigned v = plru.victim(set);
+        plru.touch(set, v);
+        benchmark::DoNotOptimize(v);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreePlruVictim);
+
+void
+BM_DataBlockMaskedMerge(benchmark::State &state)
+{
+    DataBlock a, b;
+    for (unsigned i = 0; i < BlockSizeBytes; ++i)
+        b.raw()[i] = std::uint8_t(i);
+    ByteMask mask = makeMask(8, 16) | makeMask(40, 8);
+    for (auto _ : state) {
+        a.merge(b, mask);
+        benchmark::DoNotOptimize(a.raw());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DataBlockMaskedMerge);
+
+void
+BM_DataBlockFullMerge(benchmark::State &state)
+{
+    DataBlock a, b;
+    for (auto _ : state) {
+        a.merge(b, FullMask);
+        benchmark::DoNotOptimize(a.raw());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DataBlockFullMerge);
+
+} // namespace
+} // namespace hsc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table III: system configuration as simulated, printed from the live
+ * defaults.
+ */
+
+#include <cstdio>
+
+#include "core/system_config.hh"
+
+using namespace hsc;
+
+int
+main()
+{
+    SystemConfig cfg = baselineConfig();
+    std::printf("Table III: system configuration simulated\n\n");
+    std::printf("%-28s %u\n", "#CUs", cfg.numCus);
+    std::printf("%-28s %u\n", "#SIMDs (wavefronts) per CU",
+                cfg.wavefrontsPerCu);
+    std::printf("%-28s %u\n", "#lanes per wavefront",
+                cfg.lanesPerWavefront);
+    std::printf("%-28s %u\n", "#TCPs per CU", 1u);
+    std::printf("%-28s %u\n", "#TCCs", cfg.topo.numTccs);
+    std::printf("%-28s %u / %u\n", "#CorePairs / #CPUs",
+                cfg.topo.numCorePairs, cfg.topo.numCorePairs * 2);
+    std::printf("%-28s %.1f GHz\n", "CPU freq.", cfg.cpuMHz / 1000.0);
+    std::printf("%-28s %.1f GHz\n", "GPU freq.", cfg.gpuMHz / 1000.0);
+    std::printf("%-28s %llu CPU cycles\n", "memory latency",
+                (unsigned long long)cfg.memLatency);
+    std::printf("%-28s %llu CPU cycles\n", "directory link latency",
+                (unsigned long long)cfg.linkLatency);
+    std::printf("\n(paper Table III: 8 CUs / 16 SIMDs per CU, 1 TCP per "
+                "CU, 1 TCC, 4 CorePairs / 8 CPUs, 3.5 GHz CPU, 1.1 GHz "
+                "GPU)\n");
+    return 0;
+}

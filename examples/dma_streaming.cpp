@@ -1,0 +1,78 @@
+/**
+ * @file
+ * DMA streaming through the coherent directory (Fig. 3 of the paper):
+ * the DMA engine pulls a buffer that is partially dirty in CPU
+ * caches, streams it to a staging region, and the GPU then processes
+ * the staged copy — every step coherent, with no manual flushing.
+ *
+ *   $ ./examples/dma_streaming
+ */
+
+#include <cstdio>
+
+#include "core/hsa_system.hh"
+#include "workloads/workload.hh"
+
+using namespace hsc;
+
+int
+main()
+{
+    SystemConfig cfg = llcWriteBackUseL3Config();
+    HsaSystem sys(cfg);
+
+    constexpr unsigned kBlocks = 32;
+    constexpr unsigned kWords = kBlocks * 16; // u32 words
+    Addr src = sys.alloc(kBlocks * 64);
+    Addr staged = sys.alloc(kBlocks * 64);
+    Addr sums = sys.alloc(64);
+
+    for (unsigned i = 0; i < kWords; ++i)
+        sys.writeWord<std::uint32_t>(src + i * 4, i);
+
+    GpuKernel reducer;
+    reducer.name = "reduce";
+    reducer.numWorkgroups = 4;
+    reducer.body = [=](WaveCtx &wf) -> SimTask {
+        std::uint64_t local = 0;
+        for (unsigned base = wf.workgroupId() * wf.laneCount();
+             base < kWords; base += 4 * wf.laneCount()) {
+            auto vals = co_await wf.vload(staged + Addr(base) * 4, 4, 4);
+            for (auto v : vals)
+                local += v;
+        }
+        co_await wf.atomic(sums, AtomicOp::Add, local, 0, 8,
+                           Scope::System);
+    };
+
+    sys.addCpuThread([=, &sys](CpuCtx &cpu) -> SimTask {
+        // Dirty a few source lines in the CPU cache: the DMA reads
+        // must probe them out of the L2 (Fig. 3's DMARd path).
+        for (unsigned b = 0; b < kBlocks; b += 4)
+            co_await cpu.store(src + b * 64, 0xC0FFEE00u + b, 4);
+        co_await sys.dma().copyAsync(staged, src, kBlocks * 64);
+        co_await cpu.launchKernel(reducer);
+    });
+
+    if (!sys.run()) {
+        std::fprintf(stderr, "simulation did not complete\n");
+        return 1;
+    }
+
+    std::uint64_t want = 0;
+    for (unsigned i = 0; i < kWords; ++i) {
+        bool patched = (i % (4 * 16) == 0);
+        want += patched ? (0xC0FFEE00u + i / 16) : i;
+    }
+    std::uint64_t got = coherentPeek(sys, sums, 8);
+    std::printf("reduced=%llu expected=%llu -> %s  (dmaReads=%llu "
+                "dmaWrites=%llu probes=%llu)\n",
+                (unsigned long long)got, (unsigned long long)want,
+                got == want ? "OK" : "WRONG",
+                (unsigned long long)sys.stats().counter(
+                    sys.config().name + ".dma.reads"),
+                (unsigned long long)sys.stats().counter(
+                    sys.config().name + ".dma.writes"),
+                (unsigned long long)sys.directory().probesSent());
+    return got == want ? 0 : 1;
+}

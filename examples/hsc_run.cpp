@@ -1,0 +1,158 @@
+/**
+ * @file
+ * hsc_run — command-line workload runner.
+ *
+ * The downstream user's entry point: pick a workload, a configuration
+ * preset (or individual knobs), run, and get the metrics — optionally
+ * a full gem5-style stats dump.
+ *
+ *   $ ./examples/hsc_run --workload tq --config sharers
+ *   $ ./examples/hsc_run --workload cedd --config baseline \
+ *         --gpu-writeback --banks 2 --scale 4 --stats
+ *   $ ./examples/hsc_run --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/run_report.hh"
+#include "workloads/workload.hh"
+
+using namespace hsc;
+
+namespace
+{
+
+SystemConfig
+configByName(const std::string &name)
+{
+    if (name == "baseline")
+        return baselineConfig();
+    if (name == "earlyResp")
+        return earlyRespConfig();
+    if (name == "noCleanVicMem")
+        return noCleanVicToMemConfig();
+    if (name == "noCleanVicLlc")
+        return noCleanVicToLlcConfig();
+    if (name == "llcWB")
+        return llcWriteBackConfig();
+    if (name == "llcWBuseL3")
+        return llcWriteBackUseL3Config();
+    if (name == "owner")
+        return ownerTrackingConfig();
+    if (name == "sharers")
+        return sharerTrackingConfig();
+    fatal("unknown config '%s' (try --help)", name.c_str());
+}
+
+void
+usage()
+{
+    std::puts(
+        "usage: hsc_run [options]\n"
+        "  --workload <id>     workload to run (default: tq)\n"
+        "  --config <name>     baseline | earlyResp | noCleanVicMem |\n"
+        "                      noCleanVicLlc | llcWB | llcWBuseL3 |\n"
+        "                      owner | sharers  (default: baseline)\n"
+        "  --scale <n>         problem-size multiplier (default: 2)\n"
+        "  --seed <n>          workload seed (default: 7)\n"
+        "  --banks <n>         directory banks, power of two (default: 1)\n"
+        "  --limited-ptrs <n>  limited-pointer sharer budget (0 = full map)\n"
+        "  --gpu-writeback     WB_L1/WB_L2: GPU caches write back\n"
+        "  --cpu-threads <n>   CPU worker threads (default: 4)\n"
+        "  --workgroups <n>    GPU workgroups (default: 8)\n"
+        "  --stats             dump the full statistics registry\n"
+        "  --list              list workloads and exit");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "tq";
+    std::string config = "baseline";
+    WorkloadParams params;
+    params.scale = 2;
+    unsigned banks = 1;
+    unsigned limited_ptrs = 0;
+    bool gpu_wb = false;
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--config") {
+            config = next();
+        } else if (arg == "--scale") {
+            params.scale = unsigned(std::stoul(next()));
+        } else if (arg == "--seed") {
+            params.seed = std::stoull(next());
+        } else if (arg == "--banks") {
+            banks = unsigned(std::stoul(next()));
+        } else if (arg == "--limited-ptrs") {
+            limited_ptrs = unsigned(std::stoul(next()));
+        } else if (arg == "--gpu-writeback") {
+            gpu_wb = true;
+        } else if (arg == "--cpu-threads") {
+            params.cpuThreads = unsigned(std::stoul(next()));
+        } else if (arg == "--workgroups") {
+            params.gpuWorkgroups = unsigned(std::stoul(next()));
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--list") {
+            std::puts("CHAI-like workloads:");
+            for (const auto &id : workloadIds())
+                std::printf("  %s\n", id.c_str());
+            std::puts("HeteroSync-style workloads:");
+            for (const auto &id : heteroSyncIds())
+                std::printf("  %s\n", id.c_str());
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    SystemConfig cfg = configByName(config);
+    cfg.numDirBanks = banks;
+    cfg.gpuWriteBack = gpu_wb;
+    if (limited_ptrs) {
+        cfg.dir.tracking = DirTracking::Sharers;
+        cfg.dir.maxSharerPointers = limited_ptrs;
+    }
+
+    HsaSystem sys(cfg);
+    auto wl = makeWorkload(workload, params);
+    wl->setup(sys);
+    bool ran = sys.run();
+    bool ok = ran && wl->verify(sys);
+
+    RunMetrics m = collectMetrics(sys, workload, ok);
+    printRunSummary(std::cout, m);
+    const Histogram *h =
+        sys.stats().histogram(cfg.name + ".dir.txnLatency");
+    if (!h)
+        h = sys.stats().histogram(cfg.name + ".dir0.txnLatency");
+    if (h) {
+        std::printf("dir txn latency: mean %.1f cy, max %llu cy over "
+                    "%llu transactions\n",
+                    h->mean(), (unsigned long long)h->max(),
+                    (unsigned long long)h->samples());
+    }
+    if (dump_stats)
+        sys.stats().dump(std::cout);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,1 @@
+#include "cache/cache_array.hh"

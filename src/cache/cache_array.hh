@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Generic set-associative tag store.
+ *
+ * CacheArray owns the tags and an Entry payload per line; protocol
+ * controllers define the Entry (state, data, sharer bitmap, ...).
+ * Victim selection is delegated to a ReplacementPolicy and can be
+ * restricted to an eligible subset for the state-aware directory
+ * policy.
+ */
+
+#ifndef HSC_CACHE_CACHE_ARRAY_HH
+#define HSC_CACHE_CACHE_ARRAY_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "mem/data_block.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/** Geometry + hit/miss statistics of one cache structure. */
+struct CacheGeometry
+{
+    unsigned numSets;
+    unsigned assoc;
+    /** Low block-index bits to skip when forming the set index —
+     *  nonzero in banked structures where those bits select the bank
+     *  and are constant within one bank. */
+    unsigned indexShift = 0;
+
+    /** Geometry from capacity in bytes with 64-byte lines. */
+    static CacheGeometry
+    fromBytes(std::uint64_t bytes, unsigned assoc)
+    {
+        return CacheGeometry{
+            static_cast<unsigned>(bytes / BlockSizeBytes / assoc), assoc};
+    }
+};
+
+/**
+ * Set-associative array of Entry payloads indexed by block address.
+ */
+template <typename Entry>
+class CacheArray
+{
+  public:
+    CacheArray(std::string name, CacheGeometry geom,
+               const std::string &repl = "TreePLRU")
+        : _name(std::move(name)), numSets(geom.numSets), assoc(geom.assoc),
+          indexShift(geom.indexShift),
+          lines(std::size_t(geom.numSets) * geom.assoc),
+          policy(makeReplacementPolicy(repl, geom.numSets, geom.assoc))
+    {
+        panic_if(numSets == 0 || (numSets & (numSets - 1)),
+                 "%s: numSets must be a nonzero power of two (got %u)",
+                 _name.c_str(), numSets);
+    }
+
+    /** Look up @p addr; returns the entry or nullptr. Updates recency
+     * when @p touch is set. */
+    Entry *
+    lookup(Addr addr, bool touch = true)
+    {
+        Addr tag = blockAlign(addr);
+        unsigned set = setIndex(addr);
+        for (unsigned way = 0; way < assoc; ++way) {
+            Line &l = line(set, way);
+            if (l.valid && l.tag == tag) {
+                if (touch)
+                    policy->touch(set, way);
+                return &l.entry;
+            }
+        }
+        return nullptr;
+    }
+
+    const Entry *
+    peek(Addr addr) const
+    {
+        return const_cast<CacheArray *>(this)->lookup(addr, false);
+    }
+
+    /** True when the set of @p addr has an invalid way available. */
+    bool
+    hasFreeWay(Addr addr) const
+    {
+        unsigned set = setIndex(addr);
+        for (unsigned way = 0; way < assoc; ++way) {
+            if (!lineC(set, way).valid)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Allocate a line for @p addr in a free way.  The caller must have
+     * made room (hasFreeWay) and the address must not already be
+     * present.
+     */
+    Entry &
+    allocate(Addr addr)
+    {
+        panic_if(lookup(addr, false),
+                 "%s: allocate of already-present %#llx", _name.c_str(),
+                 (unsigned long long)addr);
+        unsigned set = setIndex(addr);
+        for (unsigned way = 0; way < assoc; ++way) {
+            Line &l = line(set, way);
+            if (!l.valid) {
+                l.valid = true;
+                l.tag = blockAlign(addr);
+                l.entry = Entry{};
+                policy->fill(set, way);
+                return l.entry;
+            }
+        }
+        panic("%s: allocate with no free way for %#llx", _name.c_str(),
+              (unsigned long long)addr);
+    }
+
+    /** Address+entry reference of a would-be victim. */
+    struct Victim
+    {
+        Addr addr;
+        Entry *entry;
+    };
+
+    /**
+     * Pick a replacement victim in the set of @p new_addr using the
+     * policy over all valid ways.
+     */
+    Victim
+    findVictim(Addr new_addr)
+    {
+        unsigned set = setIndex(new_addr);
+        unsigned way = policy->victim(set);
+        Line &l = line(set, way);
+        panic_if(!l.valid, "%s: policy picked invalid victim way",
+                 _name.c_str());
+        return Victim{l.tag, &l.entry};
+    }
+
+    /**
+     * Pick a victim among valid ways that satisfy @p eligible,
+     * least-recently-touched first.  Falls back to the unrestricted
+     * policy when no way qualifies.
+     */
+    Victim
+    findVictimAmong(Addr new_addr,
+                    const std::function<bool(Addr, const Entry &)> &eligible)
+    {
+        unsigned set = setIndex(new_addr);
+        std::vector<unsigned> cand;
+        for (unsigned way = 0; way < assoc; ++way) {
+            Line &l = line(set, way);
+            if (l.valid && eligible(l.tag, l.entry))
+                cand.push_back(way);
+        }
+        if (cand.empty())
+            return findVictim(new_addr);
+        unsigned way = policy->victimAmong(set, cand);
+        Line &l = line(set, way);
+        return Victim{l.tag, &l.entry};
+    }
+
+    /** Remove @p addr if present. */
+    void
+    invalidate(Addr addr)
+    {
+        Addr tag = blockAlign(addr);
+        unsigned set = setIndex(addr);
+        for (unsigned way = 0; way < assoc; ++way) {
+            Line &l = line(set, way);
+            if (l.valid && l.tag == tag) {
+                l.valid = false;
+                return;
+            }
+        }
+    }
+
+    /** Visit every valid line (used by the invariant checker). */
+    void
+    forEach(const std::function<void(Addr, const Entry &)> &fn) const
+    {
+        for (const Line &l : lines) {
+            if (l.valid)
+                fn(l.tag, l.entry);
+        }
+    }
+
+    /** Number of valid lines. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const Line &l : lines)
+            n += l.valid;
+        return n;
+    }
+
+    const std::string &name() const { return _name; }
+    unsigned sets() const { return numSets; }
+    unsigned ways() const { return assoc; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Entry entry{};
+    };
+
+    unsigned
+    setIndex(Addr addr) const
+    {
+        return static_cast<unsigned>(
+            (addr >> (BlockShift + indexShift)) & (numSets - 1));
+    }
+
+    Line &line(unsigned set, unsigned way)
+    {
+        return lines[std::size_t(set) * assoc + way];
+    }
+    const Line &lineC(unsigned set, unsigned way) const
+    {
+        return lines[std::size_t(set) * assoc + way];
+    }
+
+    const std::string _name;
+    unsigned numSets;
+    unsigned assoc;
+    unsigned indexShift;
+    std::vector<Line> lines;
+    std::unique_ptr<ReplacementPolicy> policy;
+};
+
+} // namespace hsc
+
+#endif // HSC_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,132 @@
+#include "cache/replacement.hh"
+
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+ReplacementPolicy::ReplacementPolicy(unsigned num_sets, unsigned assoc)
+    : numSets(num_sets), assoc(assoc),
+      lastTouch(std::size_t(num_sets) * assoc, 0)
+{
+    panic_if(assoc == 0 || num_sets == 0, "degenerate cache geometry");
+}
+
+void
+ReplacementPolicy::touch(unsigned set, unsigned way)
+{
+    lastTouch[std::size_t(set) * assoc + way] = ++tick;
+}
+
+void
+ReplacementPolicy::fill(unsigned set, unsigned way)
+{
+    lastTouch[std::size_t(set) * assoc + way] = ++tick;
+}
+
+unsigned
+ReplacementPolicy::victimAmong(unsigned set,
+                               const std::vector<unsigned> &candidates) const
+{
+    panic_if(candidates.empty(), "victimAmong with no candidates");
+    // Prefer the policy's own victim when it is eligible so the
+    // configured policy (not the recency fallback) decides the common
+    // all-ways-eligible case.
+    unsigned preferred = victim(set);
+    for (unsigned way : candidates) {
+        if (way == preferred)
+            return preferred;
+    }
+    unsigned best = candidates.front();
+    for (unsigned way : candidates) {
+        if (stamp(set, way) < stamp(set, best))
+            best = way;
+    }
+    return best;
+}
+
+unsigned
+LruPolicy::victim(unsigned set) const
+{
+    unsigned best = 0;
+    for (unsigned way = 1; way < assoc; ++way) {
+        if (stamp(set, way) < stamp(set, best))
+            best = way;
+    }
+    return best;
+}
+
+TreePlruPolicy::TreePlruPolicy(unsigned num_sets, unsigned assoc)
+    : ReplacementPolicy(num_sets, assoc)
+{
+    panic_if(assoc & (assoc - 1),
+             "TreePLRU requires power-of-two associativity (got %u)",
+             assoc);
+    nodesPerSet = assoc - 1;
+    bits.assign(std::size_t(num_sets) * nodesPerSet, false);
+}
+
+void
+TreePlruPolicy::updateTree(unsigned set, unsigned way)
+{
+    // Walk root-to-leaf; at each node point the PLRU bit *away* from
+    // the touched way.
+    std::size_t base = std::size_t(set) * nodesPerSet;
+    unsigned node = 0;
+    unsigned lo = 0, hi = assoc;
+    while (hi - lo > 1) {
+        unsigned mid = (lo + hi) / 2;
+        bool right = way >= mid;
+        bits[base + node] = !right;
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+}
+
+void
+TreePlruPolicy::touch(unsigned set, unsigned way)
+{
+    ReplacementPolicy::touch(set, way);
+    updateTree(set, way);
+}
+
+void
+TreePlruPolicy::fill(unsigned set, unsigned way)
+{
+    ReplacementPolicy::fill(set, way);
+    updateTree(set, way);
+}
+
+unsigned
+TreePlruPolicy::victim(unsigned set) const
+{
+    std::size_t base = std::size_t(set) * nodesPerSet;
+    unsigned node = 0;
+    unsigned lo = 0, hi = assoc;
+    while (hi - lo > 1) {
+        unsigned mid = (lo + hi) / 2;
+        bool right = bits[base + node];
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &kind, unsigned num_sets,
+                      unsigned assoc)
+{
+    if (kind == "LRU")
+        return std::make_unique<LruPolicy>(num_sets, assoc);
+    if (kind == "TreePLRU")
+        return std::make_unique<TreePlruPolicy>(num_sets, assoc);
+    fatal("unknown replacement policy '%s'", kind.c_str());
+}
+
+} // namespace hsc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Replacement policies for caches and the directory.
+ *
+ * Tree-PLRU is the paper's default for both LLC and directory
+ * (Table II).  LRU is provided for comparison, and the directory bench
+ * ablates the "state-aware" policy sketched in the paper's future work
+ * (§VII): prefer victims with no modified data and the fewest sharers,
+ * falling back to recency among equals — implemented here via
+ * victimAmong() over a caller-filtered candidate list.
+ */
+
+#ifndef HSC_CACHE_REPLACEMENT_HH
+#define HSC_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/**
+ * Per-set replacement state.  Policies also keep last-touch
+ * timestamps so a victim can be picked among an arbitrary candidate
+ * subset (used by the state-aware directory policy).
+ */
+class ReplacementPolicy
+{
+  public:
+    ReplacementPolicy(unsigned num_sets, unsigned assoc);
+    virtual ~ReplacementPolicy() = default;
+
+    /** Record a hit on (set, way). */
+    virtual void touch(unsigned set, unsigned way);
+
+    /** Record a fill of (set, way). */
+    virtual void fill(unsigned set, unsigned way);
+
+    /** Pick a victim way considering the whole set. */
+    virtual unsigned victim(unsigned set) const = 0;
+
+    /**
+     * Pick a victim among @p candidates (non-empty): least recently
+     * touched.  Used when the owner restricts eligibility (e.g. the
+     * state-aware directory policy).
+     */
+    unsigned victimAmong(unsigned set,
+                         const std::vector<unsigned> &candidates) const;
+
+    unsigned associativity() const { return assoc; }
+
+  protected:
+    std::uint64_t
+    stamp(unsigned set, unsigned way) const
+    {
+        return lastTouch[std::size_t(set) * assoc + way];
+    }
+
+    unsigned numSets;
+    unsigned assoc;
+
+  private:
+    std::vector<std::uint64_t> lastTouch;
+    std::uint64_t tick = 0;
+};
+
+/** Exact least-recently-used. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    using ReplacementPolicy::ReplacementPolicy;
+    unsigned victim(unsigned set) const override;
+};
+
+/** Binary-tree pseudo-LRU, the Table II default. */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    TreePlruPolicy(unsigned num_sets, unsigned assoc);
+
+    void touch(unsigned set, unsigned way) override;
+    void fill(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set) const override;
+
+  private:
+    void updateTree(unsigned set, unsigned way);
+
+    unsigned nodesPerSet;
+    /** Tree bits; true means "the PLRU victim is in the right half". */
+    std::vector<bool> bits;
+};
+
+/** Named policy factory: "LRU" or "TreePLRU". */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &kind, unsigned num_sets,
+                      unsigned assoc);
+
+} // namespace hsc
+
+#endif // HSC_CACHE_REPLACEMENT_HH

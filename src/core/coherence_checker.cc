@@ -1,0 +1,131 @@
+#include "core/coherence_checker.hh"
+
+#include <map>
+#include <sstream>
+
+namespace hsc
+{
+
+namespace
+{
+
+struct Copy
+{
+    unsigned pair;
+    L2State state;
+};
+
+std::string
+hex(Addr a)
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << a;
+    return os.str();
+}
+
+} // namespace
+
+CheckResult
+checkCoherenceInvariants(HsaSystem &sys)
+{
+    CheckResult result;
+    auto violate = [&](const std::string &msg) {
+        result.ok = false;
+        result.violations.push_back(msg);
+    };
+
+    // Gather every L2 copy per line.
+    std::map<Addr, std::vector<Copy>> lines;
+    for (unsigned i = 0; i < sys.numCorePairs(); ++i) {
+        sys.corePair(i).forEachLine([&](Addr a, L2State s) {
+            lines[a].push_back({i, s});
+        });
+    }
+
+    bool tracked = sys.config().dir.stateful();
+    bool full_map = sys.config().dir.tracking == DirTracking::Sharers &&
+                    sys.config().dir.maxSharerPointers == 0;
+
+    for (auto &[addr, copies] : lines) {
+        // (1) single-writer.
+        unsigned writers = 0;
+        int owner_pair = -1;
+        bool any_dirty_owner = false;
+        for (const Copy &c : copies) {
+            if (c.state == L2State::Modified || c.state == L2State::Exclusive)
+                ++writers;
+            if (c.state == L2State::Modified || c.state == L2State::Owned ||
+                c.state == L2State::Exclusive) {
+                owner_pair = int(c.pair);
+                any_dirty_owner |= c.state != L2State::Exclusive;
+            }
+        }
+        if (writers > 1)
+            violate("multiple M/E owners of " + hex(addr));
+
+        // (2) single-value.
+        std::uint64_t ref = sys.corePair(copies[0].pair).peekWord(addr, 8);
+        for (const Copy &c : copies) {
+            if (sys.corePair(c.pair).peekWord(addr, 8) != ref) {
+                violate("divergent copies of " + hex(addr));
+                break;
+            }
+        }
+
+        // (3) clean copies match the system-visible value.
+        if (!any_dirty_owner) {
+            std::uint64_t backing = sys.readWord<std::uint64_t>(addr);
+            if (ref != backing)
+                violate("clean copy of " + hex(addr) +
+                        " differs from backing value");
+        }
+
+        // (4) tracked-directory inclusion and ownership.
+        if (tracked) {
+            DirectoryController &dir = sys.dirFor(addr);
+            if (!dir.tracks(addr)) {
+                violate("cached line " + hex(addr) +
+                        " untracked by the directory");
+                continue;
+            }
+            if (owner_pair >= 0) {
+                if (dir.trackedState(addr) != DirState::O) {
+                    violate("line " + hex(addr) +
+                            " has an owner but directory state is S");
+                } else if (dir.trackedOwner(addr) !=
+                           MachineId(owner_pair)) {
+                    violate("directory owner mismatch for " + hex(addr));
+                }
+            }
+            if (full_map && dir.trackedState(addr) == DirState::S) {
+                for (const Copy &c : copies) {
+                    if (!dir.isSharer(addr, MachineId(c.pair)))
+                        violate("sharer " + std::to_string(c.pair) +
+                                " of " + hex(addr) + " untracked");
+                }
+            }
+        }
+    }
+
+    // Directory S-state entries must have no M/E L2 owner.
+    if (tracked) {
+        for (auto &[addr, copies] : lines) {
+            DirectoryController &dir = sys.dirFor(addr);
+            if (!dir.tracks(addr) ||
+                dir.trackedState(addr) != DirState::S) {
+                continue;
+            }
+            for (const Copy &c : copies) {
+                if (c.state == L2State::Modified ||
+                    c.state == L2State::Exclusive) {
+                    violate("S-state directory entry but L2 holds M/E: " +
+                            hex(addr));
+                }
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace hsc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Whole-system coherence invariant checker.
+ *
+ * Walks every cache and the directory and asserts the MOESI /
+ * tracking invariants the protocol must maintain:
+ *   1. single-writer: at most one L2 holds a line in M or E;
+ *   2. single-value: every valid L2 copy of a line holds identical
+ *      data (S copies may be dirty-shared but match the owner);
+ *   3. clean lines (E, or S with no M/O owner) match the
+ *      system-visible backing value (LLC if present, else memory);
+ *   4. tracked directories are inclusive: every L2-cached line is
+ *      tracked, owners are recorded correctly, and full-map sharer
+ *      sets are supersets of the true sharers.
+ *
+ * Intended to run when the system is quiescent (after run()).
+ */
+
+#ifndef HSC_CORE_COHERENCE_CHECKER_HH
+#define HSC_CORE_COHERENCE_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/hsa_system.hh"
+
+namespace hsc
+{
+
+/** Result of one invariant sweep. */
+struct CheckResult
+{
+    bool ok = true;
+    std::vector<std::string> violations;
+
+    explicit operator bool() const { return ok; }
+};
+
+/** Run a full invariant sweep over @p sys. */
+CheckResult checkCoherenceInvariants(HsaSystem &sys);
+
+} // namespace hsc
+
+#endif // HSC_CORE_COHERENCE_CHECKER_HH

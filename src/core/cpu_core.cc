@@ -1,0 +1,121 @@
+#include "core/cpu_core.hh"
+
+#include "core/kernel_dispatch.hh"
+
+namespace hsc
+{
+
+namespace
+{
+/** Per-thread code segments, away from the data heap. */
+constexpr Addr CodeBase = 0x10000;
+constexpr Addr CodeSegBytes = 0x2000;
+} // namespace
+
+CpuCtx::CpuCtx(unsigned thread_id, CorePairController &core_pair,
+               unsigned core_idx, EventQueue &eq, ClockDomain clk,
+               KernelDispatcher *dispatcher, bool inject_ifetches)
+    : tid(thread_id), corePair(core_pair), coreIdx(core_idx), eq(eq),
+      clk(clk), dispatcher(dispatcher), injectIfetches(inject_ifetches),
+      codePc(CodeBase + thread_id * CodeSegBytes)
+{
+}
+
+void
+CpuCtx::maybeIfetch(std::function<void()> then)
+{
+    if (!injectIfetches || (opCount++ % 8) != 0) {
+        then();
+        return;
+    }
+    Addr pc = codePc;
+    codePc = CodeBase + tid * CodeSegBytes +
+             ((codePc + BlockSizeBytes) % CodeSegBytes);
+    corePair.ifetch(coreIdx, pc, std::move(then));
+}
+
+Await<std::uint64_t>
+CpuCtx::load(Addr addr, unsigned size)
+{
+    return Await<std::uint64_t>(
+        [this, addr, size](std::function<void(std::uint64_t)> cb) {
+            maybeIfetch([this, addr, size, cb = std::move(cb)] {
+                corePair.load(coreIdx, addr, size, cb);
+            });
+        });
+}
+
+AwaitVoid
+CpuCtx::store(Addr addr, std::uint64_t value, unsigned size)
+{
+    return AwaitVoid([this, addr, value, size](std::function<void()> cb) {
+        maybeIfetch([this, addr, value, size, cb = std::move(cb)] {
+            corePair.store(coreIdx, addr, size, value, cb);
+        });
+    });
+}
+
+Await<std::uint64_t>
+CpuCtx::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
+               std::uint64_t operand2, unsigned size)
+{
+    return Await<std::uint64_t>(
+        [this, addr, op, operand, operand2,
+         size](std::function<void(std::uint64_t)> cb) {
+            maybeIfetch([this, addr, op, operand, operand2, size,
+                         cb = std::move(cb)] {
+                corePair.atomic(coreIdx, addr, op, operand, operand2, size,
+                                cb);
+            });
+        });
+}
+
+AwaitVoid
+CpuCtx::compute(Cycles cycles)
+{
+    return AwaitVoid([this, cycles](std::function<void()> cb) {
+        eq.schedule(clk.clockEdge(eq.curTick(), cycles),
+                    [this, cb = std::move(cb)] {
+                        eq.notifyProgress();
+                        cb();
+                    });
+    });
+}
+
+AwaitVoid
+CpuCtx::launchKernel(const GpuKernel &kernel)
+{
+    panic_if(!dispatcher, "CpuCtx has no kernel dispatcher");
+    return AwaitVoid([this, kernel](std::function<void()> cb) {
+        dispatcher->launch(kernel, std::move(cb));
+    });
+}
+
+void
+CpuCtx::launchKernelAsync(const GpuKernel &kernel)
+{
+    panic_if(!dispatcher, "CpuCtx has no kernel dispatcher");
+    ++kernelsInFlight;
+    dispatcher->launch(kernel, [this] {
+        if (--kernelsInFlight == 0 && kernelWaiter) {
+            auto w = std::move(kernelWaiter);
+            kernelWaiter = nullptr;
+            w();
+        }
+    });
+}
+
+AwaitVoid
+CpuCtx::waitKernels()
+{
+    return AwaitVoid([this](std::function<void()> cb) {
+        if (kernelsInFlight == 0) {
+            cb();
+            return;
+        }
+        panic_if(kernelWaiter != nullptr, "concurrent waitKernels");
+        kernelWaiter = std::move(cb);
+    });
+}
+
+} // namespace hsc

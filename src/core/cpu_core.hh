@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CpuCtx — the coroutine-facing CPU core model.
+ *
+ * One CpuCtx represents a CPU hardware thread pinned to one core of a
+ * CorePair.  Workload threads co_await its memory operations; the
+ * in-order core issues one operation at a time (the memory system
+ * below provides all the concurrency the paper's evaluation is
+ * sensitive to).  Periodic instruction fetches through the shared L1I
+ * exercise the RdBlkS path.
+ */
+
+#ifndef HSC_CORE_CPU_CORE_HH
+#define HSC_CORE_CPU_CORE_HH
+
+#include "core/task.hh"
+#include "protocol/cpu/core_pair.hh"
+#include "sim/clocked.hh"
+
+namespace hsc
+{
+
+class KernelDispatcher;
+struct GpuKernel;
+
+/**
+ * Execution context of one CPU hardware thread.
+ */
+class CpuCtx
+{
+  public:
+    CpuCtx(unsigned thread_id, CorePairController &core_pair,
+           unsigned core_idx, EventQueue &eq, ClockDomain clk,
+           KernelDispatcher *dispatcher, bool inject_ifetches);
+
+    unsigned threadId() const { return tid; }
+
+    /** @{ Awaitable memory operations (sizes 1/2/4/8). */
+    Await<std::uint64_t> load(Addr addr, unsigned size = 8);
+    AwaitVoid store(Addr addr, std::uint64_t value, unsigned size = 8);
+    Await<std::uint64_t> atomic(Addr addr, AtomicOp op,
+                                std::uint64_t operand,
+                                std::uint64_t operand2 = 0,
+                                unsigned size = 8);
+    /** @} */
+
+    /** Spend @p cycles CPU cycles of local computation. */
+    AwaitVoid compute(Cycles cycles);
+
+    /** Launch @p kernel on the GPU and wait for its completion. */
+    AwaitVoid launchKernel(const GpuKernel &kernel);
+
+    /** Enqueue @p kernel without waiting (pair with waitKernels()). */
+    void launchKernelAsync(const GpuKernel &kernel);
+
+    /** Wait until every kernel this thread launched has completed. */
+    AwaitVoid waitKernels();
+
+  private:
+    /** Issue an instruction fetch every few operations. */
+    void maybeIfetch(std::function<void()> then);
+
+    const unsigned tid;
+    CorePairController &corePair;
+    const unsigned coreIdx;
+    EventQueue &eq;
+    ClockDomain clk;
+    KernelDispatcher *dispatcher;
+    const bool injectIfetches;
+
+    Addr codePc;
+    std::uint64_t opCount = 0;
+    unsigned kernelsInFlight = 0;
+    std::function<void()> kernelWaiter;
+};
+
+} // namespace hsc
+
+#endif // HSC_CORE_CPU_CORE_HH

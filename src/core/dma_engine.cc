@@ -1,0 +1,34 @@
+#include "core/dma_engine.hh"
+
+#include <memory>
+
+namespace hsc
+{
+
+void
+DmaEngine::copy(Addr dst, Addr src, std::uint64_t bytes,
+                std::function<void()> cb)
+{
+    panic_if(blockOffset(dst) || blockOffset(src) ||
+                 bytes % BlockSizeBytes != 0,
+             "DMA copy must be block-aligned");
+    std::uint64_t blocks = bytes / BlockSizeBytes;
+    if (blocks == 0) {
+        cb();
+        return;
+    }
+    auto pending = std::make_shared<std::uint64_t>(blocks);
+    auto done = std::make_shared<std::function<void()>>(std::move(cb));
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+        Addr s = src + i * BlockSizeBytes;
+        Addr d = dst + i * BlockSizeBytes;
+        ctrl.readBlock(s, [this, d, pending, done](const DataBlock &data) {
+            ctrl.writeBlock(d, data, FullMask, [pending, done] {
+                if (--*pending == 0)
+                    (*done)();
+            });
+        });
+    }
+}
+
+} // namespace hsc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DmaEngine: block-copy convenience layer over the DMA controller.
+ */
+
+#ifndef HSC_CORE_DMA_ENGINE_HH
+#define HSC_CORE_DMA_ENGINE_HH
+
+#include "core/task.hh"
+#include "protocol/dma/dma_controller.hh"
+
+namespace hsc
+{
+
+/**
+ * memcpy-style engine issuing pipelined block reads/writes through the
+ * DMA controller (which keeps coherence via the directory, Fig. 3).
+ */
+class DmaEngine
+{
+  public:
+    explicit DmaEngine(DmaController &ctrl) : ctrl(ctrl) {}
+
+    /**
+     * Copy @p bytes (block-aligned) from @p src to @p dst; @p cb fires
+     * when every write has completed.
+     */
+    void copy(Addr dst, Addr src, std::uint64_t bytes,
+              std::function<void()> cb);
+
+    /** Awaitable variant for coroutine hosts. */
+    AwaitVoid
+    copyAsync(Addr dst, Addr src, std::uint64_t bytes)
+    {
+        return AwaitVoid([this, dst, src, bytes](std::function<void()> cb) {
+            copy(dst, src, bytes, std::move(cb));
+        });
+    }
+
+    /** Awaitable single-block read. */
+    Await<DataBlock>
+    readBlock(Addr addr)
+    {
+        return Await<DataBlock>(
+            [this, addr](std::function<void(DataBlock)> cb) {
+                ctrl.readBlock(addr, [cb = std::move(cb)](
+                                         const DataBlock &b) { cb(b); });
+            });
+    }
+
+    /** Awaitable single-block write. */
+    AwaitVoid
+    writeBlock(Addr addr, const DataBlock &data, ByteMask mask = FullMask)
+    {
+        return AwaitVoid(
+            [this, addr, data, mask](std::function<void()> cb) {
+                ctrl.writeBlock(addr, data, mask, std::move(cb));
+            });
+    }
+
+    DmaController &controller() { return ctrl; }
+
+  private:
+    DmaController &ctrl;
+};
+
+} // namespace hsc
+
+#endif // HSC_CORE_DMA_ENGINE_HH

@@ -1,0 +1,224 @@
+#include "core/gpu_cu.hh"
+
+#include <map>
+
+namespace hsc
+{
+
+namespace
+{
+constexpr Addr KernelCodeBase = 0x80000;
+constexpr Addr KernelCodeBytes = 0x4000;
+} // namespace
+
+// --------------------------------------------------------------------
+// WaveCtx
+// --------------------------------------------------------------------
+
+WaveCtx::WaveCtx(GpuCu &cu, unsigned workgroup_id, unsigned lanes)
+    : cu(cu), wgId(workgroup_id), lanes(lanes),
+      codePc(KernelCodeBase + (workgroup_id % 4) * 0x100)
+{
+}
+
+void
+WaveCtx::maybeIfetch(std::function<void()> then)
+{
+    if (!cu.injectIfetches || (opCount++ % 8) != 0) {
+        then();
+        return;
+    }
+    Addr pc = codePc;
+    codePc = KernelCodeBase + ((codePc + BlockSizeBytes) % KernelCodeBytes);
+    cu._sqc.fetch(pc, std::move(then));
+}
+
+Await<std::vector<std::uint64_t>>
+WaveCtx::vload(Addr base, unsigned stride, unsigned size)
+{
+    return Await<std::vector<std::uint64_t>>(
+        [this, base, stride,
+         size](std::function<void(std::vector<std::uint64_t>)> cb) {
+            maybeIfetch([this, base, stride, size, cb = std::move(cb)] {
+                // Coalesce lane addresses into unique blocks.
+                struct State
+                {
+                    std::map<Addr, DataBlock> blocks;
+                    unsigned pendingBlocks = 0;
+                    std::function<void(std::vector<std::uint64_t>)> cb;
+                };
+                auto st = std::make_shared<State>();
+                st->cb = std::move(cb);
+                for (unsigned i = 0; i < lanes; ++i)
+                    st->blocks[blockAlign(base + Addr(i) * stride)];
+                st->pendingBlocks = st->blocks.size();
+
+                auto finish = [this, base, stride, size, st] {
+                    std::vector<std::uint64_t> vals(lanes);
+                    for (unsigned i = 0; i < lanes; ++i) {
+                        Addr a = base + Addr(i) * stride;
+                        const DataBlock &blk = st->blocks[blockAlign(a)];
+                        vals[i] = size == 4
+                            ? blk.get<std::uint32_t>(blockOffset(a))
+                            : blk.get<std::uint64_t>(blockOffset(a));
+                    }
+                    st->cb(std::move(vals));
+                };
+                for (auto &[blk_addr, slot] : st->blocks) {
+                    cu._tcp.loadBlock(
+                        blk_addr, [st, finish, a = blk_addr](
+                                      const DataBlock &data) {
+                            st->blocks[a] = data;
+                            if (--st->pendingBlocks == 0)
+                                finish();
+                        });
+                }
+            });
+        });
+}
+
+AwaitVoid
+WaveCtx::vstore(Addr base, unsigned stride, unsigned size,
+                std::vector<std::uint64_t> values)
+{
+    return AwaitVoid([this, base, stride, size,
+                      values = std::move(values)](std::function<void()> cb) {
+        maybeIfetch([this, base, stride, size, values, cb = std::move(cb)] {
+            struct Blk
+            {
+                DataBlock data;
+                ByteMask mask = 0;
+            };
+            auto blocks = std::make_shared<std::map<Addr, Blk>>();
+            for (unsigned i = 0; i < lanes && i < values.size(); ++i) {
+                Addr a = base + Addr(i) * stride;
+                Blk &b = (*blocks)[blockAlign(a)];
+                unsigned off = blockOffset(a);
+                if (size == 4)
+                    b.data.set<std::uint32_t>(off,
+                                              std::uint32_t(values[i]));
+                else
+                    b.data.set<std::uint64_t>(off, values[i]);
+                b.mask |= makeMask(off, size);
+            }
+            auto pending = std::make_shared<unsigned>(blocks->size());
+            auto done = std::make_shared<std::function<void()>>(
+                std::move(cb));
+            for (auto &[blk_addr, b] : *blocks) {
+                cu._tcp.storeBlock(blk_addr, b.data, b.mask,
+                                   [blocks, pending, done] {
+                                       if (--*pending == 0)
+                                           (*done)();
+                                   });
+            }
+        });
+    });
+}
+
+Await<std::uint64_t>
+WaveCtx::load(Addr addr, unsigned size, Scope scope)
+{
+    return Await<std::uint64_t>(
+        [this, addr, size, scope](std::function<void(std::uint64_t)> cb) {
+            maybeIfetch([this, addr, size, scope, cb = std::move(cb)] {
+                cu._tcp.load(addr, size, scope, cb);
+            });
+        });
+}
+
+AwaitVoid
+WaveCtx::store(Addr addr, std::uint64_t value, unsigned size, Scope scope)
+{
+    return AwaitVoid(
+        [this, addr, value, size, scope](std::function<void()> cb) {
+            maybeIfetch([this, addr, value, size, scope,
+                         cb = std::move(cb)] {
+                cu._tcp.store(addr, size, value, scope, cb);
+            });
+        });
+}
+
+Await<std::uint64_t>
+WaveCtx::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
+                std::uint64_t operand2, unsigned size, Scope scope)
+{
+    return Await<std::uint64_t>(
+        [this, addr, op, operand, operand2, size,
+         scope](std::function<void(std::uint64_t)> cb) {
+            maybeIfetch([this, addr, op, operand, operand2, size, scope,
+                         cb = std::move(cb)] {
+                cu._tcp.atomic(addr, op, operand, operand2, size, scope,
+                               cb);
+            });
+        });
+}
+
+AwaitVoid
+WaveCtx::compute(Cycles cycles)
+{
+    return AwaitVoid([this, cycles](std::function<void()> cb) {
+        cu.scheduleCycles(cycles, [&eq = cu.eventQueue(),
+                                   cb = std::move(cb)] {
+            eq.notifyProgress();
+            cb();
+        });
+    });
+}
+
+AwaitVoid
+WaveCtx::acquire()
+{
+    return AwaitVoid([this](std::function<void()> cb) {
+        cu._tcp.acquire(std::move(cb));
+    });
+}
+
+AwaitVoid
+WaveCtx::release()
+{
+    return AwaitVoid([this](std::function<void()> cb) {
+        cu._tcp.release(std::move(cb));
+    });
+}
+
+// --------------------------------------------------------------------
+// GpuCu
+// --------------------------------------------------------------------
+
+GpuCu::GpuCu(std::string name, EventQueue &eq, ClockDomain clk,
+             const TcpParams &tcp_params, TccController &tcc,
+             SqcController &sqc, unsigned num_slots, unsigned lanes,
+             bool inject_ifetches)
+    : Clocked(std::move(name), eq, clk),
+      _tcp(this->name() + ".tcp", eq, clk, tcp_params, tcc), _sqc(sqc),
+      numSlots(num_slots), lanes(lanes), injectIfetches(inject_ifetches),
+      _freeSlots(num_slots)
+{
+}
+
+void
+GpuCu::runWavefront(unsigned wg_id,
+                    const std::function<SimTask(WaveCtx &)> &body,
+                    std::function<void()> on_done)
+{
+    panic_if(_freeSlots == 0, "%s: no free wavefront slot",
+             name().c_str());
+    --_freeSlots;
+    auto ctx = std::make_unique<WaveCtx>(*this, wg_id, lanes);
+    WaveCtx *raw = ctx.get();
+    live.push_back(std::move(ctx));
+
+    SimTask task = body(*raw);
+    task.start([this, raw, on_done = std::move(on_done)] {
+        ++_freeSlots;
+        for (auto it = live.begin(); it != live.end(); ++it) {
+            if (it->get() == raw) {
+                live.erase(it);
+                break;
+            }
+        }
+        on_done();
+    });
+}
+
+} // namespace hsc

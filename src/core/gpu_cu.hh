@@ -1,0 +1,122 @@
+/**
+ * @file
+ * GpuCu and WaveCtx — the compute-unit and wavefront execution model.
+ *
+ * A CU hosts wavefront slots (one per SIMD, Table III) fronted by its
+ * TCP.  GPU kernels are coroutines over WaveCtx: vector memory
+ * operations coalesce the 16 lanes' addresses into unique 64-byte
+ * blocks before they reach the TCP, scoped atomics ride the GLC/SLC
+ * paths, and acquire/release map to the VIPER scoped-synchronisation
+ * operations.
+ */
+
+#ifndef HSC_CORE_GPU_CU_HH
+#define HSC_CORE_GPU_CU_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/task.hh"
+#include "protocol/gpu/sqc.hh"
+#include "protocol/gpu/tcp.hh"
+
+namespace hsc
+{
+
+class GpuCu;
+
+/**
+ * Execution context of one wavefront (= one workgroup in this model).
+ */
+class WaveCtx
+{
+  public:
+    WaveCtx(GpuCu &cu, unsigned workgroup_id, unsigned lanes);
+
+    unsigned workgroupId() const { return wgId; }
+    unsigned laneCount() const { return lanes; }
+
+    /**
+     * Vector load: lane i reads @p size bytes at @p base + i*stride.
+     * Lane addresses are coalesced into unique blocks.
+     */
+    Await<std::vector<std::uint64_t>> vload(Addr base, unsigned stride,
+                                            unsigned size);
+
+    /** Vector store of per-lane @p values. */
+    AwaitVoid vstore(Addr base, unsigned stride, unsigned size,
+                     std::vector<std::uint64_t> values);
+
+    /** @{ Scalar scoped operations. */
+    Await<std::uint64_t> load(Addr addr, unsigned size = 4,
+                              Scope scope = Scope::Wave);
+    AwaitVoid store(Addr addr, std::uint64_t value, unsigned size = 4,
+                    Scope scope = Scope::Wave);
+    Await<std::uint64_t> atomic(Addr addr, AtomicOp op,
+                                std::uint64_t operand,
+                                std::uint64_t operand2 = 0,
+                                unsigned size = 4,
+                                Scope scope = Scope::System);
+    /** @} */
+
+    /** Spend @p cycles GPU cycles of local computation. */
+    AwaitVoid compute(Cycles cycles);
+
+    /** Scoped acquire: invalidate the TCP. */
+    AwaitVoid acquire();
+
+    /** Scoped release: drain TCP + TCC dirty data to system scope. */
+    AwaitVoid release();
+
+  private:
+    void maybeIfetch(std::function<void()> then);
+
+    GpuCu &cu;
+    const unsigned wgId;
+    const unsigned lanes;
+    Addr codePc;
+    std::uint64_t opCount = 0;
+};
+
+/**
+ * One compute unit: wavefront slots + TCP, sharing the TCC and SQC.
+ */
+class GpuCu : public Clocked
+{
+  public:
+    GpuCu(std::string name, EventQueue &eq, ClockDomain clk,
+          const TcpParams &tcp_params, TccController &tcc,
+          SqcController &sqc, unsigned num_slots, unsigned lanes,
+          bool inject_ifetches);
+
+    unsigned freeSlots() const { return _freeSlots; }
+    unsigned totalSlots() const { return numSlots; }
+
+    /**
+     * Run @p body as workgroup @p wg_id in a free slot.  @p on_done
+     * fires when the wavefront coroutine completes.
+     */
+    void runWavefront(unsigned wg_id,
+                      const std::function<SimTask(WaveCtx &)> &body,
+                      std::function<void()> on_done);
+
+    TcpController &tcp() { return _tcp; }
+    SqcController &sqc() { return _sqc; }
+
+  private:
+    friend class WaveCtx;
+
+    TcpController _tcp;
+    SqcController &_sqc;
+    const unsigned numSlots;
+    const unsigned lanes;
+    const bool injectIfetches;
+    unsigned _freeSlots;
+
+    /** Contexts of in-flight wavefronts (freed on completion). */
+    std::vector<std::unique_ptr<WaveCtx>> live;
+};
+
+} // namespace hsc
+
+#endif // HSC_CORE_GPU_CU_HH

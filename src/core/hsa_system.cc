@@ -1,0 +1,265 @@
+#include "core/hsa_system.hh"
+
+#include <ostream>
+
+namespace hsc
+{
+
+HsaSystem::HsaSystem(const SystemConfig &config)
+    : cfg(config), cpuClk(ClockDomain::fromMHz(cfg.cpuMHz)),
+      gpuClk(ClockDomain::fromMHz(cfg.gpuMHz))
+{
+    const Topology &topo = cfg.topo;
+    Tick link_lat = cpuClk.toTicks(cfg.linkLatency);
+
+    mainMemory = std::make_unique<MainMemory>(
+        cfg.name + ".mem", eq, cpuClk.toTicks(cfg.memLatency),
+        cpuClk.toTicks(cfg.memServicePeriod));
+    mainMemory->regStats(registry);
+
+    // §VII: the directory may be banked (address-interleaved).  Each
+    // bank owns 1/N of the directory entries and the LLC, skipping the
+    // bank-select bits when indexing its arrays.
+    unsigned banks = std::max(1u, cfg.numDirBanks);
+    fatal_if(banks & (banks - 1), "numDirBanks must be a power of two");
+    unsigned bank_shift = 0;
+    while ((1u << bank_shift) < banks)
+        ++bank_shift;
+
+    DirParams dp;
+    dp.topo = topo;
+    dp.cfg = cfg.dir;
+    dp.llc = cfg.llc;
+    dp.dirLatency = cfg.dirLatency;
+    dp.llcLatency = cfg.llcLatency;
+    dp.servicePeriod = cfg.dirServicePeriod;
+    dp.tccWriteBack = cfg.gpuWriteBack;
+    dp.cfg.dirEntries = std::max(dp.cfg.dirAssoc,
+                                 dp.cfg.dirEntries / banks);
+    dp.llc.geom.numSets = std::max(1u, dp.llc.geom.numSets / banks);
+    dp.llc.geom.indexShift = bank_shift;
+    dp.bankIndexShift = bank_shift;
+
+    for (unsigned b = 0; b < banks; ++b) {
+        std::string dir_name = banks == 1
+            ? cfg.name + ".dir"
+            : cfg.name + ".dir" + std::to_string(b);
+        dirs.push_back(std::make_unique<DirectoryController>(
+            dir_name, eq, cpuClk, dp, *mainMemory));
+    }
+
+    // One channel pair per (bank, client); each client sends through a
+    // per-client bank router.
+    for (unsigned b = 0; b < banks; ++b) {
+        for (unsigned i = 0; i < topo.numClients(); ++i) {
+            std::string suffix =
+                "b" + std::to_string(b) + "c" + std::to_string(i);
+            toDir.push_back(std::make_unique<MessageBuffer>(
+                cfg.name + ".toDir." + suffix, eq, link_lat));
+            fromDir.push_back(std::make_unique<MessageBuffer>(
+                cfg.name + ".fromDir." + suffix, eq, link_lat));
+            dirs[b]->bindFromClient(*toDir.back());
+            dirs[b]->bindToClient(static_cast<MachineId>(i),
+                                  *fromDir.back());
+        }
+    }
+    for (unsigned i = 0; i < topo.numClients(); ++i) {
+        std::vector<MessageBuffer *> links;
+        for (unsigned b = 0; b < banks; ++b)
+            links.push_back(toDir[b * topo.numClients() + i].get());
+        clientSinks.push_back(std::make_unique<BankedSink>(links));
+    }
+    for (auto &d : dirs)
+        d->regStats(registry);
+
+    auto bind_from_dir = [&](unsigned client, auto &&binder) {
+        for (unsigned b = 0; b < banks; ++b)
+            binder(*fromDir[b * topo.numClients() + client]);
+    };
+
+    // CPU clusters.
+    for (unsigned i = 0; i < topo.numCorePairs; ++i) {
+        MachineId id = topo.l2Id(i);
+        corePairs.push_back(std::make_unique<CorePairController>(
+            cfg.name + ".corepair" + std::to_string(i), eq, cpuClk, id,
+            cfg.corePair, *clientSinks[id]));
+        bind_from_dir(unsigned(id), [&](MessageBuffer &buf) {
+            corePairs.back()->bindFromDir(buf);
+        });
+        corePairs.back()->regStats(registry);
+    }
+
+    // GPU cluster: one TCC + SQC shared by the CUs.
+    {
+        MachineId id = topo.tccId(0);
+        TccParams tcc_params = cfg.tcc;
+        tcc_params.writeBack = cfg.gpuWriteBack || tcc_params.writeBack;
+        tccCtrl = std::make_unique<TccController>(
+            cfg.name + ".tcc", eq, gpuClk, id, tcc_params,
+            *clientSinks[id]);
+        bind_from_dir(unsigned(id), [&](MessageBuffer &buf) {
+            tccCtrl->bindFromDir(buf);
+        });
+        tccCtrl->regStats(registry);
+    }
+    sqcCtrl = std::make_unique<SqcController>(cfg.name + ".sqc", eq, gpuClk,
+                                              cfg.sqc, *tccCtrl);
+    sqcCtrl->regStats(registry);
+
+    TcpParams tcp_params = cfg.tcp;
+    tcp_params.writeBack = cfg.gpuWriteBack || tcp_params.writeBack;
+    std::vector<GpuCu *> cu_ptrs;
+    for (unsigned i = 0; i < cfg.numCus; ++i) {
+        cus.push_back(std::make_unique<GpuCu>(
+            cfg.name + ".cu" + std::to_string(i), eq, gpuClk, tcp_params,
+            *tccCtrl, *sqcCtrl, cfg.wavefrontsPerCu, cfg.lanesPerWavefront,
+            cfg.injectIfetches));
+        cus.back()->tcp().regStats(registry);
+        cu_ptrs.push_back(cus.back().get());
+    }
+    kernelDispatcher =
+        std::make_unique<KernelDispatcher>(std::move(cu_ptrs), registry);
+
+    // DMA.
+    {
+        MachineId id = topo.dmaId();
+        dmaCtrl = std::make_unique<DmaController>(
+            cfg.name + ".dma", eq, cpuClk, id, *clientSinks[id],
+            cfg.dmaMaxOutstanding);
+        bind_from_dir(unsigned(id), [&](MessageBuffer &buf) {
+            dmaCtrl->bindFromDir(buf);
+        });
+        dmaCtrl->regStats(registry);
+        dmaEngine = std::make_unique<DmaEngine>(*dmaCtrl);
+    }
+
+    registry.addCounter(cfg.name + ".simTicks", &statSimTicks);
+    registry.addCounter(cfg.name + ".cpuCycles", &statCpuCycles);
+}
+
+HsaSystem::~HsaSystem() = default;
+
+void
+HsaSystem::dumpConfig(std::ostream &os) const
+{
+    auto cache_line = [&](const char *name, const CacheGeometry &g,
+                          Cycles lat) {
+        os << "  " << name << ": " << (g.numSets * g.assoc * 64 / 1024)
+           << " KB, " << g.assoc << "-way, " << lat << " cy\n";
+    };
+    os << "[system]\n";
+    os << "  corePairs=" << cfg.topo.numCorePairs
+       << " cpus=" << cfg.topo.numCorePairs * 2 << " cus=" << cfg.numCus
+       << " wavefrontsPerCu=" << cfg.wavefrontsPerCu
+       << " lanes=" << cfg.lanesPerWavefront << "\n";
+    os << "  cpuClk=" << cfg.cpuMHz << " MHz gpuClk=" << cfg.gpuMHz
+       << " MHz memLatency=" << cfg.memLatency << " cy\n";
+    os << "[caches]\n";
+    cache_line("L1D", cfg.corePair.l1dGeom, cfg.corePair.l2Latency);
+    cache_line("L1I", cfg.corePair.l1iGeom, cfg.corePair.l2Latency);
+    cache_line("L2", cfg.corePair.l2Geom, cfg.corePair.l2Latency);
+    cache_line("TCP", cfg.tcp.geom, cfg.tcp.latency);
+    cache_line("TCC", cfg.tcc.geom, cfg.tcc.latency);
+    cache_line("SQC", cfg.sqc.geom, cfg.sqc.latency);
+    cache_line("LLC", cfg.llc.geom, cfg.llcLatency);
+    os << "[directory]\n";
+    os << "  tracking=" << dirTrackingName(cfg.dir.tracking)
+       << " banks=" << dirs.size()
+       << " entries=" << cfg.dir.dirEntries
+       << " assoc=" << cfg.dir.dirAssoc << "\n";
+    os << "  earlyDirtyResp=" << cfg.dir.earlyDirtyResp
+       << " noCleanVicToMem=" << cfg.dir.noCleanVicToMem
+       << " noCleanVicToLlc=" << cfg.dir.noCleanVicToLlc
+       << " llcWriteBack=" << cfg.dir.llcWriteBack
+       << " useL3OnWT=" << cfg.dir.useL3OnWT << "\n";
+    os << "  gpuWriteBack=" << cfg.gpuWriteBack
+       << " maxSharerPointers=" << cfg.dir.maxSharerPointers << "\n";
+}
+
+void
+HsaSystem::addCpuThread(CpuThreadFn fn)
+{
+    unsigned tid = static_cast<unsigned>(threadFns.size());
+    unsigned total_cores = cfg.topo.numCorePairs * 2;
+    unsigned core = tid % total_cores;
+    cpuCtxs.push_back(std::make_unique<CpuCtx>(
+        tid, *corePairs[core / 2], core % 2, eq, cpuClk,
+        kernelDispatcher.get(), cfg.injectIfetches));
+    threadFns.push_back(std::move(fn));
+}
+
+Addr
+HsaSystem::alloc(std::uint64_t bytes)
+{
+    Addr base = heapNext;
+    heapNext += (bytes + BlockSizeBytes - 1) & ~Addr(BlockSizeBytes - 1);
+    return base;
+}
+
+void
+HsaSystem::armWatchdog()
+{
+    Tick interval = cpuClk.toTicks(cfg.watchdogCycles);
+    eq.schedule(eq.curTick() + interval,
+                [this, interval] {
+                    if (!running)
+                        return;
+                    if (eq.curTick() - eq.lastProgress() >= interval) {
+                        watchdogTripped = true;
+                        warn("watchdog: no progress for %llu ticks "
+                             "(%u live tasks)",
+                             (unsigned long long)interval, liveTasks);
+                        return; // stop rearming; run() exits via check
+                    }
+                    armWatchdog();
+                },
+                EventPriority::Late);
+}
+
+bool
+HsaSystem::run(Cycles max_cycles)
+{
+    Tick start = eq.curTick();
+    running = true;
+    watchdogTripped = false;
+
+    liveTasks = static_cast<unsigned>(threadFns.size());
+    for (std::size_t i = 0; i < threadFns.size(); ++i) {
+        // Stagger thread starts by a cycle for determinism without
+        // artificial convoying.
+        eq.schedule(eq.curTick() + cpuClk.toTicks(Cycles(i)),
+                    [this, i] {
+                        SimTask task = threadFns[i](*cpuCtxs[i]);
+                        task.start([this] { --liveTasks; });
+                    });
+    }
+    armWatchdog();
+
+    Tick limit = start + cpuClk.toTicks(max_cycles);
+    bool done = eq.runUntil(
+        [this] { return liveTasks == 0 || watchdogTripped; }, limit);
+    if (!done || watchdogTripped || liveTasks != 0) {
+        running = false;
+        warn("%s: run did not complete (liveTasks=%u watchdog=%d)",
+             cfg.name.c_str(), liveTasks, int(watchdogTripped));
+        return false;
+    }
+
+    // The headline metric is the tick at which the last task retired.
+    cyclesElapsed = cpuClk.toCycles(eq.curTick() - start);
+    statSimTicks += eq.curTick() - start;
+    statCpuCycles += cyclesElapsed;
+
+    // Drain in-flight write-backs and asynchronous traffic (the
+    // watchdog stops rearming once `running` is false).
+    running = false;
+    eq.run();
+    threadFns.clear();
+    for (const auto &d : dirs) {
+        if (!d->idle())
+            return false;
+    }
+    return true;
+}
+
+} // namespace hsc

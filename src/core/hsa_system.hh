@@ -1,0 +1,166 @@
+/**
+ * @file
+ * HsaSystem — the public entry point of the library.
+ *
+ * Builds the full heterogeneous unified-memory system of Fig. 1 (CPU
+ * CorePairs, GPU CUs with TCP/TCC/SQC, DMA engine, system-level
+ * directory + LLC, main memory) from a SystemConfig, hosts workload
+ * coroutines, and runs the simulation with a deadlock watchdog.
+ *
+ * Typical use:
+ * @code
+ *   SystemConfig cfg = sharerTrackingConfig();
+ *   HsaSystem sys(cfg);
+ *   sys.addCpuThread([](CpuCtx &cpu) -> SimTask {
+ *       co_await cpu.store(0x100000, 42);
+ *       co_await cpu.launchKernel(myKernel);
+ *   });
+ *   sys.run();
+ * @endcode
+ */
+
+#ifndef HSC_CORE_HSA_SYSTEM_HH
+#define HSC_CORE_HSA_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "core/cpu_core.hh"
+#include "core/dma_engine.hh"
+#include "core/gpu_cu.hh"
+#include "core/kernel_dispatch.hh"
+#include "core/system_config.hh"
+#include "mem/main_memory.hh"
+#include "protocol/dir/directory.hh"
+
+namespace hsc
+{
+
+/**
+ * A fully-assembled simulated APU.
+ */
+class HsaSystem
+{
+  public:
+    using CpuThreadFn = std::function<SimTask(CpuCtx &)>;
+
+    explicit HsaSystem(const SystemConfig &cfg);
+    ~HsaSystem();
+
+    HsaSystem(const HsaSystem &) = delete;
+    HsaSystem &operator=(const HsaSystem &) = delete;
+
+    /** @{ Workload construction. */
+
+    /** Register a CPU thread; threads round-robin over the 8 cores. */
+    void addCpuThread(CpuThreadFn fn);
+
+    /** Bump-allocate @p bytes of the unified heap (block-aligned). */
+    Addr alloc(std::uint64_t bytes);
+
+    /** Functional word write for input initialisation. */
+    template <typename T>
+    void
+    writeWord(Addr addr, T v)
+    {
+        mainMemory->functionalWriteWord<T>(addr, v);
+    }
+
+    /**
+     * Functional word read of the *system-visible* value: a present
+     * LLC copy wins over memory (it may be dirty in llcWB mode).
+     */
+    template <typename T>
+    T
+    readWord(Addr addr)
+    {
+        if (const DataBlock *blk = dirFor(addr).llc().peek(addr))
+            return blk->get<T>(blockOffset(addr));
+        return mainMemory->functionalReadWord<T>(addr);
+    }
+    /** @} */
+
+    /**
+     * Run every registered thread to completion and drain the memory
+     * system.
+     *
+     * @return true on success; false if the watchdog detected no
+     *         forward progress (a deadlock) or @p max_cycles elapsed.
+     */
+    bool run(Cycles max_cycles = 500'000'000);
+
+    /** CPU cycles elapsed during run() — the paper's headline metric. */
+    Cycles cpuCycles() const { return cyclesElapsed; }
+
+    /** Print the instantiated configuration (gem5 config.ini style). */
+    void dumpConfig(std::ostream &os) const;
+
+    /** @{ Component access. */
+    EventQueue &eventQueue() { return eq; }
+    StatRegistry &stats() { return registry; }
+    MainMemory &memory() { return *mainMemory; }
+    DirectoryController &directory() { return *dirs[0]; }
+    DirectoryController &dirBank(unsigned b) { return *dirs.at(b); }
+    unsigned numDirBanks() const { return unsigned(dirs.size()); }
+
+    /** The bank owning @p addr (bank = block index mod banks). */
+    DirectoryController &
+    dirFor(Addr addr)
+    {
+        return *dirs[std::size_t(addr >> BlockShift) % dirs.size()];
+    }
+    CorePairController &corePair(unsigned i) { return *corePairs.at(i); }
+    unsigned numCorePairs() const { return cfg.topo.numCorePairs; }
+    TccController &tcc() { return *tccCtrl; }
+    GpuCu &cu(unsigned i) { return *cus.at(i); }
+    unsigned numCus() const { return cfg.numCus; }
+    SqcController &sqc() { return *sqcCtrl; }
+    DmaEngine &dma() { return *dmaEngine; }
+    KernelDispatcher &dispatcher() { return *kernelDispatcher; }
+    const SystemConfig &config() const { return cfg; }
+    ClockDomain cpuClock() const { return cpuClk; }
+    ClockDomain gpuClock() const { return gpuClk; }
+    /** @} */
+
+  private:
+    void armWatchdog();
+
+    SystemConfig cfg;
+    EventQueue eq;
+    StatRegistry registry;
+    ClockDomain cpuClk;
+    ClockDomain gpuClk;
+
+    std::unique_ptr<MainMemory> mainMemory;
+    std::vector<std::unique_ptr<DirectoryController>> dirs;
+
+    /** Channels, indexed [bank * numClients + client]. */
+    std::vector<std::unique_ptr<MessageBuffer>> toDir;
+    std::vector<std::unique_ptr<MessageBuffer>> fromDir;
+    /** Per-client bank router used as the client's directory sink. */
+    std::vector<std::unique_ptr<BankedSink>> clientSinks;
+
+    std::vector<std::unique_ptr<CorePairController>> corePairs;
+    std::unique_ptr<TccController> tccCtrl;
+    std::unique_ptr<SqcController> sqcCtrl;
+    std::vector<std::unique_ptr<GpuCu>> cus;
+    std::unique_ptr<DmaController> dmaCtrl;
+    std::unique_ptr<DmaEngine> dmaEngine;
+    std::unique_ptr<KernelDispatcher> kernelDispatcher;
+
+    std::vector<std::unique_ptr<CpuCtx>> cpuCtxs;
+    std::vector<CpuThreadFn> threadFns;
+
+    Addr heapNext = 0x100000;
+    unsigned liveTasks = 0;
+    bool watchdogTripped = false;
+    bool running = false;
+    Cycles cyclesElapsed = 0;
+
+    Counter statSimTicks, statCpuCycles;
+};
+
+} // namespace hsc
+
+#endif // HSC_CORE_HSA_SYSTEM_HH

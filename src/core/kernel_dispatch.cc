@@ -1,0 +1,91 @@
+#include "core/kernel_dispatch.hh"
+
+namespace hsc
+{
+
+KernelDispatcher::KernelDispatcher(std::vector<GpuCu *> cus,
+                                   StatRegistry &reg)
+    : cus(std::move(cus))
+{
+    reg.addCounter("gpu.kernels", &statKernels);
+    reg.addCounter("gpu.workgroups", &statWorkgroups);
+}
+
+void
+KernelDispatcher::launch(GpuKernel kernel, std::function<void()> on_complete)
+{
+    Active a;
+    a.kernel = std::move(kernel);
+    a.onComplete = std::move(on_complete);
+    pending.push_back(std::move(a));
+    if (!running)
+        startNext();
+}
+
+void
+KernelDispatcher::startNext()
+{
+    if (pending.empty())
+        return;
+    running = true;
+    current = std::move(pending.front());
+    pending.pop_front();
+    ++statKernels;
+
+    // Kernel-launch acquire semantics: invalidate the instruction
+    // cache and every TCP so the kernel observes host-visible data.
+    auto pending_acq = std::make_shared<unsigned>(unsigned(cus.size()));
+    for (GpuCu *cu : cus) {
+        cu->sqc().invalidateAll();
+        cu->tcp().acquire([this, pending_acq] {
+            if (--*pending_acq == 0)
+                fill();
+        });
+    }
+}
+
+void
+KernelDispatcher::fill()
+{
+    if (current.doneWgs == current.kernel.numWorkgroups) {
+        finishKernel();
+        return;
+    }
+    for (GpuCu *cu : cus) {
+        while (cu->freeSlots() > 0 &&
+               current.nextWg < current.kernel.numWorkgroups) {
+            unsigned wg = current.nextWg++;
+            ++statWorkgroups;
+            cu->runWavefront(wg, current.kernel.body, [this] {
+                ++current.doneWgs;
+                fill();
+            });
+        }
+    }
+    if (current.doneWgs == current.kernel.numWorkgroups)
+        finishKernel();
+}
+
+void
+KernelDispatcher::finishKernel()
+{
+    if (current.finishing)
+        return;
+    current.finishing = true;
+    // Kernel-completion release semantics: drain every TCP and the
+    // TCC so the host observes the kernel's writes.
+    auto pending_rel = std::make_shared<unsigned>(unsigned(cus.size()));
+    auto on_complete =
+        std::make_shared<std::function<void()>>(std::move(current.onComplete));
+    for (GpuCu *cu : cus) {
+        cu->tcp().release([this, pending_rel, on_complete] {
+            if (--*pending_rel != 0)
+                return;
+            running = false;
+            (*on_complete)();
+            startNext();
+        });
+    }
+}
+
+} // namespace hsc

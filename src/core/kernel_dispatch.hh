@@ -1,0 +1,71 @@
+/**
+ * @file
+ * GPU kernel dispatcher.
+ *
+ * Kernels are dispatched one at a time (a single HSA queue, as the
+ * CHAI benchmarks use); each kernel's workgroups are assigned to free
+ * wavefront slots across the CUs as they drain.  Kernel boundaries
+ * carry the HSA memory-scope semantics: acquire (TCP invalidate + SQC
+ * flush) at launch, release (TCP/TCC write-back drain) at completion.
+ */
+
+#ifndef HSC_CORE_KERNEL_DISPATCH_HH
+#define HSC_CORE_KERNEL_DISPATCH_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/gpu_cu.hh"
+
+namespace hsc
+{
+
+/** A GPU kernel: a wavefront coroutine body and a grid size. */
+struct GpuKernel
+{
+    std::string name;
+    unsigned numWorkgroups;
+    std::function<SimTask(WaveCtx &)> body;
+};
+
+/**
+ * Single-queue kernel dispatcher over a set of CUs.
+ */
+class KernelDispatcher
+{
+  public:
+    KernelDispatcher(std::vector<GpuCu *> cus, StatRegistry &reg);
+
+    /** Enqueue @p kernel; @p on_complete fires after its release. */
+    void launch(GpuKernel kernel, std::function<void()> on_complete);
+
+    bool idle() const { return !running && pending.empty(); }
+    std::uint64_t kernelsLaunched() const { return statKernels.value(); }
+
+  private:
+    struct Active
+    {
+        GpuKernel kernel;
+        std::function<void()> onComplete;
+        unsigned nextWg = 0;
+        unsigned doneWgs = 0;
+        bool finishing = false;
+    };
+
+    void startNext();
+    void fill();
+    void finishKernel();
+
+    std::vector<GpuCu *> cus;
+    std::deque<Active> pending;
+    bool running = false;
+    Active current;
+
+    Counter statKernels, statWorkgroups;
+};
+
+} // namespace hsc
+
+#endif // HSC_CORE_KERNEL_DISPATCH_HH

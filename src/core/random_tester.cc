@@ -1,0 +1,306 @@
+#include "core/random_tester.hh"
+
+#include <sstream>
+
+#include "sim/rng.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+/** Agent kinds that can own a turn. */
+enum class AgentKind : std::uint8_t
+{
+    Cpu,
+    Gpu,
+    Dma,
+};
+
+struct Turn
+{
+    unsigned loc;
+    unsigned idx;          ///< position in the location's sequence
+    bool isWrite;
+    std::uint64_t value;   ///< value to write / expected on read
+    bool deviceScope;      ///< GPU only: GLC instead of SLC
+};
+
+constexpr unsigned TurnOffset = 0;  ///< u32 turn counter
+constexpr unsigned DataOffset = 8;  ///< u64 test word
+
+} // namespace
+
+struct RandomTester::State
+{
+    Addr base = 0;
+    unsigned numLocations = 0;
+    unsigned rounds = 0;
+    std::vector<std::vector<Turn>> cpuWork;  ///< per CPU thread
+    std::vector<std::vector<Turn>> gpuWork;  ///< per GPU workgroup
+    std::vector<Turn> dmaWork;               ///< driven by thread 0
+    std::vector<std::uint64_t> finalValue;
+    std::vector<unsigned> turnsPerLoc;
+    std::vector<std::string> failures;
+
+    Addr locAddr(unsigned loc) const { return base + Addr(loc) * 128; }
+
+    void
+    fail(const std::string &msg)
+    {
+        if (failures.size() < 32)
+            failures.push_back(msg);
+    }
+
+    void
+    checkRead(unsigned loc, unsigned idx, std::uint64_t got,
+              std::uint64_t want, const char *agent)
+    {
+        if (got != want) {
+            std::ostringstream os;
+            os << agent << " read mismatch loc=" << loc << " turn=" << idx
+               << " got=" << got << " want=" << want;
+            fail(os.str());
+        }
+    }
+};
+
+RandomTester::RandomTester(HsaSystem &sys, const RandomTesterConfig &cfg)
+    : sys(sys), cfg(cfg), st(std::make_shared<State>())
+{
+}
+
+RandomTester::~RandomTester() = default;
+
+const std::vector<std::string> &
+RandomTester::failures() const
+{
+    return st->failures;
+}
+
+bool
+RandomTester::run()
+{
+    Rng rng(cfg.seed);
+    State &s = *st;
+    s.numLocations = cfg.numLocations;
+    s.rounds = cfg.roundsPerLocation;
+    s.base = sys.alloc(std::uint64_t(cfg.numLocations) * 128);
+    s.cpuWork.resize(cfg.numCpuThreads);
+    s.gpuWork.resize(cfg.useGpu ? cfg.numGpuWorkgroups : 0);
+    s.finalValue.resize(cfg.numLocations, 0);
+    s.turnsPerLoc.resize(cfg.numLocations, 0);
+
+    // Build the deterministic schedule: every round is one write by a
+    // random agent followed by 1-2 verifying reads by random agents.
+    for (unsigned loc = 0; loc < cfg.numLocations; ++loc) {
+        // Device-scope (GLC) operations are only sound among GPU
+        // agents sharing the TCC: a CPU store can upgrade E->M
+        // silently and never probe the TCC, so a GLC poll of
+        // CPU-written data may legitimately spin on stale data
+        // (VIPER scoped semantics).  Some locations are therefore
+        // GPU-only and exercised entirely at device scope.
+        bool device_loc = cfg.allowDeviceScope && cfg.useGpu &&
+                          !s.gpuWork.empty() && rng.chance(25);
+        std::uint64_t value = 0;
+        unsigned idx = 0;
+        for (unsigned round = 0; round < cfg.roundsPerLocation; ++round) {
+            unsigned n_reads = 1 + unsigned(rng.below(2));
+            for (unsigned op = 0; op < 1 + n_reads; ++op) {
+                Turn t;
+                t.loc = loc;
+                t.idx = idx++;
+                t.isWrite = (op == 0);
+                if (t.isWrite)
+                    value = rng.next() | 1; // nonzero
+                t.value = value;
+                t.deviceScope = device_loc;
+
+                if (device_loc) {
+                    s.gpuWork[rng.below(s.gpuWork.size())].push_back(t);
+                    continue;
+                }
+                // Pick the owning agent.
+                unsigned kinds = 1 + (cfg.useGpu ? 1 : 0) +
+                                 (cfg.useDma ? 1 : 0);
+                unsigned pick = unsigned(rng.below(kinds));
+                if (pick == 1 && cfg.useGpu) {
+                    s.gpuWork[rng.below(s.gpuWork.size())].push_back(t);
+                } else if (pick >= 1 && cfg.useDma &&
+                           (pick == 2 || !cfg.useGpu)) {
+                    s.dmaWork.push_back(t);
+                } else {
+                    s.cpuWork[rng.below(cfg.numCpuThreads)].push_back(t);
+                }
+            }
+        }
+        s.finalValue[loc] = value;
+        s.turnsPerLoc[loc] = idx;
+        // Initial memory image.
+        sys.writeWord<std::uint32_t>(s.locAddr(loc) + TurnOffset, 0);
+        sys.writeWord<std::uint64_t>(s.locAddr(loc) + DataOffset, 0);
+    }
+
+    auto state = st;
+
+    // CPU agent body: cooperative polling over its pending turns.
+    auto cpu_body = [state](CpuCtx &cpu,
+                            std::vector<Turn> work) -> SimTask {
+        while (!work.empty()) {
+            bool progressed = false;
+            for (std::size_t i = 0; i < work.size();) {
+                const Turn &t = work[i];
+                Addr turn_addr = state->locAddr(t.loc) + TurnOffset;
+                Addr data_addr = state->locAddr(t.loc) + DataOffset;
+                std::uint64_t cur = co_await cpu.load(turn_addr, 4);
+                if (cur != t.idx) {
+                    ++i;
+                    continue;
+                }
+                if (t.isWrite) {
+                    co_await cpu.store(data_addr, t.value, 8);
+                } else {
+                    std::uint64_t got = co_await cpu.load(data_addr, 8);
+                    state->checkRead(t.loc, t.idx, got, t.value, "cpu");
+                }
+                co_await cpu.store(turn_addr, t.idx + 1, 4);
+                work.erase(work.begin() + long(i));
+                progressed = true;
+            }
+            if (!progressed)
+                co_await cpu.compute(500);
+        }
+    };
+
+    // GPU wavefront body: the same loop through scoped atomics.
+    auto gpu_body = [state](WaveCtx &wf,
+                            std::vector<Turn> work) -> SimTask {
+        while (!work.empty()) {
+            bool progressed = false;
+            for (std::size_t i = 0; i < work.size();) {
+                const Turn &t = work[i];
+                Scope scope =
+                    t.deviceScope ? Scope::Device : Scope::System;
+                Addr turn_addr = state->locAddr(t.loc) + TurnOffset;
+                Addr data_addr = state->locAddr(t.loc) + DataOffset;
+                std::uint64_t cur = co_await wf.atomic(
+                    turn_addr, AtomicOp::Load, 0, 0, 4, scope);
+                if (cur != t.idx) {
+                    ++i;
+                    continue;
+                }
+                if (t.isWrite) {
+                    co_await wf.atomic(data_addr, AtomicOp::Exch, t.value,
+                                       0, 8, scope);
+                } else {
+                    std::uint64_t got = co_await wf.atomic(
+                        data_addr, AtomicOp::Load, 0, 0, 8, scope);
+                    state->checkRead(t.loc, t.idx, got, t.value, "gpu");
+                }
+                co_await wf.atomic(turn_addr, AtomicOp::Add, 1, 0, 4,
+                                   scope);
+                work.erase(work.begin() + long(i));
+                progressed = true;
+            }
+            if (!progressed)
+                co_await wf.compute(200);
+        }
+    };
+
+    // Thread 0 drives DMA turns and hosts the GPU kernel.
+    HsaSystem *sysp = &sys;
+    bool use_gpu = cfg.useGpu && !s.gpuWork.empty();
+    unsigned num_wgs = unsigned(s.gpuWork.size());
+    auto host_body = [state, sysp, use_gpu, num_wgs,
+                      gpu_body](CpuCtx &cpu) -> SimTask {
+        if (use_gpu) {
+            GpuKernel k;
+            k.name = "tester";
+            k.numWorkgroups = num_wgs;
+            k.body = [state, gpu_body](WaveCtx &wf) -> SimTask {
+                return gpu_body(wf, state->gpuWork[wf.workgroupId()]);
+            };
+            cpu.launchKernelAsync(k);
+        }
+        std::vector<Turn> work = state->dmaWork;
+        while (!work.empty()) {
+            bool progressed = false;
+            for (std::size_t i = 0; i < work.size();) {
+                const Turn &t = work[i];
+                Addr loc_addr = state->locAddr(t.loc);
+                DataBlock blk =
+                    co_await sysp->dma().readBlock(loc_addr);
+                std::uint64_t cur = blk.get<std::uint32_t>(TurnOffset);
+                if (cur != t.idx) {
+                    ++i;
+                    continue;
+                }
+                if (t.isWrite) {
+                    DataBlock upd;
+                    upd.set<std::uint64_t>(DataOffset, t.value);
+                    co_await sysp->dma().writeBlock(
+                        loc_addr, upd, makeMask(DataOffset, 8));
+                } else {
+                    state->checkRead(t.loc, t.idx,
+                                     blk.get<std::uint64_t>(DataOffset),
+                                     t.value, "dma");
+                }
+                DataBlock tupd;
+                tupd.set<std::uint32_t>(TurnOffset, std::uint32_t(t.idx + 1));
+                co_await sysp->dma().writeBlock(loc_addr, tupd,
+                                                makeMask(TurnOffset, 4));
+                work.erase(work.begin() + long(i));
+                progressed = true;
+            }
+            if (!progressed)
+                co_await cpu.compute(500);
+        }
+        co_await cpu.waitKernels();
+    };
+
+    sys.addCpuThread(host_body);
+    for (unsigned i = 0; i < cfg.numCpuThreads; ++i) {
+        auto work = s.cpuWork[i];
+        sys.addCpuThread([cpu_body, work](CpuCtx &cpu) -> SimTask {
+            return cpu_body(cpu, work);
+        });
+    }
+
+    if (!sys.run()) {
+        s.fail("system run failed (deadlock or timeout)");
+        return false;
+    }
+
+    // Final image verification *through the protocol*: the current
+    // values may legitimately live dirty in an L2, so plain memory
+    // reads would see stale data.  A fresh verifier thread loads every
+    // location coherently.
+    sys.addCpuThread([state](CpuCtx &cpu) -> SimTask {
+        for (unsigned loc = 0; loc < state->numLocations; ++loc) {
+            std::uint64_t turns =
+                co_await cpu.load(state->locAddr(loc) + TurnOffset, 4);
+            if (turns != state->turnsPerLoc[loc]) {
+                std::ostringstream os;
+                os << "loc " << loc << " executed " << turns << "/"
+                   << state->turnsPerLoc[loc] << " turns";
+                state->fail(os.str());
+            }
+            std::uint64_t v =
+                co_await cpu.load(state->locAddr(loc) + DataOffset, 8);
+            if (v != state->finalValue[loc]) {
+                std::ostringstream os;
+                os << "loc " << loc << " final value " << v << " != "
+                   << state->finalValue[loc];
+                state->fail(os.str());
+            }
+        }
+    });
+    if (!sys.run()) {
+        s.fail("verification pass failed to complete");
+        return false;
+    }
+    return s.failures.empty();
+}
+
+} // namespace hsc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * RandomTester — a gem5-Ruby-random-tester-style protocol exerciser.
+ *
+ * Every test location gets a deterministic schedule of turns; each
+ * turn is owned by one agent (a CPU thread, a GPU wavefront, or the
+ * DMA engine driven by a host thread) and either writes a new expected
+ * value or reads and verifies the current one.  Agents discover their
+ * turns by polling the location's turn counter *through the coherence
+ * protocol itself* (CPU loads, GPU system-scope atomics), so a
+ * coherence bug shows up as a verification mismatch or a watchdog
+ * deadlock.  Turn counter and data share a cache line, maximising
+ * invalidation ping-pong across L2s, TCC and the directory.
+ */
+
+#ifndef HSC_CORE_RANDOM_TESTER_HH
+#define HSC_CORE_RANDOM_TESTER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hsa_system.hh"
+
+namespace hsc
+{
+
+/** Tester parameters. */
+struct RandomTesterConfig
+{
+    unsigned numLocations = 24;
+    unsigned roundsPerLocation = 6;
+    unsigned numCpuThreads = 6;
+    unsigned numGpuWorkgroups = 4;
+    bool useGpu = true;
+    bool useDma = true;
+    /** Allow device-scope (GLC) GPU ops — only sound with a
+     *  write-through TCC. */
+    bool allowDeviceScope = false;
+    std::uint64_t seed = 12345;
+};
+
+/**
+ * Drives one HsaSystem with randomized coherent traffic and verifies
+ * every read plus the final memory image.
+ */
+class RandomTester
+{
+  public:
+    RandomTester(HsaSystem &sys, const RandomTesterConfig &cfg);
+    ~RandomTester();
+
+    /** Set up agents, run the system, verify.  True on full success. */
+    bool run();
+
+    const std::vector<std::string> &failures() const;
+
+  private:
+    struct State;
+    HsaSystem &sys;
+    RandomTesterConfig cfg;
+    std::shared_ptr<State> st;
+};
+
+} // namespace hsc
+
+#endif // HSC_CORE_RANDOM_TESTER_HH

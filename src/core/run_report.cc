@@ -1,0 +1,94 @@
+#include "core/run_report.hh"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace hsc
+{
+
+RunMetrics
+collectMetrics(HsaSystem &sys, const std::string &workload, bool ok)
+{
+    RunMetrics m;
+    const std::string &n = sys.config().name;
+    StatRegistry &reg = sys.stats();
+    m.config = sys.config().label;
+    m.workload = workload;
+    m.ok = ok;
+    m.cycles = sys.cpuCycles();
+    m.memReads = reg.counter(n + ".mem.reads");
+    m.memWrites = reg.counter(n + ".mem.writes");
+    // Directory stats aggregate across banks ("system.dir" matches
+    // both the single "system.dir.*" and the banked "system.dirK.*").
+    m.probes = reg.sumMatching(n + ".dir", ".probesSent");
+    m.llcHits = reg.sumMatching(n + ".dir", ".llc.readHits");
+    m.llcReads = reg.sumMatching(n + ".dir", ".llc.reads");
+    m.dirRequests = reg.sumMatching(n + ".dir", ".requests");
+    m.dirEvictions = reg.sumMatching(n + ".dir", ".dirEvictions");
+    m.earlyResponses = reg.sumMatching(n + ".dir", ".earlyResponses");
+    m.readOnlyElided = reg.sumMatching(n + ".dir", ".readOnlyElided");
+    return m;
+}
+
+double
+pctSaved(double baseline, double value)
+{
+    if (baseline == 0)
+        return 0.0;
+    return 100.0 * (baseline - value) / baseline;
+}
+
+void
+TableWriter::header(const std::vector<std::string> &cols)
+{
+    widths.clear();
+    for (const auto &c : cols)
+        widths.push_back(std::max<std::size_t>(c.size() + 2, 14));
+    row(cols);
+    rule();
+}
+
+void
+TableWriter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::size_t w = i < widths.size() ? widths[i] : 12;
+        os << std::left << std::setw(int(w)) << cells[i];
+    }
+    os << '\n';
+}
+
+void
+TableWriter::rule()
+{
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w;
+    os << std::string(total, '-') << '\n';
+}
+
+std::string
+TableWriter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TableWriter::fmt(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+void
+printRunSummary(std::ostream &os, const RunMetrics &m)
+{
+    os << m.workload << " [" << m.config << "] "
+       << (m.ok ? "OK" : "FAILED") << "  cycles=" << m.cycles
+       << " memR=" << m.memReads << " memW=" << m.memWrites
+       << " probes=" << m.probes << " llcHit=" << m.llcHits << "/"
+       << m.llcReads << '\n';
+}
+
+} // namespace hsc

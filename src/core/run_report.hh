@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Run-metric extraction and table formatting shared by examples and
+ * the benchmark harnesses.
+ */
+
+#ifndef HSC_CORE_RUN_REPORT_HH
+#define HSC_CORE_RUN_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/hsa_system.hh"
+
+namespace hsc
+{
+
+/** The metrics the paper's figures are built from. */
+struct RunMetrics
+{
+    std::string config;     ///< SystemConfig::label
+    std::string workload;
+    bool ok = false;        ///< ran to completion and verified
+    Cycles cycles = 0;      ///< simulated CPU cycles (Figs. 4 & 6)
+    std::uint64_t memReads = 0;   ///< directory->memory reads (Fig. 5)
+    std::uint64_t memWrites = 0;  ///< directory->memory writes (Fig. 5)
+    std::uint64_t probes = 0;     ///< probes sent by the directory (Fig. 7)
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcReads = 0;
+    std::uint64_t dirRequests = 0;
+    std::uint64_t dirEvictions = 0;
+    std::uint64_t earlyResponses = 0;
+    std::uint64_t readOnlyElided = 0;
+};
+
+/** Collect the metrics of a completed run. */
+RunMetrics collectMetrics(HsaSystem &sys, const std::string &workload,
+                          bool ok);
+
+/** Percentage saved vs a baseline value (positive = improvement). */
+double pctSaved(double baseline, double value);
+
+/**
+ * Fixed-width table writer for the bench harnesses (prints the same
+ * rows/series as the paper's figures).
+ */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::ostream &os) : os(os) {}
+
+    void header(const std::vector<std::string> &cols);
+    void row(const std::vector<std::string> &cells);
+    void rule();
+
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmt(std::uint64_t v);
+
+  private:
+    std::ostream &os;
+    std::vector<std::size_t> widths;
+};
+
+/** Dump a one-line summary of a run. */
+void printRunSummary(std::ostream &os, const RunMetrics &m);
+
+} // namespace hsc
+
+#endif // HSC_CORE_RUN_REPORT_HH

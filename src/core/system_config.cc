@@ -1,0 +1,106 @@
+#include "core/system_config.hh"
+
+namespace hsc
+{
+
+SystemConfig
+baselineConfig()
+{
+    SystemConfig cfg;
+    cfg.label = "baseline";
+    return cfg;
+}
+
+SystemConfig
+earlyRespConfig()
+{
+    SystemConfig cfg;
+    cfg.dir.earlyDirtyResp = true;
+    cfg.label = "earlyResp";
+    return cfg;
+}
+
+SystemConfig
+noCleanVicToMemConfig()
+{
+    SystemConfig cfg;
+    cfg.dir.noCleanVicToMem = true;
+    cfg.label = "noWBcleanVic";
+    return cfg;
+}
+
+SystemConfig
+noCleanVicToLlcConfig()
+{
+    SystemConfig cfg;
+    cfg.dir.noCleanVicToMem = true;
+    cfg.dir.noCleanVicToLlc = true;
+    cfg.label = "noCleanVicLLC";
+    return cfg;
+}
+
+SystemConfig
+llcWriteBackConfig()
+{
+    SystemConfig cfg;
+    cfg.dir.noCleanVicToMem = true;
+    cfg.dir.llcWriteBack = true;
+    cfg.label = "llcWB";
+    return cfg;
+}
+
+SystemConfig
+llcWriteBackUseL3Config()
+{
+    SystemConfig cfg = llcWriteBackConfig();
+    cfg.dir.useL3OnWT = true;
+    cfg.label = "llcWB+useL3OnWT";
+    return cfg;
+}
+
+SystemConfig
+ownerTrackingConfig()
+{
+    // State tracking is built on top of the §III enhancements
+    // (write-back LLC with GPU write-throughs redirected to it, as
+    // §III-C requires for correctness).
+    SystemConfig cfg = llcWriteBackUseL3Config();
+    cfg.dir.tracking = DirTracking::Owner;
+    cfg.label = "ownerTracking";
+    return cfg;
+}
+
+SystemConfig
+sharerTrackingConfig()
+{
+    SystemConfig cfg = ownerTrackingConfig();
+    cfg.dir.tracking = DirTracking::Sharers;
+    cfg.label = "sharersTracking";
+    return cfg;
+}
+
+SystemConfig
+limitedPointerConfig(unsigned pointers)
+{
+    SystemConfig cfg = sharerTrackingConfig();
+    cfg.dir.maxSharerPointers = pointers;
+    cfg.label = "limitedPtr" + std::to_string(pointers);
+    return cfg;
+}
+
+void
+shrinkForTorture(SystemConfig &cfg)
+{
+    cfg.corePair.l2Geom = {16, 2};
+    cfg.corePair.l1dGeom = {4, 2};
+    cfg.corePair.l1iGeom = {4, 2};
+    cfg.tcp.geom = {4, 2};
+    cfg.tcc.geom = {8, 2};
+    cfg.sqc.geom = {4, 2};
+    cfg.llc.geom = {16, 2};
+    cfg.dir.dirEntries = 64;
+    cfg.dir.dirAssoc = 4;
+    cfg.watchdogCycles = 10'000'000;
+}
+
+} // namespace hsc

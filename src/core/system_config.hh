@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Whole-system configuration (Tables II and III of the paper) plus
+ * the enhancement knobs, and the named presets used by the benches.
+ */
+
+#ifndef HSC_CORE_SYSTEM_CONFIG_HH
+#define HSC_CORE_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "protocol/cpu/core_pair.hh"
+#include "protocol/dir/directory.hh"
+#include "protocol/gpu/sqc.hh"
+#include "protocol/gpu/tcc.hh"
+#include "protocol/gpu/tcp.hh"
+#include "protocol/types.hh"
+
+namespace hsc
+{
+
+/**
+ * Full configuration of one simulated APU.
+ * Defaults reproduce Tables II and III.
+ */
+struct SystemConfig
+{
+    std::string name = "system";
+
+    // Table III.
+    Topology topo{4, 1};          ///< 4 CorePairs (8 CPUs), 1 TCC
+    unsigned numCus = 8;          ///< 8 CUs
+    unsigned wavefrontsPerCu = 4; ///< 4 SIMDs per CU
+    unsigned lanesPerWavefront = 16;
+    std::uint64_t cpuMHz = 3500;
+    std::uint64_t gpuMHz = 1100;
+
+    // Table II cache configurations.
+    CorePairParams corePair{};
+    TcpParams tcp{};
+    TccParams tcc{};
+    SqcParams sqc{};
+    LlcParams llc{};
+    Cycles dirLatency = 20;
+    Cycles llcLatency = 20;
+
+    // Uncore timing (CPU cycles).
+    Cycles linkLatency = 10;       ///< each directory link hop
+    Cycles memLatency = 150;       ///< DRAM access
+    Cycles memServicePeriod = 10;  ///< DRAM channel occupancy
+
+    /** gem5 WB_L1 / WB_L2: GPU caches in write-back mode. */
+    bool gpuWriteBack = false;
+
+    /** The paper's enhancement knobs. */
+    DirConfig dir{};
+
+    /**
+     * §VII future-work: number of address-interleaved directory banks
+     * (distributed directory).  Power of two; 1 = the paper's single
+     * monolithic directory.  Directory entries and LLC capacity are
+     * split across the banks.
+     */
+    unsigned numDirBanks = 1;
+
+    /** Directory occupancy: min cycles between transaction starts. */
+    Cycles dirServicePeriod = 1;
+
+    unsigned dmaMaxOutstanding = 8;
+
+    /** Inject periodic instruction fetches to exercise L1I/SQC. */
+    bool injectIfetches = true;
+
+    std::uint64_t seed = 1;
+
+    /** Watchdog: abort if nothing progresses for this many CPU
+     *  cycles while work is outstanding. */
+    Cycles watchdogCycles = 3'000'000;
+
+    /** Short human-readable tag for bench tables. */
+    std::string label = "baseline";
+};
+
+/** @{ Named configurations used throughout the evaluation. */
+
+/** The unmodified gem5 HSC model: stateless directory, WT LLC. */
+SystemConfig baselineConfig();
+
+/** §III-A early response on dirty probe acknowledgment. */
+SystemConfig earlyRespConfig();
+
+/** §III-B no write-back of clean victims to memory. */
+SystemConfig noCleanVicToMemConfig();
+
+/** §III-B1 variant: clean victims not cached in the LLC either. */
+SystemConfig noCleanVicToLlcConfig();
+
+/** §III-C write-back LLC. */
+SystemConfig llcWriteBackConfig();
+
+/** §III-C + gem5 useL3OnWT (TCC write-throughs go to the LLC). */
+SystemConfig llcWriteBackUseL3Config();
+
+/** §IV-A owner-tracking directory (on top of the §III stack). */
+SystemConfig ownerTrackingConfig();
+
+/** §IV-B full-map sharer-tracking directory. */
+SystemConfig sharerTrackingConfig();
+
+/** §IV-B limited-pointer sharer tracking with @p pointers entries. */
+SystemConfig limitedPointerConfig(unsigned pointers);
+
+/** @} */
+
+/**
+ * Shrink every cache/directory so replacements and back-invalidations
+ * happen in seconds-long tests (a torture configuration).
+ */
+void shrinkForTorture(SystemConfig &cfg);
+
+} // namespace hsc
+
+#endif // HSC_CORE_SYSTEM_CONFIG_HH

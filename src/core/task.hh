@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Minimal C++20 coroutine machinery for workload threads.
+ *
+ * CPU threads and GPU wavefronts are written as coroutines that
+ * co_await asynchronous memory operations; the event-driven
+ * controllers resume them from completion callbacks.  This keeps the
+ * ten CHAI-like workloads readable as straight-line code while the
+ * timing is fully event-driven.
+ */
+
+#ifndef HSC_CORE_TASK_HH
+#define HSC_CORE_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace hsc
+{
+
+/**
+ * A fire-and-forget coroutine.  Created suspended; start() installs a
+ * completion callback and resumes it.  The frame self-destructs at
+ * completion, so the handle must not be touched after start().
+ */
+class SimTask
+{
+  public:
+    struct promise_type
+    {
+        std::function<void()> onComplete;
+
+        SimTask
+        get_return_object()
+        {
+            return SimTask{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+
+        void
+        return_void()
+        {
+            if (onComplete)
+                onComplete();
+        }
+
+        void
+        unhandled_exception()
+        {
+            // Propagate out of resume(): surfaces through the event
+            // loop as a test/bench failure.
+            std::rethrow_exception(std::current_exception());
+        }
+    };
+
+    explicit SimTask(std::coroutine_handle<promise_type> h) : h(h) {}
+
+    /** Install the completion hook and begin execution. */
+    void
+    start(std::function<void()> on_complete = nullptr)
+    {
+        h.promise().onComplete = std::move(on_complete);
+        h.resume();
+    }
+
+  private:
+    std::coroutine_handle<promise_type> h;
+};
+
+/**
+ * Awaitable adapter over a callback-style asynchronous operation
+ * returning a T.  Safe against operations that complete synchronously.
+ */
+template <typename T>
+class Await
+{
+  public:
+    using Starter = std::function<void(std::function<void(T)>)>;
+
+    explicit Await(Starter s) : starter(std::move(s)) {}
+
+    bool await_ready() const noexcept { return false; }
+
+    bool
+    await_suspend(std::coroutine_handle<> h)
+    {
+        bool *in_start = &inStart;
+        bool *fired = &firedSync;
+        inStart = true;
+        starter([this, h, in_start, fired](T v) {
+            result = std::move(v);
+            if (*in_start)
+                *fired = true;
+            else
+                h.resume();
+        });
+        inStart = false;
+        return !firedSync; // false => completed synchronously, resume now
+    }
+
+    T await_resume() { return std::move(result); }
+
+  private:
+    Starter starter;
+    T result{};
+    bool inStart = false;
+    bool firedSync = false;
+};
+
+/** Awaitable adapter for void-returning asynchronous operations. */
+class AwaitVoid
+{
+  public:
+    using Starter = std::function<void(std::function<void()>)>;
+
+    explicit AwaitVoid(Starter s) : starter(std::move(s)) {}
+
+    bool await_ready() const noexcept { return false; }
+
+    bool
+    await_suspend(std::coroutine_handle<> h)
+    {
+        bool *in_start = &inStart;
+        bool *fired = &firedSync;
+        inStart = true;
+        starter([h, in_start, fired]() {
+            if (*in_start)
+                *fired = true;
+            else
+                h.resume();
+        });
+        inStart = false;
+        return !firedSync;
+    }
+
+    void await_resume() {}
+
+  private:
+    Starter starter;
+    bool inStart = false;
+    bool firedSync = false;
+};
+
+} // namespace hsc
+
+#endif // HSC_CORE_TASK_HH

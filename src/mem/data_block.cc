@@ -1,0 +1,1 @@
+#include "mem/data_block.hh"

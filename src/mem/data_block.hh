@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A 64-byte cache block with functional data and byte-mask merging.
+ *
+ * Functional data is carried end to end so workload synchronisation
+ * (flags, atomics, task queues) is real: a protocol bug that loses or
+ * stales data breaks workload verification.
+ */
+
+#ifndef HSC_MEM_DATA_BLOCK_HH
+#define HSC_MEM_DATA_BLOCK_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/** Cache block size in bytes, shared by L2 and LLC per §III-C. */
+constexpr unsigned BlockSizeBytes = 64;
+constexpr unsigned BlockShift = 6;
+
+/** Align @p a down to its containing block. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~Addr(BlockSizeBytes - 1);
+}
+
+/** Byte offset of @p a within its block. */
+constexpr unsigned
+blockOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (BlockSizeBytes - 1));
+}
+
+/** One bit per byte of a block; bit i covers byte i. */
+using ByteMask = std::uint64_t;
+
+/** Mask covering @p size bytes starting at block offset @p offset. */
+constexpr ByteMask
+makeMask(unsigned offset, unsigned size)
+{
+    ByteMask m = (size >= 64) ? ~ByteMask(0)
+                              : ((ByteMask(1) << size) - 1);
+    return m << offset;
+}
+
+constexpr ByteMask FullMask = ~ByteMask(0);
+
+/**
+ * 64 bytes of functional data.
+ */
+class DataBlock
+{
+  public:
+    DataBlock() { bytes.fill(0); }
+
+    /** Read an unsigned integer of @p Size bytes at @p offset. */
+    template <typename T>
+    T
+    get(unsigned offset) const
+    {
+        panic_if(offset + sizeof(T) > BlockSizeBytes,
+                 "DataBlock read beyond block (off=%u)", offset);
+        T v;
+        std::memcpy(&v, bytes.data() + offset, sizeof(T));
+        return v;
+    }
+
+    /** Write an unsigned integer at @p offset. */
+    template <typename T>
+    void
+    set(unsigned offset, T v)
+    {
+        panic_if(offset + sizeof(T) > BlockSizeBytes,
+                 "DataBlock write beyond block (off=%u)", offset);
+        std::memcpy(bytes.data() + offset, &v, sizeof(T));
+    }
+
+    /** Copy bytes of @p other selected by @p mask into this block. */
+    void
+    merge(const DataBlock &other, ByteMask mask)
+    {
+        if (mask == FullMask) {
+            bytes = other.bytes;
+            return;
+        }
+        for (unsigned i = 0; i < BlockSizeBytes; ++i) {
+            if (mask & (ByteMask(1) << i))
+                bytes[i] = other.bytes[i];
+        }
+    }
+
+    bool
+    operator==(const DataBlock &other) const
+    {
+        return bytes == other.bytes;
+    }
+
+    const std::uint8_t *raw() const { return bytes.data(); }
+    std::uint8_t *raw() { return bytes.data(); }
+
+  private:
+    std::array<std::uint8_t, BlockSizeBytes> bytes;
+};
+
+} // namespace hsc
+
+#endif // HSC_MEM_DATA_BLOCK_HH

@@ -1,0 +1,51 @@
+#include "mem/main_memory.hh"
+
+namespace hsc
+{
+
+Tick
+MainMemory::channelFreeAt(Tick now)
+{
+    Tick start = std::max(now, nextFree);
+    nextFree = start + servicePeriod;
+    return start;
+}
+
+void
+MainMemory::read(Addr addr, ReadCallback cb)
+{
+    ++numReads;
+    Addr base = blockAlign(addr);
+    Tick start = channelFreeAt(curTick());
+    eq.schedule(start + latency, [this, base, cb = std::move(cb)]() {
+        eq.notifyProgress();
+        cb(functionalRead(base));
+    });
+}
+
+void
+MainMemory::write(Addr addr, const DataBlock &data, ByteMask mask)
+{
+    ++numWrites;
+    // Writes are non-blocking: the data is merged functionally now (the
+    // directory guarantees ordering) and only the channel occupancy is
+    // modelled.
+    channelFreeAt(curTick());
+    functionalWrite(blockAlign(addr), data, mask);
+}
+
+DataBlock
+MainMemory::functionalRead(Addr addr) const
+{
+    auto it = store.find(blockAlign(addr));
+    return it == store.end() ? DataBlock() : it->second;
+}
+
+void
+MainMemory::functionalWrite(Addr addr, const DataBlock &data, ByteMask mask)
+{
+    DataBlock &blk = store[blockAlign(addr)];
+    blk.merge(data, mask);
+}
+
+} // namespace hsc

@@ -1,0 +1,83 @@
+#include "mem/message.hh"
+
+#include <algorithm>
+
+namespace hsc
+{
+
+std::string_view
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::RdBlk: return "RdBlk";
+      case MsgType::RdBlkS: return "RdBlkS";
+      case MsgType::RdBlkM: return "RdBlkM";
+      case MsgType::VicDirty: return "VicDirty";
+      case MsgType::VicClean: return "VicClean";
+      case MsgType::TccRdBlk: return "TccRdBlk";
+      case MsgType::Atomic: return "Atomic";
+      case MsgType::WriteThrough: return "WriteThrough";
+      case MsgType::Flush: return "Flush";
+      case MsgType::DmaRead: return "DmaRead";
+      case MsgType::DmaWrite: return "DmaWrite";
+      case MsgType::PrbInv: return "PrbInv";
+      case MsgType::PrbDowngrade: return "PrbDowngrade";
+      case MsgType::PrbResp: return "PrbResp";
+      case MsgType::SysResp: return "SysResp";
+      case MsgType::WBAck: return "WBAck";
+      case MsgType::AtomicResp: return "AtomicResp";
+      case MsgType::DmaResp: return "DmaResp";
+      case MsgType::Unblock: return "Unblock";
+    }
+    return "?";
+}
+
+std::string_view
+grantName(Grant g)
+{
+    switch (g) {
+      case Grant::None: return "None";
+      case Grant::Shared: return "Shared";
+      case Grant::Exclusive: return "Exclusive";
+      case Grant::Modified: return "Modified";
+    }
+    return "?";
+}
+
+std::string_view
+atomicOpName(AtomicOp op)
+{
+    switch (op) {
+      case AtomicOp::None: return "None";
+      case AtomicOp::Add: return "Add";
+      case AtomicOp::Exch: return "Exch";
+      case AtomicOp::Cas: return "Cas";
+      case AtomicOp::Min: return "Min";
+      case AtomicOp::Max: return "Max";
+      case AtomicOp::Or: return "Or";
+      case AtomicOp::And: return "And";
+      case AtomicOp::Load: return "Load";
+    }
+    return "?";
+}
+
+std::uint64_t
+applyAtomic(AtomicOp op, std::uint64_t old_val, std::uint64_t operand,
+            std::uint64_t operand2)
+{
+    switch (op) {
+      case AtomicOp::Add: return old_val + operand;
+      case AtomicOp::Exch: return operand;
+      case AtomicOp::Cas: return old_val == operand ? operand2 : old_val;
+      case AtomicOp::Min: return std::min(old_val, operand);
+      case AtomicOp::Max: return std::max(old_val, operand);
+      case AtomicOp::Or: return old_val | operand;
+      case AtomicOp::And: return old_val & operand;
+      case AtomicOp::Load:
+      case AtomicOp::None:
+        return old_val;
+    }
+    return old_val;
+}
+
+} // namespace hsc

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Coherence message vocabulary of the heterogeneous system.
+ *
+ * The request types mirror §II-A of the paper: the directory receives
+ * RdBlk / RdBlkS / RdBlkM / VicDirty / VicClean from CorePair L2s;
+ * RdBlk / Atomic / WriteThrough / Flush from the TCC; and DMARead /
+ * DMAWrite from the DMA engine.  Probes are invalidating or
+ * downgrading; responses carry data and a granted state.
+ */
+
+#ifndef HSC_MEM_MESSAGE_HH
+#define HSC_MEM_MESSAGE_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "mem/data_block.hh"
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/** Every message type exchanged in the memory system. */
+enum class MsgType : std::uint8_t
+{
+    // CorePair L2 -> directory (§II-A).
+    RdBlk,          ///< read; may be granted Shared or Exclusive
+    RdBlkS,         ///< read, specifically Shared (I-cache misses)
+    RdBlkM,         ///< write permission
+    VicDirty,       ///< dirty victim write-back
+    VicClean,       ///< clean victim write-back (noisy evictions)
+
+    // TCC -> directory (§II-A).
+    TccRdBlk,       ///< GPU read; Exclusive grant is ignored by TCC
+    Atomic,         ///< system-scope atomic executed at the directory
+    WriteThrough,   ///< system-visible write / TCC write-back
+    Flush,          ///< store-release flush orchestrated by the TCC
+
+    // DMA engine -> directory (§II-E).
+    DmaRead,
+    DmaWrite,
+
+    // Directory -> caches.
+    PrbInv,         ///< invalidating probe
+    PrbDowngrade,   ///< downgrading probe
+
+    // Caches -> directory.
+    PrbResp,        ///< probe acknowledgment, possibly with dirty data
+
+    // Directory -> requester.
+    SysResp,        ///< data/permission response
+    WBAck,          ///< victim write-back acknowledgment
+    AtomicResp,     ///< atomic result (old value)
+    DmaResp,        ///< DMA completion
+
+    // Requester -> directory.
+    Unblock,        ///< ends the transaction; line returns to U
+};
+
+/** Human-readable message-type name. */
+std::string_view msgTypeName(MsgType t);
+
+/** True for the write-permission requests that broadcast PrbInv. */
+constexpr bool
+isWritePermission(MsgType t)
+{
+    return t == MsgType::RdBlkM || t == MsgType::WriteThrough ||
+           t == MsgType::Flush || t == MsgType::Atomic ||
+           t == MsgType::DmaWrite;
+}
+
+/** True for requests that trigger downgrade probes in the baseline. */
+constexpr bool
+isReadPermission(MsgType t)
+{
+    return t == MsgType::RdBlk || t == MsgType::RdBlkS ||
+           t == MsgType::TccRdBlk || t == MsgType::DmaRead;
+}
+
+/** Coherence permission granted by a SysResp. */
+enum class Grant : std::uint8_t
+{
+    None,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+std::string_view grantName(Grant g);
+
+/** Read-modify-write operators supported by Atomic requests. */
+enum class AtomicOp : std::uint8_t
+{
+    None,
+    Add,
+    Exch,
+    Cas,
+    Min,
+    Max,
+    Or,
+    And,
+    Load,   ///< atomic load (bypassing) — used for scoped spin waits
+};
+
+std::string_view atomicOpName(AtomicOp op);
+
+/**
+ * Apply @p op to @p old_val; returns the new value to store.
+ * For Load the stored value is unchanged.
+ */
+std::uint64_t applyAtomic(AtomicOp op, std::uint64_t old_val,
+                          std::uint64_t operand, std::uint64_t operand2);
+
+/**
+ * One memory-system message.  A single concrete struct (rather than a
+ * virtual hierarchy) keeps buffers value-typed and simulation
+ * deterministic.
+ */
+struct Msg
+{
+    MsgType type = MsgType::RdBlk;
+    Addr addr = 0;                       ///< block-aligned address
+    MachineId sender = InvalidMachineId;
+    MachineId dest = InvalidMachineId;
+    std::uint64_t txnId = 0;             ///< directory transaction tag
+
+    Grant grant = Grant::None;           ///< for SysResp
+
+    bool hasData = false;
+    bool dirty = false;    ///< probe resp carried modified data
+    bool hit = false;      ///< probe resp: responder held a valid copy
+    /** Probe resp: the data came from a pending write-back that this
+     *  (invalidating) probe cancelled; the directory must drop the
+     *  in-flight victim message. */
+    bool cancelledVic = false;
+    DataBlock data;
+    ByteMask mask = FullMask;            ///< partial write-through mask
+
+    // Atomic payload (offset/size select the word within the block).
+    AtomicOp atomicOp = AtomicOp::None;
+    unsigned atomicOffset = 0;
+    unsigned atomicSize = 8;
+    std::uint64_t atomicOperand = 0;
+    std::uint64_t atomicOperand2 = 0;
+    std::uint64_t atomicResult = 0;      ///< old value, in AtomicResp
+};
+
+} // namespace hsc
+
+#endif // HSC_MEM_MESSAGE_HH

@@ -1,0 +1,1 @@
+#include "mem/message_buffer.hh"

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * An ordered, latency-modelled point-to-point link.
+ *
+ * MessageBuffer models one virtual-network link between two
+ * controllers: messages arrive at the consumer a fixed latency after
+ * enqueue, in FIFO order.  Message counts are recorded so benches can
+ * report network activity (Fig. 7 of the paper counts probes sent on
+ * these links).
+ */
+
+#ifndef HSC_MEM_MESSAGE_BUFFER_HH
+#define HSC_MEM_MESSAGE_BUFFER_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mem/message.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+/**
+ * Anything a controller can send messages into: a concrete link, or a
+ * router spreading traffic over several (e.g. the banked-directory
+ * interleaver).
+ */
+class MsgSink
+{
+  public:
+    virtual ~MsgSink() = default;
+    virtual void enqueue(Msg msg) = 0;
+};
+
+/**
+ * One-way link delivering messages to a consumer callback after a
+ * fixed latency.
+ */
+class MessageBuffer : public MsgSink
+{
+  public:
+    using Consumer = std::function<void(Msg &&)>;
+
+    /**
+     * @param name Link name for stats.
+     * @param eq Shared event queue.
+     * @param latency Delivery latency in ticks.
+     */
+    MessageBuffer(std::string name, EventQueue &eq, Tick latency)
+        : _name(std::move(name)), eq(eq), latency(latency)
+    {}
+
+    /** Attach the receiving controller. Must be set before enqueue. */
+    void setConsumer(Consumer c) { consumer = std::move(c); }
+
+    /** Send @p msg; it arrives at the consumer after the latency. */
+    void
+    enqueue(Msg msg) override
+    {
+        ++numMessages;
+        eq.scheduleIn(latency, [this, m = std::move(msg)]() mutable {
+            eq.notifyProgress();
+            consumer(std::move(m));
+        });
+    }
+
+    const std::string &name() const { return _name; }
+    Tick latencyTicks() const { return latency; }
+
+    /** Register the message counter with @p reg. */
+    void
+    regStats(StatRegistry &reg)
+    {
+        reg.addCounter(_name + ".messages", &numMessages);
+    }
+
+    std::uint64_t messageCount() const { return numMessages.value(); }
+
+  private:
+    const std::string _name;
+    EventQueue &eq;
+    Tick latency;
+    Consumer consumer;
+    Counter numMessages;
+};
+
+/**
+ * Address-interleaved router over several links — the client side of
+ * a banked (distributed) directory: block b goes to bank
+ * (b % numBanks).
+ */
+class BankedSink : public MsgSink
+{
+  public:
+    explicit BankedSink(std::vector<MessageBuffer *> banks)
+        : banks(std::move(banks))
+    {}
+
+    void
+    enqueue(Msg msg) override
+    {
+        std::size_t bank =
+            std::size_t(msg.addr >> BlockShift) % banks.size();
+        banks[bank]->enqueue(std::move(msg));
+    }
+
+    std::size_t numBanks() const { return banks.size(); }
+
+  private:
+    std::vector<MessageBuffer *> banks;
+};
+
+} // namespace hsc
+
+#endif // HSC_MEM_MESSAGE_BUFFER_HH

@@ -1,0 +1,525 @@
+#include "protocol/cpu/core_pair.hh"
+
+namespace hsc
+{
+
+std::string_view
+l2StateName(L2State s)
+{
+    switch (s) {
+      case L2State::Shared: return "S";
+      case L2State::Exclusive: return "E";
+      case L2State::Owned: return "O";
+      case L2State::Modified: return "M";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Extract a little-endian word of @p size bytes at @p addr. */
+std::uint64_t
+readWord(const DataBlock &blk, Addr addr, unsigned size)
+{
+    unsigned off = blockOffset(addr);
+    switch (size) {
+      case 1: return blk.get<std::uint8_t>(off);
+      case 2: return blk.get<std::uint16_t>(off);
+      case 4: return blk.get<std::uint32_t>(off);
+      case 8: return blk.get<std::uint64_t>(off);
+      default: panic("unsupported access size %u", size);
+    }
+}
+
+void
+writeWord(DataBlock &blk, Addr addr, unsigned size, std::uint64_t v)
+{
+    unsigned off = blockOffset(addr);
+    switch (size) {
+      case 1: blk.set<std::uint8_t>(off, std::uint8_t(v)); break;
+      case 2: blk.set<std::uint16_t>(off, std::uint16_t(v)); break;
+      case 4: blk.set<std::uint32_t>(off, std::uint32_t(v)); break;
+      case 8: blk.set<std::uint64_t>(off, v); break;
+      default: panic("unsupported access size %u", size);
+    }
+}
+
+bool
+writable(L2State s)
+{
+    return s == L2State::Exclusive || s == L2State::Modified;
+}
+
+} // namespace
+
+CorePairController::CorePairController(std::string name, EventQueue &eq,
+                                       ClockDomain clk, MachineId machine_id,
+                                       const CorePairParams &params,
+                                       MsgSink &to_dir)
+    : Clocked(std::move(name), eq, clk), id(machine_id), params(params),
+      toDir(to_dir), l2(this->name() + ".l2", params.l2Geom),
+      l1i(this->name() + ".l1i", params.l1iGeom)
+{
+    l1d.reserve(2);
+    for (unsigned c = 0; c < 2; ++c)
+        l1d.emplace_back(this->name() + ".l1d" + std::to_string(c),
+                         params.l1dGeom);
+}
+
+void
+CorePairController::bindFromDir(MessageBuffer &from_dir)
+{
+    from_dir.setConsumer([this](Msg &&m) { handleFromDir(std::move(m)); });
+}
+
+void
+CorePairController::regStats(StatRegistry &reg)
+{
+    const std::string &n = name();
+    reg.addCounter(n + ".loads", &statLoads);
+    reg.addCounter(n + ".stores", &statStores);
+    reg.addCounter(n + ".ifetches", &statIfetches);
+    reg.addCounter(n + ".atomics", &statAtomics);
+    reg.addCounter(n + ".l1dHits", &statL1dHits);
+    reg.addCounter(n + ".l1iHits", &statL1iHits);
+    reg.addCounter(n + ".l2Hits", &statL2Hits);
+    reg.addCounter(n + ".l2Misses", &statL2Misses);
+    reg.addCounter(n + ".upgrades", &statUpgrades);
+    reg.addCounter(n + ".vicClean", &statVicClean);
+    reg.addCounter(n + ".vicDirty", &statVicDirty);
+    reg.addCounter(n + ".probesRecvd", &statProbesRecvd);
+    reg.addCounter(n + ".probeDataFwd", &statProbeDataFwd);
+}
+
+void
+CorePairController::after(Cycles extra, std::function<void()> fn)
+{
+    scheduleCycles(extra, [this, fn = std::move(fn)] {
+        eq.notifyProgress();
+        fn();
+    });
+}
+
+void
+CorePairController::load(unsigned core, Addr addr, unsigned size,
+                         LoadCallback cb)
+{
+    ++statLoads;
+    panic_if(blockOffset(addr) + size > BlockSizeBytes,
+             "load crosses block boundary at %#llx", (unsigned long long)addr);
+    CoreOp op;
+    op.kind = CoreOp::Kind::Load;
+    op.core = core;
+    op.addr = addr;
+    op.size = size;
+    op.loadCb = std::move(cb);
+    if (l1d[core].lookup(addr))
+        ++statL1dHits;
+    after(params.l2Latency, [this, op = std::move(op)]() mutable {
+        processOp(std::move(op));
+    });
+}
+
+void
+CorePairController::store(unsigned core, Addr addr, unsigned size,
+                          std::uint64_t value, DoneCallback cb)
+{
+    ++statStores;
+    panic_if(blockOffset(addr) + size > BlockSizeBytes,
+             "store crosses block boundary at %#llx",
+             (unsigned long long)addr);
+    CoreOp op;
+    op.kind = CoreOp::Kind::Store;
+    op.core = core;
+    op.addr = addr;
+    op.size = size;
+    op.value = value;
+    op.doneCb = std::move(cb);
+    if (l1d[core].lookup(addr))
+        ++statL1dHits;
+    after(params.l2Latency, [this, op = std::move(op)]() mutable {
+        processOp(std::move(op));
+    });
+}
+
+void
+CorePairController::ifetch(unsigned core, Addr addr, DoneCallback cb)
+{
+    ++statIfetches;
+    CoreOp op;
+    op.kind = CoreOp::Kind::Ifetch;
+    op.core = core;
+    op.addr = addr;
+    op.size = 4;
+    op.doneCb = std::move(cb);
+    if (l1i.lookup(addr))
+        ++statL1iHits;
+    after(params.l2Latency, [this, op = std::move(op)]() mutable {
+        processOp(std::move(op));
+    });
+}
+
+void
+CorePairController::atomic(unsigned core, Addr addr, AtomicOp aop,
+                           std::uint64_t operand, std::uint64_t operand2,
+                           unsigned size, LoadCallback cb)
+{
+    ++statAtomics;
+    CoreOp op;
+    op.kind = CoreOp::Kind::Atomic;
+    op.core = core;
+    op.addr = addr;
+    op.size = size;
+    op.value = operand;
+    op.operand2 = operand2;
+    op.aop = aop;
+    op.loadCb = std::move(cb);
+    after(params.l2Latency, [this, op = std::move(op)]() mutable {
+        processOp(std::move(op));
+    });
+}
+
+void
+CorePairController::processOp(CoreOp op)
+{
+    Addr block = blockAlign(op.addr);
+
+    // An outstanding request to the line: queue behind it (MSHR merge).
+    auto tbe_it = tbes.find(block);
+    if (tbe_it != tbes.end()) {
+        tbe_it->second.pendingOps.push_back(std::move(op));
+        return;
+    }
+
+    L2Entry *entry = l2.lookup(block);
+    bool needs_write = op.kind == CoreOp::Kind::Store ||
+                       op.kind == CoreOp::Kind::Atomic;
+
+    if (entry && (!needs_write || writable(entry->state))) {
+        ++statL2Hits;
+        finishAgainstLine(op, *entry);
+        return;
+    }
+
+    if (entry) {
+        // Write to S/O: upgrade.  The line stays resident; the grant
+        // carries permission and (possibly stale w.r.t. us) data that
+        // is ignored while we still hold a valid copy.
+        ++statUpgrades;
+        issueRequest(block, MsgType::RdBlkM, std::move(op));
+        return;
+    }
+
+    ++statL2Misses;
+    MsgType req;
+    if (needs_write)
+        req = MsgType::RdBlkM;
+    else if (op.kind == CoreOp::Kind::Ifetch)
+        req = MsgType::RdBlkS;
+    else
+        req = MsgType::RdBlk;
+    issueRequest(block, req, std::move(op));
+}
+
+void
+CorePairController::finishAgainstLine(CoreOp &op, L2Entry &entry)
+{
+    Addr block = blockAlign(op.addr);
+    touchL1(op, block);
+    switch (op.kind) {
+      case CoreOp::Kind::Load:
+        HSC_TRACE(Protocol, curTick(), "%s: load %#llx -> %llx",
+                  name().c_str(), (unsigned long long)op.addr,
+                  (unsigned long long)readWord(entry.data, op.addr,
+                                               op.size));
+        op.loadCb(readWord(entry.data, op.addr, op.size));
+        break;
+      case CoreOp::Kind::Ifetch:
+        op.doneCb();
+        break;
+      case CoreOp::Kind::Store:
+        HSC_TRACE(Protocol, curTick(), "%s: store %#llx val=%llx",
+                  name().c_str(), (unsigned long long)op.addr,
+                  (unsigned long long)op.value);
+        writeWord(entry.data, op.addr, op.size, op.value);
+        entry.state = L2State::Modified; // silent E->M
+        op.doneCb();
+        break;
+      case CoreOp::Kind::Atomic: {
+        std::uint64_t old_val = readWord(entry.data, op.addr, op.size);
+        writeWord(entry.data, op.addr, op.size,
+                  applyAtomic(op.aop, old_val, op.value, op.operand2));
+        entry.state = L2State::Modified;
+        op.loadCb(old_val);
+        break;
+      }
+    }
+}
+
+void
+CorePairController::issueRequest(Addr block, MsgType type, CoreOp op)
+{
+    Tbe &tbe = tbes[block];
+    tbe.reqType = type;
+    tbe.pendingOps.push_back(std::move(op));
+
+    Msg m;
+    m.type = type;
+    m.addr = block;
+    m.sender = id;
+    toDir.enqueue(m);
+}
+
+void
+CorePairController::makeRoom(Addr block)
+{
+    if (l2.hasFreeWay(block))
+        return;
+    // Never evict a line with an outstanding upgrade request.
+    auto victim = l2.findVictimAmong(block, [this](Addr a, const L2Entry &) {
+        return tbes.count(a) == 0;
+    });
+    panic_if(tbes.count(victim.addr),
+             "no evictable L2 way in set of %#llx",
+             (unsigned long long)block);
+
+    bool dirty = victim.entry->state == L2State::Modified ||
+                 victim.entry->state == L2State::Owned;
+    Msg m;
+    m.type = dirty ? MsgType::VicDirty : MsgType::VicClean;
+    m.addr = victim.addr;
+    m.sender = id;
+    m.hasData = true;
+    m.dirty = dirty;
+    m.data = victim.entry->data;
+    HSC_TRACE(Protocol, curTick(), "%s: evict %s %#llx val=%llx",
+              name().c_str(), dirty ? "VicDirty" : "VicClean",
+              (unsigned long long)victim.addr,
+              (unsigned long long)victim.entry->data
+                  .get<std::uint64_t>(8));
+    toDir.enqueue(m);
+    if (dirty)
+        ++statVicDirty;
+    else
+        ++statVicClean;
+
+    victims[victim.addr].push_back(
+        VictimEntry{victim.entry->data, dirty});
+    invalidateL1s(victim.addr);
+    l2.invalidate(victim.addr);
+}
+
+void
+CorePairController::touchL1(const CoreOp &op, Addr block)
+{
+    CacheArray<L1Entry> &arr =
+        op.kind == CoreOp::Kind::Ifetch ? l1i : l1d[op.core];
+    if (arr.lookup(block))
+        return;
+    if (!arr.hasFreeWay(block)) {
+        auto v = arr.findVictim(block);
+        arr.invalidate(v.addr); // L1 evictions are silent
+    }
+    arr.allocate(block);
+}
+
+void
+CorePairController::invalidateL1s(Addr block)
+{
+    for (auto &arr : l1d)
+        arr.invalidate(block);
+    l1i.invalidate(block);
+}
+
+void
+CorePairController::handleFromDir(Msg &&msg)
+{
+    switch (msg.type) {
+      case MsgType::PrbInv:
+      case MsgType::PrbDowngrade:
+        ++statProbesRecvd;
+        after(params.l2Latency, [this, m = msg] { handleProbe(m); });
+        break;
+      case MsgType::SysResp:
+        after(params.l2Latency, [this, m = msg] { handleSysResp(m); });
+        break;
+      case MsgType::WBAck: {
+        auto it = victims.find(msg.addr);
+        panic_if(it == victims.end() || it->second.empty(),
+                 "%s: WBAck with no pending victim", name().c_str());
+        it->second.pop_front();
+        if (it->second.empty())
+            victims.erase(it);
+        break;
+      }
+      default:
+        panic("%s: unexpected message %s from directory", name().c_str(),
+              std::string(msgTypeName(msg.type)).c_str());
+    }
+}
+
+void
+CorePairController::handleProbe(const Msg &msg)
+{
+    HSC_TRACE(Protocol, curTick(), "%s: probe %s %#llx txn=%llu",
+              name().c_str(), std::string(msgTypeName(msg.type)).c_str(),
+              (unsigned long long)msg.addr,
+              (unsigned long long)msg.txnId);
+    Msg resp;
+    resp.type = MsgType::PrbResp;
+    resp.addr = msg.addr;
+    resp.sender = id;
+    resp.txnId = msg.txnId;
+
+    L2Entry *entry = l2.lookup(msg.addr, false);
+    if (entry) {
+        switch (entry->state) {
+          case L2State::Modified:
+          case L2State::Owned:
+            resp.hit = true;
+            resp.hasData = true;
+            resp.dirty = true;
+            resp.data = entry->data;
+            ++statProbeDataFwd;
+            if (msg.type == MsgType::PrbInv) {
+                invalidateL1s(msg.addr);
+                l2.invalidate(msg.addr);
+            } else {
+                entry->state = L2State::Owned;
+            }
+            break;
+          case L2State::Exclusive:
+            // E forwards clean data so a tracking directory can elide
+            // its LLC read even for conservatively-O lines (§IV-A).
+            resp.hit = true;
+            resp.hasData = true;
+            resp.dirty = false;
+            resp.data = entry->data;
+            ++statProbeDataFwd;
+            if (msg.type == MsgType::PrbInv) {
+                invalidateL1s(msg.addr);
+                l2.invalidate(msg.addr);
+            } else {
+                entry->state = L2State::Shared;
+            }
+            break;
+          case L2State::Shared:
+            // Dirty sharers never forward data (Table I, footnote h).
+            resp.hit = true;
+            if (msg.type == MsgType::PrbInv) {
+                invalidateL1s(msg.addr);
+                l2.invalidate(msg.addr);
+            }
+            break;
+        }
+        toDir.enqueue(resp);
+        return;
+    }
+
+    // A probe may race with an in-flight write-back: answer from the
+    // victim buffer so the transaction that ordered ahead of our
+    // victim still sees the data.
+    auto vic = victims.find(msg.addr);
+    if (vic != victims.end() && !vic->second.empty() &&
+        !vic->second.back().cancelled) {
+        VictimEntry &newest = vic->second.back();
+        resp.hit = true;
+        resp.hasData = true;
+        resp.dirty = newest.dirty;
+        resp.data = newest.data;
+        if (msg.type == MsgType::PrbInv) {
+            // Responsibility for the data transfers to this probe's
+            // transaction: the in-flight write-back is now stale and
+            // the directory must drop it when it arrives.
+            newest.cancelled = true;
+            resp.cancelledVic = true;
+        }
+        ++statProbeDataFwd;
+        toDir.enqueue(resp);
+        return;
+    }
+
+    resp.hit = false;
+    toDir.enqueue(resp);
+}
+
+void
+CorePairController::handleSysResp(const Msg &msg)
+{
+    auto it = tbes.find(msg.addr);
+    panic_if(it == tbes.end(), "%s: SysResp with no TBE for %#llx",
+             name().c_str(), (unsigned long long)msg.addr);
+
+    L2Entry *entry = l2.lookup(msg.addr, false);
+    if (!entry) {
+        // Room is made at fill time (not request time) so concurrent
+        // misses to one set cannot oversubscribe the free ways.
+        makeRoom(msg.addr);
+        entry = &l2.allocate(msg.addr);
+        panic_if(!msg.hasData, "%s: fill without data for %#llx",
+                 name().c_str(), (unsigned long long)msg.addr);
+        entry->data = msg.data;
+    }
+    // else: we still hold a valid copy (upgrade); the local data is the
+    // current value (all sharers are identical) so the response payload
+    // is ignored.
+
+    switch (msg.grant) {
+      case Grant::Modified:
+        entry->state = L2State::Modified;
+        break;
+      case Grant::Exclusive:
+        entry->state = L2State::Exclusive;
+        break;
+      case Grant::Shared:
+        entry->state = L2State::Shared;
+        break;
+      case Grant::None:
+        panic("%s: SysResp without grant", name().c_str());
+    }
+
+    Msg unblock;
+    unblock.type = MsgType::Unblock;
+    unblock.addr = msg.addr;
+    unblock.sender = id;
+    unblock.txnId = msg.txnId;
+    toDir.enqueue(unblock);
+
+    // Replay merged ops; they either complete or trigger an upgrade.
+    std::deque<CoreOp> ops = std::move(it->second.pendingOps);
+    tbes.erase(it);
+    for (auto &op : ops)
+        processOp(std::move(op));
+}
+
+bool
+CorePairController::hasLine(Addr addr) const
+{
+    return l2.peek(addr) != nullptr;
+}
+
+L2State
+CorePairController::lineState(Addr addr) const
+{
+    const L2Entry *e = l2.peek(addr);
+    panic_if(!e, "lineState of absent line");
+    return e->state;
+}
+
+std::uint64_t
+CorePairController::peekWord(Addr addr, unsigned size) const
+{
+    const L2Entry *e = l2.peek(addr);
+    panic_if(!e, "peekWord of absent line");
+    return readWord(e->data, addr, size);
+}
+
+void
+CorePairController::forEachLine(
+    const std::function<void(Addr, L2State)> &fn) const
+{
+    l2.forEach([&](Addr a, const L2Entry &e) { fn(a, e.state); });
+}
+
+} // namespace hsc

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * CorePair: two CPU cores behind L1I + 2×L1D and a shared, inclusive
+ * MOESI L2 (§II-B of the paper).
+ *
+ * The L2 is the coherence agent visible to the system directory.  It
+ * issues RdBlk / RdBlkS / RdBlkM on misses and VicDirty / VicClean on
+ * (noisy) evictions, answers invalidating and downgrading probes —
+ * forwarding data from M/O (dirty) and E (clean) but never from S —
+ * and performs silent E→M upgrades, exactly the behaviours the
+ * directory in §IV has to accommodate.
+ *
+ * The L1s are modelled as inclusive tag filters over the L2 (all
+ * CPU-side latencies are 1 cycle in Table II, so L1 vs L2 hits are
+ * timing-equivalent); their occupancy and hit rates are reported, and
+ * L2 evictions/invalidations enforce inclusivity.
+ */
+
+#ifndef HSC_PROTOCOL_CPU_CORE_PAIR_HH
+#define HSC_PROTOCOL_CPU_CORE_PAIR_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "mem/message_buffer.hh"
+#include "protocol/types.hh"
+#include "sim/clocked.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+/** Stable MOESI states of an L2 line (absent lines are Invalid). */
+enum class L2State : std::uint8_t
+{
+    Shared,
+    Exclusive,
+    Owned,
+    Modified,
+};
+
+std::string_view l2StateName(L2State s);
+
+/** Parameters of one CorePair cache hierarchy. */
+struct CorePairParams
+{
+    CacheGeometry l2Geom{4096, 8};   ///< 2 MB, 8-way (Table II)
+    CacheGeometry l1dGeom{512, 2};   ///< 64 KB, 2-way
+    CacheGeometry l1iGeom{256, 2};   ///< 32 KB, 2-way
+    Cycles l2Latency = 1;            ///< Table II access latency
+};
+
+/**
+ * The CorePair coherence controller.
+ *
+ * CPU cores call loads/stores/atomics directly with completion
+ * callbacks; the controller exchanges messages with the directory via
+ * MessageBuffers.
+ */
+class CorePairController : public Clocked
+{
+  public:
+    using LoadCallback = std::function<void(std::uint64_t)>;
+    using DoneCallback = std::function<void()>;
+
+    CorePairController(std::string name, EventQueue &eq, ClockDomain clk,
+                       MachineId machine_id, const CorePairParams &params,
+                       MsgSink &to_dir);
+
+    /** Attach the directory->CorePair channel. */
+    void bindFromDir(MessageBuffer &from_dir);
+
+    /** @{ Core-facing operations (async, callback on completion).
+     *  Accesses must not cross a 64-byte block boundary. */
+    void load(unsigned core, Addr addr, unsigned size, LoadCallback cb);
+    void store(unsigned core, Addr addr, unsigned size, std::uint64_t value,
+               DoneCallback cb);
+    void ifetch(unsigned core, Addr addr, DoneCallback cb);
+    void atomic(unsigned core, Addr addr, AtomicOp op, std::uint64_t operand,
+                std::uint64_t operand2, unsigned size, LoadCallback cb);
+    /** @} */
+
+    MachineId machineId() const { return id; }
+
+    /** True when no misses or write-backs are in flight. */
+    bool idle() const { return tbes.empty() && victims.empty(); }
+
+    void regStats(StatRegistry &reg);
+
+    /** @{ Introspection for tests and the invariant checker. */
+    bool hasLine(Addr addr) const;
+    L2State lineState(Addr addr) const;
+    std::uint64_t peekWord(Addr addr, unsigned size) const;
+    std::size_t l2Occupancy() const { return l2.occupancy(); }
+    void forEachLine(
+        const std::function<void(Addr, L2State)> &fn) const;
+    /** @} */
+
+  private:
+    /** One pending core operation, queued on a miss. */
+    struct CoreOp
+    {
+        enum class Kind : std::uint8_t { Load, Store, Ifetch, Atomic };
+        Kind kind;
+        unsigned core;
+        Addr addr;
+        unsigned size;
+        std::uint64_t value;     ///< store value / atomic operand
+        std::uint64_t operand2;  ///< CAS swap value
+        AtomicOp aop;
+        LoadCallback loadCb;
+        DoneCallback doneCb;
+    };
+
+    /** Miss-status entry: one outstanding directory request per line. */
+    struct Tbe
+    {
+        MsgType reqType;
+        std::deque<CoreOp> pendingOps;
+    };
+
+    /**
+     * Written-back lines awaiting WBAck; they answer probes meanwhile.
+     * A line can be evicted, refetched and evicted again before the
+     * first acknowledgment returns, so entries form a queue per
+     * address: acks retire the oldest, probes answer from the newest.
+     */
+    struct VictimEntry
+    {
+        DataBlock data;
+        bool dirty;
+        /** An invalidating probe consumed this victim's data; the
+         *  write-back is dead and must not answer further probes. */
+        bool cancelled = false;
+    };
+
+    struct L2Entry
+    {
+        L2State state = L2State::Shared;
+        DataBlock data;
+    };
+
+    /** L1 lines are presence-only: data and state live in the L2. */
+    struct L1Entry
+    {
+    };
+
+    void handleFromDir(Msg &&msg);
+    void handleProbe(const Msg &msg);
+    void handleSysResp(const Msg &msg);
+
+    /** Start processing @p op; either completes it or queues a miss. */
+    void processOp(CoreOp op);
+
+    /** Complete @p op against a present L2 line (permission checked). */
+    void finishAgainstLine(CoreOp &op, L2Entry &entry);
+
+    /** Issue a directory request for the op's line. */
+    void issueRequest(Addr block, MsgType type, CoreOp op);
+
+    /** Make room in the L2 set of @p block, writing back a victim. */
+    void makeRoom(Addr block);
+
+    /** Fill L1 tag (d-cache of @p core or i-cache) for @p block. */
+    void touchL1(const CoreOp &op, Addr block);
+
+    /** Drop the line from every L1 (inclusivity). */
+    void invalidateL1s(Addr block);
+
+    /** Charge @p extra L2 cycles, then run @p fn. */
+    void after(Cycles extra, std::function<void()> fn);
+
+    const MachineId id;
+    const CorePairParams params;
+    MsgSink &toDir;
+
+    CacheArray<L2Entry> l2;
+    std::vector<CacheArray<L1Entry>> l1d;  ///< one per core
+    CacheArray<L1Entry> l1i;               ///< shared, context-sensitive
+
+    std::unordered_map<Addr, Tbe> tbes;
+    std::unordered_map<Addr, std::deque<VictimEntry>> victims;
+
+    // Statistics.
+    Counter statLoads, statStores, statIfetches, statAtomics;
+    Counter statL1dHits, statL1iHits, statL2Hits, statL2Misses;
+    Counter statUpgrades;
+    Counter statVicClean, statVicDirty;
+    Counter statProbesRecvd, statProbeDataFwd;
+};
+
+} // namespace hsc
+
+#endif // HSC_PROTOCOL_CPU_CORE_PAIR_HH

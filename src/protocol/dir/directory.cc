@@ -1,0 +1,1216 @@
+#include "protocol/dir/directory.hh"
+
+#include <algorithm>
+
+namespace hsc
+{
+
+DirectoryController::DirectoryController(std::string name, EventQueue &eq,
+                                         ClockDomain clk,
+                                         const DirParams &params,
+                                         MainMemory &mem)
+    : Clocked(std::move(name), eq, clk), params(params), mem(mem),
+      llcCache(this->name() + ".llc",
+               LlcParams{params.llc.geom, params.cfg.llcWriteBack}, mem),
+      dirArray(this->name() + ".dirArray",
+               CacheGeometry{params.cfg.dirEntries / params.cfg.dirAssoc,
+                             params.cfg.dirAssoc,
+                             params.bankIndexShift},
+               params.cfg.dirRepl),
+      toClient(params.topo.numClients(), nullptr)
+{
+}
+
+void
+DirectoryController::bindToClient(MachineId id, MessageBuffer &buf)
+{
+    panic_if(id < 0 || id >= static_cast<MachineId>(toClient.size()),
+             "bad client id %d", id);
+    toClient[id] = &buf;
+}
+
+void
+DirectoryController::bindFromClient(MessageBuffer &buf)
+{
+    buf.setConsumer([this](Msg &&m) { receive(std::move(m)); });
+}
+
+void
+DirectoryController::regStats(StatRegistry &reg)
+{
+    const std::string &n = name();
+    reg.addCounter(n + ".requests", &statRequests);
+    reg.addCounter(n + ".victims", &statVictims);
+    reg.addCounter(n + ".stalls", &statStalls);
+    reg.addCounter(n + ".probesSent", &statProbesSent);
+    reg.addCounter(n + ".probeBroadcasts", &statProbeBroadcasts);
+    reg.addCounter(n + ".probeMulticasts", &statProbeMulticasts);
+    reg.addCounter(n + ".probesElided", &statProbesElided);
+    reg.addCounter(n + ".earlyResponses", &statEarlyResponses);
+    reg.addCounter(n + ".dirHits", &statDirHits);
+    reg.addCounter(n + ".dirMisses", &statDirMisses);
+    reg.addCounter(n + ".dirEvictions", &statDirEvictions);
+    reg.addCounter(n + ".backInvals", &statBackInvals);
+    reg.addCounter(n + ".staleVicDropped", &statStaleVicDropped);
+    reg.addCounter(n + ".readOnlyElided", &statReadOnlyElided);
+    reg.addHistogram(n + ".txnLatency", &statTxnLatency);
+    reg.addCounter(n + ".atomics", &statAtomics);
+    reg.addCounter(n + ".writeThroughs", &statWriteThroughs);
+    reg.addCounter(n + ".dmaReads", &statDmaReads);
+    reg.addCounter(n + ".dmaWrites", &statDmaWrites);
+    static const char *state_names[3] = {"I", "S", "O"};
+    for (unsigned row = 0; row < 3; ++row) {
+        for (unsigned t = 0; t < NumMsgKinds; ++t) {
+            reg.addCounter(n + ".tableI." + state_names[row] + "." +
+                               std::string(msgTypeName(MsgType(t))),
+                           &statTableI[row][t]);
+        }
+    }
+    llcCache.regStats(reg);
+}
+
+void
+DirectoryController::after(Cycles extra, std::function<void()> fn)
+{
+    scheduleCycles(extra, [this, fn = std::move(fn)] {
+        eq.notifyProgress();
+        fn();
+    });
+}
+
+void
+DirectoryController::sendToClient(MachineId id, Msg msg)
+{
+    panic_if(id < 0 || id >= static_cast<MachineId>(toClient.size()) ||
+                 !toClient[id],
+             "%s: no channel to client %d", name().c_str(), id);
+    msg.dest = id;
+    toClient[id]->enqueue(std::move(msg));
+}
+
+// --------------------------------------------------------------------
+// Receive / stall machinery
+// --------------------------------------------------------------------
+
+void
+DirectoryController::receive(Msg &&msg)
+{
+    switch (msg.type) {
+      case MsgType::PrbResp:
+        handleProbeResp(msg);
+        return;
+      case MsgType::Unblock:
+        handleUnblock(msg);
+        return;
+      default:
+        break;
+    }
+
+    if (busyLines.count(msg.addr)) {
+        ++statStalls;
+        stalled[msg.addr].push_back(std::move(msg));
+        return;
+    }
+    busyLines[msg.addr] = 0;
+    scheduleDispatch(std::move(msg));
+}
+
+void
+DirectoryController::scheduleDispatch(Msg msg)
+{
+    Tick ready = clock().clockEdge(curTick(), params.dirLatency);
+    Tick start = std::max(ready, nextDispatchFree);
+    nextDispatchFree = start + clock().toTicks(params.servicePeriod);
+    eq.schedule(start, [this, m = std::move(msg)]() mutable {
+        eq.notifyProgress();
+        dispatch(std::move(m));
+    });
+}
+
+void
+DirectoryController::dispatch(Msg msg)
+{
+    HSC_TRACE(Directory, curTick(), "%s: dispatch %s %#llx from %d "
+              "dirty=%d val=%llx", name().c_str(),
+              std::string(msgTypeName(msg.type)).c_str(),
+              (unsigned long long)msg.addr, msg.sender, int(msg.dirty),
+              (unsigned long long)(msg.hasData
+                  ? msg.data.get<std::uint64_t>(8) : 0));
+    if (isVictim(msg.type)) {
+        ++statVictims;
+        if (params.cfg.stateful())
+            handleVictimTracked(msg);
+        else
+            handleVictimStateless(msg);
+        return;
+    }
+
+    ++statRequests;
+    if (msg.type == MsgType::Atomic)
+        ++statAtomics;
+    if (msg.type == MsgType::WriteThrough || msg.type == MsgType::Flush)
+        ++statWriteThroughs;
+    if (msg.type == MsgType::DmaRead)
+        ++statDmaReads;
+    if (msg.type == MsgType::DmaWrite)
+        ++statDmaWrites;
+
+    if (params.cfg.stateful())
+        handleTracked(std::move(msg));
+    else
+        handleStateless(std::move(msg));
+}
+
+void
+DirectoryController::releaseLine(Addr addr)
+{
+    busyLines.erase(addr);
+    auto it = stalled.find(addr);
+    if (it == stalled.end())
+        return;
+    Msg next = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty())
+        stalled.erase(it);
+    busyLines[addr] = 0;
+    scheduleDispatch(std::move(next));
+}
+
+// --------------------------------------------------------------------
+// Probe target computation
+// --------------------------------------------------------------------
+
+std::vector<MachineId>
+DirectoryController::broadcastTargets(bool invalidating,
+                                      MachineId exclude) const
+{
+    std::vector<MachineId> targets;
+    for (unsigned i = 0; i < params.topo.numCorePairs; ++i) {
+        MachineId id = params.topo.l2Id(i);
+        if (id != exclude)
+            targets.push_back(id);
+    }
+    if (invalidating) {
+        // Read-permission downgrade probes may not include the TCC
+        // (§II-D footnote); write-permission probes always do.
+        for (unsigned i = 0; i < params.topo.numTccs; ++i) {
+            MachineId id = params.topo.tccId(i);
+            if (id != exclude)
+                targets.push_back(id);
+        }
+    }
+    return targets;
+}
+
+std::vector<MachineId>
+DirectoryController::trackedTargets(const DirEntry &entry,
+                                    MachineId exclude) const
+{
+    // Owner-only tracking has no sharer information: invalidations of
+    // S-state lines (and of sharers besides the owner) broadcast.
+    if (params.cfg.tracking != DirTracking::Sharers || entry.overflow)
+        return broadcastTargets(true, exclude);
+
+    std::vector<MachineId> targets = sharerList(entry);
+    if (entry.owner != InvalidMachineId &&
+        std::find(targets.begin(), targets.end(), entry.owner) ==
+            targets.end()) {
+        targets.push_back(entry.owner);
+    }
+    targets.erase(std::remove(targets.begin(), targets.end(), exclude),
+                  targets.end());
+    return targets;
+}
+
+// --------------------------------------------------------------------
+// Sharer-set helpers (full map or limited pointers, §IV-B)
+// --------------------------------------------------------------------
+
+void
+DirectoryController::addSharer(DirEntry &entry, MachineId id)
+{
+    if (params.cfg.tracking != DirTracking::Sharers)
+        return;
+    std::uint64_t bit = 1ull << id;
+    if (entry.sharers & bit)
+        return;
+    if (entry.overflow)
+        return; // already resorting to broadcast
+    unsigned max_ptrs = params.cfg.maxSharerPointers;
+    if (max_ptrs != 0 && entry.ptrCount >= max_ptrs) {
+        // Limited-pointer overflow: future invalidations broadcast and
+        // tracked sharers must not be removed (Table I footnote b).
+        entry.overflow = true;
+        return;
+    }
+    entry.sharers |= bit;
+    ++entry.ptrCount;
+}
+
+void
+DirectoryController::removeSharer(DirEntry &entry, MachineId id)
+{
+    if (params.cfg.tracking != DirTracking::Sharers || entry.overflow)
+        return;
+    std::uint64_t bit = 1ull << id;
+    if (entry.sharers & bit) {
+        entry.sharers &= ~bit;
+        --entry.ptrCount;
+    }
+}
+
+bool
+DirectoryController::sharersEmpty(const DirEntry &entry) const
+{
+    if (params.cfg.tracking != DirTracking::Sharers || entry.overflow)
+        return false; // unknown: stay conservative
+    return entry.sharers == 0;
+}
+
+std::vector<MachineId>
+DirectoryController::sharerList(const DirEntry &entry) const
+{
+    std::vector<MachineId> out;
+    for (unsigned i = 0; i < params.topo.numCacheClients(); ++i) {
+        if (entry.sharers & (1ull << i))
+            out.push_back(static_cast<MachineId>(i));
+    }
+    return out;
+}
+
+void
+DirectoryController::freeEntry(Addr addr)
+{
+    dirArray.invalidate(addr);
+}
+
+// --------------------------------------------------------------------
+// Transaction machinery
+// --------------------------------------------------------------------
+
+DirectoryController::Tbe &
+DirectoryController::newTbe(const Msg &msg)
+{
+    std::uint64_t txn = nextTxn++;
+    Tbe &tbe = tbes[txn];
+    tbe.txn = txn;
+    tbe.req = msg;
+    tbe.startedAt = curTick();
+    busyLines[msg.addr] = txn;
+    return tbe;
+}
+
+void
+DirectoryController::sendProbes(Tbe &tbe,
+                                const std::vector<MachineId> &targets,
+                                bool invalidating)
+{
+    unsigned broadcast_size =
+        broadcastTargets(invalidating, tbe.req.sender).size();
+    if (broadcast_size > targets.size())
+        statProbesElided += broadcast_size - targets.size();
+    if (targets.empty())
+        return;
+    if (targets.size() >= broadcast_size)
+        ++statProbeBroadcasts;
+    else
+        ++statProbeMulticasts;
+
+    for (MachineId t : targets) {
+        Msg p;
+        p.type = invalidating ? MsgType::PrbInv : MsgType::PrbDowngrade;
+        p.addr = tbe.isEviction ? tbe.evictAddr : tbe.req.addr;
+        p.txnId = tbe.txn;
+        p.sender = params.topo.dirId();
+        ++statProbesSent;
+        ++tbe.pendingAcks;
+        sendToClient(t, std::move(p));
+    }
+}
+
+void
+DirectoryController::startBackingRead(Tbe &tbe)
+{
+    tbe.needBacking = true;
+    std::uint64_t txn = tbe.txn;
+    Addr addr = tbe.req.addr;
+    after(params.llcLatency, [this, txn, addr] {
+        auto it = tbes.find(txn);
+        panic_if(it == tbes.end(), "backing read for dead txn");
+        Tbe &tbe = it->second;
+        if (auto data = llcCache.read(addr)) {
+            tbe.backingData = *data;
+            tbe.haveBackingData = true;
+            tbe.needBacking = false;
+            maybeComplete(tbe);
+            tryRetire(tbe);
+            return;
+        }
+        mem.read(addr, [this, txn](const DataBlock &data) {
+            auto it2 = tbes.find(txn);
+            panic_if(it2 == tbes.end(), "memory read for dead txn");
+            Tbe &tbe2 = it2->second;
+            tbe2.backingData = data;
+            tbe2.haveBackingData = true;
+            tbe2.needBacking = false;
+            maybeComplete(tbe2);
+            tryRetire(tbe2);
+        });
+    });
+}
+
+bool
+DirectoryController::consumeCancelledVic(const Msg &msg)
+{
+    auto key = std::make_pair(msg.addr, msg.sender);
+    auto it = cancelledVics.find(key);
+    if (it == cancelledVics.end())
+        return false;
+    if (--it->second == 0)
+        cancelledVics.erase(it);
+    ++statStaleVicDropped;
+    Msg ack;
+    ack.type = MsgType::WBAck;
+    ack.addr = msg.addr;
+    ack.sender = params.topo.dirId();
+    sendToClient(msg.sender, std::move(ack));
+    releaseLine(msg.addr);
+    return true;
+}
+
+void
+DirectoryController::handleProbeResp(const Msg &msg)
+{
+    auto it = tbes.find(msg.txnId);
+    panic_if(it == tbes.end(), "%s: probe resp for unknown txn %llu",
+             name().c_str(), (unsigned long long)msg.txnId);
+    Tbe &tbe = it->second;
+    HSC_TRACE(Directory, curTick(), "%s: prbresp txn=%llu %#llx from %d "
+              "hit=%d dirty=%d hasData=%d val=%llx", name().c_str(),
+              (unsigned long long)msg.txnId, (unsigned long long)msg.addr,
+              msg.sender, int(msg.hit), int(msg.dirty), int(msg.hasData),
+              (unsigned long long)(msg.hasData
+                  ? msg.data.get<std::uint64_t>(8) : 0));
+    panic_if(tbe.pendingAcks == 0, "%s: unexpected probe resp",
+             name().c_str());
+    --tbe.pendingAcks;
+    tbe.sawHit = tbe.sawHit || msg.hit;
+    if (msg.cancelledVic)
+        ++cancelledVics[{msg.addr, msg.sender}];
+    if (msg.hasData && (msg.dirty || !tbe.haveProbeData)) {
+        tbe.probeData = msg.data;
+        tbe.haveProbeData = true;
+        tbe.probeDataDirty = tbe.probeDataDirty || msg.dirty;
+    }
+
+    // §III-A: for downgrade transactions, the first dirty ack can
+    // safely answer the requester before the rest (and before memory).
+    if (params.cfg.earlyDirtyResp && !tbe.responded && !tbe.isEviction &&
+        msg.dirty && isReadPermission(tbe.req.type)) {
+        ++statEarlyResponses;
+        respond(tbe);
+        tryRetire(tbe);
+        return;
+    }
+
+    if (tbe.isEviction) {
+        if (tbe.pendingAcks == 0)
+            finishEviction(tbe);
+        return;
+    }
+    maybeComplete(tbe);
+    tryRetire(tbe);
+}
+
+void
+DirectoryController::handleUnblock(const Msg &msg)
+{
+    auto bl = busyLines.find(msg.addr);
+    panic_if(bl == busyLines.end() || bl->second == 0,
+             "%s: unblock for idle line %#llx", name().c_str(),
+             (unsigned long long)msg.addr);
+    auto it = tbes.find(bl->second);
+    panic_if(it == tbes.end(), "unblock for dead txn");
+    it->second.unblocked = true;
+    tryRetire(it->second);
+}
+
+void
+DirectoryController::maybeComplete(Tbe &tbe)
+{
+    if (tbe.responded || tbe.isEviction)
+        return;
+    if (tbe.pendingAcks == 0 && !tbe.needBacking)
+        respond(tbe);
+}
+
+void
+DirectoryController::respond(Tbe &tbe)
+{
+    HSC_TRACE(Directory, curTick(), "%s: respond txn=%llu %s %#llx -> %d "
+              "probeData=%d dirty=%d backing=%d pval=%llx bval=%llx",
+              name().c_str(), (unsigned long long)tbe.txn,
+              std::string(msgTypeName(tbe.req.type)).c_str(),
+              (unsigned long long)tbe.req.addr, tbe.req.sender,
+              int(tbe.haveProbeData), int(tbe.probeDataDirty),
+              int(tbe.haveBackingData),
+              (unsigned long long)(tbe.haveProbeData
+                  ? tbe.probeData.get<std::uint64_t>(8) : 0),
+              (unsigned long long)(tbe.haveBackingData
+                  ? tbe.backingData.get<std::uint64_t>(8) : 0));
+    tbe.responded = true;
+    const Msg &req = tbe.req;
+    MachineId requester = req.sender;
+
+    Msg r;
+    r.addr = req.addr;
+    r.txnId = req.txnId;
+    r.sender = params.topo.dirId();
+
+    switch (req.type) {
+      case MsgType::RdBlk:
+      case MsgType::RdBlkS:
+      case MsgType::RdBlkM:
+      case MsgType::TccRdBlk: {
+        r.type = MsgType::SysResp;
+        if (req.type == MsgType::RdBlkM) {
+            r.grant = Grant::Modified;
+        } else if (req.type == MsgType::RdBlkS || tbe.forceShared ||
+                   tbe.sawHit) {
+            r.grant = Grant::Shared;
+        } else {
+            r.grant = Grant::Exclusive;
+        }
+        if (!tbe.noData) {
+            panic_if(!tbe.haveProbeData && !tbe.haveBackingData,
+                     "%s: no data to respond for %#llx", name().c_str(),
+                     (unsigned long long)req.addr);
+            r.hasData = true;
+            r.data = tbe.haveProbeData ? tbe.probeData : tbe.backingData;
+        }
+        sendToClient(requester, std::move(r));
+        // L2 requesters unblock explicitly; TCC transactions unblock
+        // implicitly (the paper's internal trigger queue).
+        if (!params.topo.isL2(requester))
+            tbe.unblocked = true;
+        break;
+      }
+      case MsgType::Atomic: {
+        panic_if(!tbe.haveProbeData && !tbe.haveBackingData,
+                 "%s: atomic with no data", name().c_str());
+        DataBlock base = tbe.probeDataDirty ? tbe.probeData
+                         : tbe.haveBackingData ? tbe.backingData
+                                               : tbe.probeData;
+        unsigned off = req.atomicOffset;
+        std::uint64_t old_val = req.atomicSize == 4
+            ? base.get<std::uint32_t>(off)
+            : base.get<std::uint64_t>(off);
+        std::uint64_t new_val = applyAtomic(req.atomicOp, old_val,
+                                            req.atomicOperand,
+                                            req.atomicOperand2);
+        if (req.atomicSize == 4)
+            base.set<std::uint32_t>(off, std::uint32_t(new_val));
+        else
+            base.set<std::uint64_t>(off, new_val);
+        if (tbe.probeDataDirty) {
+            // Collected dirty data must be persisted with the update.
+            writeFull(req.addr, base);
+        } else if (req.atomicOp != AtomicOp::Load) {
+            writeMasked(req.addr, base,
+                        makeMask(off, req.atomicSize));
+        }
+        r.type = MsgType::AtomicResp;
+        r.atomicResult = old_val;
+        sendToClient(requester, std::move(r));
+        tbe.unblocked = true;
+        break;
+      }
+      case MsgType::WriteThrough:
+      case MsgType::Flush: {
+        if (tbe.probeDataDirty) {
+            DataBlock full = tbe.probeData;
+            full.merge(req.data, req.mask);
+            writeFull(req.addr, full);
+        } else {
+            writeMasked(req.addr, req.data, req.mask);
+        }
+        r.type = MsgType::WBAck;
+        sendToClient(requester, std::move(r));
+        tbe.unblocked = true;
+        break;
+      }
+      case MsgType::DmaRead: {
+        panic_if(!tbe.haveProbeData && !tbe.haveBackingData,
+                 "%s: DMA read with no data", name().c_str());
+        r.type = MsgType::DmaResp;
+        r.hasData = true;
+        r.data = tbe.probeDataDirty ? tbe.probeData : tbe.backingData;
+        if (!tbe.haveBackingData)
+            r.data = tbe.probeData;
+        sendToClient(requester, std::move(r));
+        tbe.unblocked = true;
+        break;
+      }
+      case MsgType::DmaWrite: {
+        if (tbe.probeDataDirty) {
+            DataBlock full = tbe.probeData;
+            full.merge(req.data, req.mask);
+            writeFull(req.addr, full);
+        } else {
+            writeMasked(req.addr, req.data, req.mask);
+        }
+        r.type = MsgType::DmaResp;
+        sendToClient(requester, std::move(r));
+        tbe.unblocked = true;
+        break;
+      }
+      default:
+        panic("%s: respond for unexpected type %s", name().c_str(),
+              std::string(msgTypeName(req.type)).c_str());
+    }
+
+    if (tbe.onRespond)
+        tbe.onRespond(tbe);
+}
+
+void
+DirectoryController::tryRetire(Tbe &tbe)
+{
+    if (!tbe.responded || !tbe.unblocked || tbe.pendingAcks != 0 ||
+        tbe.needBacking) {
+        return;
+    }
+    Addr addr = tbe.req.addr;
+    statTxnLatency.sample(clock().toCycles(curTick() - tbe.startedAt));
+    tbes.erase(tbe.txn);
+    releaseLine(addr);
+}
+
+// --------------------------------------------------------------------
+// Baseline stateless directory (§II-D, Fig. 2)
+// --------------------------------------------------------------------
+
+void
+DirectoryController::handleStateless(Msg msg)
+{
+    Tbe &tbe = newTbe(msg);
+    bool inval = isWritePermission(msg.type);
+    sendProbes(tbe, broadcastTargets(inval, msg.sender), inval);
+
+    switch (msg.type) {
+      case MsgType::RdBlk:
+      case MsgType::RdBlkS:
+      case MsgType::RdBlkM:
+      case MsgType::TccRdBlk:
+      case MsgType::DmaRead:
+      case MsgType::Atomic:
+        startBackingRead(tbe);
+        break;
+      default:
+        break; // write-throughs and DMA writes carry their own data
+    }
+    maybeComplete(tbe);
+    tryRetire(tbe);
+}
+
+void
+DirectoryController::handleVictimStateless(const Msg &msg)
+{
+    if (consumeCancelledVic(msg))
+        return;
+    bool dirty = msg.type == MsgType::VicDirty;
+    writeVictim(msg.addr, msg.data, dirty);
+
+    Msg ack;
+    ack.type = MsgType::WBAck;
+    ack.addr = msg.addr;
+    ack.sender = params.topo.dirId();
+    sendToClient(msg.sender, std::move(ack));
+    releaseLine(msg.addr);
+}
+
+void
+DirectoryController::writeVictim(Addr addr, const DataBlock &data,
+                                 bool dirty)
+{
+    const DirConfig &cfg = params.cfg;
+    if (dirty) {
+        // Dirty victims always reach the LLC; §III-C makes the memory
+        // update lazy via the sticky dirty bit.
+        llcCache.victimWrite(addr, data, true, !cfg.llcWriteBack);
+        return;
+    }
+    if (cfg.noCleanVicToLlc) {
+        // §III-B1: clean victims are "lost in the air" (memory is
+        // already coherent with them).
+        return;
+    }
+    bool to_mem = !cfg.noCleanVicToMem && !cfg.llcWriteBack;
+    llcCache.victimWrite(addr, data, false, to_mem);
+}
+
+// --------------------------------------------------------------------
+// System-visible write rules (TCC write-throughs, atomics, DMA writes)
+// --------------------------------------------------------------------
+
+void
+DirectoryController::writeMasked(Addr addr, const DataBlock &data,
+                                 ByteMask mask)
+{
+    // A present LLC copy must observe the write (merge keeps it
+    // coherent; in write-back mode this defers the memory update).
+    if (llcCache.mergeIfPresent(addr, data, mask))
+        return;
+    if (params.cfg.useL3OnWT && mask == FullMask) {
+        llcCache.victimWrite(addr, data, params.cfg.llcWriteBack,
+                             !params.cfg.llcWriteBack);
+        return;
+    }
+    mem.write(addr, data, mask);
+}
+
+void
+DirectoryController::writeFull(Addr addr, const DataBlock &data)
+{
+    writeMasked(addr, data, FullMask);
+}
+
+// --------------------------------------------------------------------
+// Tracked directory (§IV, Table I)
+// --------------------------------------------------------------------
+
+void
+DirectoryController::handleTracked(Msg msg)
+{
+    DirEntry *entry = dirArray.lookup(msg.addr);
+    if (entry)
+        ++statDirHits;
+    else
+        ++statDirMisses;
+    noteTransition(!entry ? 0 : entry->state == DirState::S ? 1 : 2,
+                   msg.type);
+
+    if (!entry) {
+        handleUntracked(std::move(msg));
+    } else if (entry->state == DirState::S) {
+        handleSState(std::move(msg), *entry);
+    } else {
+        handleOState(std::move(msg), *entry);
+    }
+}
+
+bool
+DirectoryController::ensureDirSpace(const Msg &msg)
+{
+    if (dirArray.lookup(msg.addr, false) || dirArray.hasFreeWay(msg.addr))
+        return true;
+
+    // Directory replacement (§IV-A1): evict an entry, back-invalidating
+    // its tracked caches to preserve inclusivity.  The state-aware
+    // policy (§VII) prefers clean entries with the fewest sharers.
+    auto eligible = [this](Addr a, const DirEntry &) {
+        return busyLines.count(a) == 0;
+    };
+    CacheArray<DirEntry>::Victim victim{0, nullptr};
+    if (params.cfg.stateAwareDirRepl) {
+        auto clean_eligible = [&](Addr a, const DirEntry &e) {
+            return eligible(a, e) && e.state == DirState::S &&
+                   !e.overflow && e.ptrCount <= 1;
+        };
+        victim = dirArray.findVictimAmong(msg.addr, clean_eligible);
+        if (busyLines.count(victim.addr))
+            victim = dirArray.findVictimAmong(msg.addr, eligible);
+    } else {
+        victim = dirArray.findVictimAmong(msg.addr, eligible);
+    }
+
+    if (busyLines.count(victim.addr)) {
+        // Every way is transacting; retry shortly.
+        Msg retry = msg;
+        after(params.dirLatency, [this, m = std::move(retry)]() mutable {
+            handleTracked(std::move(m));
+        });
+        return false;
+    }
+
+    ++statDirEvictions;
+    std::vector<MachineId> targets =
+        trackedTargets(*victim.entry, InvalidMachineId);
+    statBackInvals += targets.size();
+
+    std::uint64_t txn = nextTxn++;
+    Tbe &tbe = tbes[txn];
+    tbe.txn = txn;
+    tbe.isEviction = true;
+    tbe.evictAddr = victim.addr;
+    tbe.haveCont = true;
+    tbe.cont = msg;
+    busyLines[victim.addr] = txn;
+
+    if (targets.empty()) {
+        finishEviction(tbe);
+        return false;
+    }
+    sendProbes(tbe, targets, true);
+    return false;
+}
+
+void
+DirectoryController::finishEviction(Tbe &tbe)
+{
+    if (tbe.haveProbeData && tbe.probeDataDirty) {
+        // The deallocated line's owner returned dirty data: keep it in
+        // the LLC like a dirty victim.
+        writeVictim(tbe.evictAddr, tbe.probeData, true);
+    }
+    freeEntry(tbe.evictAddr);
+    Addr evict_addr = tbe.evictAddr;
+    Msg cont = std::move(tbe.cont);
+    bool have_cont = tbe.haveCont;
+    tbes.erase(tbe.txn);
+    releaseLine(evict_addr);
+    if (have_cont)
+        handleTracked(std::move(cont));
+}
+
+void
+DirectoryController::handleUntracked(Msg msg)
+{
+    const Topology &topo = params.topo;
+
+    // §IX future work: reads of a declared read-only region are never
+    // tracked — untracked means uncached-or-read-only here, and the
+    // backing data is coherent by construction.
+    if (params.cfg.isReadOnly(msg.addr) &&
+        (msg.type == MsgType::RdBlk || msg.type == MsgType::RdBlkS ||
+         msg.type == MsgType::TccRdBlk)) {
+        ++statReadOnlyElided;
+        Tbe &tbe = newTbe(msg);
+        tbe.forceShared = true;
+        sendProbes(tbe, {}, false);
+        startBackingRead(tbe);
+        return;
+    }
+    if (params.cfg.isReadOnly(msg.addr) && isWritePermission(msg.type)) {
+        warn("write-permission request to declared read-only line %#llx",
+             (unsigned long long)msg.addr);
+    }
+
+    bool allocates =
+        msg.type == MsgType::RdBlk || msg.type == MsgType::RdBlkS ||
+        msg.type == MsgType::RdBlkM || msg.type == MsgType::TccRdBlk ||
+        ((msg.type == MsgType::WriteThrough || msg.type == MsgType::Flush) &&
+         msg.hit);
+    if (allocates && !ensureDirSpace(msg))
+        return; // parked behind a directory eviction
+
+    switch (msg.type) {
+      case MsgType::VicClean:
+      case MsgType::VicDirty:
+        panic("victims are routed to handleVictimTracked");
+      case MsgType::RdBlk: {
+        // Table I, I-state: grant Exclusive, track as (conservative)
+        // owner, no probes: untracked means uncached (§IV-A).
+        DirEntry &e = dirArray.allocate(msg.addr);
+        e.state = DirState::O;
+        e.owner = msg.sender;
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, {}, false); // untracked => uncached: all elided
+        startBackingRead(tbe);
+        break;
+      }
+      case MsgType::RdBlkS: {
+        DirEntry &e = dirArray.allocate(msg.addr);
+        e.state = DirState::S;
+        addSharer(e, msg.sender);
+        Tbe &tbe = newTbe(msg);
+        tbe.forceShared = true;
+        sendProbes(tbe, {}, false);
+        startBackingRead(tbe);
+        break;
+      }
+      case MsgType::RdBlkM: {
+        DirEntry &e = dirArray.allocate(msg.addr);
+        e.state = DirState::O;
+        e.owner = msg.sender;
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, {}, true);
+        startBackingRead(tbe);
+        break;
+      }
+      case MsgType::TccRdBlk: {
+        DirEntry &e = dirArray.allocate(msg.addr);
+        e.state = DirState::S;
+        addSharer(e, msg.sender);
+        Tbe &tbe = newTbe(msg);
+        tbe.forceShared = true;
+        sendProbes(tbe, {}, false);
+        startBackingRead(tbe);
+        break;
+      }
+      case MsgType::WriteThrough:
+      case MsgType::Flush: {
+        if (msg.hit) {
+            // The (write-through-mode) TCC retains a copy: track it so
+            // CPU writes invalidate it.
+            DirEntry &e = dirArray.allocate(msg.addr);
+            e.state = DirState::S;
+            addSharer(e, msg.sender);
+        }
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, {}, true);
+        maybeComplete(tbe);
+        tryRetire(tbe);
+        break;
+      }
+      case MsgType::Atomic:
+      case MsgType::DmaRead: {
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, {}, isWritePermission(msg.type));
+        startBackingRead(tbe);
+        break;
+      }
+      case MsgType::DmaWrite: {
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, {}, true);
+        maybeComplete(tbe);
+        tryRetire(tbe);
+        break;
+      }
+      default:
+        panic("%s: unexpected request %s", name().c_str(),
+              std::string(msgTypeName(msg.type)).c_str());
+    }
+    (void)topo;
+}
+
+void
+DirectoryController::handleSState(Msg msg, DirEntry &entry)
+{
+    switch (msg.type) {
+      case MsgType::RdBlk:
+      case MsgType::RdBlkS:
+      case MsgType::TccRdBlk: {
+        // S state: the LLC is coherent with every cached copy, so
+        // probes are elided and RdBlk is forced to a Shared grant
+        // (the response is from the LLC, §IV-A).
+        addSharer(entry, msg.sender);
+        Tbe &tbe = newTbe(msg);
+        tbe.forceShared = true;
+        sendProbes(tbe, {}, false); // accounts the elided broadcast
+        startBackingRead(tbe);
+        break;
+      }
+      case MsgType::RdBlkM: {
+        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        bool requester_shares =
+            params.cfg.tracking == DirTracking::Sharers && !entry.overflow &&
+            (entry.sharers & (1ull << msg.sender));
+        entry.state = DirState::O;
+        entry.owner = msg.sender;
+        entry.sharers = 0;
+        entry.ptrCount = 0;
+        entry.overflow = false;
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, targets, true);
+        if (requester_shares) {
+            // The upgrading requester still holds a (clean) copy: the
+            // grant needs no data and the LLC read is elided.
+            tbe.noData = true;
+        } else {
+            startBackingRead(tbe);
+        }
+        maybeComplete(tbe);
+        tryRetire(tbe);
+        break;
+      }
+      case MsgType::WriteThrough:
+      case MsgType::Flush: {
+        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        bool retains = msg.hit;
+        MachineId sender = msg.sender;
+        if (retains) {
+            entry.state = DirState::S;
+            entry.owner = InvalidMachineId;
+            entry.sharers = 0;
+            entry.ptrCount = 0;
+            entry.overflow = false;
+            addSharer(entry, sender);
+        } else {
+            freeEntry(msg.addr);
+        }
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, targets, true);
+        maybeComplete(tbe);
+        tryRetire(tbe);
+        break;
+      }
+      case MsgType::Atomic: {
+        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        freeEntry(msg.addr);
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, targets, true);
+        startBackingRead(tbe);
+        break;
+      }
+      case MsgType::DmaRead: {
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, {}, false);
+        startBackingRead(tbe);
+        break;
+      }
+      case MsgType::DmaWrite: {
+        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        freeEntry(msg.addr);
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, targets, true);
+        maybeComplete(tbe);
+        tryRetire(tbe);
+        break;
+      }
+      default:
+        panic("%s: illegal request %s in directory state S",
+              name().c_str(), std::string(msgTypeName(msg.type)).c_str());
+    }
+}
+
+void
+DirectoryController::handleOState(Msg msg, DirEntry &entry)
+{
+    MachineId owner = entry.owner;
+    Addr addr = msg.addr;
+
+    switch (msg.type) {
+      case MsgType::RdBlk:
+      case MsgType::RdBlkS:
+      case MsgType::TccRdBlk: {
+        if (msg.sender == owner) {
+            // Footnotes c-e of Table I: an I-cache miss while the L2
+            // line is E signals an E->S transition; no other sharers
+            // can exist and the LLC/memory is coherent.
+            panic_if(msg.type != MsgType::RdBlkS,
+                     "%s: %s from the owner in state O", name().c_str(),
+                     std::string(msgTypeName(msg.type)).c_str());
+            entry.state = DirState::S;
+            entry.owner = InvalidMachineId;
+            entry.sharers = 0;
+            entry.ptrCount = 0;
+            entry.overflow = false;
+            addSharer(entry, msg.sender);
+            Tbe &tbe = newTbe(msg);
+            tbe.forceShared = true;
+            startBackingRead(tbe);
+            break;
+        }
+        // Probe only the owner; the LLC read is elided (§IV-A).
+        addSharer(entry, msg.sender);
+        Tbe &tbe = newTbe(msg);
+        tbe.forceShared = true;
+        tbe.onRespond = [this, addr, owner](Tbe &t) {
+            panic_if(!t.haveProbeData,
+                     "owner probe returned no data for %#llx",
+                     (unsigned long long)addr);
+            if (!t.probeDataDirty) {
+                // The owner held E (clean): memory/LLC are coherent,
+                // so the line is now plain Shared.
+                DirEntry *e = dirArray.lookup(addr, false);
+                panic_if(!e, "entry vanished mid-transaction");
+                e->state = DirState::S;
+                e->owner = InvalidMachineId;
+                addSharer(*e, owner);
+            }
+        };
+        sendProbes(tbe, {owner}, false);
+        break;
+      }
+      case MsgType::RdBlkM: {
+        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        bool upgrade = msg.sender == owner;
+        entry.owner = msg.sender;
+        entry.sharers = 0;
+        entry.ptrCount = 0;
+        entry.overflow = false;
+        Tbe &tbe = newTbe(msg);
+        if (upgrade) {
+            // O->M upgrade: the owner keeps its (current) data.
+            tbe.noData = true;
+        } else {
+            tbe.onRespond = [this, addr](Tbe &t) {
+                panic_if(!t.haveProbeData,
+                         "owner probe returned no data for %#llx",
+                         (unsigned long long)addr);
+            };
+        }
+        sendProbes(tbe, targets, true);
+        maybeComplete(tbe);
+        tryRetire(tbe);
+        break;
+      }
+      case MsgType::WriteThrough:
+      case MsgType::Flush: {
+        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        if (msg.hit) {
+            entry.state = DirState::S;
+            entry.owner = InvalidMachineId;
+            entry.sharers = 0;
+            entry.ptrCount = 0;
+            entry.overflow = false;
+            addSharer(entry, msg.sender);
+        } else {
+            freeEntry(addr);
+        }
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, targets, true);
+        maybeComplete(tbe);
+        tryRetire(tbe);
+        break;
+      }
+      case MsgType::Atomic: {
+        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        freeEntry(addr);
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, targets, true);
+        // The owner's probe response supplies the data; the LLC read
+        // is elided.  (Targets can never be empty: the owner is L2.)
+        maybeComplete(tbe);
+        tryRetire(tbe);
+        break;
+      }
+      case MsgType::DmaRead: {
+        Tbe &tbe = newTbe(msg);
+        tbe.onRespond = [this, addr, owner](Tbe &t) {
+            panic_if(!t.haveProbeData,
+                     "owner probe returned no data for %#llx",
+                     (unsigned long long)addr);
+            if (!t.probeDataDirty) {
+                DirEntry *e = dirArray.lookup(addr, false);
+                panic_if(!e, "entry vanished mid-transaction");
+                e->state = DirState::S;
+                e->owner = InvalidMachineId;
+                addSharer(*e, owner);
+            }
+        };
+        sendProbes(tbe, {owner}, false);
+        break;
+      }
+      case MsgType::DmaWrite: {
+        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        freeEntry(addr);
+        Tbe &tbe = newTbe(msg);
+        sendProbes(tbe, targets, true);
+        maybeComplete(tbe);
+        tryRetire(tbe);
+        break;
+      }
+      default:
+        panic("%s: illegal request %s in directory state O",
+              name().c_str(), std::string(msgTypeName(msg.type)).c_str());
+    }
+}
+
+void
+DirectoryController::handleVictimTracked(const Msg &msg)
+{
+    if (consumeCancelledVic(msg))
+        return;
+    DirEntry *entry = dirArray.lookup(msg.addr);
+    bool dirty = msg.type == MsgType::VicDirty;
+    noteTransition(!entry ? 0 : entry->state == DirState::S ? 1 : 2,
+                   msg.type);
+
+    auto ack_and_release = [&] {
+        Msg ack;
+        ack.type = MsgType::WBAck;
+        ack.addr = msg.addr;
+        ack.sender = params.topo.dirId();
+        sendToClient(msg.sender, std::move(ack));
+        releaseLine(msg.addr);
+    };
+
+    if (!entry) {
+        // Untracked victim: it raced with a directory eviction whose
+        // back-invalidation already collected the data.  Drop it.
+        ++statStaleVicDropped;
+        ack_and_release();
+        return;
+    }
+
+    if (entry->state == DirState::S) {
+        panic_if(dirty, "%s: VicDirty in directory state S (illegal)",
+                 name().c_str());
+        writeVictim(msg.addr, msg.data, false);
+        removeSharer(*entry, msg.sender);
+        if (sharersEmpty(*entry))
+            freeEntry(msg.addr);
+        ack_and_release();
+        return;
+    }
+
+    // State O.
+    if (msg.sender != entry->owner) {
+        if (dirty) {
+            // Stale VicDirty from a previous owner (ownership moved
+            // while the victim was in flight): the data was already
+            // collected by a probe.  Drop it.
+            ++statStaleVicDropped;
+        } else {
+            // A (possibly dirty-)sharer evicting: just untrack it.
+            removeSharer(*entry, msg.sender);
+        }
+        ack_and_release();
+        return;
+    }
+
+    if (dirty) {
+        writeVictim(msg.addr, msg.data, true);
+        entry->owner = InvalidMachineId;
+        if (sharersEmpty(*entry)) {
+            freeEntry(msg.addr);
+        } else {
+            // Dirty sharers may remain (footnote h); the LLC now holds
+            // the reconciled data, so the line is Shared.
+            entry->state = DirState::S;
+        }
+    } else {
+        // VicClean from the owner: the line was E (footnote g), so no
+        // sharers can exist; free the entry.
+        writeVictim(msg.addr, msg.data, false);
+        freeEntry(msg.addr);
+    }
+    ack_and_release();
+}
+
+// --------------------------------------------------------------------
+// Introspection
+// --------------------------------------------------------------------
+
+bool
+DirectoryController::tracks(Addr addr) const
+{
+    return dirArray.peek(addr) != nullptr;
+}
+
+DirState
+DirectoryController::trackedState(Addr addr) const
+{
+    const DirEntry *e = dirArray.peek(addr);
+    panic_if(!e, "trackedState of untracked line");
+    return e->state;
+}
+
+MachineId
+DirectoryController::trackedOwner(Addr addr) const
+{
+    const DirEntry *e = dirArray.peek(addr);
+    panic_if(!e, "trackedOwner of untracked line");
+    return e->owner;
+}
+
+bool
+DirectoryController::isSharer(Addr addr, MachineId id) const
+{
+    const DirEntry *e = dirArray.peek(addr);
+    return e && (e->sharers & (1ull << id));
+}
+
+} // namespace hsc

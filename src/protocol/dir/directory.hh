@@ -1,0 +1,272 @@
+/**
+ * @file
+ * The system-level directory — the paper's primary contribution.
+ *
+ * Baseline (DirTracking::None) reproduces the stateless gem5 HSC
+ * directory of §II-D/Fig. 2: every permission request broadcasts
+ * probes (invalidating for write-permission requests, downgrading for
+ * reads; downgrades skip the TCC) and reads the write-through victim
+ * LLC, falling back to main memory.
+ *
+ * The enhancements are independent configuration knobs (DirConfig):
+ *  - §III-A  earlyDirtyResp: answer a downgrade transaction from the
+ *            first dirty probe ack without waiting for the rest;
+ *  - §III-B  noCleanVicToMem (+ §III-B1 noCleanVicToLlc);
+ *  - §III-C  llcWriteBack: victims write only the LLC (sticky dirty
+ *            bit), memory reconciles on LLC eviction;
+ *  - §IV     owner/sharer tracking: stable states I/S/O per Table I,
+ *            directory-as-a-cache with inclusion back-invalidations,
+ *            full-map or limited-pointer sharer codes.
+ *
+ * Transactions block their line (gem5's U -> B* states); requests and
+ * victims to blocked lines stall in per-line FIFOs and replay at
+ * unblock.  Probes and acks carry the transaction id so late acks of
+ * an early-responded transaction cannot be confused with a successor.
+ */
+
+#ifndef HSC_PROTOCOL_DIR_DIRECTORY_HH
+#define HSC_PROTOCOL_DIR_DIRECTORY_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "mem/main_memory.hh"
+#include "mem/message_buffer.hh"
+#include "protocol/dir/llc.hh"
+#include "protocol/types.hh"
+#include "sim/clocked.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+/** Stable tracked states of a directory entry (§IV-A). */
+enum class DirState : std::uint8_t
+{
+    S, ///< cached copies are clean w.r.t. the LLC
+    O, ///< one cache may hold the line modified (M/O/E conservative)
+};
+
+/** Timing/geometry parameters of the directory. */
+struct DirParams
+{
+    Topology topo;
+    DirConfig cfg;
+    LlcParams llc;
+    Cycles dirLatency = 20;  ///< Table II directory access latency
+    Cycles llcLatency = 20;  ///< Table II LLC access latency
+    /** Minimum spacing between transaction dispatches (directory
+     *  occupancy); banking (§VII) divides this pressure. */
+    Cycles servicePeriod = 1;
+    /** log2(number of banks): low block-index bits to skip when
+     *  indexing this bank's directory array. */
+    unsigned bankIndexShift = 0;
+    /** True when the TCC runs write-back (affects WT tracking). */
+    bool tccWriteBack = false;
+};
+
+/**
+ * The directory controller.
+ */
+class DirectoryController : public Clocked
+{
+  public:
+    DirectoryController(std::string name, EventQueue &eq, ClockDomain clk,
+                        const DirParams &params, MainMemory &mem);
+
+    /**
+     * Attach the channel toward client @p id (the directory sends
+     * probes and responses on it).  Must be called for every client.
+     */
+    void bindToClient(MachineId id, MessageBuffer &buf);
+
+    /** Attach a client->directory channel (requests, acks, unblocks). */
+    void bindFromClient(MessageBuffer &buf);
+
+    /** True when no transaction is in flight. */
+    bool idle() const { return tbes.empty() && busyLines.empty(); }
+
+    void regStats(StatRegistry &reg);
+
+    LlcCache &llc() { return llcCache; }
+    const DirParams &dirParams() const { return params; }
+
+    /** @{ Test introspection of the tracking state. */
+    bool tracks(Addr addr) const;
+    DirState trackedState(Addr addr) const;
+    MachineId trackedOwner(Addr addr) const;
+    bool isSharer(Addr addr, MachineId id) const;
+    std::size_t trackedEntries() const { return dirArray.occupancy(); }
+    /** @} */
+
+    std::uint64_t probesSent() const { return statProbesSent.value(); }
+
+  private:
+    /** One tracked line. */
+    struct DirEntry
+    {
+        DirState state = DirState::S;
+        MachineId owner = InvalidMachineId;
+        std::uint64_t sharers = 0;  ///< bitmap over cache clients
+        unsigned ptrCount = 0;      ///< limited-pointer occupancy
+        bool overflow = false;      ///< limited-pointer overflow
+    };
+
+    /** Transaction buffer entry. */
+    struct Tbe
+    {
+        std::uint64_t txn = 0;
+        Msg req;
+        bool isEviction = false;     ///< directory back-invalidation
+        Addr evictAddr = 0;
+        bool haveCont = false;
+        Msg cont;                    ///< request resumed after eviction
+
+        unsigned pendingAcks = 0;
+        bool needBacking = false;
+        bool sawHit = false;
+        bool haveProbeData = false;
+        bool probeDataDirty = false;
+        DataBlock probeData;
+        bool haveBackingData = false;
+        DataBlock backingData;
+
+        Tick startedAt = 0;
+        bool responded = false;
+        bool unblocked = false;
+        bool forceShared = false;  ///< deny Exclusive (tracked S/O reads)
+        bool noData = false;       ///< upgrade grant: requester keeps data
+
+        /** Tracked-mode state finalisation, run at respond time. */
+        std::function<void(Tbe &)> onRespond;
+    };
+
+    void receive(Msg &&msg);
+    void dispatch(Msg msg);
+
+    // --- Baseline stateless paths -------------------------------------
+    void handleStateless(Msg msg);
+    void handleVictimStateless(const Msg &msg);
+
+    // --- Tracked paths (§IV) -------------------------------------------
+    void handleTracked(Msg msg);
+    void handleUntracked(Msg msg);
+    void handleSState(Msg msg, DirEntry &entry);
+    void handleOState(Msg msg, DirEntry &entry);
+    void handleVictimTracked(const Msg &msg);
+
+    /**
+     * Ensure the directory set of @p msg.addr has room to allocate;
+     * when an eviction is needed the message is parked and re-run
+     * afterwards.  @return true when dispatch may continue now.
+     */
+    bool ensureDirSpace(const Msg &msg);
+    void finishEviction(Tbe &tbe);
+
+    // --- Shared transaction machinery ----------------------------------
+    Tbe &newTbe(const Msg &msg);
+    void sendProbes(Tbe &tbe, const std::vector<MachineId> &targets,
+                    bool invalidating);
+    void startBackingRead(Tbe &tbe);
+    void handleProbeResp(const Msg &msg);
+    void handleUnblock(const Msg &msg);
+    void maybeComplete(Tbe &tbe);
+    void respond(Tbe &tbe);
+    void tryRetire(Tbe &tbe);
+    void releaseLine(Addr addr);
+
+    /** All probe-able clients except @p exclude (TCC only if inval). */
+    std::vector<MachineId> broadcastTargets(bool invalidating,
+                                            MachineId exclude) const;
+    /** Tracked targets of @p entry (owner-tracking S falls back to
+     *  broadcast), minus @p exclude. */
+    std::vector<MachineId> trackedTargets(const DirEntry &entry,
+                                          MachineId exclude) const;
+
+    /** @{ Sharer-set helpers honouring the limited-pointer mode. */
+    void addSharer(DirEntry &entry, MachineId id);
+    void removeSharer(DirEntry &entry, MachineId id);
+    bool sharersEmpty(const DirEntry &entry) const;
+    std::vector<MachineId> sharerList(const DirEntry &entry) const;
+    /** @} */
+
+    /** Free the tracked entry of @p addr if present. */
+    void freeEntry(Addr addr);
+
+    /** @{ System-visible write rules (WT / Atomic / DMA writes). */
+    void writeMasked(Addr addr, const DataBlock &data, ByteMask mask);
+    void writeFull(Addr addr, const DataBlock &data);
+    /** @} */
+
+    /** Write-back policy for L2 victims and collected dirty data. */
+    void writeVictim(Addr addr, const DataBlock &data, bool dirty);
+
+    void sendToClient(MachineId id, Msg msg);
+    void after(Cycles extra, std::function<void()> fn);
+
+    bool isVictim(MsgType t) const
+    {
+        return t == MsgType::VicClean || t == MsgType::VicDirty;
+    }
+
+    const DirParams params;
+    MainMemory &mem;
+    LlcCache llcCache;
+    CacheArray<DirEntry> dirArray;
+
+    std::vector<MessageBuffer *> toClient;
+
+    std::unordered_map<std::uint64_t, Tbe> tbes;
+    std::uint64_t nextTxn = 1;
+    Tick nextDispatchFree = 0;
+
+    /** Schedule @p msg's dispatch, serialised by the service period. */
+    void scheduleDispatch(Msg msg);
+
+    /** Blocked lines -> transaction id (0 for victim processing). */
+    std::unordered_map<Addr, std::uint64_t> busyLines;
+    std::unordered_map<Addr, std::deque<Msg>> stalled;
+
+    /**
+     * In-flight victims cancelled by an invalidating probe that hit
+     * the sender's victim buffer: (line, sender) -> count.  The next
+     * matching VicClean/VicDirty is acknowledged and dropped.
+     */
+    std::map<std::pair<Addr, MachineId>, unsigned> cancelledVics;
+
+    /** Consume a cancellation mark for @p msg; true when dropped. */
+    bool consumeCancelledVic(const Msg &msg);
+
+    // Statistics.
+    Counter statRequests, statVictims, statStalls;
+    Counter statProbesSent, statProbeBroadcasts, statProbeMulticasts;
+    Counter statProbesElided;
+    Counter statEarlyResponses;
+    Counter statDirHits, statDirMisses, statDirEvictions, statBackInvals;
+    Counter statStaleVicDropped;
+    Counter statReadOnlyElided;
+    Counter statAtomics, statWriteThroughs, statDmaReads, statDmaWrites;
+
+    /** Transaction latency (dispatch to retire), in CPU cycles. */
+    Histogram statTxnLatency{8, 64};
+
+    /** Observed Table I transition counts: [I,S,O] x request type. */
+    static constexpr unsigned NumMsgKinds = 19;
+    Counter statTableI[3][NumMsgKinds];
+
+    /** Record a Table I transition observation. */
+    void
+    noteTransition(unsigned state_row, MsgType t)
+    {
+        ++statTableI[state_row][static_cast<unsigned>(t)];
+    }
+};
+
+} // namespace hsc
+
+#endif // HSC_PROTOCOL_DIR_DIRECTORY_HH

@@ -1,0 +1,111 @@
+#include "protocol/dir/llc.hh"
+
+namespace hsc
+{
+
+LlcCache::LlcCache(std::string name, const LlcParams &params,
+                   MainMemory &mem)
+    : name(std::move(name)), params(params), mem(mem),
+      array(this->name + ".array", params.geom)
+{
+}
+
+void
+LlcCache::regStats(StatRegistry &reg)
+{
+    reg.addCounter(name + ".reads", &statReads);
+    reg.addCounter(name + ".readHits", &statReadHits);
+    reg.addCounter(name + ".writes", &statWrites);
+    reg.addCounter(name + ".allocs", &statAllocs);
+    reg.addCounter(name + ".evictions", &statEvictions);
+    reg.addCounter(name + ".dirtyEvictions", &statDirtyEvictions);
+}
+
+std::optional<DataBlock>
+LlcCache::read(Addr addr)
+{
+    ++statReads;
+    if (Entry *e = array.lookup(addr)) {
+        ++statReadHits;
+        return e->data;
+    }
+    return std::nullopt;
+}
+
+const DataBlock *
+LlcCache::peek(Addr addr) const
+{
+    const Entry *e = array.peek(addr);
+    return e ? &e->data : nullptr;
+}
+
+void
+LlcCache::makeRoom(Addr addr)
+{
+    if (array.hasFreeWay(addr))
+        return;
+    auto victim = array.findVictim(addr);
+    ++statEvictions;
+    if (victim.entry->dirty) {
+        // Write-back mode: evictions of dirty lines reconcile memory
+        // (§III-C); in write-through mode lines are never dirty.
+        ++statDirtyEvictions;
+        mem.write(victim.addr, victim.entry->data);
+    }
+    array.invalidate(victim.addr);
+}
+
+void
+LlcCache::victimWrite(Addr addr, const DataBlock &data, bool dirty,
+                      bool also_memory)
+{
+    ++statWrites;
+    Entry *e = array.lookup(addr);
+    if (!e) {
+        makeRoom(addr);
+        e = &array.allocate(addr);
+        ++statAllocs;
+    }
+    e->data = data;
+    if (params.writeBack) {
+        // The dirty bit is sticky: set at the first dirty victim
+        // write, cleared only by eviction (§III-C).
+        e->dirty = e->dirty || dirty;
+    } else if (also_memory) {
+        mem.write(addr, data);
+    }
+}
+
+bool
+LlcCache::mergeIfPresent(Addr addr, const DataBlock &data, ByteMask mask)
+{
+    Entry *e = array.lookup(addr);
+    if (!e)
+        return false;
+    ++statWrites;
+    e->data.merge(data, mask);
+    if (params.writeBack)
+        e->dirty = true;
+    else
+        mem.write(addr, data, mask);
+    return true;
+}
+
+bool
+LlcCache::lineDirty(Addr addr) const
+{
+    const Entry *e = array.peek(addr);
+    return e && e->dirty;
+}
+
+void
+LlcCache::invalidate(Addr addr)
+{
+    if (Entry *e = array.lookup(addr, false)) {
+        if (e->dirty)
+            mem.write(addr, e->data);
+        array.invalidate(addr);
+    }
+}
+
+} // namespace hsc

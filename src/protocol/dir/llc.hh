@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The shared last-level cache behind the system directory (§II-D).
+ *
+ * The LLC is a non-inclusive, non-exclusive *victim* cache: lines are
+ * allocated only by victim write-backs (from CorePair L2s and,
+ * optionally, TCC write-throughs), never on the memory refill path.
+ *
+ * Two write policies are supported:
+ *  - write-through (the gem5 baseline): every LLC write also writes
+ *    main memory, so LLC lines are never dirty;
+ *  - write-back (§III-C): victims write only the LLC with a sticky
+ *    dirty bit, and memory is updated when a dirty LLC line is itself
+ *    victimised.
+ */
+
+#ifndef HSC_PROTOCOL_DIR_LLC_HH
+#define HSC_PROTOCOL_DIR_LLC_HH
+
+#include <optional>
+
+#include "cache/cache_array.hh"
+#include "mem/main_memory.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+/** Parameters of the LLC. */
+struct LlcParams
+{
+    CacheGeometry geom{16384, 16};  ///< 16 MB, 16-way (Table II)
+    bool writeBack = false;         ///< §III-C llcWB
+};
+
+/**
+ * Functional LLC model; timing (the 20-cycle access) is charged by
+ * the owning directory controller.
+ */
+class LlcCache
+{
+  public:
+    LlcCache(std::string name, const LlcParams &params, MainMemory &mem);
+
+    /** Read result: data when hit. */
+    std::optional<DataBlock> read(Addr addr);
+
+    /** Peek without recency update or stats. */
+    const DataBlock *peek(Addr addr) const;
+
+    /**
+     * Victim-cache write of a full block (L2 victims, back-invalidated
+     * dirty data, full-line TCC write-throughs).  Allocates, evicting
+     * an LLC victim if needed; in write-back mode the dirty bit is
+     * sticky-ORed, in write-through mode @p also_memory selects
+     * whether main memory is written too (§III-B turns it off for
+     * clean victims).
+     */
+    void victimWrite(Addr addr, const DataBlock &data, bool dirty,
+                     bool also_memory);
+
+    /**
+     * Merge @p mask bytes into a *present* line; returns false on
+     * miss.  Write-through mode propagates the bytes to memory;
+     * write-back mode marks the line dirty instead.
+     */
+    bool mergeIfPresent(Addr addr, const DataBlock &data, ByteMask mask);
+
+    /** True when the line is present and dirty. */
+    bool lineDirty(Addr addr) const;
+
+    /** Drop the line; a dirty line is written back to memory first. */
+    void invalidate(Addr addr);
+
+    void regStats(StatRegistry &reg);
+
+    std::size_t occupancy() const { return array.occupancy(); }
+    bool writeBackMode() const { return params.writeBack; }
+
+  private:
+    struct Entry
+    {
+        DataBlock data;
+        bool dirty = false;
+    };
+
+    /** Make room in the set of @p addr, writing back a dirty victim. */
+    void makeRoom(Addr addr);
+
+    const std::string name;
+    const LlcParams params;
+    MainMemory &mem;
+    CacheArray<Entry> array;
+
+    Counter statReads, statReadHits, statWrites, statAllocs;
+    Counter statEvictions, statDirtyEvictions;
+};
+
+} // namespace hsc
+
+#endif // HSC_PROTOCOL_DIR_LLC_HH

@@ -1,0 +1,97 @@
+#include "protocol/dma/dma_controller.hh"
+
+namespace hsc
+{
+
+DmaController::DmaController(std::string name, EventQueue &eq,
+                             ClockDomain clk, MachineId machine_id,
+                             MsgSink &to_dir, unsigned max_outstanding)
+    : Clocked(std::move(name), eq, clk), id(machine_id), toDir(to_dir),
+      maxOutstanding(max_outstanding)
+{
+}
+
+void
+DmaController::bindFromDir(MessageBuffer &from_dir)
+{
+    from_dir.setConsumer([this](Msg &&m) { handleFromDir(std::move(m)); });
+}
+
+void
+DmaController::regStats(StatRegistry &reg)
+{
+    reg.addCounter(name() + ".reads", &statReads);
+    reg.addCounter(name() + ".writes", &statWrites);
+}
+
+void
+DmaController::readBlock(Addr addr, BlockCallback cb)
+{
+    ++statReads;
+    Op op;
+    op.isRead = true;
+    op.addr = blockAlign(addr);
+    op.readCb = std::move(cb);
+    queue.push_back(std::move(op));
+    pump();
+}
+
+void
+DmaController::writeBlock(Addr addr, const DataBlock &data, ByteMask mask,
+                          DoneCallback cb)
+{
+    ++statWrites;
+    Op op;
+    op.isRead = false;
+    op.addr = blockAlign(addr);
+    op.data = data;
+    op.mask = mask;
+    op.writeCb = std::move(cb);
+    queue.push_back(std::move(op));
+    pump();
+}
+
+void
+DmaController::pump()
+{
+    while (inFlight < maxOutstanding && !queue.empty()) {
+        Op op = std::move(queue.front());
+        queue.pop_front();
+
+        Msg m;
+        m.type = op.isRead ? MsgType::DmaRead : MsgType::DmaWrite;
+        m.addr = op.addr;
+        m.sender = id;
+        if (!op.isRead) {
+            m.hasData = true;
+            m.data = op.data;
+            m.mask = op.mask;
+        }
+        toDir.enqueue(std::move(m));
+        issued[op.addr].push_back(std::move(op));
+        ++inFlight;
+    }
+}
+
+void
+DmaController::handleFromDir(Msg &&msg)
+{
+    panic_if(msg.type != MsgType::DmaResp,
+             "%s: unexpected message %s", name().c_str(),
+             std::string(msgTypeName(msg.type)).c_str());
+    auto it = issued.find(msg.addr);
+    panic_if(it == issued.end() || it->second.empty(),
+             "%s: DMA response with no issued op", name().c_str());
+    Op op = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty())
+        issued.erase(it);
+    --inFlight;
+    if (op.isRead)
+        op.readCb(msg.data);
+    else
+        op.writeCb();
+    pump();
+}
+
+} // namespace hsc

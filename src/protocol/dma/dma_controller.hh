@@ -1,0 +1,82 @@
+/**
+ * @file
+ * DMA controller (§II-E, Fig. 3).
+ *
+ * The DMA engine issues block-granular DMARd/DMAWr requests to the
+ * system directory.  DMA agents do not cache lines and therefore do
+ * not participate in coherence tracking; in the baseline directory
+ * their requests still broadcast probes (reads downgrade the L2s,
+ * writes invalidate L2s and TCC).
+ */
+
+#ifndef HSC_PROTOCOL_DMA_DMA_CONTROLLER_HH
+#define HSC_PROTOCOL_DMA_DMA_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+
+#include "mem/message_buffer.hh"
+#include "protocol/types.hh"
+#include "sim/clocked.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+/**
+ * Block-level DMA requester with a bounded number of outstanding
+ * transactions.
+ */
+class DmaController : public Clocked
+{
+  public:
+    using BlockCallback = std::function<void(const DataBlock &)>;
+    using DoneCallback = std::function<void()>;
+
+    DmaController(std::string name, EventQueue &eq, ClockDomain clk,
+                  MachineId machine_id, MsgSink &to_dir,
+                  unsigned max_outstanding = 8);
+
+    void bindFromDir(MessageBuffer &from_dir);
+
+    /** Read one block. */
+    void readBlock(Addr addr, BlockCallback cb);
+
+    /** Write the bytes of @p mask of one block. */
+    void writeBlock(Addr addr, const DataBlock &data, ByteMask mask,
+                    DoneCallback cb);
+
+    bool idle() const { return inFlight == 0 && queue.empty(); }
+
+    void regStats(StatRegistry &reg);
+
+  private:
+    struct Op
+    {
+        bool isRead;
+        Addr addr;
+        DataBlock data;
+        ByteMask mask;
+        BlockCallback readCb;
+        DoneCallback writeCb;
+    };
+
+    void pump();
+    void handleFromDir(Msg &&msg);
+
+    const MachineId id;
+    MsgSink &toDir;
+    const unsigned maxOutstanding;
+
+    std::deque<Op> queue;
+    /** Completion callbacks of issued ops, in issue (= response) order
+     *  per address; keyed by address to tolerate reordering. */
+    std::unordered_map<Addr, std::deque<Op>> issued;
+    unsigned inFlight = 0;
+
+    Counter statReads, statWrites;
+};
+
+} // namespace hsc
+
+#endif // HSC_PROTOCOL_DMA_DMA_CONTROLLER_HH

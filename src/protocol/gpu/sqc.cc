@@ -1,0 +1,58 @@
+#include "protocol/gpu/sqc.hh"
+
+namespace hsc
+{
+
+SqcController::SqcController(std::string name, EventQueue &eq,
+                             ClockDomain clk, const SqcParams &params,
+                             TccController &tcc)
+    : Clocked(std::move(name), eq, clk), params(params), tcc(tcc),
+      array(this->name() + ".array", params.geom)
+{
+}
+
+void
+SqcController::regStats(StatRegistry &reg)
+{
+    const std::string &n = name();
+    reg.addCounter(n + ".fetches", &statFetches);
+    reg.addCounter(n + ".hits", &statHits);
+    reg.addCounter(n + ".misses", &statMisses);
+}
+
+void
+SqcController::fetch(Addr addr, DoneCallback cb)
+{
+    ++statFetches;
+    Addr block = blockAlign(addr);
+    scheduleCycles(params.latency, [this, block, cb = std::move(cb)] {
+        eq.notifyProgress();
+        if (array.lookup(block)) {
+            ++statHits;
+            cb();
+            return;
+        }
+        ++statMisses;
+        tcc.readBlock(block, [this, block, cb](const DataBlock &data) {
+            if (!array.lookup(block)) {
+                if (!array.hasFreeWay(block)) {
+                    auto victim = array.findVictim(block);
+                    array.invalidate(victim.addr);
+                }
+                array.allocate(block).fill(data);
+            }
+            cb();
+        });
+    });
+}
+
+void
+SqcController::invalidateAll()
+{
+    std::vector<Addr> lines;
+    array.forEach([&](Addr a, const ViLine &) { lines.push_back(a); });
+    for (Addr a : lines)
+        array.invalidate(a);
+}
+
+} // namespace hsc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SQC — Sequencer Cache, the GPU's read-only instruction cache
+ * (§II-C).  A VI cache filled through the TCC; it never holds dirty
+ * data and is invalidated wholesale at kernel launch.
+ */
+
+#ifndef HSC_PROTOCOL_GPU_SQC_HH
+#define HSC_PROTOCOL_GPU_SQC_HH
+
+#include <functional>
+
+#include "cache/cache_array.hh"
+#include "protocol/gpu/tcc.hh"
+#include "protocol/gpu/vi_line.hh"
+#include "sim/clocked.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+/** Parameters of the SQC. */
+struct SqcParams
+{
+    CacheGeometry geom{64, 8};  ///< 32 KB, 8-way (Table II)
+    Cycles latency = 1;         ///< Table II access latency
+};
+
+/**
+ * Read-only instruction cache shared by the CUs.
+ */
+class SqcController : public Clocked
+{
+  public:
+    using DoneCallback = std::function<void()>;
+
+    SqcController(std::string name, EventQueue &eq, ClockDomain clk,
+                  const SqcParams &params, TccController &tcc);
+
+    /** Instruction fetch at @p addr. */
+    void fetch(Addr addr, DoneCallback cb);
+
+    /** Drop every line (kernel-launch invalidation). */
+    void invalidateAll();
+
+    void regStats(StatRegistry &reg);
+
+    std::size_t occupancy() const { return array.occupancy(); }
+    bool hasLine(Addr addr) const { return array.peek(addr) != nullptr; }
+
+  private:
+    const SqcParams params;
+    TccController &tcc;
+    CacheArray<ViLine> array;
+
+    Counter statFetches, statHits, statMisses;
+};
+
+} // namespace hsc
+
+#endif // HSC_PROTOCOL_GPU_SQC_HH

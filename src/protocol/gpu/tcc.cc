@@ -1,0 +1,325 @@
+#include "protocol/gpu/tcc.hh"
+
+namespace hsc
+{
+
+TccController::TccController(std::string name, EventQueue &eq,
+                             ClockDomain clk, MachineId machine_id,
+                             const TccParams &params, MsgSink &to_dir)
+    : Clocked(std::move(name), eq, clk), id(machine_id), params(params),
+      toDir(to_dir), array(this->name() + ".array", params.geom)
+{
+}
+
+void
+TccController::bindFromDir(MessageBuffer &from_dir)
+{
+    from_dir.setConsumer([this](Msg &&m) { handleFromDir(std::move(m)); });
+}
+
+void
+TccController::regStats(StatRegistry &reg)
+{
+    const std::string &n = name();
+    reg.addCounter(n + ".reads", &statReads);
+    reg.addCounter(n + ".writes", &statWrites);
+    reg.addCounter(n + ".atomicsDevice", &statAtomicsDev);
+    reg.addCounter(n + ".atomicsSystem", &statAtomicsSys);
+    reg.addCounter(n + ".hits", &statHits);
+    reg.addCounter(n + ".misses", &statMisses);
+    reg.addCounter(n + ".writeThroughs", &statWriteThroughs);
+    reg.addCounter(n + ".flushes", &statFlushes);
+    reg.addCounter(n + ".probesRecvd", &statProbesRecvd);
+    reg.addCounter(n + ".probeInvalidations", &statProbeInvalidations);
+}
+
+void
+TccController::after(Cycles extra, std::function<void()> fn)
+{
+    scheduleCycles(extra, [this, fn = std::move(fn)] {
+        eq.notifyProgress();
+        fn();
+    });
+}
+
+void
+TccController::readBlock(Addr addr, BlockCallback cb)
+{
+    ++statReads;
+    Addr block = blockAlign(addr);
+    after(params.latency, [this, block, cb = std::move(cb)]() mutable {
+        ViLine *line = array.lookup(block);
+        if (line && line->fullyValid()) {
+            ++statHits;
+            cb(line->data);
+            return;
+        }
+        ++statMisses;
+        requestFill(block, std::move(cb));
+    });
+}
+
+void
+TccController::requestFill(Addr block, BlockCallback cb)
+{
+    auto [it, fresh] = fills.try_emplace(block);
+    it->second.push_back(std::move(cb));
+    if (!fresh)
+        return; // merged into the outstanding fill
+
+    Msg m;
+    m.type = MsgType::TccRdBlk;
+    m.addr = block;
+    m.sender = id;
+    toDir.enqueue(m);
+}
+
+ViLine &
+TccController::allocateLine(Addr block)
+{
+    if (ViLine *line = array.lookup(block))
+        return *line;
+    if (!array.hasFreeWay(block)) {
+        auto victim = array.findVictim(block);
+        if (victim.entry->dirty()) {
+            // Write-back victimisation doubles as a WriteThrough
+            // request at the directory (§II-A).
+            sendWriteThrough(victim.addr, victim.entry->data,
+                             victim.entry->dirtyMask, false, false);
+        }
+        array.invalidate(victim.addr);
+    }
+    return array.allocate(block);
+}
+
+void
+TccController::sendWriteThrough(Addr block, const DataBlock &data,
+                                ByteMask mask, bool is_flush,
+                                bool retains_copy)
+{
+    Msg m;
+    m.type = is_flush ? MsgType::Flush : MsgType::WriteThrough;
+    m.addr = block;
+    m.sender = id;
+    m.hasData = true;
+    m.data = data;
+    m.mask = mask;
+    m.hit = retains_copy; // tells a tracking directory whether to
+                          // keep the TCC in the sharer set
+    toDir.enqueue(m);
+    ++outstandingWrites;
+    if (is_flush)
+        ++statFlushes;
+    else
+        ++statWriteThroughs;
+}
+
+void
+TccController::write(Addr addr, const DataBlock &src, ByteMask mask,
+                     DoneCallback cb, Scope scope)
+{
+    ++statWrites;
+    Addr block = blockAlign(addr);
+    after(params.latency,
+          [this, block, src, mask, scope, cb = std::move(cb)] {
+        if (params.writeBack && scope != Scope::System) {
+            ViLine &line = allocateLine(block);
+            line.write(src, mask, true);
+        } else {
+            // Write-through (or system-scope): update a present copy
+            // and forward to system visibility.
+            ViLine *line = array.lookup(block);
+            if (line)
+                line->write(src, mask, false);
+            sendWriteThrough(block, src, mask, false, line != nullptr);
+        }
+        cb();
+    });
+}
+
+void
+TccController::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
+                      std::uint64_t operand2, unsigned size, Scope scope,
+                      ValueCallback cb)
+{
+    Addr block = blockAlign(addr);
+    unsigned off = blockOffset(addr);
+    panic_if(off % size != 0, "misaligned atomic at %#llx",
+             (unsigned long long)addr);
+
+    if (scope == Scope::System) {
+        ++statAtomicsSys;
+        after(params.latency, [this, block, off, op, operand, operand2,
+                               size, cb = std::move(cb)]() mutable {
+            // SLC requests bypass the TCC (non-inclusive behaviour):
+            // self-invalidate our copy, draining dirty bytes first so
+            // the ordered channel applies them before the atomic.
+            if (ViLine *line = array.lookup(block, false)) {
+                if (line->dirty()) {
+                    sendWriteThrough(block, line->data, line->dirtyMask,
+                                     false, false);
+                }
+                array.invalidate(block);
+            }
+            Msg m;
+            m.type = MsgType::Atomic;
+            m.addr = block;
+            m.sender = id;
+            m.txnId = nextAtomicId++;
+            m.atomicOp = op;
+            m.atomicOffset = off;
+            m.atomicSize = size;
+            m.atomicOperand = operand;
+            m.atomicOperand2 = operand2;
+            pendingAtomics.emplace(m.txnId, std::move(cb));
+            toDir.enqueue(m);
+        });
+        return;
+    }
+
+    // Device (GLC) and wave scope execute on the TCC's own copy.
+    ++statAtomicsDev;
+    ByteMask word_mask = makeMask(off, size);
+    auto execute = [this, block, off, op, operand, operand2, size,
+                    word_mask, cb = std::move(cb)]() {
+        ViLine *line = array.lookup(block);
+        panic_if(!line || !line->covers(word_mask),
+                 "GLC atomic on unfilled line %#llx",
+                 (unsigned long long)block);
+        std::uint64_t old_val = size == 4
+            ? line->data.get<std::uint32_t>(off)
+            : line->data.get<std::uint64_t>(off);
+        if (op == AtomicOp::Load) {
+            cb(old_val);
+            return;
+        }
+        std::uint64_t new_val = applyAtomic(op, old_val, operand, operand2);
+        DataBlock upd = line->data;
+        if (size == 4)
+            upd.set<std::uint32_t>(off, std::uint32_t(new_val));
+        else
+            upd.set<std::uint64_t>(off, new_val);
+        if (params.writeBack) {
+            line->write(upd, word_mask, true);
+        } else {
+            line->write(upd, word_mask, false);
+            sendWriteThrough(block, upd, word_mask, false, true);
+        }
+        cb(old_val);
+    };
+
+    after(params.latency, [this, block, word_mask,
+                           execute = std::move(execute)]() mutable {
+        ViLine *line = array.lookup(block);
+        if (line && line->covers(word_mask)) {
+            ++statHits;
+            execute();
+            return;
+        }
+        ++statMisses;
+        requestFill(block,
+                    [execute = std::move(execute)](const DataBlock &) {
+                        execute();
+                    });
+    });
+}
+
+void
+TccController::release(DoneCallback cb)
+{
+    after(params.latency, [this, cb = std::move(cb)]() mutable {
+        // Drain every dirty byte to system visibility as Flush
+        // requests; lines stay resident but clean.
+        std::vector<std::pair<Addr, ViLine *>> dirty_lines;
+        array.forEach([&](Addr a, const ViLine &l) {
+            if (l.dirty())
+                dirty_lines.push_back({a, const_cast<ViLine *>(&l)});
+        });
+        for (auto &[a, line] : dirty_lines) {
+            sendWriteThrough(a, line->data, line->dirtyMask, true, true);
+            line->dirtyMask = 0;
+        }
+        if (outstandingWrites == 0) {
+            cb();
+        } else {
+            releaseWaiters.push_back(std::move(cb));
+        }
+    });
+}
+
+void
+TccController::handleFromDir(Msg &&msg)
+{
+    switch (msg.type) {
+      case MsgType::SysResp: {
+        // Fill completion; the granted state is ignored (§II-A: an
+        // Exclusive grant is ignored by the TCC).
+        after(params.latency, [this, m = msg] {
+            auto it = fills.find(m.addr);
+            panic_if(it == fills.end(), "%s: fill resp with no MSHR",
+                     name().c_str());
+            ViLine &line = allocateLine(m.addr);
+            line.fill(m.data);
+            auto cbs = std::move(it->second);
+            fills.erase(it);
+            for (auto &cb : cbs)
+                cb(line.data);
+        });
+        break;
+      }
+      case MsgType::AtomicResp: {
+        auto it = pendingAtomics.find(msg.txnId);
+        panic_if(it == pendingAtomics.end(),
+                 "%s: atomic resp with no pending atomic", name().c_str());
+        auto cb = std::move(it->second);
+        pendingAtomics.erase(it);
+        cb(msg.atomicResult);
+        break;
+      }
+      case MsgType::WBAck: {
+        panic_if(outstandingWrites == 0, "%s: spurious WBAck",
+                 name().c_str());
+        if (--outstandingWrites == 0) {
+            auto waiters = std::move(releaseWaiters);
+            releaseWaiters.clear();
+            for (auto &w : waiters)
+                w();
+        }
+        break;
+      }
+      case MsgType::PrbInv:
+      case MsgType::PrbDowngrade: {
+        ++statProbesRecvd;
+        after(params.latency, [this, m = msg] {
+            Msg resp;
+            resp.type = MsgType::PrbResp;
+            resp.addr = m.addr;
+            resp.sender = id;
+            resp.txnId = m.txnId;
+            ViLine *line = array.lookup(m.addr, false);
+            resp.hit = line != nullptr;
+            // The TCC never forwards data; on an invalidating probe it
+            // invalidates itself, dropping even dirty bytes (VIPER
+            // semantics: unsynchronised GPU data is not protected).
+            if (line && m.type == MsgType::PrbInv) {
+                array.invalidate(m.addr);
+                ++statProbeInvalidations;
+            }
+            toDir.enqueue(resp);
+        });
+        break;
+      }
+      default:
+        panic("%s: unexpected message %s from directory", name().c_str(),
+              std::string(msgTypeName(msg.type)).c_str());
+    }
+}
+
+bool
+TccController::lineDirty(Addr addr) const
+{
+    const ViLine *l = array.peek(addr);
+    return l && l->dirty();
+}
+
+} // namespace hsc

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * TCC — Texture Cache per Channel, the GPU's shared L2 (§II-C).
+ *
+ * Implements the VIPER behaviours the paper's directory must cope
+ * with:
+ *  - a simple Valid/Invalid protocol with write-through (default) or
+ *    write-back (WB_L2) configuration;
+ *  - system-scope (SLC) requests bypass the TCC, making it
+ *    non-inclusive; the TCC self-invalidates its copy (flushing dirty
+ *    bytes first) before forwarding so ordering stays correct;
+ *  - device-scope (GLC) atomics execute on the TCC's own copy;
+ *  - probes invalidate the TCC but never forward data; and
+ *  - store-release is supported via Flush write-backs that drain all
+ *    dirty bytes to system visibility and wait for acknowledgments.
+ */
+
+#ifndef HSC_PROTOCOL_GPU_TCC_HH
+#define HSC_PROTOCOL_GPU_TCC_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "mem/message_buffer.hh"
+#include "protocol/gpu/vi_line.hh"
+#include "protocol/types.hh"
+#include "sim/clocked.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+/** Parameters of the TCC. */
+struct TccParams
+{
+    CacheGeometry geom{256, 16};  ///< 256 KB, 16-way (Table II)
+    Cycles latency = 8;           ///< Table II access latency
+    bool writeBack = false;       ///< gem5 WB_L2
+};
+
+/**
+ * The TCC controller.  TCPs and the SQC call it directly (same GPU
+ * clock domain); it exchanges messages with the system directory.
+ */
+class TccController : public Clocked
+{
+  public:
+    using BlockCallback = std::function<void(const DataBlock &)>;
+    using DoneCallback = std::function<void()>;
+    using ValueCallback = std::function<void(std::uint64_t)>;
+
+    TccController(std::string name, EventQueue &eq, ClockDomain clk,
+                  MachineId machine_id, const TccParams &params,
+                  MsgSink &to_dir);
+
+    void bindFromDir(MessageBuffer &from_dir);
+
+    /** Read a whole block (TCP fill / SQC fetch path). */
+    void readBlock(Addr addr, BlockCallback cb);
+
+    /**
+     * Write the bytes of @p mask at @p scope.
+     *
+     * System-scope writes always write through to the directory (an
+     * SLC store is system-visible immediately, even with a write-back
+     * TCC — otherwise a CPU store to a neighbouring word would
+     * invalidate the TCC and destroy the GPU's bytes).  Device/wave
+     * scope follows the TCC configuration: write-through mode
+     * forwards to the directory, write-back mode marks the line
+     * dirty.  The callback models store-buffer completion, not global
+     * visibility (use release() for that).
+     */
+    void write(Addr addr, const DataBlock &src, ByteMask mask,
+               DoneCallback cb, Scope scope = Scope::Device);
+
+    /**
+     * Scoped read-modify-write on the naturally-aligned word at
+     * @p addr.  Device scope executes here; System scope bypasses to
+     * the directory (self-invalidating our copy first).
+     */
+    void atomic(Addr addr, AtomicOp op, std::uint64_t operand,
+                std::uint64_t operand2, unsigned size, Scope scope,
+                ValueCallback cb);
+
+    /**
+     * Store-release: drain every dirty byte to system visibility and
+     * invoke @p cb once all flushes have been acknowledged.
+     */
+    void release(DoneCallback cb);
+
+    MachineId machineId() const { return id; }
+    bool idle() const { return fills.empty() && outstandingWrites == 0 &&
+                               pendingAtomics.empty(); }
+    bool writeBackMode() const { return params.writeBack; }
+
+    void regStats(StatRegistry &reg);
+
+    /** @{ Test introspection. */
+    bool hasLine(Addr addr) const { return array.peek(addr) != nullptr; }
+    bool lineDirty(Addr addr) const;
+    std::size_t occupancy() const { return array.occupancy(); }
+    /** @} */
+
+  private:
+    void handleFromDir(Msg &&msg);
+
+    /** Issue a TccRdBlk and remember the continuation. */
+    void requestFill(Addr block, BlockCallback cb);
+
+    /** Allocate (evicting if needed) and return the line. */
+    ViLine &allocateLine(Addr block);
+
+    /** Send a WriteThrough/Flush of @p mask bytes of @p line. */
+    void sendWriteThrough(Addr block, const DataBlock &data, ByteMask mask,
+                          bool is_flush, bool retains_copy);
+
+    void after(Cycles extra, std::function<void()> fn);
+
+    const MachineId id;
+    const TccParams params;
+    MsgSink &toDir;
+
+    CacheArray<ViLine> array;
+
+    /** Outstanding fills: per-line continuation list (MSHR merge). */
+    std::unordered_map<Addr, std::vector<BlockCallback>> fills;
+
+    /** Outstanding system-scope atomics by transaction id. */
+    std::unordered_map<std::uint64_t, ValueCallback> pendingAtomics;
+    std::uint64_t nextAtomicId = 1;
+
+    unsigned outstandingWrites = 0;
+    std::vector<DoneCallback> releaseWaiters;
+
+    Counter statReads, statWrites, statAtomicsDev, statAtomicsSys;
+    Counter statHits, statMisses, statWriteThroughs, statFlushes;
+    Counter statProbesRecvd, statProbeInvalidations;
+};
+
+} // namespace hsc
+
+#endif // HSC_PROTOCOL_GPU_TCC_HH

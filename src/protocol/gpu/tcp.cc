@@ -1,0 +1,272 @@
+#include "protocol/gpu/tcp.hh"
+
+namespace hsc
+{
+
+TcpController::TcpController(std::string name, EventQueue &eq,
+                             ClockDomain clk, const TcpParams &params,
+                             TccController &tcc)
+    : Clocked(std::move(name), eq, clk), params(params), tcc(tcc),
+      array(this->name() + ".array", params.geom)
+{
+}
+
+void
+TcpController::regStats(StatRegistry &reg)
+{
+    const std::string &n = name();
+    reg.addCounter(n + ".loads", &statLoads);
+    reg.addCounter(n + ".stores", &statStores);
+    reg.addCounter(n + ".atomics", &statAtomics);
+    reg.addCounter(n + ".hits", &statHits);
+    reg.addCounter(n + ".misses", &statMisses);
+    reg.addCounter(n + ".bypasses", &statBypasses);
+    reg.addCounter(n + ".acquires", &statAcquires);
+}
+
+void
+TcpController::after(Cycles extra, std::function<void()> fn)
+{
+    scheduleCycles(extra, [this, fn = std::move(fn)] {
+        eq.notifyProgress();
+        fn();
+    });
+}
+
+ViLine &
+TcpController::allocateLine(Addr block)
+{
+    if (ViLine *line = array.lookup(block))
+        return *line;
+    if (!array.hasFreeWay(block)) {
+        auto victim = array.findVictim(block);
+        if (victim.entry->dirty()) {
+            tcc.write(victim.addr, victim.entry->data,
+                      victim.entry->dirtyMask, [] {});
+        }
+        array.invalidate(victim.addr);
+    }
+    return array.allocate(block);
+}
+
+void
+TcpController::load(Addr addr, unsigned size, Scope scope, ValueCallback cb)
+{
+    ++statLoads;
+    Addr block = blockAlign(addr);
+    unsigned off = blockOffset(addr);
+    ByteMask mask = makeMask(off, size);
+
+    if (scope != Scope::Wave) {
+        // GLC/SLC loads bypass the TCP; model them as atomic loads at
+        // the wider scope so spin-waits observe remote stores.
+        ++statBypasses;
+        array.invalidate(block);
+        tcc.atomic(addr, AtomicOp::Load, 0, 0, size, scope, std::move(cb));
+        return;
+    }
+
+    after(params.latency, [this, block, off, size, mask,
+                           cb = std::move(cb)]() mutable {
+        ViLine *line = array.lookup(block);
+        if (line && line->covers(mask)) {
+            ++statHits;
+            cb(size == 4 ? line->data.get<std::uint32_t>(off)
+                         : line->data.get<std::uint64_t>(off));
+            return;
+        }
+        ++statMisses;
+        tcc.readBlock(block, [this, block, off, size,
+                              cb = std::move(cb)](const DataBlock &data) {
+            ViLine &l = allocateLine(block);
+            l.fill(data);
+            cb(size == 4 ? l.data.get<std::uint32_t>(off)
+                         : l.data.get<std::uint64_t>(off));
+        });
+    });
+}
+
+void
+TcpController::loadBlock(Addr block, BlockCallback cb)
+{
+    ++statLoads;
+    block = blockAlign(block);
+    after(params.latency, [this, block, cb = std::move(cb)]() mutable {
+        ViLine *line = array.lookup(block);
+        if (line && line->fullyValid()) {
+            ++statHits;
+            cb(line->data);
+            return;
+        }
+        ++statMisses;
+        tcc.readBlock(block, [this, block,
+                              cb = std::move(cb)](const DataBlock &data) {
+            ViLine &l = allocateLine(block);
+            l.fill(data);
+            cb(l.data);
+        });
+    });
+}
+
+void
+TcpController::storeBlock(Addr block, const DataBlock &src, ByteMask mask,
+                          DoneCallback cb)
+{
+    ++statStores;
+    block = blockAlign(block);
+    after(params.latency, [this, block, src, mask,
+                           cb = std::move(cb)]() mutable {
+        if (params.writeBack) {
+            ViLine &line = allocateLine(block);
+            line.write(src, mask, true);
+            cb();
+        } else {
+            if (ViLine *line = array.lookup(block))
+                line->write(src, mask, false);
+            tcc.write(block, src, mask, std::move(cb));
+        }
+    });
+}
+
+void
+TcpController::store(Addr addr, unsigned size, std::uint64_t value,
+                     Scope scope, DoneCallback cb)
+{
+    ++statStores;
+    Addr block = blockAlign(addr);
+    unsigned off = blockOffset(addr);
+    ByteMask mask = makeMask(off, size);
+
+    DataBlock src;
+    if (size == 4)
+        src.set<std::uint32_t>(off, std::uint32_t(value));
+    else
+        src.set<std::uint64_t>(off, value);
+
+    if (scope != Scope::Wave) {
+        ++statBypasses;
+        array.invalidate(block);
+        tcc.write(addr, src, mask, std::move(cb), scope);
+        return;
+    }
+
+    after(params.latency, [this, addr, block, src, mask,
+                           cb = std::move(cb)]() mutable {
+        if (params.writeBack) {
+            ViLine &line = allocateLine(block);
+            line.write(src, mask, true);
+            cb();
+        } else {
+            // Write-through, no write-allocate.
+            if (ViLine *line = array.lookup(block))
+                line->write(src, mask, false);
+            tcc.write(addr, src, mask, std::move(cb));
+        }
+    });
+}
+
+void
+TcpController::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
+                      std::uint64_t operand2, unsigned size, Scope scope,
+                      ValueCallback cb)
+{
+    ++statAtomics;
+    Addr block = blockAlign(addr);
+
+    if (scope != Scope::Wave) {
+        ++statBypasses;
+        // If write-back and we hold dirty bytes of this line, drain
+        // them so the wider-scope atomic observes them.
+        if (ViLine *line = array.lookup(block, false)) {
+            if (line->dirty())
+                tcc.write(block, line->data, line->dirtyMask, [] {});
+            array.invalidate(block);
+        }
+        tcc.atomic(addr, op, operand, operand2, size, scope, std::move(cb));
+        return;
+    }
+
+    // Wave-scope atomics execute on the TCP's copy.
+    unsigned off = blockOffset(addr);
+    ByteMask mask = makeMask(off, size);
+    after(params.latency, [this, addr, block, off, size, mask, op, operand,
+                           operand2, cb = std::move(cb)]() mutable {
+        auto execute = [this, addr, block, off, size, mask, op, operand,
+                        operand2, cb = std::move(cb)]() {
+            ViLine *line = array.lookup(block);
+            panic_if(!line || !line->covers(mask),
+                     "wave atomic on unfilled line");
+            std::uint64_t old_val = size == 4
+                ? line->data.get<std::uint32_t>(off)
+                : line->data.get<std::uint64_t>(off);
+            std::uint64_t new_val =
+                applyAtomic(op, old_val, operand, operand2);
+            DataBlock upd;
+            if (size == 4)
+                upd.set<std::uint32_t>(off, std::uint32_t(new_val));
+            else
+                upd.set<std::uint64_t>(off, new_val);
+            if (params.writeBack) {
+                line->write(upd, mask, true);
+                cb(old_val);
+            } else {
+                line->write(upd, mask, false);
+                tcc.write(addr, upd, mask, [cb, old_val] { cb(old_val); });
+            }
+        };
+        ViLine *line = array.lookup(block);
+        if (line && line->covers(mask)) {
+            execute();
+        } else {
+            tcc.readBlock(block, [this, block, execute = std::move(execute)](
+                                     const DataBlock &data) {
+                ViLine &l = allocateLine(block);
+                l.fill(data);
+                execute();
+            });
+        }
+    });
+}
+
+void
+TcpController::acquire(DoneCallback cb)
+{
+    ++statAcquires;
+    after(params.latency, [this, cb = std::move(cb)] {
+        drainDirty();
+        // Invalidate everything: subsequent wave-scope loads re-fetch
+        // through the TCC and observe synchronised data.
+        std::vector<Addr> lines;
+        array.forEach([&](Addr a, const ViLine &) { lines.push_back(a); });
+        for (Addr a : lines)
+            array.invalidate(a);
+        cb();
+    });
+}
+
+void
+TcpController::release(DoneCallback cb)
+{
+    after(params.latency, [this, cb = std::move(cb)]() mutable {
+        drainDirty();
+        tcc.release(std::move(cb));
+    });
+}
+
+void
+TcpController::drainDirty()
+{
+    if (!params.writeBack)
+        return;
+    std::vector<std::pair<Addr, ViLine *>> dirty_lines;
+    array.forEach([&](Addr a, const ViLine &l) {
+        if (l.dirty())
+            dirty_lines.push_back({a, const_cast<ViLine *>(&l)});
+    });
+    for (auto &[a, line] : dirty_lines) {
+        tcc.write(a, line->data, line->dirtyMask, [] {});
+        line->dirtyMask = 0;
+    }
+}
+
+} // namespace hsc

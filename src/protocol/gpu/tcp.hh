@@ -1,0 +1,102 @@
+/**
+ * @file
+ * TCP — Texture Cache per Pipe, the per-CU L1 data cache (§II-C).
+ *
+ * A VI cache over the TCC.  Write-through (default) or write-back
+ * (WB_L1) configurable; device/system-scope operations bypass it
+ * (GLC/SLC bits), and acquire operations invalidate it, per the VIPER
+ * scoped-synchronisation model.
+ */
+
+#ifndef HSC_PROTOCOL_GPU_TCP_HH
+#define HSC_PROTOCOL_GPU_TCP_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "protocol/gpu/tcc.hh"
+#include "protocol/gpu/vi_line.hh"
+#include "sim/clocked.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+/** Parameters of one TCP. */
+struct TcpParams
+{
+    CacheGeometry geom{16, 16};  ///< 16 KB, 16-way (Table II)
+    Cycles latency = 4;          ///< Table II access latency
+    bool writeBack = false;      ///< gem5 WB_L1
+};
+
+/**
+ * The TCP controller; one per compute unit, fronting the shared TCC.
+ */
+class TcpController : public Clocked
+{
+  public:
+    using ValueCallback = std::function<void(std::uint64_t)>;
+    using DoneCallback = std::function<void()>;
+
+    TcpController(std::string name, EventQueue &eq, ClockDomain clk,
+                  const TcpParams &params, TccController &tcc);
+
+    using BlockCallback = std::function<void(const DataBlock &)>;
+
+    /** Word load; wave scope hits the TCP, wider scopes bypass it. */
+    void load(Addr addr, unsigned size, Scope scope, ValueCallback cb);
+
+    /**
+     * Coalesced (wave-scope) load of a whole block — the CU issues one
+     * of these per unique block touched by a vector lane group.
+     */
+    void loadBlock(Addr block, BlockCallback cb);
+
+    /** Coalesced (wave-scope) store of the bytes in @p mask. */
+    void storeBlock(Addr block, const DataBlock &src, ByteMask mask,
+                    DoneCallback cb);
+
+    /** Word store. */
+    void store(Addr addr, unsigned size, std::uint64_t value, Scope scope,
+               DoneCallback cb);
+
+    /** Scoped read-modify-write (bypasses the TCP for GLC/SLC). */
+    void atomic(Addr addr, AtomicOp op, std::uint64_t operand,
+                std::uint64_t operand2, unsigned size, Scope scope,
+                ValueCallback cb);
+
+    /**
+     * Acquire: invalidate the TCP so subsequent loads observe
+     * system-visible data (dirty bytes are drained first in
+     * write-back mode).
+     */
+    void acquire(DoneCallback cb);
+
+    /** Release: drain TCP dirty bytes, then release the TCC. */
+    void release(DoneCallback cb);
+
+    void regStats(StatRegistry &reg);
+
+    bool hasLine(Addr addr) const { return array.peek(addr) != nullptr; }
+    std::size_t occupancy() const { return array.occupancy(); }
+
+  private:
+    ViLine &allocateLine(Addr block);
+    void drainDirty();
+    void after(Cycles extra, std::function<void()> fn);
+
+    const TcpParams params;
+    TccController &tcc;
+
+    CacheArray<ViLine> array;
+
+    Counter statLoads, statStores, statAtomics;
+    Counter statHits, statMisses, statBypasses, statAcquires;
+};
+
+} // namespace hsc
+
+#endif // HSC_PROTOCOL_GPU_TCP_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The line payload shared by the VIPER-style GPU caches (TCP, TCC,
+ * SQC): Valid/Invalid protocol with per-byte valid and dirty masks so
+ * write-back mode can victimise partially-written lines without
+ * fetch-on-write.
+ */
+
+#ifndef HSC_PROTOCOL_GPU_VI_LINE_HH
+#define HSC_PROTOCOL_GPU_VI_LINE_HH
+
+#include "mem/data_block.hh"
+
+namespace hsc
+{
+
+/** One GPU cache line. */
+struct ViLine
+{
+    ByteMask validMask = 0;
+    ByteMask dirtyMask = 0;
+    DataBlock data;
+
+    bool fullyValid() const { return validMask == FullMask; }
+    bool dirty() const { return dirtyMask != 0; }
+
+    /** True when the bytes of @p mask are all valid. */
+    bool covers(ByteMask mask) const { return (validMask & mask) == mask; }
+
+    /** Locally write the bytes of @p mask from @p src. */
+    void
+    write(const DataBlock &src, ByteMask mask, bool mark_dirty)
+    {
+        data.merge(src, mask);
+        validMask |= mask;
+        if (mark_dirty)
+            dirtyMask |= mask;
+    }
+
+    /**
+     * Fill from a directory response: the fetched data backfills only
+     * bytes this cache has not itself written (dirty bytes win).
+     */
+    void
+    fill(const DataBlock &fetched)
+    {
+        DataBlock merged = fetched;
+        merged.merge(data, dirtyMask);
+        data = merged;
+        validMask = FullMask;
+    }
+};
+
+} // namespace hsc
+
+#endif // HSC_PROTOCOL_GPU_VI_LINE_HH

@@ -1,0 +1,28 @@
+#include "protocol/types.hh"
+
+namespace hsc
+{
+
+std::string_view
+scopeName(Scope s)
+{
+    switch (s) {
+      case Scope::Wave: return "wave";
+      case Scope::Device: return "device";
+      case Scope::System: return "system";
+    }
+    return "?";
+}
+
+std::string_view
+dirTrackingName(DirTracking t)
+{
+    switch (t) {
+      case DirTracking::None: return "stateless";
+      case DirTracking::Owner: return "owner";
+      case DirTracking::Sharers: return "sharers";
+    }
+    return "?";
+}
+
+} // namespace hsc

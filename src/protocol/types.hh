@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Shared protocol-level types: agent topology, scopes, and the
+ * directory configuration knobs corresponding to the paper's
+ * enhancements.
+ */
+
+#ifndef HSC_PROTOCOL_TYPES_HH
+#define HSC_PROTOCOL_TYPES_HH
+
+#include <string>
+#include <string_view>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/**
+ * Machine-id layout of one system:
+ *   [0, numCorePairs)            CorePair L2 controllers
+ *   [numCorePairs, +numTccs)     TCC controllers
+ *   next                         DMA controller
+ *   next                         the directory itself
+ */
+struct Topology
+{
+    unsigned numCorePairs = 4;
+    unsigned numTccs = 1;
+
+    MachineId
+    l2Id(unsigned i) const
+    {
+        panic_if(i >= numCorePairs, "bad CorePair index %u", i);
+        return static_cast<MachineId>(i);
+    }
+
+    MachineId
+    tccId(unsigned i = 0) const
+    {
+        panic_if(i >= numTccs, "bad TCC index %u", i);
+        return static_cast<MachineId>(numCorePairs + i);
+    }
+
+    MachineId dmaId() const
+    {
+        return static_cast<MachineId>(numCorePairs + numTccs);
+    }
+
+    MachineId dirId() const
+    {
+        return static_cast<MachineId>(numCorePairs + numTccs + 1);
+    }
+
+    /** Number of probe-able coherence clients (L2s + TCCs). */
+    unsigned numCacheClients() const { return numCorePairs + numTccs; }
+
+    /** Clients + DMA (agents with a directory channel). */
+    unsigned numClients() const { return numCacheClients() + 1; }
+
+    bool isL2(MachineId id) const
+    {
+        return id >= 0 && id < static_cast<MachineId>(numCorePairs);
+    }
+
+    bool isTcc(MachineId id) const
+    {
+        return id >= static_cast<MachineId>(numCorePairs) &&
+               id < static_cast<MachineId>(numCorePairs + numTccs);
+    }
+
+    bool isDma(MachineId id) const { return id == dmaId(); }
+};
+
+/** Memory-scope of a GPU operation (HSA scoped synchronisation). */
+enum class Scope : std::uint8_t
+{
+    Wave,   ///< stays in the TCP
+    Device, ///< global-level coherent: visible across the GPU (TCC)
+    System, ///< system-level coherent: executed at the directory
+};
+
+std::string_view scopeName(Scope s);
+
+/** Sharer/owner tracking level of the system directory (§IV). */
+enum class DirTracking : std::uint8_t
+{
+    None,    ///< baseline stateless directory
+    Owner,   ///< §IV-A: track I/S/O + owner id
+    Sharers, ///< §IV-B: additionally track the sharer set
+};
+
+std::string_view dirTrackingName(DirTracking t);
+
+/**
+ * Directory / LLC configuration: one flag per paper enhancement, all
+ * off reproduces the unmodified gem5 HSC baseline.
+ */
+struct DirConfig
+{
+    /** §III-A: respond on the first dirty probe ack for downgrades. */
+    bool earlyDirtyResp = false;
+
+    /** §III-B: do not write clean victims to memory. */
+    bool noCleanVicToMem = false;
+
+    /** §III-B1: additionally do not cache clean victims in the LLC. */
+    bool noCleanVicToLlc = false;
+
+    /**
+     * §III-C: LLC becomes a write-back victim cache; victims write
+     * only the LLC (dirty bit) and memory is updated on LLC eviction.
+     * Implies noCleanVicToMem.
+     */
+    bool llcWriteBack = false;
+
+    /** gem5 useL3OnWT: TCC write-throughs/atomics also write the LLC. */
+    bool useL3OnWT = false;
+
+    /** §IV: precise state tracking. */
+    DirTracking tracking = DirTracking::None;
+
+    /**
+     * §IV-B limited-pointer mode: max sharers tracked exactly;
+     * 0 means full-map.  Ignored unless tracking == Sharers.
+     */
+    unsigned maxSharerPointers = 0;
+
+    /** Directory cache geometry (Table II: 256 KB, 32-way). */
+    unsigned dirEntries = 32768;
+    unsigned dirAssoc = 32;
+
+    /** Directory replacement ("TreePLRU" or "LRU"). */
+    std::string dirRepl = "TreePLRU";
+
+    /**
+     * §VII future-work ablation: prefer evicting directory entries
+     * that are untracked/clean with the fewest sharers.
+     */
+    bool stateAwareDirRepl = false;
+
+    /**
+     * §IX future-work: a software-declared read-only region
+     * [readOnlyBase, readOnlyLimit) whose reads are never tracked —
+     * they are served from the LLC/memory without allocating
+     * directory entries, saving directory capacity for shared
+     * read-write data.  Empty (0, 0) disables the feature.
+     */
+    Addr readOnlyBase = 0;
+    Addr readOnlyLimit = 0;
+
+    bool
+    isReadOnly(Addr a) const
+    {
+        return a >= readOnlyBase && a < readOnlyLimit;
+    }
+
+    bool stateful() const { return tracking != DirTracking::None; }
+};
+
+} // namespace hsc
+
+#endif // HSC_PROTOCOL_TYPES_HH

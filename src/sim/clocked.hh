@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Clock-domain helper mixin.
+ *
+ * The simulator models two clock domains (CPU at 3.5 GHz, GPU at
+ * 1.1 GHz) over a picosecond tick, per Table III of the paper.  The
+ * uncore (directory, LLC, memory) runs on the CPU clock.
+ */
+
+#ifndef HSC_SIM_CLOCKED_HH
+#define HSC_SIM_CLOCKED_HH
+
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/** A clock domain described by its period in ticks (picoseconds). */
+class ClockDomain
+{
+  public:
+    explicit ClockDomain(Tick period_ps) : period(period_ps) {}
+
+    /** Construct from a frequency in MHz (ticks are picoseconds). */
+    static ClockDomain
+    fromMHz(std::uint64_t mhz)
+    {
+        return ClockDomain(1'000'000 / mhz);
+    }
+
+    Tick periodTicks() const { return period; }
+
+    /** Convert a cycle count in this domain to ticks. */
+    Tick toTicks(Cycles c) const { return c * period; }
+
+    /** Cycles elapsed in this domain at absolute tick @p t. */
+    Cycles toCycles(Tick t) const { return t / period; }
+
+    /**
+     * First clock edge at or after tick @p now, plus @p c further
+     * cycles.
+     */
+    Tick
+    clockEdge(Tick now, Cycles c = 0) const
+    {
+        Tick edge = ((now + period - 1) / period) * period;
+        return edge + c * period;
+    }
+
+  private:
+    Tick period;
+};
+
+/**
+ * A SimObject that lives in a clock domain and schedules itself on
+ * cycle boundaries.
+ */
+class Clocked : public SimObject
+{
+  public:
+    Clocked(std::string name, EventQueue &eq, ClockDomain domain)
+        : SimObject(std::move(name), eq), domain(domain)
+    {}
+
+    const ClockDomain &clock() const { return domain; }
+
+    /** Current cycle count of this object's domain. */
+    Cycles curCycle() const { return domain.toCycles(curTick()); }
+
+    /** Schedule @p cb at the clock edge @p c cycles from now. */
+    void
+    scheduleCycles(Cycles c, EventQueue::Callback cb,
+                   EventPriority prio = EventPriority::Default)
+    {
+        eq.schedule(domain.clockEdge(curTick(), c), std::move(cb), prio);
+    }
+
+  private:
+    ClockDomain domain;
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_CLOCKED_HH

@@ -1,0 +1,54 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    panic_if(when < _curTick,
+             "scheduling event in the past (when=%llu cur=%llu)",
+             (unsigned long long)when, (unsigned long long)_curTick);
+    events.push(Entry{when, static_cast<std::int8_t>(prio), nextSeq++,
+                      std::move(cb)});
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!events.empty() && events.top().when <= limit) {
+        // Copy out before popping: the callback may schedule new
+        // events and invalidate the reference returned by top().
+        Entry e = std::move(const_cast<Entry &>(events.top()));
+        events.pop();
+        _curTick = e.when;
+        e.cb();
+        ++executed;
+        ++n;
+    }
+    if (events.empty() && _curTick < limit && limit != MaxTick)
+        _curTick = limit;
+    return n;
+}
+
+bool
+EventQueue::runUntil(const std::function<bool()> &done, Tick limit)
+{
+    if (done())
+        return true;
+    while (!events.empty() && events.top().when <= limit) {
+        Entry e = std::move(const_cast<Entry &>(events.top()));
+        events.pop();
+        _curTick = e.when;
+        e.cb();
+        ++executed;
+        if (done())
+            return true;
+    }
+    return false;
+}
+
+} // namespace hsc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A deterministic discrete-event queue.
+ *
+ * The queue orders events by (tick, priority, insertion sequence) so
+ * that simulations are reproducible run to run.  All controllers in a
+ * system share one queue; there is deliberately no global singleton so
+ * that tests can run many independent systems in one process.
+ */
+
+#ifndef HSC_SIM_EVENT_QUEUE_HH
+#define HSC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/**
+ * Scheduling priority within a tick.  Lower values run first.
+ * Controllers wake on Default; statistics and watchdog checks run
+ * after all same-tick work with Late priority.
+ */
+enum class EventPriority : std::int8_t
+{
+    Early = -1,
+    Default = 0,
+    Late = 1,
+};
+
+/**
+ * Discrete-event queue with deterministic ordering.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must not be in the past.
+     * @param cb Callback to invoke.
+     * @param prio Ordering within the tick.
+     */
+    void schedule(Tick when, Callback cb,
+                  EventPriority prio = EventPriority::Default);
+
+    /** Schedule a callback @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(_curTick + delta, std::move(cb), prio);
+    }
+
+    /**
+     * Run until the queue drains or @p limit is reached.
+     *
+     * @param limit Absolute tick bound (inclusive of events at limit).
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick limit = MaxTick);
+
+    /**
+     * Run until @p done returns true, the queue drains, or @p limit is
+     * reached.  The predicate is evaluated after each event.
+     *
+     * @return true iff the predicate fired.
+     */
+    bool runUntil(const std::function<bool()> &done, Tick limit = MaxTick);
+
+    /** True when no events are pending. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t numExecuted() const { return executed; }
+
+    /**
+     * Record forward progress of the memory system; used by the
+     * deadlock watchdog in HsaSystem.
+     */
+    void notifyProgress() { _lastProgress = _curTick; }
+
+    /** Tick of the most recent notifyProgress() call. */
+    Tick lastProgress() const { return _lastProgress; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::int8_t prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    Tick _curTick = 0;
+    Tick _lastProgress = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,88 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hsc
+{
+
+std::uint32_t Logger::flags = 0;
+
+void
+Logger::enable(DebugFlag f)
+{
+    flags |= static_cast<std::uint32_t>(f);
+}
+
+void
+Logger::disable(DebugFlag f)
+{
+    flags &= ~static_cast<std::uint32_t>(f);
+}
+
+bool
+Logger::enabled(DebugFlag f)
+{
+    return (flags & static_cast<std::uint32_t>(f)) != 0;
+}
+
+void
+Logger::trace(DebugFlag, std::uint64_t tick, const char *fmt, ...)
+{
+    std::fprintf(stderr, "%12llu: ", (unsigned long long)tick);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+namespace
+{
+
+std::string
+formatVa(const char *fmt, va_list args)
+{
+    char buf[1024];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    return buf;
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = formatVa(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    // Throwing instead of abort() lets gtest death-free tests assert
+    // on illegal protocol transitions; uncaught it still terminates.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = formatVa(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = formatVa(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace hsc

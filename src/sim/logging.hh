@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Error-reporting and debug-trace helpers in the gem5 style.
+ *
+ * panic() flags simulator bugs (aborts); fatal() flags user/config
+ * errors (clean exit).  Debug tracing is compiled in but gated on a
+ * runtime flag set per category.
+ */
+
+#ifndef HSC_SIM_LOGGING_HH
+#define HSC_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace hsc
+{
+
+/** Debug trace categories, enabled via Logger::enable(). */
+enum class DebugFlag : std::uint32_t
+{
+    None = 0,
+    Protocol = 1u << 0,
+    Directory = 1u << 1,
+    Cache = 1u << 2,
+    Core = 1u << 3,
+    Gpu = 1u << 4,
+    Dma = 1u << 5,
+    Workload = 1u << 6,
+    All = ~0u,
+};
+
+/** Process-wide trace control; cheap to query, off by default. */
+class Logger
+{
+  public:
+    static void enable(DebugFlag f);
+    static void disable(DebugFlag f);
+    static bool enabled(DebugFlag f);
+
+    /** printf-style trace line with tick prefix. */
+    static void trace(DebugFlag f, std::uint64_t tick, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+  private:
+    static std::uint32_t flags;
+};
+
+/** Abort with a message: an internal simulator invariant failed. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit with a message: the user asked for something unsupported. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** panic() when @p cond holds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) [[unlikely]]                                              \
+            ::hsc::panic(__VA_ARGS__);                                      \
+    } while (0)
+
+/** fatal() when @p cond holds. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) [[unlikely]]                                              \
+            ::hsc::fatal(__VA_ARGS__);                                      \
+    } while (0)
+
+#define HSC_TRACE(flag, tick, ...)                                          \
+    do {                                                                    \
+        if (::hsc::Logger::enabled(::hsc::DebugFlag::flag)) [[unlikely]]    \
+            ::hsc::Logger::trace(::hsc::DebugFlag::flag, tick,              \
+                                 __VA_ARGS__);                              \
+    } while (0)
+
+} // namespace hsc
+
+#endif // HSC_SIM_LOGGING_HH

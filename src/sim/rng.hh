@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Small deterministic PRNG (xoshiro256**) for workload generation and
+ * the random tester.  Seeded explicitly so runs reproduce exactly,
+ * matching the paper's "randomization seeds for deterministic
+ * execution".
+ */
+
+#ifndef HSC_SIM_RNG_HH
+#define HSC_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace hsc
+{
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 expansion of the seed into the state vector.
+        std::uint64_t x = seed;
+        for (auto &word : s) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability @p percent / 100. */
+    bool chance(unsigned percent) { return below(100) < percent; }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_RNG_HH

@@ -1,0 +1,1 @@
+#include "sim/sim_object.hh"

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Base class for named simulation objects.
+ */
+
+#ifndef HSC_SIM_SIM_OBJECT_HH
+#define HSC_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/**
+ * A named object bound to an event queue.  Every controller, core and
+ * memory in a system derives from SimObject so traces and stats can be
+ * attributed.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : _name(std::move(name)), eq(eq)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical instance name, e.g. "system.corepair1.l2". */
+    const std::string &name() const { return _name; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return eq.curTick(); }
+
+    /** The event queue this object schedules on. */
+    EventQueue &eventQueue() { return eq; }
+
+  protected:
+    const std::string _name;
+    EventQueue &eq;
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_SIM_OBJECT_HH

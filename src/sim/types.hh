@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every module.
+ */
+
+#ifndef HSC_SIM_TYPES_HH
+#define HSC_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace hsc
+{
+
+/** Absolute simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A relative number of clock cycles of some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick MaxTick = ~Tick(0);
+
+/** Physical byte address in the unified memory space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a coherence agent (L2s, TCCs, DMA, directory). */
+using MachineId = std::int32_t;
+
+/** Sentinel machine id. */
+constexpr MachineId InvalidMachineId = -1;
+
+} // namespace hsc
+
+#endif // HSC_SIM_TYPES_HH

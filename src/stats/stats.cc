@@ -1,0 +1,107 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+void
+StatRegistry::addCounter(const std::string &name, Counter *c)
+{
+    auto [it, inserted] = counters.emplace(name, c);
+    panic_if(!inserted, "duplicate counter name %s", name.c_str());
+}
+
+void
+StatRegistry::addHistogram(const std::string &name, Histogram *h)
+{
+    auto [it, inserted] = histograms.emplace(name, h);
+    panic_if(!inserted, "duplicate histogram name %s", name.c_str());
+}
+
+std::uint64_t
+StatRegistry::counter(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second->value();
+}
+
+bool
+StatRegistry::hasCounter(const std::string &name) const
+{
+    return counters.count(name) != 0;
+}
+
+const Histogram *
+StatRegistry::histogram(const std::string &name) const
+{
+    auto it = histograms.find(name);
+    return it == histograms.end() ? nullptr : it->second;
+}
+
+std::uint64_t
+StatRegistry::sumCounters(const std::string &prefix) const
+{
+    std::uint64_t sum = 0;
+    for (auto it = counters.lower_bound(prefix);
+         it != counters.end() && it->first.compare(0, prefix.size(),
+                                                   prefix) == 0;
+         ++it) {
+        sum += it->second->value();
+    }
+    return sum;
+}
+
+std::uint64_t
+StatRegistry::sumMatching(const std::string &prefix,
+                          const std::string &suffix) const
+{
+    std::uint64_t sum = 0;
+    for (auto it = counters.lower_bound(prefix);
+         it != counters.end() && it->first.compare(0, prefix.size(),
+                                                   prefix) == 0;
+         ++it) {
+        const std::string &name = it->first;
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            sum += it->second->value();
+        }
+    }
+    return sum;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, c] : counters)
+        c->reset();
+    for (auto &[name, h] : histograms)
+        h->reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters)
+        os << name << ' ' << c->value() << '\n';
+    for (const auto &[name, h] : histograms) {
+        os << name << ".samples " << h->samples() << '\n';
+        os << name << ".mean " << h->mean() << '\n';
+        os << name << ".max " << h->max() << '\n';
+    }
+}
+
+std::vector<std::string>
+StatRegistry::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(counters.size());
+    for (const auto &[name, c] : counters)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace hsc

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A small named-statistics framework.
+ *
+ * Controllers register scalar counters and histograms with a
+ * StatRegistry owned by the system; benches and tests query them by
+ * hierarchical name ("dir.probesSent") and the registry can dump a
+ * formatted report, mirroring gem5's stats.txt.
+ */
+
+#ifndef HSC_STATS_STATS_HH
+#define HSC_STATS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hsc
+{
+
+/** A named monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++val; }
+    void operator++(int) { ++val; }
+    void operator+=(std::uint64_t n) { val += n; }
+
+    std::uint64_t value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** A fixed-bucket histogram with overflow bucket and running mean. */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width Width of each bucket in sample units.
+     * @param num_buckets Number of regular buckets before overflow.
+     */
+    explicit Histogram(std::uint64_t bucket_width = 16,
+                       std::size_t num_buckets = 32)
+        : width(bucket_width), buckets(num_buckets + 1, 0)
+    {}
+
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t idx = v / width;
+        if (idx >= buckets.size())
+            idx = buckets.size() - 1;
+        ++buckets[idx];
+        ++count;
+        total += v;
+        if (v > maxSample)
+            maxSample = v;
+    }
+
+    std::uint64_t samples() const { return count; }
+    std::uint64_t sum() const { return total; }
+    std::uint64_t max() const { return maxSample; }
+
+    double
+    mean() const
+    {
+        return count ? double(total) / double(count) : 0.0;
+    }
+
+    const std::vector<std::uint64_t> &raw() const { return buckets; }
+    std::uint64_t bucketWidth() const { return width; }
+
+    void
+    reset()
+    {
+        std::fill(buckets.begin(), buckets.end(), 0);
+        count = total = maxSample = 0;
+    }
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t total = 0;
+    std::uint64_t maxSample = 0;
+};
+
+/**
+ * Flat registry of named statistics.  Objects register pointers to
+ * counters/histograms they own; the registry does not own the stats.
+ */
+class StatRegistry
+{
+  public:
+    /** Register a counter under @p name; the name must be unique. */
+    void addCounter(const std::string &name, Counter *c);
+
+    /** Register a histogram under @p name; the name must be unique. */
+    void addHistogram(const std::string &name, Histogram *h);
+
+    /** Look up a counter value; returns 0 for unknown names. */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** True when @p name is a registered counter. */
+    bool hasCounter(const std::string &name) const;
+
+    /** Look up a registered histogram; nullptr when unknown. */
+    const Histogram *histogram(const std::string &name) const;
+
+    /**
+     * Sum of all counters whose name matches @p prefix followed by
+     * anything, e.g. sumCounters("corepair") adds all CorePairs' stats.
+     */
+    std::uint64_t sumCounters(const std::string &prefix) const;
+
+    /**
+     * Sum counters whose name starts with @p prefix and ends with
+     * @p suffix — aggregates one statistic across directory banks
+     * ("system.dir" + ".probesSent" matches both "system.dir.*" and
+     * "system.dir0.*").
+     */
+    std::uint64_t sumMatching(const std::string &prefix,
+                              const std::string &suffix) const;
+
+    /** Reset every registered statistic. */
+    void resetAll();
+
+    /** Dump "name value" lines sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** All registered counter names (sorted). */
+    std::vector<std::string> counterNames() const;
+
+  private:
+    std::map<std::string, Counter *> counters;
+    std::map<std::string, Histogram *> histograms;
+};
+
+} // namespace hsc
+
+#endif // HSC_STATS_STATS_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * bs — Bézier Surface (CHAI).
+ *
+ * Data-parallel collaboration: CPU threads and GPU workgroups tessellate
+ * disjoint halves of the output surface from a small read-shared set
+ * of control points.  Coherence activity is low (the paper notes the
+ * limited improvement on bs for exactly this reason): the only shared
+ * lines are the read-only control points.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+constexpr unsigned NumCtrl = 16;
+
+/** Integer surface function: out(i,j) = sum_k P[k] * w(i,j,k). */
+std::uint32_t
+surfacePoint(const std::uint32_t *ctrl, unsigned i, unsigned j,
+             unsigned width)
+{
+    std::uint32_t acc = 0;
+    for (unsigned k = 0; k < NumCtrl; ++k) {
+        std::uint32_t w = ((i * width + j) + k * 7) % 13 + 1;
+        acc += ctrl[k] * w;
+    }
+    return acc;
+}
+
+} // namespace
+
+struct BezierSurface::State
+{
+    unsigned width = 32;
+    unsigned height = 0;
+    Addr ctrl = 0;
+    Addr out = 0;
+    std::uint32_t ctrlHost[NumCtrl];
+    unsigned gpuRows = 0; ///< rows [0, gpuRows) on GPU, rest on CPU
+};
+
+void
+BezierSurface::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.height = 16 * params.scale;
+    s.gpuRows = s.height / 2;
+    s.ctrl = sys.alloc(NumCtrl * 4);
+    s.out = sys.alloc(std::uint64_t(s.width) * s.height * 4);
+
+    Rng rng(params.seed);
+    for (unsigned k = 0; k < NumCtrl; ++k) {
+        s.ctrlHost[k] = std::uint32_t(rng.next());
+        sys.writeWord<std::uint32_t>(s.ctrl + k * 4, s.ctrlHost[k]);
+    }
+
+    auto state = st;
+    unsigned wgs = params.gpuWorkgroups;
+
+    GpuKernel kernel;
+    kernel.name = "bs";
+    kernel.numWorkgroups = wgs;
+    kernel.body = [state, wgs](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        // The control points fit one block: one coalesced load.
+        auto ctrl = co_await wf.vload(s.ctrl, 4, 4);
+        for (unsigned row = wf.workgroupId(); row < s.gpuRows; row += wgs) {
+            for (unsigned j0 = 0; j0 < s.width; j0 += wf.laneCount()) {
+                std::vector<std::uint64_t> vals(wf.laneCount());
+                for (unsigned l = 0; l < wf.laneCount(); ++l) {
+                    std::uint32_t c[NumCtrl];
+                    for (unsigned k = 0; k < NumCtrl; ++k)
+                        c[k] = std::uint32_t(ctrl[k]);
+                    vals[l] = surfacePoint(c, row, j0 + l, s.width);
+                }
+                co_await wf.compute(8); // tessellation math
+                co_await wf.vstore(s.out + (Addr(row) * s.width + j0) * 4,
+                                   4, 4, vals);
+            }
+        }
+    };
+
+    unsigned n_threads = params.cpuThreads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+        sys.addCpuThread([state, t, n_threads, kernel](CpuCtx &cpu)
+                             -> SimTask {
+            const State &s = *state;
+            if (t == 0)
+                cpu.launchKernelAsync(kernel);
+            // Read the shared control points once (read-shared lines).
+            std::uint32_t c[NumCtrl];
+            for (unsigned k = 0; k < NumCtrl; ++k)
+                c[k] = std::uint32_t(co_await cpu.load(s.ctrl + k * 4, 4));
+            for (unsigned row = s.gpuRows + t; row < s.height;
+                 row += n_threads) {
+                for (unsigned j = 0; j < s.width; ++j) {
+                    std::uint32_t v = surfacePoint(c, row, j, s.width);
+                    co_await cpu.compute(1);
+                    co_await cpu.store(
+                        s.out + (Addr(row) * s.width + j) * 4, v, 4);
+                }
+            }
+            if (t == 0)
+                co_await cpu.waitKernels();
+        });
+    }
+}
+
+bool
+BezierSurface::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    for (unsigned i = 0; i < s.height; ++i) {
+        for (unsigned j = 0; j < s.width; ++j) {
+            std::uint32_t want = surfacePoint(s.ctrlHost, i, j, s.width);
+            std::uint64_t got =
+                coherentPeek(sys, s.out + (Addr(i) * s.width + j) * 4, 4);
+            if (got != want)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace hsc

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * cedd — Canny Edge Detection (CHAI).
+ *
+ * A four-stage per-frame pipeline split across devices: the GPU runs
+ * gaussian smoothing and gradient (stages 1-2) and releases each
+ * frame with a system-scope flag; CPU threads pick finished frames up
+ * and run non-maximum suppression and hysteresis thresholding
+ * (stages 3-4) on row slices.  Frames hand over through coherent
+ * flags — the producer/consumer pattern the paper's enhancements
+ * target.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+constexpr unsigned W = 32;
+constexpr unsigned H = 8;
+
+std::uint32_t
+stage1(const std::vector<std::uint32_t> &in, unsigned r, unsigned c)
+{
+    // Horizontal smoothing with clamped neighbours.
+    std::uint32_t left = in[r * W + (c == 0 ? 0 : c - 1)];
+    std::uint32_t mid = in[r * W + c];
+    std::uint32_t right = in[r * W + (c == W - 1 ? c : c + 1)];
+    return (left + 2 * mid + right) / 4;
+}
+
+std::uint32_t
+stage2(const std::vector<std::uint32_t> &s1, unsigned r, unsigned c)
+{
+    std::uint32_t left = s1[r * W + (c == 0 ? 0 : c - 1)];
+    std::uint32_t right = s1[r * W + (c == W - 1 ? c : c + 1)];
+    return left > right ? left - right : right - left;
+}
+
+std::uint32_t
+stage34(const std::vector<std::uint32_t> &s2, unsigned r, unsigned c)
+{
+    // Non-max suppression against horizontal neighbours, then
+    // hysteresis-style thresholding.
+    std::uint32_t left = s2[r * W + (c == 0 ? 0 : c - 1)];
+    std::uint32_t mid = s2[r * W + c];
+    std::uint32_t right = s2[r * W + (c == W - 1 ? c : c + 1)];
+    std::uint32_t kept = (mid >= left && mid >= right) ? mid : 0;
+    return kept >= 0x40000000u ? 255 : (kept >= 0x10000000u ? 128 : 0);
+}
+
+} // namespace
+
+struct CannyEdge::State
+{
+    unsigned frames = 0;
+    Addr in = 0;
+    Addr s1 = 0;
+    Addr s2 = 0;
+    Addr out = 0;
+    Addr flags = 0;      ///< per-frame: GPU stages done
+    std::vector<std::vector<std::uint32_t>> host;
+
+    Addr
+    pix(Addr base, unsigned f, unsigned r, unsigned c) const
+    {
+        return base + (Addr(f) * W * H + Addr(r) * W + c) * 4;
+    }
+};
+
+void
+CannyEdge::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.frames = 4 * params.scale;
+    std::uint64_t frame_bytes = std::uint64_t(W) * H * 4;
+    s.in = sys.alloc(s.frames * frame_bytes);
+    s.s1 = sys.alloc(s.frames * frame_bytes);
+    s.s2 = sys.alloc(s.frames * frame_bytes);
+    s.out = sys.alloc(s.frames * frame_bytes);
+    s.flags = sys.alloc(std::uint64_t(s.frames) * 4);
+
+    Rng rng(params.seed);
+    s.host.resize(s.frames);
+    for (unsigned f = 0; f < s.frames; ++f) {
+        s.host[f].resize(W * H);
+        for (unsigned i = 0; i < W * H; ++i) {
+            s.host[f][i] = std::uint32_t(rng.next());
+            sys.writeWord<std::uint32_t>(s.in + Addr(f) * frame_bytes +
+                                             Addr(i) * 4,
+                                         s.host[f][i]);
+        }
+    }
+
+    auto state = st;
+    unsigned wgs = params.gpuWorkgroups;
+
+    GpuKernel kernel;
+    kernel.name = "cedd";
+    kernel.numWorkgroups = wgs;
+    kernel.body = [state, wgs](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        for (unsigned f = wf.workgroupId(); f < s.frames; f += wgs) {
+            std::vector<std::uint32_t> in(W * H), t1(W * H);
+            for (unsigned r = 0; r < H; ++r) {
+                for (unsigned c0 = 0; c0 < W; c0 += wf.laneCount()) {
+                    auto vals =
+                        co_await wf.vload(s.pix(s.in, f, r, c0), 4, 4);
+                    for (unsigned l = 0; l < wf.laneCount(); ++l)
+                        in[r * W + c0 + l] = std::uint32_t(vals[l]);
+                }
+            }
+            // Stage 1 (gaussian) then stage 2 (gradient).
+            for (unsigned r = 0; r < H; ++r) {
+                std::vector<std::uint64_t> row(W);
+                for (unsigned c = 0; c < W; ++c) {
+                    t1[r * W + c] = stage1(in, r, c);
+                    row[c] = t1[r * W + c];
+                }
+                co_await wf.compute(6);
+                for (unsigned c0 = 0; c0 < W; c0 += wf.laneCount()) {
+                    std::vector<std::uint64_t> chunk(
+                        row.begin() + c0,
+                        row.begin() + c0 + wf.laneCount());
+                    co_await wf.vstore(s.pix(s.s1, f, r, c0), 4, 4,
+                                       chunk);
+                }
+            }
+            for (unsigned r = 0; r < H; ++r) {
+                std::vector<std::uint64_t> row(W);
+                for (unsigned c = 0; c < W; ++c)
+                    row[c] = stage2(t1, r, c);
+                co_await wf.compute(6);
+                for (unsigned c0 = 0; c0 < W; c0 += wf.laneCount()) {
+                    std::vector<std::uint64_t> chunk(
+                        row.begin() + c0,
+                        row.begin() + c0 + wf.laneCount());
+                    co_await wf.vstore(s.pix(s.s2, f, r, c0), 4, 4,
+                                       chunk);
+                }
+            }
+            // Release the frame to the CPU consumers.  The flag write
+            // must order after the pixel stores: drain them first.
+            co_await wf.release();
+            co_await wf.atomic(s.flags + f * 4, AtomicOp::Exch, 1, 0, 4,
+                               Scope::System);
+        }
+    };
+
+    unsigned n_threads = params.cpuThreads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+        sys.addCpuThread([state, t, n_threads,
+                          kernel](CpuCtx &cpu) -> SimTask {
+            const State &s = *state;
+            if (t == 0)
+                cpu.launchKernelAsync(kernel);
+            unsigned rows = H / 1;
+            for (unsigned f = 0; f < s.frames; ++f) {
+                // Wait for the GPU to release this frame.
+                while (co_await cpu.load(s.flags + f * 4, 4) == 0)
+                    co_await cpu.compute(80);
+                // Stages 3-4 on this thread's row slice.
+                std::vector<std::uint32_t> grad(W * H);
+                for (unsigned r = 0; r < rows; ++r) {
+                    for (unsigned c = 0; c < W; ++c) {
+                        grad[r * W + c] = std::uint32_t(co_await cpu.load(
+                            s.pix(s.s2, f, r, c), 4));
+                    }
+                }
+                for (unsigned r = t; r < rows; r += n_threads) {
+                    for (unsigned c = 0; c < W; ++c) {
+                        co_await cpu.compute(1);
+                        co_await cpu.store(s.pix(s.out, f, r, c),
+                                           stage34(grad, r, c), 4);
+                    }
+                }
+            }
+            if (t == 0)
+                co_await cpu.waitKernels();
+        });
+    }
+}
+
+bool
+CannyEdge::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    for (unsigned f = 0; f < s.frames; ++f) {
+        std::vector<std::uint32_t> t1(W * H), t2(W * H);
+        for (unsigned r = 0; r < H; ++r)
+            for (unsigned c = 0; c < W; ++c)
+                t1[r * W + c] = stage1(s.host[f], r, c);
+        for (unsigned r = 0; r < H; ++r)
+            for (unsigned c = 0; c < W; ++c)
+                t2[r * W + c] = stage2(t1, r, c);
+        for (unsigned r = 0; r < H; ++r) {
+            for (unsigned c = 0; c < W; ++c) {
+                if (coherentPeek(sys, s.pix(s.out, f, r, c), 4) !=
+                    stage34(t2, r, c)) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace hsc

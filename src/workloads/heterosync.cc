@@ -1,0 +1,282 @@
+/**
+ * @file
+ * HeteroSync-style GPU synchronisation microbenchmarks.
+ *
+ * The paper (§V, §VIII) also evaluated HeteroSync and found the
+ * coherence enhancements "not prominent due to their limited
+ * collaborative properties": these kernels synchronise GPU workgroups
+ * among themselves, with the CPU only launching.  They are included
+ * so `bench/heterosync_compare` can reproduce that benchmark-selection
+ * observation.
+ *
+ *  - hs_mutex: spin-lock (SLC CAS) protecting a shared accumulator;
+ *  - hs_barrier: sense-reversing centralised barrier over R rounds;
+ *  - hs_sema: producer/consumer workgroups over a semaphore-guarded
+ *    ring buffer.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace hsc
+{
+
+// --------------------------------------------------------------------
+// hs_mutex
+// --------------------------------------------------------------------
+
+struct HsMutex::State
+{
+    unsigned itersPerWg = 0;
+    unsigned wgs = 0;
+    Addr lock = 0;
+    Addr counter = 0;
+    Addr log = 0; ///< one slot per acquisition (ticket order)
+};
+
+void
+HsMutex::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.itersPerWg = 4 * params.scale;
+    s.wgs = params.gpuWorkgroups;
+    s.lock = sys.alloc(64);
+    s.counter = sys.alloc(64);
+    s.log = sys.alloc(std::uint64_t(s.wgs) * s.itersPerWg * 4);
+
+    auto state = st;
+    GpuKernel kernel;
+    kernel.name = "hs_mutex";
+    kernel.numWorkgroups = s.wgs;
+    kernel.body = [state](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        for (unsigned i = 0; i < s.itersPerWg; ++i) {
+            // Spin lock: CAS 0 -> 1 at system scope.
+            for (;;) {
+                std::uint64_t won = co_await wf.atomic(
+                    s.lock, AtomicOp::Cas, 0, 1, 4, Scope::System);
+                if (won == 0)
+                    break;
+                co_await wf.compute(20 + (wf.workgroupId() % 4) * 10);
+            }
+            // Critical section: bump the counter and log the ticket.
+            std::uint64_t ticket = co_await wf.load(s.counter, 4,
+                                                    Scope::System);
+            co_await wf.compute(8);
+            co_await wf.store(s.log + ticket * 4,
+                              wf.workgroupId() * 1000 + i, 4,
+                              Scope::System);
+            co_await wf.store(s.counter, ticket + 1, 4, Scope::System);
+            // Unlock.
+            co_await wf.atomic(s.lock, AtomicOp::Exch, 0, 0, 4,
+                               Scope::System);
+        }
+    };
+
+    sys.addCpuThread([state, kernel](CpuCtx &cpu) -> SimTask {
+        co_await cpu.launchKernel(kernel);
+    });
+}
+
+bool
+HsMutex::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    unsigned total = s.itersPerWg * s.wgs;
+    if (coherentPeek(sys, s.counter, 4) != total)
+        return false;
+    // Every (wg, iter) pair must appear exactly once in the log.
+    std::vector<bool> seen(std::size_t(s.wgs) * s.itersPerWg, false);
+    for (unsigned t = 0; t < total; ++t) {
+        std::uint64_t v = coherentPeek(sys, s.log + t * 4, 4);
+        unsigned wg = unsigned(v / 1000), it = unsigned(v % 1000);
+        if (wg >= s.wgs || it >= s.itersPerWg)
+            return false;
+        std::size_t idx = std::size_t(wg) * s.itersPerWg + it;
+        if (seen[idx])
+            return false;
+        seen[idx] = true;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// hs_barrier
+// --------------------------------------------------------------------
+
+struct HsBarrier::State
+{
+    unsigned rounds = 0;
+    unsigned wgs = 0;
+    Addr arrive = 0; ///< centralised arrival counter
+    Addr sense = 0;  ///< global sense (round number)
+    Addr slots = 0;  ///< per-wg slot, rewritten each round
+    Addr sums = 0;   ///< per-wg per-round neighbour sums
+};
+
+void
+HsBarrier::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.rounds = 3 * params.scale;
+    s.wgs = params.gpuWorkgroups;
+    s.arrive = sys.alloc(64);
+    s.sense = sys.alloc(64);
+    // One slot row per round: a fast workgroup must not overwrite a
+    // slot that slower readers of the previous round still need.
+    s.slots = sys.alloc(std::uint64_t(s.wgs) * s.rounds * 4);
+    s.sums = sys.alloc(std::uint64_t(s.wgs) * s.rounds * 4);
+
+    auto state = st;
+    unsigned wgs = s.wgs;
+    GpuKernel kernel;
+    kernel.name = "hs_barrier";
+    kernel.numWorkgroups = wgs;
+    kernel.body = [state, wgs](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        unsigned me = wf.workgroupId();
+        for (unsigned r = 0; r < s.rounds; ++r) {
+            co_await wf.store(s.slots + (Addr(r) * wgs + me) * 4,
+                              (r + 1) * 100 + me, 4, Scope::System);
+            // Centralised sense-reversing barrier.
+            std::uint64_t pos = co_await wf.atomic(
+                s.arrive, AtomicOp::Add, 1, 0, 4, Scope::System);
+            if (pos == wgs - 1) {
+                // Last arriver resets and releases the round.
+                co_await wf.store(s.arrive, 0, 4, Scope::System);
+                co_await wf.atomic(s.sense, AtomicOp::Add, 1, 0, 4,
+                                   Scope::System);
+            } else {
+                while (co_await wf.atomic(s.sense, AtomicOp::Load, 0, 0,
+                                          4, Scope::System) <= r) {
+                    co_await wf.compute(25);
+                }
+            }
+            // Read the neighbours' slots for this round.
+            std::uint64_t sum = 0;
+            for (unsigned w = 0; w < wgs; ++w)
+                sum += co_await wf.load(
+                    s.slots + (Addr(r) * wgs + w) * 4, 4, Scope::System);
+            co_await wf.store(s.sums + (Addr(me) * s.rounds + r) * 4,
+                              sum, 4, Scope::System);
+        }
+    };
+
+    sys.addCpuThread([state, kernel](CpuCtx &cpu) -> SimTask {
+        co_await cpu.launchKernel(kernel);
+    });
+}
+
+bool
+HsBarrier::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    for (unsigned r = 0; r < s.rounds; ++r) {
+        std::uint64_t want = 0;
+        for (unsigned w = 0; w < s.wgs; ++w)
+            want += (r + 1) * 100 + w;
+        for (unsigned me = 0; me < s.wgs; ++me) {
+            std::uint64_t got = coherentPeek(
+                sys, s.sums + (Addr(me) * s.rounds + r) * 4, 4);
+            if (got != want)
+                return false;
+        }
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// hs_sema
+// --------------------------------------------------------------------
+
+struct HsSemaphore::State
+{
+    unsigned items = 0;
+    unsigned ringSlots = 4;
+    Addr ring = 0;
+    Addr fullCount = 0;  ///< semaphore: produced, unconsumed items
+    Addr takeIdx = 0;    ///< consumer claim cursor
+    Addr consumedSum = 0;
+};
+
+void
+HsSemaphore::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.items = 8 * params.scale;
+    s.ring = sys.alloc(std::uint64_t(s.ringSlots) * 64);
+    s.fullCount = sys.alloc(64);
+    s.takeIdx = sys.alloc(64);
+    s.consumedSum = sys.alloc(64);
+
+    auto state = st;
+    unsigned wgs = std::max(2u, params.gpuWorkgroups);
+    GpuKernel kernel;
+    kernel.name = "hs_sema";
+    kernel.numWorkgroups = wgs;
+    kernel.body = [state, wgs](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        bool producer = wf.workgroupId() % 2 == 0;
+        unsigned peers = wgs / 2 + (wgs % 2 && producer ? 1 : 0);
+        unsigned mine = s.items / peers +
+                        (wf.workgroupId() / 2 < s.items % peers ? 1 : 0);
+        if (producer) {
+            for (unsigned i = 0; i < mine; ++i) {
+                // Wait for a free slot (bounded ring).
+                for (;;) {
+                    std::uint64_t full = co_await wf.atomic(
+                        s.fullCount, AtomicOp::Load, 0, 0, 4,
+                        Scope::System);
+                    if (full < s.ringSlots)
+                        break;
+                    co_await wf.compute(30);
+                }
+                std::uint64_t v = wf.workgroupId() * 100 + i + 1;
+                // Publish into a slot then post the semaphore.
+                std::uint64_t slot = co_await wf.atomic(
+                    s.takeIdx, AtomicOp::Add, 1, 0, 4, Scope::System);
+                co_await wf.store(s.ring + (slot % s.ringSlots) * 64, v,
+                                  4, Scope::System);
+                co_await wf.atomic(s.fullCount, AtomicOp::Add, 1, 0, 4,
+                                   Scope::System);
+            }
+        } else {
+            for (unsigned i = 0; i < mine; ++i) {
+                // Wait for an item, then consume it.
+                for (;;) {
+                    std::uint64_t full = co_await wf.atomic(
+                        s.fullCount, AtomicOp::Load, 0, 0, 4,
+                        Scope::System);
+                    if (full > 0) {
+                        std::uint64_t won = co_await wf.atomic(
+                            s.fullCount, AtomicOp::Cas, full, full - 1,
+                            4, Scope::System);
+                        if (won == full)
+                            break;
+                    }
+                    co_await wf.compute(30);
+                }
+                co_await wf.atomic(s.consumedSum, AtomicOp::Add, 1, 0, 8,
+                                   Scope::System);
+            }
+        }
+    };
+
+    sys.addCpuThread([state, kernel](CpuCtx &cpu) -> SimTask {
+        co_await cpu.launchKernel(kernel);
+    });
+}
+
+bool
+HsSemaphore::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    // Every item was produced exactly once and consumed exactly once.
+    return coherentPeek(sys, s.consumedSum, 8) == s.items &&
+           coherentPeek(sys, s.takeIdx, 4) == s.items &&
+           coherentPeek(sys, s.fullCount, 4) == 0;
+}
+
+} // namespace hsc

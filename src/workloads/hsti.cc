@@ -1,0 +1,101 @@
+/**
+ * @file
+ * hsti — Histogram, input partitioned (CHAI).
+ *
+ * CPU threads and GPU workgroups read disjoint slices of the input
+ * but atomically update one *shared* bin array, so the bin lines
+ * bounce between every L2 and the directory constantly — the
+ * heaviest invalidation traffic of the suite.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace hsc
+{
+
+namespace
+{
+constexpr unsigned NumBins = 32;
+} // namespace
+
+struct HistogramInput::State
+{
+    unsigned n = 0;
+    Addr input = 0;
+    Addr bins = 0;
+    std::vector<std::uint32_t> host;
+    unsigned cpuShare = 0; ///< first cpuShare elements on the CPU
+};
+
+void
+HistogramInput::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.n = 512 * params.scale;
+    s.cpuShare = s.n / 2;
+    s.input = sys.alloc(std::uint64_t(s.n) * 4);
+    s.bins = sys.alloc(NumBins * 4);
+
+    Rng rng(params.seed);
+    s.host.resize(s.n);
+    for (unsigned i = 0; i < s.n; ++i) {
+        s.host[i] = std::uint32_t(rng.below(NumBins));
+        sys.writeWord<std::uint32_t>(s.input + i * 4, s.host[i]);
+    }
+
+    auto state = st;
+    unsigned wgs = params.gpuWorkgroups;
+
+    GpuKernel kernel;
+    kernel.name = "hsti";
+    kernel.numWorkgroups = wgs;
+    kernel.body = [state, wgs](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        unsigned lanes = wf.laneCount();
+        unsigned gpu_elems = s.n - s.cpuShare;
+        for (unsigned base = wf.workgroupId() * lanes; base < gpu_elems;
+             base += wgs * lanes) {
+            Addr a = s.input + (s.cpuShare + base) * 4;
+            auto vals = co_await wf.vload(a, 4, 4);
+            unsigned count = std::min<unsigned>(lanes, gpu_elems - base);
+            for (unsigned l = 0; l < count; ++l) {
+                // Conflicting updates must be system-scope atomics.
+                co_await wf.atomic(s.bins + vals[l] * 4, AtomicOp::Add, 1,
+                                   0, 4, Scope::System);
+            }
+        }
+    };
+
+    unsigned n_threads = params.cpuThreads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+        sys.addCpuThread([state, t, n_threads,
+                          kernel](CpuCtx &cpu) -> SimTask {
+            const State &s = *state;
+            if (t == 0)
+                cpu.launchKernelAsync(kernel);
+            for (unsigned i = t; i < s.cpuShare; i += n_threads) {
+                std::uint64_t v = co_await cpu.load(s.input + i * 4, 4);
+                co_await cpu.atomic(s.bins + v * 4, AtomicOp::Add, 1, 0, 4);
+            }
+            if (t == 0)
+                co_await cpu.waitKernels();
+        });
+    }
+}
+
+bool
+HistogramInput::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    std::uint32_t want[NumBins] = {};
+    for (std::uint32_t v : s.host)
+        ++want[v];
+    for (unsigned b = 0; b < NumBins; ++b) {
+        if (coherentPeek(sys, s.bins + b * 4, 4) != want[b])
+            return false;
+    }
+    return true;
+}
+
+} // namespace hsc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * hsto — Histogram, output partitioned (CHAI).
+ *
+ * Each device owns half the bins and scans the *entire* input, so the
+ * input array is read-shared by every L2 and the TCC: lots of Shared
+ * grants and clean victims (the pattern §III-B1 discusses), with no
+ * bin contention across devices.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace hsc
+{
+
+namespace
+{
+constexpr unsigned NumBins = 32;
+constexpr unsigned CpuBins = NumBins / 2; ///< CPU owns [0, CpuBins)
+} // namespace
+
+struct HistogramOutput::State
+{
+    unsigned n = 0;
+    Addr input = 0;
+    Addr bins = 0;
+    std::vector<std::uint32_t> host;
+};
+
+void
+HistogramOutput::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.n = 512 * params.scale;
+    s.input = sys.alloc(std::uint64_t(s.n) * 4);
+    s.bins = sys.alloc(NumBins * 4);
+
+    Rng rng(params.seed);
+    s.host.resize(s.n);
+    for (unsigned i = 0; i < s.n; ++i) {
+        s.host[i] = std::uint32_t(rng.below(NumBins));
+        sys.writeWord<std::uint32_t>(s.input + i * 4, s.host[i]);
+    }
+
+    auto state = st;
+    unsigned wgs = params.gpuWorkgroups;
+
+    GpuKernel kernel;
+    kernel.name = "hsto";
+    kernel.numWorkgroups = wgs;
+    kernel.body = [state, wgs](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        unsigned lanes = wf.laneCount();
+        // Accumulate privately over a slice of the whole input, then
+        // merge into the GPU-owned bins with device... the bins are
+        // GPU-exclusive but shared across workgroups: system-scope
+        // atomics keep the merge correct and visible to the host.
+        std::uint32_t local[NumBins] = {};
+        for (unsigned base = wf.workgroupId() * lanes; base < s.n;
+             base += wgs * lanes) {
+            auto vals = co_await wf.vload(s.input + base * 4, 4, 4);
+            unsigned count = std::min<unsigned>(lanes, s.n - base);
+            for (unsigned l = 0; l < count; ++l) {
+                if (vals[l] >= CpuBins)
+                    ++local[vals[l]];
+            }
+            co_await wf.compute(4);
+        }
+        for (unsigned b = CpuBins; b < NumBins; ++b) {
+            if (local[b]) {
+                co_await wf.atomic(s.bins + b * 4, AtomicOp::Add,
+                                   local[b], 0, 4, Scope::System);
+            }
+        }
+    };
+
+    unsigned n_threads = params.cpuThreads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+        sys.addCpuThread([state, t, n_threads,
+                          kernel](CpuCtx &cpu) -> SimTask {
+            const State &s = *state;
+            if (t == 0)
+                cpu.launchKernelAsync(kernel);
+            std::uint32_t local[CpuBins] = {};
+            for (unsigned i = t; i < s.n; i += n_threads) {
+                std::uint64_t v = co_await cpu.load(s.input + i * 4, 4);
+                if (v < CpuBins)
+                    ++local[v];
+            }
+            for (unsigned b = 0; b < CpuBins; ++b) {
+                if (local[b])
+                    co_await cpu.atomic(s.bins + b * 4, AtomicOp::Add,
+                                        local[b], 0, 4);
+            }
+            if (t == 0)
+                co_await cpu.waitKernels();
+        });
+    }
+}
+
+bool
+HistogramOutput::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    std::uint32_t want[NumBins] = {};
+    for (std::uint32_t v : s.host)
+        ++want[v];
+    for (unsigned b = 0; b < NumBins; ++b) {
+        if (coherentPeek(sys, s.bins + b * 4, 4) != want[b])
+            return false;
+    }
+    return true;
+}
+
+} // namespace hsc

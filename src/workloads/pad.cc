@@ -1,0 +1,168 @@
+/**
+ * @file
+ * pad — in-place matrix padding (CHAI).
+ *
+ * Rows of an R×C matrix are expanded in place to C+P columns.  CPU
+ * threads and GPU workgroups claim rows *descending* through a shared
+ * system-scope counter (dynamic partitioning) and synchronise with
+ * per-row "source read" flags: a row's destination overlaps the
+ * sources of higher rows, so the writer waits until those rows have
+ * been read — CHAI's fine-grained non-ordering-flag pattern.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace hsc
+{
+
+namespace
+{
+constexpr unsigned PadCols = 8;
+} // namespace
+
+struct Padding::State
+{
+    unsigned rows = 0;
+    unsigned cols = 0;
+    Addr buf = 0;       ///< R*(C+PadCols) u32s
+    Addr counter = 0;   ///< descending row claims
+    Addr readFlags = 0; ///< one u32 per row: source captured
+    std::vector<std::uint32_t> host;
+
+    unsigned newCols() const { return cols + PadCols; }
+
+    /** Highest row whose source overlaps row @p r's destination. */
+    unsigned
+    lastOverlappingRow(unsigned r) const
+    {
+        Addr dest_end = Addr(r) * newCols() + newCols();
+        unsigned row = unsigned((dest_end - 1) / cols);
+        return std::min(row, rows - 1);
+    }
+};
+
+void
+Padding::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.rows = 16 * params.scale;
+    s.cols = 24;
+    s.buf = sys.alloc(std::uint64_t(s.rows) * s.newCols() * 4);
+    s.counter = sys.alloc(64);
+    s.readFlags = sys.alloc(std::uint64_t(s.rows) * 4);
+
+    Rng rng(params.seed);
+    s.host.resize(std::uint64_t(s.rows) * s.cols);
+    for (unsigned i = 0; i < s.host.size(); ++i) {
+        s.host[i] = std::uint32_t(rng.next()) | 1;
+        sys.writeWord<std::uint32_t>(s.buf + Addr(i) * 4, s.host[i]);
+    }
+
+    auto state = st;
+    unsigned wgs = params.gpuWorkgroups;
+
+    GpuKernel kernel;
+    kernel.name = "pad";
+    kernel.numWorkgroups = wgs;
+    kernel.body = [state](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        for (;;) {
+            std::uint64_t idx = co_await wf.atomic(
+                s.counter, AtomicOp::Add, 1, 0, 4, Scope::System);
+            if (idx >= s.rows)
+                break;
+            unsigned r = s.rows - 1 - unsigned(idx);
+            // Capture the source row.
+            std::vector<std::uint64_t> vals;
+            for (unsigned c0 = 0; c0 < s.cols; c0 += wf.laneCount()) {
+                auto part = co_await wf.vload(
+                    s.buf + (Addr(r) * s.cols + c0) * 4, 4, 4);
+                unsigned count =
+                    std::min<unsigned>(wf.laneCount(), s.cols - c0);
+                vals.insert(vals.end(), part.begin(),
+                            part.begin() + count);
+            }
+            co_await wf.atomic(s.readFlags + r * 4, AtomicOp::Exch, 1, 0,
+                               4, Scope::System);
+            // Wait for every higher row whose source we are about to
+            // overwrite.
+            for (unsigned h = r + 1; h <= s.lastOverlappingRow(r); ++h) {
+                while (co_await wf.atomic(s.readFlags + h * 4,
+                                          AtomicOp::Load, 0, 0, 4,
+                                          Scope::System) == 0) {
+                    co_await wf.compute(30);
+                }
+            }
+            vals.resize(s.newCols(), 0); // the padding
+            for (unsigned c0 = 0; c0 < s.newCols();
+                 c0 += wf.laneCount()) {
+                unsigned count =
+                    std::min<unsigned>(wf.laneCount(), s.newCols() - c0);
+                std::vector<std::uint64_t> chunk(
+                    vals.begin() + c0, vals.begin() + c0 + count);
+                // System scope: the destination may be read by CPU
+                // rows below us before the kernel ends.
+                for (unsigned k = 0; k < count; ++k) {
+                    co_await wf.store(
+                        s.buf + (Addr(r) * s.newCols() + c0 + k) * 4,
+                        chunk[k], 4, Scope::System);
+                }
+            }
+        }
+    };
+
+    unsigned n_threads = params.cpuThreads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+        sys.addCpuThread([state, t, kernel](CpuCtx &cpu) -> SimTask {
+            const State &s = *state;
+            if (t == 0)
+                cpu.launchKernelAsync(kernel);
+            for (;;) {
+                std::uint64_t idx =
+                    co_await cpu.atomic(s.counter, AtomicOp::Add, 1, 0, 4);
+                if (idx >= s.rows)
+                    break;
+                unsigned r = s.rows - 1 - unsigned(idx);
+                std::vector<std::uint32_t> vals(s.newCols(), 0);
+                for (unsigned c = 0; c < s.cols; ++c) {
+                    vals[c] = std::uint32_t(co_await cpu.load(
+                        s.buf + (Addr(r) * s.cols + c) * 4, 4));
+                }
+                co_await cpu.store(s.readFlags + r * 4, 1, 4);
+                for (unsigned h = r + 1; h <= s.lastOverlappingRow(r);
+                     ++h) {
+                    while (co_await cpu.load(s.readFlags + h * 4, 4) == 0)
+                        co_await cpu.compute(40);
+                }
+                for (unsigned c = 0; c < s.newCols(); ++c) {
+                    co_await cpu.store(
+                        s.buf + (Addr(r) * s.newCols() + c) * 4, vals[c],
+                        4);
+                }
+            }
+            if (t == 0)
+                co_await cpu.waitKernels();
+        });
+    }
+}
+
+bool
+Padding::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    for (unsigned r = 0; r < s.rows; ++r) {
+        for (unsigned c = 0; c < s.newCols(); ++c) {
+            std::uint32_t want =
+                c < s.cols ? s.host[std::size_t(r) * s.cols + c] : 0;
+            if (coherentPeek(sys,
+                             s.buf + (Addr(r) * s.newCols() + c) * 4,
+                             4) != want) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace hsc

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * rscd — RANSAC, data partitioned (CHAI).
+ *
+ * Every iteration a master CPU thread fits a line model from two
+ * sample points and publishes it with a flag; CPU worker threads and
+ * GPU workgroups then count inliers over disjoint point slices into a
+ * shared per-iteration atomic counter, and the master collects the
+ * convergence barrier before moving on — lockstep flag/barrier
+ * collaboration on shared state.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+/** Integer inlier predicate shared by the agents and the oracle. */
+bool
+isInlier(std::uint32_t x, std::uint32_t y, std::uint32_t dx,
+         std::uint32_t dy, std::uint32_t c)
+{
+    std::uint32_t v = dy * x - dx * y + c;
+    return (v & 0xFF) < 0x40;
+}
+
+} // namespace
+
+struct RansacData::State
+{
+    unsigned n = 0;
+    unsigned iters = 0;
+    unsigned numWorkers = 0; ///< CPU workers + GPU workgroups
+    Addr px = 0;
+    Addr py = 0;
+    Addr model = 0;      ///< dx, dy, c (u32 each)
+    Addr modelReady = 0; ///< iteration publication flag
+    Addr inliers = 0;    ///< per-iteration shared counter
+    Addr workerDone = 0; ///< per-iteration barrier counter
+    Addr best = 0;       ///< packed (count << 8 | iter)
+    std::vector<std::uint32_t> hx, hy;
+};
+
+void
+RansacData::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.n = 256 * params.scale;
+    s.iters = 8;
+    s.numWorkers = (params.cpuThreads - 1) + params.gpuWorkgroups;
+    s.px = sys.alloc(std::uint64_t(s.n) * 4);
+    s.py = sys.alloc(std::uint64_t(s.n) * 4);
+    s.model = sys.alloc(64);
+    s.modelReady = sys.alloc(64);
+    s.inliers = sys.alloc(std::uint64_t(s.iters) * 4);
+    s.workerDone = sys.alloc(std::uint64_t(s.iters) * 4);
+    s.best = sys.alloc(64);
+
+    Rng rng(params.seed);
+    s.hx.resize(s.n);
+    s.hy.resize(s.n);
+    for (unsigned i = 0; i < s.n; ++i) {
+        s.hx[i] = std::uint32_t(rng.below(1024));
+        s.hy[i] = std::uint32_t(rng.below(1024));
+        sys.writeWord<std::uint32_t>(s.px + i * 4, s.hx[i]);
+        sys.writeWord<std::uint32_t>(s.py + i * 4, s.hy[i]);
+    }
+
+    auto state = st;
+    unsigned wgs = params.gpuWorkgroups;
+    unsigned cpu_workers = params.cpuThreads - 1;
+
+    GpuKernel kernel;
+    kernel.name = "rscd";
+    kernel.numWorkgroups = wgs;
+    kernel.body = [state, wgs, cpu_workers](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        unsigned lanes = wf.laneCount();
+        // GPU workgroups take the upper half of the points.
+        unsigned begin = s.n / 2;
+        for (unsigned it = 0; it < s.iters; ++it) {
+            while (co_await wf.atomic(s.modelReady, AtomicOp::Load, 0, 0,
+                                      4, Scope::System) < it + 1) {
+                co_await wf.compute(40);
+            }
+            std::uint32_t dx = std::uint32_t(co_await wf.load(
+                s.model + 0, 4, Scope::System));
+            std::uint32_t dy = std::uint32_t(co_await wf.load(
+                s.model + 4, 4, Scope::System));
+            std::uint32_t cc = std::uint32_t(co_await wf.load(
+                s.model + 8, 4, Scope::System));
+            unsigned count = 0;
+            for (unsigned base = begin + wf.workgroupId() * lanes;
+                 base < s.n; base += wgs * lanes) {
+                auto xs = co_await wf.vload(s.px + Addr(base) * 4, 4, 4);
+                auto ys = co_await wf.vload(s.py + Addr(base) * 4, 4, 4);
+                unsigned m = std::min<unsigned>(lanes, s.n - base);
+                for (unsigned l = 0; l < m; ++l) {
+                    if (isInlier(std::uint32_t(xs[l]),
+                                 std::uint32_t(ys[l]), dx, dy, cc))
+                        ++count;
+                }
+                co_await wf.compute(4);
+            }
+            if (count) {
+                co_await wf.atomic(s.inliers + it * 4, AtomicOp::Add,
+                                   count, 0, 4, Scope::System);
+            }
+            co_await wf.atomic(s.workerDone + it * 4, AtomicOp::Add, 1, 0,
+                               4, Scope::System);
+        }
+        (void)cpu_workers;
+    };
+
+    // Master thread: fits and publishes models, collects barriers.
+    sys.addCpuThread([state, kernel](CpuCtx &cpu) -> SimTask {
+        const State &s = *state;
+        cpu.launchKernelAsync(kernel);
+        for (unsigned it = 0; it < s.iters; ++it) {
+            unsigned ia = (it * 37) % s.n;
+            unsigned ib = (it * 53 + 11) % s.n;
+            std::uint32_t xa =
+                std::uint32_t(co_await cpu.load(s.px + ia * 4, 4));
+            std::uint32_t ya =
+                std::uint32_t(co_await cpu.load(s.py + ia * 4, 4));
+            std::uint32_t xb =
+                std::uint32_t(co_await cpu.load(s.px + ib * 4, 4));
+            std::uint32_t yb =
+                std::uint32_t(co_await cpu.load(s.py + ib * 4, 4));
+            co_await cpu.store(s.model + 0, xb - xa, 4);
+            co_await cpu.store(s.model + 4, yb - ya, 4);
+            co_await cpu.store(s.model + 8, (yb - ya) * xa - (xb - xa) * ya,
+                               4);
+            co_await cpu.store(s.modelReady, it + 1, 4);
+            // Barrier: every worker checked in.
+            while (co_await cpu.load(s.workerDone + it * 4, 4) <
+                   s.numWorkers) {
+                co_await cpu.compute(60);
+            }
+            std::uint64_t count =
+                co_await cpu.load(s.inliers + it * 4, 4);
+            co_await cpu.atomic(s.best, AtomicOp::Max,
+                                (count << 8) | it, 0, 8);
+        }
+        co_await cpu.waitKernels();
+    });
+
+    for (unsigned t = 0; t < cpu_workers; ++t) {
+        sys.addCpuThread([state, t, cpu_workers](CpuCtx &cpu) -> SimTask {
+            const State &s = *state;
+            unsigned end = s.n / 2; // CPU workers take the lower half
+            for (unsigned it = 0; it < s.iters; ++it) {
+                while (co_await cpu.load(s.modelReady, 4) < it + 1)
+                    co_await cpu.compute(60);
+                std::uint32_t dx =
+                    std::uint32_t(co_await cpu.load(s.model + 0, 4));
+                std::uint32_t dy =
+                    std::uint32_t(co_await cpu.load(s.model + 4, 4));
+                std::uint32_t cc =
+                    std::uint32_t(co_await cpu.load(s.model + 8, 4));
+                unsigned count = 0;
+                for (unsigned i = t; i < end; i += cpu_workers) {
+                    std::uint32_t x =
+                        std::uint32_t(co_await cpu.load(s.px + i * 4, 4));
+                    std::uint32_t y =
+                        std::uint32_t(co_await cpu.load(s.py + i * 4, 4));
+                    if (isInlier(x, y, dx, dy, cc))
+                        ++count;
+                }
+                if (count) {
+                    co_await cpu.atomic(s.inliers + it * 4, AtomicOp::Add,
+                                        count, 0, 4);
+                }
+                co_await cpu.atomic(s.workerDone + it * 4, AtomicOp::Add,
+                                    1, 0, 4);
+            }
+        });
+    }
+}
+
+bool
+RansacData::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    std::uint64_t want_best = 0;
+    for (unsigned it = 0; it < s.iters; ++it) {
+        unsigned ia = (it * 37) % s.n;
+        unsigned ib = (it * 53 + 11) % s.n;
+        std::uint32_t dx = s.hx[ib] - s.hx[ia];
+        std::uint32_t dy = s.hy[ib] - s.hy[ia];
+        std::uint32_t cc = dy * s.hx[ia] - dx * s.hy[ia];
+        std::uint64_t count = 0;
+        for (unsigned i = 0; i < s.n; ++i)
+            count += isInlier(s.hx[i], s.hy[i], dx, dy, cc);
+        if (coherentPeek(sys, s.inliers + it * 4, 4) != count)
+            return false;
+        want_best = std::max(want_best, (count << 8) | it);
+    }
+    return coherentPeek(sys, s.best, 8) == want_best;
+}
+
+} // namespace hsc

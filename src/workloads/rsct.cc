@@ -1,0 +1,182 @@
+/**
+ * @file
+ * rsct — RANSAC, task partitioned (CHAI).
+ *
+ * Whole iterations are claimed dynamically by CPU threads and GPU
+ * workgroups from a shared counter; each agent fits its model and
+ * scans the entire (read-shared) point set, then folds its result
+ * into a global best with an atomic max — coarse-grained task
+ * parallelism over shared read-only data.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+bool
+isInlier(std::uint32_t x, std::uint32_t y, std::uint32_t dx,
+         std::uint32_t dy, std::uint32_t c)
+{
+    std::uint32_t v = dy * x - dx * y + c;
+    return (v & 0xFF) < 0x40;
+}
+
+struct Model
+{
+    std::uint32_t dx, dy, c;
+};
+
+Model
+modelFor(unsigned it, const std::vector<std::uint32_t> &hx,
+         const std::vector<std::uint32_t> &hy)
+{
+    unsigned n = unsigned(hx.size());
+    unsigned ia = (it * 29 + 3) % n;
+    unsigned ib = (it * 41 + 17) % n;
+    Model m;
+    m.dx = hx[ib] - hx[ia];
+    m.dy = hy[ib] - hy[ia];
+    m.c = m.dy * hx[ia] - m.dx * hy[ia];
+    return m;
+}
+
+} // namespace
+
+struct RansacTask::State
+{
+    unsigned n = 0;
+    unsigned iters = 0;
+    Addr px = 0;
+    Addr py = 0;
+    Addr iterCounter = 0;
+    Addr best = 0; ///< packed (count << 8 | iter), atomic max
+    std::vector<std::uint32_t> hx, hy;
+};
+
+void
+RansacTask::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.n = 128 * params.scale;
+    s.iters = 24;
+    s.px = sys.alloc(std::uint64_t(s.n) * 4);
+    s.py = sys.alloc(std::uint64_t(s.n) * 4);
+    s.iterCounter = sys.alloc(64);
+    s.best = sys.alloc(64);
+
+    Rng rng(params.seed);
+    s.hx.resize(s.n);
+    s.hy.resize(s.n);
+    for (unsigned i = 0; i < s.n; ++i) {
+        s.hx[i] = std::uint32_t(rng.below(1024));
+        s.hy[i] = std::uint32_t(rng.below(1024));
+        sys.writeWord<std::uint32_t>(s.px + i * 4, s.hx[i]);
+        sys.writeWord<std::uint32_t>(s.py + i * 4, s.hy[i]);
+    }
+
+    auto state = st;
+
+    GpuKernel kernel;
+    kernel.name = "rsct";
+    kernel.numWorkgroups = params.gpuWorkgroups;
+    kernel.body = [state](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        unsigned lanes = wf.laneCount();
+        for (;;) {
+            std::uint64_t it = co_await wf.atomic(
+                s.iterCounter, AtomicOp::Add, 1, 0, 4, Scope::System);
+            if (it >= s.iters)
+                break;
+            unsigned n = s.n;
+            unsigned ia = (unsigned(it) * 29 + 3) % n;
+            unsigned ib = (unsigned(it) * 41 + 17) % n;
+            std::uint32_t xa = std::uint32_t(
+                co_await wf.load(s.px + ia * 4, 4, Scope::Device));
+            std::uint32_t ya = std::uint32_t(
+                co_await wf.load(s.py + ia * 4, 4, Scope::Device));
+            std::uint32_t xb = std::uint32_t(
+                co_await wf.load(s.px + ib * 4, 4, Scope::Device));
+            std::uint32_t yb = std::uint32_t(
+                co_await wf.load(s.py + ib * 4, 4, Scope::Device));
+            std::uint32_t dx = xb - xa, dy = yb - ya;
+            std::uint32_t cc = dy * xa - dx * ya;
+            std::uint64_t count = 0;
+            for (unsigned base = 0; base < s.n; base += lanes) {
+                auto xs = co_await wf.vload(s.px + Addr(base) * 4, 4, 4);
+                auto ys = co_await wf.vload(s.py + Addr(base) * 4, 4, 4);
+                unsigned m = std::min<unsigned>(lanes, s.n - base);
+                for (unsigned l = 0; l < m; ++l) {
+                    if (isInlier(std::uint32_t(xs[l]),
+                                 std::uint32_t(ys[l]), dx, dy, cc))
+                        ++count;
+                }
+                co_await wf.compute(4);
+            }
+            co_await wf.atomic(s.best, AtomicOp::Max, (count << 8) | it,
+                               0, 8, Scope::System);
+        }
+    };
+
+    unsigned n_threads = params.cpuThreads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+        sys.addCpuThread([state, t, kernel](CpuCtx &cpu) -> SimTask {
+            const State &s = *state;
+            if (t == 0)
+                cpu.launchKernelAsync(kernel);
+            for (;;) {
+                std::uint64_t it = co_await cpu.atomic(
+                    s.iterCounter, AtomicOp::Add, 1, 0, 4);
+                if (it >= s.iters)
+                    break;
+                unsigned n = s.n;
+                unsigned ia = (unsigned(it) * 29 + 3) % n;
+                unsigned ib = (unsigned(it) * 41 + 17) % n;
+                std::uint32_t xa =
+                    std::uint32_t(co_await cpu.load(s.px + ia * 4, 4));
+                std::uint32_t ya =
+                    std::uint32_t(co_await cpu.load(s.py + ia * 4, 4));
+                std::uint32_t xb =
+                    std::uint32_t(co_await cpu.load(s.px + ib * 4, 4));
+                std::uint32_t yb =
+                    std::uint32_t(co_await cpu.load(s.py + ib * 4, 4));
+                std::uint32_t dx = xb - xa, dy = yb - ya;
+                std::uint32_t cc = dy * xa - dx * ya;
+                std::uint64_t count = 0;
+                for (unsigned i = 0; i < s.n; ++i) {
+                    std::uint32_t x =
+                        std::uint32_t(co_await cpu.load(s.px + i * 4, 4));
+                    std::uint32_t y =
+                        std::uint32_t(co_await cpu.load(s.py + i * 4, 4));
+                    if (isInlier(x, y, dx, dy, cc))
+                        ++count;
+                }
+                co_await cpu.atomic(s.best, AtomicOp::Max,
+                                    (count << 8) | it, 0, 8);
+            }
+            if (t == 0)
+                co_await cpu.waitKernels();
+        });
+    }
+}
+
+bool
+RansacTask::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    std::uint64_t want = 0;
+    for (unsigned it = 0; it < s.iters; ++it) {
+        Model m = modelFor(it, s.hx, s.hy);
+        std::uint64_t count = 0;
+        for (unsigned i = 0; i < s.n; ++i)
+            count += isInlier(s.hx[i], s.hy[i], m.dx, m.dy, m.c);
+        want = std::max(want, (count << 8) | it);
+    }
+    return coherentPeek(sys, s.best, 8) == want;
+}
+
+} // namespace hsc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * sc — Stream Compaction (CHAI).
+ *
+ * CPU threads and GPU workgroups claim input chunks through a shared
+ * system-scope counter, filter out the removed sentinel, reserve
+ * output space with an atomic fetch-add on the output cursor, and
+ * write their surviving elements — CHAI's dynamic-partitioning plus
+ * atomic-reservation pattern.
+ */
+
+#include "workloads/workload_impl.hh"
+
+#include <algorithm>
+
+namespace hsc
+{
+
+namespace
+{
+constexpr std::uint32_t Removed = 0xDEADDEAD;
+constexpr unsigned ChunkElems = 16;
+} // namespace
+
+struct StreamCompaction::State
+{
+    unsigned n = 0;
+    Addr input = 0;
+    Addr output = 0;
+    Addr chunkCounter = 0;
+    Addr outCursor = 0;
+    std::vector<std::uint32_t> host;
+};
+
+void
+StreamCompaction::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.n = 512 * params.scale;
+    s.input = sys.alloc(std::uint64_t(s.n) * 4);
+    s.output = sys.alloc(std::uint64_t(s.n) * 4);
+    s.chunkCounter = sys.alloc(64);
+    s.outCursor = sys.alloc(64);
+
+    Rng rng(params.seed);
+    s.host.resize(s.n);
+    for (unsigned i = 0; i < s.n; ++i) {
+        s.host[i] = rng.chance(35) ? Removed
+                                   : (std::uint32_t(rng.next()) | 1);
+        sys.writeWord<std::uint32_t>(s.input + i * 4, s.host[i]);
+    }
+
+    auto state = st;
+
+    GpuKernel kernel;
+    kernel.name = "sc";
+    kernel.numWorkgroups = params.gpuWorkgroups;
+    kernel.body = [state](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        unsigned chunks = s.n / ChunkElems;
+        for (;;) {
+            std::uint64_t c = co_await wf.atomic(
+                s.chunkCounter, AtomicOp::Add, 1, 0, 4, Scope::System);
+            if (c >= chunks)
+                break;
+            auto vals = co_await wf.vload(
+                s.input + Addr(c) * ChunkElems * 4, 4, 4);
+            std::vector<std::uint64_t> kept;
+            for (auto v : vals) {
+                if (std::uint32_t(v) != Removed)
+                    kept.push_back(v);
+            }
+            if (kept.empty())
+                continue;
+            std::uint64_t off = co_await wf.atomic(
+                s.outCursor, AtomicOp::Add, kept.size(), 0, 4,
+                Scope::System);
+            for (unsigned k = 0; k < kept.size(); ++k) {
+                co_await wf.store(s.output + (off + k) * 4, kept[k], 4,
+                                  Scope::System);
+            }
+        }
+    };
+
+    unsigned n_threads = params.cpuThreads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+        sys.addCpuThread([state, t, kernel](CpuCtx &cpu) -> SimTask {
+            const State &s = *state;
+            if (t == 0)
+                cpu.launchKernelAsync(kernel);
+            unsigned chunks = s.n / ChunkElems;
+            for (;;) {
+                std::uint64_t c = co_await cpu.atomic(
+                    s.chunkCounter, AtomicOp::Add, 1, 0, 4);
+                if (c >= chunks)
+                    break;
+                std::vector<std::uint32_t> kept;
+                for (unsigned i = 0; i < ChunkElems; ++i) {
+                    std::uint64_t v = co_await cpu.load(
+                        s.input + (Addr(c) * ChunkElems + i) * 4, 4);
+                    if (std::uint32_t(v) != Removed)
+                        kept.push_back(std::uint32_t(v));
+                }
+                if (kept.empty())
+                    continue;
+                std::uint64_t off = co_await cpu.atomic(
+                    s.outCursor, AtomicOp::Add, kept.size(), 0, 4);
+                for (unsigned k = 0; k < kept.size(); ++k) {
+                    co_await cpu.store(s.output + (off + k) * 4, kept[k],
+                                       4);
+                }
+            }
+            if (t == 0)
+                co_await cpu.waitKernels();
+        });
+    }
+}
+
+bool
+StreamCompaction::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    std::vector<std::uint32_t> want;
+    for (std::uint32_t v : s.host) {
+        if (v != Removed)
+            want.push_back(v);
+    }
+    std::uint64_t count = coherentPeek(sys, s.outCursor, 4);
+    if (count != want.size())
+        return false;
+    std::vector<std::uint32_t> got;
+    for (unsigned i = 0; i < count; ++i)
+        got.push_back(
+            std::uint32_t(coherentPeek(sys, s.output + Addr(i) * 4, 4)));
+    // Compaction is unordered: compare as multisets.
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    return got == want;
+}
+
+} // namespace hsc

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * tq — Task Queue System (CHAI).
+ *
+ * CPU producer threads enqueue task descriptors into unpaired work
+ * queues (per-queue tail counters released with plain stores after
+ * the payload); GPU workgroups poll the queues with system-scope
+ * atomics, claim tasks with CAS on the head pointer, and process
+ * them.  This is the suite's finest-grained CPU->GPU synchronisation.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace hsc
+{
+
+namespace
+{
+constexpr unsigned NumQueues = 2;
+constexpr unsigned TaskElems = 16; ///< each task sums 16 u32s
+} // namespace
+
+struct TaskQueue::State
+{
+    unsigned tasksPerQueue = 0;
+    unsigned totalTasks = 0;
+    Addr desc = 0;    ///< task descriptors (data index per task)
+    Addr data = 0;    ///< task payload
+    Addr results = 0; ///< one u32 per task
+    Addr heads = 0;   ///< per-queue consumer cursor (own block each)
+    Addr tails = 0;   ///< per-queue producer cursor (own block each)
+    std::vector<std::uint32_t> host;
+
+    Addr
+    descAddr(unsigned q, unsigned slot) const
+    {
+        return desc + (Addr(q) * tasksPerQueue + slot) * 4;
+    }
+};
+
+void
+TaskQueue::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.tasksPerQueue = 16 * params.scale;
+    s.totalTasks = NumQueues * s.tasksPerQueue;
+    s.desc = sys.alloc(std::uint64_t(s.totalTasks) * 4);
+    s.data = sys.alloc(std::uint64_t(s.totalTasks) * TaskElems * 4);
+    s.results = sys.alloc(std::uint64_t(s.totalTasks) * 4);
+    s.heads = sys.alloc(NumQueues * 64);
+    s.tails = sys.alloc(NumQueues * 64);
+
+    Rng rng(params.seed);
+    s.host.resize(std::uint64_t(s.totalTasks) * TaskElems);
+    for (unsigned i = 0; i < s.host.size(); ++i) {
+        s.host[i] = std::uint32_t(rng.next());
+        sys.writeWord<std::uint32_t>(s.data + Addr(i) * 4, s.host[i]);
+    }
+
+    auto state = st;
+
+    GpuKernel kernel;
+    kernel.name = "tq";
+    kernel.numWorkgroups = params.gpuWorkgroups;
+    kernel.body = [state](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        unsigned q = wf.workgroupId() % NumQueues;
+        unsigned idle_sweeps = 0;
+        for (;;) {
+            Addr head_addr = s.heads + Addr(q) * 64;
+            Addr tail_addr = s.tails + Addr(q) * 64;
+            std::uint64_t head = co_await wf.atomic(
+                head_addr, AtomicOp::Load, 0, 0, 4, Scope::System);
+            if (head >= s.tasksPerQueue) {
+                // This queue is drained; rotate, and stop once every
+                // queue has been seen drained.
+                if (++idle_sweeps >= NumQueues)
+                    break;
+                q = (q + 1) % NumQueues;
+                continue;
+            }
+            std::uint64_t tail = co_await wf.atomic(
+                tail_addr, AtomicOp::Load, 0, 0, 4, Scope::System);
+            if (head >= tail) {
+                // Nothing published yet: poll with backoff.
+                co_await wf.compute(40);
+                continue;
+            }
+            std::uint64_t won = co_await wf.atomic(
+                head_addr, AtomicOp::Cas, head, head + 1, 4,
+                Scope::System);
+            if (won != head)
+                continue; // lost the claim race
+            idle_sweeps = 0;
+            unsigned task = unsigned(co_await wf.atomic(
+                s.descAddr(q, unsigned(head)), AtomicOp::Load, 0, 0, 4,
+                Scope::System));
+            // Process: sum the task's payload.
+            auto vals =
+                co_await wf.vload(s.data + Addr(task) * TaskElems * 4, 4,
+                                  4);
+            std::uint32_t sum = 0;
+            for (auto v : vals)
+                sum += std::uint32_t(v);
+            co_await wf.compute(10);
+            co_await wf.store(s.results + Addr(task) * 4, sum, 4,
+                              Scope::System);
+        }
+    };
+
+    unsigned n_threads = params.cpuThreads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+        sys.addCpuThread([state, t, n_threads,
+                          kernel](CpuCtx &cpu) -> SimTask {
+            const State &s = *state;
+            if (t == 0)
+                cpu.launchKernelAsync(kernel);
+            // Producers fill both queues, interleaved by thread.
+            for (unsigned q = 0; q < NumQueues; ++q) {
+                for (unsigned slot = t; slot < s.tasksPerQueue;
+                     slot += n_threads) {
+                    unsigned task = q * s.tasksPerQueue + slot;
+                    co_await cpu.store(s.descAddr(q, slot), task, 4);
+                    co_await cpu.compute(20); // produce the payload
+                    // Publish: wait until it is our turn to bump the
+                    // tail (tasks publish in slot order).
+                    Addr tail_addr = s.tails + Addr(q) * 64;
+                    for (;;) {
+                        std::uint64_t cur =
+                            co_await cpu.load(tail_addr, 4);
+                        if (cur == slot)
+                            break;
+                        co_await cpu.compute(30);
+                    }
+                    co_await cpu.store(tail_addr, slot + 1, 4);
+                }
+            }
+            if (t == 0)
+                co_await cpu.waitKernels();
+        });
+    }
+}
+
+bool
+TaskQueue::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    for (unsigned task = 0; task < s.totalTasks; ++task) {
+        std::uint32_t want = 0;
+        for (unsigned e = 0; e < TaskElems; ++e)
+            want += s.host[std::size_t(task) * TaskElems + e];
+        if (coherentPeek(sys, s.results + Addr(task) * 4, 4) != want)
+            return false;
+    }
+    return true;
+}
+
+} // namespace hsc

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * trns — in-place matrix transposition (CHAI, PTTWAC-style).
+ *
+ * An R×C row-major matrix is converted to column-major in place by
+ * following the permutation cycles of i -> (i*R) mod (R*C-1).  CPU
+ * threads and GPU workgroups claim cycle leaders through a shared
+ * counter and mark every element they move with a system-scope
+ * atomic flag CAS — the per-element fine-grained synchronisation that
+ * makes trns the most atomics-intensive workload of the suite.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace hsc
+{
+
+struct Transposition::State
+{
+    unsigned rows = 0;
+    unsigned cols = 0;
+    Addr mat = 0;
+    Addr counter = 0;
+    Addr flags = 0; ///< one u32 per element (claimed marker)
+    std::vector<std::uint32_t> host;
+
+    std::uint64_t elems() const { return std::uint64_t(rows) * cols; }
+
+    std::uint64_t
+    dest(std::uint64_t i) const
+    {
+        std::uint64_t m = elems() - 1;
+        return i == m ? m : (i * rows) % m;
+    }
+
+    /** True when @p i is the smallest index of its cycle. */
+    bool
+    isCycleLeader(std::uint64_t i) const
+    {
+        std::uint64_t cur = dest(i);
+        while (cur != i) {
+            if (cur < i)
+                return false;
+            cur = dest(cur);
+        }
+        return true;
+    }
+};
+
+void
+Transposition::setup(HsaSystem &sys)
+{
+    st = std::make_shared<State>();
+    State &s = *st;
+    s.rows = 8;
+    s.cols = 8 * params.scale + 4; // non-square => nontrivial cycles
+    s.mat = sys.alloc(s.elems() * 4);
+    s.counter = sys.alloc(64);
+    s.flags = sys.alloc(s.elems() * 4);
+
+    Rng rng(params.seed);
+    s.host.resize(s.elems());
+    for (std::uint64_t i = 0; i < s.elems(); ++i) {
+        s.host[i] = std::uint32_t(rng.next()) | 1;
+        sys.writeWord<std::uint32_t>(s.mat + i * 4, s.host[i]);
+    }
+
+    auto state = st;
+
+    GpuKernel kernel;
+    kernel.name = "trns";
+    kernel.numWorkgroups = params.gpuWorkgroups;
+    kernel.body = [state](WaveCtx &wf) -> SimTask {
+        const State &s = *state;
+        for (;;) {
+            std::uint64_t i = co_await wf.atomic(
+                s.counter, AtomicOp::Add, 1, 0, 4, Scope::System);
+            if (i >= s.elems())
+                break;
+            if (s.dest(i) == i || !s.isCycleLeader(i))
+                continue;
+            // Claim the leader; losing the CAS means another agent
+            // beat us to this cycle.
+            std::uint64_t won = co_await wf.atomic(
+                s.flags + i * 4, AtomicOp::Cas, 0, 1, 4, Scope::System);
+            if (won != 0)
+                continue;
+            std::uint64_t carried = co_await wf.load(s.mat + i * 4, 4,
+                                                     Scope::System);
+            std::uint64_t cur = i;
+            do {
+                std::uint64_t nxt = s.dest(cur);
+                co_await wf.atomic(s.flags + nxt * 4, AtomicOp::Exch, 1,
+                                   0, 4, Scope::System);
+                std::uint64_t displaced = co_await wf.load(
+                    s.mat + nxt * 4, 4, Scope::System);
+                co_await wf.store(s.mat + nxt * 4, carried, 4,
+                                  Scope::System);
+                carried = displaced;
+                cur = nxt;
+            } while (cur != i);
+        }
+    };
+
+    unsigned n_threads = params.cpuThreads;
+    for (unsigned t = 0; t < n_threads; ++t) {
+        sys.addCpuThread([state, t, kernel](CpuCtx &cpu) -> SimTask {
+            const State &s = *state;
+            if (t == 0)
+                cpu.launchKernelAsync(kernel);
+            for (;;) {
+                std::uint64_t i =
+                    co_await cpu.atomic(s.counter, AtomicOp::Add, 1, 0, 4);
+                if (i >= s.elems())
+                    break;
+                if (s.dest(i) == i || !s.isCycleLeader(i))
+                    continue;
+                std::uint64_t won = co_await cpu.atomic(
+                    s.flags + i * 4, AtomicOp::Cas, 0, 1, 4);
+                if (won != 0)
+                    continue;
+                std::uint64_t carried = co_await cpu.load(s.mat + i * 4, 4);
+                std::uint64_t cur = i;
+                do {
+                    std::uint64_t nxt = s.dest(cur);
+                    co_await cpu.atomic(s.flags + nxt * 4, AtomicOp::Exch,
+                                        1, 0, 4);
+                    std::uint64_t displaced =
+                        co_await cpu.load(s.mat + nxt * 4, 4);
+                    co_await cpu.store(s.mat + nxt * 4, carried, 4);
+                    carried = displaced;
+                    cur = nxt;
+                } while (cur != i);
+            }
+            if (t == 0)
+                co_await cpu.waitKernels();
+        });
+    }
+}
+
+bool
+Transposition::verify(HsaSystem &sys)
+{
+    const State &s = *st;
+    // Element at row-major index i moved to dest(i): the matrix is now
+    // column-major, i.e. got[c*rows + r] == host[r*cols + c].
+    for (unsigned r = 0; r < s.rows; ++r) {
+        for (unsigned c = 0; c < s.cols; ++c) {
+            std::uint64_t src = std::uint64_t(r) * s.cols + c;
+            std::uint64_t dst = s.dest(src);
+            if (coherentPeek(sys, s.mat + dst * 4, 4) != s.host[src])
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace hsc

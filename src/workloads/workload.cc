@@ -1,0 +1,113 @@
+#include "workloads/workload.hh"
+
+#include "core/run_report.hh"
+#include "workloads/workload_impl.hh"
+
+namespace hsc
+{
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &id, const WorkloadParams &p)
+{
+    if (id == "bs")
+        return std::make_unique<BezierSurface>(p);
+    if (id == "cedd")
+        return std::make_unique<CannyEdge>(p);
+    if (id == "pad")
+        return std::make_unique<Padding>(p);
+    if (id == "sc")
+        return std::make_unique<StreamCompaction>(p);
+    if (id == "tq")
+        return std::make_unique<TaskQueue>(p);
+    if (id == "hsti")
+        return std::make_unique<HistogramInput>(p);
+    if (id == "hsto")
+        return std::make_unique<HistogramOutput>(p);
+    if (id == "trns")
+        return std::make_unique<Transposition>(p);
+    if (id == "rscd")
+        return std::make_unique<RansacData>(p);
+    if (id == "rsct")
+        return std::make_unique<RansacTask>(p);
+    if (id == "hs_mutex")
+        return std::make_unique<HsMutex>(p);
+    if (id == "hs_barrier")
+        return std::make_unique<HsBarrier>(p);
+    if (id == "hs_sema")
+        return std::make_unique<HsSemaphore>(p);
+    fatal("unknown workload id '%s'", id.c_str());
+}
+
+const std::vector<std::string> &
+workloadIds()
+{
+    static const std::vector<std::string> ids = {
+        "bs", "cedd", "pad", "sc", "tq",
+        "hsti", "hsto", "trns", "rscd", "rsct",
+    };
+    return ids;
+}
+
+const std::vector<std::string> &
+heteroSyncIds()
+{
+    static const std::vector<std::string> ids = {
+        "hs_mutex", "hs_barrier", "hs_sema",
+    };
+    return ids;
+}
+
+const std::vector<std::string> &
+coherenceActiveIds()
+{
+    // The five workloads with the richest CPU-GPU collaboration, used
+    // for the state-tracking figures (the paper evaluates tracking on
+    // five benchmarks for the same reason).
+    static const std::vector<std::string> ids = {
+        "cedd", "sc", "tq", "trns", "rsct",
+    };
+    return ids;
+}
+
+std::uint64_t
+coherentPeek(HsaSystem &sys, Addr addr, unsigned size)
+{
+    for (unsigned i = 0; i < sys.numCorePairs(); ++i) {
+        if (sys.corePair(i).hasLine(addr))
+            return sys.corePair(i).peekWord(addr, size);
+    }
+    switch (size) {
+      case 4: return sys.readWord<std::uint32_t>(addr);
+      case 8: return sys.readWord<std::uint64_t>(addr);
+      default: panic("coherentPeek: unsupported size %u", size);
+    }
+}
+
+WorkloadRun
+runWorkload(const std::string &id, const SystemConfig &cfg,
+            const WorkloadParams &p)
+{
+    WorkloadRun result;
+    HsaSystem sys(cfg);
+    auto wl = makeWorkload(id, p);
+    wl->setup(sys);
+    result.ran = sys.run();
+    result.cycles = sys.cpuCycles();
+    if (result.ran)
+        result.verified = wl->verify(sys);
+    return result;
+}
+
+RunMetrics
+benchWorkload(const std::string &id, const SystemConfig &cfg,
+              const WorkloadParams &p)
+{
+    HsaSystem sys(cfg);
+    auto wl = makeWorkload(id, p);
+    wl->setup(sys);
+    bool ran = sys.run();
+    bool ok = ran && wl->verify(sys);
+    return collectMetrics(sys, id, ok);
+}
+
+} // namespace hsc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * CHAI-like collaborative heterogeneous workloads (§V of the paper).
+ *
+ * Ten workloads reproduce the CPU/GPU collaboration structure of the
+ * CHAI benchmarks the paper evaluates: data partitioning, fine- and
+ * coarse-grained task partitioning, and the atomics-based
+ * synchronisation primitives (work queues, non-ordering flags,
+ * dynamic partitioning counters).  All data is functional: every
+ * workload verifies its numerical output against a host-side
+ * reference after the run.
+ */
+
+#ifndef HSC_WORKLOADS_WORKLOAD_HH
+#define HSC_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hsa_system.hh"
+
+namespace hsc
+{
+
+/** Size/shape knobs shared by all workloads. */
+struct WorkloadParams
+{
+    /** Linear problem-size multiplier (1 = bench default). */
+    unsigned scale = 1;
+    unsigned cpuThreads = 4;
+    unsigned gpuWorkgroups = 8;
+    std::uint64_t seed = 7;
+};
+
+/**
+ * One collaborative workload: allocates and initialises its data,
+ * registers CPU threads (which launch GPU kernels), and verifies the
+ * output after the system has run.
+ */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadParams &p) : params(p) {}
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Allocate inputs/outputs and register the agents. */
+    virtual void setup(HsaSystem &sys) = 0;
+
+    /** Check the output; call only after a successful run. */
+    virtual bool verify(HsaSystem &sys) = 0;
+
+  protected:
+    WorkloadParams params;
+};
+
+/** Instantiate a workload by CHAI id (bs, cedd, pad, sc, tq, hsti,
+ *  hsto, trns, rscd, rsct). */
+std::unique_ptr<Workload> makeWorkload(const std::string &id,
+                                       const WorkloadParams &p);
+
+/** All ten workload ids, in the paper's order. */
+const std::vector<std::string> &workloadIds();
+
+/** The five most coherence-active ids used for Figs. 6 and 7. */
+const std::vector<std::string> &coherenceActiveIds();
+
+/** HeteroSync-style GPU-only synchronisation microbenchmark ids. */
+const std::vector<std::string> &heteroSyncIds();
+
+/**
+ * Read the current coherent value of a word once the system is
+ * quiescent: an L2 copy (all copies are identical) wins over the
+ * LLC, which wins over memory.
+ */
+std::uint64_t coherentPeek(HsaSystem &sys, Addr addr, unsigned size);
+
+/** Convenience: build, run and verify one workload on @p cfg.
+ *  @return {ran, verified}. */
+struct WorkloadRun
+{
+    bool ran = false;
+    bool verified = false;
+    Cycles cycles = 0;
+};
+WorkloadRun runWorkload(const std::string &id, const SystemConfig &cfg,
+                        const WorkloadParams &p = {});
+
+/** Run one workload and collect the full figure metrics. */
+struct RunMetrics;
+RunMetrics benchWorkload(const std::string &id, const SystemConfig &cfg,
+                         const WorkloadParams &p = {});
+
+} // namespace hsc
+
+#endif // HSC_WORKLOADS_WORKLOAD_HH

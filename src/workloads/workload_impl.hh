@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Internal declarations of the ten workload classes plus shared
+ * coroutine helpers.  Users include workload.hh; this header is for
+ * the workload translation units and the tests.
+ */
+
+#ifndef HSC_WORKLOADS_WORKLOAD_IMPL_HH
+#define HSC_WORKLOADS_WORKLOAD_IMPL_HH
+
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace hsc
+{
+
+/** Spin (with backoff) until the 32-bit word at @p addr is >= @p v. */
+inline SimTask
+cpuSpinGe(CpuCtx &cpu, Addr addr, std::uint32_t v)
+{
+    while (co_await cpu.load(addr, 4) < v)
+        co_await cpu.compute(60);
+}
+
+/** Declare one workload class. */
+#define HSC_DECLARE_WORKLOAD(Cls, id_str)                                  \
+    class Cls : public Workload                                            \
+    {                                                                      \
+      public:                                                              \
+        using Workload::Workload;                                          \
+        std::string name() const override { return id_str; }               \
+        void setup(HsaSystem &sys) override;                               \
+        bool verify(HsaSystem &sys) override;                              \
+                                                                           \
+      private:                                                             \
+        struct State;                                                      \
+        std::shared_ptr<State> st;                                         \
+    }
+
+HSC_DECLARE_WORKLOAD(BezierSurface, "bs");
+HSC_DECLARE_WORKLOAD(CannyEdge, "cedd");
+HSC_DECLARE_WORKLOAD(Padding, "pad");
+HSC_DECLARE_WORKLOAD(StreamCompaction, "sc");
+HSC_DECLARE_WORKLOAD(TaskQueue, "tq");
+HSC_DECLARE_WORKLOAD(HistogramInput, "hsti");
+HSC_DECLARE_WORKLOAD(HistogramOutput, "hsto");
+HSC_DECLARE_WORKLOAD(Transposition, "trns");
+HSC_DECLARE_WORKLOAD(RansacData, "rscd");
+HSC_DECLARE_WORKLOAD(RansacTask, "rsct");
+
+// HeteroSync-style GPU-only synchronisation microbenchmarks (§V: the
+// paper evaluated HeteroSync and found the enhancements "not
+// prominent due to their limited collaborative properties").
+HSC_DECLARE_WORKLOAD(HsMutex, "hs_mutex");
+HSC_DECLARE_WORKLOAD(HsBarrier, "hs_barrier");
+HSC_DECLARE_WORKLOAD(HsSemaphore, "hs_sema");
+
+#undef HSC_DECLARE_WORKLOAD
+
+} // namespace hsc
+
+#endif // HSC_WORKLOADS_WORKLOAD_IMPL_HH

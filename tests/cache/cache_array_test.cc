@@ -1,0 +1,130 @@
+/** @file Unit tests for the generic tag store. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.hh"
+
+namespace hsc
+{
+namespace
+{
+
+struct TestEntry
+{
+    int state = 0;
+    bool dirty = false;
+};
+
+using Arr = CacheArray<TestEntry>;
+
+TEST(CacheGeometry, FromBytes)
+{
+    auto g = CacheGeometry::fromBytes(16ull << 20, 16); // 16 MB LLC
+    EXPECT_EQ(g.numSets, 16384u);
+    EXPECT_EQ(g.assoc, 16u);
+}
+
+TEST(CacheArray, MissThenAllocateThenHit)
+{
+    Arr arr("c", {4, 2});
+    EXPECT_EQ(arr.lookup(0x1000), nullptr);
+    TestEntry &e = arr.allocate(0x1000);
+    e.state = 7;
+    TestEntry *hit = arr.lookup(0x1000);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->state, 7);
+    EXPECT_EQ(arr.occupancy(), 1u);
+}
+
+TEST(CacheArray, SubBlockAddressesAlias)
+{
+    Arr arr("c", {4, 2});
+    arr.allocate(0x1000);
+    EXPECT_NE(arr.lookup(0x1004), nullptr);
+    EXPECT_NE(arr.lookup(0x103F), nullptr);
+    EXPECT_EQ(arr.lookup(0x1040), nullptr);
+}
+
+TEST(CacheArray, DoubleAllocatePanics)
+{
+    Arr arr("c", {4, 2});
+    arr.allocate(0x1000);
+    EXPECT_THROW(arr.allocate(0x1000), std::logic_error);
+}
+
+TEST(CacheArray, SetConflictsAndFreeWays)
+{
+    Arr arr("c", {4, 2}); // set = bits [7:6]
+    // These all map to set 0 (addr >> 6 multiples of 4).
+    EXPECT_TRUE(arr.hasFreeWay(0x0000));
+    arr.allocate(0x0000);
+    arr.allocate(0x0400);
+    EXPECT_FALSE(arr.hasFreeWay(0x0800));
+    EXPECT_TRUE(arr.hasFreeWay(0x0840)); // different set
+    EXPECT_THROW(arr.allocate(0x0800), std::logic_error);
+}
+
+TEST(CacheArray, VictimSelectionRespectsRecency)
+{
+    Arr arr("c", {4, 2});
+    arr.allocate(0x0000);
+    arr.allocate(0x0400);
+    arr.lookup(0x0000); // touch
+    auto v = arr.findVictim(0x0800);
+    EXPECT_EQ(v.addr, 0x0400u);
+    arr.invalidate(v.addr);
+    EXPECT_TRUE(arr.hasFreeWay(0x0800));
+}
+
+TEST(CacheArray, VictimAmongEligible)
+{
+    Arr arr("c", {4, 4});
+    for (Addr a = 0; a < 4; ++a) {
+        TestEntry &e = arr.allocate(a << 8); // all set 0
+        e.dirty = (a % 2 == 1);
+    }
+    auto v = arr.findVictimAmong(
+        0x4000, [](Addr, const TestEntry &e) { return !e.dirty; });
+    ASSERT_NE(v.entry, nullptr);
+    EXPECT_FALSE(v.entry->dirty);
+}
+
+TEST(CacheArray, VictimAmongFallsBackWhenNoneEligible)
+{
+    Arr arr("c", {4, 2});
+    arr.allocate(0x0000).dirty = true;
+    arr.allocate(0x0400).dirty = true;
+    auto v = arr.findVictimAmong(
+        0x0800, [](Addr, const TestEntry &e) { return !e.dirty; });
+    EXPECT_TRUE(v.entry->dirty); // fell back to plain policy
+}
+
+TEST(CacheArray, InvalidateIsIdempotent)
+{
+    Arr arr("c", {4, 2});
+    arr.allocate(0x1000);
+    arr.invalidate(0x1000);
+    EXPECT_EQ(arr.lookup(0x1000), nullptr);
+    arr.invalidate(0x1000); // no-op
+    EXPECT_EQ(arr.occupancy(), 0u);
+}
+
+TEST(CacheArray, ForEachVisitsValidLines)
+{
+    Arr arr("c", {8, 2});
+    arr.allocate(0x0000);
+    arr.allocate(0x1040);
+    arr.allocate(0x2080);
+    arr.invalidate(0x1040);
+    std::vector<Addr> seen;
+    arr.forEach([&](Addr a, const TestEntry &) { seen.push_back(a); });
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(CacheArray, NonPowerOfTwoSetsPanics)
+{
+    EXPECT_THROW(Arr("c", {3, 2}), std::logic_error);
+}
+
+} // namespace
+} // namespace hsc

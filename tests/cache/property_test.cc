@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Property-style parameterized sweeps over the cache substrate:
+ * LRU against a reference model on random traces, Tree-PLRU
+ * structural properties, and CacheArray consistency under random
+ * allocate/invalidate/lookup sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <set>
+
+#include "cache/cache_array.hh"
+#include "sim/rng.hh"
+
+namespace hsc
+{
+namespace
+{
+
+struct SweepParam
+{
+    unsigned sets;
+    unsigned ways;
+    std::uint64_t seed;
+
+    std::string
+    name() const
+    {
+        return "s" + std::to_string(sets) + "w" + std::to_string(ways) +
+               "_r" + std::to_string(seed);
+    }
+};
+
+class PolicySweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(PolicySweep, LruMatchesReferenceModel)
+{
+    auto [sets, ways, seed] = GetParam();
+    LruPolicy policy(sets, ways);
+    // Reference: per-set list, most recent at front.
+    std::vector<std::list<unsigned>> ref(sets);
+    for (unsigned s = 0; s < sets; ++s)
+        for (unsigned w = 0; w < ways; ++w) {
+            policy.fill(s, w);
+            ref[s].push_front(w);
+        }
+
+    Rng rng(seed);
+    for (int step = 0; step < 2000; ++step) {
+        unsigned s = unsigned(rng.below(sets));
+        if (rng.chance(70)) {
+            unsigned w = unsigned(rng.below(ways));
+            policy.touch(s, w);
+            ref[s].remove(w);
+            ref[s].push_front(w);
+        } else {
+            EXPECT_EQ(policy.victim(s), ref[s].back())
+                << "step " << step;
+        }
+    }
+}
+
+TEST_P(PolicySweep, TreePlruNeverEvictsMostRecent)
+{
+    auto [sets, ways, seed] = GetParam();
+    if (ways & (ways - 1))
+        GTEST_SKIP() << "PLRU needs power-of-two ways";
+    TreePlruPolicy policy(sets, ways);
+    for (unsigned s = 0; s < sets; ++s)
+        for (unsigned w = 0; w < ways; ++w)
+            policy.fill(s, w);
+    Rng rng(seed);
+    for (int step = 0; step < 2000; ++step) {
+        unsigned s = unsigned(rng.below(sets));
+        unsigned w = unsigned(rng.below(ways));
+        policy.touch(s, w);
+        if (ways > 1) {
+            EXPECT_NE(policy.victim(s), w) << "step " << step;
+        }
+    }
+}
+
+TEST_P(PolicySweep, CacheArrayAgreesWithReferenceSet)
+{
+    auto [sets, ways, seed] = GetParam();
+    if (ways & (ways - 1))
+        GTEST_SKIP();
+    struct E
+    {
+        int tag = 0;
+    };
+    CacheArray<E> arr("prop", {sets, ways});
+    std::set<Addr> ref;
+    Rng rng(seed);
+    const Addr span = Addr(sets) * ways * 4 * 64;
+
+    for (int step = 0; step < 4000; ++step) {
+        Addr a = blockAlign(rng.below(span));
+        switch (rng.below(3)) {
+          case 0: // allocate (evict if needed)
+            if (!arr.lookup(a, false)) {
+                if (!arr.hasFreeWay(a)) {
+                    auto v = arr.findVictim(a);
+                    ref.erase(v.addr);
+                    arr.invalidate(v.addr);
+                }
+                arr.allocate(a);
+                ref.insert(a);
+            }
+            break;
+          case 1: // invalidate
+            arr.invalidate(a);
+            ref.erase(a);
+            break;
+          case 2: // lookup must agree with the reference set
+            EXPECT_EQ(arr.lookup(a) != nullptr, ref.count(a) == 1)
+                << "step " << step;
+            break;
+        }
+        if (step % 512 == 0) {
+            EXPECT_EQ(arr.occupancy(), ref.size());
+        }
+    }
+    EXPECT_EQ(arr.occupancy(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PolicySweep,
+    ::testing::Values(SweepParam{1, 2, 1}, SweepParam{4, 4, 2},
+                      SweepParam{16, 8, 3}, SweepParam{2, 16, 4},
+                      SweepParam{8, 3, 5}, SweepParam{64, 2, 6}),
+    [](const auto &info) { return info.param.name(); });
+
+} // namespace
+} // namespace hsc

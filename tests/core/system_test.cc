@@ -1,0 +1,175 @@
+/**
+ * @file
+ * HsaSystem-level tests: allocation, stats plumbing, the deadlock
+ * watchdog, re-running, GPU dispatch behaviour, and the coherence
+ * checker on quiescent systems.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/coherence_checker.hh"
+#include "core/hsa_system.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(HsaSystem, AllocIsBlockAlignedAndDisjoint)
+{
+    HsaSystem sys(baselineConfig());
+    Addr a = sys.alloc(1);
+    Addr b = sys.alloc(100);
+    Addr c = sys.alloc(64);
+    EXPECT_EQ(blockOffset(a), 0u);
+    EXPECT_EQ(blockOffset(b), 0u);
+    EXPECT_EQ(b, a + 64);
+    EXPECT_EQ(c, b + 128);
+}
+
+TEST(HsaSystem, StatsRegisteredForEveryComponent)
+{
+    HsaSystem sys(baselineConfig());
+    StatRegistry &reg = sys.stats();
+    for (const char *name :
+         {"system.mem.reads", "system.mem.writes", "system.dir.requests",
+          "system.dir.probesSent", "system.dir.llc.reads",
+          "system.corepair0.loads", "system.corepair3.l2Misses",
+          "system.tcc.writeThroughs", "system.sqc.fetches",
+          "system.cu0.tcp.loads", "system.dma.reads", "gpu.kernels"}) {
+        EXPECT_TRUE(reg.hasCounter(name)) << name;
+    }
+}
+
+TEST(HsaSystem, RunWithNoThreadsCompletes)
+{
+    HsaSystem sys(baselineConfig());
+    EXPECT_TRUE(sys.run());
+    EXPECT_EQ(sys.cpuCycles(), 0u);
+}
+
+TEST(HsaSystem, WatchdogCatchesLostWakeup)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.watchdogCycles = 20'000;
+    HsaSystem sys(cfg);
+    sys.addCpuThread([](CpuCtx &cpu) -> SimTask {
+        // Await a callback that never fires: a genuine deadlock.
+        co_await AwaitVoid([](std::function<void()>) {});
+        co_await cpu.compute(1);
+    });
+    EXPECT_FALSE(sys.run());
+}
+
+TEST(HsaSystem, WatchdogToleratesLongComputePhases)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.watchdogCycles = 50'000;
+    HsaSystem sys(cfg);
+    bool done = false;
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        for (int i = 0; i < 10; ++i)
+            co_await cpu.compute(30'000); // each under the threshold
+        done = true;
+    });
+    EXPECT_TRUE(sys.run());
+    EXPECT_TRUE(done);
+}
+
+TEST(HsaSystem, SequentialRunsAccumulate)
+{
+    HsaSystem sys(baselineConfig());
+    Addr a = sys.alloc(64);
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(a, 1);
+    });
+    ASSERT_TRUE(sys.run());
+    std::uint64_t loads_before = sys.stats().counter(
+        "system.corepair0.stores");
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(a, 2);
+    });
+    ASSERT_TRUE(sys.run());
+    EXPECT_GT(sys.stats().counter("system.corepair0.stores"),
+              loads_before);
+    EXPECT_EQ(sys.corePair(0).peekWord(a, 8), 2u);
+}
+
+TEST(HsaSystem, KernelsSerialiseOnOneQueue)
+{
+    HsaSystem sys(baselineConfig());
+    Addr a = sys.alloc(64);
+    std::vector<int> order;
+    auto make_kernel = [&](int id) {
+        GpuKernel k;
+        k.name = "k" + std::to_string(id);
+        k.numWorkgroups = 2;
+        k.body = [&order, id, a](WaveCtx &wf) -> SimTask {
+            co_await wf.compute(50);
+            if (wf.workgroupId() == 0)
+                order.push_back(id);
+            co_await wf.store(a, std::uint64_t(id), 4, Scope::System);
+        };
+        return k;
+    };
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        cpu.launchKernelAsync(make_kernel(1));
+        cpu.launchKernelAsync(make_kernel(2));
+        cpu.launchKernelAsync(make_kernel(3));
+        co_await cpu.waitKernels();
+    });
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sys.dispatcher().kernelsLaunched(), 3u);
+    EXPECT_EQ(sys.stats().counter("gpu.workgroups"), 6u);
+}
+
+TEST(HsaSystem, MoreWorkgroupsThanSlots)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.numCus = 2;
+    cfg.wavefrontsPerCu = 2; // 4 slots total
+    HsaSystem sys(cfg);
+    Addr counter = sys.alloc(64);
+    GpuKernel k;
+    k.name = "many";
+    k.numWorkgroups = 13;
+    k.body = [counter](WaveCtx &wf) -> SimTask {
+        co_await wf.atomic(counter, AtomicOp::Add, 1, 0, 4,
+                           Scope::System);
+    };
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.launchKernel(k);
+    });
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(sys.readWord<std::uint32_t>(counter), 13u);
+}
+
+TEST(CoherenceChecker, CleanOnQuietSystem)
+{
+    HsaSystem sys(sharerTrackingConfig());
+    Addr a = sys.alloc(256);
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        for (unsigned i = 0; i < 4; ++i)
+            co_await cpu.store(a + i * 64, i);
+    });
+    ASSERT_TRUE(sys.run());
+    CheckResult r = checkCoherenceInvariants(sys);
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(bool(r));
+    EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(HsaSystem, ClockDomainsMatchTable3)
+{
+    HsaSystem sys(baselineConfig());
+    EXPECT_EQ(sys.cpuClock().periodTicks(),
+              ClockDomain::fromMHz(3500).periodTicks());
+    EXPECT_EQ(sys.gpuClock().periodTicks(),
+              ClockDomain::fromMHz(1100).periodTicks());
+    EXPECT_EQ(sys.numCorePairs(), 4u);
+    EXPECT_EQ(sys.numCus(), 8u);
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,89 @@
+/** @file Unit tests for DataBlock and byte masks. */
+
+#include <gtest/gtest.h>
+
+#include "mem/data_block.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(AddrHelpers, AlignAndOffset)
+{
+    EXPECT_EQ(blockAlign(0x1234), 0x1200u + 0x00u);
+    EXPECT_EQ(blockAlign(0x1240), 0x1240u);
+    EXPECT_EQ(blockOffset(0x1234), 0x34u);
+    EXPECT_EQ(blockOffset(0x1240), 0u);
+}
+
+TEST(AddrHelpers, MakeMask)
+{
+    EXPECT_EQ(makeMask(0, 4), 0xFull);
+    EXPECT_EQ(makeMask(8, 8), 0xFF00ull);
+    EXPECT_EQ(makeMask(0, 64), FullMask);
+    EXPECT_EQ(makeMask(60, 4), 0xF000000000000000ull);
+}
+
+TEST(DataBlock, ZeroInitialized)
+{
+    DataBlock b;
+    for (unsigned i = 0; i < BlockSizeBytes; ++i)
+        EXPECT_EQ(b.raw()[i], 0);
+}
+
+TEST(DataBlock, TypedGetSet)
+{
+    DataBlock b;
+    b.set<std::uint32_t>(4, 0xDEADBEEF);
+    b.set<std::uint64_t>(16, 0x0123456789ABCDEFull);
+    b.set<std::uint8_t>(63, 0x7F);
+    EXPECT_EQ(b.get<std::uint32_t>(4), 0xDEADBEEFu);
+    EXPECT_EQ(b.get<std::uint64_t>(16), 0x0123456789ABCDEFull);
+    EXPECT_EQ(b.get<std::uint8_t>(63), 0x7Fu);
+    // Neighbouring bytes untouched.
+    EXPECT_EQ(b.get<std::uint8_t>(3), 0u);
+    EXPECT_EQ(b.get<std::uint8_t>(8), 0u);
+}
+
+TEST(DataBlock, OutOfRangeAccessPanics)
+{
+    DataBlock b;
+    EXPECT_THROW(b.get<std::uint64_t>(60), std::logic_error);
+    EXPECT_THROW(b.set<std::uint32_t>(62, 1), std::logic_error);
+}
+
+TEST(DataBlock, MaskedMerge)
+{
+    DataBlock dst, src;
+    for (unsigned i = 0; i < BlockSizeBytes; ++i) {
+        dst.raw()[i] = 0xAA;
+        src.raw()[i] = static_cast<std::uint8_t>(i);
+    }
+    dst.merge(src, makeMask(8, 4));
+    for (unsigned i = 0; i < BlockSizeBytes; ++i) {
+        if (i >= 8 && i < 12)
+            EXPECT_EQ(dst.raw()[i], i);
+        else
+            EXPECT_EQ(dst.raw()[i], 0xAA);
+    }
+}
+
+TEST(DataBlock, FullMaskMergeCopiesAll)
+{
+    DataBlock dst, src;
+    src.set<std::uint64_t>(0, 42);
+    dst.merge(src, FullMask);
+    EXPECT_TRUE(dst == src);
+}
+
+TEST(DataBlock, EqualityComparesBytes)
+{
+    DataBlock a, b;
+    EXPECT_TRUE(a == b);
+    a.set<std::uint8_t>(5, 1);
+    EXPECT_FALSE(a == b);
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,109 @@
+/** @file Unit tests for the DRAM model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(MainMemory, FunctionalReadOfUntouchedIsZero)
+{
+    EventQueue eq;
+    MainMemory mem("mem", eq, 100, 10);
+    DataBlock b = mem.functionalRead(0x4000);
+    DataBlock zero;
+    EXPECT_TRUE(b == zero);
+}
+
+TEST(MainMemory, FunctionalWordHelpers)
+{
+    EventQueue eq;
+    MainMemory mem("mem", eq, 100, 10);
+    mem.functionalWriteWord<std::uint32_t>(0x1004, 0xCAFE);
+    mem.functionalWriteWord<std::uint64_t>(0x1038, 0x1122334455667788ull);
+    EXPECT_EQ(mem.functionalReadWord<std::uint32_t>(0x1004), 0xCAFEu);
+    EXPECT_EQ(mem.functionalReadWord<std::uint64_t>(0x1038),
+              0x1122334455667788ull);
+    // Other bytes in the block stay zero.
+    EXPECT_EQ(mem.functionalReadWord<std::uint32_t>(0x1000), 0u);
+}
+
+TEST(MainMemory, TimedReadLatency)
+{
+    EventQueue eq;
+    MainMemory mem("mem", eq, 100, 10);
+    mem.functionalWriteWord<std::uint64_t>(0x2000, 77);
+    Tick arrival = 0;
+    std::uint64_t val = 0;
+    eq.schedule(5, [&] {
+        mem.read(0x2000, [&](const DataBlock &b) {
+            arrival = eq.curTick();
+            val = b.get<std::uint64_t>(0);
+        });
+    });
+    eq.run();
+    EXPECT_EQ(arrival, 105u);
+    EXPECT_EQ(val, 77u);
+}
+
+TEST(MainMemory, OrderedChannelSerializesReads)
+{
+    EventQueue eq;
+    MainMemory mem("mem", eq, 100, 40);
+    std::vector<Tick> arrivals;
+    eq.schedule(0, [&] {
+        for (int i = 0; i < 3; ++i) {
+            mem.read(0x1000 + i * 64, [&](const DataBlock &) {
+                arrivals.push_back(eq.curTick());
+            });
+        }
+    });
+    eq.run();
+    ASSERT_EQ(arrivals.size(), 3u);
+    EXPECT_EQ(arrivals[0], 100u);
+    EXPECT_EQ(arrivals[1], 140u);
+    EXPECT_EQ(arrivals[2], 180u);
+}
+
+TEST(MainMemory, MaskedTimedWrite)
+{
+    EventQueue eq;
+    MainMemory mem("mem", eq, 10, 1);
+    DataBlock init;
+    init.set<std::uint32_t>(0, 0x11111111);
+    init.set<std::uint32_t>(4, 0x22222222);
+    mem.functionalWrite(0x3000, init);
+
+    eq.schedule(0, [&] {
+        DataBlock upd;
+        upd.set<std::uint32_t>(4, 0x99999999);
+        mem.write(0x3000, upd, makeMask(4, 4));
+    });
+    eq.run();
+    EXPECT_EQ(mem.functionalReadWord<std::uint32_t>(0x3000), 0x11111111u);
+    EXPECT_EQ(mem.functionalReadWord<std::uint32_t>(0x3004), 0x99999999u);
+}
+
+TEST(MainMemory, CountsReadsAndWrites)
+{
+    EventQueue eq;
+    StatRegistry reg;
+    MainMemory mem("mem", eq, 10, 1);
+    mem.regStats(reg);
+    eq.schedule(0, [&] {
+        mem.read(0, [](const DataBlock &) {});
+        mem.write(64, DataBlock());
+        mem.write(128, DataBlock());
+    });
+    eq.run();
+    EXPECT_EQ(mem.reads(), 1u);
+    EXPECT_EQ(mem.writes(), 2u);
+    EXPECT_EQ(reg.counter("mem.reads"), 1u);
+    EXPECT_EQ(reg.counter("mem.writes"), 2u);
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,88 @@
+/** @file Unit tests for the ordered latency link. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/message_buffer.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(MessageBuffer, DeliversAfterLatency)
+{
+    EventQueue eq;
+    MessageBuffer link("l", eq, 100);
+    Tick arrival = 0;
+    link.setConsumer([&](Msg &&) { arrival = eq.curTick(); });
+    eq.schedule(50, [&] {
+        Msg m;
+        m.type = MsgType::RdBlk;
+        link.enqueue(m);
+    });
+    eq.run();
+    EXPECT_EQ(arrival, 150u);
+}
+
+TEST(MessageBuffer, PreservesFifoOrder)
+{
+    EventQueue eq;
+    MessageBuffer link("l", eq, 10);
+    std::vector<Addr> order;
+    link.setConsumer([&](Msg &&m) { order.push_back(m.addr); });
+    eq.schedule(0, [&] {
+        for (Addr a = 0; a < 5; ++a) {
+            Msg m;
+            m.addr = a * 64;
+            link.enqueue(m);
+        }
+    });
+    eq.run();
+    ASSERT_EQ(order.size(), 5u);
+    for (Addr a = 0; a < 5; ++a)
+        EXPECT_EQ(order[a], a * 64);
+}
+
+TEST(MessageBuffer, CountsMessages)
+{
+    EventQueue eq;
+    StatRegistry reg;
+    MessageBuffer link("link", eq, 1);
+    link.regStats(reg);
+    link.setConsumer([](Msg &&) {});
+    eq.schedule(0, [&] {
+        link.enqueue(Msg{});
+        link.enqueue(Msg{});
+    });
+    eq.run();
+    EXPECT_EQ(link.messageCount(), 2u);
+    EXPECT_EQ(reg.counter("link.messages"), 2u);
+}
+
+TEST(MessageBuffer, PayloadSurvivesTransit)
+{
+    EventQueue eq;
+    MessageBuffer link("l", eq, 7);
+    Msg got;
+    link.setConsumer([&](Msg &&m) { got = m; });
+    eq.schedule(0, [&] {
+        Msg m;
+        m.type = MsgType::WriteThrough;
+        m.addr = 0x1000;
+        m.hasData = true;
+        m.data.set<std::uint32_t>(12, 0xABCD);
+        m.mask = makeMask(12, 4);
+        link.enqueue(m);
+    });
+    eq.run();
+    EXPECT_EQ(got.type, MsgType::WriteThrough);
+    EXPECT_EQ(got.addr, 0x1000u);
+    EXPECT_TRUE(got.hasData);
+    EXPECT_EQ(got.data.get<std::uint32_t>(12), 0xABCDu);
+    EXPECT_EQ(got.mask, makeMask(12, 4));
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,89 @@
+/** @file Unit tests for the message vocabulary and atomic ALU. */
+
+#include <gtest/gtest.h>
+
+#include "mem/message.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(MsgType, WritePermissionClassification)
+{
+    EXPECT_TRUE(isWritePermission(MsgType::RdBlkM));
+    EXPECT_TRUE(isWritePermission(MsgType::WriteThrough));
+    EXPECT_TRUE(isWritePermission(MsgType::Atomic));
+    EXPECT_TRUE(isWritePermission(MsgType::DmaWrite));
+    EXPECT_FALSE(isWritePermission(MsgType::RdBlk));
+    EXPECT_FALSE(isWritePermission(MsgType::VicDirty));
+}
+
+TEST(MsgType, ReadPermissionClassification)
+{
+    EXPECT_TRUE(isReadPermission(MsgType::RdBlk));
+    EXPECT_TRUE(isReadPermission(MsgType::RdBlkS));
+    EXPECT_TRUE(isReadPermission(MsgType::TccRdBlk));
+    EXPECT_TRUE(isReadPermission(MsgType::DmaRead));
+    EXPECT_FALSE(isReadPermission(MsgType::RdBlkM));
+}
+
+TEST(MsgType, NamesAreDistinct)
+{
+    EXPECT_EQ(msgTypeName(MsgType::RdBlk), "RdBlk");
+    EXPECT_EQ(msgTypeName(MsgType::VicClean), "VicClean");
+    EXPECT_EQ(msgTypeName(MsgType::PrbInv), "PrbInv");
+    EXPECT_EQ(msgTypeName(MsgType::Unblock), "Unblock");
+}
+
+TEST(AtomicAlu, Add)
+{
+    EXPECT_EQ(applyAtomic(AtomicOp::Add, 10, 5, 0), 15u);
+}
+
+TEST(AtomicAlu, Exch)
+{
+    EXPECT_EQ(applyAtomic(AtomicOp::Exch, 10, 99, 0), 99u);
+}
+
+TEST(AtomicAlu, CasMatch)
+{
+    EXPECT_EQ(applyAtomic(AtomicOp::Cas, 10, 10, 77), 77u);
+}
+
+TEST(AtomicAlu, CasMismatchKeepsOld)
+{
+    EXPECT_EQ(applyAtomic(AtomicOp::Cas, 10, 11, 77), 10u);
+}
+
+TEST(AtomicAlu, MinMax)
+{
+    EXPECT_EQ(applyAtomic(AtomicOp::Min, 10, 3, 0), 3u);
+    EXPECT_EQ(applyAtomic(AtomicOp::Min, 3, 10, 0), 3u);
+    EXPECT_EQ(applyAtomic(AtomicOp::Max, 10, 3, 0), 10u);
+    EXPECT_EQ(applyAtomic(AtomicOp::Max, 3, 10, 0), 10u);
+}
+
+TEST(AtomicAlu, Bitwise)
+{
+    EXPECT_EQ(applyAtomic(AtomicOp::Or, 0b1010, 0b0101, 0), 0b1111u);
+    EXPECT_EQ(applyAtomic(AtomicOp::And, 0b1010, 0b0110, 0), 0b0010u);
+}
+
+TEST(AtomicAlu, LoadLeavesValue)
+{
+    EXPECT_EQ(applyAtomic(AtomicOp::Load, 42, 7, 9), 42u);
+}
+
+TEST(Msg, Defaults)
+{
+    Msg m;
+    EXPECT_FALSE(m.hasData);
+    EXPECT_FALSE(m.dirty);
+    EXPECT_EQ(m.mask, FullMask);
+    EXPECT_EQ(m.grant, Grant::None);
+    EXPECT_EQ(m.sender, InvalidMachineId);
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Property sweeps over the memory substrate: DataBlock masked-merge
+ * algebra on random masks, atomic-ALU identities, address-helper
+ * round trips, and MainMemory read-your-writes under random access
+ * sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+#include "mem/message.hh"
+#include "sim/rng.hh"
+
+namespace hsc
+{
+namespace
+{
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, MaskedMergeAlgebra)
+{
+    Rng rng(GetParam());
+    for (int step = 0; step < 300; ++step) {
+        DataBlock a, b;
+        for (unsigned i = 0; i < BlockSizeBytes; ++i) {
+            a.raw()[i] = std::uint8_t(rng.next());
+            b.raw()[i] = std::uint8_t(rng.next());
+        }
+        ByteMask m1 = rng.next();
+        ByteMask m2 = rng.next();
+
+        // merge(m) takes exactly the m-bytes of the source.
+        DataBlock r = a;
+        r.merge(b, m1);
+        for (unsigned i = 0; i < BlockSizeBytes; ++i) {
+            std::uint8_t want =
+                (m1 >> i) & 1 ? b.raw()[i] : a.raw()[i];
+            ASSERT_EQ(r.raw()[i], want);
+        }
+
+        // Sequential merges compose like the OR of their masks.
+        DataBlock two = a;
+        two.merge(b, m1);
+        two.merge(b, m2);
+        DataBlock once = a;
+        once.merge(b, m1 | m2);
+        ASSERT_TRUE(two == once);
+
+        // Merging with an empty mask is the identity.
+        DataBlock id = a;
+        id.merge(b, 0);
+        ASSERT_TRUE(id == a);
+
+        // Merging a block into itself is the identity.
+        DataBlock self = a;
+        self.merge(a, m1);
+        ASSERT_TRUE(self == a);
+    }
+}
+
+TEST_P(SeedSweep, AtomicAluIdentities)
+{
+    Rng rng(GetParam());
+    for (int step = 0; step < 500; ++step) {
+        std::uint64_t x = rng.next(), y = rng.next(), z = rng.next();
+        // CAS(x, x, z) == z; CAS(x, y!=x, z) == x.
+        EXPECT_EQ(applyAtomic(AtomicOp::Cas, x, x, z), z);
+        if (x != y) {
+            EXPECT_EQ(applyAtomic(AtomicOp::Cas, x, y, z), x);
+        }
+        // Exch ignores the old value.
+        EXPECT_EQ(applyAtomic(AtomicOp::Exch, x, y, 0), y);
+        // Min/Max are idempotent and commutative-consistent.
+        std::uint64_t mn = applyAtomic(AtomicOp::Min, x, y, 0);
+        std::uint64_t mx = applyAtomic(AtomicOp::Max, x, y, 0);
+        EXPECT_EQ(mn, std::min(x, y));
+        EXPECT_EQ(mx, std::max(x, y));
+        EXPECT_EQ(applyAtomic(AtomicOp::Min, mn, y, 0), mn);
+        // Or/And with self are idempotent.
+        EXPECT_EQ(applyAtomic(AtomicOp::Or, x, x, 0), x);
+        EXPECT_EQ(applyAtomic(AtomicOp::And, x, x, 0), x);
+        // Load never changes the value.
+        EXPECT_EQ(applyAtomic(AtomicOp::Load, x, y, z), x);
+    }
+}
+
+TEST_P(SeedSweep, AddrHelpersRoundTrip)
+{
+    Rng rng(GetParam());
+    for (int step = 0; step < 1000; ++step) {
+        Addr a = rng.next() & 0xFFFFFFFFFFFFull;
+        EXPECT_EQ(blockAlign(a) + blockOffset(a), a);
+        EXPECT_EQ(blockOffset(blockAlign(a)), 0u);
+        EXPECT_EQ(blockAlign(blockAlign(a)), blockAlign(a));
+        unsigned off = unsigned(rng.below(57));
+        unsigned size = 1u << rng.below(4);
+        ByteMask m = makeMask(off, size);
+        EXPECT_EQ(__builtin_popcountll(m), int(size));
+        EXPECT_EQ(m & (m - 1), m & ~(ByteMask(1) << off) & m)
+            << "mask must start at the offset";
+    }
+}
+
+TEST_P(SeedSweep, MemoryReadYourWrites)
+{
+    EventQueue eq;
+    MainMemory mem("mem", eq, 50, 5);
+    Rng rng(GetParam());
+    std::map<Addr, std::uint64_t> model;
+    for (int step = 0; step < 400; ++step) {
+        Addr a = blockAlign(rng.below(1 << 16)) + rng.below(8) * 8;
+        if (rng.chance(50)) {
+            std::uint64_t v = rng.next();
+            mem.functionalWriteWord<std::uint64_t>(a, v);
+            model[a] = v;
+        } else {
+            std::uint64_t want = model.count(a) ? model[a] : 0;
+            EXPECT_EQ(mem.functionalReadWord<std::uint64_t>(a), want);
+        }
+    }
+    // Timed reads observe the same image.
+    for (auto &[a, v] : model) {
+        mem.read(a, [&eq, a = a, v = v, &mem](const DataBlock &blk) {
+            EXPECT_EQ(blk.get<std::uint64_t>(blockOffset(a)), v)
+                << std::hex << a;
+        });
+    }
+    eq.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 42, 0xDEADBEEF, 777),
+                         [](const auto &info) {
+                             return "seed" + std::to_string(info.index);
+                         });
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Message-level test harness for the directory: fake clients with
+ * scripted cache states stand in for the CorePairs/TCC/DMA so each
+ * directory transaction (Fig. 2 / Table I) can be exercised and
+ * observed in isolation.
+ */
+
+#ifndef HSC_TESTS_PROTOCOL_DIR_HARNESS_HH
+#define HSC_TESTS_PROTOCOL_DIR_HARNESS_HH
+
+#include <optional>
+#include <vector>
+
+#include "mem/main_memory.hh"
+#include "protocol/dir/directory.hh"
+
+namespace hsc
+{
+
+/** One fake coherence client with a scripted probe answer per line. */
+class FakeClient
+{
+  public:
+    /** How this client answers a probe for a given line. */
+    struct LineScript
+    {
+        Addr addr;
+        bool hit = false;
+        bool hasData = false;
+        bool dirty = false;
+        std::uint64_t value = 0; ///< stored at offset 0
+        bool cancelledVic = false;
+    };
+
+    FakeClient(MachineId id, MessageBuffer &to_dir) : id(id), toDir(to_dir)
+    {}
+
+    void
+    bind(MessageBuffer &from_dir)
+    {
+        from_dir.setConsumer([this](Msg &&m) { receive(std::move(m)); });
+    }
+
+    void script(LineScript s) { scripts.push_back(s); }
+
+    /** Auto-ack SysResps with Unblock (like a real L2). */
+    bool autoUnblock = true;
+
+    /** Every message this client received, in order. */
+    std::vector<Msg> received;
+
+    /** Count of received messages of @p t. */
+    unsigned
+    count(MsgType t) const
+    {
+        unsigned n = 0;
+        for (const Msg &m : received)
+            n += (m.type == t);
+        return n;
+    }
+
+    /** Last received message of @p t, if any. */
+    std::optional<Msg>
+    last(MsgType t) const
+    {
+        for (auto it = received.rbegin(); it != received.rend(); ++it) {
+            if (it->type == t)
+                return *it;
+        }
+        return std::nullopt;
+    }
+
+    /** Send an arbitrary request to the directory. */
+    void
+    send(Msg m)
+    {
+        m.sender = id;
+        toDir.enqueue(std::move(m));
+    }
+
+    MachineId machineId() const { return id; }
+
+  private:
+    void
+    receive(Msg &&m)
+    {
+        received.push_back(m);
+        if (m.type == MsgType::PrbInv || m.type == MsgType::PrbDowngrade) {
+            Msg resp;
+            resp.type = MsgType::PrbResp;
+            resp.addr = m.addr;
+            resp.txnId = m.txnId;
+            resp.sender = id;
+            for (const LineScript &s : scripts) {
+                if (s.addr == m.addr) {
+                    resp.hit = s.hit;
+                    resp.hasData = s.hasData;
+                    resp.dirty = s.dirty;
+                    resp.cancelledVic = s.cancelledVic;
+                    resp.data.set<std::uint64_t>(0, s.value);
+                    break;
+                }
+            }
+            toDir.enqueue(std::move(resp));
+            return;
+        }
+        if (m.type == MsgType::SysResp && autoUnblock) {
+            Msg unblock;
+            unblock.type = MsgType::Unblock;
+            unblock.addr = m.addr;
+            unblock.sender = id;
+            toDir.enqueue(std::move(unblock));
+        }
+    }
+
+    MachineId id;
+    MessageBuffer &toDir;
+    std::vector<LineScript> scripts;
+};
+
+/** A directory + fake clients test bench. */
+class DirBench
+{
+  public:
+    explicit DirBench(DirConfig cfg = {}, Topology topo = {2, 1})
+        : mem("mem", eq, 1000, 100)
+    {
+        DirParams params;
+        params.topo = topo;
+        params.cfg = cfg;
+        params.llc.geom = {16, 2}; // small: evictions reachable
+        params.dirLatency = 10;
+        params.llcLatency = 10;
+        dir = std::make_unique<DirectoryController>(
+            "dir", eq, ClockDomain(100), params, mem);
+        for (unsigned i = 0; i < topo.numClients(); ++i) {
+            toDir.push_back(
+                std::make_unique<MessageBuffer>("to" + std::to_string(i),
+                                                eq, 50));
+            fromDir.push_back(std::make_unique<MessageBuffer>(
+                "from" + std::to_string(i), eq, 50));
+            dir->bindFromClient(*toDir[i]);
+            dir->bindToClient(MachineId(i), *fromDir[i]);
+            clients.push_back(
+                std::make_unique<FakeClient>(MachineId(i), *toDir[i]));
+            clients.back()->bind(*fromDir[i]);
+        }
+        dir->regStats(stats);
+    }
+
+    /** Run the event queue dry. */
+    void settle() { eq.run(); }
+
+    FakeClient &client(unsigned i) { return *clients[i]; }
+
+    EventQueue eq;
+    StatRegistry stats;
+    MainMemory mem;
+    std::unique_ptr<DirectoryController> dir;
+    std::vector<std::unique_ptr<MessageBuffer>> toDir;
+    std::vector<std::unique_ptr<MessageBuffer>> fromDir;
+    std::vector<std::unique_ptr<FakeClient>> clients;
+};
+
+} // namespace hsc
+
+#endif // HSC_TESTS_PROTOCOL_DIR_HARNESS_HH

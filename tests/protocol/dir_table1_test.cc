@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Table I conformance: directed tests of the tracking directory's
+ * state machine, one scenario per (state, request) cell, including
+ * the footnote special cases.
+ *
+ * Scenarios drive real CPU/GPU/DMA traffic and then assert the
+ * directory's tracked state via introspection, so each test checks
+ * both the transition and its observable effect.
+ */
+
+#include "tests/protocol/test_util.hh"
+
+namespace hsc
+{
+namespace
+{
+
+struct Fixture
+{
+    explicit Fixture(SystemConfig cfg = sharerTrackingConfig())
+        : sys(std::move(cfg)), a(sys.alloc(64))
+    {
+        sys.writeWord<std::uint64_t>(a, 0x1111);
+    }
+
+    /** Run one CPU thread body on a chosen core. */
+    void
+    onThread(unsigned tid, HsaSystem::CpuThreadFn fn)
+    {
+        while (threads <= tid) {
+            if (threads == tid) {
+                sys.addCpuThread(std::move(fn));
+            } else {
+                sys.addCpuThread([](CpuCtx &) -> SimTask { co_return; });
+            }
+            ++threads;
+        }
+    }
+
+    HsaSystem sys;
+    Addr a;
+    unsigned threads = 0;
+};
+
+// ----- I-state transitions -------------------------------------------
+
+TEST(Table1, IState_RdBlk_TracksConservativeOwner)
+{
+    Fixture f;
+    f.onThread(0, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.load(f.a);
+    });
+    runAndCheck(f.sys);
+    // RdBlk in I grants Exclusive and tracks the requester as a
+    // conservative owner (E can silently become M).
+    EXPECT_EQ(f.sys.corePair(0).lineState(f.a), L2State::Exclusive);
+    ASSERT_TRUE(f.sys.directory().tracks(f.a));
+    EXPECT_EQ(f.sys.directory().trackedState(f.a), DirState::O);
+    EXPECT_EQ(f.sys.directory().trackedOwner(f.a), 0);
+    // No probes were needed: untracked means uncached.
+    EXPECT_EQ(f.sys.directory().probesSent(), 0u);
+}
+
+TEST(Table1, IState_RdBlkM_TracksOwner)
+{
+    Fixture f;
+    f.onThread(0, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(f.a, 5);
+    });
+    runAndCheck(f.sys);
+    EXPECT_EQ(f.sys.corePair(0).lineState(f.a), L2State::Modified);
+    EXPECT_EQ(f.sys.directory().trackedState(f.a), DirState::O);
+    EXPECT_EQ(f.sys.directory().trackedOwner(f.a), 0);
+    EXPECT_EQ(f.sys.directory().probesSent(), 0u);
+}
+
+TEST(Table1, IState_TccRdBlk_TracksTccAsSharer)
+{
+    Fixture f;
+    GpuKernel k{"read", 1, [&](WaveCtx &wf) -> SimTask {
+                    co_await wf.vload(f.a, 4, 4);
+                }};
+    f.onThread(0, [&, k](CpuCtx &cpu) -> SimTask {
+        co_await cpu.launchKernel(k);
+    });
+    runAndCheck(f.sys);
+    ASSERT_TRUE(f.sys.directory().tracks(f.a));
+    EXPECT_EQ(f.sys.directory().trackedState(f.a), DirState::S);
+    EXPECT_TRUE(f.sys.directory().isSharer(
+        f.a, f.sys.config().topo.tccId(0)));
+}
+
+// ----- S-state transitions -------------------------------------------
+
+TEST(Table1, SState_ReadsElideProbesAndForceShared)
+{
+    Fixture f;
+    // Two readers on different CorePairs.
+    f.onThread(0, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.load(f.a);
+    });
+    f.onThread(2, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(2000);
+        co_await cpu.load(f.a);
+    });
+    runAndCheck(f.sys);
+    // Reader 1 got E (tracked O); reader 2's read probed the owner
+    // (clean downgrade) -> directory state became S with both sharers.
+    EXPECT_EQ(f.sys.directory().trackedState(f.a), DirState::S);
+    EXPECT_TRUE(f.sys.directory().isSharer(f.a, 0));
+    EXPECT_TRUE(f.sys.directory().isSharer(f.a, 1));
+    EXPECT_EQ(f.sys.corePair(0).lineState(f.a), L2State::Shared);
+    EXPECT_EQ(f.sys.corePair(1).lineState(f.a), L2State::Shared);
+    // Exactly one probe (the owner downgrade); a third read must
+    // elide probes entirely.
+    EXPECT_EQ(f.sys.directory().probesSent(), 1u);
+}
+
+TEST(Table1, SState_ThirdReadServedFromLlcNoProbes)
+{
+    Fixture f;
+    for (unsigned t : {0u, 2u, 4u}) {
+        f.onThread(t, [&, t](CpuCtx &cpu) -> SimTask {
+            co_await cpu.compute(t * 2000);
+            co_await cpu.load(f.a);
+        });
+    }
+    runAndCheck(f.sys);
+    EXPECT_EQ(f.sys.directory().trackedState(f.a), DirState::S);
+    EXPECT_TRUE(f.sys.directory().isSharer(f.a, 2));
+    // Only the first downgrade probe; the third read hit S state.
+    EXPECT_EQ(f.sys.directory().probesSent(), 1u);
+}
+
+TEST(Table1, SState_RdBlkM_MulticastsInvalidations)
+{
+    Fixture f;
+    // Three sharers, then core on pair 3 writes.
+    for (unsigned t : {0u, 2u, 4u}) {
+        f.onThread(t, [&, t](CpuCtx &cpu) -> SimTask {
+            co_await cpu.compute(t * 1500);
+            co_await cpu.load(f.a);
+        });
+    }
+    f.onThread(6, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(20000);
+        co_await cpu.store(f.a, 7);
+    });
+    runAndCheck(f.sys);
+    EXPECT_EQ(f.sys.directory().trackedState(f.a), DirState::O);
+    EXPECT_EQ(f.sys.directory().trackedOwner(f.a), 3);
+    EXPECT_FALSE(f.sys.corePair(0).hasLine(f.a));
+    EXPECT_FALSE(f.sys.corePair(1).hasLine(f.a));
+    EXPECT_FALSE(f.sys.corePair(2).hasLine(f.a));
+    EXPECT_EQ(f.sys.corePair(3).lineState(f.a), L2State::Modified);
+    // 1 downgrade (second read) + 3 multicast invals (not a
+    // broadcast to TCC as the baseline would).
+    EXPECT_EQ(f.sys.directory().probesSent(), 4u);
+}
+
+// ----- O-state transitions -------------------------------------------
+
+TEST(Table1, OState_RdBlk_ProbesOnlyOwnerDirtyStaysO)
+{
+    Fixture f;
+    f.onThread(0, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(f.a, 99); // owner, dirty
+    });
+    f.onThread(2, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(5000);
+        std::uint64_t v = co_await cpu.load(f.a);
+        EXPECT_EQ(v, 99u);
+    });
+    runAndCheck(f.sys);
+    // Dirty downgrade: owner keeps ownership (L2 state Owned),
+    // directory stays O, reader tracked as sharer.
+    EXPECT_EQ(f.sys.directory().trackedState(f.a), DirState::O);
+    EXPECT_EQ(f.sys.directory().trackedOwner(f.a), 0);
+    EXPECT_TRUE(f.sys.directory().isSharer(f.a, 1));
+    EXPECT_EQ(f.sys.corePair(0).lineState(f.a), L2State::Owned);
+    EXPECT_EQ(f.sys.corePair(1).lineState(f.a), L2State::Shared);
+    EXPECT_EQ(f.sys.directory().probesSent(), 1u);
+}
+
+TEST(Table1, OState_CleanDowngradeBecomesS)
+{
+    Fixture f;
+    f.onThread(0, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.load(f.a); // E, clean (conservative O at dir)
+    });
+    f.onThread(2, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(5000);
+        co_await cpu.load(f.a);
+    });
+    runAndCheck(f.sys);
+    // Footnote f: E downgrades to S; the clean probe response lets the
+    // directory demote the line to S with both caches as sharers.
+    EXPECT_EQ(f.sys.directory().trackedState(f.a), DirState::S);
+    EXPECT_TRUE(f.sys.directory().isSharer(f.a, 0));
+    EXPECT_TRUE(f.sys.directory().isSharer(f.a, 1));
+}
+
+TEST(Table1, OState_RdBlkM_OwnerChangeForwardsData)
+{
+    Fixture f;
+    f.onThread(0, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(f.a, 123);
+    });
+    f.onThread(2, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(5000);
+        std::uint64_t old_val = co_await cpu.atomic(
+            f.a, AtomicOp::Add, 1);
+        EXPECT_EQ(old_val, 123u);
+    });
+    runAndCheck(f.sys);
+    EXPECT_EQ(f.sys.directory().trackedState(f.a), DirState::O);
+    EXPECT_EQ(f.sys.directory().trackedOwner(f.a), 1);
+    EXPECT_FALSE(f.sys.corePair(0).hasLine(f.a));
+    EXPECT_EQ(f.sys.corePair(1).peekWord(f.a, 8), 124u);
+}
+
+TEST(Table1, OState_UpgradeGrantsWithoutData)
+{
+    Fixture f;
+    std::uint64_t seen = 0;
+    f.onThread(0, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(f.a, 50);     // owner M
+    });
+    f.onThread(2, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(5000);
+        seen = co_await cpu.load(f.a);   // O/S sharing
+        co_await cpu.compute(2000);
+        co_await cpu.store(f.a, 60);     // new owner via RdBlkM
+    });
+    runAndCheck(f.sys);
+    EXPECT_EQ(seen, 50u);
+    EXPECT_EQ(f.sys.directory().trackedOwner(f.a), 1);
+    EXPECT_EQ(f.sys.corePair(1).peekWord(f.a, 8), 60u);
+    EXPECT_FALSE(f.sys.corePair(0).hasLine(f.a));
+}
+
+// ----- Victim transitions (Table I rows VicClean / VicDirty) ---------
+
+TEST(Table1, VicCleanFromExclusiveOwnerFreesEntry)
+{
+    SystemConfig cfg = sharerTrackingConfig();
+    shrinkForTorture(cfg);
+    HsaSystem sys(cfg);
+    // Fill enough lines mapping to one L2 set that an E line gets
+    // evicted (VicClean, footnote g).
+    Addr base = sys.alloc(64 * 64);
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        for (unsigned i = 0; i < 16; ++i)
+            co_await cpu.load(base + i * 64 * 16); // same set
+    });
+    runAndCheck(sys);
+    // The evicted (oldest) lines must no longer be tracked.
+    unsigned tracked = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        tracked += sys.directory().tracks(base + i * 64 * 16);
+    EXPECT_LT(tracked, 16u);
+    for (unsigned i = 0; i < 16; ++i) {
+        if (!sys.corePair(0).hasLine(base + i * 64 * 16)) {
+            EXPECT_FALSE(sys.directory().tracks(base + i * 64 * 16))
+                << "evicted line " << i << " still tracked";
+        }
+    }
+}
+
+TEST(Table1, VicDirtyFromOwnerReconcilesLlc)
+{
+    SystemConfig cfg = sharerTrackingConfig();
+    shrinkForTorture(cfg);
+    HsaSystem sys(cfg);
+    Addr base = sys.alloc(64 * 64);
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        for (unsigned i = 0; i < 8; ++i)
+            co_await cpu.store(base + i * 64 * 16, 1000 + i);
+        // Re-read through the protocol: evicted dirty lines must be
+        // served from the LLC with the written values.
+        for (unsigned i = 0; i < 8; ++i) {
+            std::uint64_t v = co_await cpu.load(base + i * 64 * 16);
+            EXPECT_EQ(v, 1000 + i);
+        }
+    });
+    runAndCheck(sys);
+}
+
+// ----- Directory replacement (inclusive back-invalidation) -----------
+
+TEST(Table1, DirectoryEvictionBackInvalidatesL2)
+{
+    SystemConfig cfg = sharerTrackingConfig();
+    // Big L2s, tiny directory: dir evictions must shoot lines out of
+    // the (otherwise unpressured) L2s.
+    cfg.dir.dirEntries = 16;
+    cfg.dir.dirAssoc = 2;
+    HsaSystem sys(cfg);
+    Addr base = sys.alloc(64 * 256);
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        for (unsigned i = 0; i < 64; ++i)
+            co_await cpu.store(base + i * 64, i);
+        // All values must survive the directory eviction round trips.
+        for (unsigned i = 0; i < 64; ++i) {
+            std::uint64_t v = co_await cpu.load(base + i * 64);
+            EXPECT_EQ(v, i);
+        }
+    });
+    runAndCheck(sys);
+    EXPECT_GT(sys.stats().counter("system.dir.dirEvictions"), 0u);
+    EXPECT_GT(sys.stats().counter("system.dir.backInvals"), 0u);
+    // Inclusion: every cached line still tracked.
+    sys.corePair(0).forEachLine([&](Addr a, L2State) {
+        EXPECT_TRUE(sys.directory().tracks(a));
+    });
+}
+
+// ----- WriteThrough / Atomic rows ------------------------------------
+
+TEST(Table1, WriteThroughInvalidatesTrackedSharers)
+{
+    Fixture f;
+    GpuKernel k{"wt", 1, [&](WaveCtx &wf) -> SimTask {
+                    co_await wf.store(f.a, 0xAB, 4, Scope::System);
+                }};
+    f.onThread(0, [&, k](CpuCtx &cpu) -> SimTask {
+        co_await cpu.load(f.a); // CPU sharer first
+        co_await cpu.launchKernel(k);
+        std::uint64_t v = co_await cpu.load(f.a, 4);
+        EXPECT_EQ(v, 0xABu);
+    });
+    runAndCheck(f.sys);
+}
+
+TEST(Table1, AtomicInOStateElidesLlcRead)
+{
+    SystemConfig cfg = sharerTrackingConfig();
+    cfg.injectIfetches = false; // keep the LLC-read counter exact
+    Fixture f{cfg};
+    GpuKernel k{"atomic", 1, [&](WaveCtx &wf) -> SimTask {
+                    std::uint64_t old_val = co_await wf.atomic(
+                        f.a, AtomicOp::Add, 5, 0, 8, Scope::System);
+                    EXPECT_EQ(old_val, 77u);
+                }};
+    f.onThread(0, [&, k](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(f.a, 77); // dir state O, owner dirty
+        std::uint64_t llc_reads_before =
+            f.sys.stats().counter("system.dir.llc.reads");
+        co_await cpu.launchKernel(k);
+        std::uint64_t llc_reads_after =
+            f.sys.stats().counter("system.dir.llc.reads");
+        // The atomic's data came from the owner probe, not the LLC.
+        EXPECT_EQ(llc_reads_after, llc_reads_before);
+        std::uint64_t v = co_await cpu.load(f.a);
+        EXPECT_EQ(v, 82u);
+    });
+    runAndCheck(f.sys);
+}
+
+// ----- DMA rows -------------------------------------------------------
+
+TEST(Table1, DmaReadProbesOwnerOnly)
+{
+    Fixture f;
+    f.onThread(0, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(f.a, 0x5A);
+        std::uint64_t probes_before = f.sys.directory().probesSent();
+        DataBlock blk = co_await f.sys.dma().readBlock(f.a);
+        EXPECT_EQ(blk.get<std::uint64_t>(0), 0x5Au);
+        EXPECT_EQ(f.sys.directory().probesSent(), probes_before + 1);
+    });
+    runAndCheck(f.sys);
+    // DMA does not get tracked; the owner keeps the (downgraded) line.
+    EXPECT_EQ(f.sys.directory().trackedState(f.a), DirState::O);
+    EXPECT_EQ(f.sys.directory().trackedOwner(f.a), 0);
+}
+
+TEST(Table1, DmaWriteInvalidatesAndUntracks)
+{
+    Fixture f;
+    f.onThread(0, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(f.a, 1);
+        DataBlock blk;
+        blk.set<std::uint64_t>(0, 0xFEED);
+        co_await f.sys.dma().writeBlock(f.a, blk, makeMask(0, 8));
+        std::uint64_t v = co_await cpu.load(f.a);
+        EXPECT_EQ(v, 0xFEEDu);
+    });
+    runAndCheck(f.sys);
+}
+
+// ----- Owner-only tracking falls back to broadcast -------------------
+
+TEST(Table1, OwnerTrackingBroadcastsSStateInvalidation)
+{
+    Fixture f{ownerTrackingConfig()};
+    for (unsigned t : {0u, 2u}) {
+        f.onThread(t, [&, t](CpuCtx &cpu) -> SimTask {
+            co_await cpu.compute(t * 1500);
+            co_await cpu.load(f.a);
+        });
+    }
+    f.onThread(4, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(15000);
+        co_await cpu.store(f.a, 3);
+    });
+    runAndCheck(f.sys);
+    EXPECT_EQ(f.sys.directory().trackedState(f.a), DirState::O);
+    EXPECT_EQ(f.sys.directory().trackedOwner(f.a), 2);
+    // S-state invalidation had to broadcast: 3 L2s + TCC probed.
+    // (1 downgrade for the second read + 4 invalidating probes.)
+    EXPECT_EQ(f.sys.directory().probesSent(), 5u);
+}
+
+// ----- Limited pointers (footnote b) ----------------------------------
+
+TEST(Table1, LimitedPointerOverflowPreservesBroadcast)
+{
+    Fixture f{limitedPointerConfig(1)};
+    for (unsigned t : {0u, 2u, 4u}) {
+        f.onThread(t, [&, t](CpuCtx &cpu) -> SimTask {
+            co_await cpu.compute(t * 1500);
+            co_await cpu.load(f.a);
+        });
+    }
+    f.onThread(6, [&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(20000);
+        co_await cpu.store(f.a, 4);
+        std::uint64_t v = co_await cpu.load(f.a);
+        EXPECT_EQ(v, 4u);
+    });
+    runAndCheck(f.sys);
+    // All former sharers were invalidated despite the overflowed list.
+    EXPECT_FALSE(f.sys.corePair(0).hasLine(f.a));
+    EXPECT_FALSE(f.sys.corePair(1).hasLine(f.a));
+    EXPECT_FALSE(f.sys.corePair(2).hasLine(f.a));
+    EXPECT_EQ(f.sys.corePair(3).lineState(f.a), L2State::Modified);
+}
+
+} // namespace
+} // namespace hsc

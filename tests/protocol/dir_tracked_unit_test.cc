@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Message-level unit tests of the *tracking* directory (§IV) against
+ * scripted fake clients, complementing the system-level Table I
+ * scenario tests: exact probe targeting, LLC-read elision, dir-as-
+ * cache evictions, limited pointers, and the WT tracking rules.
+ * Topology: 2 CorePairs (0, 1), TCC (2), DMA (3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/protocol/dir_harness.hh"
+
+namespace hsc
+{
+namespace
+{
+
+constexpr Addr A = 0x4000;
+
+Msg
+req(MsgType t, Addr a = A)
+{
+    Msg m;
+    m.type = t;
+    m.addr = a;
+    return m;
+}
+
+DirConfig
+sharers()
+{
+    DirConfig cfg;
+    cfg.tracking = DirTracking::Sharers;
+    return cfg;
+}
+
+DirConfig
+owner()
+{
+    DirConfig cfg;
+    cfg.tracking = DirTracking::Owner;
+    return cfg;
+}
+
+TEST(DirTrackedUnit, IStateReadsNeverProbe)
+{
+    DirBench b(sharers());
+    b.client(0).send(req(MsgType::RdBlk));
+    b.client(1).send(req(MsgType::RdBlkM, A + 64));
+    b.settle();
+    EXPECT_EQ(b.dir->probesSent(), 0u);
+    EXPECT_GT(b.stats.counter("dir.probesElided"), 0u);
+    EXPECT_EQ(b.dir->trackedOwner(A), 0);
+    EXPECT_EQ(b.dir->trackedOwner(A + 64), 1);
+}
+
+TEST(DirTrackedUnit, SStateReadHitsLlcWithoutMemory)
+{
+    DirBench b(sharers());
+    // Seed the LLC via a clean victim, then track two readers.
+    Msg vic = req(MsgType::VicClean);
+    vic.hasData = true;
+    vic.data.set<std::uint64_t>(0, 31);
+    b.client(0).send(vic);
+    b.settle();
+    // The vic was untracked -> dropped; use memory path to establish S.
+    b.mem.functionalWriteWord<std::uint64_t>(A, 31);
+    b.client(0).send(req(MsgType::RdBlkS));
+    b.settle();
+    std::uint64_t mem_reads = b.mem.reads();
+    // Second RdBlkS: S state -> LLC read; LLC missed though (victim
+    // cache never filled) -> memory.  Both reads granted Shared.
+    b.client(1).send(req(MsgType::RdBlkS));
+    b.settle();
+    EXPECT_EQ(b.dir->probesSent(), 0u);
+    auto r = b.client(1).last(MsgType::SysResp);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->grant, Grant::Shared);
+    EXPECT_EQ(r->data.get<std::uint64_t>(0), 31u);
+    EXPECT_EQ(b.mem.reads(), mem_reads + 1);
+    EXPECT_TRUE(b.dir->isSharer(A, 0));
+    EXPECT_TRUE(b.dir->isSharer(A, 1));
+}
+
+TEST(DirTrackedUnit, OStateReadProbesExactlyTheOwner)
+{
+    DirBench b(sharers());
+    b.client(0).send(req(MsgType::RdBlkM)); // owner 0
+    b.settle();
+    b.client(0).script({A, true, true, true, 555});
+    std::uint64_t mem_reads = b.mem.reads();
+    b.client(1).send(req(MsgType::RdBlk));
+    b.settle();
+    EXPECT_EQ(b.client(0).count(MsgType::PrbDowngrade), 1u);
+    EXPECT_EQ(b.client(2).received.size(), 0u) << "TCC untouched";
+    EXPECT_EQ(b.mem.reads(), mem_reads) << "LLC/memory read elided";
+    auto r = b.client(1).last(MsgType::SysResp);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->grant, Grant::Shared);
+    EXPECT_EQ(r->data.get<std::uint64_t>(0), 555u);
+    // Dirty downgrade: still O, owner unchanged, reader tracked.
+    EXPECT_EQ(b.dir->trackedState(A), DirState::O);
+    EXPECT_EQ(b.dir->trackedOwner(A), 0);
+    EXPECT_TRUE(b.dir->isSharer(A, 1));
+}
+
+TEST(DirTrackedUnit, OwnerTrackingBroadcastsWhereSharersMulticasts)
+{
+    for (bool use_sharers : {false, true}) {
+        DirBench b(use_sharers ? sharers() : owner());
+        b.mem.functionalWriteWord<std::uint64_t>(A, 1);
+        b.client(0).send(req(MsgType::RdBlkS));
+        b.settle();
+        // Writer 1 invalidates: sharer-tracking probes only client 0;
+        // owner-tracking must broadcast (client 0 + TCC; requester
+        // excluded).
+        std::uint64_t before = b.dir->probesSent();
+        b.client(1).send(req(MsgType::RdBlkM));
+        b.settle();
+        std::uint64_t sent = b.dir->probesSent() - before;
+        if (use_sharers)
+            EXPECT_EQ(sent, 1u);
+        else
+            EXPECT_EQ(sent, 2u); // L2 0 + TCC
+    }
+}
+
+TEST(DirTrackedUnit, UpgradeFromTrackedSharerCarriesNoData)
+{
+    DirBench b(sharers());
+    b.mem.functionalWriteWord<std::uint64_t>(A, 5);
+    b.client(0).send(req(MsgType::RdBlkS));
+    b.client(1).send(req(MsgType::RdBlkS));
+    b.settle();
+    std::uint64_t mem_reads = b.mem.reads();
+    b.client(0).send(req(MsgType::RdBlkM)); // upgrade
+    b.settle();
+    auto r = b.client(0).last(MsgType::SysResp);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->grant, Grant::Modified);
+    EXPECT_FALSE(r->hasData) << "tracked sharer keeps its own copy";
+    EXPECT_EQ(b.mem.reads(), mem_reads) << "no backing read either";
+    EXPECT_EQ(b.client(1).count(MsgType::PrbInv), 1u);
+    EXPECT_EQ(b.dir->trackedOwner(A), 0);
+}
+
+TEST(DirTrackedUnit, WriteThroughTracksRetainingTcc)
+{
+    DirBench b(sharers());
+    Msg wt = req(MsgType::WriteThrough);
+    wt.hasData = true;
+    wt.mask = makeMask(0, 4);
+    wt.data.set<std::uint32_t>(0, 0xAB);
+    wt.hit = true; // write-through-mode TCC retains its copy
+    b.client(2).send(wt);
+    b.settle();
+    ASSERT_TRUE(b.dir->tracks(A));
+    EXPECT_EQ(b.dir->trackedState(A), DirState::S);
+    EXPECT_TRUE(b.dir->isSharer(A, 2));
+
+    // A CPU write must now invalidate exactly the TCC.
+    b.client(0).send(req(MsgType::RdBlkM));
+    b.settle();
+    EXPECT_EQ(b.client(2).count(MsgType::PrbInv), 1u);
+    EXPECT_EQ(b.client(1).count(MsgType::PrbInv), 0u);
+}
+
+TEST(DirTrackedUnit, WriteBackModeEvictionDoesNotTrack)
+{
+    DirBench b(sharers());
+    Msg wt = req(MsgType::WriteThrough);
+    wt.hasData = true;
+    wt.hit = false; // WB-mode eviction: the TCC dropped the line
+    b.client(2).send(wt);
+    b.settle();
+    EXPECT_FALSE(b.dir->tracks(A));
+}
+
+TEST(DirTrackedUnit, DirEvictionBackInvalidatesTrackedSet)
+{
+    DirConfig cfg = sharers();
+    cfg.dirEntries = 4;
+    cfg.dirAssoc = 4; // one set
+    DirBench b(cfg);
+    for (unsigned i = 0; i < 4; ++i)
+        b.client(0).send(req(MsgType::RdBlkM, A + i * 64));
+    b.settle();
+    EXPECT_EQ(b.dir->trackedEntries(), 4u);
+    // Script the victim's owner to return dirty data on back-inval.
+    for (unsigned i = 0; i < 5; ++i)
+        b.client(0).script({A + i * 64, true, true, true, 900 + i});
+    b.client(1).send(req(MsgType::RdBlk, A + 4 * 64));
+    b.settle();
+    EXPECT_EQ(b.stats.counter("dir.dirEvictions"), 1u);
+    EXPECT_GE(b.client(0).count(MsgType::PrbInv), 1u);
+    EXPECT_EQ(b.dir->trackedEntries(), 4u);
+    // The back-invalidated dirty data landed in the LLC.
+    unsigned in_llc = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        in_llc += (b.dir->llc().peek(A + i * 64) != nullptr);
+    EXPECT_EQ(in_llc, 1u);
+}
+
+TEST(DirTrackedUnit, LimitedPointerOverflowBroadcasts)
+{
+    DirConfig cfg = sharers();
+    cfg.maxSharerPointers = 1;
+    DirBench b(cfg);
+    b.mem.functionalWriteWord<std::uint64_t>(A, 1);
+    b.client(0).send(req(MsgType::RdBlkS));
+    b.client(1).send(req(MsgType::RdBlkS));
+    b.settle();
+    // Two sharers but one pointer: the second overflowed.
+    std::uint64_t before = b.dir->probesSent();
+    Msg wr = req(MsgType::DmaWrite);
+    wr.hasData = true;
+    wr.mask = FullMask;
+    b.client(3).send(wr);
+    b.settle();
+    // Broadcast: both L2s + TCC.
+    EXPECT_EQ(b.dir->probesSent() - before, 3u);
+}
+
+TEST(DirTrackedUnit, AtomicInOStateUsesOwnerData)
+{
+    DirBench b(owner());
+    b.client(0).send(req(MsgType::RdBlkM));
+    b.settle();
+    b.client(0).script({A, true, true, true, 40});
+    std::uint64_t mem_reads = b.mem.reads();
+    Msg at = req(MsgType::Atomic);
+    at.atomicOp = AtomicOp::Add;
+    at.atomicOperand = 2;
+    at.atomicOffset = 0;
+    at.atomicSize = 8;
+    b.client(2).send(at);
+    b.settle();
+    auto r = b.client(2).last(MsgType::AtomicResp);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->atomicResult, 40u);
+    EXPECT_EQ(b.mem.reads(), mem_reads) << "owner data, no LLC/mem read";
+    EXPECT_FALSE(b.dir->tracks(A)) << "atomic frees the entry";
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint64_t>(A), 42u)
+        << "merged dirty data + atomic result persisted";
+}
+
+TEST(DirTrackedUnit, VicDirtyFromOwnerDemotesToSharedWithSharers)
+{
+    DirBench b(sharers());
+    b.client(0).send(req(MsgType::RdBlkM));
+    b.settle();
+    b.client(0).script({A, true, true, true, 77});
+    b.client(1).send(req(MsgType::RdBlk)); // dirty-shared reader
+    b.settle();
+    ASSERT_EQ(b.dir->trackedState(A), DirState::O);
+    Msg vic = req(MsgType::VicDirty);
+    vic.hasData = true;
+    vic.dirty = true;
+    vic.data.set<std::uint64_t>(0, 77);
+    b.client(0).send(vic);
+    b.settle();
+    // Owner left, a sharer remains: S, reconciled into the LLC.
+    ASSERT_TRUE(b.dir->tracks(A));
+    EXPECT_EQ(b.dir->trackedState(A), DirState::S);
+    EXPECT_TRUE(b.dir->isSharer(A, 1));
+    ASSERT_NE(b.dir->llc().peek(A), nullptr);
+    EXPECT_EQ(b.dir->llc().peek(A)->get<std::uint64_t>(0), 77u);
+}
+
+TEST(DirTrackedUnit, LastSharerVicCleanFreesEntry)
+{
+    DirBench b(sharers());
+    b.mem.functionalWriteWord<std::uint64_t>(A, 9);
+    b.client(0).send(req(MsgType::RdBlkS));
+    b.settle();
+    ASSERT_TRUE(b.dir->tracks(A));
+    Msg vic = req(MsgType::VicClean);
+    vic.hasData = true;
+    b.client(0).send(vic);
+    b.settle();
+    EXPECT_FALSE(b.dir->tracks(A));
+}
+
+TEST(DirTrackedUnit, DmaDoesNotGetTracked)
+{
+    DirBench b(sharers());
+    Msg rd = req(MsgType::DmaRead);
+    b.client(3).send(rd);
+    b.settle();
+    EXPECT_FALSE(b.dir->tracks(A));
+    EXPECT_EQ(b.dir->probesSent(), 0u) << "I state: no probes for DMA";
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Message-level unit tests of the baseline (stateless) directory —
+ * the Fig. 2 state machine — and of the enhancement knobs, using fake
+ * scripted clients.  Topology here is 2 CorePairs + 1 TCC + DMA
+ * (machine ids 0, 1 = L2s; 2 = TCC; 3 = DMA).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/protocol/dir_harness.hh"
+
+namespace hsc
+{
+namespace
+{
+
+constexpr Addr A = 0x4000;
+
+Msg
+req(MsgType t, Addr a = A)
+{
+    Msg m;
+    m.type = t;
+    m.addr = a;
+    return m;
+}
+
+TEST(DirBaseline, RdBlkBroadcastsDowngradesExceptRequesterAndTcc)
+{
+    DirBench b;
+    b.client(0).send(req(MsgType::RdBlk));
+    b.settle();
+    // Requester not probed; the other L2 downgraded; the TCC skipped.
+    EXPECT_EQ(b.client(0).count(MsgType::PrbDowngrade), 0u);
+    EXPECT_EQ(b.client(1).count(MsgType::PrbDowngrade), 1u);
+    EXPECT_EQ(b.client(2).count(MsgType::PrbDowngrade), 0u);
+    EXPECT_EQ(b.client(2).count(MsgType::PrbInv), 0u);
+}
+
+TEST(DirBaseline, RdBlkMBroadcastsInvalsIncludingTcc)
+{
+    DirBench b;
+    b.client(0).send(req(MsgType::RdBlkM));
+    b.settle();
+    EXPECT_EQ(b.client(1).count(MsgType::PrbInv), 1u);
+    EXPECT_EQ(b.client(2).count(MsgType::PrbInv), 1u);
+    auto resp = b.client(0).last(MsgType::SysResp);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->grant, Grant::Modified);
+}
+
+TEST(DirBaseline, ExclusiveGrantOnlyWhenNoHit)
+{
+    DirBench b;
+    b.client(0).send(req(MsgType::RdBlk));
+    b.settle();
+    auto resp = b.client(0).last(MsgType::SysResp);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->grant, Grant::Exclusive);
+
+    // Second reader: the first one's copy reports hit -> Shared.
+    DirBench b2;
+    b2.client(1).script({A, true, false, false, 0});
+    b2.client(0).send(req(MsgType::RdBlk));
+    b2.settle();
+    auto resp2 = b2.client(0).last(MsgType::SysResp);
+    ASSERT_TRUE(resp2.has_value());
+    EXPECT_EQ(resp2->grant, Grant::Shared);
+}
+
+TEST(DirBaseline, RdBlkSAlwaysShared)
+{
+    DirBench b;
+    b.client(0).send(req(MsgType::RdBlkS));
+    b.settle();
+    auto resp = b.client(0).last(MsgType::SysResp);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->grant, Grant::Shared);
+}
+
+TEST(DirBaseline, DirtyProbeDataBeatsMemory)
+{
+    DirBench b;
+    b.mem.functionalWriteWord<std::uint64_t>(A, 111); // stale
+    b.client(1).script({A, true, true, true, 999});   // dirty owner
+    b.client(0).send(req(MsgType::RdBlk));
+    b.settle();
+    auto resp = b.client(0).last(MsgType::SysResp);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_TRUE(resp->hasData);
+    EXPECT_EQ(resp->data.get<std::uint64_t>(0), 999u);
+    EXPECT_EQ(resp->grant, Grant::Shared);
+}
+
+TEST(DirBaseline, MemoryDataWhenAllMiss)
+{
+    DirBench b;
+    b.mem.functionalWriteWord<std::uint64_t>(A, 4242);
+    b.client(0).send(req(MsgType::RdBlk));
+    b.settle();
+    auto resp = b.client(0).last(MsgType::SysResp);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->data.get<std::uint64_t>(0), 4242u);
+    EXPECT_EQ(b.mem.reads(), 1u);
+}
+
+TEST(DirBaseline, VictimsWriteLlcAndMemoryWriteThrough)
+{
+    DirBench b; // default config: WT LLC
+    Msg vic = req(MsgType::VicDirty);
+    vic.hasData = true;
+    vic.dirty = true;
+    vic.data.set<std::uint64_t>(0, 777);
+    b.client(0).send(vic);
+    b.settle();
+    EXPECT_EQ(b.client(0).count(MsgType::WBAck), 1u);
+    // Write-through LLC: memory updated too.
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint64_t>(A), 777u);
+    ASSERT_NE(b.dir->llc().peek(A), nullptr);
+    EXPECT_EQ(b.dir->llc().peek(A)->get<std::uint64_t>(0), 777u);
+}
+
+TEST(DirEnhB, CleanVictimSkipsMemory)
+{
+    DirConfig cfg;
+    cfg.noCleanVicToMem = true;
+    DirBench b(cfg);
+    Msg vic = req(MsgType::VicClean);
+    vic.hasData = true;
+    vic.data.set<std::uint64_t>(0, 55);
+    b.client(0).send(vic);
+    b.settle();
+    EXPECT_EQ(b.mem.writes(), 0u);
+    ASSERT_NE(b.dir->llc().peek(A), nullptr); // still a victim cache
+    EXPECT_EQ(b.dir->llc().peek(A)->get<std::uint64_t>(0), 55u);
+
+    // Dirty victims are unaffected (§III-B).
+    Msg vic2 = req(MsgType::VicDirty, A + 64);
+    vic2.hasData = true;
+    vic2.dirty = true;
+    b.client(0).send(vic2);
+    b.settle();
+    EXPECT_EQ(b.mem.writes(), 1u);
+}
+
+TEST(DirEnhB1, CleanVictimLostInTheAir)
+{
+    DirConfig cfg;
+    cfg.noCleanVicToMem = true;
+    cfg.noCleanVicToLlc = true;
+    DirBench b(cfg);
+    Msg vic = req(MsgType::VicClean);
+    vic.hasData = true;
+    b.client(0).send(vic);
+    b.settle();
+    EXPECT_EQ(b.client(0).count(MsgType::WBAck), 1u);
+    EXPECT_EQ(b.mem.writes(), 0u);
+    EXPECT_EQ(b.dir->llc().peek(A), nullptr);
+}
+
+TEST(DirEnhC, WriteBackLlcDefersMemory)
+{
+    DirConfig cfg;
+    cfg.noCleanVicToMem = true;
+    cfg.llcWriteBack = true;
+    DirBench b(cfg);
+    Msg vic = req(MsgType::VicDirty);
+    vic.hasData = true;
+    vic.dirty = true;
+    vic.data.set<std::uint64_t>(0, 808);
+    b.client(0).send(vic);
+    b.settle();
+    EXPECT_EQ(b.mem.writes(), 0u) << "dirty victim must not write memory";
+    EXPECT_TRUE(b.dir->llc().lineDirty(A));
+
+    // Fill the LLC set so the dirty line is evicted -> memory write.
+    // Set index bits are [9:6] with 16 sets; A maps to set 0.
+    for (unsigned i = 1; i <= 2; ++i) {
+        Msg v2 = req(MsgType::VicClean, A + i * 64 * 16);
+        v2.hasData = true;
+        b.client(0).send(v2);
+    }
+    b.settle();
+    EXPECT_EQ(b.mem.writes(), 1u);
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint64_t>(A), 808u);
+}
+
+TEST(DirEnhC, StickyDirtyBitSurvivesCleanRewrite)
+{
+    DirConfig cfg;
+    cfg.llcWriteBack = true;
+    DirBench b(cfg);
+    Msg vic = req(MsgType::VicDirty);
+    vic.hasData = true;
+    vic.dirty = true;
+    b.client(0).send(vic);
+    b.settle();
+    // A later clean victim of the same line (a dirty sharer's noisy
+    // eviction) must not clear the dirty bit.
+    Msg vic2 = req(MsgType::VicClean);
+    vic2.hasData = true;
+    b.client(1).send(vic2);
+    b.settle();
+    EXPECT_TRUE(b.dir->llc().lineDirty(A));
+}
+
+TEST(DirEnhA, EarlyResponseBeatsMemory)
+{
+    // Without early response the requester waits for memory (1000
+    // ticks); with it the dirty ack answers first.
+    auto run_one = [](bool early) {
+        DirConfig cfg;
+        cfg.earlyDirtyResp = early;
+        DirBench b(cfg);
+        b.client(1).script({A, true, true, true, 31337});
+        b.client(0).send(req(MsgType::RdBlk));
+        Tick resp_at = 0;
+        b.eq.runUntil([&] {
+            if (auto r = b.client(0).last(MsgType::SysResp)) {
+                resp_at = b.eq.curTick();
+                return true;
+            }
+            return false;
+        });
+        b.settle();
+        return resp_at;
+    };
+    Tick with = run_one(true);
+    Tick without = run_one(false);
+    EXPECT_LT(with, without);
+}
+
+TEST(DirEnhA, EarlyResponseCountsStat)
+{
+    DirConfig cfg;
+    cfg.earlyDirtyResp = true;
+    DirBench b(cfg);
+    b.client(1).script({A, true, true, true, 1});
+    b.client(0).send(req(MsgType::RdBlk));
+    b.settle();
+    EXPECT_EQ(b.stats.counter("dir.earlyResponses"), 1u);
+    // Write-permission requests never take the early path.
+    b.client(0).send(req(MsgType::RdBlkM, A + 64));
+    b.settle();
+    EXPECT_EQ(b.stats.counter("dir.earlyResponses"), 1u);
+}
+
+TEST(DirBaseline, PerLineStallingSerialisesTransactions)
+{
+    DirBench b;
+    b.client(0).send(req(MsgType::RdBlk));
+    b.client(1).send(req(MsgType::RdBlkM));
+    b.settle();
+    EXPECT_GE(b.stats.counter("dir.stalls"), 1u);
+    // Both eventually served.
+    EXPECT_TRUE(b.client(0).last(MsgType::SysResp).has_value());
+    EXPECT_TRUE(b.client(1).last(MsgType::SysResp).has_value());
+}
+
+TEST(DirBaseline, WriteThroughMergesMaskedBytes)
+{
+    DirBench b;
+    b.mem.functionalWriteWord<std::uint64_t>(A, 0x1111111111111111ull);
+    Msg wt = req(MsgType::WriteThrough);
+    wt.hasData = true;
+    wt.mask = makeMask(0, 4);
+    wt.data.set<std::uint32_t>(0, 0xABCD);
+    b.client(2).send(wt); // from the TCC
+    b.settle();
+    EXPECT_EQ(b.client(2).count(MsgType::WBAck), 1u);
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint32_t>(A), 0xABCDu);
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint32_t>(A + 4),
+              0x11111111u);
+    // The TCC's WT probes invalidate the L2s.
+    EXPECT_EQ(b.client(0).count(MsgType::PrbInv), 1u);
+    EXPECT_EQ(b.client(1).count(MsgType::PrbInv), 1u);
+}
+
+TEST(DirBaseline, WriteThroughMergesOverDirtyProbeData)
+{
+    DirBench b;
+    // L2 0 holds the line dirty with 0xEE..EE; the TCC writes 4 bytes.
+    FakeClient::LineScript s{A, true, true, true, 0};
+    s.value = 0xEEEEEEEEEEEEEEEEull;
+    b.client(0).script(s);
+    Msg wt = req(MsgType::WriteThrough);
+    wt.hasData = true;
+    wt.mask = makeMask(0, 4);
+    wt.data.set<std::uint32_t>(0, 0x1234);
+    b.client(2).send(wt);
+    b.settle();
+    // Result: the L2's dirty bytes persisted with the WT merged in.
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint32_t>(A), 0x1234u);
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint32_t>(A + 4),
+              0xEEEEEEEEu);
+}
+
+TEST(DirBaseline, AtomicReturnsOldValueAndApplies)
+{
+    DirBench b;
+    b.mem.functionalWriteWord<std::uint64_t>(A, 100);
+    Msg at = req(MsgType::Atomic);
+    at.atomicOp = AtomicOp::Add;
+    at.atomicOperand = 5;
+    at.atomicOffset = 0;
+    at.atomicSize = 8;
+    at.txnId = 77;
+    b.client(2).send(at);
+    b.settle();
+    auto resp = b.client(2).last(MsgType::AtomicResp);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->atomicResult, 100u);
+    EXPECT_EQ(resp->txnId, 77u);
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint64_t>(A), 105u);
+}
+
+TEST(DirBaseline, DmaReadProbesAndReturnsDirtyData)
+{
+    DirBench b;
+    Topology topo{2, 1};
+    b.client(0).script({A, true, true, true, 64646});
+    Msg rd = req(MsgType::DmaRead);
+    rd.sender = topo.dmaId();
+    b.client(3).send(rd);
+    b.settle();
+    auto resp = b.client(3).last(MsgType::DmaResp);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->data.get<std::uint64_t>(0), 64646u);
+    // Fig. 3: DMA reads broadcast (downgrade) probes to the L2s.
+    EXPECT_EQ(b.client(0).count(MsgType::PrbDowngrade), 1u);
+    EXPECT_EQ(b.client(1).count(MsgType::PrbDowngrade), 1u);
+    EXPECT_EQ(b.client(2).count(MsgType::PrbDowngrade), 0u);
+}
+
+TEST(DirBaseline, DmaWriteProbesGpuToo)
+{
+    DirBench b;
+    Msg wr = req(MsgType::DmaWrite);
+    wr.hasData = true;
+    wr.mask = FullMask;
+    wr.data.set<std::uint64_t>(0, 5);
+    b.client(3).send(wr);
+    b.settle();
+    EXPECT_EQ(b.client(0).count(MsgType::PrbInv), 1u);
+    EXPECT_EQ(b.client(1).count(MsgType::PrbInv), 1u);
+    EXPECT_EQ(b.client(2).count(MsgType::PrbInv), 1u); // the TCC
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint64_t>(A), 5u);
+}
+
+TEST(DirBaseline, CancelledVicIsDropped)
+{
+    DirBench b;
+    b.mem.functionalWriteWord<std::uint64_t>(A, 1);
+    // Client 0's probe response says "this data came from a pending
+    // write-back that your probe cancelled".
+    FakeClient::LineScript s{A, true, true, true, 42};
+    s.cancelledVic = true;
+    b.client(0).script(s);
+    b.client(1).send(req(MsgType::RdBlkM));
+    b.settle();
+    // The in-flight stale victim now arrives and must be dropped.
+    Msg vic = req(MsgType::VicDirty);
+    vic.hasData = true;
+    vic.dirty = true;
+    vic.data.set<std::uint64_t>(0, 42);
+    b.client(0).send(vic);
+    b.settle();
+    EXPECT_EQ(b.stats.counter("dir.staleVicDropped"), 1u);
+    EXPECT_EQ(b.client(0).count(MsgType::WBAck), 1u);
+    // The stale data must not have been written anywhere.
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint64_t>(A), 1u);
+    EXPECT_EQ(b.dir->llc().peek(A), nullptr);
+}
+
+TEST(DirBaseline, ProbeCountMatchesFigure7Metric)
+{
+    DirBench b;
+    b.client(0).send(req(MsgType::RdBlk));        // 1 downgrade
+    b.client(0).send(req(MsgType::RdBlkM, A + 64)); // 2 invals
+    b.settle();
+    EXPECT_EQ(b.dir->probesSent(), 3u);
+    EXPECT_EQ(b.stats.counter("dir.probesSent"), 3u);
+}
+
+TEST(DirTracked, UntrackedVictimDropped)
+{
+    DirConfig cfg;
+    cfg.tracking = DirTracking::Sharers;
+    DirBench b(cfg);
+    Msg vic = req(MsgType::VicClean);
+    vic.hasData = true;
+    b.client(0).send(vic);
+    b.settle();
+    EXPECT_EQ(b.stats.counter("dir.staleVicDropped"), 1u);
+    EXPECT_EQ(b.client(0).count(MsgType::WBAck), 1u);
+}
+
+TEST(DirTracked, ReadOnlyRegionReadsAreNotTracked)
+{
+    DirConfig cfg;
+    cfg.tracking = DirTracking::Sharers;
+    cfg.readOnlyBase = A;
+    cfg.readOnlyLimit = A + 128;
+    DirBench b(cfg);
+    b.mem.functionalWriteWord<std::uint64_t>(A, 3);
+    b.client(0).send(req(MsgType::RdBlk));
+    b.settle();
+    auto resp = b.client(0).last(MsgType::SysResp);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->grant, Grant::Shared) << "no Exclusive in RO region";
+    EXPECT_EQ(resp->data.get<std::uint64_t>(0), 3u);
+    EXPECT_FALSE(b.dir->tracks(A));
+    EXPECT_EQ(b.stats.counter("dir.readOnlyElided"), 1u);
+
+    // Outside the region, tracking happens as usual.
+    b.client(0).send(req(MsgType::RdBlk, A + 256));
+    b.settle();
+    EXPECT_TRUE(b.dir->tracks(A + 256));
+}
+
+TEST(DirTracked, TrackedReadThenWriteFlow)
+{
+    DirConfig cfg;
+    cfg.tracking = DirTracking::Sharers;
+    DirBench b(cfg);
+    b.mem.functionalWriteWord<std::uint64_t>(A, 9);
+    b.client(0).send(req(MsgType::RdBlk));
+    b.settle();
+    EXPECT_TRUE(b.dir->tracks(A));
+    EXPECT_EQ(b.dir->trackedState(A), DirState::O);
+    EXPECT_EQ(b.dir->trackedOwner(A), 0);
+
+    // Writer 1 takes over; owner must be probed (E forwards data).
+    b.client(0).script({A, true, true, false, 9});
+    b.client(1).send(req(MsgType::RdBlkM));
+    b.settle();
+    EXPECT_EQ(b.dir->trackedOwner(A), 1);
+    EXPECT_EQ(b.client(0).count(MsgType::PrbInv), 1u);
+    auto resp = b.client(1).last(MsgType::SysResp);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->data.get<std::uint64_t>(0), 9u);
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Unit tests of the VIPER GPU controllers (TCP, TCC, SQC) against a
+ * scripted fake directory: fills, write-through vs write-back
+ * behaviour, scoped atomics, SLC bypass with self-invalidation,
+ * probe invalidation without data forwarding, and store-release
+ * draining.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+#include "protocol/gpu/sqc.hh"
+#include "protocol/gpu/tcp.hh"
+
+namespace hsc
+{
+namespace
+{
+
+/** Minimal directory standing behind one TCC. */
+class FakeDir
+{
+  public:
+    FakeDir(EventQueue &eq, MessageBuffer &to_tcc)
+        : mem("mem", eq, 500, 50), eq(eq), toTcc(to_tcc)
+    {
+    }
+
+    void
+    bind(MessageBuffer &from_tcc)
+    {
+        from_tcc.setConsumer([this](Msg &&m) { receive(std::move(m)); });
+    }
+
+    std::vector<Msg> received;
+
+    unsigned
+    count(MsgType t) const
+    {
+        unsigned n = 0;
+        for (const Msg &m : received)
+            n += (m.type == t);
+        return n;
+    }
+
+    /** Send a probe toward the TCC. */
+    void
+    probe(Addr a, MsgType t = MsgType::PrbInv)
+    {
+        Msg p;
+        p.type = t;
+        p.addr = a;
+        p.txnId = 12345;
+        toTcc.enqueue(std::move(p));
+    }
+
+    std::vector<Msg> probeResps;
+
+    MainMemory mem;
+
+  private:
+    void
+    receive(Msg &&m)
+    {
+        received.push_back(m);
+        switch (m.type) {
+          case MsgType::TccRdBlk: {
+            Msg r;
+            r.type = MsgType::SysResp;
+            r.addr = m.addr;
+            r.grant = Grant::Shared;
+            r.hasData = true;
+            r.data = mem.functionalRead(m.addr);
+            toTcc.enqueue(std::move(r));
+            break;
+          }
+          case MsgType::WriteThrough:
+          case MsgType::Flush: {
+            mem.functionalWrite(m.addr, m.data, m.mask);
+            Msg r;
+            r.type = MsgType::WBAck;
+            r.addr = m.addr;
+            toTcc.enqueue(std::move(r));
+            break;
+          }
+          case MsgType::Atomic: {
+            DataBlock blk = mem.functionalRead(m.addr);
+            std::uint64_t old_val = m.atomicSize == 4
+                ? blk.get<std::uint32_t>(m.atomicOffset)
+                : blk.get<std::uint64_t>(m.atomicOffset);
+            std::uint64_t new_val = applyAtomic(
+                m.atomicOp, old_val, m.atomicOperand, m.atomicOperand2);
+            if (m.atomicSize == 4)
+                blk.set<std::uint32_t>(m.atomicOffset,
+                                       std::uint32_t(new_val));
+            else
+                blk.set<std::uint64_t>(m.atomicOffset, new_val);
+            mem.functionalWrite(m.addr, blk);
+            Msg r;
+            r.type = MsgType::AtomicResp;
+            r.addr = m.addr;
+            r.txnId = m.txnId;
+            r.atomicResult = old_val;
+            toTcc.enqueue(std::move(r));
+            break;
+          }
+          case MsgType::PrbResp:
+            probeResps.push_back(m);
+            break;
+          default:
+            FAIL() << "unexpected message "
+                   << std::string(msgTypeName(m.type));
+        }
+    }
+
+    EventQueue &eq;
+    MessageBuffer &toTcc;
+};
+
+/** Assembled TCP + TCC + SQC over the fake directory. */
+struct GpuBench
+{
+    explicit GpuBench(bool write_back = false)
+        : toDir("toDir", eq, 20), fromDir("fromDir", eq, 20),
+          dir(eq, fromDir)
+    {
+        TccParams tp;
+        tp.geom = {8, 2};
+        tp.writeBack = write_back;
+        tcc = std::make_unique<TccController>("tcc", eq, ClockDomain(100),
+                                              1, tp, toDir);
+        tcc->bindFromDir(fromDir);
+        dir.bind(toDir);
+        TcpParams tpp;
+        tpp.geom = {4, 2};
+        tpp.writeBack = write_back;
+        tcp = std::make_unique<TcpController>("tcp", eq, ClockDomain(100),
+                                              tpp, *tcc);
+        SqcParams sp;
+        sp.geom = {4, 2};
+        sqc = std::make_unique<SqcController>("sqc", eq, ClockDomain(100),
+                                              sp, *tcc);
+    }
+
+    void settle() { eq.run(); }
+
+    EventQueue eq;
+    MessageBuffer toDir;
+    MessageBuffer fromDir;
+    FakeDir dir;
+    std::unique_ptr<TccController> tcc;
+    std::unique_ptr<TcpController> tcp;
+    std::unique_ptr<SqcController> sqc;
+};
+
+constexpr Addr A = 0x1000;
+
+TEST(Tcc, ReadMissFillsAndCaches)
+{
+    GpuBench b;
+    b.dir.mem.functionalWriteWord<std::uint64_t>(A, 99);
+    std::uint64_t got = 0;
+    b.tcc->readBlock(A, [&](const DataBlock &d) {
+        got = d.get<std::uint64_t>(0);
+    });
+    b.settle();
+    EXPECT_EQ(got, 99u);
+    EXPECT_TRUE(b.tcc->hasLine(A));
+    // Second read hits locally: no new directory request.
+    unsigned reqs = b.dir.count(MsgType::TccRdBlk);
+    b.tcc->readBlock(A, [&](const DataBlock &) {});
+    b.settle();
+    EXPECT_EQ(b.dir.count(MsgType::TccRdBlk), reqs);
+}
+
+TEST(Tcc, ConcurrentFillsMergeInMshr)
+{
+    GpuBench b;
+    int done = 0;
+    for (int i = 0; i < 3; ++i)
+        b.tcc->readBlock(A, [&](const DataBlock &) { ++done; });
+    b.settle();
+    EXPECT_EQ(done, 3);
+    EXPECT_EQ(b.dir.count(MsgType::TccRdBlk), 1u);
+}
+
+TEST(Tcc, WriteThroughModeForwardsEveryWrite)
+{
+    GpuBench b(false);
+    DataBlock src;
+    src.set<std::uint32_t>(4, 0xAB);
+    b.tcc->write(A, src, makeMask(4, 4), [] {});
+    b.settle();
+    EXPECT_EQ(b.dir.count(MsgType::WriteThrough), 1u);
+    EXPECT_EQ(b.dir.mem.functionalReadWord<std::uint32_t>(A + 4), 0xABu);
+    // No write-allocate in WT mode.
+    EXPECT_FALSE(b.tcc->hasLine(A));
+}
+
+TEST(Tcc, WriteBackModeDefersUntilRelease)
+{
+    GpuBench b(true);
+    DataBlock src;
+    src.set<std::uint32_t>(0, 7);
+    b.tcc->write(A, src, makeMask(0, 4), [] {});
+    b.settle();
+    EXPECT_EQ(b.dir.count(MsgType::WriteThrough), 0u);
+    EXPECT_TRUE(b.tcc->lineDirty(A));
+
+    bool released = false;
+    b.tcc->release([&] { released = true; });
+    b.settle();
+    EXPECT_TRUE(released);
+    // Release drains as Flush requests and the line goes clean.
+    EXPECT_EQ(b.dir.count(MsgType::Flush), 1u);
+    EXPECT_FALSE(b.tcc->lineDirty(A));
+    EXPECT_EQ(b.dir.mem.functionalReadWord<std::uint32_t>(A), 7u);
+}
+
+TEST(Tcc, SystemScopeWriteBypassesWriteBackMode)
+{
+    GpuBench b(true);
+    DataBlock src;
+    src.set<std::uint32_t>(0, 21);
+    b.tcc->write(A, src, makeMask(0, 4), [] {}, Scope::System);
+    b.settle();
+    EXPECT_EQ(b.dir.count(MsgType::WriteThrough), 1u);
+    EXPECT_EQ(b.dir.mem.functionalReadWord<std::uint32_t>(A), 21u);
+}
+
+TEST(Tcc, WriteBackEvictionWritesBack)
+{
+    GpuBench b(true);
+    // 2-way TCC sets: three dirty lines in one set force an eviction.
+    DataBlock src;
+    src.set<std::uint32_t>(0, 1);
+    for (unsigned i = 0; i < 3; ++i)
+        b.tcc->write(A + i * 64 * 8, src, makeMask(0, 4), [] {});
+    b.settle();
+    EXPECT_EQ(b.dir.count(MsgType::WriteThrough), 1u);
+}
+
+TEST(Tcc, DeviceAtomicExecutesLocally)
+{
+    GpuBench b(false);
+    b.dir.mem.functionalWriteWord<std::uint32_t>(A, 10);
+    std::uint64_t old_val = 0;
+    b.tcc->atomic(A, AtomicOp::Add, 5, 0, 4, Scope::Device,
+                  [&](std::uint64_t v) { old_val = v; });
+    b.settle();
+    EXPECT_EQ(old_val, 10u);
+    EXPECT_EQ(b.dir.count(MsgType::Atomic), 0u) << "GLC stays in the TCC";
+    // WT mode writes the result through.
+    EXPECT_EQ(b.dir.mem.functionalReadWord<std::uint32_t>(A), 15u);
+}
+
+TEST(Tcc, SystemAtomicBypassesAndSelfInvalidates)
+{
+    GpuBench b(true);
+    // Dirty the line at device scope first.
+    DataBlock src;
+    src.set<std::uint32_t>(4, 0xDD);
+    b.tcc->write(A, src, makeMask(4, 4), [] {});
+    b.settle();
+    ASSERT_TRUE(b.tcc->lineDirty(A));
+
+    std::uint64_t old_val = 1;
+    b.tcc->atomic(A, AtomicOp::Add, 2, 0, 4, Scope::System,
+                  [&](std::uint64_t v) { old_val = v; });
+    b.settle();
+    EXPECT_EQ(old_val, 0u);
+    EXPECT_EQ(b.dir.count(MsgType::Atomic), 1u);
+    // The dirty bytes were flushed before the atomic (ordering), and
+    // the TCC no longer holds the line (non-inclusive SLC bypass).
+    EXPECT_EQ(b.dir.count(MsgType::WriteThrough), 1u);
+    EXPECT_FALSE(b.tcc->hasLine(A));
+    EXPECT_EQ(b.dir.mem.functionalReadWord<std::uint32_t>(A + 4), 0xDDu);
+    EXPECT_EQ(b.dir.mem.functionalReadWord<std::uint32_t>(A), 2u);
+}
+
+TEST(Tcc, ProbeInvalidatesWithoutForwardingData)
+{
+    GpuBench b(true);
+    DataBlock src;
+    src.set<std::uint32_t>(0, 3);
+    b.tcc->write(A, src, makeMask(0, 4), [] {});
+    b.settle();
+    ASSERT_TRUE(b.tcc->hasLine(A));
+
+    b.dir.probe(A, MsgType::PrbInv);
+    b.settle();
+    ASSERT_EQ(b.dir.probeResps.size(), 1u);
+    const Msg &resp = b.dir.probeResps[0];
+    EXPECT_TRUE(resp.hit);
+    EXPECT_FALSE(resp.hasData) << "the TCC never forwards data";
+    EXPECT_EQ(resp.txnId, 12345u);
+    EXPECT_FALSE(b.tcc->hasLine(A)) << "the TCC invalidates itself";
+}
+
+TEST(Tcc, ProbeMissAcksMiss)
+{
+    GpuBench b;
+    b.dir.probe(A);
+    b.settle();
+    ASSERT_EQ(b.dir.probeResps.size(), 1u);
+    EXPECT_FALSE(b.dir.probeResps[0].hit);
+}
+
+TEST(Tcp, LoadMissFillsThroughTcc)
+{
+    GpuBench b;
+    b.dir.mem.functionalWriteWord<std::uint32_t>(A + 8, 77);
+    std::uint64_t got = 0;
+    b.tcp->load(A + 8, 4, Scope::Wave, [&](std::uint64_t v) { got = v; });
+    b.settle();
+    EXPECT_EQ(got, 77u);
+    EXPECT_TRUE(b.tcp->hasLine(A));
+    EXPECT_TRUE(b.tcc->hasLine(A)) << "fill populates both levels";
+}
+
+TEST(Tcp, SystemLoadBypassesTcpAndTcc)
+{
+    GpuBench b;
+    b.dir.mem.functionalWriteWord<std::uint32_t>(A, 5);
+    std::uint64_t got = 0;
+    b.tcp->load(A, 4, Scope::System, [&](std::uint64_t v) { got = v; });
+    b.settle();
+    EXPECT_EQ(got, 5u);
+    EXPECT_EQ(b.dir.count(MsgType::Atomic), 1u) << "SLC load at the dir";
+    EXPECT_FALSE(b.tcp->hasLine(A));
+}
+
+TEST(Tcp, WriteBackStoreStaysLocalUntilRelease)
+{
+    GpuBench b(true);
+    b.tcp->store(A, 4, 0x77, Scope::Wave, [] {});
+    b.settle();
+    EXPECT_TRUE(b.tcp->hasLine(A));
+    EXPECT_FALSE(b.tcc->hasLine(A)) << "store stays in the TCP";
+
+    bool released = false;
+    b.tcp->release([&] { released = true; });
+    b.settle();
+    EXPECT_TRUE(released);
+    EXPECT_EQ(b.dir.mem.functionalReadWord<std::uint32_t>(A), 0x77u);
+}
+
+TEST(Tcp, AcquireInvalidatesEverything)
+{
+    GpuBench b;
+    b.tcp->load(A, 4, Scope::Wave, [](std::uint64_t) {});
+    b.tcp->load(A + 64, 4, Scope::Wave, [](std::uint64_t) {});
+    b.settle();
+    EXPECT_EQ(b.tcp->occupancy(), 2u);
+    b.tcp->acquire([] {});
+    b.settle();
+    EXPECT_EQ(b.tcp->occupancy(), 0u);
+}
+
+TEST(Tcp, CoalescedBlockOps)
+{
+    GpuBench b;
+    DataBlock src;
+    for (unsigned i = 0; i < 16; ++i)
+        src.set<std::uint32_t>(i * 4, i * 10);
+    b.tcp->storeBlock(A, src, FullMask, [] {});
+    b.settle();
+    DataBlock got;
+    b.tcp->loadBlock(A, [&](const DataBlock &d) { got = d; });
+    b.settle();
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(got.get<std::uint32_t>(i * 4), i * 10);
+}
+
+TEST(Sqc, FetchCachesInstructionLines)
+{
+    GpuBench b;
+    int fetched = 0;
+    b.sqc->fetch(A, [&] { ++fetched; });
+    b.settle();
+    EXPECT_EQ(fetched, 1);
+    EXPECT_TRUE(b.sqc->hasLine(A));
+    unsigned reqs = b.dir.count(MsgType::TccRdBlk);
+    b.sqc->fetch(A + 4, [&] { ++fetched; }); // same line
+    b.settle();
+    EXPECT_EQ(fetched, 2);
+    EXPECT_EQ(b.dir.count(MsgType::TccRdBlk), reqs);
+}
+
+TEST(Sqc, InvalidateAllEmptiesCache)
+{
+    GpuBench b;
+    b.sqc->fetch(A, [] {});
+    b.sqc->fetch(A + 64, [] {});
+    b.settle();
+    EXPECT_EQ(b.sqc->occupancy(), 2u);
+    b.sqc->invalidateAll();
+    EXPECT_EQ(b.sqc->occupancy(), 0u);
+}
+
+TEST(Tcc, ReleaseWaitsForOutstandingWriteAcks)
+{
+    GpuBench b(false);
+    DataBlock src;
+    src.set<std::uint32_t>(0, 1);
+    bool released = false;
+    b.tcc->write(A, src, makeMask(0, 4), [] {});
+    b.tcc->release([&] { released = true; });
+    // Before the queue drains, the WBAck has not arrived.
+    EXPECT_FALSE(released);
+    b.settle();
+    EXPECT_TRUE(released);
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests of the LLC victim cache: allocation policy, write-through
+ * vs write-back, sticky dirty bit, eviction write-backs, masked
+ * merges, and invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocol/dir/llc.hh"
+
+namespace hsc
+{
+namespace
+{
+
+struct LlcBench
+{
+    explicit LlcBench(bool wb)
+        : mem("mem", eq, 10, 1),
+          llc("llc", LlcParams{{4, 2}, wb}, mem)
+    {
+        llc.regStats(stats);
+    }
+
+    EventQueue eq;
+    StatRegistry stats;
+    MainMemory mem;
+    LlcCache llc;
+};
+
+DataBlock
+blockWith(std::uint64_t v)
+{
+    DataBlock b;
+    b.set<std::uint64_t>(0, v);
+    return b;
+}
+
+TEST(Llc, MissThenVictimWriteThenHit)
+{
+    LlcBench b(false);
+    EXPECT_FALSE(b.llc.read(0x100).has_value());
+    b.llc.victimWrite(0x100, blockWith(42), false, true);
+    auto r = b.llc.read(0x100);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->get<std::uint64_t>(0), 42u);
+    EXPECT_EQ(b.stats.counter("llc.readHits"), 1u);
+    EXPECT_EQ(b.stats.counter("llc.reads"), 2u);
+}
+
+TEST(Llc, WriteThroughAlsoWritesMemory)
+{
+    LlcBench b(false);
+    b.llc.victimWrite(0x100, blockWith(7), false, true);
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint64_t>(0x100), 7u);
+    EXPECT_EQ(b.mem.writes(), 1u);
+}
+
+TEST(Llc, WriteThroughCanSkipMemoryForCleanVictims)
+{
+    LlcBench b(false);
+    b.llc.victimWrite(0x100, blockWith(7), false, false); // §III-B
+    EXPECT_EQ(b.mem.writes(), 0u);
+    EXPECT_TRUE(b.llc.read(0x100).has_value());
+}
+
+TEST(Llc, WriteBackDefersMemory)
+{
+    LlcBench b(true);
+    b.llc.victimWrite(0x100, blockWith(9), true, false);
+    EXPECT_EQ(b.mem.writes(), 0u);
+    EXPECT_TRUE(b.llc.lineDirty(0x100));
+}
+
+TEST(Llc, DirtyBitIsSticky)
+{
+    LlcBench b(true);
+    b.llc.victimWrite(0x100, blockWith(1), true, false);
+    b.llc.victimWrite(0x100, blockWith(2), false, false);
+    EXPECT_TRUE(b.llc.lineDirty(0x100));
+    auto r = b.llc.read(0x100);
+    EXPECT_EQ(r->get<std::uint64_t>(0), 2u);
+}
+
+TEST(Llc, EvictionWritesBackDirtyLines)
+{
+    LlcBench b(true); // 4 sets x 2 ways; set stride = 4*64 = 256
+    b.llc.victimWrite(0x000, blockWith(11), true, false);
+    b.llc.victimWrite(0x100, blockWith(22), true, false);
+    EXPECT_EQ(b.mem.writes(), 0u);
+    b.llc.victimWrite(0x200, blockWith(33), true, false); // evicts one
+    EXPECT_EQ(b.mem.writes(), 1u);
+    EXPECT_EQ(b.stats.counter("llc.evictions"), 1u);
+    EXPECT_EQ(b.stats.counter("llc.dirtyEvictions"), 1u);
+}
+
+TEST(Llc, CleanEvictionsSilent)
+{
+    LlcBench b(true);
+    for (Addr a : {Addr(0x000), Addr(0x100), Addr(0x200)})
+        b.llc.victimWrite(a, blockWith(1), false, false);
+    EXPECT_EQ(b.mem.writes(), 0u);
+    EXPECT_EQ(b.stats.counter("llc.evictions"), 1u);
+    EXPECT_EQ(b.stats.counter("llc.dirtyEvictions"), 0u);
+}
+
+TEST(Llc, MergeIfPresentMissReturnsFalse)
+{
+    LlcBench b(false);
+    EXPECT_FALSE(b.llc.mergeIfPresent(0x100, blockWith(1), FullMask));
+}
+
+TEST(Llc, MergeIfPresentWriteThroughPropagates)
+{
+    LlcBench b(false);
+    b.llc.victimWrite(0x100, blockWith(0xAAAA), false, true);
+    DataBlock upd;
+    upd.set<std::uint32_t>(8, 0xBB);
+    EXPECT_TRUE(b.llc.mergeIfPresent(0x100, upd, makeMask(8, 4)));
+    // Line merged, memory updated (WT), other bytes intact.
+    EXPECT_EQ(b.llc.read(0x100)->get<std::uint64_t>(0), 0xAAAAu);
+    EXPECT_EQ(b.llc.read(0x100)->get<std::uint32_t>(8), 0xBBu);
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint32_t>(0x108), 0xBBu);
+}
+
+TEST(Llc, MergeIfPresentWriteBackDirties)
+{
+    LlcBench b(true);
+    b.llc.victimWrite(0x100, blockWith(1), false, false);
+    EXPECT_FALSE(b.llc.lineDirty(0x100));
+    DataBlock upd;
+    EXPECT_TRUE(b.llc.mergeIfPresent(0x100, upd, makeMask(0, 8)));
+    EXPECT_TRUE(b.llc.lineDirty(0x100));
+    EXPECT_EQ(b.mem.writes(), 0u);
+}
+
+TEST(Llc, InvalidateFlushesDirtyData)
+{
+    LlcBench b(true);
+    b.llc.victimWrite(0x100, blockWith(5), true, false);
+    b.llc.invalidate(0x100);
+    EXPECT_FALSE(b.llc.read(0x100).has_value());
+    EXPECT_EQ(b.mem.functionalReadWord<std::uint64_t>(0x100), 5u);
+}
+
+TEST(Llc, InvalidateCleanIsSilent)
+{
+    LlcBench b(false);
+    b.llc.victimWrite(0x100, blockWith(5), false, true);
+    unsigned writes = unsigned(b.mem.writes());
+    b.llc.invalidate(0x100);
+    EXPECT_EQ(b.mem.writes(), writes);
+    EXPECT_FALSE(b.llc.read(0x100).has_value());
+}
+
+TEST(Llc, PeekDoesNotDisturbState)
+{
+    LlcBench b(false);
+    EXPECT_EQ(b.llc.peek(0x100), nullptr);
+    b.llc.victimWrite(0x100, blockWith(3), false, true);
+    ASSERT_NE(b.llc.peek(0x100), nullptr);
+    EXPECT_EQ(b.llc.peek(0x100)->get<std::uint64_t>(0), 3u);
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,235 @@
+/** @file End-to-end smoke tests of the assembled system. */
+
+#include "tests/protocol/test_util.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(Smoke, SingleCpuStoreLoad)
+{
+    HsaSystem sys(baselineConfig());
+    Addr a = sys.alloc(64);
+    std::uint64_t got = 0;
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(a, 0xDEAD);
+        got = co_await cpu.load(a);
+    });
+    runAndCheck(sys);
+    EXPECT_EQ(got, 0xDEADu);
+    EXPECT_EQ(sys.readWord<std::uint64_t>(a), 0u)
+        << "line should still be dirty in the L2, not in memory";
+    EXPECT_TRUE(sys.corePair(0).hasLine(a));
+    EXPECT_EQ(sys.corePair(0).lineState(a), L2State::Modified);
+}
+
+TEST(Smoke, CrossCorePairTransfer)
+{
+    // Producer on CorePair 0, consumer on CorePair 1: the consumer's
+    // RdBlk must pull dirty data via a downgrade probe.
+    HsaSystem sys(baselineConfig());
+    Addr data = sys.alloc(64);
+    Addr flag = sys.alloc(64);
+    std::uint64_t got = 0;
+
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(data, 1234);
+        co_await cpu.store(flag, 1);
+    });
+    // Thread ids round-robin over cores; thread 2 lands on CorePair 1.
+    sys.addCpuThread([&](CpuCtx &) -> SimTask { co_return; });
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        while (co_await cpu.load(flag) == 0)
+            co_await cpu.compute(50);
+        got = co_await cpu.load(data);
+    });
+
+    runAndCheck(sys);
+    EXPECT_EQ(got, 1234u);
+    // Producer downgraded to Owned, consumer holds Shared.
+    EXPECT_EQ(sys.corePair(0).lineState(data), L2State::Owned);
+    EXPECT_EQ(sys.corePair(1).lineState(data), L2State::Shared);
+}
+
+TEST(Smoke, ExclusiveGrantWhenSole)
+{
+    HsaSystem sys(baselineConfig());
+    Addr a = sys.alloc(64);
+    sys.writeWord<std::uint64_t>(a, 77);
+    std::uint64_t got = 0;
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        got = co_await cpu.load(a);
+    });
+    runAndCheck(sys);
+    EXPECT_EQ(got, 77u);
+    EXPECT_EQ(sys.corePair(0).lineState(a), L2State::Exclusive);
+}
+
+TEST(Smoke, CpuAtomicsAreAtomicAcrossCores)
+{
+    HsaSystem sys(baselineConfig());
+    Addr ctr = sys.alloc(64);
+    constexpr unsigned kThreads = 8, kIters = 25;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+            for (unsigned i = 0; i < kIters; ++i)
+                co_await cpu.atomic(ctr, AtomicOp::Add, 1);
+        });
+    }
+    runAndCheck(sys);
+    // Read the final value through a fresh observer of the system.
+    std::uint64_t final_val = 0;
+    HsaSystem *s = &sys;
+    (void)s;
+    // The winning L2 holds the line dirty; peek it via the checker's
+    // system-visible view after probing: use a CPU load.
+    // (All threads completed, so any L2 copy is the current value.)
+    for (unsigned i = 0; i < sys.numCorePairs(); ++i) {
+        if (sys.corePair(i).hasLine(ctr))
+            final_val = sys.corePair(i).peekWord(ctr, 8);
+    }
+    EXPECT_EQ(final_val, std::uint64_t(kThreads) * kIters);
+}
+
+TEST(Smoke, GpuKernelVectorRoundTrip)
+{
+    HsaSystem sys(baselineConfig());
+    constexpr unsigned kWgs = 8, kLanes = 16;
+    Addr in = sys.alloc(kWgs * kLanes * 4);
+    Addr out = sys.alloc(kWgs * kLanes * 4);
+    for (unsigned i = 0; i < kWgs * kLanes; ++i)
+        sys.writeWord<std::uint32_t>(in + i * 4, i * 3);
+
+    GpuKernel k;
+    k.name = "scale";
+    k.numWorkgroups = kWgs;
+    k.body = [in, out](WaveCtx &wf) -> SimTask {
+        Addr base = in + Addr(wf.workgroupId()) * wf.laneCount() * 4;
+        Addr obase = out + Addr(wf.workgroupId()) * wf.laneCount() * 4;
+        auto vals = co_await wf.vload(base, 4, 4);
+        for (auto &v : vals)
+            v = v * 2 + 1;
+        co_await wf.vstore(obase, 4, 4, vals);
+    };
+
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.launchKernel(k);
+    });
+    runAndCheck(sys);
+    for (unsigned i = 0; i < kWgs * kLanes; ++i) {
+        EXPECT_EQ(sys.readWord<std::uint32_t>(out + i * 4), i * 6 + 1)
+            << "element " << i;
+    }
+}
+
+TEST(Smoke, GpuKernelWriteBackMode)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.gpuWriteBack = true;
+    HsaSystem sys(cfg);
+    constexpr unsigned kWgs = 4, kLanes = 16;
+    Addr out = sys.alloc(kWgs * kLanes * 4);
+
+    GpuKernel k;
+    k.name = "fill";
+    k.numWorkgroups = kWgs;
+    k.body = [out](WaveCtx &wf) -> SimTask {
+        Addr base = out + Addr(wf.workgroupId()) * wf.laneCount() * 4;
+        std::vector<std::uint64_t> vals(wf.laneCount());
+        for (unsigned i = 0; i < wf.laneCount(); ++i)
+            vals[i] = wf.workgroupId() * 100 + i;
+        co_await wf.vstore(base, 4, 4, vals);
+    };
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.launchKernel(k);
+    });
+    runAndCheck(sys);
+    // Kernel-end release must have drained the write-back caches.
+    for (unsigned wg = 0; wg < kWgs; ++wg) {
+        for (unsigned i = 0; i < kLanes; ++i) {
+            EXPECT_EQ(sys.readWord<std::uint32_t>(out +
+                                                  (wg * kLanes + i) * 4),
+                      wg * 100 + i);
+        }
+    }
+}
+
+TEST(Smoke, CpuGpuFlagHandshake)
+{
+    // CPU produces, GPU spins on an SLC flag, consumes, produces back.
+    for (bool wb : {false, true}) {
+        SystemConfig cfg = baselineConfig();
+        cfg.gpuWriteBack = wb;
+        HsaSystem sys(cfg);
+        Addr data = sys.alloc(64);
+        Addr flag = sys.alloc(64);
+        Addr result = sys.alloc(64);
+
+        GpuKernel k;
+        k.name = "consumer";
+        k.numWorkgroups = 1;
+        k.body = [data, flag, result](WaveCtx &wf) -> SimTask {
+            while (co_await wf.atomic(flag, AtomicOp::Load, 0, 0, 4,
+                                      Scope::System) == 0) {
+                co_await wf.compute(20);
+            }
+            auto v = co_await wf.load(data, 8, Scope::System);
+            co_await wf.atomic(result, AtomicOp::Exch, v + 5, 0, 8,
+                               Scope::System);
+        };
+
+        sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+            cpu.launchKernelAsync(k);
+            co_await cpu.compute(500);
+            co_await cpu.store(data, 42);
+            co_await cpu.store(flag, 1, 4);
+            co_await cpu.waitKernels();
+        });
+        runAndCheck(sys);
+        EXPECT_EQ(sys.readWord<std::uint64_t>(result), 47u)
+            << "gpuWriteBack=" << wb;
+    }
+}
+
+TEST(Smoke, DmaCopy)
+{
+    HsaSystem sys(baselineConfig());
+    constexpr unsigned kBlocks = 16;
+    Addr src = sys.alloc(kBlocks * 64);
+    Addr dst = sys.alloc(kBlocks * 64);
+    for (unsigned i = 0; i < kBlocks * 8; ++i)
+        sys.writeWord<std::uint64_t>(src + i * 8, i + 1);
+
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        // Dirty a couple of source lines in the CPU cache first so the
+        // DMA read has to probe them out.
+        co_await cpu.store(src, 9999);
+        co_await sys.dma().copyAsync(dst, src, kBlocks * 64);
+    });
+    runAndCheck(sys);
+    EXPECT_EQ(sys.readWord<std::uint64_t>(dst), 9999u);
+    for (unsigned i = 8; i < kBlocks * 8; ++i)
+        EXPECT_EQ(sys.readWord<std::uint64_t>(dst + i * 8), i + 1);
+}
+
+TEST(Smoke, AllConfigsRunTheSameProgram)
+{
+    for (const SystemConfig &cfg : allDirConfigs()) {
+        HsaSystem sys(cfg);
+        Addr a = sys.alloc(256);
+        std::uint64_t sum = 0;
+        sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+            for (unsigned i = 0; i < 32; ++i)
+                co_await cpu.store(a + (i % 4) * 64 + (i / 4) * 8, i);
+            for (unsigned i = 0; i < 32; ++i)
+                sum += co_await cpu.load(a + (i % 4) * 64 + (i / 4) * 8);
+        });
+        ASSERT_TRUE(sys.run()) << cfg.label;
+        EXPECT_EQ(sum, 496u) << cfg.label;
+        sum = 0;
+    }
+}
+
+} // namespace
+} // namespace hsc

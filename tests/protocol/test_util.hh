@@ -1,0 +1,40 @@
+/** @file Shared helpers for protocol-level tests. */
+
+#ifndef HSC_TESTS_PROTOCOL_TEST_UTIL_HH
+#define HSC_TESTS_PROTOCOL_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include "core/coherence_checker.hh"
+#include "core/hsa_system.hh"
+
+namespace hsc
+{
+
+/** All directory configurations a protocol test should pass under. */
+inline std::vector<SystemConfig>
+allDirConfigs()
+{
+    return {
+        baselineConfig(),       earlyRespConfig(),
+        noCleanVicToMemConfig(), noCleanVicToLlcConfig(),
+        llcWriteBackConfig(),   llcWriteBackUseL3Config(),
+        ownerTrackingConfig(),  sharerTrackingConfig(),
+        limitedPointerConfig(2),
+    };
+}
+
+/** Run @p sys and assert success plus clean invariants. */
+inline void
+runAndCheck(HsaSystem &sys)
+{
+    ASSERT_TRUE(sys.run()) << "simulation did not complete";
+    CheckResult chk = checkCoherenceInvariants(sys);
+    EXPECT_TRUE(chk.ok);
+    for (const auto &v : chk.violations)
+        ADD_FAILURE() << "invariant: " << v;
+}
+
+} // namespace hsc
+
+#endif // HSC_TESTS_PROTOCOL_TEST_UTIL_HH

@@ -1,0 +1,58 @@
+/** @file Unit tests for clock domains. */
+
+#include <gtest/gtest.h>
+
+#include "sim/clocked.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(ClockDomain, FromMHz)
+{
+    // 3.5 GHz -> 285 ps period (integer division).
+    EXPECT_EQ(ClockDomain::fromMHz(3500).periodTicks(), 285u);
+    EXPECT_EQ(ClockDomain::fromMHz(1100).periodTicks(), 909u);
+    EXPECT_EQ(ClockDomain::fromMHz(1000).periodTicks(), 1000u);
+}
+
+TEST(ClockDomain, CycleTickConversions)
+{
+    ClockDomain d(100);
+    EXPECT_EQ(d.toTicks(5), 500u);
+    EXPECT_EQ(d.toCycles(550), 5u);
+}
+
+TEST(ClockDomain, ClockEdgeRoundsUp)
+{
+    ClockDomain d(100);
+    EXPECT_EQ(d.clockEdge(0), 0u);
+    EXPECT_EQ(d.clockEdge(1), 100u);
+    EXPECT_EQ(d.clockEdge(100), 100u);
+    EXPECT_EQ(d.clockEdge(101, 2), 400u);
+}
+
+TEST(Clocked, SchedulesOnEdges)
+{
+    EventQueue eq;
+    Clocked obj("obj", eq, ClockDomain(100));
+    Tick fired = 0;
+    eq.schedule(42, [&] {
+        obj.scheduleCycles(3, [&] { fired = eq.curTick(); });
+    });
+    eq.run();
+    // Edge after 42 is 100; +3 cycles = 400.
+    EXPECT_EQ(fired, 400u);
+}
+
+TEST(Clocked, CurCycleTracksDomain)
+{
+    EventQueue eq;
+    Clocked obj("obj", eq, ClockDomain(250));
+    eq.schedule(1000, [&] { EXPECT_EQ(obj.curCycle(), 4u); });
+    eq.run();
+}
+
+} // namespace
+} // namespace hsc

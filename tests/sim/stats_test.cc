@@ -1,0 +1,107 @@
+/** @file Unit tests for the statistics framework. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c++;
+    c += 10;
+    EXPECT_EQ(c.value(), 12u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsAndMoments)
+{
+    Histogram h(10, 4);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(35);
+    h.sample(1000); // overflow bucket
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.sum(), 1054u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1054.0 / 5);
+    EXPECT_EQ(h.raw()[0], 2u);
+    EXPECT_EQ(h.raw()[1], 1u);
+    EXPECT_EQ(h.raw()[3], 1u);
+    EXPECT_EQ(h.raw()[4], 1u); // overflow
+}
+
+TEST(StatRegistry, LookupAndSum)
+{
+    StatRegistry reg;
+    Counter a, b, other;
+    reg.addCounter("dir.probes", &a);
+    reg.addCounter("dir.reads", &b);
+    reg.addCounter("mem.reads", &other);
+    a += 5;
+    b += 7;
+    other += 100;
+    EXPECT_EQ(reg.counter("dir.probes"), 5u);
+    EXPECT_EQ(reg.counter("nonexistent"), 0u);
+    EXPECT_FALSE(reg.hasCounter("nonexistent"));
+    EXPECT_TRUE(reg.hasCounter("dir.reads"));
+    EXPECT_EQ(reg.sumCounters("dir."), 12u);
+}
+
+TEST(StatRegistry, DuplicateNamePanics)
+{
+    StatRegistry reg;
+    Counter a, b;
+    reg.addCounter("x", &a);
+    EXPECT_THROW(reg.addCounter("x", &b), std::logic_error);
+}
+
+TEST(StatRegistry, ResetAll)
+{
+    StatRegistry reg;
+    Counter a;
+    Histogram h;
+    reg.addCounter("a", &a);
+    reg.addHistogram("h", &h);
+    a += 3;
+    h.sample(5);
+    reg.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(h.samples(), 0u);
+}
+
+TEST(StatRegistry, DumpFormat)
+{
+    StatRegistry reg;
+    Counter a;
+    a += 42;
+    reg.addCounter("sys.counter", &a);
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("sys.counter 42"), std::string::npos);
+}
+
+TEST(StatRegistry, CounterNamesSorted)
+{
+    StatRegistry reg;
+    Counter a, b;
+    reg.addCounter("zz", &a);
+    reg.addCounter("aa", &b);
+    auto names = reg.counterNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "aa");
+    EXPECT_EQ(names[1], "zz");
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Workload correctness: every CHAI-like workload must run to
+ * completion and verify its numerical output under every directory
+ * configuration (parameterized sweep), plus GPU write-back mode and a
+ * cache-pressure (torture) geometry on the baseline and the most
+ * enhanced configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/workload.hh"
+
+namespace hsc
+{
+namespace
+{
+
+struct Param
+{
+    std::string workload;
+    std::string cfgName;
+    SystemConfig cfg;
+
+    std::string
+    name() const
+    {
+        std::string n = workload + "_" + cfgName;
+        for (auto &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    }
+};
+
+class WorkloadFixture : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(WorkloadFixture, RunsAndVerifies)
+{
+    const Param &p = GetParam();
+    WorkloadParams wp;
+    wp.scale = 1;
+    WorkloadRun r = runWorkload(p.workload, p.cfg, wp);
+    ASSERT_TRUE(r.ran) << "simulation incomplete";
+    EXPECT_TRUE(r.verified) << "output verification failed";
+    EXPECT_GT(r.cycles, 0u);
+}
+
+std::vector<Param>
+makeParams()
+{
+    std::vector<Param> params;
+    std::vector<std::pair<std::string, SystemConfig>> cfgs = {
+        {"baseline", baselineConfig()},
+        {"earlyResp", earlyRespConfig()},
+        {"noCleanVicMem", noCleanVicToMemConfig()},
+        {"noCleanVicLlc", noCleanVicToLlcConfig()},
+        {"llcWB", llcWriteBackConfig()},
+        {"llcWBuseL3", llcWriteBackUseL3Config()},
+        {"owner", ownerTrackingConfig()},
+        {"sharers", sharerTrackingConfig()},
+        {"limitedPtr2", limitedPointerConfig(2)},
+    };
+    for (const std::string &wl : workloadIds()) {
+        for (auto &[name, cfg] : cfgs)
+            params.push_back({wl, name, cfg});
+    }
+    // HeteroSync-style microbenchmarks on a representative config set.
+    for (const std::string &wl : heteroSyncIds()) {
+        params.push_back({wl, "baseline", baselineConfig()});
+        params.push_back({wl, "llcWBuseL3", llcWriteBackUseL3Config()});
+        params.push_back({wl, "sharers", sharerTrackingConfig()});
+        SystemConfig wb = sharerTrackingConfig();
+        wb.gpuWriteBack = true;
+        params.push_back({wl, "sharersGpuWB", wb});
+    }
+    for (const std::string &wl : workloadIds()) {
+
+        SystemConfig wb = baselineConfig();
+        wb.gpuWriteBack = true;
+        params.push_back({wl, "baselineGpuWB", wb});
+
+        SystemConfig wb2 = sharerTrackingConfig();
+        wb2.gpuWriteBack = true;
+        params.push_back({wl, "sharersGpuWB", wb2});
+
+        SystemConfig torture = baselineConfig();
+        shrinkForTorture(torture);
+        params.push_back({wl, "baselineTorture", torture});
+
+        SystemConfig torture2 = sharerTrackingConfig();
+        shrinkForTorture(torture2);
+        params.push_back({wl, "sharersTorture", torture2});
+    }
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadFixture,
+                         ::testing::ValuesIn(makeParams()),
+                         [](const auto &info) { return info.param.name(); });
+
+TEST(WorkloadRegistry, AllIdsConstruct)
+{
+    WorkloadParams p;
+    for (const std::string &id : workloadIds()) {
+        auto wl = makeWorkload(id, p);
+        ASSERT_NE(wl, nullptr);
+        EXPECT_EQ(wl->name(), id);
+    }
+    EXPECT_THROW(makeWorkload("nope", p), std::runtime_error);
+}
+
+TEST(WorkloadRegistry, CoherenceActiveIsSubset)
+{
+    for (const std::string &id : coherenceActiveIds()) {
+        bool found = false;
+        for (const std::string &all : workloadIds())
+            found |= (all == id);
+        EXPECT_TRUE(found) << id;
+    }
+}
+
+} // namespace
+} // namespace hsc

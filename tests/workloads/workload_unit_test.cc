@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Per-workload unit tests beyond the big run-and-verify sweep:
+ * verification quality (a corrupted output must be rejected),
+ * parameter scaling, and workload-specific structural expectations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/run_report.hh"
+#include "workloads/workload.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(WorkloadVerify, RejectsCorruptedOutput)
+{
+    // Run hsto, then corrupt one bin *behind the caches' backs* at a
+    // location the caches no longer hold; verify() must notice.
+    SystemConfig cfg = baselineConfig();
+    HsaSystem sys(cfg);
+    WorkloadParams p;
+    auto wl = makeWorkload("hsto", p);
+    wl->setup(sys);
+    ASSERT_TRUE(sys.run());
+    ASSERT_TRUE(wl->verify(sys));
+
+    // The bins live at the second allocation; sweep all candidate
+    // words and corrupt whichever one coherentPeek currently reads
+    // from memory (i.e. not cached anywhere).
+    bool corrupted_one = false;
+    for (Addr probe = 0x100000; probe < 0x140000 && !corrupted_one;
+         probe += 4) {
+        bool cached = false;
+        for (unsigned i = 0; i < sys.numCorePairs(); ++i)
+            cached |= sys.corePair(i).hasLine(probe);
+        if (cached)
+            continue;
+        std::uint32_t cur = sys.readWord<std::uint32_t>(probe);
+        if (cur != 0 && sys.directory().llc().peek(probe) == nullptr) {
+            sys.writeWord<std::uint32_t>(probe, cur + 13);
+            corrupted_one = true;
+        }
+    }
+    if (corrupted_one) {
+        EXPECT_FALSE(wl->verify(sys));
+    }
+}
+
+TEST(WorkloadScaling, ScaleGrowsWork)
+{
+    WorkloadParams small, big;
+    small.scale = 1;
+    big.scale = 3;
+    RunMetrics a = benchWorkload("hsti", baselineConfig(), small);
+    RunMetrics b = benchWorkload("hsti", baselineConfig(), big);
+    EXPECT_TRUE(a.ok);
+    EXPECT_TRUE(b.ok);
+    EXPECT_GT(b.cycles, a.cycles);
+    EXPECT_GT(b.dirRequests, a.dirRequests);
+}
+
+TEST(WorkloadStructure, TqUsesGpuAtomicsHeavily)
+{
+    SystemConfig cfg = baselineConfig();
+    HsaSystem sys(cfg);
+    WorkloadParams p;
+    auto wl = makeWorkload("tq", p);
+    wl->setup(sys);
+    ASSERT_TRUE(sys.run());
+    ASSERT_TRUE(wl->verify(sys));
+    EXPECT_GT(sys.stats().counter("system.tcc.atomicsSystem"), 0u);
+    EXPECT_GT(sys.stats().counter("system.dir.atomics"), 0u);
+}
+
+TEST(WorkloadStructure, HstoReadsInputFromBothDevices)
+{
+    SystemConfig cfg = baselineConfig();
+    HsaSystem sys(cfg);
+    WorkloadParams p;
+    auto wl = makeWorkload("hsto", p);
+    wl->setup(sys);
+    ASSERT_TRUE(sys.run());
+    ASSERT_TRUE(wl->verify(sys));
+    // Output partitioning: both CPU loads and GPU reads are heavy.
+    EXPECT_GT(sys.stats().sumCounters("system.corepair"), 0u);
+    EXPECT_GT(sys.stats().counter("system.tcc.reads"), 0u);
+}
+
+TEST(WorkloadStructure, CeddProducesFlushesInWriteBackMode)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.gpuWriteBack = true;
+    HsaSystem sys(cfg);
+    WorkloadParams p;
+    auto wl = makeWorkload("cedd", p);
+    wl->setup(sys);
+    ASSERT_TRUE(sys.run());
+    ASSERT_TRUE(wl->verify(sys));
+    EXPECT_GT(sys.stats().counter("system.tcc.flushes"), 0u)
+        << "per-frame release must drain as Flush requests";
+}
+
+TEST(WorkloadStructure, PadWaitsOnFlags)
+{
+    WorkloadParams p;
+    RunMetrics m = benchWorkload("pad", baselineConfig(), p);
+    EXPECT_TRUE(m.ok);
+    EXPECT_GT(m.dirRequests, 0u);
+}
+
+TEST(DumpConfig, PrintsTheInstantiatedKnobs)
+{
+    SystemConfig cfg = sharerTrackingConfig();
+    cfg.numDirBanks = 2;
+    HsaSystem sys(cfg);
+    std::ostringstream os;
+    sys.dumpConfig(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("tracking=sharers"), std::string::npos);
+    EXPECT_NE(out.find("banks=2"), std::string::npos);
+    EXPECT_NE(out.find("llcWriteBack=1"), std::string::npos);
+    EXPECT_NE(out.find("corePairs=4"), std::string::npos);
+}
+
+TEST(StatsDump, ContainsHistogramsAndCounters)
+{
+    HsaSystem sys(baselineConfig());
+    Addr a = sys.alloc(64);
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(a, 1);
+    });
+    ASSERT_TRUE(sys.run());
+    std::ostringstream os;
+    sys.stats().dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("system.dir.requests"), std::string::npos);
+    EXPECT_GT(sys.stats().counter("system.dir.requests"), 0u);
+    EXPECT_NE(out.find("system.dir.txnLatency.samples"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace hsc
