@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_clean_vic_llc.dir/ablate_clean_vic_llc.cc.o"
+  "CMakeFiles/ablate_clean_vic_llc.dir/ablate_clean_vic_llc.cc.o.d"
+  "ablate_clean_vic_llc"
+  "ablate_clean_vic_llc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_clean_vic_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

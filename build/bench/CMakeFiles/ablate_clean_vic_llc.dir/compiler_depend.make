@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablate_clean_vic_llc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_dir_banks.dir/ablate_dir_banks.cc.o"
+  "CMakeFiles/ablate_dir_banks.dir/ablate_dir_banks.cc.o.d"
+  "ablate_dir_banks"
+  "ablate_dir_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dir_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

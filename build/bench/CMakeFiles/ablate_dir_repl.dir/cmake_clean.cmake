@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_dir_repl.dir/ablate_dir_repl.cc.o"
+  "CMakeFiles/ablate_dir_repl.dir/ablate_dir_repl.cc.o.d"
+  "ablate_dir_repl"
+  "ablate_dir_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dir_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

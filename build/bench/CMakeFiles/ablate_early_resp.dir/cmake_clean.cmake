@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_early_resp.dir/ablate_early_resp.cc.o"
+  "CMakeFiles/ablate_early_resp.dir/ablate_early_resp.cc.o.d"
+  "ablate_early_resp"
+  "ablate_early_resp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_early_resp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_limited_ptr.dir/ablate_limited_ptr.cc.o"
+  "CMakeFiles/ablate_limited_ptr.dir/ablate_limited_ptr.cc.o.d"
+  "ablate_limited_ptr"
+  "ablate_limited_ptr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_limited_ptr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_readonly.dir/ablate_readonly.cc.o"
+  "CMakeFiles/ablate_readonly.dir/ablate_readonly.cc.o.d"
+  "ablate_readonly"
+  "ablate_readonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

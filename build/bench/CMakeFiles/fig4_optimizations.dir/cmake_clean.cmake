@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_optimizations.dir/fig4_optimizations.cc.o"
+  "CMakeFiles/fig4_optimizations.dir/fig4_optimizations.cc.o.d"
+  "fig4_optimizations"
+  "fig4_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mem_traffic.dir/fig5_mem_traffic.cc.o"
+  "CMakeFiles/fig5_mem_traffic.dir/fig5_mem_traffic.cc.o.d"
+  "fig5_mem_traffic"
+  "fig5_mem_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mem_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_state_tracking.dir/fig6_state_tracking.cc.o"
+  "CMakeFiles/fig6_state_tracking.dir/fig6_state_tracking.cc.o.d"
+  "fig6_state_tracking"
+  "fig6_state_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_state_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_state_tracking.
+# This may be replaced when dependencies are built.

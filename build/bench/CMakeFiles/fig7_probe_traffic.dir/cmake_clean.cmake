@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_probe_traffic.dir/fig7_probe_traffic.cc.o"
+  "CMakeFiles/fig7_probe_traffic.dir/fig7_probe_traffic.cc.o.d"
+  "fig7_probe_traffic"
+  "fig7_probe_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_probe_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

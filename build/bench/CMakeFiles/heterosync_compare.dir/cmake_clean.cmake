@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterosync_compare.dir/heterosync_compare.cc.o"
+  "CMakeFiles/heterosync_compare.dir/heterosync_compare.cc.o.d"
+  "heterosync_compare"
+  "heterosync_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterosync_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

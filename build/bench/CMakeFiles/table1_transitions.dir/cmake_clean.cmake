@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_transitions.dir/table1_transitions.cc.o"
+  "CMakeFiles/table1_transitions.dir/table1_transitions.cc.o.d"
+  "table1_transitions"
+  "table1_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

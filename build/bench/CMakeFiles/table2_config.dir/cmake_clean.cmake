@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_config.dir/table2_config.cc.o"
+  "CMakeFiles/table2_config.dir/table2_config.cc.o.d"
+  "table2_config"
+  "table2_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

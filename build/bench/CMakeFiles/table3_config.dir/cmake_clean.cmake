@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_config.dir/table3_config.cc.o"
+  "CMakeFiles/table3_config.dir/table3_config.cc.o.d"
+  "table3_config"
+  "table3_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

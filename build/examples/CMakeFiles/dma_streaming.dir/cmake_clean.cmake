@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_streaming.dir/dma_streaming.cpp.o"
+  "CMakeFiles/dma_streaming.dir/dma_streaming.cpp.o.d"
+  "dma_streaming"
+  "dma_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsc_run.dir/hsc_run.cpp.o"
+  "CMakeFiles/hsc_run.dir/hsc_run.cpp.o.d"
+  "hsc_run"
+  "hsc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_offload.dir/task_offload.cpp.o"
+  "CMakeFiles/task_offload.dir/task_offload.cpp.o.d"
+  "task_offload"
+  "task_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

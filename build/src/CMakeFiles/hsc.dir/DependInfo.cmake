@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_array.cc" "src/CMakeFiles/hsc.dir/cache/cache_array.cc.o" "gcc" "src/CMakeFiles/hsc.dir/cache/cache_array.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/hsc.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/hsc.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/core/coherence_checker.cc" "src/CMakeFiles/hsc.dir/core/coherence_checker.cc.o" "gcc" "src/CMakeFiles/hsc.dir/core/coherence_checker.cc.o.d"
+  "/root/repo/src/core/cpu_core.cc" "src/CMakeFiles/hsc.dir/core/cpu_core.cc.o" "gcc" "src/CMakeFiles/hsc.dir/core/cpu_core.cc.o.d"
+  "/root/repo/src/core/dma_engine.cc" "src/CMakeFiles/hsc.dir/core/dma_engine.cc.o" "gcc" "src/CMakeFiles/hsc.dir/core/dma_engine.cc.o.d"
+  "/root/repo/src/core/gpu_cu.cc" "src/CMakeFiles/hsc.dir/core/gpu_cu.cc.o" "gcc" "src/CMakeFiles/hsc.dir/core/gpu_cu.cc.o.d"
+  "/root/repo/src/core/hsa_system.cc" "src/CMakeFiles/hsc.dir/core/hsa_system.cc.o" "gcc" "src/CMakeFiles/hsc.dir/core/hsa_system.cc.o.d"
+  "/root/repo/src/core/kernel_dispatch.cc" "src/CMakeFiles/hsc.dir/core/kernel_dispatch.cc.o" "gcc" "src/CMakeFiles/hsc.dir/core/kernel_dispatch.cc.o.d"
+  "/root/repo/src/core/random_tester.cc" "src/CMakeFiles/hsc.dir/core/random_tester.cc.o" "gcc" "src/CMakeFiles/hsc.dir/core/random_tester.cc.o.d"
+  "/root/repo/src/core/run_report.cc" "src/CMakeFiles/hsc.dir/core/run_report.cc.o" "gcc" "src/CMakeFiles/hsc.dir/core/run_report.cc.o.d"
+  "/root/repo/src/core/system_config.cc" "src/CMakeFiles/hsc.dir/core/system_config.cc.o" "gcc" "src/CMakeFiles/hsc.dir/core/system_config.cc.o.d"
+  "/root/repo/src/mem/data_block.cc" "src/CMakeFiles/hsc.dir/mem/data_block.cc.o" "gcc" "src/CMakeFiles/hsc.dir/mem/data_block.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/CMakeFiles/hsc.dir/mem/main_memory.cc.o" "gcc" "src/CMakeFiles/hsc.dir/mem/main_memory.cc.o.d"
+  "/root/repo/src/mem/message.cc" "src/CMakeFiles/hsc.dir/mem/message.cc.o" "gcc" "src/CMakeFiles/hsc.dir/mem/message.cc.o.d"
+  "/root/repo/src/mem/message_buffer.cc" "src/CMakeFiles/hsc.dir/mem/message_buffer.cc.o" "gcc" "src/CMakeFiles/hsc.dir/mem/message_buffer.cc.o.d"
+  "/root/repo/src/protocol/cpu/core_pair.cc" "src/CMakeFiles/hsc.dir/protocol/cpu/core_pair.cc.o" "gcc" "src/CMakeFiles/hsc.dir/protocol/cpu/core_pair.cc.o.d"
+  "/root/repo/src/protocol/dir/directory.cc" "src/CMakeFiles/hsc.dir/protocol/dir/directory.cc.o" "gcc" "src/CMakeFiles/hsc.dir/protocol/dir/directory.cc.o.d"
+  "/root/repo/src/protocol/dir/llc.cc" "src/CMakeFiles/hsc.dir/protocol/dir/llc.cc.o" "gcc" "src/CMakeFiles/hsc.dir/protocol/dir/llc.cc.o.d"
+  "/root/repo/src/protocol/dma/dma_controller.cc" "src/CMakeFiles/hsc.dir/protocol/dma/dma_controller.cc.o" "gcc" "src/CMakeFiles/hsc.dir/protocol/dma/dma_controller.cc.o.d"
+  "/root/repo/src/protocol/gpu/sqc.cc" "src/CMakeFiles/hsc.dir/protocol/gpu/sqc.cc.o" "gcc" "src/CMakeFiles/hsc.dir/protocol/gpu/sqc.cc.o.d"
+  "/root/repo/src/protocol/gpu/tcc.cc" "src/CMakeFiles/hsc.dir/protocol/gpu/tcc.cc.o" "gcc" "src/CMakeFiles/hsc.dir/protocol/gpu/tcc.cc.o.d"
+  "/root/repo/src/protocol/gpu/tcp.cc" "src/CMakeFiles/hsc.dir/protocol/gpu/tcp.cc.o" "gcc" "src/CMakeFiles/hsc.dir/protocol/gpu/tcp.cc.o.d"
+  "/root/repo/src/protocol/types.cc" "src/CMakeFiles/hsc.dir/protocol/types.cc.o" "gcc" "src/CMakeFiles/hsc.dir/protocol/types.cc.o.d"
+  "/root/repo/src/sim/clocked.cc" "src/CMakeFiles/hsc.dir/sim/clocked.cc.o" "gcc" "src/CMakeFiles/hsc.dir/sim/clocked.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/hsc.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/hsc.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/hsc.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/hsc.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/sim_object.cc" "src/CMakeFiles/hsc.dir/sim/sim_object.cc.o" "gcc" "src/CMakeFiles/hsc.dir/sim/sim_object.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/hsc.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/hsc.dir/stats/stats.cc.o.d"
+  "/root/repo/src/workloads/bs.cc" "src/CMakeFiles/hsc.dir/workloads/bs.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/bs.cc.o.d"
+  "/root/repo/src/workloads/cedd.cc" "src/CMakeFiles/hsc.dir/workloads/cedd.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/cedd.cc.o.d"
+  "/root/repo/src/workloads/heterosync.cc" "src/CMakeFiles/hsc.dir/workloads/heterosync.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/heterosync.cc.o.d"
+  "/root/repo/src/workloads/hsti.cc" "src/CMakeFiles/hsc.dir/workloads/hsti.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/hsti.cc.o.d"
+  "/root/repo/src/workloads/hsto.cc" "src/CMakeFiles/hsc.dir/workloads/hsto.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/hsto.cc.o.d"
+  "/root/repo/src/workloads/pad.cc" "src/CMakeFiles/hsc.dir/workloads/pad.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/pad.cc.o.d"
+  "/root/repo/src/workloads/rscd.cc" "src/CMakeFiles/hsc.dir/workloads/rscd.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/rscd.cc.o.d"
+  "/root/repo/src/workloads/rsct.cc" "src/CMakeFiles/hsc.dir/workloads/rsct.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/rsct.cc.o.d"
+  "/root/repo/src/workloads/sc.cc" "src/CMakeFiles/hsc.dir/workloads/sc.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/sc.cc.o.d"
+  "/root/repo/src/workloads/tq.cc" "src/CMakeFiles/hsc.dir/workloads/tq.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/tq.cc.o.d"
+  "/root/repo/src/workloads/trns.cc" "src/CMakeFiles/hsc.dir/workloads/trns.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/trns.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/hsc.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/hsc.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banked_dir_test.dir/protocol/banked_dir_test.cc.o"
+  "CMakeFiles/banked_dir_test.dir/protocol/banked_dir_test.cc.o.d"
+  "banked_dir_test"
+  "banked_dir_test.pdb"
+  "banked_dir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banked_dir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

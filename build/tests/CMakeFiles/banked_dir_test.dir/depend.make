@@ -1,0 +1,2 @@
+# Empty dependencies file for banked_dir_test.
+# This may be replaced when dependencies are built.

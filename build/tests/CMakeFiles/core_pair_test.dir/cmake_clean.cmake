@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pair_test.dir/protocol/core_pair_test.cc.o"
+  "CMakeFiles/core_pair_test.dir/protocol/core_pair_test.cc.o.d"
+  "core_pair_test"
+  "core_pair_test.pdb"
+  "core_pair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dir_table1_test.dir/protocol/dir_table1_test.cc.o"
+  "CMakeFiles/dir_table1_test.dir/protocol/dir_table1_test.cc.o.d"
+  "dir_table1_test"
+  "dir_table1_test.pdb"
+  "dir_table1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dir_table1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dir_tracked_unit_test.dir/protocol/dir_tracked_unit_test.cc.o"
+  "CMakeFiles/dir_tracked_unit_test.dir/protocol/dir_tracked_unit_test.cc.o.d"
+  "dir_tracked_unit_test"
+  "dir_tracked_unit_test.pdb"
+  "dir_tracked_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dir_tracked_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_unit_test.dir/protocol/directory_unit_test.cc.o"
+  "CMakeFiles/directory_unit_test.dir/protocol/directory_unit_test.cc.o.d"
+  "directory_unit_test"
+  "directory_unit_test.pdb"
+  "directory_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

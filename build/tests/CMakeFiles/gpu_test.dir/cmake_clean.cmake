@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_test.dir/protocol/gpu_test.cc.o"
+  "CMakeFiles/gpu_test.dir/protocol/gpu_test.cc.o.d"
+  "gpu_test"
+  "gpu_test.pdb"
+  "gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llc_test.dir/protocol/llc_test.cc.o"
+  "CMakeFiles/llc_test.dir/protocol/llc_test.cc.o.d"
+  "llc_test"
+  "llc_test.pdb"
+  "llc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/data_block_test.cc" "tests/CMakeFiles/mem_test.dir/mem/data_block_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/data_block_test.cc.o.d"
+  "/root/repo/tests/mem/main_memory_test.cc" "tests/CMakeFiles/mem_test.dir/mem/main_memory_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/main_memory_test.cc.o.d"
+  "/root/repo/tests/mem/message_buffer_test.cc" "tests/CMakeFiles/mem_test.dir/mem/message_buffer_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/message_buffer_test.cc.o.d"
+  "/root/repo/tests/mem/message_test.cc" "tests/CMakeFiles/mem_test.dir/mem/message_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/message_test.cc.o.d"
+  "/root/repo/tests/mem/property_test.cc" "tests/CMakeFiles/mem_test.dir/mem/property_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hsc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test.dir/mem/data_block_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/data_block_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/main_memory_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/main_memory_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/message_buffer_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/message_buffer_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/message_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/message_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/property_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/property_test.cc.o.d"
+  "mem_test"
+  "mem_test.pdb"
+  "mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

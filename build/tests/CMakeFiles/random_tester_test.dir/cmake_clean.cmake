@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_tester_test.dir/protocol/random_tester_test.cc.o"
+  "CMakeFiles/random_tester_test.dir/protocol/random_tester_test.cc.o.d"
+  "random_tester_test"
+  "random_tester_test.pdb"
+  "random_tester_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_tester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/clocked_test.cc" "tests/CMakeFiles/sim_test.dir/sim/clocked_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/clocked_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/rng_test.cc" "tests/CMakeFiles/sim_test.dir/sim/rng_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/rng_test.cc.o.d"
+  "/root/repo/tests/sim/stats_test.cc" "tests/CMakeFiles/sim_test.dir/sim/stats_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hsc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
