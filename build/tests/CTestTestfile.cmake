@@ -16,5 +16,7 @@ include("/root/repo/build/tests/gpu_test[1]_include.cmake")
 include("/root/repo/build/tests/core_pair_test[1]_include.cmake")
 include("/root/repo/build/tests/llc_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/hang_report_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_stress_test[1]_include.cmake")
 include("/root/repo/build/tests/banked_dir_test[1]_include.cmake")
 include("/root/repo/build/tests/dir_tracked_unit_test[1]_include.cmake")
