@@ -1,0 +1,115 @@
+/**
+ * @file
+ * stress_jitter — fault-injection stress harness.
+ *
+ * Runs the RandomTester jitter sweep (same schedule, several fault
+ * schedules, identical-final-image assertion) across the directory
+ * configurations and several tester seeds, and prints a result table.
+ * A FAIL row is a timing-dependent coherence bug: link jitter is
+ * semantics-preserving, so the protocol outcome must not change.
+ *
+ *   $ ./bench/stress_jitter              # default: 4 seeds
+ *   $ ./bench/stress_jitter 12           # heavier: 12 seeds
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/random_tester.hh"
+
+using namespace hsc;
+
+namespace
+{
+
+std::vector<FaultConfig>
+schedules()
+{
+    std::vector<FaultConfig> s;
+    s.emplace_back(); // reference: no faults
+
+    FaultConfig mild;
+    mild.enabled = true;
+    mild.seed = 101;
+    mild.maxJitter = 8;
+    s.push_back(mild);
+
+    FaultConfig heavy;
+    heavy.enabled = true;
+    heavy.seed = 202;
+    heavy.maxJitter = 40;
+    heavy.spikePercent = 8;
+    heavy.spikeCycles = 500;
+    s.push_back(heavy);
+
+    FaultConfig spiky;
+    spiky.enabled = true;
+    spiky.seed = 303;
+    spiky.maxJitter = 4;
+    spiky.spikePercent = 25;
+    spiky.spikeCycles = 2000;
+    s.push_back(spiky);
+
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned num_seeds = 4;
+    if (argc > 1) {
+        char *end = nullptr;
+        num_seeds = unsigned(std::strtoul(argv[1], &end, 10));
+        if (!end || *end != '\0' || num_seeds == 0) {
+            std::cerr << "usage: stress_jitter [num_seeds >= 1]\n";
+            return 2;
+        }
+    }
+
+    std::vector<SystemConfig> configs = {
+        baselineConfig(),
+        earlyRespConfig(),
+        llcWriteBackConfig(),
+        ownerTrackingConfig(),
+        sharerTrackingConfig(),
+    };
+
+    TableWriter tw(std::cout);
+    tw.header({"config", "seed", "schedules", "result", "image"});
+
+    unsigned failures = 0;
+    for (const SystemConfig &base : configs) {
+        for (unsigned s = 0; s < num_seeds; ++s) {
+            SystemConfig cfg = base;
+            shrinkForTorture(cfg);
+
+            RandomTesterConfig tcfg;
+            tcfg.seed = 1000 + s * 77;
+            tcfg.numLocations = 24;
+            tcfg.roundsPerLocation = 5;
+
+            JitterSweepResult res =
+                runJitterSweep(cfg, tcfg, schedules());
+            if (!res.ok) {
+                ++failures;
+                for (const std::string &f : res.failures)
+                    std::cerr << "  " << f << '\n';
+            }
+            char image[32];
+            std::snprintf(image, sizeof(image), "%016llx",
+                          (unsigned long long)(res.imageHashes.empty()
+                                                   ? 0
+                                                   : res.imageHashes[0]));
+            tw.row({cfg.label, std::to_string(tcfg.seed),
+                    std::to_string(res.imageHashes.size()),
+                    res.ok ? "OK" : "FAIL", image});
+        }
+    }
+    tw.rule();
+    std::cout << (failures ? "FAIL" : "OK") << ": " << failures
+              << " divergent sweep(s)\n";
+    return failures ? 1 : 0;
+}

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/run_report.hh"
+#include "sim/sim_error.hh"
 #include "workloads/workload.hh"
 
 using namespace hsc;
@@ -63,14 +64,39 @@ usage()
         "  --gpu-writeback     WB_L1/WB_L2: GPU caches write back\n"
         "  --cpu-threads <n>   CPU worker threads (default: 4)\n"
         "  --workgroups <n>    GPU workgroups (default: 8)\n"
+        "  --jitter <cycles>   fault injection: random extra link\n"
+        "                      latency in [0, cycles] per message\n"
+        "  --fault-seed <n>    fault-injection schedule seed (default: 1)\n"
         "  --stats             dump the full statistics registry\n"
         "  --list              list workloads and exit");
 }
+
+int run(int argc, char **argv);
 
 } // namespace
 
 int
 main(int argc, char **argv)
+{
+    // User-reachable errors (bad options, impossible configurations,
+    // protocol fatal()s) exit cleanly with a message, never abort().
+    try {
+        return run(argc, argv);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "hsc_run: error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        // e.g. std::stoul on a malformed numeric option
+        std::fprintf(stderr, "hsc_run: error: %s\n", e.what());
+        return 2;
+    }
+}
+
+namespace
+{
+
+int
+run(int argc, char **argv)
 {
     std::string workload = "tq";
     std::string config = "baseline";
@@ -80,6 +106,8 @@ main(int argc, char **argv)
     unsigned limited_ptrs = 0;
     bool gpu_wb = false;
     bool dump_stats = false;
+    Cycles jitter = 0;
+    std::uint64_t fault_seed = 1;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -88,24 +116,37 @@ main(int argc, char **argv)
                 fatal("%s needs a value", arg.c_str());
             return argv[++i];
         };
+        auto nextNum = [&]() -> std::uint64_t {
+            std::string v = next();
+            try {
+                return std::stoull(v);
+            } catch (const std::exception &) {
+                fatal("%s expects a number, got '%s'", arg.c_str(),
+                      v.c_str());
+            }
+        };
         if (arg == "--workload") {
             workload = next();
         } else if (arg == "--config") {
             config = next();
         } else if (arg == "--scale") {
-            params.scale = unsigned(std::stoul(next()));
+            params.scale = unsigned(nextNum());
         } else if (arg == "--seed") {
-            params.seed = std::stoull(next());
+            params.seed = nextNum();
         } else if (arg == "--banks") {
-            banks = unsigned(std::stoul(next()));
+            banks = unsigned(nextNum());
         } else if (arg == "--limited-ptrs") {
-            limited_ptrs = unsigned(std::stoul(next()));
+            limited_ptrs = unsigned(nextNum());
         } else if (arg == "--gpu-writeback") {
             gpu_wb = true;
         } else if (arg == "--cpu-threads") {
-            params.cpuThreads = unsigned(std::stoul(next()));
+            params.cpuThreads = unsigned(nextNum());
         } else if (arg == "--workgroups") {
-            params.gpuWorkgroups = unsigned(std::stoul(next()));
+            params.gpuWorkgroups = unsigned(nextNum());
+        } else if (arg == "--jitter") {
+            jitter = Cycles(nextNum());
+        } else if (arg == "--fault-seed") {
+            fault_seed = nextNum();
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--list") {
@@ -133,6 +174,11 @@ main(int argc, char **argv)
         cfg.dir.tracking = DirTracking::Sharers;
         cfg.dir.maxSharerPointers = limited_ptrs;
     }
+    if (jitter) {
+        cfg.fault.enabled = true;
+        cfg.fault.seed = fault_seed;
+        cfg.fault.maxJitter = jitter;
+    }
 
     HsaSystem sys(cfg);
     auto wl = makeWorkload(workload, params);
@@ -142,6 +188,8 @@ main(int argc, char **argv)
 
     RunMetrics m = collectMetrics(sys, workload, ok);
     printRunSummary(std::cout, m);
+    if (!ran && sys.hangReport().hung())
+        sys.hangReport().print(std::cerr);
     const Histogram *h =
         sys.stats().histogram(cfg.name + ".dir.txnLatency");
     if (!h)
@@ -156,3 +204,5 @@ main(int argc, char **argv)
         sys.stats().dump(std::cout);
     return ok ? 0 : 1;
 }
+
+} // namespace

@@ -1,16 +1,52 @@
 #include "core/hsa_system.hh"
 
+#include <algorithm>
 #include <ostream>
 
 namespace hsc
 {
 
-HsaSystem::HsaSystem(const SystemConfig &config)
-    : cfg(config), cpuClk(ClockDomain::fromMHz(cfg.cpuMHz)),
-      gpuClk(ClockDomain::fromMHz(cfg.gpuMHz))
+namespace
 {
+
+/** fromMHz divides by the frequency, so reject zero before the clock
+ *  members initialise (they are built in the ctor init list). */
+ClockDomain
+checkedClock(const std::string &sys, const char *which, std::uint64_t mhz)
+{
+    fatal_if(mhz == 0, "%s: %s clock frequency must be nonzero",
+             sys.c_str(), which);
+    return ClockDomain::fromMHz(mhz);
+}
+
+} // namespace
+
+void
+HsaSystem::validateConfig() const
+{
+    fatal_if(cfg.topo.numCorePairs == 0,
+             "%s: at least one CorePair is required", cfg.name.c_str());
+    fatal_if(cfg.watchdogCycles == 0,
+             "%s: watchdogCycles must be nonzero (the watchdog is the "
+             "only way a wedged run terminates)", cfg.name.c_str());
+    fatal_if(cfg.fault.enabled && cfg.fault.spikePercent > 100,
+             "%s: fault.spikePercent is a percentage (got %u)",
+             cfg.name.c_str(), cfg.fault.spikePercent);
+}
+
+HsaSystem::HsaSystem(const SystemConfig &config)
+    : cfg(config), cpuClk(checkedClock(cfg.name, "cpu", cfg.cpuMHz)),
+      gpuClk(checkedClock(cfg.name, "gpu", cfg.gpuMHz))
+{
+    validateConfig();
+
     const Topology &topo = cfg.topo;
     Tick link_lat = cpuClk.toTicks(cfg.linkLatency);
+
+    if (cfg.fault.any()) {
+        faultInjector = std::make_unique<FaultInjector>(
+            cfg.fault, cpuClk.periodTicks());
+    }
 
     mainMemory = std::make_unique<MainMemory>(
         cfg.name + ".mem", eq, cpuClk.toTicks(cfg.memLatency),
@@ -58,6 +94,10 @@ HsaSystem::HsaSystem(const SystemConfig &config)
                 cfg.name + ".toDir." + suffix, eq, link_lat));
             fromDir.push_back(std::make_unique<MessageBuffer>(
                 cfg.name + ".fromDir." + suffix, eq, link_lat));
+            if (faultInjector) {
+                toDir.back()->attachFaultInjector(faultInjector.get());
+                fromDir.back()->attachFaultInjector(faultInjector.get());
+            }
             dirs[b]->bindFromClient(*toDir.back());
             dirs[b]->bindToClient(static_cast<MachineId>(i),
                                   *fromDir.back());
@@ -135,6 +175,19 @@ HsaSystem::HsaSystem(const SystemConfig &config)
 
     registry.addCounter(cfg.name + ".simTicks", &statSimTicks);
     registry.addCounter(cfg.name + ".cpuCycles", &statCpuCycles);
+
+    // Everything the watchdog interrogates when building a HangReport.
+    for (const auto &d : dirs) {
+        introspectables.push_back(d.get());
+        introspectables.push_back(&d->llc());
+    }
+    for (const auto &cp : corePairs)
+        introspectables.push_back(cp.get());
+    introspectables.push_back(tccCtrl.get());
+    introspectables.push_back(sqcCtrl.get());
+    for (const auto &cu : cus)
+        introspectables.push_back(&cu->tcp());
+    introspectables.push_back(dmaCtrl.get());
 }
 
 HsaSystem::~HsaSystem() = default;
@@ -196,6 +249,42 @@ HsaSystem::alloc(std::uint64_t bytes)
     return base;
 }
 
+HangReport
+HsaSystem::buildHangReport(HangReport::Kind kind) const
+{
+    HangReport r;
+    r.kind = kind;
+    r.atTick = eq.curTick();
+    r.lastProgressTick = eq.lastProgress();
+    r.liveTasks = liveTasks;
+
+    Tick now = eq.curTick();
+    for (const ProtocolIntrospect *pi : introspectables) {
+        pi->inFlightTransactions(now, r.stalledTxns);
+        r.controllerSummaries.push_back(pi->stateSummary());
+        pi->diagnostics(r.diagnostics);
+    }
+    std::stable_sort(r.stalledTxns.begin(), r.stalledTxns.end(),
+                     [](const TxnInfo &a, const TxnInfo &b) {
+                         return a.age > b.age;
+                     });
+
+    auto scan_links = [&](const auto &bufs) {
+        for (const auto &mb : bufs) {
+            LinkInfo li = mb->linkInfo(now);
+            if (li.depth > 0)
+                r.stalledLinks.push_back(std::move(li));
+        }
+    };
+    scan_links(toDir);
+    scan_links(fromDir);
+    std::stable_sort(r.stalledLinks.begin(), r.stalledLinks.end(),
+                     [](const LinkInfo &a, const LinkInfo &b) {
+                         return a.oldestAge > b.oldestAge;
+                     });
+    return r;
+}
+
 void
 HsaSystem::armWatchdog()
 {
@@ -222,6 +311,7 @@ HsaSystem::run(Cycles max_cycles)
     Tick start = eq.curTick();
     running = true;
     watchdogTripped = false;
+    lastHang = HangReport{};
 
     liveTasks = static_cast<unsigned>(threadFns.size());
     for (std::size_t i = 0; i < threadFns.size(); ++i) {
@@ -240,8 +330,11 @@ HsaSystem::run(Cycles max_cycles)
         [this] { return liveTasks == 0 || watchdogTripped; }, limit);
     if (!done || watchdogTripped || liveTasks != 0) {
         running = false;
-        warn("%s: run did not complete (liveTasks=%u watchdog=%d)",
-             cfg.name.c_str(), liveTasks, int(watchdogTripped));
+        lastHang = buildHangReport(watchdogTripped
+                                       ? HangReport::Kind::Watchdog
+                                       : HangReport::Kind::CycleLimit);
+        warn("%s: run did not complete: %s",
+             cfg.name.c_str(), lastHang.brief().c_str());
         return false;
     }
 
@@ -256,8 +349,12 @@ HsaSystem::run(Cycles max_cycles)
     eq.run();
     threadFns.clear();
     for (const auto &d : dirs) {
-        if (!d->idle())
+        if (!d->idle()) {
+            lastHang = buildHangReport(HangReport::Kind::DrainIncomplete);
+            warn("%s: post-run drain incomplete: %s",
+                 cfg.name.c_str(), lastHang.brief().c_str());
             return false;
+        }
     }
     return true;
 }

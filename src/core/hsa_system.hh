@@ -33,6 +33,8 @@
 #include "core/system_config.hh"
 #include "mem/main_memory.hh"
 #include "protocol/dir/directory.hh"
+#include "sim/fault_injector.hh"
+#include "sim/introspect.hh"
 
 namespace hsc
 {
@@ -86,9 +88,21 @@ class HsaSystem
      * system.
      *
      * @return true on success; false if the watchdog detected no
-     *         forward progress (a deadlock) or @p max_cycles elapsed.
+     *         forward progress (a deadlock) or @p max_cycles elapsed —
+     *         in which case hangReport() describes what wedged.
      */
     bool run(Cycles max_cycles = 500'000'000);
+
+    /**
+     * Diagnosis of the last failed run(): the oldest stalled
+     * transactions, links holding undelivered messages, controller
+     * state summaries and livelock diagnostics.  kind == None after a
+     * successful run.
+     */
+    const HangReport &hangReport() const { return lastHang; }
+
+    /** Walk every introspectable controller and link *now*. */
+    HangReport buildHangReport(HangReport::Kind kind) const;
 
     /** CPU cycles elapsed during run() — the paper's headline metric. */
     Cycles cpuCycles() const { return cyclesElapsed; }
@@ -125,12 +139,15 @@ class HsaSystem
 
   private:
     void armWatchdog();
+    void validateConfig() const;
 
     SystemConfig cfg;
     EventQueue eq;
     StatRegistry registry;
     ClockDomain cpuClk;
     ClockDomain gpuClk;
+
+    std::unique_ptr<FaultInjector> faultInjector;
 
     std::unique_ptr<MainMemory> mainMemory;
     std::vector<std::unique_ptr<DirectoryController>> dirs;
@@ -149,8 +166,13 @@ class HsaSystem
     std::unique_ptr<DmaEngine> dmaEngine;
     std::unique_ptr<KernelDispatcher> kernelDispatcher;
 
+    /** Everything the watchdog can interrogate for a HangReport. */
+    std::vector<const ProtocolIntrospect *> introspectables;
+
     std::vector<std::unique_ptr<CpuCtx>> cpuCtxs;
     std::vector<CpuThreadFn> threadFns;
+
+    HangReport lastHang;
 
     Addr heapNext = 0x100000;
     unsigned liveTasks = 0;

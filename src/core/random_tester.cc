@@ -43,8 +43,19 @@ struct RandomTester::State
     std::vector<std::uint64_t> finalValue;
     std::vector<unsigned> turnsPerLoc;
     std::vector<std::string> failures;
+    std::uint64_t imageHash = 0;
 
     Addr locAddr(unsigned loc) const { return base + Addr(loc) * 128; }
+
+    void
+    hashWord(std::uint64_t v)
+    {
+        // FNV-1a, byte at a time.
+        for (unsigned b = 0; b < 8; ++b) {
+            imageHash ^= (v >> (8 * b)) & 0xff;
+            imageHash *= 0x100000001b3ull;
+        }
+    }
 
     void
     fail(const std::string &msg)
@@ -77,6 +88,12 @@ const std::vector<std::string> &
 RandomTester::failures() const
 {
     return st->failures;
+}
+
+std::uint64_t
+RandomTester::imageHash() const
+{
+    return st->imageHash;
 }
 
 bool
@@ -268,7 +285,12 @@ RandomTester::run()
     }
 
     if (!sys.run()) {
-        s.fail("system run failed (deadlock or timeout)");
+        const HangReport &hr = sys.hangReport();
+        s.fail("system run failed: " + hr.brief());
+        for (const std::string &d : hr.diagnostics)
+            s.fail(d);
+        for (std::size_t i = 0; i < hr.stalledTxns.size() && i < 4; ++i)
+            s.fail("  " + hr.stalledTxns[i].toString());
         return false;
     }
 
@@ -277,6 +299,7 @@ RandomTester::run()
     // reads would see stale data.  A fresh verifier thread loads every
     // location coherently.
     sys.addCpuThread([state](CpuCtx &cpu) -> SimTask {
+        state->imageHash = 0xcbf29ce484222325ull; // FNV offset basis
         for (unsigned loc = 0; loc < state->numLocations; ++loc) {
             std::uint64_t turns =
                 co_await cpu.load(state->locAddr(loc) + TurnOffset, 4);
@@ -294,13 +317,51 @@ RandomTester::run()
                    << state->finalValue[loc];
                 state->fail(os.str());
             }
+            state->hashWord(turns);
+            state->hashWord(v);
         }
     });
     if (!sys.run()) {
-        s.fail("verification pass failed to complete");
+        s.fail("verification pass failed to complete: " +
+               sys.hangReport().brief());
         return false;
     }
     return s.failures.empty();
+}
+
+JitterSweepResult
+runJitterSweep(const SystemConfig &base, const RandomTesterConfig &tcfg,
+               const std::vector<FaultConfig> &schedules)
+{
+    JitterSweepResult res;
+    res.ok = true;
+    for (std::size_t i = 0; i < schedules.size(); ++i) {
+        SystemConfig cfg = base;
+        cfg.fault = schedules[i];
+        HsaSystem sys(cfg);
+        RandomTester tester(sys, tcfg);
+        bool ok = tester.run();
+        res.imageHashes.push_back(tester.imageHash());
+        if (!ok) {
+            res.ok = false;
+            for (const std::string &f : tester.failures()) {
+                res.failures.push_back(
+                    "schedule " + std::to_string(i) + ": " + f);
+            }
+        }
+    }
+    for (std::size_t i = 1; i < res.imageHashes.size(); ++i) {
+        if (res.imageHashes[i] != res.imageHashes[0]) {
+            res.ok = false;
+            std::ostringstream os;
+            os << "schedule " << i << " final image hash " << std::hex
+               << res.imageHashes[i] << " != schedule 0 hash "
+               << res.imageHashes[0]
+               << " (fault injection changed the outcome)";
+            res.failures.push_back(os.str());
+        }
+    }
+    return res;
 }
 
 } // namespace hsc

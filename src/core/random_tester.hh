@@ -55,12 +55,38 @@ class RandomTester
 
     const std::vector<std::string> &failures() const;
 
+    /**
+     * FNV-1a hash over every location's final (turn count, value) as
+     * read coherently by the verification pass.  Two runs of the same
+     * schedule must produce the same hash regardless of link timing —
+     * the jitter sweep's invariant.  Valid after run().
+     */
+    std::uint64_t imageHash() const;
+
   private:
     struct State;
     HsaSystem &sys;
     RandomTesterConfig cfg;
     std::shared_ptr<State> st;
 };
+
+/** Result of a jitter sweep: one tester run per fault schedule. */
+struct JitterSweepResult
+{
+    bool ok = false;                         ///< all runs passed + agreed
+    std::vector<std::uint64_t> imageHashes;  ///< one per schedule
+    std::vector<std::string> failures;       ///< aggregated diagnostics
+};
+
+/**
+ * Run the same RandomTester schedule (same @p tcfg seed) on fresh
+ * systems built from @p base, once per fault schedule in @p schedules,
+ * asserting identical final memory images.  Link timing must never
+ * change the protocol's outcome.
+ */
+JitterSweepResult runJitterSweep(const SystemConfig &base,
+                                 const RandomTesterConfig &tcfg,
+                                 const std::vector<FaultConfig> &schedules);
 
 } // namespace hsc
 

@@ -27,6 +27,8 @@ collectMetrics(HsaSystem &sys, const std::string &workload, bool ok)
     m.dirEvictions = reg.sumMatching(n + ".dir", ".dirEvictions");
     m.earlyResponses = reg.sumMatching(n + ".dir", ".earlyResponses");
     m.readOnlyElided = reg.sumMatching(n + ".dir", ".readOnlyElided");
+    if (!ok && sys.hangReport().hung())
+        m.failReason = sys.hangReport().brief();
     return m;
 }
 
@@ -89,6 +91,8 @@ printRunSummary(std::ostream &os, const RunMetrics &m)
        << " memR=" << m.memReads << " memW=" << m.memWrites
        << " probes=" << m.probes << " llcHit=" << m.llcHits << "/"
        << m.llcReads << '\n';
+    if (!m.ok && !m.failReason.empty())
+        os << "  cause: " << m.failReason << '\n';
 }
 
 } // namespace hsc

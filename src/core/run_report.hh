@@ -33,6 +33,8 @@ struct RunMetrics
     std::uint64_t dirEvictions = 0;
     std::uint64_t earlyResponses = 0;
     std::uint64_t readOnlyElided = 0;
+    /** One-line hang diagnosis when !ok (HangReport::brief()). */
+    std::string failReason;
 };
 
 /** Collect the metrics of a completed run. */

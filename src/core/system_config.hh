@@ -15,6 +15,7 @@
 #include "protocol/gpu/tcc.hh"
 #include "protocol/gpu/tcp.hh"
 #include "protocol/types.hh"
+#include "sim/fault_injector.hh"
 
 namespace hsc
 {
@@ -73,9 +74,12 @@ struct SystemConfig
 
     std::uint64_t seed = 1;
 
-    /** Watchdog: abort if nothing progresses for this many CPU
-     *  cycles while work is outstanding. */
+    /** Watchdog: give up (with a HangReport) if nothing progresses
+     *  for this many CPU cycles while work is outstanding. */
     Cycles watchdogCycles = 3'000'000;
+
+    /** Fault injection: deterministic link jitter/spikes/dead links. */
+    FaultConfig fault{};
 
     /** Short human-readable tag for bench tables. */
     std::string label = "baseline";

@@ -137,6 +137,10 @@ struct Msg
     DataBlock data;
     ByteMask mask = FullMask;            ///< partial write-through mask
 
+    /** Directory-internal: all-ways-transacting retry count of this
+     *  request (set-conflict livelock detection, not on the wire). */
+    unsigned dirRetries = 0;
+
     // Atomic payload (offset/size select the word within the block).
     AtomicOp atomicOp = AtomicOp::None;
     unsigned atomicOffset = 0;

@@ -1,1 +1,41 @@
 #include "mem/message_buffer.hh"
+
+#include <algorithm>
+
+#include "sim/fault_injector.hh"
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+
+void
+MessageBuffer::attachFaultInjector(FaultInjector *fi)
+{
+    fault = fi;
+    dead = fi && fi->isDead(_name);
+}
+
+void
+MessageBuffer::enqueue(Msg msg)
+{
+    if (!consumer)
+        throw SimError("link '" + _name + "' has no consumer",
+                       "message-buffer");
+    ++numMessages;
+    pending.push_back(eq.curTick());
+    if (dead)
+        return; // fault-injected dead link: the message never arrives
+
+    Tick extra = fault ? fault->extraDelay(_name) : 0;
+    // FIFO even under jitter: never deliver before the previously
+    // scheduled message (ties keep insertion order in the queue).
+    Tick when = std::max(eq.curTick() + latency + extra, lastDelivery);
+    lastDelivery = when;
+    eq.schedule(when, [this, m = std::move(msg)]() mutable {
+        eq.notifyProgress();
+        pending.pop_front();
+        consumer(std::move(m));
+    });
+}
+
+} // namespace hsc

@@ -7,11 +7,23 @@
  * enqueue, in FIFO order.  Message counts are recorded so benches can
  * report network activity (Fig. 7 of the paper counts probes sent on
  * these links).
+ *
+ * Robustness hooks:
+ *  - an attached FaultInjector can add bounded per-message jitter;
+ *    delivery ticks are clamped to be non-decreasing so FIFO order is
+ *    preserved and the protocol must stay correct;
+ *  - a dead link (fault-injected) drops every message, the supported
+ *    way to induce a hang for watchdog testing;
+ *  - undelivered messages are tracked (depth + oldest age) so hang
+ *    reports can name the links traffic is stuck on;
+ *  - enqueue on a link with no consumer throws SimError naming the
+ *    link, instead of a bad-function call deep inside the event loop.
  */
 
 #ifndef HSC_MEM_MESSAGE_BUFFER_HH
 #define HSC_MEM_MESSAGE_BUFFER_HH
 
+#include <deque>
 #include <functional>
 #include <string>
 #include <utility>
@@ -19,10 +31,13 @@
 
 #include "mem/message.hh"
 #include "sim/event_queue.hh"
+#include "sim/introspect.hh"
 #include "stats/stats.hh"
 
 namespace hsc
 {
+
+class FaultInjector;
 
 /**
  * Anything a controller can send messages into: a concrete link, or a
@@ -57,16 +72,14 @@ class MessageBuffer : public MsgSink
     /** Attach the receiving controller. Must be set before enqueue. */
     void setConsumer(Consumer c) { consumer = std::move(c); }
 
+    /**
+     * Attach the system's fault injector.  The link caches whether it
+     * is configured dead; jitter is drawn per message at enqueue.
+     */
+    void attachFaultInjector(FaultInjector *fi);
+
     /** Send @p msg; it arrives at the consumer after the latency. */
-    void
-    enqueue(Msg msg) override
-    {
-        ++numMessages;
-        eq.scheduleIn(latency, [this, m = std::move(msg)]() mutable {
-            eq.notifyProgress();
-            consumer(std::move(m));
-        });
-    }
+    void enqueue(Msg msg) override;
 
     const std::string &name() const { return _name; }
     Tick latencyTicks() const { return latency; }
@@ -80,12 +93,38 @@ class MessageBuffer : public MsgSink
 
     std::uint64_t messageCount() const { return numMessages.value(); }
 
+    /** @{ Hang-report introspection. */
+    /** Messages enqueued but not yet delivered (or dropped-dead). */
+    std::size_t queueDepth() const { return pending.size(); }
+
+    /** Age of the oldest undelivered message at @p now. */
+    Tick
+    oldestPendingAge(Tick now) const
+    {
+        return pending.empty() ? 0 : now - pending.front();
+    }
+
+    LinkInfo
+    linkInfo(Tick now) const
+    {
+        return LinkInfo{_name, queueDepth(), oldestPendingAge(now)};
+    }
+    /** @} */
+
   private:
     const std::string _name;
     EventQueue &eq;
     Tick latency;
     Consumer consumer;
     Counter numMessages;
+
+    FaultInjector *fault = nullptr;
+    bool dead = false;
+
+    /** Enqueue ticks of undelivered messages (FIFO => front oldest). */
+    std::deque<Tick> pending;
+    /** Latest scheduled delivery tick: the FIFO clamp under jitter. */
+    Tick lastDelivery = 0;
 };
 
 /**

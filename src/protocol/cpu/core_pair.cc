@@ -1,5 +1,7 @@
 #include "protocol/cpu/core_pair.hh"
 
+#include <sstream>
+
 namespace hsc
 {
 
@@ -262,6 +264,7 @@ CorePairController::issueRequest(Addr block, MsgType type, CoreOp op)
 {
     Tbe &tbe = tbes[block];
     tbe.reqType = type;
+    tbe.startedAt = curTick();
     tbe.pendingOps.push_back(std::move(op));
 
     Msg m;
@@ -305,7 +308,7 @@ CorePairController::makeRoom(Addr block)
         ++statVicClean;
 
     victims[victim.addr].push_back(
-        VictimEntry{victim.entry->data, dirty});
+        VictimEntry{victim.entry->data, dirty, false, curTick()});
     invalidateL1s(victim.addr);
     l2.invalidate(victim.addr);
 }
@@ -520,6 +523,49 @@ CorePairController::forEachLine(
     const std::function<void(Addr, L2State)> &fn) const
 {
     l2.forEach([&](Addr a, const L2Entry &e) { fn(a, e.state); });
+}
+
+void
+CorePairController::inFlightTransactions(Tick now,
+                                         std::vector<TxnInfo> &out) const
+{
+    for (const auto &[addr, tbe] : tbes) {
+        TxnInfo info;
+        info.controller = name();
+        info.addr = addr;
+        std::ostringstream st;
+        st << msgTypeName(tbe.reqType) << " miss, "
+           << tbe.pendingOps.size() << " merged op(s)";
+        info.state = st.str();
+        info.waitingFor = "SysResp from directory";
+        info.age = now >= tbe.startedAt ? now - tbe.startedAt : 0;
+        out.push_back(std::move(info));
+    }
+    for (const auto &[addr, queue] : victims) {
+        for (const VictimEntry &v : queue) {
+            TxnInfo info;
+            info.controller = name();
+            info.addr = addr;
+            info.state = std::string(v.dirty ? "dirty" : "clean") +
+                         " victim" + (v.cancelled ? " (cancelled)" : "");
+            info.waitingFor = "WBAck from directory";
+            info.age = now >= v.startedAt ? now - v.startedAt : 0;
+            out.push_back(std::move(info));
+        }
+    }
+}
+
+std::string
+CorePairController::stateSummary() const
+{
+    std::size_t vics = 0;
+    for (const auto &[addr, queue] : victims)
+        vics += queue.size();
+    std::ostringstream os;
+    os << name() << ": " << tbes.size() << " outstanding misses, "
+       << vics << " victims awaiting WBAck, " << l2.occupancy()
+       << " L2 lines";
+    return os.str();
 }
 
 } // namespace hsc

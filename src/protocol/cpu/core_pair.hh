@@ -28,6 +28,7 @@
 #include "mem/message_buffer.hh"
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
+#include "sim/introspect.hh"
 #include "stats/stats.hh"
 
 namespace hsc
@@ -60,7 +61,7 @@ struct CorePairParams
  * callbacks; the controller exchanges messages with the directory via
  * MessageBuffers.
  */
-class CorePairController : public Clocked
+class CorePairController : public Clocked, public ProtocolIntrospect
 {
   public:
     using LoadCallback = std::function<void(std::uint64_t)>;
@@ -99,6 +100,13 @@ class CorePairController : public Clocked
         const std::function<void(Addr, L2State)> &fn) const;
     /** @} */
 
+    /** @{ ProtocolIntrospect. */
+    std::string introspectName() const override { return name(); }
+    void inFlightTransactions(Tick now,
+                              std::vector<TxnInfo> &out) const override;
+    std::string stateSummary() const override;
+    /** @} */
+
   private:
     /** One pending core operation, queued on a miss. */
     struct CoreOp
@@ -120,6 +128,7 @@ class CorePairController : public Clocked
     {
         MsgType reqType;
         std::deque<CoreOp> pendingOps;
+        Tick startedAt = 0;
     };
 
     /**
@@ -135,6 +144,7 @@ class CorePairController : public Clocked
         /** An invalidating probe consumed this victim's data; the
          *  write-back is dead and must not answer further probes. */
         bool cancelled = false;
+        Tick startedAt = 0;
     };
 
     struct L2Entry

@@ -1,6 +1,7 @@
 #include "protocol/dir/directory.hh"
 
 #include <algorithm>
+#include <sstream>
 
 namespace hsc
 {
@@ -42,6 +43,7 @@ DirectoryController::regStats(StatRegistry &reg)
     reg.addCounter(n + ".requests", &statRequests);
     reg.addCounter(n + ".victims", &statVictims);
     reg.addCounter(n + ".stalls", &statStalls);
+    reg.addCounter(n + ".setConflictRetries", &statSetConflictRetries);
     reg.addCounter(n + ".probesSent", &statProbesSent);
     reg.addCounter(n + ".probeBroadcasts", &statProbeBroadcasts);
     reg.addCounter(n + ".probeMulticasts", &statProbeMulticasts);
@@ -725,8 +727,23 @@ DirectoryController::ensureDirSpace(const Msg &msg)
     }
 
     if (busyLines.count(victim.addr)) {
-        // Every way is transacting; retry shortly.
+        // Every way is transacting; retry shortly — but bounded.  A
+        // pathological interleaving could keep every way busy forever;
+        // retrying silently would livelock while still looking like
+        // forward progress to the watchdog.  Past the cap the request
+        // is parked and surfaced as a livelock diagnostic instead.
+        ++statSetConflictRetries;
         Msg retry = msg;
+        if (++retry.dirRetries > params.cfg.maxSetConflictRetries) {
+            warn("%s: request %s %#llx from client %d exceeded %u "
+                 "set-conflict retries (all ways transacting); parking",
+                 name().c_str(),
+                 std::string(msgTypeName(retry.type)).c_str(),
+                 (unsigned long long)retry.addr, retry.sender,
+                 params.cfg.maxSetConflictRetries);
+            livelockedMsgs.push_back(std::move(retry));
+            return false;
+        }
         after(params.dirLatency, [this, m = std::move(retry)]() mutable {
             handleTracked(std::move(m));
         });
@@ -745,6 +762,7 @@ DirectoryController::ensureDirSpace(const Msg &msg)
     tbe.evictAddr = victim.addr;
     tbe.haveCont = true;
     tbe.cont = msg;
+    tbe.startedAt = curTick();
     busyLines[victim.addr] = txn;
 
     if (targets.empty()) {
@@ -1211,6 +1229,76 @@ DirectoryController::isSharer(Addr addr, MachineId id) const
 {
     const DirEntry *e = dirArray.peek(addr);
     return e && (e->sharers & (1ull << id));
+}
+
+void
+DirectoryController::inFlightTransactions(Tick now,
+                                          std::vector<TxnInfo> &out) const
+{
+    for (const auto &[txn, tbe] : tbes) {
+        TxnInfo info;
+        info.controller = name();
+        info.addr = tbe.isEviction ? tbe.evictAddr : tbe.req.addr;
+        info.txnId = txn;
+        std::ostringstream st;
+        if (tbe.isEviction)
+            st << "back-invalidation";
+        else
+            st << msgTypeName(tbe.req.type) << " from client "
+               << tbe.req.sender;
+        st << " pendingAcks=" << tbe.pendingAcks;
+        if (tbe.responded)
+            st << " responded";
+        info.state = st.str();
+        if (tbe.pendingAcks)
+            info.waitingFor = "probe acks";
+        else if (tbe.needBacking)
+            info.waitingFor = "LLC/memory data";
+        else if (!tbe.responded)
+            info.waitingFor = "dispatch";
+        else if (!tbe.unblocked)
+            info.waitingFor = "requester unblock";
+        info.age = now >= tbe.startedAt ? now - tbe.startedAt : 0;
+        out.push_back(std::move(info));
+    }
+    for (const auto &[addr, queue] : stalled) {
+        TxnInfo info;
+        info.controller = name();
+        info.addr = addr;
+        std::ostringstream st;
+        st << queue.size() << " request(s) stalled behind busy line";
+        info.state = st.str();
+        info.waitingFor = "line unblock";
+        out.push_back(std::move(info));
+    }
+}
+
+std::string
+DirectoryController::stateSummary() const
+{
+    std::size_t stalled_msgs = 0;
+    for (const auto &[addr, queue] : stalled)
+        stalled_msgs += queue.size();
+    std::ostringstream os;
+    os << name() << ": " << tbes.size() << " in-flight txns, "
+       << busyLines.size() << " busy lines, " << stalled_msgs
+       << " stalled requests, " << livelockedMsgs.size()
+       << " livelocked, " << dirArray.occupancy() << " tracked entries";
+    return os.str();
+}
+
+void
+DirectoryController::diagnostics(std::vector<std::string> &out) const
+{
+    for (const Msg &m : livelockedMsgs) {
+        std::ostringstream os;
+        os << name() << ": livelock — " << msgTypeName(m.type) << " 0x"
+           << std::hex << m.addr << std::dec << " from client "
+           << m.sender << " parked after "
+           << params.cfg.maxSetConflictRetries
+           << " set-conflict retries (all directory ways transacting)";
+        out.push_back(os.str());
+    }
 }
 
 } // namespace hsc

@@ -40,6 +40,7 @@
 #include "protocol/dir/llc.hh"
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
+#include "sim/introspect.hh"
 #include "stats/stats.hh"
 
 namespace hsc
@@ -73,7 +74,7 @@ struct DirParams
 /**
  * The directory controller.
  */
-class DirectoryController : public Clocked
+class DirectoryController : public Clocked, public ProtocolIntrospect
 {
   public:
     DirectoryController(std::string name, EventQueue &eq, ClockDomain clk,
@@ -105,6 +106,14 @@ class DirectoryController : public Clocked
     /** @} */
 
     std::uint64_t probesSent() const { return statProbesSent.value(); }
+
+    /** @{ ProtocolIntrospect. */
+    std::string introspectName() const override { return name(); }
+    void inFlightTransactions(Tick now,
+                              std::vector<TxnInfo> &out) const override;
+    std::string stateSummary() const override;
+    void diagnostics(std::vector<std::string> &out) const override;
+    /** @} */
 
   private:
     /** One tracked line. */
@@ -242,8 +251,16 @@ class DirectoryController : public Clocked
     /** Consume a cancellation mark for @p msg; true when dropped. */
     bool consumeCancelledVic(const Msg &msg);
 
+    /**
+     * Requests that exceeded maxSetConflictRetries waiting for a
+     * directory way: parked here (the line stays blocked, so the
+     * requester wedges and the watchdog surfaces the diagnosis).
+     */
+    std::vector<Msg> livelockedMsgs;
+
     // Statistics.
     Counter statRequests, statVictims, statStalls;
+    Counter statSetConflictRetries;
     Counter statProbesSent, statProbeBroadcasts, statProbeMulticasts;
     Counter statProbesElided;
     Counter statEarlyResponses;

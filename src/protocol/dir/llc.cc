@@ -108,4 +108,14 @@ LlcCache::invalidate(Addr addr)
     }
 }
 
+std::string
+LlcCache::stateSummary() const
+{
+    std::size_t dirty = 0;
+    array.forEach([&](Addr, const Entry &e) { dirty += e.dirty; });
+    return name + ": " + std::to_string(array.occupancy()) + " lines (" +
+           std::to_string(dirty) + " dirty), " +
+           (params.writeBack ? "write-back" : "write-through");
+}
+
 } // namespace hsc

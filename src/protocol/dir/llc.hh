@@ -21,6 +21,7 @@
 
 #include "cache/cache_array.hh"
 #include "mem/main_memory.hh"
+#include "sim/introspect.hh"
 #include "stats/stats.hh"
 
 namespace hsc
@@ -37,7 +38,7 @@ struct LlcParams
  * Functional LLC model; timing (the 20-cycle access) is charged by
  * the owning directory controller.
  */
-class LlcCache
+class LlcCache : public ProtocolIntrospect
 {
   public:
     LlcCache(std::string name, const LlcParams &params, MainMemory &mem);
@@ -76,6 +77,16 @@ class LlcCache
 
     std::size_t occupancy() const { return array.occupancy(); }
     bool writeBackMode() const { return params.writeBack; }
+
+    /** @{ ProtocolIntrospect.  The LLC is functional (access timing is
+     *  charged by the owning directory), so it has no in-flight
+     *  transactions of its own. */
+    std::string introspectName() const override { return name; }
+    void inFlightTransactions(Tick, std::vector<TxnInfo> &) const override
+    {
+    }
+    std::string stateSummary() const override;
+    /** @} */
 
   private:
     struct Entry

@@ -32,6 +32,7 @@ DmaController::readBlock(Addr addr, BlockCallback cb)
     op.isRead = true;
     op.addr = blockAlign(addr);
     op.readCb = std::move(cb);
+    op.startedAt = curTick();
     queue.push_back(std::move(op));
     pump();
 }
@@ -47,6 +48,7 @@ DmaController::writeBlock(Addr addr, const DataBlock &data, ByteMask mask,
     op.data = data;
     op.mask = mask;
     op.writeCb = std::move(cb);
+    op.startedAt = curTick();
     queue.push_back(std::move(op));
     pump();
 }
@@ -92,6 +94,39 @@ DmaController::handleFromDir(Msg &&msg)
     else
         op.writeCb();
     pump();
+}
+
+void
+DmaController::inFlightTransactions(Tick now,
+                                    std::vector<TxnInfo> &out) const
+{
+    for (const auto &[addr, ops] : issued) {
+        for (const Op &op : ops) {
+            TxnInfo t;
+            t.controller = name();
+            t.addr = addr;
+            t.state = op.isRead ? "DMA read issued" : "DMA write issued";
+            t.waitingFor = "DmaResp from directory";
+            t.age = now - op.startedAt;
+            out.push_back(std::move(t));
+        }
+    }
+    for (const Op &op : queue) {
+        TxnInfo t;
+        t.controller = name();
+        t.addr = op.addr;
+        t.state = op.isRead ? "DMA read queued" : "DMA write queued";
+        t.waitingFor = "outstanding-transaction slot";
+        t.age = now - op.startedAt;
+        out.push_back(std::move(t));
+    }
+}
+
+std::string
+DmaController::stateSummary() const
+{
+    return name() + ": " + std::to_string(inFlight) + " in flight, " +
+           std::to_string(queue.size()) + " queued";
 }
 
 } // namespace hsc

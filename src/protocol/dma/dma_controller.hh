@@ -18,6 +18,7 @@
 #include "mem/message_buffer.hh"
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
+#include "sim/introspect.hh"
 #include "stats/stats.hh"
 
 namespace hsc
@@ -27,7 +28,7 @@ namespace hsc
  * Block-level DMA requester with a bounded number of outstanding
  * transactions.
  */
-class DmaController : public Clocked
+class DmaController : public Clocked, public ProtocolIntrospect
 {
   public:
     using BlockCallback = std::function<void(const DataBlock &)>;
@@ -50,6 +51,13 @@ class DmaController : public Clocked
 
     void regStats(StatRegistry &reg);
 
+    /** @{ ProtocolIntrospect. */
+    std::string introspectName() const override { return name(); }
+    void inFlightTransactions(Tick now,
+                              std::vector<TxnInfo> &out) const override;
+    std::string stateSummary() const override;
+    /** @} */
+
   private:
     struct Op
     {
@@ -59,6 +67,7 @@ class DmaController : public Clocked
         ByteMask mask;
         BlockCallback readCb;
         DoneCallback writeCb;
+        Tick startedAt = 0;
     };
 
     void pump();

@@ -55,4 +55,11 @@ SqcController::invalidateAll()
         array.invalidate(a);
 }
 
+std::string
+SqcController::stateSummary() const
+{
+    return name() + ": " + std::to_string(array.occupancy()) +
+           " lines (fetch misses tracked by the TCC)";
+}
+
 } // namespace hsc

@@ -14,6 +14,7 @@
 #include "protocol/gpu/tcc.hh"
 #include "protocol/gpu/vi_line.hh"
 #include "sim/clocked.hh"
+#include "sim/introspect.hh"
 #include "stats/stats.hh"
 
 namespace hsc
@@ -29,7 +30,7 @@ struct SqcParams
 /**
  * Read-only instruction cache shared by the CUs.
  */
-class SqcController : public Clocked
+class SqcController : public Clocked, public ProtocolIntrospect
 {
   public:
     using DoneCallback = std::function<void()>;
@@ -47,6 +48,15 @@ class SqcController : public Clocked
 
     std::size_t occupancy() const { return array.occupancy(); }
     bool hasLine(Addr addr) const { return array.peek(addr) != nullptr; }
+
+    /** @{ ProtocolIntrospect.  Read-only and filled through the TCC:
+     *  outstanding fetches live in the TCC's MSHRs, not here. */
+    std::string introspectName() const override { return name(); }
+    void inFlightTransactions(Tick, std::vector<TxnInfo> &) const override
+    {
+    }
+    std::string stateSummary() const override;
+    /** @} */
 
   private:
     const SqcParams params;

@@ -1,5 +1,7 @@
 #include "protocol/gpu/tcc.hh"
 
+#include <sstream>
+
 namespace hsc
 {
 
@@ -63,9 +65,10 @@ void
 TccController::requestFill(Addr block, BlockCallback cb)
 {
     auto [it, fresh] = fills.try_emplace(block);
-    it->second.push_back(std::move(cb));
+    it->second.cbs.push_back(std::move(cb));
     if (!fresh)
         return; // merged into the outstanding fill
+    it->second.startedAt = curTick();
 
     Msg m;
     m.type = MsgType::TccRdBlk;
@@ -171,7 +174,8 @@ TccController::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
             m.atomicSize = size;
             m.atomicOperand = operand;
             m.atomicOperand2 = operand2;
-            pendingAtomics.emplace(m.txnId, std::move(cb));
+            pendingAtomics.emplace(
+                m.txnId, PendingAtomic{block, curTick(), std::move(cb)});
             toDir.enqueue(m);
         });
         return;
@@ -260,7 +264,7 @@ TccController::handleFromDir(Msg &&msg)
                      name().c_str());
             ViLine &line = allocateLine(m.addr);
             line.fill(m.data);
-            auto cbs = std::move(it->second);
+            auto cbs = std::move(it->second.cbs);
             fills.erase(it);
             for (auto &cb : cbs)
                 cb(line.data);
@@ -271,7 +275,7 @@ TccController::handleFromDir(Msg &&msg)
         auto it = pendingAtomics.find(msg.txnId);
         panic_if(it == pendingAtomics.end(),
                  "%s: atomic resp with no pending atomic", name().c_str());
-        auto cb = std::move(it->second);
+        auto cb = std::move(it->second.cb);
         pendingAtomics.erase(it);
         cb(msg.atomicResult);
         break;
@@ -320,6 +324,44 @@ TccController::lineDirty(Addr addr) const
 {
     const ViLine *l = array.peek(addr);
     return l && l->dirty();
+}
+
+void
+TccController::inFlightTransactions(Tick now,
+                                    std::vector<TxnInfo> &out) const
+{
+    for (const auto &[addr, fill] : fills) {
+        TxnInfo t;
+        t.controller = name();
+        t.addr = addr;
+        t.state = "fill (" + std::to_string(fill.cbs.size()) +
+                  " merged reader(s))";
+        t.waitingFor = "SysResp from directory";
+        t.age = now - fill.startedAt;
+        out.push_back(std::move(t));
+    }
+    for (const auto &[txn, pa] : pendingAtomics) {
+        TxnInfo t;
+        t.controller = name();
+        t.addr = pa.addr;
+        t.txnId = txn;
+        t.state = "system-scope atomic";
+        t.waitingFor = "AtomicResp from directory";
+        t.age = now - pa.startedAt;
+        out.push_back(std::move(t));
+    }
+}
+
+std::string
+TccController::stateSummary() const
+{
+    std::ostringstream os;
+    os << name() << ": " << fills.size() << " outstanding fills, "
+       << pendingAtomics.size() << " pending atomics, "
+       << outstandingWrites << " unacked write-throughs, "
+       << releaseWaiters.size() << " release waiter(s), "
+       << array.occupancy() << " lines";
+    return os.str();
 }
 
 } // namespace hsc

@@ -28,6 +28,7 @@
 #include "protocol/gpu/vi_line.hh"
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
+#include "sim/introspect.hh"
 #include "stats/stats.hh"
 
 namespace hsc
@@ -45,7 +46,7 @@ struct TccParams
  * The TCC controller.  TCPs and the SQC call it directly (same GPU
  * clock domain); it exchanges messages with the system directory.
  */
-class TccController : public Clocked
+class TccController : public Clocked, public ProtocolIntrospect
 {
   public:
     using BlockCallback = std::function<void(const DataBlock &)>;
@@ -104,6 +105,13 @@ class TccController : public Clocked
     std::size_t occupancy() const { return array.occupancy(); }
     /** @} */
 
+    /** @{ ProtocolIntrospect. */
+    std::string introspectName() const override { return name(); }
+    void inFlightTransactions(Tick now,
+                              std::vector<TxnInfo> &out) const override;
+    std::string stateSummary() const override;
+    /** @} */
+
   private:
     void handleFromDir(Msg &&msg);
 
@@ -125,11 +133,22 @@ class TccController : public Clocked
 
     CacheArray<ViLine> array;
 
-    /** Outstanding fills: per-line continuation list (MSHR merge). */
-    std::unordered_map<Addr, std::vector<BlockCallback>> fills;
+    /** Outstanding fill: continuation list (MSHR merge) + start tick. */
+    struct Fill
+    {
+        Tick startedAt = 0;
+        std::vector<BlockCallback> cbs;
+    };
+    std::unordered_map<Addr, Fill> fills;
 
-    /** Outstanding system-scope atomics by transaction id. */
-    std::unordered_map<std::uint64_t, ValueCallback> pendingAtomics;
+    /** Outstanding system-scope atomic. */
+    struct PendingAtomic
+    {
+        Addr addr = 0;
+        Tick startedAt = 0;
+        ValueCallback cb;
+    };
+    std::unordered_map<std::uint64_t, PendingAtomic> pendingAtomics;
     std::uint64_t nextAtomicId = 1;
 
     unsigned outstandingWrites = 0;

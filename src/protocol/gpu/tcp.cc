@@ -269,4 +269,11 @@ TcpController::drainDirty()
     }
 }
 
+std::string
+TcpController::stateSummary() const
+{
+    return name() + ": " + std::to_string(array.occupancy()) +
+           " lines (misses tracked by the TCC)";
+}
+
 } // namespace hsc

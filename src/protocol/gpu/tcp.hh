@@ -19,6 +19,7 @@
 #include "protocol/gpu/tcc.hh"
 #include "protocol/gpu/vi_line.hh"
 #include "sim/clocked.hh"
+#include "sim/introspect.hh"
 #include "stats/stats.hh"
 
 namespace hsc
@@ -35,7 +36,7 @@ struct TcpParams
 /**
  * The TCP controller; one per compute unit, fronting the shared TCC.
  */
-class TcpController : public Clocked
+class TcpController : public Clocked, public ProtocolIntrospect
 {
   public:
     using ValueCallback = std::function<void(std::uint64_t)>;
@@ -82,6 +83,16 @@ class TcpController : public Clocked
 
     bool hasLine(Addr addr) const { return array.peek(addr) != nullptr; }
     std::size_t occupancy() const { return array.occupancy(); }
+
+    /** @{ ProtocolIntrospect.  The TCP is a pass-through filter over
+     *  the TCC: its misses become TCC fills, so it holds no in-flight
+     *  transaction state of its own. */
+    std::string introspectName() const override { return name(); }
+    void inFlightTransactions(Tick, std::vector<TxnInfo> &) const override
+    {
+    }
+    std::string stateSummary() const override;
+    /** @} */
 
   private:
     ViLine &allocateLine(Addr block);

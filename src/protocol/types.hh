@@ -135,6 +135,13 @@ struct DirConfig
     std::string dirRepl = "TreePLRU";
 
     /**
+     * Robustness: maximum all-ways-transacting retries of one request
+     * before it is parked and surfaced as a livelock diagnostic in the
+     * HangReport (instead of spinning silently forever).
+     */
+    unsigned maxSetConflictRetries = 4096;
+
+    /**
      * §VII future-work ablation: prefer evicting directory entries
      * that are untracked/clean with the fewest sharers.
      */

@@ -1,0 +1,62 @@
+#include "sim/fault_injector.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+/** FNV-1a over the link name: stable per-link stream selector. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (char c : s) {
+        h ^= std::uint8_t(c);
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultConfig &cfg,
+                             Tick cycle_period_ticks)
+    : cfg(cfg), period(cycle_period_ticks)
+{
+}
+
+Rng &
+FaultInjector::streamFor(const std::string &link)
+{
+    auto it = streams.find(link);
+    if (it == streams.end())
+        it = streams.emplace(link, Rng(cfg.seed ^ fnv1a(link))).first;
+    return it->second;
+}
+
+Tick
+FaultInjector::extraDelay(const std::string &link)
+{
+    if (!cfg.enabled)
+        return 0;
+    Rng &rng = streamFor(link);
+    Tick extra = 0;
+    if (cfg.maxJitter)
+        extra += rng.below(cfg.maxJitter + 1) * period;
+    if (cfg.spikePercent && rng.chance(cfg.spikePercent))
+        extra += cfg.spikeCycles * period;
+    return extra;
+}
+
+bool
+FaultInjector::isDead(const std::string &link) const
+{
+    for (const std::string &pat : cfg.deadLinks) {
+        if (link.find(pat) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace hsc

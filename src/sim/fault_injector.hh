@@ -1,0 +1,97 @@
+/**
+ * @file
+ * FaultInjector — deterministic, semantics-preserving link
+ * perturbation for protocol stress testing.
+ *
+ * The injector hooks MessageBuffer::enqueue and adds bounded
+ * per-message latency jitter plus occasional per-link delay spikes.
+ * Delivery stays FIFO per link (MessageBuffer clamps each delivery at
+ * or after the previous one), so a correct protocol must produce the
+ * same final memory image under every fault schedule — RandomTester's
+ * jitter-sweep mode asserts exactly that.
+ *
+ * Each link draws from its own PRNG stream seeded from (seed, link
+ * name), so the k-th message on a given link sees the same jitter
+ * regardless of what other links do: the same seed always yields the
+ * same delivery schedule.
+ *
+ * Dead links are the exception to semantics preservation: a link
+ * matching FaultConfig::deadLinks silently drops every message.  That
+ * is the supported way to *induce* a protocol hang and exercise the
+ * watchdog/HangReport path in tests.
+ */
+
+#ifndef HSC_SIM_FAULT_INJECTOR_HH
+#define HSC_SIM_FAULT_INJECTOR_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/** Fault-injection knobs (SystemConfig::fault). */
+struct FaultConfig
+{
+    /** Master switch for jitter/spikes (dead links apply regardless). */
+    bool enabled = false;
+
+    /** Schedule seed: same seed -> identical delivery schedule. */
+    std::uint64_t seed = 1;
+
+    /** Uniform extra latency in [0, maxJitter] cycles per message. */
+    Cycles maxJitter = 0;
+
+    /** Percent chance per message of an additional delay spike. */
+    unsigned spikePercent = 0;
+
+    /** Magnitude of a delay spike, in cycles. */
+    Cycles spikeCycles = 0;
+
+    /**
+     * Links (substring-matched against the link name) that drop every
+     * message — hang induction for watchdog/HangReport testing.
+     */
+    std::vector<std::string> deadLinks;
+
+    bool any() const { return enabled || !deadLinks.empty(); }
+};
+
+/**
+ * Deterministic per-link delay generator.  One instance is shared by
+ * every MessageBuffer of a system; cycle values in FaultConfig are
+ * converted with the period handed to the constructor (the CPU clock,
+ * matching the uncore).
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultConfig &cfg, Tick cycle_period_ticks);
+
+    /**
+     * Extra delivery delay in ticks for the next message on @p link.
+     * Consumes one draw from the link's stream; call exactly once per
+     * enqueued message.
+     */
+    Tick extraDelay(const std::string &link);
+
+    /** True when @p link matches a configured dead link. */
+    bool isDead(const std::string &link) const;
+
+    const FaultConfig &config() const { return cfg; }
+
+  private:
+    Rng &streamFor(const std::string &link);
+
+    const FaultConfig cfg;
+    const Tick period;
+    std::unordered_map<std::string, Rng> streams;
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_FAULT_INJECTOR_HH

@@ -1,0 +1,106 @@
+#include "sim/introspect.hh"
+
+#include <sstream>
+
+namespace hsc
+{
+
+namespace
+{
+
+std::string
+hex(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+TxnInfo::toString() const
+{
+    std::ostringstream os;
+    os << controller << ": " << hex(addr);
+    if (txnId)
+        os << " txn=" << txnId;
+    os << " [" << state << "]";
+    if (!waitingFor.empty())
+        os << " waiting for " << waitingFor;
+    os << ", age " << age << " ticks";
+    return os.str();
+}
+
+std::string
+LinkInfo::toString() const
+{
+    std::ostringstream os;
+    os << name << ": " << depth << " undelivered, oldest " << oldestAge
+       << " ticks";
+    return os.str();
+}
+
+std::string_view
+HangReport::kindName(Kind k)
+{
+    switch (k) {
+      case Kind::None: return "none";
+      case Kind::Watchdog: return "watchdog (no forward progress)";
+      case Kind::CycleLimit: return "cycle limit reached";
+      case Kind::DrainIncomplete: return "post-run drain incomplete";
+    }
+    return "?";
+}
+
+std::string
+HangReport::brief() const
+{
+    if (!hung())
+        return "run completed";
+    std::ostringstream os;
+    os << kindName(kind) << " at tick " << atTick << ", " << liveTasks
+       << " live tasks";
+    if (!diagnostics.empty()) {
+        os << "; " << diagnostics.front();
+    } else if (!stalledTxns.empty()) {
+        os << "; oldest: " << stalledTxns.front().toString();
+    } else if (!stalledLinks.empty()) {
+        os << "; oldest link: " << stalledLinks.front().toString();
+    }
+    return os.str();
+}
+
+void
+HangReport::print(std::ostream &os) const
+{
+    os << "==== hang report: " << kindName(kind) << " ====\n";
+    os << "at tick " << atTick << " (last progress at "
+       << lastProgressTick << "), " << liveTasks << " live tasks\n";
+
+    if (!diagnostics.empty()) {
+        os << "-- diagnostics --\n";
+        for (const std::string &d : diagnostics)
+            os << "  " << d << '\n';
+    }
+    os << "-- in-flight transactions (oldest first, "
+       << stalledTxns.size() << ") --\n";
+    for (const TxnInfo &t : stalledTxns)
+        os << "  " << t.toString() << '\n';
+    if (stalledTxns.empty())
+        os << "  (none)\n";
+
+    os << "-- links with undelivered messages (" << stalledLinks.size()
+       << ") --\n";
+    for (const LinkInfo &l : stalledLinks)
+        os << "  " << l.toString() << '\n';
+    if (stalledLinks.empty())
+        os << "  (none)\n";
+
+    os << "-- controller state --\n";
+    for (const std::string &s : controllerSummaries)
+        os << "  " << s << '\n';
+    os << "==== end hang report ====\n";
+}
+
+} // namespace hsc

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Protocol introspection — the hang-diagnosis backbone.
+ *
+ * Every coherence controller implements ProtocolIntrospect, exposing
+ * its in-flight transactions (address, state, what it is waiting for,
+ * age) and a one-line state summary.  When the system watchdog trips,
+ * HsaSystem walks the introspectable objects and the links to build a
+ * structured HangReport: the oldest stalled transactions ranked by
+ * age, the links still holding undelivered messages, and per
+ * controller summaries — a gem5-Ruby-style deadlock dump instead of a
+ * blunt "no progress" warning.
+ */
+
+#ifndef HSC_SIM_INTROSPECT_HH
+#define HSC_SIM_INTROSPECT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/** Snapshot of one in-flight transaction inside a controller. */
+struct TxnInfo
+{
+    std::string controller; ///< owning controller's name
+    Addr addr = 0;          ///< block address of the transaction
+    std::uint64_t txnId = 0;///< directory transaction id (0 if none)
+    std::string state;      ///< e.g. "RdBlkM pendingAcks=2"
+    std::string waitingFor; ///< e.g. "probe acks", "SysResp"
+    Tick age = 0;           ///< ticks since the transaction started
+
+    /** One formatted report line. */
+    std::string toString() const;
+};
+
+/** Snapshot of one link's undelivered traffic. */
+struct LinkInfo
+{
+    std::string name;
+    std::size_t depth = 0; ///< messages enqueued but not delivered
+    Tick oldestAge = 0;    ///< age of the oldest undelivered message
+
+    std::string toString() const;
+};
+
+/**
+ * Implemented by every controller that holds transaction state, so
+ * the watchdog can ask "what are you stuck on?".
+ */
+class ProtocolIntrospect
+{
+  public:
+    virtual ~ProtocolIntrospect() = default;
+
+    /** Name used in report lines (usually the SimObject name). */
+    virtual std::string introspectName() const = 0;
+
+    /** Append every in-flight transaction; ages relative to @p now. */
+    virtual void inFlightTransactions(Tick now,
+                                      std::vector<TxnInfo> &out) const = 0;
+
+    /** One-line occupancy/state summary for the report footer. */
+    virtual std::string stateSummary() const = 0;
+
+    /** Append anomaly diagnostics (livelocks, parked requests, ...). */
+    virtual void diagnostics(std::vector<std::string> &out) const
+    {
+        (void)out;
+    }
+};
+
+/**
+ * Structured result of a failed run: what wedged, where, for how
+ * long.  Built by HsaSystem when the watchdog fires, the cycle limit
+ * is hit, or the post-run drain leaves transactions in flight.
+ */
+struct HangReport
+{
+    enum class Kind : std::uint8_t
+    {
+        None,            ///< the run completed
+        Watchdog,        ///< no forward progress while work remained
+        CycleLimit,      ///< max_cycles elapsed with work remaining
+        DrainIncomplete, ///< tasks retired but transactions remained
+    };
+
+    Kind kind = Kind::None;
+    Tick atTick = 0;           ///< tick at which the run gave up
+    Tick lastProgressTick = 0; ///< last notifyProgress() observation
+    unsigned liveTasks = 0;    ///< workload tasks still unfinished
+
+    /** In-flight transactions, ranked oldest first. */
+    std::vector<TxnInfo> stalledTxns;
+
+    /** Links still holding undelivered messages. */
+    std::vector<LinkInfo> stalledLinks;
+
+    /** One summary line per controller. */
+    std::vector<std::string> controllerSummaries;
+
+    /** Livelock and other anomaly diagnostics. */
+    std::vector<std::string> diagnostics;
+
+    bool hung() const { return kind != Kind::None; }
+
+    static std::string_view kindName(Kind k);
+
+    /** One-line diagnosis (the headline stalled transaction). */
+    std::string brief() const;
+
+    /** Full pretty-printed dump. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_INTROSPECT_HH

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "sim/sim_error.hh"
+
 namespace hsc
 {
 
@@ -72,7 +74,9 @@ fatal(const char *fmt, ...)
     std::string msg = formatVa(fmt, args);
     va_end(args);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
-    throw std::runtime_error("fatal: " + msg);
+    // User-reachable error (bad config, unsupported request): throw
+    // SimError so embedders can catch and report it cleanly.
+    throw SimError(msg, "fatal");
 }
 
 void

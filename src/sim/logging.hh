@@ -2,9 +2,10 @@
  * @file
  * Error-reporting and debug-trace helpers in the gem5 style.
  *
- * panic() flags simulator bugs (aborts); fatal() flags user/config
- * errors (clean exit).  Debug tracing is compiled in but gated on a
- * runtime flag set per category.
+ * panic() flags simulator bugs (throws std::logic_error); fatal()
+ * flags user/config errors (throws SimError, catchable for a clean
+ * exit).  Debug tracing is compiled in but gated on a runtime flag
+ * set per category.
  */
 
 #ifndef HSC_SIM_LOGGING_HH
@@ -47,11 +48,11 @@ class Logger
     static std::uint32_t flags;
 };
 
-/** Abort with a message: an internal simulator invariant failed. */
+/** Throw std::logic_error: an internal simulator invariant failed. */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Exit with a message: the user asked for something unsupported. */
+/** Throw SimError: the user asked for something unsupported. */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 

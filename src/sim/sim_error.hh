@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SimError — the exception type for user-reachable failures.
+ *
+ * Simulator code distinguishes two failure classes: programmer
+ * invariants (panic(), std::logic_error — a protocol bug) and
+ * user-reachable errors (bad configuration, an unbound link, a
+ * watchdog-diagnosed hang).  The latter throw SimError so embedding
+ * code — hsc_run, the benches, a test — can catch them, print the
+ * context, and exit cleanly instead of aborting deep inside the event
+ * loop.
+ */
+
+#ifndef HSC_SIM_SIM_ERROR_HH
+#define HSC_SIM_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hsc
+{
+
+/**
+ * A user-reachable simulation error with an optional context tag
+ * naming the subsystem or object that raised it.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what, std::string context = "")
+        : std::runtime_error(context.empty() ? what
+                                             : context + ": " + what),
+          ctx(std::move(context))
+    {}
+
+    /** Subsystem/object tag ("config", "link mem.toDir.b0c1", ...). */
+    const std::string &context() const { return ctx; }
+
+  private:
+    std::string ctx;
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_SIM_ERROR_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Watchdog / HangReport tests: a deliberately-induced protocol hang
+ * must terminate cleanly (no abort) with a structured report naming
+ * the stalled transaction's address, controller and age, and a
+ * directory set-conflict livelock must surface as a diagnostic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/hsa_system.hh"
+#include "core/run_report.hh"
+#include "protocol/dir/directory.hh"
+#include "sim/sim_error.hh"
+#include "tests/protocol/dir_harness.hh"
+
+namespace hsc
+{
+namespace
+{
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.topo = {1, 1};
+    cfg.numCus = 1;
+    cfg.wavefrontsPerCu = 1;
+    cfg.injectIfetches = false;
+    cfg.watchdogCycles = 20'000;
+    return cfg;
+}
+
+TEST(HangReport, DeadResponseLinkTripsWatchdogWithDiagnosis)
+{
+    SystemConfig cfg = tinyConfig();
+    // Drop every directory->client response: the first miss wedges.
+    cfg.fault.deadLinks = {".fromDir."};
+
+    HsaSystem sys(cfg);
+    const Addr target = sys.alloc(64);
+    sys.addCpuThread([target](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(target, 0xDEAD, 8);
+    });
+
+    EXPECT_FALSE(sys.run(1'000'000)); // clean false return, no abort
+    const HangReport &hr = sys.hangReport();
+    EXPECT_TRUE(hr.hung());
+    EXPECT_EQ(hr.kind, HangReport::Kind::Watchdog);
+    EXPECT_EQ(hr.liveTasks, 1u);
+    EXPECT_GT(hr.atTick, hr.lastProgressTick);
+
+    // The report names the stalled store: its address, the controller
+    // holding it, and a nonzero age.
+    ASSERT_FALSE(hr.stalledTxns.empty());
+    bool found_l2_miss = false;
+    for (const TxnInfo &t : hr.stalledTxns) {
+        if (t.addr == blockAlign(target) &&
+            t.controller.find("corepair") != std::string::npos) {
+            found_l2_miss = true;
+            EXPECT_GT(t.age, 0u);
+            EXPECT_FALSE(t.waitingFor.empty());
+        }
+    }
+    EXPECT_TRUE(found_l2_miss);
+
+    // The directory-side transaction is stuck waiting for the unblock
+    // that can never arrive.
+    bool found_dir_txn = false;
+    for (const TxnInfo &t : hr.stalledTxns)
+        found_dir_txn |= t.controller.find(".dir") != std::string::npos;
+    EXPECT_TRUE(found_dir_txn);
+
+    // The dead link shows up with its undelivered messages.
+    ASSERT_FALSE(hr.stalledLinks.empty());
+    bool found_link = false;
+    for (const LinkInfo &l : hr.stalledLinks)
+        found_link |= l.name.find("fromDir") != std::string::npos &&
+                      l.depth > 0;
+    EXPECT_TRUE(found_link);
+
+    // Controller summaries cover the whole hierarchy.
+    EXPECT_GE(hr.controllerSummaries.size(), 5u);
+
+    // brief() and print() carry the headline diagnosis.
+    EXPECT_NE(hr.brief().find("watchdog"), std::string::npos);
+    std::ostringstream os;
+    hr.print(os);
+    std::ostringstream addr_os;
+    addr_os << std::hex << blockAlign(target);
+    EXPECT_NE(os.str().find(addr_os.str()), std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("corepair"), std::string::npos);
+}
+
+TEST(HangReport, FailureReasonReachesRunMetrics)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.fault.deadLinks = {".fromDir."};
+    HsaSystem sys(cfg);
+    const Addr target = sys.alloc(64);
+    sys.addCpuThread([target](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(target, 1, 8);
+    });
+    bool ok = sys.run(1'000'000);
+    EXPECT_FALSE(ok);
+    RunMetrics m = collectMetrics(sys, "hangtest", ok);
+    EXPECT_FALSE(m.failReason.empty());
+    EXPECT_NE(m.failReason.find("watchdog"), std::string::npos);
+}
+
+TEST(HangReport, CleanRunReportsNoHang)
+{
+    SystemConfig cfg = tinyConfig();
+    HsaSystem sys(cfg);
+    const Addr target = sys.alloc(64);
+    sys.addCpuThread([target](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(target, 7, 8);
+        std::uint64_t v = co_await cpu.load(target, 8);
+        EXPECT_EQ(v, 7u);
+    });
+    EXPECT_TRUE(sys.run());
+    EXPECT_FALSE(sys.hangReport().hung());
+    EXPECT_EQ(sys.hangReport().kind, HangReport::Kind::None);
+}
+
+TEST(HangReport, DirectorySetConflictLivelockIsBoundedAndDiagnosed)
+{
+    // One directory set (2 entries, 2-way), owner tracking, and
+    // clients that never unblock: two transactions pin both ways, and
+    // a third request can never find a victim.  The retry loop must
+    // park it after the cap instead of spinning forever.
+    DirConfig cfg;
+    cfg.tracking = DirTracking::Owner;
+    cfg.dirEntries = 2;
+    cfg.dirAssoc = 2;
+    cfg.maxSetConflictRetries = 3;
+    DirBench bench(cfg);
+    bench.client(0).autoUnblock = false;
+    bench.client(1).autoUnblock = false;
+
+    Msg rd;
+    rd.type = MsgType::RdBlk;
+    rd.addr = 0x0;
+    bench.client(0).send(rd);
+    rd.addr = 0x40;
+    bench.client(1).send(rd);
+    bench.settle();
+
+    // Both ways now transact forever (no unblock will ever come).
+    rd.addr = 0x80;
+    bench.client(0).send(rd);
+    bench.settle(); // terminates: the retry loop is bounded
+
+    EXPECT_GE(bench.stats.counter("dir.setConflictRetries"), 3u);
+
+    std::vector<std::string> diags;
+    bench.dir->diagnostics(diags);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].find("livelock"), std::string::npos) << diags[0];
+    EXPECT_NE(diags[0].find("0x80"), std::string::npos) << diags[0];
+    EXPECT_NE(diags[0].find("RdBlk"), std::string::npos) << diags[0];
+
+    EXPECT_NE(bench.dir->stateSummary().find("1 livelocked"),
+              std::string::npos);
+}
+
+TEST(HangReport, DirectoryIntrospectionNamesWaitingTransactions)
+{
+    DirConfig cfg; // stateless baseline
+    DirBench bench(cfg);
+    bench.client(0).autoUnblock = false; // wedge after SysResp
+
+    Msg rd;
+    rd.type = MsgType::RdBlkM;
+    rd.addr = 0x1000;
+    bench.client(0).send(rd);
+    bench.settle();
+
+    std::vector<TxnInfo> txns;
+    bench.dir->inFlightTransactions(bench.eq.curTick(), txns);
+    ASSERT_EQ(txns.size(), 1u);
+    EXPECT_EQ(txns[0].addr, 0x1000u);
+    EXPECT_EQ(txns[0].waitingFor, "requester unblock");
+    EXPECT_NE(txns[0].state.find("RdBlkM"), std::string::npos);
+    EXPECT_GT(txns[0].age, 0u);
+
+    // The formatted line carries everything a human needs.
+    std::string line = txns[0].toString();
+    EXPECT_NE(line.find("0x1000"), std::string::npos) << line;
+    EXPECT_NE(line.find("dir"), std::string::npos) << line;
+}
+
+TEST(HangReport, InvalidConfigThrowsSimErrorNotAbort)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.cpuMHz = 0;
+    EXPECT_THROW({ HsaSystem sys(cfg); }, SimError);
+
+    SystemConfig cfg2 = tinyConfig();
+    cfg2.watchdogCycles = 0;
+    EXPECT_THROW({ HsaSystem sys2(cfg2); }, SimError);
+
+    SystemConfig cfg3 = tinyConfig();
+    cfg3.fault.enabled = true;
+    cfg3.fault.spikePercent = 250;
+    EXPECT_THROW({ HsaSystem sys3(cfg3); }, SimError);
+}
+
+} // namespace
+} // namespace hsc

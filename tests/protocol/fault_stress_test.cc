@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tier-2 fault-injection stress tests (jitter sweep).
+ *
+ * The same RandomTester schedule runs across several fault schedules
+ * (no faults, mild jitter, heavy jitter + spikes).  Fault injection is
+ * semantics-preserving — each link stays FIFO — so a correct protocol
+ * must reach the *identical* final memory image every time; any
+ * divergence is a latent timing-dependent coherence bug.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/random_tester.hh"
+
+namespace hsc
+{
+namespace
+{
+
+std::vector<FaultConfig>
+sweepSchedules()
+{
+    std::vector<FaultConfig> schedules;
+    schedules.emplace_back(); // schedule 0: no faults (reference)
+
+    FaultConfig mild;
+    mild.enabled = true;
+    mild.seed = 11;
+    mild.maxJitter = 6;
+    schedules.push_back(mild);
+
+    FaultConfig heavy;
+    heavy.enabled = true;
+    heavy.seed = 22;
+    heavy.maxJitter = 25;
+    heavy.spikePercent = 5;
+    heavy.spikeCycles = 300;
+    schedules.push_back(heavy);
+
+    FaultConfig spiky;
+    spiky.enabled = true;
+    spiky.seed = 33;
+    spiky.maxJitter = 3;
+    spiky.spikePercent = 20;
+    spiky.spikeCycles = 1000;
+    schedules.push_back(spiky);
+
+    return schedules;
+}
+
+RandomTesterConfig
+testerConfig()
+{
+    RandomTesterConfig tcfg;
+    tcfg.seed = 777;
+    tcfg.numLocations = 12;
+    tcfg.roundsPerLocation = 4;
+    tcfg.numCpuThreads = 4;
+    tcfg.numGpuWorkgroups = 2;
+    return tcfg;
+}
+
+void
+runSweep(SystemConfig base)
+{
+    shrinkForTorture(base);
+    JitterSweepResult res =
+        runJitterSweep(base, testerConfig(), sweepSchedules());
+    for (const std::string &f : res.failures)
+        ADD_FAILURE() << f;
+    ASSERT_TRUE(res.ok);
+    ASSERT_EQ(res.imageHashes.size(), 4u);
+    for (std::size_t i = 1; i < res.imageHashes.size(); ++i)
+        EXPECT_EQ(res.imageHashes[i], res.imageHashes[0]);
+}
+
+TEST(FaultStress, BaselineSurvivesJitterSweep)
+{
+    runSweep(baselineConfig());
+}
+
+TEST(FaultStress, OwnerTrackingSurvivesJitterSweep)
+{
+    runSweep(ownerTrackingConfig());
+}
+
+TEST(FaultStress, SharerTrackingSurvivesJitterSweep)
+{
+    runSweep(sharerTrackingConfig());
+}
+
+TEST(FaultStress, BankedDirectorySurvivesJitterSweep)
+{
+    SystemConfig cfg = sharerTrackingConfig();
+    cfg.numDirBanks = 2;
+    runSweep(cfg);
+}
+
+TEST(FaultStress, SweepItselfIsDeterministic)
+{
+    SystemConfig base = baselineConfig();
+    shrinkForTorture(base);
+    JitterSweepResult a =
+        runJitterSweep(base, testerConfig(), sweepSchedules());
+    JitterSweepResult b =
+        runJitterSweep(base, testerConfig(), sweepSchedules());
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(a.imageHashes, b.imageHashes);
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * FaultInjector and MessageBuffer robustness tests: deterministic
+ * delivery schedules, FIFO preservation under jitter, dead links, and
+ * the fail-fast consumer check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mem/message_buffer.hh"
+#include "sim/fault_injector.hh"
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+namespace
+{
+
+FaultConfig
+jitterConfig(std::uint64_t seed, Cycles max_jitter)
+{
+    FaultConfig fc;
+    fc.enabled = true;
+    fc.seed = seed;
+    fc.maxJitter = max_jitter;
+    return fc;
+}
+
+TEST(FaultInjector, SameSeedSameDelaySequence)
+{
+    FaultInjector a(jitterConfig(42, 16), 10);
+    FaultInjector b(jitterConfig(42, 16), 10);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.extraDelay("sys.toDir.b0c0"),
+                  b.extraDelay("sys.toDir.b0c0"));
+}
+
+TEST(FaultInjector, PerLinkStreamsAreIndependent)
+{
+    // Draining one link's stream must not perturb another link's
+    // schedule: the k-th message on a link sees the same delay no
+    // matter how much traffic other links carried.
+    FaultInjector a(jitterConfig(7, 32), 10);
+    FaultInjector b(jitterConfig(7, 32), 10);
+    for (int i = 0; i < 100; ++i)
+        (void)a.extraDelay("sys.toDir.b0c1"); // extra traffic on a
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.extraDelay("sys.fromDir.b0c2"),
+                  b.extraDelay("sys.fromDir.b0c2"));
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer)
+{
+    FaultInjector a(jitterConfig(1, 1000), 1);
+    FaultInjector b(jitterConfig(2, 1000), 1);
+    bool any_diff = false;
+    for (int i = 0; i < 50 && !any_diff; ++i)
+        any_diff = a.extraDelay("l") != b.extraDelay("l");
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultInjector, DisabledInjectsNothing)
+{
+    FaultConfig fc;
+    fc.maxJitter = 100; // ignored: enabled is false
+    FaultInjector fi(fc, 10);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(fi.extraDelay("l"), 0u);
+}
+
+TEST(FaultInjector, JitterBoundedAndCycleScaled)
+{
+    const Tick period = 10;
+    FaultInjector fi(jitterConfig(3, 8), period);
+    for (int i = 0; i < 500; ++i) {
+        Tick d = fi.extraDelay("l");
+        EXPECT_LE(d, 8u * period);
+        EXPECT_EQ(d % period, 0u);
+    }
+}
+
+TEST(FaultInjector, CertainSpikeAlwaysFires)
+{
+    FaultConfig fc;
+    fc.enabled = true;
+    fc.spikePercent = 100;
+    fc.spikeCycles = 50;
+    FaultInjector fi(fc, 10);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(fi.extraDelay("l"), 500u);
+}
+
+TEST(FaultInjector, DeadLinkMatchesSubstring)
+{
+    FaultConfig fc;
+    fc.deadLinks = {".fromDir."};
+    FaultInjector fi(fc, 10);
+    EXPECT_TRUE(fi.isDead("sys.fromDir.b0c3"));
+    EXPECT_FALSE(fi.isDead("sys.toDir.b0c3"));
+    EXPECT_TRUE(fc.any()); // dead links alone activate the injector
+}
+
+TEST(MessageBufferFault, JitterPreservesFifoOrder)
+{
+    EventQueue eq;
+    FaultInjector fi(jitterConfig(99, 64), 10);
+    MessageBuffer link("jittery", eq, 100);
+    link.attachFaultInjector(&fi);
+
+    std::vector<Addr> order;
+    std::vector<Tick> arrivals;
+    link.setConsumer([&](Msg &&m) {
+        order.push_back(m.addr);
+        arrivals.push_back(eq.curTick());
+    });
+    eq.schedule(0, [&] {
+        for (Addr a = 0; a < 64; ++a) {
+            Msg m;
+            m.addr = a * 64;
+            link.enqueue(m);
+        }
+    });
+    eq.run();
+
+    ASSERT_EQ(order.size(), 64u);
+    for (Addr a = 0; a < 64; ++a)
+        EXPECT_EQ(order[a], a * 64);
+    for (std::size_t i = 1; i < arrivals.size(); ++i)
+        EXPECT_GE(arrivals[i], arrivals[i - 1]);
+    // Jitter only ever adds latency.
+    for (Tick t : arrivals)
+        EXPECT_GE(t, 100u);
+}
+
+TEST(MessageBufferFault, SameSeedSameDeliverySchedule)
+{
+    auto deliver = [](std::uint64_t seed) {
+        EventQueue eq;
+        FaultInjector fi(jitterConfig(seed, 32), 10);
+        MessageBuffer link("sys.toDir.b0c0", eq, 50);
+        link.attachFaultInjector(&fi);
+        std::vector<Tick> arrivals;
+        link.setConsumer([&](Msg &&) { arrivals.push_back(eq.curTick()); });
+        eq.schedule(0, [&] {
+            for (int i = 0; i < 40; ++i)
+                link.enqueue(Msg{});
+        });
+        eq.run();
+        return arrivals;
+    };
+    EXPECT_EQ(deliver(5), deliver(5));
+    EXPECT_NE(deliver(5), deliver(6));
+}
+
+TEST(MessageBufferFault, DeadLinkDropsButTracksDepth)
+{
+    EventQueue eq;
+    FaultConfig fc;
+    fc.deadLinks = {"dead"};
+    FaultInjector fi(fc, 10);
+    MessageBuffer link("sys.dead.link", eq, 10);
+    link.attachFaultInjector(&fi);
+    unsigned delivered = 0;
+    link.setConsumer([&](Msg &&) { ++delivered; });
+    eq.schedule(0, [&] {
+        link.enqueue(Msg{});
+        link.enqueue(Msg{});
+    });
+    eq.run();
+    EXPECT_EQ(delivered, 0u);
+    EXPECT_EQ(link.queueDepth(), 2u);
+    EXPECT_EQ(link.oldestPendingAge(eq.curTick() + 500), 500u);
+    LinkInfo li = link.linkInfo(eq.curTick());
+    EXPECT_EQ(li.name, "sys.dead.link");
+    EXPECT_EQ(li.depth, 2u);
+}
+
+TEST(MessageBufferFault, EnqueueWithoutConsumerThrows)
+{
+    EventQueue eq;
+    MessageBuffer link("orphan", eq, 10);
+    try {
+        link.enqueue(Msg{});
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("orphan"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("no consumer"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(MessageBufferFault, PendingDrainsAfterDelivery)
+{
+    EventQueue eq;
+    MessageBuffer link("l", eq, 10);
+    link.setConsumer([](Msg &&) {});
+    eq.schedule(0, [&] { link.enqueue(Msg{}); });
+    eq.run();
+    EXPECT_EQ(link.queueDepth(), 0u);
+    EXPECT_EQ(link.oldestPendingAge(eq.curTick()), 0u);
+}
+
+} // namespace
+} // namespace hsc
