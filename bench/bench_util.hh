@@ -33,6 +33,10 @@ figureParams()
 inline void
 scaleHierarchy(SystemConfig &cfg)
 {
+    // Benchmarks measure the modelled system, not the sanitizer: the
+    // runtime coherence checker stays off here (tests default it on;
+    // bench/checker_overhead quantifies its cost explicitly).
+    cfg.check = false;
     cfg.corePair.l2Geom = {16, 8};   // 8 KB
     cfg.corePair.l1dGeom = {8, 2};   // 1 KB
     cfg.corePair.l1iGeom = {8, 2};   // 1 KB

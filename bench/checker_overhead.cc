@@ -1,0 +1,168 @@
+/**
+ * @file
+ * checker_overhead — what does the runtime coherence sanitizer cost?
+ *
+ * Every workload runs twice on identical configurations except
+ * SystemConfig::check, timing host wall-clock for both.  The checker
+ * is a passive observer, so simulated cycles must not move at all
+ * (that is asserted, not assumed); the interesting number is the
+ * host-time overhead, reported per workload and as a mean, together
+ * with the checker's own work counters.
+ *
+ *   $ ./bench/checker_overhead                 # table to stdout
+ *   $ ./bench/checker_overhead overhead.json   # plus JSON report
+ */
+
+#include <chrono>
+#include <iostream>
+#include <fstream>
+
+#include "bench/bench_util.hh"
+#include "core/random_tester.hh"
+#include "sim/json.hh"
+
+using namespace hsc;
+using namespace hsc::bench;
+
+namespace
+{
+
+struct Row
+{
+    std::string workload;
+    std::string config;
+    bool ok = false;
+    Cycles cycles = 0;          ///< simulated (identical on/off)
+    double wallOffMs = 0.0;
+    double wallOnMs = 0.0;
+    std::uint64_t transitionsChecked = 0;
+    std::uint64_t blocksShadowed = 0;
+
+    double
+    overheadPct() const
+    {
+        return wallOffMs > 0.0
+                   ? (wallOnMs - wallOffMs) / wallOffMs * 100.0
+                   : 0.0;
+    }
+};
+
+double
+millisSince(std::chrono::steady_clock::time_point t0)
+{
+    using namespace std::chrono;
+    return duration_cast<duration<double, std::milli>>(
+               steady_clock::now() - t0)
+        .count();
+}
+
+/** One timed workload run; returns simulated cycles via @p cycles. */
+bool
+timedRun(const std::string &wl, SystemConfig cfg, bool check,
+         Cycles &cycles, double &wall_ms, Row *stats_out)
+{
+    cfg.check = check;
+    HsaSystem sys(cfg);
+    auto workload = makeWorkload(wl, figureParams());
+    workload->setup(sys);
+    auto t0 = std::chrono::steady_clock::now();
+    bool ok = sys.run() && workload->verify(sys);
+    wall_ms = millisSince(t0);
+    cycles = sys.cpuCycles();
+    if (stats_out && sys.checker()) {
+        stats_out->transitionsChecked =
+            sys.checker()->transitionsChecked();
+        stats_out->blocksShadowed = sys.checker()->blocksShadowed();
+    }
+    return ok;
+}
+
+Row
+measure(const std::string &wl, const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    scaleHierarchy(cfg);
+    Row row;
+    row.workload = wl;
+    row.config = cfg.label;
+
+    Cycles cycles_off = 0, cycles_on = 0;
+    bool ok_off =
+        timedRun(wl, cfg, false, cycles_off, row.wallOffMs, nullptr);
+    bool ok_on = timedRun(wl, cfg, true, cycles_on, row.wallOnMs, &row);
+    row.cycles = cycles_on;
+    // A passive checker may not perturb the simulation.
+    row.ok = ok_off && ok_on && cycles_off == cycles_on;
+    if (cycles_off != cycles_on) {
+        std::cerr << "ERROR: " << wl
+                  << ": checker changed simulated cycles (" << cycles_off
+                  << " vs " << cycles_on << ")\n";
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<Row> rows;
+    for (const std::string &wl : workloadIds())
+        rows.push_back(measure(wl, sharerTrackingConfig()));
+
+    TableWriter tw(std::cout);
+    tw.header({"workload", "config", "cycles", "off ms", "on ms",
+               "ovh %", "transitions", "blocks", "result"});
+    std::vector<double> overheads;
+    bool all_ok = true;
+    for (const Row &r : rows) {
+        overheads.push_back(r.overheadPct());
+        all_ok = all_ok && r.ok;
+        tw.row({r.workload, r.config, TableWriter::fmt(r.cycles),
+                TableWriter::fmt(r.wallOffMs), TableWriter::fmt(r.wallOnMs),
+                TableWriter::fmt(r.overheadPct()),
+                TableWriter::fmt(r.transitionsChecked),
+                TableWriter::fmt(r.blocksShadowed),
+                r.ok ? "OK" : "FAIL"});
+    }
+    tw.rule();
+    tw.row({"mean", "", "", "", "", TableWriter::fmt(mean(overheads)),
+            "", "", all_ok ? "OK" : "FAIL"});
+
+    JsonValue report = JsonValue::makeObject();
+    report.set("bench", JsonValue("checker_overhead"));
+    JsonValue jrows = JsonValue::makeArray();
+    for (const Row &r : rows) {
+        JsonValue o = JsonValue::makeObject();
+        o.set("workload", JsonValue(r.workload));
+        o.set("config", JsonValue(r.config));
+        o.set("ok", JsonValue(r.ok));
+        o.set("cycles", JsonValue(std::uint64_t(r.cycles)));
+        o.set("wallOffMs", JsonValue(r.wallOffMs));
+        o.set("wallOnMs", JsonValue(r.wallOnMs));
+        o.set("overheadPct", JsonValue(r.overheadPct()));
+        o.set("checker.transitionsChecked",
+              JsonValue(r.transitionsChecked));
+        o.set("checker.blocksShadowed", JsonValue(r.blocksShadowed));
+        jrows.push(std::move(o));
+    }
+    report.set("rows", std::move(jrows));
+    report.set("meanOverheadPct", JsonValue(mean(overheads)));
+    report.set("ok", JsonValue(all_ok));
+
+    if (argc > 1) {
+        std::ofstream os(argv[1]);
+        if (!os) {
+            std::cerr << "cannot open " << argv[1] << '\n';
+            return 2;
+        }
+        report.write(os, 2);
+        os << '\n';
+        std::cout << "JSON report written to " << argv[1] << '\n';
+    } else {
+        std::cout << '\n';
+        report.write(std::cout, 2);
+        std::cout << '\n';
+    }
+    return all_ok ? 0 : 1;
+}

@@ -85,6 +85,7 @@ main(int argc, char **argv)
         for (unsigned s = 0; s < num_seeds; ++s) {
             SystemConfig cfg = base;
             shrinkForTorture(cfg);
+            cfg.check = false;  // stress throughput, not the sanitizer
 
             RandomTesterConfig tcfg;
             tcfg.seed = 1000 + s * 77;

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * hsc_replay — deterministically re-execute a captured failure trace.
+ *
+ * Takes the JSON written by hsc_run --trace-out (or by the test
+ * harnesses via writeFailureTrace), rebuilds the exact SystemConfig,
+ * replays the recorded op schedule, and reports whether the failure
+ * reproduces.  Exit codes: 0 = reproduced, 1 = did not reproduce,
+ * 2 = bad invocation / unreadable trace.
+ *
+ *   $ ./examples/hsc_run --tester --seed 99 --shrink --trace-out f.json
+ *   $ ./examples/hsc_replay f.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/trace_replay.hh"
+#include "sim/sim_error.hh"
+
+using namespace hsc;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts("usage: hsc_replay [options] <trace.json>\n"
+              "  --events     print the captured checker event tail\n"
+              "  --schedule   print the op schedule before replaying");
+}
+
+int
+run(int argc, char **argv)
+{
+    std::string path;
+    bool show_events = false;
+    bool show_schedule = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--events") {
+            show_events = true;
+        } else if (arg == "--schedule") {
+            show_schedule = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+
+    FailureTrace trace = readFailureTrace(path);
+    std::printf("trace: preset %s, %zu ops, tester seed %llu%s%s\n",
+                trace.preset.c_str(), trace.schedule.size(),
+                (unsigned long long)trace.tester.seed,
+                trace.check ? ", checker on" : ", checker off",
+                trace.fault.enabled ? ", faults on" : "");
+    if (trace.bug.kind != SeededBug::Kind::None) {
+        std::printf("seeded bug: %s at 0x%llx\n",
+                    std::string(seededBugKindName(trace.bug.kind)).c_str(),
+                    (unsigned long long)trace.bug.addr);
+    }
+    std::printf("recorded failure: %s\n", trace.failReason.c_str());
+
+    if (show_schedule) {
+        for (const TesterOp &op : trace.schedule.ops) {
+            std::printf("  loc %-3u %-4s[%u] %s", op.loc,
+                        testerAgentName(op.agent), op.agentIndex,
+                        op.isWrite ? "write" : "read ");
+            if (op.isWrite)
+                std::printf(" 0x%llx", (unsigned long long)op.value);
+            if (op.deviceScope)
+                std::printf(" (device scope)");
+            std::printf("\n");
+        }
+    }
+    if (show_events) {
+        std::printf("captured checker tail (%zu events):\n",
+                    trace.events.size());
+        for (const CheckerEvent &ev : trace.events)
+            std::printf("  %s\n", ev.toString().c_str());
+    }
+
+    ReplayResult res = replayTrace(trace);
+    if (res.reproduced) {
+        std::printf("replay: REPRODUCED: %s\n", res.failReason.c_str());
+        for (const std::string &f : res.failures)
+            std::printf("  %s\n", f.c_str());
+        return 0;
+    }
+    std::printf("replay: did not reproduce (run passed");
+    if (res.transitionsChecked)
+        std::printf("; %llu transitions checked",
+                    (unsigned long long)res.transitionsChecked);
+    std::printf(")\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "hsc_replay: error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "hsc_replay: error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -10,6 +10,15 @@
  *   $ ./examples/hsc_run --workload cedd --config baseline \
  *         --gpu-writeback --banks 2 --scale 4 --stats
  *   $ ./examples/hsc_run --list
+ *
+ * The runtime coherence sanitizer is on by default (--no-check turns
+ * it off); --tester swaps the workload for the RandomTester, and a
+ * failing run can be delta-minimized (--shrink) and dumped as a
+ * replayable JSON trace (--trace-out) for hsc_replay.
+ *
+ *   $ ./examples/hsc_run --tester --seed 99 --shrink \
+ *         --trace-out failure.json
+ *   $ ./examples/hsc_replay failure.json
  */
 
 #include <cstdio>
@@ -18,6 +27,8 @@
 #include <string>
 
 #include "core/run_report.hh"
+#include "core/schedule_shrink.hh"
+#include "core/trace_replay.hh"
 #include "sim/sim_error.hh"
 #include "workloads/workload.hh"
 
@@ -48,6 +59,96 @@ configByName(const std::string &name)
     fatal("unknown config '%s' (try --help)", name.c_str());
 }
 
+/** CLI config names -> the canonical preset names traces store. */
+std::string
+presetName(const std::string &cli)
+{
+    if (cli == "noCleanVicMem")
+        return "noCleanVicToMem";
+    if (cli == "noCleanVicLlc")
+        return "noCleanVicToLlc";
+    if (cli == "llcWB")
+        return "llcWriteBack";
+    if (cli == "llcWBuseL3")
+        return "llcWriteBackUseL3";
+    if (cli == "owner")
+        return "ownerTracking";
+    if (cli == "sharers")
+        return "sharerTracking";
+    return cli;  // baseline / earlyResp match already
+}
+
+/**
+ * --tester mode: drive the RandomTester, and on failure optionally
+ * delta-minimize the schedule and dump a replayable trace.
+ */
+int
+runTester(const SystemConfig &cfg, const std::string &preset,
+          const RandomTesterConfig &tcfg, bool shrink,
+          const std::string &trace_out, bool dump_stats)
+{
+    TesterSchedule sched = buildTesterSchedule(tcfg);
+    std::printf("tester: %zu ops over %u locations (seed %llu)\n",
+                sched.size(), tcfg.numLocations,
+                (unsigned long long)tcfg.seed);
+    HsaSystem sys(cfg);
+    RandomTester tester(sys, tcfg, sched);
+    bool ok = tester.run();
+    if (dump_stats)
+        sys.stats().dump(std::cout);
+    if (ok) {
+        std::printf("tester: PASS (image hash 0x%016llx)\n",
+                    (unsigned long long)tester.imageHash());
+        return 0;
+    }
+
+    std::string reason = sys.failReason();
+    if (reason.empty() && !tester.failures().empty())
+        reason = tester.failures().front();
+    std::printf("tester: FAIL: %s\n", reason.c_str());
+    for (const std::string &f : tester.failures())
+        std::fprintf(stderr, "  %s\n", f.c_str());
+    if (sys.checker() && sys.checker()->violated())
+        sys.checker()->violations().front().print(std::cerr);
+    if (sys.hangReport().hung())
+        sys.hangReport().print(std::cerr);
+
+    TesterSchedule to_dump = sched;
+    if (shrink) {
+        ShrinkResult res = shrinkSchedule(cfg, tcfg, sched);
+        if (res.originalFailed && !res.minimal.empty()) {
+            std::printf("shrink: %zu -> %zu ops after %zu runs\n",
+                        res.originalOps, res.minimal.size(),
+                        res.testsRun);
+            std::printf("minimal failing schedule (seed %llu):\n",
+                        (unsigned long long)tcfg.seed);
+            for (const TesterOp &op : res.minimal.ops) {
+                std::printf("  loc %-3u %-4s[%u] %s", op.loc,
+                            testerAgentName(op.agent), op.agentIndex,
+                            op.isWrite ? "write" : "read ");
+                if (op.isWrite)
+                    std::printf(" 0x%llx", (unsigned long long)op.value);
+                if (op.deviceScope)
+                    std::printf(" (device scope)");
+                std::printf("\n");
+            }
+            to_dump = res.minimal;
+            reason = res.failReason;
+        } else {
+            std::fprintf(stderr,
+                         "shrink: failure did not reproduce on rerun\n");
+        }
+    }
+    if (!trace_out.empty()) {
+        FailureTrace t = captureFailureTrace(preset, false, cfg, tcfg,
+                                             to_dump, &sys, reason);
+        writeFailureTrace(t, trace_out);
+        std::printf("failure trace written to %s (replay with "
+                    "hsc_replay)\n", trace_out.c_str());
+    }
+    return 1;
+}
+
 void
 usage()
 {
@@ -67,6 +168,22 @@ usage()
         "  --jitter <cycles>   fault injection: random extra link\n"
         "                      latency in [0, cycles] per message\n"
         "  --fault-seed <n>    fault-injection schedule seed (default: 1)\n"
+        "  --check / --no-check\n"
+        "                      runtime coherence sanitizer (default: on)\n"
+        "  --tester            run the RandomTester instead of a\n"
+        "                      workload (--seed picks the schedule)\n"
+        "  --tester-locs <n>   tester locations (default: 24)\n"
+        "  --tester-rounds <n> tester rounds per location (default: 6)\n"
+        "  --shrink            on tester failure, delta-minimize the\n"
+        "                      failing op schedule and print it\n"
+        "  --bug <kind>        plant a seeded protocol bug (for demoing\n"
+        "                      the sanitizer): ignoreInvProbe |\n"
+        "                      ignoreProbeData | writeNoPermission |\n"
+        "                      bogusWBAck | dropWrite\n"
+        "  --bug-addr <addr>   block the bug corrupts (default:\n"
+        "                      0x100000, the first heap block)\n"
+        "  --trace-out <path>  on failure, write a replayable JSON\n"
+        "                      failure trace (see hsc_replay)\n"
         "  --stats             dump the full statistics registry\n"
         "  --list              list workloads and exit");
 }
@@ -108,6 +225,14 @@ run(int argc, char **argv)
     bool dump_stats = false;
     Cycles jitter = 0;
     std::uint64_t fault_seed = 1;
+    bool check = true;
+    bool tester_mode = false;
+    bool shrink = false;
+    unsigned tester_locs = 24;
+    unsigned tester_rounds = 6;
+    std::string trace_out;
+    SeededBug bug;
+    bug.addr = 0x100000;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -147,6 +272,24 @@ run(int argc, char **argv)
             jitter = Cycles(nextNum());
         } else if (arg == "--fault-seed") {
             fault_seed = nextNum();
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--no-check") {
+            check = false;
+        } else if (arg == "--tester") {
+            tester_mode = true;
+        } else if (arg == "--tester-locs") {
+            tester_locs = unsigned(nextNum());
+        } else if (arg == "--tester-rounds") {
+            tester_rounds = unsigned(nextNum());
+        } else if (arg == "--shrink") {
+            shrink = true;
+        } else if (arg == "--bug") {
+            bug.kind = seededBugKindFromName(next());
+        } else if (arg == "--bug-addr") {
+            bug.addr = Addr(std::stoull(next(), nullptr, 0)); // hex ok
+        } else if (arg == "--trace-out") {
+            trace_out = next();
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--list") {
@@ -170,6 +313,9 @@ run(int argc, char **argv)
     SystemConfig cfg = configByName(config);
     cfg.numDirBanks = banks;
     cfg.gpuWriteBack = gpu_wb;
+    cfg.check = check;
+    if (bug.kind != SeededBug::Kind::None)
+        cfg.bug = bug;
     if (limited_ptrs) {
         cfg.dir.tracking = DirTracking::Sharers;
         cfg.dir.maxSharerPointers = limited_ptrs;
@@ -178,6 +324,15 @@ run(int argc, char **argv)
         cfg.fault.enabled = true;
         cfg.fault.seed = fault_seed;
         cfg.fault.maxJitter = jitter;
+    }
+
+    if (tester_mode) {
+        RandomTesterConfig tcfg;
+        tcfg.seed = params.seed;
+        tcfg.numLocations = tester_locs;
+        tcfg.roundsPerLocation = tester_rounds;
+        return runTester(cfg, presetName(config), tcfg, shrink, trace_out,
+                         dump_stats);
     }
 
     HsaSystem sys(cfg);
@@ -190,6 +345,20 @@ run(int argc, char **argv)
     printRunSummary(std::cout, m);
     if (!ran && sys.hangReport().hung())
         sys.hangReport().print(std::cerr);
+    if (sys.checker() && sys.checker()->violated())
+        sys.checker()->violations().front().print(std::cerr);
+    if (!ok && !trace_out.empty()) {
+        // Workload runs have no op schedule, but the system knobs,
+        // diagnosis and checker event tail still make the trace a
+        // useful artifact.
+        FailureTrace t =
+            captureFailureTrace(presetName(config), false, cfg,
+                                RandomTesterConfig{}, TesterSchedule{},
+                                &sys, sys.failReason());
+        writeFailureTrace(t, trace_out);
+        std::fprintf(stderr, "failure trace written to %s\n",
+                     trace_out.c_str());
+    }
     const Histogram *h =
         sys.stats().histogram(cfg.name + ".dir.txnLatency");
     if (!h)

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <ostream>
 
+#include "core/coherence_checker.hh"
+#include "sim/sim_error.hh"
+
 namespace hsc
 {
 
@@ -48,6 +51,12 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             cfg.fault, cpuClk.periodTicks());
     }
 
+    if (cfg.check) {
+        checkerPtr = std::make_unique<CoherenceChecker>(
+            cfg.name + ".checker", eq);
+        checkerPtr->regStats(registry);
+    }
+
     mainMemory = std::make_unique<MainMemory>(
         cfg.name + ".mem", eq, cpuClk.toTicks(cfg.memLatency),
         cpuClk.toTicks(cfg.memServicePeriod));
@@ -65,6 +74,7 @@ HsaSystem::HsaSystem(const SystemConfig &config)
     DirParams dp;
     dp.topo = topo;
     dp.cfg = cfg.dir;
+    dp.bug = cfg.bug;
     dp.llc = cfg.llc;
     dp.dirLatency = cfg.dirLatency;
     dp.llcLatency = cfg.llcLatency;
@@ -82,6 +92,7 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             : cfg.name + ".dir" + std::to_string(b);
         dirs.push_back(std::make_unique<DirectoryController>(
             dir_name, eq, cpuClk, dp, *mainMemory));
+        dirs.back()->attachChecker(checkerPtr.get());
     }
 
     // One channel pair per (bank, client); each client sends through a
@@ -118,14 +129,17 @@ HsaSystem::HsaSystem(const SystemConfig &config)
     };
 
     // CPU clusters.
+    CorePairParams cp_params = cfg.corePair;
+    cp_params.bug = cfg.bug;
     for (unsigned i = 0; i < topo.numCorePairs; ++i) {
         MachineId id = topo.l2Id(i);
         corePairs.push_back(std::make_unique<CorePairController>(
             cfg.name + ".corepair" + std::to_string(i), eq, cpuClk, id,
-            cfg.corePair, *clientSinks[id]));
+            cp_params, *clientSinks[id]));
         bind_from_dir(unsigned(id), [&](MessageBuffer &buf) {
             corePairs.back()->bindFromDir(buf);
         });
+        corePairs.back()->attachChecker(checkerPtr.get());
         corePairs.back()->regStats(registry);
     }
 
@@ -140,10 +154,12 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         bind_from_dir(unsigned(id), [&](MessageBuffer &buf) {
             tccCtrl->bindFromDir(buf);
         });
+        tccCtrl->attachChecker(checkerPtr.get());
         tccCtrl->regStats(registry);
     }
     sqcCtrl = std::make_unique<SqcController>(cfg.name + ".sqc", eq, gpuClk,
                                               cfg.sqc, *tccCtrl);
+    sqcCtrl->attachChecker(checkerPtr.get());
     sqcCtrl->regStats(registry);
 
     TcpParams tcp_params = cfg.tcp;
@@ -154,6 +170,7 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             cfg.name + ".cu" + std::to_string(i), eq, gpuClk, tcp_params,
             *tccCtrl, *sqcCtrl, cfg.wavefrontsPerCu, cfg.lanesPerWavefront,
             cfg.injectIfetches));
+        cus.back()->tcp().attachChecker(checkerPtr.get());
         cus.back()->tcp().regStats(registry);
         cu_ptrs.push_back(cus.back().get());
     }
@@ -169,6 +186,7 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         bind_from_dir(unsigned(id), [&](MessageBuffer &buf) {
             dmaCtrl->bindFromDir(buf);
         });
+        dmaCtrl->attachChecker(checkerPtr.get());
         dmaCtrl->regStats(registry);
         dmaEngine = std::make_unique<DmaEngine>(*dmaCtrl);
     }
@@ -312,6 +330,7 @@ HsaSystem::run(Cycles max_cycles)
     running = true;
     watchdogTripped = false;
     lastHang = HangReport{};
+    lastError.clear();
 
     liveTasks = static_cast<unsigned>(threadFns.size());
     for (std::size_t i = 0; i < threadFns.size(); ++i) {
@@ -326,8 +345,30 @@ HsaSystem::run(Cycles max_cycles)
     armWatchdog();
 
     Tick limit = start + cpuClk.toTicks(max_cycles);
-    bool done = eq.runUntil(
-        [this] { return liveTasks == 0 || watchdogTripped; }, limit);
+    bool done = false;
+    try {
+        done = eq.runUntil(
+            [this] {
+                return liveTasks == 0 || watchdogTripped ||
+                       (checkerPtr && checkerPtr->violated());
+            },
+            limit);
+    } catch (const SimError &e) {
+        // fatal() inside a scheduled event: surface as a structured
+        // failure instead of tearing down the process.
+        running = false;
+        lastError = e.what();
+        warn("%s: run aborted by fatal error: %s", cfg.name.c_str(),
+             e.what());
+        return false;
+    }
+
+    if (checkerPtr && checkerPtr->violated()) {
+        running = false;
+        warn("%s: run aborted by coherence checker: %s", cfg.name.c_str(),
+             checkerPtr->brief().c_str());
+        return false;
+    }
     if (!done || watchdogTripped || liveTasks != 0) {
         running = false;
         lastHang = buildHangReport(watchdogTripped
@@ -346,8 +387,20 @@ HsaSystem::run(Cycles max_cycles)
     // Drain in-flight write-backs and asynchronous traffic (the
     // watchdog stops rearming once `running` is false).
     running = false;
-    eq.run();
+    try {
+        eq.run();
+    } catch (const SimError &e) {
+        lastError = e.what();
+        warn("%s: drain aborted by fatal error: %s", cfg.name.c_str(),
+             e.what());
+        return false;
+    }
     threadFns.clear();
+    if (checkerPtr && checkerPtr->violated()) {
+        warn("%s: drain flagged a coherence violation: %s",
+             cfg.name.c_str(), checkerPtr->brief().c_str());
+        return false;
+    }
     for (const auto &d : dirs) {
         if (!d->idle()) {
             lastHang = buildHangReport(HangReport::Kind::DrainIncomplete);
@@ -356,7 +409,30 @@ HsaSystem::run(Cycles max_cycles)
             return false;
         }
     }
+
+    // Quiescent sweep: with everything drained, cross-check the stable
+    // cache/directory states and the memory image once more.
+    if (checkerPtr) {
+        CheckResult qr = checkCoherenceInvariants(*this);
+        if (!qr.ok) {
+            lastError = "quiescent coherence check: " + qr.violations[0];
+            warn("%s: %s", cfg.name.c_str(), lastError.c_str());
+            return false;
+        }
+    }
     return true;
+}
+
+std::string
+HsaSystem::failReason() const
+{
+    if (checkerPtr && checkerPtr->violated())
+        return checkerPtr->brief();
+    if (!lastError.empty())
+        return lastError;
+    if (lastHang.hung())
+        return lastHang.brief();
+    return {};
 }
 
 } // namespace hsc

@@ -33,6 +33,7 @@
 #include "core/system_config.hh"
 #include "mem/main_memory.hh"
 #include "protocol/dir/directory.hh"
+#include "sim/coherence_checker.hh"
 #include "sim/fault_injector.hh"
 #include "sim/introspect.hh"
 
@@ -101,6 +102,23 @@ class HsaSystem
      */
     const HangReport &hangReport() const { return lastHang; }
 
+    /**
+     * The runtime coherence sanitizer (null when SystemConfig::check
+     * is off).  After a failed run, violations() has the reports.
+     */
+    CoherenceChecker *checker() { return checkerPtr.get(); }
+    const CoherenceChecker *checker() const { return checkerPtr.get(); }
+
+    /**
+     * One-line cause of the last failed run(), in priority order:
+     * checker violation, caught SimError (fatal), hang report.
+     * Empty after a successful run.
+     */
+    std::string failReason() const;
+
+    /** The SimError message caught by run(), if any ("" otherwise). */
+    const std::string &lastSimError() const { return lastError; }
+
     /** Walk every introspectable controller and link *now*. */
     HangReport buildHangReport(HangReport::Kind kind) const;
 
@@ -148,6 +166,7 @@ class HsaSystem
     ClockDomain gpuClk;
 
     std::unique_ptr<FaultInjector> faultInjector;
+    std::unique_ptr<CoherenceChecker> checkerPtr;
 
     std::unique_ptr<MainMemory> mainMemory;
     std::vector<std::unique_ptr<DirectoryController>> dirs;
@@ -173,6 +192,7 @@ class HsaSystem
     std::vector<CpuThreadFn> threadFns;
 
     HangReport lastHang;
+    std::string lastError;
 
     Addr heapNext = 0x100000;
     unsigned liveTasks = 0;

@@ -2,22 +2,93 @@
 
 #include <sstream>
 
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 
 namespace hsc
 {
 
+const char *
+testerAgentName(TesterAgent a)
+{
+    switch (a) {
+      case TesterAgent::Cpu: return "cpu";
+      case TesterAgent::Gpu: return "gpu";
+      case TesterAgent::Dma: return "dma";
+    }
+    return "?";
+}
+
+TesterAgent
+testerAgentFromName(const std::string &name)
+{
+    for (TesterAgent a :
+         {TesterAgent::Cpu, TesterAgent::Gpu, TesterAgent::Dma}) {
+        if (name == testerAgentName(a))
+            return a;
+    }
+    fatal("unknown tester agent \"%s\"", name.c_str());
+}
+
+TesterSchedule
+buildTesterSchedule(const RandomTesterConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    TesterSchedule sched;
+    unsigned n_wgs = cfg.useGpu ? cfg.numGpuWorkgroups : 0;
+
+    // Every round is one write by a random agent followed by 1-2
+    // verifying reads by random agents.
+    for (unsigned loc = 0; loc < cfg.numLocations; ++loc) {
+        // Device-scope (GLC) operations are only sound among GPU
+        // agents sharing the TCC: a CPU store can upgrade E->M
+        // silently and never probe the TCC, so a GLC poll of
+        // CPU-written data may legitimately spin on stale data
+        // (VIPER scoped semantics).  Some locations are therefore
+        // GPU-only and exercised entirely at device scope.
+        bool device_loc = cfg.allowDeviceScope && cfg.useGpu &&
+                          n_wgs > 0 && rng.chance(25);
+        for (unsigned round = 0; round < cfg.roundsPerLocation; ++round) {
+            unsigned n_reads = 1 + unsigned(rng.below(2));
+            for (unsigned op = 0; op < 1 + n_reads; ++op) {
+                TesterOp t;
+                t.loc = loc;
+                t.isWrite = (op == 0);
+                if (t.isWrite)
+                    t.value = rng.next() | 1; // nonzero
+                t.deviceScope = device_loc;
+
+                if (device_loc) {
+                    t.agent = TesterAgent::Gpu;
+                    t.agentIndex = unsigned(rng.below(n_wgs));
+                    sched.ops.push_back(t);
+                    continue;
+                }
+                // Pick the owning agent.
+                unsigned kinds = 1 + (cfg.useGpu ? 1 : 0) +
+                                 (cfg.useDma ? 1 : 0);
+                unsigned pick = unsigned(rng.below(kinds));
+                if (pick == 1 && cfg.useGpu) {
+                    t.agent = TesterAgent::Gpu;
+                    t.agentIndex = unsigned(rng.below(n_wgs));
+                } else if (pick >= 1 && cfg.useDma &&
+                           (pick == 2 || !cfg.useGpu)) {
+                    t.agent = TesterAgent::Dma;
+                } else {
+                    t.agent = TesterAgent::Cpu;
+                    t.agentIndex = unsigned(rng.below(cfg.numCpuThreads));
+                }
+                sched.ops.push_back(t);
+            }
+        }
+    }
+    return sched;
+}
+
 namespace
 {
 
-/** Agent kinds that can own a turn. */
-enum class AgentKind : std::uint8_t
-{
-    Cpu,
-    Gpu,
-    Dma,
-};
-
+/** One op bound to its derived turn index and expected value. */
 struct Turn
 {
     unsigned loc;
@@ -36,7 +107,6 @@ struct RandomTester::State
 {
     Addr base = 0;
     unsigned numLocations = 0;
-    unsigned rounds = 0;
     std::vector<std::vector<Turn>> cpuWork;  ///< per CPU thread
     std::vector<std::vector<Turn>> gpuWork;  ///< per GPU workgroup
     std::vector<Turn> dmaWork;               ///< driven by thread 0
@@ -78,7 +148,14 @@ struct RandomTester::State
 };
 
 RandomTester::RandomTester(HsaSystem &sys, const RandomTesterConfig &cfg)
-    : sys(sys), cfg(cfg), st(std::make_shared<State>())
+    : RandomTester(sys, cfg, buildTesterSchedule(cfg))
+{
+}
+
+RandomTester::RandomTester(HsaSystem &sys, const RandomTesterConfig &cfg,
+                           TesterSchedule schedule)
+    : sys(sys), cfg(cfg), sched(std::move(schedule)),
+      st(std::make_shared<State>())
 {
 }
 
@@ -99,61 +176,45 @@ RandomTester::imageHash() const
 bool
 RandomTester::run()
 {
-    Rng rng(cfg.seed);
     State &s = *st;
     s.numLocations = cfg.numLocations;
-    s.rounds = cfg.roundsPerLocation;
     s.base = sys.alloc(std::uint64_t(cfg.numLocations) * 128);
     s.cpuWork.resize(cfg.numCpuThreads);
     s.gpuWork.resize(cfg.useGpu ? cfg.numGpuWorkgroups : 0);
     s.finalValue.resize(cfg.numLocations, 0);
     s.turnsPerLoc.resize(cfg.numLocations, 0);
 
-    // Build the deterministic schedule: every round is one write by a
-    // random agent followed by 1-2 verifying reads by random agents.
-    for (unsigned loc = 0; loc < cfg.numLocations; ++loc) {
-        // Device-scope (GLC) operations are only sound among GPU
-        // agents sharing the TCC: a CPU store can upgrade E->M
-        // silently and never probe the TCC, so a GLC poll of
-        // CPU-written data may legitimately spin on stale data
-        // (VIPER scoped semantics).  Some locations are therefore
-        // GPU-only and exercised entirely at device scope.
-        bool device_loc = cfg.allowDeviceScope && cfg.useGpu &&
-                          !s.gpuWork.empty() && rng.chance(25);
-        std::uint64_t value = 0;
-        unsigned idx = 0;
-        for (unsigned round = 0; round < cfg.roundsPerLocation; ++round) {
-            unsigned n_reads = 1 + unsigned(rng.below(2));
-            for (unsigned op = 0; op < 1 + n_reads; ++op) {
-                Turn t;
-                t.loc = loc;
-                t.idx = idx++;
-                t.isWrite = (op == 0);
-                if (t.isWrite)
-                    value = rng.next() | 1; // nonzero
-                t.value = value;
-                t.deviceScope = device_loc;
-
-                if (device_loc) {
-                    s.gpuWork[rng.below(s.gpuWork.size())].push_back(t);
-                    continue;
-                }
-                // Pick the owning agent.
-                unsigned kinds = 1 + (cfg.useGpu ? 1 : 0) +
-                                 (cfg.useDma ? 1 : 0);
-                unsigned pick = unsigned(rng.below(kinds));
-                if (pick == 1 && cfg.useGpu) {
-                    s.gpuWork[rng.below(s.gpuWork.size())].push_back(t);
-                } else if (pick >= 1 && cfg.useDma &&
-                           (pick == 2 || !cfg.useGpu)) {
-                    s.dmaWork.push_back(t);
-                } else {
-                    s.cpuWork[rng.below(cfg.numCpuThreads)].push_back(t);
-                }
-            }
+    // Derive turn indices and read expectations from op order, then
+    // deal each op to its agent.  Every subsequence of a schedule is
+    // self-consistent under this derivation (shrinking's invariant).
+    std::vector<std::uint64_t> current(cfg.numLocations, 0);
+    for (const TesterOp &op : sched.ops) {
+        fatal_if(op.loc >= cfg.numLocations,
+                 "tester op loc %u out of range", op.loc);
+        Turn t;
+        t.loc = op.loc;
+        t.idx = s.turnsPerLoc[op.loc]++;
+        t.isWrite = op.isWrite;
+        if (op.isWrite)
+            current[op.loc] = op.value;
+        t.value = current[op.loc];
+        t.deviceScope = op.deviceScope;
+        switch (op.agent) {
+          case TesterAgent::Cpu:
+            s.cpuWork[op.agentIndex % cfg.numCpuThreads].push_back(t);
+            break;
+          case TesterAgent::Gpu:
+            fatal_if(s.gpuWork.empty(),
+                     "schedule has GPU ops but useGpu is off");
+            s.gpuWork[op.agentIndex % s.gpuWork.size()].push_back(t);
+            break;
+          case TesterAgent::Dma:
+            s.dmaWork.push_back(t);
+            break;
         }
-        s.finalValue[loc] = value;
-        s.turnsPerLoc[loc] = idx;
+    }
+    for (unsigned loc = 0; loc < cfg.numLocations; ++loc) {
+        s.finalValue[loc] = current[loc];
         // Initial memory image.
         sys.writeWord<std::uint32_t>(s.locAddr(loc) + TurnOffset, 0);
         sys.writeWord<std::uint64_t>(s.locAddr(loc) + DataOffset, 0);
@@ -285,8 +346,8 @@ RandomTester::run()
     }
 
     if (!sys.run()) {
+        s.fail("system run failed: " + sys.failReason());
         const HangReport &hr = sys.hangReport();
-        s.fail("system run failed: " + hr.brief());
         for (const std::string &d : hr.diagnostics)
             s.fail(d);
         for (std::size_t i = 0; i < hr.stalledTxns.size() && i < 4; ++i)
@@ -323,7 +384,7 @@ RandomTester::run()
     });
     if (!sys.run()) {
         s.fail("verification pass failed to complete: " +
-               sys.hangReport().brief());
+               sys.failReason());
         return false;
     }
     return s.failures.empty();

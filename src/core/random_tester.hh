@@ -11,6 +11,13 @@
  * coherence bug shows up as a verification mismatch or a watchdog
  * deadlock.  Turn counter and data share a cache line, maximising
  * invalidation ping-pong across L2s, TCC and the directory.
+ *
+ * The op schedule is an explicit first-class value (TesterSchedule):
+ * it can be generated from a seed, dumped into a failure trace,
+ * delta-minimized (schedule_shrink.hh) and replayed.  Read
+ * expectations, turn indices and the final image are all *derived*
+ * from op order, so any subsequence of a schedule is itself a valid,
+ * self-consistent schedule — the property shrinking relies on.
  */
 
 #ifndef HSC_CORE_RANDOM_TESTER_HH
@@ -40,6 +47,45 @@ struct RandomTesterConfig
     std::uint64_t seed = 12345;
 };
 
+/** Which engine executes a tester op. */
+enum class TesterAgent : std::uint8_t
+{
+    Cpu,  ///< CPU thread @c agentIndex
+    Gpu,  ///< GPU workgroup @c agentIndex
+    Dma,  ///< the DMA engine (driven by the host thread)
+};
+
+const char *testerAgentName(TesterAgent a);
+TesterAgent testerAgentFromName(const std::string &name);
+
+/**
+ * One operation of a tester schedule.  Reads carry no expected value:
+ * expectations are derived from the most recent write to the same
+ * location *within the schedule being run*, so shrunk subsequences
+ * stay self-consistent.
+ */
+struct TesterOp
+{
+    unsigned loc = 0;
+    TesterAgent agent = TesterAgent::Cpu;
+    unsigned agentIndex = 0;       ///< CPU thread / GPU workgroup
+    bool isWrite = false;
+    std::uint64_t value = 0;       ///< written value (writes only)
+    bool deviceScope = false;      ///< GPU GLC instead of system scope
+};
+
+/** An explicit, ordered (per location) op schedule. */
+struct TesterSchedule
+{
+    std::vector<TesterOp> ops;
+
+    bool empty() const { return ops.empty(); }
+    std::size_t size() const { return ops.size(); }
+};
+
+/** Generate the schedule @p cfg's seed deterministically expands to. */
+TesterSchedule buildTesterSchedule(const RandomTesterConfig &cfg);
+
 /**
  * Drives one HsaSystem with randomized coherent traffic and verifies
  * every read plus the final memory image.
@@ -47,13 +93,22 @@ struct RandomTesterConfig
 class RandomTester
 {
   public:
+    /** Run the schedule derived from @p cfg's seed. */
     RandomTester(HsaSystem &sys, const RandomTesterConfig &cfg);
+
+    /** Run an explicit (e.g. shrunk or replayed) schedule. */
+    RandomTester(HsaSystem &sys, const RandomTesterConfig &cfg,
+                 TesterSchedule schedule);
+
     ~RandomTester();
 
     /** Set up agents, run the system, verify.  True on full success. */
     bool run();
 
     const std::vector<std::string> &failures() const;
+
+    /** The schedule this tester executes. */
+    const TesterSchedule &schedule() const { return sched; }
 
     /**
      * FNV-1a hash over every location's final (turn count, value) as
@@ -67,6 +122,7 @@ class RandomTester
     struct State;
     HsaSystem &sys;
     RandomTesterConfig cfg;
+    TesterSchedule sched;
     std::shared_ptr<State> st;
 };
 

@@ -27,8 +27,10 @@ collectMetrics(HsaSystem &sys, const std::string &workload, bool ok)
     m.dirEvictions = reg.sumMatching(n + ".dir", ".dirEvictions");
     m.earlyResponses = reg.sumMatching(n + ".dir", ".earlyResponses");
     m.readOnlyElided = reg.sumMatching(n + ".dir", ".readOnlyElided");
-    if (!ok && sys.hangReport().hung())
-        m.failReason = sys.hangReport().brief();
+    if (!ok)
+        m.failReason = sys.failReason();
+    m.transitionsChecked = reg.counter(n + ".checker.transitionsChecked");
+    m.blocksShadowed = reg.counter(n + ".checker.blocksShadowed");
     return m;
 }
 

@@ -33,7 +33,12 @@ struct RunMetrics
     std::uint64_t dirEvictions = 0;
     std::uint64_t earlyResponses = 0;
     std::uint64_t readOnlyElided = 0;
-    /** One-line hang diagnosis when !ok (HangReport::brief()). */
+    /** @{ CoherenceChecker activity (0 when the checker is off). */
+    std::uint64_t transitionsChecked = 0;
+    std::uint64_t blocksShadowed = 0;
+    /** @} */
+    /** One-line failure diagnosis when !ok (HsaSystem::failReason():
+     *  checker violation, caught fatal error, or hang report). */
     std::string failReason;
 };
 

@@ -1,0 +1,87 @@
+#include "core/schedule_shrink.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+/** Run @p sched on a fresh system; true when it fails. */
+bool
+stillFails(const SystemConfig &sys_cfg,
+           const RandomTesterConfig &tester_cfg,
+           const TesterSchedule &sched, std::string *reason)
+{
+    HsaSystem sys(sys_cfg);
+    RandomTester tester(sys, tester_cfg, sched);
+    bool ok = tester.run();
+    if (!ok && reason) {
+        *reason = sys.failReason();
+        if (reason->empty() && !tester.failures().empty())
+            *reason = tester.failures().front();
+    }
+    return !ok;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkSchedule(const SystemConfig &sys_cfg,
+               const RandomTesterConfig &tester_cfg,
+               const TesterSchedule &schedule, std::size_t max_tests)
+{
+    ShrinkResult res;
+    res.originalOps = schedule.size();
+
+    ++res.testsRun;
+    res.originalFailed =
+        stillFails(sys_cfg, tester_cfg, schedule, &res.failReason);
+    res.minimal = schedule;
+    if (!res.originalFailed)
+        return res;
+
+    // ddmin: try removing chunks of size n, halving n each time no
+    // removal sticks, until n == 1 makes a full pass with no change.
+    std::size_t chunk = std::max<std::size_t>(1, res.minimal.size() / 2);
+    for (;;) {
+        bool removed_any = false;
+        for (std::size_t start = 0;
+             start < res.minimal.size() && res.testsRun < max_tests;) {
+            TesterSchedule candidate;
+            std::size_t end =
+                std::min(start + chunk, res.minimal.size());
+            candidate.ops.reserve(res.minimal.size() - (end - start));
+            for (std::size_t i = 0; i < res.minimal.size(); ++i) {
+                if (i < start || i >= end)
+                    candidate.ops.push_back(res.minimal.ops[i]);
+            }
+            ++res.testsRun;
+            std::string reason;
+            if (!candidate.empty() &&
+                stillFails(sys_cfg, tester_cfg, candidate, &reason)) {
+                res.minimal = std::move(candidate);
+                res.failReason = reason;
+                removed_any = true;
+                // Retry the same start: the next chunk slid into it.
+            } else {
+                start += chunk;
+            }
+        }
+        if (res.testsRun >= max_tests)
+            break;
+        if (chunk == 1) {
+            if (!removed_any)
+                break;
+            continue;
+        }
+        if (!removed_any)
+            chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+    return res;
+}
+
+} // namespace hsc

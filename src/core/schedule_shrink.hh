@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Delta-minimization of failing RandomTester schedules.
+ *
+ * Given a (SystemConfig, RandomTesterConfig, TesterSchedule) triple
+ * whose run fails, shrinkSchedule() applies the classic ddmin
+ * chunk-removal loop: repeatedly try dropping contiguous chunks of
+ * ops (halving chunk size on a fixed point) and keep any subsequence
+ * that still fails.  Because the tester derives read expectations and
+ * the final image from op order, every subsequence is a valid
+ * schedule, so "still fails" really isolates the bug rather than a
+ * self-inflicted inconsistency.  Each candidate runs on a fresh
+ * HsaSystem — runs are deterministic, so the result is too.
+ */
+
+#ifndef HSC_CORE_SCHEDULE_SHRINK_HH
+#define HSC_CORE_SCHEDULE_SHRINK_HH
+
+#include <string>
+
+#include "core/random_tester.hh"
+
+namespace hsc
+{
+
+/** Outcome of one shrink. */
+struct ShrinkResult
+{
+    bool originalFailed = false;   ///< the full schedule did fail
+    TesterSchedule minimal;        ///< smallest failing subsequence found
+    std::string failReason;        ///< diagnosis of the minimal run
+    std::size_t originalOps = 0;
+    std::size_t testsRun = 0;      ///< candidate schedules executed
+};
+
+/**
+ * ddmin @p schedule against fresh systems built from @p sys_cfg.
+ * "Failing" means RandomTester::run() returns false (verification
+ * mismatch, checker violation, caught fatal, or hang).
+ *
+ * @param max_tests safety valve on candidate runs.
+ */
+ShrinkResult shrinkSchedule(const SystemConfig &sys_cfg,
+                            const RandomTesterConfig &tester_cfg,
+                            const TesterSchedule &schedule,
+                            std::size_t max_tests = 600);
+
+} // namespace hsc
+
+#endif // HSC_CORE_SCHEDULE_SHRINK_HH

@@ -81,6 +81,17 @@ struct SystemConfig
     /** Fault injection: deterministic link jitter/spikes/dead links. */
     FaultConfig fault{};
 
+    /**
+     * Runtime coherence sanitizer (CoherenceChecker): observes every
+     * transition and data transfer, enforcing SWMR, data-value,
+     * permission and legal-event invariants.  Default ON (tests);
+     * benches turn it off to measure unperturbed timing.
+     */
+    bool check = true;
+
+    /** Test-only seeded protocol bug (propagated to controllers). */
+    SeededBug bug{};
+
     /** Short human-readable tag for bench tables. */
     std::string label = "baseline";
 };

@@ -1,0 +1,331 @@
+#include "core/trace_replay.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+SystemConfig
+configPresetByName(const std::string &preset, unsigned limited_pointers)
+{
+    if (preset == "baseline")
+        return baselineConfig();
+    if (preset == "earlyResp")
+        return earlyRespConfig();
+    if (preset == "noCleanVicToMem")
+        return noCleanVicToMemConfig();
+    if (preset == "noCleanVicToLlc")
+        return noCleanVicToLlcConfig();
+    if (preset == "llcWriteBack")
+        return llcWriteBackConfig();
+    if (preset == "llcWriteBackUseL3")
+        return llcWriteBackUseL3Config();
+    if (preset == "ownerTracking")
+        return ownerTrackingConfig();
+    if (preset == "sharerTracking")
+        return sharerTrackingConfig();
+    if (preset == "limitedPointer")
+        return limitedPointerConfig(limited_pointers ? limited_pointers : 4);
+    fatal("unknown config preset \"%s\"", preset.c_str());
+}
+
+SystemConfig
+traceSystemConfig(const FailureTrace &trace)
+{
+    SystemConfig cfg =
+        configPresetByName(trace.preset, trace.limitedPointers);
+    if (trace.torture)
+        shrinkForTorture(cfg);
+    cfg.seed = trace.sysSeed;
+    cfg.numDirBanks = trace.numDirBanks;
+    cfg.gpuWriteBack = trace.gpuWriteBack;
+    cfg.check = trace.check;
+    cfg.watchdogCycles = trace.watchdogCycles;
+    cfg.fault = trace.fault;
+    cfg.bug = trace.bug;
+    return cfg;
+}
+
+FailureTrace
+captureFailureTrace(const std::string &preset, bool torture,
+                    const SystemConfig &cfg,
+                    const RandomTesterConfig &tester_cfg,
+                    const TesterSchedule &schedule, const HsaSystem *sys,
+                    const std::string &fail_reason)
+{
+    FailureTrace t;
+    t.preset = preset;
+    t.torture = torture;
+    t.sysSeed = cfg.seed;
+    t.numDirBanks = cfg.numDirBanks;
+    t.gpuWriteBack = cfg.gpuWriteBack;
+    t.check = cfg.check;
+    t.watchdogCycles = cfg.watchdogCycles;
+    t.fault = cfg.fault;
+    t.bug = cfg.bug;
+    if (cfg.dir.tracking == DirTracking::Sharers &&
+        cfg.dir.maxSharerPointers) {
+        t.limitedPointers = cfg.dir.maxSharerPointers;
+    }
+    t.tester = tester_cfg;
+    t.schedule = schedule;
+    t.failReason = fail_reason;
+    if (sys && sys->checker())
+        t.events = sys->checker()->traceTail(256);
+    return t;
+}
+
+namespace
+{
+
+CheckerCtrl
+checkerCtrlFromName(const std::string &name)
+{
+    for (CheckerCtrl c :
+         {CheckerCtrl::CorePair, CheckerCtrl::Directory, CheckerCtrl::Llc,
+          CheckerCtrl::Tcc, CheckerCtrl::Tcp, CheckerCtrl::Sqc,
+          CheckerCtrl::Dma}) {
+        if (name == checkerCtrlName(c))
+            return c;
+    }
+    fatal("unknown checker controller kind \"%s\"", name.c_str());
+}
+
+JsonValue
+faultToJson(const FaultConfig &f)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("enabled", JsonValue(f.enabled));
+    v.set("seed", JsonValue(f.seed));
+    v.set("maxJitter", JsonValue(std::uint64_t(f.maxJitter)));
+    v.set("spikePercent", JsonValue(unsigned(f.spikePercent)));
+    v.set("spikeCycles", JsonValue(std::uint64_t(f.spikeCycles)));
+    JsonValue dead = JsonValue::makeArray();
+    for (const std::string &l : f.deadLinks)
+        dead.push(JsonValue(l));
+    v.set("deadLinks", std::move(dead));
+    return v;
+}
+
+FaultConfig
+faultFromJson(const JsonValue &v)
+{
+    FaultConfig f;
+    f.enabled = v.at("enabled").asBool();
+    f.seed = v.at("seed").asUInt();
+    f.maxJitter = Cycles(v.at("maxJitter").asUInt());
+    f.spikePercent = unsigned(v.at("spikePercent").asUInt());
+    f.spikeCycles = Cycles(v.at("spikeCycles").asUInt());
+    for (const JsonValue &l : v.at("deadLinks").items())
+        f.deadLinks.push_back(l.asString());
+    return f;
+}
+
+JsonValue
+bugToJson(const SeededBug &b)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("kind", JsonValue(std::string(seededBugKindName(b.kind))));
+    v.set("addr", JsonValue(std::uint64_t(b.addr)));
+    v.set("agent", JsonValue(std::int64_t(b.agent)));
+    return v;
+}
+
+SeededBug
+bugFromJson(const JsonValue &v)
+{
+    SeededBug b;
+    b.kind = seededBugKindFromName(v.at("kind").asString());
+    b.addr = Addr(v.at("addr").asUInt());
+    b.agent = MachineId(v.at("agent").asInt());
+    return b;
+}
+
+JsonValue
+testerToJson(const RandomTesterConfig &t)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("numLocations", JsonValue(t.numLocations));
+    v.set("roundsPerLocation", JsonValue(t.roundsPerLocation));
+    v.set("numCpuThreads", JsonValue(t.numCpuThreads));
+    v.set("numGpuWorkgroups", JsonValue(t.numGpuWorkgroups));
+    v.set("useGpu", JsonValue(t.useGpu));
+    v.set("useDma", JsonValue(t.useDma));
+    v.set("allowDeviceScope", JsonValue(t.allowDeviceScope));
+    v.set("seed", JsonValue(t.seed));
+    return v;
+}
+
+RandomTesterConfig
+testerFromJson(const JsonValue &v)
+{
+    RandomTesterConfig t;
+    t.numLocations = unsigned(v.at("numLocations").asUInt());
+    t.roundsPerLocation = unsigned(v.at("roundsPerLocation").asUInt());
+    t.numCpuThreads = unsigned(v.at("numCpuThreads").asUInt());
+    t.numGpuWorkgroups = unsigned(v.at("numGpuWorkgroups").asUInt());
+    t.useGpu = v.at("useGpu").asBool();
+    t.useDma = v.at("useDma").asBool();
+    t.allowDeviceScope = v.at("allowDeviceScope").asBool();
+    t.seed = v.at("seed").asUInt();
+    return t;
+}
+
+JsonValue
+opToJson(const TesterOp &op)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("loc", JsonValue(op.loc));
+    v.set("agent", JsonValue(testerAgentName(op.agent)));
+    v.set("ai", JsonValue(op.agentIndex));
+    v.set("w", JsonValue(op.isWrite));
+    if (op.isWrite)
+        v.set("v", JsonValue(op.value));
+    if (op.deviceScope)
+        v.set("glc", JsonValue(true));
+    return v;
+}
+
+TesterOp
+opFromJson(const JsonValue &v)
+{
+    TesterOp op;
+    op.loc = unsigned(v.at("loc").asUInt());
+    op.agent = testerAgentFromName(v.at("agent").asString());
+    op.agentIndex = unsigned(v.at("ai").asUInt());
+    op.isWrite = v.at("w").asBool();
+    if (const JsonValue *val = v.find("v"))
+        op.value = val->asUInt();
+    if (const JsonValue *glc = v.find("glc"))
+        op.deviceScope = glc->asBool();
+    return op;
+}
+
+JsonValue
+eventToJson(const CheckerEvent &ev)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("tick", JsonValue(std::uint64_t(ev.tick)));
+    v.set("kind", JsonValue(std::string(checkerCtrlName(ev.kind))));
+    v.set("ctrl", JsonValue(ev.ctrl));
+    v.set("addr", JsonValue(std::uint64_t(ev.addr)));
+    v.set("state", JsonValue(ev.state));
+    v.set("event", JsonValue(ev.event));
+    return v;
+}
+
+CheckerEvent
+eventFromJson(const JsonValue &v)
+{
+    CheckerEvent ev;
+    ev.tick = Tick(v.at("tick").asUInt());
+    ev.kind = checkerCtrlFromName(v.at("kind").asString());
+    ev.ctrl = v.at("ctrl").asString();
+    ev.addr = Addr(v.at("addr").asUInt());
+    ev.state = v.at("state").asString();
+    ev.event = v.at("event").asString();
+    return ev;
+}
+
+} // namespace
+
+JsonValue
+failureTraceToJson(const FailureTrace &trace)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("format", JsonValue("hsc-failure-trace-v1"));
+    JsonValue sys = JsonValue::makeObject();
+    sys.set("preset", JsonValue(trace.preset));
+    sys.set("limitedPointers", JsonValue(trace.limitedPointers));
+    sys.set("torture", JsonValue(trace.torture));
+    sys.set("seed", JsonValue(trace.sysSeed));
+    sys.set("numDirBanks", JsonValue(trace.numDirBanks));
+    sys.set("gpuWriteBack", JsonValue(trace.gpuWriteBack));
+    sys.set("check", JsonValue(trace.check));
+    sys.set("watchdogCycles",
+            JsonValue(std::uint64_t(trace.watchdogCycles)));
+    sys.set("fault", faultToJson(trace.fault));
+    sys.set("bug", bugToJson(trace.bug));
+    v.set("system", std::move(sys));
+    v.set("tester", testerToJson(trace.tester));
+    JsonValue ops = JsonValue::makeArray();
+    for (const TesterOp &op : trace.schedule.ops)
+        ops.push(opToJson(op));
+    v.set("schedule", std::move(ops));
+    v.set("failReason", JsonValue(trace.failReason));
+    JsonValue evs = JsonValue::makeArray();
+    for (const CheckerEvent &ev : trace.events)
+        evs.push(eventToJson(ev));
+    v.set("events", std::move(evs));
+    return v;
+}
+
+FailureTrace
+failureTraceFromJson(const JsonValue &v)
+{
+    const JsonValue *fmt = v.find("format");
+    fatal_if(!fmt || fmt->asString() != "hsc-failure-trace-v1",
+             "not an hsc failure trace");
+    FailureTrace t;
+    const JsonValue &sys = v.at("system");
+    t.preset = sys.at("preset").asString();
+    t.limitedPointers = unsigned(sys.at("limitedPointers").asUInt());
+    t.torture = sys.at("torture").asBool();
+    t.sysSeed = sys.at("seed").asUInt();
+    t.numDirBanks = unsigned(sys.at("numDirBanks").asUInt());
+    t.gpuWriteBack = sys.at("gpuWriteBack").asBool();
+    t.check = sys.at("check").asBool();
+    t.watchdogCycles = Cycles(sys.at("watchdogCycles").asUInt());
+    t.fault = faultFromJson(sys.at("fault"));
+    t.bug = bugFromJson(sys.at("bug"));
+    t.tester = testerFromJson(v.at("tester"));
+    for (const JsonValue &op : v.at("schedule").items())
+        t.schedule.ops.push_back(opFromJson(op));
+    t.failReason = v.at("failReason").asString();
+    for (const JsonValue &ev : v.at("events").items())
+        t.events.push_back(eventFromJson(ev));
+    return t;
+}
+
+void
+writeFailureTrace(const FailureTrace &trace, const std::string &path)
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot open \"%s\" for writing", path.c_str());
+    failureTraceToJson(trace).write(os, 2);
+    os << '\n';
+    fatal_if(!os, "write to \"%s\" failed", path.c_str());
+}
+
+FailureTrace
+readFailureTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    fatal_if(!is, "cannot open \"%s\"", path.c_str());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return failureTraceFromJson(parseJson(buf.str()));
+}
+
+ReplayResult
+replayTrace(const FailureTrace &trace)
+{
+    SystemConfig cfg = traceSystemConfig(trace);
+    HsaSystem sys(cfg);
+    RandomTester tester(sys, trace.tester, trace.schedule);
+    bool ok = tester.run();
+    ReplayResult res;
+    res.reproduced = !ok;
+    res.failReason = sys.failReason();
+    if (res.failReason.empty() && !tester.failures().empty())
+        res.failReason = tester.failures().front();
+    res.failures = tester.failures();
+    if (sys.checker())
+        res.transitionsChecked = sys.checker()->transitionsChecked();
+    return res;
+}
+
+} // namespace hsc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Failure-trace capture and deterministic replay.
+ *
+ * When a checked run fails (checker violation, verification mismatch,
+ * caught fatal, hang), everything needed to re-execute it is bundled
+ * into a FailureTrace and written as JSON: how to rebuild the
+ * SystemConfig (named preset + the knobs tests/CLI override), the
+ * fault schedule, the seeded bug, the tester config, the explicit op
+ * schedule, the diagnosis, and the tail of the checker's global event
+ * ring.  Because the simulator is fully deterministic, replaying the
+ * trace (hsc_replay, or replayTrace() in tests) reproduces the exact
+ * failing execution — integers round-trip bit-exactly through the
+ * JSON layer (sim/json.hh).
+ */
+
+#ifndef HSC_CORE_TRACE_REPLAY_HH
+#define HSC_CORE_TRACE_REPLAY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/random_tester.hh"
+#include "core/system_config.hh"
+#include "sim/coherence_checker.hh"
+#include "sim/json.hh"
+
+namespace hsc
+{
+
+/** A replayable snapshot of one failing tester run. */
+struct FailureTrace
+{
+    /** @{ SystemConfig reconstruction: a named preset plus the knobs
+     *  the harnesses override on top of it. */
+    std::string preset = "baseline";  ///< see configPresetByName()
+    unsigned limitedPointers = 0;     ///< for preset "limitedPointer"
+    bool torture = false;             ///< shrinkForTorture() applied
+    std::uint64_t sysSeed = 1;
+    unsigned numDirBanks = 1;
+    bool gpuWriteBack = false;
+    bool check = true;
+    Cycles watchdogCycles = 3'000'000;
+    FaultConfig fault{};
+    SeededBug bug{};
+    /** @} */
+
+    RandomTesterConfig tester{};
+    TesterSchedule schedule{};
+
+    std::string failReason;
+    std::vector<CheckerEvent> events;  ///< checker global-ring tail
+};
+
+/** Look up a named preset ("baseline", "sharerTracking", ...). */
+SystemConfig configPresetByName(const std::string &preset,
+                                unsigned limited_pointers = 0);
+
+/** Rebuild the SystemConfig a trace ran under. */
+SystemConfig traceSystemConfig(const FailureTrace &trace);
+
+/**
+ * Snapshot a failing run.  @p preset / @p torture describe how @p cfg
+ * was built; the overridable knobs are copied out of @p cfg itself.
+ * @p sys may be null (no event tail is captured then).
+ */
+FailureTrace captureFailureTrace(const std::string &preset, bool torture,
+                                 const SystemConfig &cfg,
+                                 const RandomTesterConfig &tester_cfg,
+                                 const TesterSchedule &schedule,
+                                 const HsaSystem *sys,
+                                 const std::string &fail_reason);
+
+/** @{ JSON (de)serialisation. */
+JsonValue failureTraceToJson(const FailureTrace &trace);
+FailureTrace failureTraceFromJson(const JsonValue &v);
+
+/** Write @p trace to @p path (pretty-printed); fatal() on I/O error. */
+void writeFailureTrace(const FailureTrace &trace, const std::string &path);
+
+/** Read and parse @p path; fatal() on I/O or format error. */
+FailureTrace readFailureTrace(const std::string &path);
+/** @} */
+
+/** Outcome of replaying a trace. */
+struct ReplayResult
+{
+    bool reproduced = false;           ///< the run failed again
+    std::string failReason;            ///< diagnosis of the replay
+    std::vector<std::string> failures; ///< tester diagnostics
+    std::uint64_t transitionsChecked = 0;
+};
+
+/** Re-execute @p trace on a fresh system. */
+ReplayResult replayTrace(const FailureTrace &trace);
+
+} // namespace hsc
+
+#endif // HSC_CORE_TRACE_REPLAY_HH

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/coherence_checker.hh"
+
 namespace hsc
 {
 
@@ -183,6 +185,44 @@ CorePairController::atomic(unsigned core, Addr addr, AtomicOp aop,
 }
 
 void
+CorePairController::notePerm(Addr block, const L2Entry *entry)
+{
+    if (!checker)
+        return;
+    if (!entry) {
+        checker->notePermission(name(), block,
+                                CoherenceChecker::Perm::None, "I");
+        return;
+    }
+    auto p = writable(entry->state) ? CoherenceChecker::Perm::Write
+                                    : CoherenceChecker::Perm::Read;
+    checker->notePermission(name(), block, p, l2StateName(entry->state));
+}
+
+std::string_view
+CorePairController::checkerState(Addr block, MsgType incoming) const
+{
+    // Responses are matched to their transaction structure first so the
+    // legal-event table can require it (SysResp needs a TBE, WBAck a
+    // pending victim); probes report whatever the line state is.
+    if (incoming == MsgType::SysResp && tbes.count(block))
+        return "TBE";
+    if (incoming == MsgType::WBAck) {
+        auto it = victims.find(block);
+        if (it != victims.end() && !it->second.empty())
+            return "V";
+    }
+    if (const L2Entry *e = l2.peek(block))
+        return l2StateName(e->state);
+    if (tbes.count(block))
+        return "TBE";
+    auto it = victims.find(block);
+    if (it != victims.end() && !it->second.empty())
+        return "V";
+    return "I";
+}
+
+void
 CorePairController::processOp(CoreOp op)
 {
     Addr block = blockAlign(op.addr);
@@ -205,6 +245,13 @@ CorePairController::processOp(CoreOp op)
     }
 
     if (entry) {
+        if (params.bug.kind == SeededBug::Kind::WriteNoPermission &&
+            params.bug.matchesBlock(block, id)) {
+            // Seeded bug: apply the write in S/O without upgrading.
+            ++statL2Hits;
+            finishAgainstLine(op, *entry);
+            return;
+        }
         // Write to S/O: upgrade.  The line stays resident; the grant
         // carries permission and (possibly stale w.r.t. us) data that
         // is ignored while we still hold a valid copy.
@@ -244,15 +291,25 @@ CorePairController::finishAgainstLine(CoreOp &op, L2Entry &entry)
         HSC_TRACE(Protocol, curTick(), "%s: store %#llx val=%llx",
                   name().c_str(), (unsigned long long)op.addr,
                   (unsigned long long)op.value);
+        if (checker)
+            checker->noteStoreApplied(name(), block,
+                                      l2StateName(entry.state),
+                                      writable(entry.state));
         writeWord(entry.data, op.addr, op.size, op.value);
         entry.state = L2State::Modified; // silent E->M
+        notePerm(block, &entry);
         op.doneCb();
         break;
       case CoreOp::Kind::Atomic: {
+        if (checker)
+            checker->noteStoreApplied(name(), block,
+                                      l2StateName(entry.state),
+                                      writable(entry.state));
         std::uint64_t old_val = readWord(entry.data, op.addr, op.size);
         writeWord(entry.data, op.addr, op.size,
                   applyAtomic(op.aop, old_val, op.value, op.operand2));
         entry.state = L2State::Modified;
+        notePerm(block, &entry);
         op.loadCb(old_val);
         break;
       }
@@ -311,6 +368,7 @@ CorePairController::makeRoom(Addr block)
         VictimEntry{victim.entry->data, dirty, false, curTick()});
     invalidateL1s(victim.addr);
     l2.invalidate(victim.addr);
+    notePerm(victim.addr, nullptr);
 }
 
 void
@@ -338,6 +396,12 @@ CorePairController::invalidateL1s(Addr block)
 void
 CorePairController::handleFromDir(Msg &&msg)
 {
+    if (checker &&
+        !checker->noteEvent(CheckerCtrl::CorePair, name(), msg.addr,
+                            checkerState(blockAlign(msg.addr), msg.type),
+                            msgTypeName(msg.type)))
+        return;  // illegal in this state: flagged, message dropped
+
     switch (msg.type) {
       case MsgType::PrbInv:
       case MsgType::PrbDowngrade:
@@ -375,6 +439,16 @@ CorePairController::handleProbe(const Msg &msg)
     resp.sender = id;
     resp.txnId = msg.txnId;
 
+    if (msg.type == MsgType::PrbInv &&
+        params.bug.kind == SeededBug::Kind::IgnoreInvProbe &&
+        params.bug.matchesBlock(msg.addr, id) && l2.peek(msg.addr)) {
+        // Seeded bug: keep the line but answer "miss", so the
+        // requester and we end up writers simultaneously.
+        resp.hit = false;
+        toDir.enqueue(resp);
+        return;
+    }
+
     L2Entry *entry = l2.lookup(msg.addr, false);
     if (entry) {
         switch (entry->state) {
@@ -385,11 +459,19 @@ CorePairController::handleProbe(const Msg &msg)
             resp.dirty = true;
             resp.data = entry->data;
             ++statProbeDataFwd;
+            // A dirty probe forward is the moment this value becomes
+            // system-visible (it is ordered by the probing txn), and it
+            // happens whether or not the directory mishandles it later.
+            if (checker)
+                checker->noteSystemWrite(name(), msg.addr, entry->data,
+                                         FullMask);
             if (msg.type == MsgType::PrbInv) {
                 invalidateL1s(msg.addr);
                 l2.invalidate(msg.addr);
+                notePerm(msg.addr, nullptr);
             } else {
                 entry->state = L2State::Owned;
+                notePerm(msg.addr, entry);
             }
             break;
           case L2State::Exclusive:
@@ -400,11 +482,16 @@ CorePairController::handleProbe(const Msg &msg)
             resp.dirty = false;
             resp.data = entry->data;
             ++statProbeDataFwd;
+            if (checker)
+                checker->noteCleanData(name(), msg.addr, entry->data,
+                                       "clean probe forward");
             if (msg.type == MsgType::PrbInv) {
                 invalidateL1s(msg.addr);
                 l2.invalidate(msg.addr);
+                notePerm(msg.addr, nullptr);
             } else {
                 entry->state = L2State::Shared;
+                notePerm(msg.addr, entry);
             }
             break;
           case L2State::Shared:
@@ -413,6 +500,7 @@ CorePairController::handleProbe(const Msg &msg)
             if (msg.type == MsgType::PrbInv) {
                 invalidateL1s(msg.addr);
                 l2.invalidate(msg.addr);
+                notePerm(msg.addr, nullptr);
             }
             break;
         }
@@ -431,6 +519,14 @@ CorePairController::handleProbe(const Msg &msg)
         resp.hasData = true;
         resp.dirty = newest.dirty;
         resp.data = newest.data;
+        if (checker) {
+            if (newest.dirty)
+                checker->noteSystemWrite(name(), msg.addr, newest.data,
+                                         FullMask);
+            else
+                checker->noteCleanData(name(), msg.addr, newest.data,
+                                       "victim-buffer probe forward");
+        }
         if (msg.type == MsgType::PrbInv) {
             // Responsibility for the data transfers to this probe's
             // transaction: the in-flight write-back is now stale and
@@ -463,6 +559,10 @@ CorePairController::handleSysResp(const Msg &msg)
         panic_if(!msg.hasData, "%s: fill without data for %#llx",
                  name().c_str(), (unsigned long long)msg.addr);
         entry->data = msg.data;
+        // The fill is where response data is consumed: it must match
+        // the shadow whether it came from probes or the backing store.
+        if (checker)
+            checker->noteCleanData(name(), msg.addr, msg.data, "L2 fill");
     }
     // else: we still hold a valid copy (upgrade); the local data is the
     // current value (all sharers are identical) so the response payload
@@ -481,6 +581,7 @@ CorePairController::handleSysResp(const Msg &msg)
       case Grant::None:
         panic("%s: SysResp without grant", name().c_str());
     }
+    notePerm(msg.addr, entry);
 
     Msg unblock;
     unblock.type = MsgType::Unblock;

@@ -34,6 +34,8 @@
 namespace hsc
 {
 
+class CoherenceChecker;
+
 /** Stable MOESI states of an L2 line (absent lines are Invalid). */
 enum class L2State : std::uint8_t
 {
@@ -52,6 +54,7 @@ struct CorePairParams
     CacheGeometry l1dGeom{512, 2};   ///< 64 KB, 2-way
     CacheGeometry l1iGeom{256, 2};   ///< 32 KB, 2-way
     Cycles l2Latency = 1;            ///< Table II access latency
+    SeededBug bug{};                 ///< test-only corruption hook
 };
 
 /**
@@ -73,6 +76,9 @@ class CorePairController : public Clocked, public ProtocolIntrospect
 
     /** Attach the directory->CorePair channel. */
     void bindFromDir(MessageBuffer &from_dir);
+
+    /** Attach the runtime invariant checker (null = disabled). */
+    void attachChecker(CoherenceChecker *c) { checker = c; }
 
     /** @{ Core-facing operations (async, callback on completion).
      *  Accesses must not cross a 64-byte block boundary. */
@@ -183,6 +189,12 @@ class CorePairController : public Clocked, public ProtocolIntrospect
     /** Charge @p extra L2 cycles, then run @p fn. */
     void after(Cycles extra, std::function<void()> fn);
 
+    /** Tell the checker the permission this L2 now holds on @p block. */
+    void notePerm(Addr block, const L2Entry *entry);
+
+    /** Checker meta-state of @p block ("M"/"E"/"O"/"S"/"TBE"/"V"/"I"). */
+    std::string_view checkerState(Addr block, MsgType incoming) const;
+
     const MachineId id;
     const CorePairParams params;
     MsgSink &toDir;
@@ -193,6 +205,8 @@ class CorePairController : public Clocked, public ProtocolIntrospect
 
     std::unordered_map<Addr, Tbe> tbes;
     std::unordered_map<Addr, std::deque<VictimEntry>> victims;
+
+    CoherenceChecker *checker = nullptr;
 
     // Statistics.
     Counter statLoads, statStores, statIfetches, statAtomics;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "sim/coherence_checker.hh"
+
 namespace hsc
 {
 
@@ -138,6 +140,40 @@ DirectoryController::dispatch(Msg msg)
               (unsigned long long)msg.addr, msg.sender, int(msg.dirty),
               (unsigned long long)(msg.hasData
                   ? msg.data.get<std::uint64_t>(8) : 0));
+
+    if (checker) {
+        std::string_view st = "U";
+        if (params.cfg.stateful()) {
+            const DirEntry *e = dirArray.peek(msg.addr);
+            st = !e ? "I" : e->state == DirState::S ? "S" : "O";
+        }
+        if (!checker->noteEvent(CheckerCtrl::Directory, name(), msg.addr,
+                                st, msgTypeName(msg.type))) {
+            // Illegal request: drop it, but ack victims so the sender
+            // does not wedge waiting for a WBAck.
+            if (isVictim(msg.type)) {
+                Msg ack;
+                ack.type = MsgType::WBAck;
+                ack.addr = msg.addr;
+                ack.sender = params.topo.dirId();
+                sendToClient(msg.sender, std::move(ack));
+            }
+            releaseLine(msg.addr);
+            return;
+        }
+    }
+
+    if (params.bug.kind == SeededBug::Kind::BogusWBAck &&
+        params.bug.matchesBlock(msg.addr) && !isVictim(msg.type) &&
+        params.topo.isL2(msg.sender)) {
+        // Seeded bug: send a write-back ack nobody asked for.
+        Msg bogus;
+        bogus.type = MsgType::WBAck;
+        bogus.addr = msg.addr;
+        bogus.sender = params.topo.dirId();
+        sendToClient(msg.sender, std::move(bogus));
+    }
+
     if (isVictim(msg.type)) {
         ++statVictims;
         if (params.cfg.stateful())
@@ -400,9 +436,21 @@ DirectoryController::handleProbeResp(const Msg &msg)
     if (msg.cancelledVic)
         ++cancelledVics[{msg.addr, msg.sender}];
     if (msg.hasData && (msg.dirty || !tbe.haveProbeData)) {
-        tbe.probeData = msg.data;
-        tbe.haveProbeData = true;
-        tbe.probeDataDirty = tbe.probeDataDirty || msg.dirty;
+        if (checker && msg.dirty && tbe.probeDataDirty) {
+            checker->reportViolation(
+                "double-dirty", name(), msg.addr,
+                "second dirty probe response in one transaction (from "
+                "client " + std::to_string(msg.sender) + ")");
+        }
+        if (params.bug.kind == SeededBug::Kind::IgnoreProbeData &&
+            params.bug.matchesBlock(msg.addr)) {
+            // Seeded bug: collected probe data is dropped on the floor,
+            // so the requester will be served stale backing data.
+        } else {
+            tbe.probeData = msg.data;
+            tbe.haveProbeData = true;
+            tbe.probeDataDirty = tbe.probeDataDirty || msg.dirty;
+        }
     }
 
     // §III-A: for downgrade transactions, the first dirty ack can
@@ -489,6 +537,9 @@ DirectoryController::respond(Tbe &tbe)
                      (unsigned long long)req.addr);
             r.hasData = true;
             r.data = tbe.haveProbeData ? tbe.probeData : tbe.backingData;
+            // No data check here: the payload may legitimately be
+            // stale when the requester is an upgrading owner that
+            // ignores it.  Fills are checked at the consumer instead.
         }
         sendToClient(requester, std::move(r));
         // L2 requesters unblock explicitly; TCC transactions unblock
@@ -503,6 +554,9 @@ DirectoryController::respond(Tbe &tbe)
         DataBlock base = tbe.probeDataDirty ? tbe.probeData
                          : tbe.haveBackingData ? tbe.backingData
                                                : tbe.probeData;
+        if (checker && !tbe.probeDataDirty && tbe.haveBackingData)
+            checker->noteCleanData(name(), req.addr, tbe.backingData,
+                                   "atomic backing data");
         unsigned off = req.atomicOffset;
         std::uint64_t old_val = req.atomicSize == 4
             ? base.get<std::uint32_t>(off)
@@ -549,6 +603,9 @@ DirectoryController::respond(Tbe &tbe)
         r.data = tbe.probeDataDirty ? tbe.probeData : tbe.backingData;
         if (!tbe.haveBackingData)
             r.data = tbe.probeData;
+        if (checker && !tbe.probeDataDirty)
+            checker->noteCleanData(name(), req.addr, r.data,
+                                   "dma response data");
         sendToClient(requester, std::move(r));
         tbe.unblocked = true;
         break;
@@ -635,6 +692,14 @@ void
 DirectoryController::writeVictim(Addr addr, const DataBlock &data,
                                  bool dirty)
 {
+    if (checker) {
+        checker->noteEvent(CheckerCtrl::Llc, llcCache.introspectName(),
+                           addr, dirty ? "dirty" : "clean", "victim-write");
+        if (dirty)
+            checker->noteSystemWrite(name(), addr, data, FullMask);
+        else
+            checker->noteCleanData(name(), addr, data, "clean victim");
+    }
     const DirConfig &cfg = params.cfg;
     if (dirty) {
         // Dirty victims always reach the LLC; §III-C makes the memory
@@ -659,6 +724,19 @@ void
 DirectoryController::writeMasked(Addr addr, const DataBlock &data,
                                  ByteMask mask)
 {
+    if (params.bug.kind == SeededBug::Kind::DropWrite &&
+        params.bug.matchesBlock(addr)) {
+        // Seeded bug: writes touching the data word silently lose those
+        // bytes.  The mask is narrowed before the checker hook so the
+        // shadow never learns the dropped value: only an end-to-end
+        // value check (the RandomTester) can find this one — it is the
+        // schedule-shrinking target.
+        mask &= ~makeMask(8, 8);
+        if (!mask)
+            return;
+    }
+    if (checker)
+        checker->noteSystemWrite(name(), addr, data, mask);
     // A present LLC copy must observe the write (merge keeps it
     // coherent; in write-back mode this defers the memory update).
     if (llcCache.mergeIfPresent(addr, data, mask))

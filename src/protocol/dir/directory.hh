@@ -46,6 +46,8 @@
 namespace hsc
 {
 
+class CoherenceChecker;
+
 /** Stable tracked states of a directory entry (§IV-A). */
 enum class DirState : std::uint8_t
 {
@@ -69,6 +71,7 @@ struct DirParams
     unsigned bankIndexShift = 0;
     /** True when the TCC runs write-back (affects WT tracking). */
     bool tccWriteBack = false;
+    SeededBug bug{};  ///< test-only corruption hook
 };
 
 /**
@@ -88,6 +91,9 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
 
     /** Attach a client->directory channel (requests, acks, unblocks). */
     void bindFromClient(MessageBuffer &buf);
+
+    /** Attach the runtime invariant checker (null = disabled). */
+    void attachChecker(CoherenceChecker *c) { checker = c; }
 
     /** True when no transaction is in flight. */
     bool idle() const { return tbes.empty() && busyLines.empty(); }
@@ -227,6 +233,8 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
     MainMemory &mem;
     LlcCache llcCache;
     CacheArray<DirEntry> dirArray;
+
+    CoherenceChecker *checker = nullptr;
 
     std::vector<MessageBuffer *> toClient;
 

@@ -1,5 +1,7 @@
 #include "protocol/dma/dma_controller.hh"
 
+#include "sim/coherence_checker.hh"
+
 namespace hsc
 {
 
@@ -78,6 +80,14 @@ DmaController::pump()
 void
 DmaController::handleFromDir(Msg &&msg)
 {
+    if (checker) {
+        auto it = issued.find(msg.addr);
+        bool have = it != issued.end() && !it->second.empty();
+        if (!checker->noteEvent(CheckerCtrl::Dma, name(), msg.addr,
+                                have ? "Issued" : "I",
+                                msgTypeName(msg.type)))
+            return;  // illegal in this state: flagged, message dropped
+    }
     panic_if(msg.type != MsgType::DmaResp,
              "%s: unexpected message %s", name().c_str(),
              std::string(msgTypeName(msg.type)).c_str());

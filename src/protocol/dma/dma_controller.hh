@@ -24,6 +24,8 @@
 namespace hsc
 {
 
+class CoherenceChecker;
+
 /**
  * Block-level DMA requester with a bounded number of outstanding
  * transactions.
@@ -39,6 +41,9 @@ class DmaController : public Clocked, public ProtocolIntrospect
                   unsigned max_outstanding = 8);
 
     void bindFromDir(MessageBuffer &from_dir);
+
+    /** Attach the runtime invariant checker (null = disabled). */
+    void attachChecker(CoherenceChecker *c) { checker = c; }
 
     /** Read one block. */
     void readBlock(Addr addr, BlockCallback cb);
@@ -76,6 +81,8 @@ class DmaController : public Clocked, public ProtocolIntrospect
     const MachineId id;
     MsgSink &toDir;
     const unsigned maxOutstanding;
+
+    CoherenceChecker *checker = nullptr;
 
     std::deque<Op> queue;
     /** Completion callbacks of issued ops, in issue (= response) order

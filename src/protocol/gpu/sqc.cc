@@ -1,5 +1,7 @@
 #include "protocol/gpu/sqc.hh"
 
+#include "sim/coherence_checker.hh"
+
 namespace hsc
 {
 
@@ -34,6 +36,10 @@ SqcController::fetch(Addr addr, DoneCallback cb)
         }
         ++statMisses;
         tcc.readBlock(block, [this, block, cb](const DataBlock &data) {
+            if (checker)
+                checker->noteEvent(CheckerCtrl::Sqc, name(), block,
+                                   array.lookup(block, false) ? "V" : "I",
+                                   "fill");
             if (!array.lookup(block)) {
                 if (!array.hasFreeWay(block)) {
                     auto victim = array.findVictim(block);

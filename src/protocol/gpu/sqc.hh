@@ -20,6 +20,8 @@
 namespace hsc
 {
 
+class CoherenceChecker;
+
 /** Parameters of the SQC. */
 struct SqcParams
 {
@@ -37,6 +39,9 @@ class SqcController : public Clocked, public ProtocolIntrospect
 
     SqcController(std::string name, EventQueue &eq, ClockDomain clk,
                   const SqcParams &params, TccController &tcc);
+
+    /** Attach the runtime invariant checker (null = disabled). */
+    void attachChecker(CoherenceChecker *c) { checker = c; }
 
     /** Instruction fetch at @p addr. */
     void fetch(Addr addr, DoneCallback cb);
@@ -61,6 +66,7 @@ class SqcController : public Clocked, public ProtocolIntrospect
   private:
     const SqcParams params;
     TccController &tcc;
+    CoherenceChecker *checker = nullptr;
     CacheArray<ViLine> array;
 
     Counter statFetches, statHits, statMisses;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/coherence_checker.hh"
+
 namespace hsc
 {
 
@@ -254,6 +256,32 @@ TccController::release(DoneCallback cb)
 void
 TccController::handleFromDir(Msg &&msg)
 {
+    if (checker) {
+        // VI meta-states: Fill (outstanding TccRdBlk), A (pending
+        // system atomic), W (outstanding write-through), V (valid
+        // line), I.  Responses must match a transaction.
+        std::string_view st = "I";
+        switch (msg.type) {
+          case MsgType::SysResp:
+            st = fills.count(msg.addr) ? "Fill"
+                 : array.peek(msg.addr) ? "V" : "I";
+            break;
+          case MsgType::AtomicResp:
+            st = pendingAtomics.count(msg.txnId) ? "A" : "I";
+            break;
+          case MsgType::WBAck:
+            st = outstandingWrites > 0 ? "W" : "I";
+            break;
+          default:
+            st = array.peek(msg.addr) ? "V"
+                 : fills.count(msg.addr) ? "Fill" : "I";
+            break;
+        }
+        if (!checker->noteEvent(CheckerCtrl::Tcc, name(), msg.addr, st,
+                                msgTypeName(msg.type)))
+            return;  // illegal in this state: flagged, message dropped
+    }
+
     switch (msg.type) {
       case MsgType::SysResp: {
         // Fill completion; the granted state is ignored (§II-A: an

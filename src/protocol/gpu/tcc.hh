@@ -34,6 +34,8 @@
 namespace hsc
 {
 
+class CoherenceChecker;
+
 /** Parameters of the TCC. */
 struct TccParams
 {
@@ -58,6 +60,9 @@ class TccController : public Clocked, public ProtocolIntrospect
                   MsgSink &to_dir);
 
     void bindFromDir(MessageBuffer &from_dir);
+
+    /** Attach the runtime invariant checker (null = disabled). */
+    void attachChecker(CoherenceChecker *c) { checker = c; }
 
     /** Read a whole block (TCP fill / SQC fetch path). */
     void readBlock(Addr addr, BlockCallback cb);
@@ -130,6 +135,8 @@ class TccController : public Clocked, public ProtocolIntrospect
     const MachineId id;
     const TccParams params;
     MsgSink &toDir;
+
+    CoherenceChecker *checker = nullptr;
 
     CacheArray<ViLine> array;
 

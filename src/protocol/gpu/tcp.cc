@@ -1,5 +1,7 @@
 #include "protocol/gpu/tcp.hh"
 
+#include "sim/coherence_checker.hh"
+
 namespace hsc
 {
 
@@ -36,6 +38,9 @@ TcpController::after(Cycles extra, std::function<void()> fn)
 ViLine &
 TcpController::allocateLine(Addr block)
 {
+    if (checker)
+        checker->noteEvent(CheckerCtrl::Tcp, name(), block,
+                           array.lookup(block, false) ? "V" : "I", "fill");
     if (ViLine *line = array.lookup(block))
         return *line;
     if (!array.hasFreeWay(block)) {
@@ -234,6 +239,9 @@ TcpController::acquire(DoneCallback cb)
     ++statAcquires;
     after(params.latency, [this, cb = std::move(cb)] {
         drainDirty();
+        if (checker)
+            checker->noteEvent(CheckerCtrl::Tcp, name(), 0, "V",
+                               "acquire-invalidate");
         // Invalidate everything: subsequent wave-scope loads re-fetch
         // through the TCC and observe synchronised data.
         std::vector<Addr> lines;

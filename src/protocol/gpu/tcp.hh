@@ -25,6 +25,8 @@
 namespace hsc
 {
 
+class CoherenceChecker;
+
 /** Parameters of one TCP. */
 struct TcpParams
 {
@@ -46,6 +48,9 @@ class TcpController : public Clocked, public ProtocolIntrospect
                   const TcpParams &params, TccController &tcc);
 
     using BlockCallback = std::function<void(const DataBlock &)>;
+
+    /** Attach the runtime invariant checker (null = disabled). */
+    void attachChecker(CoherenceChecker *c) { checker = c; }
 
     /** Word load; wave scope hits the TCP, wider scopes bypass it. */
     void load(Addr addr, unsigned size, Scope scope, ValueCallback cb);
@@ -101,6 +106,8 @@ class TcpController : public Clocked, public ProtocolIntrospect
 
     const TcpParams params;
     TccController &tcc;
+
+    CoherenceChecker *checker = nullptr;
 
     CacheArray<ViLine> array;
 

@@ -25,4 +25,29 @@ dirTrackingName(DirTracking t)
     return "?";
 }
 
+std::string_view
+seededBugKindName(SeededBug::Kind k)
+{
+    switch (k) {
+      case SeededBug::Kind::None: return "none";
+      case SeededBug::Kind::IgnoreInvProbe: return "ignoreInvProbe";
+      case SeededBug::Kind::IgnoreProbeData: return "ignoreProbeData";
+      case SeededBug::Kind::WriteNoPermission: return "writeNoPermission";
+      case SeededBug::Kind::BogusWBAck: return "bogusWBAck";
+      case SeededBug::Kind::DropWrite: return "dropWrite";
+    }
+    return "?";
+}
+
+SeededBug::Kind
+seededBugKindFromName(std::string_view name)
+{
+    for (unsigned k = 0; k <= unsigned(SeededBug::Kind::DropWrite); ++k) {
+        if (seededBugKindName(SeededBug::Kind(k)) == name)
+            return SeededBug::Kind(k);
+    }
+    fatal("unknown seeded-bug kind '%s'",
+          std::string(name).c_str());
+}
+
 } // namespace hsc

@@ -166,6 +166,53 @@ struct DirConfig
     bool stateful() const { return tracking != DirTracking::None; }
 };
 
+/**
+ * Test-only seeded protocol bug: deliberately corrupts one transition
+ * class on one block so the CoherenceChecker's detection of each
+ * violation class can be validated (and RandomTester failures can be
+ * induced deterministically for schedule shrinking).  Kind::None (the
+ * default) compiles to a single predicted-false branch per hook.
+ */
+struct SeededBug
+{
+    enum class Kind : std::uint8_t
+    {
+        None,
+        /** CorePair keeps its line on PrbInv (answers miss): two
+         *  writers end up coexisting -> SWMR violation. */
+        IgnoreInvProbe,
+        /** Directory drops collected probe data: readers are served
+         *  stale backing data -> data-value violation. */
+        IgnoreProbeData,
+        /** CorePair applies a store in S without upgrading ->
+         *  no-write-permission violation. */
+        WriteNoPermission,
+        /** Directory sends a WBAck nobody asked for -> illegal-event
+         *  violation at the receiving L2. */
+        BogusWBAck,
+        /** Directory loses system-visible writes touching the block's
+         *  data word (byte 8..15) -> silent value corruption for the
+         *  RandomTester / schedule shrinking to find. */
+        DropWrite,
+    };
+
+    Kind kind = Kind::None;
+    Addr addr = 0;  ///< block-aligned target address
+    MachineId agent = InvalidMachineId;  ///< restrict to one client
+
+    /** @p block must be block-aligned by the caller. */
+    bool
+    matchesBlock(Addr block, MachineId m = InvalidMachineId) const
+    {
+        return kind != Kind::None && block == addr &&
+               (agent == InvalidMachineId || m == InvalidMachineId ||
+                agent == m);
+    }
+};
+
+std::string_view seededBugKindName(SeededBug::Kind k);
+SeededBug::Kind seededBugKindFromName(std::string_view name);
+
 } // namespace hsc
 
 #endif // HSC_PROTOCOL_TYPES_HH

@@ -1,0 +1,342 @@
+#include "sim/coherence_checker.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+std::string_view
+checkerCtrlName(CheckerCtrl c)
+{
+    switch (c) {
+      case CheckerCtrl::CorePair: return "corepair";
+      case CheckerCtrl::Directory: return "directory";
+      case CheckerCtrl::Llc: return "llc";
+      case CheckerCtrl::Tcc: return "tcc";
+      case CheckerCtrl::Tcp: return "tcp";
+      case CheckerCtrl::Sqc: return "sqc";
+      case CheckerCtrl::Dma: return "dma";
+    }
+    return "?";
+}
+
+std::string
+CheckerEvent::toString() const
+{
+    std::ostringstream os;
+    os << "t=" << tick << " " << ctrl << " 0x" << std::hex << addr
+       << std::dec << " [" << state << "] " << event;
+    return os.str();
+}
+
+std::string
+ViolationReport::brief() const
+{
+    std::ostringstream os;
+    os << "coherence violation (" << kind << ") block 0x" << std::hex
+       << addr << std::dec << " at tick " << atTick << ": " << detail;
+    return os.str();
+}
+
+void
+ViolationReport::print(std::ostream &os) const
+{
+    os << "=== ViolationReport ===\n" << brief() << '\n';
+    if (!history.empty()) {
+        os << "last " << history.size() << " events on block 0x"
+           << std::hex << addr << std::dec << ":\n";
+        for (const CheckerEvent &ev : history)
+            os << "  " << ev.toString() << '\n';
+    }
+}
+
+CoherenceChecker::CoherenceChecker(std::string name, EventQueue &eq,
+                                   unsigned global_ring,
+                                   unsigned per_block_ring)
+    : checkerName(std::move(name)), eq(eq), globalRingCap(global_ring),
+      perBlockRingCap(per_block_ring)
+{
+    globalRing.reserve(globalRingCap);
+}
+
+void
+CoherenceChecker::regStats(StatRegistry &reg)
+{
+    reg.addCounter(checkerName + ".transitionsChecked",
+                   &statTransitionsChecked);
+    reg.addCounter(checkerName + ".blocksShadowed", &statBlocksShadowed);
+    reg.addCounter(checkerName + ".violations", &statViolations);
+}
+
+CoherenceChecker::BlockState &
+CoherenceChecker::blockOf(Addr addr)
+{
+    auto [it, inserted] = blocks.try_emplace(blockAlign(addr));
+    if (inserted)
+        ++statBlocksShadowed;
+    return it->second;
+}
+
+void
+CoherenceChecker::record(CheckerEvent ev)
+{
+    BlockState &b = blockOf(ev.addr);
+    if (b.ring.size() >= perBlockRingCap)
+        b.ring.erase(b.ring.begin());
+    b.ring.push_back(ev);
+
+    if (globalRing.size() < globalRingCap) {
+        globalRing.push_back(std::move(ev));
+    } else {
+        globalRing[globalHead] = std::move(ev);
+        globalHead = (globalHead + 1) % globalRingCap;
+        globalWrapped = true;
+    }
+}
+
+std::vector<CheckerEvent>
+CoherenceChecker::traceTail(std::size_t max) const
+{
+    std::vector<CheckerEvent> out;
+    out.reserve(globalRing.size());
+    if (globalWrapped) {
+        for (std::size_t i = 0; i < globalRing.size(); ++i)
+            out.push_back(globalRing[(globalHead + i) % globalRing.size()]);
+    } else {
+        out = globalRing;
+    }
+    if (max && out.size() > max)
+        out.erase(out.begin(), out.end() - long(max));
+    return out;
+}
+
+void
+CoherenceChecker::violation(std::string kind, Addr addr, std::string detail)
+{
+    ++statViolations;
+    if (violationList.size() >= MaxViolations)
+        return;
+    ViolationReport r;
+    r.kind = std::move(kind);
+    r.addr = blockAlign(addr);
+    r.atTick = eq.curTick();
+    r.detail = std::move(detail);
+    r.history = blockOf(addr).ring;
+    warn("%s: %s", checkerName.c_str(), r.brief().c_str());
+    violationList.push_back(std::move(r));
+}
+
+std::string
+CoherenceChecker::brief() const
+{
+    if (violationList.empty())
+        return {};
+    std::ostringstream os;
+    os << violationList.front().brief();
+    if (violationList.size() > 1)
+        os << " (+" << violationList.size() - 1 << " more)";
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// Legal-event tables
+// --------------------------------------------------------------------
+//
+// States are the small meta-state vocabulary the controllers pass in:
+//   CorePair:  M E O S (line) | TBE (outstanding miss) | V (victim) | I
+//   Tcc:       V (line) | Fill | A (pending atomic) | W (outstanding WT) | I
+//   Directory: I S O (tracked) | U (stateless / untracked mode)
+//   Dma:       Issued | I
+// Probes may arrive in any client state (they race with everything);
+// responses are only legal when the matching transaction exists.
+
+bool
+CoherenceChecker::legalEvent(CheckerCtrl kind, std::string_view state,
+                             std::string_view event)
+{
+    switch (kind) {
+      case CheckerCtrl::CorePair:
+        if (event == "PrbInv" || event == "PrbDowngrade")
+            return true;
+        if (event == "SysResp")
+            return state == "TBE";
+        if (event == "WBAck")
+            return state == "V";
+        return false;
+      case CheckerCtrl::Tcc:
+        if (event == "PrbInv" || event == "PrbDowngrade")
+            return true;
+        if (event == "SysResp")
+            return state == "Fill";
+        if (event == "AtomicResp")
+            return state == "A";
+        if (event == "WBAck")
+            return state == "W";
+        return false;
+      case CheckerCtrl::Dma:
+        return event == "DmaResp" && state == "Issued";
+      case CheckerCtrl::Directory:
+        // Table I legality at request granularity: a dirty victim is
+        // impossible while the directory believes every copy is clean.
+        if (event == "VicDirty" && state == "S")
+            return false;
+        return true;
+      case CheckerCtrl::Llc:
+      case CheckerCtrl::Tcp:
+      case CheckerCtrl::Sqc:
+        return true;  // context-only events
+    }
+    return true;
+}
+
+bool
+CoherenceChecker::noteEvent(CheckerCtrl kind, const std::string &ctrl,
+                            Addr addr, std::string_view state,
+                            std::string_view event)
+{
+    ++statTransitionsChecked;
+    CheckerEvent ev;
+    ev.tick = eq.curTick();
+    ev.kind = kind;
+    ev.ctrl = ctrl;
+    ev.addr = blockAlign(addr);
+    ev.state = std::string(state);
+    ev.event = std::string(event);
+    record(std::move(ev));
+
+    if (legalEvent(kind, state, event))
+        return true;
+    std::ostringstream os;
+    os << ctrl << " received " << event << " in state " << state
+       << " (no transition defined)";
+    violation("illegal-event", addr, os.str());
+    return false;
+}
+
+void
+CoherenceChecker::notePermission(const std::string &ctrl, Addr addr,
+                                 Perm perm, std::string_view state)
+{
+    ++statTransitionsChecked;
+    BlockState &b = blockOf(addr);
+
+    if (perm == Perm::Write) {
+        for (const auto &[other, held] : b.perms) {
+            if (other != ctrl && held.perm == Perm::Write) {
+                std::ostringstream os;
+                os << ctrl << " gained write permission (state " << state
+                   << ") while " << other
+                   << " already holds write permission (state "
+                   << held.state << ")";
+                violation("swmr", addr, os.str());
+                break;
+            }
+        }
+    }
+
+    CheckerEvent ev;
+    ev.tick = eq.curTick();
+    ev.kind = CheckerCtrl::CorePair;
+    ev.ctrl = ctrl;
+    ev.addr = blockAlign(addr);
+    ev.state = std::string(state);
+    ev.event = perm == Perm::Write ? "gain-write"
+               : perm == Perm::Read ? "hold-read"
+                                    : "drop";
+    record(std::move(ev));
+
+    if (perm == Perm::None)
+        b.perms.erase(ctrl);
+    else
+        b.perms[ctrl] = HeldPerm{perm, std::string(state)};
+}
+
+void
+CoherenceChecker::noteStoreApplied(const std::string &ctrl, Addr addr,
+                                   std::string_view state,
+                                   bool had_write_perm)
+{
+    ++statTransitionsChecked;
+    if (had_write_perm)
+        return;
+    std::ostringstream os;
+    os << ctrl << " applied a store against state " << state
+       << " without write permission";
+    violation("no-write-permission", addr, os.str());
+}
+
+void
+CoherenceChecker::noteSystemWrite(const std::string &ctrl, Addr addr,
+                                  const DataBlock &data, ByteMask mask)
+{
+    ++statTransitionsChecked;
+    BlockState &b = blockOf(addr);
+    b.shadow.merge(data, mask);
+    b.known |= mask;
+
+    CheckerEvent ev;
+    ev.tick = eq.curTick();
+    ev.kind = CheckerCtrl::Directory;
+    ev.ctrl = ctrl;
+    ev.addr = blockAlign(addr);
+    ev.state = "-";
+    {
+        std::ostringstream os;
+        os << "shadow-write b0=0x" << std::hex
+           << unsigned(data.raw()[0]) << " b8=0x"
+           << unsigned(data.raw()[8]);
+        ev.event = os.str();
+    }
+    record(std::move(ev));
+}
+
+void
+CoherenceChecker::noteCleanData(const std::string &ctrl, Addr addr,
+                                const DataBlock &data, std::string_view what)
+{
+    ++statTransitionsChecked;
+    BlockState &b = blockOf(addr);
+
+    CheckerEvent ev;
+    ev.tick = eq.curTick();
+    ev.kind = CheckerCtrl::Directory;
+    ev.ctrl = ctrl;
+    ev.addr = blockAlign(addr);
+    ev.state = "-";
+    {
+        std::ostringstream os;
+        os << what << " b0=0x" << std::hex << unsigned(data.raw()[0])
+           << " b8=0x" << unsigned(data.raw()[8]);
+        ev.event = os.str();
+    }
+    record(std::move(ev));
+    for (unsigned i = 0; i < BlockSizeBytes; ++i) {
+        ByteMask bit = ByteMask(1) << i;
+        if (!(b.known & bit)) {
+            b.shadow.raw()[i] = data.raw()[i];
+            b.known |= bit;
+            continue;
+        }
+        if (b.shadow.raw()[i] != data.raw()[i]) {
+            std::ostringstream os;
+            os << ctrl << " " << what << " diverges from the last "
+               << "system-visible write at byte " << i << ": got 0x"
+               << std::hex << unsigned(data.raw()[i]) << " expected 0x"
+               << unsigned(b.shadow.raw()[i]) << std::dec;
+            violation("stale-data", addr, os.str());
+            return;
+        }
+    }
+}
+
+void
+CoherenceChecker::reportViolation(std::string kind, const std::string &ctrl,
+                                  Addr addr, std::string detail)
+{
+    violation(std::move(kind), addr, ctrl + ": " + std::move(detail));
+}
+
+} // namespace hsc

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * CoherenceChecker — runtime protocol-invariant sanitizer.
+ *
+ * A passive observer the controllers feed with every line-state
+ * transition and data transfer.  Unlike the post-mortem quiescent
+ * sweep (core/coherence_checker.hh) this checker fires *while the
+ * protocol runs*, so a violation is reported at the first wrong
+ * transition with the recent event history of the offending block,
+ * not after the damage has propagated through the memory image.
+ *
+ * Invariants enforced:
+ *   1. single-writer/multiple-reader over the CPU L2s (GPU VI caches
+ *      are excluded: VIPER scoped coherence legitimately lets them
+ *      hold stale data until an acquire);
+ *   2. data-value: clean data delivered or written back anywhere must
+ *      match a shadow image of the last system-visible write, which
+ *      is maintained at the directory serialisation point (masked
+ *      writes, dirty victims, dirty probe forwards);
+ *   3. state/permission consistency: stores may only be applied
+ *      against a line with write permission;
+ *   4. per-controller legal-event tables: a message arriving in a
+ *      state that cannot accept it flags instead of silently (or
+ *      fatally) falling through.
+ *
+ * The checker never throws: it records bounded ViolationReports and
+ * trips a flag that HsaSystem::run() polls, so a failing run ends
+ * cleanly with a structured report (like PR 1's HangReport).
+ */
+
+#ifndef HSC_SIM_COHERENCE_CHECKER_HH
+#define HSC_SIM_COHERENCE_CHECKER_HH
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/data_block.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+/** Controller families, each with its own legal-event table. */
+enum class CheckerCtrl : std::uint8_t
+{
+    CorePair,
+    Directory,
+    Llc,
+    Tcc,
+    Tcp,
+    Sqc,
+    Dma,
+};
+
+std::string_view checkerCtrlName(CheckerCtrl c);
+
+/** One observed protocol event; also the unit of the trace rings. */
+struct CheckerEvent
+{
+    Tick tick = 0;
+    CheckerCtrl kind = CheckerCtrl::Directory;
+    std::string ctrl;   ///< controller instance name
+    Addr addr = 0;
+    std::string state;  ///< local state when the event was observed
+    std::string event;  ///< message / action name
+
+    std::string toString() const;
+};
+
+/** A detected invariant violation plus the block's recent history. */
+struct ViolationReport
+{
+    std::string kind;    ///< swmr | stale-data | no-write-permission |
+                         ///< illegal-event | double-dirty
+    Addr addr = 0;
+    Tick atTick = 0;
+    std::string detail;  ///< names both controllers and their states
+    std::vector<CheckerEvent> history;  ///< last K events on the block
+
+    /** One-line summary for RunMetrics::failReason. */
+    std::string brief() const;
+    void print(std::ostream &os) const;
+};
+
+/**
+ * The runtime checker.  One instance per HsaSystem; controllers hold
+ * a raw pointer (null when SystemConfig::check is off) and call the
+ * note*() hooks, all of which are no-throw and O(1) amortised.
+ */
+class CoherenceChecker
+{
+  public:
+    /** Cached permission a controller holds on a block. */
+    enum class Perm : std::uint8_t { None, Read, Write };
+
+    CoherenceChecker(std::string name, EventQueue &eq,
+                     unsigned global_ring = 4096,
+                     unsigned per_block_ring = 16);
+
+    /**
+     * Record @p event observed by @p ctrl in local @p state, and check
+     * it against the family's legal-event table.
+     * @return true when the (state, event) pair is legal; false after
+     *         flagging an illegal-event violation (callers drop the
+     *         message instead of panicking).
+     */
+    bool noteEvent(CheckerCtrl kind, const std::string &ctrl, Addr addr,
+                   std::string_view state, std::string_view event);
+
+    /**
+     * A CorePair L2 line changed state; @p perm is the resulting
+     * permission (None when invalidated).  Gaining Write while another
+     * controller holds Write is the SWMR violation.
+     */
+    void notePermission(const std::string &ctrl, Addr addr, Perm perm,
+                        std::string_view state);
+
+    /** A store/atomic was applied against local state @p state. */
+    void noteStoreApplied(const std::string &ctrl, Addr addr,
+                          std::string_view state, bool had_write_perm);
+
+    /**
+     * A system-visible write at the ordering point (directory masked
+     * write, accepted dirty victim, dirty probe forward): updates the
+     * shadow image of the block.
+     */
+    void noteSystemWrite(const std::string &ctrl, Addr addr,
+                         const DataBlock &data, ByteMask mask);
+
+    /**
+     * Clean data observed at a compare point (clean victim, backing
+     * response, clean probe forward): every byte the shadow knows must
+     * match; unknown bytes seed the shadow.
+     */
+    void noteCleanData(const std::string &ctrl, Addr addr,
+                       const DataBlock &data, std::string_view what);
+
+    /** Flag a violation detected by a controller's own cross-check. */
+    void reportViolation(std::string kind, const std::string &ctrl,
+                         Addr addr, std::string detail);
+
+    bool violated() const { return !violationList.empty(); }
+    const std::vector<ViolationReport> &violations() const
+    {
+        return violationList;
+    }
+
+    /** First violation's one-liner ("" when clean). */
+    std::string brief() const;
+
+    /** Oldest-to-newest copy of the global event ring (≤ @p max). */
+    std::vector<CheckerEvent> traceTail(std::size_t max = 0) const;
+
+    void regStats(StatRegistry &reg);
+
+    std::uint64_t transitionsChecked() const
+    {
+        return statTransitionsChecked.value();
+    }
+    std::uint64_t blocksShadowed() const
+    {
+        return statBlocksShadowed.value();
+    }
+
+  private:
+    struct HeldPerm
+    {
+        Perm perm = Perm::None;
+        std::string state;
+    };
+
+    struct BlockState
+    {
+        DataBlock shadow;
+        ByteMask known = 0;  ///< bytes with a known expected value
+        std::unordered_map<std::string, HeldPerm> perms;
+        std::vector<CheckerEvent> ring;  ///< bounded, oldest first
+    };
+
+    BlockState &blockOf(Addr addr);
+    void record(CheckerEvent ev);
+    void violation(std::string kind, Addr addr, std::string detail);
+
+    /** Family legal-event table; see the .cc for the encoding. */
+    static bool legalEvent(CheckerCtrl kind, std::string_view state,
+                           std::string_view event);
+
+    const std::string checkerName;
+    EventQueue &eq;
+    const unsigned globalRingCap;
+    const unsigned perBlockRingCap;
+
+    std::unordered_map<Addr, BlockState> blocks;
+
+    /** Global ring: fixed capacity, head = next slot to overwrite. */
+    std::vector<CheckerEvent> globalRing;
+    std::size_t globalHead = 0;
+    bool globalWrapped = false;
+
+    std::vector<ViolationReport> violationList;
+    static constexpr std::size_t MaxViolations = 16;
+
+    Counter statTransitionsChecked;
+    Counter statBlocksShadowed;
+    Counter statViolations;
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_COHERENCE_CHECKER_HH

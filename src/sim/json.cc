@@ -1,0 +1,462 @@
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue v;
+    v.k = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue v;
+    v.k = Kind::Object;
+    return v;
+}
+
+static const char *
+kindName(JsonValue::Kind k)
+{
+    switch (k) {
+      case JsonValue::Kind::Null: return "null";
+      case JsonValue::Kind::Bool: return "bool";
+      case JsonValue::Kind::Int: return "int";
+      case JsonValue::Kind::Double: return "double";
+      case JsonValue::Kind::String: return "string";
+      case JsonValue::Kind::Array: return "array";
+      case JsonValue::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+bool
+JsonValue::asBool() const
+{
+    fatal_if(k != Kind::Bool, "json: %s is not a bool", kindName(k));
+    return boolean;
+}
+
+std::uint64_t
+JsonValue::asUInt() const
+{
+    fatal_if(k != Kind::Int, "json: %s is not an int", kindName(k));
+    fatal_if(negative, "json: negative value read as unsigned");
+    return integer;
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    fatal_if(k != Kind::Int, "json: %s is not an int", kindName(k));
+    return negative ? -std::int64_t(integer) : std::int64_t(integer);
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (k == Kind::Int)
+        return negative ? -double(integer) : double(integer);
+    fatal_if(k != Kind::Double, "json: %s is not a number", kindName(k));
+    return real;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    fatal_if(k != Kind::String, "json: %s is not a string", kindName(k));
+    return str;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    fatal_if(k != Kind::Array, "json: %s is not an array", kindName(k));
+    return arr;
+}
+
+std::vector<JsonValue> &
+JsonValue::items()
+{
+    fatal_if(k != Kind::Array, "json: %s is not an array", kindName(k));
+    return arr;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    fatal_if(k != Kind::Array, "json: push on %s", kindName(k));
+    arr.push_back(std::move(v));
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (k == Kind::Array)
+        return arr.size();
+    if (k == Kind::Object)
+        return obj.size();
+    fatal("json: size() on %s", kindName(k));
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    fatal_if(k != Kind::Object, "json: %s is not an object", kindName(k));
+    return obj;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    fatal_if(k != Kind::Object, "json: %s is not an object", kindName(k));
+    for (const auto &[name, v] : obj)
+        if (name == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    fatal_if(!v, "json: missing key \"%s\"", key.c_str());
+    return *v;
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    fatal_if(k != Kind::Object, "json: set on %s", kindName(k));
+    for (auto &[name, old] : obj) {
+        if (name == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    obj.emplace_back(key, std::move(v));
+}
+
+static void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+static void
+newline(std::ostream &os, int indent, int depth)
+{
+    if (indent > 0) {
+        os << '\n';
+        for (int i = 0; i < indent * depth; ++i)
+            os << ' ';
+    }
+}
+
+void
+JsonValue::write(std::ostream &os, int indent, int depth) const
+{
+    switch (k) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (boolean ? "true" : "false");
+        break;
+      case Kind::Int:
+        if (negative)
+            os << '-';
+        os << integer;
+        break;
+      case Kind::Double:
+        {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.17g", real);
+            os << buf;
+        }
+        break;
+      case Kind::String:
+        writeEscaped(os, str);
+        break;
+      case Kind::Array:
+        os << '[';
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(os, indent, depth + 1);
+            arr[i].write(os, indent, depth + 1);
+        }
+        if (!arr.empty())
+            newline(os, indent, depth);
+        os << ']';
+        break;
+      case Kind::Object:
+        os << '{';
+        for (std::size_t i = 0; i < obj.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(os, indent, depth + 1);
+            writeEscaped(os, obj[i].first);
+            os << (indent > 0 ? ": " : ":");
+            obj[i].second.write(os, indent, depth + 1);
+        }
+        if (!obj.empty())
+            newline(os, indent, depth);
+        os << '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+namespace
+{
+
+/** Recursive-descent parser over an in-memory string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        fatal_if(pos != s.size(), "json: trailing garbage at offset %zu",
+                 pos);
+        return v;
+    }
+
+  private:
+    const std::string &s;
+    std::size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() && std::isspace(unsigned(s[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        fatal_if(pos >= s.size(), "json: unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        fatal_if(peek() != c, "json: expected '%c' at offset %zu, got '%c'",
+                 c, pos, s[pos]);
+        ++pos;
+    }
+
+    bool
+    consume(const char *word)
+    {
+        std::size_t n = std::char_traits<char>::length(word);
+        if (s.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return JsonValue(string());
+          case 't':
+            fatal_if(!consume("true"), "json: bad literal at %zu", pos);
+            return JsonValue(true);
+          case 'f':
+            fatal_if(!consume("false"), "json: bad literal at %zu", pos);
+            return JsonValue(false);
+          case 'n':
+            fatal_if(!consume("null"), "json: bad literal at %zu", pos);
+            return JsonValue();
+          default:
+            return number();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v = JsonValue::makeObject();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            std::string key = string();
+            expect(':');
+            v.set(key, value());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v = JsonValue::makeArray();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            v.push(value());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            fatal_if(pos >= s.size(), "json: dangling escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u':
+                {
+                    fatal_if(pos + 4 > s.size(), "json: short \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s[pos++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= unsigned(h - 'A' + 10);
+                        else
+                            fatal("json: bad \\u escape");
+                    }
+                    // Traces only emit ASCII control escapes; anything
+                    // wider is replaced rather than UTF-8 encoded.
+                    out += cp < 0x80 ? char(cp) : '?';
+                }
+                break;
+              default:
+                fatal("json: bad escape '\\%c'", e);
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    JsonValue
+    number()
+    {
+        skipWs();
+        std::size_t start = pos;
+        bool neg = false;
+        if (pos < s.size() && s[pos] == '-') {
+            neg = true;
+            ++pos;
+        }
+        bool isFloat = false;
+        while (pos < s.size() &&
+               (std::isdigit(unsigned(s[pos])) || s[pos] == '.' ||
+                s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+' ||
+                s[pos] == '-')) {
+            if (s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E')
+                isFloat = true;
+            ++pos;
+        }
+        fatal_if(pos == start + (neg ? 1 : 0),
+                 "json: bad number at offset %zu", start);
+        std::string tok = s.substr(start, pos - start);
+        if (isFloat)
+            return JsonValue(std::stod(tok));
+        // Exact 64-bit integer path: never through a double.
+        std::uint64_t mag = std::stoull(neg ? tok.substr(1) : tok);
+        if (neg) {
+            JsonValue v(std::int64_t(0));
+            v = JsonValue(-std::int64_t(mag));
+            return v;
+        }
+        return JsonValue(mag);
+    }
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    Parser p(text);
+    return p.parse();
+}
+
+} // namespace hsc

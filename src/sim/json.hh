@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal JSON reader/writer for failure-trace capture and replay.
+ *
+ * Deliberately tiny: no external dependency, order-preserving
+ * objects, and — critically for replay determinism — integers are
+ * kept as exact 64-bit values (never squeezed through a double), so
+ * RNG seeds and full-width addresses round-trip bit-exactly.
+ */
+
+#ifndef HSC_SIM_JSON_HH
+#define HSC_SIM_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hsc
+{
+
+/** One JSON value (tagged union). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+    JsonValue() = default;
+    JsonValue(bool b) : k(Kind::Bool), boolean(b) {}
+    JsonValue(std::uint64_t v) : k(Kind::Int), integer(v) {}
+    JsonValue(std::int64_t v)
+        : k(Kind::Int), integer(std::uint64_t(v < 0 ? -v : v)),
+          negative(v < 0)
+    {}
+    JsonValue(int v) : JsonValue(std::int64_t(v)) {}
+    JsonValue(unsigned v) : JsonValue(std::uint64_t(v)) {}
+    JsonValue(double v) : k(Kind::Double), real(v) {}
+    JsonValue(std::string s) : k(Kind::String), str(std::move(s)) {}
+    JsonValue(const char *s) : k(Kind::String), str(s) {}
+
+    /** @{ Static factories for the container kinds. */
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+    /** @} */
+
+    Kind kind() const { return k; }
+    bool isNull() const { return k == Kind::Null; }
+    bool isObject() const { return k == Kind::Object; }
+    bool isArray() const { return k == Kind::Array; }
+
+    /** @{ Scalar accessors — fatal() on kind mismatch. */
+    bool asBool() const;
+    std::uint64_t asUInt() const;
+    std::int64_t asInt() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    /** @} */
+
+    /** @{ Array access. */
+    const std::vector<JsonValue> &items() const;
+    std::vector<JsonValue> &items();
+    void push(JsonValue v);
+    std::size_t size() const;
+    /** @} */
+
+    /** @{ Object access (insertion-ordered). */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+    /** Lookup; fatal() when @p key is absent. */
+    const JsonValue &at(const std::string &key) const;
+    /** Lookup; nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+    /** Insert or overwrite @p key. */
+    void set(const std::string &key, JsonValue v);
+    /** @} */
+
+    /** Serialize; @p indent > 0 pretty-prints. */
+    void write(std::ostream &os, int indent = 0, int depth = 0) const;
+    std::string dump(int indent = 0) const;
+
+  private:
+    Kind k = Kind::Null;
+    bool boolean = false;
+    std::uint64_t integer = 0;
+    bool negative = false;
+    double real = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+};
+
+/** Parse @p text; throws SimError on malformed input. */
+JsonValue parseJson(const std::string &text);
+
+} // namespace hsc
+
+#endif // HSC_SIM_JSON_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Failure containment: a fatal() raised inside a scheduled event (or a
+ * workload coroutine) must not tear the process down — run() catches
+ * it, returns false, and surfaces the message through failReason().
+ * panic() (a simulator self-check) is different: it propagates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/hsa_system.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(SimErrorHandling, FatalInScheduledEventIsCaughtByRun)
+{
+    HsaSystem sys(baselineConfig());
+    sys.addCpuThread([](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(10'000);
+    });
+    sys.eventQueue().scheduleIn(100, [] {
+        fatal("injected mid-run fault for testing");
+    });
+
+    EXPECT_FALSE(sys.run());
+    EXPECT_FALSE(sys.failReason().empty());
+    EXPECT_NE(sys.failReason().find("injected mid-run fault"),
+              std::string::npos);
+    EXPECT_EQ(sys.lastSimError(), sys.failReason());
+}
+
+TEST(SimErrorHandling, FatalInWorkloadCoroutineIsCaughtByRun)
+{
+    HsaSystem sys(baselineConfig());
+    Addr a = sys.alloc(64);
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(a, 1);
+        fatal("workload decided the sky is falling");
+    });
+
+    EXPECT_FALSE(sys.run());
+    EXPECT_NE(sys.failReason().find("sky is falling"), std::string::npos);
+}
+
+TEST(SimErrorHandling, CaughtFatalReproducesDeterministically)
+{
+    // Failed runs keep their registered threads, so calling run()
+    // again replays the same execution — and must reach the exact
+    // same diagnosis.
+    HsaSystem sys(baselineConfig());
+    sys.addCpuThread([](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(100);
+        fatal("deterministic death");
+    });
+    ASSERT_FALSE(sys.run());
+    std::string first = sys.failReason();
+    ASSERT_FALSE(first.empty());
+    ASSERT_FALSE(sys.run());
+    EXPECT_EQ(sys.failReason(), first);
+}
+
+TEST(SimErrorHandling, PanicPropagatesOutOfRun)
+{
+    // panic() marks simulator self-check failures (a broken invariant
+    // in our own code, not the modelled system) — run() must NOT eat
+    // it.
+    HsaSystem sys(baselineConfig());
+    sys.addCpuThread([](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(100);
+        panic("simulator bug");
+    });
+    EXPECT_THROW(sys.run(), std::logic_error);
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tier-2: the runtime sanitizer must produce zero false positives
+ * while fault injection perturbs every link's timing.  Jitter changes
+ * interleavings, not semantics — so a checked, jittered RandomTester
+ * run has to pass with the checker demonstrably engaged.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/random_tester.hh"
+
+namespace hsc
+{
+namespace
+{
+
+RandomTesterConfig
+testerConfig()
+{
+    RandomTesterConfig tcfg;
+    tcfg.seed = 4242;
+    tcfg.numLocations = 12;
+    tcfg.roundsPerLocation = 4;
+    tcfg.numCpuThreads = 4;
+    tcfg.numGpuWorkgroups = 2;
+    return tcfg;
+}
+
+void
+runCheckedJitter(SystemConfig cfg, std::uint64_t fault_seed)
+{
+    shrinkForTorture(cfg);
+    ASSERT_TRUE(cfg.check);  // sanitizer on (the default)
+    cfg.fault.enabled = true;
+    cfg.fault.seed = fault_seed;
+    cfg.fault.maxJitter = 20;
+    cfg.fault.spikePercent = 10;
+    cfg.fault.spikeCycles = 500;
+
+    HsaSystem sys(cfg);
+    RandomTester tester(sys, testerConfig());
+    bool ok = tester.run();
+    for (const std::string &f : tester.failures())
+        ADD_FAILURE() << f;
+    ASSERT_TRUE(ok) << sys.failReason();
+
+    ASSERT_NE(sys.checker(), nullptr);
+    EXPECT_FALSE(sys.checker()->violated());
+    EXPECT_GT(sys.checker()->transitionsChecked(), 1000u);
+    EXPECT_GT(sys.checker()->blocksShadowed(), 0u);
+}
+
+TEST(CheckerJitter, BaselineNoFalsePositivesUnderJitter)
+{
+    runCheckedJitter(baselineConfig(), 101);
+}
+
+TEST(CheckerJitter, EarlyRespNoFalsePositivesUnderJitter)
+{
+    runCheckedJitter(earlyRespConfig(), 202);
+}
+
+TEST(CheckerJitter, SharerTrackingNoFalsePositivesUnderJitter)
+{
+    runCheckedJitter(sharerTrackingConfig(), 303);
+}
+
+TEST(CheckerJitter, BankedGpuWritebackNoFalsePositivesUnderJitter)
+{
+    SystemConfig cfg = ownerTrackingConfig();
+    cfg.numDirBanks = 2;
+    cfg.gpuWriteBack = true;
+    runCheckedJitter(cfg, 404);
+}
+
+TEST(CheckerJitter, CheckedSweepImageMatchesUncheckedSweep)
+{
+    // The satellite requirement head-on: --jitter and --check combined
+    // must not perturb or fail the sweep.  The checker is a passive
+    // observer, so final images with and without it are identical.
+    SystemConfig checked = baselineConfig();
+    shrinkForTorture(checked);
+    SystemConfig unchecked = checked;
+    unchecked.check = false;
+
+    std::vector<FaultConfig> schedules;
+    schedules.emplace_back();
+    FaultConfig jitter;
+    jitter.enabled = true;
+    jitter.seed = 55;
+    jitter.maxJitter = 15;
+    schedules.push_back(jitter);
+
+    JitterSweepResult with_check =
+        runJitterSweep(checked, testerConfig(), schedules);
+    for (const std::string &f : with_check.failures)
+        ADD_FAILURE() << f;
+    ASSERT_TRUE(with_check.ok);
+
+    JitterSweepResult without_check =
+        runJitterSweep(unchecked, testerConfig(), schedules);
+    ASSERT_TRUE(without_check.ok);
+    EXPECT_EQ(with_check.imageHashes, without_check.imageHashes);
+}
+
+} // namespace
+} // namespace hsc

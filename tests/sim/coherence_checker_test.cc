@@ -1,0 +1,200 @@
+/**
+ * @file
+ * CoherenceChecker unit tests, driven directly (no protocol): legal
+ * event tables, SWMR tracking, shadow-image data checking, trace
+ * rings, and the violation cap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/coherence_checker.hh"
+
+namespace hsc
+{
+namespace
+{
+
+constexpr Addr kBlk = 0x4000;
+
+struct CheckerFixture : ::testing::Test
+{
+    EventQueue eq;
+    CoherenceChecker chk{"chk", eq};
+};
+
+DataBlock
+patternBlock(std::uint8_t base)
+{
+    DataBlock b;
+    for (unsigned i = 0; i < BlockSizeBytes; ++i)
+        b.raw()[i] = std::uint8_t(base + i);
+    return b;
+}
+
+TEST_F(CheckerFixture, LegalEventsPass)
+{
+    EXPECT_TRUE(chk.noteEvent(CheckerCtrl::CorePair, "l2", kBlk, "TBE",
+                              "SysResp"));
+    EXPECT_TRUE(chk.noteEvent(CheckerCtrl::CorePair, "l2", kBlk, "V",
+                              "WBAck"));
+    EXPECT_TRUE(chk.noteEvent(CheckerCtrl::CorePair, "l2", kBlk, "I",
+                              "PrbInv"));
+    EXPECT_TRUE(chk.noteEvent(CheckerCtrl::Tcc, "tcc", kBlk, "A",
+                              "AtomicResp"));
+    EXPECT_TRUE(chk.noteEvent(CheckerCtrl::Dma, "dma", kBlk, "Issued",
+                              "DmaResp"));
+    EXPECT_TRUE(chk.noteEvent(CheckerCtrl::Directory, "dir", kBlk, "O",
+                              "VicDirty"));
+    EXPECT_FALSE(chk.violated());
+    EXPECT_EQ(chk.transitionsChecked(), 6u);
+}
+
+TEST_F(CheckerFixture, IllegalEventsAreFlaggedNotThrown)
+{
+    // A WBAck with no victim outstanding has no defined transition.
+    EXPECT_FALSE(chk.noteEvent(CheckerCtrl::CorePair, "system.corepair0",
+                               kBlk, "TBE", "WBAck"));
+    ASSERT_TRUE(chk.violated());
+    const ViolationReport &r = chk.violations().front();
+    EXPECT_EQ(r.kind, "illegal-event");
+    EXPECT_EQ(r.addr, kBlk);
+    EXPECT_NE(r.detail.find("system.corepair0"), std::string::npos);
+    EXPECT_NE(r.detail.find("WBAck"), std::string::npos);
+    EXPECT_NE(chk.brief().find("illegal-event"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, DirtyVictimFromCleanDirectoryIsIllegal)
+{
+    EXPECT_FALSE(chk.noteEvent(CheckerCtrl::Directory, "dir", kBlk, "S",
+                               "VicDirty"));
+    EXPECT_EQ(chk.violations().front().kind, "illegal-event");
+}
+
+TEST_F(CheckerFixture, SwmrSecondWriterIsViolation)
+{
+    using Perm = CoherenceChecker::Perm;
+    chk.notePermission("l2a", kBlk, Perm::Write, "M");
+    EXPECT_FALSE(chk.violated());
+    chk.notePermission("l2b", kBlk, Perm::Write, "M");
+    ASSERT_TRUE(chk.violated());
+    const ViolationReport &r = chk.violations().front();
+    EXPECT_EQ(r.kind, "swmr");
+    EXPECT_EQ(r.addr, kBlk);
+    EXPECT_NE(r.detail.find("l2a"), std::string::npos);
+    EXPECT_NE(r.detail.find("l2b"), std::string::npos);
+    EXPECT_FALSE(r.history.empty());
+}
+
+TEST_F(CheckerFixture, SwmrHandoffAndReadersAreFine)
+{
+    using Perm = CoherenceChecker::Perm;
+    chk.notePermission("l2a", kBlk, Perm::Write, "M");
+    chk.notePermission("l2a", kBlk, Perm::None, "I");   // invalidated
+    chk.notePermission("l2b", kBlk, Perm::Write, "M");  // clean handoff
+    chk.notePermission("l2b", kBlk, Perm::Read, "O");   // downgrade
+    chk.notePermission("l2a", kBlk, Perm::Read, "S");
+    chk.notePermission("l2c", kBlk, Perm::Read, "S");
+    EXPECT_FALSE(chk.violated());
+    // Distinct blocks never interact.
+    chk.notePermission("l2a", kBlk, Perm::Write, "M");
+    chk.notePermission("l2b", kBlk + BlockSizeBytes, Perm::Write, "M");
+    EXPECT_FALSE(chk.violated());
+}
+
+TEST_F(CheckerFixture, StoreWithoutPermissionIsViolation)
+{
+    chk.noteStoreApplied("l2a", kBlk, "M", true);
+    EXPECT_FALSE(chk.violated());
+    chk.noteStoreApplied("l2b", kBlk, "S", false);
+    ASSERT_TRUE(chk.violated());
+    EXPECT_EQ(chk.violations().front().kind, "no-write-permission");
+}
+
+TEST_F(CheckerFixture, CleanDataSeedsThenChecksShadow)
+{
+    DataBlock d = patternBlock(0x10);
+    // First observation seeds the unknown shadow bytes.
+    chk.noteCleanData("dir", kBlk, d, "backing response");
+    EXPECT_FALSE(chk.violated());
+    // Matching data is fine; one corrupt byte is a violation.
+    chk.noteCleanData("l2", kBlk, d, "clean victim");
+    EXPECT_FALSE(chk.violated());
+    d.raw()[5] ^= 0xFF;
+    chk.noteCleanData("l2", kBlk, d, "clean victim");
+    ASSERT_TRUE(chk.violated());
+    const ViolationReport &r = chk.violations().front();
+    EXPECT_EQ(r.kind, "stale-data");
+    EXPECT_NE(r.detail.find("byte 5"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, SystemWriteUpdatesOnlyMaskedBytes)
+{
+    DataBlock first = patternBlock(0x20);
+    chk.noteCleanData("dir", kBlk, first, "backing response");
+
+    DataBlock store;
+    store.set<std::uint64_t>(8, 0xDEAD'BEEF'0BAD'F00Dull);
+    chk.noteSystemWrite("dir", kBlk, store, makeMask(8, 8));
+
+    // Clean data must now show the stored bytes...
+    DataBlock merged = first;
+    merged.merge(store, makeMask(8, 8));
+    chk.noteCleanData("l2", kBlk, merged, "clean probe forward");
+    EXPECT_FALSE(chk.violated());
+    // ...and the pre-store image has become stale.
+    chk.noteCleanData("l2", kBlk, first, "clean probe forward");
+    ASSERT_TRUE(chk.violated());
+    EXPECT_EQ(chk.violations().front().kind, "stale-data");
+    EXPECT_EQ(chk.blocksShadowed(), 1u);
+}
+
+TEST_F(CheckerFixture, ViolationCarriesPerBlockHistory)
+{
+    for (int i = 0; i < 30; ++i)
+        chk.noteEvent(CheckerCtrl::CorePair, "l2", kBlk, "I", "PrbInv");
+    chk.noteEvent(CheckerCtrl::CorePair, "l2", kBlk, "TBE", "WBAck");
+    ASSERT_TRUE(chk.violated());
+    const auto &hist = chk.violations().front().history;
+    // Bounded ring: recent events only, newest (the bad one) last.
+    ASSERT_FALSE(hist.empty());
+    EXPECT_LE(hist.size(), 16u);
+    EXPECT_EQ(hist.back().event, "WBAck");
+}
+
+TEST_F(CheckerFixture, TraceTailIsOldestFirstAndBounded)
+{
+    EventQueue q;
+    CoherenceChecker small("small", q, /*global_ring=*/8);
+    for (int i = 0; i < 20; ++i) {
+        small.noteEvent(CheckerCtrl::Directory, "dir",
+                        Addr(i) * BlockSizeBytes, "U", "RdBlk");
+    }
+    std::vector<CheckerEvent> tail = small.traceTail();
+    ASSERT_EQ(tail.size(), 8u);
+    // Events 12..19 survive, in order.
+    for (std::size_t i = 0; i < tail.size(); ++i)
+        EXPECT_EQ(tail[i].addr, Addr(12 + i) * BlockSizeBytes);
+    EXPECT_EQ(small.traceTail(3).size(), 3u);
+    EXPECT_EQ(small.traceTail(3).back().addr, Addr(19) * BlockSizeBytes);
+}
+
+TEST_F(CheckerFixture, ViolationListIsCapped)
+{
+    for (int i = 0; i < 40; ++i)
+        chk.noteEvent(CheckerCtrl::CorePair, "l2", kBlk, "TBE", "WBAck");
+    EXPECT_LE(chk.violations().size(), 16u);
+    EXPECT_NE(chk.brief().find("more"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, ReportViolationNamesController)
+{
+    chk.reportViolation("double-dirty", "dir", kBlk,
+                        "two dirty probe responses");
+    ASSERT_TRUE(chk.violated());
+    EXPECT_EQ(chk.violations().front().kind, "double-dirty");
+    EXPECT_NE(chk.violations().front().detail.find("dir"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace hsc

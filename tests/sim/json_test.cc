@@ -1,0 +1,130 @@
+/**
+ * @file
+ * sim/json.hh unit tests: exact integer round-trips (the property the
+ * failure-trace format depends on), order-preserving objects, pretty
+ * printing, and parse-error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hh"
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(Json, ScalarKindsRoundTrip)
+{
+    JsonValue v = parseJson(
+        "{\"b\": true, \"n\": null, \"i\": 42, \"neg\": -7, "
+        "\"d\": 1.5, \"s\": \"hi\"}");
+    EXPECT_TRUE(v.at("b").asBool());
+    EXPECT_TRUE(v.at("n").isNull());
+    EXPECT_EQ(v.at("i").asUInt(), 42u);
+    EXPECT_EQ(v.at("neg").asInt(), -7);
+    EXPECT_DOUBLE_EQ(v.at("d").asDouble(), 1.5);
+    EXPECT_EQ(v.at("s").asString(), "hi");
+}
+
+TEST(Json, Uint64KeepsFullPrecision)
+{
+    // 2^64 - 1 and a typical RNG seed would both lose bits through a
+    // double; the Int kind must carry them exactly.
+    std::uint64_t big = 0xFFFF'FFFF'FFFF'FFFFull;
+    std::uint64_t seed = 0x9E37'79B9'7F4A'7C15ull;
+    JsonValue obj = JsonValue::makeObject();
+    obj.set("big", JsonValue(big));
+    obj.set("seed", JsonValue(seed));
+    JsonValue back = parseJson(obj.dump());
+    EXPECT_EQ(back.at("big").asUInt(), big);
+    EXPECT_EQ(back.at("seed").asUInt(), seed);
+}
+
+TEST(Json, NegativeInt64RoundTrips)
+{
+    JsonValue v(std::int64_t(-123456789012345));
+    EXPECT_EQ(parseJson(v.dump()).asInt(), -123456789012345);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    JsonValue obj = JsonValue::makeObject();
+    obj.set("zeta", JsonValue(1));
+    obj.set("alpha", JsonValue(2));
+    obj.set("mid", JsonValue(3));
+    ASSERT_EQ(obj.members().size(), 3u);
+    EXPECT_EQ(obj.members()[0].first, "zeta");
+    EXPECT_EQ(obj.members()[1].first, "alpha");
+    EXPECT_EQ(obj.members()[2].first, "mid");
+    // set() on an existing key overwrites in place.
+    obj.set("alpha", JsonValue(9));
+    EXPECT_EQ(obj.members().size(), 3u);
+    EXPECT_EQ(obj.at("alpha").asUInt(), 9u);
+}
+
+TEST(Json, NestedContainersRoundTrip)
+{
+    JsonValue arr = JsonValue::makeArray();
+    for (unsigned i = 0; i < 3; ++i) {
+        JsonValue o = JsonValue::makeObject();
+        o.set("i", JsonValue(i));
+        o.set("sq", JsonValue(i * i));
+        arr.push(std::move(o));
+    }
+    JsonValue root = JsonValue::makeObject();
+    root.set("rows", std::move(arr));
+    JsonValue back = parseJson(root.dump(2));
+    ASSERT_EQ(back.at("rows").size(), 3u);
+    EXPECT_EQ(back.at("rows").items()[2].at("sq").asUInt(), 4u);
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    std::string tricky = "quote\" slash\\ tab\t nl\n ctrl\x01 end";
+    JsonValue back = parseJson(JsonValue(tricky).dump());
+    EXPECT_EQ(back.asString(), tricky);
+}
+
+TEST(Json, FindReturnsNullOnMissingKey)
+{
+    JsonValue obj = JsonValue::makeObject();
+    obj.set("present", JsonValue(1));
+    EXPECT_NE(obj.find("present"), nullptr);
+    EXPECT_EQ(obj.find("absent"), nullptr);
+    EXPECT_THROW(obj.at("absent"), SimError);
+}
+
+TEST(Json, KindMismatchIsFatal)
+{
+    JsonValue v(std::string("text"));
+    EXPECT_THROW(v.asUInt(), SimError);
+    EXPECT_THROW(v.items(), SimError);
+    EXPECT_THROW(JsonValue(true).asString(), SimError);
+}
+
+TEST(Json, MalformedInputThrows)
+{
+    EXPECT_THROW(parseJson(""), SimError);
+    EXPECT_THROW(parseJson("{"), SimError);
+    EXPECT_THROW(parseJson("[1, 2,]"), SimError);
+    EXPECT_THROW(parseJson("{\"a\": }"), SimError);
+    EXPECT_THROW(parseJson("\"unterminated"), SimError);
+    EXPECT_THROW(parseJson("tru"), SimError);
+    EXPECT_THROW(parseJson("{} trailing"), SimError);
+}
+
+TEST(Json, PrettyAndCompactParseTheSame)
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("a", JsonValue(1));
+    JsonValue inner = JsonValue::makeArray();
+    inner.push(JsonValue(false));
+    inner.push(JsonValue("x"));
+    root.set("list", std::move(inner));
+    EXPECT_EQ(parseJson(root.dump()).dump(), parseJson(root.dump(2)).dump());
+}
+
+} // namespace
+} // namespace hsc
