@@ -3,6 +3,7 @@
 #ifndef HSC_BENCH_BENCH_UTIL_HH
 #define HSC_BENCH_BENCH_UTIL_HH
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -74,6 +75,92 @@ runMatrix(const std::vector<std::string> &workloads,
         }
     }
     return results;
+}
+
+/** RFC-4180-style cell escaping (quote on comma/quote/newline). */
+inline std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * Table that renders fixed-width to a stream and, when a CSV path was
+ * given, mirrors header+rows machine-readably.  The figure harnesses
+ * all follow the same convention: an optional argv[1] names the CSV
+ * output file (rules are cosmetic and not mirrored).
+ */
+class BenchTable
+{
+  public:
+    BenchTable(std::ostream &os, std::string csv_path)
+        : tw(os), csvPath(std::move(csv_path))
+    {
+    }
+
+    void
+    header(const std::vector<std::string> &cols)
+    {
+        tw.header(cols);
+        mirror.push_back(cols);
+    }
+
+    void
+    row(const std::vector<std::string> &cells)
+    {
+        tw.row(cells);
+        mirror.push_back(cells);
+    }
+
+    void rule() { tw.rule(); }
+
+    /**
+     * Write the mirrored rows to the CSV path (no-op without one).
+     * Returns false, with a message on stderr, on I/O failure.
+     */
+    bool
+    writeCsv() const
+    {
+        if (csvPath.empty())
+            return true;
+        std::ofstream os(csvPath);
+        if (!os) {
+            std::cerr << "cannot open " << csvPath << " for writing\n";
+            return false;
+        }
+        for (const auto &cells : mirror) {
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                os << (i ? "," : "") << csvEscape(cells[i]);
+            os << '\n';
+        }
+        if (!os) {
+            std::cerr << "write to " << csvPath << " failed\n";
+            return false;
+        }
+        std::cout << "CSV written to " << csvPath << '\n';
+        return true;
+    }
+
+  private:
+    TableWriter tw;
+    std::string csvPath;
+    std::vector<std::vector<std::string>> mirror;
+};
+
+/** The figure harnesses' CSV-path convention: optional argv[1]. */
+inline std::string
+csvPathFromArgs(int argc, char **argv)
+{
+    return argc > 1 ? argv[1] : "";
 }
 
 /** Geometric-style arithmetic mean over a vector. */

@@ -17,7 +17,7 @@ using namespace hsc;
 using namespace hsc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::vector<SystemConfig> configs = {
         baselineConfig(),
@@ -32,7 +32,7 @@ main()
 
     ResultMatrix results = runMatrix(workloadIds(), configs);
 
-    TableWriter tw(std::cout);
+    BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
     tw.header({"benchmark", "base cycles", "earlyResp%", "noWBcleanVic%",
                "llcWB%"});
     std::vector<double> m1, m2, m3;
@@ -56,5 +56,5 @@ main()
     std::cout << "\npaper reference: small per-optimisation gains, "
                  "1.68% average across the optimisations; least on the "
                  "data-parallel benchmarks.\n";
-    return 0;
+    return tw.writeCsv() ? 0 : 2;
 }

@@ -15,7 +15,7 @@ using namespace hsc;
 using namespace hsc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::vector<SystemConfig> configs = {
         baselineConfig(),
@@ -29,7 +29,7 @@ main()
 
     ResultMatrix results = runMatrix(workloadIds(), configs);
 
-    TableWriter tw(std::cout);
+    BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
     tw.header({"benchmark", "baseline", "noWBcleanVic", "llcWB",
                "llcWB+useL3OnWT", "red%(llcWB+useL3)"});
     std::vector<double> reductions;
@@ -54,5 +54,5 @@ main()
     std::cout << "\npaper reference: 50.38% average reduction in memory "
                  "accesses from obviating memory writes on every LLC "
                  "write.\n";
-    return 0;
+    return tw.writeCsv() ? 0 : 2;
 }

@@ -14,7 +14,7 @@ using namespace hsc;
 using namespace hsc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::vector<SystemConfig> configs = {
         baselineConfig(),
@@ -27,7 +27,7 @@ main()
 
     ResultMatrix results = runMatrix(coherenceActiveIds(), configs);
 
-    TableWriter tw(std::cout);
+    BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
     tw.header({"benchmark", "base cycles", "owner%", "sharers%"});
     std::vector<double> mo, ms;
     for (const std::string &wl : coherenceActiveIds()) {
@@ -47,5 +47,5 @@ main()
 
     std::cout << "\npaper reference: 14.4% average improvement over the "
                  "five benchmarks tested.\n";
-    return 0;
+    return tw.writeCsv() ? 0 : 2;
 }

@@ -14,7 +14,7 @@ using namespace hsc;
 using namespace hsc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::vector<SystemConfig> configs = {
         baselineConfig(),
@@ -27,7 +27,7 @@ main()
 
     ResultMatrix results = runMatrix(coherenceActiveIds(), configs);
 
-    TableWriter tw(std::cout);
+    BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
     tw.header({"benchmark", "baseline", "owner", "sharers", "owner red%",
                "sharers red%"});
     std::vector<double> mo, ms;
@@ -50,5 +50,5 @@ main()
 
     std::cout << "\npaper reference: 80.3% average probe reduction; "
                  "sharer tracking adds little on 4 of 5 benchmarks.\n";
-    return 0;
+    return tw.writeCsv() ? 0 : 2;
 }

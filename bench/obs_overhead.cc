@@ -1,0 +1,181 @@
+/**
+ * @file
+ * obs_overhead — what does transaction tracing cost, and does it
+ * perturb the simulation?
+ *
+ * Every workload runs three times on identical configurations except
+ * SystemConfig::obs: tracing off, tracing on, and tracing on with
+ * time-series sampling.  The observability layer is a passive
+ * observer, so simulated cycles must be bit-identical across all
+ * three runs (asserted, not assumed — this is the guard CI relies
+ * on); the interesting number is the host-time overhead of tracing,
+ * reported per workload and as a mean, together with the tracer's
+ * own span counters.
+ *
+ *   $ ./bench/obs_overhead                 # table to stdout
+ *   $ ./bench/obs_overhead overhead.json   # plus JSON report
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "obs/tracer.hh"
+#include "sim/json.hh"
+
+using namespace hsc;
+using namespace hsc::bench;
+
+namespace
+{
+
+struct Row
+{
+    std::string workload;
+    std::string config;
+    bool ok = false;
+    Cycles cycles = 0;          ///< simulated (identical off/on)
+    double wallOffMs = 0.0;
+    double wallOnMs = 0.0;
+    std::uint64_t spansCompleted = 0;
+    std::uint64_t ringDropped = 0;
+
+    double
+    overheadPct() const
+    {
+        return wallOffMs > 0.0
+                   ? (wallOnMs - wallOffMs) / wallOffMs * 100.0
+                   : 0.0;
+    }
+};
+
+double
+millisSince(std::chrono::steady_clock::time_point t0)
+{
+    using namespace std::chrono;
+    return duration_cast<duration<double, std::milli>>(
+               steady_clock::now() - t0)
+        .count();
+}
+
+/** One timed workload run under the given observability config. */
+bool
+timedRun(const std::string &wl, SystemConfig cfg, bool obs_on,
+         Cycles sampling, Cycles &cycles, double &wall_ms,
+         Row *stats_out)
+{
+    cfg.obs.enabled = obs_on;
+    cfg.obs.samplingInterval = sampling;
+    HsaSystem sys(cfg);
+    auto workload = makeWorkload(wl, figureParams());
+    workload->setup(sys);
+    auto t0 = std::chrono::steady_clock::now();
+    bool ok = sys.run() && workload->verify(sys);
+    wall_ms = millisSince(t0);
+    cycles = sys.cpuCycles();
+    if (stats_out && sys.tracer()) {
+        stats_out->spansCompleted = sys.tracer()->completed();
+        stats_out->ringDropped = sys.tracer()->ringDropped();
+    }
+    return ok;
+}
+
+Row
+measure(const std::string &wl, const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    scaleHierarchy(cfg);
+    Row row;
+    row.workload = wl;
+    row.config = cfg.label;
+
+    Cycles cy_off = 0, cy_on = 0, cy_sampled = 0;
+    double wall_sampled = 0.0;
+    bool ok_off =
+        timedRun(wl, cfg, false, 0, cy_off, row.wallOffMs, nullptr);
+    bool ok_on = timedRun(wl, cfg, true, 0, cy_on, row.wallOnMs, &row);
+    bool ok_sampled =
+        timedRun(wl, cfg, true, 100, cy_sampled, wall_sampled, nullptr);
+    row.cycles = cy_on;
+    // A passive observer may not perturb the simulation.
+    row.ok = ok_off && ok_on && ok_sampled && cy_off == cy_on &&
+             cy_off == cy_sampled;
+    if (cy_off != cy_on) {
+        std::cerr << "ERROR: " << wl
+                  << ": tracing changed simulated cycles (" << cy_off
+                  << " vs " << cy_on << ")\n";
+    }
+    if (cy_off != cy_sampled) {
+        std::cerr << "ERROR: " << wl
+                  << ": sampling changed simulated cycles (" << cy_off
+                  << " vs " << cy_sampled << ")\n";
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<Row> rows;
+    for (const std::string &wl : workloadIds())
+        rows.push_back(measure(wl, sharerTrackingConfig()));
+
+    TableWriter tw(std::cout);
+    tw.header({"workload", "config", "cycles", "off ms", "on ms",
+               "ovh %", "spans", "ring drops", "result"});
+    std::vector<double> overheads;
+    bool all_ok = true;
+    for (const Row &r : rows) {
+        overheads.push_back(r.overheadPct());
+        all_ok = all_ok && r.ok;
+        tw.row({r.workload, r.config, TableWriter::fmt(r.cycles),
+                TableWriter::fmt(r.wallOffMs),
+                TableWriter::fmt(r.wallOnMs),
+                TableWriter::fmt(r.overheadPct()),
+                TableWriter::fmt(r.spansCompleted),
+                TableWriter::fmt(r.ringDropped),
+                r.ok ? "OK" : "FAIL"});
+    }
+    tw.rule();
+    tw.row({"mean", "", "", "", "", TableWriter::fmt(mean(overheads)),
+            "", "", all_ok ? "OK" : "FAIL"});
+
+    JsonValue report = JsonValue::makeObject();
+    report.set("bench", JsonValue("obs_overhead"));
+    JsonValue jrows = JsonValue::makeArray();
+    for (const Row &r : rows) {
+        JsonValue o = JsonValue::makeObject();
+        o.set("workload", JsonValue(r.workload));
+        o.set("config", JsonValue(r.config));
+        o.set("ok", JsonValue(r.ok));
+        o.set("cycles", JsonValue(std::uint64_t(r.cycles)));
+        o.set("wallOffMs", JsonValue(r.wallOffMs));
+        o.set("wallOnMs", JsonValue(r.wallOnMs));
+        o.set("overheadPct", JsonValue(r.overheadPct()));
+        o.set("obs.spansCompleted", JsonValue(r.spansCompleted));
+        o.set("obs.ringDropped", JsonValue(r.ringDropped));
+        jrows.push(std::move(o));
+    }
+    report.set("rows", std::move(jrows));
+    report.set("meanOverheadPct", JsonValue(mean(overheads)));
+    report.set("ok", JsonValue(all_ok));
+
+    if (argc > 1) {
+        std::ofstream os(argv[1]);
+        if (!os) {
+            std::cerr << "cannot open " << argv[1] << '\n';
+            return 2;
+        }
+        report.write(os, 2);
+        os << '\n';
+        std::cout << "JSON report written to " << argv[1] << '\n';
+    } else {
+        std::cout << '\n';
+        report.write(std::cout, 2);
+        std::cout << '\n';
+    }
+    return all_ok ? 0 : 1;
+}

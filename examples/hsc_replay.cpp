@@ -28,14 +28,20 @@ void
 usage()
 {
     std::puts("usage: hsc_replay [options] <trace.json>\n"
-              "  --events     print the captured checker event tail\n"
-              "  --schedule   print the op schedule before replaying");
+              "  --events               print the captured checker event "
+              "tail\n"
+              "  --schedule             print the op schedule before "
+              "replaying\n"
+              "  --trace-chrome <path>  re-run with tracing on and write "
+              "the\n"
+              "                         replayed spans as a Chrome trace");
 }
 
 int
 run(int argc, char **argv)
 {
     std::string path;
+    std::string trace_chrome;
     bool show_events = false;
     bool show_schedule = false;
     for (int i = 1; i < argc; ++i) {
@@ -44,6 +50,12 @@ run(int argc, char **argv)
             show_events = true;
         } else if (arg == "--schedule") {
             show_schedule = true;
+        } else if (arg == "--trace-chrome") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "--trace-chrome needs a path\n");
+                return 2;
+            }
+            trace_chrome = argv[i];
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -95,7 +107,10 @@ run(int argc, char **argv)
             std::printf("  %s\n", ev.toString().c_str());
     }
 
-    ReplayResult res = replayTrace(trace);
+    ReplayResult res = replayTrace(trace, trace_chrome);
+    if (!trace_chrome.empty())
+        std::printf("chrome trace written to %s (open in "
+                    "ui.perfetto.dev)\n", trace_chrome.c_str());
     if (res.reproduced) {
         std::printf("replay: REPRODUCED: %s\n", res.failReason.c_str());
         for (const std::string &f : res.failures)

@@ -23,12 +23,16 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/run_report.hh"
 #include "core/schedule_shrink.hh"
 #include "core/trace_replay.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/sampler.hh"
+#include "obs/tracer.hh"
 #include "sim/sim_error.hh"
 #include "workloads/workload.hh"
 
@@ -184,7 +188,23 @@ usage()
         "                      0x100000, the first heap block)\n"
         "  --trace-out <path>  on failure, write a replayable JSON\n"
         "                      failure trace (see hsc_replay)\n"
+        "  --obs               transaction-lifetime tracing: per-class\n"
+        "                      latency breakdown report after the run\n"
+        "  --trace-chrome <path>\n"
+        "                      write a Chrome trace-event JSON of every\n"
+        "                      transaction (open in ui.perfetto.dev);\n"
+        "                      implies --obs\n"
+        "  --stats-interval <cycles>\n"
+        "                      sample queue depths, occupancies and\n"
+        "                      counter deltas every N CPU cycles\n"
+        "  --interval-csv <path>\n"
+        "                      write the sampled time series as CSV\n"
+        "                      (default: stdout after the summary)\n"
         "  --stats             dump the full statistics registry\n"
+        "  --stats-filter <prefix>\n"
+        "                      restrict the --stats dump to counters\n"
+        "                      whose name starts with <prefix>\n"
+        "                      (implies --stats)\n"
         "  --list              list workloads and exit");
 }
 
@@ -231,6 +251,11 @@ run(int argc, char **argv)
     unsigned tester_locs = 24;
     unsigned tester_rounds = 6;
     std::string trace_out;
+    bool obs = false;
+    std::string trace_chrome;
+    Cycles stats_interval = 0;
+    std::string interval_csv;
+    std::string stats_filter;
     SeededBug bug;
     bug.addr = 0x100000;
 
@@ -290,7 +315,18 @@ run(int argc, char **argv)
             bug.addr = Addr(std::stoull(next(), nullptr, 0)); // hex ok
         } else if (arg == "--trace-out") {
             trace_out = next();
+        } else if (arg == "--obs") {
+            obs = true;
+        } else if (arg == "--trace-chrome") {
+            trace_chrome = next();
+        } else if (arg == "--stats-interval") {
+            stats_interval = Cycles(nextNum());
+        } else if (arg == "--interval-csv") {
+            interval_csv = next();
         } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--stats-filter") {
+            stats_filter = next();
             dump_stats = true;
         } else if (arg == "--list") {
             std::puts("CHAI-like workloads:");
@@ -325,6 +361,8 @@ run(int argc, char **argv)
         cfg.fault.seed = fault_seed;
         cfg.fault.maxJitter = jitter;
     }
+    cfg.obs.enabled = obs || !trace_chrome.empty();
+    cfg.obs.samplingInterval = stats_interval;
 
     if (tester_mode) {
         RandomTesterConfig tcfg;
@@ -369,8 +407,38 @@ run(int argc, char **argv)
                     h->mean(), (unsigned long long)h->max(),
                     (unsigned long long)h->samples());
     }
+    if (sys.tracer()) {
+        sys.tracer()->report(std::cout);
+        if (!trace_chrome.empty()) {
+            if (writeChromeTrace(*sys.tracer(), sys.sampler(),
+                                 trace_chrome)) {
+                std::printf("chrome trace written to %s (open in "
+                            "ui.perfetto.dev)\n", trace_chrome.c_str());
+            } else {
+                std::fprintf(stderr, "cannot write chrome trace to %s\n",
+                             trace_chrome.c_str());
+                return 2;
+            }
+        }
+    }
+    if (sys.sampler()) {
+        if (interval_csv.empty()) {
+            sys.sampler()->writeCsv(std::cout);
+        } else {
+            std::ofstream csv(interval_csv);
+            if (!csv) {
+                std::fprintf(stderr, "cannot write interval CSV to %s\n",
+                             interval_csv.c_str());
+                return 2;
+            }
+            sys.sampler()->writeCsv(csv);
+            std::printf("interval CSV written to %s (%zu samples)\n",
+                        interval_csv.c_str(),
+                        sys.sampler()->rows().size());
+        }
+    }
     if (dump_stats)
-        sys.stats().dump(std::cout);
+        sys.stats().dump(std::cout, stats_filter);
     return ok ? 0 : 1;
 }
 

@@ -4,6 +4,8 @@
 #include <ostream>
 
 #include "core/coherence_checker.hh"
+#include "obs/sampler.hh"
+#include "obs/tracer.hh"
 #include "sim/sim_error.hh"
 
 namespace hsc
@@ -57,6 +59,15 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         checkerPtr->regStats(registry);
     }
 
+    // Observability: a sampling interval implies the subsystem.
+    if (cfg.obs.samplingInterval)
+        cfg.obs.enabled = true;
+    if (cfg.obs.enabled) {
+        tracerPtr = std::make_unique<ObsTracer>(cfg.obs);
+        tracerPtr->setCyclePeriod(cpuClk.periodTicks());
+        tracerPtr->regStats(registry);
+    }
+
     mainMemory = std::make_unique<MainMemory>(
         cfg.name + ".mem", eq, cpuClk.toTicks(cfg.memLatency),
         cpuClk.toTicks(cfg.memServicePeriod));
@@ -93,6 +104,7 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         dirs.push_back(std::make_unique<DirectoryController>(
             dir_name, eq, cpuClk, dp, *mainMemory));
         dirs.back()->attachChecker(checkerPtr.get());
+        dirs.back()->attachTracer(tracerPtr.get());
     }
 
     // One channel pair per (bank, client); each client sends through a
@@ -140,6 +152,7 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             corePairs.back()->bindFromDir(buf);
         });
         corePairs.back()->attachChecker(checkerPtr.get());
+        corePairs.back()->attachTracer(tracerPtr.get());
         corePairs.back()->regStats(registry);
     }
 
@@ -155,11 +168,13 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             tccCtrl->bindFromDir(buf);
         });
         tccCtrl->attachChecker(checkerPtr.get());
+        tccCtrl->attachTracer(tracerPtr.get());
         tccCtrl->regStats(registry);
     }
     sqcCtrl = std::make_unique<SqcController>(cfg.name + ".sqc", eq, gpuClk,
                                               cfg.sqc, *tccCtrl);
     sqcCtrl->attachChecker(checkerPtr.get());
+    sqcCtrl->attachTracer(tracerPtr.get());
     sqcCtrl->regStats(registry);
 
     TcpParams tcp_params = cfg.tcp;
@@ -171,6 +186,7 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             *tccCtrl, *sqcCtrl, cfg.wavefrontsPerCu, cfg.lanesPerWavefront,
             cfg.injectIfetches));
         cus.back()->tcp().attachChecker(checkerPtr.get());
+        cus.back()->tcp().attachTracer(tracerPtr.get());
         cus.back()->tcp().regStats(registry);
         cu_ptrs.push_back(cus.back().get());
     }
@@ -187,12 +203,46 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             dmaCtrl->bindFromDir(buf);
         });
         dmaCtrl->attachChecker(checkerPtr.get());
+        dmaCtrl->attachTracer(tracerPtr.get());
         dmaCtrl->regStats(registry);
         dmaEngine = std::make_unique<DmaEngine>(*dmaCtrl);
     }
 
     registry.addCounter(cfg.name + ".simTicks", &statSimTicks);
     registry.addCounter(cfg.name + ".cpuCycles", &statCpuCycles);
+
+    // Interval sampler: gauges read instantaneous state (queue
+    // depths, array occupancies); every registry counter is sampled
+    // as a per-interval delta.
+    if (cfg.obs.samplingInterval) {
+        samplerPtr = std::make_unique<ObsSampler>(
+            registry, cpuClk.toTicks(cfg.obs.samplingInterval),
+            cpuClk.periodTicks());
+        samplerPtr->addGauge(cfg.name + ".toDir.depth", [this] {
+            std::uint64_t d = 0;
+            for (const auto &mb : toDir)
+                d += mb->queueDepth();
+            return d;
+        });
+        samplerPtr->addGauge(cfg.name + ".fromDir.depth", [this] {
+            std::uint64_t d = 0;
+            for (const auto &mb : fromDir)
+                d += mb->queueDepth();
+            return d;
+        });
+        for (const auto &d : dirs) {
+            DirectoryController *dir = d.get();
+            samplerPtr->addGauge(dir->name() + ".inFlight", [dir] {
+                return std::uint64_t(dir->inFlightCount());
+            });
+            samplerPtr->addGauge(dir->name() + ".tracked", [dir] {
+                return std::uint64_t(dir->trackedEntries());
+            });
+            samplerPtr->addGauge(dir->name() + ".llcLines", [dir] {
+                return std::uint64_t(dir->llc().occupancy());
+            });
+        }
+    }
 
     // Everything the watchdog interrogates when building a HangReport.
     for (const auto &d : dirs) {
@@ -323,6 +373,31 @@ HsaSystem::armWatchdog()
                 EventPriority::Late);
 }
 
+void
+HsaSystem::armSampler()
+{
+    if (!samplerPtr)
+        return;
+    // Passive and Late-priority: sampling reads state only and never
+    // counts as progress, so it can neither reorder protocol events
+    // nor keep a wedged run alive past the watchdog.
+    eq.schedule(eq.curTick() + samplerPtr->interval(),
+                [this] {
+                    if (!running)
+                        return;
+                    samplerPtr->sample(eq.curTick());
+                    armSampler();
+                },
+                EventPriority::Late);
+}
+
+void
+HsaSystem::collectObs()
+{
+    if (tracerPtr)
+        tracerPtr->collect();
+}
+
 bool
 HsaSystem::run(Cycles max_cycles)
 {
@@ -343,6 +418,7 @@ HsaSystem::run(Cycles max_cycles)
                     });
     }
     armWatchdog();
+    armSampler();
 
     Tick limit = start + cpuClk.toTicks(max_cycles);
     bool done = false;
@@ -357,6 +433,7 @@ HsaSystem::run(Cycles max_cycles)
         // fatal() inside a scheduled event: surface as a structured
         // failure instead of tearing down the process.
         running = false;
+        collectObs();
         lastError = e.what();
         warn("%s: run aborted by fatal error: %s", cfg.name.c_str(),
              e.what());
@@ -365,12 +442,14 @@ HsaSystem::run(Cycles max_cycles)
 
     if (checkerPtr && checkerPtr->violated()) {
         running = false;
+        collectObs();
         warn("%s: run aborted by coherence checker: %s", cfg.name.c_str(),
              checkerPtr->brief().c_str());
         return false;
     }
     if (!done || watchdogTripped || liveTasks != 0) {
         running = false;
+        collectObs();
         lastHang = buildHangReport(watchdogTripped
                                        ? HangReport::Kind::Watchdog
                                        : HangReport::Kind::CycleLimit);
@@ -385,17 +464,19 @@ HsaSystem::run(Cycles max_cycles)
     statCpuCycles += cyclesElapsed;
 
     // Drain in-flight write-backs and asynchronous traffic (the
-    // watchdog stops rearming once `running` is false).
+    // watchdog and sampler stop rearming once `running` is false).
     running = false;
     try {
         eq.run();
     } catch (const SimError &e) {
+        collectObs();
         lastError = e.what();
         warn("%s: drain aborted by fatal error: %s", cfg.name.c_str(),
              e.what());
         return false;
     }
     threadFns.clear();
+    collectObs();
     if (checkerPtr && checkerPtr->violated()) {
         warn("%s: drain flagged a coherence violation: %s",
              cfg.name.c_str(), checkerPtr->brief().c_str());

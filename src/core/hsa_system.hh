@@ -40,6 +40,9 @@
 namespace hsc
 {
 
+class ObsTracer;
+class ObsSampler;
+
 /**
  * A fully-assembled simulated APU.
  */
@@ -110,6 +113,18 @@ class HsaSystem
     const CoherenceChecker *checker() const { return checkerPtr.get(); }
 
     /**
+     * The observability tracer (null unless SystemConfig::obs is
+     * enabled).  run() collects it before returning, so spans(),
+     * report() and the Chrome-trace exporter are ready afterwards.
+     */
+    ObsTracer *tracer() { return tracerPtr.get(); }
+    const ObsTracer *tracer() const { return tracerPtr.get(); }
+
+    /** The interval sampler (null unless obs.samplingInterval > 0). */
+    ObsSampler *sampler() { return samplerPtr.get(); }
+    const ObsSampler *sampler() const { return samplerPtr.get(); }
+
+    /**
      * One-line cause of the last failed run(), in priority order:
      * checker violation, caught SimError (fatal), hang report.
      * Empty after a successful run.
@@ -157,6 +172,8 @@ class HsaSystem
 
   private:
     void armWatchdog();
+    void armSampler();
+    void collectObs();
     void validateConfig() const;
 
     SystemConfig cfg;
@@ -167,6 +184,8 @@ class HsaSystem
 
     std::unique_ptr<FaultInjector> faultInjector;
     std::unique_ptr<CoherenceChecker> checkerPtr;
+    std::unique_ptr<ObsTracer> tracerPtr;
+    std::unique_ptr<ObsSampler> samplerPtr;
 
     std::unique_ptr<MainMemory> mainMemory;
     std::vector<std::unique_ptr<DirectoryController>> dirs;

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "obs/obs_config.hh"
 #include "protocol/cpu/core_pair.hh"
 #include "protocol/dir/directory.hh"
 #include "protocol/gpu/sqc.hh"
@@ -91,6 +92,14 @@ struct SystemConfig
 
     /** Test-only seeded protocol bug (propagated to controllers). */
     SeededBug bug{};
+
+    /**
+     * Observability subsystem (src/obs): transaction-lifetime spans,
+     * latency attribution, Chrome-trace export, interval sampling.
+     * Off by default — when off, no tracer object exists and cycle
+     * counts are bit-identical to a build without the subsystem.
+     */
+    ObsConfig obs{};
 
     /** Short human-readable tag for bench tables. */
     std::string label = "baseline";

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/chrome_trace.hh"
+#include "obs/tracer.hh"
 #include "sim/logging.hh"
 
 namespace hsc
@@ -313,7 +315,15 @@ readFailureTrace(const std::string &path)
 ReplayResult
 replayTrace(const FailureTrace &trace)
 {
+    return replayTrace(trace, std::string());
+}
+
+ReplayResult
+replayTrace(const FailureTrace &trace, const std::string &chrome_out)
+{
     SystemConfig cfg = traceSystemConfig(trace);
+    if (!chrome_out.empty())
+        cfg.obs.enabled = true;
     HsaSystem sys(cfg);
     RandomTester tester(sys, trace.tester, trace.schedule);
     bool ok = tester.run();
@@ -325,6 +335,12 @@ replayTrace(const FailureTrace &trace)
     res.failures = tester.failures();
     if (sys.checker())
         res.transitionsChecked = sys.checker()->transitionsChecked();
+    if (!chrome_out.empty() && sys.tracer()) {
+        fatal_if(!writeChromeTrace(*sys.tracer(), sys.sampler(),
+                                   chrome_out),
+                 "cannot write chrome trace to \"%s\"",
+                 chrome_out.c_str());
+    }
     return res;
 }
 

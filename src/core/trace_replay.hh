@@ -94,6 +94,14 @@ struct ReplayResult
 /** Re-execute @p trace on a fresh system. */
 ReplayResult replayTrace(const FailureTrace &trace);
 
+/**
+ * Re-execute @p trace with observability tracing enabled and write the
+ * spans of the replayed run to @p chrome_out as a Chrome trace
+ * (empty path = plain replay).  fatal() if the file cannot be written.
+ */
+ReplayResult replayTrace(const FailureTrace &trace,
+                         const std::string &chrome_out);
+
 } // namespace hsc
 
 #endif // HSC_CORE_TRACE_REPLAY_HH

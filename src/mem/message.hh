@@ -125,6 +125,14 @@ struct Msg
     MachineId dest = InvalidMachineId;
     std::uint64_t txnId = 0;             ///< directory transaction tag
 
+    /** Observability transaction id (src/obs): globally unique per
+     *  requester-visible operation, carried on the request and echoed
+     *  on probes/responses so every controller can attach its span
+     *  events to the right transaction.  0 = untraced (obs off, or a
+     *  directory-internal transaction such as a back-invalidation);
+     *  never affects protocol behaviour or timing. */
+    std::uint64_t obsId = 0;
+
     Grant grant = Grant::None;           ///< for SysResp
 
     bool hasData = false;

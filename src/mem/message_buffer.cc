@@ -23,6 +23,8 @@ MessageBuffer::enqueue(Msg msg)
                        "message-buffer");
     ++numMessages;
     pending.push_back(eq.curTick());
+    if (pending.size() > peak)
+        peak = pending.size();
     if (dead)
         return; // fault-injected dead link: the message never arrives
 
@@ -34,6 +36,7 @@ MessageBuffer::enqueue(Msg msg)
     eq.schedule(when, [this, m = std::move(msg)]() mutable {
         eq.notifyProgress();
         pending.pop_front();
+        ++numDelivered;
         consumer(std::move(m));
     });
 }

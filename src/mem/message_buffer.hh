@@ -84,14 +84,22 @@ class MessageBuffer : public MsgSink
     const std::string &name() const { return _name; }
     Tick latencyTicks() const { return latency; }
 
-    /** Register the message counter with @p reg. */
+    /** Register the message counters with @p reg. */
     void
     regStats(StatRegistry &reg)
     {
         reg.addCounter(_name + ".messages", &numMessages);
+        reg.addCounter(_name + ".delivered", &numDelivered);
     }
 
     std::uint64_t messageCount() const { return numMessages.value(); }
+    std::uint64_t deliveredCount() const
+    {
+        return numDelivered.value();
+    }
+
+    /** High-water mark of undelivered messages over the whole run. */
+    std::size_t peakDepth() const { return peak; }
 
     /** @{ Hang-report introspection. */
     /** Messages enqueued but not yet delivered (or dropped-dead). */
@@ -117,6 +125,8 @@ class MessageBuffer : public MsgSink
     Tick latency;
     Consumer consumer;
     Counter numMessages;
+    Counter numDelivered;
+    std::size_t peak = 0;
 
     FaultInjector *fault = nullptr;
     bool dead = false;

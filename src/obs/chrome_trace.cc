@@ -1,0 +1,207 @@
+#include "obs/chrome_trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/sampler.hh"
+#include "obs/tracer.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+/** Ticks are picoseconds; trace timestamps are microseconds. */
+double
+toUs(Tick t)
+{
+    return double(t) / 1e6;
+}
+
+std::string
+hexAddr(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+JsonValue
+baseEvent(const char *ph, const std::string &name, std::uint16_t tid,
+          Tick ts)
+{
+    JsonValue ev = JsonValue::makeObject();
+    ev.set("ph", JsonValue(ph));
+    ev.set("name", JsonValue(name));
+    ev.set("pid", JsonValue(0u));
+    ev.set("tid", JsonValue(unsigned(tid)));
+    ev.set("ts", JsonValue(toUs(ts)));
+    return ev;
+}
+
+JsonValue
+ctrlArgs(const ObsTracer &tracer, std::uint16_t ctrl)
+{
+    JsonValue args = JsonValue::makeObject();
+    args.set("ctrl", JsonValue(tracer.ctrlName(ctrl)));
+    args.set("kind",
+             JsonValue(std::string(
+                 obsCtrlKindName(tracer.ctrlKind(ctrl)))));
+    return args;
+}
+
+void
+pushInstant(JsonValue &events, const ObsTracer &tracer,
+            const SpanEvent &ev)
+{
+    JsonValue inst = baseEvent(
+        "i", std::string(obsPhaseName(ev.phase)), ev.ctrl, ev.tick);
+    inst.set("s", JsonValue("t"));
+    JsonValue args = ctrlArgs(tracer, ev.ctrl);
+    args.set("obsId", JsonValue(ev.id));
+    args.set("addr", JsonValue(hexAddr(ev.addr)));
+    inst.set("args", std::move(args));
+    events.push(std::move(inst));
+}
+
+} // namespace
+
+JsonValue
+buildChromeTrace(const ObsTracer &tracer, const ObsSampler *sampler)
+{
+    JsonValue events = JsonValue::makeArray();
+
+    JsonValue pname = JsonValue::makeObject();
+    pname.set("ph", JsonValue("M"));
+    pname.set("name", JsonValue("process_name"));
+    pname.set("pid", JsonValue(0u));
+    JsonValue pargs = JsonValue::makeObject();
+    pargs.set("name", JsonValue("hsc-sim"));
+    pname.set("args", std::move(pargs));
+    events.push(std::move(pname));
+
+    for (std::size_t i = 0; i < tracer.numCtrls(); ++i) {
+        JsonValue tname = JsonValue::makeObject();
+        tname.set("ph", JsonValue("M"));
+        tname.set("name", JsonValue("thread_name"));
+        tname.set("pid", JsonValue(0u));
+        tname.set("tid", JsonValue(unsigned(i)));
+        JsonValue targs = JsonValue::makeObject();
+        targs.set("name",
+                  JsonValue(tracer.ctrlName(std::uint16_t(i))));
+        tname.set("args", std::move(targs));
+        events.push(std::move(tname));
+    }
+
+    for (const FinishedSpan &span : tracer.spans()) {
+        const std::string cls(obsClassName(span.cls));
+        const std::string id = std::to_string(span.id);
+
+        // The whole transaction as an async begin/end pair: async
+        // events tolerate the overlap of concurrent transactions.
+        JsonValue b = baseEvent("b", cls, span.origin, span.start);
+        b.set("cat", JsonValue("txn"));
+        b.set("id", JsonValue(id));
+        JsonValue bargs = ctrlArgs(tracer, span.origin);
+        bargs.set("obsId", JsonValue(span.id));
+        bargs.set("addr", JsonValue(hexAddr(span.addr)));
+        b.set("args", std::move(bargs));
+        events.push(std::move(b));
+
+        JsonValue e = baseEvent("e", cls, span.origin, span.end);
+        e.set("cat", JsonValue("txn"));
+        e.set("id", JsonValue(id));
+        JsonValue eargs = JsonValue::makeObject();
+        for (std::size_t c = 0; c < NumObsComponents; ++c) {
+            eargs.set(
+                std::string(obsComponentName(ObsComponent(c))) +
+                    "Cycles",
+                JsonValue(span.comp[c] / tracer.cyclePeriod()));
+        }
+        e.set("args", std::move(eargs));
+        events.push(std::move(e));
+
+        // Directory service window as its own async pair, plus
+        // instant markers for the intermediate lifecycle points.
+        const SpanEvent *dispatch = nullptr;
+        Tick dir_end = 0;
+        for (const SpanEvent &ev : span.events) {
+            switch (ev.phase) {
+              case ObsPhase::DirDispatch:
+                if (!dispatch)
+                    dispatch = &ev;
+                break;
+              case ObsPhase::Inject:
+              case ObsPhase::LocalHit:
+              case ObsPhase::Merge:
+              case ObsPhase::ProbeIn:
+                pushInstant(events, tracer, ev);
+                break;
+              default:
+                break;
+            }
+            if (dispatch && ev.ctrl == dispatch->ctrl &&
+                ev.tick > dir_end) {
+                dir_end = ev.tick;
+            }
+        }
+        if (dispatch) {
+            JsonValue db = baseEvent("b", "svc:" + cls,
+                                     dispatch->ctrl, dispatch->tick);
+            db.set("cat", JsonValue("dirsvc"));
+            db.set("id", JsonValue(id));
+            JsonValue dargs = ctrlArgs(tracer, dispatch->ctrl);
+            dargs.set("addr", JsonValue(hexAddr(span.addr)));
+            db.set("args", std::move(dargs));
+            events.push(std::move(db));
+
+            JsonValue de = baseEvent("e", "svc:" + cls,
+                                     dispatch->ctrl, dir_end);
+            de.set("cat", JsonValue("dirsvc"));
+            de.set("id", JsonValue(id));
+            events.push(std::move(de));
+        }
+    }
+
+    for (const SpanEvent &ev : tracer.strayEvents())
+        pushInstant(events, tracer, ev);
+
+    if (sampler) {
+        const auto &gnames = sampler->gaugeNames();
+        for (const ObsSampler::Row &row : sampler->rows()) {
+            for (std::size_t g = 0; g < gnames.size(); ++g) {
+                JsonValue c =
+                    baseEvent("C", gnames[g], 0, row.tick);
+                JsonValue cargs = JsonValue::makeObject();
+                cargs.set("value", JsonValue(row.gauges[g]));
+                c.set("args", std::move(cargs));
+                events.push(std::move(c));
+            }
+        }
+    }
+
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", JsonValue("ns"));
+    JsonValue other = JsonValue::makeObject();
+    other.set("tool", JsonValue("hsc-sim obs"));
+    other.set("txnsCompleted", JsonValue(tracer.completed()));
+    other.set("spansDropped", JsonValue(tracer.spansDropped()));
+    doc.set("otherData", std::move(other));
+    return doc;
+}
+
+bool
+writeChromeTrace(const ObsTracer &tracer, const ObsSampler *sampler,
+                 const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    buildChromeTrace(tracer, sampler).write(os);
+    os << '\n';
+    return bool(os);
+}
+
+} // namespace hsc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-loadable) export of collected spans.
+ *
+ * Produces the JSON object format ({"traceEvents": [...]}) consumed
+ * by chrome://tracing and ui.perfetto.dev.  Each traced controller
+ * becomes a named thread; every finished transaction becomes an
+ * async begin/end ("b"/"e") pair on its originating controller's
+ * track (async events tolerate overlapping transactions), with a
+ * nested directory-service pair on the directory's track, instant
+ * ("i") markers for the intermediate lifecycle points, and counter
+ * ("C") tracks from the interval sampler.  Timestamps are
+ * microseconds (ticks are picoseconds, so ts = tick / 1e6).
+ */
+
+#ifndef HSC_OBS_CHROME_TRACE_HH
+#define HSC_OBS_CHROME_TRACE_HH
+
+#include <string>
+
+#include "sim/json.hh"
+
+namespace hsc
+{
+
+class ObsTracer;
+class ObsSampler;
+
+/** Build the trace document; @p sampler may be null. */
+JsonValue buildChromeTrace(const ObsTracer &tracer,
+                           const ObsSampler *sampler);
+
+/**
+ * Write the trace document to @p path; false on I/O failure.
+ * Collect the tracer first (HsaSystem::run does).
+ */
+bool writeChromeTrace(const ObsTracer &tracer, const ObsSampler *sampler,
+                      const std::string &path);
+
+} // namespace hsc
+
+#endif // HSC_OBS_CHROME_TRACE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Configuration of the observability subsystem (src/obs).
+ *
+ * Everything here is off by default: a default-constructed
+ * SystemConfig builds no tracer and no sampler, and the protocol
+ * controllers' tracer pointers stay null, so the instrumented hot
+ * paths reduce to one untaken branch.  bench/obs_overhead asserts
+ * that turning the subsystem on does not move simulated cycles.
+ */
+
+#ifndef HSC_OBS_OBS_CONFIG_HH
+#define HSC_OBS_OBS_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+struct ObsConfig
+{
+    /** Master switch: build the tracer and attach it everywhere. */
+    bool enabled = false;
+
+    /** Staging ring capacity (span events between collector drains). */
+    std::size_t ringEntries = 4096;
+
+    /** Ceiling on concurrently open (un-completed) transactions;
+     *  newTxn() beyond this drops the transaction and counts it. */
+    std::size_t maxOpenTxns = 1u << 16;
+
+    /** Keep per-transaction event lists for Chrome trace export.
+     *  Aggregated histograms are always maintained. */
+    bool keepSpans = true;
+
+    /** Ceiling on finished spans retained for export (memory bound);
+     *  spans beyond this still feed the histograms. */
+    std::size_t maxKeptSpans = 1u << 18;
+
+    /** Latency histogram shape (bucket width in CPU cycles). */
+    std::uint64_t histBucketCycles = 64;
+    std::size_t histBuckets = 64;
+
+    /** Time-series sampling period in CPU cycles; 0 disables the
+     *  sampler.  Implies @ref enabled when set via hsc_run. */
+    Cycles samplingInterval = 0;
+};
+
+} // namespace hsc
+
+#endif // HSC_OBS_OBS_CONFIG_HH

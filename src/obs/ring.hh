@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bounded single-producer staging ring for span events.
+ *
+ * Controllers push into the ring on the simulation hot path; the
+ * ObsTracer drains it in batches into the aggregation structures.
+ * The ring never allocates after construction and never blocks: a
+ * push into a full ring is refused and counted, so a misbehaving
+ * drain cadence costs events, not correctness or memory.
+ */
+
+#ifndef HSC_OBS_RING_HH
+#define HSC_OBS_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obs/span.hh"
+
+namespace hsc
+{
+
+class SpanRing
+{
+  public:
+    explicit SpanRing(std::size_t capacity)
+        : buf(capacity ? capacity : 1)
+    {}
+
+    std::size_t capacity() const { return buf.size(); }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    bool full() const { return count == buf.size(); }
+
+    /** Events refused because the ring was full. */
+    std::uint64_t dropped() const { return drops; }
+
+    /** Append @p ev; false (and a drop counted) when full. */
+    bool
+    push(const SpanEvent &ev)
+    {
+        if (count == buf.size()) {
+            ++drops;
+            return false;
+        }
+        buf[(head + count) % buf.size()] = ev;
+        ++count;
+        return true;
+    }
+
+    /** Pop every event in FIFO order through @p fn. */
+    template <typename Fn>
+    void
+    drain(Fn &&fn)
+    {
+        while (count) {
+            fn(buf[head]);
+            head = (head + 1) % buf.size();
+            --count;
+        }
+    }
+
+  private:
+    std::vector<SpanEvent> buf;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    std::uint64_t drops = 0;
+};
+
+} // namespace hsc
+
+#endif // HSC_OBS_RING_HH

@@ -1,0 +1,62 @@
+#include "obs/sampler.hh"
+
+namespace hsc
+{
+
+ObsSampler::ObsSampler(StatRegistry &reg, Tick interval_ticks,
+                       Tick cycle_period)
+    : reg(reg), intervalTicks(interval_ticks ? interval_ticks : 1),
+      cyclePeriod(cycle_period ? cycle_period : 1)
+{
+}
+
+void
+ObsSampler::addGauge(std::string name,
+                     std::function<std::uint64_t()> fn)
+{
+    gNames.push_back(std::move(name));
+    gauges.push_back(std::move(fn));
+}
+
+void
+ObsSampler::sample(Tick now)
+{
+    StatRegistry::Snapshot delta = reg.snapshotDelta(baseline);
+    if (cNames.empty()) {
+        cNames.reserve(delta.size());
+        for (const auto &[name, v] : delta)
+            cNames.push_back(name);
+    }
+    Row row;
+    row.tick = now;
+    row.gauges.reserve(gauges.size());
+    for (const auto &fn : gauges)
+        row.gauges.push_back(fn());
+    row.deltas.reserve(cNames.size());
+    for (const std::string &name : cNames) {
+        auto it = delta.find(name);
+        row.deltas.push_back(it == delta.end() ? 0 : it->second);
+    }
+    samples.push_back(std::move(row));
+}
+
+void
+ObsSampler::writeCsv(std::ostream &os) const
+{
+    os << "tick,cpuCycle";
+    for (const std::string &g : gNames)
+        os << ',' << g;
+    for (const std::string &c : cNames)
+        os << ',' << c;
+    os << '\n';
+    for (const Row &row : samples) {
+        os << row.tick << ',' << row.tick / cyclePeriod;
+        for (std::uint64_t v : row.gauges)
+            os << ',' << v;
+        for (std::uint64_t v : row.deltas)
+            os << ',' << v;
+        os << '\n';
+    }
+}
+
+} // namespace hsc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Periodic time-series sampler.
+ *
+ * Every ObsConfig::samplingInterval CPU cycles, HsaSystem calls
+ * sample(): the sampler records gauge values (queue depths, cache
+ * occupancies — instantaneous by nature, registered as closures) and
+ * the per-interval increment of every StatRegistry counter via
+ * snapshotDelta().  Rows are kept in memory and can be written as
+ * CSV (hsc_run --stats-interval N --interval-csv out.csv) or folded
+ * into the Chrome trace as counter tracks.
+ *
+ * The sampler is passive: sampling reads state and never mutates the
+ * simulation, so its scheduled events (Late priority, driven by
+ * HsaSystem) cannot reorder protocol work.
+ */
+
+#ifndef HSC_OBS_SAMPLER_HH
+#define HSC_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+class ObsSampler
+{
+  public:
+    /**
+     * @param reg Registry whose counters are delta-sampled.
+     * @param interval_ticks Sampling period in ticks.
+     * @param cycle_period CPU-clock period for the "cycle" column.
+     */
+    ObsSampler(StatRegistry &reg, Tick interval_ticks,
+               Tick cycle_period);
+
+    /** Register an instantaneous gauge (call before first sample). */
+    void addGauge(std::string name,
+                  std::function<std::uint64_t()> fn);
+
+    /** Record one row at simulated time @p now. */
+    void sample(Tick now);
+
+    Tick interval() const { return intervalTicks; }
+
+    struct Row
+    {
+        Tick tick = 0;
+        std::vector<std::uint64_t> gauges;   ///< by gaugeNames order
+        std::vector<std::uint64_t> deltas;   ///< by counterNames order
+    };
+
+    const std::vector<Row> &rows() const { return samples; }
+    const std::vector<std::string> &gaugeNames() const
+    {
+        return gNames;
+    }
+    /** Counter column names (fixed at the first sample). */
+    const std::vector<std::string> &counterNames() const
+    {
+        return cNames;
+    }
+
+    /** Write the full time series as CSV (header + one row/sample). */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    StatRegistry &reg;
+    Tick intervalTicks;
+    Tick cyclePeriod;
+    std::vector<std::string> gNames;
+    std::vector<std::function<std::uint64_t()>> gauges;
+    std::vector<std::string> cNames;
+    StatRegistry::Snapshot baseline;
+    std::vector<Row> samples;
+};
+
+} // namespace hsc
+
+#endif // HSC_OBS_SAMPLER_HH

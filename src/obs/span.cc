@@ -1,0 +1,77 @@
+#include "obs/span.hh"
+
+namespace hsc
+{
+
+std::string_view
+obsPhaseName(ObsPhase p)
+{
+    switch (p) {
+      case ObsPhase::Issue: return "Issue";
+      case ObsPhase::Inject: return "Inject";
+      case ObsPhase::LocalHit: return "LocalHit";
+      case ObsPhase::Merge: return "Merge";
+      case ObsPhase::DirDispatch: return "DirDispatch";
+      case ObsPhase::ProbesOut: return "ProbesOut";
+      case ObsPhase::ProbeAck: return "ProbeAck";
+      case ObsPhase::ProbeIn: return "ProbeIn";
+      case ObsPhase::BackingRead: return "BackingRead";
+      case ObsPhase::BackingData: return "BackingData";
+      case ObsPhase::Respond: return "Respond";
+      case ObsPhase::Retire: return "Retire";
+      case ObsPhase::Complete: return "Complete";
+    }
+    return "?";
+}
+
+std::string_view
+obsClassName(ObsClass c)
+{
+    switch (c) {
+      case ObsClass::CpuRead: return "CpuRead";
+      case ObsClass::CpuWrite: return "CpuWrite";
+      case ObsClass::CpuIfetch: return "CpuIfetch";
+      case ObsClass::GpuRead: return "GpuRead";
+      case ObsClass::GpuWrite: return "GpuWrite";
+      case ObsClass::GpuAtomic: return "GpuAtomic";
+      case ObsClass::GpuIfetch: return "GpuIfetch";
+      case ObsClass::GpuFlush: return "GpuFlush";
+      case ObsClass::DmaRead: return "DmaRead";
+      case ObsClass::DmaWrite: return "DmaWrite";
+      case ObsClass::WriteBack: return "WriteBack";
+      case ObsClass::NumClasses: break;
+    }
+    return "?";
+}
+
+std::string_view
+obsComponentName(ObsComponent c)
+{
+    switch (c) {
+      case ObsComponent::Queue: return "queue";
+      case ObsComponent::DirService: return "dirService";
+      case ObsComponent::ProbeRtt: return "probeRtt";
+      case ObsComponent::Backing: return "backing";
+      case ObsComponent::Delivery: return "delivery";
+      case ObsComponent::NumComponents: break;
+    }
+    return "?";
+}
+
+std::string_view
+obsCtrlKindName(ObsCtrlKind k)
+{
+    switch (k) {
+      case ObsCtrlKind::CorePair: return "corepair";
+      case ObsCtrlKind::Dir: return "dir";
+      case ObsCtrlKind::Tcc: return "tcc";
+      case ObsCtrlKind::Tcp: return "tcp";
+      case ObsCtrlKind::Sqc: return "sqc";
+      case ObsCtrlKind::Dma: return "dma";
+      case ObsCtrlKind::Other: return "other";
+      case ObsCtrlKind::NumKinds: break;
+    }
+    return "?";
+}
+
+} // namespace hsc

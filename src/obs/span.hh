@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Span-event vocabulary of the observability subsystem.
+ *
+ * A *transaction* is one requester-visible memory-system operation
+ * (a CorePair miss, a TCC fill or write-through, a DMA transfer...).
+ * Controllers that touch the transaction emit timestamped SpanEvents
+ * keyed by a globally unique transaction id carried on messages
+ * (Msg::obsId); the ObsTracer orders a transaction's events and
+ * attributes every gap between consecutive events to one latency
+ * component, so the per-component breakdown sums exactly to the
+ * end-to-end (Issue -> Complete) latency.
+ */
+
+#ifndef HSC_OBS_SPAN_HH
+#define HSC_OBS_SPAN_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/** Lifecycle points a transaction passes through. */
+enum class ObsPhase : std::uint8_t
+{
+    Issue,        ///< requester created the transaction
+    Inject,       ///< request message entered the directory network
+    LocalHit,     ///< served by a local cache level, no directory trip
+    Merge,        ///< coalesced into an already-outstanding fill
+    DirDispatch,  ///< directory began servicing the request
+    ProbesOut,    ///< directory sent probes (arg = probe count)
+    ProbeAck,     ///< directory received one probe acknowledgment
+    ProbeIn,      ///< a cache received a probe of this transaction
+    BackingRead,  ///< LLC/DRAM read started
+    BackingData,  ///< LLC/DRAM data arrived at the directory
+    Respond,      ///< directory answered the requester
+    Retire,       ///< directory retired the transaction (TBE freed)
+    Complete,     ///< requester observed completion
+};
+
+std::string_view obsPhaseName(ObsPhase p);
+
+/** Request classes the latency histograms are keyed by. */
+enum class ObsClass : std::uint8_t
+{
+    CpuRead,
+    CpuWrite,
+    CpuIfetch,
+    GpuRead,
+    GpuWrite,
+    GpuAtomic,
+    GpuIfetch,
+    GpuFlush,
+    DmaRead,
+    DmaWrite,
+    WriteBack,
+    NumClasses,
+};
+
+std::string_view obsClassName(ObsClass c);
+
+constexpr std::size_t NumObsClasses =
+    std::size_t(ObsClass::NumClasses);
+
+/** Latency components the end-to-end time decomposes into. */
+enum class ObsComponent : std::uint8_t
+{
+    Queue,       ///< before the directory dispatched the request
+    DirService,  ///< at the directory, no probe/DRAM outstanding
+    ProbeRtt,    ///< probes outstanding (and DRAM idle)
+    Backing,     ///< LLC/DRAM read outstanding
+    Delivery,    ///< response sent, requester not yet complete
+    NumComponents,
+};
+
+std::string_view obsComponentName(ObsComponent c);
+
+constexpr std::size_t NumObsComponents =
+    std::size_t(ObsComponent::NumComponents);
+
+/** Kind of controller an event came from (Chrome trace category). */
+enum class ObsCtrlKind : std::uint8_t
+{
+    CorePair,
+    Dir,
+    Tcc,
+    Tcp,
+    Sqc,
+    Dma,
+    Other,
+    NumKinds,
+};
+
+std::string_view obsCtrlKindName(ObsCtrlKind k);
+
+/** One timestamped lifecycle event of one transaction. */
+struct SpanEvent
+{
+    std::uint64_t id = 0;  ///< transaction id (Msg::obsId); never 0
+    Tick tick = 0;
+    Addr addr = 0;
+    ObsPhase phase = ObsPhase::Issue;
+    ObsClass cls = ObsClass::CpuRead;  ///< meaningful on Issue only
+    std::uint16_t ctrl = 0;            ///< interned controller index
+    std::uint32_t arg = 0;             ///< ProbesOut: number of probes
+};
+
+} // namespace hsc
+
+#endif // HSC_OBS_SPAN_HH

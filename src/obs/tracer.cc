@@ -1,0 +1,261 @@
+#include "obs/tracer.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+ObsTracer::ObsTracer(const ObsConfig &cfg)
+    : cfg(cfg), ring(cfg.ringEntries)
+{
+    latencyHist.assign(
+        NumObsClasses,
+        Histogram(cfg.histBucketCycles, cfg.histBuckets));
+    compHist.assign(
+        NumObsClasses * NumObsComponents,
+        Histogram(cfg.histBucketCycles, cfg.histBuckets));
+}
+
+std::uint16_t
+ObsTracer::internCtrl(const std::string &name, ObsCtrlKind kind)
+{
+    auto it = ctrlIndex.find(name);
+    if (it != ctrlIndex.end())
+        return it->second;
+    panic_if(ctrls.size() >= 0xffff, "too many traced controllers");
+    std::uint16_t idx = std::uint16_t(ctrls.size());
+    ctrls.push_back({name, kind});
+    ctrlIndex.emplace(name, idx);
+    return idx;
+}
+
+const std::string &
+ObsTracer::ctrlName(std::uint16_t idx) const
+{
+    static const std::string unknown = "?";
+    return idx < ctrls.size() ? ctrls[idx].name : unknown;
+}
+
+ObsCtrlKind
+ObsTracer::ctrlKind(std::uint16_t idx) const
+{
+    return idx < ctrls.size() ? ctrls[idx].kind : ObsCtrlKind::Other;
+}
+
+void
+ObsTracer::setCyclePeriod(Tick period_ps)
+{
+    periodPs = period_ps ? period_ps : 1;
+}
+
+std::uint64_t
+ObsTracer::newTxn(ObsClass cls, std::uint16_t ctrl, Addr addr,
+                  Tick now)
+{
+    if (live >= cfg.maxOpenTxns) {
+        ++statTxnsDropped;
+        return 0;
+    }
+    std::uint64_t id = nextId++;
+    ++live;
+    ++statTxnsStarted;
+    SpanEvent ev;
+    ev.id = id;
+    ev.tick = now;
+    ev.addr = addr;
+    ev.phase = ObsPhase::Issue;
+    ev.cls = cls;
+    ev.ctrl = ctrl;
+    if (!ring.push(ev)) {
+        collect();
+        ring.push(ev);
+    }
+    return id;
+}
+
+void
+ObsTracer::emit(std::uint64_t id, ObsPhase phase, std::uint16_t ctrl,
+                Addr addr, Tick now, std::uint32_t arg)
+{
+    if (!id)
+        return;
+    SpanEvent ev;
+    ev.id = id;
+    ev.tick = now;
+    ev.addr = addr;
+    ev.phase = phase;
+    ev.ctrl = ctrl;
+    ev.arg = arg;
+    if (!ring.push(ev)) {
+        collect();
+        ring.push(ev);
+    }
+}
+
+void
+ObsTracer::collect()
+{
+    ring.drain([this](const SpanEvent &ev) { aggregate(ev); });
+    std::uint64_t d = ring.dropped();
+    if (d > mirroredRingDrops) {
+        statRingDrops += d - mirroredRingDrops;
+        mirroredRingDrops = d;
+    }
+}
+
+void
+ObsTracer::aggregate(const SpanEvent &ev)
+{
+    ++statEvents;
+    if (ev.phase == ObsPhase::Issue) {
+        OpenTxn &txn = open[ev.id];
+        txn.cls = ev.cls;
+        txn.origin = ev.ctrl;
+        txn.addr = ev.addr;
+        txn.start = ev.tick;
+        txn.events.push_back(ev);
+        return;
+    }
+    auto it = open.find(ev.id);
+    if (it == open.end()) {
+        // Late event for an already-completed transaction (e.g. a
+        // trailing probe ack after an early response): keep it for
+        // trace export, but it no longer affects any breakdown.
+        ++statLateEvents;
+        if (cfg.keepSpans && stray.size() < cfg.maxKeptSpans)
+            stray.push_back(ev);
+        return;
+    }
+    it->second.events.push_back(ev);
+    if (ev.phase == ObsPhase::Complete) {
+        finish(it->second, ev);
+        open.erase(it);
+    }
+}
+
+void
+ObsTracer::finish(OpenTxn &txn, const SpanEvent &complete_ev)
+{
+    FinishedSpan span;
+    span.id = complete_ev.id;
+    span.cls = txn.cls;
+    span.origin = txn.origin;
+    span.addr = txn.addr;
+    span.start = txn.start;
+    span.end = complete_ev.tick;
+
+    // Replay the transaction's events in arrival order (the event
+    // queue delivers them in tick order) and charge each interval to
+    // the component the transaction was waiting on at that point.
+    bool dispatched = false;
+    bool responded = false;
+    bool backing = false;
+    std::uint64_t probes_out = 0;
+    std::uint64_t acks_in = 0;
+    Tick prev = txn.start;
+    for (const SpanEvent &ev : txn.events) {
+        Tick t = ev.tick < prev ? prev : ev.tick;
+        ObsComponent c = ObsComponent::Queue;
+        if (responded)
+            c = ObsComponent::Delivery;
+        else if (backing)
+            c = ObsComponent::Backing;
+        else if (probes_out > acks_in)
+            c = ObsComponent::ProbeRtt;
+        else if (dispatched)
+            c = ObsComponent::DirService;
+        span.comp[std::size_t(c)] += t - prev;
+        prev = t;
+        switch (ev.phase) {
+          case ObsPhase::DirDispatch: dispatched = true; break;
+          case ObsPhase::ProbesOut: probes_out += ev.arg; break;
+          case ObsPhase::ProbeAck: ++acks_in; break;
+          case ObsPhase::BackingRead: backing = true; break;
+          case ObsPhase::BackingData: backing = false; break;
+          case ObsPhase::Respond: responded = true; break;
+          default: break;
+        }
+    }
+
+    std::size_t cls = std::size_t(txn.cls);
+    latencyHist[cls].sample((span.end - span.start) / periodPs);
+    for (std::size_t c = 0; c < NumObsComponents; ++c)
+        compHist[cls * NumObsComponents + c].sample(span.comp[c] /
+                                                    periodPs);
+
+    ++statTxnsCompleted;
+    --live;
+    if (cfg.keepSpans) {
+        if (finished.size() < cfg.maxKeptSpans) {
+            span.events = std::move(txn.events);
+            finished.push_back(std::move(span));
+        } else {
+            ++statSpansDropped;
+        }
+    }
+}
+
+const Histogram &
+ObsTracer::latency(ObsClass cls) const
+{
+    return latencyHist[std::size_t(cls)];
+}
+
+const Histogram &
+ObsTracer::component(ObsClass cls, ObsComponent c) const
+{
+    return compHist[std::size_t(cls) * NumObsComponents +
+                    std::size_t(c)];
+}
+
+void
+ObsTracer::report(std::ostream &os) const
+{
+    os << "latency breakdown (CPU cycles, means per request class)\n";
+    os << std::left << std::setw(11) << "class" << std::right
+       << std::setw(9) << "txns" << std::setw(10) << "mean"
+       << std::setw(8) << "max";
+    for (std::size_t c = 0; c < NumObsComponents; ++c)
+        os << std::setw(11) << obsComponentName(ObsComponent(c));
+    os << '\n';
+    for (std::size_t cls = 0; cls < NumObsClasses; ++cls) {
+        const Histogram &h = latencyHist[cls];
+        if (!h.samples())
+            continue;
+        os << std::left << std::setw(11) << obsClassName(ObsClass(cls))
+           << std::right << std::setw(9) << h.samples()
+           << std::setw(10) << std::fixed << std::setprecision(1)
+           << h.mean() << std::setw(8) << h.max();
+        for (std::size_t c = 0; c < NumObsComponents; ++c) {
+            const Histogram &ch =
+                compHist[cls * NumObsComponents + c];
+            os << std::setw(11) << std::fixed << std::setprecision(1)
+               << ch.mean();
+        }
+        os << '\n';
+    }
+    os << "(component means sum to the end-to-end mean per class;"
+          " per-transaction sums are exact)\n";
+}
+
+void
+ObsTracer::regStats(StatRegistry &reg)
+{
+    reg.addCounter("obs.events", &statEvents);
+    reg.addCounter("obs.txnsStarted", &statTxnsStarted);
+    reg.addCounter("obs.txnsCompleted", &statTxnsCompleted);
+    reg.addCounter("obs.txnsDropped", &statTxnsDropped);
+    reg.addCounter("obs.spansDropped", &statSpansDropped);
+    reg.addCounter("obs.lateEvents", &statLateEvents);
+    reg.addCounter("obs.ringDrops", &statRingDrops);
+    for (std::size_t cls = 0; cls < NumObsClasses; ++cls) {
+        reg.addHistogram("obs.latency." +
+                             std::string(obsClassName(ObsClass(cls))),
+                         &latencyHist[cls]);
+    }
+}
+
+} // namespace hsc

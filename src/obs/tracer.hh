@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Transaction-lifetime tracer and latency-attribution collector.
+ *
+ * Controllers hold an ObsTracer pointer (null when observability is
+ * off, mirroring the CoherenceChecker attach pattern) and emit span
+ * events into a bounded staging ring; the tracer drains the ring
+ * lazily and, per transaction, attributes every interval between
+ * consecutive events to one ObsComponent using a small replayed
+ * state machine (dispatched / probes outstanding / backing
+ * outstanding / responded).  By construction the per-component sums
+ * equal the end-to-end latency exactly.
+ *
+ * The tracer is purely passive: it never schedules events and never
+ * feeds anything back into the simulation, so enabling it cannot
+ * move simulated time (bench/obs_overhead asserts this).
+ */
+
+#ifndef HSC_OBS_TRACER_HH
+#define HSC_OBS_TRACER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/obs_config.hh"
+#include "obs/ring.hh"
+#include "obs/span.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+/** One completed transaction, ready for export. */
+struct FinishedSpan
+{
+    std::uint64_t id = 0;
+    ObsClass cls = ObsClass::CpuRead;
+    std::uint16_t origin = 0;  ///< interned controller that issued it
+    Addr addr = 0;
+    Tick start = 0;
+    Tick end = 0;
+    /** Latency breakdown; sums exactly to end - start. */
+    std::array<Tick, NumObsComponents> comp{};
+    /** Full event list (empty unless ObsConfig::keepSpans). */
+    std::vector<SpanEvent> events;
+};
+
+class ObsTracer
+{
+  public:
+    explicit ObsTracer(const ObsConfig &cfg);
+
+    /** @{ Controller registration (attach time, not hot path). */
+    std::uint16_t internCtrl(const std::string &name, ObsCtrlKind kind);
+    const std::string &ctrlName(std::uint16_t idx) const;
+    ObsCtrlKind ctrlKind(std::uint16_t idx) const;
+    std::size_t numCtrls() const { return ctrls.size(); }
+    /** @} */
+
+    /**
+     * Set the tick-per-cycle period used to convert histogram samples
+     * (and the report) from ticks to CPU cycles.  Defaults to 1.
+     */
+    void setCyclePeriod(Tick period_ps);
+    Tick cyclePeriod() const { return periodPs; }
+
+    /** @{ Hot path: all O(1), no allocation beyond vector growth. */
+
+    /**
+     * Open a transaction; returns its id (carried on messages as
+     * Msg::obsId) or 0 when the open-transaction ceiling was hit.
+     */
+    std::uint64_t newTxn(ObsClass cls, std::uint16_t ctrl, Addr addr,
+                         Tick now);
+
+    /** Record a lifecycle event; ignored when @p id is 0. */
+    void emit(std::uint64_t id, ObsPhase phase, std::uint16_t ctrl,
+              Addr addr, Tick now, std::uint32_t arg = 0);
+
+    /** Record completion; finalizes the breakdown at next collect. */
+    void
+    complete(std::uint64_t id, std::uint16_t ctrl, Addr addr, Tick now)
+    {
+        emit(id, ObsPhase::Complete, ctrl, addr, now);
+    }
+
+    /** @} */
+
+    /** Drain the staging ring into the aggregation structures. */
+    void collect();
+
+    /** @{ Results (call collect() first, or use HsaSystem::run). */
+    const std::vector<FinishedSpan> &spans() const { return finished; }
+    const Histogram &latency(ObsClass cls) const;
+    const Histogram &component(ObsClass cls, ObsComponent c) const;
+
+    std::uint64_t started() const { return statTxnsStarted.value(); }
+    std::uint64_t completed() const
+    {
+        return statTxnsCompleted.value();
+    }
+    std::uint64_t liveTxns() const { return live; }
+    std::uint64_t ringDropped() const { return ring.dropped(); }
+    std::uint64_t txnsDropped() const
+    {
+        return statTxnsDropped.value();
+    }
+    std::uint64_t spansDropped() const
+    {
+        return statSpansDropped.value();
+    }
+    std::uint64_t lateEvents() const
+    {
+        return statLateEvents.value();
+    }
+
+    /** Stray events for closed transactions (export only). */
+    const std::vector<SpanEvent> &strayEvents() const { return stray; }
+
+    /** Formatted latency-breakdown report (cycles). */
+    void report(std::ostream &os) const;
+    /** @} */
+
+    void regStats(StatRegistry &reg);
+
+    const ObsConfig &config() const { return cfg; }
+
+  private:
+    struct OpenTxn
+    {
+        ObsClass cls = ObsClass::CpuRead;
+        std::uint16_t origin = 0;
+        Addr addr = 0;
+        Tick start = 0;
+        std::vector<SpanEvent> events;
+    };
+
+    void aggregate(const SpanEvent &ev);
+    void finish(OpenTxn &txn, const SpanEvent &complete_ev);
+
+    ObsConfig cfg;
+    Tick periodPs = 1;
+
+    struct CtrlInfo
+    {
+        std::string name;
+        ObsCtrlKind kind;
+    };
+    std::vector<CtrlInfo> ctrls;
+    std::unordered_map<std::string, std::uint16_t> ctrlIndex;
+
+    SpanRing ring;
+    std::uint64_t nextId = 1;
+    std::uint64_t live = 0;  ///< open txns incl. not-yet-drained
+    std::unordered_map<std::uint64_t, OpenTxn> open;
+    std::vector<FinishedSpan> finished;
+    std::vector<SpanEvent> stray;
+
+    std::vector<Histogram> latencyHist;  ///< [class]
+    std::vector<Histogram> compHist;     ///< [class][component]
+
+    Counter statEvents;
+    Counter statTxnsStarted;
+    Counter statTxnsCompleted;
+    Counter statTxnsDropped;
+    Counter statSpansDropped;
+    Counter statLateEvents;
+    Counter statRingDrops;  ///< mirrors ring.dropped() for the registry
+    std::uint64_t mirroredRingDrops = 0;
+};
+
+} // namespace hsc
+
+#endif // HSC_OBS_TRACER_HH

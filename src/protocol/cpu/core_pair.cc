@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
 
 namespace hsc
@@ -75,6 +76,23 @@ void
 CorePairController::bindFromDir(MessageBuffer &from_dir)
 {
     from_dir.setConsumer([this](Msg &&m) { handleFromDir(std::move(m)); });
+}
+
+void
+CorePairController::attachTracer(ObsTracer *t)
+{
+    tracer = t;
+    if (tracer)
+        obsCtrl = tracer->internCtrl(name(), ObsCtrlKind::CorePair);
+}
+
+void
+CorePairController::obsEmit(std::uint64_t obs_id, ObsPhase phase,
+                            Addr addr, std::uint32_t arg)
+{
+    if (!tracer || !obs_id)
+        return;
+    tracer->emit(obs_id, phase, obsCtrl, addr, curTick(), arg);
 }
 
 void
@@ -324,10 +342,18 @@ CorePairController::issueRequest(Addr block, MsgType type, CoreOp op)
     tbe.startedAt = curTick();
     tbe.pendingOps.push_back(std::move(op));
 
+    if (tracer) {
+        ObsClass cls = type == MsgType::RdBlkM ? ObsClass::CpuWrite
+                       : type == MsgType::RdBlkS ? ObsClass::CpuIfetch
+                                                 : ObsClass::CpuRead;
+        tbe.obsId = tracer->newTxn(cls, obsCtrl, block, curTick());
+    }
+
     Msg m;
     m.type = type;
     m.addr = block;
     m.sender = id;
+    m.obsId = tbe.obsId;
     toDir.enqueue(m);
 }
 
@@ -346,6 +372,10 @@ CorePairController::makeRoom(Addr block)
 
     bool dirty = victim.entry->state == L2State::Modified ||
                  victim.entry->state == L2State::Owned;
+    std::uint64_t vic_obs = tracer
+        ? tracer->newTxn(ObsClass::WriteBack, obsCtrl, victim.addr,
+                         curTick())
+        : 0;
     Msg m;
     m.type = dirty ? MsgType::VicDirty : MsgType::VicClean;
     m.addr = victim.addr;
@@ -353,6 +383,7 @@ CorePairController::makeRoom(Addr block)
     m.hasData = true;
     m.dirty = dirty;
     m.data = victim.entry->data;
+    m.obsId = vic_obs;
     HSC_TRACE(Protocol, curTick(), "%s: evict %s %#llx val=%llx",
               name().c_str(), dirty ? "VicDirty" : "VicClean",
               (unsigned long long)victim.addr,
@@ -365,7 +396,8 @@ CorePairController::makeRoom(Addr block)
         ++statVicClean;
 
     victims[victim.addr].push_back(
-        VictimEntry{victim.entry->data, dirty, false, curTick()});
+        VictimEntry{victim.entry->data, dirty, false, curTick(),
+                    vic_obs});
     invalidateL1s(victim.addr);
     l2.invalidate(victim.addr);
     notePerm(victim.addr, nullptr);
@@ -415,6 +447,7 @@ CorePairController::handleFromDir(Msg &&msg)
         auto it = victims.find(msg.addr);
         panic_if(it == victims.end() || it->second.empty(),
                  "%s: WBAck with no pending victim", name().c_str());
+        obsEmit(it->second.front().obsId, ObsPhase::Complete, msg.addr);
         it->second.pop_front();
         if (it->second.empty())
             victims.erase(it);
@@ -433,6 +466,7 @@ CorePairController::handleProbe(const Msg &msg)
               name().c_str(), std::string(msgTypeName(msg.type)).c_str(),
               (unsigned long long)msg.addr,
               (unsigned long long)msg.txnId);
+    obsEmit(msg.obsId, ObsPhase::ProbeIn, msg.addr);
     Msg resp;
     resp.type = MsgType::PrbResp;
     resp.addr = msg.addr;
@@ -589,6 +623,8 @@ CorePairController::handleSysResp(const Msg &msg)
     unblock.sender = id;
     unblock.txnId = msg.txnId;
     toDir.enqueue(unblock);
+
+    obsEmit(it->second.obsId, ObsPhase::Complete, msg.addr);
 
     // Replay merged ops; they either complete or trigger an upgrade.
     std::deque<CoreOp> ops = std::move(it->second.pendingOps);

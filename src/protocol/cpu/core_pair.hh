@@ -26,6 +26,7 @@
 
 #include "cache/cache_array.hh"
 #include "mem/message_buffer.hh"
+#include "obs/span.hh"
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
 #include "sim/introspect.hh"
@@ -35,6 +36,7 @@ namespace hsc
 {
 
 class CoherenceChecker;
+class ObsTracer;
 
 /** Stable MOESI states of an L2 line (absent lines are Invalid). */
 enum class L2State : std::uint8_t
@@ -79,6 +81,9 @@ class CorePairController : public Clocked, public ProtocolIntrospect
 
     /** Attach the runtime invariant checker (null = disabled). */
     void attachChecker(CoherenceChecker *c) { checker = c; }
+
+    /** Attach the observability tracer (null = disabled). */
+    void attachTracer(ObsTracer *t);
 
     /** @{ Core-facing operations (async, callback on completion).
      *  Accesses must not cross a 64-byte block boundary. */
@@ -135,6 +140,7 @@ class CorePairController : public Clocked, public ProtocolIntrospect
         MsgType reqType;
         std::deque<CoreOp> pendingOps;
         Tick startedAt = 0;
+        std::uint64_t obsId = 0;
     };
 
     /**
@@ -151,6 +157,7 @@ class CorePairController : public Clocked, public ProtocolIntrospect
          *  write-back is dead and must not answer further probes. */
         bool cancelled = false;
         Tick startedAt = 0;
+        std::uint64_t obsId = 0;
     };
 
     struct L2Entry
@@ -207,6 +214,13 @@ class CorePairController : public Clocked, public ProtocolIntrospect
     std::unordered_map<Addr, std::deque<VictimEntry>> victims;
 
     CoherenceChecker *checker = nullptr;
+
+    ObsTracer *tracer = nullptr;
+    std::uint16_t obsCtrl = 0;
+
+    /** Span emission helper; no-op when untraced (id 0 / tracer off). */
+    void obsEmit(std::uint64_t obs_id, ObsPhase phase, Addr addr,
+                 std::uint32_t arg = 0);
 
     // Statistics.
     Counter statLoads, statStores, statIfetches, statAtomics;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
 
 namespace hsc
@@ -36,6 +37,23 @@ void
 DirectoryController::bindFromClient(MessageBuffer &buf)
 {
     buf.setConsumer([this](Msg &&m) { receive(std::move(m)); });
+}
+
+void
+DirectoryController::attachTracer(ObsTracer *t)
+{
+    tracer = t;
+    if (tracer)
+        obsCtrl = tracer->internCtrl(name(), ObsCtrlKind::Dir);
+}
+
+void
+DirectoryController::obsEmit(std::uint64_t obs_id, ObsPhase phase,
+                             Addr addr, std::uint32_t arg)
+{
+    if (!tracer || !obs_id)
+        return;
+    tracer->emit(obs_id, phase, obsCtrl, addr, curTick(), arg);
 }
 
 void
@@ -141,6 +159,8 @@ DirectoryController::dispatch(Msg msg)
               (unsigned long long)(msg.hasData
                   ? msg.data.get<std::uint64_t>(8) : 0));
 
+    obsEmit(msg.obsId, ObsPhase::DirDispatch, msg.addr);
+
     if (checker) {
         std::string_view st = "U";
         if (params.cfg.stateful()) {
@@ -155,7 +175,9 @@ DirectoryController::dispatch(Msg msg)
                 Msg ack;
                 ack.type = MsgType::WBAck;
                 ack.addr = msg.addr;
+                ack.obsId = msg.obsId;
                 ack.sender = params.topo.dirId();
+                obsEmit(msg.obsId, ObsPhase::Respond, msg.addr);
                 sendToClient(msg.sender, std::move(ack));
             }
             releaseLine(msg.addr);
@@ -354,11 +376,16 @@ DirectoryController::sendProbes(Tbe &tbe,
     else
         ++statProbeMulticasts;
 
+    obsEmit(tbe.req.obsId, ObsPhase::ProbesOut,
+            tbe.isEviction ? tbe.evictAddr : tbe.req.addr,
+            std::uint32_t(targets.size()));
+
     for (MachineId t : targets) {
         Msg p;
         p.type = invalidating ? MsgType::PrbInv : MsgType::PrbDowngrade;
         p.addr = tbe.isEviction ? tbe.evictAddr : tbe.req.addr;
         p.txnId = tbe.txn;
+        p.obsId = tbe.req.obsId;
         p.sender = params.topo.dirId();
         ++statProbesSent;
         ++tbe.pendingAcks;
@@ -372,6 +399,7 @@ DirectoryController::startBackingRead(Tbe &tbe)
     tbe.needBacking = true;
     std::uint64_t txn = tbe.txn;
     Addr addr = tbe.req.addr;
+    obsEmit(tbe.req.obsId, ObsPhase::BackingRead, addr);
     after(params.llcLatency, [this, txn, addr] {
         auto it = tbes.find(txn);
         panic_if(it == tbes.end(), "backing read for dead txn");
@@ -380,17 +408,19 @@ DirectoryController::startBackingRead(Tbe &tbe)
             tbe.backingData = *data;
             tbe.haveBackingData = true;
             tbe.needBacking = false;
+            obsEmit(tbe.req.obsId, ObsPhase::BackingData, addr);
             maybeComplete(tbe);
             tryRetire(tbe);
             return;
         }
-        mem.read(addr, [this, txn](const DataBlock &data) {
+        mem.read(addr, [this, txn, addr](const DataBlock &data) {
             auto it2 = tbes.find(txn);
             panic_if(it2 == tbes.end(), "memory read for dead txn");
             Tbe &tbe2 = it2->second;
             tbe2.backingData = data;
             tbe2.haveBackingData = true;
             tbe2.needBacking = false;
+            obsEmit(tbe2.req.obsId, ObsPhase::BackingData, addr);
             maybeComplete(tbe2);
             tryRetire(tbe2);
         });
@@ -410,7 +440,9 @@ DirectoryController::consumeCancelledVic(const Msg &msg)
     Msg ack;
     ack.type = MsgType::WBAck;
     ack.addr = msg.addr;
+    ack.obsId = msg.obsId;
     ack.sender = params.topo.dirId();
+    obsEmit(msg.obsId, ObsPhase::Respond, msg.addr);
     sendToClient(msg.sender, std::move(ack));
     releaseLine(msg.addr);
     return true;
@@ -431,6 +463,7 @@ DirectoryController::handleProbeResp(const Msg &msg)
                   ? msg.data.get<std::uint64_t>(8) : 0));
     panic_if(tbe.pendingAcks == 0, "%s: unexpected probe resp",
              name().c_str());
+    obsEmit(tbe.req.obsId, ObsPhase::ProbeAck, msg.addr);
     --tbe.pendingAcks;
     tbe.sawHit = tbe.sawHit || msg.hit;
     if (msg.cancelledVic)
@@ -512,9 +545,12 @@ DirectoryController::respond(Tbe &tbe)
     const Msg &req = tbe.req;
     MachineId requester = req.sender;
 
+    obsEmit(req.obsId, ObsPhase::Respond, req.addr);
+
     Msg r;
     r.addr = req.addr;
     r.txnId = req.txnId;
+    r.obsId = req.obsId;
     r.sender = params.topo.dirId();
 
     switch (req.type) {
@@ -641,6 +677,7 @@ DirectoryController::tryRetire(Tbe &tbe)
     }
     Addr addr = tbe.req.addr;
     statTxnLatency.sample(clock().toCycles(curTick() - tbe.startedAt));
+    obsEmit(tbe.req.obsId, ObsPhase::Retire, addr);
     tbes.erase(tbe.txn);
     releaseLine(addr);
 }
@@ -683,7 +720,9 @@ DirectoryController::handleVictimStateless(const Msg &msg)
     Msg ack;
     ack.type = MsgType::WBAck;
     ack.addr = msg.addr;
+    ack.obsId = msg.obsId;
     ack.sender = params.topo.dirId();
+    obsEmit(msg.obsId, ObsPhase::Respond, msg.addr);
     sendToClient(msg.sender, std::move(ack));
     releaseLine(msg.addr);
 }
@@ -1218,7 +1257,9 @@ DirectoryController::handleVictimTracked(const Msg &msg)
         Msg ack;
         ack.type = MsgType::WBAck;
         ack.addr = msg.addr;
+        ack.obsId = msg.obsId;
         ack.sender = params.topo.dirId();
+        obsEmit(msg.obsId, ObsPhase::Respond, msg.addr);
         sendToClient(msg.sender, std::move(ack));
         releaseLine(msg.addr);
     };

@@ -37,6 +37,7 @@
 #include "cache/cache_array.hh"
 #include "mem/main_memory.hh"
 #include "mem/message_buffer.hh"
+#include "obs/span.hh"
 #include "protocol/dir/llc.hh"
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
@@ -47,6 +48,7 @@ namespace hsc
 {
 
 class CoherenceChecker;
+class ObsTracer;
 
 /** Stable tracked states of a directory entry (§IV-A). */
 enum class DirState : std::uint8_t
@@ -95,8 +97,14 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
     /** Attach the runtime invariant checker (null = disabled). */
     void attachChecker(CoherenceChecker *c) { checker = c; }
 
+    /** Attach the observability tracer (null = disabled). */
+    void attachTracer(ObsTracer *t);
+
     /** True when no transaction is in flight. */
     bool idle() const { return tbes.empty() && busyLines.empty(); }
+
+    /** Transactions currently holding a TBE. */
+    std::size_t inFlightCount() const { return tbes.size(); }
 
     void regStats(StatRegistry &reg);
 
@@ -235,6 +243,13 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
     CacheArray<DirEntry> dirArray;
 
     CoherenceChecker *checker = nullptr;
+
+    ObsTracer *tracer = nullptr;
+    std::uint16_t obsCtrl = 0;
+
+    /** Span emission helper; no-op when untraced (id 0 / tracer off). */
+    void obsEmit(std::uint64_t obs_id, ObsPhase phase, Addr addr,
+                 std::uint32_t arg = 0);
 
     std::vector<MessageBuffer *> toClient;
 

@@ -1,5 +1,6 @@
 #include "protocol/dma/dma_controller.hh"
 
+#include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
 
 namespace hsc
@@ -27,6 +28,22 @@ DmaController::regStats(StatRegistry &reg)
 }
 
 void
+DmaController::attachTracer(ObsTracer *t)
+{
+    tracer = t;
+    if (tracer)
+        obsCtrl = tracer->internCtrl(name(), ObsCtrlKind::Dma);
+}
+
+void
+DmaController::obsEmit(std::uint64_t obs_id, ObsPhase phase, Addr addr)
+{
+    if (!tracer || !obs_id)
+        return;
+    tracer->emit(obs_id, phase, obsCtrl, addr, curTick());
+}
+
+void
 DmaController::readBlock(Addr addr, BlockCallback cb)
 {
     ++statReads;
@@ -35,6 +52,9 @@ DmaController::readBlock(Addr addr, BlockCallback cb)
     op.addr = blockAlign(addr);
     op.readCb = std::move(cb);
     op.startedAt = curTick();
+    if (tracer)
+        op.obsId = tracer->newTxn(ObsClass::DmaRead, obsCtrl, op.addr,
+                                  curTick());
     queue.push_back(std::move(op));
     pump();
 }
@@ -51,6 +71,9 @@ DmaController::writeBlock(Addr addr, const DataBlock &data, ByteMask mask,
     op.mask = mask;
     op.writeCb = std::move(cb);
     op.startedAt = curTick();
+    if (tracer)
+        op.obsId = tracer->newTxn(ObsClass::DmaWrite, obsCtrl, op.addr,
+                                  curTick());
     queue.push_back(std::move(op));
     pump();
 }
@@ -66,11 +89,13 @@ DmaController::pump()
         m.type = op.isRead ? MsgType::DmaRead : MsgType::DmaWrite;
         m.addr = op.addr;
         m.sender = id;
+        m.obsId = op.obsId;
         if (!op.isRead) {
             m.hasData = true;
             m.data = op.data;
             m.mask = op.mask;
         }
+        obsEmit(op.obsId, ObsPhase::Inject, op.addr);
         toDir.enqueue(std::move(m));
         issued[op.addr].push_back(std::move(op));
         ++inFlight;
@@ -99,6 +124,7 @@ DmaController::handleFromDir(Msg &&msg)
     if (it->second.empty())
         issued.erase(it);
     --inFlight;
+    obsEmit(op.obsId, ObsPhase::Complete, msg.addr);
     if (op.isRead)
         op.readCb(msg.data);
     else

@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "mem/message_buffer.hh"
+#include "obs/span.hh"
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
 #include "sim/introspect.hh"
@@ -25,6 +26,7 @@ namespace hsc
 {
 
 class CoherenceChecker;
+class ObsTracer;
 
 /**
  * Block-level DMA requester with a bounded number of outstanding
@@ -44,6 +46,9 @@ class DmaController : public Clocked, public ProtocolIntrospect
 
     /** Attach the runtime invariant checker (null = disabled). */
     void attachChecker(CoherenceChecker *c) { checker = c; }
+
+    /** Attach the observability tracer (null = disabled). */
+    void attachTracer(ObsTracer *t);
 
     /** Read one block. */
     void readBlock(Addr addr, BlockCallback cb);
@@ -73,6 +78,7 @@ class DmaController : public Clocked, public ProtocolIntrospect
         BlockCallback readCb;
         DoneCallback writeCb;
         Tick startedAt = 0;
+        std::uint64_t obsId = 0;
     };
 
     void pump();
@@ -83,6 +89,12 @@ class DmaController : public Clocked, public ProtocolIntrospect
     const unsigned maxOutstanding;
 
     CoherenceChecker *checker = nullptr;
+
+    ObsTracer *tracer = nullptr;
+    std::uint16_t obsCtrl = 0;
+
+    /** Span emission helper; no-op when untraced (id 0 / tracer off). */
+    void obsEmit(std::uint64_t obs_id, ObsPhase phase, Addr addr);
 
     std::deque<Op> queue;
     /** Completion callbacks of issued ops, in issue (= response) order

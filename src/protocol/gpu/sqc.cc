@@ -1,5 +1,6 @@
 #include "protocol/gpu/sqc.hh"
 
+#include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
 
 namespace hsc
@@ -11,6 +12,14 @@ SqcController::SqcController(std::string name, EventQueue &eq,
     : Clocked(std::move(name), eq, clk), params(params), tcc(tcc),
       array(this->name() + ".array", params.geom)
 {
+}
+
+void
+SqcController::attachTracer(ObsTracer *t)
+{
+    tracer = t;
+    if (tracer)
+        obsCtrl = tracer->internCtrl(name(), ObsCtrlKind::Sqc);
 }
 
 void
@@ -35,7 +44,12 @@ SqcController::fetch(Addr addr, DoneCallback cb)
             return;
         }
         ++statMisses;
-        tcc.readBlock(block, [this, block, cb](const DataBlock &data) {
+        std::uint64_t obs_id = tracer
+            ? tracer->newTxn(ObsClass::GpuIfetch, obsCtrl, block,
+                             curTick())
+            : 0;
+        tcc.readBlock(block,
+                      [this, block, obs_id, cb](const DataBlock &data) {
             if (checker)
                 checker->noteEvent(CheckerCtrl::Sqc, name(), block,
                                    array.lookup(block, false) ? "V" : "I",
@@ -47,8 +61,11 @@ SqcController::fetch(Addr addr, DoneCallback cb)
                 }
                 array.allocate(block).fill(data);
             }
+            if (tracer && obs_id)
+                tracer->complete(obs_id, obsCtrl, block, curTick());
             cb();
-        });
+        },
+                      obs_id);
     });
 }
 

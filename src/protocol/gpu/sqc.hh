@@ -21,6 +21,7 @@ namespace hsc
 {
 
 class CoherenceChecker;
+class ObsTracer;
 
 /** Parameters of the SQC. */
 struct SqcParams
@@ -42,6 +43,9 @@ class SqcController : public Clocked, public ProtocolIntrospect
 
     /** Attach the runtime invariant checker (null = disabled). */
     void attachChecker(CoherenceChecker *c) { checker = c; }
+
+    /** Attach the observability tracer (null = disabled). */
+    void attachTracer(ObsTracer *t);
 
     /** Instruction fetch at @p addr. */
     void fetch(Addr addr, DoneCallback cb);
@@ -68,6 +72,9 @@ class SqcController : public Clocked, public ProtocolIntrospect
     TccController &tcc;
     CoherenceChecker *checker = nullptr;
     CacheArray<ViLine> array;
+
+    ObsTracer *tracer = nullptr;
+    std::uint16_t obsCtrl = 0;
 
     Counter statFetches, statHits, statMisses;
 };

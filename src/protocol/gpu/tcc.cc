@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
 
 namespace hsc
@@ -19,6 +20,23 @@ void
 TccController::bindFromDir(MessageBuffer &from_dir)
 {
     from_dir.setConsumer([this](Msg &&m) { handleFromDir(std::move(m)); });
+}
+
+void
+TccController::attachTracer(ObsTracer *t)
+{
+    tracer = t;
+    if (tracer)
+        obsCtrl = tracer->internCtrl(name(), ObsCtrlKind::Tcc);
+}
+
+void
+TccController::obsEmit(std::uint64_t obs_id, ObsPhase phase, Addr addr,
+                       std::uint32_t arg)
+{
+    if (!tracer || !obs_id)
+        return;
+    tracer->emit(obs_id, phase, obsCtrl, addr, curTick(), arg);
 }
 
 void
@@ -47,35 +65,46 @@ TccController::after(Cycles extra, std::function<void()> fn)
 }
 
 void
-TccController::readBlock(Addr addr, BlockCallback cb)
+TccController::readBlock(Addr addr, BlockCallback cb,
+                         std::uint64_t obs_id)
 {
     ++statReads;
     Addr block = blockAlign(addr);
-    after(params.latency, [this, block, cb = std::move(cb)]() mutable {
+    after(params.latency,
+          [this, block, obs_id, cb = std::move(cb)]() mutable {
         ViLine *line = array.lookup(block);
         if (line && line->fullyValid()) {
             ++statHits;
+            obsEmit(obs_id, ObsPhase::LocalHit, block);
             cb(line->data);
             return;
         }
         ++statMisses;
-        requestFill(block, std::move(cb));
+        requestFill(block, std::move(cb), obs_id);
     });
 }
 
 void
-TccController::requestFill(Addr block, BlockCallback cb)
+TccController::requestFill(Addr block, BlockCallback cb,
+                           std::uint64_t obs_id)
 {
     auto [it, fresh] = fills.try_emplace(block);
     it->second.cbs.push_back(std::move(cb));
-    if (!fresh)
-        return; // merged into the outstanding fill
+    if (!fresh) {
+        // Coalesced into the outstanding fill: this span waits on a
+        // transaction owned by an earlier reader.
+        obsEmit(obs_id, ObsPhase::Merge, block);
+        return;
+    }
     it->second.startedAt = curTick();
+    it->second.obsId = obs_id;
+    obsEmit(obs_id, ObsPhase::Inject, block);
 
     Msg m;
     m.type = MsgType::TccRdBlk;
     m.addr = block;
     m.sender = id;
+    m.obsId = obs_id;
     toDir.enqueue(m);
 }
 
@@ -90,7 +119,8 @@ TccController::allocateLine(Addr block)
             // Write-back victimisation doubles as a WriteThrough
             // request at the directory (§II-A).
             sendWriteThrough(victim.addr, victim.entry->data,
-                             victim.entry->dirtyMask, false, false);
+                             victim.entry->dirtyMask, false, false,
+                             ObsClass::WriteBack);
         }
         array.invalidate(victim.addr);
     }
@@ -100,7 +130,7 @@ TccController::allocateLine(Addr block)
 void
 TccController::sendWriteThrough(Addr block, const DataBlock &data,
                                 ByteMask mask, bool is_flush,
-                                bool retains_copy)
+                                bool retains_copy, ObsClass wt_cls)
 {
     Msg m;
     m.type = is_flush ? MsgType::Flush : MsgType::WriteThrough;
@@ -111,6 +141,9 @@ TccController::sendWriteThrough(Addr block, const DataBlock &data,
     m.mask = mask;
     m.hit = retains_copy; // tells a tracking directory whether to
                           // keep the TCC in the sharer set
+    if (tracer)
+        m.obsId = tracer->newTxn(is_flush ? ObsClass::GpuFlush : wt_cls,
+                                 obsCtrl, block, curTick());
     toDir.enqueue(m);
     ++outstandingWrites;
     if (is_flush)
@@ -145,7 +178,7 @@ TccController::write(Addr addr, const DataBlock &src, ByteMask mask,
 void
 TccController::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
                       std::uint64_t operand2, unsigned size, Scope scope,
-                      ValueCallback cb)
+                      ValueCallback cb, std::uint64_t obs_id)
 {
     Addr block = blockAlign(addr);
     unsigned off = blockOffset(addr);
@@ -155,21 +188,23 @@ TccController::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
     if (scope == Scope::System) {
         ++statAtomicsSys;
         after(params.latency, [this, block, off, op, operand, operand2,
-                               size, cb = std::move(cb)]() mutable {
+                               size, obs_id, cb = std::move(cb)]() mutable {
             // SLC requests bypass the TCC (non-inclusive behaviour):
             // self-invalidate our copy, draining dirty bytes first so
             // the ordered channel applies them before the atomic.
             if (ViLine *line = array.lookup(block, false)) {
                 if (line->dirty()) {
                     sendWriteThrough(block, line->data, line->dirtyMask,
-                                     false, false);
+                                     false, false, ObsClass::WriteBack);
                 }
                 array.invalidate(block);
             }
+            obsEmit(obs_id, ObsPhase::Inject, block);
             Msg m;
             m.type = MsgType::Atomic;
             m.addr = block;
             m.sender = id;
+            m.obsId = obs_id;
             m.txnId = nextAtomicId++;
             m.atomicOp = op;
             m.atomicOffset = off;
@@ -214,11 +249,12 @@ TccController::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
         cb(old_val);
     };
 
-    after(params.latency, [this, block, word_mask,
+    after(params.latency, [this, block, word_mask, obs_id,
                            execute = std::move(execute)]() mutable {
         ViLine *line = array.lookup(block);
         if (line && line->covers(word_mask)) {
             ++statHits;
+            obsEmit(obs_id, ObsPhase::LocalHit, block);
             execute();
             return;
         }
@@ -226,7 +262,8 @@ TccController::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
         requestFill(block,
                     [execute = std::move(execute)](const DataBlock &) {
                         execute();
-                    });
+                    },
+                    obs_id);
     });
 }
 
@@ -311,6 +348,7 @@ TccController::handleFromDir(Msg &&msg)
       case MsgType::WBAck: {
         panic_if(outstandingWrites == 0, "%s: spurious WBAck",
                  name().c_str());
+        obsEmit(msg.obsId, ObsPhase::Complete, msg.addr);
         if (--outstandingWrites == 0) {
             auto waiters = std::move(releaseWaiters);
             releaseWaiters.clear();
@@ -323,6 +361,7 @@ TccController::handleFromDir(Msg &&msg)
       case MsgType::PrbDowngrade: {
         ++statProbesRecvd;
         after(params.latency, [this, m = msg] {
+            obsEmit(m.obsId, ObsPhase::ProbeIn, m.addr);
             Msg resp;
             resp.type = MsgType::PrbResp;
             resp.addr = m.addr;

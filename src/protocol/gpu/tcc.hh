@@ -25,6 +25,7 @@
 
 #include "cache/cache_array.hh"
 #include "mem/message_buffer.hh"
+#include "obs/span.hh"
 #include "protocol/gpu/vi_line.hh"
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
@@ -35,6 +36,7 @@ namespace hsc
 {
 
 class CoherenceChecker;
+class ObsTracer;
 
 /** Parameters of the TCC. */
 struct TccParams
@@ -64,8 +66,15 @@ class TccController : public Clocked, public ProtocolIntrospect
     /** Attach the runtime invariant checker (null = disabled). */
     void attachChecker(CoherenceChecker *c) { checker = c; }
 
-    /** Read a whole block (TCP fill / SQC fetch path). */
-    void readBlock(Addr addr, BlockCallback cb);
+    /** Attach the observability tracer (null = disabled). */
+    void attachTracer(ObsTracer *t);
+
+    /**
+     * Read a whole block (TCP fill / SQC fetch path).  @p obs_id is
+     * the caller's observability span (0 = untraced); it rides the
+     * TccRdBlk so directory-side phases attribute to the requester.
+     */
+    void readBlock(Addr addr, BlockCallback cb, std::uint64_t obs_id = 0);
 
     /**
      * Write the bytes of @p mask at @p scope.
@@ -89,7 +98,7 @@ class TccController : public Clocked, public ProtocolIntrospect
      */
     void atomic(Addr addr, AtomicOp op, std::uint64_t operand,
                 std::uint64_t operand2, unsigned size, Scope scope,
-                ValueCallback cb);
+                ValueCallback cb, std::uint64_t obs_id = 0);
 
     /**
      * Store-release: drain every dirty byte to system visibility and
@@ -121,14 +130,19 @@ class TccController : public Clocked, public ProtocolIntrospect
     void handleFromDir(Msg &&msg);
 
     /** Issue a TccRdBlk and remember the continuation. */
-    void requestFill(Addr block, BlockCallback cb);
+    void requestFill(Addr block, BlockCallback cb, std::uint64_t obs_id);
 
     /** Allocate (evicting if needed) and return the line. */
     ViLine &allocateLine(Addr block);
 
-    /** Send a WriteThrough/Flush of @p mask bytes of @p line. */
+    /**
+     * Send a WriteThrough/Flush of @p mask bytes of @p line.  The TCC
+     * owns the observability span of the resulting directory
+     * transaction (@p wt_cls); it completes at the WBAck.
+     */
     void sendWriteThrough(Addr block, const DataBlock &data, ByteMask mask,
-                          bool is_flush, bool retains_copy);
+                          bool is_flush, bool retains_copy,
+                          ObsClass wt_cls = ObsClass::GpuWrite);
 
     void after(Cycles extra, std::function<void()> fn);
 
@@ -138,6 +152,13 @@ class TccController : public Clocked, public ProtocolIntrospect
 
     CoherenceChecker *checker = nullptr;
 
+    ObsTracer *tracer = nullptr;
+    std::uint16_t obsCtrl = 0;
+
+    /** Span emission helper; no-op when untraced (id 0 / tracer off). */
+    void obsEmit(std::uint64_t obs_id, ObsPhase phase, Addr addr,
+                 std::uint32_t arg = 0);
+
     CacheArray<ViLine> array;
 
     /** Outstanding fill: continuation list (MSHR merge) + start tick. */
@@ -145,6 +166,7 @@ class TccController : public Clocked, public ProtocolIntrospect
     {
         Tick startedAt = 0;
         std::vector<BlockCallback> cbs;
+        std::uint64_t obsId = 0;  ///< span riding the TccRdBlk
     };
     std::unordered_map<Addr, Fill> fills;
 

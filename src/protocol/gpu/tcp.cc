@@ -1,5 +1,6 @@
 #include "protocol/gpu/tcp.hh"
 
+#include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
 
 namespace hsc
@@ -24,6 +25,28 @@ TcpController::regStats(StatRegistry &reg)
     reg.addCounter(n + ".misses", &statMisses);
     reg.addCounter(n + ".bypasses", &statBypasses);
     reg.addCounter(n + ".acquires", &statAcquires);
+}
+
+void
+TcpController::attachTracer(ObsTracer *t)
+{
+    tracer = t;
+    if (tracer)
+        obsCtrl = tracer->internCtrl(name(), ObsCtrlKind::Tcp);
+}
+
+std::uint64_t
+TcpController::obsNewTxn(ObsClass cls, Addr block)
+{
+    return tracer ? tracer->newTxn(cls, obsCtrl, block, curTick()) : 0;
+}
+
+void
+TcpController::obsEmit(std::uint64_t obs_id, ObsPhase phase, Addr addr)
+{
+    if (!tracer || !obs_id)
+        return;
+    tracer->emit(obs_id, phase, obsCtrl, addr, curTick());
 }
 
 void
@@ -67,7 +90,14 @@ TcpController::load(Addr addr, unsigned size, Scope scope, ValueCallback cb)
         // the wider scope so spin-waits observe remote stores.
         ++statBypasses;
         array.invalidate(block);
-        tcc.atomic(addr, AtomicOp::Load, 0, 0, size, scope, std::move(cb));
+        std::uint64_t obs_id = obsNewTxn(ObsClass::GpuRead, block);
+        tcc.atomic(addr, AtomicOp::Load, 0, 0, size, scope,
+                   [this, block, obs_id,
+                    cb = std::move(cb)](std::uint64_t v) {
+                       obsEmit(obs_id, ObsPhase::Complete, block);
+                       cb(v);
+                   },
+                   obs_id);
         return;
     }
 
@@ -81,13 +111,17 @@ TcpController::load(Addr addr, unsigned size, Scope scope, ValueCallback cb)
             return;
         }
         ++statMisses;
-        tcc.readBlock(block, [this, block, off, size,
-                              cb = std::move(cb)](const DataBlock &data) {
+        std::uint64_t obs_id = obsNewTxn(ObsClass::GpuRead, block);
+        tcc.readBlock(block,
+                      [this, block, off, size, obs_id,
+                       cb = std::move(cb)](const DataBlock &data) {
             ViLine &l = allocateLine(block);
             l.fill(data);
+            obsEmit(obs_id, ObsPhase::Complete, block);
             cb(size == 4 ? l.data.get<std::uint32_t>(off)
                          : l.data.get<std::uint64_t>(off));
-        });
+        },
+                      obs_id);
     });
 }
 
@@ -104,12 +138,16 @@ TcpController::loadBlock(Addr block, BlockCallback cb)
             return;
         }
         ++statMisses;
-        tcc.readBlock(block, [this, block,
-                              cb = std::move(cb)](const DataBlock &data) {
+        std::uint64_t obs_id = obsNewTxn(ObsClass::GpuRead, block);
+        tcc.readBlock(block,
+                      [this, block, obs_id,
+                       cb = std::move(cb)](const DataBlock &data) {
             ViLine &l = allocateLine(block);
             l.fill(data);
+            obsEmit(obs_id, ObsPhase::Complete, block);
             cb(l.data);
-        });
+        },
+                      obs_id);
     });
 }
 
@@ -187,7 +225,14 @@ TcpController::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
                 tcc.write(block, line->data, line->dirtyMask, [] {});
             array.invalidate(block);
         }
-        tcc.atomic(addr, op, operand, operand2, size, scope, std::move(cb));
+        std::uint64_t obs_id = obsNewTxn(ObsClass::GpuAtomic, block);
+        tcc.atomic(addr, op, operand, operand2, size, scope,
+                   [this, block, obs_id,
+                    cb = std::move(cb)](std::uint64_t v) {
+                       obsEmit(obs_id, ObsPhase::Complete, block);
+                       cb(v);
+                   },
+                   obs_id);
         return;
     }
 
@@ -223,12 +268,17 @@ TcpController::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
         if (line && line->covers(mask)) {
             execute();
         } else {
-            tcc.readBlock(block, [this, block, execute = std::move(execute)](
-                                     const DataBlock &data) {
+            std::uint64_t obs_id = obsNewTxn(ObsClass::GpuAtomic, block);
+            tcc.readBlock(block,
+                          [this, block, obs_id,
+                           execute = std::move(execute)](
+                              const DataBlock &data) {
                 ViLine &l = allocateLine(block);
                 l.fill(data);
+                obsEmit(obs_id, ObsPhase::Complete, block);
                 execute();
-            });
+            },
+                          obs_id);
         }
     });
 }

@@ -26,6 +26,7 @@ namespace hsc
 {
 
 class CoherenceChecker;
+class ObsTracer;
 
 /** Parameters of one TCP. */
 struct TcpParams
@@ -51,6 +52,9 @@ class TcpController : public Clocked, public ProtocolIntrospect
 
     /** Attach the runtime invariant checker (null = disabled). */
     void attachChecker(CoherenceChecker *c) { checker = c; }
+
+    /** Attach the observability tracer (null = disabled). */
+    void attachTracer(ObsTracer *t);
 
     /** Word load; wave scope hits the TCP, wider scopes bypass it. */
     void load(Addr addr, unsigned size, Scope scope, ValueCallback cb);
@@ -108,6 +112,14 @@ class TcpController : public Clocked, public ProtocolIntrospect
     TccController &tcc;
 
     CoherenceChecker *checker = nullptr;
+
+    ObsTracer *tracer = nullptr;
+    std::uint16_t obsCtrl = 0;
+
+    /** Open a miss span of @p cls (0 when the tracer is off). */
+    std::uint64_t obsNewTxn(ObsClass cls, Addr block);
+    /** Span emission helper; no-op when untraced (id 0 / tracer off). */
+    void obsEmit(std::uint64_t obs_id, ObsPhase phase, Addr addr);
 
     CacheArray<ViLine> array;
 

@@ -82,12 +82,42 @@ StatRegistry::resetAll()
         h->reset();
 }
 
-void
-StatRegistry::dump(std::ostream &os) const
+StatRegistry::Snapshot
+StatRegistry::snapshot() const
 {
+    Snapshot snap;
     for (const auto &[name, c] : counters)
-        os << name << ' ' << c->value() << '\n';
+        snap.emplace_hint(snap.end(), name, c->value());
+    return snap;
+}
+
+StatRegistry::Snapshot
+StatRegistry::snapshotDelta(Snapshot &baseline) const
+{
+    Snapshot delta;
+    for (const auto &[name, c] : counters) {
+        auto it = baseline.find(name);
+        std::uint64_t prev = it == baseline.end() ? 0 : it->second;
+        delta.emplace_hint(delta.end(), name, c->value() - prev);
+    }
+    baseline = snapshot();
+    return delta;
+}
+
+void
+StatRegistry::dump(std::ostream &os, const std::string &prefix) const
+{
+    auto matches = [&prefix](const std::string &name) {
+        return prefix.empty() ||
+               name.compare(0, prefix.size(), prefix) == 0;
+    };
+    for (const auto &[name, c] : counters) {
+        if (matches(name))
+            os << name << ' ' << c->value() << '\n';
+    }
     for (const auto &[name, h] : histograms) {
+        if (!matches(name))
+            continue;
         os << name << ".samples " << h->samples() << '\n';
         os << name << ".mean " << h->mean() << '\n';
         os << name << ".max " << h->max() << '\n';

@@ -131,8 +131,23 @@ class StatRegistry
     /** Reset every registered statistic. */
     void resetAll();
 
-    /** Dump "name value" lines sorted by name. */
-    void dump(std::ostream &os) const;
+    /** Point-in-time value of every registered counter, by name. */
+    using Snapshot = std::map<std::string, std::uint64_t>;
+    Snapshot snapshot() const;
+
+    /**
+     * Per-counter increment since @p baseline, then advance
+     * @p baseline to the current values.  Counters registered after
+     * the baseline was taken appear with their full value.  Drives
+     * the observability sampler's interval time series.
+     */
+    Snapshot snapshotDelta(Snapshot &baseline) const;
+
+    /**
+     * Dump "name value" lines sorted by name; when @p prefix is
+     * non-empty only names starting with it are printed.
+     */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
 
     /** All registered counter names (sorted). */
     std::vector<std::string> counterNames() const;

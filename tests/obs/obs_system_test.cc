@@ -1,0 +1,191 @@
+/**
+ * @file
+ * System-level observability tests: tracing is a passive observer
+ * (bit-identical simulated time), spans cover every controller kind,
+ * breakdowns are exact on real traffic, and the Chrome trace export
+ * of a real run is well-formed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/hsa_system.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/sampler.hh"
+#include "obs/tracer.hh"
+#include "workloads/workload.hh"
+
+namespace hsc
+{
+namespace
+{
+
+/** Run @p id to completion on @p sys; returns simulated cycles. */
+Cycles
+obsRun(const std::string &id, HsaSystem &sys)
+{
+    auto wl = makeWorkload(id, WorkloadParams{});
+    wl->setup(sys);
+    EXPECT_TRUE(sys.run()) << sys.failReason();
+    EXPECT_TRUE(wl->verify(sys));
+    return sys.cpuCycles();
+}
+
+Cycles
+obsRun(const std::string &id, const SystemConfig &cfg)
+{
+    HsaSystem sys(cfg);
+    return obsRun(id, sys);
+}
+
+TEST(ObsSystem, TracingDoesNotPerturbSimulatedTime)
+{
+    SystemConfig off = baselineConfig();
+    Cycles base = obsRun("tq", off);
+
+    SystemConfig traced = baselineConfig();
+    traced.obs.enabled = true;
+    EXPECT_EQ(obsRun("tq", traced), base);
+
+    SystemConfig sampled = baselineConfig();
+    sampled.obs.enabled = true;
+    sampled.obs.samplingInterval = 100;
+    EXPECT_EQ(obsRun("tq", sampled), base)
+        << "interval sampling must not move simulated time";
+}
+
+TEST(ObsSystem, SpanCoverageAcrossControllerKinds)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.obs.enabled = true;
+    HsaSystem sys(cfg);
+    obsRun("hs_mutex", sys);
+
+    const ObsTracer *tracer = sys.tracer();
+    ASSERT_NE(tracer, nullptr);
+    ASSERT_GT(tracer->spans().size(), 0u);
+
+    std::set<ObsCtrlKind> kinds;
+    std::set<ObsClass> classes;
+    for (const FinishedSpan &s : tracer->spans()) {
+        classes.insert(s.cls);
+        Tick total = 0;
+        for (Tick c : s.comp)
+            total += c;
+        ASSERT_EQ(total, s.end - s.start)
+            << "breakdown must sum exactly for txn " << s.id;
+        for (const SpanEvent &ev : s.events)
+            kinds.insert(tracer->ctrlKind(ev.ctrl));
+    }
+    // hs_mutex drives CU loads/atomics (TCP), write-throughs and
+    // fills (TCC), instruction fetches (SQC), the directory, and
+    // probes into the CPU core pairs.
+    EXPECT_GE(kinds.size(), 5u);
+    EXPECT_TRUE(kinds.count(ObsCtrlKind::Tcp));
+    EXPECT_TRUE(kinds.count(ObsCtrlKind::Tcc));
+    EXPECT_TRUE(kinds.count(ObsCtrlKind::Sqc));
+    EXPECT_TRUE(kinds.count(ObsCtrlKind::Dir));
+    EXPECT_TRUE(kinds.count(ObsCtrlKind::CorePair));
+    EXPECT_TRUE(classes.count(ObsClass::GpuAtomic));
+    EXPECT_TRUE(classes.count(ObsClass::GpuIfetch));
+    EXPECT_EQ(tracer->liveTxns(), 0u)
+        << "every transaction must complete by quiesce";
+}
+
+TEST(ObsSystem, CpuAndDmaSpansTraced)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.obs.enabled = true;
+    HsaSystem sys(cfg);
+    Addr src = sys.alloc(4 * 64);
+    Addr dst = sys.alloc(4 * 64);
+    sys.addCpuThread([&](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(src, 0xAB);
+        co_await sys.dma().copyAsync(dst, src, 4 * 64);
+        (void)co_await cpu.load(dst);
+    });
+    ASSERT_TRUE(sys.run()) << sys.failReason();
+
+    const ObsTracer *tracer = sys.tracer();
+    ASSERT_NE(tracer, nullptr);
+    std::set<ObsClass> classes;
+    std::set<ObsCtrlKind> kinds;
+    for (const FinishedSpan &s : tracer->spans()) {
+        classes.insert(s.cls);
+        kinds.insert(tracer->ctrlKind(s.origin));
+    }
+    EXPECT_TRUE(classes.count(ObsClass::CpuWrite));
+    EXPECT_TRUE(classes.count(ObsClass::CpuRead));
+    EXPECT_TRUE(classes.count(ObsClass::DmaRead));
+    EXPECT_TRUE(classes.count(ObsClass::DmaWrite));
+    EXPECT_TRUE(kinds.count(ObsCtrlKind::Dma));
+    EXPECT_TRUE(kinds.count(ObsCtrlKind::CorePair));
+}
+
+TEST(ObsSystem, ChromeTraceOfRealRunIsWellFormed)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.obs.enabled = true;
+    cfg.obs.samplingInterval = 100;
+    HsaSystem sys(cfg);
+    obsRun("hs_mutex", sys);
+
+    ASSERT_NE(sys.tracer(), nullptr);
+    JsonValue doc = buildChromeTrace(*sys.tracer(), sys.sampler());
+    JsonValue parsed = parseJson(doc.dump());
+    ASSERT_TRUE(parsed.isObject());
+    const JsonValue &events = parsed.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+
+    std::size_t begins = 0, ends = 0, counters = 0;
+    std::set<std::string> kinds;
+    for (const JsonValue &ev : events.items()) {
+        const std::string &ph = ev.at("ph").asString();
+        if (ph == "b")
+            ++begins;
+        if (ph == "e")
+            ++ends;
+        if (ph == "C")
+            ++counters;
+        if (const JsonValue *args = ev.find("args")) {
+            if (const JsonValue *kind = args->find("kind"))
+                kinds.insert(kind->asString());
+        }
+    }
+    EXPECT_EQ(begins, ends);
+    EXPECT_GT(begins, 0u);
+    EXPECT_GT(counters, 0u) << "sampler rows become counter tracks";
+    EXPECT_GE(kinds.size(), 5u)
+        << "spans must cover >= 5 distinct controller kinds";
+}
+
+TEST(ObsSystem, SamplerRecordsTimeSeries)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.obs.enabled = true;
+    cfg.obs.samplingInterval = 50;
+    HsaSystem sys(cfg);
+    obsRun("tq", sys);
+
+    const ObsSampler *sampler = sys.sampler();
+    ASSERT_NE(sampler, nullptr);
+    ASSERT_GT(sampler->rows().size(), 1u);
+    for (std::size_t i = 1; i < sampler->rows().size(); ++i) {
+        EXPECT_GT(sampler->rows()[i].tick, sampler->rows()[i - 1].tick);
+    }
+
+    std::ostringstream os;
+    sampler->writeCsv(os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line))
+        ++lines;
+    EXPECT_EQ(lines, sampler->rows().size() + 1)
+        << "CSV is one header plus one line per sample";
+}
+
+} // namespace
+} // namespace hsc

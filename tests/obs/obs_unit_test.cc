@@ -1,0 +1,266 @@
+/** @file Unit tests for the observability subsystem (src/obs). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/chrome_trace.hh"
+#include "obs/ring.hh"
+#include "obs/sampler.hh"
+#include "obs/tracer.hh"
+#include "sim/json.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(SpanRing, OverflowDropsAreCounted)
+{
+    SpanRing ring(4);
+    SpanEvent ev;
+    ev.id = 1;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.push(ev));
+    EXPECT_TRUE(ring.full());
+    EXPECT_FALSE(ring.push(ev));
+    EXPECT_FALSE(ring.push(ev));
+    EXPECT_EQ(ring.dropped(), 2u);
+    EXPECT_EQ(ring.size(), 4u);
+
+    std::size_t drained = 0;
+    ring.drain([&](const SpanEvent &) { ++drained; });
+    EXPECT_EQ(drained, 4u);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_TRUE(ring.push(ev));
+    EXPECT_EQ(ring.dropped(), 2u) << "drop counter is cumulative";
+}
+
+TEST(SpanRing, FifoOrderAcrossWraparound)
+{
+    SpanRing ring(3);
+    SpanEvent ev;
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+        ev.id = i;
+        ring.push(ev);
+    }
+    std::vector<std::uint64_t> first;
+    ring.drain([&](const SpanEvent &e) { first.push_back(e.id); });
+    for (std::uint64_t i = 4; i <= 6; ++i) {
+        ev.id = i;
+        ring.push(ev);
+    }
+    std::vector<std::uint64_t> second;
+    ring.drain([&](const SpanEvent &e) { second.push_back(e.id); });
+    EXPECT_EQ(first, (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_EQ(second, (std::vector<std::uint64_t>{4, 5, 6}));
+}
+
+ObsConfig
+smallConfig()
+{
+    ObsConfig cfg;
+    cfg.enabled = true;
+    cfg.ringEntries = 8;
+    cfg.keepSpans = true;
+    return cfg;
+}
+
+TEST(ObsTracer, BreakdownSumsExactlyToEndToEnd)
+{
+    ObsTracer tracer(smallConfig());
+    std::uint16_t cpu = tracer.internCtrl("cp0", ObsCtrlKind::CorePair);
+    std::uint16_t dir = tracer.internCtrl("dir", ObsCtrlKind::Dir);
+
+    // CPU read: queued 10, serviced 5, probes 20, backing 30,
+    // delivery 15 -> end-to-end 80.
+    std::uint64_t id = tracer.newTxn(ObsClass::CpuRead, cpu, 0x40, 100);
+    ASSERT_NE(id, 0u);
+    tracer.emit(id, ObsPhase::DirDispatch, dir, 0x40, 110);
+    tracer.emit(id, ObsPhase::ProbesOut, dir, 0x40, 115, 1);
+    tracer.emit(id, ObsPhase::ProbeAck, dir, 0x40, 135);
+    tracer.emit(id, ObsPhase::BackingRead, dir, 0x40, 135);
+    tracer.emit(id, ObsPhase::BackingData, dir, 0x40, 165);
+    tracer.emit(id, ObsPhase::Respond, dir, 0x40, 165);
+    tracer.complete(id, cpu, 0x40, 180);
+    tracer.collect();
+
+    ASSERT_EQ(tracer.spans().size(), 1u);
+    const FinishedSpan &s = tracer.spans()[0];
+    EXPECT_EQ(s.start, 100u);
+    EXPECT_EQ(s.end, 180u);
+    EXPECT_EQ(s.comp[std::size_t(ObsComponent::Queue)], 10u);
+    EXPECT_EQ(s.comp[std::size_t(ObsComponent::DirService)], 5u);
+    EXPECT_EQ(s.comp[std::size_t(ObsComponent::ProbeRtt)], 20u);
+    EXPECT_EQ(s.comp[std::size_t(ObsComponent::Backing)], 30u);
+    EXPECT_EQ(s.comp[std::size_t(ObsComponent::Delivery)], 15u);
+
+    Tick total = 0;
+    for (Tick c : s.comp)
+        total += c;
+    EXPECT_EQ(total, s.end - s.start);
+    EXPECT_EQ(tracer.completed(), 1u);
+    EXPECT_EQ(tracer.liveTxns(), 0u);
+}
+
+TEST(ObsTracer, RingOverflowSelfDrainsWithoutLosingEvents)
+{
+    // 8-entry staging ring, far more events than that: emit() must
+    // drain on a full ring instead of losing events.
+    ObsTracer tracer(smallConfig());
+    std::uint16_t cpu = tracer.internCtrl("cp0", ObsCtrlKind::CorePair);
+    const int kTxns = 100;
+    for (int i = 0; i < kTxns; ++i) {
+        std::uint64_t id =
+            tracer.newTxn(ObsClass::CpuWrite, cpu, Addr(i) * 64,
+                          Tick(i) * 10);
+        ASSERT_NE(id, 0u);
+        tracer.emit(id, ObsPhase::DirDispatch, cpu, Addr(i) * 64,
+                    Tick(i) * 10 + 3);
+        tracer.complete(id, cpu, Addr(i) * 64, Tick(i) * 10 + 7);
+    }
+    tracer.collect();
+    EXPECT_GT(tracer.ringDropped(), 0u) << "ring must have overflowed";
+    EXPECT_EQ(tracer.completed(), std::uint64_t(kTxns))
+        << "overflow may force a drain but must not lose transactions";
+    EXPECT_EQ(tracer.spans().size(), std::size_t(kTxns));
+    for (const FinishedSpan &s : tracer.spans()) {
+        Tick total = 0;
+        for (Tick c : s.comp)
+            total += c;
+        EXPECT_EQ(total, s.end - s.start);
+    }
+}
+
+TEST(ObsTracer, OpenTxnCeilingReturnsZeroAndCounts)
+{
+    ObsConfig cfg = smallConfig();
+    cfg.maxOpenTxns = 2;
+    ObsTracer tracer(cfg);
+    std::uint16_t cpu = tracer.internCtrl("cp0", ObsCtrlKind::CorePair);
+    std::uint64_t a = tracer.newTxn(ObsClass::CpuRead, cpu, 0x0, 0);
+    std::uint64_t b = tracer.newTxn(ObsClass::CpuRead, cpu, 0x40, 0);
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_EQ(tracer.newTxn(ObsClass::CpuRead, cpu, 0x80, 0), 0u);
+    EXPECT_EQ(tracer.txnsDropped(), 1u);
+    // Emitting on id 0 must be harmless.
+    tracer.emit(0, ObsPhase::DirDispatch, cpu, 0x80, 5);
+    tracer.complete(a, cpu, 0x0, 10);
+    tracer.collect();
+    EXPECT_NE(tracer.newTxn(ObsClass::CpuRead, cpu, 0x80, 20), 0u)
+        << "completion frees an open-transaction slot";
+}
+
+TEST(ObsTracer, KeptSpanCapDropsSpansNotAggregates)
+{
+    ObsConfig cfg = smallConfig();
+    cfg.maxKeptSpans = 4;
+    ObsTracer tracer(cfg);
+    std::uint16_t cpu = tracer.internCtrl("cp0", ObsCtrlKind::CorePair);
+    for (int i = 0; i < 10; ++i) {
+        std::uint64_t id =
+            tracer.newTxn(ObsClass::CpuRead, cpu, Addr(i) * 64, i * 10);
+        tracer.complete(id, cpu, Addr(i) * 64, i * 10 + 5);
+    }
+    tracer.collect();
+    EXPECT_EQ(tracer.spans().size(), 4u);
+    EXPECT_EQ(tracer.spansDropped(), 6u);
+    EXPECT_EQ(tracer.completed(), 10u)
+        << "histograms keep aggregating past the kept-span cap";
+    EXPECT_EQ(tracer.latency(ObsClass::CpuRead).samples(), 10u);
+}
+
+TEST(ObsTracer, InternCtrlIsIdempotentPerName)
+{
+    ObsTracer tracer(smallConfig());
+    std::uint16_t a = tracer.internCtrl("dir", ObsCtrlKind::Dir);
+    std::uint16_t b = tracer.internCtrl("dir", ObsCtrlKind::Dir);
+    std::uint16_t c = tracer.internCtrl("tcc", ObsCtrlKind::Tcc);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(tracer.ctrlName(a), "dir");
+    EXPECT_EQ(tracer.ctrlKind(c), ObsCtrlKind::Tcc);
+}
+
+TEST(ObsSampler, DeltaRowsAndCsv)
+{
+    StatRegistry reg;
+    Counter reads;
+    reg.addCounter("dir.reads", &reads);
+    ObsSampler sampler(reg, 100, 10);
+    std::uint64_t depth = 3;
+    sampler.addGauge("q.depth", [&] { return depth; });
+
+    reads += 5;
+    sampler.sample(100);
+    reads += 2;
+    depth = 7;
+    sampler.sample(200);
+
+    ASSERT_EQ(sampler.rows().size(), 2u);
+    EXPECT_EQ(sampler.rows()[0].gauges[0], 3u);
+    EXPECT_EQ(sampler.rows()[1].gauges[0], 7u);
+    EXPECT_EQ(sampler.rows()[0].deltas[0], 5u);
+    EXPECT_EQ(sampler.rows()[1].deltas[0], 2u)
+        << "counter columns are per-interval increments, not totals";
+
+    std::ostringstream os;
+    sampler.writeCsv(os);
+    std::istringstream is(os.str());
+    std::string header, row1, row2;
+    ASSERT_TRUE(std::getline(is, header));
+    ASSERT_TRUE(std::getline(is, row1));
+    ASSERT_TRUE(std::getline(is, row2));
+    EXPECT_NE(header.find("q.depth"), std::string::npos);
+    EXPECT_NE(header.find("dir.reads"), std::string::npos);
+    EXPECT_NE(row1.find("5"), std::string::npos);
+    EXPECT_NE(row2.find("7"), std::string::npos);
+}
+
+TEST(ChromeTrace, SchemaOfSyntheticTrace)
+{
+    ObsTracer tracer(smallConfig());
+    std::uint16_t cpu = tracer.internCtrl("cp0", ObsCtrlKind::CorePair);
+    std::uint16_t dir = tracer.internCtrl("dir", ObsCtrlKind::Dir);
+    std::uint64_t id = tracer.newTxn(ObsClass::CpuRead, cpu, 0x40, 100);
+    tracer.emit(id, ObsPhase::DirDispatch, dir, 0x40, 110);
+    tracer.emit(id, ObsPhase::Respond, dir, 0x40, 150);
+    tracer.complete(id, cpu, 0x40, 160);
+    tracer.collect();
+
+    JsonValue doc = buildChromeTrace(tracer, nullptr);
+    // Round-trip through the serializer: the export must stay
+    // parseable JSON.
+    JsonValue parsed = parseJson(doc.dump(2));
+    ASSERT_TRUE(parsed.isObject());
+    const JsonValue &events = parsed.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    ASSERT_GT(events.size(), 0u);
+
+    std::size_t begins = 0, ends = 0, meta = 0;
+    for (const JsonValue &ev : events.items()) {
+        ASSERT_TRUE(ev.isObject());
+        const std::string &ph = ev.at("ph").asString();
+        EXPECT_TRUE(ph == "M" || ph == "b" || ph == "e" || ph == "i" ||
+                    ph == "C")
+            << "unexpected phase " << ph;
+        EXPECT_NE(ev.find("pid"), nullptr);
+        EXPECT_NE(ev.find("name"), nullptr);
+        if (ph == "M")
+            ++meta;
+        if (ph == "b")
+            ++begins;
+        if (ph == "e")
+            ++ends;
+        if (ph != "M") {
+            EXPECT_GE(ev.at("ts").asDouble(), 0.0);
+        }
+    }
+    EXPECT_EQ(begins, ends) << "async begin/end events must pair up";
+    EXPECT_GE(meta, 3u) << "process_name + one thread_name per ctrl";
+    EXPECT_EQ(parsed.at("otherData").at("txnsCompleted").asUInt(), 1u);
+}
+
+} // namespace
+} // namespace hsc

@@ -66,6 +66,70 @@ TEST(StatRegistry, DuplicateNamePanics)
     EXPECT_THROW(reg.addCounter("x", &b), std::logic_error);
 }
 
+TEST(StatRegistry, SnapshotCapturesAllCounters)
+{
+    StatRegistry reg;
+    Counter a, b;
+    reg.addCounter("a", &a);
+    reg.addCounter("b", &b);
+    a += 3;
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap["a"], 3u);
+    EXPECT_EQ(snap["b"], 0u);
+}
+
+TEST(StatRegistry, SnapshotDeltaAdvancesBaseline)
+{
+    StatRegistry reg;
+    Counter a, b;
+    reg.addCounter("a", &a);
+    reg.addCounter("b", &b);
+
+    StatRegistry::Snapshot baseline = reg.snapshot();
+    a += 5;
+    b += 2;
+    auto d1 = reg.snapshotDelta(baseline);
+    EXPECT_EQ(d1["a"], 5u);
+    EXPECT_EQ(d1["b"], 2u);
+
+    a += 1;
+    auto d2 = reg.snapshotDelta(baseline);
+    EXPECT_EQ(d2["a"], 1u) << "baseline must advance between deltas";
+    EXPECT_EQ(d2["b"], 0u);
+}
+
+TEST(StatRegistry, SnapshotDeltaSeesLateRegistrations)
+{
+    StatRegistry reg;
+    Counter a;
+    reg.addCounter("a", &a);
+    StatRegistry::Snapshot baseline = reg.snapshot();
+
+    Counter late;
+    reg.addCounter("late", &late);
+    late += 7;
+    auto d = reg.snapshotDelta(baseline);
+    EXPECT_EQ(d["late"], 7u)
+        << "counters registered after the baseline report full value";
+    auto d2 = reg.snapshotDelta(baseline);
+    EXPECT_EQ(d2["late"], 0u);
+}
+
+TEST(StatRegistry, DumpWithPrefixFilters)
+{
+    StatRegistry reg;
+    Counter a, b;
+    a += 1;
+    b += 2;
+    reg.addCounter("dir.reads", &a);
+    reg.addCounter("mem.reads", &b);
+    std::ostringstream os;
+    reg.dump(os, "dir.");
+    EXPECT_NE(os.str().find("dir.reads 1"), std::string::npos);
+    EXPECT_EQ(os.str().find("mem.reads"), std::string::npos);
+}
+
 TEST(StatRegistry, ResetAll)
 {
     StatRegistry reg;
