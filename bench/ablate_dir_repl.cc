@@ -15,7 +15,7 @@ using namespace hsc;
 using namespace hsc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto make = [](const std::string &repl, bool state_aware,
                    const std::string &label) {
@@ -38,15 +38,15 @@ main()
     std::cout << "Ablation (§VII): directory replacement policy "
                  "(256-entry directory)\n\n";
 
-    ResultMatrix results;
-    for (const std::string &wl : coherenceActiveIds())
-        for (const SystemConfig &cfg : configs)
-            results[wl][cfg.label] =
-                benchWorkload(wl, cfg, figureParams());
+    // Configs are customised above (small directory): skip the
+    // harness-default rescale inside runMatrix.
+    ResultMatrix results = runMatrix(coherenceActiveIds(), configs,
+                                     figureParams(), 0, /*scale=*/false);
 
-    TableWriter tw(std::cout);
+    BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
     tw.header({"benchmark", "plru cyc", "lru cyc", "stateAware cyc",
-               "plru dirEvict", "sA dirEvict"});
+               "plru dirEvict", "sA dirEvict"},
+              {"host_ms", "host_events_per_s"});
     std::vector<double> saved;
     for (const std::string &wl : coherenceActiveIds()) {
         auto &row = results[wl];
@@ -59,7 +59,8 @@ main()
                 TableWriter::fmt(row["LRU"].cycles),
                 TableWriter::fmt(row["stateAware"].cycles),
                 TableWriter::fmt(back_inv("treePLRU")),
-                TableWriter::fmt(back_inv("stateAware"))});
+                TableWriter::fmt(back_inv("stateAware"))},
+               hostCells(row));
     }
     tw.rule();
     tw.row({"stateAware saved% (mean)", "", "",
@@ -68,5 +69,5 @@ main()
     std::cout << "\npaper reference: a policy that avoids evicting "
                  "modified/many-sharer entries is expected to beat "
                  "Tree-PLRU (§VII).\n";
-    return 0;
+    return tw.writeCsv() ? 0 : 2;
 }

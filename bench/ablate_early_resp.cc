@@ -15,34 +15,45 @@ using namespace hsc;
 using namespace hsc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<Cycles> latencies = {60, 150, 400};
+    const std::vector<std::string> wls = {"tq", "trns", "rscd"};
 
     std::cout << "Ablation (§III-A): early dirty response vs memory "
                  "latency\n\n";
 
-    TableWriter tw(std::cout);
-    tw.header({"benchmark", "memLat", "base cyc", "early cyc", "saved%",
-               "earlyResponses"});
+    std::vector<SystemConfig> configs;
     for (Cycles lat : latencies) {
-        std::vector<double> saved;
-        for (const std::string &wl : {std::string("tq"),
-                                      std::string("trns"),
-                                      std::string("rscd")}) {
-            SystemConfig base = baselineConfig();
-            SystemConfig early = earlyRespConfig();
-            base.memLatency = early.memLatency = lat;
-            scaleHierarchy(base);
-            scaleHierarchy(early);
-            RunMetrics mb = benchWorkload(wl, base, figureParams());
-            RunMetrics me = benchWorkload(wl, early, figureParams());
+        SystemConfig base = baselineConfig();
+        SystemConfig early = earlyRespConfig();
+        base.memLatency = early.memLatency = lat;
+        scaleHierarchy(base);
+        scaleHierarchy(early);
+        base.label = "base" + std::to_string(lat);
+        early.label = "early" + std::to_string(lat);
+        configs.push_back(base);
+        configs.push_back(early);
+    }
+    // Configs carry their own memLatency: skip the rescale.
+    ResultMatrix results =
+        runMatrix(wls, configs, figureParams(), 0, /*scale=*/false);
+
+    BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
+    tw.header({"benchmark", "memLat", "base cyc", "early cyc", "saved%",
+               "earlyResponses"},
+              {"host_ms", "host_events_per_s"});
+    for (Cycles lat : latencies) {
+        for (const std::string &wl : wls) {
+            auto &row = results[wl];
+            const RunMetrics &mb = row["base" + std::to_string(lat)];
+            const RunMetrics &me = row["early" + std::to_string(lat)];
             double s = pctSaved(double(mb.cycles), double(me.cycles));
-            saved.push_back(s);
             tw.row({wl, TableWriter::fmt(std::uint64_t(lat)),
                     TableWriter::fmt(mb.cycles),
                     TableWriter::fmt(me.cycles), TableWriter::fmt(s),
-                    TableWriter::fmt(me.earlyResponses)});
+                    TableWriter::fmt(me.earlyResponses)},
+                   hostCells(row));
         }
         tw.rule();
     }
@@ -51,5 +62,5 @@ main()
                  "produce significant improvements' at the evaluated "
                  "latencies; the benefit grows with the memory/probe "
                  "latency ratio.\n";
-    return 0;
+    return tw.writeCsv() ? 0 : 2;
 }

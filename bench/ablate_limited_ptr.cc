@@ -15,7 +15,7 @@ using namespace hsc;
 using namespace hsc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::vector<SystemConfig> configs = {
         ownerTrackingConfig(),
@@ -29,8 +29,9 @@ main()
 
     ResultMatrix results = runMatrix(coherenceActiveIds(), configs);
 
-    TableWriter tw(std::cout);
-    tw.header({"benchmark", "owner", "ptr1", "ptr2", "ptr4", "fullMap"});
+    BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
+    tw.header({"benchmark", "owner", "ptr1", "ptr2", "ptr4", "fullMap"},
+              {"host_ms", "host_events_per_s"});
     std::cout << "probes sent by the directory:\n";
     for (const std::string &wl : coherenceActiveIds()) {
         auto &row = results[wl];
@@ -38,7 +39,8 @@ main()
                 TableWriter::fmt(row["limitedPtr1"].probes),
                 TableWriter::fmt(row["limitedPtr2"].probes),
                 TableWriter::fmt(row["limitedPtr4"].probes),
-                TableWriter::fmt(row["sharersTracking"].probes)});
+                TableWriter::fmt(row["sharersTracking"].probes)},
+               hostCells(row));
     }
     tw.rule();
     std::cout << "cycles:\n";
@@ -48,11 +50,12 @@ main()
                 TableWriter::fmt(row["limitedPtr1"].cycles),
                 TableWriter::fmt(row["limitedPtr2"].cycles),
                 TableWriter::fmt(row["limitedPtr4"].cycles),
-                TableWriter::fmt(row["sharersTracking"].cycles)});
+                TableWriter::fmt(row["sharersTracking"].cycles)},
+               hostCells(row));
     }
 
     std::cout << "\npaper reference: owner-only tracking already captures "
                  "most of the benefit; a few pointers close most of the "
                  "remaining gap to the full map.\n";
-    return 0;
+    return tw.writeCsv() ? 0 : 2;
 }

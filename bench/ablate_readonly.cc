@@ -16,16 +16,14 @@ using namespace hsc;
 using namespace hsc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "Ablation (§IX): read-only region tracking elision "
                  "(rsct, small directory)\n\n";
 
-    TableWriter tw(std::cout);
-    tw.header({"dir entries", "mode", "cycles", "dirEvictions",
-               "probes", "roElided"});
-
-    for (unsigned entries : {64u, 128u, 256u}) {
+    const std::vector<unsigned> sizes = {64u, 128u, 256u};
+    std::vector<SystemConfig> configs;
+    for (unsigned entries : sizes) {
         for (bool ro : {false, true}) {
             SystemConfig cfg = sharerTrackingConfig();
             scaleHierarchy(cfg);
@@ -40,15 +38,31 @@ main()
                 cfg.dir.readOnlyLimit =
                     base + 2ull * 128 * p.scale * 4;
             }
-            cfg.label = ro ? "readOnly" : "tracked";
-            RunMetrics m = benchWorkload("rsct", cfg, figureParams());
-            if (!m.ok)
-                std::cerr << "WARNING: rsct failed\n";
-            tw.row({TableWriter::fmt(std::uint64_t(entries)), cfg.label,
+            cfg.label = std::to_string(entries) +
+                        (ro ? "-readOnly" : "-tracked");
+            configs.push_back(cfg);
+        }
+    }
+    // Configs are customised above: skip the rescale.
+    ResultMatrix results = runMatrix({"rsct"}, configs, figureParams(),
+                                     0, /*scale=*/false);
+    auto &row = results["rsct"];
+
+    BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
+    tw.header({"dir entries", "mode", "cycles", "dirEvictions",
+               "probes", "roElided"},
+              {"host_ms", "host_events_per_s"});
+    for (unsigned entries : sizes) {
+        for (bool ro : {false, true}) {
+            const char *mode = ro ? "readOnly" : "tracked";
+            const RunMetrics &m =
+                row[std::to_string(entries) + "-" + mode];
+            tw.row({TableWriter::fmt(std::uint64_t(entries)), mode,
                     TableWriter::fmt(m.cycles),
                     TableWriter::fmt(m.dirEvictions),
                     TableWriter::fmt(m.probes),
-                    TableWriter::fmt(m.readOnlyElided)});
+                    TableWriter::fmt(m.readOnlyElided)},
+                   hostCells(row));
         }
         tw.rule();
     }
@@ -56,5 +70,5 @@ main()
     std::cout << "\nReads of the declared region allocate no directory "
                  "entries, freeing capacity for contended read-write "
                  "lines (paper §IX future work).\n";
-    return 0;
+    return tw.writeCsv() ? 0 : 2;
 }

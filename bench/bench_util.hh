@@ -3,10 +3,14 @@
 #ifndef HSC_BENCH_BENCH_UTIL_HH
 #define HSC_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/run_report.hh"
@@ -56,25 +60,108 @@ using ResultMatrix =
 /**
  * Run every (workload, config) pair and collect the metrics; failed
  * runs are reported and keep ok=false.
+ *
+ * The pairs run in parallel on a small thread pool: each simulation
+ * is a self-contained HsaSystem with its own event queue, so runs are
+ * independent and their (fully deterministic) simulated results do
+ * not depend on the interleaving.  Worker count defaults to the
+ * hardware concurrency, clamped to the task count; HSC_BENCH_THREADS
+ * overrides it (1 = serial, for debugging).  Warnings and matrix
+ * assembly happen after the join, in deterministic task order, so
+ * stderr/stdout output is identical run to run.
+ *
+ * @p scale applies scaleHierarchy to every config; harnesses that
+ * customise cache/directory geometry themselves pass false.
  */
 inline ResultMatrix
 runMatrix(const std::vector<std::string> &workloads,
           const std::vector<SystemConfig> &configs,
-          const WorkloadParams &params = figureParams())
+          const WorkloadParams &params = figureParams(),
+          unsigned threads = 0, bool scale = true)
 {
-    ResultMatrix results;
+    struct Task
+    {
+        const std::string *wl;
+        SystemConfig cfg;
+        RunMetrics out;
+    };
+    std::vector<Task> tasks;
+    tasks.reserve(workloads.size() * configs.size());
     for (const std::string &wl : workloads) {
         for (SystemConfig cfg : configs) {
-            scaleHierarchy(cfg);
-            RunMetrics m = benchWorkload(wl, cfg, params);
-            if (!m.ok) {
-                std::cerr << "WARNING: " << wl << " [" << cfg.label
-                          << "] failed verification\n";
-            }
-            results[wl][cfg.label] = m;
+            if (scale)
+                scaleHierarchy(cfg);
+            tasks.push_back(Task{&wl, std::move(cfg), RunMetrics{}});
         }
     }
+
+    if (threads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        threads = hw ? hw : 1;
+        if (const char *env = std::getenv("HSC_BENCH_THREADS"))
+            threads = unsigned(std::max(1, std::atoi(env)));
+    }
+    threads = unsigned(std::min<std::size_t>(threads, tasks.size()));
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&tasks, &next, &params] {
+        for (std::size_t i = next.fetch_add(1); i < tasks.size();
+             i = next.fetch_add(1)) {
+            Task &t = tasks[i];
+            try {
+                t.out = benchWorkload(*t.wl, t.cfg, params);
+            } catch (const std::exception &e) {
+                // Keep the slot: the failure surfaces as a warned,
+                // !ok row instead of tearing down the whole sweep.
+                t.out.workload = *t.wl;
+                t.out.config = t.cfg.label;
+                t.out.ok = false;
+                t.out.failReason = e.what();
+            }
+        }
+    };
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            pool.emplace_back(worker);
+        for (std::thread &th : pool)
+            th.join();
+    }
+
+    ResultMatrix results;
+    for (Task &t : tasks) {
+        if (!t.out.ok) {
+            std::cerr << "WARNING: " << *t.wl << " [" << t.cfg.label
+                      << "] failed verification";
+            if (!t.out.failReason.empty())
+                std::cerr << " (" << t.out.failReason << ")";
+            std::cerr << "\n";
+        }
+        results[*t.wl][t.cfg.label] = std::move(t.out);
+    }
     return results;
+}
+
+/**
+ * Host-performance cells for one result-matrix row (summed over its
+ * configs): wall milliseconds and aggregate events per second.  The
+ * figure harnesses append these to the CSV mirror only, keeping the
+ * printed tables aligned with the paper's figures.
+ */
+inline std::vector<std::string>
+hostCells(const std::map<std::string, RunMetrics> &row)
+{
+    double ms = 0;
+    double events = 0;
+    for (const auto &[label, m] : row) {
+        ms += m.hostMs;
+        events += double(m.hostEvents);
+    }
+    double evps = ms > 0 ? events / (ms / 1000.0) : 0;
+    return {TableWriter::fmt(ms), TableWriter::fmt(evps, 0)};
 }
 
 /** RFC-4180-style cell escaping (quote on comma/quote/newline). */
@@ -107,18 +194,23 @@ class BenchTable
     {
     }
 
+    /** Print the header; @p csv_extra columns go to the CSV mirror
+     *  only (host-performance columns that would misalign the
+     *  figure-fidelity console table). */
     void
-    header(const std::vector<std::string> &cols)
+    header(const std::vector<std::string> &cols,
+           const std::vector<std::string> &csv_extra = {})
     {
         tw.header(cols);
-        mirror.push_back(cols);
+        mirror.push_back(concat(cols, csv_extra));
     }
 
     void
-    row(const std::vector<std::string> &cells)
+    row(const std::vector<std::string> &cells,
+        const std::vector<std::string> &csv_extra = {})
     {
         tw.row(cells);
-        mirror.push_back(cells);
+        mirror.push_back(concat(cells, csv_extra));
     }
 
     void rule() { tw.rule(); }
@@ -151,6 +243,15 @@ class BenchTable
     }
 
   private:
+    static std::vector<std::string>
+    concat(const std::vector<std::string> &a,
+           const std::vector<std::string> &b)
+    {
+        std::vector<std::string> out = a;
+        out.insert(out.end(), b.begin(), b.end());
+        return out;
+    }
+
     TableWriter tw;
     std::string csvPath;
     std::vector<std::vector<std::string>> mirror;

@@ -34,7 +34,8 @@ main(int argc, char **argv)
 
     BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
     tw.header({"benchmark", "base cycles", "earlyResp%", "noWBcleanVic%",
-               "llcWB%"});
+               "llcWB%"},
+              {"host_ms", "host_events_per_s"});
     std::vector<double> m1, m2, m3;
     for (const std::string &wl : workloadIds()) {
         auto &row = results[wl];
@@ -47,7 +48,8 @@ main(int argc, char **argv)
         m3.push_back(llcwb);
         tw.row({wl, TableWriter::fmt(row["baseline"].cycles),
                 TableWriter::fmt(early), TableWriter::fmt(novic),
-                TableWriter::fmt(llcwb)});
+                TableWriter::fmt(llcwb)},
+               hostCells(row));
     }
     tw.rule();
     tw.row({"average", "", TableWriter::fmt(mean(m1)),

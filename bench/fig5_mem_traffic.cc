@@ -31,7 +31,8 @@ main(int argc, char **argv)
 
     BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
     tw.header({"benchmark", "baseline", "noWBcleanVic", "llcWB",
-               "llcWB+useL3OnWT", "red%(llcWB+useL3)"});
+               "llcWB+useL3OnWT", "red%(llcWB+useL3)"},
+              {"host_ms", "host_events_per_s"});
     std::vector<double> reductions;
     for (const std::string &wl : workloadIds()) {
         auto &row = results[wl];
@@ -46,7 +47,8 @@ main(int argc, char **argv)
                 TableWriter::fmt(total("noWBcleanVic")),
                 TableWriter::fmt(total("llcWB")),
                 TableWriter::fmt(std::uint64_t(best)),
-                TableWriter::fmt(red)});
+                TableWriter::fmt(red)},
+               hostCells(row));
     }
     tw.rule();
     tw.row({"average", "", "", "", "", TableWriter::fmt(mean(reductions))});

@@ -28,7 +28,8 @@ main(int argc, char **argv)
     ResultMatrix results = runMatrix(coherenceActiveIds(), configs);
 
     BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
-    tw.header({"benchmark", "base cycles", "owner%", "sharers%"});
+    tw.header({"benchmark", "base cycles", "owner%", "sharers%"},
+              {"host_ms", "host_events_per_s"});
     std::vector<double> mo, ms;
     for (const std::string &wl : coherenceActiveIds()) {
         auto &row = results[wl];
@@ -39,7 +40,8 @@ main(int argc, char **argv)
         mo.push_back(owner);
         ms.push_back(sharers);
         tw.row({wl, TableWriter::fmt(row["baseline"].cycles),
-                TableWriter::fmt(owner), TableWriter::fmt(sharers)});
+                TableWriter::fmt(owner), TableWriter::fmt(sharers)},
+               hostCells(row));
     }
     tw.rule();
     tw.row({"average", "", TableWriter::fmt(mean(mo)),

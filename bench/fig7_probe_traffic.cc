@@ -29,7 +29,8 @@ main(int argc, char **argv)
 
     BenchTable tw(std::cout, csvPathFromArgs(argc, argv));
     tw.header({"benchmark", "baseline", "owner", "sharers", "owner red%",
-               "sharers red%"});
+               "sharers red%"},
+              {"host_ms", "host_events_per_s"});
     std::vector<double> mo, ms;
     for (const std::string &wl : coherenceActiveIds()) {
         auto &row = results[wl];
@@ -42,7 +43,8 @@ main(int argc, char **argv)
                 TableWriter::fmt(row["ownerTracking"].probes),
                 TableWriter::fmt(row["sharersTracking"].probes),
                 TableWriter::fmt(pctSaved(base, owner)),
-                TableWriter::fmt(pctSaved(base, sharers))});
+                TableWriter::fmt(pctSaved(base, sharers))},
+               hostCells(row));
     }
     tw.rule();
     tw.row({"average", "", "", "", TableWriter::fmt(mean(mo)),

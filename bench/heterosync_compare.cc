@@ -19,41 +19,44 @@ namespace
 
 void
 section(const char *title, const std::vector<std::string> &ids,
-        std::vector<double> &saved_out)
+        const std::string &csv_path, std::vector<double> &saved_out)
 {
     std::cout << title << "\n";
-    TableWriter tw(std::cout);
+    ResultMatrix results = runMatrix(
+        ids, {baselineConfig(), sharerTrackingConfig()});
+    BenchTable tw(std::cout, csv_path);
     tw.header({"benchmark", "baseline cyc", "tracking cyc", "saved%",
-               "probes base", "probes trk"});
+               "probes base", "probes trk"},
+              {"host_ms", "host_events_per_s"});
     for (const std::string &wl : ids) {
-        SystemConfig base = baselineConfig();
-        SystemConfig trk = sharerTrackingConfig();
-        scaleHierarchy(base);
-        scaleHierarchy(trk);
-        RunMetrics mb = benchWorkload(wl, base, figureParams());
-        RunMetrics mt = benchWorkload(wl, trk, figureParams());
-        if (!mb.ok || !mt.ok)
-            std::cerr << "WARNING: " << wl << " failed\n";
+        auto &row = results[wl];
+        const RunMetrics &mb = row["baseline"];
+        const RunMetrics &mt = row["sharersTracking"];
         double s = pctSaved(double(mb.cycles), double(mt.cycles));
         saved_out.push_back(s);
         tw.row({wl, TableWriter::fmt(mb.cycles),
                 TableWriter::fmt(mt.cycles), TableWriter::fmt(s),
-                TableWriter::fmt(mb.probes), TableWriter::fmt(mt.probes)});
+                TableWriter::fmt(mb.probes), TableWriter::fmt(mt.probes)},
+               hostCells(row));
     }
+    tw.writeCsv();
     std::cout << "\n";
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "Benchmark selection (§V): collaborative CHAI vs "
                  "GPU-only HeteroSync\n\n";
 
+    // Optional argv[1]/argv[2]: CSV mirrors of the two sections.
     std::vector<double> chai, hs;
-    section("CHAI (coherence-active):", coherenceActiveIds(), chai);
-    section("HeteroSync-style:", heteroSyncIds(), hs);
+    section("CHAI (coherence-active):", coherenceActiveIds(),
+            argc > 1 ? argv[1] : "", chai);
+    section("HeteroSync-style:", heteroSyncIds(),
+            argc > 2 ? argv[2] : "", hs);
 
     std::cout << "mean saved%: CHAI " << TableWriter::fmt(mean(chai))
               << "  vs  HeteroSync " << TableWriter::fmt(mean(hs))

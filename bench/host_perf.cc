@@ -1,0 +1,223 @@
+/**
+ * @file
+ * host_perf — how fast does the simulator run on the host?
+ *
+ * Runs a fixed workload mix (all ten CHAI-style workloads on the
+ * baseline and sharer-tracking configurations) and reports, per run
+ * and in total, the number of kernel events executed, host wall time,
+ * and host events/sec.  The event count is a pure function of the
+ * simulated system, so it is bit-deterministic run to run and across
+ * kernel implementations that preserve (tick, prio, seq) ordering —
+ * CI asserts it against the committed BENCH_hostperf.json baseline;
+ * wall time and events/sec are the numbers the event-kernel work is
+ * judged by.
+ *
+ *   $ ./bench/host_perf                          # table to stdout
+ *   $ ./bench/host_perf --json BENCH_hostperf.json
+ *   $ ./bench/host_perf --baseline BENCH_hostperf.json   # CI guard
+ *   $ ./bench/host_perf --repeat 3               # steadier timing
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sim/json.hh"
+
+using namespace hsc;
+using namespace hsc::bench;
+
+namespace
+{
+
+struct Row
+{
+    std::string workload;
+    std::string config;
+    bool ok = false;
+    Cycles cycles = 0;
+    std::uint64_t events = 0;
+    double wallMs = 0.0;
+
+    double
+    eventsPerSec() const
+    {
+        return wallMs > 0.0 ? double(events) / (wallMs / 1000.0) : 0.0;
+    }
+};
+
+double
+millisSince(std::chrono::steady_clock::time_point t0)
+{
+    using namespace std::chrono;
+    return duration_cast<duration<double, std::milli>>(
+               steady_clock::now() - t0)
+        .count();
+}
+
+Row
+measure(const std::string &wl, const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    scaleHierarchy(cfg);
+    Row row;
+    row.workload = wl;
+    row.config = cfg.label;
+    HsaSystem sys(cfg);
+    auto workload = makeWorkload(wl, figureParams());
+    workload->setup(sys);
+    auto t0 = std::chrono::steady_clock::now();
+    bool ok = sys.run() && workload->verify(sys);
+    row.wallMs = millisSince(t0);
+    row.cycles = sys.cpuCycles();
+    row.events = sys.eventQueue().numExecuted();
+    row.ok = ok;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    std::string baseline_path;
+    int repeat = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = std::atoi(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: host_perf [--json out.json] "
+                         "[--baseline BENCH_hostperf.json] [--repeat n]\n";
+            return 0;
+        } else {
+            std::cerr << "unknown argument: " << arg << '\n';
+            return 2;
+        }
+    }
+    if (repeat < 1)
+        repeat = 1;
+
+    const std::vector<SystemConfig> configs = {baselineConfig(),
+                                               sharerTrackingConfig()};
+
+    // Best-of-N timing per (workload, config): the event count is
+    // identical across repeats (asserted), the wall time takes the
+    // minimum to shed scheduler noise.
+    std::vector<Row> rows;
+    bool all_ok = true;
+    for (const std::string &wl : workloadIds()) {
+        for (const SystemConfig &cfg : configs) {
+            Row best;
+            for (int r = 0; r < repeat; ++r) {
+                Row sample = measure(wl, cfg);
+                if (r == 0) {
+                    best = sample;
+                } else {
+                    if (sample.events != best.events) {
+                        std::cerr << "ERROR: " << wl
+                                  << ": event count not deterministic ("
+                                  << best.events << " vs " << sample.events
+                                  << ")\n";
+                        best.ok = false;
+                    }
+                    best.wallMs = std::min(best.wallMs, sample.wallMs);
+                }
+            }
+            all_ok = all_ok && best.ok;
+            rows.push_back(best);
+        }
+    }
+
+    std::uint64_t total_events = 0;
+    double total_wall_ms = 0.0;
+    TableWriter tw(std::cout);
+    tw.header({"workload", "config", "cycles", "events", "wall ms",
+               "events/s", "result"});
+    for (const Row &r : rows) {
+        total_events += r.events;
+        total_wall_ms += r.wallMs;
+        tw.row({r.workload, r.config, TableWriter::fmt(r.cycles),
+                TableWriter::fmt(r.events), TableWriter::fmt(r.wallMs),
+                TableWriter::fmt(r.eventsPerSec(), 0),
+                r.ok ? "OK" : "FAIL"});
+    }
+    double total_eps =
+        total_wall_ms > 0.0 ? double(total_events) / (total_wall_ms / 1e3)
+                            : 0.0;
+    tw.rule();
+    tw.row({"total", "", "", TableWriter::fmt(total_events),
+            TableWriter::fmt(total_wall_ms), TableWriter::fmt(total_eps, 0),
+            all_ok ? "OK" : "FAIL"});
+
+    JsonValue report = JsonValue::makeObject();
+    report.set("bench", JsonValue("host_perf"));
+    JsonValue jrows = JsonValue::makeArray();
+    for (const Row &r : rows) {
+        JsonValue o = JsonValue::makeObject();
+        o.set("workload", JsonValue(r.workload));
+        o.set("config", JsonValue(r.config));
+        o.set("ok", JsonValue(r.ok));
+        o.set("cycles", JsonValue(std::uint64_t(r.cycles)));
+        o.set("events", JsonValue(r.events));
+        o.set("wallMs", JsonValue(r.wallMs));
+        o.set("eventsPerSec", JsonValue(r.eventsPerSec()));
+        jrows.push(std::move(o));
+    }
+    report.set("rows", std::move(jrows));
+    report.set("totalEvents", JsonValue(total_events));
+    report.set("totalWallMs", JsonValue(total_wall_ms));
+    report.set("eventsPerSec", JsonValue(total_eps));
+    report.set("ok", JsonValue(all_ok));
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os) {
+            std::cerr << "cannot open " << json_path << '\n';
+            return 2;
+        }
+        report.write(os, 2);
+        os << '\n';
+        std::cout << "JSON report written to " << json_path << '\n';
+    } else {
+        std::cout << '\n';
+        report.write(std::cout, 2);
+        std::cout << '\n';
+    }
+
+    if (!baseline_path.empty()) {
+        std::ifstream is(baseline_path);
+        if (!is) {
+            std::cerr << "cannot open baseline " << baseline_path << '\n';
+            return 2;
+        }
+        std::stringstream ss;
+        ss << is.rdbuf();
+        JsonValue baseline = parseJson(ss.str());
+        // The committed record holds before/after kernel numbers; the
+        // event count is the deterministic quantity CI can assert.
+        const JsonValue *after = baseline.find("after");
+        const JsonValue &expect =
+            after ? after->at("totalEvents") : baseline.at("totalEvents");
+        if (expect.asUInt() != total_events) {
+            std::cerr << "ERROR: event count drifted from baseline ("
+                      << expect.asUInt() << " expected, " << total_events
+                      << " measured)\n";
+            return 1;
+        }
+        std::cout << "baseline event count matches (" << total_events
+                  << ")\n";
+    }
+
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * kernel_identity — does the event kernel change the simulation?
+ *
+ * The event-kernel hot path (queue data structure, callback storage,
+ * message delivery) is pure host engineering: it must never change
+ * simulated behaviour.  This guard runs the full figure matrix
+ * (fig4-fig7 configurations x all ten workloads) plus jittered
+ * RandomTester sweeps and reduces every run to exact integers:
+ * simulated cycles, the complete stat dump (FNV-1a hashed, every
+ * counter name and value), and the final memory image hash.  Golden
+ * values captured from one kernel implementation must match any
+ * other bit for bit.
+ *
+ *   $ ./bench/kernel_identity --write-golden golden.json   # capture
+ *   $ ./bench/kernel_identity --golden golden.json         # assert
+ *
+ * The repository commits the golden captured from the pre-overhaul
+ * seed kernel (bench/kernel_identity_golden.json); CI asserts against
+ * it, so any ordering or timing drift introduced by kernel work is a
+ * hard failure, in the style of obs_overhead's cycle assertions.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "core/random_tester.hh"
+#include "sim/json.hh"
+
+using namespace hsc;
+using namespace hsc::bench;
+
+namespace
+{
+
+/** FNV-1a over the full sorted stat dump (names and values). */
+std::uint64_t
+statHash(StatRegistry &reg)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const void *p, std::size_t n) {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ull;
+        }
+    };
+    for (const auto &[name, value] : reg.snapshot()) {
+        mix(name.data(), name.size());
+        mix(&value, sizeof(value));
+    }
+    return h;
+}
+
+struct Row
+{
+    std::string workload;
+    std::string config;
+    bool ok = false;
+    Cycles cycles = 0;
+    std::uint64_t stats = 0;   ///< statHash of the full dump
+};
+
+Row
+measure(const std::string &wl, const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    scaleHierarchy(cfg);
+    Row row;
+    row.workload = wl;
+    row.config = cfg.label;
+    HsaSystem sys(cfg);
+    auto workload = makeWorkload(wl, figureParams());
+    workload->setup(sys);
+    row.ok = sys.run() && workload->verify(sys);
+    row.cycles = sys.cpuCycles();
+    row.stats = statHash(sys.stats());
+    return row;
+}
+
+/** The stress_jitter fault schedules, reduced to two for run time. */
+std::vector<FaultConfig>
+jitterSchedules()
+{
+    std::vector<FaultConfig> s;
+    s.emplace_back(); // reference: no faults
+
+    FaultConfig heavy;
+    heavy.enabled = true;
+    heavy.seed = 202;
+    heavy.maxJitter = 40;
+    heavy.spikePercent = 8;
+    heavy.spikeCycles = 500;
+    s.push_back(heavy);
+
+    return s;
+}
+
+struct JitterRow
+{
+    std::string config;
+    std::uint64_t seed = 0;
+    bool ok = false;
+    std::uint64_t image = 0;   ///< final memory image hash
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string golden_path;
+    bool write_golden = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--golden" && i + 1 < argc) {
+            golden_path = argv[++i];
+        } else if (arg == "--write-golden" && i + 1 < argc) {
+            golden_path = argv[++i];
+            write_golden = true;
+        } else {
+            std::cerr << "usage: kernel_identity "
+                         "[--golden f.json | --write-golden f.json]\n";
+            return 2;
+        }
+    }
+
+    // The union of the fig4 (protocol optimisations) and fig6/fig7
+    // (state tracking) configuration axes.
+    const std::vector<SystemConfig> configs = {
+        baselineConfig(),        earlyRespConfig(),
+        noCleanVicToMemConfig(), llcWriteBackConfig(),
+        ownerTrackingConfig(),   sharerTrackingConfig(),
+    };
+
+    bool all_ok = true;
+    std::vector<Row> rows;
+    for (const std::string &wl : workloadIds()) {
+        for (const SystemConfig &cfg : configs) {
+            rows.push_back(measure(wl, cfg));
+            all_ok = all_ok && rows.back().ok;
+        }
+    }
+
+    std::vector<JitterRow> jrows;
+    for (const SystemConfig &base :
+         {baselineConfig(), sharerTrackingConfig()}) {
+        for (unsigned s = 0; s < 2; ++s) {
+            SystemConfig cfg = base;
+            shrinkForTorture(cfg);
+            cfg.check = false;
+
+            RandomTesterConfig tcfg;
+            tcfg.seed = 1000 + s * 77;
+            tcfg.numLocations = 24;
+            tcfg.roundsPerLocation = 5;
+
+            JitterSweepResult res =
+                runJitterSweep(cfg, tcfg, jitterSchedules());
+            JitterRow jr;
+            jr.config = cfg.label;
+            jr.seed = tcfg.seed;
+            jr.ok = res.ok;
+            jr.image = res.imageHashes.empty() ? 0 : res.imageHashes[0];
+            all_ok = all_ok && jr.ok;
+            jrows.push_back(jr);
+        }
+    }
+
+    JsonValue report = JsonValue::makeObject();
+    report.set("bench", JsonValue("kernel_identity"));
+    JsonValue jr = JsonValue::makeArray();
+    for (const Row &r : rows) {
+        JsonValue o = JsonValue::makeObject();
+        o.set("workload", JsonValue(r.workload));
+        o.set("config", JsonValue(r.config));
+        o.set("ok", JsonValue(r.ok));
+        o.set("cycles", JsonValue(std::uint64_t(r.cycles)));
+        o.set("statHash", JsonValue(r.stats));
+        jr.push(std::move(o));
+    }
+    report.set("rows", std::move(jr));
+    JsonValue jj = JsonValue::makeArray();
+    for (const JitterRow &r : jrows) {
+        JsonValue o = JsonValue::makeObject();
+        o.set("config", JsonValue(r.config));
+        o.set("seed", JsonValue(r.seed));
+        o.set("ok", JsonValue(r.ok));
+        o.set("imageHash", JsonValue(r.image));
+        jj.push(std::move(o));
+    }
+    report.set("jitterRows", std::move(jj));
+    report.set("ok", JsonValue(all_ok));
+
+    if (!all_ok) {
+        std::cerr << "ERROR: runs failed verification; identity "
+                     "comparison void\n";
+        report.write(std::cerr, 2);
+        std::cerr << '\n';
+        return 1;
+    }
+
+    if (write_golden) {
+        std::ofstream os(golden_path);
+        if (!os) {
+            std::cerr << "cannot open " << golden_path << '\n';
+            return 2;
+        }
+        report.write(os, 2);
+        os << '\n';
+        std::cout << "golden written to " << golden_path << " ("
+                  << rows.size() << " runs, " << jrows.size()
+                  << " jitter sweeps)\n";
+        return 0;
+    }
+
+    if (golden_path.empty()) {
+        report.write(std::cout, 2);
+        std::cout << '\n';
+        return 0;
+    }
+
+    std::ifstream is(golden_path);
+    if (!is) {
+        std::cerr << "cannot open golden " << golden_path << '\n';
+        return 2;
+    }
+    std::stringstream ss;
+    ss << is.rdbuf();
+    JsonValue golden = parseJson(ss.str());
+
+    unsigned mismatches = 0;
+    const auto &grows = golden.at("rows").items();
+    if (grows.size() != rows.size()) {
+        std::cerr << "ERROR: golden has " << grows.size()
+                  << " rows, measured " << rows.size() << '\n';
+        return 1;
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        const JsonValue &g = grows[i];
+        if (g.at("workload").asString() != r.workload ||
+            g.at("config").asString() != r.config) {
+            std::cerr << "ERROR: row " << i << " identity mismatch ("
+                      << r.workload << "/" << r.config << ")\n";
+            ++mismatches;
+            continue;
+        }
+        if (g.at("cycles").asUInt() != std::uint64_t(r.cycles)) {
+            std::cerr << "ERROR: " << r.workload << " [" << r.config
+                      << "]: cycles " << g.at("cycles").asUInt()
+                      << " -> " << r.cycles << '\n';
+            ++mismatches;
+        }
+        if (g.at("statHash").asUInt() != r.stats) {
+            std::cerr << "ERROR: " << r.workload << " [" << r.config
+                      << "]: stat dump hash drifted\n";
+            ++mismatches;
+        }
+    }
+    const auto &gjit = golden.at("jitterRows").items();
+    if (gjit.size() != jrows.size()) {
+        std::cerr << "ERROR: golden has " << gjit.size()
+                  << " jitter rows, measured " << jrows.size() << '\n';
+        return 1;
+    }
+    for (std::size_t i = 0; i < jrows.size(); ++i) {
+        if (gjit[i].at("imageHash").asUInt() != jrows[i].image) {
+            std::cerr << "ERROR: jitter sweep " << jrows[i].config
+                      << " seed " << jrows[i].seed
+                      << ": final memory image drifted\n";
+            ++mismatches;
+        }
+    }
+
+    if (mismatches) {
+        std::cerr << "FAIL: " << mismatches
+                  << " mismatch(es) vs golden — the kernel changed "
+                     "the simulation\n";
+        return 1;
+    }
+    std::cout << "OK: " << rows.size() << " runs and " << jrows.size()
+              << " jitter sweeps bit-identical to golden\n";
+    return 0;
+}

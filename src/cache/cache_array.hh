@@ -12,7 +12,6 @@
 #ifndef HSC_CACHE_CACHE_ARRAY_HH
 #define HSC_CACHE_CACHE_ARRAY_HH
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -52,6 +51,10 @@ template <typename Entry>
 class CacheArray
 {
   public:
+    /** Upper bound on associativity: keeps victim-candidate lists on
+     *  the stack in findVictimAmong. */
+    static constexpr unsigned MaxAssoc = 64;
+
     CacheArray(std::string name, CacheGeometry geom,
                const std::string &repl = "TreePLRU")
         : _name(std::move(name)), numSets(geom.numSets), assoc(geom.assoc),
@@ -62,6 +65,9 @@ class CacheArray
         panic_if(numSets == 0 || (numSets & (numSets - 1)),
                  "%s: numSets must be a nonzero power of two (got %u)",
                  _name.c_str(), numSets);
+        panic_if(assoc == 0 || assoc > MaxAssoc,
+                 "%s: assoc must be in [1, %u] (got %u)", _name.c_str(),
+                 MaxAssoc, assoc);
     }
 
     /** Look up @p addr; returns the entry or nullptr. Updates recency
@@ -152,21 +158,28 @@ class CacheArray
      * Pick a victim among valid ways that satisfy @p eligible,
      * least-recently-touched first.  Falls back to the unrestricted
      * policy when no way qualifies.
+     *
+     * @p eligible is a function template parameter (bool(Addr, const
+     * Entry &)) so the predicate inlines on the miss path — no
+     * std::function construction per lookup (DESIGN.md §9).
      */
+    template <typename EligibleFn>
     Victim
-    findVictimAmong(Addr new_addr,
-                    const std::function<bool(Addr, const Entry &)> &eligible)
+    findVictimAmong(Addr new_addr, EligibleFn &&eligible)
     {
         unsigned set = setIndex(new_addr);
-        std::vector<unsigned> cand;
+        // The candidate set is at most one way per column; assoc is
+        // capped in the constructor so this lives on the stack.
+        unsigned cand[MaxAssoc];
+        unsigned numCand = 0;
         for (unsigned way = 0; way < assoc; ++way) {
             Line &l = line(set, way);
             if (l.valid && eligible(l.tag, l.entry))
-                cand.push_back(way);
+                cand[numCand++] = way;
         }
-        if (cand.empty())
+        if (numCand == 0)
             return findVictim(new_addr);
-        unsigned way = policy->victimAmong(set, cand);
+        unsigned way = policy->victimAmong(set, {cand, numCand});
         Line &l = line(set, way);
         return Victim{l.tag, &l.entry};
     }
@@ -186,9 +199,12 @@ class CacheArray
         }
     }
 
-    /** Visit every valid line (used by the invariant checker). */
+    /** Visit every valid line (used by the invariant checker).  @p fn
+     *  is a template parameter (void(Addr, const Entry &)) so sweeps
+     *  inline instead of calling through std::function. */
+    template <typename Fn>
     void
-    forEach(const std::function<void(Addr, const Entry &)> &fn) const
+    forEach(Fn &&fn) const
     {
         for (const Line &l : lines) {
             if (l.valid)

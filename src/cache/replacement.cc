@@ -26,7 +26,7 @@ ReplacementPolicy::fill(unsigned set, unsigned way)
 
 unsigned
 ReplacementPolicy::victimAmong(unsigned set,
-                               const std::vector<unsigned> &candidates) const
+                               std::span<const unsigned> candidates) const
 {
     panic_if(candidates.empty(), "victimAmong with no candidates");
     // Prefer the policy's own victim when it is eligible so the

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -49,7 +50,7 @@ class ReplacementPolicy
      * state-aware directory policy).
      */
     unsigned victimAmong(unsigned set,
-                         const std::vector<unsigned> &candidates) const;
+                         std::span<const unsigned> candidates) const;
 
     unsigned associativity() const { return assoc; }
 

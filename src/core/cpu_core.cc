@@ -34,40 +34,33 @@ CpuCtx::maybeIfetch(std::function<void()> then)
     corePair.ifetch(coreIdx, pc, std::move(then));
 }
 
-Await<std::uint64_t>
-CpuCtx::load(Addr addr, unsigned size)
+void
+CpuCtx::LoadOp::start()
 {
-    return Await<std::uint64_t>(
-        [this, addr, size](std::function<void(std::uint64_t)> cb) {
-            maybeIfetch([this, addr, size, cb = std::move(cb)] {
-                corePair.load(coreIdx, addr, size, cb);
-            });
-        });
-}
-
-AwaitVoid
-CpuCtx::store(Addr addr, std::uint64_t value, unsigned size)
-{
-    return AwaitVoid([this, addr, value, size](std::function<void()> cb) {
-        maybeIfetch([this, addr, value, size, cb = std::move(cb)] {
-            corePair.store(coreIdx, addr, size, value, cb);
-        });
+    // Both captures are a single pointer: no heap on the op path.
+    ctx->maybeIfetch([this] {
+        ctx->corePair.load(ctx->coreIdx, addr, size,
+                           [this](std::uint64_t v) { complete(v); });
     });
 }
 
-Await<std::uint64_t>
-CpuCtx::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
-               std::uint64_t operand2, unsigned size)
+void
+CpuCtx::StoreOp::start()
 {
-    return Await<std::uint64_t>(
-        [this, addr, op, operand, operand2,
-         size](std::function<void(std::uint64_t)> cb) {
-            maybeIfetch([this, addr, op, operand, operand2, size,
-                         cb = std::move(cb)] {
-                corePair.atomic(coreIdx, addr, op, operand, operand2, size,
-                                cb);
-            });
-        });
+    ctx->maybeIfetch([this] {
+        ctx->corePair.store(ctx->coreIdx, addr, size, value,
+                            [this] { complete(); });
+    });
+}
+
+void
+CpuCtx::AmoOp::start()
+{
+    ctx->maybeIfetch([this] {
+        ctx->corePair.atomic(ctx->coreIdx, addr, op, operand, operand2,
+                             size,
+                             [this](std::uint64_t v) { complete(v); });
+    });
 }
 
 AwaitVoid

@@ -35,13 +35,58 @@ class CpuCtx
 
     unsigned threadId() const { return tid; }
 
-    /** @{ Awaitable memory operations (sizes 1/2/4/8). */
-    Await<std::uint64_t> load(Addr addr, unsigned size = 8);
-    AwaitVoid store(Addr addr, std::uint64_t value, unsigned size = 8);
-    Await<std::uint64_t> atomic(Addr addr, AtomicOp op,
-                                std::uint64_t operand,
-                                std::uint64_t operand2 = 0,
-                                unsigned size = 8);
+    /**
+     * @{ Awaitable memory operations (sizes 1/2/4/8).  The returned
+     * awaiters hold their parameters in the coroutine frame and
+     * complete through pointer-sized callbacks, so issuing one never
+     * heap-allocates (DESIGN.md §9).
+     */
+    struct LoadOp : AwaitOpBase<std::uint64_t, LoadOp>
+    {
+        CpuCtx *ctx;
+        Addr addr;
+        unsigned size;
+        void start();
+    };
+
+    struct StoreOp : AwaitVoidOpBase<StoreOp>
+    {
+        CpuCtx *ctx;
+        Addr addr;
+        std::uint64_t value;
+        unsigned size;
+        void start();
+    };
+
+    struct AmoOp : AwaitOpBase<std::uint64_t, AmoOp>
+    {
+        CpuCtx *ctx;
+        Addr addr;
+        AtomicOp op;
+        std::uint64_t operand;
+        std::uint64_t operand2;
+        unsigned size;
+        void start();
+    };
+
+    LoadOp
+    load(Addr addr, unsigned size = 8)
+    {
+        return {{}, this, addr, size};
+    }
+
+    StoreOp
+    store(Addr addr, std::uint64_t value, unsigned size = 8)
+    {
+        return {{}, this, addr, value, size};
+    }
+
+    AmoOp
+    atomic(Addr addr, AtomicOp op, std::uint64_t operand,
+           std::uint64_t operand2 = 0, unsigned size = 8)
+    {
+        return {{}, this, addr, op, operand, operand2, size};
+    }
     /** @} */
 
     /** Spend @p cycles CPU cycles of local computation. */

@@ -33,124 +33,101 @@ WaveCtx::maybeIfetch(std::function<void()> then)
     cu._sqc.fetch(pc, std::move(then));
 }
 
-Await<std::vector<std::uint64_t>>
-WaveCtx::vload(Addr base, unsigned stride, unsigned size)
+TcpController &
+WaveCtx::tcp()
 {
-    return Await<std::vector<std::uint64_t>>(
-        [this, base, stride,
-         size](std::function<void(std::vector<std::uint64_t>)> cb) {
-            maybeIfetch([this, base, stride, size, cb = std::move(cb)] {
-                // Coalesce lane addresses into unique blocks.
-                struct State
-                {
-                    std::map<Addr, DataBlock> blocks;
-                    unsigned pendingBlocks = 0;
-                    std::function<void(std::vector<std::uint64_t>)> cb;
-                };
-                auto st = std::make_shared<State>();
-                st->cb = std::move(cb);
-                for (unsigned i = 0; i < lanes; ++i)
-                    st->blocks[blockAlign(base + Addr(i) * stride)];
-                st->pendingBlocks = st->blocks.size();
-
-                auto finish = [this, base, stride, size, st] {
-                    std::vector<std::uint64_t> vals(lanes);
-                    for (unsigned i = 0; i < lanes; ++i) {
-                        Addr a = base + Addr(i) * stride;
-                        const DataBlock &blk = st->blocks[blockAlign(a)];
-                        vals[i] = size == 4
-                            ? blk.get<std::uint32_t>(blockOffset(a))
-                            : blk.get<std::uint64_t>(blockOffset(a));
-                    }
-                    st->cb(std::move(vals));
-                };
-                for (auto &[blk_addr, slot] : st->blocks) {
-                    cu._tcp.loadBlock(
-                        blk_addr, [st, finish, a = blk_addr](
-                                      const DataBlock &data) {
-                            st->blocks[a] = data;
-                            if (--st->pendingBlocks == 0)
-                                finish();
-                        });
-                }
-            });
-        });
+    return cu._tcp;
 }
 
-AwaitVoid
-WaveCtx::vstore(Addr base, unsigned stride, unsigned size,
-                std::vector<std::uint64_t> values)
+void
+WaveCtx::VloadOp::start()
 {
-    return AwaitVoid([this, base, stride, size,
-                      values = std::move(values)](std::function<void()> cb) {
-        maybeIfetch([this, base, stride, size, values, cb = std::move(cb)] {
-            struct Blk
-            {
-                DataBlock data;
-                ByteMask mask = 0;
-            };
-            auto blocks = std::make_shared<std::map<Addr, Blk>>();
-            for (unsigned i = 0; i < lanes && i < values.size(); ++i) {
-                Addr a = base + Addr(i) * stride;
-                Blk &b = (*blocks)[blockAlign(a)];
-                unsigned off = blockOffset(a);
-                if (size == 4)
-                    b.data.set<std::uint32_t>(off,
-                                              std::uint32_t(values[i]));
-                else
-                    b.data.set<std::uint64_t>(off, values[i]);
-                b.mask |= makeMask(off, size);
-            }
-            auto pending = std::make_shared<unsigned>(blocks->size());
-            auto done = std::make_shared<std::function<void()>>(
-                std::move(cb));
-            for (auto &[blk_addr, b] : *blocks) {
-                cu._tcp.storeBlock(blk_addr, b.data, b.mask,
-                                   [blocks, pending, done] {
-                                       if (--*pending == 0)
-                                           (*done)();
-                                   });
-            }
+    ctx->maybeIfetch([this] { issue(); });
+}
+
+void
+WaveCtx::VloadOp::issue()
+{
+    // Coalesce lane addresses into unique blocks.
+    for (unsigned i = 0; i < ctx->lanes; ++i)
+        blocks[blockAlign(base + Addr(i) * stride)];
+    pendingBlocks = unsigned(blocks.size());
+    for (auto &[blk_addr, slot] : blocks) {
+        ctx->tcp().loadBlock(blk_addr,
+                             [this, a = blk_addr](const DataBlock &data) {
+                                 blocks[a] = data;
+                                 if (--pendingBlocks == 0)
+                                     finish();
+                             });
+    }
+}
+
+void
+WaveCtx::VloadOp::finish()
+{
+    std::vector<std::uint64_t> vals(ctx->lanes);
+    for (unsigned i = 0; i < ctx->lanes; ++i) {
+        Addr a = base + Addr(i) * stride;
+        const DataBlock &blk = blocks[blockAlign(a)];
+        vals[i] = size == 4 ? blk.get<std::uint32_t>(blockOffset(a))
+                            : blk.get<std::uint64_t>(blockOffset(a));
+    }
+    complete(std::move(vals));
+}
+
+void
+WaveCtx::VstoreOp::start()
+{
+    ctx->maybeIfetch([this] { issue(); });
+}
+
+void
+WaveCtx::VstoreOp::issue()
+{
+    for (unsigned i = 0; i < ctx->lanes && i < values.size(); ++i) {
+        Addr a = base + Addr(i) * stride;
+        Blk &b = blocks[blockAlign(a)];
+        unsigned off = blockOffset(a);
+        if (size == 4)
+            b.data.set<std::uint32_t>(off, std::uint32_t(values[i]));
+        else
+            b.data.set<std::uint64_t>(off, values[i]);
+        b.mask |= makeMask(off, size);
+    }
+    pendingBlocks = unsigned(blocks.size());
+    for (auto &[blk_addr, b] : blocks) {
+        ctx->tcp().storeBlock(blk_addr, b.data, b.mask, [this] {
+            if (--pendingBlocks == 0)
+                complete();
         });
+    }
+}
+
+void
+WaveCtx::LoadOp::start()
+{
+    ctx->maybeIfetch([this] {
+        ctx->tcp().load(addr, size, scope,
+                        [this](std::uint64_t v) { complete(v); });
     });
 }
 
-Await<std::uint64_t>
-WaveCtx::load(Addr addr, unsigned size, Scope scope)
+void
+WaveCtx::StoreOp::start()
 {
-    return Await<std::uint64_t>(
-        [this, addr, size, scope](std::function<void(std::uint64_t)> cb) {
-            maybeIfetch([this, addr, size, scope, cb = std::move(cb)] {
-                cu._tcp.load(addr, size, scope, cb);
-            });
-        });
+    ctx->maybeIfetch([this] {
+        ctx->tcp().store(addr, size, value, scope,
+                         [this] { complete(); });
+    });
 }
 
-AwaitVoid
-WaveCtx::store(Addr addr, std::uint64_t value, unsigned size, Scope scope)
+void
+WaveCtx::AmoOp::start()
 {
-    return AwaitVoid(
-        [this, addr, value, size, scope](std::function<void()> cb) {
-            maybeIfetch([this, addr, value, size, scope,
-                         cb = std::move(cb)] {
-                cu._tcp.store(addr, size, value, scope, cb);
-            });
-        });
-}
-
-Await<std::uint64_t>
-WaveCtx::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
-                std::uint64_t operand2, unsigned size, Scope scope)
-{
-    return Await<std::uint64_t>(
-        [this, addr, op, operand, operand2, size,
-         scope](std::function<void(std::uint64_t)> cb) {
-            maybeIfetch([this, addr, op, operand, operand2, size, scope,
-                         cb = std::move(cb)] {
-                cu._tcp.atomic(addr, op, operand, operand2, size, scope,
-                               cb);
-            });
-        });
+    ctx->maybeIfetch([this] {
+        ctx->tcp().atomic(addr, op, operand, operand2, size, scope,
+                          [this](std::uint64_t v) { complete(v); });
+    });
 }
 
 AwaitVoid

@@ -13,6 +13,7 @@
 #ifndef HSC_CORE_GPU_CU_HH
 #define HSC_CORE_GPU_CU_HH
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -37,26 +38,113 @@ class WaveCtx
     unsigned laneCount() const { return lanes; }
 
     /**
+     * The memory-operation awaiters hold their parameters — and, for
+     * the vector ops, the per-block coalescing state that previously
+     * lived in shared_ptr'd heap blocks — in the coroutine frame and
+     * complete through pointer-sized callbacks, so issuing one never
+     * heap-allocates (DESIGN.md §9).
+     */
+    struct VloadOp : AwaitOpBase<std::vector<std::uint64_t>, VloadOp>
+    {
+        WaveCtx *ctx;
+        Addr base;
+        unsigned stride;
+        unsigned size;
+        std::map<Addr, DataBlock> blocks{};
+        unsigned pendingBlocks = 0;
+        void start();
+        void issue();
+        void finish();
+    };
+
+    struct VstoreOp : AwaitVoidOpBase<VstoreOp>
+    {
+        struct Blk
+        {
+            DataBlock data;
+            ByteMask mask = 0;
+        };
+        WaveCtx *ctx;
+        Addr base;
+        unsigned stride;
+        unsigned size;
+        std::vector<std::uint64_t> values;
+        std::map<Addr, Blk> blocks{};
+        unsigned pendingBlocks = 0;
+        void start();
+        void issue();
+    };
+
+    struct LoadOp : AwaitOpBase<std::uint64_t, LoadOp>
+    {
+        WaveCtx *ctx;
+        Addr addr;
+        unsigned size;
+        Scope scope;
+        void start();
+    };
+
+    struct StoreOp : AwaitVoidOpBase<StoreOp>
+    {
+        WaveCtx *ctx;
+        Addr addr;
+        std::uint64_t value;
+        unsigned size;
+        Scope scope;
+        void start();
+    };
+
+    struct AmoOp : AwaitOpBase<std::uint64_t, AmoOp>
+    {
+        WaveCtx *ctx;
+        Addr addr;
+        AtomicOp op;
+        std::uint64_t operand;
+        std::uint64_t operand2;
+        unsigned size;
+        Scope scope;
+        void start();
+    };
+
+    /**
      * Vector load: lane i reads @p size bytes at @p base + i*stride.
      * Lane addresses are coalesced into unique blocks.
      */
-    Await<std::vector<std::uint64_t>> vload(Addr base, unsigned stride,
-                                            unsigned size);
+    VloadOp
+    vload(Addr base, unsigned stride, unsigned size)
+    {
+        return {{}, this, base, stride, size};
+    }
 
     /** Vector store of per-lane @p values. */
-    AwaitVoid vstore(Addr base, unsigned stride, unsigned size,
-                     std::vector<std::uint64_t> values);
+    VstoreOp
+    vstore(Addr base, unsigned stride, unsigned size,
+           std::vector<std::uint64_t> values)
+    {
+        return {{}, this, base, stride, size, std::move(values)};
+    }
 
     /** @{ Scalar scoped operations. */
-    Await<std::uint64_t> load(Addr addr, unsigned size = 4,
-                              Scope scope = Scope::Wave);
-    AwaitVoid store(Addr addr, std::uint64_t value, unsigned size = 4,
-                    Scope scope = Scope::Wave);
-    Await<std::uint64_t> atomic(Addr addr, AtomicOp op,
-                                std::uint64_t operand,
-                                std::uint64_t operand2 = 0,
-                                unsigned size = 4,
-                                Scope scope = Scope::System);
+    LoadOp
+    load(Addr addr, unsigned size = 4, Scope scope = Scope::Wave)
+    {
+        return {{}, this, addr, size, scope};
+    }
+
+    StoreOp
+    store(Addr addr, std::uint64_t value, unsigned size = 4,
+          Scope scope = Scope::Wave)
+    {
+        return {{}, this, addr, value, size, scope};
+    }
+
+    AmoOp
+    atomic(Addr addr, AtomicOp op, std::uint64_t operand,
+           std::uint64_t operand2 = 0, unsigned size = 4,
+           Scope scope = Scope::System)
+    {
+        return {{}, this, addr, op, operand, operand2, size, scope};
+    }
     /** @} */
 
     /** Spend @p cycles GPU cycles of local computation. */
@@ -70,6 +158,9 @@ class WaveCtx
 
   private:
     void maybeIfetch(std::function<void()> then);
+
+    /** The CU's TCP (GpuCu befriends WaveCtx, not its awaiters). */
+    TcpController &tcp();
 
     GpuCu &cu;
     const unsigned wgId;

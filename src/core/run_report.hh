@@ -40,6 +40,13 @@ struct RunMetrics
     /** One-line failure diagnosis when !ok (HsaSystem::failReason():
      *  checker violation, caught fatal error, or hang report). */
     std::string failReason;
+    /** @{ Host-performance observations (DESIGN.md §9): wall-clock of
+     *  run+verify and events executed.  Not simulation results — they
+     *  jitter with the host — but the bench CSVs mirror them so event-
+     *  kernel regressions show up next to the figures they slow down. */
+    double hostMs = 0;
+    std::uint64_t hostEvents = 0;
+    /** @} */
 };
 
 /** Collect the metrics of a completed run. */

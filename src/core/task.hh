@@ -89,16 +89,13 @@ class Await
     bool
     await_suspend(std::coroutine_handle<> h)
     {
-        bool *in_start = &inStart;
-        bool *fired = &firedSync;
+        // The awaiter lives in the coroutine frame, so its address is
+        // stable until resumption: the completion callback captures
+        // [this] only and fits std::function's small-object buffer (no
+        // heap allocation per awaited operation).
+        handle = h;
         inStart = true;
-        starter([this, h, in_start, fired](T v) {
-            result = std::move(v);
-            if (*in_start)
-                *fired = true;
-            else
-                h.resume();
-        });
+        starter([this](T v) { complete(std::move(v)); });
         inStart = false;
         return !firedSync; // false => completed synchronously, resume now
     }
@@ -106,7 +103,18 @@ class Await
     T await_resume() { return std::move(result); }
 
   private:
+    void
+    complete(T v)
+    {
+        result = std::move(v);
+        if (inStart)
+            firedSync = true;
+        else
+            handle.resume();
+    }
+
     Starter starter;
+    std::coroutine_handle<> handle;
     T result{};
     bool inStart = false;
     bool firedSync = false;
@@ -125,15 +133,10 @@ class AwaitVoid
     bool
     await_suspend(std::coroutine_handle<> h)
     {
-        bool *in_start = &inStart;
-        bool *fired = &firedSync;
+        // See Await: [this]-only capture, inline in std::function.
+        handle = h;
         inStart = true;
-        starter([h, in_start, fired]() {
-            if (*in_start)
-                *fired = true;
-            else
-                h.resume();
-        });
+        starter([this] { complete(); });
         inStart = false;
         return !firedSync;
     }
@@ -141,7 +144,100 @@ class AwaitVoid
     void await_resume() {}
 
   private:
+    void
+    complete()
+    {
+        if (inStart)
+            firedSync = true;
+        else
+            handle.resume();
+    }
+
     Starter starter;
+    std::coroutine_handle<> handle;
+    bool inStart = false;
+    bool firedSync = false;
+};
+
+/**
+ * CRTP base for allocation-free awaiters over callback-style
+ * operations returning a T.
+ *
+ * Await/AwaitVoid type-erase their starter through std::function,
+ * which heap-allocates whenever the operation's parameters exceed the
+ * 16-byte small-object buffer — two allocations per CPU/GPU memory
+ * operation on the simulation hot path (DESIGN.md §9).  Hot-path
+ * operations instead derive an aggregate that holds its parameters
+ * directly in the awaiter — which lives in the coroutine frame — and
+ * implement start(), issuing the operation with completion callbacks
+ * that capture only the awaiter pointer and therefore stay inside the
+ * small-object buffer.
+ *
+ * Derived must be an aggregate whose first (base) initializer is {}
+ * and must define void start() arranging for complete(v) to be called
+ * exactly once; synchronous completion from inside start() is safe.
+ */
+template <typename T, typename Derived>
+struct AwaitOpBase
+{
+    bool await_ready() const noexcept { return false; }
+
+    bool
+    await_suspend(std::coroutine_handle<> h)
+    {
+        handle = h;
+        inStart = true;
+        static_cast<Derived *>(this)->start();
+        inStart = false;
+        return !firedSync;
+    }
+
+    T await_resume() { return std::move(result); }
+
+    void
+    complete(T v)
+    {
+        result = std::move(v);
+        if (inStart)
+            firedSync = true;
+        else
+            handle.resume();
+    }
+
+    std::coroutine_handle<> handle;
+    T result{};
+    bool inStart = false;
+    bool firedSync = false;
+};
+
+/** AwaitOpBase for void-returning operations. */
+template <typename Derived>
+struct AwaitVoidOpBase
+{
+    bool await_ready() const noexcept { return false; }
+
+    bool
+    await_suspend(std::coroutine_handle<> h)
+    {
+        handle = h;
+        inStart = true;
+        static_cast<Derived *>(this)->start();
+        inStart = false;
+        return !firedSync;
+    }
+
+    void await_resume() {}
+
+    void
+    complete()
+    {
+        if (inStart)
+            firedSync = true;
+        else
+            handle.resume();
+    }
+
+    std::coroutine_handle<> handle;
     bool inStart = false;
     bool firedSync = false;
 };

@@ -22,7 +22,7 @@ MessageBuffer::enqueue(Msg msg)
         throw SimError("link '" + _name + "' has no consumer",
                        "message-buffer");
     ++numMessages;
-    pending.push_back(eq.curTick());
+    pending.push_back(PendingMsg{std::move(msg), eq.curTick()});
     if (pending.size() > peak)
         peak = pending.size();
     if (dead)
@@ -33,12 +33,20 @@ MessageBuffer::enqueue(Msg msg)
     // scheduled message (ties keep insertion order in the queue).
     Tick when = std::max(eq.curTick() + latency + extra, lastDelivery);
     lastDelivery = when;
-    eq.schedule(when, [this, m = std::move(msg)]() mutable {
-        eq.notifyProgress();
-        pending.pop_front();
-        ++numDelivered;
-        consumer(std::move(m));
-    });
+    // Delivery events fire in schedule order (times are clamped
+    // non-decreasing, ties keep seq order), so the front of the
+    // pending ring is always the message the firing event owns.
+    eq.schedule(when, [this] { deliverFront(); },
+                EventPriority::Default, /*progress=*/true);
+}
+
+void
+MessageBuffer::deliverFront()
+{
+    Msg m = std::move(pending.front().msg);
+    pending.pop_front();
+    ++numDelivered;
+    consumer(std::move(m));
 }
 
 } // namespace hsc

@@ -18,12 +18,20 @@
  *    reports can name the links traffic is stuck on;
  *  - enqueue on a link with no consumer throws SimError naming the
  *    link, instead of a bad-function call deep inside the event loop.
+ *
+ * Hot-path note (DESIGN.md §9): messages are parked in the buffer's
+ * own pending ring, never captured into per-message lambdas — each
+ * delivery event is a [this] thunk that pops the front.  One event
+ * per message is deliberate: it keeps the (tick, prio, seq) slot of
+ * every delivery, the executed-event count, and the granularity at
+ * which EventQueue::runUntil evaluates its predicate bit-identical
+ * to a per-message-event kernel, which coalesced same-tick draining
+ * would not.
  */
 
 #ifndef HSC_MEM_MESSAGE_BUFFER_HH
 #define HSC_MEM_MESSAGE_BUFFER_HH
 
-#include <deque>
 #include <functional>
 #include <string>
 #include <utility>
@@ -32,6 +40,7 @@
 #include "mem/message.hh"
 #include "sim/event_queue.hh"
 #include "sim/introspect.hh"
+#include "sim/ring_buffer.hh"
 #include "stats/stats.hh"
 
 namespace hsc
@@ -109,7 +118,7 @@ class MessageBuffer : public MsgSink
     Tick
     oldestPendingAge(Tick now) const
     {
-        return pending.empty() ? 0 : now - pending.front();
+        return pending.empty() ? 0 : now - pending.front().enqTick;
     }
 
     LinkInfo
@@ -120,6 +129,16 @@ class MessageBuffer : public MsgSink
     /** @} */
 
   private:
+    /** One undelivered message (FIFO => front oldest / next due). */
+    struct PendingMsg
+    {
+        Msg msg;
+        Tick enqTick = 0;
+    };
+
+    /** Deliver the front pending message to the consumer. */
+    void deliverFront();
+
     const std::string _name;
     EventQueue &eq;
     Tick latency;
@@ -131,8 +150,9 @@ class MessageBuffer : public MsgSink
     FaultInjector *fault = nullptr;
     bool dead = false;
 
-    /** Enqueue ticks of undelivered messages (FIFO => front oldest). */
-    std::deque<Tick> pending;
+    /** Undelivered messages; delivery events only capture [this] and
+     *  pop from here, so no Msg ever rides inside a callback. */
+    RingBuf<PendingMsg> pending;
     /** Latest scheduled delivery tick: the FIFO clamp under jitter. */
     Tick lastDelivery = 0;
 };

@@ -115,15 +115,6 @@ CorePairController::regStats(StatRegistry &reg)
 }
 
 void
-CorePairController::after(Cycles extra, std::function<void()> fn)
-{
-    scheduleCycles(extra, [this, fn = std::move(fn)] {
-        eq.notifyProgress();
-        fn();
-    });
-}
-
-void
 CorePairController::load(unsigned core, Addr addr, unsigned size,
                          LoadCallback cb)
 {
@@ -438,10 +429,12 @@ CorePairController::handleFromDir(Msg &&msg)
       case MsgType::PrbInv:
       case MsgType::PrbDowngrade:
         ++statProbesRecvd;
-        after(params.l2Latency, [this, m = msg] { handleProbe(m); });
+        deferred.push_back(std::move(msg));
+        after(params.l2Latency, [this] { processDeferred(); });
         break;
       case MsgType::SysResp:
-        after(params.l2Latency, [this, m = msg] { handleSysResp(m); });
+        deferred.push_back(std::move(msg));
+        after(params.l2Latency, [this] { processDeferred(); });
         break;
       case MsgType::WBAck: {
         auto it = victims.find(msg.addr);
@@ -457,6 +450,17 @@ CorePairController::handleFromDir(Msg &&msg)
         panic("%s: unexpected message %s from directory", name().c_str(),
               std::string(msgTypeName(msg.type)).c_str());
     }
+}
+
+void
+CorePairController::processDeferred()
+{
+    Msg m = std::move(deferred.front());
+    deferred.pop_front();
+    if (m.type == MsgType::SysResp)
+        handleSysResp(m);
+    else
+        handleProbe(m);
 }
 
 void
@@ -627,7 +631,7 @@ CorePairController::handleSysResp(const Msg &msg)
     obsEmit(it->second.obsId, ObsPhase::Complete, msg.addr);
 
     // Replay merged ops; they either complete or trigger an upgrade.
-    std::deque<CoreOp> ops = std::move(it->second.pendingOps);
+    SmallVec<CoreOp, 2> ops = std::move(it->second.pendingOps);
     tbes.erase(it);
     for (auto &op : ops)
         processOp(std::move(op));

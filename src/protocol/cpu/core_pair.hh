@@ -30,6 +30,9 @@
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
 #include "sim/introspect.hh"
+#include "sim/pool_alloc.hh"
+#include "sim/ring_buffer.hh"
+#include "sim/small_vec.hh"
 #include "stats/stats.hh"
 
 namespace hsc
@@ -138,7 +141,8 @@ class CorePairController : public Clocked, public ProtocolIntrospect
     struct Tbe
     {
         MsgType reqType;
-        std::deque<CoreOp> pendingOps;
+        /** Ops merged onto this miss; almost always one or two. */
+        SmallVec<CoreOp, 2> pendingOps;
         Tick startedAt = 0;
         std::uint64_t obsId = 0;
     };
@@ -193,8 +197,19 @@ class CorePairController : public Clocked, public ProtocolIntrospect
     /** Drop the line from every L1 (inclusivity). */
     void invalidateL1s(Addr block);
 
-    /** Charge @p extra L2 cycles, then run @p fn. */
-    void after(Cycles extra, std::function<void()> fn);
+    /** Charge @p extra L2 cycles, then run @p fn.  @p fn is a function
+     *  template parameter so the continuation is stored inline in the
+     *  event (no std::function heap traffic). */
+    template <typename Fn>
+    void
+    after(Cycles extra, Fn &&fn)
+    {
+        scheduleCycles(extra, std::forward<Fn>(fn),
+                       EventPriority::Default, /*progress=*/true);
+    }
+
+    /** Run the front of the deferred-message ring (probe/response). */
+    void processDeferred();
 
     /** Tell the checker the permission this L2 now holds on @p block. */
     void notePerm(Addr block, const L2Entry *entry);
@@ -210,8 +225,14 @@ class CorePairController : public Clocked, public ProtocolIntrospect
     std::vector<CacheArray<L1Entry>> l1d;  ///< one per core
     CacheArray<L1Entry> l1i;               ///< shared, context-sensitive
 
-    std::unordered_map<Addr, Tbe> tbes;
-    std::unordered_map<Addr, std::deque<VictimEntry>> victims;
+    PoolUMap<Addr, Tbe> tbes;
+    PoolUMap<Addr, SmallVec<VictimEntry, 1>> victims;
+
+    /** Directory messages (probes/responses) awaiting their L2 access
+     *  latency.  All deferrals use the same fixed delay, so their
+     *  events fire in push order and the front is always the due
+     *  message; the event itself captures [this] only. */
+    RingBuf<Msg> deferred;
 
     CoherenceChecker *checker = nullptr;
 

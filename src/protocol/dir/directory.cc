@@ -92,15 +92,6 @@ DirectoryController::regStats(StatRegistry &reg)
 }
 
 void
-DirectoryController::after(Cycles extra, std::function<void()> fn)
-{
-    scheduleCycles(extra, [this, fn = std::move(fn)] {
-        eq.notifyProgress();
-        fn();
-    });
-}
-
-void
 DirectoryController::sendToClient(MachineId id, Msg msg)
 {
     panic_if(id < 0 || id >= static_cast<MachineId>(toClient.size()) ||
@@ -143,10 +134,12 @@ DirectoryController::scheduleDispatch(Msg msg)
     Tick ready = clock().clockEdge(curTick(), params.dirLatency);
     Tick start = std::max(ready, nextDispatchFree);
     nextDispatchFree = start + clock().toTicks(params.servicePeriod);
-    eq.schedule(start, [this, m = std::move(msg)]() mutable {
-        eq.notifyProgress();
+    dispatchPending.push_back(std::move(msg));
+    eq.schedule(start, [this] {
+        Msg m = std::move(dispatchPending.front());
+        dispatchPending.pop_front();
         dispatch(std::move(m));
-    });
+    }, EventPriority::Default, /*progress=*/true);
 }
 
 void
@@ -240,11 +233,11 @@ DirectoryController::releaseLine(Addr addr)
 // Probe target computation
 // --------------------------------------------------------------------
 
-std::vector<MachineId>
+DirectoryController::ProbeTargets
 DirectoryController::broadcastTargets(bool invalidating,
                                       MachineId exclude) const
 {
-    std::vector<MachineId> targets;
+    ProbeTargets targets;
     for (unsigned i = 0; i < params.topo.numCorePairs; ++i) {
         MachineId id = params.topo.l2Id(i);
         if (id != exclude)
@@ -262,7 +255,21 @@ DirectoryController::broadcastTargets(bool invalidating,
     return targets;
 }
 
-std::vector<MachineId>
+unsigned
+DirectoryController::broadcastCount(bool invalidating,
+                                    MachineId exclude) const
+{
+    unsigned n = 0;
+    for (unsigned i = 0; i < params.topo.numCorePairs; ++i)
+        n += (params.topo.l2Id(i) != exclude);
+    if (invalidating) {
+        for (unsigned i = 0; i < params.topo.numTccs; ++i)
+            n += (params.topo.tccId(i) != exclude);
+    }
+    return n;
+}
+
+DirectoryController::ProbeTargets
 DirectoryController::trackedTargets(const DirEntry &entry,
                                     MachineId exclude) const
 {
@@ -271,7 +278,7 @@ DirectoryController::trackedTargets(const DirEntry &entry,
     if (params.cfg.tracking != DirTracking::Sharers || entry.overflow)
         return broadcastTargets(true, exclude);
 
-    std::vector<MachineId> targets = sharerList(entry);
+    ProbeTargets targets = sharerList(entry);
     if (entry.owner != InvalidMachineId &&
         std::find(targets.begin(), targets.end(), entry.owner) ==
             targets.end()) {
@@ -327,10 +334,10 @@ DirectoryController::sharersEmpty(const DirEntry &entry) const
     return entry.sharers == 0;
 }
 
-std::vector<MachineId>
+DirectoryController::ProbeTargets
 DirectoryController::sharerList(const DirEntry &entry) const
 {
-    std::vector<MachineId> out;
+    ProbeTargets out;
     for (unsigned i = 0; i < params.topo.numCacheClients(); ++i) {
         if (entry.sharers & (1ull << i))
             out.push_back(static_cast<MachineId>(i));
@@ -362,11 +369,11 @@ DirectoryController::newTbe(const Msg &msg)
 
 void
 DirectoryController::sendProbes(Tbe &tbe,
-                                const std::vector<MachineId> &targets,
+                                const ProbeTargets &targets,
                                 bool invalidating)
 {
     unsigned broadcast_size =
-        broadcastTargets(invalidating, tbe.req.sender).size();
+        broadcastCount(invalidating, tbe.req.sender);
     if (broadcast_size > targets.size())
         statProbesElided += broadcast_size - targets.size();
     if (targets.empty())
@@ -861,14 +868,17 @@ DirectoryController::ensureDirSpace(const Msg &msg)
             livelockedMsgs.push_back(std::move(retry));
             return false;
         }
-        after(params.dirLatency, [this, m = std::move(retry)]() mutable {
+        retryPending.push_back(std::move(retry));
+        after(params.dirLatency, [this] {
+            Msg m = std::move(retryPending.front());
+            retryPending.pop_front();
             handleTracked(std::move(m));
         });
         return false;
     }
 
     ++statDirEvictions;
-    std::vector<MachineId> targets =
+    ProbeTargets targets =
         trackedTargets(*victim.entry, InvalidMachineId);
     statBackInvals += targets.size();
 
@@ -1037,7 +1047,7 @@ DirectoryController::handleSState(Msg msg, DirEntry &entry)
         break;
       }
       case MsgType::RdBlkM: {
-        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        ProbeTargets targets = trackedTargets(entry, msg.sender);
         bool requester_shares =
             params.cfg.tracking == DirTracking::Sharers && !entry.overflow &&
             (entry.sharers & (1ull << msg.sender));
@@ -1061,7 +1071,7 @@ DirectoryController::handleSState(Msg msg, DirEntry &entry)
       }
       case MsgType::WriteThrough:
       case MsgType::Flush: {
-        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        ProbeTargets targets = trackedTargets(entry, msg.sender);
         bool retains = msg.hit;
         MachineId sender = msg.sender;
         if (retains) {
@@ -1081,7 +1091,7 @@ DirectoryController::handleSState(Msg msg, DirEntry &entry)
         break;
       }
       case MsgType::Atomic: {
-        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        ProbeTargets targets = trackedTargets(entry, msg.sender);
         freeEntry(msg.addr);
         Tbe &tbe = newTbe(msg);
         sendProbes(tbe, targets, true);
@@ -1095,7 +1105,7 @@ DirectoryController::handleSState(Msg msg, DirEntry &entry)
         break;
       }
       case MsgType::DmaWrite: {
-        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        ProbeTargets targets = trackedTargets(entry, msg.sender);
         freeEntry(msg.addr);
         Tbe &tbe = newTbe(msg);
         sendProbes(tbe, targets, true);
@@ -1159,7 +1169,7 @@ DirectoryController::handleOState(Msg msg, DirEntry &entry)
         break;
       }
       case MsgType::RdBlkM: {
-        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        ProbeTargets targets = trackedTargets(entry, msg.sender);
         bool upgrade = msg.sender == owner;
         entry.owner = msg.sender;
         entry.sharers = 0;
@@ -1183,7 +1193,7 @@ DirectoryController::handleOState(Msg msg, DirEntry &entry)
       }
       case MsgType::WriteThrough:
       case MsgType::Flush: {
-        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        ProbeTargets targets = trackedTargets(entry, msg.sender);
         if (msg.hit) {
             entry.state = DirState::S;
             entry.owner = InvalidMachineId;
@@ -1201,7 +1211,7 @@ DirectoryController::handleOState(Msg msg, DirEntry &entry)
         break;
       }
       case MsgType::Atomic: {
-        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        ProbeTargets targets = trackedTargets(entry, msg.sender);
         freeEntry(addr);
         Tbe &tbe = newTbe(msg);
         sendProbes(tbe, targets, true);
@@ -1229,7 +1239,7 @@ DirectoryController::handleOState(Msg msg, DirEntry &entry)
         break;
       }
       case MsgType::DmaWrite: {
-        std::vector<MachineId> targets = trackedTargets(entry, msg.sender);
+        ProbeTargets targets = trackedTargets(entry, msg.sender);
         freeEntry(addr);
         Tbe &tbe = newTbe(msg);
         sendProbes(tbe, targets, true);

@@ -41,6 +41,8 @@
 #include "protocol/dir/llc.hh"
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
+#include "sim/pool_alloc.hh"
+#include "sim/small_vec.hh"
 #include "sim/introspect.hh"
 #include "stats/stats.hh"
 
@@ -169,6 +171,10 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
         std::function<void(Tbe &)> onRespond;
     };
 
+    /** Probe target list: inline up to 16 machines (heap only on
+     *  larger topologies), so target computation never allocates. */
+    using ProbeTargets = SmallVec<MachineId, 16>;
+
     void receive(Msg &&msg);
     void dispatch(Msg msg);
 
@@ -193,7 +199,7 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
 
     // --- Shared transaction machinery ----------------------------------
     Tbe &newTbe(const Msg &msg);
-    void sendProbes(Tbe &tbe, const std::vector<MachineId> &targets,
+    void sendProbes(Tbe &tbe, const ProbeTargets &targets,
                     bool invalidating);
     void startBackingRead(Tbe &tbe);
     void handleProbeResp(const Msg &msg);
@@ -204,18 +210,21 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
     void releaseLine(Addr addr);
 
     /** All probe-able clients except @p exclude (TCC only if inval). */
-    std::vector<MachineId> broadcastTargets(bool invalidating,
-                                            MachineId exclude) const;
+    ProbeTargets broadcastTargets(bool invalidating,
+                                  MachineId exclude) const;
+    /** Size of broadcastTargets without building the list (probe
+     *  elision stats run on every request, so stay allocation-free). */
+    unsigned broadcastCount(bool invalidating, MachineId exclude) const;
     /** Tracked targets of @p entry (owner-tracking S falls back to
      *  broadcast), minus @p exclude. */
-    std::vector<MachineId> trackedTargets(const DirEntry &entry,
-                                          MachineId exclude) const;
+    ProbeTargets trackedTargets(const DirEntry &entry,
+                                MachineId exclude) const;
 
     /** @{ Sharer-set helpers honouring the limited-pointer mode. */
     void addSharer(DirEntry &entry, MachineId id);
     void removeSharer(DirEntry &entry, MachineId id);
     bool sharersEmpty(const DirEntry &entry) const;
-    std::vector<MachineId> sharerList(const DirEntry &entry) const;
+    ProbeTargets sharerList(const DirEntry &entry) const;
     /** @} */
 
     /** Free the tracked entry of @p addr if present. */
@@ -230,7 +239,17 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
     void writeVictim(Addr addr, const DataBlock &data, bool dirty);
 
     void sendToClient(MachineId id, Msg msg);
-    void after(Cycles extra, std::function<void()> fn);
+
+    /** Charge @p extra directory cycles, then run @p fn.  @p fn is a
+     *  function template parameter so the continuation is stored
+     *  inline in the event (no std::function heap traffic). */
+    template <typename Fn>
+    void
+    after(Cycles extra, Fn &&fn)
+    {
+        scheduleCycles(extra, std::forward<Fn>(fn),
+                       EventPriority::Default, /*progress=*/true);
+    }
 
     bool isVictim(MsgType t) const
     {
@@ -253,23 +272,33 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
 
     std::vector<MessageBuffer *> toClient;
 
-    std::unordered_map<std::uint64_t, Tbe> tbes;
+    PoolUMap<std::uint64_t, Tbe> tbes;
     std::uint64_t nextTxn = 1;
     Tick nextDispatchFree = 0;
+
+    /** Requests awaiting their serialised dispatch slot; dispatch
+     *  events capture [this] only and pop the front (slots are handed
+     *  out in FIFO order, so the front is always the due request). */
+    RingBuf<Msg> dispatchPending;
+
+    /** Set-conflict retries awaiting their dirLatency replay, oldest
+     *  first (all retries use the same fixed delay, so replay events
+     *  fire in push order and the front is always the due one). */
+    RingBuf<Msg> retryPending;
 
     /** Schedule @p msg's dispatch, serialised by the service period. */
     void scheduleDispatch(Msg msg);
 
     /** Blocked lines -> transaction id (0 for victim processing). */
-    std::unordered_map<Addr, std::uint64_t> busyLines;
-    std::unordered_map<Addr, std::deque<Msg>> stalled;
+    PoolUMap<Addr, std::uint64_t> busyLines;
+    PoolUMap<Addr, SmallVec<Msg, 1>> stalled;
 
     /**
      * In-flight victims cancelled by an invalidating probe that hit
      * the sender's victim buffer: (line, sender) -> count.  The next
      * matching VicClean/VicDirty is acknowledged and dropped.
      */
-    std::map<std::pair<Addr, MachineId>, unsigned> cancelledVics;
+    PoolMap<std::pair<Addr, MachineId>, unsigned> cancelledVics;
 
     /** Consume a cancellation mark for @p msg; true when dropped. */
     bool consumeCancelledVic(const Msg &msg);

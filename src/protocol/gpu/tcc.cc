@@ -56,15 +56,6 @@ TccController::regStats(StatRegistry &reg)
 }
 
 void
-TccController::after(Cycles extra, std::function<void()> fn)
-{
-    scheduleCycles(extra, [this, fn = std::move(fn)] {
-        eq.notifyProgress();
-        fn();
-    });
-}
-
-void
 TccController::readBlock(Addr addr, BlockCallback cb,
                          std::uint64_t obs_id)
 {
@@ -323,17 +314,8 @@ TccController::handleFromDir(Msg &&msg)
       case MsgType::SysResp: {
         // Fill completion; the granted state is ignored (§II-A: an
         // Exclusive grant is ignored by the TCC).
-        after(params.latency, [this, m = msg] {
-            auto it = fills.find(m.addr);
-            panic_if(it == fills.end(), "%s: fill resp with no MSHR",
-                     name().c_str());
-            ViLine &line = allocateLine(m.addr);
-            line.fill(m.data);
-            auto cbs = std::move(it->second.cbs);
-            fills.erase(it);
-            for (auto &cb : cbs)
-                cb(line.data);
-        });
+        deferred.push_back(std::move(msg));
+        after(params.latency, [this] { processDeferred(); });
         break;
       }
       case MsgType::AtomicResp: {
@@ -360,30 +342,49 @@ TccController::handleFromDir(Msg &&msg)
       case MsgType::PrbInv:
       case MsgType::PrbDowngrade: {
         ++statProbesRecvd;
-        after(params.latency, [this, m = msg] {
-            obsEmit(m.obsId, ObsPhase::ProbeIn, m.addr);
-            Msg resp;
-            resp.type = MsgType::PrbResp;
-            resp.addr = m.addr;
-            resp.sender = id;
-            resp.txnId = m.txnId;
-            ViLine *line = array.lookup(m.addr, false);
-            resp.hit = line != nullptr;
-            // The TCC never forwards data; on an invalidating probe it
-            // invalidates itself, dropping even dirty bytes (VIPER
-            // semantics: unsynchronised GPU data is not protected).
-            if (line && m.type == MsgType::PrbInv) {
-                array.invalidate(m.addr);
-                ++statProbeInvalidations;
-            }
-            toDir.enqueue(resp);
-        });
+        deferred.push_back(std::move(msg));
+        after(params.latency, [this] { processDeferred(); });
         break;
       }
       default:
         panic("%s: unexpected message %s from directory", name().c_str(),
               std::string(msgTypeName(msg.type)).c_str());
     }
+}
+
+void
+TccController::processDeferred()
+{
+    Msg m = std::move(deferred.front());
+    deferred.pop_front();
+    if (m.type == MsgType::SysResp) {
+        auto it = fills.find(m.addr);
+        panic_if(it == fills.end(), "%s: fill resp with no MSHR",
+                 name().c_str());
+        ViLine &line = allocateLine(m.addr);
+        line.fill(m.data);
+        auto cbs = std::move(it->second.cbs);
+        fills.erase(it);
+        for (auto &cb : cbs)
+            cb(line.data);
+        return;
+    }
+    obsEmit(m.obsId, ObsPhase::ProbeIn, m.addr);
+    Msg resp;
+    resp.type = MsgType::PrbResp;
+    resp.addr = m.addr;
+    resp.sender = id;
+    resp.txnId = m.txnId;
+    ViLine *line = array.lookup(m.addr, false);
+    resp.hit = line != nullptr;
+    // The TCC never forwards data; on an invalidating probe it
+    // invalidates itself, dropping even dirty bytes (VIPER semantics:
+    // unsynchronised GPU data is not protected).
+    if (line && m.type == MsgType::PrbInv) {
+        array.invalidate(m.addr);
+        ++statProbeInvalidations;
+    }
+    toDir.enqueue(resp);
 }
 
 bool

@@ -30,6 +30,9 @@
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
 #include "sim/introspect.hh"
+#include "sim/pool_alloc.hh"
+#include "sim/ring_buffer.hh"
+#include "sim/small_vec.hh"
 #include "stats/stats.hh"
 
 namespace hsc
@@ -144,7 +147,19 @@ class TccController : public Clocked, public ProtocolIntrospect
                           bool is_flush, bool retains_copy,
                           ObsClass wt_cls = ObsClass::GpuWrite);
 
-    void after(Cycles extra, std::function<void()> fn);
+    /** Charge @p extra TCC cycles, then run @p fn.  @p fn is a
+     *  function template parameter so the continuation is stored
+     *  inline in the event (no std::function heap traffic). */
+    template <typename Fn>
+    void
+    after(Cycles extra, Fn &&fn)
+    {
+        scheduleCycles(extra, std::forward<Fn>(fn),
+                       EventPriority::Default, /*progress=*/true);
+    }
+
+    /** Run the front of the deferred-message ring (fill/probe). */
+    void processDeferred();
 
     const MachineId id;
     const TccParams params;
@@ -165,10 +180,10 @@ class TccController : public Clocked, public ProtocolIntrospect
     struct Fill
     {
         Tick startedAt = 0;
-        std::vector<BlockCallback> cbs;
+        SmallVec<BlockCallback, 2> cbs;
         std::uint64_t obsId = 0;  ///< span riding the TccRdBlk
     };
-    std::unordered_map<Addr, Fill> fills;
+    PoolUMap<Addr, Fill> fills;
 
     /** Outstanding system-scope atomic. */
     struct PendingAtomic
@@ -177,11 +192,17 @@ class TccController : public Clocked, public ProtocolIntrospect
         Tick startedAt = 0;
         ValueCallback cb;
     };
-    std::unordered_map<std::uint64_t, PendingAtomic> pendingAtomics;
+    PoolUMap<std::uint64_t, PendingAtomic> pendingAtomics;
     std::uint64_t nextAtomicId = 1;
 
     unsigned outstandingWrites = 0;
     std::vector<DoneCallback> releaseWaiters;
+
+    /** Directory messages (fills/probes) awaiting the TCC access
+     *  latency.  All deferrals use the same fixed delay, so their
+     *  events fire in push order and the front is always the due
+     *  message; the event itself captures [this] only. */
+    RingBuf<Msg> deferred;
 
     Counter statReads, statWrites, statAtomicsDev, statAtomicsSys;
     Counter statHits, statMisses, statWriteThroughs, statFlushes;

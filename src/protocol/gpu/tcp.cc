@@ -49,15 +49,6 @@ TcpController::obsEmit(std::uint64_t obs_id, ObsPhase phase, Addr addr)
     tracer->emit(obs_id, phase, obsCtrl, addr, curTick());
 }
 
-void
-TcpController::after(Cycles extra, std::function<void()> fn)
-{
-    scheduleCycles(extra, [this, fn = std::move(fn)] {
-        eq.notifyProgress();
-        fn();
-    });
-}
-
 ViLine &
 TcpController::allocateLine(Addr block)
 {

@@ -106,7 +106,17 @@ class TcpController : public Clocked, public ProtocolIntrospect
   private:
     ViLine &allocateLine(Addr block);
     void drainDirty();
-    void after(Cycles extra, std::function<void()> fn);
+
+    /** Charge @p extra TCP cycles, then run @p fn.  @p fn is a
+     *  function template parameter so the continuation is stored
+     *  inline in the event (no std::function heap traffic). */
+    template <typename Fn>
+    void
+    after(Cycles extra, Fn &&fn)
+    {
+        scheduleCycles(extra, std::forward<Fn>(fn),
+                       EventPriority::Default, /*progress=*/true);
+    }
 
     const TcpParams params;
     TccController &tcc;

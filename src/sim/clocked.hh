@@ -68,12 +68,16 @@ class Clocked : public SimObject
     /** Current cycle count of this object's domain. */
     Cycles curCycle() const { return domain.toCycles(curTick()); }
 
-    /** Schedule @p cb at the clock edge @p c cycles from now. */
+    /** Schedule @p cb at the clock edge @p c cycles from now.  When
+     *  @p progress is set the event marks watchdog forward progress as
+     *  it fires (see EventQueue::schedule). */
     void
     scheduleCycles(Cycles c, EventQueue::Callback cb,
-                   EventPriority prio = EventPriority::Default)
+                   EventPriority prio = EventPriority::Default,
+                   bool progress = false)
     {
-        eq.schedule(domain.clockEdge(curTick(), c), std::move(cb), prio);
+        eq.schedule(domain.clockEdge(curTick(), c), std::move(cb), prio,
+                    progress);
     }
 
   private:

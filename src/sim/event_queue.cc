@@ -5,31 +5,117 @@
 namespace hsc
 {
 
+EventQueue::EventQueue() : ring(RingBuckets) {}
+
 void
-EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+EventQueue::insertSorted(Bucket &b, Entry e)
+{
+    // A fully-consumed bucket from an earlier horizon lap may still
+    // hold its dead storage; reclaim it on first reuse.
+    if (b.drained() && !b.entries.empty())
+        b.reset();
+    auto &v = b.entries;
+    if (v.empty() || v.back() < e) {
+        v.push_back(std::move(e));
+        return;
+    }
+    // Rare: an earlier (tick, prio, seq) slot than the bucket's tail.
+    // Scan from the back; never past the consumed prefix (everything
+    // before head has already executed, and scheduling into the past
+    // is rejected above).
+    std::size_t pos = v.size();
+    while (pos > b.head && e < v[pos - 1])
+        --pos;
+    v.insert(v.begin() + pos, std::move(e));
+}
+
+void
+EventQueue::migrateOverflow()
+{
+    while (!overflow.empty() &&
+           bucketNo(overflow.top().when) - _curBucket < RingBuckets) {
+        // Move out before popping, as with any container reshuffle
+        // around self-scheduling callbacks.
+        Entry e = std::move(const_cast<Entry &>(overflow.top()));
+        overflow.pop();
+        insertSorted(bucketFor(bucketNo(e.when)), std::move(e));
+        ++ringCount;
+    }
+}
+
+bool
+EventQueue::advanceToPending()
+{
+    for (;;) {
+        if (!bucketFor(_curBucket).drained())
+            return true;
+        if (ringCount > 0) {
+            // Some later bucket in the horizon has events; walk to it,
+            // reclaiming consumed buckets as the horizon base passes
+            // them (their indexes are about to be reused).
+            for (;;) {
+                bucketFor(_curBucket).reset();
+                ++_curBucket;
+                if (!bucketFor(_curBucket).drained())
+                    break;
+            }
+            migrateOverflow();
+            return true;
+        }
+        if (overflow.empty())
+            return false;
+        // Ring empty: jump the horizon base to the earliest far-future
+        // event and pull everything newly in range out of the heap.
+        bucketFor(_curBucket).reset();
+        _curBucket = bucketNo(overflow.top().when);
+        migrateOverflow();
+    }
+}
+
+EventQueue::Entry
+EventQueue::popNext()
+{
+    Bucket &b = bucketFor(_curBucket);
+    Entry e = std::move(b.entries[b.head]);
+    ++b.head;
+    --ringCount;
+    return e;
+}
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio,
+                     bool progress)
 {
     panic_if(when < _curTick,
              "scheduling event in the past (when=%llu cur=%llu)",
              (unsigned long long)when, (unsigned long long)_curTick);
-    events.push(Entry{when, static_cast<std::int8_t>(prio), nextSeq++,
-                      std::move(cb)});
+    Entry e{when, nextSeq++, static_cast<std::int8_t>(prio), progress,
+            std::move(cb)};
+    if (bucketNo(when) - _curBucket < RingBuckets) {
+        insertSorted(bucketFor(bucketNo(when)), std::move(e));
+        ++ringCount;
+    } else {
+        overflow.push(std::move(e));
+    }
 }
 
 std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t n = 0;
-    while (!events.empty() && events.top().when <= limit) {
-        // Copy out before popping: the callback may schedule new
-        // events and invalidate the reference returned by top().
-        Entry e = std::move(const_cast<Entry &>(events.top()));
-        events.pop();
+    while (advanceToPending()) {
+        Bucket &b = bucketFor(_curBucket);
+        if (b.entries[b.head].when > limit)
+            return n; // events remain beyond the bound
+        Entry e = popNext();
         _curTick = e.when;
+        if (e.progress)
+            _lastProgress = e.when;
         e.cb();
         ++executed;
         ++n;
     }
-    if (events.empty() && _curTick < limit && limit != MaxTick)
+    if (_curTick < limit && limit != MaxTick)
         _curTick = limit;
     return n;
 }
@@ -39,10 +125,14 @@ EventQueue::runUntil(const std::function<bool()> &done, Tick limit)
 {
     if (done())
         return true;
-    while (!events.empty() && events.top().when <= limit) {
-        Entry e = std::move(const_cast<Entry &>(events.top()));
-        events.pop();
+    while (advanceToPending()) {
+        Bucket &b = bucketFor(_curBucket);
+        if (b.entries[b.head].when > limit)
+            return false;
+        Entry e = popNext();
         _curTick = e.when;
+        if (e.progress)
+            _lastProgress = e.when;
         e.cb();
         ++executed;
         if (done())

@@ -6,6 +6,18 @@
  * that simulations are reproducible run to run.  All controllers in a
  * system share one queue; there is deliberately no global singleton so
  * that tests can run many independent systems in one process.
+ *
+ * Host engineering (DESIGN.md §9): events are stored as a two-level
+ * calendar queue — a ring of bucket lists covering the near future,
+ * where schedule and pop are O(1) amortized, plus an overflow binary
+ * heap for events beyond the ring horizon.  Ticks are picoseconds and
+ * controllers schedule whole cache/link/memory latencies ahead
+ * (hundreds to tens of thousands of ticks), so buckets span
+ * 2^BucketShift ticks each and are kept sorted by (tick, prio, seq);
+ * with the figure workloads a bucket holds a handful of events and
+ * insertion is an append in the common case.  Callbacks are stored
+ * inline (InlineFunction): the steady-state schedule/run path
+ * performs no heap allocation at all.
  */
 
 #ifndef HSC_SIM_EVENT_QUEUE_HH
@@ -16,6 +28,8 @@
 #include <queue>
 #include <vector>
 
+#include "sim/inline_function.hh"
+#include "sim/small_vec.hh"
 #include "sim/types.hh"
 
 namespace hsc
@@ -39,9 +53,15 @@ enum class EventPriority : std::int8_t
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Inline capture budget per event: enough for a [this]-style
+     *  thunk, or a controller continuation carrying a DataBlock plus a
+     *  std::function and a few scalars (the largest TCP/TCC latency
+     *  lambdas are exactly 128 bytes).  Exceeding it is a compile
+     *  error, never a malloc. */
+    static constexpr std::size_t CallbackCapacity = 128;
+    using Callback = InlineFunction<CallbackCapacity>;
 
-    EventQueue() = default;
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -54,9 +74,13 @@ class EventQueue
      * @param when Absolute tick; must not be in the past.
      * @param cb Callback to invoke.
      * @param prio Ordering within the tick.
+     * @param progress When set, the event counts as memory-system
+     *        forward progress (notifyProgress) as it fires — avoids a
+     *        wrapping lambda on every controller continuation.
      */
     void schedule(Tick when, Callback cb,
-                  EventPriority prio = EventPriority::Default);
+                  EventPriority prio = EventPriority::Default,
+                  bool progress = false);
 
     /** Schedule a callback @p delta ticks from now. */
     void
@@ -83,10 +107,10 @@ class EventQueue
     bool runUntil(const std::function<bool()> &done, Tick limit = MaxTick);
 
     /** True when no events are pending. */
-    bool empty() const { return events.empty(); }
+    bool empty() const { return ringCount == 0 && overflow.empty(); }
 
     /** Number of pending events. */
-    std::size_t size() const { return events.size(); }
+    std::size_t size() const { return ringCount + overflow.size(); }
 
     /** Total events executed since construction. */
     std::uint64_t numExecuted() const { return executed; }
@@ -101,12 +125,52 @@ class EventQueue
     Tick lastProgress() const { return _lastProgress; }
 
   private:
+    /** log2 of the tick span of one ring bucket. */
+    static constexpr unsigned BucketShift = 9;
+    /** Ring length in buckets (power of two); the ring horizon is
+     *  RingBuckets << BucketShift = 512 Ki ticks, comfortably past
+     *  the largest modelled latency (DRAM, ~43 K ticks). */
+    static constexpr std::size_t RingBuckets = 1024;
+
     struct Entry
     {
         Tick when;
-        std::int8_t prio;
         std::uint64_t seq;
+        std::int8_t prio;
+        bool progress;
         Callback cb;
+
+        bool
+        operator<(const Entry &o) const
+        {
+            if (when != o.when)
+                return when < o.when;
+            if (prio != o.prio)
+                return prio < o.prio;
+            return seq < o.seq;
+        }
+    };
+
+    /** One calendar bucket: entries sorted by (when, prio, seq) with
+     *  a consumed-prefix cursor; storage is reused tick after tick.
+     *  Buckets hold a handful of events, so four live inline in the
+     *  ring itself and constructing/warming a queue allocates nothing
+     *  per bucket; deeper buckets spill to a heap block that clear()
+     *  retains across horizon laps. */
+    struct Bucket
+    {
+        // head first: drained() then reads only the leading cache
+        // line (head + SmallVec bookkeeping) of a cold bucket.
+        std::size_t head = 0;
+        SmallVec<Entry, 4> entries;
+
+        bool drained() const { return head == entries.size(); }
+        void
+        reset()
+        {
+            entries.clear(); // keeps capacity: steady state is alloc-free
+            head = 0;
+        }
     };
 
     struct Later
@@ -114,15 +178,36 @@ class EventQueue
         bool
         operator()(const Entry &a, const Entry &b) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.seq > b.seq;
+            return b < a;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    static std::uint64_t bucketNo(Tick t) { return t >> BucketShift; }
+    Bucket &bucketFor(std::uint64_t no)
+    {
+        return ring[no & (RingBuckets - 1)];
+    }
+
+    void insertSorted(Bucket &b, Entry e);
+    /** Move overflow events whose bucket entered the ring horizon. */
+    void migrateOverflow();
+    /**
+     * Position on the next pending event: advances _curBucket (and
+     * migrates overflow) until bucketFor(_curBucket) has one.
+     * @return false when the queue is empty.
+     */
+    bool advanceToPending();
+    /** Pop the globally next event; caller ensured one is pending. */
+    Entry popNext();
+
+    std::vector<Bucket> ring;
+    std::size_t ringCount = 0;
+    /** Bucket number the ring horizon starts at.  All ring events live
+     *  in buckets [_curBucket, _curBucket + RingBuckets); overflow
+     *  events live strictly beyond. */
+    std::uint64_t _curBucket = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> overflow;
+
     Tick _curTick = 0;
     Tick _lastProgress = 0;
     std::uint64_t nextSeq = 0;

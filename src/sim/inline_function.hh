@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Small-buffer-only callable for the event-kernel hot path.
+ *
+ * std::function heap-allocates any capture larger than its (16-byte
+ * on libstdc++) small-object buffer, which used to put one or two
+ * mallocs on the path of *every* scheduled event.  InlineCallback
+ * stores the callable inline, always: a callable that does not fit
+ * the buffer is a compile error, not a silent allocation, so the
+ * no-allocation property of the event kernel is enforced by the type
+ * system rather than by review.  Oversized captures are a design
+ * smell anyway — state belongs in the scheduling object (see
+ * MessageBuffer's pending ring), with a thin [this] thunk scheduled.
+ *
+ * Move-only, like the events it carries.  Trivially-copyable
+ * callables (the common case: [this], [this, i], plain function
+ * pointers) relocate with memcpy and destroy for free; non-trivial
+ * ones (e.g. a captured std::function) pay one indirect manager call.
+ */
+
+#ifndef HSC_SIM_INLINE_FUNCTION_HH
+#define HSC_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hsc
+{
+
+/** Nullary void callable with inline-only storage. */
+template <std::size_t Capacity>
+class InlineFunction
+{
+  public:
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= Capacity,
+                      "capture too large for InlineFunction: move the "
+                      "state into the scheduling object and capture "
+                      "[this] (no heap fallback, by design)");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "overaligned capture not supported");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "captures must be nothrow-move-constructible");
+        ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+        invokeFn = [](void *p) { (*static_cast<Fn *>(p))(); };
+        size = sizeof(Fn);
+        if constexpr (!(std::is_trivially_move_constructible_v<Fn> &&
+                        std::is_trivially_destructible_v<Fn>)) {
+            manageFn = [](Op op, void *self, void *other) {
+                auto *fn = static_cast<Fn *>(self);
+                if (op == Op::Relocate) {
+                    auto *src = static_cast<Fn *>(other);
+                    ::new (static_cast<void *>(fn)) Fn(std::move(*src));
+                    src->~Fn();
+                } else {
+                    fn->~Fn();
+                }
+            };
+        }
+    }
+
+    InlineFunction(InlineFunction &&o) noexcept { moveFrom(o); }
+
+    InlineFunction &
+    operator=(InlineFunction &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** Invoke; undefined when empty (never scheduled empty). */
+    void operator()() { invokeFn(buf); }
+
+    explicit operator bool() const { return invokeFn != nullptr; }
+
+  private:
+    enum class Op
+    {
+        Relocate,
+        Destroy,
+    };
+
+    void
+    moveFrom(InlineFunction &o) noexcept
+    {
+        invokeFn = o.invokeFn;
+        manageFn = o.manageFn;
+        size = o.size;
+        if (manageFn)
+            manageFn(Op::Relocate, buf, o.buf);
+        else
+            std::memcpy(buf, o.buf, size); // only the live bytes
+        o.invokeFn = nullptr;
+        o.manageFn = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (manageFn)
+            manageFn(Op::Destroy, buf, nullptr);
+        invokeFn = nullptr;
+        manageFn = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char buf[Capacity];
+    void (*invokeFn)(void *) = nullptr;
+    void (*manageFn)(Op, void *, void *) = nullptr;
+    /** Live byte count of the stored callable: relocation copies only
+     *  this much, so a ring full of [this] thunks moves 8 bytes per
+     *  event, not Capacity. */
+    std::uint32_t size = 0;
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_INLINE_FUNCTION_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Size-class pooling allocator for the controllers' node containers.
+ *
+ * The protocol controllers keep their in-flight state in node-based
+ * maps (TBEs, busy lines, stalled queues, fill MSHRs).  Every insert
+ * used to malloc a node and every erase freed it — hundreds of
+ * thousands of allocator round-trips per run, plus cold nodes
+ * scattered across the heap (DESIGN.md §9).  PoolAllocator carves
+ * nodes from per-pool slabs and recycles them through per-size free
+ * lists, so steady-state insert/erase never touches the global
+ * allocator and recycled nodes stay cache-warm.
+ *
+ * Each default-constructed allocator owns a fresh pool; rebound and
+ * copied allocators share it (shared_ptr), which is exactly the
+ * std::unordered_map/std::map usage pattern.  Pools are not
+ * thread-safe — each controller's containers are used from a single
+ * simulation thread, and parallel sweeps (bench_util runMatrix) give
+ * every HsaSystem its own controllers, hence its own pools.
+ *
+ * Oversized requests (bucket arrays, > MaxBytes nodes) fall through
+ * to the global allocator.
+ */
+
+#ifndef HSC_SIM_POOL_ALLOC_HH
+#define HSC_SIM_POOL_ALLOC_HH
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+namespace hsc
+{
+
+namespace detail
+{
+
+/** Slab arena with per-size-class free lists (8-byte granularity). */
+class AllocPool
+{
+  public:
+    void *
+    alloc(std::size_t bytes)
+    {
+        std::size_t cls = sizeClass(bytes);
+        if (cls >= NumClasses)
+            return ::operator new(bytes);
+        if (void *p = freelist[cls]) {
+            freelist[cls] = *static_cast<void **>(p);
+            return p;
+        }
+        return carve((cls + 1) * Granule);
+    }
+
+    void
+    free(void *p, std::size_t bytes)
+    {
+        std::size_t cls = sizeClass(bytes);
+        if (cls >= NumClasses) {
+            ::operator delete(p);
+            return;
+        }
+        *static_cast<void **>(p) = freelist[cls];
+        freelist[cls] = p;
+    }
+
+  private:
+    /** Class granularity doubles as the alignment guarantee: slab
+     *  carve offsets are multiples of it, matching default new. */
+    static constexpr std::size_t Granule =
+        __STDCPP_DEFAULT_NEW_ALIGNMENT__;
+    static constexpr std::size_t MaxBytes = 1024;
+    static constexpr std::size_t NumClasses = MaxBytes / Granule;
+    static constexpr std::size_t SlabBytes = 64 * 1024;
+
+    static std::size_t
+    sizeClass(std::size_t bytes)
+    {
+        return bytes == 0 ? 0 : (bytes - 1) / Granule;
+    }
+
+    void *
+    carve(std::size_t bytes)
+    {
+        if (slabUsed + bytes > slabSize()) {
+            slabs.push_back(std::make_unique<unsigned char[]>(SlabBytes));
+            slabUsed = 0;
+        }
+        void *p = slabs.back().get() + slabUsed;
+        slabUsed += bytes;
+        return p;
+    }
+
+    std::size_t slabSize() const { return slabs.empty() ? 0 : SlabBytes; }
+
+    void *freelist[NumClasses] = {};
+    std::vector<std::unique_ptr<unsigned char[]>> slabs;
+    std::size_t slabUsed = 0;
+};
+
+} // namespace detail
+
+template <typename T>
+class PoolAllocator
+{
+  public:
+    using value_type = T;
+
+    PoolAllocator() : pool(std::make_shared<detail::AllocPool>()) {}
+
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U> &o) noexcept : pool(o.pool)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(pool->alloc(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        pool->free(p, n * sizeof(T));
+    }
+
+    template <typename U>
+    bool
+    operator==(const PoolAllocator<U> &o) const
+    {
+        return pool == o.pool;
+    }
+
+  private:
+    template <typename U>
+    friend class PoolAllocator;
+
+    std::shared_ptr<detail::AllocPool> pool;
+};
+
+/** Hash map with pool-allocated nodes (per-map pool). */
+template <typename K, typename V, typename Hash = std::hash<K>>
+using PoolUMap =
+    std::unordered_map<K, V, Hash, std::equal_to<K>,
+                       PoolAllocator<std::pair<const K, V>>>;
+
+/** Ordered map with pool-allocated nodes (per-map pool). */
+template <typename K, typename V, typename Cmp = std::less<K>>
+using PoolMap =
+    std::map<K, V, Cmp, PoolAllocator<std::pair<const K, V>>>;
+
+} // namespace hsc
+
+#endif // HSC_SIM_POOL_ALLOC_HH

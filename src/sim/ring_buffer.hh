@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Growable circular FIFO for hot-path pending queues.
+ *
+ * std::deque allocates and frees fixed-size chunks as elements flow
+ * through, which puts a malloc every few messages on the delivery
+ * path.  RingBuf grows its power-of-two storage to the high-water
+ * mark once and then cycles through it allocation-free — exactly the
+ * steady-state behaviour the event kernel promises (DESIGN.md §9).
+ */
+
+#ifndef HSC_SIM_RING_BUFFER_HH
+#define HSC_SIM_RING_BUFFER_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hsc
+{
+
+/** FIFO over reused storage; T must be default- and move-constructible. */
+template <typename T>
+class RingBuf
+{
+  public:
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    T &front() { return slots[headIdx]; }
+    const T &front() const { return slots[headIdx]; }
+
+    /** @p i-th element from the front (0 = oldest). */
+    const T &
+    operator[](std::size_t i) const
+    {
+        return slots[(headIdx + i) & (slots.size() - 1)];
+    }
+
+    void
+    push_back(T v)
+    {
+        if (count == slots.size())
+            grow();
+        slots[(headIdx + count) & (slots.size() - 1)] = std::move(v);
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        slots[headIdx] = T{}; // drop payloads eagerly (e.g. DataBlocks)
+        headIdx = (headIdx + 1) & (slots.size() - 1);
+        --count;
+    }
+
+    void
+    clear()
+    {
+        while (count > 0)
+            pop_front();
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::size_t cap = slots.empty() ? 8 : slots.size() * 2;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < count; ++i)
+            next[i] = std::move(slots[(headIdx + i) & (slots.size() - 1)]);
+        slots = std::move(next);
+        headIdx = 0;
+    }
+
+    std::vector<T> slots;
+    std::size_t headIdx = 0;
+    std::size_t count = 0;
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_RING_BUFFER_HH

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Small vector with inline storage for the protocol hot paths.
+ *
+ * The directory and cache controllers keep many tiny, short-lived
+ * sequences: probe target lists (a handful of machine ids), per-line
+ * pending-op queues (usually one or two entries), victim queues
+ * (almost always depth one).  std::vector heap-allocates for the
+ * first element and std::deque allocates a ~512-byte chunk on
+ * construction, which put hundreds of thousands of mallocs per run on
+ * the simulation hot path (DESIGN.md §9).  SmallVec stores up to N
+ * elements inline and only touches the heap beyond that.
+ *
+ * Deliberately minimal: contiguous storage, move-aware, plus the
+ * small-FIFO helpers (front/pop_front) the controllers need.
+ * pop_front shifts the tail down — for the typical one/two element
+ * queues this is cheaper than any ring bookkeeping.
+ */
+
+#ifndef HSC_SIM_SMALL_VEC_HH
+#define HSC_SIM_SMALL_VEC_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hsc
+{
+
+template <typename T, std::size_t N>
+class SmallVec
+{
+  public:
+    SmallVec() = default;
+
+    SmallVec(std::initializer_list<T> il)
+    {
+        for (const T &v : il)
+            push_back(v);
+    }
+
+    SmallVec(SmallVec &&o) noexcept { moveFrom(o); }
+
+    SmallVec &
+    operator=(SmallVec &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    SmallVec(const SmallVec &o) { copyFrom(o); }
+
+    SmallVec &
+    operator=(const SmallVec &o)
+    {
+        if (this != &o) {
+            destroy();
+            copyFrom(o);
+        }
+        return *this;
+    }
+
+    ~SmallVec() { destroy(); }
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    T *begin() { return ptr(); }
+    T *end() { return ptr() + count; }
+    const T *begin() const { return ptr(); }
+    const T *end() const { return ptr() + count; }
+
+    T &operator[](std::size_t i) { return ptr()[i]; }
+    const T &operator[](std::size_t i) const { return ptr()[i]; }
+
+    T &front() { return ptr()[0]; }
+    const T &front() const { return ptr()[0]; }
+    T &back() { return ptr()[count - 1]; }
+    const T &back() const { return ptr()[count - 1]; }
+
+    void
+    push_back(T v)
+    {
+        emplace_back(std::move(v));
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (count == cap)
+            grow();
+        T *slot = ptr() + count;
+        ::new (static_cast<void *>(slot)) T(std::forward<Args>(args)...);
+        ++count;
+        return *slot;
+    }
+
+    void
+    pop_back()
+    {
+        ptr()[--count].~T();
+    }
+
+    /** FIFO pop: shift the tail down one slot (queues here are a
+     *  couple of entries deep, so the shift beats ring bookkeeping). */
+    void
+    pop_front()
+    {
+        T *p = ptr();
+        for (std::size_t i = 1; i < count; ++i)
+            p[i - 1] = std::move(p[i]);
+        pop_back();
+    }
+
+    /** Insert before @p pos, shifting the tail up. */
+    T *
+    insert(T *pos, T v)
+    {
+        std::size_t idx = std::size_t(pos - ptr());
+        if (count == cap)
+            grow();
+        T *p = ptr();
+        if (idx == count) {
+            ::new (static_cast<void *>(p + count)) T(std::move(v));
+        } else {
+            ::new (static_cast<void *>(p + count))
+                T(std::move(p[count - 1]));
+            for (std::size_t i = count - 1; i > idx; --i)
+                p[i] = std::move(p[i - 1]);
+            p[idx] = std::move(v);
+        }
+        ++count;
+        return p + idx;
+    }
+
+    /** Erase [first, last), shifting the tail down. */
+    T *
+    erase(T *first, T *last)
+    {
+        T *e = end();
+        T *d = first;
+        for (T *s = last; s != e; ++s, ++d)
+            *d = std::move(*s);
+        while (end() != d)
+            pop_back();
+        return first;
+    }
+
+    void
+    clear()
+    {
+        T *p = ptr();
+        for (std::size_t i = 0; i < count; ++i)
+            p[i].~T();
+        count = 0;
+    }
+
+  private:
+    T *
+    ptr()
+    {
+        return heap ? heap : reinterpret_cast<T *>(inline_);
+    }
+    const T *
+    ptr() const
+    {
+        return heap ? heap : reinterpret_cast<const T *>(inline_);
+    }
+
+    void
+    grow()
+    {
+        // First spill goes straight to 16 slots: callers with inline
+        // N of a few (event-queue buckets stacking sub-bucket-stride
+        // events) would otherwise pay two allocations back to back.
+        std::size_t new_cap = cap * 2 < 16 ? 16 : cap * 2;
+        T *mem = static_cast<T *>(
+            ::operator new(new_cap * sizeof(T), std::align_val_t{
+                                                    alignof(T)}));
+        T *p = ptr();
+        for (std::size_t i = 0; i < count; ++i) {
+            ::new (static_cast<void *>(mem + i)) T(std::move(p[i]));
+            p[i].~T();
+        }
+        releaseHeap();
+        heap = mem;
+        cap = new_cap;
+    }
+
+    void
+    releaseHeap()
+    {
+        if (heap)
+            ::operator delete(heap, std::align_val_t{alignof(T)});
+        heap = nullptr;
+    }
+
+    void
+    destroy()
+    {
+        clear();
+        releaseHeap();
+        cap = N;
+    }
+
+    void
+    moveFrom(SmallVec &o) noexcept
+    {
+        if (o.heap) {
+            heap = o.heap;
+            cap = o.cap;
+            count = o.count;
+            o.heap = nullptr;
+            o.cap = N;
+            o.count = 0;
+        } else {
+            T *src = reinterpret_cast<T *>(o.inline_);
+            for (std::size_t i = 0; i < o.count; ++i) {
+                ::new (static_cast<void *>(
+                    reinterpret_cast<T *>(inline_) + i))
+                    T(std::move(src[i]));
+                src[i].~T();
+            }
+            count = o.count;
+            o.count = 0;
+        }
+    }
+
+    void
+    copyFrom(const SmallVec &o)
+    {
+        for (std::size_t i = 0; i < o.count; ++i)
+            emplace_back(o.ptr()[i]);
+    }
+
+    // Bookkeeping precedes the inline buffer so size()/empty() on a
+    // cold SmallVec touch only its first cache line (the event-queue
+    // ring scans bucket occupancy at 700-byte stride).
+    T *heap = nullptr;
+    std::size_t cap = N;
+    std::size_t count = 0;
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_SMALL_VEC_HH

@@ -1,5 +1,7 @@
 #include "workloads/workload.hh"
 
+#include <chrono>
+
 #include "core/run_report.hh"
 #include "workloads/workload_impl.hh"
 
@@ -105,9 +107,15 @@ benchWorkload(const std::string &id, const SystemConfig &cfg,
     HsaSystem sys(cfg);
     auto wl = makeWorkload(id, p);
     wl->setup(sys);
+    auto t0 = std::chrono::steady_clock::now();
     bool ran = sys.run();
     bool ok = ran && wl->verify(sys);
-    return collectMetrics(sys, id, ok);
+    auto t1 = std::chrono::steady_clock::now();
+    RunMetrics m = collectMetrics(sys, id, ok);
+    m.hostMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    m.hostEvents = sys.eventQueue().numExecuted();
+    return m;
 }
 
 } // namespace hsc

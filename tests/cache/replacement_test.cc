@@ -75,8 +75,10 @@ TEST(VictimAmong, PicksLeastRecentCandidate)
     p.touch(0, 1);
     p.touch(0, 2);
     // Candidates {1, 2}: way 1 was touched before way 2.
-    EXPECT_EQ(p.victimAmong(0, {1, 2}), 1u);
-    EXPECT_EQ(p.victimAmong(0, {2}), 2u);
+    const unsigned cand12[] = {1, 2};
+    const unsigned cand2[] = {2};
+    EXPECT_EQ(p.victimAmong(0, cand12), 1u);
+    EXPECT_EQ(p.victimAmong(0, cand2), 2u);
 }
 
 TEST(Factory, MakesBothKinds)

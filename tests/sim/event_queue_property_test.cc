@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Property tests of the calendar event queue against a reference
+ * model, plus directed tests of the calendar-specific edge cases the
+ * unit tests cannot reach: events beyond the ring horizon (overflow
+ * heap), horizon wraparound, the MaxTick run bound, and scheduling
+ * back into the currently-executing tick from inside a callback.
+ *
+ * The reference model is a sorted multiset keyed exactly like the
+ * kernel — (tick, priority, insertion sequence) — so any divergence
+ * in execution order or count is a kernel bug, not a model artifact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace hsc
+{
+namespace
+{
+
+/** (tick, prio, seq) key: the kernel's deterministic total order. */
+using Key = std::tuple<Tick, int, std::uint64_t>;
+
+/**
+ * Drive an EventQueue and a reference model with the same random
+ * schedule and check that each firing event is the (tick, prio, seq)
+ * minimum of the currently pending set.  Callbacks randomly schedule
+ * follow-up events, so insertion happens both from outside run() and
+ * from inside firing events — including same-tick spawns, which must
+ * come out ahead of everything still pending but (correctly) after
+ * same-tick events that already fired, which is why the model is a
+ * live pending set rather than a pre-sorted global order.
+ */
+void
+runRandomSchedule(std::uint64_t seed, unsigned initial, unsigned maxSpawn,
+                  Tick maxDelta)
+{
+    EventQueue eq;
+    std::set<Key> pending;
+    std::uint64_t modelSeq = 0;
+    std::uint64_t fired = 0;
+    unsigned mismatches = 0;
+    Rng rng(seed);
+
+    // The queue assigns sequence numbers in schedule() call order, so
+    // mirroring every schedule with a model insertion keeps the two
+    // keyspaces identical.
+    unsigned budget = maxSpawn;
+    std::function<void(Tick, EventPriority)> scheduleOne =
+        [&](Tick when, EventPriority prio) {
+            Key key{when, int(prio), modelSeq++};
+            pending.insert(key);
+            eq.schedule(
+                when,
+                [&, key] {
+                    ++fired;
+                    if (pending.empty() || *pending.begin() != key)
+                        ++mismatches;
+                    pending.erase(key);
+                    EXPECT_EQ(eq.curTick(), std::get<0>(key));
+                    // Occasionally fan out new work from inside the
+                    // firing callback, including same-tick events.
+                    if (budget > 0 && rng.below(4) == 0) {
+                        --budget;
+                        Tick d = rng.below(maxDelta);
+                        auto p = EventPriority(int(rng.below(3)) - 1);
+                        scheduleOne(eq.curTick() + d, p);
+                    }
+                },
+                prio);
+        };
+
+    for (unsigned i = 0; i < initial; ++i) {
+        Tick when = rng.below(maxDelta);
+        scheduleOne(when, EventPriority(int(rng.below(3)) - 1));
+    }
+
+    std::uint64_t n = eq.run();
+    EXPECT_EQ(mismatches, 0u) << "out-of-order events (seed " << seed
+                              << ")";
+    EXPECT_EQ(n, fired);
+    EXPECT_EQ(fired, modelSeq);
+    EXPECT_TRUE(pending.empty());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueProperty, MatchesReferenceModelNearFuture)
+{
+    // Deltas well inside one ring lap: exercises bucket sorting and
+    // same-bucket/same-tick ordering.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed)
+        runRandomSchedule(seed, 200, 200, 1 << 12);
+}
+
+TEST(EventQueueProperty, MatchesReferenceModelAcrossHorizon)
+{
+    // Deltas up to 8 ring horizons: events constantly migrate between
+    // the overflow heap and the ring as the horizon advances.
+    for (std::uint64_t seed = 11; seed <= 18; ++seed)
+        runRandomSchedule(seed, 150, 150, Tick(1) << 22);
+}
+
+TEST(EventQueueProperty, MatchesReferenceModelDenseTicks)
+{
+    // Tiny deltas: many events collide on the same tick, so ordering
+    // is dominated by (prio, seq) tie-breaking.
+    for (std::uint64_t seed = 21; seed <= 28; ++seed)
+        runRandomSchedule(seed, 200, 200, 8);
+}
+
+TEST(EventQueueCalendar, FarFutureEventSurvivesOverflow)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Far beyond the ring horizon (512 Ki ticks): lives in the
+    // overflow heap until the horizon reaches it.
+    eq.schedule(Tick(1) << 40, [&] { order.push_back(2); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    EXPECT_EQ(eq.run(), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.curTick(), Tick(1) << 40);
+}
+
+TEST(EventQueueCalendar, ChainAcrossManyHorizonLaps)
+{
+    // A self-rescheduling chain whose stride exceeds the bucket span
+    // forces the ring to wrap repeatedly while reusing bucket storage.
+    EventQueue eq;
+    constexpr Tick Stride = 700;  // > one 512-tick bucket
+    constexpr int Hops = 4000;    // ~5.3 ring laps
+    int hops = 0;
+    std::function<void()> hop = [&] {
+        if (++hops < Hops)
+            eq.scheduleIn(Stride, [&] { hop(); });
+    };
+    eq.schedule(0, [&] { hop(); });
+    EXPECT_EQ(eq.run(), std::uint64_t(Hops));
+    EXPECT_EQ(eq.curTick(), Tick(Hops - 1) * Stride);
+}
+
+TEST(EventQueueCalendar, RunHonoursLimitAcrossOverflow)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(Tick(1) << 30, [&] { ++fired; });
+    // Bound short of the far event: it must stay queued, and time
+    // stays at the last executed event (the kernel only fast-forwards
+    // to the limit when the queue drains).
+    EXPECT_EQ(eq.run(1 << 20), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 10u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueCalendar, EventAtMaxTickRuns)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(MaxTick, [&] { ran = true; });
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.curTick(), MaxTick);
+}
+
+TEST(EventQueueCalendar, ScheduleIntoCurrentTickFromCallback)
+{
+    // A firing event may schedule more work at the *current* tick —
+    // the new event lands behind the consumed prefix of the same
+    // bucket and must still fire this tick, after same-tick events
+    // already queued, in seq order.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(512, [&] {
+        order.push_back(0);
+        eq.schedule(512, [&] { order.push_back(2); });
+        eq.schedule(512, [&] { order.push_back(3); },
+                    EventPriority::Late);
+    });
+    eq.schedule(512, [&] { order.push_back(1); });
+    EXPECT_EQ(eq.run(), 4u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 512u);
+}
+
+TEST(EventQueueCalendar, PrioritiesOrderWithinTickAcrossBuckets)
+{
+    // Early/Default/Late must order within a tick even when the tick
+    // arrives via overflow migration.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick far = Tick(3) << 21; // beyond the horizon
+    eq.schedule(far, [&] { order.push_back(1); }, EventPriority::Late);
+    eq.schedule(far, [&] { order.push_back(0); }, EventPriority::Early);
+    eq.schedule(5, [&] { order.push_back(-1); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{-1, 0, 1}));
+}
+
+} // namespace
+} // namespace hsc
