@@ -1,0 +1,196 @@
+/**
+ * @file
+ * recovery_overhead — what does the reliable transport cost, and does
+ * it perturb a clean simulation?
+ *
+ * Every workload runs three times on identical configurations except
+ * the recovery knobs: transport off (legacy delivery), transport on
+ * with a clean wire, and transport on over a lossy wire (1% drop,
+ * 1% duplicate, 0.1% corrupt).  On a clean wire the transport is pure
+ * bookkeeping, so simulated cycles must be bit-identical to the
+ * legacy path and the retransmission/dedup counters must all be zero
+ * (asserted, not assumed — this is the guard CI relies on); the
+ * interesting numbers are the host-time overhead of the sequence/ack
+ * machinery and the recovery work a lossy wire induces.
+ *
+ *   $ ./bench/recovery_overhead                 # table to stdout
+ *   $ ./bench/recovery_overhead overhead.json   # plus JSON report
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "sim/json.hh"
+
+using namespace hsc;
+using namespace hsc::bench;
+
+namespace
+{
+
+struct Row
+{
+    std::string workload;
+    std::string config;
+    bool ok = false;
+    Cycles cycles = 0;        ///< simulated (identical off/clean-on)
+    Cycles lossyCycles = 0;   ///< simulated, lossy wire (recovery adds)
+    double wallOffMs = 0.0;
+    double wallOnMs = 0.0;
+    double wallLossyMs = 0.0;
+    std::uint64_t cleanRetransmits = 0;  ///< must be 0
+    std::uint64_t cleanDupDrops = 0;     ///< must be 0
+    std::uint64_t lossyRetransmits = 0;
+
+    double
+    overheadPct() const
+    {
+        return wallOffMs > 0.0
+                   ? (wallOnMs - wallOffMs) / wallOffMs * 100.0
+                   : 0.0;
+    }
+};
+
+double
+millisSince(std::chrono::steady_clock::time_point t0)
+{
+    using namespace std::chrono;
+    return duration_cast<duration<double, std::milli>>(
+               steady_clock::now() - t0)
+        .count();
+}
+
+/** One timed workload run under the given recovery config. */
+bool
+timedRun(const std::string &wl, SystemConfig cfg, Cycles &cycles,
+         double &wall_ms, TransportSummary &ts)
+{
+    HsaSystem sys(cfg);
+    auto workload = makeWorkload(wl, figureParams());
+    workload->setup(sys);
+    auto t0 = std::chrono::steady_clock::now();
+    bool ok = sys.run() && workload->verify(sys);
+    wall_ms = millisSince(t0);
+    cycles = sys.cpuCycles();
+    ts = sys.transportSummary();
+    return ok;
+}
+
+Row
+measure(const std::string &wl, const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    scaleHierarchy(cfg);
+    Row row;
+    row.workload = wl;
+    row.config = cfg.label;
+
+    SystemConfig clean = cfg;
+    clean.transport.enabled = true;
+    SystemConfig lossy = clean;
+    lossy.fault.enabled = true;
+    lossy.fault.seed = 1;
+    lossy.fault.dropPer10k = 100;
+    lossy.fault.dupPer10k = 100;
+    lossy.fault.corruptPer10k = 10;
+
+    Cycles cy_off = 0, cy_on = 0;
+    TransportSummary ts_off, ts_on, ts_lossy;
+    bool ok_off = timedRun(wl, cfg, cy_off, row.wallOffMs, ts_off);
+    bool ok_on = timedRun(wl, clean, cy_on, row.wallOnMs, ts_on);
+    bool ok_lossy =
+        timedRun(wl, lossy, row.lossyCycles, row.wallLossyMs, ts_lossy);
+    row.cycles = cy_on;
+    row.cleanRetransmits = ts_on.retransmits;
+    row.cleanDupDrops = ts_on.dupDrops;
+    row.lossyRetransmits = ts_lossy.retransmits;
+    // On a clean wire the transport may not perturb the simulation:
+    // identical cycles, zero recovery work.
+    row.ok = ok_off && ok_on && ok_lossy && cy_off == cy_on &&
+             ts_on.retransmits == 0 && ts_on.dupDrops == 0 &&
+             ts_on.corruptDrops == 0 && ts_on.wireDrops == 0 &&
+             ts_lossy.retransmits > 0;
+    if (cy_off != cy_on) {
+        std::cerr << "ERROR: " << wl
+                  << ": clean transport changed simulated cycles ("
+                  << cy_off << " vs " << cy_on << ")\n";
+    }
+    if (ts_on.retransmits || ts_on.dupDrops) {
+        std::cerr << "ERROR: " << wl
+                  << ": clean transport did recovery work ("
+                  << ts_on.retransmits << " retransmits, "
+                  << ts_on.dupDrops << " dup drops)\n";
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<Row> rows;
+    for (const std::string &wl : workloadIds())
+        rows.push_back(measure(wl, sharerTrackingConfig()));
+
+    TableWriter tw(std::cout);
+    tw.header({"workload", "config", "cycles", "off ms", "on ms",
+               "ovh %", "lossy cycles", "lossy retx", "result"});
+    std::vector<double> overheads;
+    bool all_ok = true;
+    for (const Row &r : rows) {
+        overheads.push_back(r.overheadPct());
+        all_ok = all_ok && r.ok;
+        tw.row({r.workload, r.config, TableWriter::fmt(r.cycles),
+                TableWriter::fmt(r.wallOffMs),
+                TableWriter::fmt(r.wallOnMs),
+                TableWriter::fmt(r.overheadPct()),
+                TableWriter::fmt(r.lossyCycles),
+                TableWriter::fmt(r.lossyRetransmits),
+                r.ok ? "OK" : "FAIL"});
+    }
+    tw.rule();
+    tw.row({"mean", "", "", "", "", TableWriter::fmt(mean(overheads)),
+            "", "", all_ok ? "OK" : "FAIL"});
+
+    JsonValue report = JsonValue::makeObject();
+    report.set("bench", JsonValue("recovery_overhead"));
+    JsonValue jrows = JsonValue::makeArray();
+    for (const Row &r : rows) {
+        JsonValue o = JsonValue::makeObject();
+        o.set("workload", JsonValue(r.workload));
+        o.set("config", JsonValue(r.config));
+        o.set("ok", JsonValue(r.ok));
+        o.set("cycles", JsonValue(std::uint64_t(r.cycles)));
+        o.set("lossyCycles", JsonValue(std::uint64_t(r.lossyCycles)));
+        o.set("wallOffMs", JsonValue(r.wallOffMs));
+        o.set("wallOnMs", JsonValue(r.wallOnMs));
+        o.set("wallLossyMs", JsonValue(r.wallLossyMs));
+        o.set("overheadPct", JsonValue(r.overheadPct()));
+        o.set("cleanRetransmits", JsonValue(r.cleanRetransmits));
+        o.set("cleanDupDrops", JsonValue(r.cleanDupDrops));
+        o.set("lossyRetransmits", JsonValue(r.lossyRetransmits));
+        jrows.push(std::move(o));
+    }
+    report.set("rows", std::move(jrows));
+    report.set("meanOverheadPct", JsonValue(mean(overheads)));
+    report.set("ok", JsonValue(all_ok));
+
+    if (argc > 1) {
+        std::ofstream os(argv[1]);
+        if (!os) {
+            std::cerr << "cannot open " << argv[1] << '\n';
+            return 2;
+        }
+        report.write(os, 2);
+        os << '\n';
+        std::cout << "JSON report written to " << argv[1] << '\n';
+    } else {
+        std::cout << '\n';
+        report.write(std::cout, 2);
+        std::cout << '\n';
+    }
+    return all_ok ? 0 : 1;
+}

@@ -26,6 +26,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/run_report.hh"
 #include "core/schedule_shrink.hh"
@@ -100,6 +101,16 @@ runTester(const SystemConfig &cfg, const std::string &preset,
     bool ok = tester.run();
     if (dump_stats)
         sys.stats().dump(std::cout);
+    TransportSummary ts = sys.transportSummary();
+    if (ts.enabled) {
+        std::printf("transport: %llu retransmits, %llu ack frames, "
+                    "%llu dup drops, %llu corrupt drops, %llu wire drops\n",
+                    (unsigned long long)ts.retransmits,
+                    (unsigned long long)ts.ackFrames,
+                    (unsigned long long)ts.dupDrops,
+                    (unsigned long long)ts.corruptDrops,
+                    (unsigned long long)ts.wireDrops);
+    }
     if (ok) {
         std::printf("tester: PASS (image hash 0x%016llx)\n",
                     (unsigned long long)tester.imageHash());
@@ -114,6 +125,8 @@ runTester(const SystemConfig &cfg, const std::string &preset,
         std::fprintf(stderr, "  %s\n", f.c_str());
     if (sys.checker() && sys.checker()->violated())
         sys.checker()->violations().front().print(std::cerr);
+    if (sys.degradedReport().degraded())
+        sys.degradedReport().print(std::cerr);
     if (sys.hangReport().hung())
         sys.hangReport().print(std::cerr);
 
@@ -172,6 +185,20 @@ usage()
         "  --jitter <cycles>   fault injection: random extra link\n"
         "                      latency in [0, cycles] per message\n"
         "  --fault-seed <n>    fault-injection schedule seed (default: 1)\n"
+        "  --transport         reliable link transport: sequence numbers,\n"
+        "                      acks, timeout/retransmit, dedup\n"
+        "  --loss <per10k>     fault injection: drop N per 10k frames\n"
+        "  --dup <per10k>      fault injection: duplicate N per 10k frames\n"
+        "  --corrupt <per10k>  fault injection: corrupt N per 10k frames\n"
+        "                      (loss/dup/corrupt imply --transport)\n"
+        "  --dead-link <substr>\n"
+        "                      kill every link whose name contains the\n"
+        "                      substring (with --transport: DegradedReport)\n"
+        "  --retry-budget <n>  retransmissions before a link is declared\n"
+        "                      degraded (default: 16)\n"
+        "  --watchdog-cycles <n>\n"
+        "                      hang watchdog horizon in CPU cycles\n"
+        "                      (default: 3000000)\n"
         "  --check / --no-check\n"
         "                      runtime coherence sanitizer (default: on)\n"
         "  --tester            run the RandomTester instead of a\n"
@@ -245,6 +272,11 @@ run(int argc, char **argv)
     bool dump_stats = false;
     Cycles jitter = 0;
     std::uint64_t fault_seed = 1;
+    bool transport = false;
+    unsigned loss = 0, dup = 0, corrupt = 0;
+    unsigned retry_budget = 0;
+    std::vector<std::string> dead_links;
+    Cycles watchdog = 0;
     bool check = true;
     bool tester_mode = false;
     bool shrink = false;
@@ -297,6 +329,20 @@ run(int argc, char **argv)
             jitter = Cycles(nextNum());
         } else if (arg == "--fault-seed") {
             fault_seed = nextNum();
+        } else if (arg == "--transport") {
+            transport = true;
+        } else if (arg == "--loss") {
+            loss = unsigned(nextNum());
+        } else if (arg == "--dup") {
+            dup = unsigned(nextNum());
+        } else if (arg == "--corrupt") {
+            corrupt = unsigned(nextNum());
+        } else if (arg == "--dead-link") {
+            dead_links.push_back(next());
+        } else if (arg == "--retry-budget") {
+            retry_budget = unsigned(nextNum());
+        } else if (arg == "--watchdog-cycles") {
+            watchdog = Cycles(nextNum());
         } else if (arg == "--check") {
             check = true;
         } else if (arg == "--no-check") {
@@ -361,6 +407,24 @@ run(int argc, char **argv)
         cfg.fault.seed = fault_seed;
         cfg.fault.maxJitter = jitter;
     }
+    if (loss || dup || corrupt || !dead_links.empty()) {
+        cfg.fault.enabled = true;
+        cfg.fault.seed = fault_seed;
+        cfg.fault.dropPer10k = loss;
+        cfg.fault.dupPer10k = dup;
+        cfg.fault.corruptPer10k = corrupt;
+        for (const std::string &l : dead_links)
+            cfg.fault.deadLinks.push_back(l);
+        // Lossy wires need the recovery layer; dead links are allowed
+        // without it (they exercise the hang watchdog instead).
+        if (loss || dup || corrupt)
+            transport = true;
+    }
+    cfg.transport.enabled = cfg.transport.enabled || transport;
+    if (retry_budget)
+        cfg.transport.retryBudget = retry_budget;
+    if (watchdog)
+        cfg.watchdogCycles = watchdog;
     cfg.obs.enabled = obs || !trace_chrome.empty();
     cfg.obs.samplingInterval = stats_interval;
 
@@ -381,6 +445,18 @@ run(int argc, char **argv)
 
     RunMetrics m = collectMetrics(sys, workload, ok);
     printRunSummary(std::cout, m);
+    TransportSummary ts = sys.transportSummary();
+    if (ts.enabled) {
+        std::printf("transport: %llu retransmits, %llu ack frames, "
+                    "%llu dup drops, %llu corrupt drops, %llu wire drops\n",
+                    (unsigned long long)ts.retransmits,
+                    (unsigned long long)ts.ackFrames,
+                    (unsigned long long)ts.dupDrops,
+                    (unsigned long long)ts.corruptDrops,
+                    (unsigned long long)ts.wireDrops);
+    }
+    if (sys.degradedReport().degraded())
+        sys.degradedReport().print(std::cerr);
     if (!ran && sys.hangReport().hung())
         sys.hangReport().print(std::cerr);
     if (sys.checker() && sys.checker()->violated())

@@ -37,6 +37,20 @@ HsaSystem::validateConfig() const
     fatal_if(cfg.fault.enabled && cfg.fault.spikePercent > 100,
              "%s: fault.spikePercent is a percentage (got %u)",
              cfg.name.c_str(), cfg.fault.spikePercent);
+    fatal_if(cfg.fault.dropPer10k > 10000 ||
+                 cfg.fault.dupPer10k > 10000 ||
+                 cfg.fault.corruptPer10k > 10000,
+             "%s: fault drop/dup/corrupt rates are per-10k "
+             "probabilities (max 10000)", cfg.name.c_str());
+    fatal_if(cfg.fault.enabled && cfg.fault.lossy() &&
+                 !cfg.transport.enabled,
+             "%s: lossy link faults (drop/dup/corrupt) need the "
+             "reliable transport (SystemConfig::transport.enabled) — "
+             "the legacy delivery path cannot recover lost messages",
+             cfg.name.c_str());
+    fatal_if(cfg.transport.enabled && cfg.transport.timeoutCycles == 0,
+             "%s: transport.timeoutCycles must be nonzero",
+             cfg.name.c_str());
 }
 
 HsaSystem::HsaSystem(const SystemConfig &config)
@@ -108,22 +122,52 @@ HsaSystem::HsaSystem(const SystemConfig &config)
     }
 
     // One channel pair per (bank, client); each client sends through a
-    // per-client bank router.
+    // per-client bank router.  Link ids are assigned densely in
+    // construction order — they key the per-link fault RNG streams,
+    // so fault schedules are a function of topology, never of link
+    // names or host threading.
+    unsigned next_link_id = 0;
     for (unsigned b = 0; b < banks; ++b) {
         for (unsigned i = 0; i < topo.numClients(); ++i) {
             std::string suffix =
                 "b" + std::to_string(b) + "c" + std::to_string(i);
             toDir.push_back(std::make_unique<MessageBuffer>(
-                cfg.name + ".toDir." + suffix, eq, link_lat));
+                cfg.name + ".toDir." + suffix, eq, link_lat,
+                next_link_id++));
             fromDir.push_back(std::make_unique<MessageBuffer>(
-                cfg.name + ".fromDir." + suffix, eq, link_lat));
+                cfg.name + ".fromDir." + suffix, eq, link_lat,
+                next_link_id++));
+            MessageBuffer *up = toDir.back().get();
+            MessageBuffer *down = fromDir.back().get();
             if (faultInjector) {
-                toDir.back()->attachFaultInjector(faultInjector.get());
-                fromDir.back()->attachFaultInjector(faultInjector.get());
+                up->attachFaultInjector(faultInjector.get());
+                down->attachFaultInjector(faultInjector.get());
             }
-            dirs[b]->bindFromClient(*toDir.back());
-            dirs[b]->bindToClient(static_cast<MachineId>(i),
-                                  *fromDir.back());
+            if (cfg.transport.enabled) {
+                up->enableTransport(cfg.transport,
+                                    cpuClk.periodTicks());
+                down->enableTransport(cfg.transport,
+                                      cpuClk.periodTicks());
+                up->transport()->pairWith(down->transport());
+                down->transport()->pairWith(up->transport());
+                auto on_degraded = [this] { degradedTripped = true; };
+                up->transport()->setOnDegraded(on_degraded);
+                down->transport()->setOnDegraded(on_degraded);
+                up->transport()->regStats(registry);
+                down->transport()->regStats(registry);
+                if (tracerPtr) {
+                    up->transport()->attachTracer(
+                        tracerPtr.get(),
+                        tracerPtr->internCtrl(up->name(),
+                                              ObsCtrlKind::Other));
+                    down->transport()->attachTracer(
+                        tracerPtr.get(),
+                        tracerPtr->internCtrl(down->name(),
+                                              ObsCtrlKind::Other));
+                }
+            }
+            dirs[b]->bindFromClient(*up);
+            dirs[b]->bindToClient(static_cast<MachineId>(i), *down);
         }
     }
     for (unsigned i = 0; i < topo.numClients(); ++i) {
@@ -404,7 +448,9 @@ HsaSystem::run(Cycles max_cycles)
     Tick start = eq.curTick();
     running = true;
     watchdogTripped = false;
+    degradedTripped = false;
     lastHang = HangReport{};
+    lastDegraded = DegradedReport{};
     lastError.clear();
 
     liveTasks = static_cast<unsigned>(threadFns.size());
@@ -426,6 +472,7 @@ HsaSystem::run(Cycles max_cycles)
         done = eq.runUntil(
             [this] {
                 return liveTasks == 0 || watchdogTripped ||
+                       degradedTripped ||
                        (checkerPtr && checkerPtr->violated());
             },
             limit);
@@ -445,6 +492,16 @@ HsaSystem::run(Cycles max_cycles)
         collectObs();
         warn("%s: run aborted by coherence checker: %s", cfg.name.c_str(),
              checkerPtr->brief().c_str());
+        return false;
+    }
+    if (degradedTripped) {
+        // A link exhausted its retry budget: escalate as a structured
+        // DegradedReport instead of waiting for the watchdog.
+        running = false;
+        collectObs();
+        lastDegraded = buildDegradedReport();
+        warn("%s: run aborted by link degradation: %s",
+             cfg.name.c_str(), lastDegraded.brief().c_str());
         return false;
     }
     if (!done || watchdogTripped || liveTasks != 0) {
@@ -511,9 +568,52 @@ HsaSystem::failReason() const
         return checkerPtr->brief();
     if (!lastError.empty())
         return lastError;
+    if (lastDegraded.degraded())
+        return lastDegraded.brief();
     if (lastHang.hung())
         return lastHang.brief();
     return {};
+}
+
+DegradedReport
+HsaSystem::buildDegradedReport() const
+{
+    DegradedReport r;
+    r.atTick = eq.curTick();
+    auto scan = [&](const auto &bufs) {
+        for (const auto &mb : bufs) {
+            if (mb->transportEnabled() &&
+                mb->transport()->isDegraded()) {
+                r.links.push_back(mb->transport()->degradedInfo());
+            }
+        }
+    };
+    scan(toDir);
+    scan(fromDir);
+    return r;
+}
+
+TransportSummary
+HsaSystem::transportSummary() const
+{
+    TransportSummary s;
+    auto scan = [&](const auto &bufs) {
+        for (const auto &mb : bufs) {
+            const LinkTransport *tp = mb->transport();
+            if (!tp)
+                continue;
+            s.enabled = true;
+            s.retransmits += tp->retransmitCount();
+            s.ackFrames += tp->ackFrameCount();
+            s.dupDrops += tp->dupDropCount();
+            s.corruptDrops += tp->corruptDropCount();
+            s.wireDrops += tp->wireDropCount();
+            s.degradedLinks += tp->isDegraded() ? 1 : 0;
+        }
+    };
+    scan(toDir);
+    scan(fromDir);
+    return s;
 }
 
 } // namespace hsc

@@ -43,6 +43,18 @@ namespace hsc
 class ObsTracer;
 class ObsSampler;
 
+/** Aggregate reliable-transport activity across every link. */
+struct TransportSummary
+{
+    bool enabled = false;
+    std::uint64_t retransmits = 0;
+    std::uint64_t ackFrames = 0;
+    std::uint64_t dupDrops = 0;
+    std::uint64_t corruptDrops = 0;
+    std::uint64_t wireDrops = 0;
+    unsigned degradedLinks = 0;
+};
+
 /**
  * A fully-assembled simulated APU.
  */
@@ -134,8 +146,24 @@ class HsaSystem
     /** The SimError message caught by run(), if any ("" otherwise). */
     const std::string &lastSimError() const { return lastError; }
 
+    /**
+     * Structured escalation of a link that exhausted its transport
+     * retry budget during the last run() (DESIGN.md §10).
+     * degraded() is false after a successful run.
+     */
+    const DegradedReport &degradedReport() const
+    {
+        return lastDegraded;
+    }
+
+    /** Reliable-transport activity totals (all-zero when disabled). */
+    TransportSummary transportSummary() const;
+
     /** Walk every introspectable controller and link *now*. */
     HangReport buildHangReport(HangReport::Kind kind) const;
+
+    /** Collect every currently-degraded link *now*. */
+    DegradedReport buildDegradedReport() const;
 
     /** CPU cycles elapsed during run() — the paper's headline metric. */
     Cycles cpuCycles() const { return cyclesElapsed; }
@@ -211,11 +239,13 @@ class HsaSystem
     std::vector<CpuThreadFn> threadFns;
 
     HangReport lastHang;
+    DegradedReport lastDegraded;
     std::string lastError;
 
     Addr heapNext = 0x100000;
     unsigned liveTasks = 0;
     bool watchdogTripped = false;
+    bool degradedTripped = false;
     bool running = false;
     Cycles cyclesElapsed = 0;
 

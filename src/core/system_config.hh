@@ -15,6 +15,7 @@
 #include "protocol/gpu/sqc.hh"
 #include "protocol/gpu/tcc.hh"
 #include "protocol/gpu/tcp.hh"
+#include "mem/transport.hh"
 #include "protocol/types.hh"
 #include "sim/fault_injector.hh"
 
@@ -79,8 +80,18 @@ struct SystemConfig
      *  for this many CPU cycles while work is outstanding. */
     Cycles watchdogCycles = 3'000'000;
 
-    /** Fault injection: deterministic link jitter/spikes/dead links. */
+    /** Fault injection: deterministic link jitter/spikes/dead links
+     *  plus probabilistic drop/duplicate/corrupt (transport only). */
     FaultConfig fault{};
+
+    /**
+     * Reliable link transport (mem/transport.hh): seq numbers,
+     * checksums, cumulative acks, timeout retransmission with a
+     * bounded retry budget, duplicate suppression.  Off by default —
+     * when off, every wire-header field stays zero and the legacy
+     * delivery path is bit-identical.
+     */
+    TransportConfig transport{};
 
     /**
      * Runtime coherence sanitizer (CoherenceChecker): observes every

@@ -47,6 +47,7 @@ traceSystemConfig(const FailureTrace &trace)
     cfg.check = trace.check;
     cfg.watchdogCycles = trace.watchdogCycles;
     cfg.fault = trace.fault;
+    cfg.transport = trace.transport;
     cfg.bug = trace.bug;
     return cfg;
 }
@@ -67,6 +68,7 @@ captureFailureTrace(const std::string &preset, bool torture,
     t.check = cfg.check;
     t.watchdogCycles = cfg.watchdogCycles;
     t.fault = cfg.fault;
+    t.transport = cfg.transport;
     t.bug = cfg.bug;
     if (cfg.dir.tracking == DirTracking::Sharers &&
         cfg.dir.maxSharerPointers) {
@@ -105,6 +107,9 @@ faultToJson(const FaultConfig &f)
     v.set("maxJitter", JsonValue(std::uint64_t(f.maxJitter)));
     v.set("spikePercent", JsonValue(unsigned(f.spikePercent)));
     v.set("spikeCycles", JsonValue(std::uint64_t(f.spikeCycles)));
+    v.set("dropPer10k", JsonValue(f.dropPer10k));
+    v.set("dupPer10k", JsonValue(f.dupPer10k));
+    v.set("corruptPer10k", JsonValue(f.corruptPer10k));
     JsonValue dead = JsonValue::makeArray();
     for (const std::string &l : f.deadLinks)
         dead.push(JsonValue(l));
@@ -121,9 +126,42 @@ faultFromJson(const JsonValue &v)
     f.maxJitter = Cycles(v.at("maxJitter").asUInt());
     f.spikePercent = unsigned(v.at("spikePercent").asUInt());
     f.spikeCycles = Cycles(v.at("spikeCycles").asUInt());
+    // Lossy-wire knobs postdate the v1 format; absent keys mean 0.
+    if (const JsonValue *d = v.find("dropPer10k"))
+        f.dropPer10k = unsigned(d->asUInt());
+    if (const JsonValue *d = v.find("dupPer10k"))
+        f.dupPer10k = unsigned(d->asUInt());
+    if (const JsonValue *c = v.find("corruptPer10k"))
+        f.corruptPer10k = unsigned(c->asUInt());
     for (const JsonValue &l : v.at("deadLinks").items())
         f.deadLinks.push_back(l.asString());
     return f;
+}
+
+JsonValue
+transportToJson(const TransportConfig &t)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("enabled", JsonValue(t.enabled));
+    v.set("timeoutCycles", JsonValue(std::uint64_t(t.timeoutCycles)));
+    v.set("backoffShiftCap", JsonValue(t.backoffShiftCap));
+    v.set("retryBudget", JsonValue(t.retryBudget));
+    v.set("ackDelayCycles", JsonValue(std::uint64_t(t.ackDelayCycles)));
+    v.set("maxReorder", JsonValue(std::uint64_t(t.maxReorder)));
+    return v;
+}
+
+TransportConfig
+transportFromJson(const JsonValue &v)
+{
+    TransportConfig t;
+    t.enabled = v.at("enabled").asBool();
+    t.timeoutCycles = Cycles(v.at("timeoutCycles").asUInt());
+    t.backoffShiftCap = unsigned(v.at("backoffShiftCap").asUInt());
+    t.retryBudget = unsigned(v.at("retryBudget").asUInt());
+    t.ackDelayCycles = Cycles(v.at("ackDelayCycles").asUInt());
+    t.maxReorder = std::size_t(v.at("maxReorder").asUInt());
+    return t;
 }
 
 JsonValue
@@ -250,6 +288,7 @@ failureTraceToJson(const FailureTrace &trace)
     sys.set("watchdogCycles",
             JsonValue(std::uint64_t(trace.watchdogCycles)));
     sys.set("fault", faultToJson(trace.fault));
+    sys.set("transport", transportToJson(trace.transport));
     sys.set("bug", bugToJson(trace.bug));
     v.set("system", std::move(sys));
     v.set("tester", testerToJson(trace.tester));
@@ -282,6 +321,9 @@ failureTraceFromJson(const JsonValue &v)
     t.check = sys.at("check").asBool();
     t.watchdogCycles = Cycles(sys.at("watchdogCycles").asUInt());
     t.fault = faultFromJson(sys.at("fault"));
+    // The transport block postdates the v1 format; absent = disabled.
+    if (const JsonValue *tp = sys.find("transport"))
+        t.transport = transportFromJson(*tp);
     t.bug = bugFromJson(sys.at("bug"));
     t.tester = testerFromJson(v.at("tester"));
     for (const JsonValue &op : v.at("schedule").items())

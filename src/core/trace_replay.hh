@@ -42,6 +42,7 @@ struct FailureTrace
     bool check = true;
     Cycles watchdogCycles = 3'000'000;
     FaultConfig fault{};
+    TransportConfig transport{};
     SeededBug bug{};
     /** @} */
 

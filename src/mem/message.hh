@@ -149,6 +149,19 @@ struct Msg
      *  request (set-conflict livelock detection, not on the wire). */
     unsigned dirRetries = 0;
 
+    /** @{ Reliable-transport wire header (DESIGN.md §10).  Stamped by
+     *  LinkTransport at transmit time and consumed at the receiving
+     *  end of the link; all three stay 0 when the transport layer is
+     *  disabled, so the legacy delivery path is bit-identical.
+     *  tpSeq is the 1-based per-link sequence number (0 = not a
+     *  transport frame / pure-ack frame), tpAck the piggybacked
+     *  cumulative ack for the reverse link, tpChecksum an FNV-1a
+     *  checksum over the semantic fields + tpSeq/tpAck. */
+    std::uint64_t tpSeq = 0;
+    std::uint64_t tpAck = 0;
+    std::uint32_t tpChecksum = 0;
+    /** @} */
+
     // Atomic payload (offset/size select the word within the block).
     AtomicOp atomicOp = AtomicOp::None;
     unsigned atomicOffset = 0;

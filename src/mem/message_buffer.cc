@@ -2,11 +2,21 @@
 
 #include <algorithm>
 
+#include "mem/transport.hh"
 #include "sim/fault_injector.hh"
 #include "sim/sim_error.hh"
 
 namespace hsc
 {
+
+MessageBuffer::MessageBuffer(std::string name, EventQueue &eq,
+                             Tick latency, unsigned link_id)
+    : _name(std::move(name)), eq(eq), latency(latency),
+      _linkId(link_id)
+{
+}
+
+MessageBuffer::~MessageBuffer() = default;
 
 void
 MessageBuffer::attachFaultInjector(FaultInjector *fi)
@@ -16,19 +26,54 @@ MessageBuffer::attachFaultInjector(FaultInjector *fi)
 }
 
 void
+MessageBuffer::enableTransport(const TransportConfig &tcfg,
+                               Tick cycle_period)
+{
+    tp = std::make_unique<LinkTransport>(*this, tcfg, cycle_period);
+}
+
+void
+MessageBuffer::regStats(StatRegistry &reg)
+{
+    reg.addCounter(_name + ".messages", &numMessages);
+    reg.addCounter(_name + ".delivered", &numDelivered);
+    if (tp)
+        tp->regStats(reg);
+}
+
+std::size_t
+MessageBuffer::queueDepth() const
+{
+    return tp ? tp->unackedCount() : pending.size();
+}
+
+Tick
+MessageBuffer::oldestPendingAge(Tick now) const
+{
+    if (tp)
+        return tp->oldestUnackedAge(now);
+    return pending.empty() ? 0 : now - pending.front().enqTick;
+}
+
+void
 MessageBuffer::enqueue(Msg msg)
 {
     if (!consumer)
         throw SimError("link '" + _name + "' has no consumer",
                        "message-buffer");
     ++numMessages;
+    if (tp) {
+        tp->send(std::move(msg));
+        peak = std::max(peak, tp->unackedCount());
+        return;
+    }
     pending.push_back(PendingMsg{std::move(msg), eq.curTick()});
     if (pending.size() > peak)
         peak = pending.size();
     if (dead)
         return; // fault-injected dead link: the message never arrives
 
-    Tick extra = fault ? fault->extraDelay(_name) : 0;
+    Tick extra = fault ? fault->extraDelay(_linkId) : 0;
     // FIFO even under jitter: never deliver before the previously
     // scheduled message (ties keep insertion order in the queue).
     Tick when = std::max(eq.curTick() + latency + extra, lastDelivery);
@@ -45,6 +90,13 @@ MessageBuffer::deliverFront()
 {
     Msg m = std::move(pending.front().msg);
     pending.pop_front();
+    ++numDelivered;
+    consumer(std::move(m));
+}
+
+void
+MessageBuffer::deliverTransported(Msg &&m)
+{
     ++numDelivered;
     consumer(std::move(m));
 }

@@ -14,6 +14,12 @@
  *    preserved and the protocol must stay correct;
  *  - a dead link (fault-injected) drops every message, the supported
  *    way to induce a hang for watchdog testing;
+ *  - with the reliable transport enabled (mem/transport.hh), enqueue
+ *    hands each message to a LinkTransport instead: sequence numbers,
+ *    checksums, acks and retransmissions make delivery exactly-once
+ *    and in-order even when the injector drops / duplicates /
+ *    corrupts wire frames.  Disabled, the legacy path below is
+ *    byte-for-byte what it was — bit-identical runs;
  *  - undelivered messages are tracked (depth + oldest age) so hang
  *    reports can name the links traffic is stuck on;
  *  - enqueue on a link with no consumer throws SimError naming the
@@ -33,6 +39,7 @@
 #define HSC_MEM_MESSAGE_BUFFER_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,6 +54,8 @@ namespace hsc
 {
 
 class FaultInjector;
+class LinkTransport;
+struct TransportConfig;
 
 /**
  * Anything a controller can send messages into: a concrete link, or a
@@ -73,10 +82,13 @@ class MessageBuffer : public MsgSink
      * @param name Link name for stats.
      * @param eq Shared event queue.
      * @param latency Delivery latency in ticks.
+     * @param link_id Dense system-assigned id; keys the link's fault
+     *        RNG stream, so schedules survive renames and threading.
      */
-    MessageBuffer(std::string name, EventQueue &eq, Tick latency)
-        : _name(std::move(name)), eq(eq), latency(latency)
-    {}
+    MessageBuffer(std::string name, EventQueue &eq, Tick latency,
+                  unsigned link_id = 0);
+
+    ~MessageBuffer();
 
     /** Attach the receiving controller. Must be set before enqueue. */
     void setConsumer(Consumer c) { consumer = std::move(c); }
@@ -87,19 +99,28 @@ class MessageBuffer : public MsgSink
      */
     void attachFaultInjector(FaultInjector *fi);
 
+    /**
+     * Put a reliable LinkTransport (mem/transport.hh) between enqueue
+     * and the wire.  Call after attachFaultInjector; pair the two
+     * directions with transport()->pairWith() before the first send.
+     */
+    void enableTransport(const TransportConfig &tcfg,
+                         Tick cycle_period);
+
+    /** The reliable transport, or null when disabled. */
+    LinkTransport *transport() { return tp.get(); }
+    const LinkTransport *transport() const { return tp.get(); }
+    bool transportEnabled() const { return tp != nullptr; }
+
     /** Send @p msg; it arrives at the consumer after the latency. */
     void enqueue(Msg msg) override;
 
     const std::string &name() const { return _name; }
     Tick latencyTicks() const { return latency; }
+    unsigned linkId() const { return _linkId; }
 
     /** Register the message counters with @p reg. */
-    void
-    regStats(StatRegistry &reg)
-    {
-        reg.addCounter(_name + ".messages", &numMessages);
-        reg.addCounter(_name + ".delivered", &numDelivered);
-    }
+    void regStats(StatRegistry &reg);
 
     std::uint64_t messageCount() const { return numMessages.value(); }
     std::uint64_t deliveredCount() const
@@ -111,15 +132,12 @@ class MessageBuffer : public MsgSink
     std::size_t peakDepth() const { return peak; }
 
     /** @{ Hang-report introspection. */
-    /** Messages enqueued but not yet delivered (or dropped-dead). */
-    std::size_t queueDepth() const { return pending.size(); }
+    /** Messages enqueued but not yet delivered (legacy path) or not
+     *  yet acknowledged (transport path) — dropped-dead included. */
+    std::size_t queueDepth() const;
 
-    /** Age of the oldest undelivered message at @p now. */
-    Tick
-    oldestPendingAge(Tick now) const
-    {
-        return pending.empty() ? 0 : now - pending.front().enqTick;
-    }
+    /** Age of the oldest undelivered/unacked message at @p now. */
+    Tick oldestPendingAge(Tick now) const;
 
     LinkInfo
     linkInfo(Tick now) const
@@ -129,6 +147,8 @@ class MessageBuffer : public MsgSink
     /** @} */
 
   private:
+    friend class LinkTransport; // wire physics + final delivery
+
     /** One undelivered message (FIFO => front oldest / next due). */
     struct PendingMsg
     {
@@ -139,9 +159,13 @@ class MessageBuffer : public MsgSink
     /** Deliver the front pending message to the consumer. */
     void deliverFront();
 
+    /** Transport-path delivery: exactly-once, in sequence order. */
+    void deliverTransported(Msg &&m);
+
     const std::string _name;
     EventQueue &eq;
     Tick latency;
+    const unsigned _linkId;
     Consumer consumer;
     Counter numMessages;
     Counter numDelivered;
@@ -149,6 +173,9 @@ class MessageBuffer : public MsgSink
 
     FaultInjector *fault = nullptr;
     bool dead = false;
+
+    /** Reliable transport; null = legacy direct delivery. */
+    std::unique_ptr<LinkTransport> tp;
 
     /** Undelivered messages; delivery events only capture [this] and
      *  pop from here, so no Msg ever rides inside a callback. */

@@ -1,0 +1,376 @@
+#include "mem/transport.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+#include <sstream>
+
+#include "mem/message_buffer.hh"
+#include "obs/tracer.hh"
+#include "sim/fault_injector.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+inline void
+fnvMix(std::uint64_t &h, std::uint64_t v)
+{
+    h ^= v;
+    h *= 0x100000001B3ull;
+}
+
+} // namespace
+
+std::uint32_t
+msgChecksum(const Msg &m)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    fnvMix(h, std::uint64_t(m.type));
+    fnvMix(h, m.addr);
+    fnvMix(h, std::uint64_t(m.sender));
+    fnvMix(h, std::uint64_t(m.dest));
+    fnvMix(h, m.txnId);
+    fnvMix(h, m.obsId);
+    fnvMix(h, std::uint64_t(m.grant));
+    fnvMix(h, (std::uint64_t(m.hasData) << 3) |
+                  (std::uint64_t(m.dirty) << 2) |
+                  (std::uint64_t(m.hit) << 1) |
+                  std::uint64_t(m.cancelledVic));
+    fnvMix(h, m.mask);
+    fnvMix(h, std::uint64_t(m.atomicOp));
+    fnvMix(h, m.atomicOffset);
+    fnvMix(h, m.atomicSize);
+    fnvMix(h, m.atomicOperand);
+    fnvMix(h, m.atomicOperand2);
+    fnvMix(h, m.atomicResult);
+    fnvMix(h, m.tpSeq);
+    fnvMix(h, m.tpAck);
+    if (m.hasData) {
+        const std::uint8_t *p = m.data.raw();
+        for (unsigned i = 0; i < BlockSizeBytes; i += 8) {
+            std::uint64_t w;
+            std::memcpy(&w, p + i, 8);
+            fnvMix(h, w);
+        }
+    }
+    return std::uint32_t(h ^ (h >> 32));
+}
+
+std::string
+DegradedReport::brief() const
+{
+    if (links.empty())
+        return {};
+    std::ostringstream os;
+    os << "link degraded: " << links.front().link << " (seq "
+       << links.front().headSeq << " unacked after "
+       << links.front().retries << " retransmissions, "
+       << links.front().unacked << " frames stranded)";
+    if (links.size() > 1)
+        os << " +" << links.size() - 1 << " more";
+    return os.str();
+}
+
+void
+DegradedReport::print(std::ostream &os) const
+{
+    os << "=== DegradedReport (tick " << atTick << ") ===\n";
+    for (const DegradedLinkInfo &l : links) {
+        os << "  " << l.link << ": seq " << l.headSeq
+           << " exhausted its retry budget (" << l.retries
+           << " retransmissions, first sent @" << l.firstSendTick
+           << ", degraded @" << l.atTick << "), " << l.unacked
+           << " frames stranded\n";
+    }
+}
+
+LinkTransport::LinkTransport(MessageBuffer &link,
+                             const TransportConfig &cfg,
+                             Tick cycle_period)
+    : link(link), cfg(cfg), period(cycle_period),
+      timeoutTicks(std::max<Tick>(1, cfg.timeoutCycles * cycle_period)),
+      ackDelayTicks(cfg.ackDelayCycles * cycle_period)
+{
+}
+
+void
+LinkTransport::regStats(StatRegistry &reg)
+{
+    const std::string &n = link.name();
+    reg.addCounter(n + ".tp.dataFrames", &statDataFrames);
+    reg.addCounter(n + ".tp.retransmits", &statRetx);
+    reg.addCounter(n + ".tp.ackFrames", &statAckFrames);
+    reg.addCounter(n + ".tp.acked", &statAcked);
+    reg.addCounter(n + ".tp.dupDrops", &statDupDrop);
+    reg.addCounter(n + ".tp.reordered", &statReordered);
+    reg.addCounter(n + ".tp.corruptDrops", &statCorruptDrop);
+    reg.addCounter(n + ".tp.wireDrops", &statWireDrop);
+}
+
+Tick
+LinkTransport::oldestUnackedAge(Tick now) const
+{
+    return sendQ.empty() ? 0 : now - sendQ.front().firstSend;
+}
+
+void
+LinkTransport::send(Msg msg)
+{
+    fatal_if(!peer, "link '%s': transport not paired (acks need the "
+             "reverse-direction link)", link.name().c_str());
+    Tick now = link.eq.curTick();
+    Unacked u{nextSeq, std::move(msg), now, now, 0};
+    u.msg.tpSeq = nextSeq++;
+    if (!degraded_) {
+        ++statDataFrames;
+        transmit(u.msg, /*retransmission=*/false);
+    }
+    // Degraded links still park the message (never transmitted): the
+    // stranded count feeds Degraded/Hang reports.
+    sendQ.push_back(std::move(u));
+    if (!degraded_)
+        armRetxTimer();
+}
+
+void
+LinkTransport::transmit(Msg frame, bool retransmission)
+{
+    // Piggyback the freshest cumulative ack of the reverse link and
+    // seal the frame.  A retransmission re-stamps both, so a stale
+    // wire copy never rolls an ack backwards (acks are monotone and
+    // the receiver takes the max anyway).
+    frame.tpAck = peer->recvCum;
+    peer->ackPending = false;
+    peer->reAck = false;
+    frame.tpChecksum = msgChecksum(frame);
+
+    if (retransmission && tracer) {
+        tracer->emit(frame.obsId, ObsPhase::LinkRetransmit, obsCtrl,
+                     frame.addr, link.eq.curTick());
+    }
+
+    if (link.dead) {
+        ++statWireDrop;
+        return; // dead link: every wire copy is lost
+    }
+
+    WireFate fate = link.fault
+                        ? link.fault->wireFate(link.linkId())
+                        : WireFate{};
+    if (fate.corrupt) {
+        // Payload corruption model: flip one data byte (checksum
+        // catches it); control frames get the checksum itself bent.
+        if (frame.hasData) {
+            std::uint8_t v = frame.data.get<std::uint8_t>(
+                fate.corruptByte % BlockSizeBytes);
+            frame.data.set<std::uint8_t>(
+                fate.corruptByte % BlockSizeBytes,
+                std::uint8_t(v ^ 0x80));
+        } else {
+            frame.tpChecksum ^= 0x80;
+        }
+    }
+    if (fate.duplicate)
+        scheduleArrival(frame, fate.dupExtraDelay);
+    if (fate.drop) {
+        ++statWireDrop;
+        return;
+    }
+    scheduleArrival(frame, fate.extraDelay);
+}
+
+void
+LinkTransport::scheduleArrival(const Msg &frame, Tick extra)
+{
+    // No FIFO clamp here: drops and retransmissions already reorder
+    // the wire, and the receiver's sequence numbers restore order.
+    Msg *p = wirePool.allocate(1);
+    new (p) Msg(frame);
+    link.eq.schedule(link.eq.curTick() + link.latency + extra,
+                     [this, p] {
+                         Msg m = std::move(*p);
+                         p->~Msg();
+                         wirePool.deallocate(p, 1);
+                         onArrival(std::move(m));
+                     },
+                     EventPriority::Default, /*progress=*/true);
+}
+
+void
+LinkTransport::onArrival(Msg &&m)
+{
+    Tick now = link.eq.curTick();
+    if (msgChecksum(m) != m.tpChecksum) {
+        ++statCorruptDrop;
+        if (tracer)
+            tracer->emit(m.obsId, ObsPhase::LinkCorruptDrop, obsCtrl,
+                         m.addr, now);
+        return; // recovered exactly like a loss
+    }
+    if (m.tpAck)
+        peer->onAckReceived(m.tpAck);
+    if (m.tpSeq == 0)
+        return; // standalone ack frame, nothing to deliver
+
+    if (m.tpSeq <= recvCum) {
+        // Duplicate (wire dup, or a retransmission whose ack was
+        // lost): drop, but make sure an ack goes back so the sender
+        // stops retransmitting.
+        ++statDupDrop;
+        if (tracer)
+            tracer->emit(m.obsId, ObsPhase::LinkDupDrop, obsCtrl,
+                         m.addr, now);
+        reAck = true;
+        scheduleAckFlush();
+        return;
+    }
+    if (m.tpSeq == recvCum + 1) {
+        recvCum = m.tpSeq;
+        link.deliverTransported(std::move(m));
+        deliverReady();
+    } else {
+        // Gap: park the frame until the missing ones arrive.
+        auto ins = reorder.emplace(m.tpSeq, std::move(m));
+        if (!ins.second) {
+            ++statDupDrop;
+        } else {
+            ++statReordered;
+            if (reorder.size() > cfg.maxReorder)
+                throw SimError("link '" + link.name() +
+                                   "': transport reorder buffer "
+                                   "exceeded its bound",
+                               "transport");
+        }
+        reAck = true; // duplicate cum ack doubles as a NACK hint
+    }
+    ackPending = true;
+    scheduleAckFlush();
+}
+
+void
+LinkTransport::deliverReady()
+{
+    for (auto it = reorder.find(recvCum + 1); it != reorder.end();
+         it = reorder.find(recvCum + 1)) {
+        Msg m = std::move(it->second);
+        reorder.erase(it);
+        recvCum = m.tpSeq;
+        link.deliverTransported(std::move(m));
+    }
+}
+
+void
+LinkTransport::onAckReceived(std::uint64_t cum)
+{
+    Tick now = link.eq.curTick();
+    while (!sendQ.empty() && sendQ.front().seq <= cum) {
+        ++statAcked;
+        if (tracer)
+            tracer->emit(sendQ.front().msg.obsId, ObsPhase::LinkAcked,
+                         obsCtrl, sendQ.front().msg.addr, now,
+                         sendQ.front().retries);
+        sendQ.pop_front();
+    }
+}
+
+void
+LinkTransport::transmitAckFrame(std::uint64_t cum)
+{
+    if (degraded_)
+        return;
+    ++statAckFrames;
+    Msg ack;
+    ack.tpSeq = 0;
+    ack.tpAck = cum;
+    // transmit() re-stamps tpAck from peer->recvCum — the same value
+    // by construction (the peer computed it) — and seals the checksum.
+    transmit(std::move(ack), /*retransmission=*/false);
+}
+
+Tick
+LinkTransport::frontDeadline() const
+{
+    const Unacked &u = sendQ.front();
+    unsigned shift = std::min(u.retries, cfg.backoffShiftCap);
+    return u.lastSend + (timeoutTicks << shift);
+}
+
+void
+LinkTransport::armRetxTimer()
+{
+    if (retxArmed || degraded_ || sendQ.empty())
+        return;
+    retxArmed = true;
+    Tick now = link.eq.curTick();
+    // Bookkeeping only (progress=false): a link retrying into the
+    // void must not keep a wedged run alive past the watchdog.
+    link.eq.schedule(std::max(frontDeadline(), now + 1),
+                     [this] { onRetxTimer(); },
+                     EventPriority::Late, /*progress=*/false);
+}
+
+void
+LinkTransport::onRetxTimer()
+{
+    retxArmed = false;
+    if (degraded_ || sendQ.empty())
+        return; // window fully acked; next send() re-arms
+    Tick now = link.eq.curTick();
+    if (now >= frontDeadline()) {
+        Unacked &u = sendQ.front();
+        if (u.retries >= cfg.retryBudget) {
+            degrade();
+            return;
+        }
+        ++u.retries;
+        u.lastSend = now;
+        ++statRetx;
+        transmit(u.msg, /*retransmission=*/true);
+    }
+    armRetxTimer();
+}
+
+void
+LinkTransport::scheduleAckFlush()
+{
+    if (ackTimerArmed || degraded_)
+        return;
+    ackTimerArmed = true;
+    link.eq.schedule(link.eq.curTick() + std::max<Tick>(1, ackDelayTicks),
+                     [this] { onAckTimer(); },
+                     EventPriority::Late, /*progress=*/false);
+}
+
+void
+LinkTransport::onAckTimer()
+{
+    ackTimerArmed = false;
+    if (!ackPending && !reAck)
+        return; // a reverse data frame piggybacked it already
+    ackPending = false;
+    reAck = false;
+    // Acks for frames received *here* travel on the reverse link.
+    peer->transmitAckFrame(recvCum);
+}
+
+void
+LinkTransport::degrade()
+{
+    degraded_ = true;
+    Tick now = link.eq.curTick();
+    const Unacked &u = sendQ.front();
+    degradedAt = DegradedLinkInfo{link.name(), u.seq, u.retries,
+                                  sendQ.size(), u.firstSend, now};
+    warn("link '%s': degraded at tick %llu (seq %llu unacked after "
+         "%u retransmissions)", link.name().c_str(),
+         (unsigned long long)now, (unsigned long long)u.seq, u.retries);
+    if (onDegraded)
+        onDegraded();
+}
+
+} // namespace hsc

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Reliable link transport — recovery beneath the virtual networks.
+ *
+ * A LinkTransport sits between MessageBuffer::enqueue and the wire,
+ * turning a lossy link (FaultInjector drop/duplicate/corrupt modes,
+ * dead links) back into the exactly-once in-order delivery contract
+ * every controller handler is written against (DESIGN.md §10):
+ *
+ *  - every data frame carries a 1-based per-link sequence number
+ *    (Msg::tpSeq), a piggybacked cumulative ack for the reverse link
+ *    (Msg::tpAck) and an FNV-1a checksum (Msg::tpChecksum);
+ *  - the receiver verifies the checksum (corrupt frames are dropped
+ *    and recovered like losses), suppresses duplicates, parks
+ *    out-of-order arrivals in a reorder buffer and delivers strictly
+ *    in sequence order — so the consumer sees exactly-once FIFO
+ *    delivery no matter what the wire did;
+ *  - acks are cumulative: piggybacked on reverse-direction data
+ *    frames when there are any, otherwise flushed by a delayed
+ *    standalone ack frame (tpSeq == 0, never delivered to the
+ *    consumer);
+ *  - the sender keeps unacked frames in a FIFO window and, on a
+ *    timeout, retransmits the *oldest* unacked frame with exponential
+ *    backoff; cumulative acks after the retransmission confirm the
+ *    whole window, so one loss costs one retransmission;
+ *  - a frame that exhausts its retry budget marks the link degraded:
+ *    timers stop, the system is notified (HsaSystem turns this into a
+ *    structured DegradedReport and a clean failing run()) — never a
+ *    silent hang.
+ *
+ * When the transport is disabled MessageBuffer keeps its legacy
+ * delivery path untouched and every wire-header field stays zero, so
+ * runs are bit-identical (asserted by bench/kernel_identity and
+ * bench/recovery_overhead).  On a fault-free run the transport adds
+ * zero retransmissions, zero duplicate drops and identical delivery
+ * ticks — only ack bookkeeping events ride along.
+ */
+
+#ifndef HSC_MEM_TRANSPORT_HH
+#define HSC_MEM_TRANSPORT_HH
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mem/message.hh"
+#include "mem/message_buffer.hh"
+#include "sim/pool_alloc.hh"
+#include "sim/ring_buffer.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+class MessageBuffer;
+class ObsTracer;
+
+/** Reliable-transport knobs (SystemConfig::transport). */
+struct TransportConfig
+{
+    /** Master switch; off = legacy delivery path, bit-identical. */
+    bool enabled = false;
+
+    /** Base retransmission timeout, in CPU cycles.  Should comfortably
+     *  exceed one link round trip (2 * linkLatency + ackDelay). */
+    Cycles timeoutCycles = 400;
+
+    /** Exponential backoff cap: the k-th retry waits
+     *  timeoutCycles << min(k, backoffShiftCap). */
+    unsigned backoffShiftCap = 6;
+
+    /** Retransmissions of a single frame before the link is declared
+     *  degraded.  With the defaults a dead link degrades after
+     *  ~400 * (1+2+4+...+64 + 10*64) ≈ 300k cycles — an order of
+     *  magnitude before the default 3M-cycle watchdog. */
+    unsigned retryBudget = 16;
+
+    /** Delayed-ack coalescing window, in CPU cycles. */
+    Cycles ackDelayCycles = 16;
+
+    /** Safety valve: receiver reorder-buffer bound (frames parked
+     *  waiting for a gap).  Exceeding it is a SimError, not silent
+     *  unbounded growth. */
+    std::size_t maxReorder = 65536;
+};
+
+/**
+ * FNV-1a checksum over a frame's semantic fields plus its wire
+ * header (tpSeq/tpAck), excluding tpChecksum itself.  Data bytes are
+ * included only when hasData is set.
+ */
+std::uint32_t msgChecksum(const Msg &m);
+
+/** One degraded link in a DegradedReport. */
+struct DegradedLinkInfo
+{
+    std::string link;          ///< link name
+    std::uint64_t headSeq = 0; ///< sequence number that exhausted retries
+    unsigned retries = 0;      ///< retransmissions spent on it
+    std::size_t unacked = 0;   ///< frames stranded in the send window
+    Tick firstSendTick = 0;    ///< when the head frame was first sent
+    Tick atTick = 0;           ///< when the link degraded
+};
+
+/**
+ * Structured escalation of retry-budget exhaustion: the transport
+ * analogue of HangReport/ViolationReport, surfaced through
+ * HsaSystem::failReason() after a failing run().
+ */
+struct DegradedReport
+{
+    Tick atTick = 0;
+    std::vector<DegradedLinkInfo> links;
+
+    bool degraded() const { return !links.empty(); }
+
+    /** One-line summary (failReason). */
+    std::string brief() const;
+
+    /** Multi-line report for the CLI. */
+    void print(std::ostream &os) const;
+};
+
+/**
+ * Per-link controller-ingress guard: controllers re-check at their
+ * handler boundary that the transport really delivered each wire
+ * sequence number at most once (belt and braces over the transport's
+ * own dedup — with the transport healthy the counter stays 0, and
+ * tests assert exactly that).  Messages with tpSeq == 0 (transport
+ * off) always pass.
+ */
+struct IngressDedup
+{
+    std::uint64_t lastSeq = 0;
+
+    /** True when @p m should be processed; false = duplicate. */
+    bool
+    accept(const Msg &m, Counter &dups)
+    {
+        if (m.tpSeq == 0)
+            return true;
+        if (m.tpSeq <= lastSeq) {
+            ++dups;
+            return false;
+        }
+        lastSeq = m.tpSeq;
+        return true;
+    }
+};
+
+/**
+ * Bind @p handler as @p buf's consumer — wrapped in a fresh per-link
+ * IngressDedup guard when the transport is enabled on the link.  The
+ * controller supplies the guard storage (pointer-stable), its shared
+ * duplicate counter and a flag regStats uses to gate registration
+ * (so legacy-run stat snapshots never change).
+ */
+template <typename Handler>
+void
+bindGuardedConsumer(MessageBuffer &buf,
+                    std::vector<std::unique_ptr<IngressDedup>> &guards,
+                    Counter &dups, bool &guarded, Handler handler)
+{
+    if (!buf.transportEnabled()) {
+        buf.setConsumer(std::move(handler));
+        return;
+    }
+    guarded = true;
+    guards.push_back(std::make_unique<IngressDedup>());
+    IngressDedup *g = guards.back().get();
+    buf.setConsumer(
+        [g, &dups, handler = std::move(handler)](Msg &&m) mutable {
+            if (!g->accept(m, dups))
+                return;
+            handler(std::move(m));
+        });
+}
+
+/**
+ * The reliable-transport state machine of one direction of a link
+ * pair.  Owns the sender window for its own MessageBuffer and the
+ * receiver state for frames arriving on it; acks for received frames
+ * travel on the paired reverse-direction transport.
+ */
+class LinkTransport
+{
+  public:
+    /**
+     * @param link The MessageBuffer this transport carries.
+     * @param cfg Transport knobs.
+     * @param cycle_period Ticks per CPU cycle (timeout conversion).
+     */
+    LinkTransport(MessageBuffer &link, const TransportConfig &cfg,
+                  Tick cycle_period);
+
+    /**
+     * Pair with the reverse-direction transport.  Required before the
+     * first send: acks travel on the reverse link.
+     */
+    void pairWith(LinkTransport *reverse) { peer = reverse; }
+
+    /** Invoked once when the link degrades (retry budget exhausted). */
+    void setOnDegraded(std::function<void()> cb)
+    {
+        onDegraded = std::move(cb);
+    }
+
+    /** Attach the observability tracer (retry/ack spans). */
+    void attachTracer(ObsTracer *t, std::uint16_t ctrl_id)
+    {
+        tracer = t;
+        obsCtrl = ctrl_id;
+    }
+
+    /** Entry point from MessageBuffer::enqueue. */
+    void send(Msg msg);
+
+    /** Register the retransmission stat group with @p reg. */
+    void regStats(StatRegistry &reg);
+
+    /** @{ Introspection. */
+    bool isDegraded() const { return degraded_; }
+    DegradedLinkInfo degradedInfo() const { return degradedAt; }
+    std::size_t unackedCount() const { return sendQ.size(); }
+    Tick oldestUnackedAge(Tick now) const;
+    std::uint64_t retransmitCount() const { return statRetx.value(); }
+    std::uint64_t dupDropCount() const { return statDupDrop.value(); }
+    std::uint64_t corruptDropCount() const
+    {
+        return statCorruptDrop.value();
+    }
+    std::uint64_t wireDropCount() const { return statWireDrop.value(); }
+    std::uint64_t ackFrameCount() const { return statAckFrames.value(); }
+    /** @} */
+
+  private:
+    /** One unacked frame in the sender window (front = oldest). */
+    struct Unacked
+    {
+        std::uint64_t seq = 0;
+        Msg msg;
+        Tick firstSend = 0;
+        Tick lastSend = 0;
+        unsigned retries = 0;
+    };
+
+    /** Stamp header, draw the wire fate, schedule arrival(s). */
+    void transmit(Msg frame, bool retransmission);
+    /** Put one wire copy of @p frame on the calendar. */
+    void scheduleArrival(const Msg &frame, Tick extra);
+    /** Receiving end: checksum, acks, dedup, reorder, deliver. */
+    void onArrival(Msg &&m);
+    /** Deliver in-sequence frames (advances recvCum). */
+    void deliverReady();
+    /** Cumulative ack from the reverse direction. */
+    void onAckReceived(std::uint64_t cum);
+    /** Send a standalone ack frame for the *reverse* link's receiver. */
+    void transmitAckFrame(std::uint64_t cum);
+
+    void armRetxTimer();
+    void onRetxTimer();
+    Tick frontDeadline() const;
+    void scheduleAckFlush();
+    void onAckTimer();
+    void degrade();
+
+    MessageBuffer &link;
+    const TransportConfig cfg;
+    const Tick period;
+    const Tick timeoutTicks;
+    const Tick ackDelayTicks;
+    LinkTransport *peer = nullptr;
+    std::function<void()> onDegraded;
+    ObsTracer *tracer = nullptr;
+    std::uint16_t obsCtrl = 0;
+
+    /** @{ Sender state. */
+    std::uint64_t nextSeq = 1;
+    RingBuf<Unacked> sendQ;
+    bool retxArmed = false;
+    bool degraded_ = false;
+    DegradedLinkInfo degradedAt;
+    /** @} */
+
+    /** @{ Receiver state. */
+    std::uint64_t recvCum = 0;   ///< highest in-order seq delivered
+    PoolUMap<std::uint64_t, Msg> reorder; ///< parked out-of-order frames
+    bool ackTimerArmed = false;
+    bool ackPending = false;  ///< recvCum advanced since last ack
+    bool reAck = false;       ///< duplicate seen: force an ack resend
+    /** @} */
+
+    /** Frames in flight on the wire (events capture pool pointers,
+     *  never whole Msgs — the callback budget is 128 bytes). */
+    PoolAllocator<Msg> wirePool;
+
+    /** @{ Retransmission stat group (registered only when the
+     *  transport is enabled, so stat hashes of legacy runs never
+     *  change). */
+    Counter statDataFrames;   ///< first transmissions
+    Counter statRetx;         ///< timeout retransmissions
+    Counter statAckFrames;    ///< standalone ack frames sent
+    Counter statAcked;        ///< frames confirmed by cumulative acks
+    Counter statDupDrop;      ///< receiver duplicate suppressions
+    Counter statReordered;    ///< frames parked out-of-order
+    Counter statCorruptDrop;  ///< checksum-failed frames dropped
+    Counter statWireDrop;     ///< frames the injector lost
+    /** @} */
+};
+
+} // namespace hsc
+
+#endif // HSC_MEM_TRANSPORT_HH

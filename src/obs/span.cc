@@ -20,6 +20,10 @@ obsPhaseName(ObsPhase p)
       case ObsPhase::Respond: return "Respond";
       case ObsPhase::Retire: return "Retire";
       case ObsPhase::Complete: return "Complete";
+      case ObsPhase::LinkRetransmit: return "LinkRetransmit";
+      case ObsPhase::LinkAcked: return "LinkAcked";
+      case ObsPhase::LinkDupDrop: return "LinkDupDrop";
+      case ObsPhase::LinkCorruptDrop: return "LinkCorruptDrop";
     }
     return "?";
 }

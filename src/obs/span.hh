@@ -39,6 +39,15 @@ enum class ObsPhase : std::uint8_t
     Respond,      ///< directory answered the requester
     Retire,       ///< directory retired the transaction (TBE freed)
     Complete,     ///< requester observed completion
+
+    // Reliable-transport lifecycle points (DESIGN.md §10).  Emitted
+    // between the phases above; the gap-attribution machine treats
+    // them as passive markers (they never change the component the
+    // interval is charged to).
+    LinkRetransmit,   ///< a frame of this txn was retransmitted
+    LinkAcked,        ///< frame confirmed by a cumulative ack
+    LinkDupDrop,      ///< receiver suppressed a duplicate frame
+    LinkCorruptDrop,  ///< checksum-failed frame dropped in flight
 };
 
 std::string_view obsPhaseName(ObsPhase p);

@@ -75,7 +75,9 @@ CorePairController::CorePairController(std::string name, EventQueue &eq,
 void
 CorePairController::bindFromDir(MessageBuffer &from_dir)
 {
-    from_dir.setConsumer([this](Msg &&m) { handleFromDir(std::move(m)); });
+    bindGuardedConsumer(
+        from_dir, ingressGuards, statIngressDups, ingressGuarded,
+        [this](Msg &&m) { handleFromDir(std::move(m)); });
 }
 
 void
@@ -112,6 +114,8 @@ CorePairController::regStats(StatRegistry &reg)
     reg.addCounter(n + ".vicDirty", &statVicDirty);
     reg.addCounter(n + ".probesRecvd", &statProbesRecvd);
     reg.addCounter(n + ".probeDataFwd", &statProbeDataFwd);
+    if (ingressGuarded)
+        reg.addCounter(n + ".ingress.dupDrops", &statIngressDups);
 }
 
 void

@@ -26,6 +26,7 @@
 
 #include "cache/cache_array.hh"
 #include "mem/message_buffer.hh"
+#include "mem/transport.hh"
 #include "obs/span.hh"
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
@@ -249,6 +250,13 @@ class CorePairController : public Clocked, public ProtocolIntrospect
     Counter statUpgrades;
     Counter statVicClean, statVicDirty;
     Counter statProbesRecvd, statProbeDataFwd;
+
+    /** @{ Controller-ingress exactly-once guard (DESIGN.md §10):
+     *  with the transport healthy the counter stays 0. */
+    std::vector<std::unique_ptr<IngressDedup>> ingressGuards;
+    Counter statIngressDups;
+    bool ingressGuarded = false;
+    /** @} */
 };
 
 } // namespace hsc

@@ -36,7 +36,9 @@ DirectoryController::bindToClient(MachineId id, MessageBuffer &buf)
 void
 DirectoryController::bindFromClient(MessageBuffer &buf)
 {
-    buf.setConsumer([this](Msg &&m) { receive(std::move(m)); });
+    bindGuardedConsumer(buf, ingressGuards, statIngressDups,
+                        ingressGuarded,
+                        [this](Msg &&m) { receive(std::move(m)); });
 }
 
 void
@@ -88,6 +90,8 @@ DirectoryController::regStats(StatRegistry &reg)
                            &statTableI[row][t]);
         }
     }
+    if (ingressGuarded)
+        reg.addCounter(n + ".ingress.dupDrops", &statIngressDups);
     llcCache.regStats(reg);
 }
 

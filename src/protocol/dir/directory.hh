@@ -37,6 +37,7 @@
 #include "cache/cache_array.hh"
 #include "mem/main_memory.hh"
 #include "mem/message_buffer.hh"
+#include "mem/transport.hh"
 #include "obs/span.hh"
 #include "protocol/dir/llc.hh"
 #include "protocol/types.hh"
@@ -320,6 +321,13 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
     Counter statStaleVicDropped;
     Counter statReadOnlyElided;
     Counter statAtomics, statWriteThroughs, statDmaReads, statDmaWrites;
+
+    /** @{ Controller-ingress exactly-once guard (DESIGN.md §10):
+     *  with the transport healthy the counter stays 0. */
+    std::vector<std::unique_ptr<IngressDedup>> ingressGuards;
+    Counter statIngressDups;
+    bool ingressGuarded = false;
+    /** @} */
 
     /** Transaction latency (dispatch to retire), in CPU cycles. */
     Histogram statTxnLatency{8, 64};

@@ -17,7 +17,9 @@ DmaController::DmaController(std::string name, EventQueue &eq,
 void
 DmaController::bindFromDir(MessageBuffer &from_dir)
 {
-    from_dir.setConsumer([this](Msg &&m) { handleFromDir(std::move(m)); });
+    bindGuardedConsumer(
+        from_dir, ingressGuards, statIngressDups, ingressGuarded,
+        [this](Msg &&m) { handleFromDir(std::move(m)); });
 }
 
 void
@@ -25,6 +27,8 @@ DmaController::regStats(StatRegistry &reg)
 {
     reg.addCounter(name() + ".reads", &statReads);
     reg.addCounter(name() + ".writes", &statWrites);
+    if (ingressGuarded)
+        reg.addCounter(name() + ".ingress.dupDrops", &statIngressDups);
 }
 
 void

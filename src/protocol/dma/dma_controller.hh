@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "mem/message_buffer.hh"
+#include "mem/transport.hh"
 #include "obs/span.hh"
 #include "protocol/types.hh"
 #include "sim/clocked.hh"
@@ -103,6 +104,13 @@ class DmaController : public Clocked, public ProtocolIntrospect
     unsigned inFlight = 0;
 
     Counter statReads, statWrites;
+
+    /** @{ Controller-ingress exactly-once guard (DESIGN.md §10):
+     *  with the transport healthy the counter stays 0. */
+    std::vector<std::unique_ptr<IngressDedup>> ingressGuards;
+    Counter statIngressDups;
+    bool ingressGuarded = false;
+    /** @} */
 };
 
 } // namespace hsc

@@ -19,7 +19,9 @@ TccController::TccController(std::string name, EventQueue &eq,
 void
 TccController::bindFromDir(MessageBuffer &from_dir)
 {
-    from_dir.setConsumer([this](Msg &&m) { handleFromDir(std::move(m)); });
+    bindGuardedConsumer(
+        from_dir, ingressGuards, statIngressDups, ingressGuarded,
+        [this](Msg &&m) { handleFromDir(std::move(m)); });
 }
 
 void
@@ -53,6 +55,8 @@ TccController::regStats(StatRegistry &reg)
     reg.addCounter(n + ".flushes", &statFlushes);
     reg.addCounter(n + ".probesRecvd", &statProbesRecvd);
     reg.addCounter(n + ".probeInvalidations", &statProbeInvalidations);
+    if (ingressGuarded)
+        reg.addCounter(n + ".ingress.dupDrops", &statIngressDups);
 }
 
 void

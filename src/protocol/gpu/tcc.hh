@@ -25,6 +25,7 @@
 
 #include "cache/cache_array.hh"
 #include "mem/message_buffer.hh"
+#include "mem/transport.hh"
 #include "obs/span.hh"
 #include "protocol/gpu/vi_line.hh"
 #include "protocol/types.hh"
@@ -207,6 +208,13 @@ class TccController : public Clocked, public ProtocolIntrospect
     Counter statReads, statWrites, statAtomicsDev, statAtomicsSys;
     Counter statHits, statMisses, statWriteThroughs, statFlushes;
     Counter statProbesRecvd, statProbeInvalidations;
+
+    /** @{ Controller-ingress exactly-once guard (DESIGN.md §10):
+     *  with the transport healthy the counter stays 0. */
+    std::vector<std::unique_ptr<IngressDedup>> ingressGuards;
+    Counter statIngressDups;
+    bool ingressGuarded = false;
+    /** @} */
 };
 
 } // namespace hsc

@@ -1,21 +1,25 @@
 #include "sim/fault_injector.hh"
 
+#include "mem/data_block.hh"
+
 namespace hsc
 {
 
 namespace
 {
 
-/** FNV-1a over the link name: stable per-link stream selector. */
+/**
+ * SplitMix64-style mix of (seed, link id): every link gets a stream
+ * that is independent of the others and of the link's name, so fault
+ * schedules survive link renames and host-side threading.
+ */
 std::uint64_t
-fnv1a(const std::string &s)
+mixSeed(std::uint64_t seed, unsigned link_id)
 {
-    std::uint64_t h = 0xCBF29CE484222325ull;
-    for (char c : s) {
-        h ^= std::uint8_t(c);
-        h *= 0x100000001B3ull;
-    }
-    return h;
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (link_id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
 }
 
 } // namespace
@@ -27,26 +31,57 @@ FaultInjector::FaultInjector(const FaultConfig &cfg,
 }
 
 Rng &
-FaultInjector::streamFor(const std::string &link)
+FaultInjector::streamFor(unsigned link_id)
 {
-    auto it = streams.find(link);
-    if (it == streams.end())
-        it = streams.emplace(link, Rng(cfg.seed ^ fnv1a(link))).first;
-    return it->second;
+    if (link_id >= streams.size())
+        streams.resize(link_id + 1);
+    if (!streams[link_id])
+        streams[link_id] =
+            std::make_unique<Rng>(mixSeed(cfg.seed, link_id));
+    return *streams[link_id];
 }
 
 Tick
-FaultInjector::extraDelay(const std::string &link)
+FaultInjector::extraDelay(unsigned link_id)
 {
     if (!cfg.enabled)
         return 0;
-    Rng &rng = streamFor(link);
+    Rng &rng = streamFor(link_id);
     Tick extra = 0;
     if (cfg.maxJitter)
         extra += rng.below(cfg.maxJitter + 1) * period;
     if (cfg.spikePercent && rng.chance(cfg.spikePercent))
         extra += cfg.spikeCycles * period;
     return extra;
+}
+
+WireFate
+FaultInjector::wireFate(unsigned link_id)
+{
+    WireFate fate;
+    if (!cfg.enabled)
+        return fate;
+    Rng &rng = streamFor(link_id);
+    // Fixed draw order, one draw per *configured* mode: the schedule
+    // of mode A never shifts because mode B was toggled off.
+    if (cfg.maxJitter)
+        fate.extraDelay += rng.below(cfg.maxJitter + 1) * period;
+    if (cfg.spikePercent && rng.chance(cfg.spikePercent))
+        fate.extraDelay += cfg.spikeCycles * period;
+    if (cfg.dropPer10k)
+        fate.drop = rng.below(10000) < cfg.dropPer10k;
+    if (cfg.dupPer10k) {
+        fate.duplicate = rng.below(10000) < cfg.dupPer10k;
+        if (fate.duplicate)
+            fate.dupExtraDelay =
+                fate.extraDelay + (1 + rng.below(4)) * period;
+    }
+    if (cfg.corruptPer10k) {
+        fate.corrupt = rng.below(10000) < cfg.corruptPer10k;
+        if (fate.corrupt)
+            fate.corruptByte = unsigned(rng.below(BlockSizeBytes));
+    }
+    return fate;
 }
 
 bool

@@ -1,31 +1,37 @@
 /**
  * @file
- * FaultInjector — deterministic, semantics-preserving link
- * perturbation for protocol stress testing.
+ * FaultInjector — deterministic link perturbation for protocol
+ * stress testing.
  *
- * The injector hooks MessageBuffer::enqueue and adds bounded
- * per-message latency jitter plus occasional per-link delay spikes.
- * Delivery stays FIFO per link (MessageBuffer clamps each delivery at
- * or after the previous one), so a correct protocol must produce the
- * same final memory image under every fault schedule — RandomTester's
- * jitter-sweep mode asserts exactly that.
+ * The injector hooks MessageBuffer::enqueue (and, when the reliable
+ * transport is enabled, every LinkTransport wire transmission) and
+ * perturbs delivery:
  *
- * Each link draws from its own PRNG stream seeded from (seed, link
- * name), so the k-th message on a given link sees the same jitter
- * regardless of what other links do: the same seed always yields the
- * same delivery schedule.
+ *  - bounded per-message latency jitter plus occasional per-link
+ *    delay spikes (semantics-preserving: the legacy delivery path
+ *    clamps FIFO order, so a correct protocol must produce the same
+ *    final memory image under every jitter schedule);
+ *  - probabilistic message drop / duplication / payload corruption
+ *    (dropPer10k, dupPer10k, corruptPer10k) — these *do* break the
+ *    link's delivery contract and are only survivable with the
+ *    reliable transport layer (mem/transport.hh) enabled;
+ *  - dead links matching FaultConfig::deadLinks silently drop every
+ *    message: the supported way to induce a hang (legacy path) or a
+ *    retry-budget DegradedReport (transport path).
  *
- * Dead links are the exception to semantics preservation: a link
- * matching FaultConfig::deadLinks silently drops every message.  That
- * is the supported way to *induce* a protocol hang and exercise the
- * watchdog/HangReport path in tests.
+ * Each link draws from its own PRNG stream seeded from (seed,
+ * link id).  The id is a small dense integer assigned by HsaSystem in
+ * construction order, so the k-th draw on a given link is a pure
+ * function of (seed, id, k): schedules never depend on the link's
+ * name, on traffic interleaving across links, or on host threading
+ * (HSC_BENCH_THREADS / runMatrix never change fault schedules).
  */
 
 #ifndef HSC_SIM_FAULT_INJECTOR_HH
 #define HSC_SIM_FAULT_INJECTOR_HH
 
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/rng.hh"
@@ -37,10 +43,11 @@ namespace hsc
 /** Fault-injection knobs (SystemConfig::fault). */
 struct FaultConfig
 {
-    /** Master switch for jitter/spikes (dead links apply regardless). */
+    /** Master switch for probabilistic faults (jitter, spikes, loss).
+     *  Dead links apply regardless. */
     bool enabled = false;
 
-    /** Schedule seed: same seed -> identical delivery schedule. */
+    /** Schedule seed: same seed -> identical fault schedule. */
     std::uint64_t seed = 1;
 
     /** Uniform extra latency in [0, maxJitter] cycles per message. */
@@ -52,17 +59,44 @@ struct FaultConfig
     /** Magnitude of a delay spike, in cycles. */
     Cycles spikeCycles = 0;
 
+    /** @{ Lossy-link modes, probabilities in basis points per message
+     *  (1% = 100, 0.1% = 10; max 10000).  Only meaningful with the
+     *  reliable transport enabled — the legacy path has no recovery
+     *  and would simply wedge. */
+    unsigned dropPer10k = 0;     ///< message silently lost on the wire
+    unsigned dupPer10k = 0;      ///< a second copy arrives later
+    unsigned corruptPer10k = 0;  ///< one payload byte flipped in flight
+    /** @} */
+
     /**
      * Links (substring-matched against the link name) that drop every
-     * message — hang induction for watchdog/HangReport testing.
+     * message — hang/degradation induction for watchdog and
+     * retry-budget testing.
      */
     std::vector<std::string> deadLinks;
+
+    bool
+    lossy() const
+    {
+        return dropPer10k || dupPer10k || corruptPer10k;
+    }
 
     bool any() const { return enabled || !deadLinks.empty(); }
 };
 
+/** Everything that can happen to one wire transmission. */
+struct WireFate
+{
+    Tick extraDelay = 0;     ///< jitter + spike, in ticks
+    bool drop = false;       ///< frame never arrives
+    bool duplicate = false;  ///< a second copy also arrives
+    Tick dupExtraDelay = 0;  ///< extra delay of the duplicate copy
+    bool corrupt = false;    ///< flip one byte of the frame
+    unsigned corruptByte = 0;  ///< which payload byte to flip
+};
+
 /**
- * Deterministic per-link delay generator.  One instance is shared by
+ * Deterministic per-link fault generator.  One instance is shared by
  * every MessageBuffer of a system; cycle values in FaultConfig are
  * converted with the period handed to the constructor (the CPU clock,
  * matching the uncore).
@@ -73,11 +107,19 @@ class FaultInjector
     FaultInjector(const FaultConfig &cfg, Tick cycle_period_ticks);
 
     /**
-     * Extra delivery delay in ticks for the next message on @p link.
-     * Consumes one draw from the link's stream; call exactly once per
-     * enqueued message.
+     * Extra delivery delay in ticks for the next message on link
+     * @p link_id (legacy jitter-only path).  Consumes draws from the
+     * link's stream; call exactly once per enqueued message.
      */
-    Tick extraDelay(const std::string &link);
+    Tick extraDelay(unsigned link_id);
+
+    /**
+     * Full wire fate of the next transmission on link @p link_id
+     * (transport path): jitter plus drop/duplicate/corrupt outcomes.
+     * One call consumes a fixed number of draws per configured mode,
+     * so the schedule is a pure function of (seed, id, call index).
+     */
+    WireFate wireFate(unsigned link_id);
 
     /** True when @p link matches a configured dead link. */
     bool isDead(const std::string &link) const;
@@ -85,11 +127,13 @@ class FaultInjector
     const FaultConfig &config() const { return cfg; }
 
   private:
-    Rng &streamFor(const std::string &link);
+    Rng &streamFor(unsigned link_id);
 
     const FaultConfig cfg;
     const Tick period;
-    std::unordered_map<std::string, Rng> streams;
+    /** Per-link streams, indexed by link id (grown on demand; unused
+     *  slots stay null so ids may be sparse). */
+    std::vector<std::unique_ptr<Rng>> streams;
 };
 
 } // namespace hsc

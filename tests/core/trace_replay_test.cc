@@ -34,6 +34,15 @@ sampleTrace()
     t.fault.spikePercent = 5;
     t.fault.spikeCycles = 300;
     t.fault.deadLinks = {"linkA", "linkB"};
+    t.fault.dropPer10k = 100;
+    t.fault.dupPer10k = 50;
+    t.fault.corruptPer10k = 10;
+    t.transport.enabled = true;
+    t.transport.timeoutCycles = 250;
+    t.transport.backoffShiftCap = 4;
+    t.transport.retryBudget = 9;
+    t.transport.ackDelayCycles = 8;
+    t.transport.maxReorder = 1024;
     t.bug.kind = SeededBug::Kind::IgnoreProbeData;
     t.bug.addr = 0x100040;
     t.tester.numLocations = 3;
@@ -85,6 +94,17 @@ TEST(TraceReplay, JsonRoundTripPreservesEveryField)
     EXPECT_EQ(back.fault.spikePercent, t.fault.spikePercent);
     EXPECT_EQ(back.fault.spikeCycles, t.fault.spikeCycles);
     EXPECT_EQ(back.fault.deadLinks, t.fault.deadLinks);
+    EXPECT_EQ(back.fault.dropPer10k, t.fault.dropPer10k);
+    EXPECT_EQ(back.fault.dupPer10k, t.fault.dupPer10k);
+    EXPECT_EQ(back.fault.corruptPer10k, t.fault.corruptPer10k);
+    EXPECT_EQ(back.transport.enabled, t.transport.enabled);
+    EXPECT_EQ(back.transport.timeoutCycles, t.transport.timeoutCycles);
+    EXPECT_EQ(back.transport.backoffShiftCap,
+              t.transport.backoffShiftCap);
+    EXPECT_EQ(back.transport.retryBudget, t.transport.retryBudget);
+    EXPECT_EQ(back.transport.ackDelayCycles,
+              t.transport.ackDelayCycles);
+    EXPECT_EQ(back.transport.maxReorder, t.transport.maxReorder);
     EXPECT_EQ(back.bug.kind, t.bug.kind);
     EXPECT_EQ(back.bug.addr, t.bug.addr);
     EXPECT_EQ(back.bug.agent, t.bug.agent);
@@ -139,6 +159,9 @@ TEST(TraceReplay, TraceSystemConfigRebuildsKnobs)
     EXPECT_EQ(cfg.watchdogCycles, 123'456u);
     EXPECT_TRUE(cfg.fault.enabled);
     EXPECT_EQ(cfg.fault.deadLinks.size(), 2u);
+    EXPECT_EQ(cfg.fault.dropPer10k, 100u);
+    EXPECT_TRUE(cfg.transport.enabled);
+    EXPECT_EQ(cfg.transport.retryBudget, 9u);
     EXPECT_EQ(cfg.bug.kind, SeededBug::Kind::IgnoreProbeData);
 }
 

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tier-2: reliable-transport recovery soaks.  With drop/duplicate/
+ * corrupt fault injection on every link, the transport must hand each
+ * controller an exactly-once in-order message stream — so a checked
+ * RandomTester soak passes with zero sanitizer violations, zero
+ * ingress-dedup hits and no hangs, and a dead link escalates to a
+ * structured DegradedReport instead of tripping the watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/random_tester.hh"
+#include "core/trace_replay.hh"
+
+namespace hsc
+{
+namespace
+{
+
+RandomTesterConfig
+testerConfig()
+{
+    RandomTesterConfig tcfg;
+    tcfg.seed = 777;
+    tcfg.numLocations = 12;
+    tcfg.roundsPerLocation = 4;
+    tcfg.numCpuThreads = 4;
+    tcfg.numGpuWorkgroups = 2;
+    return tcfg;
+}
+
+/** The ISSUE acceptance mix: 1% drop, 1% duplicate, 0.1% corrupt. */
+FaultConfig
+lossySchedule(std::uint64_t seed)
+{
+    FaultConfig fc;
+    fc.enabled = true;
+    fc.seed = seed;
+    fc.dropPer10k = 100;
+    fc.dupPer10k = 100;
+    fc.corruptPer10k = 10;
+    return fc;
+}
+
+void
+runCheckedLossySoak(SystemConfig cfg, std::uint64_t fault_seed)
+{
+    shrinkForTorture(cfg);
+    ASSERT_TRUE(cfg.check);  // sanitizer on (the default)
+    cfg.transport.enabled = true;
+    cfg.fault = lossySchedule(fault_seed);
+
+    HsaSystem sys(cfg);
+    RandomTester tester(sys, testerConfig());
+    bool ok = tester.run();
+    for (const std::string &f : tester.failures())
+        ADD_FAILURE() << f;
+    ASSERT_TRUE(ok) << sys.failReason();
+
+    ASSERT_NE(sys.checker(), nullptr);
+    EXPECT_FALSE(sys.checker()->violated());
+    EXPECT_GT(sys.checker()->transitionsChecked(), 1000u);
+
+    // The wire really was lossy and the transport really recovered.
+    TransportSummary ts = sys.transportSummary();
+    EXPECT_TRUE(ts.enabled);
+    EXPECT_GT(ts.retransmits, 0u);
+    EXPECT_GT(ts.dupDrops + ts.corruptDrops, 0u);
+    EXPECT_EQ(ts.degradedLinks, 0u);
+    // Belt-and-braces controller guards never saw a duplicate leak
+    // through the transport.
+    EXPECT_EQ(sys.stats().sumMatching(cfg.name, ".ingress.dupDrops"), 0u);
+}
+
+TEST(RecoveryStress, BaselineSurvivesLossDupCorrupt)
+{
+    runCheckedLossySoak(baselineConfig(), 11);
+}
+
+TEST(RecoveryStress, EarlyRespSurvivesLossDupCorrupt)
+{
+    runCheckedLossySoak(earlyRespConfig(), 22);
+}
+
+TEST(RecoveryStress, BankedGpuWritebackSurvivesLossDupCorrupt)
+{
+    SystemConfig cfg = ownerTrackingConfig();
+    cfg.numDirBanks = 2;
+    cfg.gpuWriteBack = true;
+    runCheckedLossySoak(cfg, 33);
+}
+
+TEST(RecoveryStress, RecoveredRunsAreDeterministic)
+{
+    // Retransmission and dedup are part of the deterministic schedule:
+    // the same seeds reproduce the same final image and cycle count.
+    auto once = [] {
+        SystemConfig cfg = baselineConfig();
+        shrinkForTorture(cfg);
+        cfg.transport.enabled = true;
+        cfg.fault = lossySchedule(44);
+        HsaSystem sys(cfg);
+        RandomTester tester(sys, testerConfig());
+        EXPECT_TRUE(tester.run()) << sys.failReason();
+        return std::pair(tester.imageHash(), sys.cpuCycles());
+    };
+    EXPECT_EQ(once(), once());
+}
+
+TEST(RecoveryStress, CleanTransportSweepMatchesLegacyImage)
+{
+    // Fault-free, the transport must not perturb the simulation:
+    // the sweep's final memory images match the legacy delivery path.
+    SystemConfig legacy = baselineConfig();
+    shrinkForTorture(legacy);
+    SystemConfig reliable = legacy;
+    reliable.transport.enabled = true;
+
+    std::vector<FaultConfig> schedules;
+    schedules.emplace_back();  // no faults
+
+    JitterSweepResult with_tp =
+        runJitterSweep(reliable, testerConfig(), schedules);
+    for (const std::string &f : with_tp.failures)
+        ADD_FAILURE() << f;
+    ASSERT_TRUE(with_tp.ok);
+    JitterSweepResult without_tp =
+        runJitterSweep(legacy, testerConfig(), schedules);
+    ASSERT_TRUE(without_tp.ok);
+    EXPECT_EQ(with_tp.imageHashes, without_tp.imageHashes);
+}
+
+TEST(RecoveryStress, DeadLinkEscalatesToDegradedReport)
+{
+    SystemConfig cfg = baselineConfig();
+    shrinkForTorture(cfg);
+    cfg.transport.enabled = true;
+    cfg.transport.retryBudget = 6;  // degrade quickly
+    cfg.fault.enabled = true;
+    cfg.fault.deadLinks = {"toDir.b0c0"};
+
+    HsaSystem sys(cfg);
+    RandomTester tester(sys, testerConfig());
+    bool ok = tester.run();
+
+    // A clean failing run: structured diagnosis, no hang, no watchdog.
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(sys.degradedReport().degraded());
+    EXPECT_FALSE(sys.hangReport().hung());
+    std::string reason = sys.failReason();
+    EXPECT_NE(reason.find("degraded"), std::string::npos) << reason;
+    EXPECT_NE(reason.find("toDir.b0c0"), std::string::npos) << reason;
+    ASSERT_EQ(sys.degradedReport().links.size(), 1u);
+    EXPECT_EQ(sys.degradedReport().links[0].retries, 6u);
+}
+
+TEST(RecoveryStress, DegradedRunReplaysBitIdentically)
+{
+    // Satellite: a captured degraded-run trace must reproduce through
+    // the JSON round trip, exactly like checker violations do.
+    SystemConfig cfg = baselineConfig();
+    shrinkForTorture(cfg);
+    cfg.transport.enabled = true;
+    cfg.transport.retryBudget = 6;
+    cfg.fault.enabled = true;
+    cfg.fault.deadLinks = {"toDir.b0c0"};
+
+    RandomTesterConfig tcfg = testerConfig();
+    TesterSchedule sched = buildTesterSchedule(tcfg);
+    HsaSystem sys(cfg);
+    RandomTester tester(sys, tcfg, sched);
+    ASSERT_FALSE(tester.run());
+    std::string reason = sys.failReason();
+
+    FailureTrace t = captureFailureTrace("baseline", true, cfg, tcfg,
+                                         sched, &sys, reason);
+    FailureTrace rt = failureTraceFromJson(failureTraceToJson(t));
+    EXPECT_EQ(rt.transport.enabled, true);
+    EXPECT_EQ(rt.transport.retryBudget, 6u);
+    EXPECT_EQ(rt.fault.deadLinks, cfg.fault.deadLinks);
+
+    ReplayResult res = replayTrace(rt);
+    EXPECT_TRUE(res.reproduced);
+    EXPECT_EQ(res.failReason, reason);
+}
+
+TEST(RecoveryStress, RecoveredLossyRunReplaysToSameImage)
+{
+    // A *recovered* (passing) lossy run replays bit-identically too:
+    // rebuild the config from a round-tripped trace and re-run.
+    SystemConfig cfg = baselineConfig();
+    shrinkForTorture(cfg);
+    cfg.transport.enabled = true;
+    cfg.fault = lossySchedule(55);
+
+    RandomTesterConfig tcfg = testerConfig();
+    TesterSchedule sched = buildTesterSchedule(tcfg);
+    HsaSystem sys(cfg);
+    RandomTester tester(sys, tcfg, sched);
+    ASSERT_TRUE(tester.run()) << sys.failReason();
+
+    FailureTrace t = captureFailureTrace("baseline", true, cfg, tcfg,
+                                         sched, &sys, "");
+    SystemConfig rebuilt = traceSystemConfig(
+        failureTraceFromJson(failureTraceToJson(t)));
+    HsaSystem sys2(rebuilt);
+    RandomTester tester2(sys2, tcfg, sched);
+    ASSERT_TRUE(tester2.run()) << sys2.failReason();
+    EXPECT_EQ(tester2.imageHash(), tester.imageHash());
+    EXPECT_EQ(sys2.cpuCycles(), sys.cpuCycles());
+    EXPECT_EQ(sys2.transportSummary().retransmits,
+              sys.transportSummary().retransmits);
+}
+
+} // namespace
+} // namespace hsc

@@ -34,8 +34,7 @@ TEST(FaultInjector, SameSeedSameDelaySequence)
     FaultInjector a(jitterConfig(42, 16), 10);
     FaultInjector b(jitterConfig(42, 16), 10);
     for (int i = 0; i < 200; ++i)
-        EXPECT_EQ(a.extraDelay("sys.toDir.b0c0"),
-                  b.extraDelay("sys.toDir.b0c0"));
+        EXPECT_EQ(a.extraDelay(0), b.extraDelay(0));
 }
 
 TEST(FaultInjector, PerLinkStreamsAreIndependent)
@@ -46,10 +45,9 @@ TEST(FaultInjector, PerLinkStreamsAreIndependent)
     FaultInjector a(jitterConfig(7, 32), 10);
     FaultInjector b(jitterConfig(7, 32), 10);
     for (int i = 0; i < 100; ++i)
-        (void)a.extraDelay("sys.toDir.b0c1"); // extra traffic on a
+        (void)a.extraDelay(1); // extra traffic on link 1 of a
     for (int i = 0; i < 50; ++i)
-        EXPECT_EQ(a.extraDelay("sys.fromDir.b0c2"),
-                  b.extraDelay("sys.fromDir.b0c2"));
+        EXPECT_EQ(a.extraDelay(2), b.extraDelay(2));
 }
 
 TEST(FaultInjector, DifferentSeedsDiffer)
@@ -58,7 +56,7 @@ TEST(FaultInjector, DifferentSeedsDiffer)
     FaultInjector b(jitterConfig(2, 1000), 1);
     bool any_diff = false;
     for (int i = 0; i < 50 && !any_diff; ++i)
-        any_diff = a.extraDelay("l") != b.extraDelay("l");
+        any_diff = a.extraDelay(0) != b.extraDelay(0);
     EXPECT_TRUE(any_diff);
 }
 
@@ -68,7 +66,7 @@ TEST(FaultInjector, DisabledInjectsNothing)
     fc.maxJitter = 100; // ignored: enabled is false
     FaultInjector fi(fc, 10);
     for (int i = 0; i < 20; ++i)
-        EXPECT_EQ(fi.extraDelay("l"), 0u);
+        EXPECT_EQ(fi.extraDelay(0), 0u);
 }
 
 TEST(FaultInjector, JitterBoundedAndCycleScaled)
@@ -76,7 +74,7 @@ TEST(FaultInjector, JitterBoundedAndCycleScaled)
     const Tick period = 10;
     FaultInjector fi(jitterConfig(3, 8), period);
     for (int i = 0; i < 500; ++i) {
-        Tick d = fi.extraDelay("l");
+        Tick d = fi.extraDelay(0);
         EXPECT_LE(d, 8u * period);
         EXPECT_EQ(d % period, 0u);
     }
@@ -90,7 +88,77 @@ TEST(FaultInjector, CertainSpikeAlwaysFires)
     fc.spikeCycles = 50;
     FaultInjector fi(fc, 10);
     for (int i = 0; i < 20; ++i)
-        EXPECT_EQ(fi.extraDelay("l"), 500u);
+        EXPECT_EQ(fi.extraDelay(0), 500u);
+}
+
+TEST(FaultInjector, WireFateSameSeedSameSchedule)
+{
+    FaultConfig fc;
+    fc.enabled = true;
+    fc.seed = 11;
+    fc.maxJitter = 8;
+    fc.dropPer10k = 500;
+    fc.dupPer10k = 300;
+    fc.corruptPer10k = 100;
+    FaultInjector a(fc, 10);
+    FaultInjector b(fc, 10);
+    for (int i = 0; i < 500; ++i) {
+        WireFate fa = a.wireFate(4);
+        WireFate fb = b.wireFate(4);
+        EXPECT_EQ(fa.extraDelay, fb.extraDelay);
+        EXPECT_EQ(fa.drop, fb.drop);
+        EXPECT_EQ(fa.duplicate, fb.duplicate);
+        EXPECT_EQ(fa.dupExtraDelay, fb.dupExtraDelay);
+        EXPECT_EQ(fa.corrupt, fb.corrupt);
+        EXPECT_EQ(fa.corruptByte, fb.corruptByte);
+    }
+}
+
+TEST(FaultInjector, WireFateRatesRoughlyMatchConfig)
+{
+    FaultConfig fc;
+    fc.enabled = true;
+    fc.seed = 21;
+    fc.dropPer10k = 1000; // 10%
+    FaultInjector fi(fc, 10);
+    unsigned drops = 0;
+    for (int i = 0; i < 10000; ++i)
+        drops += fi.wireFate(0).drop ? 1 : 0;
+    EXPECT_GT(drops, 800u);
+    EXPECT_LT(drops, 1200u);
+}
+
+TEST(FaultInjector, WireFateStreamsIndependentAcrossLinks)
+{
+    FaultConfig fc;
+    fc.enabled = true;
+    fc.seed = 31;
+    fc.maxJitter = 16;
+    fc.dropPer10k = 200;
+    FaultInjector a(fc, 10);
+    FaultInjector b(fc, 10);
+    for (int i = 0; i < 300; ++i)
+        (void)a.wireFate(7); // extra traffic on link 7 of a
+    for (int i = 0; i < 100; ++i) {
+        WireFate fa = a.wireFate(9);
+        WireFate fb = b.wireFate(9);
+        EXPECT_EQ(fa.extraDelay, fb.extraDelay);
+        EXPECT_EQ(fa.drop, fb.drop);
+    }
+}
+
+TEST(FaultInjector, WireFateDisabledIsClean)
+{
+    FaultConfig fc;
+    fc.dropPer10k = 10000; // ignored: enabled is false
+    FaultInjector fi(fc, 10);
+    for (int i = 0; i < 20; ++i) {
+        WireFate f = fi.wireFate(0);
+        EXPECT_EQ(f.extraDelay, 0u);
+        EXPECT_FALSE(f.drop);
+        EXPECT_FALSE(f.duplicate);
+        EXPECT_FALSE(f.corrupt);
+    }
 }
 
 TEST(FaultInjector, DeadLinkMatchesSubstring)
@@ -153,6 +221,29 @@ TEST(MessageBufferFault, SameSeedSameDeliverySchedule)
     };
     EXPECT_EQ(deliver(5), deliver(5));
     EXPECT_NE(deliver(5), deliver(6));
+}
+
+TEST(MessageBufferFault, ScheduleKeyedByLinkIdNotName)
+{
+    // The fault stream is keyed by (seed, link id): renaming a link
+    // must not change its schedule, and two links with different ids
+    // draw different schedules even when identically named.
+    auto deliver = [](const std::string &name, unsigned link_id) {
+        EventQueue eq;
+        FaultInjector fi(jitterConfig(9, 32), 10);
+        MessageBuffer link(name, eq, 50, link_id);
+        link.attachFaultInjector(&fi);
+        std::vector<Tick> arrivals;
+        link.setConsumer([&](Msg &&) { arrivals.push_back(eq.curTick()); });
+        eq.schedule(0, [&] {
+            for (int i = 0; i < 40; ++i)
+                link.enqueue(Msg{});
+        });
+        eq.run();
+        return arrivals;
+    };
+    EXPECT_EQ(deliver("sys.toDir.b0c0", 3), deliver("renamed.link", 3));
+    EXPECT_NE(deliver("sys.toDir.b0c0", 3), deliver("sys.toDir.b0c0", 4));
 }
 
 TEST(MessageBufferFault, DeadLinkDropsButTracksDepth)
