@@ -13,15 +13,26 @@
  * interesting numbers are the host-time overhead of the sequence/ack
  * machinery and the recovery work a lossy wire induces.
  *
+ * A second table measures the checkpoint subsystem the same way:
+ * every workload runs with checkpointing off and with a periodic
+ * drain-quiesce checkpoint cadence (snapshots written to disk), and
+ * the last checkpoint is then restored and resumed.  The resumed run
+ * must be bit-identical (cycles + full stat dump) to the cadenced
+ * reference — asserted, like the clean-wire guard — while the
+ * interesting numbers are the host-time cost of checkpointing, the
+ * snapshot size, and the restore/replay time.
+ *
  *   $ ./bench/recovery_overhead                 # table to stdout
  *   $ ./bench/recovery_overhead overhead.json   # plus JSON report
  */
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "bench/bench_util.hh"
+#include "sim/hash.hh"
 #include "sim/json.hh"
 
 using namespace hsc;
@@ -126,6 +137,106 @@ measure(const std::string &wl, const SystemConfig &base)
     return row;
 }
 
+/** FNV-1a over the complete stat dump (kernel_identity's reduction). */
+std::uint64_t
+statHash(StatRegistry &reg)
+{
+    std::uint64_t h = FnvOffsetBasis;
+    for (const auto &[name, value] : reg.snapshot()) {
+        h = fnvBytes(name.data(), name.size(), h);
+        h = fnvBytes(&value, sizeof(value), h);
+    }
+    return h;
+}
+
+struct CkptRow
+{
+    std::string workload;
+    bool ok = false;
+    Cycles cycles = 0;            ///< simulated, cadence on
+    double wallOffMs = 0.0;       ///< checkpointing off
+    double wallCkptMs = 0.0;      ///< periodic cadence + file writes
+    double wallRestoreMs = 0.0;   ///< restore last snapshot + resume
+    std::uint64_t checkpoints = 0;
+    std::uint64_t loggedOps = 0;
+    std::uint64_t snapshotBytes = 0;
+
+    double
+    overheadPct() const
+    {
+        return wallOffMs > 0.0
+                   ? (wallCkptMs - wallOffMs) / wallOffMs * 100.0
+                   : 0.0;
+    }
+};
+
+CkptRow
+measureCkpt(const std::string &wl, const SystemConfig &base,
+            const std::string &snap_path)
+{
+    SystemConfig cfg = base;
+    scaleHierarchy(cfg);
+    CkptRow row;
+    row.workload = wl;
+
+    Cycles cy_off = 0;
+    TransportSummary ts;
+    bool ok_off = timedRun(wl, cfg, cy_off, row.wallOffMs, ts);
+
+    // Periodic drain-quiesce checkpoints, written to disk.
+    std::remove(snap_path.c_str());
+    SystemConfig ckpt_cfg = cfg;
+    ckpt_cfg.ckpt.everyCycles = 5000;
+    ckpt_cfg.ckpt.outPath = snap_path;
+    bool ok_ckpt = false;
+    std::uint64_t ref_stats = 0;
+    {
+        HsaSystem sys(ckpt_cfg);
+        auto workload = makeWorkload(wl, figureParams());
+        workload->setup(sys);
+        auto t0 = std::chrono::steady_clock::now();
+        ok_ckpt = sys.run() && workload->verify(sys);
+        row.wallCkptMs = millisSince(t0);
+        row.cycles = sys.cpuCycles();
+        row.checkpoints = sys.checkpointsTaken();
+        row.snapshotBytes = sys.lastSnapshotText().size();
+        auto stats = sys.stats().snapshot();
+        row.loggedOps = stats.at("system.ckpt.loggedOps");
+        ref_stats = statHash(sys.stats());
+    }
+
+    // Restore the last on-disk checkpoint and resume to completion;
+    // the resumed run must land exactly on the cadenced reference.
+    bool ok_resume = false;
+    Cycles cy_resume = 0;
+    std::uint64_t resume_stats = 0;
+    if (ok_ckpt && row.checkpoints > 0) {
+        SystemConfig res_cfg = ckpt_cfg;
+        res_cfg.ckpt.outPath.clear(); // keep resumed snapshots in memory
+        res_cfg.ckpt.restorePath = snap_path;
+        HsaSystem sys(res_cfg);
+        auto workload = makeWorkload(wl, figureParams());
+        workload->setup(sys);
+        auto t0 = std::chrono::steady_clock::now();
+        ok_resume = sys.run() && workload->verify(sys);
+        row.wallRestoreMs = millisSince(t0);
+        cy_resume = sys.cpuCycles();
+        resume_stats = statHash(sys.stats());
+    }
+    std::remove(snap_path.c_str());
+
+    row.ok = ok_off && ok_ckpt && ok_resume && row.checkpoints > 0 &&
+             cy_resume == row.cycles && resume_stats == ref_stats;
+    if (ok_ckpt && ok_resume &&
+        (cy_resume != row.cycles || resume_stats != ref_stats)) {
+        std::cerr << "ERROR: " << wl
+                  << ": resumed run diverged from the cadenced "
+                     "reference ("
+                  << cy_resume << " vs " << row.cycles << " cycles)\n";
+    }
+    return row;
+}
+
 } // namespace
 
 int
@@ -134,6 +245,10 @@ main(int argc, char **argv)
     std::vector<Row> rows;
     for (const std::string &wl : workloadIds())
         rows.push_back(measure(wl, sharerTrackingConfig()));
+    std::vector<CkptRow> crows;
+    for (const std::string &wl : workloadIds())
+        crows.push_back(measureCkpt(wl, sharerTrackingConfig(),
+                                    "recovery_overhead.snapshot"));
 
     TableWriter tw(std::cout);
     tw.header({"workload", "config", "cycles", "off ms", "on ms",
@@ -154,6 +269,28 @@ main(int argc, char **argv)
     tw.rule();
     tw.row({"mean", "", "", "", "", TableWriter::fmt(mean(overheads)),
             "", "", all_ok ? "OK" : "FAIL"});
+
+    std::cout << '\n';
+    TableWriter ctw(std::cout);
+    ctw.header({"workload", "cycles", "off ms", "ckpt ms", "ovh %",
+                "ckpts", "ops", "snap KB", "restore ms", "result"});
+    std::vector<double> ckpt_overheads;
+    for (const CkptRow &r : crows) {
+        ckpt_overheads.push_back(r.overheadPct());
+        all_ok = all_ok && r.ok;
+        ctw.row({r.workload, TableWriter::fmt(r.cycles),
+                 TableWriter::fmt(r.wallOffMs),
+                 TableWriter::fmt(r.wallCkptMs),
+                 TableWriter::fmt(r.overheadPct()),
+                 TableWriter::fmt(r.checkpoints),
+                 TableWriter::fmt(r.loggedOps),
+                 TableWriter::fmt(double(r.snapshotBytes) / 1024.0),
+                 TableWriter::fmt(r.wallRestoreMs),
+                 r.ok ? "OK" : "FAIL"});
+    }
+    ctw.rule();
+    ctw.row({"mean", "", "", "", TableWriter::fmt(mean(ckpt_overheads)),
+             "", "", "", "", all_ok ? "OK" : "FAIL"});
 
     JsonValue report = JsonValue::makeObject();
     report.set("bench", JsonValue("recovery_overhead"));
@@ -176,6 +313,23 @@ main(int argc, char **argv)
     }
     report.set("rows", std::move(jrows));
     report.set("meanOverheadPct", JsonValue(mean(overheads)));
+    JsonValue jcrows = JsonValue::makeArray();
+    for (const CkptRow &r : crows) {
+        JsonValue o = JsonValue::makeObject();
+        o.set("workload", JsonValue(r.workload));
+        o.set("ok", JsonValue(r.ok));
+        o.set("cycles", JsonValue(std::uint64_t(r.cycles)));
+        o.set("wallOffMs", JsonValue(r.wallOffMs));
+        o.set("wallCkptMs", JsonValue(r.wallCkptMs));
+        o.set("wallRestoreMs", JsonValue(r.wallRestoreMs));
+        o.set("overheadPct", JsonValue(r.overheadPct()));
+        o.set("checkpoints", JsonValue(r.checkpoints));
+        o.set("loggedOps", JsonValue(r.loggedOps));
+        o.set("snapshotBytes", JsonValue(r.snapshotBytes));
+        jcrows.push(std::move(o));
+    }
+    report.set("checkpointRows", std::move(jcrows));
+    report.set("ckptMeanOverheadPct", JsonValue(mean(ckpt_overheads)));
     report.set("ok", JsonValue(all_ok));
 
     if (argc > 1) {

@@ -90,7 +90,8 @@ presetName(const std::string &cli)
 int
 runTester(const SystemConfig &cfg, const std::string &preset,
           const RandomTesterConfig &tcfg, bool shrink,
-          const std::string &trace_out, bool dump_stats)
+          bool shrink_anchored, const std::string &trace_out,
+          bool dump_stats)
 {
     TesterSchedule sched = buildTesterSchedule(tcfg);
     std::printf("tester: %zu ops over %u locations (seed %llu)\n",
@@ -112,8 +113,13 @@ runTester(const SystemConfig &cfg, const std::string &preset,
                     (unsigned long long)ts.wireDrops);
     }
     if (ok) {
-        std::printf("tester: PASS (image hash 0x%016llx)\n",
-                    (unsigned long long)tester.imageHash());
+        std::printf("tester: PASS (image hash 0x%016llx, cycles %llu, "
+                    "checkpoints %llu)\n",
+                    (unsigned long long)tester.imageHash(),
+                    (unsigned long long)sys.cpuCycles(),
+                    (unsigned long long)(sys.snapshot()
+                                             ? sys.checkpointsTaken()
+                                             : 0));
         return 0;
     }
 
@@ -131,12 +137,26 @@ runTester(const SystemConfig &cfg, const std::string &preset,
         sys.hangReport().print(std::cerr);
 
     TesterSchedule to_dump = sched;
-    if (shrink) {
-        ShrinkResult res = shrinkSchedule(cfg, tcfg, sched);
+    if (shrink || shrink_anchored) {
+        // Anchored shrinking must not destroy the user's own
+        // checkpoint cadence or files: shrink candidate systems get a
+        // clean checkpoint config of their own.
+        SystemConfig shrink_cfg = cfg;
+        shrink_cfg.ckpt = CheckpointConfig{};
+        ShrinkResult res =
+            shrink_anchored
+                ? shrinkScheduleAnchored(shrink_cfg, tcfg, sched,
+                                         "hsc_shrink_anchor.snapshot")
+                : shrinkSchedule(shrink_cfg, tcfg, sched);
         if (res.originalFailed && !res.minimal.empty()) {
             std::printf("shrink: %zu -> %zu ops after %zu runs\n",
                         res.originalOps, res.minimal.size(),
                         res.testsRun);
+            if (res.anchorOps) {
+                std::printf("shrink: anchored at op %zu "
+                            "(hsc_shrink_anchor.snapshot)\n",
+                            res.anchorOps);
+            }
             std::printf("minimal failing schedule (seed %llu):\n",
                         (unsigned long long)tcfg.seed);
             for (const TesterOp &op : res.minimal.ops) {
@@ -207,6 +227,27 @@ usage()
         "  --tester-rounds <n> tester rounds per location (default: 6)\n"
         "  --shrink            on tester failure, delta-minimize the\n"
         "                      failing op schedule and print it\n"
+        "  --shrink-anchored   like --shrink, but anchor ddmin on a\n"
+        "                      checkpoint of the largest passing\n"
+        "                      prefix so candidates resume from the\n"
+        "                      snapshot instead of tick 0\n"
+        "  --checkpoint-every <cycles>\n"
+        "                      drain to quiesce and checkpoint every N\n"
+        "                      CPU cycles (sim/snapshot.hh)\n"
+        "  --checkpoint-at <cycles>\n"
+        "                      one-shot checkpoint at N cycles from\n"
+        "                      run start (repeatable)\n"
+        "  --checkpoint-out <path>\n"
+        "                      snapshot file, written atomically; a\n"
+        "                      failing run re-emits the freshest\n"
+        "                      checkpoint to <path>.lastgasp\n"
+        "  --restore <path>    restore this snapshot and resume it\n"
+        "                      instead of starting from tick 0\n"
+        "  --crash-at-tick <n> fault injection: kill the run (like a\n"
+        "                      process crash) N ticks after run start\n"
+        "  --crash-after-events <n>\n"
+        "                      fault injection: kill the run after N\n"
+        "                      executed events\n"
         "  --bug <kind>        plant a seeded protocol bug (for demoing\n"
         "                      the sanitizer): ignoreInvProbe |\n"
         "                      ignoreProbeData | writeNoPermission |\n"
@@ -280,6 +321,10 @@ run(int argc, char **argv)
     bool check = true;
     bool tester_mode = false;
     bool shrink = false;
+    bool shrink_anchored = false;
+    CheckpointConfig ckpt;
+    Tick crash_at_tick = 0;
+    std::uint64_t crash_after_events = 0;
     unsigned tester_locs = 24;
     unsigned tester_rounds = 6;
     std::string trace_out;
@@ -355,6 +400,20 @@ run(int argc, char **argv)
             tester_rounds = unsigned(nextNum());
         } else if (arg == "--shrink") {
             shrink = true;
+        } else if (arg == "--shrink-anchored") {
+            shrink_anchored = true;
+        } else if (arg == "--checkpoint-every") {
+            ckpt.everyCycles = Cycles(nextNum());
+        } else if (arg == "--checkpoint-at") {
+            ckpt.atCycles.push_back(Cycles(nextNum()));
+        } else if (arg == "--checkpoint-out") {
+            ckpt.outPath = next();
+        } else if (arg == "--restore") {
+            ckpt.restorePath = next();
+        } else if (arg == "--crash-at-tick") {
+            crash_at_tick = Tick(nextNum());
+        } else if (arg == "--crash-after-events") {
+            crash_after_events = nextNum();
         } else if (arg == "--bug") {
             bug.kind = seededBugKindFromName(next());
         } else if (arg == "--bug-addr") {
@@ -427,14 +486,21 @@ run(int argc, char **argv)
         cfg.watchdogCycles = watchdog;
     cfg.obs.enabled = obs || !trace_chrome.empty();
     cfg.obs.samplingInterval = stats_interval;
+    cfg.ckpt = ckpt;
+    if (crash_at_tick || crash_after_events) {
+        cfg.fault.enabled = true;
+        cfg.fault.seed = fault_seed;
+        cfg.fault.crashAtTick = crash_at_tick;
+        cfg.fault.crashAfterEvents = crash_after_events;
+    }
 
     if (tester_mode) {
         RandomTesterConfig tcfg;
         tcfg.seed = params.seed;
         tcfg.numLocations = tester_locs;
         tcfg.roundsPerLocation = tester_rounds;
-        return runTester(cfg, presetName(config), tcfg, shrink, trace_out,
-                         dump_stats);
+        return runTester(cfg, presetName(config), tcfg, shrink,
+                         shrink_anchored, trace_out, dump_stats);
     }
 
     HsaSystem sys(cfg);
@@ -445,6 +511,11 @@ run(int argc, char **argv)
 
     RunMetrics m = collectMetrics(sys, workload, ok);
     printRunSummary(std::cout, m);
+    if (sys.snapshot()) {
+        std::printf("checkpoints: %llu taken, last at tick %llu\n",
+                    (unsigned long long)sys.checkpointsTaken(),
+                    (unsigned long long)sys.lastCheckpointTick());
+    }
     TransportSummary ts = sys.transportSummary();
     if (ts.enabled) {
         std::printf("transport: %llu retransmits, %llu ack frames, "

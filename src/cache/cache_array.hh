@@ -222,6 +222,46 @@ class CacheArray
         return n;
     }
 
+    /** Visit every valid line with its (set, way) coordinates —
+     *  snapshot serialization needs the way so a restored array
+     *  reproduces the exact victim-selection state. */
+    template <typename Fn>
+    void
+    forEachWay(Fn &&fn) const
+    {
+        for (unsigned set = 0; set < numSets; ++set) {
+            for (unsigned way = 0; way < assoc; ++way) {
+                const Line &l = lineC(set, way);
+                if (l.valid)
+                    fn(set, way, l.tag, l.entry);
+            }
+        }
+    }
+
+    /**
+     * Snapshot restore: materialize a line at an exact (set, way)
+     * slot.  The slot must be empty (restores start from a fresh
+     * array) and the policy is deliberately *not* touched — recency
+     * metadata is restored wholesale via replacement().
+     */
+    Entry &
+    restoreLine(unsigned set, unsigned way, Addr tag)
+    {
+        panic_if(set >= numSets || way >= assoc,
+                 "%s: restoreLine(%u, %u) out of range", _name.c_str(),
+                 set, way);
+        Line &l = line(set, way);
+        panic_if(l.valid, "%s: restoreLine into occupied (%u, %u)",
+                 _name.c_str(), set, way);
+        l.valid = true;
+        l.tag = blockAlign(tag);
+        l.entry = Entry{};
+        return l.entry;
+    }
+
+    ReplacementPolicy &replacement() { return *policy; }
+    const ReplacementPolicy &replacement() const { return *policy; }
+
     const std::string &name() const { return _name; }
     unsigned sets() const { return numSets; }
     unsigned ways() const { return assoc; }

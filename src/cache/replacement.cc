@@ -1,9 +1,41 @@
 #include "cache/replacement.hh"
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace hsc
 {
+
+void
+ReplacementPolicy::serialize(JsonValue &out) const
+{
+    out.set("tick", JsonValue(tick));
+    JsonValue touch = JsonValue::makeArray();
+    for (std::size_t i = 0; i < lastTouch.size(); ++i) {
+        if (lastTouch[i] == 0)
+            continue;
+        JsonValue pair = JsonValue::makeArray();
+        pair.push(JsonValue(std::uint64_t(i)));
+        pair.push(JsonValue(lastTouch[i]));
+        touch.push(std::move(pair));
+    }
+    out.set("touch", std::move(touch));
+}
+
+void
+ReplacementPolicy::restore(const JsonValue &in)
+{
+    tick = in.at("tick").asUInt();
+    std::fill(lastTouch.begin(), lastTouch.end(), 0);
+    for (const JsonValue &pair : in.at("touch").items()) {
+        std::size_t i = pair.items().at(0).asUInt();
+        if (i >= lastTouch.size())
+            throw SimError("replacement restore: stamp index out of "
+                           "range — geometry mismatch", "snapshot");
+        lastTouch[i] = pair.items().at(1).asUInt();
+    }
+}
 
 ReplacementPolicy::ReplacementPolicy(unsigned num_sets, unsigned assoc)
     : numSets(num_sets), assoc(assoc),
@@ -116,6 +148,47 @@ TreePlruPolicy::victim(unsigned set) const
             hi = mid;
     }
     return lo;
+}
+
+void
+TreePlruPolicy::serialize(JsonValue &out) const
+{
+    ReplacementPolicy::serialize(out);
+    // One packed word per set with any bit raised (nodesPerSet <= 63
+    // under the MaxAssoc = 64 cap).
+    JsonValue packed = JsonValue::makeArray();
+    for (unsigned set = 0; set < numSets; ++set) {
+        std::uint64_t w = 0;
+        std::size_t base = std::size_t(set) * nodesPerSet;
+        for (unsigned n = 0; n < nodesPerSet; ++n) {
+            if (bits[base + n])
+                w |= std::uint64_t(1) << n;
+        }
+        if (w == 0)
+            continue;
+        JsonValue pair = JsonValue::makeArray();
+        pair.push(JsonValue(std::uint64_t(set)));
+        pair.push(JsonValue(w));
+        packed.push(std::move(pair));
+    }
+    out.set("bits", std::move(packed));
+}
+
+void
+TreePlruPolicy::restore(const JsonValue &in)
+{
+    ReplacementPolicy::restore(in);
+    std::fill(bits.begin(), bits.end(), false);
+    for (const JsonValue &pair : in.at("bits").items()) {
+        std::uint64_t set = pair.items().at(0).asUInt();
+        std::uint64_t w = pair.items().at(1).asUInt();
+        if (set >= numSets)
+            throw SimError("TreePLRU restore: set index out of range — "
+                           "geometry mismatch", "snapshot");
+        std::size_t base = std::size_t(set) * nodesPerSet;
+        for (unsigned n = 0; n < nodesPerSet; ++n)
+            bits[base + n] = (w >> n) & 1;
+    }
 }
 
 std::unique_ptr<ReplacementPolicy>

@@ -24,6 +24,8 @@
 namespace hsc
 {
 
+class JsonValue;
+
 /**
  * Per-set replacement state.  Policies also keep last-touch
  * timestamps so a victim can be picked among an arbitrary candidate
@@ -53,6 +55,14 @@ class ReplacementPolicy
                          std::span<const unsigned> candidates) const;
 
     unsigned associativity() const { return assoc; }
+
+    /** @{ Snapshot hooks: replacement metadata is persistent state —
+     *  a resumed run must pick the same victims as the uninterrupted
+     *  one.  Stamps are stored sparsely (untouched ways are omitted),
+     *  so snapshots scale with occupancy, not geometry. */
+    virtual void serialize(JsonValue &out) const;
+    virtual void restore(const JsonValue &in);
+    /** @} */
 
   protected:
     std::uint64_t
@@ -86,6 +96,9 @@ class TreePlruPolicy : public ReplacementPolicy
     void touch(unsigned set, unsigned way) override;
     void fill(unsigned set, unsigned way) override;
     unsigned victim(unsigned set) const override;
+
+    void serialize(JsonValue &out) const override;
+    void restore(const JsonValue &in) override;
 
   private:
     void updateTree(unsigned set, unsigned way);

@@ -1,6 +1,7 @@
 #include "core/cpu_core.hh"
 
 #include "core/kernel_dispatch.hh"
+#include "sim/snapshot.hh"
 
 namespace hsc
 {
@@ -35,43 +36,152 @@ CpuCtx::maybeIfetch(std::function<void()> then)
 }
 
 void
-CpuCtx::LoadOp::start()
+CpuCtx::advanceIfetchReplay()
+{
+    if (!injectIfetches || (opCount++ % 8) != 0)
+        return;
+    codePc = CodeBase + tid * CodeSegBytes +
+             ((codePc + BlockSizeBytes) % CodeSegBytes);
+}
+
+void
+CpuCtx::LoadOp::issueLive()
 {
     // Both captures are a single pointer: no heap on the op path.
     ctx->maybeIfetch([this] {
         ctx->corePair.load(ctx->coreIdx, addr, size,
-                           [this](std::uint64_t v) { complete(v); });
+                           [this](std::uint64_t v) {
+                               if (ctx->snap)
+                                   ctx->snap->record(ctx->tid,
+                                                     OpKind::CpuLoad, {v});
+                               complete(v);
+                           });
+    });
+}
+
+void
+CpuCtx::LoadOp::start()
+{
+    SnapshotCoordinator *snap = ctx->snap;
+    if (snap && snap->replaying()) {
+        if (const OpRecord *r = snap->replayNext(ctx->tid, OpKind::CpuLoad)) {
+            ctx->advanceIfetchReplay();
+            complete(r->word(0));
+        } else {
+            snap->park(ctx->tid, [this] { issueLive(); });
+        }
+        return;
+    }
+    if (snap && snap->draining()) {
+        snap->park(ctx->tid, [this] { issueLive(); });
+        return;
+    }
+    issueLive();
+}
+
+void
+CpuCtx::StoreOp::issueLive()
+{
+    ctx->maybeIfetch([this] {
+        ctx->corePair.store(ctx->coreIdx, addr, size, value, [this] {
+            if (ctx->snap)
+                ctx->snap->record(ctx->tid, OpKind::CpuStore, {});
+            complete();
+        });
     });
 }
 
 void
 CpuCtx::StoreOp::start()
 {
+    SnapshotCoordinator *snap = ctx->snap;
+    if (snap && snap->replaying()) {
+        if (snap->replayNext(ctx->tid, OpKind::CpuStore)) {
+            ctx->advanceIfetchReplay();
+            complete();
+        } else {
+            snap->park(ctx->tid, [this] { issueLive(); });
+        }
+        return;
+    }
+    if (snap && snap->draining()) {
+        snap->park(ctx->tid, [this] { issueLive(); });
+        return;
+    }
+    issueLive();
+}
+
+void
+CpuCtx::AmoOp::issueLive()
+{
     ctx->maybeIfetch([this] {
-        ctx->corePair.store(ctx->coreIdx, addr, size, value,
-                            [this] { complete(); });
+        ctx->corePair.atomic(ctx->coreIdx, addr, op, operand, operand2,
+                             size, [this](std::uint64_t v) {
+                                 if (ctx->snap)
+                                     ctx->snap->record(ctx->tid,
+                                                       OpKind::CpuAmo, {v});
+                                 complete(v);
+                             });
     });
 }
 
 void
 CpuCtx::AmoOp::start()
 {
-    ctx->maybeIfetch([this] {
-        ctx->corePair.atomic(ctx->coreIdx, addr, op, operand, operand2,
-                             size,
-                             [this](std::uint64_t v) { complete(v); });
-    });
+    SnapshotCoordinator *snap = ctx->snap;
+    if (snap && snap->replaying()) {
+        if (const OpRecord *r = snap->replayNext(ctx->tid, OpKind::CpuAmo)) {
+            ctx->advanceIfetchReplay();
+            complete(r->word(0));
+        } else {
+            snap->park(ctx->tid, [this] { issueLive(); });
+        }
+        return;
+    }
+    if (snap && snap->draining()) {
+        snap->park(ctx->tid, [this] { issueLive(); });
+        return;
+    }
+    issueLive();
+}
+
+void
+CpuCtx::computeLive(Cycles cycles, std::function<void()> cb)
+{
+    // progress-tagged: a thread mid-compute is in-flight work — the
+    // snapshot drain must let it retire so the op log stays aligned.
+    eq.schedule(clk.clockEdge(eq.curTick(), cycles),
+                [this, cb = std::move(cb)] {
+                    eq.notifyProgress();
+                    if (snap)
+                        snap->record(tid, OpKind::CpuCompute, {});
+                    cb();
+                },
+                EventPriority::Default, /*progress=*/true);
 }
 
 AwaitVoid
 CpuCtx::compute(Cycles cycles)
 {
     return AwaitVoid([this, cycles](std::function<void()> cb) {
-        eq.schedule(clk.clockEdge(eq.curTick(), cycles),
-                    [this, cb = std::move(cb)] {
-                        eq.notifyProgress();
-                        cb();
-                    });
+        if (snap && snap->replaying()) {
+            if (snap->replayNext(tid, OpKind::CpuCompute)) {
+                cb();
+            } else {
+                snap->park(tid,
+                           [this, cycles, cb = std::move(cb)]() mutable {
+                               computeLive(cycles, std::move(cb));
+                           });
+            }
+            return;
+        }
+        if (snap && snap->draining()) {
+            snap->park(tid, [this, cycles, cb = std::move(cb)]() mutable {
+                computeLive(cycles, std::move(cb));
+            });
+            return;
+        }
+        computeLive(cycles, std::move(cb));
     });
 }
 
@@ -80,7 +190,7 @@ CpuCtx::launchKernel(const GpuKernel &kernel)
 {
     panic_if(!dispatcher, "CpuCtx has no kernel dispatcher");
     return AwaitVoid([this, kernel](std::function<void()> cb) {
-        dispatcher->launch(kernel, std::move(cb));
+        dispatcher->launch(kernel, std::move(cb), agentKey());
     });
 }
 
@@ -89,13 +199,15 @@ CpuCtx::launchKernelAsync(const GpuKernel &kernel)
 {
     panic_if(!dispatcher, "CpuCtx has no kernel dispatcher");
     ++kernelsInFlight;
-    dispatcher->launch(kernel, [this] {
-        if (--kernelsInFlight == 0 && kernelWaiter) {
-            auto w = std::move(kernelWaiter);
-            kernelWaiter = nullptr;
-            w();
-        }
-    });
+    dispatcher->launch(kernel,
+                       [this] {
+                           if (--kernelsInFlight == 0 && kernelWaiter) {
+                               auto w = std::move(kernelWaiter);
+                               kernelWaiter = nullptr;
+                               w();
+                           }
+                       },
+                       agentKey());
 }
 
 AwaitVoid

@@ -21,6 +21,7 @@ namespace hsc
 {
 
 class KernelDispatcher;
+class SnapshotCoordinator;
 struct GpuKernel;
 
 /**
@@ -35,6 +36,16 @@ class CpuCtx
 
     unsigned threadId() const { return tid; }
 
+    /** @{ Checkpoint/restore wiring.  The coordinator is null unless
+     *  checkpointing is enabled, so the per-op drain/replay gates
+     *  reduce to one null check on the clean path.  The agent key of
+     *  a CPU thread is its thread id; DMA operations issued by this
+     *  thread attribute to the same key (see DmaEngine). */
+    void setSnapshot(SnapshotCoordinator *s) { snap = s; }
+    SnapshotCoordinator *snapshot() const { return snap; }
+    std::uint64_t agentKey() const { return tid; }
+    /** @} */
+
     /**
      * @{ Awaitable memory operations (sizes 1/2/4/8).  The returned
      * awaiters hold their parameters in the coroutine frame and
@@ -47,6 +58,7 @@ class CpuCtx
         Addr addr;
         unsigned size;
         void start();
+        void issueLive();
     };
 
     struct StoreOp : AwaitVoidOpBase<StoreOp>
@@ -56,6 +68,7 @@ class CpuCtx
         std::uint64_t value;
         unsigned size;
         void start();
+        void issueLive();
     };
 
     struct AmoOp : AwaitOpBase<std::uint64_t, AmoOp>
@@ -67,6 +80,7 @@ class CpuCtx
         std::uint64_t operand2;
         unsigned size;
         void start();
+        void issueLive();
     };
 
     LoadOp
@@ -105,6 +119,14 @@ class CpuCtx
     /** Issue an instruction fetch every few operations. */
     void maybeIfetch(std::function<void()> then);
 
+    /** Advance the ifetch cadence during log replay without issuing
+     *  (the fetch's timing effect is already baked into the logged
+     *  results; only the cursor must move identically). */
+    void advanceIfetchReplay();
+
+    /** Schedule the compute delay (the live, non-replay path). */
+    void computeLive(Cycles cycles, std::function<void()> cb);
+
     const unsigned tid;
     CorePairController &corePair;
     const unsigned coreIdx;
@@ -112,6 +134,8 @@ class CpuCtx
     ClockDomain clk;
     KernelDispatcher *dispatcher;
     const bool injectIfetches;
+
+    SnapshotCoordinator *snap = nullptr;
 
     Addr codePc;
     std::uint64_t opCount = 0;

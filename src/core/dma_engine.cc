@@ -2,6 +2,9 @@
 
 #include <memory>
 
+#include "core/cpu_core.hh"
+#include "sim/snapshot.hh"
+
 namespace hsc
 {
 
@@ -29,6 +32,144 @@ DmaEngine::copy(Addr dst, Addr src, std::uint64_t bytes,
             });
         });
     }
+}
+
+void
+DmaEngine::requireUnattributedOk(const char *what) const
+{
+    panic_if(snap != nullptr,
+             "DmaEngine::%s without thread attribution while "
+             "checkpointing is enabled (use the CpuCtx& overload)",
+             what);
+}
+
+void
+DmaEngine::readLive(SnapshotCoordinator *s, std::uint64_t key, Addr addr,
+                    std::function<void(DataBlock)> cb)
+{
+    ctrl.readBlock(addr, [s, key, cb = std::move(cb)](const DataBlock &b) {
+        if (s) {
+            std::uint64_t words[BlockSizeBytes / 8];
+            for (unsigned i = 0; i < BlockSizeBytes / 8; ++i)
+                words[i] = b.get<std::uint64_t>(i * 8);
+            s->record(key, OpKind::DmaRead, words, BlockSizeBytes / 8);
+        }
+        cb(b);
+    });
+}
+
+void
+DmaEngine::writeLive(SnapshotCoordinator *s, std::uint64_t key, Addr addr,
+                     const DataBlock &data, ByteMask mask,
+                     std::function<void()> cb)
+{
+    ctrl.writeBlock(addr, data, mask, [s, key, cb = std::move(cb)] {
+        if (s)
+            s->record(key, OpKind::DmaWrite, {});
+        cb();
+    });
+}
+
+void
+DmaEngine::copyLive(SnapshotCoordinator *s, std::uint64_t key, Addr dst,
+                    Addr src, std::uint64_t bytes, std::function<void()> cb)
+{
+    copy(dst, src, bytes, [s, key, cb = std::move(cb)] {
+        if (s)
+            s->record(key, OpKind::DmaCopy, {});
+        cb();
+    });
+}
+
+Await<DataBlock>
+DmaEngine::readBlock(CpuCtx &cpu, Addr addr)
+{
+    return Await<DataBlock>(
+        [this, &cpu, addr](std::function<void(DataBlock)> cb) {
+            SnapshotCoordinator *s = cpu.snapshot();
+            std::uint64_t key = cpu.agentKey();
+            if (s && s->replaying()) {
+                if (const OpRecord *r = s->replayNext(key, OpKind::DmaRead)) {
+                    DataBlock b;
+                    for (unsigned i = 0; i < BlockSizeBytes / 8; ++i)
+                        b.set<std::uint64_t>(i * 8, r->word(i));
+                    cb(b);
+                } else {
+                    s->park(key, [this, s, key, addr,
+                                  cb = std::move(cb)]() mutable {
+                        readLive(s, key, addr, std::move(cb));
+                    });
+                }
+                return;
+            }
+            if (s && s->draining()) {
+                s->park(key, [this, s, key, addr,
+                              cb = std::move(cb)]() mutable {
+                    readLive(s, key, addr, std::move(cb));
+                });
+                return;
+            }
+            readLive(s, key, addr, std::move(cb));
+        });
+}
+
+AwaitVoid
+DmaEngine::writeBlock(CpuCtx &cpu, Addr addr, const DataBlock &data,
+                      ByteMask mask)
+{
+    return AwaitVoid(
+        [this, &cpu, addr, data, mask](std::function<void()> cb) {
+            SnapshotCoordinator *s = cpu.snapshot();
+            std::uint64_t key = cpu.agentKey();
+            if (s && s->replaying()) {
+                if (s->replayNext(key, OpKind::DmaWrite)) {
+                    cb();
+                } else {
+                    s->park(key, [this, s, key, addr, data, mask,
+                                  cb = std::move(cb)]() mutable {
+                        writeLive(s, key, addr, data, mask, std::move(cb));
+                    });
+                }
+                return;
+            }
+            if (s && s->draining()) {
+                s->park(key, [this, s, key, addr, data, mask,
+                              cb = std::move(cb)]() mutable {
+                    writeLive(s, key, addr, data, mask, std::move(cb));
+                });
+                return;
+            }
+            writeLive(s, key, addr, data, mask, std::move(cb));
+        });
+}
+
+AwaitVoid
+DmaEngine::copyAsync(CpuCtx &cpu, Addr dst, Addr src, std::uint64_t bytes)
+{
+    return AwaitVoid(
+        [this, &cpu, dst, src, bytes](std::function<void()> cb) {
+            SnapshotCoordinator *s = cpu.snapshot();
+            std::uint64_t key = cpu.agentKey();
+            if (s && s->replaying()) {
+                if (s->replayNext(key, OpKind::DmaCopy)) {
+                    cb();
+                } else {
+                    s->park(key, [this, s, key, dst, src, bytes,
+                                  cb = std::move(cb)]() mutable {
+                        copyLive(s, key, dst, src, bytes, std::move(cb));
+                    });
+                }
+                return;
+            }
+            if (s && s->draining()) {
+                s->park(key, [this, s, key, dst, src, bytes,
+                              cb = std::move(cb)]() mutable {
+                    copyLive(s, key, dst, src, bytes, std::move(cb));
+                });
+                return;
+            }
+            copyLive(s, key, dst, src, bytes, std::move(cb));
+        });
 }
 
 } // namespace hsc

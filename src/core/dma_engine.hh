@@ -12,9 +12,17 @@
 namespace hsc
 {
 
+class CpuCtx;
+class SnapshotCoordinator;
+
 /**
  * memcpy-style engine issuing pipelined block reads/writes through the
  * DMA controller (which keeps coherence via the directory, Fig. 3).
+ *
+ * When checkpointing is enabled every awaited DMA operation must be
+ * attributed to the CPU thread that awaits it (the CpuCtx& overloads)
+ * so the op lands in that agent's replay log; the unattributed
+ * variants panic in that configuration.
  */
 class DmaEngine
 {
@@ -33,6 +41,7 @@ class DmaEngine
     copyAsync(Addr dst, Addr src, std::uint64_t bytes)
     {
         return AwaitVoid([this, dst, src, bytes](std::function<void()> cb) {
+            requireUnattributedOk("copyAsync");
             copy(dst, src, bytes, std::move(cb));
         });
     }
@@ -43,6 +52,7 @@ class DmaEngine
     {
         return Await<DataBlock>(
             [this, addr](std::function<void(DataBlock)> cb) {
+                requireUnattributedOk("readBlock");
                 ctrl.readBlock(addr, [cb = std::move(cb)](
                                          const DataBlock &b) { cb(b); });
             });
@@ -54,14 +64,41 @@ class DmaEngine
     {
         return AwaitVoid(
             [this, addr, data, mask](std::function<void()> cb) {
+                requireUnattributedOk("writeBlock");
                 ctrl.writeBlock(addr, data, mask, std::move(cb));
             });
     }
 
+    /** @{ Attributed variants: the op is logged against (and replayed
+     *  from) @p cpu's agent log when checkpointing is enabled.  These
+     *  behave exactly like the unattributed forms otherwise. */
+    Await<DataBlock> readBlock(CpuCtx &cpu, Addr addr);
+    AwaitVoid writeBlock(CpuCtx &cpu, Addr addr, const DataBlock &data,
+                         ByteMask mask = FullMask);
+    AwaitVoid copyAsync(CpuCtx &cpu, Addr dst, Addr src,
+                        std::uint64_t bytes);
+    /** @} */
+
+    /** Checkpoint wiring (null = disabled). */
+    void setSnapshot(SnapshotCoordinator *s) { snap = s; }
+
     DmaController &controller() { return ctrl; }
 
   private:
+    void requireUnattributedOk(const char *what) const;
+
+    /** @{ Live (non-replay) paths of the attributed operations. */
+    void readLive(SnapshotCoordinator *s, std::uint64_t key, Addr addr,
+                  std::function<void(DataBlock)> cb);
+    void writeLive(SnapshotCoordinator *s, std::uint64_t key, Addr addr,
+                   const DataBlock &data, ByteMask mask,
+                   std::function<void()> cb);
+    void copyLive(SnapshotCoordinator *s, std::uint64_t key, Addr dst,
+                  Addr src, std::uint64_t bytes, std::function<void()> cb);
+    /** @} */
+
     DmaController &ctrl;
+    SnapshotCoordinator *snap = nullptr;
 };
 
 } // namespace hsc

@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "sim/snapshot.hh"
+
 namespace hsc
 {
 
@@ -33,6 +35,14 @@ WaveCtx::maybeIfetch(std::function<void()> then)
     cu._sqc.fetch(pc, std::move(then));
 }
 
+void
+WaveCtx::advanceIfetchReplay()
+{
+    if (!cu.injectIfetches || (opCount++ % 8) != 0)
+        return;
+    codePc = KernelCodeBase + ((codePc + BlockSizeBytes) % KernelCodeBytes);
+}
+
 TcpController &
 WaveCtx::tcp()
 {
@@ -41,6 +51,27 @@ WaveCtx::tcp()
 
 void
 WaveCtx::VloadOp::start()
+{
+    SnapshotCoordinator *snap = ctx->snap;
+    if (snap && snap->replaying()) {
+        if (const OpRecord *r =
+                snap->replayNext(ctx->agent, OpKind::GpuVload)) {
+            ctx->advanceIfetchReplay();
+            complete(std::vector<std::uint64_t>(r->words));
+        } else {
+            snap->park(ctx->agent, [this] { issueLive(); });
+        }
+        return;
+    }
+    if (snap && snap->draining()) {
+        snap->park(ctx->agent, [this] { issueLive(); });
+        return;
+    }
+    issueLive();
+}
+
+void
+WaveCtx::VloadOp::issueLive()
 {
     ctx->maybeIfetch([this] { issue(); });
 }
@@ -72,11 +103,34 @@ WaveCtx::VloadOp::finish()
         vals[i] = size == 4 ? blk.get<std::uint32_t>(blockOffset(a))
                             : blk.get<std::uint64_t>(blockOffset(a));
     }
+    if (ctx->snap)
+        ctx->snap->record(ctx->agent, OpKind::GpuVload, vals.data(),
+                          vals.size());
     complete(std::move(vals));
 }
 
 void
 WaveCtx::VstoreOp::start()
+{
+    SnapshotCoordinator *snap = ctx->snap;
+    if (snap && snap->replaying()) {
+        if (snap->replayNext(ctx->agent, OpKind::GpuVstore)) {
+            ctx->advanceIfetchReplay();
+            complete();
+        } else {
+            snap->park(ctx->agent, [this] { issueLive(); });
+        }
+        return;
+    }
+    if (snap && snap->draining()) {
+        snap->park(ctx->agent, [this] { issueLive(); });
+        return;
+    }
+    issueLive();
+}
+
+void
+WaveCtx::VstoreOp::issueLive()
 {
     ctx->maybeIfetch([this] { issue(); });
 }
@@ -97,8 +151,11 @@ WaveCtx::VstoreOp::issue()
     pendingBlocks = unsigned(blocks.size());
     for (auto &[blk_addr, b] : blocks) {
         ctx->tcp().storeBlock(blk_addr, b.data, b.mask, [this] {
-            if (--pendingBlocks == 0)
+            if (--pendingBlocks == 0) {
+                if (ctx->snap)
+                    ctx->snap->record(ctx->agent, OpKind::GpuVstore, {});
                 complete();
+            }
         });
     }
 }
@@ -106,39 +163,147 @@ WaveCtx::VstoreOp::issue()
 void
 WaveCtx::LoadOp::start()
 {
+    SnapshotCoordinator *snap = ctx->snap;
+    if (snap && snap->replaying()) {
+        if (const OpRecord *r =
+                snap->replayNext(ctx->agent, OpKind::GpuLoad)) {
+            ctx->advanceIfetchReplay();
+            complete(r->word(0));
+        } else {
+            snap->park(ctx->agent, [this] { issueLive(); });
+        }
+        return;
+    }
+    if (snap && snap->draining()) {
+        snap->park(ctx->agent, [this] { issueLive(); });
+        return;
+    }
+    issueLive();
+}
+
+void
+WaveCtx::LoadOp::issueLive()
+{
     ctx->maybeIfetch([this] {
-        ctx->tcp().load(addr, size, scope,
-                        [this](std::uint64_t v) { complete(v); });
+        ctx->tcp().load(addr, size, scope, [this](std::uint64_t v) {
+            if (ctx->snap)
+                ctx->snap->record(ctx->agent, OpKind::GpuLoad, {v});
+            complete(v);
+        });
     });
 }
 
 void
 WaveCtx::StoreOp::start()
 {
+    SnapshotCoordinator *snap = ctx->snap;
+    if (snap && snap->replaying()) {
+        if (snap->replayNext(ctx->agent, OpKind::GpuStore)) {
+            ctx->advanceIfetchReplay();
+            complete();
+        } else {
+            snap->park(ctx->agent, [this] { issueLive(); });
+        }
+        return;
+    }
+    if (snap && snap->draining()) {
+        snap->park(ctx->agent, [this] { issueLive(); });
+        return;
+    }
+    issueLive();
+}
+
+void
+WaveCtx::StoreOp::issueLive()
+{
     ctx->maybeIfetch([this] {
-        ctx->tcp().store(addr, size, value, scope,
-                         [this] { complete(); });
+        ctx->tcp().store(addr, size, value, scope, [this] {
+            if (ctx->snap)
+                ctx->snap->record(ctx->agent, OpKind::GpuStore, {});
+            complete();
+        });
     });
 }
 
 void
 WaveCtx::AmoOp::start()
 {
+    SnapshotCoordinator *snap = ctx->snap;
+    if (snap && snap->replaying()) {
+        if (const OpRecord *r =
+                snap->replayNext(ctx->agent, OpKind::GpuAmo)) {
+            ctx->advanceIfetchReplay();
+            complete(r->word(0));
+        } else {
+            snap->park(ctx->agent, [this] { issueLive(); });
+        }
+        return;
+    }
+    if (snap && snap->draining()) {
+        snap->park(ctx->agent, [this] { issueLive(); });
+        return;
+    }
+    issueLive();
+}
+
+void
+WaveCtx::AmoOp::issueLive()
+{
     ctx->maybeIfetch([this] {
         ctx->tcp().atomic(addr, op, operand, operand2, size, scope,
-                          [this](std::uint64_t v) { complete(v); });
+                          [this](std::uint64_t v) {
+                              if (ctx->snap)
+                                  ctx->snap->record(ctx->agent,
+                                                    OpKind::GpuAmo, {v});
+                              complete(v);
+                          });
     });
+}
+
+void
+WaveCtx::computeLive(Cycles cycles, std::function<void()> cb)
+{
+    // progress-tagged: see CpuCtx::computeLive.
+    cu.scheduleCycles(cycles, [this, cb = std::move(cb)] {
+        cu.eventQueue().notifyProgress();
+        if (snap)
+            snap->record(agent, OpKind::GpuCompute, {});
+        cb();
+    }, EventPriority::Default, /*progress=*/true);
 }
 
 AwaitVoid
 WaveCtx::compute(Cycles cycles)
 {
     return AwaitVoid([this, cycles](std::function<void()> cb) {
-        cu.scheduleCycles(cycles, [&eq = cu.eventQueue(),
-                                   cb = std::move(cb)] {
-            eq.notifyProgress();
-            cb();
-        });
+        if (snap && snap->replaying()) {
+            if (snap->replayNext(agent, OpKind::GpuCompute)) {
+                cb();
+            } else {
+                snap->park(agent,
+                           [this, cycles, cb = std::move(cb)]() mutable {
+                               computeLive(cycles, std::move(cb));
+                           });
+            }
+            return;
+        }
+        if (snap && snap->draining()) {
+            snap->park(agent, [this, cycles, cb = std::move(cb)]() mutable {
+                computeLive(cycles, std::move(cb));
+            });
+            return;
+        }
+        computeLive(cycles, std::move(cb));
+    });
+}
+
+void
+WaveCtx::acquireLive(std::function<void()> cb)
+{
+    cu._tcp.acquire([this, cb = std::move(cb)] {
+        if (snap)
+            snap->record(agent, OpKind::GpuAcquire, {});
+        cb();
     });
 }
 
@@ -146,7 +311,33 @@ AwaitVoid
 WaveCtx::acquire()
 {
     return AwaitVoid([this](std::function<void()> cb) {
-        cu._tcp.acquire(std::move(cb));
+        if (snap && snap->replaying()) {
+            if (snap->replayNext(agent, OpKind::GpuAcquire)) {
+                cb();
+            } else {
+                snap->park(agent, [this, cb = std::move(cb)]() mutable {
+                    acquireLive(std::move(cb));
+                });
+            }
+            return;
+        }
+        if (snap && snap->draining()) {
+            snap->park(agent, [this, cb = std::move(cb)]() mutable {
+                acquireLive(std::move(cb));
+            });
+            return;
+        }
+        acquireLive(std::move(cb));
+    });
+}
+
+void
+WaveCtx::releaseLive(std::function<void()> cb)
+{
+    cu._tcp.release([this, cb = std::move(cb)] {
+        if (snap)
+            snap->record(agent, OpKind::GpuRelease, {});
+        cb();
     });
 }
 
@@ -154,7 +345,23 @@ AwaitVoid
 WaveCtx::release()
 {
     return AwaitVoid([this](std::function<void()> cb) {
-        cu._tcp.release(std::move(cb));
+        if (snap && snap->replaying()) {
+            if (snap->replayNext(agent, OpKind::GpuRelease)) {
+                cb();
+            } else {
+                snap->park(agent, [this, cb = std::move(cb)]() mutable {
+                    releaseLive(std::move(cb));
+                });
+            }
+            return;
+        }
+        if (snap && snap->draining()) {
+            snap->park(agent, [this, cb = std::move(cb)]() mutable {
+                releaseLive(std::move(cb));
+            });
+            return;
+        }
+        releaseLive(std::move(cb));
     });
 }
 
@@ -176,12 +383,64 @@ GpuCu::GpuCu(std::string name, EventQueue &eq, ClockDomain clk,
 void
 GpuCu::runWavefront(unsigned wg_id,
                     const std::function<SimTask(WaveCtx &)> &body,
-                    std::function<void()> on_done)
+                    std::function<void()> on_done,
+                    std::uint64_t agent_key)
 {
     panic_if(_freeSlots == 0, "%s: no free wavefront slot",
              name().c_str());
     --_freeSlots;
     auto ctx = std::make_unique<WaveCtx>(*this, wg_id, lanes);
+    ctx->setSnapshot(snap, agent_key);
+    WaveCtx *raw = ctx.get();
+    live.push_back(std::move(ctx));
+
+    SimTask task = body(*raw);
+    task.start([this, raw, on_done = std::move(on_done)] {
+        ++_freeSlots;
+        for (auto it = live.begin(); it != live.end(); ++it) {
+            if (it->get() == raw) {
+                live.erase(it);
+                break;
+            }
+        }
+        on_done();
+    });
+}
+
+void
+GpuCu::replayWavefront(unsigned wg_id,
+                       const std::function<SimTask(WaveCtx &)> &body,
+                       std::uint64_t agent_key, bool live_slot,
+                       std::function<void()> on_done)
+{
+    panic_if(!snap || !snap->replaying(),
+             "%s: replayWavefront outside snapshot replay",
+             name().c_str());
+    if (!live_slot) {
+        // The workgroup completed before the snapshot: its log is
+        // complete, so the coroutine replays to completion here and
+        // now, never touching a slot or the caches.
+        auto ctx = std::make_unique<WaveCtx>(*this, wg_id, lanes);
+        ctx->setSnapshot(snap, agent_key);
+        bool done = false;
+        SimTask task = body(*ctx);
+        task.start([&done] { done = true; });
+        panic_if(!done,
+                 "%s: wg %u did not replay to completion although its "
+                 "log was recorded as complete",
+                 name().c_str(), wg_id);
+        if (on_done)
+            on_done();
+        return;
+    }
+
+    // In-flight at the snapshot: occupy the recorded slot, consume the
+    // partial log synchronously, park at the gate for releaseGates().
+    panic_if(_freeSlots == 0, "%s: no free slot replaying wg %u",
+             name().c_str(), wg_id);
+    --_freeSlots;
+    auto ctx = std::make_unique<WaveCtx>(*this, wg_id, lanes);
+    ctx->setSnapshot(snap, agent_key);
     WaveCtx *raw = ctx.get();
     live.push_back(std::move(ctx));
 

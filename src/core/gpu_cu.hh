@@ -25,6 +25,7 @@ namespace hsc
 {
 
 class GpuCu;
+class SnapshotCoordinator;
 
 /**
  * Execution context of one wavefront (= one workgroup in this model).
@@ -53,6 +54,7 @@ class WaveCtx
         std::map<Addr, DataBlock> blocks{};
         unsigned pendingBlocks = 0;
         void start();
+        void issueLive();
         void issue();
         void finish();
     };
@@ -72,6 +74,7 @@ class WaveCtx
         std::map<Addr, Blk> blocks{};
         unsigned pendingBlocks = 0;
         void start();
+        void issueLive();
         void issue();
     };
 
@@ -82,6 +85,7 @@ class WaveCtx
         unsigned size;
         Scope scope;
         void start();
+        void issueLive();
     };
 
     struct StoreOp : AwaitVoidOpBase<StoreOp>
@@ -92,6 +96,7 @@ class WaveCtx
         unsigned size;
         Scope scope;
         void start();
+        void issueLive();
     };
 
     struct AmoOp : AwaitOpBase<std::uint64_t, AmoOp>
@@ -104,6 +109,7 @@ class WaveCtx
         unsigned size;
         Scope scope;
         void start();
+        void issueLive();
     };
 
     /**
@@ -156,8 +162,27 @@ class WaveCtx
     /** Scoped release: drain TCP + TCC dirty data to system scope. */
     AwaitVoid release();
 
+    /** Checkpoint wiring: coordinator + this wavefront's agent key
+     *  (waveAgentKey of the kernel's launch ordinal and this
+     *  workgroup).  Set by GpuCu when the wavefront starts. */
+    void
+    setSnapshot(SnapshotCoordinator *s, std::uint64_t key)
+    {
+        snap = s;
+        agent = key;
+    }
+
   private:
     void maybeIfetch(std::function<void()> then);
+
+    /** Advance the ifetch cadence during log replay without issuing. */
+    void advanceIfetchReplay();
+
+    /** @{ Live (non-replay) paths of the gated std::function ops. */
+    void computeLive(Cycles cycles, std::function<void()> cb);
+    void acquireLive(std::function<void()> cb);
+    void releaseLive(std::function<void()> cb);
+    /** @} */
 
     /** The CU's TCP (GpuCu befriends WaveCtx, not its awaiters). */
     TcpController &tcp();
@@ -165,6 +190,8 @@ class WaveCtx
     GpuCu &cu;
     const unsigned wgId;
     const unsigned lanes;
+    SnapshotCoordinator *snap = nullptr;
+    std::uint64_t agent = 0;
     Addr codePc;
     std::uint64_t opCount = 0;
 };
@@ -185,11 +212,31 @@ class GpuCu : public Clocked
 
     /**
      * Run @p body as workgroup @p wg_id in a free slot.  @p on_done
-     * fires when the wavefront coroutine completes.
+     * fires when the wavefront coroutine completes.  @p agent_key is
+     * the wavefront's snapshot agent key (unused when checkpointing
+     * is off).
      */
     void runWavefront(unsigned wg_id,
                       const std::function<SimTask(WaveCtx &)> &body,
-                      std::function<void()> on_done);
+                      std::function<void()> on_done,
+                      std::uint64_t agent_key = 0);
+
+    /**
+     * Snapshot restore: re-run @p body consuming its recorded op log.
+     * With @p live_slot false the log is complete (the workgroup had
+     * finished before the snapshot) and the coroutine must run to
+     * completion synchronously, touching no slot.  With @p live_slot
+     * true the workgroup was in flight at the snapshot: it takes a
+     * slot on THIS CU (the one recorded in the checkpoint), consumes
+     * its partial log, and parks at the coordinator's gate.
+     */
+    void replayWavefront(unsigned wg_id,
+                         const std::function<SimTask(WaveCtx &)> &body,
+                         std::uint64_t agent_key, bool live_slot,
+                         std::function<void()> on_done);
+
+    /** Checkpoint wiring (null = disabled). */
+    void setSnapshot(SnapshotCoordinator *s) { snap = s; }
 
     TcpController &tcp() { return _tcp; }
     SqcController &sqc() { return _sqc; }
@@ -202,6 +249,7 @@ class GpuCu : public Clocked
     const unsigned numSlots;
     const unsigned lanes;
     const bool injectIfetches;
+    SnapshotCoordinator *snap = nullptr;
     unsigned _freeSlots;
 
     /** Contexts of in-flight wavefronts (freed on completion). */

@@ -7,6 +7,7 @@
 #include "obs/sampler.hh"
 #include "obs/tracer.hh"
 #include "sim/sim_error.hh"
+#include "sim/snapshot.hh"
 
 namespace hsc
 {
@@ -65,6 +66,12 @@ HsaSystem::HsaSystem(const SystemConfig &config)
     if (cfg.fault.any()) {
         faultInjector = std::make_unique<FaultInjector>(
             cfg.fault, cpuClk.periodTicks());
+    }
+
+    if (cfg.ckpt.enabled()) {
+        snapCoord = std::make_unique<SnapshotCoordinator>();
+        registry.addCounter(cfg.name + ".ckpt.checkpoints", &statCkpts);
+        registry.addCounter(cfg.name + ".ckpt.loggedOps", &statCkptOps);
     }
 
     if (cfg.check) {
@@ -236,6 +243,11 @@ HsaSystem::HsaSystem(const SystemConfig &config)
     }
     kernelDispatcher =
         std::make_unique<KernelDispatcher>(std::move(cu_ptrs), registry);
+    if (snapCoord) {
+        kernelDispatcher->setSnapshot(snapCoord.get());
+        for (auto &cu : cus)
+            cu->setSnapshot(snapCoord.get());
+    }
 
     // DMA.
     {
@@ -250,6 +262,8 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         dmaCtrl->attachTracer(tracerPtr.get());
         dmaCtrl->regStats(registry);
         dmaEngine = std::make_unique<DmaEngine>(*dmaCtrl);
+        if (snapCoord)
+            dmaEngine->setSnapshot(snapCoord.get());
     }
 
     registry.addCounter(cfg.name + ".simTicks", &statSimTicks);
@@ -350,6 +364,8 @@ HsaSystem::addCpuThread(CpuThreadFn fn)
     cpuCtxs.push_back(std::make_unique<CpuCtx>(
         tid, *corePairs[core / 2], core % 2, eq, cpuClk,
         kernelDispatcher.get(), cfg.injectIfetches));
+    if (snapCoord)
+        cpuCtxs.back()->setSnapshot(snapCoord.get());
     threadFns.push_back(std::move(fn));
 }
 
@@ -369,11 +385,15 @@ HsaSystem::buildHangReport(HangReport::Kind kind) const
     r.atTick = eq.curTick();
     r.lastProgressTick = eq.lastProgress();
     r.liveTasks = liveTasks;
+    r.lastCheckpointTick = lastCkptTick;
 
     Tick now = eq.curTick();
     for (const ProtocolIntrospect *pi : introspectables) {
         pi->inFlightTransactions(now, r.stalledTxns);
         r.controllerSummaries.push_back(pi->stateSummary());
+        r.progressCounters.push_back(
+            pi->introspectName() + ": " +
+            std::to_string(pi->progressCount()) + " ops done");
         pi->diagnostics(r.diagnostics);
     }
     std::stable_sort(r.stalledTxns.begin(), r.stalledTxns.end(),
@@ -445,37 +465,75 @@ HsaSystem::collectObs()
 bool
 HsaSystem::run(Cycles max_cycles)
 {
-    Tick start = eq.curTick();
     running = true;
     watchdogTripped = false;
     degradedTripped = false;
+    crashTripped = false;
     lastHang = HangReport{};
     lastDegraded = DegradedReport{};
     lastError.clear();
 
-    liveTasks = static_cast<unsigned>(threadFns.size());
-    for (std::size_t i = 0; i < threadFns.size(); ++i) {
-        // Stagger thread starts by a cycle for determinism without
-        // artificial convoying.
-        eq.schedule(eq.curTick() + cpuClk.toTicks(Cycles(i)),
-                    [this, i] {
-                        SimTask task = threadFns[i](*cpuCtxs[i]);
-                        task.start([this] { --liveTasks; });
-                    });
+    if (snapCoord && !cfg.ckpt.restorePath.empty() && !restoredOnce) {
+        // Restore path: rebuild component state from the snapshot,
+        // replay each registered thread's op log synchronously to its
+        // quiesce point, and resume the event loop from the
+        // checkpointed tick (runStartTick stays the *original* run's
+        // start, so cycle accounting matches the uninterrupted run).
+        restoredOnce = true;
+        if (!restoreFrom(cfg.ckpt.restorePath)) {
+            running = false;
+            return false;
+        }
+    } else {
+        runStartTick = eq.curTick();
+        liveTasks = static_cast<unsigned>(threadFns.size());
+        for (std::size_t i = 0; i < threadFns.size(); ++i) {
+            // Stagger thread starts by a cycle for determinism without
+            // artificial convoying.  Progress-tagged so a checkpoint
+            // drain can never declare quiesce while a thread is still
+            // waiting to start.
+            eq.schedule(eq.curTick() + cpuClk.toTicks(Cycles(i)),
+                        [this, i] {
+                            SimTask task = threadFns[i](*cpuCtxs[i]);
+                            task.start([this] { --liveTasks; });
+                        },
+                        EventPriority::Default, /*progress=*/true);
+        }
+        armCheckpoints();
     }
+    Tick start = runStartTick;
     armWatchdog();
     armSampler();
 
     Tick limit = start + cpuClk.toTicks(max_cycles);
+    auto stop_pred = [this] {
+        return liveTasks == 0 || watchdogTripped || degradedTripped ||
+               (checkerPtr && checkerPtr->violated()) || crashNow() ||
+               (snapCoord && snapCoord->draining() && quiescedNow());
+    };
     bool done = false;
     try {
-        done = eq.runUntil(
-            [this] {
-                return liveTasks == 0 || watchdogTripped ||
-                       degradedTripped ||
-                       (checkerPtr && checkerPtr->violated());
-            },
-            limit);
+        while (true) {
+            done = eq.runUntil(stop_pred, limit);
+            if (snapCoord && snapCoord->draining()) {
+                bool failing = watchdogTripped || degradedTripped ||
+                               crashNow() ||
+                               (checkerPtr && checkerPtr->violated());
+                if (!failing && liveTasks > 0 && quiescedNow()) {
+                    doCheckpoint();
+                    snapCoord->endDrain();
+                    snapCoord->releaseGates(eq);
+                    scheduleCkptTrigger();
+                    continue;
+                }
+                if (!failing && liveTasks == 0) {
+                    // The workload retired before the drain could
+                    // quiesce; nothing is parked, so just cancel.
+                    snapCoord->endDrain();
+                }
+            }
+            break;
+        }
     } catch (const SimError &e) {
         // fatal() inside a scheduled event: surface as a structured
         // failure instead of tearing down the process.
@@ -484,6 +542,7 @@ HsaSystem::run(Cycles max_cycles)
         lastError = e.what();
         warn("%s: run aborted by fatal error: %s", cfg.name.c_str(),
              e.what());
+        writeLastGasp();
         return false;
     }
 
@@ -502,6 +561,20 @@ HsaSystem::run(Cycles max_cycles)
         lastDegraded = buildDegradedReport();
         warn("%s: run aborted by link degradation: %s",
              cfg.name.c_str(), lastDegraded.brief().c_str());
+        writeLastGasp();
+        return false;
+    }
+    if (crashNow()) {
+        // Crash fate (FaultConfig): stop dead like a SIGKILL — no
+        // drain, no further checkpoints; only previously written
+        // checkpoint files (plus the last-gasp re-emit) survive.
+        crashTripped = true;
+        running = false;
+        collectObs();
+        lastError = "crash fault: simulated process kill at tick " +
+                    std::to_string(eq.curTick());
+        warn("%s: %s", cfg.name.c_str(), lastError.c_str());
+        writeLastGasp();
         return false;
     }
     if (!done || watchdogTripped || liveTasks != 0) {
@@ -512,6 +585,7 @@ HsaSystem::run(Cycles max_cycles)
                                        : HangReport::Kind::CycleLimit);
         warn("%s: run did not complete: %s",
              cfg.name.c_str(), lastHang.brief().c_str());
+        writeLastGasp();
         return false;
     }
 
@@ -580,6 +654,12 @@ HsaSystem::buildDegradedReport() const
 {
     DegradedReport r;
     r.atTick = eq.curTick();
+    r.lastCheckpointTick = lastCkptTick;
+    for (const ProtocolIntrospect *pi : introspectables) {
+        r.progressSummaries.push_back(
+            pi->introspectName() + ": " +
+            std::to_string(pi->progressCount()) + " ops done");
+    }
     auto scan = [&](const auto &bufs) {
         for (const auto &mb : bufs) {
             if (mb->transportEnabled() &&

@@ -40,8 +40,10 @@
 namespace hsc
 {
 
+class JsonValue;
 class ObsTracer;
 class ObsSampler;
+class SnapshotCoordinator;
 
 /** Aggregate reliable-transport activity across every link. */
 struct TransportSummary
@@ -159,6 +161,26 @@ class HsaSystem
     /** Reliable-transport activity totals (all-zero when disabled). */
     TransportSummary transportSummary() const;
 
+    /** @{ Checkpoint/restore (SystemConfig::ckpt, DESIGN.md §11).
+     *  The coordinator exists iff checkpointing is enabled. */
+    SnapshotCoordinator *snapshot() { return snapCoord.get(); }
+
+    /** Tick of the most recent successful checkpoint (0 = none). */
+    Tick lastCheckpointTick() const { return lastCkptTick; }
+
+    /** Checkpoints taken during run() so far. */
+    std::uint64_t checkpointsTaken() const { return statCkpts.value(); }
+
+    /** Sealed text of the most recent checkpoint ("" = none).  Kept
+     *  even when ckpt.outPath is empty, and re-emitted as the
+     *  last-gasp file when a run fails. */
+    const std::string &lastSnapshotText() const { return lastSnapText; }
+
+    /** Take a checkpoint *now*; only legal at quiesce (e.g. after a
+     *  successful run()).  Returns the sealed snapshot text. */
+    std::string checkpointNow();
+    /** @} */
+
     /** Walk every introspectable controller and link *now*. */
     HangReport buildHangReport(HangReport::Kind kind) const;
 
@@ -204,6 +226,19 @@ class HsaSystem
     void collectObs();
     void validateConfig() const;
 
+    /** @{ Checkpoint machinery (hsa_system_ckpt.cc). */
+    void armCheckpoints();
+    void scheduleCkptTrigger();
+    bool quiescedNow() const;
+    bool crashNow() const;
+    void doCheckpoint();
+    std::string buildSnapshotText() const;
+    bool restoreFrom(const std::string &path);
+    void writeLastGasp();
+    void serializeStats(JsonValue &out) const;
+    void restoreStats(const JsonValue &in);
+    /** @} */
+
     SystemConfig cfg;
     EventQueue eq;
     StatRegistry registry;
@@ -211,6 +246,7 @@ class HsaSystem
     ClockDomain gpuClk;
 
     std::unique_ptr<FaultInjector> faultInjector;
+    std::unique_ptr<SnapshotCoordinator> snapCoord;
     std::unique_ptr<CoherenceChecker> checkerPtr;
     std::unique_ptr<ObsTracer> tracerPtr;
     std::unique_ptr<ObsSampler> samplerPtr;
@@ -246,10 +282,26 @@ class HsaSystem
     unsigned liveTasks = 0;
     bool watchdogTripped = false;
     bool degradedTripped = false;
+    bool crashTripped = false;
     bool running = false;
     Cycles cyclesElapsed = 0;
 
+    /** @{ Checkpoint state. */
+    Tick runStartTick = 0;
+    Tick lastCkptTick = 0;       ///< 0 = no checkpoint yet
+    std::string lastSnapText;    ///< sealed text of the latest snapshot
+    Tick ckptPeriodTicks = 0;    ///< 0 = no periodic cadence
+    Tick ckptNextPeriodic = 0;   ///< absolute tick of the next periodic
+    std::vector<Tick> ckptPendingTicks; ///< one-shots, ascending
+    bool restoredOnce = false;   ///< the restorePath was consumed
+    bool ckptArmedOnce = false;  ///< cadence belongs to the first run
+    bool ckptActive = false;     ///< triggers may fire in this run
+    /** @} */
+
     Counter statSimTicks, statCpuCycles;
+    /** Registered only when checkpointing is enabled, so the clean
+     *  path's stats namespace (and statHash) is untouched. */
+    Counter statCkpts, statCkptOps;
 };
 
 } // namespace hsc

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * HsaSystem checkpoint/restore machinery (DESIGN.md §11): trigger
+ * scheduling, the quiesce predicate, payload assembly, and the
+ * restore-and-replay sequence.  Split from hsa_system.cc to keep the
+ * construction/run logic readable.
+ */
+
+#include "core/hsa_system.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+#include "sim/snapshot.hh"
+
+namespace hsc
+{
+
+void
+HsaSystem::armCheckpoints()
+{
+    if (!snapCoord)
+        return;
+    if (ckptArmedOnce) {
+        // The cadence belongs to the first (main) run only:
+        // verification passes and reruns on the same system must not
+        // overwrite outPath with post-run state.
+        ckptActive = false;
+        return;
+    }
+    ckptArmedOnce = true;
+    ckptActive = true;
+    ckptPeriodTicks =
+        cfg.ckpt.everyCycles ? cpuClk.toTicks(cfg.ckpt.everyCycles) : 0;
+    ckptNextPeriodic =
+        ckptPeriodTicks ? runStartTick + ckptPeriodTicks : 0;
+    ckptPendingTicks.clear();
+    for (Cycles c : cfg.ckpt.atCycles)
+        ckptPendingTicks.push_back(runStartTick + cpuClk.toTicks(c));
+    std::sort(ckptPendingTicks.begin(), ckptPendingTicks.end());
+    scheduleCkptTrigger();
+}
+
+void
+HsaSystem::scheduleCkptTrigger()
+{
+    if (!snapCoord)
+        return;
+    Tick t = MaxTick;
+    if (!ckptPendingTicks.empty())
+        t = std::min(t, ckptPendingTicks.front());
+    if (ckptPeriodTicks)
+        t = std::min(t, ckptNextPeriodic);
+    if (t == MaxTick)
+        return;
+    t = std::max(t, eq.curTick());
+    // Late priority, no progress flag: the trigger neither perturbs
+    // same-tick protocol ordering nor keeps a wedged run alive.
+    eq.schedule(t,
+                [this] {
+                    if (!running || !ckptActive || !snapCoord ||
+                        snapCoord->draining() || snapCoord->replaying())
+                        return;
+                    snapCoord->beginDrain();
+                },
+                EventPriority::Late);
+}
+
+bool
+HsaSystem::quiescedNow() const
+{
+    // Progress-tagged events cover every in-flight memory operation;
+    // the transports additionally owe delayed acks through
+    // non-progress timer events, so both must be clear before the
+    // persistent state is truly self-contained.
+    if (eq.progressPending() != 0)
+        return false;
+    auto links_idle = [](const auto &bufs) {
+        for (const auto &mb : bufs) {
+            if (mb->transportEnabled() && !mb->transport()->idle())
+                return false;
+        }
+        return true;
+    };
+    return links_idle(toDir) && links_idle(fromDir);
+}
+
+bool
+HsaSystem::crashNow() const
+{
+    if (!faultInjector)
+        return false;
+    const FaultConfig &f = faultInjector->config();
+    if (f.crashAtTick && eq.curTick() - runStartTick >= f.crashAtTick)
+        return true;
+    return f.crashAfterEvents != 0 &&
+           eq.numExecuted() >= f.crashAfterEvents;
+}
+
+void
+HsaSystem::serializeStats(JsonValue &out) const
+{
+    JsonValue counters = JsonValue::makeObject();
+    for (const auto &kv : registry.snapshot())
+        counters.set(kv.first, JsonValue(kv.second));
+    out.set("counters", std::move(counters));
+
+    JsonValue hists = JsonValue::makeObject();
+    for (const auto &nh : registry.histogramList()) {
+        const Histogram *h = nh.second;
+        JsonValue hj = JsonValue::makeObject();
+        JsonValue buckets = JsonValue::makeArray();
+        for (std::uint64_t b : h->raw())
+            buckets.push(JsonValue(b));
+        hj.set("buckets", std::move(buckets));
+        hj.set("count", JsonValue(h->samples()));
+        hj.set("sum", JsonValue(h->sum()));
+        hj.set("max", JsonValue(h->max()));
+        hists.set(nh.first, std::move(hj));
+    }
+    out.set("histograms", std::move(hists));
+}
+
+void
+HsaSystem::restoreStats(const JsonValue &in)
+{
+    StatRegistry::Snapshot values;
+    for (const auto &kv : in.at("counters").members())
+        values[kv.first] = kv.second.asUInt();
+    registry.restoreCounters(values);
+
+    auto hists = registry.histogramList();
+    const JsonValue &hj = in.at("histograms");
+    if (hj.members().size() != hists.size()) {
+        throw SimError("snapshot histogram set does not match this "
+                       "configuration",
+                       "snapshot");
+    }
+    for (auto &nh : hists) {
+        const JsonValue *e = hj.find(nh.first);
+        if (!e) {
+            throw SimError("snapshot is missing histogram '" +
+                               nh.first + "'",
+                           "snapshot");
+        }
+        std::vector<std::uint64_t> buckets;
+        for (const JsonValue &b : e->at("buckets").items())
+            buckets.push_back(b.asUInt());
+        nh.second->restore(buckets, e->at("count").asUInt(),
+                           e->at("sum").asUInt(), e->at("max").asUInt());
+    }
+}
+
+std::string
+HsaSystem::buildSnapshotText() const
+{
+    JsonValue p = JsonValue::makeObject();
+
+    // Config fingerprint: enough structure to reject a restore into a
+    // differently-shaped system before any component chokes on it.
+    JsonValue conf = JsonValue::makeObject();
+    conf.set("name", JsonValue(cfg.name));
+    conf.set("corePairs", JsonValue(cfg.topo.numCorePairs));
+    conf.set("cus", JsonValue(cfg.numCus));
+    conf.set("dirBanks", JsonValue(std::uint64_t(dirs.size())));
+    // cpuCtxs, not threadFns: a post-run checkpoint (anchored
+    // shrinking) outlives the run's threadFns.clear().
+    conf.set("threads", JsonValue(std::uint64_t(cpuCtxs.size())));
+    conf.set("seed", JsonValue(cfg.seed));
+    p.set("config", std::move(conf));
+
+    p.set("tick", JsonValue(eq.curTick()));
+    p.set("runStart", JsonValue(runStartTick));
+    p.set("liveTasks", JsonValue(std::uint64_t(liveTasks)));
+
+    auto section = [](const auto &component) {
+        JsonValue j = JsonValue::makeObject();
+        component.serialize(j);
+        return j;
+    };
+
+    p.set("mem", section(*mainMemory));
+    JsonValue dirsj = JsonValue::makeArray();
+    for (const auto &d : dirs)
+        dirsj.push(section(*d));
+    p.set("dirs", std::move(dirsj));
+    JsonValue cpj = JsonValue::makeArray();
+    for (const auto &cp : corePairs)
+        cpj.push(section(*cp));
+    p.set("corePairs", std::move(cpj));
+    p.set("tcc", section(*tccCtrl));
+    p.set("sqc", section(*sqcCtrl));
+    JsonValue tcps = JsonValue::makeArray();
+    for (const auto &cu : cus)
+        tcps.push(section(cu->tcp()));
+    p.set("tcps", std::move(tcps));
+    p.set("dma", section(*dmaCtrl));
+    p.set("dispatcher", section(*kernelDispatcher));
+
+    JsonValue links = JsonValue::makeObject();
+    auto link_arr = [&](const auto &bufs) {
+        JsonValue a = JsonValue::makeArray();
+        for (const auto &mb : bufs)
+            a.push(section(*mb));
+        return a;
+    };
+    links.set("toDir", link_arr(toDir));
+    links.set("fromDir", link_arr(fromDir));
+    p.set("links", std::move(links));
+
+    if (checkerPtr)
+        p.set("checker", section(*checkerPtr));
+    if (faultInjector)
+        p.set("fault", section(*faultInjector));
+
+    JsonValue logs = JsonValue::makeObject();
+    snapCoord->serializeLogs(logs);
+    p.set("logs", std::move(logs));
+
+    JsonValue cs = JsonValue::makeObject();
+    cs.set("nextPeriodic", JsonValue(ckptNextPeriodic));
+    JsonValue pend = JsonValue::makeArray();
+    for (Tick t : ckptPendingTicks)
+        pend.push(JsonValue(t));
+    cs.set("pending", std::move(pend));
+    p.set("ckpt", std::move(cs));
+
+    JsonValue stats = JsonValue::makeObject();
+    serializeStats(stats);
+    p.set("stats", std::move(stats));
+
+    return wrapSnapshot(p);
+}
+
+void
+HsaSystem::doCheckpoint()
+{
+    // Advance the trigger schedule first: the serialized cursor must
+    // describe the checkpoints still to come, so a restored run
+    // re-arms the identical cadence.
+    while (!ckptPendingTicks.empty() &&
+           ckptPendingTicks.front() <= eq.curTick())
+        ckptPendingTicks.erase(ckptPendingTicks.begin());
+    if (ckptPeriodTicks) {
+        while (ckptNextPeriodic <= eq.curTick())
+            ckptNextPeriodic += ckptPeriodTicks;
+    }
+    // Stats are serialized *inside* the snapshot, so bump the
+    // checkpoint counters before sealing: a resumed run then continues
+    // the count exactly where the uninterrupted one had it.
+    ++statCkpts;
+    statCkptOps.restore(snapCoord->loggedOps());
+    lastCkptTick = eq.curTick();
+    lastSnapText = buildSnapshotText();
+    if (!cfg.ckpt.outPath.empty())
+        writeSnapshotFile(cfg.ckpt.outPath, lastSnapText);
+}
+
+std::string
+HsaSystem::checkpointNow()
+{
+    fatal_if(!snapCoord,
+             "%s: checkpointNow with checkpointing disabled",
+             cfg.name.c_str());
+    // A just-finished run may still owe transport acks; run those
+    // timer events out before sealing.
+    if (!quiescedNow()) {
+        eq.runUntil([this] { return quiescedNow(); },
+                    eq.curTick() + cpuClk.toTicks(Cycles(1'000'000)));
+    }
+    panic_if(!quiescedNow(), "%s: checkpointNow outside quiesce",
+             cfg.name.c_str());
+    doCheckpoint();
+    return lastSnapText;
+}
+
+void
+HsaSystem::writeLastGasp()
+{
+    if (!snapCoord || !cfg.ckpt.lastGasp || lastSnapText.empty() ||
+        cfg.ckpt.outPath.empty())
+        return;
+    try {
+        writeSnapshotFile(cfg.ckpt.outPath + ".lastgasp", lastSnapText);
+    } catch (const SimError &e) {
+        warn("%s: last-gasp checkpoint write failed: %s",
+             cfg.name.c_str(), e.what());
+    }
+}
+
+bool
+HsaSystem::restoreFrom(const std::string &path)
+{
+    try {
+        std::string text = readSnapshotFile(path);
+        JsonValue p = openSnapshot(text);
+
+        const JsonValue &conf = p.at("config");
+        auto require = [&](const char *key, std::uint64_t want) {
+            std::uint64_t got = conf.at(key).asUInt();
+            if (got != want) {
+                throw SimError(std::string("snapshot ") + key + " = " +
+                                   std::to_string(got) +
+                                   " does not match this system (" +
+                                   std::to_string(want) + ")",
+                               "snapshot");
+            }
+        };
+        require("corePairs", cfg.topo.numCorePairs);
+        require("cus", cfg.numCus);
+        require("dirBanks", dirs.size());
+        require("threads", threadFns.size());
+
+        mainMemory->restore(p.at("mem"));
+        const JsonValue &dirsj = p.at("dirs");
+        for (std::size_t b = 0; b < dirs.size(); ++b)
+            dirs[b]->restore(dirsj.at(b));
+        const JsonValue &cpj = p.at("corePairs");
+        for (std::size_t i = 0; i < corePairs.size(); ++i)
+            corePairs[i]->restore(cpj.at(i));
+        tccCtrl->restore(p.at("tcc"));
+        sqcCtrl->restore(p.at("sqc"));
+        const JsonValue &tcps = p.at("tcps");
+        for (std::size_t i = 0; i < cus.size(); ++i)
+            cus[i]->tcp().restore(tcps.at(i));
+        dmaCtrl->restore(p.at("dma"));
+        kernelDispatcher->restore(p.at("dispatcher"));
+
+        const JsonValue &links = p.at("links");
+        auto restore_links = [&](const char *key, auto &bufs) {
+            const JsonValue &a = links.at(key);
+            if (a.size() != bufs.size()) {
+                throw SimError(std::string("snapshot has ") +
+                                   std::to_string(a.size()) + " " + key +
+                                   " links, this system has " +
+                                   std::to_string(bufs.size()),
+                               "snapshot");
+            }
+            for (std::size_t i = 0; i < bufs.size(); ++i)
+                bufs[i]->restore(a.at(i));
+        };
+        restore_links("toDir", toDir);
+        restore_links("fromDir", fromDir);
+
+        if (checkerPtr) {
+            const JsonValue *c = p.find("checker");
+            if (!c) {
+                throw SimError("snapshot has no checker section but "
+                               "the coherence checker is enabled",
+                               "snapshot");
+            }
+            checkerPtr->restore(*c);
+        }
+        if (faultInjector) {
+            const JsonValue *f = p.find("fault");
+            if (!f) {
+                throw SimError("snapshot has no fault-injector section "
+                               "but fault injection is enabled",
+                               "snapshot");
+            }
+            faultInjector->restore(*f);
+        }
+
+        // Replay: re-register the same coroutines and run each one
+        // against its op log, synchronously and in tid order.  No
+        // events are scheduled — every logged op completes inline —
+        // so the clock may legally still be behind the checkpoint
+        // tick here.
+        snapCoord->beginReplay(p.at("logs"));
+        liveTasks = static_cast<unsigned>(threadFns.size());
+        for (std::size_t i = 0; i < threadFns.size(); ++i) {
+            SimTask task = threadFns[i](*cpuCtxs[i]);
+            task.start([this] { --liveTasks; });
+        }
+        snapCoord->endReplay();
+
+        std::uint64_t live = p.at("liveTasks").asUInt();
+        if (liveTasks != live) {
+            throw SimError("replay finished with " +
+                               std::to_string(liveTasks) +
+                               " live tasks, snapshot recorded " +
+                               std::to_string(live),
+                           "snapshot");
+        }
+
+        // Stats last: any counter poked during replay is overwritten
+        // by the checkpointed values.
+        restoreStats(p.at("stats"));
+
+        ckptPeriodTicks = cfg.ckpt.everyCycles
+                              ? cpuClk.toTicks(cfg.ckpt.everyCycles)
+                              : 0;
+        const JsonValue &cs = p.at("ckpt");
+        ckptNextPeriodic = cs.at("nextPeriodic").asUInt();
+        ckptPendingTicks.clear();
+        for (const JsonValue &t : cs.at("pending").items())
+            ckptPendingTicks.push_back(t.asUInt());
+
+        runStartTick = p.at("runStart").asUInt();
+        lastCkptTick = p.at("tick").asUInt();
+        lastSnapText = std::move(text);
+        ckptArmedOnce = true;
+        ckptActive = true;
+
+        eq.jumpTo(lastCkptTick);
+        snapCoord->releaseGates(eq);
+        scheduleCkptTrigger();
+        return true;
+    } catch (const SimError &e) {
+        lastError = e.what();
+        warn("%s: snapshot restore failed: %s", cfg.name.c_str(),
+             e.what());
+        return false;
+    }
+}
+
+} // namespace hsc

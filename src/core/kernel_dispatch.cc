@@ -1,5 +1,11 @@
 #include "core/kernel_dispatch.hh"
 
+#include <algorithm>
+
+#include "sim/json.hh"
+#include "sim/sim_error.hh"
+#include "sim/snapshot.hh"
+
 namespace hsc
 {
 
@@ -12,11 +18,21 @@ KernelDispatcher::KernelDispatcher(std::vector<GpuCu *> cus,
 }
 
 void
-KernelDispatcher::launch(GpuKernel kernel, std::function<void()> on_complete)
+KernelDispatcher::launch(GpuKernel kernel,
+                         std::function<void()> on_complete,
+                         std::uint64_t agent_key)
 {
+    if (snap && snap->replaying()) {
+        replayLaunch(std::move(kernel), std::move(on_complete), agent_key);
+        return;
+    }
     Active a;
     a.kernel = std::move(kernel);
     a.onComplete = std::move(on_complete);
+    a.ordinal =
+        snap ? snap->assignLaunchOrdinal(agent_key) : localNextOrdinal++;
+    a.wgDone.assign(a.kernel.numWorkgroups, false);
+    a.wgCu.assign(a.kernel.numWorkgroups, 0);
     pending.push_back(std::move(a));
     if (!running)
         startNext();
@@ -51,15 +67,20 @@ KernelDispatcher::fill()
         finishKernel();
         return;
     }
-    for (GpuCu *cu : cus) {
+    for (std::size_t ci = 0; ci < cus.size(); ++ci) {
+        GpuCu *cu = cus[ci];
         while (cu->freeSlots() > 0 &&
                current.nextWg < current.kernel.numWorkgroups) {
             unsigned wg = current.nextWg++;
+            current.wgCu[wg] = std::uint8_t(ci);
             ++statWorkgroups;
-            cu->runWavefront(wg, current.kernel.body, [this] {
-                ++current.doneWgs;
-                fill();
-            });
+            cu->runWavefront(wg, current.kernel.body,
+                             [this, wg] {
+                                 current.wgDone[wg] = true;
+                                 ++current.doneWgs;
+                                 fill();
+                             },
+                             waveAgentKey(current.ordinal, wg));
         }
     }
     if (current.doneWgs == current.kernel.numWorkgroups)
@@ -86,6 +107,139 @@ KernelDispatcher::finishKernel()
             startNext();
         });
     }
+}
+
+void
+KernelDispatcher::serialize(JsonValue &out) const
+{
+    panic_if(running && current.finishing,
+             "kernel dispatcher: serialize while a release is in flight");
+    std::uint64_t started = statKernels.value();
+    out.set("running", JsonValue(running));
+    out.set("completed", JsonValue(started - (running ? 1 : 0)));
+    if (running) {
+        out.set("ordinal", JsonValue(current.ordinal));
+        out.set("nextWg", JsonValue(std::uint64_t(current.nextWg)));
+        JsonValue done = JsonValue::makeArray();
+        for (bool d : current.wgDone)
+            done.push(JsonValue(d));
+        out.set("wgDone", std::move(done));
+        JsonValue wgcu = JsonValue::makeArray();
+        for (std::uint8_t c : current.wgCu)
+            wgcu.push(JsonValue(std::uint64_t(c)));
+        out.set("wgCu", std::move(wgcu));
+    }
+    JsonValue pend = JsonValue::makeArray();
+    for (const Active &a : pending)
+        pend.push(JsonValue(a.ordinal));
+    out.set("pending", std::move(pend));
+}
+
+void
+KernelDispatcher::restore(const JsonValue &in)
+{
+    repRunning = in.at("running").asBool();
+    repCompleted = in.at("completed").asUInt();
+    if (repRunning) {
+        repOrdinal = in.at("ordinal").asUInt();
+        repNextWg = static_cast<unsigned>(in.at("nextWg").asUInt());
+        repWgDone.clear();
+        for (const JsonValue &d : in.at("wgDone").items())
+            repWgDone.push_back(d.asBool());
+        repWgCu.clear();
+        for (const JsonValue &c : in.at("wgCu").items()) {
+            std::uint64_t ci = c.asUInt();
+            if (ci >= cus.size()) {
+                throw SimError("dispatcher wgCu index " +
+                                   std::to_string(ci) +
+                                   " out of range (config drift?)",
+                               "snapshot");
+            }
+            repWgCu.push_back(std::uint8_t(ci));
+        }
+    }
+    repPending.clear();
+    for (const JsonValue &o : in.at("pending").items())
+        repPending.push_back(o.asUInt());
+}
+
+void
+KernelDispatcher::replayLaunch(GpuKernel kernel,
+                               std::function<void()> on_complete,
+                               std::uint64_t agent_key)
+{
+    std::uint64_t ord = snap->takeLaunchOrdinal(agent_key);
+    if (ord < repCompleted) {
+        // Completed before the snapshot: every workgroup's log is
+        // complete, so the whole kernel replays synchronously.
+        for (unsigned wg = 0; wg < kernel.numWorkgroups; ++wg) {
+            cus[0]->replayWavefront(wg, kernel.body,
+                                    waveAgentKey(ord, wg),
+                                    /*live_slot=*/false, nullptr);
+        }
+        on_complete();
+        return;
+    }
+
+    if (repRunning && ord == repOrdinal) {
+        // The kernel in flight at the snapshot.
+        panic_if(running,
+                 "snapshot replay produced two in-flight kernels");
+        if (repWgDone.size() != kernel.numWorkgroups ||
+            repWgCu.size() != kernel.numWorkgroups) {
+            throw SimError("dispatcher workgroup count mismatch "
+                           "(config drift?)",
+                           "snapshot");
+        }
+        running = true;
+        current = Active{};
+        current.kernel = std::move(kernel);
+        current.onComplete = std::move(on_complete);
+        current.ordinal = ord;
+        current.nextWg = repNextWg;
+        current.wgDone = repWgDone;
+        current.wgCu = repWgCu;
+        current.doneWgs = unsigned(std::count(repWgDone.begin(),
+                                              repWgDone.end(), true));
+        for (unsigned wg = 0; wg < repNextWg; ++wg) {
+            if (current.wgDone[wg]) {
+                cus[0]->replayWavefront(wg, current.kernel.body,
+                                        waveAgentKey(ord, wg),
+                                        /*live_slot=*/false, nullptr);
+            } else {
+                cus[current.wgCu[wg]]->replayWavefront(
+                    wg, current.kernel.body, waveAgentKey(ord, wg),
+                    /*live_slot=*/true, [this, wg] {
+                        current.wgDone[wg] = true;
+                        ++current.doneWgs;
+                        fill();
+                    });
+            }
+        }
+        return;
+    }
+
+    // Not yet started at the snapshot: re-queue in ordinal order
+    // (launches replay per launching agent, so the global arrival
+    // order here need not match the recorded launch order).
+    if (std::find(repPending.begin(), repPending.end(), ord) ==
+        repPending.end()) {
+        throw SimError("dispatcher replay saw launch ordinal " +
+                           std::to_string(ord) +
+                           " that was neither completed, in flight, "
+                           "nor pending in the snapshot",
+                       "snapshot");
+    }
+    Active a;
+    a.kernel = std::move(kernel);
+    a.onComplete = std::move(on_complete);
+    a.ordinal = ord;
+    a.wgDone.assign(a.kernel.numWorkgroups, false);
+    a.wgCu.assign(a.kernel.numWorkgroups, 0);
+    auto it = pending.begin();
+    while (it != pending.end() && it->ordinal < ord)
+        ++it;
+    pending.insert(it, std::move(a));
 }
 
 } // namespace hsc

@@ -22,6 +22,9 @@
 namespace hsc
 {
 
+class JsonValue;
+class SnapshotCoordinator;
+
 /** A GPU kernel: a wavefront coroutine body and a grid size. */
 struct GpuKernel
 {
@@ -38,19 +41,37 @@ class KernelDispatcher
   public:
     KernelDispatcher(std::vector<GpuCu *> cus, StatRegistry &reg);
 
-    /** Enqueue @p kernel; @p on_complete fires after its release. */
-    void launch(GpuKernel kernel, std::function<void()> on_complete);
+    /**
+     * Enqueue @p kernel; @p on_complete fires after its release.
+     * @p agent_key identifies the launching agent for checkpoint
+     * replay (unused when checkpointing is off).
+     */
+    void launch(GpuKernel kernel, std::function<void()> on_complete,
+                std::uint64_t agent_key = 0);
 
     bool idle() const { return !running && pending.empty(); }
     std::uint64_t kernelsLaunched() const { return statKernels.value(); }
+
+    /** Checkpoint wiring (null = disabled). */
+    void setSnapshot(SnapshotCoordinator *s) { snap = s; }
+
+    /** @{ Snapshot hooks.  serialize requires quiesce (no release in
+     *  flight); restore loads the dispatch cursor consulted by the
+     *  replay-path launches. */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
+    /** @} */
 
   private:
     struct Active
     {
         GpuKernel kernel;
         std::function<void()> onComplete;
+        std::uint64_t ordinal = 0;    ///< global launch ordinal
         unsigned nextWg = 0;
         unsigned doneWgs = 0;
+        std::vector<bool> wgDone;     ///< per-workgroup completion
+        std::vector<std::uint8_t> wgCu; ///< CU index per started wg
         bool finishing = false;
     };
 
@@ -58,10 +79,27 @@ class KernelDispatcher
     void fill();
     void finishKernel();
 
+    /** Replay-mode launch: consult the restored dispatch cursor. */
+    void replayLaunch(GpuKernel kernel, std::function<void()> on_complete,
+                      std::uint64_t agent_key);
+
     std::vector<GpuCu *> cus;
     std::deque<Active> pending;
     bool running = false;
     Active current;
+
+    SnapshotCoordinator *snap = nullptr;
+    std::uint64_t localNextOrdinal = 0; ///< used when snap is null
+
+    /** @{ Restored dispatch cursor (valid during replay only). */
+    bool repRunning = false;
+    std::uint64_t repCompleted = 0;  ///< kernels fully done pre-snapshot
+    std::uint64_t repOrdinal = 0;    ///< ordinal of the in-flight kernel
+    unsigned repNextWg = 0;
+    std::vector<bool> repWgDone;
+    std::vector<std::uint8_t> repWgCu;
+    std::vector<std::uint64_t> repPending;
+    /** @} */
 
     Counter statKernels, statWorkgroups;
 };

@@ -159,6 +159,14 @@ RandomTester::RandomTester(HsaSystem &sys, const RandomTesterConfig &cfg,
 {
 }
 
+RandomTester::RandomTester(HsaSystem &sys, const RandomTesterConfig &cfg,
+                           TesterSchedule schedule,
+                           TesterResumeState resume)
+    : sys(sys), cfg(cfg), sched(std::move(schedule)),
+      resume(std::move(resume)), st(std::make_shared<State>())
+{
+}
+
 RandomTester::~RandomTester() = default;
 
 const std::vector<std::string> &
@@ -176,18 +184,47 @@ RandomTester::imageHash() const
 bool
 RandomTester::run()
 {
+    return runSchedule() && verifyImage();
+}
+
+TesterResumeState
+RandomTester::resumeState() const
+{
+    TesterResumeState rs;
+    rs.base = st->base;
+    rs.turnBase = st->turnsPerLoc;
+    rs.valueBase = st->finalValue;
+    return rs;
+}
+
+bool
+RandomTester::runSchedule()
+{
     State &s = *st;
     s.numLocations = cfg.numLocations;
-    s.base = sys.alloc(std::uint64_t(cfg.numLocations) * 128);
     s.cpuWork.resize(cfg.numCpuThreads);
     s.gpuWork.resize(cfg.useGpu ? cfg.numGpuWorkgroups : 0);
     s.finalValue.resize(cfg.numLocations, 0);
-    s.turnsPerLoc.resize(cfg.numLocations, 0);
 
     // Derive turn indices and read expectations from op order, then
     // deal each op to its agent.  Every subsequence of a schedule is
     // self-consistent under this derivation (shrinking's invariant).
+    // A resumed schedule continues the anchor's absolute turn counts
+    // and values instead of starting from zero.
     std::vector<std::uint64_t> current(cfg.numLocations, 0);
+    if (resume.valid()) {
+        fatal_if(resume.turnBase.size() != cfg.numLocations ||
+                     resume.valueBase.size() != cfg.numLocations,
+                 "tester resume state covers %zu locations, config "
+                 "has %u",
+                 resume.turnBase.size(), cfg.numLocations);
+        s.base = resume.base;
+        s.turnsPerLoc = resume.turnBase;
+        current = resume.valueBase;
+    } else {
+        s.base = sys.alloc(std::uint64_t(cfg.numLocations) * 128);
+        s.turnsPerLoc.resize(cfg.numLocations, 0);
+    }
     for (const TesterOp &op : sched.ops) {
         fatal_if(op.loc >= cfg.numLocations,
                  "tester op loc %u out of range", op.loc);
@@ -215,9 +252,11 @@ RandomTester::run()
     }
     for (unsigned loc = 0; loc < cfg.numLocations; ++loc) {
         s.finalValue[loc] = current[loc];
-        // Initial memory image.
-        sys.writeWord<std::uint32_t>(s.locAddr(loc) + TurnOffset, 0);
-        sys.writeWord<std::uint64_t>(s.locAddr(loc) + DataOffset, 0);
+        // Initial memory image — a resumed run inherits the anchor's.
+        if (!resume.valid()) {
+            sys.writeWord<std::uint32_t>(s.locAddr(loc) + TurnOffset, 0);
+            sys.writeWord<std::uint64_t>(s.locAddr(loc) + DataOffset, 0);
+        }
     }
 
     auto state = st;
@@ -308,7 +347,7 @@ RandomTester::run()
                 const Turn &t = work[i];
                 Addr loc_addr = state->locAddr(t.loc);
                 DataBlock blk =
-                    co_await sysp->dma().readBlock(loc_addr);
+                    co_await sysp->dma().readBlock(cpu, loc_addr);
                 std::uint64_t cur = blk.get<std::uint32_t>(TurnOffset);
                 if (cur != t.idx) {
                     ++i;
@@ -318,7 +357,7 @@ RandomTester::run()
                     DataBlock upd;
                     upd.set<std::uint64_t>(DataOffset, t.value);
                     co_await sysp->dma().writeBlock(
-                        loc_addr, upd, makeMask(DataOffset, 8));
+                        cpu, loc_addr, upd, makeMask(DataOffset, 8));
                 } else {
                     state->checkRead(t.loc, t.idx,
                                      blk.get<std::uint64_t>(DataOffset),
@@ -326,7 +365,7 @@ RandomTester::run()
                 }
                 DataBlock tupd;
                 tupd.set<std::uint32_t>(TurnOffset, std::uint32_t(t.idx + 1));
-                co_await sysp->dma().writeBlock(loc_addr, tupd,
+                co_await sysp->dma().writeBlock(cpu, loc_addr, tupd,
                                                 makeMask(TurnOffset, 4));
                 work.erase(work.begin() + long(i));
                 progressed = true;
@@ -354,6 +393,14 @@ RandomTester::run()
             s.fail("  " + hr.stalledTxns[i].toString());
         return false;
     }
+    return true;
+}
+
+bool
+RandomTester::verifyImage()
+{
+    State &s = *st;
+    auto state = st;
 
     // Final image verification *through the protocol*: the current
     // values may legitimately live dirty in an L2, so plain memory

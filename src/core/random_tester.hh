@@ -87,6 +87,23 @@ struct TesterSchedule
 TesterSchedule buildTesterSchedule(const RandomTesterConfig &cfg);
 
 /**
+ * Per-location state left behind by a completed schedule — the anchor
+ * a resumed (suffix) schedule continues from.  Captured with
+ * RandomTester::resumeState() after a successful runSchedule(); a
+ * tester constructed with one derives turn indices and read
+ * expectations as absolute continuations instead of from zero, and
+ * reuses the anchor's location addresses rather than allocating.
+ */
+struct TesterResumeState
+{
+    Addr base = 0;                         ///< location array base
+    std::vector<unsigned> turnBase;        ///< executed turns per loc
+    std::vector<std::uint64_t> valueBase;  ///< current value per loc
+
+    bool valid() const { return base != 0; }
+};
+
+/**
  * Drives one HsaSystem with randomized coherent traffic and verifies
  * every read plus the final memory image.
  */
@@ -100,10 +117,30 @@ class RandomTester
     RandomTester(HsaSystem &sys, const RandomTesterConfig &cfg,
                  TesterSchedule schedule);
 
+    /** Resume @p schedule on top of the state @p resume describes
+     *  (checkpoint-anchored shrinking, sim/snapshot.hh). */
+    RandomTester(HsaSystem &sys, const RandomTesterConfig &cfg,
+                 TesterSchedule schedule, TesterResumeState resume);
+
     ~RandomTester();
 
     /** Set up agents, run the system, verify.  True on full success. */
     bool run();
+
+    /** run() minus the final-image pass: set up agents and run the
+     *  schedule, leaving the system quiesced right at the schedule
+     *  boundary — where a checkpoint anchors it.  Inline read checks
+     *  still land in failures(). */
+    bool runSchedule();
+
+    /** The final-image verification pass (a second system run).  Only
+     *  meaningful after a successful runSchedule().  True when no
+     *  failure — inline or final — was recorded. */
+    bool verifyImage();
+
+    /** The per-location end state of the schedule just run — valid
+     *  after a successful runSchedule(). */
+    TesterResumeState resumeState() const;
 
     const std::vector<std::string> &failures() const;
 
@@ -123,6 +160,7 @@ class RandomTester
     HsaSystem &sys;
     RandomTesterConfig cfg;
     TesterSchedule sched;
+    TesterResumeState resume;
     std::shared_ptr<State> st;
 };
 

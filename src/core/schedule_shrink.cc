@@ -1,8 +1,11 @@
 #include "core/schedule_shrink.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
+#include "sim/snapshot.hh"
 
 namespace hsc
 {
@@ -27,23 +30,25 @@ stillFails(const SystemConfig &sys_cfg,
     return !ok;
 }
 
-} // namespace
-
-ShrinkResult
-shrinkSchedule(const SystemConfig &sys_cfg,
-               const RandomTesterConfig &tester_cfg,
-               const TesterSchedule &schedule, std::size_t max_tests)
+TesterSchedule
+slice(const TesterSchedule &s, std::size_t lo, std::size_t hi)
 {
-    ShrinkResult res;
-    res.originalOps = schedule.size();
+    TesterSchedule out;
+    out.ops.assign(s.ops.begin() + long(lo), s.ops.begin() + long(hi));
+    return out;
+}
 
-    ++res.testsRun;
-    res.originalFailed =
-        stillFails(sys_cfg, tester_cfg, schedule, &res.failReason);
-    res.minimal = schedule;
-    if (!res.originalFailed)
-        return res;
-
+/**
+ * The ddmin chunk-removal loop over @p res.minimal, with the failure
+ * oracle abstracted so anchored shrinking can substitute
+ * restore-and-resume candidates for full reruns.
+ */
+void
+ddminLoop(ShrinkResult &res,
+          const std::function<bool(const TesterSchedule &,
+                                   std::string *)> &fails,
+          std::size_t max_tests)
+{
     // ddmin: try removing chunks of size n, halving n each time no
     // removal sticks, until n == 1 makes a full pass with no change.
     std::size_t chunk = std::max<std::size_t>(1, res.minimal.size() / 2);
@@ -61,8 +66,7 @@ shrinkSchedule(const SystemConfig &sys_cfg,
             }
             ++res.testsRun;
             std::string reason;
-            if (!candidate.empty() &&
-                stillFails(sys_cfg, tester_cfg, candidate, &reason)) {
+            if (!candidate.empty() && fails(candidate, &reason)) {
                 res.minimal = std::move(candidate);
                 res.failReason = reason;
                 removed_any = true;
@@ -81,6 +85,145 @@ shrinkSchedule(const SystemConfig &sys_cfg,
         if (!removed_any)
             chunk = std::max<std::size_t>(1, chunk / 2);
     }
+}
+
+} // namespace
+
+ShrinkResult
+shrinkSchedule(const SystemConfig &sys_cfg,
+               const RandomTesterConfig &tester_cfg,
+               const TesterSchedule &schedule, std::size_t max_tests)
+{
+    ShrinkResult res;
+    res.originalOps = schedule.size();
+
+    ++res.testsRun;
+    res.originalFailed =
+        stillFails(sys_cfg, tester_cfg, schedule, &res.failReason);
+    res.minimal = schedule;
+    if (!res.originalFailed)
+        return res;
+
+    ddminLoop(res,
+              [&](const TesterSchedule &cand, std::string *reason) {
+                  return stillFails(sys_cfg, tester_cfg, cand, reason);
+              },
+              max_tests);
+    return res;
+}
+
+ShrinkResult
+shrinkScheduleAnchored(const SystemConfig &sys_cfg,
+                       const RandomTesterConfig &tester_cfg,
+                       const TesterSchedule &schedule,
+                       const std::string &anchor_path,
+                       std::size_t max_tests)
+{
+    ShrinkResult res;
+    res.originalOps = schedule.size();
+
+    ++res.testsRun;
+    res.originalFailed =
+        stillFails(sys_cfg, tester_cfg, schedule, &res.failReason);
+    res.minimal = schedule;
+    if (!res.originalFailed)
+        return res;
+
+    // Find the anchor: the largest halving prefix that passes on its
+    // own.  The failure then lives in the suffix, and every ddmin
+    // candidate replays the prefix from a snapshot instead of
+    // re-simulating it from tick 0.
+    std::size_t anchor = schedule.size() / 2;
+    while (anchor > 0 && res.testsRun < max_tests) {
+        ++res.testsRun;
+        std::string ignored;
+        if (!stillFails(sys_cfg, tester_cfg, slice(schedule, 0, anchor),
+                        &ignored))
+            break;
+        anchor /= 2;
+    }
+
+    auto fall_back = [&]() {
+        std::size_t left =
+            max_tests > res.testsRun ? max_tests - res.testsRun : 0;
+        ShrinkResult plain =
+            shrinkSchedule(sys_cfg, tester_cfg, schedule, left);
+        plain.testsRun += res.testsRun;
+        return plain;
+    };
+    if (anchor == 0) {
+        // The failure starts at op 0; nothing to anchor on.
+        return fall_back();
+    }
+    res.anchorOps = anchor;
+
+    // Capture the anchor once: run the prefix without the verify pass
+    // (so the op logs end exactly at the schedule boundary) and seal
+    // the quiesced state.
+    TesterSchedule prefix = slice(schedule, 0, anchor);
+    SystemConfig cap_cfg = sys_cfg;
+    cap_cfg.ckpt = CheckpointConfig{};
+    cap_cfg.ckpt.manual = true;
+    TesterResumeState anchor_state;
+    {
+        HsaSystem sys(cap_cfg);
+        RandomTester pre(sys, tester_cfg, prefix);
+        if (!pre.runSchedule() || !pre.failures().empty()) {
+            warn("anchored shrink: prefix stopped passing during "
+                 "capture; falling back to plain ddmin");
+            return fall_back();
+        }
+        try {
+            writeSnapshotFile(anchor_path, sys.checkpointNow());
+        } catch (const SimError &e) {
+            warn("anchored shrink: cannot write anchor %s: %s",
+                 anchor_path.c_str(), e.what());
+            return fall_back();
+        }
+        anchor_state = pre.resumeState();
+    }
+
+    SystemConfig resume_cfg = sys_cfg;
+    resume_cfg.ckpt = CheckpointConfig{};
+    resume_cfg.ckpt.manual = true;
+    resume_cfg.ckpt.restorePath = anchor_path;
+
+    // A candidate suffix fails iff resuming it on the restored anchor
+    // fails.  The prefix "run" here is a synchronous log replay.
+    auto suffix_fails = [&](const TesterSchedule &cand,
+                            std::string *reason) {
+        HsaSystem sys(resume_cfg);
+        RandomTester pre(sys, tester_cfg, prefix);
+        if (!pre.runSchedule()) {
+            warn("anchored shrink: anchor restore failed (%s); "
+                 "candidate skipped",
+                 sys.failReason().c_str());
+            return false;
+        }
+        RandomTester suf(sys, tester_cfg, cand, anchor_state);
+        bool ok = suf.run();
+        if (!ok && reason) {
+            *reason = sys.failReason();
+            if (reason->empty() && !suf.failures().empty())
+                *reason = suf.failures().front();
+        }
+        return !ok;
+    };
+
+    // ddmin the suffix alone, then report prefix + minimal suffix —
+    // still a valid standalone failing schedule.
+    ShrinkResult suffix_res;
+    suffix_res.minimal = slice(schedule, anchor, schedule.size());
+    suffix_res.failReason = res.failReason;
+    suffix_res.testsRun = res.testsRun;
+    ddminLoop(suffix_res, suffix_fails, max_tests);
+
+    res.testsRun = suffix_res.testsRun;
+    res.failReason = suffix_res.failReason;
+    res.minimal = prefix;
+    res.minimal.ops.insert(res.minimal.ops.end(),
+                           suffix_res.minimal.ops.begin(),
+                           suffix_res.minimal.ops.end());
     return res;
 }
 

@@ -11,6 +11,13 @@
  * schedule, so "still fails" really isolates the bug rather than a
  * self-inflicted inconsistency.  Each candidate runs on a fresh
  * HsaSystem — runs are deterministic, so the result is too.
+ *
+ * shrinkScheduleAnchored() adds the checkpoint anchor (DESIGN.md §11):
+ * when a long schedule fails late, it finds the largest passing
+ * prefix, seals that prefix's quiesced state into a snapshot once,
+ * and then ddmins only the suffix — every candidate restores the
+ * snapshot (a synchronous coroutine replay, no event simulation)
+ * instead of re-simulating the prefix from tick 0.
  */
 
 #ifndef HSC_CORE_SCHEDULE_SHRINK_HH
@@ -31,6 +38,8 @@ struct ShrinkResult
     std::string failReason;        ///< diagnosis of the minimal run
     std::size_t originalOps = 0;
     std::size_t testsRun = 0;      ///< candidate schedules executed
+    std::size_t anchorOps = 0;     ///< anchored: prefix ops replayed
+                                   ///< from the snapshot (0 = none)
 };
 
 /**
@@ -44,6 +53,21 @@ ShrinkResult shrinkSchedule(const SystemConfig &sys_cfg,
                             const RandomTesterConfig &tester_cfg,
                             const TesterSchedule &schedule,
                             std::size_t max_tests = 600);
+
+/**
+ * Checkpoint-anchored ddmin: isolate the failure to the suffix after
+ * the largest passing prefix, snapshot that prefix once to
+ * @p anchor_path, and shrink only the suffix with every candidate
+ * resuming from the snapshot.  The result's minimal schedule is the
+ * (unshrunk) prefix plus the minimized suffix — still a valid,
+ * standalone failing schedule.  Falls back to plain shrinkSchedule()
+ * when no prefix passes (the failure starts at op 0).
+ */
+ShrinkResult shrinkScheduleAnchored(const SystemConfig &sys_cfg,
+                                    const RandomTesterConfig &tester_cfg,
+                                    const TesterSchedule &schedule,
+                                    const std::string &anchor_path,
+                                    std::size_t max_tests = 600);
 
 } // namespace hsc
 

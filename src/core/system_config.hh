@@ -8,6 +8,7 @@
 #define HSC_CORE_SYSTEM_CONFIG_HH
 
 #include <string>
+#include <vector>
 
 #include "obs/obs_config.hh"
 #include "protocol/cpu/core_pair.hh"
@@ -21,6 +22,48 @@
 
 namespace hsc
 {
+
+/**
+ * Checkpoint/restore (sim/snapshot.hh).  When enabled() the system
+ * owns a SnapshotCoordinator: every agent operation is logged, each
+ * trigger drains the system to quiesce and serializes it, and a run
+ * may instead begin by restoring a snapshot file and resuming
+ * bit-identically.
+ */
+struct CheckpointConfig
+{
+    /** Periodic checkpoint interval in CPU cycles (0 = none). */
+    Cycles everyCycles = 0;
+
+    /** One-shot checkpoint points, in CPU cycles from run start. */
+    std::vector<Cycles> atCycles;
+
+    /** File each checkpoint is written to, atomically (tmp + rename);
+     *  "" keeps snapshots in memory only (lastSnapshotText()). */
+    std::string outPath;
+
+    /** When non-empty, run() restores this snapshot and resumes it
+     *  instead of starting the registered threads fresh. */
+    std::string restorePath;
+
+    /** Re-emit the most recent successful checkpoint to
+     *  outPath + ".lastgasp" when the run fails (watchdog trip, link
+     *  degradation, crash fate), so post-mortem restore starts from
+     *  the freshest state even if the main file was mid-cadence. */
+    bool lastGasp = true;
+
+    /** Create the coordinator with no automatic cadence, for
+     *  HsaSystem::checkpointNow() users (checkpoint-anchored
+     *  shrinking, tests). */
+    bool manual = false;
+
+    bool
+    enabled() const
+    {
+        return everyCycles != 0 || !atCycles.empty() ||
+               !restorePath.empty() || manual;
+    }
+};
 
 /**
  * Full configuration of one simulated APU.
@@ -83,6 +126,9 @@ struct SystemConfig
     /** Fault injection: deterministic link jitter/spikes/dead links
      *  plus probabilistic drop/duplicate/corrupt (transport only). */
     FaultConfig fault{};
+
+    /** Checkpoint/restore: drain-quiesce snapshots + kill-resume. */
+    CheckpointConfig ckpt{};
 
     /**
      * Reliable link transport (mem/transport.hh): seq numbers,

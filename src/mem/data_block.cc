@@ -1,1 +1,60 @@
 #include "mem/data_block.hh"
+
+#include <string>
+
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+
+namespace
+{
+constexpr char HexDigits[] = "0123456789abcdef";
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+} // namespace
+
+std::string
+blockToHex(const DataBlock &b)
+{
+    std::string s(2 * BlockSizeBytes, '0');
+    const std::uint8_t *p = b.raw();
+    for (unsigned i = 0; i < BlockSizeBytes; ++i) {
+        s[2 * i] = HexDigits[p[i] >> 4];
+        s[2 * i + 1] = HexDigits[p[i] & 0xf];
+    }
+    return s;
+}
+
+DataBlock
+blockFromHex(const std::string &hex)
+{
+    if (hex.size() != 2 * BlockSizeBytes)
+        throw SimError("block hex string has length " +
+                           std::to_string(hex.size()) + ", expected " +
+                           std::to_string(2 * BlockSizeBytes),
+                       "snapshot");
+    DataBlock b;
+    std::uint8_t *p = b.raw();
+    for (unsigned i = 0; i < BlockSizeBytes; ++i) {
+        int hi = hexVal(hex[2 * i]);
+        int lo = hexVal(hex[2 * i + 1]);
+        if (hi < 0 || lo < 0)
+            throw SimError("block hex string has a non-hex digit",
+                           "snapshot");
+        p[i] = std::uint8_t((hi << 4) | lo);
+    }
+    return b;
+}
+
+} // namespace hsc

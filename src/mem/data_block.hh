@@ -109,6 +109,12 @@ class DataBlock
     std::array<std::uint8_t, BlockSizeBytes> bytes;
 };
 
+/** @{ Snapshot encoding: a block as 128 lowercase hex chars. */
+std::string blockToHex(const DataBlock &b);
+/** Decode; throws SimError("snapshot") on bad length or digits. */
+DataBlock blockFromHex(const std::string &hex);
+/** @} */
+
 } // namespace hsc
 
 #endif // HSC_MEM_DATA_BLOCK_HH

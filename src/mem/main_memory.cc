@@ -1,5 +1,10 @@
 #include "mem/main_memory.hh"
 
+#include <algorithm>
+#include <vector>
+
+#include "sim/json.hh"
+
 namespace hsc
 {
 
@@ -17,10 +22,14 @@ MainMemory::read(Addr addr, ReadCallback cb)
     ++numReads;
     Addr base = blockAlign(addr);
     Tick start = channelFreeAt(curTick());
-    eq.schedule(start + latency, [this, base, cb = std::move(cb)]() {
-        eq.notifyProgress();
-        cb(functionalRead(base));
-    });
+    // progress-tagged: an outstanding DRAM read is in-flight work the
+    // snapshot drain must wait out (EventQueue::progressPending).
+    eq.schedule(start + latency,
+                [this, base, cb = std::move(cb)]() {
+                    eq.notifyProgress();
+                    cb(functionalRead(base));
+                },
+                EventPriority::Default, /*progress=*/true);
 }
 
 void
@@ -46,6 +55,36 @@ MainMemory::functionalWrite(Addr addr, const DataBlock &data, ByteMask mask)
 {
     DataBlock &blk = store[blockAlign(addr)];
     blk.merge(data, mask);
+}
+
+void
+MainMemory::serialize(JsonValue &out) const
+{
+    out.set("nextFree", JsonValue(nextFree));
+    std::vector<Addr> addrs;
+    addrs.reserve(store.size());
+    for (const auto &kv : store)
+        addrs.push_back(kv.first);
+    std::sort(addrs.begin(), addrs.end());
+    JsonValue blocks = JsonValue::makeArray();
+    for (Addr a : addrs) {
+        JsonValue row = JsonValue::makeArray();
+        row.push(JsonValue(a));
+        row.push(JsonValue(blockToHex(store.at(a))));
+        blocks.push(std::move(row));
+    }
+    out.set("blocks", std::move(blocks));
+}
+
+void
+MainMemory::restore(const JsonValue &in)
+{
+    nextFree = in.at("nextFree").asUInt();
+    store.clear();
+    for (const JsonValue &row : in.at("blocks").items()) {
+        Addr a = row.items().at(0).asUInt();
+        store[blockAlign(a)] = blockFromHex(row.items().at(1).asString());
+    }
 }
 
 } // namespace hsc

@@ -26,6 +26,8 @@
 namespace hsc
 {
 
+class JsonValue;
+
 /**
  * Sparse functional DRAM with timing.
  */
@@ -84,6 +86,12 @@ class MainMemory : public SimObject
 
     std::uint64_t reads() const { return numReads.value(); }
     std::uint64_t writes() const { return numWrites.value(); }
+
+    /** @{ Snapshot hooks: the sparse image (sorted by address for a
+     *  canonical encoding) plus the channel cursor. */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
+    /** @} */
 
   private:
     /** Next tick the (ordered) channel is free. */

@@ -4,6 +4,7 @@
 
 #include "mem/transport.hh"
 #include "sim/fault_injector.hh"
+#include "sim/json.hh"
 #include "sim/sim_error.hh"
 
 namespace hsc
@@ -99,6 +100,31 @@ MessageBuffer::deliverTransported(Msg &&m)
 {
     ++numDelivered;
     consumer(std::move(m));
+}
+
+void
+MessageBuffer::serialize(JsonValue &out) const
+{
+    panic_if(!pending.empty(),
+             "link '%s': snapshot with %zu undelivered messages "
+             "(dead legacy links cannot be checkpointed)",
+             _name.c_str(), pending.size());
+    out.set("lastDelivery", JsonValue(lastDelivery));
+    out.set("peak", JsonValue(std::uint64_t(peak)));
+    if (tp) {
+        JsonValue t = JsonValue::makeObject();
+        tp->serialize(t);
+        out.set("tp", std::move(t));
+    }
+}
+
+void
+MessageBuffer::restore(const JsonValue &in)
+{
+    lastDelivery = in.at("lastDelivery").asUInt();
+    peak = std::size_t(in.at("peak").asUInt());
+    if (tp)
+        tp->restore(in.at("tp"));
 }
 
 } // namespace hsc

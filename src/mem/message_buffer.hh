@@ -54,6 +54,7 @@ namespace hsc
 {
 
 class FaultInjector;
+class JsonValue;
 class LinkTransport;
 struct TransportConfig;
 
@@ -144,6 +145,13 @@ class MessageBuffer : public MsgSink
     {
         return LinkInfo{_name, queueDepth(), oldestPendingAge(now)};
     }
+    /** @} */
+
+    /** @{ Snapshot hooks.  Checkpoints are taken at quiesce, when no
+     *  message is awaiting delivery, so only the FIFO clamp, the
+     *  high-water mark and the transport cursors persist. */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
     /** @} */
 
   private:

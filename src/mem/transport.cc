@@ -8,28 +8,18 @@
 #include "mem/message_buffer.hh"
 #include "obs/tracer.hh"
 #include "sim/fault_injector.hh"
+#include "sim/hash.hh"
+#include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/sim_error.hh"
 
 namespace hsc
 {
 
-namespace
-{
-
-inline void
-fnvMix(std::uint64_t &h, std::uint64_t v)
-{
-    h ^= v;
-    h *= 0x100000001B3ull;
-}
-
-} // namespace
-
 std::uint32_t
 msgChecksum(const Msg &m)
 {
-    std::uint64_t h = 0xCBF29CE484222325ull;
+    std::uint64_t h = FnvOffsetBasis;
     fnvMix(h, std::uint64_t(m.type));
     fnvMix(h, m.addr);
     fnvMix(h, std::uint64_t(m.sender));
@@ -80,12 +70,22 @@ void
 DegradedReport::print(std::ostream &os) const
 {
     os << "=== DegradedReport (tick " << atTick << ") ===\n";
+    if (lastCheckpointTick) {
+        os << "  last checkpoint at tick " << lastCheckpointTick
+           << " (" << atTick - lastCheckpointTick
+           << " ticks of work since)\n";
+    }
     for (const DegradedLinkInfo &l : links) {
         os << "  " << l.link << ": seq " << l.headSeq
            << " exhausted its retry budget (" << l.retries
            << " retransmissions, first sent @" << l.firstSendTick
            << ", degraded @" << l.atTick << "), " << l.unacked
            << " frames stranded\n";
+    }
+    if (!progressSummaries.empty()) {
+        os << "  -- controller progress counters --\n";
+        for (const std::string &s : progressSummaries)
+            os << "  " << s << '\n';
     }
 }
 
@@ -356,6 +356,31 @@ LinkTransport::onAckTimer()
     reAck = false;
     // Acks for frames received *here* travel on the reverse link.
     peer->transmitAckFrame(recvCum);
+}
+
+void
+LinkTransport::serialize(JsonValue &out) const
+{
+    panic_if(!idle(),
+             "link '%s': snapshot of a non-quiesced transport "
+             "(%zu unacked, %zu reordered, ackPending=%d reAck=%d)",
+             link.name().c_str(), sendQ.size(), reorder.size(),
+             int(ackPending), int(reAck));
+    panic_if(degraded_, "link '%s': snapshot of a degraded transport",
+             link.name().c_str());
+    out.set("nextSeq", JsonValue(nextSeq));
+    out.set("recvCum", JsonValue(recvCum));
+}
+
+void
+LinkTransport::restore(const JsonValue &in)
+{
+    nextSeq = in.at("nextSeq").asUInt();
+    recvCum = in.at("recvCum").asUInt();
+    retxArmed = false;
+    ackTimerArmed = false;
+    ackPending = false;
+    reAck = false;
 }
 
 void

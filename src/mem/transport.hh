@@ -55,6 +55,7 @@
 namespace hsc
 {
 
+class JsonValue;
 class MessageBuffer;
 class ObsTracer;
 
@@ -114,6 +115,14 @@ struct DegradedReport
 {
     Tick atTick = 0;
     std::vector<DegradedLinkInfo> links;
+
+    /** Tick of the most recent successful checkpoint (0 = none) —
+     *  tells the operator how much work a restore would replay. */
+    Tick lastCheckpointTick = 0;
+
+    /** Per-controller progress counters ("name: N msgs in / M txns"),
+     *  so a degradation report shows who was still making headway. */
+    std::vector<std::string> progressSummaries;
 
     bool degraded() const { return !links.empty(); }
 
@@ -234,6 +243,22 @@ class LinkTransport
     }
     std::uint64_t wireDropCount() const { return statWireDrop.value(); }
     std::uint64_t ackFrameCount() const { return statAckFrames.value(); }
+    /** @} */
+
+    /** @{ Snapshot hooks.  A transport only serializes its sequence
+     *  cursors: checkpoints are taken at quiesce, when the window is
+     *  fully acked, no frames are parked out of order and no delayed
+     *  ack is owed (idle()), so {nextSeq, recvCum} is the complete
+     *  persistent state.  Timers restart disarmed — the deadline-based
+     *  re-arm in onRetxTimer makes retransmission ticks independent of
+     *  stale timer events, so a resumed run retransmits identically. */
+    bool
+    idle() const
+    {
+        return sendQ.empty() && reorder.empty() && !ackPending && !reAck;
+    }
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
     /** @} */
 
   private:

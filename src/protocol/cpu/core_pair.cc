@@ -4,6 +4,8 @@
 
 #include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
+#include "sim/json.hh"
+#include "sim/sim_error.hh"
 
 namespace hsc
 {
@@ -711,6 +713,111 @@ CorePairController::stateSummary() const
        << vics << " victims awaiting WBAck, " << l2.occupancy()
        << " L2 lines";
     return os.str();
+}
+
+std::uint64_t
+CorePairController::progressCount() const
+{
+    return statLoads.value() + statStores.value() +
+           statIfetches.value() + statAtomics.value();
+}
+
+void
+CorePairController::serialize(JsonValue &out) const
+{
+    panic_if(!idle() || !deferred.empty(),
+             "%s: snapshot of a non-quiesced core pair (%zu TBEs, "
+             "%zu victim lines, %zu deferred messages)",
+             name().c_str(), tbes.size(), victims.size(),
+             deferred.size());
+    JsonValue l2v = JsonValue::makeObject();
+    JsonValue l2lines = JsonValue::makeArray();
+    l2.forEachWay([&](unsigned set, unsigned way, Addr tag,
+                      const L2Entry &e) {
+        JsonValue row = JsonValue::makeArray();
+        row.push(JsonValue(std::uint64_t(set)));
+        row.push(JsonValue(std::uint64_t(way)));
+        row.push(JsonValue(tag));
+        row.push(JsonValue(std::uint64_t(e.state)));
+        row.push(JsonValue(blockToHex(e.data)));
+        l2lines.push(std::move(row));
+    });
+    l2v.set("lines", std::move(l2lines));
+    JsonValue l2repl = JsonValue::makeObject();
+    l2.replacement().serialize(l2repl);
+    l2v.set("repl", std::move(l2repl));
+    out.set("l2", std::move(l2v));
+
+    auto dump_tags = [](const CacheArray<L1Entry> &arr) {
+        JsonValue v = JsonValue::makeObject();
+        JsonValue lines = JsonValue::makeArray();
+        arr.forEachWay([&](unsigned set, unsigned way, Addr tag,
+                           const L1Entry &) {
+            JsonValue row = JsonValue::makeArray();
+            row.push(JsonValue(std::uint64_t(set)));
+            row.push(JsonValue(std::uint64_t(way)));
+            row.push(JsonValue(tag));
+            lines.push(std::move(row));
+        });
+        v.set("lines", std::move(lines));
+        JsonValue repl = JsonValue::makeObject();
+        arr.replacement().serialize(repl);
+        v.set("repl", std::move(repl));
+        return v;
+    };
+    JsonValue l1ds = JsonValue::makeArray();
+    for (const auto &arr : l1d)
+        l1ds.push(dump_tags(arr));
+    out.set("l1d", std::move(l1ds));
+    out.set("l1i", dump_tags(l1i));
+
+    JsonValue ingress = JsonValue::makeArray();
+    for (const auto &g : ingressGuards)
+        ingress.push(JsonValue(g->lastSeq));
+    out.set("ingress", std::move(ingress));
+}
+
+void
+CorePairController::restore(const JsonValue &in)
+{
+    const JsonValue &l2v = in.at("l2");
+    for (const JsonValue &row : l2v.at("lines").items()) {
+        const auto &c = row.items();
+        L2Entry &e = l2.restoreLine(unsigned(c.at(0).asUInt()),
+                                    unsigned(c.at(1).asUInt()),
+                                    c.at(2).asUInt());
+        std::uint64_t st = c.at(3).asUInt();
+        if (st > std::uint64_t(L2State::Modified))
+            throw SimError("L2 restore: unknown state " +
+                               std::to_string(st), "snapshot");
+        e.state = L2State(st);
+        e.data = blockFromHex(c.at(4).asString());
+    }
+    l2.replacement().restore(l2v.at("repl"));
+
+    auto load_tags = [](CacheArray<L1Entry> &arr, const JsonValue &v) {
+        for (const JsonValue &row : v.at("lines").items()) {
+            const auto &c = row.items();
+            arr.restoreLine(unsigned(c.at(0).asUInt()),
+                            unsigned(c.at(1).asUInt()),
+                            c.at(2).asUInt());
+        }
+        arr.replacement().restore(v.at("repl"));
+    };
+    const auto &l1dv = in.at("l1d").items();
+    if (l1dv.size() != l1d.size())
+        throw SimError("core pair restore: L1D count mismatch",
+                       "snapshot");
+    for (std::size_t i = 0; i < l1d.size(); ++i)
+        load_tags(l1d[i], l1dv[i]);
+    load_tags(l1i, in.at("l1i"));
+
+    const auto &ingress = in.at("ingress").items();
+    if (ingress.size() != ingressGuards.size())
+        throw SimError("core pair restore: ingress guard count "
+                       "mismatch", "snapshot");
+    for (std::size_t i = 0; i < ingress.size(); ++i)
+        ingressGuards[i]->lastSeq = ingress[i].asUInt();
 }
 
 } // namespace hsc

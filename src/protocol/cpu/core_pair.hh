@@ -120,6 +120,14 @@ class CorePairController : public Clocked, public ProtocolIntrospect
     void inFlightTransactions(Tick now,
                               std::vector<TxnInfo> &out) const override;
     std::string stateSummary() const override;
+    std::uint64_t progressCount() const override;
+    /** @} */
+
+    /** @{ Snapshot hooks.  Serialize asserts the controller is
+     *  quiesced (no TBEs, victims or deferred messages); restore
+     *  repopulates a freshly constructed controller. */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
     /** @} */
 
   private:

@@ -5,6 +5,8 @@
 
 #include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
+#include "sim/json.hh"
+#include "sim/sim_error.hh"
 
 namespace hsc
 {
@@ -1432,6 +1434,87 @@ DirectoryController::diagnostics(std::vector<std::string> &out) const
            << " set-conflict retries (all directory ways transacting)";
         out.push_back(os.str());
     }
+}
+
+std::uint64_t
+DirectoryController::progressCount() const
+{
+    return statRequests.value() + statVictims.value();
+}
+
+void
+DirectoryController::serialize(JsonValue &out) const
+{
+    panic_if(!tbes.empty() || !busyLines.empty() || !stalled.empty() ||
+                 !dispatchPending.empty() || !retryPending.empty() ||
+                 !cancelledVics.empty() || !livelockedMsgs.empty(),
+             "%s: serialize with transactions in flight", name().c_str());
+
+    JsonValue lines = JsonValue::makeArray();
+    dirArray.forEachWay([&](unsigned set, unsigned way, Addr tag,
+                            const DirEntry &e) {
+        JsonValue row = JsonValue::makeArray();
+        row.push(JsonValue(std::uint64_t(set)));
+        row.push(JsonValue(std::uint64_t(way)));
+        row.push(JsonValue(std::uint64_t(tag)));
+        row.push(JsonValue(std::uint64_t(e.state)));
+        row.push(JsonValue(std::int64_t(e.owner)));
+        row.push(JsonValue(e.sharers));
+        row.push(JsonValue(std::uint64_t(e.ptrCount)));
+        row.push(JsonValue(e.overflow));
+        lines.push(std::move(row));
+    });
+    out.set("dir", std::move(lines));
+    JsonValue repl = JsonValue::makeObject();
+    dirArray.replacement().serialize(repl);
+    out.set("dirRepl", std::move(repl));
+
+    out.set("nextTxn", JsonValue(nextTxn));
+    out.set("nextDispatchFree", JsonValue(std::uint64_t(nextDispatchFree)));
+
+    JsonValue llcState = JsonValue::makeObject();
+    llcCache.serialize(llcState);
+    out.set("llc", std::move(llcState));
+
+    JsonValue guards = JsonValue::makeArray();
+    for (const auto &g : ingressGuards)
+        guards.push(JsonValue(g->lastSeq));
+    out.set("ingress", std::move(guards));
+}
+
+void
+DirectoryController::restore(const JsonValue &in)
+{
+    for (const JsonValue &row : in.at("dir").items()) {
+        unsigned set = static_cast<unsigned>(row.at(0).asUInt());
+        unsigned way = static_cast<unsigned>(row.at(1).asUInt());
+        Addr tag = row.at(2).asUInt();
+        std::uint64_t state = row.at(3).asUInt();
+        if (state > std::uint64_t(DirState::O)) {
+            throw SimError("bad directory state " + std::to_string(state),
+                           "snapshot");
+        }
+        DirEntry &e = dirArray.restoreLine(set, way, tag);
+        e.state = static_cast<DirState>(state);
+        e.owner = static_cast<MachineId>(row.at(4).asInt());
+        e.sharers = row.at(5).asUInt();
+        e.ptrCount = static_cast<unsigned>(row.at(6).asUInt());
+        e.overflow = row.at(7).asBool();
+    }
+    dirArray.replacement().restore(in.at("dirRepl"));
+
+    nextTxn = in.at("nextTxn").asUInt();
+    nextDispatchFree = static_cast<Tick>(in.at("nextDispatchFree").asUInt());
+
+    llcCache.restore(in.at("llc"));
+
+    const JsonValue &guards = in.at("ingress");
+    if (guards.items().size() != ingressGuards.size()) {
+        throw SimError("ingress guard count mismatch (config drift?)",
+                       "snapshot");
+    }
+    for (std::size_t i = 0; i < ingressGuards.size(); ++i)
+        ingressGuards[i]->lastSeq = guards.at(i).asUInt();
 }
 
 } // namespace hsc

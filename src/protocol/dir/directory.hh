@@ -130,6 +130,13 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
                               std::vector<TxnInfo> &out) const override;
     std::string stateSummary() const override;
     void diagnostics(std::vector<std::string> &out) const override;
+    std::uint64_t progressCount() const override;
+    /** @} */
+
+    /** @{ Snapshot hooks.  Valid only at a quiesce point: no TBEs,
+     *  no busy lines, no stalled or pending requests. */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
     /** @} */
 
   private:

@@ -1,5 +1,8 @@
 #include "protocol/dir/llc.hh"
 
+#include "sim/json.hh"
+#include "sim/sim_error.hh"
+
 namespace hsc
 {
 
@@ -106,6 +109,40 @@ LlcCache::invalidate(Addr addr)
             mem.write(addr, e->data);
         array.invalidate(addr);
     }
+}
+
+void
+LlcCache::serialize(JsonValue &out) const
+{
+    JsonValue lines = JsonValue::makeArray();
+    array.forEachWay([&](unsigned set, unsigned way, Addr tag,
+                         const Entry &e) {
+        JsonValue row = JsonValue::makeArray();
+        row.push(JsonValue(std::uint64_t(set)));
+        row.push(JsonValue(std::uint64_t(way)));
+        row.push(JsonValue(std::uint64_t(tag)));
+        row.push(JsonValue(e.dirty));
+        row.push(JsonValue(blockToHex(e.data)));
+        lines.push(std::move(row));
+    });
+    out.set("lines", std::move(lines));
+    JsonValue repl = JsonValue::makeObject();
+    array.replacement().serialize(repl);
+    out.set("repl", std::move(repl));
+}
+
+void
+LlcCache::restore(const JsonValue &in)
+{
+    for (const JsonValue &row : in.at("lines").items()) {
+        unsigned set = static_cast<unsigned>(row.at(0).asUInt());
+        unsigned way = static_cast<unsigned>(row.at(1).asUInt());
+        Addr tag = row.at(2).asUInt();
+        Entry &e = array.restoreLine(set, way, tag);
+        e.dirty = row.at(3).asBool();
+        e.data = blockFromHex(row.at(4).asString());
+    }
+    array.replacement().restore(in.at("repl"));
 }
 
 std::string

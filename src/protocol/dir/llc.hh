@@ -78,6 +78,12 @@ class LlcCache : public ProtocolIntrospect
     std::size_t occupancy() const { return array.occupancy(); }
     bool writeBackMode() const { return params.writeBack; }
 
+    /** @{ Snapshot hooks: lines (data + sticky dirty bit) plus the
+     *  replacement metadata. */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
+    /** @} */
+
     /** @{ ProtocolIntrospect.  The LLC is functional (access timing is
      *  charged by the owning directory), so it has no in-flight
      *  transactions of its own. */

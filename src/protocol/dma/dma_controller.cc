@@ -2,6 +2,8 @@
 
 #include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
+#include "sim/json.hh"
+#include "sim/sim_error.hh"
 
 namespace hsc
 {
@@ -167,6 +169,35 @@ DmaController::stateSummary() const
 {
     return name() + ": " + std::to_string(inFlight) + " in flight, " +
            std::to_string(queue.size()) + " queued";
+}
+
+std::uint64_t
+DmaController::progressCount() const
+{
+    return statReads.value() + statWrites.value();
+}
+
+void
+DmaController::serialize(JsonValue &out) const
+{
+    panic_if(!idle(), "%s: serialize with transactions in flight",
+             name().c_str());
+    JsonValue guards = JsonValue::makeArray();
+    for (const auto &g : ingressGuards)
+        guards.push(JsonValue(g->lastSeq));
+    out.set("ingress", std::move(guards));
+}
+
+void
+DmaController::restore(const JsonValue &in)
+{
+    const JsonValue &guards = in.at("ingress");
+    if (guards.items().size() != ingressGuards.size()) {
+        throw SimError("ingress guard count mismatch (config drift?)",
+                       "snapshot");
+    }
+    for (std::size_t i = 0; i < ingressGuards.size(); ++i)
+        ingressGuards[i]->lastSeq = guards.at(i).asUInt();
 }
 
 } // namespace hsc

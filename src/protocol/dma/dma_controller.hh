@@ -67,6 +67,14 @@ class DmaController : public Clocked, public ProtocolIntrospect
     void inFlightTransactions(Tick now,
                               std::vector<TxnInfo> &out) const override;
     std::string stateSummary() const override;
+    std::uint64_t progressCount() const override;
+    /** @} */
+
+    /** @{ Snapshot hooks.  The DMA engine holds no persistent line
+     *  state — only the ingress guard cursors survive a checkpoint,
+     *  and serializing requires idle(). */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
     /** @} */
 
   private:

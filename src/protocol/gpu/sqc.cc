@@ -1,6 +1,7 @@
 #include "protocol/gpu/sqc.hh"
 
 #include "obs/tracer.hh"
+#include "protocol/gpu/vi_snapshot.hh"
 #include "sim/coherence_checker.hh"
 
 namespace hsc
@@ -36,6 +37,8 @@ SqcController::fetch(Addr addr, DoneCallback cb)
 {
     ++statFetches;
     Addr block = blockAlign(addr);
+    // progress-tagged: a pending fetch is in-flight work for the
+    // snapshot drain.
     scheduleCycles(params.latency, [this, block, cb = std::move(cb)] {
         eq.notifyProgress();
         if (array.lookup(block)) {
@@ -66,7 +69,7 @@ SqcController::fetch(Addr addr, DoneCallback cb)
             cb();
         },
                       obs_id);
-    });
+    }, EventPriority::Default, /*progress=*/true);
 }
 
 void
@@ -83,6 +86,24 @@ SqcController::stateSummary() const
 {
     return name() + ": " + std::to_string(array.occupancy()) +
            " lines (fetch misses tracked by the TCC)";
+}
+
+std::uint64_t
+SqcController::progressCount() const
+{
+    return statFetches.value();
+}
+
+void
+SqcController::serialize(JsonValue &out) const
+{
+    serializeViArray(array, out);
+}
+
+void
+SqcController::restore(const JsonValue &in)
+{
+    restoreViArray(array, in);
 }
 
 } // namespace hsc

@@ -3,7 +3,9 @@
 #include <sstream>
 
 #include "obs/tracer.hh"
+#include "protocol/gpu/vi_snapshot.hh"
 #include "sim/coherence_checker.hh"
+#include "sim/sim_error.hh"
 
 namespace hsc
 {
@@ -434,6 +436,43 @@ TccController::stateSummary() const
        << releaseWaiters.size() << " release waiter(s), "
        << array.occupancy() << " lines";
     return os.str();
+}
+
+std::uint64_t
+TccController::progressCount() const
+{
+    return statReads.value() + statWrites.value() +
+           statAtomicsDev.value() + statAtomicsSys.value();
+}
+
+void
+TccController::serialize(JsonValue &out) const
+{
+    panic_if(!idle() || !releaseWaiters.empty() || !deferred.empty(),
+             "%s: serialize with transactions in flight", name().c_str());
+
+    serializeViArray(array, out);
+    out.set("nextAtomicId", JsonValue(nextAtomicId));
+
+    JsonValue guards = JsonValue::makeArray();
+    for (const auto &g : ingressGuards)
+        guards.push(JsonValue(g->lastSeq));
+    out.set("ingress", std::move(guards));
+}
+
+void
+TccController::restore(const JsonValue &in)
+{
+    restoreViArray(array, in);
+    nextAtomicId = in.at("nextAtomicId").asUInt();
+
+    const JsonValue &guards = in.at("ingress");
+    if (guards.items().size() != ingressGuards.size()) {
+        throw SimError("ingress guard count mismatch (config drift?)",
+                       "snapshot");
+    }
+    for (std::size_t i = 0; i < ingressGuards.size(); ++i)
+        ingressGuards[i]->lastSeq = guards.at(i).asUInt();
 }
 
 } // namespace hsc

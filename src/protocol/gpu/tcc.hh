@@ -128,6 +128,13 @@ class TccController : public Clocked, public ProtocolIntrospect
     void inFlightTransactions(Tick now,
                               std::vector<TxnInfo> &out) const override;
     std::string stateSummary() const override;
+    std::uint64_t progressCount() const override;
+    /** @} */
+
+    /** @{ Snapshot hooks.  Valid only at a quiesce point: no
+     *  outstanding fills, writes, atomics, or deferred messages. */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
     /** @} */
 
   private:

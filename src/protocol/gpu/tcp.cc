@@ -1,6 +1,7 @@
 #include "protocol/gpu/tcp.hh"
 
 #include "obs/tracer.hh"
+#include "protocol/gpu/vi_snapshot.hh"
 #include "sim/coherence_checker.hh"
 
 namespace hsc
@@ -323,6 +324,24 @@ TcpController::stateSummary() const
 {
     return name() + ": " + std::to_string(array.occupancy()) +
            " lines (misses tracked by the TCC)";
+}
+
+std::uint64_t
+TcpController::progressCount() const
+{
+    return statLoads.value() + statStores.value() + statAtomics.value();
+}
+
+void
+TcpController::serialize(JsonValue &out) const
+{
+    serializeViArray(array, out);
+}
+
+void
+TcpController::restore(const JsonValue &in)
+{
+    restoreViArray(array, in);
 }
 
 } // namespace hsc

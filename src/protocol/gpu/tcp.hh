@@ -101,6 +101,12 @@ class TcpController : public Clocked, public ProtocolIntrospect
     {
     }
     std::string stateSummary() const override;
+    std::uint64_t progressCount() const override;
+    /** @} */
+
+    /** @{ Snapshot hooks (lines + replacement metadata). */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
     /** @} */
 
   private:

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Snapshot helpers shared by the VI caches (TCP, TCC, SQC): all three
+ * persist the same per-line payload — valid/dirty byte masks plus the
+ * data — and the replacement metadata of their CacheArray.
+ */
+
+#ifndef HSC_PROTOCOL_GPU_VI_SNAPSHOT_HH
+#define HSC_PROTOCOL_GPU_VI_SNAPSHOT_HH
+
+#include "cache/cache_array.hh"
+#include "protocol/gpu/vi_line.hh"
+#include "sim/json.hh"
+
+namespace hsc
+{
+
+/** Serialize @p array as {"lines": [[set, way, tag, validMask,
+ *  dirtyMask, hex] ...], "repl": {...}} into @p out. */
+inline void
+serializeViArray(const CacheArray<ViLine> &array, JsonValue &out)
+{
+    JsonValue lines = JsonValue::makeArray();
+    array.forEachWay([&](unsigned set, unsigned way, Addr tag,
+                         const ViLine &l) {
+        JsonValue row = JsonValue::makeArray();
+        row.push(JsonValue(std::uint64_t(set)));
+        row.push(JsonValue(std::uint64_t(way)));
+        row.push(JsonValue(std::uint64_t(tag)));
+        row.push(JsonValue(std::uint64_t(l.validMask)));
+        row.push(JsonValue(std::uint64_t(l.dirtyMask)));
+        row.push(JsonValue(blockToHex(l.data)));
+        lines.push(std::move(row));
+    });
+    out.set("lines", std::move(lines));
+    JsonValue repl = JsonValue::makeObject();
+    array.replacement().serialize(repl);
+    out.set("repl", std::move(repl));
+}
+
+/** Inverse of serializeViArray into a freshly constructed @p array. */
+inline void
+restoreViArray(CacheArray<ViLine> &array, const JsonValue &in)
+{
+    for (const JsonValue &row : in.at("lines").items()) {
+        unsigned set = static_cast<unsigned>(row.at(0).asUInt());
+        unsigned way = static_cast<unsigned>(row.at(1).asUInt());
+        ViLine &l = array.restoreLine(set, way, row.at(2).asUInt());
+        l.validMask = static_cast<ByteMask>(row.at(3).asUInt());
+        l.dirtyMask = static_cast<ByteMask>(row.at(4).asUInt());
+        l.data = blockFromHex(row.at(5).asString());
+    }
+    array.replacement().restore(in.at("repl"));
+}
+
+} // namespace hsc
+
+#endif // HSC_PROTOCOL_GPU_VI_SNAPSHOT_HH

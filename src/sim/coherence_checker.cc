@@ -1,9 +1,12 @@
 #include "sim/coherence_checker.hh"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace hsc
 {
@@ -337,6 +340,72 @@ CoherenceChecker::reportViolation(std::string kind, const std::string &ctrl,
                                   Addr addr, std::string detail)
 {
     violation(std::move(kind), addr, ctrl + ": " + std::move(detail));
+}
+
+void
+CoherenceChecker::serialize(JsonValue &out) const
+{
+    panic_if(violated(), "%s: serialize after a violation",
+             checkerName.c_str());
+
+    // Sort by address so the snapshot (and its checksum) is
+    // independent of unordered_map iteration order.
+    std::vector<const std::pair<const Addr, BlockState> *> sorted;
+    sorted.reserve(blocks.size());
+    for (const auto &kv : blocks)
+        sorted.push_back(&kv);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto *a, const auto *b) { return a->first < b->first; });
+
+    JsonValue arr = JsonValue::makeArray();
+    for (const auto *kv : sorted) {
+        const BlockState &b = kv->second;
+        JsonValue row = JsonValue::makeObject();
+        row.set("addr", JsonValue(std::uint64_t(kv->first)));
+        row.set("known", JsonValue(std::uint64_t(b.known)));
+        row.set("shadow", JsonValue(blockToHex(b.shadow)));
+
+        std::vector<const std::pair<const std::string, HeldPerm> *> perms;
+        perms.reserve(b.perms.size());
+        for (const auto &p : b.perms)
+            perms.push_back(&p);
+        std::sort(perms.begin(), perms.end(), [](const auto *a,
+                                                 const auto *c) {
+            return a->first < c->first;
+        });
+        JsonValue parr = JsonValue::makeArray();
+        for (const auto *p : perms) {
+            JsonValue prow = JsonValue::makeArray();
+            prow.push(JsonValue(p->first));
+            prow.push(JsonValue(std::uint64_t(p->second.perm)));
+            prow.push(JsonValue(p->second.state));
+            parr.push(std::move(prow));
+        }
+        row.set("perms", std::move(parr));
+        arr.push(std::move(row));
+    }
+    out.set("blocks", std::move(arr));
+}
+
+void
+CoherenceChecker::restore(const JsonValue &in)
+{
+    for (const JsonValue &row : in.at("blocks").items()) {
+        Addr addr = row.at("addr").asUInt();
+        BlockState &b = blockOf(addr);
+        b.known = static_cast<ByteMask>(row.at("known").asUInt());
+        b.shadow = blockFromHex(row.at("shadow").asString());
+        for (const JsonValue &prow : row.at("perms").items()) {
+            std::uint64_t perm = prow.at(1).asUInt();
+            if (perm > std::uint64_t(Perm::Write)) {
+                throw SimError("bad checker permission " +
+                                   std::to_string(perm),
+                               "snapshot");
+            }
+            b.perms[prow.at(0).asString()] =
+                HeldPerm{static_cast<Perm>(perm), prow.at(2).asString()};
+        }
+    }
 }
 
 } // namespace hsc

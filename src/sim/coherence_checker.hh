@@ -43,6 +43,8 @@
 namespace hsc
 {
 
+class JsonValue;
+
 /** Controller families, each with its own legal-event table. */
 enum class CheckerCtrl : std::uint8_t
 {
@@ -155,6 +157,13 @@ class CoherenceChecker
     std::vector<CheckerEvent> traceTail(std::size_t max = 0) const;
 
     void regStats(StatRegistry &reg);
+
+    /** @{ Snapshot hooks: shadow images, known-byte masks and held
+     *  permissions persist; the bounded trace rings restart empty
+     *  (they are diagnostics, not protocol state). */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
+    /** @} */
 
     std::uint64_t transitionsChecked() const
     {

@@ -91,6 +91,8 @@ EventQueue::schedule(Tick when, Callback cb, EventPriority prio,
              (unsigned long long)when, (unsigned long long)_curTick);
     Entry e{when, nextSeq++, static_cast<std::int8_t>(prio), progress,
             std::move(cb)};
+    if (progress)
+        ++progressCount;
     if (bucketNo(when) - _curBucket < RingBuckets) {
         insertSorted(bucketFor(bucketNo(when)), std::move(e));
         ++ringCount;
@@ -109,8 +111,10 @@ EventQueue::run(Tick limit)
             return n; // events remain beyond the bound
         Entry e = popNext();
         _curTick = e.when;
-        if (e.progress)
+        if (e.progress) {
             _lastProgress = e.when;
+            --progressCount;
+        }
         e.cb();
         ++executed;
         ++n;
@@ -118,6 +122,20 @@ EventQueue::run(Tick limit)
     if (_curTick < limit && limit != MaxTick)
         _curTick = limit;
     return n;
+}
+
+void
+EventQueue::jumpTo(Tick t)
+{
+    panic_if(!empty(), "jumpTo with %zu events pending", size());
+    panic_if(t < _curTick,
+             "jumpTo into the past (to=%llu cur=%llu)",
+             (unsigned long long)t, (unsigned long long)_curTick);
+    _curTick = t;
+    _lastProgress = t;
+    // Drained buckets skipped over here are reclaimed lazily by
+    // insertSorted on first reuse, exactly as on a horizon lap.
+    _curBucket = bucketNo(t);
 }
 
 bool
@@ -131,8 +149,10 @@ EventQueue::runUntil(const std::function<bool()> &done, Tick limit)
             return false;
         Entry e = popNext();
         _curTick = e.when;
-        if (e.progress)
+        if (e.progress) {
             _lastProgress = e.when;
+            --progressCount;
+        }
         e.cb();
         ++executed;
         if (done())

@@ -116,6 +116,21 @@ class EventQueue
     std::uint64_t numExecuted() const { return executed; }
 
     /**
+     * Pending events scheduled with progress == true.  Zero means all
+     * remaining events are bookkeeping (watchdog, samplers, transport
+     * retransmit/ack timers) — the quiesced condition the snapshot
+     * drain protocol (sim/snapshot.hh) waits for.
+     */
+    std::size_t progressPending() const { return progressCount; }
+
+    /**
+     * Jump the clock to @p t.  Only legal on an empty queue — used by
+     * snapshot restore to resume a reconstructed system at the
+     * checkpointed tick before any event is scheduled.
+     */
+    void jumpTo(Tick t);
+
+    /**
      * Record forward progress of the memory system; used by the
      * deadlock watchdog in HsaSystem.
      */
@@ -212,6 +227,8 @@ class EventQueue
     Tick _lastProgress = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executed = 0;
+    /** Pending events with the progress flag set (see progressPending). */
+    std::size_t progressCount = 0;
 };
 
 } // namespace hsc

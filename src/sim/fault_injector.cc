@@ -1,6 +1,8 @@
 #include "sim/fault_injector.hh"
 
 #include "mem/data_block.hh"
+#include "sim/json.hh"
+#include "sim/sim_error.hh"
 
 namespace hsc
 {
@@ -82,6 +84,42 @@ FaultInjector::wireFate(unsigned link_id)
             fate.corruptByte = unsigned(rng.below(BlockSizeBytes));
     }
     return fate;
+}
+
+void
+FaultInjector::serialize(JsonValue &out) const
+{
+    // Only streams that have been drawn from exist; serialize them as
+    // [link_id, s0, s1, s2, s3].  Untouched links re-seed identically
+    // from (seed, id) on demand, so omitting them is lossless.
+    JsonValue arr = JsonValue::makeArray();
+    for (std::size_t id = 0; id < streams.size(); ++id) {
+        if (!streams[id])
+            continue;
+        auto st = streams[id]->state();
+        JsonValue row = JsonValue::makeArray();
+        row.push(JsonValue(std::uint64_t(id)));
+        for (std::uint64_t word : st)
+            row.push(JsonValue(word));
+        arr.push(std::move(row));
+    }
+    out.set("streams", std::move(arr));
+}
+
+void
+FaultInjector::restore(const JsonValue &in)
+{
+    streams.clear();
+    for (const JsonValue &row : in.at("streams").items()) {
+        if (row.size() != 5)
+            throw SimError("fault injector restore: malformed stream row",
+                           "snapshot");
+        unsigned id = unsigned(row.items().at(0).asUInt());
+        std::array<std::uint64_t, 4> st;
+        for (int i = 0; i < 4; ++i)
+            st[std::size_t(i)] = row.items().at(std::size_t(i + 1)).asUInt();
+        streamFor(id).setState(st);
+    }
 }
 
 bool

@@ -40,6 +40,8 @@
 namespace hsc
 {
 
+class JsonValue;
+
 /** Fault-injection knobs (SystemConfig::fault). */
 struct FaultConfig
 {
@@ -80,6 +82,16 @@ struct FaultConfig
     {
         return dropPer10k || dupPer10k || corruptPer10k;
     }
+
+    /** @{ Crash fates: deterministically kill the run mid-flight, the
+     *  in-process analogue of SIGKILL for kill-resume testing.  The
+     *  run stops exactly like a watchdog trip (failure report, no
+     *  drain) once simulated time advances @p crashAtTick ticks past
+     *  run start, or once @p crashAfterEvents events have executed.
+     *  0 disables. */
+    Tick crashAtTick = 0;
+    std::uint64_t crashAfterEvents = 0;
+    /** @} */
 
     bool any() const { return enabled || !deadLinks.empty(); }
 };
@@ -125,6 +137,12 @@ class FaultInjector
     bool isDead(const std::string &link) const;
 
     const FaultConfig &config() const { return cfg; }
+
+    /** @{ Snapshot hooks: per-link PRNG cursors, so a resumed run
+     *  draws the same fault schedule tail as the uninterrupted one. */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
+    /** @} */
 
   private:
     Rng &streamFor(unsigned link_id);

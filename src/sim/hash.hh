@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared FNV-1a hashing.
+ *
+ * One definition of the FNV-1a constants and mixers for every user in
+ * the tree: the reliable-transport frame checksum (mem/transport.cc),
+ * snapshot-file integrity (sim/snapshot.cc), and the stat/image
+ * hashes tests and benches reduce runs to.  Two flavours:
+ *
+ *  - fnvMix / word-wise: folds whole 64-bit values into the state,
+ *    cheap on the transport hot path;
+ *  - fnvBytes / byte-wise: the canonical FNV-1a over a byte string,
+ *    used where the input is an opaque buffer (snapshot payloads).
+ *
+ * Both are pure functions of their input — hashes are stable across
+ * platforms, processes and runs, which is what lets a checkpoint
+ * written by one process be verified by another.
+ */
+
+#ifndef HSC_SIM_HASH_HH
+#define HSC_SIM_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hsc
+{
+
+inline constexpr std::uint64_t FnvOffsetBasis = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t FnvPrime = 0x100000001B3ull;
+
+/** Fold one 64-bit word into the running hash (word-wise FNV-1a). */
+inline void
+fnvMix(std::uint64_t &h, std::uint64_t v)
+{
+    h ^= v;
+    h *= FnvPrime;
+}
+
+/** Canonical byte-wise FNV-1a over @p n bytes, continuing from @p h. */
+inline std::uint64_t
+fnvBytes(const void *p, std::size_t n, std::uint64_t h = FnvOffsetBasis)
+{
+    const auto *b = static_cast<const unsigned char *>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= b[i];
+        h *= FnvPrime;
+    }
+    return h;
+}
+
+} // namespace hsc
+
+#endif // HSC_SIM_HASH_HH

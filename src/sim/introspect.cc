@@ -77,6 +77,10 @@ HangReport::print(std::ostream &os) const
     os << "==== hang report: " << kindName(kind) << " ====\n";
     os << "at tick " << atTick << " (last progress at "
        << lastProgressTick << "), " << liveTasks << " live tasks\n";
+    if (lastCheckpointTick) {
+        os << "last checkpoint at tick " << lastCheckpointTick << " ("
+           << atTick - lastCheckpointTick << " ticks of work since)\n";
+    }
 
     if (!diagnostics.empty()) {
         os << "-- diagnostics --\n";
@@ -100,6 +104,11 @@ HangReport::print(std::ostream &os) const
     os << "-- controller state --\n";
     for (const std::string &s : controllerSummaries)
         os << "  " << s << '\n';
+    if (!progressCounters.empty()) {
+        os << "-- controller progress counters --\n";
+        for (const std::string &s : progressCounters)
+            os << "  " << s << '\n';
+    }
     os << "==== end hang report ====\n";
 }
 

@@ -68,6 +68,13 @@ class ProtocolIntrospect
     /** One-line occupancy/state summary for the report footer. */
     virtual std::string stateSummary() const = 0;
 
+    /** Monotone count of work items this controller has completed
+     *  (core ops, directory transactions, fills...).  Hang and
+     *  degradation reports print it so an operator can see which
+     *  controllers were still advancing — and, next to the last
+     *  checkpoint tick, how much progress a restore would replay. */
+    virtual std::uint64_t progressCount() const { return 0; }
+
     /** Append anomaly diagnostics (livelocks, parked requests, ...). */
     virtual void diagnostics(std::vector<std::string> &out) const
     {
@@ -94,6 +101,12 @@ struct HangReport
     Tick atTick = 0;           ///< tick at which the run gave up
     Tick lastProgressTick = 0; ///< last notifyProgress() observation
     unsigned liveTasks = 0;    ///< workload tasks still unfinished
+
+    /** Tick of the most recent successful checkpoint (0 = none). */
+    Tick lastCheckpointTick = 0;
+
+    /** Per-controller completed-work counters ("name: N done"). */
+    std::vector<std::string> progressCounters;
 
     /** In-flight transactions, ranked oldest first. */
     std::vector<TxnInfo> stalledTxns;

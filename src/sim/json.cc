@@ -60,7 +60,9 @@ std::int64_t
 JsonValue::asInt() const
 {
     fatal_if(k != Kind::Int, "json: %s is not an int", kindName(k));
-    return negative ? -std::int64_t(integer) : std::int64_t(integer);
+    // Unsigned negation then convert: INT64_MIN has no positive
+    // int64_t counterpart to negate.
+    return negative ? std::int64_t(0 - integer) : std::int64_t(integer);
 }
 
 double
@@ -108,6 +110,15 @@ JsonValue::size() const
     if (k == Kind::Object)
         return obj.size();
     fatal("json: size() on %s", kindName(k));
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    fatal_if(k != Kind::Array, "json: %s is not an array", kindName(k));
+    fatal_if(i >= arr.size(), "json: index %zu out of range (size %zu)", i,
+             arr.size());
+    return arr[i];
 }
 
 const std::vector<std::pair<std::string, JsonValue>> &
@@ -442,9 +453,12 @@ class Parser
         // Exact 64-bit integer path: never through a double.
         std::uint64_t mag = std::stoull(neg ? tok.substr(1) : tok);
         if (neg) {
-            JsonValue v(std::int64_t(0));
-            v = JsonValue(-std::int64_t(mag));
-            return v;
+            // Convert via unsigned negation so INT64_MIN (magnitude
+            // 2^63, which has no positive int64_t) parses exactly.
+            fatal_if(mag > (std::uint64_t(1) << 63),
+                     "json: negative number at offset %zu overflows "
+                     "int64", start);
+            return JsonValue(std::int64_t(0 - mag));
         }
         return JsonValue(mag);
     }

@@ -31,7 +31,9 @@ class JsonValue
     JsonValue(bool b) : k(Kind::Bool), boolean(b) {}
     JsonValue(std::uint64_t v) : k(Kind::Int), integer(v) {}
     JsonValue(std::int64_t v)
-        : k(Kind::Int), integer(std::uint64_t(v < 0 ? -v : v)),
+        // Negate in the unsigned domain: -INT64_MIN overflows int64_t.
+        : k(Kind::Int),
+          integer(v < 0 ? 0 - std::uint64_t(v) : std::uint64_t(v)),
           negative(v < 0)
     {}
     JsonValue(int v) : JsonValue(std::int64_t(v)) {}
@@ -63,6 +65,8 @@ class JsonValue
     std::vector<JsonValue> &items();
     void push(JsonValue v);
     std::size_t size() const;
+    /** Element access; fatal() when out of range. */
+    const JsonValue &at(std::size_t i) const;
     /** @} */
 
     /** @{ Object access (insertion-ordered). */

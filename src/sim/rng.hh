@@ -9,6 +9,7 @@
 #ifndef HSC_SIM_RNG_HH
 #define HSC_SIM_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace hsc
@@ -68,6 +69,23 @@ class Rng
     {
         return (next() >> 11) * 0x1.0p-53;
     }
+
+    /** @{ Stream-cursor serialization (snapshot/restore): the raw
+     *  xoshiro256** state vector, so a resumed run continues the
+     *  exact random sequence of the checkpointed one. */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {s[0], s[1], s[2], s[3]};
+    }
+
+    void
+    setState(const std::array<std::uint64_t, 4> &st)
+    {
+        for (int i = 0; i < 4; ++i)
+            s[i] = st[std::size_t(i)];
+    }
+    /** @} */
 
   private:
     static std::uint64_t

@@ -1,0 +1,324 @@
+#include "sim/snapshot.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "sim/hash.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+
+namespace
+{
+constexpr const char *SnapshotMagic = "hsc-snapshot";
+constexpr std::uint64_t SnapshotVersion = 1;
+} // namespace
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::CpuLoad: return "cpu.load";
+      case OpKind::CpuStore: return "cpu.store";
+      case OpKind::CpuAmo: return "cpu.amo";
+      case OpKind::CpuCompute: return "cpu.compute";
+      case OpKind::GpuVload: return "gpu.vload";
+      case OpKind::GpuVstore: return "gpu.vstore";
+      case OpKind::GpuLoad: return "gpu.load";
+      case OpKind::GpuStore: return "gpu.store";
+      case OpKind::GpuAmo: return "gpu.amo";
+      case OpKind::GpuCompute: return "gpu.compute";
+      case OpKind::GpuAcquire: return "gpu.acquire";
+      case OpKind::GpuRelease: return "gpu.release";
+      case OpKind::DmaRead: return "dma.read";
+      case OpKind::DmaWrite: return "dma.write";
+      case OpKind::DmaCopy: return "dma.copy";
+    }
+    return "?";
+}
+
+std::uint64_t
+OpRecord::word(std::size_t i) const
+{
+    panic_if(i >= words.size(),
+             "op record %s has %zu result words, asked for word %zu",
+             opKindName(kind), words.size(), i);
+    return words[i];
+}
+
+void
+SnapshotCoordinator::beginDrain()
+{
+    panic_if(draining_ || replaying_,
+             "beginDrain in drain/replay mode");
+    draining_ = true;
+}
+
+void
+SnapshotCoordinator::endDrain()
+{
+    panic_if(!draining_, "endDrain outside a drain");
+    draining_ = false;
+}
+
+void
+SnapshotCoordinator::record(std::uint64_t agent, OpKind kind,
+                            const std::uint64_t *words, std::size_t n)
+{
+    AgentLog &l = logs_[agent];
+    OpRecord r;
+    r.kind = kind;
+    r.words.assign(words, words + n);
+    l.ops.push_back(std::move(r));
+    ++loggedOps_;
+}
+
+const OpRecord *
+SnapshotCoordinator::replayNext(std::uint64_t agent, OpKind kind)
+{
+    panic_if(!replaying_, "replayNext outside replay");
+    AgentLog &l = logs_[agent];
+    if (l.replayPos == l.ops.size())
+        return nullptr;
+    const OpRecord &r = l.ops[l.replayPos];
+    panic_if(r.kind != kind,
+             "snapshot replay diverged: agent %#llx op %zu was "
+             "recorded as %s but the coroutine awaited %s "
+             "(corrupt snapshot or non-deterministic workload)",
+             (unsigned long long)agent, l.replayPos,
+             opKindName(r.kind), opKindName(kind));
+    ++l.replayPos;
+    return &r;
+}
+
+void
+SnapshotCoordinator::park(std::uint64_t agent,
+                          std::function<void()> resume)
+{
+    panic_if(!draining_ && !replaying_,
+             "agent %#llx parked outside drain/replay",
+             (unsigned long long)agent);
+    auto ins = parked_.emplace(agent, std::move(resume));
+    panic_if(!ins.second, "agent %#llx parked twice",
+             (unsigned long long)agent);
+}
+
+void
+SnapshotCoordinator::releaseGates(EventQueue &eq)
+{
+    // std::map iterates in ascending key order; one release event per
+    // agent at the current tick, all Default priority, so the resumed
+    // issue order is a pure function of the agent-key set.
+    for (auto &kv : parked_) {
+        eq.schedule(eq.curTick(), std::move(kv.second),
+                    EventPriority::Default, /*progress=*/true);
+    }
+    parked_.clear();
+}
+
+std::uint64_t
+SnapshotCoordinator::assignLaunchOrdinal(std::uint64_t agent)
+{
+    std::uint64_t ord = nextOrdinal_++;
+    launches_[agent].ordinals.push_back(ord);
+    return ord;
+}
+
+std::uint64_t
+SnapshotCoordinator::takeLaunchOrdinal(std::uint64_t agent)
+{
+    panic_if(!replaying_, "takeLaunchOrdinal outside replay");
+    LaunchSeq &s = launches_[agent];
+    panic_if(s.replayPos == s.ordinals.size(),
+             "snapshot replay diverged: agent %#llx launched more "
+             "kernels than were recorded",
+             (unsigned long long)agent);
+    return s.ordinals[s.replayPos++];
+}
+
+void
+SnapshotCoordinator::serializeLogs(JsonValue &out) const
+{
+    out.set("nextOrdinal", JsonValue(nextOrdinal_));
+    JsonValue agents = JsonValue::makeArray();
+    for (const auto &kv : logs_) {
+        JsonValue a = JsonValue::makeObject();
+        a.set("key", JsonValue(kv.first));
+        JsonValue ops = JsonValue::makeArray();
+        for (const OpRecord &r : kv.second.ops) {
+            JsonValue row = JsonValue::makeArray();
+            row.push(JsonValue(std::uint64_t(r.kind)));
+            for (std::uint64_t w : r.words)
+                row.push(JsonValue(w));
+            ops.push(std::move(row));
+        }
+        a.set("ops", std::move(ops));
+        agents.push(std::move(a));
+    }
+    out.set("agents", std::move(agents));
+    JsonValue launches = JsonValue::makeArray();
+    for (const auto &kv : launches_) {
+        JsonValue row = JsonValue::makeArray();
+        row.push(JsonValue(kv.first));
+        for (std::uint64_t ord : kv.second.ordinals)
+            row.push(JsonValue(ord));
+        launches.push(std::move(row));
+    }
+    out.set("launches", std::move(launches));
+}
+
+void
+SnapshotCoordinator::beginReplay(const JsonValue &in)
+{
+    panic_if(draining_ || replaying_,
+             "beginReplay in drain/replay mode");
+    logs_.clear();
+    launches_.clear();
+    parked_.clear();
+    loggedOps_ = 0;
+    nextOrdinal_ = in.at("nextOrdinal").asUInt();
+    for (const JsonValue &a : in.at("agents").items()) {
+        AgentLog &l = logs_[a.at("key").asUInt()];
+        for (const JsonValue &row : a.at("ops").items()) {
+            const auto &cells = row.items();
+            if (cells.empty())
+                throw SimError("snapshot op log has an empty row",
+                               "snapshot");
+            std::uint64_t kind = cells[0].asUInt();
+            if (kind > std::uint64_t(OpKind::DmaCopy))
+                throw SimError("snapshot op log has unknown op kind " +
+                                   std::to_string(kind),
+                               "snapshot");
+            OpRecord r;
+            r.kind = OpKind(kind);
+            for (std::size_t i = 1; i < cells.size(); ++i)
+                r.words.push_back(cells[i].asUInt());
+            l.ops.push_back(std::move(r));
+            ++loggedOps_;
+        }
+    }
+    for (const JsonValue &row : in.at("launches").items()) {
+        const auto &cells = row.items();
+        if (cells.empty())
+            throw SimError("snapshot launch log has an empty row",
+                           "snapshot");
+        LaunchSeq &s = launches_[cells[0].asUInt()];
+        for (std::size_t i = 1; i < cells.size(); ++i)
+            s.ordinals.push_back(cells[i].asUInt());
+    }
+    replaying_ = true;
+}
+
+void
+SnapshotCoordinator::endReplay()
+{
+    panic_if(!replaying_, "endReplay outside replay");
+    for (const auto &kv : logs_) {
+        panic_if(kv.second.replayPos != kv.second.ops.size(),
+                 "agent %#llx replayed %zu of %zu logged ops — the "
+                 "restored workload does not match the snapshot",
+                 (unsigned long long)kv.first, kv.second.replayPos,
+                 kv.second.ops.size());
+    }
+    for (const auto &kv : launches_) {
+        panic_if(kv.second.replayPos != kv.second.ordinals.size(),
+                 "agent %#llx replayed %zu of %zu kernel launches",
+                 (unsigned long long)kv.first, kv.second.replayPos,
+                 kv.second.ordinals.size());
+    }
+    replaying_ = false;
+}
+
+std::string
+wrapSnapshot(const JsonValue &payload)
+{
+    std::string body = payload.dump();
+    JsonValue env = JsonValue::makeObject();
+    env.set("magic", JsonValue(SnapshotMagic));
+    env.set("version", JsonValue(SnapshotVersion));
+    env.set("checksum",
+            JsonValue(fnvBytes(
+                reinterpret_cast<const std::uint8_t *>(body.data()),
+                body.size())));
+    env.set("payload", payload);
+    return env.dump(2) + "\n";
+}
+
+JsonValue
+openSnapshot(const std::string &text)
+{
+    JsonValue env;
+    try {
+        env = parseJson(text);
+    } catch (const SimError &e) {
+        throw SimError(std::string("checkpoint is not valid JSON "
+                                   "(truncated?): ") + e.what(),
+                       "snapshot");
+    }
+    if (!env.isObject())
+        throw SimError("checkpoint envelope is not an object",
+                       "snapshot");
+    const JsonValue *magic = env.find("magic");
+    if (!magic || magic->kind() != JsonValue::Kind::String ||
+        magic->asString() != SnapshotMagic)
+        throw SimError("checkpoint magic mismatch (not an hsc "
+                       "snapshot file)", "snapshot");
+    std::uint64_t version = env.at("version").asUInt();
+    if (version != SnapshotVersion)
+        throw SimError("checkpoint format version " +
+                           std::to_string(version) +
+                           " unsupported (expected " +
+                           std::to_string(SnapshotVersion) + ")",
+                       "snapshot");
+    const JsonValue &payload = env.at("payload");
+    std::string body = payload.dump();
+    std::uint64_t sum = fnvBytes(
+        reinterpret_cast<const std::uint8_t *>(body.data()),
+        body.size());
+    if (sum != env.at("checksum").asUInt())
+        throw SimError("checkpoint payload checksum mismatch "
+                       "(corrupted file)", "snapshot");
+    return payload;
+}
+
+void
+writeSnapshotFile(const std::string &path, const std::string &text)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw SimError("cannot open checkpoint temp file '" + tmp +
+                               "' for writing",
+                           "snapshot");
+        os << text;
+        os.flush();
+        if (!os)
+            throw SimError("short write to checkpoint temp file '" +
+                               tmp + "'",
+                           "snapshot");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw SimError("cannot rename checkpoint into place at '" +
+                           path + "'",
+                       "snapshot");
+}
+
+std::string
+readSnapshotFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw SimError("cannot open checkpoint file '" + path + "'",
+                       "snapshot");
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+} // namespace hsc

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Checkpoint/restore core — the drain-quiesce snapshot coordinator.
+ *
+ * A checkpoint is taken only at *quiesce*: agent frontends stop
+ * issuing new operations (they park at the coordinator's gate), every
+ * in-flight transaction retires, and the event queue holds no
+ * progress-tagged events (EventQueue::progressPending() == 0).  At
+ * that point the persistent state of the system is exactly the
+ * component arrays (caches, directory, memory image, stats, RNG
+ * cursors) plus *where each agent is in its program* — and the latter
+ * is the part that cannot be serialized directly, because agents are
+ * C++20 coroutines whose frames are opaque.
+ *
+ * The coordinator solves this with per-agent operation logs: while
+ * checkpointing is enabled, every awaited operation records its kind
+ * and result words on completion.  Restore rebuilds the system from
+ * the component state, re-runs the workload's setup to re-register
+ * the same coroutines, and then *replays* each coroutine
+ * synchronously: every awaited op consumes the next log entry and
+ * completes inline with the recorded result, touching no component
+ * and scheduling no event.  When an agent's log runs dry its next op
+ * parks at the gate — the exact program point it had reached at
+ * quiesce.  Releasing the gates (in sorted agent-key order, the same
+ * order the uninterrupted run uses) resumes the simulation; because
+ * everything else was restored bit-exactly, the resumed run is
+ * bit-identical to the uninterrupted one.
+ *
+ * The on-disk envelope carries a magic string, a format version and
+ * an FNV-1a checksum of the payload, so truncated or corrupted
+ * checkpoint files fail with a structured SimError instead of
+ * undefined behaviour.
+ */
+
+#ifndef HSC_SIM_SNAPSHOT_HH
+#define HSC_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+class EventQueue;
+class JsonValue;
+
+/** Kind tag of one logged agent operation (stable snapshot ABI:
+ *  append only, never renumber). */
+enum class OpKind : std::uint8_t
+{
+    CpuLoad = 0,     ///< 1 result word
+    CpuStore = 1,    ///< no result
+    CpuAmo = 2,      ///< 1 result word (old value)
+    CpuCompute = 3,  ///< no result
+    GpuVload = 4,    ///< one result word per lane
+    GpuVstore = 5,   ///< no result
+    GpuLoad = 6,     ///< 1 result word
+    GpuStore = 7,    ///< no result
+    GpuAmo = 8,      ///< 1 result word
+    GpuCompute = 9,  ///< no result
+    GpuAcquire = 10, ///< no result
+    GpuRelease = 11, ///< no result
+    DmaRead = 12,    ///< 8 result words (one 64-byte block)
+    DmaWrite = 13,   ///< no result
+    DmaCopy = 14,    ///< no result
+};
+
+const char *opKindName(OpKind k);
+
+/** One completed operation of one agent, in program order. */
+struct OpRecord
+{
+    OpKind kind = OpKind::CpuLoad;
+    std::vector<std::uint64_t> words;
+
+    std::uint64_t word(std::size_t i) const;
+};
+
+/**
+ * Agent keys.  CPU threads use their tid; wavefronts derive a key
+ * from (kernel launch ordinal, workgroup id) so keys are unique
+ * across kernel launches.  DMA operations are attributed to the CPU
+ * agent that awaits them.
+ */
+constexpr std::uint64_t
+waveAgentKey(std::uint64_t launch_ordinal, unsigned workgroup)
+{
+    return (std::uint64_t(1) << 63) | (launch_ordinal << 20) |
+           workgroup;
+}
+
+/**
+ * Drain / record / replay hub shared by every agent frontend.  Owned
+ * by HsaSystem; frontends hold a raw pointer (null when checkpointing
+ * is disabled, so the clean path costs one pointer test per op).
+ */
+class SnapshotCoordinator
+{
+  public:
+    /** @{ Mode queries — each op's start() branches on these. */
+    bool draining() const { return draining_; }
+    bool replaying() const { return replaying_; }
+    /** @} */
+
+    /** @{ Drain protocol (HsaSystem's checkpoint loop). */
+    void beginDrain();
+    void endDrain();
+    /** @} */
+
+    /** Record the completion of @p agent's next operation. */
+    void record(std::uint64_t agent, OpKind kind,
+                const std::uint64_t *words, std::size_t n);
+
+    void
+    record(std::uint64_t agent, OpKind kind,
+           std::initializer_list<std::uint64_t> words = {})
+    {
+        record(agent, kind, words.begin(), words.size());
+    }
+
+    /**
+     * Replay: consume @p agent's next log entry.  Returns nullptr
+     * when the log is exhausted (the op must park at the gate);
+     * panics when the entry's kind differs from @p kind — the replay
+     * diverged from the recorded program, i.e. the snapshot is
+     * corrupt or the workload is non-deterministic.
+     */
+    const OpRecord *replayNext(std::uint64_t agent, OpKind kind);
+
+    /** Park @p agent; @p resume re-issues its pending op. */
+    void park(std::uint64_t agent, std::function<void()> resume);
+
+    /**
+     * Schedule one resume event per parked agent at the current tick,
+     * in ascending agent-key order — identical between the drain end
+     * of an uninterrupted run and a restore, so event sequence
+     * numbers (and therefore everything downstream) match.
+     */
+    void releaseGates(EventQueue &eq);
+
+    std::size_t parkedCount() const { return parked_.size(); }
+
+    /** @{ Kernel-launch ordinals: assigned globally in launch order
+     *  while recording, re-derived per launching agent during replay
+     *  (cross-agent replay order need not match global launch
+     *  order). */
+    std::uint64_t assignLaunchOrdinal(std::uint64_t agent);
+    std::uint64_t takeLaunchOrdinal(std::uint64_t agent);
+    /** @} */
+
+    /** @{ Log persistence + replay lifecycle. */
+    void serializeLogs(JsonValue &out) const;
+    /** Load logs and enter replay mode. */
+    void beginReplay(const JsonValue &in);
+    /** Leave replay mode; panics unless every log was consumed. */
+    void endReplay();
+    /** @} */
+
+    /** Total logged ops (diagnostics / overhead accounting). */
+    std::uint64_t loggedOps() const { return loggedOps_; }
+
+  private:
+    struct AgentLog
+    {
+        std::vector<OpRecord> ops;
+        std::size_t replayPos = 0;
+    };
+
+    struct LaunchSeq
+    {
+        std::vector<std::uint64_t> ordinals;
+        std::size_t replayPos = 0;
+    };
+
+    bool draining_ = false;
+    bool replaying_ = false;
+    std::map<std::uint64_t, AgentLog> logs_;
+    std::map<std::uint64_t, LaunchSeq> launches_;
+    std::uint64_t nextOrdinal_ = 0;
+    std::uint64_t loggedOps_ = 0;
+    std::map<std::uint64_t, std::function<void()>> parked_;
+};
+
+/** @{ Checkpoint envelope.
+ * wrapSnapshot seals @p payload into the on-disk text (magic,
+ * version, FNV-1a checksum); openSnapshot verifies and returns the
+ * payload, throwing SimError("snapshot") on anything malformed —
+ * truncation, bad magic, version skew, checksum mismatch. */
+std::string wrapSnapshot(const JsonValue &payload);
+JsonValue openSnapshot(const std::string &text);
+/** @} */
+
+/** @{ Checkpoint file IO.
+ * Writes go to "<path>.tmp" then rename(2) into place, so a crash
+ * (or SIGKILL) mid-write never leaves a torn checkpoint at @p path.
+ * readSnapshotFile throws SimError("snapshot") when unreadable. */
+void writeSnapshotFile(const std::string &path, const std::string &text);
+std::string readSnapshotFile(const std::string &path);
+/** @} */
+
+} // namespace hsc
+
+#endif // HSC_SIM_SNAPSHOT_HH

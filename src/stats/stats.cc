@@ -3,9 +3,24 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace hsc
 {
+
+void
+Histogram::restore(const std::vector<std::uint64_t> &raw_buckets,
+                   std::uint64_t samples, std::uint64_t sum,
+                   std::uint64_t max_sample)
+{
+    if (raw_buckets.size() != buckets.size())
+        throw SimError("histogram restore: bucket count mismatch",
+                       "snapshot");
+    buckets = raw_buckets;
+    count = samples;
+    total = sum;
+    maxSample = max_sample;
+}
 
 void
 StatRegistry::addCounter(const std::string &name, Counter *c)
@@ -89,6 +104,36 @@ StatRegistry::snapshot() const
     for (const auto &[name, c] : counters)
         snap.emplace_hint(snap.end(), name, c->value());
     return snap;
+}
+
+void
+StatRegistry::restoreCounters(const Snapshot &values)
+{
+    if (values.size() != counters.size())
+        throw SimError("snapshot restore: counter set mismatch (" +
+                           std::to_string(values.size()) +
+                           " checkpointed, " +
+                           std::to_string(counters.size()) +
+                           " registered — different configuration?)",
+                       "snapshot");
+    for (auto &[name, c] : counters) {
+        auto it = values.find(name);
+        if (it == values.end())
+            throw SimError("snapshot restore: counter '" + name +
+                               "' missing from checkpoint",
+                           "snapshot");
+        c->restore(it->second);
+    }
+}
+
+std::vector<std::pair<std::string, Histogram *>>
+StatRegistry::histogramList() const
+{
+    std::vector<std::pair<std::string, Histogram *>> out;
+    out.reserve(histograms.size());
+    for (const auto &[name, h] : histograms)
+        out.emplace_back(name, h);
+    return out;
 }
 
 StatRegistry::Snapshot

@@ -33,6 +33,9 @@ class Counter
     std::uint64_t value() const { return val; }
     void reset() { val = 0; }
 
+    /** Snapshot restore: overwrite with a checkpointed value. */
+    void restore(std::uint64_t v) { val = v; }
+
   private:
     std::uint64_t val = 0;
 };
@@ -82,6 +85,12 @@ class Histogram
         std::fill(buckets.begin(), buckets.end(), 0);
         count = total = maxSample = 0;
     }
+
+    /** Snapshot restore: overwrite the full histogram state.  The
+     *  bucket vector must match this histogram's shape. */
+    void restore(const std::vector<std::uint64_t> &raw_buckets,
+                 std::uint64_t samples, std::uint64_t sum,
+                 std::uint64_t max_sample);
 
   private:
     std::uint64_t width;
@@ -134,6 +143,18 @@ class StatRegistry
     /** Point-in-time value of every registered counter, by name. */
     using Snapshot = std::map<std::string, std::uint64_t>;
     Snapshot snapshot() const;
+
+    /**
+     * Snapshot restore: overwrite every registered counter from
+     * @p values.  The name sets must match exactly — a counter in only
+     * one of the two means the restoring system was built from a
+     * different configuration, which is a SimError, not a silent
+     * partial restore.
+     */
+    void restoreCounters(const Snapshot &values);
+
+    /** All registered histograms (sorted by name), for serialization. */
+    std::vector<std::pair<std::string, Histogram *>> histogramList() const;
 
     /**
      * Per-counter increment since @p baseline, then advance

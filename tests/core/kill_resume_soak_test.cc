@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Kill-resume soak (tier-2): the full kernel-identity matrix — all
+ * ten CHAI workloads under all six figure configurations — each
+ * checkpointed at two distinct points, killed, and restored; every
+ * resumed run must be bit-identical (cycles + full stat dump) to its
+ * same-schedule uninterrupted reference, with the runtime coherence
+ * checker ON throughout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.hh"
+#include "sim/hash.hh"
+#include "workloads/workload.hh"
+
+namespace hsc
+{
+namespace
+{
+
+using bench::figureParams;
+using bench::scaleHierarchy;
+
+std::uint64_t
+statHash(StatRegistry &reg)
+{
+    std::uint64_t h = FnvOffsetBasis;
+    for (const auto &[name, value] : reg.snapshot()) {
+        h = fnvBytes(name.data(), name.size(), h);
+        h = fnvBytes(&value, sizeof(value), h);
+    }
+    return h;
+}
+
+struct RunResult
+{
+    bool ok = false;
+    Cycles cycles = 0;
+    std::uint64_t stats = 0;
+    std::uint64_t checkpoints = 0;
+    std::string failReason;
+};
+
+RunResult
+runOne(const std::string &wl, const SystemConfig &cfg)
+{
+    RunResult r;
+    HsaSystem sys(cfg);
+    auto workload = makeWorkload(wl, figureParams());
+    workload->setup(sys);
+    r.ok = sys.run() && workload->verify(sys);
+    r.cycles = sys.cpuCycles();
+    r.stats = statHash(sys.stats());
+    r.checkpoints = sys.checkpointsTaken();
+    r.failReason = sys.failReason();
+    return r;
+}
+
+TEST(KillResumeSoak, FullMatrixBitIdentityAtTwoTicks)
+{
+    const std::vector<SystemConfig> configs = {
+        baselineConfig(),        earlyRespConfig(),
+        noCleanVicToMemConfig(), llcWriteBackConfig(),
+        ownerTrackingConfig(),   sharerTrackingConfig(),
+    };
+    const std::string snap = ::testing::TempDir() + "soak.snapshot";
+
+    unsigned resumed = 0, skipped = 0;
+    for (const SystemConfig &base : configs) {
+        SystemConfig cfg = base;
+        scaleHierarchy(cfg);
+        cfg.check = true; // identity must hold under full checking
+        for (const std::string &wl : workloadIds()) {
+            for (Cycles at : {Cycles(2000), Cycles(12000)}) {
+                std::remove(snap.c_str());
+                SystemConfig ref_cfg = cfg;
+                ref_cfg.ckpt.atCycles = {at};
+                ref_cfg.ckpt.outPath = snap;
+                RunResult ref = runOne(wl, ref_cfg);
+                ASSERT_TRUE(ref.ok) << wl << "/" << cfg.label << ": "
+                                    << ref.failReason;
+                if (ref.checkpoints == 0) {
+                    // The run finished before the checkpoint point;
+                    // nothing to resume from.  Only legal for the
+                    // later point — the early one must always land.
+                    ASSERT_GT(at, Cycles(2000))
+                        << wl << "/" << cfg.label;
+                    ++skipped;
+                    continue;
+                }
+                SystemConfig res_cfg = cfg;
+                res_cfg.ckpt.restorePath = snap;
+                RunResult res = runOne(wl, res_cfg);
+                EXPECT_TRUE(res.ok)
+                    << wl << "/" << cfg.label << "@" << at << ": "
+                    << res.failReason;
+                EXPECT_EQ(res.cycles, ref.cycles)
+                    << wl << "/" << cfg.label << "@" << at;
+                EXPECT_EQ(res.stats, ref.stats)
+                    << wl << "/" << cfg.label << "@" << at;
+                ++resumed;
+            }
+        }
+    }
+    std::remove(snap.c_str());
+    // Every pair resumed at the early point; most at the later one.
+    EXPECT_GE(resumed, configs.size() * workloadIds().size());
+    RecordProperty("resumed", int(resumed));
+    RecordProperty("skipped", int(skipped));
+}
+
+} // namespace
+} // namespace hsc

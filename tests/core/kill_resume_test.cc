@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Kill-resume correctness: a run checkpointed at tick T, killed, and
+ * restored from the checkpoint must be bit-identical — final memory
+ * image, full stat dump, simulated cycle count — to the same
+ * (checkpoint-scheduled) run left uninterrupted.  Covers the workload
+ * matrix subset (the full matrix is the tier-2 soak), both crash
+ * fates with last-gasp emission, the zero-footprint guarantee when
+ * checkpointing is off, and a real out-of-process SIGKILL delivered
+ * to a forked child mid-run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench/bench_util.hh"
+#include "core/random_tester.hh"
+#include "sim/clocked.hh"
+#include "sim/hash.hh"
+#include "sim/json.hh"
+#include "sim/snapshot.hh"
+#include "workloads/workload.hh"
+
+namespace hsc
+{
+namespace
+{
+
+using bench::figureParams;
+using bench::scaleHierarchy;
+
+/** FNV-1a over the complete stat dump, names and values — the same
+ *  reduction bench/kernel_identity uses for its golden assert. */
+std::uint64_t
+statHash(StatRegistry &reg)
+{
+    std::uint64_t h = FnvOffsetBasis;
+    for (const auto &[name, value] : reg.snapshot()) {
+        h = fnvBytes(name.data(), name.size(), h);
+        h = fnvBytes(&value, sizeof(value), h);
+    }
+    return h;
+}
+
+std::string
+tmpPath(const std::string &leaf)
+{
+    return ::testing::TempDir() + leaf;
+}
+
+struct RunResult
+{
+    bool ok = false;
+    Cycles cycles = 0;
+    std::uint64_t stats = 0;
+    std::uint64_t checkpoints = 0;
+    Tick lastCkptTick = 0;
+    std::string failReason;
+};
+
+/** Run one workload to completion (or failure) under @p cfg. */
+RunResult
+runOne(const std::string &wl, const SystemConfig &cfg)
+{
+    RunResult r;
+    HsaSystem sys(cfg);
+    auto workload = makeWorkload(wl, figureParams());
+    workload->setup(sys);
+    r.ok = sys.run() && workload->verify(sys);
+    r.cycles = sys.cpuCycles();
+    r.stats = statHash(sys.stats());
+    r.checkpoints = sys.checkpointsTaken();
+    r.lastCkptTick = sys.lastCheckpointTick();
+    r.failReason = sys.failReason();
+    return r;
+}
+
+/** The kernel-identity matrix scaling, but with the runtime
+ *  coherence checker ON — kill-resume identity must hold under the
+ *  strictest checking. */
+SystemConfig
+checkedConfig(SystemConfig cfg)
+{
+    scaleHierarchy(cfg);
+    cfg.check = true;
+    return cfg;
+}
+
+TEST(KillResume, DisabledCheckpointingHasZeroFootprint)
+{
+    SystemConfig cfg = checkedConfig(baselineConfig());
+    ASSERT_FALSE(cfg.ckpt.enabled());
+    HsaSystem sys(cfg);
+    // No coordinator, no per-op pointer chasing, no stat rows: the
+    // clean path must not know checkpointing exists.
+    EXPECT_EQ(sys.snapshot(), nullptr);
+    EXPECT_FALSE(sys.stats().hasCounter("system.ckpt.checkpoints"));
+    EXPECT_FALSE(sys.stats().hasCounter("system.ckpt.loggedOps"));
+    for (const auto &[name, value] : sys.stats().snapshot())
+        EXPECT_EQ(name.find(".ckpt."), std::string::npos) << name;
+}
+
+TEST(KillResume, EnabledCheckpointingRegistersCounters)
+{
+    SystemConfig cfg = checkedConfig(baselineConfig());
+    cfg.ckpt.atCycles = {Cycles(5000)};
+    HsaSystem sys(cfg);
+    ASSERT_NE(sys.snapshot(), nullptr);
+    EXPECT_TRUE(sys.stats().hasCounter("system.ckpt.checkpoints"));
+    EXPECT_TRUE(sys.stats().hasCounter("system.ckpt.loggedOps"));
+}
+
+/** Reference run with one checkpoint at @p at, then a fresh system
+ *  restored from that checkpoint: both must agree exactly. */
+void
+expectKillResumeIdentity(const std::string &wl, SystemConfig cfg,
+                         Cycles at, const std::string &snap_path)
+{
+    std::remove(snap_path.c_str());
+
+    SystemConfig ref_cfg = cfg;
+    ref_cfg.ckpt.atCycles = {at};
+    ref_cfg.ckpt.outPath = snap_path;
+    RunResult ref = runOne(wl, ref_cfg);
+    ASSERT_TRUE(ref.ok) << wl << "/" << cfg.label << ": " << ref.failReason;
+    ASSERT_EQ(ref.checkpoints, 1u)
+        << wl << "/" << cfg.label << " at cycle " << at
+        << ": checkpoint point outside the run";
+    ASSERT_GT(ref.lastCkptTick, 0u);
+
+    SystemConfig res_cfg = cfg;
+    res_cfg.ckpt.restorePath = snap_path;
+    RunResult res = runOne(wl, res_cfg);
+    EXPECT_TRUE(res.ok) << wl << "/" << cfg.label << ": "
+                        << res.failReason;
+    EXPECT_EQ(res.cycles, ref.cycles) << wl << "/" << cfg.label;
+    EXPECT_EQ(res.stats, ref.stats) << wl << "/" << cfg.label;
+
+    std::remove(snap_path.c_str());
+}
+
+TEST(KillResume, WorkloadBitIdentityAtTwoTicks)
+{
+    // The tier-2 soak sweeps the full kernel-identity matrix; this
+    // keeps a representative corner in every tier-1 run: a workqueue
+    // workload (heavy CPU/GPU atomics) under the baseline and the
+    // most state-heavy (sharer-tracking) configurations, restored
+    // from two distinct checkpoint points each.
+    for (const SystemConfig &base :
+         {baselineConfig(), sharerTrackingConfig()}) {
+        SystemConfig cfg = checkedConfig(base);
+        for (Cycles at : {Cycles(5000), Cycles(15000)}) {
+            expectKillResumeIdentity(
+                "tq", cfg, at,
+                tmpPath("kill_resume_" + cfg.label + "_" +
+                        std::to_string(at) + ".snapshot"));
+        }
+    }
+}
+
+TEST(KillResume, CrashAtTickWritesLastGaspAndResumesIdentically)
+{
+    SystemConfig cfg = checkedConfig(baselineConfig());
+    cfg.ckpt.everyCycles = 2000;
+
+    // Reference: same checkpoint cadence, no crash.
+    SystemConfig ref_cfg = cfg;
+    ref_cfg.ckpt.outPath = tmpPath("crash_ref.snapshot");
+    RunResult ref = runOne("tq", ref_cfg);
+    ASSERT_TRUE(ref.ok) << ref.failReason;
+    ASSERT_GE(ref.checkpoints, 2u);
+
+    // Crash fate: a simulated process kill mid-run.  Place it near
+    // the middle of the reference run's tick span.
+    ClockDomain cpu = ClockDomain::fromMHz(cfg.cpuMHz);
+    Tick crash_tick = cpu.toTicks(Cycles(ref.cycles / 2));
+    SystemConfig crash_cfg = cfg;
+    crash_cfg.ckpt.outPath = tmpPath("crash_victim.snapshot");
+    crash_cfg.fault.enabled = true;
+    crash_cfg.fault.crashAtTick = crash_tick;
+    RunResult crash = runOne("tq", crash_cfg);
+    EXPECT_FALSE(crash.ok);
+    EXPECT_NE(crash.failReason.find("crash fault"), std::string::npos)
+        << crash.failReason;
+    ASSERT_GE(crash.checkpoints, 1u);
+
+    // The failure path re-emits the freshest checkpoint as a
+    // last-gasp file next to the configured output.
+    std::string gasp = crash_cfg.ckpt.outPath + ".lastgasp";
+    EXPECT_NO_THROW(openSnapshot(readSnapshotFile(gasp)));
+
+    // Resume from the last gasp with the same cadence: bit-identical
+    // to the uninterrupted reference.
+    SystemConfig res_cfg = cfg;
+    res_cfg.ckpt.outPath = tmpPath("crash_resumed.snapshot");
+    res_cfg.ckpt.restorePath = gasp;
+    RunResult res = runOne("tq", res_cfg);
+    EXPECT_TRUE(res.ok) << res.failReason;
+    EXPECT_EQ(res.cycles, ref.cycles);
+    EXPECT_EQ(res.stats, ref.stats);
+
+    for (const std::string &p :
+         {ref_cfg.ckpt.outPath, crash_cfg.ckpt.outPath, gasp,
+          res_cfg.ckpt.outPath})
+        std::remove(p.c_str());
+}
+
+TEST(KillResume, TesterCrashAfterEventsResumesToSameImage)
+{
+    SystemConfig cfg = baselineConfig();
+    shrinkForTorture(cfg);
+    cfg.ckpt.everyCycles = 1000;
+
+    RandomTesterConfig tcfg;
+    tcfg.seed = 5;
+    tcfg.numLocations = 6;
+    tcfg.roundsPerLocation = 3;
+    tcfg.numCpuThreads = 4;
+    tcfg.numGpuWorkgroups = 2;
+    TesterSchedule sched = buildTesterSchedule(tcfg);
+
+    // Reference run (checkpoint cadence on, uninterrupted).
+    std::uint64_t ref_image = 0;
+    Cycles ref_cycles = 0;
+    std::uint64_t ref_stats = 0;
+    std::uint64_t ref_events = 0;
+    {
+        SystemConfig ref_cfg = cfg;
+        ref_cfg.ckpt.outPath = tmpPath("tester_ref.snapshot");
+        HsaSystem sys(ref_cfg);
+        RandomTester tester(sys, tcfg, sched);
+        ASSERT_TRUE(tester.run()) << sys.failReason();
+        ASSERT_GE(sys.checkpointsTaken(), 2u);
+        ref_image = tester.imageHash();
+        ref_cycles = sys.cpuCycles();
+        ref_stats = statHash(sys.stats());
+        ref_events = sys.eventQueue().numExecuted();
+    }
+
+    // Crash fate keyed on executed-event count instead of ticks.
+    std::string victim_path = tmpPath("tester_victim.snapshot");
+    {
+        SystemConfig crash_cfg = cfg;
+        crash_cfg.ckpt.outPath = victim_path;
+        crash_cfg.fault.enabled = true;
+        // Mid-schedule: a third of the uninterrupted run's total
+        // event count (which also covers the verification pass).
+        crash_cfg.fault.crashAfterEvents = ref_events / 3;
+        HsaSystem sys(crash_cfg);
+        RandomTester tester(sys, tcfg, sched);
+        ASSERT_FALSE(tester.run());
+        EXPECT_NE(sys.failReason().find("crash fault"),
+                  std::string::npos)
+            << sys.failReason();
+        ASSERT_GE(sys.checkpointsTaken(), 1u);
+    }
+
+    // Resume: replay rebuilds the tester's shadow state from the op
+    // logs, then the run continues live to the same final image.
+    {
+        SystemConfig res_cfg = cfg;
+        res_cfg.ckpt.outPath = tmpPath("tester_resumed.snapshot");
+        res_cfg.ckpt.restorePath = victim_path + ".lastgasp";
+        HsaSystem sys(res_cfg);
+        RandomTester tester(sys, tcfg, sched);
+        EXPECT_TRUE(tester.run()) << sys.failReason();
+        EXPECT_EQ(tester.imageHash(), ref_image);
+        EXPECT_EQ(sys.cpuCycles(), ref_cycles);
+        EXPECT_EQ(statHash(sys.stats()), ref_stats);
+    }
+
+    for (const std::string &p :
+         {tmpPath("tester_ref.snapshot"), victim_path,
+          victim_path + ".lastgasp", tmpPath("tester_resumed.snapshot")})
+        std::remove(p.c_str());
+}
+
+TEST(KillResume, ManualModeCheckpointNowProducesOpenableSnapshot)
+{
+    SystemConfig cfg = checkedConfig(baselineConfig());
+    cfg.ckpt.manual = true;
+    ASSERT_TRUE(cfg.ckpt.enabled());
+    HsaSystem sys(cfg);
+    ASSERT_NE(sys.snapshot(), nullptr);
+    auto workload = makeWorkload("tq", figureParams());
+    workload->setup(sys);
+    ASSERT_TRUE(sys.run());
+    ASSERT_TRUE(workload->verify(sys));
+    // Manual mode never checkpoints on its own...
+    EXPECT_EQ(sys.checkpointsTaken(), 0u);
+    // ...but can snapshot a quiescent system on demand (the anchor
+    // capture path of checkpoint-anchored shrinking).
+    std::string text = sys.checkpointNow();
+    ASSERT_FALSE(text.empty());
+    JsonValue payload;
+    ASSERT_NO_THROW(payload = openSnapshot(text));
+    EXPECT_EQ(sys.checkpointsTaken(), 1u);
+    EXPECT_GT(payload.at("tick").asUInt(), 0u);
+}
+
+TEST(KillResume, OutOfProcessSigkillThenResume)
+{
+    const std::string child_path = tmpPath("sigkill_child.snapshot");
+    std::remove(child_path.c_str());
+
+    SystemConfig cfg = checkedConfig(baselineConfig());
+    cfg.ckpt.everyCycles = 500; // frequent: a checkpoint lands fast
+
+    // Reference (in-process, same cadence, uninterrupted).
+    SystemConfig ref_cfg = cfg;
+    ref_cfg.ckpt.outPath = tmpPath("sigkill_ref.snapshot");
+    RunResult ref = runOne("tq", ref_cfg);
+    ASSERT_TRUE(ref.ok) << ref.failReason;
+    ASSERT_GE(ref.checkpoints, 4u);
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+        // Child: same run, checkpointing to child_path, until SIGKILL
+        // lands (or completion, if the kill loses the race — the test
+        // is valid either way).
+        SystemConfig child_cfg = cfg;
+        child_cfg.ckpt.outPath = child_path;
+        try {
+            runOne("tq", child_cfg);
+        } catch (...) {
+        }
+        _exit(0);
+    }
+
+    // Parent: wait for the first checkpoint to appear, then deliver a
+    // real SIGKILL — no atexit, no flush, no destructor runs.
+    bool seen = false;
+    for (int i = 0; i < 5000 && !seen; ++i) {
+        std::ifstream probe(child_path);
+        seen = probe.good();
+        if (!seen)
+            usleep(2000);
+    }
+    ASSERT_TRUE(seen) << "child never produced a checkpoint";
+    kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+
+    // The atomic tmp+rename protocol guarantees the file is a
+    // complete, verifiable snapshot even though the writer died.
+    std::string text;
+    ASSERT_NO_THROW(text = readSnapshotFile(child_path));
+    ASSERT_NO_THROW(openSnapshot(text));
+
+    // Resume the killed run; it must land exactly on the reference.
+    SystemConfig res_cfg = cfg;
+    res_cfg.ckpt.outPath = tmpPath("sigkill_resumed.snapshot");
+    res_cfg.ckpt.restorePath = child_path;
+    RunResult res = runOne("tq", res_cfg);
+    EXPECT_TRUE(res.ok) << res.failReason;
+    EXPECT_EQ(res.cycles, ref.cycles);
+    EXPECT_EQ(res.stats, ref.stats);
+
+    for (const std::string &p :
+         {child_path, ref_cfg.ckpt.outPath, res_cfg.ckpt.outPath})
+        std::remove(p.c_str());
+}
+
+} // namespace
+} // namespace hsc

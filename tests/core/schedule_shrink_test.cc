@@ -129,5 +129,52 @@ TEST(ScheduleShrink, MinimalScheduleReplaysFromDisk)
     EXPECT_FALSE(clean.reproduced);
 }
 
+TEST(ScheduleShrink, AnchoredShrinkIsolatesTheSameBug)
+{
+    SystemConfig cfg = buggyConfig();
+    RandomTesterConfig tcfg = testerConfig();
+    TesterSchedule sched = buildTesterSchedule(tcfg);
+    std::string anchor = ::testing::TempDir() + "shrink_anchor.snapshot";
+
+    ShrinkResult res =
+        shrinkScheduleAnchored(cfg, tcfg, sched, anchor);
+    ASSERT_TRUE(res.originalFailed);
+    ASSERT_FALSE(res.minimal.empty());
+    EXPECT_LE(res.minimal.size() * 10, sched.size());
+
+    // The minimal schedule still fails on a fresh, anchor-free
+    // system: the reproducer stands on its own.
+    {
+        HsaSystem sys(cfg);
+        RandomTester tester(sys, tcfg, res.minimal);
+        EXPECT_FALSE(tester.run());
+    }
+    for (const TesterOp &op : res.minimal.ops)
+        EXPECT_EQ(op.loc, 0u);
+}
+
+TEST(ScheduleShrink, AnchoredShrinkFallsBackWhenNoPrefixPasses)
+{
+    // Location 0 is corrupted from the very first ops: when even
+    // short prefixes fail, the anchor search finds nothing and the
+    // anchored entry point must degrade to plain ddmin — same
+    // result, anchorOps = 0.
+    SystemConfig cfg = buggyConfig();
+    RandomTesterConfig tcfg = testerConfig();
+    tcfg.seed = 3; // a schedule whose early ops already hit loc 0
+    TesterSchedule sched = buildTesterSchedule(tcfg);
+    std::string anchor =
+        ::testing::TempDir() + "shrink_anchor_fb.snapshot";
+
+    ShrinkResult anchored =
+        shrinkScheduleAnchored(cfg, tcfg, sched, anchor);
+    if (!anchored.originalFailed)
+        GTEST_SKIP() << "seed 3 does not reproduce under this config";
+    ASSERT_FALSE(anchored.minimal.empty());
+    HsaSystem sys(cfg);
+    RandomTester tester(sys, tcfg, anchored.minimal);
+    EXPECT_FALSE(tester.run());
+}
+
 } // namespace
 } // namespace hsc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * sim/json.hh edge cases the snapshot format leans on: full-width
+ * integer extremes (INT64_MIN has no positive counterpart — negation
+ * must happen in the unsigned domain), deeply nested documents
+ * (snapshots nest sections several levels), and a truncation corpus
+ * that cuts a valid document at every byte offset — each prefix must
+ * fail with a clean SimError, never crash or parse successfully.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "sim/json.hh"
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(JsonEdge, Int64ExtremesRoundTrip)
+{
+    const std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    const std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+    JsonValue obj = JsonValue::makeObject();
+    obj.set("lo", JsonValue(lo));
+    obj.set("hi", JsonValue(hi));
+    obj.set("m1", JsonValue(std::int64_t(-1)));
+    JsonValue back = parseJson(obj.dump());
+    EXPECT_EQ(back.at("lo").asInt(), lo);
+    EXPECT_EQ(back.at("hi").asInt(), hi);
+    EXPECT_EQ(back.at("m1").asInt(), -1);
+}
+
+TEST(JsonEdge, Int64MinParsesFromText)
+{
+    JsonValue v = parseJson("-9223372036854775808");
+    EXPECT_EQ(v.asInt(), std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(v.dump(), "-9223372036854775808");
+}
+
+TEST(JsonEdge, Uint64MaxRoundTrips)
+{
+    const std::uint64_t top = std::numeric_limits<std::uint64_t>::max();
+    JsonValue back = parseJson(JsonValue(top).dump());
+    EXPECT_EQ(back.asUInt(), top);
+    EXPECT_EQ(back.dump(), "18446744073709551615");
+}
+
+TEST(JsonEdge, DeeplyNestedArrayRoundTrips)
+{
+    // 256 levels: enough to catch accidental O(depth^2) or stack
+    // abuse in the writer/parser while staying portable.
+    constexpr int Depth = 256;
+    JsonValue doc(std::uint64_t(42));
+    for (int i = 0; i < Depth; ++i) {
+        JsonValue outer = JsonValue::makeArray();
+        outer.push(std::move(doc));
+        doc = std::move(outer);
+    }
+    JsonValue back = parseJson(doc.dump());
+    const JsonValue *cur = &back;
+    for (int i = 0; i < Depth; ++i) {
+        ASSERT_TRUE(cur->isArray());
+        ASSERT_EQ(cur->size(), 1u);
+        cur = &cur->at(std::size_t(0));
+    }
+    EXPECT_EQ(cur->asUInt(), 42u);
+}
+
+TEST(JsonEdge, DeeplyNestedObjectRoundTrips)
+{
+    constexpr int Depth = 200;
+    JsonValue doc(std::string("leaf"));
+    for (int i = 0; i < Depth; ++i) {
+        JsonValue outer = JsonValue::makeObject();
+        outer.set("k", std::move(doc));
+        doc = std::move(outer);
+    }
+    JsonValue back = parseJson(doc.dump(2)); // pretty-printed too
+    const JsonValue *cur = &back;
+    for (int i = 0; i < Depth; ++i) {
+        ASSERT_TRUE(cur->isObject());
+        cur = &cur->at("k");
+    }
+    EXPECT_EQ(cur->asString(), "leaf");
+}
+
+/** Every proper prefix of a valid document must raise SimError. */
+void
+expectAllTruncationsThrow(const std::string &doc)
+{
+    // Offset 0 (empty input) through n-1: none is a complete document
+    // for these corpus entries (no entry has a shorter valid prefix).
+    for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+        const std::string prefix = doc.substr(0, cut);
+        EXPECT_THROW(parseJson(prefix), SimError)
+            << "doc=" << doc << " cut=" << cut << " prefix=" << prefix;
+    }
+    EXPECT_NO_THROW(parseJson(doc)) << doc;
+}
+
+TEST(JsonEdge, TruncationAtEveryByteOffsetThrowsCleanly)
+{
+    // Chosen so no proper prefix is itself valid JSON: documents
+    // either open a container/string that a cut leaves unclosed, or
+    // are scalars whose every prefix is incomplete ("tru", "-").
+    const char *corpus[] = {
+        "{\"tick\": 123, \"stats\": {\"a\": [1, 2, 3]}, \"s\": \"x\"}",
+        "[[], [null, true, false], {\"k\": -17}]",
+        "{\"esc\": \"a\\\"b\\\\c\\n\"}",
+        "[1.25e2, -0.5]",
+        "true",
+        "null",
+        "-7",
+        "\"string with spaces\"",
+    };
+    for (const char *doc : corpus)
+        expectAllTruncationsThrow(doc);
+}
+
+TEST(JsonEdge, TrailingGarbageThrows)
+{
+    EXPECT_THROW(parseJson("{} extra"), SimError);
+    EXPECT_THROW(parseJson("1 2"), SimError);
+    EXPECT_THROW(parseJson("[1],"), SimError);
+}
+
+} // namespace
+} // namespace hsc

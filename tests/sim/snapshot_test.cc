@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Snapshot envelope and coordinator unit tests: the on-disk envelope
+ * must reject truncated/corrupted/foreign files with a structured
+ * SimError (category "snapshot"), file IO must be atomic-rename
+ * round-trippable, and the SnapshotCoordinator's record/replay/park
+ * machinery must preserve op logs exactly and panic on divergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/sim_error.hh"
+#include "sim/snapshot.hh"
+
+namespace hsc
+{
+namespace
+{
+
+JsonValue
+samplePayload()
+{
+    JsonValue p = JsonValue::makeObject();
+    p.set("tick", JsonValue(std::uint64_t(123456789)));
+    p.set("name", JsonValue("unit"));
+    JsonValue arr = JsonValue::makeArray();
+    for (unsigned i = 0; i < 4; ++i)
+        arr.push(JsonValue(std::uint64_t(i * 7)));
+    p.set("arr", std::move(arr));
+    return p;
+}
+
+TEST(SnapshotEnvelope, RoundTripsPayload)
+{
+    JsonValue payload = samplePayload();
+    std::string text = wrapSnapshot(payload);
+    JsonValue back = openSnapshot(text);
+    EXPECT_EQ(back.dump(), payload.dump());
+}
+
+TEST(SnapshotEnvelope, TruncationAtEveryOffsetThrows)
+{
+    std::string text = wrapSnapshot(samplePayload());
+    ASSERT_GT(text.size(), 2u);
+    ASSERT_EQ(text.back(), '\n');
+    // Every cut except "lost only the trailing newline" must fail;
+    // the envelope is one object, so no proper prefix parses.
+    for (std::size_t cut = 0; cut + 1 < text.size(); ++cut) {
+        try {
+            openSnapshot(text.substr(0, cut));
+            FAIL() << "truncation at offset " << cut << " accepted";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.context(), "snapshot") << "offset " << cut;
+        }
+    }
+    EXPECT_NO_THROW(openSnapshot(text.substr(0, text.size() - 1)));
+}
+
+TEST(SnapshotEnvelope, SingleByteCorruptionThrows)
+{
+    std::string text = wrapSnapshot(samplePayload());
+    for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+        // Whitespace-to-whitespace flips ('\n' -> '\v') are not
+        // corruption: JSON ignores inter-token whitespace entirely.
+        if (std::isspace(static_cast<unsigned char>(text[i])))
+            continue;
+        std::string bad = text;
+        bad[i] ^= 0x01;
+        EXPECT_THROW(openSnapshot(bad), SimError)
+            << "offset " << i << " byte '" << text[i] << "'";
+    }
+}
+
+TEST(SnapshotEnvelope, BadMagicAndVersionAndChecksumThrow)
+{
+    JsonValue payload = samplePayload();
+
+    JsonValue env = parseJson(wrapSnapshot(payload));
+    env.set("magic", JsonValue("not-a-snapshot"));
+    EXPECT_THROW(openSnapshot(env.dump()), SimError);
+
+    env = parseJson(wrapSnapshot(payload));
+    env.set("version", JsonValue(std::uint64_t(999)));
+    EXPECT_THROW(openSnapshot(env.dump()), SimError);
+
+    env = parseJson(wrapSnapshot(payload));
+    env.set("checksum", JsonValue(env.at("checksum").asUInt() + 1));
+    EXPECT_THROW(openSnapshot(env.dump()), SimError);
+
+    EXPECT_THROW(openSnapshot("[1, 2, 3]"), SimError); // not an object
+}
+
+TEST(SnapshotFile, WriteReadRoundTripAndMissingFileThrows)
+{
+    std::string path = "snapshot_test_io.tmpfile";
+    std::string text = wrapSnapshot(samplePayload());
+    writeSnapshotFile(path, text);
+    EXPECT_EQ(readSnapshotFile(path), text);
+    // The atomic-rename staging file must not linger.
+    std::FILE *tmp = std::fopen((path + ".tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp)
+        std::fclose(tmp);
+    std::remove(path.c_str());
+    EXPECT_THROW(readSnapshotFile(path), SimError);
+}
+
+TEST(SnapshotCoordinator, RecordSerializeReplayRoundTrip)
+{
+    SnapshotCoordinator rec;
+    rec.record(0, OpKind::CpuLoad, {0xdeadbeefull});
+    rec.record(0, OpKind::CpuStore, {});
+    rec.record(7, OpKind::CpuAmo, {41});
+    EXPECT_EQ(rec.assignLaunchOrdinal(0), 0u);
+    EXPECT_EQ(rec.assignLaunchOrdinal(7), 1u);
+    rec.record(waveAgentKey(0, 2), OpKind::GpuVload, {1, 2, 3, 4});
+    EXPECT_EQ(rec.loggedOps(), 4u);
+
+    JsonValue out = JsonValue::makeObject();
+    rec.serializeLogs(out);
+
+    SnapshotCoordinator rep;
+    rep.beginReplay(out);
+    EXPECT_TRUE(rep.replaying());
+
+    const OpRecord *r = rep.replayNext(0, OpKind::CpuLoad);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->word(0), 0xdeadbeefull);
+    ASSERT_NE(rep.replayNext(0, OpKind::CpuStore), nullptr);
+    // Log exhausted: the next op must park, not replay.
+    EXPECT_EQ(rep.replayNext(0, OpKind::CpuLoad), nullptr);
+
+    r = rep.replayNext(7, OpKind::CpuAmo);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->word(0), 41u);
+
+    // Launch ordinals are re-derived per agent, in each agent's own
+    // launch order, regardless of cross-agent replay order.
+    EXPECT_EQ(rep.takeLaunchOrdinal(7), 1u);
+    EXPECT_EQ(rep.takeLaunchOrdinal(0), 0u);
+
+    r = rep.replayNext(waveAgentKey(0, 2), OpKind::GpuVload);
+    ASSERT_NE(r, nullptr);
+    ASSERT_EQ(r->words.size(), 4u);
+    EXPECT_EQ(r->word(3), 4u);
+
+    rep.endReplay();
+    EXPECT_FALSE(rep.replaying());
+}
+
+TEST(SnapshotCoordinator, ReplayKindDivergencePanics)
+{
+    SnapshotCoordinator rec;
+    rec.record(3, OpKind::CpuLoad, {1});
+    JsonValue out = JsonValue::makeObject();
+    rec.serializeLogs(out);
+
+    SnapshotCoordinator rep;
+    rep.beginReplay(out);
+    // The recorded op is a load; asking for a store means the replay
+    // diverged from the recorded program — a protocol-level panic.
+    EXPECT_THROW(rep.replayNext(3, OpKind::CpuStore), std::logic_error);
+}
+
+TEST(SnapshotCoordinator, EndReplayWithUnconsumedLogPanics)
+{
+    SnapshotCoordinator rec;
+    rec.record(1, OpKind::CpuLoad, {9});
+    JsonValue out = JsonValue::makeObject();
+    rec.serializeLogs(out);
+
+    SnapshotCoordinator rep;
+    rep.beginReplay(out);
+    EXPECT_THROW(rep.endReplay(), std::logic_error);
+}
+
+TEST(SnapshotCoordinator, ReleaseGatesResumesInAgentKeyOrder)
+{
+    SnapshotCoordinator snap;
+    snap.beginDrain();
+    EXPECT_TRUE(snap.draining());
+
+    std::vector<std::uint64_t> order;
+    snap.park(42, [&] { order.push_back(42); });
+    snap.park(7, [&] { order.push_back(7); });
+    snap.park(waveAgentKey(0, 1),
+              [&] { order.push_back(waveAgentKey(0, 1)); });
+    EXPECT_EQ(snap.parkedCount(), 3u);
+
+    EventQueue eq;
+    snap.endDrain();
+    snap.releaseGates(eq);
+    EXPECT_EQ(snap.parkedCount(), 0u);
+    EXPECT_TRUE(order.empty()); // resumes are events, not immediate
+    eq.runUntil([&] { return order.size() == 3; });
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 7u);
+    EXPECT_EQ(order[1], 42u);
+    EXPECT_EQ(order[2], waveAgentKey(0, 1));
+}
+
+} // namespace
+} // namespace hsc
