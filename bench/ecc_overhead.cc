@@ -1,0 +1,222 @@
+/**
+ * @file
+ * ecc_overhead — what does the storage-fault/ECC model cost, and does
+ * an armed-but-quiet model perturb a clean simulation?
+ *
+ * Every workload runs three times on identical configurations except
+ * the storage-fault knobs: model off, model enabled at zero fault
+ * rate ("armed"), and model enabled at a steady single-bit rate with
+ * double-bit events off and the background scrubber running
+ * ("correcting").  The armed run must be bit-identical to the off run
+ * (cycles + full stat dump) — the injector sits on the access path of
+ * every cache data array, so this is the guard that the tax of having
+ * the model compiled in and switched on is *zero draws, zero ticks*.
+ * The correcting run must end attributed: either verification passes
+ * with every flip corrected/scrubbed, or an accumulated double hit is
+ * contained.  The interesting numbers are the host-time overhead of
+ * the injector draws and the corrected/scrub-repair counts.
+ *
+ *   $ ./bench/ecc_overhead                 # table to stdout
+ *   $ ./bench/ecc_overhead ecc.json        # plus JSON report
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "sim/hash.hh"
+#include "sim/json.hh"
+
+using namespace hsc;
+using namespace hsc::bench;
+
+namespace
+{
+
+double
+millisSince(std::chrono::steady_clock::time_point t0)
+{
+    using namespace std::chrono;
+    return duration_cast<duration<double, std::milli>>(
+               steady_clock::now() - t0)
+        .count();
+}
+
+/** FNV-1a over the stat dump, minus the model's own ".storage."
+ *  counter group — arming the model registers those names, and the
+ *  guard compares runs with the group present vs absent. */
+std::uint64_t
+statHash(StatRegistry &reg)
+{
+    std::uint64_t h = FnvOffsetBasis;
+    for (const auto &[name, value] : reg.snapshot()) {
+        if (name.find(".storage.") != std::string::npos)
+            continue;
+        h = fnvBytes(name.data(), name.size(), h);
+        h = fnvBytes(&value, sizeof(value), h);
+    }
+    return h;
+}
+
+struct Row
+{
+    std::string workload;
+    bool ok = false;
+    Cycles cycles = 0;         ///< simulated (identical off/armed)
+    double wallOffMs = 0.0;
+    double wallArmedMs = 0.0;
+    double wallCorrMs = 0.0;
+    bool contained = false;    ///< correcting run hit a double
+    std::uint64_t corrected = 0;
+    std::uint64_t scrubRepairs = 0;
+
+    double
+    overheadPct() const
+    {
+        return wallOffMs > 0.0
+                   ? (wallArmedMs - wallOffMs) / wallOffMs * 100.0
+                   : 0.0;
+    }
+};
+
+struct RunOut
+{
+    bool passed = false;
+    bool contained = false;
+    Cycles cycles = 0;
+    std::uint64_t stats = 0;
+    StorageSummary storage;
+    double wallMs = 0.0;
+};
+
+RunOut
+timedRun(const std::string &wl, const SystemConfig &cfg)
+{
+    HsaSystem sys(cfg);
+    auto workload = makeWorkload(wl, figureParams());
+    workload->setup(sys);
+    RunOut out;
+    auto t0 = std::chrono::steady_clock::now();
+    out.passed = sys.run() && workload->verify(sys);
+    out.wallMs = millisSince(t0);
+    out.contained = sys.containmentReport().contained();
+    out.cycles = sys.cpuCycles();
+    out.stats = statHash(sys.stats());
+    out.storage = sys.storageSummary();
+    return out;
+}
+
+Row
+measure(const std::string &wl, const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    scaleHierarchy(cfg);
+    Row row;
+    row.workload = wl;
+
+    SystemConfig armed = cfg;
+    armed.storageFault.enabled = true; // zero rate: no fault source
+    SystemConfig corr = cfg;
+    corr.storageFault.enabled = true;
+    corr.storageFault.flipPer10kAccesses = 50;
+    corr.storageFault.doublePer10k = 0;
+    corr.storageFault.scrubIntervalCycles = 2000;
+
+    RunOut off = timedRun(wl, cfg);
+    RunOut on = timedRun(wl, armed);
+    RunOut cr = timedRun(wl, corr);
+    row.cycles = on.cycles;
+    row.wallOffMs = off.wallMs;
+    row.wallArmedMs = on.wallMs;
+    row.wallCorrMs = cr.wallMs;
+    row.contained = cr.contained;
+    row.corrected = cr.storage.corrected;
+    row.scrubRepairs = cr.storage.scrubRepairs;
+    // Armed-at-zero-rate must be invisible; the correcting run must
+    // be attributed (clean pass on corrected singles, or contained).
+    row.ok = off.passed && on.passed &&
+             off.cycles == on.cycles && off.stats == on.stats &&
+             (cr.passed || cr.contained) && cr.storage.corrected > 0;
+    if (off.cycles != on.cycles || off.stats != on.stats) {
+        std::cerr << "ERROR: " << wl
+                  << ": armed storage-fault model changed the "
+                     "simulation ("
+                  << off.cycles << " vs " << on.cycles << " cycles)\n";
+    }
+    if (!cr.passed && !cr.contained) {
+        std::cerr << "ERROR: " << wl
+                  << ": correcting run escaped attribution\n";
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<Row> rows;
+    for (const std::string &wl : workloadIds())
+        rows.push_back(measure(wl, sharerTrackingConfig()));
+
+    TableWriter tw(std::cout);
+    tw.header({"workload", "cycles", "off ms", "armed ms", "ovh %",
+               "corr ms", "corrected", "scrubbed", "outcome",
+               "result"});
+    std::vector<double> overheads;
+    bool all_ok = true;
+    for (const Row &r : rows) {
+        overheads.push_back(r.overheadPct());
+        all_ok = all_ok && r.ok;
+        tw.row({r.workload, TableWriter::fmt(r.cycles),
+                TableWriter::fmt(r.wallOffMs),
+                TableWriter::fmt(r.wallArmedMs),
+                TableWriter::fmt(r.overheadPct()),
+                TableWriter::fmt(r.wallCorrMs),
+                TableWriter::fmt(r.corrected),
+                TableWriter::fmt(r.scrubRepairs),
+                r.contained ? "contained" : "corrected",
+                r.ok ? "OK" : "FAIL"});
+    }
+    tw.rule();
+    tw.row({"mean", "", "", "", TableWriter::fmt(mean(overheads)), "",
+            "", "", "", all_ok ? "OK" : "FAIL"});
+
+    JsonValue report = JsonValue::makeObject();
+    report.set("bench", JsonValue("ecc_overhead"));
+    JsonValue jrows = JsonValue::makeArray();
+    for (const Row &r : rows) {
+        JsonValue o = JsonValue::makeObject();
+        o.set("workload", JsonValue(r.workload));
+        o.set("ok", JsonValue(r.ok));
+        o.set("cycles", JsonValue(std::uint64_t(r.cycles)));
+        o.set("wallOffMs", JsonValue(r.wallOffMs));
+        o.set("wallArmedMs", JsonValue(r.wallArmedMs));
+        o.set("wallCorrMs", JsonValue(r.wallCorrMs));
+        o.set("overheadPct", JsonValue(r.overheadPct()));
+        o.set("contained", JsonValue(r.contained));
+        o.set("corrected", JsonValue(r.corrected));
+        o.set("scrubRepairs", JsonValue(r.scrubRepairs));
+        jrows.push(std::move(o));
+    }
+    report.set("rows", std::move(jrows));
+    report.set("meanOverheadPct", JsonValue(mean(overheads)));
+    report.set("ok", JsonValue(all_ok));
+
+    if (argc > 1) {
+        std::ofstream os(argv[1]);
+        if (!os) {
+            std::cerr << "cannot open " << argv[1] << '\n';
+            return 2;
+        }
+        report.write(os, 2);
+        os << '\n';
+        std::cout << "JSON report written to " << argv[1] << '\n';
+    } else {
+        std::cout << '\n';
+        report.write(std::cout, 2);
+        std::cout << '\n';
+    }
+    return all_ok ? 0 : 1;
+}

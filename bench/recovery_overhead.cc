@@ -22,6 +22,15 @@
  * interesting numbers are the host-time cost of checkpointing, the
  * snapshot size, and the restore/replay time.
  *
+ * A third table exercises storage-fault containment: every workload
+ * runs with a deterministic one-shot double-bit flip injected early,
+ * and the run must end attributed — either a structured
+ * ContainmentReport (machine-check poison consumed) or a provably
+ * cured flip (full-line overwrite) on an otherwise clean pass.  A
+ * silent escape (failed verification with neither) fails the bench.
+ * The interesting number is containment latency: ticks from the flip
+ * landing to the consumer tripping on it.
+ *
  *   $ ./bench/recovery_overhead                 # table to stdout
  *   $ ./bench/recovery_overhead overhead.json   # plus JSON report
  */
@@ -237,6 +246,59 @@ measureCkpt(const std::string &wl, const SystemConfig &base,
     return row;
 }
 
+struct PoisonRow
+{
+    std::string workload;
+    bool ok = false;
+    bool contained = false;
+    Tick flipTick = 0;
+    Tick containTick = 0;     ///< 0 when the flip was cured
+    std::string consumer;
+    std::uint64_t poisonedLines = 0;
+    double wallMs = 0.0;
+
+    std::uint64_t
+    latencyTicks() const
+    {
+        return contained ? containTick - flipTick : 0;
+    }
+};
+
+PoisonRow
+measurePoison(const std::string &wl, const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    scaleHierarchy(cfg);
+    PoisonRow row;
+    row.workload = wl;
+    row.flipTick = 20'000;
+    cfg.storageFault.enabled = true;
+    cfg.storageFault.flipAtTick = row.flipTick;
+
+    HsaSystem sys(cfg);
+    auto workload = makeWorkload(wl, figureParams());
+    workload->setup(sys);
+    auto t0 = std::chrono::steady_clock::now();
+    bool passed = sys.run() && workload->verify(sys);
+    row.wallMs = millisSince(t0);
+    const ContainmentReport &cr = sys.containmentReport();
+    row.contained = cr.contained();
+    row.containTick = cr.atTick;
+    row.consumer = cr.consumer;
+    row.poisonedLines = sys.storageSummary().poisoned;
+    // Attributed either way: poison consumed (containment) or the
+    // poisoned line was cured by a full overwrite and the run passed
+    // clean.  A failing run with no containment is a silent escape.
+    row.ok = row.contained ? !passed
+                           : (passed && row.poisonedLines > 0);
+    if (!row.ok) {
+        std::cerr << "ERROR: " << wl
+                  << ": one-shot flip escaped attribution (passed="
+                  << passed << ", contained=" << row.contained << ")\n";
+    }
+    return row;
+}
+
 } // namespace
 
 int
@@ -249,6 +311,9 @@ main(int argc, char **argv)
     for (const std::string &wl : workloadIds())
         crows.push_back(measureCkpt(wl, sharerTrackingConfig(),
                                     "recovery_overhead.snapshot"));
+    std::vector<PoisonRow> prows;
+    for (const std::string &wl : workloadIds())
+        prows.push_back(measurePoison(wl, sharerTrackingConfig()));
 
     TableWriter tw(std::cout);
     tw.header({"workload", "config", "cycles", "off ms", "on ms",
@@ -292,6 +357,28 @@ main(int argc, char **argv)
     ctw.row({"mean", "", "", "", TableWriter::fmt(mean(ckpt_overheads)),
              "", "", "", "", all_ok ? "OK" : "FAIL"});
 
+    std::cout << '\n';
+    TableWriter ptw(std::cout);
+    ptw.header({"workload", "flip @", "outcome", "contain @",
+                "latency", "consumer", "ms", "result"});
+    unsigned containments = 0;
+    for (const PoisonRow &r : prows) {
+        all_ok = all_ok && r.ok;
+        if (r.contained)
+            ++containments;
+        ptw.row({r.workload, TableWriter::fmt(r.flipTick),
+                 r.contained ? "contained" : "cured",
+                 r.contained ? TableWriter::fmt(r.containTick)
+                             : std::string("-"),
+                 r.contained ? TableWriter::fmt(r.latencyTicks())
+                             : std::string("-"),
+                 r.contained ? r.consumer : std::string("-"),
+                 TableWriter::fmt(r.wallMs), r.ok ? "OK" : "FAIL"});
+    }
+    ptw.rule();
+    ptw.row({"contained", TableWriter::fmt(std::uint64_t(containments)),
+             "", "", "", "", "", all_ok ? "OK" : "FAIL"});
+
     JsonValue report = JsonValue::makeObject();
     report.set("bench", JsonValue("recovery_overhead"));
     JsonValue jrows = JsonValue::makeArray();
@@ -330,6 +417,21 @@ main(int argc, char **argv)
     }
     report.set("checkpointRows", std::move(jcrows));
     report.set("ckptMeanOverheadPct", JsonValue(mean(ckpt_overheads)));
+    JsonValue jprows = JsonValue::makeArray();
+    for (const PoisonRow &r : prows) {
+        JsonValue o = JsonValue::makeObject();
+        o.set("workload", JsonValue(r.workload));
+        o.set("ok", JsonValue(r.ok));
+        o.set("contained", JsonValue(r.contained));
+        o.set("flipTick", JsonValue(std::uint64_t(r.flipTick)));
+        o.set("containTick", JsonValue(std::uint64_t(r.containTick)));
+        o.set("latencyTicks", JsonValue(r.latencyTicks()));
+        o.set("consumer", JsonValue(r.consumer));
+        o.set("poisonedLines", JsonValue(r.poisonedLines));
+        o.set("wallMs", JsonValue(r.wallMs));
+        jprows.push(std::move(o));
+    }
+    report.set("poisonRows", std::move(jprows));
     report.set("ok", JsonValue(all_ok));
 
     if (argc > 1) {

@@ -81,6 +81,17 @@ run(int argc, char **argv)
                 (unsigned long long)trace.tester.seed,
                 trace.check ? ", checker on" : ", checker off",
                 trace.fault.enabled ? ", faults on" : "");
+    if (trace.storage.enabled) {
+        std::printf("storage faults: %u/10k flips (%u/10k double), "
+                    "one-shot at tick %llu, ECC %s, scrub every %llu "
+                    "cycles, seed %llu\n",
+                    trace.storage.flipPer10kAccesses,
+                    trace.storage.doublePer10k,
+                    (unsigned long long)trace.storage.flipAtTick,
+                    trace.storage.ecc ? "on" : "off",
+                    (unsigned long long)trace.storage.scrubIntervalCycles,
+                    (unsigned long long)trace.storage.seed);
+    }
     if (trace.bug.kind != SeededBug::Kind::None) {
         std::printf("seeded bug: %s at 0x%llx\n",
                     std::string(seededBugKindName(trace.bug.kind)).c_str(),

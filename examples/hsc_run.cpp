@@ -83,6 +83,24 @@ presetName(const std::string &cli)
     return cli;  // baseline / earlyResp match already
 }
 
+void
+printStorageSummary(const HsaSystem &sys)
+{
+    StorageSummary ss = sys.storageSummary();
+    if (!ss.enabled)
+        return;
+    std::printf("storage: %llu flips (%llu corrected, %llu poisoned, "
+                "%llu scrub repairs), %llu poison consumed, "
+                "meta %llu/%llu corrected/uncorrectable\n",
+                (unsigned long long)ss.flips,
+                (unsigned long long)ss.corrected,
+                (unsigned long long)ss.poisoned,
+                (unsigned long long)ss.scrubRepairs,
+                (unsigned long long)ss.poisonConsumed,
+                (unsigned long long)ss.metaCorrected,
+                (unsigned long long)ss.metaUncorrectable);
+}
+
 /**
  * --tester mode: drive the RandomTester, and on failure optionally
  * delta-minimize the schedule and dump a replayable trace.
@@ -112,6 +130,7 @@ runTester(const SystemConfig &cfg, const std::string &preset,
                     (unsigned long long)ts.corruptDrops,
                     (unsigned long long)ts.wireDrops);
     }
+    printStorageSummary(sys);
     if (ok) {
         std::printf("tester: PASS (image hash 0x%016llx, cycles %llu, "
                     "checkpoints %llu)\n",
@@ -133,6 +152,8 @@ runTester(const SystemConfig &cfg, const std::string &preset,
         sys.checker()->violations().front().print(std::cerr);
     if (sys.degradedReport().degraded())
         sys.degradedReport().print(std::cerr);
+    if (sys.containmentReport().contained())
+        sys.containmentReport().print(std::cerr);
     if (sys.hangReport().hung())
         sys.hangReport().print(std::cerr);
 
@@ -216,6 +237,23 @@ usage()
         "                      substring (with --transport: DegradedReport)\n"
         "  --retry-budget <n>  retransmissions before a link is declared\n"
         "                      degraded (default: 16)\n"
+        "  --storage-flip <per10k>\n"
+        "                      storage-fault model: flip a bit in N per\n"
+        "                      10k protected-array accesses (L2s, TCC,\n"
+        "                      LLC, memory, directory metadata)\n"
+        "  --storage-double <per10k>\n"
+        "                      of the flips, N per 10k are double-bit —\n"
+        "                      uncorrectable under SECDED (default: 1000)\n"
+        "  --storage-flip-at-tick <n>\n"
+        "                      one-shot deterministic double-bit flip at\n"
+        "                      the first data access at/after tick N\n"
+        "  --storage-seed <n>  storage flip-stream seed (default: 1)\n"
+        "  --no-ecc            disable SECDED: flips corrupt silently\n"
+        "                      (requires --check; the sanitizer catches\n"
+        "                      them downstream)\n"
+        "  --scrub-every <cycles>\n"
+        "                      background scrubber cadence: repair\n"
+        "                      latent correctable flips every N cycles\n"
         "  --watchdog-cycles <n>\n"
         "                      hang watchdog horizon in CPU cycles\n"
         "                      (default: 3000000)\n"
@@ -316,6 +354,11 @@ run(int argc, char **argv)
     bool transport = false;
     unsigned loss = 0, dup = 0, corrupt = 0;
     unsigned retry_budget = 0;
+    unsigned storage_flip = 0, storage_double = 1000;
+    Tick storage_flip_at = 0;
+    std::uint64_t storage_seed = 1;
+    bool ecc = true;
+    Cycles scrub_every = 0;
     std::vector<std::string> dead_links;
     Cycles watchdog = 0;
     bool check = true;
@@ -386,6 +429,18 @@ run(int argc, char **argv)
             dead_links.push_back(next());
         } else if (arg == "--retry-budget") {
             retry_budget = unsigned(nextNum());
+        } else if (arg == "--storage-flip") {
+            storage_flip = unsigned(nextNum());
+        } else if (arg == "--storage-double") {
+            storage_double = unsigned(nextNum());
+        } else if (arg == "--storage-flip-at-tick") {
+            storage_flip_at = Tick(nextNum());
+        } else if (arg == "--storage-seed") {
+            storage_seed = nextNum();
+        } else if (arg == "--no-ecc") {
+            ecc = false;
+        } else if (arg == "--scrub-every") {
+            scrub_every = Cycles(nextNum());
         } else if (arg == "--watchdog-cycles") {
             watchdog = Cycles(nextNum());
         } else if (arg == "--check") {
@@ -482,6 +537,15 @@ run(int argc, char **argv)
     cfg.transport.enabled = cfg.transport.enabled || transport;
     if (retry_budget)
         cfg.transport.retryBudget = retry_budget;
+    if (storage_flip || storage_flip_at || scrub_every || !ecc) {
+        cfg.storageFault.enabled = true;
+        cfg.storageFault.seed = storage_seed;
+        cfg.storageFault.flipPer10kAccesses = storage_flip;
+        cfg.storageFault.doublePer10k = storage_double;
+        cfg.storageFault.flipAtTick = storage_flip_at;
+        cfg.storageFault.ecc = ecc;
+        cfg.storageFault.scrubIntervalCycles = scrub_every;
+    }
     if (watchdog)
         cfg.watchdogCycles = watchdog;
     cfg.obs.enabled = obs || !trace_chrome.empty();
@@ -526,8 +590,11 @@ run(int argc, char **argv)
                     (unsigned long long)ts.corruptDrops,
                     (unsigned long long)ts.wireDrops);
     }
+    printStorageSummary(sys);
     if (sys.degradedReport().degraded())
         sys.degradedReport().print(std::cerr);
+    if (sys.containmentReport().contained())
+        sys.containmentReport().print(std::cerr);
     if (!ran && sys.hangReport().hung())
         sys.hangReport().print(std::cerr);
     if (sys.checker() && sys.checker()->violated())

@@ -52,6 +52,15 @@ HsaSystem::validateConfig() const
     fatal_if(cfg.transport.enabled && cfg.transport.timeoutCycles == 0,
              "%s: transport.timeoutCycles must be nonzero",
              cfg.name.c_str());
+    fatal_if(cfg.storageFault.flipPer10kAccesses > 10000 ||
+                 cfg.storageFault.doublePer10k > 10000,
+             "%s: storage flip/double rates are per-10k probabilities "
+             "(max 10000)", cfg.name.c_str());
+    fatal_if(cfg.storageFault.enabled && !cfg.storageFault.ecc &&
+                 !cfg.check,
+             "%s: storageFault.ecc=false corrupts silently — only the "
+             "coherence checker can catch it, so SystemConfig::check "
+             "must stay on", cfg.name.c_str());
 }
 
 HsaSystem::HsaSystem(const SystemConfig &config)
@@ -89,10 +98,25 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         tracerPtr->regStats(registry);
     }
 
+    // Storage-fault model: arrays register below in construction
+    // order, so array ids (which key the flip streams) are a pure
+    // function of the topology.
+    if (cfg.storageFault.enabled) {
+        storagePtr =
+            std::make_unique<StorageFaultInjector>(cfg.storageFault);
+        storagePtr->regStats(registry, cfg.name);
+        storagePtr->attachTracer(tracerPtr.get());
+    }
+
     mainMemory = std::make_unique<MainMemory>(
         cfg.name + ".mem", eq, cpuClk.toTicks(cfg.memLatency),
         cpuClk.toTicks(cfg.memServicePeriod));
     mainMemory->regStats(registry);
+    if (storagePtr) {
+        mainMemory->attachStorageFault(
+            storagePtr.get(),
+            storagePtr->registerArray(mainMemory->name()));
+    }
 
     // §VII: the directory may be banked (address-interleaved).  Each
     // bank owns 1/N of the directory entries and the LLC, skipping the
@@ -126,6 +150,12 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             dir_name, eq, cpuClk, dp, *mainMemory));
         dirs.back()->attachChecker(checkerPtr.get());
         dirs.back()->attachTracer(tracerPtr.get());
+        if (storagePtr) {
+            dirs.back()->attachStorageFault(
+                storagePtr.get(),
+                storagePtr->registerMetaArray(dir_name + ".meta"),
+                storagePtr->registerArray(dir_name + ".llc"));
+        }
     }
 
     // One channel pair per (bank, client); each client sends through a
@@ -204,6 +234,12 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         });
         corePairs.back()->attachChecker(checkerPtr.get());
         corePairs.back()->attachTracer(tracerPtr.get());
+        if (storagePtr) {
+            corePairs.back()->attachStorageFault(
+                storagePtr.get(),
+                storagePtr->registerArray(corePairs.back()->name() +
+                                          ".l2"));
+        }
         corePairs.back()->regStats(registry);
     }
 
@@ -220,6 +256,11 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         });
         tccCtrl->attachChecker(checkerPtr.get());
         tccCtrl->attachTracer(tracerPtr.get());
+        if (storagePtr) {
+            tccCtrl->attachStorageFault(
+                storagePtr.get(),
+                storagePtr->registerArray(tccCtrl->name() + ".array"));
+        }
         tccCtrl->regStats(registry);
     }
     sqcCtrl = std::make_unique<SqcController>(cfg.name + ".sqc", eq, gpuClk,
@@ -238,6 +279,9 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             cfg.injectIfetches));
         cus.back()->tcp().attachChecker(checkerPtr.get());
         cus.back()->tcp().attachTracer(tracerPtr.get());
+        // TCP lines are clean/write-through (unprotected), but lanes
+        // consuming a poisoned fill must still contain.
+        cus.back()->tcp().attachStorageFault(storagePtr.get());
         cus.back()->tcp().regStats(registry);
         cu_ptrs.push_back(cus.back().get());
     }
@@ -260,6 +304,7 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         });
         dmaCtrl->attachChecker(checkerPtr.get());
         dmaCtrl->attachTracer(tracerPtr.get());
+        dmaCtrl->attachStorageFault(storagePtr.get());
         dmaCtrl->regStats(registry);
         dmaEngine = std::make_unique<DmaEngine>(*dmaCtrl);
         if (snapCoord)
@@ -456,6 +501,39 @@ HsaSystem::armSampler()
 }
 
 void
+HsaSystem::armScrubber()
+{
+    if (!storagePtr || cfg.storageFault.scrubIntervalCycles == 0)
+        return;
+    // Like the sampler: Late-priority and not progress-tagged, so the
+    // scrub cadence can neither reorder protocol events nor keep a
+    // wedged run alive past the watchdog.
+    Tick interval = cpuClk.toTicks(cfg.storageFault.scrubIntervalCycles);
+    eq.schedule(eq.curTick() + interval,
+                [this] {
+                    if (!running)
+                        return;
+                    storagePtr->scrubSweep(eq.curTick());
+                    armScrubber();
+                },
+                EventPriority::Late);
+}
+
+void
+HsaSystem::notePoisonRead(Addr addr, const DataBlock &blk)
+{
+    if (storagePtr)
+        storagePtr->noteConsumption("verify-read", addr, blk,
+                                    eq.curTick());
+}
+
+StorageSummary
+HsaSystem::storageSummary() const
+{
+    return storagePtr ? storagePtr->summary() : StorageSummary{};
+}
+
+void
 HsaSystem::collectObs()
 {
     if (tracerPtr)
@@ -471,6 +549,7 @@ HsaSystem::run(Cycles max_cycles)
     crashTripped = false;
     lastHang = HangReport{};
     lastDegraded = DegradedReport{};
+    lastContainment = ContainmentReport{};
     lastError.clear();
 
     if (snapCoord && !cfg.ckpt.restorePath.empty() && !restoredOnce) {
@@ -504,11 +583,13 @@ HsaSystem::run(Cycles max_cycles)
     Tick start = runStartTick;
     armWatchdog();
     armSampler();
+    armScrubber();
 
     Tick limit = start + cpuClk.toTicks(max_cycles);
     auto stop_pred = [this] {
         return liveTasks == 0 || watchdogTripped || degradedTripped ||
                (checkerPtr && checkerPtr->violated()) || crashNow() ||
+               (storagePtr && storagePtr->tripped()) ||
                (snapCoord && snapCoord->draining() && quiescedNow());
     };
     bool done = false;
@@ -518,6 +599,7 @@ HsaSystem::run(Cycles max_cycles)
             if (snapCoord && snapCoord->draining()) {
                 bool failing = watchdogTripped || degradedTripped ||
                                crashNow() ||
+                               (storagePtr && storagePtr->tripped()) ||
                                (checkerPtr && checkerPtr->violated());
                 if (!failing && liveTasks > 0 && quiescedNow()) {
                     doCheckpoint();
@@ -561,6 +643,19 @@ HsaSystem::run(Cycles max_cycles)
         lastDegraded = buildDegradedReport();
         warn("%s: run aborted by link degradation: %s",
              cfg.name.c_str(), lastDegraded.brief().c_str());
+        writeLastGasp();
+        return false;
+    }
+    if (storagePtr && storagePtr->tripped()) {
+        // Machine-check containment: a poisoned line was consumed (or
+        // directory metadata took an uncorrectable).  The fault never
+        // escaped silently — stop cleanly with a structured report.
+        running = false;
+        collectObs();
+        lastContainment = storagePtr->containmentReport();
+        lastContainment.lastCheckpointTick = lastCkptTick;
+        warn("%s: run aborted by storage-fault containment: %s",
+             cfg.name.c_str(), lastContainment.brief().c_str());
         writeLastGasp();
         return false;
     }
@@ -613,6 +708,13 @@ HsaSystem::run(Cycles max_cycles)
              cfg.name.c_str(), checkerPtr->brief().c_str());
         return false;
     }
+    if (storagePtr && storagePtr->tripped()) {
+        lastContainment = storagePtr->containmentReport();
+        lastContainment.lastCheckpointTick = lastCkptTick;
+        warn("%s: drain tripped storage-fault containment: %s",
+             cfg.name.c_str(), lastContainment.brief().c_str());
+        return false;
+    }
     for (const auto &d : dirs) {
         if (!d->idle()) {
             lastHang = buildHangReport(HangReport::Kind::DrainIncomplete);
@@ -626,6 +728,17 @@ HsaSystem::run(Cycles max_cycles)
     // cache/directory states and the memory image once more.
     if (checkerPtr) {
         CheckResult qr = checkCoherenceInvariants(*this);
+        if (storagePtr && storagePtr->tripped()) {
+            // The sweep's verification reads consumed a poisoned line
+            // that the workload itself never touched: containment, not
+            // a protocol violation.
+            lastContainment = storagePtr->containmentReport();
+            lastContainment.lastCheckpointTick = lastCkptTick;
+            warn("%s: quiescent sweep tripped storage-fault "
+                 "containment: %s",
+                 cfg.name.c_str(), lastContainment.brief().c_str());
+            return false;
+        }
         if (!qr.ok) {
             lastError = "quiescent coherence check: " + qr.violations[0];
             warn("%s: %s", cfg.name.c_str(), lastError.c_str());
@@ -644,6 +757,8 @@ HsaSystem::failReason() const
         return lastError;
     if (lastDegraded.degraded())
         return lastDegraded.brief();
+    if (lastContainment.contained())
+        return lastContainment.brief();
     if (lastHang.hung())
         return lastHang.brief();
     return {};

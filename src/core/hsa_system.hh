@@ -95,9 +95,13 @@ class HsaSystem
     T
     readWord(Addr addr)
     {
-        if (const DataBlock *blk = dirFor(addr).llc().peek(addr))
+        if (const DataBlock *blk = dirFor(addr).llc().peek(addr)) {
+            notePoisonRead(addr, *blk);
             return blk->get<T>(blockOffset(addr));
-        return mainMemory->functionalReadWord<T>(addr);
+        }
+        DataBlock blk = mainMemory->functionalRead(blockAlign(addr));
+        notePoisonRead(addr, blk);
+        return blk.get<T>(blockOffset(addr));
     }
     /** @} */
 
@@ -161,6 +165,28 @@ class HsaSystem
     /** Reliable-transport activity totals (all-zero when disabled). */
     TransportSummary transportSummary() const;
 
+    /** @{ Storage-fault model (SystemConfig::storageFault,
+     *  DESIGN.md §12).  The injector exists iff enabled. */
+    StorageFaultInjector *storageFault() { return storagePtr.get(); }
+    const StorageFaultInjector *storageFault() const
+    {
+        return storagePtr.get();
+    }
+
+    /** Storage-fault counters (enabled == false when off). */
+    StorageSummary storageSummary() const;
+
+    /**
+     * Structured containment outcome of the last run(): set when a
+     * poisoned line was consumed or directory metadata took an
+     * uncorrectable.  contained() is false after a successful run.
+     */
+    const ContainmentReport &containmentReport() const
+    {
+        return lastContainment;
+    }
+    /** @} */
+
     /** @{ Checkpoint/restore (SystemConfig::ckpt, DESIGN.md §11).
      *  The coordinator exists iff checkpointing is enabled. */
     SnapshotCoordinator *snapshot() { return snapCoord.get(); }
@@ -223,8 +249,13 @@ class HsaSystem
   private:
     void armWatchdog();
     void armSampler();
+    void armScrubber();
     void collectObs();
     void validateConfig() const;
+
+    /** Verification reads are a consumption boundary too: reading a
+     *  poisoned result block must contain, not silently compare. */
+    void notePoisonRead(Addr addr, const DataBlock &blk);
 
     /** @{ Checkpoint machinery (hsa_system_ckpt.cc). */
     void armCheckpoints();
@@ -246,6 +277,7 @@ class HsaSystem
     ClockDomain gpuClk;
 
     std::unique_ptr<FaultInjector> faultInjector;
+    std::unique_ptr<StorageFaultInjector> storagePtr;
     std::unique_ptr<SnapshotCoordinator> snapCoord;
     std::unique_ptr<CoherenceChecker> checkerPtr;
     std::unique_ptr<ObsTracer> tracerPtr;
@@ -276,6 +308,7 @@ class HsaSystem
 
     HangReport lastHang;
     DegradedReport lastDegraded;
+    ContainmentReport lastContainment;
     std::string lastError;
 
     Addr heapNext = 0x100000;

@@ -215,6 +215,8 @@ HsaSystem::buildSnapshotText() const
         p.set("checker", section(*checkerPtr));
     if (faultInjector)
         p.set("fault", section(*faultInjector));
+    if (storagePtr)
+        p.set("storage", section(*storagePtr));
 
     JsonValue logs = JsonValue::makeObject();
     snapCoord->serializeLogs(logs);
@@ -362,6 +364,15 @@ HsaSystem::restoreFrom(const std::string &path)
                                "snapshot");
             }
             faultInjector->restore(*f);
+        }
+        if (storagePtr) {
+            const JsonValue *s = p.find("storage");
+            if (!s) {
+                throw SimError("snapshot has no storage-fault section "
+                               "but the storage-fault model is enabled",
+                               "snapshot");
+            }
+            storagePtr->restore(*s);
         }
 
         // Replay: re-register the same coroutines and run each one

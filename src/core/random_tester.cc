@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sim/hash.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
@@ -120,11 +121,12 @@ struct RandomTester::State
     void
     hashWord(std::uint64_t v)
     {
-        // FNV-1a, byte at a time.
-        for (unsigned b = 0; b < 8; ++b) {
-            imageHash ^= (v >> (8 * b)) & 0xff;
-            imageHash *= 0x100000001b3ull;
-        }
+        // Canonical FNV-1a over the value's little-endian bytes;
+        // explicit byte extraction keeps the digest host-independent.
+        unsigned char b[8];
+        for (unsigned i = 0; i < 8; ++i)
+            b[i] = (v >> (8 * i)) & 0xff;
+        imageHash = fnvBytes(b, sizeof(b), imageHash);
     }
 
     void
@@ -407,7 +409,7 @@ RandomTester::verifyImage()
     // reads would see stale data.  A fresh verifier thread loads every
     // location coherently.
     sys.addCpuThread([state](CpuCtx &cpu) -> SimTask {
-        state->imageHash = 0xcbf29ce484222325ull; // FNV offset basis
+        state->imageHash = FnvOffsetBasis;
         for (unsigned loc = 0; loc < state->numLocations; ++loc) {
             std::uint64_t turns =
                 co_await cpu.load(state->locAddr(loc) + TurnOffset, 4);

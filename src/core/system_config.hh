@@ -16,6 +16,7 @@
 #include "protocol/gpu/sqc.hh"
 #include "protocol/gpu/tcc.hh"
 #include "protocol/gpu/tcp.hh"
+#include "mem/storage_fault.hh"
 #include "mem/transport.hh"
 #include "protocol/types.hh"
 #include "sim/fault_injector.hh"
@@ -129,6 +130,14 @@ struct SystemConfig
 
     /** Checkpoint/restore: drain-quiesce snapshots + kill-resume. */
     CheckpointConfig ckpt{};
+
+    /**
+     * Storage-fault model (mem/storage_fault.hh): deterministic bit
+     * flips at rest, SECDED ECC, poison propagation, background
+     * scrubbing and containment.  Off by default — when off, no
+     * injector object exists and the run is bit-identical to golden.
+     */
+    StorageFaultConfig storageFault{};
 
     /**
      * Reliable link transport (mem/transport.hh): seq numbers,

@@ -48,6 +48,7 @@ traceSystemConfig(const FailureTrace &trace)
     cfg.watchdogCycles = trace.watchdogCycles;
     cfg.fault = trace.fault;
     cfg.transport = trace.transport;
+    cfg.storageFault = trace.storage;
     cfg.bug = trace.bug;
     return cfg;
 }
@@ -69,6 +70,7 @@ captureFailureTrace(const std::string &preset, bool torture,
     t.watchdogCycles = cfg.watchdogCycles;
     t.fault = cfg.fault;
     t.transport = cfg.transport;
+    t.storage = cfg.storageFault;
     t.bug = cfg.bug;
     if (cfg.dir.tracking == DirTracking::Sharers &&
         cfg.dir.maxSharerPointers) {
@@ -162,6 +164,35 @@ transportFromJson(const JsonValue &v)
     t.ackDelayCycles = Cycles(v.at("ackDelayCycles").asUInt());
     t.maxReorder = std::size_t(v.at("maxReorder").asUInt());
     return t;
+}
+
+JsonValue
+storageToJson(const StorageFaultConfig &s)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("enabled", JsonValue(s.enabled));
+    v.set("seed", JsonValue(s.seed));
+    v.set("flipPer10kAccesses", JsonValue(s.flipPer10kAccesses));
+    v.set("doublePer10k", JsonValue(s.doublePer10k));
+    v.set("flipAtTick", JsonValue(std::uint64_t(s.flipAtTick)));
+    v.set("ecc", JsonValue(s.ecc));
+    v.set("scrubIntervalCycles",
+          JsonValue(std::uint64_t(s.scrubIntervalCycles)));
+    return v;
+}
+
+StorageFaultConfig
+storageFromJson(const JsonValue &v)
+{
+    StorageFaultConfig s;
+    s.enabled = v.at("enabled").asBool();
+    s.seed = v.at("seed").asUInt();
+    s.flipPer10kAccesses = unsigned(v.at("flipPer10kAccesses").asUInt());
+    s.doublePer10k = unsigned(v.at("doublePer10k").asUInt());
+    s.flipAtTick = Tick(v.at("flipAtTick").asUInt());
+    s.ecc = v.at("ecc").asBool();
+    s.scrubIntervalCycles = Cycles(v.at("scrubIntervalCycles").asUInt());
+    return s;
 }
 
 JsonValue
@@ -289,6 +320,7 @@ failureTraceToJson(const FailureTrace &trace)
             JsonValue(std::uint64_t(trace.watchdogCycles)));
     sys.set("fault", faultToJson(trace.fault));
     sys.set("transport", transportToJson(trace.transport));
+    sys.set("storage", storageToJson(trace.storage));
     sys.set("bug", bugToJson(trace.bug));
     v.set("system", std::move(sys));
     v.set("tester", testerToJson(trace.tester));
@@ -324,6 +356,9 @@ failureTraceFromJson(const JsonValue &v)
     // The transport block postdates the v1 format; absent = disabled.
     if (const JsonValue *tp = sys.find("transport"))
         t.transport = transportFromJson(*tp);
+    // So does the storage-fault block.
+    if (const JsonValue *st = sys.find("storage"))
+        t.storage = storageFromJson(*st);
     t.bug = bugFromJson(sys.at("bug"));
     t.tester = testerFromJson(v.at("tester"));
     for (const JsonValue &op : v.at("schedule").items())

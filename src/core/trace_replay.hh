@@ -43,6 +43,7 @@ struct FailureTrace
     Cycles watchdogCycles = 3'000'000;
     FaultConfig fault{};
     TransportConfig transport{};
+    StorageFaultConfig storage{};
     SeededBug bug{};
     /** @} */
 

@@ -33,13 +33,17 @@ blockToHex(const DataBlock &b)
         s[2 * i] = HexDigits[p[i] >> 4];
         s[2 * i + 1] = HexDigits[p[i] & 0xf];
     }
+    if (b.poisoned())
+        s.push_back('p');
     return s;
 }
 
 DataBlock
 blockFromHex(const std::string &hex)
 {
-    if (hex.size() != 2 * BlockSizeBytes)
+    bool poisoned = hex.size() == 2 * BlockSizeBytes + 1 &&
+                    hex.back() == 'p';
+    if (hex.size() != 2 * BlockSizeBytes && !poisoned)
         throw SimError("block hex string has length " +
                            std::to_string(hex.size()) + ", expected " +
                            std::to_string(2 * BlockSizeBytes),
@@ -54,6 +58,7 @@ blockFromHex(const std::string &hex)
                            "snapshot");
         p[i] = std::uint8_t((hi << 4) | lo);
     }
+    b.setPoisoned(poisoned);
     return b;
 }
 

@@ -53,7 +53,14 @@ makeMask(unsigned offset, unsigned size)
 constexpr ByteMask FullMask = ~ByteMask(0);
 
 /**
- * 64 bytes of functional data.
+ * 64 bytes of functional data, plus a machine-check-style poison bit.
+ *
+ * The poison bit marks data an ECC uncorrectable has corrupted
+ * (DESIGN.md §12).  It rides along on every block copy — writebacks,
+ * probe responses, DMA transfers, link frames — so containment can
+ * fire at the *consumption* point rather than where the flip landed.
+ * Equality stays bytes-only: poison is metadata about the bytes, not
+ * part of the value.
  */
 class DataBlock
 {
@@ -82,18 +89,24 @@ class DataBlock
         std::memcpy(bytes.data() + offset, &v, sizeof(T));
     }
 
-    /** Copy bytes of @p other selected by @p mask into this block. */
+    /** Copy bytes of @p other selected by @p mask into this block.
+     *  A full-mask merge rewrites the whole line, so it *replaces*
+     *  the poison bit; a partial merge can only contaminate. */
     void
     merge(const DataBlock &other, ByteMask mask)
     {
         if (mask == FullMask) {
             bytes = other.bytes;
+            poison = other.poison;
             return;
         }
+        if (mask == 0)
+            return; // no bytes move, so no poison can move either
         for (unsigned i = 0; i < BlockSizeBytes; ++i) {
             if (mask & (ByteMask(1) << i))
                 bytes[i] = other.bytes[i];
         }
+        poison = poison || other.poison;
     }
 
     bool
@@ -102,14 +115,22 @@ class DataBlock
         return bytes == other.bytes;
     }
 
+    /** @{ ECC uncorrectable marker (storage-fault model). */
+    bool poisoned() const { return poison; }
+    void setPoisoned(bool p) { poison = p; }
+    /** @} */
+
     const std::uint8_t *raw() const { return bytes.data(); }
     std::uint8_t *raw() { return bytes.data(); }
 
   private:
     std::array<std::uint8_t, BlockSizeBytes> bytes;
+    bool poison = false;
 };
 
-/** @{ Snapshot encoding: a block as 128 lowercase hex chars. */
+/** @{ Snapshot encoding: a block as 128 lowercase hex chars; a
+ *  poisoned block carries a trailing 'p' (129 chars), so clean
+ *  snapshots keep the original format byte for byte. */
 std::string blockToHex(const DataBlock &b);
 /** Decode; throws SimError("snapshot") on bad length or digits. */
 DataBlock blockFromHex(const std::string &hex);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "mem/storage_fault.hh"
 #include "sim/json.hh"
 
 namespace hsc
@@ -27,6 +28,12 @@ MainMemory::read(Addr addr, ReadCallback cb)
     eq.schedule(start + latency,
                 [this, base, cb = std::move(cb)]() {
                     eq.notifyProgress();
+                    if (storage) {
+                        // Faults live in the cells: materialize the
+                        // sparse entry so a flip persists at rest.
+                        storage->access(storageArrayId, base,
+                                        store[base], curTick());
+                    }
                     cb(functionalRead(base));
                 },
                 EventPriority::Default, /*progress=*/true);
@@ -40,6 +47,8 @@ MainMemory::write(Addr addr, const DataBlock &data, ByteMask mask)
     // directory guarantees ordering) and only the channel occupancy is
     // modelled.
     channelFreeAt(curTick());
+    if (storage && mask == FullMask)
+        storage->noteFullOverwrite(storageArrayId, blockAlign(addr));
     functionalWrite(blockAlign(addr), data, mask);
 }
 

@@ -27,6 +27,7 @@ namespace hsc
 {
 
 class JsonValue;
+class StorageFaultInjector;
 
 /**
  * Sparse functional DRAM with timing.
@@ -49,6 +50,15 @@ class MainMemory : public SimObject
 
     /** Timed read; @p cb fires with the block data after the latency. */
     void read(Addr addr, ReadCallback cb);
+
+    /** DRAM cells are a protected array: timed reads pass through the
+     *  storage-fault injector (functional reads never do). */
+    void
+    attachStorageFault(StorageFaultInjector *s, unsigned array_id)
+    {
+        storage = s;
+        storageArrayId = array_id;
+    }
 
     /** Timed, non-blocking write of the bytes selected by @p mask. */
     void write(Addr addr, const DataBlock &data, ByteMask mask = FullMask);
@@ -102,6 +112,9 @@ class MainMemory : public SimObject
     Tick nextFree = 0;
 
     std::unordered_map<Addr, DataBlock> store;
+
+    StorageFaultInjector *storage = nullptr;
+    unsigned storageArrayId = 0;
 
     Counter numReads;
     Counter numWrites;

@@ -1,0 +1,369 @@
+#include "mem/storage_fault.hh"
+
+#include <sstream>
+
+#include "obs/tracer.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+constexpr unsigned BitsPerLine = BlockSizeBytes * 8;
+
+/** Arrays register with ids below this so (addr | id) keys stay
+ *  collision-free (block alignment zeroes the low BlockShift bits). */
+constexpr unsigned MaxArrays = BlockSizeBytes;
+
+/**
+ * SplitMix64-style mix of (seed, array id), the same construction the
+ * wire-fate injector uses for links: every array gets an independent
+ * stream that survives renames and host-side threading.
+ */
+std::uint64_t
+mixSeed(std::uint64_t seed, unsigned array_id)
+{
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (array_id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::string_view
+containmentKindName(ContainmentReport::Kind k)
+{
+    switch (k) {
+      case ContainmentReport::Kind::None: return "none";
+      case ContainmentReport::Kind::PoisonConsumed:
+        return "poison-consumed";
+      case ContainmentReport::Kind::MetadataUncorrectable:
+        return "metadata-uncorrectable";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+ContainmentReport::brief() const
+{
+    if (!contained())
+        return "not contained";
+    std::ostringstream os;
+    os << "storage fault contained (" << containmentKindName(kind)
+       << ") at tick " << atTick << ": " << consumer << " addr 0x"
+       << std::hex << addr << std::dec;
+    return os.str();
+}
+
+void
+ContainmentReport::print(std::ostream &os) const
+{
+    os << "=== ContainmentReport ===\n"
+       << "kind: " << containmentKindName(kind) << "\n"
+       << "tick: " << atTick << "\n"
+       << "consumer: " << consumer << "\n"
+       << "addr: 0x" << std::hex << addr << std::dec << "\n"
+       << "eccCorrected: " << corrected << "\n"
+       << "linesPoisoned: " << poisoned << "\n"
+       << "scrubRepairs: " << scrubRepairs << "\n"
+       << "poisonConsumed: " << poisonConsumed << "\n";
+    if (lastCheckpointTick)
+        os << "lastCheckpointTick: " << lastCheckpointTick << "\n";
+    else
+        os << "lastCheckpointTick: none\n";
+}
+
+StorageFaultInjector::StorageFaultInjector(const StorageFaultConfig &cfg)
+    : cfg(cfg), oneShotArmed(cfg.flipAtTick > 0)
+{
+}
+
+unsigned
+StorageFaultInjector::registerArray(const std::string &name)
+{
+    panic_if(arrays.size() >= MaxArrays,
+             "storage fault: too many protected arrays");
+    arrays.push_back(ArrayInfo{name, false});
+    return unsigned(arrays.size() - 1);
+}
+
+unsigned
+StorageFaultInjector::registerMetaArray(const std::string &name)
+{
+    panic_if(arrays.size() >= MaxArrays,
+             "storage fault: too many protected arrays");
+    arrays.push_back(ArrayInfo{name, true});
+    return unsigned(arrays.size() - 1);
+}
+
+void
+StorageFaultInjector::attachTracer(ObsTracer *t)
+{
+    tracer = t;
+    if (tracer)
+        obsCtrl = tracer->internCtrl("storage", ObsCtrlKind::Other);
+}
+
+Rng &
+StorageFaultInjector::streamFor(unsigned array_id)
+{
+    if (array_id >= streams.size())
+        streams.resize(array_id + 1);
+    if (!streams[array_id]) {
+        streams[array_id] =
+            std::make_unique<Rng>(mixSeed(cfg.seed, array_id));
+    }
+    return *streams[array_id];
+}
+
+void
+StorageFaultInjector::corrupt(DataBlock &data, unsigned bit, bool dbl)
+{
+    bit %= BitsPerLine;
+    data.raw()[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+    if (dbl) {
+        unsigned b2 = bit ^ 1;
+        data.raw()[b2 / 8] ^= std::uint8_t(1u << (b2 % 8));
+    }
+}
+
+void
+StorageFaultInjector::obsEmit(std::uint64_t obs_id, ObsPhase phase,
+                              Addr addr, Tick now)
+{
+    if (tracer && obs_id)
+        tracer->emit(obs_id, phase, obsCtrl, addr, now);
+}
+
+void
+StorageFaultInjector::access(unsigned array_id, Addr addr,
+                             DataBlock &data, Tick now,
+                             std::uint64_t obs_id)
+{
+    Addr block = blockAlign(addr);
+    bool inject = false;
+    bool dbl = false;
+    unsigned bit = 0;
+
+    if (oneShotArmed && now >= cfg.flipAtTick) {
+        // Deterministic one-shot uncorrectable: no stream draw, so it
+        // cannot perturb the probabilistic schedule around it.
+        oneShotArmed = false;
+        inject = true;
+        dbl = true;
+    } else if (cfg.flipPer10kAccesses) {
+        // Fixed two draws per access (chance + fault shape), so the
+        // k-th draw of an array is a pure function of its access
+        // count — the wire-fate economy.
+        Rng &rng = streamFor(array_id);
+        std::uint64_t chance = rng.next();
+        std::uint64_t shape = rng.next();
+        if (chance % 10000 < cfg.flipPer10kAccesses) {
+            inject = true;
+            bit = unsigned((shape >> 32) % BitsPerLine);
+            dbl = shape % 10000 < cfg.doublePer10k;
+        }
+    }
+
+    std::uint64_t k = key(array_id, block);
+    auto it = pending.find(k);
+
+    if (inject) {
+        ++statFlips;
+        if (!cfg.ecc) {
+            // No ECC: the flip lands in the stored bits and the array
+            // simply lies from now on.  The coherence checker's
+            // shadow compare is the only thing standing.
+            corrupt(data, bit, dbl);
+            return;
+        }
+        if (dbl || it != pending.end()) {
+            // Uncorrectable: a double-bit event, or a second flip on
+            // a line already carrying a latent one.  Corrupt the
+            // stored bytes for real and poison the line.
+            corrupt(data, bit, dbl);
+            if (it != pending.end())
+                pending.erase(it);
+            data.setPoisoned(true);
+            ++statPoisoned;
+            obsEmit(obs_id, ObsPhase::LinePoisoned, block, now);
+            return;
+        }
+        it = pending.emplace(k, Latent{std::uint16_t(bit)}).first;
+    }
+
+    if (!cfg.ecc || it == pending.end())
+        return;
+
+    // SECDED corrects the latent single on the fly: the consumer sees
+    // clean data, but the stored bit stays flipped until the scrubber
+    // or a full-line overwrite repairs it.
+    ++statCorrected;
+    obsEmit(obs_id, ObsPhase::EccCorrected, block, now);
+}
+
+void
+StorageFaultInjector::metaAccess(unsigned array_id, Addr addr, Tick now)
+{
+    // Metadata stays SECDED-protected even in the ECC-off validation
+    // mode: corrupted state bits would break the protocol arbitrarily
+    // rather than produce checkable wrong data.
+    if (!cfg.flipPer10kAccesses || !cfg.ecc)
+        return;
+    Rng &rng = streamFor(array_id);
+    std::uint64_t chance = rng.next();
+    std::uint64_t shape = rng.next();
+    if (chance % 10000 >= cfg.flipPer10kAccesses)
+        return;
+    if (shape % 10000 < cfg.doublePer10k) {
+        // No data path exists for poisoned metadata: containment
+        // fires right here.
+        ++statMetaUncorrectable;
+        trip(ContainmentReport::Kind::MetadataUncorrectable,
+             arrays[array_id].name, blockAlign(addr), now);
+    } else {
+        ++statMetaCorrected;
+    }
+}
+
+void
+StorageFaultInjector::noteFullOverwrite(unsigned array_id, Addr addr)
+{
+    pending.erase(key(array_id, blockAlign(addr)));
+}
+
+void
+StorageFaultInjector::noteConsumption(const std::string &consumer,
+                                      Addr addr, const DataBlock &data,
+                                      Tick now, std::uint64_t obs_id)
+{
+    if (!data.poisoned())
+        return;
+    ++statPoisonConsumed;
+    obsEmit(obs_id, ObsPhase::PoisonConsumed, blockAlign(addr), now);
+    trip(ContainmentReport::Kind::PoisonConsumed, consumer,
+         blockAlign(addr), now);
+}
+
+void
+StorageFaultInjector::scrubSweep(Tick now)
+{
+    (void)now;
+    // Every latent fault is a single-bit flip (doubles poison at
+    // injection time), so the sweep repairs everything outstanding.
+    std::size_t repaired = pending.size();
+    pending.clear();
+    statScrubRepairs += repaired;
+}
+
+void
+StorageFaultInjector::trip(ContainmentReport::Kind kind,
+                           const std::string &consumer, Addr addr,
+                           Tick now)
+{
+    if (report.contained())
+        return; // first trip wins; the run is already stopping
+    report.kind = kind;
+    report.atTick = now;
+    report.consumer = consumer;
+    report.addr = addr;
+    report.corrected = statCorrected.value() + statMetaCorrected.value();
+    report.poisoned = statPoisoned.value();
+    report.scrubRepairs = statScrubRepairs.value();
+    report.poisonConsumed = statPoisonConsumed.value();
+}
+
+StorageSummary
+StorageFaultInjector::summary() const
+{
+    StorageSummary s;
+    s.enabled = true;
+    s.flips = statFlips.value();
+    s.corrected = statCorrected.value();
+    s.poisoned = statPoisoned.value();
+    s.scrubRepairs = statScrubRepairs.value();
+    s.poisonConsumed = statPoisonConsumed.value();
+    s.metaCorrected = statMetaCorrected.value();
+    s.metaUncorrectable = statMetaUncorrectable.value();
+    return s;
+}
+
+void
+StorageFaultInjector::regStats(StatRegistry &reg,
+                               const std::string &prefix)
+{
+    // Registered only when the subsystem is enabled, so the disabled
+    // stat namespace (and every stat hash over it) is unchanged.
+    reg.addCounter(prefix + ".storage.flips", &statFlips);
+    reg.addCounter(prefix + ".storage.eccCorrected", &statCorrected);
+    reg.addCounter(prefix + ".storage.linesPoisoned", &statPoisoned);
+    reg.addCounter(prefix + ".storage.scrubRepairs", &statScrubRepairs);
+    reg.addCounter(prefix + ".storage.poisonConsumed",
+                   &statPoisonConsumed);
+    reg.addCounter(prefix + ".storage.metaCorrected", &statMetaCorrected);
+    reg.addCounter(prefix + ".storage.metaUncorrectable",
+                   &statMetaUncorrectable);
+}
+
+void
+StorageFaultInjector::serialize(JsonValue &out) const
+{
+    out = JsonValue::makeObject();
+    out.set("oneShotArmed", JsonValue(std::uint64_t(oneShotArmed)));
+
+    JsonValue sarr = JsonValue::makeArray();
+    for (std::size_t id = 0; id < streams.size(); ++id) {
+        if (!streams[id])
+            continue;
+        JsonValue row = JsonValue::makeArray();
+        row.push(JsonValue(std::uint64_t(id)));
+        for (std::uint64_t word : streams[id]->state())
+            row.push(JsonValue(word));
+        sarr.push(std::move(row));
+    }
+    out.set("streams", std::move(sarr));
+
+    JsonValue parr = JsonValue::makeArray();
+    for (const auto &[k, latent] : pending) {
+        JsonValue row = JsonValue::makeArray();
+        row.push(JsonValue(k));
+        row.push(JsonValue(std::uint64_t(latent.bit)));
+        parr.push(std::move(row));
+    }
+    out.set("pending", std::move(parr));
+}
+
+void
+StorageFaultInjector::restore(const JsonValue &in)
+{
+    oneShotArmed = in.at("oneShotArmed").asUInt() != 0;
+
+    streams.clear();
+    for (const JsonValue &row : in.at("streams").items()) {
+        if (row.items().size() != 5)
+            throw SimError("storage fault restore: malformed stream row",
+                           "snapshot");
+        unsigned id = unsigned(row.items().at(0).asUInt());
+        std::array<std::uint64_t, 4> st;
+        for (int i = 0; i < 4; ++i)
+            st[std::size_t(i)] = row.items().at(std::size_t(i + 1)).asUInt();
+        streamFor(id).setState(st);
+    }
+
+    pending.clear();
+    for (const JsonValue &row : in.at("pending").items()) {
+        if (row.items().size() != 2)
+            throw SimError("storage fault restore: malformed latent row",
+                           "snapshot");
+        std::uint64_t k = row.items().at(0).asUInt();
+        pending.emplace(
+            k, Latent{std::uint16_t(row.items().at(1).asUInt())});
+    }
+}
+
+} // namespace hsc

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Storage-fault model: bit flips at rest, SECDED ECC, and poison
+ * containment (DESIGN.md §12).
+ *
+ * Mirrors the wire-fate design of sim/fault_injector.hh for data *at
+ * rest*: every protected array (CorePair L2s, the TCC, the LLC, main
+ * memory, directory metadata) registers in construction order and
+ * gets a per-(seed, array id) SplitMix64-seeded stream, so the flip
+ * schedule is a pure function of (config, access sequence) — the same
+ * run replays the same faults bit-exactly, and a FailureTrace carries
+ * the knobs.
+ *
+ * The ECC model is SECDED per line:
+ *  - a single latent flip is corrected on every access (and repaired
+ *    in place by the background scrubber or any full-line overwrite);
+ *  - a double-bit event — or a second flip landing on a line already
+ *    carrying a latent one — is uncorrectable: the stored bytes are
+ *    corrupted for real and the line is *poisoned*;
+ *  - directory metadata has no data path to poison, so an
+ *    uncorrectable there escalates to containment immediately.
+ *
+ * Poison travels on the DataBlock itself (writebacks, probe
+ * responses, DMA, link transport all copy it untouched); the injector
+ * is also the containment authority: the first *consumption* of a
+ * poisoned line by a CPU, GPU or DMA agent trips a structured
+ * ContainmentReport and the run stops cleanly.
+ *
+ * With ECC disabled (StorageFaultConfig::ecc = false) flips corrupt
+ * the stored bytes silently — the CoherenceChecker's shadow-data
+ * compare is then expected to catch the corruption downstream, which
+ * doubles as a seeded-bug validation of the ECC model itself.
+ */
+
+#ifndef HSC_MEM_STORAGE_FAULT_HH
+#define HSC_MEM_STORAGE_FAULT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mem/data_block.hh"
+#include "obs/span.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+#include "stats/stats.hh"
+
+namespace hsc
+{
+
+class JsonValue;
+class ObsTracer;
+
+/** Knobs of the storage-fault model (SystemConfig::storageFault). */
+struct StorageFaultConfig
+{
+    /** Master switch; off = zero cost, bit-identical to golden. */
+    bool enabled = false;
+
+    /** Seed of the per-array SplitMix64 flip streams. */
+    std::uint64_t seed = 1;
+
+    /** Chance (basis points per access) that a protected-array access
+     *  lands a new bit flip on the touched line. */
+    unsigned flipPer10kAccesses = 0;
+
+    /** Of the injected flips, the fraction (basis points) that are
+     *  double-bit events — uncorrectable under SECDED. */
+    unsigned doublePer10k = 1000;
+
+    /** One-shot deterministic double-bit flip: injected into the
+     *  first protected data access at or after this tick (0 = off).
+     *  Guarantees a reproducible uncorrectable for tests and replay. */
+    Tick flipAtTick = 0;
+
+    /** SECDED on (the default).  Off = flips corrupt silently and the
+     *  coherence checker is expected to catch them downstream. */
+    bool ecc = true;
+
+    /** Background scrubber cadence in CPU cycles (0 = no scrubber). */
+    Cycles scrubIntervalCycles = 0;
+
+    /** True when any fault source is configured. */
+    bool
+    any() const
+    {
+        return enabled && (flipPer10kAccesses > 0 || flipAtTick > 0);
+    }
+};
+
+/**
+ * Structured outcome of a contained storage fault: the machine-check
+ * analogue of HangReport/DegradedReport.  Raised when a poisoned line
+ * is consumed, or when directory metadata takes an uncorrectable.
+ */
+struct ContainmentReport
+{
+    enum class Kind : std::uint8_t
+    {
+        None,
+        PoisonConsumed,          ///< CPU/GPU/DMA used a poisoned line
+        MetadataUncorrectable,   ///< directory state/sharer bits died
+    };
+
+    Kind kind = Kind::None;
+    Tick atTick = 0;
+    std::string consumer;  ///< agent (or metadata array) that tripped
+    Addr addr = 0;
+
+    /** Error-economy at trip time. */
+    std::uint64_t corrected = 0;
+    std::uint64_t poisoned = 0;
+    std::uint64_t scrubRepairs = 0;
+    std::uint64_t poisonConsumed = 0;
+
+    /** Last durable checkpoint (0 = none), for operator restart. */
+    Tick lastCheckpointTick = 0;
+
+    bool contained() const { return kind != Kind::None; }
+    std::string brief() const;
+    void print(std::ostream &os) const;
+};
+
+/** Roll-up of the storage-fault counters for CLI/bench reporting. */
+struct StorageSummary
+{
+    bool enabled = false;
+    std::uint64_t flips = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t poisoned = 0;
+    std::uint64_t scrubRepairs = 0;
+    std::uint64_t poisonConsumed = 0;
+    std::uint64_t metaCorrected = 0;
+    std::uint64_t metaUncorrectable = 0;
+};
+
+/**
+ * The storage-fault injector, ECC model and containment authority.
+ *
+ * Only constructed when the config enables it; controllers hold a
+ * null pointer otherwise, so the disabled path costs nothing and
+ * draws no randomness.
+ */
+class StorageFaultInjector
+{
+  public:
+    explicit StorageFaultInjector(const StorageFaultConfig &cfg);
+
+    /** Register a protected data array; returns its dense id.  Call
+     *  order must be deterministic (HsaSystem construction order). */
+    unsigned registerArray(const std::string &name);
+
+    /** Register a metadata array (directory state/sharer bits). */
+    unsigned registerMetaArray(const std::string &name);
+
+    /** Attach the observability tracer (null = disabled). */
+    void attachTracer(ObsTracer *t);
+
+    /**
+     * Timed protocol access to a line of a protected data array: may
+     * inject a new flip, then applies SECDED to any latent fault on
+     * the line.  @p data must reference the *stored* copy so an
+     * uncorrectable poisons the array, not a transient.  Functional
+     * paths (peeks, verification reads) must not call this.
+     */
+    void access(unsigned array_id, Addr addr, DataBlock &data, Tick now,
+                std::uint64_t obs_id = 0);
+
+    /** Timed access to directory metadata: corrected or contained on
+     *  the spot (metadata has no poison path). */
+    void metaAccess(unsigned array_id, Addr addr, Tick now);
+
+    /** A full-line overwrite rewrites every stored bit: latent flips
+     *  die with the old contents. */
+    void noteFullOverwrite(unsigned array_id, Addr addr);
+
+    /** Consumption boundary: a CPU/GPU/DMA agent is about to use the
+     *  block's contents.  Poisoned data trips containment. */
+    void noteConsumption(const std::string &consumer, Addr addr,
+                         const DataBlock &data, Tick now,
+                         std::uint64_t obs_id = 0);
+
+    /** Background scrubber sweep: repair every latent single-bit
+     *  flip.  Driven by HsaSystem on the configured cadence. */
+    void scrubSweep(Tick now);
+
+    /** True once a ContainmentReport has been raised. */
+    bool tripped() const { return report.contained(); }
+    const ContainmentReport &containmentReport() const { return report; }
+    ContainmentReport &mutableReport() { return report; }
+
+    const StorageFaultConfig &config() const { return cfg; }
+    StorageSummary summary() const;
+
+    /** Latent (corrected-on-access) flips currently outstanding. */
+    std::size_t pendingFlips() const { return pending.size(); }
+
+    void regStats(StatRegistry &reg, const std::string &prefix);
+
+    /** @{ Snapshot hooks: stream cursors, latent flips and the
+     *  one-shot arm, so a resumed run draws the same fault tail. */
+    void serialize(JsonValue &out) const;
+    void restore(const JsonValue &in);
+    /** @} */
+
+  private:
+    struct ArrayInfo
+    {
+        std::string name;
+        bool metadata = false;
+    };
+
+    /** Latent single-bit flip awaiting scrub/overwrite repair. */
+    struct Latent
+    {
+        std::uint16_t bit = 0;  ///< flipped bit index within the line
+    };
+
+    Rng &streamFor(unsigned array_id);
+
+    /** Key latent flips by (block address | array id): block
+     *  alignment frees the low BlockShift bits and arrays are few. */
+    static std::uint64_t
+    key(unsigned array_id, Addr addr)
+    {
+        return blockAlign(addr) | std::uint64_t(array_id);
+    }
+
+    /** Flip bit @p bit (and @p bit^1 when @p dbl) of @p data. */
+    static void corrupt(DataBlock &data, unsigned bit, bool dbl);
+
+    /** Raise the ContainmentReport (first trip wins). */
+    void trip(ContainmentReport::Kind kind, const std::string &consumer,
+              Addr addr, Tick now);
+
+    void obsEmit(std::uint64_t obs_id, ObsPhase phase, Addr addr,
+                 Tick now);
+
+    const StorageFaultConfig cfg;
+
+    std::vector<ArrayInfo> arrays;
+    std::vector<std::unique_ptr<Rng>> streams;
+
+    /** Ordered so scrub sweeps and serialization are deterministic. */
+    std::map<std::uint64_t, Latent> pending;
+
+    bool oneShotArmed;
+    ContainmentReport report;
+
+    ObsTracer *tracer = nullptr;
+    std::uint16_t obsCtrl = 0;
+
+    Counter statFlips;
+    Counter statCorrected;
+    Counter statPoisoned;
+    Counter statScrubRepairs;
+    Counter statPoisonConsumed;
+    Counter statMetaCorrected;
+    Counter statMetaUncorrectable;
+};
+
+} // namespace hsc
+
+#endif // HSC_MEM_STORAGE_FAULT_HH

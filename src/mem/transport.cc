@@ -27,7 +27,10 @@ msgChecksum(const Msg &m)
     fnvMix(h, m.txnId);
     fnvMix(h, m.obsId);
     fnvMix(h, std::uint64_t(m.grant));
-    fnvMix(h, (std::uint64_t(m.hasData) << 3) |
+    // Poison is bit 4: unpoisoned frames hash exactly as before, so
+    // the digest stays wire-compatible with pre-poison traces.
+    fnvMix(h, (std::uint64_t(m.data.poisoned()) << 4) |
+                  (std::uint64_t(m.hasData) << 3) |
                   (std::uint64_t(m.dirty) << 2) |
                   (std::uint64_t(m.hit) << 1) |
                   std::uint64_t(m.cancelledVic));
@@ -363,9 +366,11 @@ LinkTransport::serialize(JsonValue &out) const
 {
     panic_if(!idle(),
              "link '%s': snapshot of a non-quiesced transport "
-             "(%zu unacked, %zu reordered, ackPending=%d reAck=%d)",
+             "(%zu unacked, %zu reordered, ackPending=%d reAck=%d, "
+             "retxArmed=%d ackTimerArmed=%d)",
              link.name().c_str(), sendQ.size(), reorder.size(),
-             int(ackPending), int(reAck));
+             int(ackPending), int(reAck), int(retxArmed),
+             int(ackTimerArmed));
     panic_if(degraded_, "link '%s': snapshot of a degraded transport",
              link.name().c_str());
     out.set("nextSeq", JsonValue(nextSeq));

@@ -247,15 +247,22 @@ class LinkTransport
 
     /** @{ Snapshot hooks.  A transport only serializes its sequence
      *  cursors: checkpoints are taken at quiesce, when the window is
-     *  fully acked, no frames are parked out of order and no delayed
-     *  ack is owed (idle()), so {nextSeq, recvCum} is the complete
-     *  persistent state.  Timers restart disarmed — the deadline-based
-     *  re-arm in onRetxTimer makes retransmission ticks independent of
-     *  stale timer events, so a resumed run retransmits identically. */
+     *  fully acked, no frames are parked out of order, no delayed ack
+     *  is owed AND both timers are disarmed (idle()), so
+     *  {nextSeq, recvCum} is the complete persistent state.  The timer
+     *  flags matter: an armed-but-stale timer event surviving the
+     *  snapshot in the live run would absorb a post-checkpoint
+     *  scheduleAckFlush()/armRetxTimer() and fire at the *old*
+     *  deadline, while the restored run (flags cleared) arms a fresh
+     *  one — shifting ack ticks and every wire-fate draw after them.
+     *  Requiring disarmed timers lets the drain run those events out
+     *  (they no-op once the queues are empty), so live and restored
+     *  state agree exactly. */
     bool
     idle() const
     {
-        return sendQ.empty() && reorder.empty() && !ackPending && !reAck;
+        return sendQ.empty() && reorder.empty() && !ackPending &&
+               !reAck && !retxArmed && !ackTimerArmed;
     }
     void serialize(JsonValue &out) const;
     void restore(const JsonValue &in);

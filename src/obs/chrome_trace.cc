@@ -136,6 +136,10 @@ buildChromeTrace(const ObsTracer &tracer, const ObsSampler *sampler)
               case ObsPhase::LocalHit:
               case ObsPhase::Merge:
               case ObsPhase::ProbeIn:
+              case ObsPhase::EccCorrected:
+              case ObsPhase::LinePoisoned:
+              case ObsPhase::PoisonConsumed:
+              case ObsPhase::ScrubRepair:
                 pushInstant(events, tracer, ev);
                 break;
               default:

@@ -24,6 +24,10 @@ obsPhaseName(ObsPhase p)
       case ObsPhase::LinkAcked: return "LinkAcked";
       case ObsPhase::LinkDupDrop: return "LinkDupDrop";
       case ObsPhase::LinkCorruptDrop: return "LinkCorruptDrop";
+      case ObsPhase::EccCorrected: return "EccCorrected";
+      case ObsPhase::LinePoisoned: return "LinePoisoned";
+      case ObsPhase::PoisonConsumed: return "PoisonConsumed";
+      case ObsPhase::ScrubRepair: return "ScrubRepair";
     }
     return "?";
 }

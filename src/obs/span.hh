@@ -48,6 +48,13 @@ enum class ObsPhase : std::uint8_t
     LinkAcked,        ///< frame confirmed by a cumulative ack
     LinkDupDrop,      ///< receiver suppressed a duplicate frame
     LinkCorruptDrop,  ///< checksum-failed frame dropped in flight
+
+    // Storage-fault lifecycle points (DESIGN.md §12), passive markers
+    // like the link phases above.
+    EccCorrected,     ///< SECDED corrected a single-bit flip on access
+    LinePoisoned,     ///< uncorrectable: the line is now poisoned
+    PoisonConsumed,   ///< an agent consumed a poisoned line (contained)
+    ScrubRepair,      ///< background scrubber repaired a latent flip
 };
 
 std::string_view obsPhaseName(ObsPhase p);

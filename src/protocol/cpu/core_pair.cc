@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "mem/storage_fault.hh"
 #include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
 #include "sim/json.hh"
@@ -291,6 +292,16 @@ CorePairController::finishAgainstLine(CoreOp &op, L2Entry &entry)
 {
     Addr block = blockAlign(op.addr);
     touchL1(op, block);
+    if (storage) {
+        // Every op reads the L2 data array (stores are a
+        // read-modify-write of the line), so faults can land here;
+        // loads/ifetches/atomics then architecturally consume the
+        // line, which is where poison must contain.
+        storage->access(storageArrayId, block, entry.data, curTick());
+        if (op.kind != CoreOp::Kind::Store)
+            storage->noteConsumption(name(), block, entry.data,
+                                     curTick());
+    }
     switch (op.kind) {
       case CoreOp::Kind::Load:
         HSC_TRACE(Protocol, curTick(), "%s: load %#llx -> %llx",
@@ -373,6 +384,12 @@ CorePairController::makeRoom(Addr block)
         ? tracer->newTxn(ObsClass::WriteBack, obsCtrl, victim.addr,
                          curTick())
         : 0;
+    if (storage) {
+        // The eviction reads the line out of the array one last time;
+        // a fault injected here rides the write-back into the system.
+        storage->access(storageArrayId, victim.addr, victim.entry->data,
+                        curTick(), vic_obs);
+    }
     Msg m;
     m.type = dirty ? MsgType::VicDirty : MsgType::VicClean;
     m.addr = victim.addr;
@@ -495,6 +512,12 @@ CorePairController::handleProbe(const Msg &msg)
 
     L2Entry *entry = l2.lookup(msg.addr, false);
     if (entry) {
+        // M/O/E probes forward the line: that read passes through the
+        // data array, so it is an injection point (S never forwards).
+        if (storage && entry->state != L2State::Shared) {
+            storage->access(storageArrayId, msg.addr, entry->data,
+                            curTick(), msg.obsId);
+        }
         switch (entry->state) {
           case L2State::Modified:
           case L2State::Owned:
@@ -603,6 +626,10 @@ CorePairController::handleSysResp(const Msg &msg)
         panic_if(!msg.hasData, "%s: fill without data for %#llx",
                  name().c_str(), (unsigned long long)msg.addr);
         entry->data = msg.data;
+        // A full-line fill rewrites every cell, repairing any latent
+        // flip the array held at this address.
+        if (storage)
+            storage->noteFullOverwrite(storageArrayId, msg.addr);
         // The fill is where response data is consumed: it must match
         // the shadow whether it came from probes or the backing store.
         if (checker)

@@ -41,6 +41,7 @@ namespace hsc
 
 class CoherenceChecker;
 class ObsTracer;
+class StorageFaultInjector;
 
 /** Stable MOESI states of an L2 line (absent lines are Invalid). */
 enum class L2State : std::uint8_t
@@ -88,6 +89,14 @@ class CorePairController : public Clocked, public ProtocolIntrospect
 
     /** Attach the observability tracer (null = disabled). */
     void attachTracer(ObsTracer *t);
+
+    /** L2 data is a protected array (null = no storage faults). */
+    void
+    attachStorageFault(StorageFaultInjector *s, unsigned array_id)
+    {
+        storage = s;
+        storageArrayId = array_id;
+    }
 
     /** @{ Core-facing operations (async, callback on completion).
      *  Accesses must not cross a 64-byte block boundary. */
@@ -244,6 +253,9 @@ class CorePairController : public Clocked, public ProtocolIntrospect
     RingBuf<Msg> deferred;
 
     CoherenceChecker *checker = nullptr;
+
+    StorageFaultInjector *storage = nullptr;
+    unsigned storageArrayId = 0;
 
     ObsTracer *tracer = nullptr;
     std::uint16_t obsCtrl = 0;

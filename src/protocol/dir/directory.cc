@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "mem/storage_fault.hh"
 #include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
 #include "sim/json.hh"
@@ -417,7 +418,7 @@ DirectoryController::startBackingRead(Tbe &tbe)
         auto it = tbes.find(txn);
         panic_if(it == tbes.end(), "backing read for dead txn");
         Tbe &tbe = it->second;
-        if (auto data = llcCache.read(addr)) {
+        if (auto data = llcCache.read(addr, curTick())) {
             tbe.backingData = *data;
             tbe.haveBackingData = true;
             tbe.needBacking = false;
@@ -606,6 +607,11 @@ DirectoryController::respond(Tbe &tbe)
         if (checker && !tbe.probeDataDirty && tbe.haveBackingData)
             checker->noteCleanData(name(), req.addr, tbe.backingData,
                                    "atomic backing data");
+        // The directory's ALU reads the word: consumption boundary for
+        // system-scope atomics on a poisoned line.
+        if (storage)
+            storage->noteConsumption(name(), req.addr, base, curTick(),
+                                     req.obsId);
         unsigned off = req.atomicOffset;
         std::uint64_t old_val = req.atomicSize == 4
             ? base.get<std::uint32_t>(off)
@@ -815,6 +821,12 @@ void
 DirectoryController::handleTracked(Msg msg)
 {
     DirEntry *entry = dirArray.lookup(msg.addr);
+    // Every tracked dispatch reads the state/sharer bits out of the
+    // directory array; that is where metadata flips can strike (an
+    // uncorrectable here escalates immediately — no data path exists
+    // for poisoned protocol state).
+    if (storage)
+        storage->metaAccess(metaArrayId, msg.addr, curTick());
     if (entry)
         ++statDirHits;
     else

@@ -103,6 +103,17 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
     /** Attach the observability tracer (null = disabled). */
     void attachTracer(ObsTracer *t);
 
+    /** Directory state bits are a SECDED-protected *metadata* array
+     *  (@p meta_id); the LLC data array is @p llc_id. */
+    void
+    attachStorageFault(StorageFaultInjector *s, unsigned meta_id,
+                       unsigned llc_id)
+    {
+        storage = s;
+        metaArrayId = meta_id;
+        llcCache.attachStorageFault(s, llc_id);
+    }
+
     /** True when no transaction is in flight. */
     bool idle() const { return tbes.empty() && busyLines.empty(); }
 
@@ -270,6 +281,9 @@ class DirectoryController : public Clocked, public ProtocolIntrospect
     CacheArray<DirEntry> dirArray;
 
     CoherenceChecker *checker = nullptr;
+
+    StorageFaultInjector *storage = nullptr;
+    unsigned metaArrayId = 0;
 
     ObsTracer *tracer = nullptr;
     std::uint16_t obsCtrl = 0;

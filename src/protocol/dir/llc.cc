@@ -1,5 +1,6 @@
 #include "protocol/dir/llc.hh"
 
+#include "mem/storage_fault.hh"
 #include "sim/json.hh"
 #include "sim/sim_error.hh"
 
@@ -25,11 +26,13 @@ LlcCache::regStats(StatRegistry &reg)
 }
 
 std::optional<DataBlock>
-LlcCache::read(Addr addr)
+LlcCache::read(Addr addr, Tick now)
 {
     ++statReads;
     if (Entry *e = array.lookup(addr)) {
         ++statReadHits;
+        if (storage)
+            storage->access(storageArrayId, addr, e->data, now);
         return e->data;
     }
     return std::nullopt;
@@ -70,6 +73,10 @@ LlcCache::victimWrite(Addr addr, const DataBlock &data, bool dirty,
         ++statAllocs;
     }
     e->data = data;
+    // The victim write rewrites every cell of the LLC line, repairing
+    // any latent flip at this address.
+    if (storage)
+        storage->noteFullOverwrite(storageArrayId, addr);
     if (params.writeBack) {
         // The dirty bit is sticky: set at the first dirty victim
         // write, cleared only by eviction (§III-C).

@@ -27,6 +27,8 @@
 namespace hsc
 {
 
+class StorageFaultInjector;
+
 /** Parameters of the LLC. */
 struct LlcParams
 {
@@ -43,8 +45,18 @@ class LlcCache : public ProtocolIntrospect
   public:
     LlcCache(std::string name, const LlcParams &params, MainMemory &mem);
 
-    /** Read result: data when hit. */
-    std::optional<DataBlock> read(Addr addr);
+    /** Read result: data when hit.  @p now stamps storage-fault
+     *  injection (the LLC itself is untimed; the owning directory
+     *  charges latency and supplies the tick). */
+    std::optional<DataBlock> read(Addr addr, Tick now = 0);
+
+    /** LLC data is a protected array (null = no storage faults). */
+    void
+    attachStorageFault(StorageFaultInjector *s, unsigned array_id)
+    {
+        storage = s;
+        storageArrayId = array_id;
+    }
 
     /** Peek without recency update or stats. */
     const DataBlock *peek(Addr addr) const;
@@ -108,6 +120,9 @@ class LlcCache : public ProtocolIntrospect
     const LlcParams params;
     MainMemory &mem;
     CacheArray<Entry> array;
+
+    StorageFaultInjector *storage = nullptr;
+    unsigned storageArrayId = 0;
 
     Counter statReads, statReadHits, statWrites, statAllocs;
     Counter statEvictions, statDirtyEvictions;

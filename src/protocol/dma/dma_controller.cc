@@ -1,5 +1,6 @@
 #include "protocol/dma/dma_controller.hh"
 
+#include "mem/storage_fault.hh"
 #include "obs/tracer.hh"
 #include "sim/coherence_checker.hh"
 #include "sim/json.hh"
@@ -131,6 +132,9 @@ DmaController::handleFromDir(Msg &&msg)
         issued.erase(it);
     --inFlight;
     obsEmit(op.obsId, ObsPhase::Complete, msg.addr);
+    if (op.isRead && storage)
+        storage->noteConsumption(name(), msg.addr, msg.data, curTick(),
+                                 op.obsId);
     if (op.isRead)
         op.readCb(msg.data);
     else

@@ -28,6 +28,7 @@ namespace hsc
 
 class CoherenceChecker;
 class ObsTracer;
+class StorageFaultInjector;
 
 /**
  * Block-level DMA requester with a bounded number of outstanding
@@ -50,6 +51,10 @@ class DmaController : public Clocked, public ProtocolIntrospect
 
     /** Attach the observability tracer (null = disabled). */
     void attachTracer(ObsTracer *t);
+
+    /** Consumption-only: the DMA engine caches nothing, but handing a
+     *  poisoned response block to the transfer log must contain. */
+    void attachStorageFault(StorageFaultInjector *s) { storage = s; }
 
     /** Read one block. */
     void readBlock(Addr addr, BlockCallback cb);
@@ -98,6 +103,8 @@ class DmaController : public Clocked, public ProtocolIntrospect
     const unsigned maxOutstanding;
 
     CoherenceChecker *checker = nullptr;
+
+    StorageFaultInjector *storage = nullptr;
 
     ObsTracer *tracer = nullptr;
     std::uint16_t obsCtrl = 0;

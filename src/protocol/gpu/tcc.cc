@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "mem/storage_fault.hh"
 #include "obs/tracer.hh"
 #include "protocol/gpu/vi_snapshot.hh"
 #include "sim/coherence_checker.hh"
@@ -73,6 +74,14 @@ TccController::readBlock(Addr addr, BlockCallback cb,
         if (line && line->fullyValid()) {
             ++statHits;
             obsEmit(obs_id, ObsPhase::LocalHit, block);
+            if (storage) {
+                // Hit: the read passes through the data array and the
+                // block is handed to a lane — a consumption boundary.
+                storage->access(storageArrayId, block, line->data,
+                                curTick(), obs_id);
+                storage->noteConsumption(name(), block, line->data,
+                                         curTick(), obs_id);
+            }
             cb(line->data);
             return;
         }
@@ -114,7 +123,12 @@ TccController::allocateLine(Addr block)
         auto victim = array.findVictim(block);
         if (victim.entry->dirty()) {
             // Write-back victimisation doubles as a WriteThrough
-            // request at the directory (§II-A).
+            // request at the directory (§II-A).  The final array read
+            // is an injection point: the fault rides the write-back.
+            if (storage) {
+                storage->access(storageArrayId, victim.addr,
+                                victim.entry->data, curTick());
+            }
             sendWriteThrough(victim.addr, victim.entry->data,
                              victim.entry->dirtyMask, false, false,
                              ObsClass::WriteBack);
@@ -155,8 +169,10 @@ TccController::write(Addr addr, const DataBlock &src, ByteMask mask,
 {
     ++statWrites;
     Addr block = blockAlign(addr);
+    // Capture order matters: the 1-byte scope ahead of the align-1
+    // DataBlock keeps the capture within the inline event slot.
     after(params.latency,
-          [this, block, src, mask, scope, cb = std::move(cb)] {
+          [this, block, mask, scope, src, cb = std::move(cb)] {
         if (params.writeBack && scope != Scope::System) {
             ViLine &line = allocateLine(block);
             line.write(src, mask, true);
@@ -224,6 +240,12 @@ TccController::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
         panic_if(!line || !line->covers(word_mask),
                  "GLC atomic on unfilled line %#llx",
                  (unsigned long long)block);
+        if (storage) {
+            storage->access(storageArrayId, block, line->data,
+                            curTick());
+            storage->noteConsumption(name(), block, line->data,
+                                     curTick());
+        }
         std::uint64_t old_val = size == 4
             ? line->data.get<std::uint32_t>(off)
             : line->data.get<std::uint64_t>(off);
@@ -276,6 +298,8 @@ TccController::release(DoneCallback cb)
                 dirty_lines.push_back({a, const_cast<ViLine *>(&l)});
         });
         for (auto &[a, line] : dirty_lines) {
+            if (storage)
+                storage->access(storageArrayId, a, line->data, curTick());
             sendWriteThrough(a, line->data, line->dirtyMask, true, true);
             line->dirtyMask = 0;
         }
@@ -368,7 +392,16 @@ TccController::processDeferred()
         panic_if(it == fills.end(), "%s: fill resp with no MSHR",
                  name().c_str());
         ViLine &line = allocateLine(m.addr);
+        bool was_clean_fill = !line.dirty();
         line.fill(m.data);
+        if (storage) {
+            // A clean fill rewrites every cell of the line (repairing
+            // a latent flip); the cbs then hand it to waiting lanes.
+            if (was_clean_fill)
+                storage->noteFullOverwrite(storageArrayId, m.addr);
+            storage->noteConsumption(name(), m.addr, line.data,
+                                     curTick(), it->second.obsId);
+        }
         auto cbs = std::move(it->second.cbs);
         fills.erase(it);
         for (auto &cb : cbs)

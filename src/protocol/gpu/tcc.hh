@@ -41,6 +41,7 @@ namespace hsc
 
 class CoherenceChecker;
 class ObsTracer;
+class StorageFaultInjector;
 
 /** Parameters of the TCC. */
 struct TccParams
@@ -72,6 +73,14 @@ class TccController : public Clocked, public ProtocolIntrospect
 
     /** Attach the observability tracer (null = disabled). */
     void attachTracer(ObsTracer *t);
+
+    /** TCC data is a protected array (null = no storage faults). */
+    void
+    attachStorageFault(StorageFaultInjector *s, unsigned array_id)
+    {
+        storage = s;
+        storageArrayId = array_id;
+    }
 
     /**
      * Read a whole block (TCP fill / SQC fetch path).  @p obs_id is
@@ -174,6 +183,9 @@ class TccController : public Clocked, public ProtocolIntrospect
     MsgSink &toDir;
 
     CoherenceChecker *checker = nullptr;
+
+    StorageFaultInjector *storage = nullptr;
+    unsigned storageArrayId = 0;
 
     ObsTracer *tracer = nullptr;
     std::uint16_t obsCtrl = 0;

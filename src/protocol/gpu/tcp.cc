@@ -1,5 +1,6 @@
 #include "protocol/gpu/tcp.hh"
 
+#include "mem/storage_fault.hh"
 #include "obs/tracer.hh"
 #include "protocol/gpu/vi_snapshot.hh"
 #include "sim/coherence_checker.hh"
@@ -98,6 +99,9 @@ TcpController::load(Addr addr, unsigned size, Scope scope, ValueCallback cb)
         ViLine *line = array.lookup(block);
         if (line && line->covers(mask)) {
             ++statHits;
+            if (storage)
+                storage->noteConsumption(name(), block, line->data,
+                                         curTick());
             cb(size == 4 ? line->data.get<std::uint32_t>(off)
                          : line->data.get<std::uint64_t>(off));
             return;
@@ -126,6 +130,9 @@ TcpController::loadBlock(Addr block, BlockCallback cb)
         ViLine *line = array.lookup(block);
         if (line && line->fullyValid()) {
             ++statHits;
+            if (storage)
+                storage->noteConsumption(name(), block, line->data,
+                                         curTick());
             cb(line->data);
             return;
         }
@@ -185,8 +192,19 @@ TcpController::store(Addr addr, unsigned size, std::uint64_t value,
         return;
     }
 
-    after(params.latency, [this, addr, block, src, mask,
+    // Capture the scalar operands, not the DataBlock: the payload is
+    // at most 8 bytes and a block capture overflows the inline event
+    // slot.
+    after(params.latency, [this, addr, size, value,
                            cb = std::move(cb)]() mutable {
+        Addr block = blockAlign(addr);
+        unsigned off = blockOffset(addr);
+        ByteMask mask = makeMask(off, size);
+        DataBlock src;
+        if (size == 4)
+            src.set<std::uint32_t>(off, std::uint32_t(value));
+        else
+            src.set<std::uint64_t>(off, value);
         if (params.writeBack) {
             ViLine &line = allocateLine(block);
             line.write(src, mask, true);
@@ -238,6 +256,9 @@ TcpController::atomic(Addr addr, AtomicOp op, std::uint64_t operand,
             ViLine *line = array.lookup(block);
             panic_if(!line || !line->covers(mask),
                      "wave atomic on unfilled line");
+            if (storage)
+                storage->noteConsumption(name(), block, line->data,
+                                         curTick());
             std::uint64_t old_val = size == 4
                 ? line->data.get<std::uint32_t>(off)
                 : line->data.get<std::uint64_t>(off);

@@ -56,6 +56,11 @@ class TcpController : public Clocked, public ProtocolIntrospect
     /** Attach the observability tracer (null = disabled). */
     void attachTracer(ObsTracer *t);
 
+    /** Consumption-only: TCP lines are clean write-through copies (no
+     *  protected array of their own), but a lane reading a line that
+     *  was filled poisoned must still contain. */
+    void attachStorageFault(StorageFaultInjector *s) { storage = s; }
+
     /** Word load; wave scope hits the TCP, wider scopes bypass it. */
     void load(Addr addr, unsigned size, Scope scope, ValueCallback cb);
 
@@ -128,6 +133,8 @@ class TcpController : public Clocked, public ProtocolIntrospect
     TccController &tcc;
 
     CoherenceChecker *checker = nullptr;
+
+    StorageFaultInjector *storage = nullptr;
 
     ObsTracer *tracer = nullptr;
     std::uint16_t obsCtrl = 0;

@@ -169,6 +169,11 @@ class CoherenceChecker
     {
         return statTransitionsChecked.value();
     }
+
+    /** Data compares skipped because one side carried ECC poison —
+     *  contained corruption, not a coherence violation.  A plain
+     *  (unregistered) counter so the stat namespace is unchanged. */
+    std::uint64_t poisonSkips() const { return poisonSkipCount; }
     std::uint64_t blocksShadowed() const
     {
         return statBlocksShadowed.value();
@@ -215,6 +220,8 @@ class CoherenceChecker
     Counter statTransitionsChecked;
     Counter statBlocksShadowed;
     Counter statViolations;
+
+    std::uint64_t poisonSkipCount = 0;
 };
 
 } // namespace hsc

@@ -43,6 +43,13 @@ sampleTrace()
     t.transport.retryBudget = 9;
     t.transport.ackDelayCycles = 8;
     t.transport.maxReorder = 1024;
+    t.storage.enabled = true;
+    t.storage.seed = 0xFEED'FACE'0000'0001ull;
+    t.storage.flipPer10kAccesses = 40;
+    t.storage.doublePer10k = 2500;
+    t.storage.flipAtTick = 777'000;
+    t.storage.ecc = false;
+    t.storage.scrubIntervalCycles = 4096;
     t.bug.kind = SeededBug::Kind::IgnoreProbeData;
     t.bug.addr = 0x100040;
     t.tester.numLocations = 3;
@@ -105,6 +112,15 @@ TEST(TraceReplay, JsonRoundTripPreservesEveryField)
     EXPECT_EQ(back.transport.ackDelayCycles,
               t.transport.ackDelayCycles);
     EXPECT_EQ(back.transport.maxReorder, t.transport.maxReorder);
+    EXPECT_EQ(back.storage.enabled, t.storage.enabled);
+    EXPECT_EQ(back.storage.seed, t.storage.seed);
+    EXPECT_EQ(back.storage.flipPer10kAccesses,
+              t.storage.flipPer10kAccesses);
+    EXPECT_EQ(back.storage.doublePer10k, t.storage.doublePer10k);
+    EXPECT_EQ(back.storage.flipAtTick, t.storage.flipAtTick);
+    EXPECT_EQ(back.storage.ecc, t.storage.ecc);
+    EXPECT_EQ(back.storage.scrubIntervalCycles,
+              t.storage.scrubIntervalCycles);
     EXPECT_EQ(back.bug.kind, t.bug.kind);
     EXPECT_EQ(back.bug.addr, t.bug.addr);
     EXPECT_EQ(back.bug.agent, t.bug.agent);

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * StorageFaultInjector unit tests: deterministic flip schedules, the
+ * SECDED outcome matrix (corrected / poisoned / silent), latent-flip
+ * repair by scrubber and full-line overwrites, metadata containment,
+ * snapshot round-trips, and the poison-carrying DataBlock semantics
+ * the model rides on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "mem/storage_fault.hh"
+#include "sim/json.hh"
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+namespace
+{
+
+StorageFaultConfig
+rateConfig(unsigned flip_per10k, unsigned double_per10k, bool ecc = true)
+{
+    StorageFaultConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 7;
+    cfg.flipPer10kAccesses = flip_per10k;
+    cfg.doublePer10k = double_per10k;
+    cfg.ecc = ecc;
+    return cfg;
+}
+
+DataBlock
+patternBlock(std::uint8_t seed)
+{
+    DataBlock b;
+    for (unsigned i = 0; i < BlockSizeBytes; ++i)
+        b.raw()[i] = std::uint8_t(seed + i);
+    return b;
+}
+
+TEST(StorageFault, ScheduleIsDeterministicPerSeedAndArray)
+{
+    // Two injectors with the same config see the same fault schedule;
+    // a different seed sees a different one.
+    StorageFaultConfig cfg = rateConfig(500, 0);
+    StorageFaultInjector a(cfg), b(cfg);
+    cfg.seed = 8;
+    StorageFaultInjector c(cfg);
+    unsigned ida = a.registerArray("l2");
+    unsigned idb = b.registerArray("l2");
+    unsigned idc = c.registerArray("l2");
+
+    DataBlock da, db, dc;
+    bool diverged = false;
+    for (unsigned i = 0; i < 400; ++i) {
+        a.access(ida, 0x1000, da, Tick(i));
+        b.access(idb, 0x1000, db, Tick(i));
+        c.access(idc, 0x1000, dc, Tick(i));
+        if (a.summary().flips != c.summary().flips)
+            diverged = true;
+    }
+    EXPECT_EQ(a.summary().flips, b.summary().flips);
+    EXPECT_GT(a.summary().flips, 0u);
+    EXPECT_TRUE(diverged) << "different seeds produced the same schedule";
+}
+
+TEST(StorageFault, ScheduleDependsOnAccessIndexNotAddress)
+{
+    // Fixed draw economy: the k-th access of an array decides its
+    // fault from the k-th draws alone, so the flip *indices* are
+    // identical across different address streams.
+    StorageFaultConfig cfg = rateConfig(500, 0);
+    StorageFaultInjector a(cfg), b(cfg);
+    unsigned ida = a.registerArray("l2");
+    unsigned idb = b.registerArray("l2");
+
+    for (unsigned i = 0; i < 300; ++i) {
+        DataBlock da, db;
+        a.access(ida, 0x1000, da, Tick(i));
+        b.access(idb, Addr(0x4000) + Addr(i) * BlockSizeBytes, db,
+                 Tick(i));
+        EXPECT_EQ(a.summary().flips, b.summary().flips) << "access " << i;
+    }
+}
+
+TEST(StorageFault, SingleFlipIsCorrectedAndStaysLatent)
+{
+    // flip every access, never double: the first access plants a
+    // latent single; stored bytes stay clean; SECDED counts a
+    // correction on each subsequent access of the line.
+    StorageFaultInjector inj(rateConfig(10000, 0));
+    unsigned id = inj.registerArray("l2");
+    DataBlock data = patternBlock(3);
+    DataBlock orig = data;
+
+    inj.access(id, 0x1000, data, 10);
+    EXPECT_EQ(data, orig) << "ECC must hide the latent single";
+    EXPECT_FALSE(data.poisoned());
+    EXPECT_EQ(inj.summary().corrected, 1u);
+    EXPECT_EQ(inj.pendingFlips(), 1u);
+}
+
+TEST(StorageFault, SecondFlipOnLatentLinePoisons)
+{
+    StorageFaultInjector inj(rateConfig(10000, 0));
+    unsigned id = inj.registerArray("l2");
+    DataBlock data = patternBlock(3);
+    DataBlock orig = data;
+
+    inj.access(id, 0x1000, data, 10); // latent single
+    inj.access(id, 0x1000, data, 20); // second flip: uncorrectable
+    EXPECT_TRUE(data.poisoned());
+    EXPECT_NE(data, orig);
+    EXPECT_EQ(inj.summary().poisoned, 1u);
+    EXPECT_EQ(inj.pendingFlips(), 0u);
+}
+
+TEST(StorageFault, DoubleBitEventPoisonsImmediately)
+{
+    StorageFaultInjector inj(rateConfig(10000, 10000));
+    unsigned id = inj.registerArray("l2");
+    DataBlock data = patternBlock(9);
+    DataBlock orig = data;
+
+    inj.access(id, 0x2000, data, 5);
+    EXPECT_TRUE(data.poisoned());
+    EXPECT_NE(data, orig);
+    EXPECT_EQ(inj.summary().poisoned, 1u);
+    EXPECT_EQ(inj.summary().corrected, 0u);
+}
+
+TEST(StorageFault, EccOffCorruptsSilently)
+{
+    StorageFaultInjector inj(rateConfig(10000, 0, /*ecc=*/false));
+    unsigned id = inj.registerArray("l2");
+    DataBlock data = patternBlock(1);
+    DataBlock orig = data;
+
+    inj.access(id, 0x1000, data, 10);
+    EXPECT_NE(data, orig) << "without ECC the flip must land";
+    EXPECT_FALSE(data.poisoned());
+    EXPECT_EQ(inj.summary().corrected, 0u);
+    EXPECT_EQ(inj.summary().poisoned, 0u);
+    EXPECT_FALSE(inj.tripped());
+}
+
+TEST(StorageFault, ScrubSweepRepairsLatentFlips)
+{
+    StorageFaultInjector inj(rateConfig(10000, 0));
+    unsigned id = inj.registerArray("l2");
+    DataBlock a = patternBlock(1), b = patternBlock(2);
+    inj.access(id, 0x1000, a, 10);
+    inj.access(id, 0x2000, b, 11);
+    ASSERT_EQ(inj.pendingFlips(), 2u);
+
+    inj.scrubSweep(100);
+    EXPECT_EQ(inj.pendingFlips(), 0u);
+    EXPECT_EQ(inj.summary().scrubRepairs, 2u);
+
+    // A repaired line starts over: the next flip is a fresh latent
+    // single, not an uncorrectable second hit.
+    inj.access(id, 0x1000, a, 200);
+    EXPECT_FALSE(a.poisoned());
+    EXPECT_EQ(inj.summary().poisoned, 0u);
+}
+
+TEST(StorageFault, FullOverwriteRepairsTheLine)
+{
+    StorageFaultInjector inj(rateConfig(10000, 0));
+    unsigned id = inj.registerArray("l2");
+    DataBlock data = patternBlock(4);
+    inj.access(id, 0x1000, data, 10);
+    ASSERT_EQ(inj.pendingFlips(), 1u);
+
+    inj.noteFullOverwrite(id, 0x1000);
+    EXPECT_EQ(inj.pendingFlips(), 0u);
+
+    inj.access(id, 0x1000, data, 20);
+    EXPECT_FALSE(data.poisoned()) << "overwrite must clear the latent";
+}
+
+TEST(StorageFault, LatentFlipsAreKeyedPerArray)
+{
+    // The same address in two different arrays must not share a
+    // latent entry (key = block | array id).
+    StorageFaultInjector inj(rateConfig(10000, 0));
+    unsigned l2 = inj.registerArray("l2");
+    unsigned llc = inj.registerArray("llc");
+    DataBlock a = patternBlock(1), b = patternBlock(2);
+
+    inj.access(l2, 0x1000, a, 10);
+    inj.access(llc, 0x1000, b, 11);
+    EXPECT_EQ(inj.pendingFlips(), 2u);
+    EXPECT_FALSE(a.poisoned());
+    EXPECT_FALSE(b.poisoned());
+}
+
+TEST(StorageFault, OneShotFiresOnceAtTickAndDrawsNothing)
+{
+    StorageFaultConfig cfg;
+    cfg.enabled = true;
+    cfg.flipAtTick = 100;
+    StorageFaultInjector inj(cfg);
+    unsigned id = inj.registerArray("l2");
+    DataBlock data = patternBlock(5);
+    DataBlock orig = data;
+
+    inj.access(id, 0x1000, data, 50); // before the arm point
+    EXPECT_EQ(data, orig);
+    EXPECT_FALSE(data.poisoned());
+
+    inj.access(id, 0x1000, data, 100); // fires: double-bit, poisons
+    EXPECT_TRUE(data.poisoned());
+    EXPECT_NE(data, orig);
+    EXPECT_EQ(inj.summary().poisoned, 1u);
+
+    DataBlock other = patternBlock(6);
+    inj.access(id, 0x2000, other, 200); // one-shot: never again
+    EXPECT_FALSE(other.poisoned());
+    EXPECT_EQ(inj.summary().flips, 1u);
+}
+
+TEST(StorageFault, ConsumptionOfPoisonTripsContainment)
+{
+    StorageFaultInjector inj(rateConfig(10000, 10000));
+    unsigned id = inj.registerArray("l2");
+    DataBlock data = patternBlock(7);
+    inj.access(id, 0x3040, data, 10);
+    ASSERT_TRUE(data.poisoned());
+    ASSERT_FALSE(inj.tripped());
+
+    inj.noteConsumption("cpu0", 0x3050, data, 42);
+    ASSERT_TRUE(inj.tripped());
+    const ContainmentReport &r = inj.containmentReport();
+    EXPECT_EQ(r.kind, ContainmentReport::Kind::PoisonConsumed);
+    EXPECT_EQ(r.atTick, 42u);
+    EXPECT_EQ(r.consumer, "cpu0");
+    EXPECT_EQ(r.addr, 0x3040u) << "report carries the block address";
+    EXPECT_EQ(r.poisonConsumed, 1u);
+
+    // First trip wins: a later consumption does not rewrite it.
+    inj.noteConsumption("cpu1", 0x3040, data, 99);
+    EXPECT_EQ(inj.containmentReport().consumer, "cpu0");
+    EXPECT_EQ(inj.containmentReport().atTick, 42u);
+}
+
+TEST(StorageFault, CleanConsumptionNeverTrips)
+{
+    StorageFaultInjector inj(rateConfig(0, 0));
+    inj.registerArray("l2");
+    DataBlock data = patternBlock(8);
+    inj.noteConsumption("cpu0", 0x1000, data, 10);
+    EXPECT_FALSE(inj.tripped());
+    EXPECT_EQ(inj.summary().poisonConsumed, 0u);
+}
+
+TEST(StorageFault, MetadataUncorrectableContainsImmediately)
+{
+    StorageFaultInjector inj(rateConfig(10000, 10000));
+    unsigned meta = inj.registerMetaArray("dir.meta");
+    inj.metaAccess(meta, 0x5000, 33);
+    ASSERT_TRUE(inj.tripped());
+    const ContainmentReport &r = inj.containmentReport();
+    EXPECT_EQ(r.kind, ContainmentReport::Kind::MetadataUncorrectable);
+    EXPECT_EQ(r.consumer, "dir.meta");
+    EXPECT_EQ(inj.summary().metaUncorrectable, 1u);
+}
+
+TEST(StorageFault, MetadataSinglesAreCorrected)
+{
+    StorageFaultInjector inj(rateConfig(10000, 0));
+    unsigned meta = inj.registerMetaArray("dir.meta");
+    for (unsigned i = 0; i < 16; ++i)
+        inj.metaAccess(meta, 0x5000, Tick(i));
+    EXPECT_FALSE(inj.tripped());
+    EXPECT_EQ(inj.summary().metaCorrected, 16u);
+}
+
+TEST(StorageFault, SerializeRestoreResumesTheSameFaultTail)
+{
+    // Run injector A for a prefix, snapshot it into B, then drive
+    // both with the same suffix: every counter must stay identical —
+    // the resumed stream draws the same fault tail.
+    StorageFaultConfig cfg = rateConfig(2000, 3000);
+    StorageFaultInjector a(cfg);
+    unsigned ida = a.registerArray("l2");
+    DataBlock da = patternBlock(1);
+    for (unsigned i = 0; i < 100; ++i)
+        a.access(ida, Addr(0x1000) + Addr(i % 8) * BlockSizeBytes, da,
+                 Tick(i));
+
+    JsonValue snap;
+    a.serialize(snap);
+    StorageFaultInjector b(cfg);
+    unsigned idb = b.registerArray("l2");
+    b.restore(snap);
+    EXPECT_EQ(b.pendingFlips(), a.pendingFlips());
+
+    DataBlock db = da;
+    for (unsigned i = 100; i < 300; ++i) {
+        Addr addr = Addr(0x1000) + Addr(i % 8) * BlockSizeBytes;
+        a.access(ida, addr, da, Tick(i));
+        b.access(idb, addr, db, Tick(i));
+    }
+    // Flip/poison *deltas* must match; absolute counters restart at
+    // zero in B (stats live in the registry, not the snapshot).
+    EXPECT_EQ(a.pendingFlips(), b.pendingFlips());
+    EXPECT_EQ(da.poisoned(), db.poisoned());
+    EXPECT_EQ(0, std::memcmp(da.raw(), db.raw(), BlockSizeBytes));
+}
+
+TEST(StorageFault, RestoreRejectsMalformedRows)
+{
+    StorageFaultInjector inj(rateConfig(100, 0));
+    JsonValue bad = parseJson(
+        "{\"oneShotArmed\": 0, \"streams\": [[1, 2]], \"pending\": []}");
+    EXPECT_THROW(inj.restore(bad), SimError);
+}
+
+TEST(StorageFaultDataBlock, PoisonHexRoundTrip)
+{
+    DataBlock clean = patternBlock(0x20);
+    std::string hex = blockToHex(clean);
+    EXPECT_EQ(hex.size(), 128u) << "clean encoding is unchanged";
+    EXPECT_EQ(blockFromHex(hex), clean);
+    EXPECT_FALSE(blockFromHex(hex).poisoned());
+
+    DataBlock poisoned = clean;
+    poisoned.setPoisoned(true);
+    std::string phex = blockToHex(poisoned);
+    ASSERT_EQ(phex.size(), 129u);
+    EXPECT_EQ(phex.back(), 'p');
+    DataBlock back = blockFromHex(phex);
+    EXPECT_TRUE(back.poisoned());
+    EXPECT_EQ(back, clean) << "bytes-only equality ignores poison";
+}
+
+TEST(StorageFaultDataBlock, MergeMovesPoisonWithTheBytes)
+{
+    DataBlock clean = patternBlock(1);
+    DataBlock bad = patternBlock(2);
+    bad.setPoisoned(true);
+
+    DataBlock full = clean;
+    full.merge(bad, FullMask);
+    EXPECT_TRUE(full.poisoned()) << "full merge replaces poison";
+
+    DataBlock cured = bad;
+    cured.merge(clean, FullMask);
+    EXPECT_FALSE(cured.poisoned()) << "full clean overwrite cures";
+
+    DataBlock partial = clean;
+    partial.merge(bad, makeMask(0, 8));
+    EXPECT_TRUE(partial.poisoned()) << "partial merge contaminates";
+
+    DataBlock untouched = clean;
+    untouched.merge(bad, 0);
+    EXPECT_FALSE(untouched.poisoned()) << "empty merge moves nothing";
+    EXPECT_EQ(untouched, clean);
+}
+
+} // namespace
+} // namespace hsc

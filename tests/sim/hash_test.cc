@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Digest pinning for the shared FNV-1a helpers (sim/hash.hh).
+ *
+ * Every digest in the tree — frame checksums, snapshot integrity,
+ * stat/image hashes — reduces to these two mixers, so their outputs
+ * are pinned against the published FNV-1a test vectors: an
+ * accidental constant or order change would silently invalidate
+ * recorded goldens and cross-process checkpoint verification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/hash.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(FnvHash, MatchesPublishedVectors)
+{
+    // Canonical FNV-1a 64-bit vectors (draft-eastlake-fnv).
+    EXPECT_EQ(fnvBytes("", 0), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnvBytes("a", 1), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnvBytes("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(FnvHash, EmptyInputIsOffsetBasis)
+{
+    EXPECT_EQ(fnvBytes(nullptr, 0), FnvOffsetBasis);
+    EXPECT_EQ(FnvOffsetBasis, 0xCBF29CE484222325ull);
+    EXPECT_EQ(FnvPrime, 0x100000001B3ull);
+}
+
+TEST(FnvHash, BytesChainsAcrossCalls)
+{
+    std::uint64_t h = fnvBytes("foo", 3);
+    EXPECT_EQ(fnvBytes("bar", 3, h), fnvBytes("foobar", 6));
+}
+
+TEST(FnvHash, WordMixMatchesDefinition)
+{
+    std::uint64_t h = FnvOffsetBasis;
+    fnvMix(h, 0x123456789abcdef0ull);
+    EXPECT_EQ(h, (FnvOffsetBasis ^ 0x123456789abcdef0ull) * FnvPrime);
+}
+
+} // namespace
+} // namespace hsc
