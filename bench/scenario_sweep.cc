@@ -1,0 +1,93 @@
+/**
+ * @file
+ * scenario_sweep — synthetic scenario fleet harness.
+ *
+ * Derives one full ScenarioConfig per seed (zipfian skew, bursts,
+ * read/write/atomic/vector mix, phases, producer/consumer fan-out),
+ * generates each as an hsct trace in memory, and replays it through
+ * the standard TraceWorkload frontend on two directory configurations
+ * with the runtime coherence sanitizer ON.  Any FAIL row is a real
+ * protocol (or frontend) bug on traffic no CHAI workload produces.
+ *
+ *   $ ./bench/scenario_sweep           # default: seeds 1..10
+ *   $ ./bench/scenario_sweep 100       # the full fleet
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "trace/scenario.hh"
+#include "workloads/workload.hh"
+
+using namespace hsc;
+
+namespace
+{
+
+Cycles
+runOne(const ScenarioConfig &sc, const SystemConfig &cfg, bool &ok)
+{
+    HsaSystem sys(cfg);
+    auto wl = makeScenarioWorkload(sc, WorkloadParams{});
+    wl->setup(sys);
+    bool ran = sys.run();
+    ok = ran && wl->verify(sys);
+    if (ran && !ok)
+        std::fprintf(stderr, "  seed %llu [%s]: replay incomplete\n",
+                     (unsigned long long)sc.seed, cfg.label.c_str());
+    if (!ran)
+        std::fprintf(stderr, "  seed %llu [%s]: %s\n",
+                     (unsigned long long)sc.seed, cfg.label.c_str(),
+                     sys.failReason().c_str());
+    return sys.cpuCycles();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned num_seeds = 10;
+    if (argc > 1) {
+        char *end = nullptr;
+        num_seeds = unsigned(std::strtoul(argv[1], &end, 10));
+        if (!end || *end != '\0' || num_seeds == 0) {
+            std::cerr << "usage: scenario_sweep [num_seeds >= 1]\n";
+            return 2;
+        }
+    }
+
+    // The sweep is a correctness fleet, not a timing figure: the
+    // sanitizer stays ON in both configurations.
+    SystemConfig base = baselineConfig();
+    base.label = "baseline";
+    SystemConfig sharers = sharerTrackingConfig();
+    sharers.label = "sharers";
+
+    std::printf("%-6s %-9s %-9s %-6s  %s\n", "seed", "base-cy",
+                "sharer-cy", "ok", "scenario");
+    unsigned failures = 0;
+    for (std::uint64_t seed = 1; seed <= num_seeds; ++seed) {
+        ScenarioConfig sc = scenarioFromSeed(seed);
+        bool ok_base = false, ok_sharers = false;
+        Cycles cy_base = runOne(sc, base, ok_base);
+        Cycles cy_sharers = runOne(sc, sharers, ok_sharers);
+        bool ok = ok_base && ok_sharers;
+        failures += !ok;
+        std::printf("%-6llu %-9llu %-9llu %-6s  %s\n",
+                    (unsigned long long)seed,
+                    (unsigned long long)cy_base,
+                    (unsigned long long)cy_sharers,
+                    ok ? "PASS" : "FAIL",
+                    describeScenario(sc).c_str());
+    }
+    if (failures) {
+        std::printf("scenario_sweep: %u/%u scenarios FAILED\n",
+                    failures, num_seeds);
+        return 1;
+    }
+    std::printf("scenario_sweep: all %u scenarios passed "
+                "(checker on)\n", num_seeds);
+    return 0;
+}

@@ -35,6 +35,8 @@
 #include "obs/sampler.hh"
 #include "obs/tracer.hh"
 #include "sim/sim_error.hh"
+#include "trace/trace_capture.hh"
+#include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
 using namespace hsc;
@@ -294,6 +296,12 @@ usage()
         "                      0x100000, the first heap block)\n"
         "  --trace-out <path>  on failure, write a replayable JSON\n"
         "                      failure trace (see hsc_replay)\n"
+        "  --trace-out-mem <path>\n"
+        "                      capture every CPU/GPU/DMA memory op into\n"
+        "                      an hsct binary trace; a successful run\n"
+        "                      seals it with the reference outcome\n"
+        "  --trace-in <path>   replay an hsct trace (workload 'trace');\n"
+        "                      asserts bit-identity against the capture\n"
         "  --obs               transaction-lifetime tracing: per-class\n"
         "                      latency breakdown report after the run\n"
         "  --trace-chrome <path>\n"
@@ -311,7 +319,8 @@ usage()
         "                      restrict the --stats dump to counters\n"
         "                      whose name starts with <prefix>\n"
         "                      (implies --stats)\n"
-        "  --list              list workloads and exit");
+        "  --list              list workload ids and exit\n"
+        "  --list-workloads    list workloads with descriptions and exit");
 }
 
 int run(int argc, char **argv);
@@ -371,6 +380,7 @@ run(int argc, char **argv)
     unsigned tester_locs = 24;
     unsigned tester_rounds = 6;
     std::string trace_out;
+    std::string trace_out_mem;
     bool obs = false;
     std::string trace_chrome;
     Cycles stats_interval = 0;
@@ -475,6 +485,11 @@ run(int argc, char **argv)
             bug.addr = Addr(std::stoull(next(), nullptr, 0)); // hex ok
         } else if (arg == "--trace-out") {
             trace_out = next();
+        } else if (arg == "--trace-out-mem") {
+            trace_out_mem = next();
+        } else if (arg == "--trace-in") {
+            params.tracePath = next();
+            workload = "trace";
         } else if (arg == "--obs") {
             obs = true;
         } else if (arg == "--trace-chrome") {
@@ -495,6 +510,11 @@ run(int argc, char **argv)
             std::puts("HeteroSync-style workloads:");
             for (const auto &id : heteroSyncIds())
                 std::printf("  %s\n", id.c_str());
+            return 0;
+        } else if (arg == "--list-workloads") {
+            for (const auto &e : WorkloadRegistry::instance().all())
+                std::printf("%-10s  %s\n", e.id.c_str(),
+                            e.description.c_str());
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage();
@@ -548,6 +568,7 @@ run(int argc, char **argv)
     }
     if (watchdog)
         cfg.watchdogCycles = watchdog;
+    cfg.trace.outPath = trace_out_mem;
     cfg.obs.enabled = obs || !trace_chrome.empty();
     cfg.obs.samplingInterval = stats_interval;
     cfg.ckpt = ckpt;
@@ -575,6 +596,12 @@ run(int argc, char **argv)
 
     RunMetrics m = collectMetrics(sys, workload, ok);
     printRunSummary(std::cout, m);
+    if (sys.traceRecorder()) {
+        std::printf("memory trace written to %s (%llu records; replay "
+                    "with --trace-in)\n", cfg.trace.outPath.c_str(),
+                    (unsigned long long)
+                        sys.traceRecorder()->recordCount());
+    }
     if (sys.snapshot()) {
         std::printf("checkpoints: %llu taken, last at tick %llu\n",
                     (unsigned long long)sys.checkpointsTaken(),

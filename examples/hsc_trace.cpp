@@ -1,0 +1,211 @@
+/**
+ * @file
+ * hsc_trace — trace toolbox for the hsct binary format.
+ *
+ *   synth    generate a seeded synthetic scenario trace
+ *   convert  import a ChampSim-style text trace
+ *   info     decode, validate and summarise a trace
+ *
+ *   $ ./examples/hsc_trace synth --seed 42 --out s42.hsct
+ *   $ ./examples/hsc_run --trace-in s42.hsct
+ *   $ ./examples/hsc_trace convert accesses.txt out.hsct
+ *   $ ./examples/hsc_trace info s42.hsct
+ *
+ * Capture is hsc_run's job (--trace-out-mem); replay is the 'trace'
+ * workload (--trace-in).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "sim/sim_error.hh"
+#include "trace/champsim.hh"
+#include "trace/scenario.hh"
+#include "trace/trace_io.hh"
+
+using namespace hsc;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "usage: hsc_trace <command> [options]\n"
+        "  synth --out <path> [--seed <n>] [--describe-only]\n"
+        "      generate the scenario derived from the seed (default 1);\n"
+        "      --describe-only prints the scenario line and exits\n"
+        "  convert <in.txt> <out.hsct> [--working-set <bytes>]\n"
+        "          [--op-gap <ticks>] [--size <bytes>]\n"
+        "      import a ChampSim-style text trace\n"
+        "      (lines: <tid> R|W <hexaddr> [size], '#' comments)\n"
+        "  info <path.hsct>\n"
+        "      validate the whole trace and print a summary");
+}
+
+std::uint64_t
+numArg(const char *flag, const std::string &v)
+{
+    try {
+        return std::stoull(v);
+    } catch (const std::exception &) {
+        fatal("%s expects a number, got '%s'", flag, v.c_str());
+    }
+}
+
+int
+cmdSynth(int argc, char **argv)
+{
+    std::uint64_t seed = 1;
+    std::string out;
+    bool describe_only = false;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--seed")
+            seed = numArg("--seed", next());
+        else if (arg == "--out")
+            out = next();
+        else if (arg == "--describe-only")
+            describe_only = true;
+        else
+            fatal("synth: unknown option %s", arg.c_str());
+    }
+    ScenarioConfig cfg = scenarioFromSeed(seed);
+    std::printf("scenario: %s\n", describeScenario(cfg).c_str());
+    if (describe_only)
+        return 0;
+    if (out.empty())
+        fatal("synth needs --out <path>");
+    std::ofstream os(out, std::ios::binary);
+    if (!os)
+        fatal("cannot write %s", out.c_str());
+    generateScenarioTrace(cfg, os);
+    TraceReader check(out);
+    check.validateAll();
+    std::printf("wrote %s (%llu records)\n", out.c_str(),
+                (unsigned long long)check.header().recordCount);
+    return 0;
+}
+
+int
+cmdConvert(int argc, char **argv)
+{
+    std::string in, out;
+    ChampSimOptions opts;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--working-set")
+            opts.workingSetBytes = numArg("--working-set", next());
+        else if (arg == "--op-gap")
+            opts.opGap = unsigned(numArg("--op-gap", next()));
+        else if (arg == "--size")
+            opts.defaultSize = unsigned(numArg("--size", next()));
+        else if (in.empty())
+            in = arg;
+        else if (out.empty())
+            out = arg;
+        else
+            fatal("convert: unexpected argument %s", arg.c_str());
+    }
+    if (in.empty() || out.empty())
+        fatal("convert needs <in.txt> <out.hsct>");
+    std::ifstream is(in);
+    if (!is)
+        fatal("cannot read %s", in.c_str());
+    std::ofstream os(out, std::ios::binary);
+    if (!os)
+        fatal("cannot write %s", out.c_str());
+    std::uint64_t n = convertChampSim(is, os, opts);
+    std::printf("converted %llu accesses -> %s\n",
+                (unsigned long long)n, out.c_str());
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc != 1)
+        fatal("info needs exactly one trace path");
+    TraceReader rd(argv[0]);
+    const TraceHeader &h = rd.header();
+    std::printf("version %u, %u CPU threads, heap [0x%llx, 0x%llx)\n",
+                h.version, h.numCpuThreads,
+                (unsigned long long)h.heapBase,
+                (unsigned long long)h.heapEnd);
+    if (h.hasReference()) {
+        std::printf("reference: %llu cycles, image %016llx\n",
+                    (unsigned long long)h.refCycles,
+                    (unsigned long long)h.refImageHash);
+    } else {
+        std::puts("reference: none (capture did not complete cleanly)");
+    }
+    std::map<std::string, std::uint64_t> perOp;
+    std::uint64_t agents = 0;
+    rd.validateAll([&](const TraceRecord &r) {
+        ++perOp[traceOpName(r.op)];
+        if (r.op == TraceOp::AgentEnd)
+            ++agents;
+    });
+    std::printf("%llu records, %llu mem inits, %llu agent streams\n",
+                (unsigned long long)h.recordCount,
+                (unsigned long long)rd.memInits().size(),
+                (unsigned long long)agents);
+    for (const auto &[name, count] : perOp)
+        std::printf("  %-12s %llu\n", name.c_str(),
+                    (unsigned long long)count);
+    std::puts("integrity: OK");
+    return 0;
+}
+
+int
+run(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "synth")
+        return cmdSynth(argc - 2, argv + 2);
+    if (cmd == "convert")
+        return cmdConvert(argc - 2, argv + 2);
+    if (cmd == "info")
+        return cmdInfo(argc - 2, argv + 2);
+    if (cmd == "--help" || cmd == "-h") {
+        usage();
+        return 0;
+    }
+    std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+    usage();
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "hsc_trace: error: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "hsc_trace: error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -2,6 +2,7 @@
 
 #include "core/kernel_dispatch.hh"
 #include "sim/snapshot.hh"
+#include "trace/trace_capture.hh"
 
 namespace hsc
 {
@@ -62,6 +63,8 @@ CpuCtx::LoadOp::issueLive()
 void
 CpuCtx::LoadOp::start()
 {
+    if (ctx->rec)
+        ctx->rec->cpuLoad(ctx->tid, addr, size);
     SnapshotCoordinator *snap = ctx->snap;
     if (snap && snap->replaying()) {
         if (const OpRecord *r = snap->replayNext(ctx->tid, OpKind::CpuLoad)) {
@@ -94,6 +97,8 @@ CpuCtx::StoreOp::issueLive()
 void
 CpuCtx::StoreOp::start()
 {
+    if (ctx->rec)
+        ctx->rec->cpuStore(ctx->tid, addr, size, value);
     SnapshotCoordinator *snap = ctx->snap;
     if (snap && snap->replaying()) {
         if (snap->replayNext(ctx->tid, OpKind::CpuStore)) {
@@ -128,6 +133,8 @@ CpuCtx::AmoOp::issueLive()
 void
 CpuCtx::AmoOp::start()
 {
+    if (ctx->rec)
+        ctx->rec->cpuAmo(ctx->tid, addr, size, op, operand, operand2);
     SnapshotCoordinator *snap = ctx->snap;
     if (snap && snap->replaying()) {
         if (const OpRecord *r = snap->replayNext(ctx->tid, OpKind::CpuAmo)) {
@@ -164,6 +171,8 @@ AwaitVoid
 CpuCtx::compute(Cycles cycles)
 {
     return AwaitVoid([this, cycles](std::function<void()> cb) {
+        if (rec)
+            rec->cpuCompute(tid, cycles);
         if (snap && snap->replaying()) {
             if (snap->replayNext(tid, OpKind::CpuCompute)) {
                 cb();
@@ -190,7 +199,11 @@ CpuCtx::launchKernel(const GpuKernel &kernel)
 {
     panic_if(!dispatcher, "CpuCtx has no kernel dispatcher");
     return AwaitVoid([this, kernel](std::function<void()> cb) {
-        dispatcher->launch(kernel, std::move(cb), agentKey());
+        std::uint64_t ord =
+            dispatcher->launch(kernel, std::move(cb), agentKey());
+        if (rec)
+            rec->kernelLaunch(tid, ord, kernel.numWorkgroups,
+                              /*async=*/false);
     });
 }
 
@@ -199,21 +212,26 @@ CpuCtx::launchKernelAsync(const GpuKernel &kernel)
 {
     panic_if(!dispatcher, "CpuCtx has no kernel dispatcher");
     ++kernelsInFlight;
-    dispatcher->launch(kernel,
-                       [this] {
-                           if (--kernelsInFlight == 0 && kernelWaiter) {
-                               auto w = std::move(kernelWaiter);
-                               kernelWaiter = nullptr;
-                               w();
-                           }
-                       },
-                       agentKey());
+    std::uint64_t ord =
+        dispatcher->launch(kernel,
+                           [this] {
+                               if (--kernelsInFlight == 0 && kernelWaiter) {
+                                   auto w = std::move(kernelWaiter);
+                                   kernelWaiter = nullptr;
+                                   w();
+                               }
+                           },
+                           agentKey());
+    if (rec)
+        rec->kernelLaunch(tid, ord, kernel.numWorkgroups, /*async=*/true);
 }
 
 AwaitVoid
 CpuCtx::waitKernels()
 {
     return AwaitVoid([this](std::function<void()> cb) {
+        if (rec)
+            rec->kernelWait(tid);
         if (kernelsInFlight == 0) {
             cb();
             return;

@@ -22,6 +22,7 @@ namespace hsc
 
 class KernelDispatcher;
 class SnapshotCoordinator;
+class TraceRecorder;
 struct GpuKernel;
 
 /**
@@ -45,6 +46,11 @@ class CpuCtx
     SnapshotCoordinator *snapshot() const { return snap; }
     std::uint64_t agentKey() const { return tid; }
     /** @} */
+
+    /** Trace capture wiring (null = off).  Every op records at the
+     *  top of its start so the capture sees per-thread program order
+     *  exactly once, even across checkpoint drains. */
+    void setTraceRecorder(TraceRecorder *r) { rec = r; }
 
     /**
      * @{ Awaitable memory operations (sizes 1/2/4/8).  The returned
@@ -136,6 +142,7 @@ class CpuCtx
     const bool injectIfetches;
 
     SnapshotCoordinator *snap = nullptr;
+    TraceRecorder *rec = nullptr;
 
     Addr codePc;
     std::uint64_t opCount = 0;

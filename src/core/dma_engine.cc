@@ -4,6 +4,7 @@
 
 #include "core/cpu_core.hh"
 #include "sim/snapshot.hh"
+#include "trace/trace_capture.hh"
 
 namespace hsc
 {
@@ -40,6 +41,10 @@ DmaEngine::requireUnattributedOk(const char *what) const
     panic_if(snap != nullptr,
              "DmaEngine::%s without thread attribution while "
              "checkpointing is enabled (use the CpuCtx& overload)",
+             what);
+    panic_if(rec != nullptr,
+             "DmaEngine::%s without thread attribution while trace "
+             "capture is enabled (use the CpuCtx& overload)",
              what);
 }
 
@@ -88,6 +93,8 @@ DmaEngine::readBlock(CpuCtx &cpu, Addr addr)
         [this, &cpu, addr](std::function<void(DataBlock)> cb) {
             SnapshotCoordinator *s = cpu.snapshot();
             std::uint64_t key = cpu.agentKey();
+            if (rec)
+                rec->dmaRead(key, addr);
             if (s && s->replaying()) {
                 if (const OpRecord *r = s->replayNext(key, OpKind::DmaRead)) {
                     DataBlock b;
@@ -121,6 +128,8 @@ DmaEngine::writeBlock(CpuCtx &cpu, Addr addr, const DataBlock &data,
         [this, &cpu, addr, data, mask](std::function<void()> cb) {
             SnapshotCoordinator *s = cpu.snapshot();
             std::uint64_t key = cpu.agentKey();
+            if (rec)
+                rec->dmaWrite(key, addr, data, mask);
             if (s && s->replaying()) {
                 if (s->replayNext(key, OpKind::DmaWrite)) {
                     cb();
@@ -150,6 +159,8 @@ DmaEngine::copyAsync(CpuCtx &cpu, Addr dst, Addr src, std::uint64_t bytes)
         [this, &cpu, dst, src, bytes](std::function<void()> cb) {
             SnapshotCoordinator *s = cpu.snapshot();
             std::uint64_t key = cpu.agentKey();
+            if (rec)
+                rec->dmaCopy(key, dst, src, bytes);
             if (s && s->replaying()) {
                 if (s->replayNext(key, OpKind::DmaCopy)) {
                     cb();

@@ -14,6 +14,7 @@ namespace hsc
 
 class CpuCtx;
 class SnapshotCoordinator;
+class TraceRecorder;
 
 /**
  * memcpy-style engine issuing pipelined block reads/writes through the
@@ -82,6 +83,11 @@ class DmaEngine
     /** Checkpoint wiring (null = disabled). */
     void setSnapshot(SnapshotCoordinator *s) { snap = s; }
 
+    /** Trace capture wiring (null = off).  Like checkpointing, the
+     *  capture needs every DMA op attributed to its issuing thread,
+     *  so the unattributed variants panic while it's on. */
+    void setTraceRecorder(TraceRecorder *r) { rec = r; }
+
     DmaController &controller() { return ctrl; }
 
   private:
@@ -99,6 +105,7 @@ class DmaEngine
 
     DmaController &ctrl;
     SnapshotCoordinator *snap = nullptr;
+    TraceRecorder *rec = nullptr;
 };
 
 } // namespace hsc

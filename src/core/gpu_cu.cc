@@ -3,6 +3,7 @@
 #include <map>
 
 #include "sim/snapshot.hh"
+#include "trace/trace_capture.hh"
 
 namespace hsc
 {
@@ -52,6 +53,8 @@ WaveCtx::tcp()
 void
 WaveCtx::VloadOp::start()
 {
+    if (ctx->rec)
+        ctx->rec->gpuVload(ctx->agent, base, stride, size);
     SnapshotCoordinator *snap = ctx->snap;
     if (snap && snap->replaying()) {
         if (const OpRecord *r =
@@ -112,6 +115,8 @@ WaveCtx::VloadOp::finish()
 void
 WaveCtx::VstoreOp::start()
 {
+    if (ctx->rec)
+        ctx->rec->gpuVstore(ctx->agent, base, stride, size, values);
     SnapshotCoordinator *snap = ctx->snap;
     if (snap && snap->replaying()) {
         if (snap->replayNext(ctx->agent, OpKind::GpuVstore)) {
@@ -163,6 +168,8 @@ WaveCtx::VstoreOp::issue()
 void
 WaveCtx::LoadOp::start()
 {
+    if (ctx->rec)
+        ctx->rec->gpuLoad(ctx->agent, addr, size, scope);
     SnapshotCoordinator *snap = ctx->snap;
     if (snap && snap->replaying()) {
         if (const OpRecord *r =
@@ -196,6 +203,8 @@ WaveCtx::LoadOp::issueLive()
 void
 WaveCtx::StoreOp::start()
 {
+    if (ctx->rec)
+        ctx->rec->gpuStore(ctx->agent, addr, size, value, scope);
     SnapshotCoordinator *snap = ctx->snap;
     if (snap && snap->replaying()) {
         if (snap->replayNext(ctx->agent, OpKind::GpuStore)) {
@@ -228,6 +237,9 @@ WaveCtx::StoreOp::issueLive()
 void
 WaveCtx::AmoOp::start()
 {
+    if (ctx->rec)
+        ctx->rec->gpuAmo(ctx->agent, addr, size, scope, op, operand,
+                         operand2);
     SnapshotCoordinator *snap = ctx->snap;
     if (snap && snap->replaying()) {
         if (const OpRecord *r =
@@ -276,6 +288,8 @@ AwaitVoid
 WaveCtx::compute(Cycles cycles)
 {
     return AwaitVoid([this, cycles](std::function<void()> cb) {
+        if (rec)
+            rec->gpuCompute(agent, cycles);
         if (snap && snap->replaying()) {
             if (snap->replayNext(agent, OpKind::GpuCompute)) {
                 cb();
@@ -311,6 +325,8 @@ AwaitVoid
 WaveCtx::acquire()
 {
     return AwaitVoid([this](std::function<void()> cb) {
+        if (rec)
+            rec->gpuAcquire(agent);
         if (snap && snap->replaying()) {
             if (snap->replayNext(agent, OpKind::GpuAcquire)) {
                 cb();
@@ -345,6 +361,8 @@ AwaitVoid
 WaveCtx::release()
 {
     return AwaitVoid([this](std::function<void()> cb) {
+        if (rec)
+            rec->gpuRelease(agent);
         if (snap && snap->replaying()) {
             if (snap->replayNext(agent, OpKind::GpuRelease)) {
                 cb();
@@ -391,11 +409,14 @@ GpuCu::runWavefront(unsigned wg_id,
     --_freeSlots;
     auto ctx = std::make_unique<WaveCtx>(*this, wg_id, lanes);
     ctx->setSnapshot(snap, agent_key);
+    ctx->setTraceRecorder(rec);
     WaveCtx *raw = ctx.get();
     live.push_back(std::move(ctx));
 
     SimTask task = body(*raw);
-    task.start([this, raw, on_done = std::move(on_done)] {
+    task.start([this, raw, agent_key, on_done = std::move(on_done)] {
+        if (rec)
+            rec->agentEnd(agent_key);
         ++_freeSlots;
         for (auto it = live.begin(); it != live.end(); ++it) {
             if (it->get() == raw) {

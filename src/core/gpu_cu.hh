@@ -26,6 +26,7 @@ namespace hsc
 
 class GpuCu;
 class SnapshotCoordinator;
+class TraceRecorder;
 
 /**
  * Execution context of one wavefront (= one workgroup in this model).
@@ -172,6 +173,13 @@ class WaveCtx
         agent = key;
     }
 
+    /** This wavefront's agent key: waveAgentKey(launch ordinal, wg).
+     *  Also the trace stream the wavefront records to / replays from. */
+    std::uint64_t agentKey() const { return agent; }
+
+    /** Trace capture wiring (null = off); set by GpuCu. */
+    void setTraceRecorder(TraceRecorder *r) { rec = r; }
+
   private:
     void maybeIfetch(std::function<void()> then);
 
@@ -191,6 +199,7 @@ class WaveCtx
     const unsigned wgId;
     const unsigned lanes;
     SnapshotCoordinator *snap = nullptr;
+    TraceRecorder *rec = nullptr;
     std::uint64_t agent = 0;
     Addr codePc;
     std::uint64_t opCount = 0;
@@ -238,6 +247,10 @@ class GpuCu : public Clocked
     /** Checkpoint wiring (null = disabled). */
     void setSnapshot(SnapshotCoordinator *s) { snap = s; }
 
+    /** Trace capture wiring (null = off): every wavefront this CU
+     *  starts records its ops, and an AgentEnd at completion. */
+    void setTraceRecorder(TraceRecorder *r) { rec = r; }
+
     TcpController &tcp() { return _tcp; }
     SqcController &sqc() { return _sqc; }
 
@@ -250,6 +263,7 @@ class GpuCu : public Clocked
     const unsigned lanes;
     const bool injectIfetches;
     SnapshotCoordinator *snap = nullptr;
+    TraceRecorder *rec = nullptr;
     unsigned _freeSlots;
 
     /** Contexts of in-flight wavefronts (freed on completion). */

@@ -6,8 +6,10 @@
 #include "core/coherence_checker.hh"
 #include "obs/sampler.hh"
 #include "obs/tracer.hh"
+#include "sim/hash.hh"
 #include "sim/sim_error.hh"
 #include "sim/snapshot.hh"
+#include "trace/trace_capture.hh"
 
 namespace hsc
 {
@@ -61,6 +63,10 @@ HsaSystem::validateConfig() const
              "%s: storageFault.ecc=false corrupts silently — only the "
              "coherence checker can catch it, so SystemConfig::check "
              "must stay on", cfg.name.c_str());
+    fatal_if(cfg.trace.enabled() && !cfg.ckpt.restorePath.empty(),
+             "%s: trace capture cannot start from a checkpoint restore "
+             "(the replayed prefix would be re-recorded); capture a "
+             "fresh run instead", cfg.name.c_str());
 }
 
 HsaSystem::HsaSystem(const SystemConfig &config)
@@ -311,6 +317,13 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             dmaEngine->setSnapshot(snapCoord.get());
     }
 
+    // Trace capture: attach after every recordable subsystem exists
+    // and before any thread registration or heap initialisation.
+    if (cfg.trace.enabled()) {
+        traceRec = std::make_unique<TraceRecorder>(cfg.trace.outPath);
+        attachTraceRecorder(traceRec.get());
+    }
+
     registry.addCounter(cfg.name + ".simTicks", &statSimTicks);
     registry.addCounter(cfg.name + ".cpuCycles", &statCpuCycles);
 
@@ -361,7 +374,83 @@ HsaSystem::HsaSystem(const SystemConfig &config)
     introspectables.push_back(dmaCtrl.get());
 }
 
-HsaSystem::~HsaSystem() = default;
+HsaSystem::~HsaSystem()
+{
+    // A run that failed (or was never run) still leaves a readable
+    // trace — just one without a reference outcome to assert against.
+    try {
+        sealTrace(/*with_reference=*/false);
+    } catch (const SimError &) {
+        // Destructor: a torn capture is detectable by the reader.
+    }
+}
+
+void
+HsaSystem::attachTraceRecorder(TraceRecorder *r)
+{
+    traceRecPtr = r;
+    if (!r)
+        return;
+    r->bindClock(&eq);
+    for (auto &c : cpuCtxs)
+        c->setTraceRecorder(r);
+    for (auto &cu : cus)
+        cu->setTraceRecorder(r);
+    dmaEngine->setTraceRecorder(r);
+}
+
+void
+HsaSystem::noteMemInit(Addr addr, unsigned size, std::uint64_t value)
+{
+    if (traceRecPtr)
+        traceRecPtr->memInit(addr, size, value);
+}
+
+void
+HsaSystem::sealTrace(bool with_reference)
+{
+    if (!traceRecPtr || traceSealed)
+        return;
+    traceSealed = true;
+    std::uint64_t image =
+        with_reference ? imageHash(HeapBase, heapNext) : 0;
+    traceRecPtr->finalize(numCpuThreads(), HeapBase, heapNext,
+                          with_reference, cyclesElapsed, image);
+}
+
+std::uint64_t
+HsaSystem::imageHash(Addr lo, Addr hi)
+{
+    // Same precedence as coherentPeek: an L2 copy (unique, or any of
+    // several identical shared copies) over the LLC copy over DRAM.
+    std::uint64_t h = FnvOffsetBasis;
+    for (Addr a = lo; a + 8 <= hi; a += 8) {
+        std::uint64_t w = 0;
+        bool found = false;
+        for (const auto &cp : corePairs) {
+            if (cp->hasLine(a)) {
+                w = cp->peekWord(a, 8);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (const DataBlock *b = dirFor(a).llc().peek(a)) {
+                w = b->get<std::uint64_t>(blockOffset(a));
+                found = true;
+            }
+        }
+        if (!found) {
+            w = mainMemory->functionalRead(blockAlign(a))
+                    .get<std::uint64_t>(blockOffset(a));
+        }
+        std::uint8_t bytes[8];
+        for (unsigned i = 0; i < 8; ++i)
+            bytes[i] = std::uint8_t(w >> (8 * i));
+        h = fnvBytes(bytes, 8, h);
+    }
+    return h;
+}
 
 void
 HsaSystem::dumpConfig(std::ostream &os) const
@@ -411,6 +500,8 @@ HsaSystem::addCpuThread(CpuThreadFn fn)
         kernelDispatcher.get(), cfg.injectIfetches));
     if (snapCoord)
         cpuCtxs.back()->setSnapshot(snapCoord.get());
+    if (traceRecPtr)
+        cpuCtxs.back()->setTraceRecorder(traceRecPtr);
     threadFns.push_back(std::move(fn));
 }
 
@@ -574,7 +665,13 @@ HsaSystem::run(Cycles max_cycles)
             eq.schedule(eq.curTick() + cpuClk.toTicks(Cycles(i)),
                         [this, i] {
                             SimTask task = threadFns[i](*cpuCtxs[i]);
-                            task.start([this] { --liveTasks; });
+                            task.start([this, i] {
+                                if (traceRecPtr) {
+                                    traceRecPtr->agentEnd(
+                                        cpuCtxs[i]->agentKey());
+                                }
+                                --liveTasks;
+                            });
                         },
                         EventPriority::Default, /*progress=*/true);
         }
@@ -745,6 +842,10 @@ HsaSystem::run(Cycles max_cycles)
             return false;
         }
     }
+
+    // Seal the capture with this run's reference outcome, so a replay
+    // of the trace can assert bit-identity against it.
+    sealTrace(/*with_reference=*/true);
     return true;
 }
 

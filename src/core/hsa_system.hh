@@ -44,6 +44,7 @@ class JsonValue;
 class ObsTracer;
 class ObsSampler;
 class SnapshotCoordinator;
+class TraceRecorder;
 
 /** Aggregate reliable-transport activity across every link. */
 struct TransportSummary
@@ -85,6 +86,7 @@ class HsaSystem
     writeWord(Addr addr, T v)
     {
         mainMemory->functionalWriteWord<T>(addr, v);
+        noteMemInit(addr, unsigned(sizeof(T)), std::uint64_t(v));
     }
 
     /**
@@ -207,6 +209,29 @@ class HsaSystem
     std::string checkpointNow();
     /** @} */
 
+    /** @{ Memory-trace capture (SystemConfig::trace, DESIGN.md §13).
+     *  The owned recorder exists iff trace.outPath is set; tests can
+     *  attach an external (in-memory) recorder instead.  Attach
+     *  before addCpuThread and before any writeWord so the MemInit
+     *  prologue and every thread are captured. */
+    void attachTraceRecorder(TraceRecorder *r);
+    TraceRecorder *traceRecorder() { return traceRecPtr; }
+
+    /** FNV-1a over the little-endian 8-byte words of [lo, hi): the
+     *  system-visible heap image (L2 copy over LLC copy over memory).
+     *  Quiescent-only; reads nothing through the timing paths. */
+    std::uint64_t imageHash(Addr lo, Addr hi);
+
+    /** The unified heap managed by alloc(). */
+    Addr heapBase() const { return HeapBase; }
+    Addr heapEnd() const { return heapNext; }
+
+    unsigned numCpuThreads() const
+    {
+        return unsigned(cpuCtxs.size());
+    }
+    /** @} */
+
     /** Walk every introspectable controller and link *now*. */
     HangReport buildHangReport(HangReport::Kind kind) const;
 
@@ -257,6 +282,13 @@ class HsaSystem
      *  poisoned result block must contain, not silently compare. */
     void notePoisonRead(Addr addr, const DataBlock &blk);
 
+    /** Trace capture of a functional heap init (no-op when off). */
+    void noteMemInit(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Seal the capture once (with the run's reference outcome on
+     *  success; without one from the destructor after a failure). */
+    void sealTrace(bool with_reference);
+
     /** @{ Checkpoint machinery (hsa_system_ckpt.cc). */
     void armCheckpoints();
     void scheduleCkptTrigger();
@@ -277,6 +309,9 @@ class HsaSystem
     ClockDomain gpuClk;
 
     std::unique_ptr<FaultInjector> faultInjector;
+    std::unique_ptr<TraceRecorder> traceRec; ///< owned capture sink
+    TraceRecorder *traceRecPtr = nullptr;    ///< owned or attached
+    bool traceSealed = false;
     std::unique_ptr<StorageFaultInjector> storagePtr;
     std::unique_ptr<SnapshotCoordinator> snapCoord;
     std::unique_ptr<CoherenceChecker> checkerPtr;
@@ -311,7 +346,8 @@ class HsaSystem
     ContainmentReport lastContainment;
     std::string lastError;
 
-    Addr heapNext = 0x100000;
+    static constexpr Addr HeapBase = 0x100000;
+    Addr heapNext = HeapBase;
     unsigned liveTasks = 0;
     bool watchdogTripped = false;
     bool degradedTripped = false;

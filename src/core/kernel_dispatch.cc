@@ -17,25 +17,27 @@ KernelDispatcher::KernelDispatcher(std::vector<GpuCu *> cus,
     reg.addCounter("gpu.workgroups", &statWorkgroups);
 }
 
-void
+std::uint64_t
 KernelDispatcher::launch(GpuKernel kernel,
                          std::function<void()> on_complete,
                          std::uint64_t agent_key)
 {
     if (snap && snap->replaying()) {
-        replayLaunch(std::move(kernel), std::move(on_complete), agent_key);
-        return;
+        return replayLaunch(std::move(kernel), std::move(on_complete),
+                            agent_key);
     }
     Active a;
     a.kernel = std::move(kernel);
     a.onComplete = std::move(on_complete);
     a.ordinal =
         snap ? snap->assignLaunchOrdinal(agent_key) : localNextOrdinal++;
+    std::uint64_t ordinal = a.ordinal;
     a.wgDone.assign(a.kernel.numWorkgroups, false);
     a.wgCu.assign(a.kernel.numWorkgroups, 0);
     pending.push_back(std::move(a));
     if (!running)
         startNext();
+    return ordinal;
 }
 
 void
@@ -163,7 +165,7 @@ KernelDispatcher::restore(const JsonValue &in)
         repPending.push_back(o.asUInt());
 }
 
-void
+std::uint64_t
 KernelDispatcher::replayLaunch(GpuKernel kernel,
                                std::function<void()> on_complete,
                                std::uint64_t agent_key)
@@ -178,7 +180,7 @@ KernelDispatcher::replayLaunch(GpuKernel kernel,
                                     /*live_slot=*/false, nullptr);
         }
         on_complete();
-        return;
+        return ord;
     }
 
     if (repRunning && ord == repOrdinal) {
@@ -216,7 +218,7 @@ KernelDispatcher::replayLaunch(GpuKernel kernel,
                     });
             }
         }
-        return;
+        return ord;
     }
 
     // Not yet started at the snapshot: re-queue in ordinal order
@@ -240,6 +242,7 @@ KernelDispatcher::replayLaunch(GpuKernel kernel,
     while (it != pending.end() && it->ordinal < ord)
         ++it;
     pending.insert(it, std::move(a));
+    return ord;
 }
 
 } // namespace hsc

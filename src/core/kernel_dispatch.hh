@@ -45,9 +45,12 @@ class KernelDispatcher
      * Enqueue @p kernel; @p on_complete fires after its release.
      * @p agent_key identifies the launching agent for checkpoint
      * replay (unused when checkpointing is off).
+     * @return the kernel's global launch ordinal (the basis of its
+     *         wavefronts' agent keys, and what trace capture records).
      */
-    void launch(GpuKernel kernel, std::function<void()> on_complete,
-                std::uint64_t agent_key = 0);
+    std::uint64_t launch(GpuKernel kernel,
+                         std::function<void()> on_complete,
+                         std::uint64_t agent_key = 0);
 
     bool idle() const { return !running && pending.empty(); }
     std::uint64_t kernelsLaunched() const { return statKernels.value(); }
@@ -80,8 +83,9 @@ class KernelDispatcher
     void finishKernel();
 
     /** Replay-mode launch: consult the restored dispatch cursor. */
-    void replayLaunch(GpuKernel kernel, std::function<void()> on_complete,
-                      std::uint64_t agent_key);
+    std::uint64_t replayLaunch(GpuKernel kernel,
+                               std::function<void()> on_complete,
+                               std::uint64_t agent_key);
 
     std::vector<GpuCu *> cus;
     std::deque<Active> pending;

@@ -70,6 +70,20 @@ struct CheckpointConfig
  * Full configuration of one simulated APU.
  * Defaults reproduce Tables II and III.
  */
+/**
+ * Memory-trace capture (src/trace).  When outPath is set, HsaSystem
+ * owns a TraceRecorder writing there; a successful run() seals the
+ * trace with its reference outcome (cycles + final heap image hash)
+ * so replay can assert bit-identity.  Incompatible with restoring
+ * from a checkpoint (a restored run would re-record replayed ops).
+ */
+struct TraceCaptureConfig
+{
+    std::string outPath;
+
+    bool enabled() const { return !outPath.empty(); }
+};
+
 struct SystemConfig
 {
     std::string name = "system";
@@ -158,6 +172,14 @@ struct SystemConfig
 
     /** Test-only seeded protocol bug (propagated to controllers). */
     SeededBug bug{};
+
+    /**
+     * Memory-trace capture (src/trace, DESIGN.md §13): record every
+     * CPU/GPU/DMA operation as it issues into an hsct binary trace,
+     * replayable via TraceWorkload.  Off by default — when off, no
+     * recorder object exists and the run is bit-identical to golden.
+     */
+    TraceCaptureConfig trace{};
 
     /**
      * Observability subsystem (src/obs): transaction-lifetime spans,

@@ -1,0 +1,121 @@
+#include "trace/champsim.hh"
+
+#include <istream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "sim/sim_error.hh"
+#include "trace/trace_io.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+constexpr Addr ImportHeapBase = 0x100000;
+
+[[noreturn]] void
+badLine(std::uint64_t line_no, const std::string &line,
+        const std::string &why)
+{
+    throw SimError("champsim import: line " + std::to_string(line_no) +
+                       " (" + line + "): " + why,
+                   "trace");
+}
+
+} // namespace
+
+std::uint64_t
+convertChampSim(std::istream &in, std::ostream &out,
+                const ChampSimOptions &opts)
+{
+    if (opts.workingSetBytes < BlockSizeBytes ||
+        opts.workingSetBytes % BlockSizeBytes != 0) {
+        throw SimError("champsim import: working set must be a "
+                       "positive multiple of 64 bytes",
+                       "trace");
+    }
+
+    TraceWriter w(out);
+    std::map<std::uint64_t, Tick> clocks;         // dense tid -> tick
+    std::map<std::uint64_t, std::uint64_t> remap; // foreign -> dense tid
+    std::uint64_t converted = 0;
+    std::uint64_t lineNo = 0;
+    std::string line;
+    std::uint64_t valueSeed = 0x1D1;
+
+    while (std::getline(in, line)) {
+        ++lineNo;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::uint64_t tid;
+        std::string kind, addrTok;
+        if (!(ls >> tid))
+            continue; // blank or comment-only line
+        if (!(ls >> kind >> addrTok))
+            badLine(lineNo, line, "expected '<tid> R|W <hex-addr>'");
+        if (kind != "R" && kind != "W" && kind != "r" && kind != "w")
+            badLine(lineNo, line, "access kind must be R or W");
+
+        std::uint64_t addr = 0;
+        try {
+            std::size_t used = 0;
+            addr = std::stoull(addrTok, &used, 16);
+            if (used != addrTok.size())
+                badLine(lineNo, line, "bad hex address");
+        } catch (const std::logic_error &) {
+            badLine(lineNo, line, "bad hex address");
+        }
+
+        unsigned size = opts.defaultSize;
+        std::uint64_t sizeTok;
+        if (ls >> sizeTok) {
+            if (sizeTok != 1 && sizeTok != 2 && sizeTok != 4 &&
+                sizeTok != 8) {
+                badLine(lineNo, line, "size must be 1, 2, 4 or 8");
+            }
+            size = unsigned(sizeTok);
+        }
+
+        // Fold into the heap window, preserving relative locality,
+        // and realign for the access size.
+        Addr folded = ImportHeapBase + (addr % opts.workingSetBytes);
+        folded -= folded % size;
+
+        // Foreign thread ids may be sparse; replay threads are dense.
+        std::uint64_t dense =
+            remap.try_emplace(tid, remap.size()).first->second;
+        Tick &clk = clocks[dense];
+        clk += opts.opGap;
+
+        TraceRecord r;
+        r.agent = dense;
+        r.tick = clk;
+        r.addr = folded;
+        r.size = size;
+        if (kind == "R" || kind == "r") {
+            r.op = TraceOp::CpuLoad;
+        } else {
+            r.op = TraceOp::CpuStore;
+            valueSeed = valueSeed * 6364136223846793005ull + 1442695040888963407ull;
+            r.value = valueSeed;
+        }
+        w.append(r);
+        ++converted;
+    }
+    if (converted == 0)
+        throw SimError("champsim import: no accesses in input", "trace");
+
+    for (const auto &[tid, clk] : clocks)
+        w.agentEnd(tid, clk + 1);
+
+    w.finalize(std::uint32_t(remap.size()), ImportHeapBase,
+               ImportHeapBase + opts.workingSetBytes, false, 0, 0);
+    return converted;
+}
+
+} // namespace hsc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Importer for ChampSim-style text memory traces.
+ *
+ * Accepts the common textual interchange shape — one access per line,
+ * `<tid> R|W <hex-addr> [size]`, `#` comments — and converts it to an
+ * hsct binary trace: thread ids become CPU agent streams, addresses
+ * fold into a configurable working-set window of the simulated heap
+ * (preserving relative locality), and ticks advance synthetically per
+ * thread.  The output replays through TraceWorkload like any capture.
+ */
+
+#ifndef HSC_TRACE_CHAMPSIM_HH
+#define HSC_TRACE_CHAMPSIM_HH
+
+#include <iosfwd>
+
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+struct ChampSimOptions
+{
+    /** Foreign addresses fold into [heapBase, heapBase + this). */
+    std::uint64_t workingSetBytes = 1ull << 20;
+
+    /** Synthetic ticks between a thread's consecutive accesses. */
+    unsigned opGap = 2;
+
+    /** Default access size when a line omits it. */
+    unsigned defaultSize = 8;
+};
+
+/**
+ * Convert the text trace on @p in to an hsct trace on @p out.
+ * Malformed input raises SimError (category "trace") naming the line.
+ * @return number of accesses converted.
+ */
+std::uint64_t convertChampSim(std::istream &in, std::ostream &out,
+                              const ChampSimOptions &opts = {});
+
+} // namespace hsc
+
+#endif // HSC_TRACE_CHAMPSIM_HH

@@ -1,0 +1,443 @@
+#include "trace/scenario.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/snapshot.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_workload.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+constexpr Addr ScenarioHeapBase = 0x100000;
+
+/** Zipfian block sampler: rank r drawn with weight 1/(r+1)^alpha,
+ *  then mapped to a block through a phase-specific affine shuffle so
+ *  each phase heats a different part of the working set. */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(unsigned blocks, double alpha) : n(blocks)
+    {
+        cdf.reserve(n);
+        double sum = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            sum += alpha == 0 ? 1.0 : 1.0 / std::pow(double(i + 1), alpha);
+            cdf.push_back(sum);
+        }
+        for (double &c : cdf)
+            c /= sum;
+    }
+
+    unsigned
+    sample(Rng &rng, unsigned phase) const
+    {
+        double u = rng.uniform();
+        auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        auto rank = unsigned(it - cdf.begin());
+        if (rank >= n)
+            rank = n - 1;
+        // Affine shuffle: odd multiplier, phase-dependent offset.
+        return unsigned((std::uint64_t(rank) * 2654435761u +
+                         std::uint64_t(phase) * 40503u) %
+                        n);
+    }
+
+  private:
+    unsigned n;
+    std::vector<double> cdf;
+};
+
+constexpr AtomicOp AmoChoices[] = {
+    AtomicOp::Add, AtomicOp::Exch, AtomicOp::Cas, AtomicOp::Min,
+    AtomicOp::Max, AtomicOp::Or,   AtomicOp::And,
+};
+
+/** Per-agent synthetic clock implementing the burst shape.  Ticks
+ *  only order records in the file (replay is self-timed), but a
+ *  realistic interleave keeps the reader's look-ahead window small. */
+struct AgentClock
+{
+    Tick t = 0;
+    unsigned inBurst = 0;
+
+    Tick
+    step(const ScenarioConfig &cfg)
+    {
+        t += cfg.opGap;
+        if (++inBurst >= cfg.burstLen) {
+            inBurst = 0;
+            t += cfg.burstGap;
+        }
+        return t;
+    }
+};
+
+unsigned
+alignedOffset(Rng &rng, unsigned size)
+{
+    return unsigned(rng.below(BlockSizeBytes / size)) * size;
+}
+
+} // namespace
+
+ScenarioConfig
+scenarioFromSeed(std::uint64_t seed)
+{
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 0x5CE9A51);
+    ScenarioConfig c;
+    c.seed = seed;
+    c.cpuThreads = unsigned(rng.range(1, 6));
+    c.gpuKernels = unsigned(rng.range(0, 3));
+    c.workgroupsPerKernel = unsigned(rng.range(2, 8));
+    c.opsPerCpuThread = unsigned(rng.range(32, 160));
+    c.opsPerWave = unsigned(rng.range(16, 96));
+    c.workingSetBytes = rng.range(4, 64) * 1024;
+    static const double alphas[] = {0.0, 0.5, 0.9, 1.2};
+    c.zipfAlpha = alphas[rng.below(4)];
+    c.readPct = unsigned(rng.range(30, 80));
+    c.atomicPct = unsigned(rng.range(0, 25));
+    c.vectorPct = unsigned(rng.range(0, 60));
+    c.sharedPct = unsigned(rng.range(10, 60));
+    c.dmaPct = unsigned(rng.range(0, 10));
+    c.phases = unsigned(rng.range(1, 3));
+    c.opGap = unsigned(rng.range(1, 4));
+    c.burstLen = unsigned(rng.range(8, 32));
+    c.burstGap = unsigned(rng.range(50, 400));
+    c.producerConsumer = rng.chance(25);
+    return c;
+}
+
+std::string
+describeScenario(const ScenarioConfig &cfg)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "seed=%llu cpu=%u gpu=%ux%u ops=%u/%u ws=%lluK "
+                  "zipf=%.1f r=%u%% amo=%u%% vec=%u%% shared=%u%% "
+                  "dma=%u%% phases=%u burst=%u/%u%s",
+                  (unsigned long long)cfg.seed, cfg.cpuThreads,
+                  cfg.gpuKernels, cfg.workgroupsPerKernel,
+                  cfg.opsPerCpuThread, cfg.opsPerWave,
+                  (unsigned long long)(cfg.workingSetBytes / 1024),
+                  cfg.zipfAlpha, cfg.readPct, cfg.atomicPct,
+                  cfg.vectorPct, cfg.sharedPct, cfg.dmaPct, cfg.phases,
+                  cfg.burstLen, cfg.burstGap,
+                  cfg.producerConsumer ? " prodcons" : "");
+    return buf;
+}
+
+namespace
+{
+
+/** The block index an op of @p agentSlot targets in @p phase. */
+unsigned
+pickBlock(Rng &rng, const ZipfSampler &zipf, const ScenarioConfig &cfg,
+          unsigned sharedBlocks, unsigned privBlocks,
+          unsigned agentSlot, unsigned totalSlots, unsigned phase)
+{
+    if (rng.chance(cfg.sharedPct) || privBlocks == 0) {
+        // Shared slice: zipf-skewed over [0, sharedBlocks).
+        return zipf.sample(rng, phase) % sharedBlocks;
+    }
+    unsigned base = sharedBlocks + (agentSlot % totalSlots) * privBlocks;
+    return base + unsigned(rng.below(privBlocks));
+}
+
+} // namespace
+
+void
+generateScenarioTrace(const ScenarioConfig &cfg, std::ostream &os)
+{
+    fatal_if(cfg.cpuThreads == 0, "scenario: cpuThreads must be >= 1");
+    fatal_if(cfg.workingSetBytes < 32 * BlockSizeBytes,
+             "scenario: working set below 2K");
+
+    const auto nblocks = unsigned(cfg.workingSetBytes / BlockSizeBytes);
+    const unsigned sharedBlocks = std::max(1u, nblocks / 4);
+    const unsigned totalWaves =
+        cfg.gpuKernels * cfg.workgroupsPerKernel;
+    const unsigned totalSlots = cfg.cpuThreads + std::max(1u, totalWaves);
+    const unsigned privBlocks = (nblocks - sharedBlocks) / totalSlots;
+
+    Rng rng(cfg.seed ^ 0x5CE2A210ull);
+    ZipfSampler zipf(sharedBlocks, cfg.zipfAlpha);
+
+    TraceWriter w(os);
+
+    // Seed a quarter of the shared slice so reads observe nonzero
+    // data from tick 0 (and the MemInit path gets exercised).
+    for (unsigned b = 0; b < sharedBlocks; b += 4) {
+        w.memInit(ScenarioHeapBase + Addr(b) * BlockSizeBytes, 8,
+                  rng.next());
+    }
+
+    std::vector<std::vector<TraceRecord>> lists;
+
+    const auto blockAddr = [&](unsigned blk) {
+        return ScenarioHeapBase + Addr(blk) * BlockSizeBytes;
+    };
+
+    // ---- CPU threads ------------------------------------------------
+    std::vector<Tick> launchTick(cfg.gpuKernels, 0);
+    std::vector<bool> launchAsync(cfg.gpuKernels, false);
+    for (unsigned t = 0; t < cfg.cpuThreads; ++t) {
+        std::vector<TraceRecord> ops;
+        AgentClock clk;
+        clk.t = t; // stagger like HsaSystem's thread start
+        const unsigned phaseLen =
+            std::max(1u, cfg.opsPerCpuThread / cfg.phases);
+        unsigned launched = 0;
+        bool anyAsync = false;
+        for (unsigned i = 0; i < cfg.opsPerCpuThread; ++i) {
+            unsigned phase = std::min(i / phaseLen, cfg.phases - 1);
+            TraceRecord r;
+            r.agent = t;
+            r.tick = clk.step(cfg);
+
+            // Thread 0 owns the kernel launches, spread evenly.
+            if (t == 0 && launched < cfg.gpuKernels &&
+                i == (launched + 1) * cfg.opsPerCpuThread /
+                         (cfg.gpuKernels + 1)) {
+                r.op = TraceOp::KernelLaunch;
+                r.value = launched; // ordinal: sole launcher => index
+                r.value2 = cfg.workgroupsPerKernel;
+                r.flag = rng.chance(50);
+                launchAsync[launched] = r.flag;
+                launchTick[launched] = r.tick;
+                anyAsync = anyAsync || r.flag;
+                if (!r.flag) {
+                    // Sync launch: the thread stalls for the kernel.
+                    clk.t += Tick(cfg.opsPerWave) * cfg.opGap + 10;
+                }
+                ++launched;
+                ops.push_back(r);
+                continue;
+            }
+
+            if (t == 0 && rng.chance(cfg.dmaPct)) {
+                unsigned kind = unsigned(rng.below(4));
+                unsigned src = unsigned(rng.below(nblocks));
+                unsigned dst = unsigned(rng.below(nblocks));
+                if (kind == 0) {
+                    r.op = TraceOp::DmaRead;
+                    r.addr = blockAddr(src);
+                } else if (kind == 1) {
+                    r.op = TraceOp::DmaWrite;
+                    r.addr = blockAddr(dst);
+                    r.mask = FullMask;
+                    for (auto &byte : r.data)
+                        byte = std::uint8_t(rng.next());
+                } else {
+                    r.op = TraceOp::DmaCopy;
+                    unsigned blksLeft = nblocks - std::max(src, dst);
+                    unsigned blks =
+                        unsigned(rng.range(1, std::min(4u, blksLeft)));
+                    r.addr = blockAddr(dst);
+                    r.addr2 = blockAddr(src);
+                    r.value2 = Addr(blks) * BlockSizeBytes;
+                }
+                ops.push_back(r);
+                continue;
+            }
+
+            if (rng.chance(5)) {
+                r.op = TraceOp::CpuCompute;
+                r.value = rng.range(1, 20);
+                ops.push_back(r);
+                continue;
+            }
+
+            unsigned blk;
+            bool read;
+            if (cfg.producerConsumer && rng.chance(70)) {
+                // Mailbox fan-out in the shared slice: producers
+                // (even slots) write, consumers read.
+                blk = unsigned(rng.below(sharedBlocks));
+                read = (t % 2) != 0;
+            } else {
+                blk = pickBlock(rng, zipf, cfg, sharedBlocks,
+                                privBlocks, t, totalSlots, phase);
+                read = rng.chance(cfg.readPct);
+            }
+            static const unsigned sizes[] = {1, 2, 4, 8};
+            unsigned size = sizes[rng.below(4)];
+            r.addr = blockAddr(blk) + alignedOffset(rng, size);
+            r.size = size;
+            if (read) {
+                r.op = TraceOp::CpuLoad;
+            } else if (rng.chance(cfg.atomicPct)) {
+                r.op = TraceOp::CpuAmo;
+                r.size = 8;
+                r.addr = blockAddr(blk) + alignedOffset(rng, 8);
+                r.amo = AmoChoices[rng.below(7)];
+                r.value = rng.next();
+                r.value2 = r.amo == AtomicOp::Cas ? rng.next() : 0;
+            } else {
+                r.op = TraceOp::CpuStore;
+                r.value = rng.next();
+            }
+            ops.push_back(r);
+        }
+        if (t == 0 && anyAsync) {
+            TraceRecord r;
+            r.op = TraceOp::KernelWait;
+            r.agent = t;
+            r.tick = clk.step(cfg);
+            ops.push_back(r);
+        }
+        {
+            TraceRecord r;
+            r.op = TraceOp::AgentEnd;
+            r.agent = t;
+            r.tick = clk.step(cfg);
+            ops.push_back(r);
+        }
+        lists.push_back(std::move(ops));
+    }
+
+    // ---- GPU wavefronts ---------------------------------------------
+    for (unsigned k = 0; k < cfg.gpuKernels; ++k) {
+        for (unsigned wg = 0; wg < cfg.workgroupsPerKernel; ++wg) {
+            std::vector<TraceRecord> ops;
+            AgentClock clk;
+            clk.t = launchTick[k] + 1 + wg;
+            const std::uint64_t agent = waveAgentKey(k, wg);
+            const unsigned slot =
+                cfg.cpuThreads + k * cfg.workgroupsPerKernel + wg;
+            const unsigned phaseLen =
+                std::max(1u, cfg.opsPerWave / cfg.phases);
+            for (unsigned i = 0; i < cfg.opsPerWave; ++i) {
+                unsigned phase = std::min(i / phaseLen, cfg.phases - 1);
+                TraceRecord r;
+                r.agent = agent;
+                r.tick = clk.step(cfg);
+
+                if (rng.chance(5)) {
+                    r.op = TraceOp::GpuCompute;
+                    r.value = rng.range(1, 10);
+                    ops.push_back(r);
+                    continue;
+                }
+                if (rng.chance(3)) {
+                    r.op = rng.chance(50) ? TraceOp::GpuAcquire
+                                          : TraceOp::GpuRelease;
+                    ops.push_back(r);
+                    continue;
+                }
+                if (rng.chance(cfg.vectorPct)) {
+                    bool wide = rng.chance(40);
+                    unsigned stride = wide ? BlockSizeBytes : 4;
+                    unsigned span = wide ? cfg.lanes : 1;
+                    unsigned blk = unsigned(
+                        rng.below(std::max(1u, nblocks - span)));
+                    r.addr = blockAddr(blk);
+                    r.value = stride;
+                    r.size = 4;
+                    if (rng.chance(50)) {
+                        r.op = TraceOp::GpuVload;
+                    } else {
+                        r.op = TraceOp::GpuVstore;
+                        r.lanes.resize(cfg.lanes);
+                        for (auto &v : r.lanes)
+                            v = rng.next() & 0xFFFFFFFFull;
+                    }
+                    ops.push_back(r);
+                    continue;
+                }
+
+                unsigned blk;
+                bool read;
+                if (cfg.producerConsumer && rng.chance(70)) {
+                    blk = unsigned(rng.below(sharedBlocks));
+                    read = (slot % 2) != 0;
+                } else {
+                    blk = pickBlock(rng, zipf, cfg,
+                                    sharedBlocks, privBlocks, slot,
+                                    totalSlots, phase);
+                    read = rng.chance(cfg.readPct);
+                }
+                unsigned size = rng.chance(30) ? 8 : 4;
+                r.addr = blockAddr(blk) + alignedOffset(rng, size);
+                r.size = size;
+                Scope scope = Scope::Wave;
+                unsigned sd = unsigned(rng.below(10));
+                if (sd >= 9)
+                    scope = Scope::System;
+                else if (sd >= 7)
+                    scope = Scope::Device;
+                if (read) {
+                    r.op = TraceOp::GpuLoad;
+                    r.scope = scope;
+                } else if (rng.chance(cfg.atomicPct)) {
+                    r.op = TraceOp::GpuAmo;
+                    r.size = 4;
+                    r.addr = blockAddr(blk) + alignedOffset(rng, 4);
+                    r.scope = Scope::System;
+                    r.amo = AmoChoices[rng.below(7)];
+                    r.value = rng.next() & 0xFFFFFFFFull;
+                    r.value2 = r.amo == AtomicOp::Cas
+                                   ? rng.next() & 0xFFFFFFFFull
+                                   : 0;
+                } else {
+                    r.op = TraceOp::GpuStore;
+                    r.value = rng.next() & 0xFFFFFFFFull;
+                    r.scope = scope;
+                }
+                ops.push_back(r);
+            }
+            {
+                TraceRecord r;
+                r.op = TraceOp::AgentEnd;
+                r.agent = agent;
+                r.tick = clk.step(cfg);
+                ops.push_back(r);
+            }
+            lists.push_back(std::move(ops));
+        }
+    }
+
+    // ---- k-way merge by synthetic tick ------------------------------
+    // File order tracks the likely consumption order, keeping the
+    // reader's look-ahead window shallow.
+    std::vector<std::size_t> cursor(lists.size(), 0);
+    while (true) {
+        std::size_t best = lists.size();
+        for (std::size_t a = 0; a < lists.size(); ++a) {
+            if (cursor[a] >= lists[a].size())
+                continue;
+            if (best == lists.size() ||
+                lists[a][cursor[a]].tick <
+                    lists[best][cursor[best]].tick) {
+                best = a;
+            }
+        }
+        if (best == lists.size())
+            break;
+        w.append(lists[best][cursor[best]++]);
+    }
+
+    w.finalize(cfg.cpuThreads, ScenarioHeapBase,
+               ScenarioHeapBase + cfg.workingSetBytes, false, 0, 0);
+}
+
+std::unique_ptr<Workload>
+makeScenarioWorkload(const ScenarioConfig &cfg, const WorkloadParams &p)
+{
+    auto buf = std::make_shared<std::stringstream>(
+        std::ios::binary | std::ios::in | std::ios::out);
+    generateScenarioTrace(cfg, *buf);
+    buf->seekg(0);
+    return std::make_unique<TraceWorkload>(p, buf);
+}
+
+} // namespace hsc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Seeded synthetic scenario generator (DESIGN.md §13.4).
+ *
+ * A ScenarioConfig fully determines one synthetic traffic shape:
+ * zipfian address skew over a per-scenario working set, bursty
+ * arrivals, read/write/atomic/vector mix, phase changes that re-skew
+ * the hot set mid-run, shared vs per-agent slices, optional
+ * producer/consumer fan-out and DMA traffic.  generateScenarioTrace()
+ * emits it as an ordinary hsct trace, so every scenario replays
+ * through the standard TraceWorkload frontend — checker, obs and all —
+ * and shrinks like any other trace.  Same config, same bytes, always.
+ */
+
+#ifndef HSC_TRACE_SCENARIO_HH
+#define HSC_TRACE_SCENARIO_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+class Workload;
+struct WorkloadParams;
+
+/** Every knob of one synthetic scenario.  All fields are derived from
+ *  the seed by scenarioFromSeed(), or can be set by hand. */
+struct ScenarioConfig
+{
+    std::uint64_t seed = 1;
+
+    unsigned cpuThreads = 4;
+    unsigned gpuKernels = 2;         ///< launched by thread 0
+    unsigned workgroupsPerKernel = 4;
+    unsigned lanes = 16;             ///< must match the replay config
+
+    unsigned opsPerCpuThread = 64;
+    unsigned opsPerWave = 32;
+
+    std::uint64_t workingSetBytes = 16384; ///< block-aligned
+    double zipfAlpha = 0.9;          ///< 0 = uniform
+    unsigned readPct = 60;
+    unsigned atomicPct = 10;         ///< of non-read ops
+    unsigned vectorPct = 40;         ///< of GPU ops
+    unsigned sharedPct = 30;         ///< ops landing in the shared slice
+    unsigned dmaPct = 5;             ///< thread-0 op slots becoming DMA
+    unsigned phases = 1;             ///< mid-run hot-set re-skews
+
+    /** Arrival shaping: @p burstLen back-to-back ops separated by
+     *  @p opGap ticks, then a @p burstGap pause. */
+    unsigned opGap = 2;
+    unsigned burstLen = 16;
+    unsigned burstGap = 200;
+
+    /** Even agents write / odd agents read a shared mailbox slice. */
+    bool producerConsumer = false;
+};
+
+/** Derive a full config from one seed (the scenario fleet's axis). */
+ScenarioConfig scenarioFromSeed(std::uint64_t seed);
+
+/** One line: "seed=7 cpu=4 gpu=2x4 ws=16K zipf=0.9 ...". */
+std::string describeScenario(const ScenarioConfig &cfg);
+
+/** Emit the scenario as an hsct trace on @p os. */
+void generateScenarioTrace(const ScenarioConfig &cfg, std::ostream &os);
+
+/** Generate in memory and wrap in a TraceWorkload, ready to run. */
+std::unique_ptr<Workload> makeScenarioWorkload(const ScenarioConfig &cfg,
+                                               const WorkloadParams &p);
+
+} // namespace hsc
+
+#endif // HSC_TRACE_SCENARIO_HH

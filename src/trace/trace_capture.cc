@@ -1,0 +1,239 @@
+#include "trace/trace_capture.hh"
+
+#include <cstring>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+TraceRecorder::TraceRecorder()
+    : mem(std::make_unique<std::ostringstream>(
+          std::ios::binary | std::ios::out)),
+      writer(std::make_unique<TraceWriter>(*mem))
+{
+}
+
+TraceRecorder::TraceRecorder(const std::string &path)
+    : writer(std::make_unique<TraceWriter>(path))
+{
+}
+
+Tick
+TraceRecorder::now() const
+{
+    panic_if(!clock, "trace recorder used before bindClock()");
+    return clock->curTick();
+}
+
+TraceRecord
+TraceRecorder::stamp(TraceOp op, std::uint64_t agent) const
+{
+    TraceRecord r;
+    r.op = op;
+    r.agent = agent;
+    r.tick = now();
+    return r;
+}
+
+void
+TraceRecorder::memInit(Addr addr, unsigned size, std::uint64_t value)
+{
+    writer->memInit(addr, size, value);
+}
+
+void
+TraceRecorder::cpuLoad(std::uint64_t agent, Addr addr, unsigned size)
+{
+    TraceRecord r = stamp(TraceOp::CpuLoad, agent);
+    r.addr = addr;
+    r.size = size;
+    writer->append(r);
+}
+
+void
+TraceRecorder::cpuStore(std::uint64_t agent, Addr addr, unsigned size,
+                        std::uint64_t value)
+{
+    TraceRecord r = stamp(TraceOp::CpuStore, agent);
+    r.addr = addr;
+    r.size = size;
+    r.value = value;
+    writer->append(r);
+}
+
+void
+TraceRecorder::cpuAmo(std::uint64_t agent, Addr addr, unsigned size,
+                      AtomicOp op, std::uint64_t operand,
+                      std::uint64_t operand2)
+{
+    TraceRecord r = stamp(TraceOp::CpuAmo, agent);
+    r.addr = addr;
+    r.size = size;
+    r.amo = op;
+    r.value = operand;
+    r.value2 = operand2;
+    writer->append(r);
+}
+
+void
+TraceRecorder::cpuCompute(std::uint64_t agent, Cycles cycles)
+{
+    TraceRecord r = stamp(TraceOp::CpuCompute, agent);
+    r.value = cycles;
+    writer->append(r);
+}
+
+void
+TraceRecorder::kernelLaunch(std::uint64_t agent, std::uint64_t ordinal,
+                            std::uint64_t workgroups, bool async)
+{
+    TraceRecord r = stamp(TraceOp::KernelLaunch, agent);
+    r.value = ordinal;
+    r.value2 = workgroups;
+    r.flag = async;
+    writer->append(r);
+}
+
+void
+TraceRecorder::kernelWait(std::uint64_t agent)
+{
+    writer->append(stamp(TraceOp::KernelWait, agent));
+}
+
+void
+TraceRecorder::gpuVload(std::uint64_t agent, Addr base, Addr stride,
+                        unsigned size)
+{
+    TraceRecord r = stamp(TraceOp::GpuVload, agent);
+    r.addr = base;
+    r.value = stride;
+    r.size = size;
+    writer->append(r);
+}
+
+void
+TraceRecorder::gpuVstore(std::uint64_t agent, Addr base, Addr stride,
+                         unsigned size,
+                         const std::vector<std::uint64_t> &lanes)
+{
+    TraceRecord r = stamp(TraceOp::GpuVstore, agent);
+    r.addr = base;
+    r.value = stride;
+    r.size = size;
+    r.lanes = lanes;
+    writer->append(r);
+}
+
+void
+TraceRecorder::gpuLoad(std::uint64_t agent, Addr addr, unsigned size,
+                       Scope scope)
+{
+    TraceRecord r = stamp(TraceOp::GpuLoad, agent);
+    r.addr = addr;
+    r.size = size;
+    r.scope = scope;
+    writer->append(r);
+}
+
+void
+TraceRecorder::gpuStore(std::uint64_t agent, Addr addr, unsigned size,
+                        std::uint64_t value, Scope scope)
+{
+    TraceRecord r = stamp(TraceOp::GpuStore, agent);
+    r.addr = addr;
+    r.size = size;
+    r.value = value;
+    r.scope = scope;
+    writer->append(r);
+}
+
+void
+TraceRecorder::gpuAmo(std::uint64_t agent, Addr addr, unsigned size,
+                      Scope scope, AtomicOp op, std::uint64_t operand,
+                      std::uint64_t operand2)
+{
+    TraceRecord r = stamp(TraceOp::GpuAmo, agent);
+    r.addr = addr;
+    r.size = size;
+    r.scope = scope;
+    r.amo = op;
+    r.value = operand;
+    r.value2 = operand2;
+    writer->append(r);
+}
+
+void
+TraceRecorder::gpuCompute(std::uint64_t agent, Cycles cycles)
+{
+    TraceRecord r = stamp(TraceOp::GpuCompute, agent);
+    r.value = cycles;
+    writer->append(r);
+}
+
+void
+TraceRecorder::gpuAcquire(std::uint64_t agent)
+{
+    writer->append(stamp(TraceOp::GpuAcquire, agent));
+}
+
+void
+TraceRecorder::gpuRelease(std::uint64_t agent)
+{
+    writer->append(stamp(TraceOp::GpuRelease, agent));
+}
+
+void
+TraceRecorder::dmaRead(std::uint64_t agent, Addr addr)
+{
+    TraceRecord r = stamp(TraceOp::DmaRead, agent);
+    r.addr = addr;
+    writer->append(r);
+}
+
+void
+TraceRecorder::dmaWrite(std::uint64_t agent, Addr addr,
+                        const DataBlock &data, ByteMask mask)
+{
+    TraceRecord r = stamp(TraceOp::DmaWrite, agent);
+    r.addr = addr;
+    std::memcpy(r.data.data(), data.raw(), BlockSizeBytes);
+    r.mask = mask;
+    writer->append(r);
+}
+
+void
+TraceRecorder::dmaCopy(std::uint64_t agent, Addr dst, Addr src,
+                       std::uint64_t bytes)
+{
+    TraceRecord r = stamp(TraceOp::DmaCopy, agent);
+    r.addr = dst;
+    r.addr2 = src;
+    r.value2 = bytes;
+    writer->append(r);
+}
+
+void
+TraceRecorder::agentEnd(std::uint64_t agent)
+{
+    writer->agentEnd(agent, now());
+}
+
+void
+TraceRecorder::finalize(std::uint32_t num_cpu_threads, Addr heap_base,
+                        Addr heap_end, bool has_reference,
+                        Cycles ref_cycles, std::uint64_t ref_image_hash)
+{
+    writer->finalize(num_cpu_threads, heap_base, heap_end,
+                     has_reference, ref_cycles, ref_image_hash);
+}
+
+std::string
+TraceRecorder::buffer() const
+{
+    panic_if(!mem, "buffer() on a file-backed trace recorder");
+    return mem->str();
+}
+
+} // namespace hsc

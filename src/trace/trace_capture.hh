@@ -1,0 +1,106 @@
+/**
+ * @file
+ * TraceRecorder: the capture side of the trace frontend.
+ *
+ * The core issue paths (CpuCtx/WaveCtx op start, DmaEngine attributed
+ * ops) call one recorder method per operation as it issues; the
+ * recorder timestamps it from the bound event queue and appends it to
+ * a TraceWriter.  Recording happens at the *top* of each op — before
+ * any snapshot drain/park branch — so each op is captured exactly once
+ * in per-agent program order even across checkpoint boundaries.
+ *
+ * A recorder either writes straight to a file (capture runs) or into
+ * an in-memory buffer (tests, capture→replay round-trips without
+ * touching the filesystem).
+ */
+
+#ifndef HSC_TRACE_TRACE_CAPTURE_HH
+#define HSC_TRACE_TRACE_CAPTURE_HH
+
+#include <memory>
+#include <sstream>
+
+#include "trace/trace_io.hh"
+
+namespace hsc
+{
+
+class EventQueue;
+
+class TraceRecorder
+{
+  public:
+    /** Record into an in-memory buffer (see buffer()). */
+    TraceRecorder();
+
+    /** Record into the file at @p path. */
+    explicit TraceRecorder(const std::string &path);
+
+    /** Ticks for all subsequent records come from @p eq. */
+    void bindClock(const EventQueue *eq) { clock = eq; }
+
+    /** Functional init of a heap word (prologue; before run). */
+    void memInit(Addr addr, unsigned size, std::uint64_t value);
+
+    // CPU thread ops (agent key == tid)
+    void cpuLoad(std::uint64_t agent, Addr addr, unsigned size);
+    void cpuStore(std::uint64_t agent, Addr addr, unsigned size,
+                  std::uint64_t value);
+    void cpuAmo(std::uint64_t agent, Addr addr, unsigned size,
+                AtomicOp op, std::uint64_t operand,
+                std::uint64_t operand2);
+    void cpuCompute(std::uint64_t agent, Cycles cycles);
+    void kernelLaunch(std::uint64_t agent, std::uint64_t ordinal,
+                      std::uint64_t workgroups, bool async);
+    void kernelWait(std::uint64_t agent);
+
+    // GPU wavefront ops (agent key == waveAgentKey(ordinal, wg))
+    void gpuVload(std::uint64_t agent, Addr base, Addr stride,
+                  unsigned size);
+    void gpuVstore(std::uint64_t agent, Addr base, Addr stride,
+                   unsigned size,
+                   const std::vector<std::uint64_t> &lanes);
+    void gpuLoad(std::uint64_t agent, Addr addr, unsigned size,
+                 Scope scope);
+    void gpuStore(std::uint64_t agent, Addr addr, unsigned size,
+                  std::uint64_t value, Scope scope);
+    void gpuAmo(std::uint64_t agent, Addr addr, unsigned size,
+                Scope scope, AtomicOp op, std::uint64_t operand,
+                std::uint64_t operand2);
+    void gpuCompute(std::uint64_t agent, Cycles cycles);
+    void gpuAcquire(std::uint64_t agent);
+    void gpuRelease(std::uint64_t agent);
+
+    // Attributed DMA ops (recorded on the issuing CPU thread's stream)
+    void dmaRead(std::uint64_t agent, Addr addr);
+    void dmaWrite(std::uint64_t agent, Addr addr, const DataBlock &data,
+                  ByteMask mask);
+    void dmaCopy(std::uint64_t agent, Addr dst, Addr src,
+                 std::uint64_t bytes);
+
+    /** The agent issued its last op; terminates its stream. */
+    void agentEnd(std::uint64_t agent);
+
+    /** Seal the trace (idempotent).  @p has_reference stamps the
+     *  capture's outcome so replay can assert bit-identity. */
+    void finalize(std::uint32_t num_cpu_threads, Addr heap_base,
+                  Addr heap_end, bool has_reference, Cycles ref_cycles,
+                  std::uint64_t ref_image_hash);
+
+    /** In-memory mode only: the encoded trace bytes so far. */
+    std::string buffer() const;
+
+    std::uint64_t recordCount() const { return writer->recordCount(); }
+
+  private:
+    Tick now() const;
+    TraceRecord stamp(TraceOp op, std::uint64_t agent) const;
+
+    std::unique_ptr<std::ostringstream> mem;
+    std::unique_ptr<TraceWriter> writer;
+    const EventQueue *clock = nullptr;
+};
+
+} // namespace hsc
+
+#endif // HSC_TRACE_TRACE_CAPTURE_HH

@@ -1,0 +1,85 @@
+#include "trace/trace_format.hh"
+
+#include "sim/hash.hh"
+
+namespace hsc
+{
+
+const char *
+traceOpName(TraceOp op)
+{
+    switch (op) {
+      case TraceOp::MemInit: return "MemInit";
+      case TraceOp::AgentDef: return "AgentDef";
+      case TraceOp::CpuLoad: return "CpuLoad";
+      case TraceOp::CpuStore: return "CpuStore";
+      case TraceOp::CpuAmo: return "CpuAmo";
+      case TraceOp::CpuCompute: return "CpuCompute";
+      case TraceOp::KernelLaunch: return "KernelLaunch";
+      case TraceOp::KernelWait: return "KernelWait";
+      case TraceOp::GpuVload: return "GpuVload";
+      case TraceOp::GpuVstore: return "GpuVstore";
+      case TraceOp::GpuLoad: return "GpuLoad";
+      case TraceOp::GpuStore: return "GpuStore";
+      case TraceOp::GpuAmo: return "GpuAmo";
+      case TraceOp::GpuCompute: return "GpuCompute";
+      case TraceOp::GpuAcquire: return "GpuAcquire";
+      case TraceOp::GpuRelease: return "GpuRelease";
+      case TraceOp::DmaRead: return "DmaRead";
+      case TraceOp::DmaWrite: return "DmaWrite";
+      case TraceOp::DmaCopy: return "DmaCopy";
+      case TraceOp::AgentEnd: return "AgentEnd";
+    }
+    return "?";
+}
+
+void
+appendVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(char(std::uint8_t(v) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(char(std::uint8_t(v)));
+}
+
+namespace
+{
+
+void
+appendLe32(std::string &out, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(char(std::uint8_t(v >> (8 * i))));
+}
+
+void
+appendLe64(std::string &out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(char(std::uint8_t(v >> (8 * i))));
+}
+
+} // namespace
+
+std::string
+encodeTraceHeader(const TraceHeader &h)
+{
+    std::string out;
+    out.reserve(TraceHeaderBytes);
+    out.append(TraceMagic, sizeof(TraceMagic));
+    appendLe32(out, h.version);
+    appendLe32(out, h.flags);
+    appendLe32(out, h.numCpuThreads);
+    appendLe32(out, 0); // reserved
+    appendLe64(out, h.heapBase);
+    appendLe64(out, h.heapEnd);
+    appendLe64(out, h.refCycles);
+    appendLe64(out, h.refImageHash);
+    appendLe64(out, h.recordCount);
+    appendLe64(out, h.recordHash);
+    appendLe64(out, fnvBytes(out.data(), TraceHeaderHashOffset));
+    return out;
+}
+
+} // namespace hsc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The hsct binary memory-trace format (DESIGN.md §13).
+ *
+ * A trace is a fixed 80-byte little-endian header followed by a flat
+ * sequence of variable-length records.  Each agent (CPU thread, GPU
+ * wavefront, attributed DMA issuer) owns one record *stream*; streams
+ * are interleaved in issue order in the file and demultiplexed by a
+ * compact stream index established by AgentDef records.  Per-stream
+ * ticks are delta-encoded LEB128 varints, so a record for a hot agent
+ * is typically 4–8 bytes.
+ *
+ * Integrity: the header carries an FNV-1a checksum of itself and of
+ * the full record region (plus the record count), so any truncation
+ * or single-byte corruption is detected — a torn capture that never
+ * finalized has an all-zero header tail and is rejected the same way.
+ */
+
+#ifndef HSC_TRACE_TRACE_FORMAT_HH
+#define HSC_TRACE_TRACE_FORMAT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/data_block.hh"
+#include "mem/message.hh"
+#include "protocol/types.hh"
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/** File magic: eight bytes at offset 0. */
+constexpr char TraceMagic[8] = {'H', 'S', 'C', 'T',
+                                'R', 'A', 'C', 'E'};
+
+/** Bump on any encoding change; readers reject other versions. */
+constexpr std::uint32_t TraceVersion = 1;
+
+/** Total size of the fixed header, bytes. */
+constexpr std::size_t TraceHeaderBytes = 80;
+
+/** Offset of the trailing header checksum (FNV-1a of bytes [0,72)). */
+constexpr std::size_t TraceHeaderHashOffset = 72;
+
+/** Header flag: refCycles/refImageHash hold the capture's outcome. */
+constexpr std::uint32_t TraceFlagHasReference = 1u << 0;
+
+/** Decoded fixed header. */
+struct TraceHeader
+{
+    std::uint32_t version = TraceVersion;
+    std::uint32_t flags = 0;
+    std::uint32_t numCpuThreads = 0;
+    Addr heapBase = 0;
+    Addr heapEnd = 0;
+    Cycles refCycles = 0;       ///< valid iff hasReference()
+    std::uint64_t refImageHash = 0;
+    std::uint64_t recordCount = 0;
+    std::uint64_t recordHash = 0;
+
+    bool
+    hasReference() const
+    {
+        return (flags & TraceFlagHasReference) != 0;
+    }
+};
+
+/**
+ * Record opcodes.  Stable ABI: append only, never renumber (the
+ * version field exists for incompatible changes).
+ */
+enum class TraceOp : std::uint8_t
+{
+    MemInit = 0,      ///< functional word init (prologue only)
+    AgentDef = 1,     ///< agent key -> next sequential stream index
+    CpuLoad = 2,
+    CpuStore = 3,
+    CpuAmo = 4,
+    CpuCompute = 5,
+    KernelLaunch = 6, ///< ordinal + workgroups (+ async flag)
+    KernelWait = 7,
+    GpuVload = 8,
+    GpuVstore = 9,
+    GpuLoad = 10,
+    GpuStore = 11,
+    GpuAmo = 12,
+    GpuCompute = 13,
+    GpuAcquire = 14,
+    GpuRelease = 15,
+    DmaRead = 16,
+    DmaWrite = 17,
+    DmaCopy = 18,
+    AgentEnd = 19,    ///< the agent's stream is complete
+};
+
+const char *traceOpName(TraceOp op);
+
+/** One decoded record.  Field use depends on the opcode:
+ *  addr   = address / vector base / DMA destination
+ *  addr2  = DMA copy source
+ *  value  = store value / AMO operand / cycles / launch ordinal /
+ *           vector stride
+ *  value2 = AMO operand2 / launch workgroup count / DMA copy bytes
+ */
+struct TraceRecord
+{
+    TraceOp op = TraceOp::AgentEnd;
+    std::uint64_t agent = 0;    ///< resolved agent key (not MemInit)
+    Tick tick = 0;              ///< absolute issue tick
+    Addr addr = 0;
+    Addr addr2 = 0;
+    std::uint64_t value = 0;
+    std::uint64_t value2 = 0;
+    unsigned size = 0;
+    AtomicOp amo = AtomicOp::None;
+    Scope scope = Scope::System;
+    bool flag = false;          ///< KernelLaunch: async
+    std::vector<std::uint64_t> lanes{};          ///< GpuVstore values
+    std::array<std::uint8_t, BlockSizeBytes> data{}; ///< DmaWrite
+    std::uint64_t mask = 0;                          ///< DmaWrite
+};
+
+/** @{ LEB128 varints (at most 10 bytes for a 64-bit value). */
+constexpr unsigned TraceVarintMaxBytes = 10;
+void appendVarint(std::string &out, std::uint64_t v);
+/** @} */
+
+/** Encode @p h as the 80 header bytes (computes the header hash). */
+std::string encodeTraceHeader(const TraceHeader &h);
+
+} // namespace hsc
+
+#endif // HSC_TRACE_TRACE_FORMAT_HH

@@ -1,0 +1,592 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+
+// --------------------------------------------------------------------
+// TraceWriter
+// --------------------------------------------------------------------
+
+namespace
+{
+
+std::unique_ptr<std::ostream>
+openOut(const std::string &path)
+{
+    auto f = std::make_unique<std::ofstream>(
+        path, std::ios::binary | std::ios::trunc);
+    fatal_if(!*f, "cannot write trace file '%s'", path.c_str());
+    return f;
+}
+
+std::unique_ptr<std::istream>
+openIn(const std::string &path)
+{
+    auto f = std::make_unique<std::ifstream>(path, std::ios::binary);
+    fatal_if(!*f, "cannot read trace file '%s'", path.c_str());
+    return f;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(std::ostream &out)
+    : os(out), hash(FnvOffsetBasis)
+{
+    // Placeholder header: all-zero checksum fields, so a capture that
+    // dies before finalize() is rejected by every reader.
+    os.write(std::string(TraceHeaderBytes, '\0').data(),
+             TraceHeaderBytes);
+}
+
+TraceWriter::TraceWriter(const std::string &path)
+    : owned(openOut(path)), os(*owned), hash(FnvOffsetBasis)
+{
+    os.write(std::string(TraceHeaderBytes, '\0').data(),
+             TraceHeaderBytes);
+}
+
+void
+TraceWriter::emit(const std::string &bytes)
+{
+    panic_if(finalized, "trace writer: append after finalize");
+    hash = fnvBytes(bytes.data(), bytes.size(), hash);
+    os.write(bytes.data(), std::streamsize(bytes.size()));
+    ++count;
+}
+
+void
+TraceWriter::memInit(Addr addr, unsigned size, std::uint64_t value)
+{
+    if (sawStreamRecord) {
+        throw SimError("MemInit after the first stream record (all "
+                       "functional initialisation must precede the "
+                       "simulated run)",
+                       "trace");
+    }
+    std::string b;
+    b.push_back(char(TraceOp::MemInit));
+    appendVarint(b, addr);
+    b.push_back(char(std::uint8_t(size)));
+    appendVarint(b, value);
+    emit(b);
+}
+
+TraceWriter::StreamState &
+TraceWriter::streamFor(std::uint64_t agent, Tick tick)
+{
+    auto it = streams.find(agent);
+    if (it == streams.end()) {
+        std::string def;
+        def.push_back(char(TraceOp::AgentDef));
+        appendVarint(def, agent);
+        emit(def);
+        // lastTick starts at 0 (matching the reader), so the first
+        // record's delta carries its absolute tick.
+        it = streams.emplace(agent, StreamState{nextStream++, 0})
+                 .first;
+        return it->second;
+    }
+    if (tick < it->second.lastTick) {
+        throw SimError("trace writer: tick regression on agent stream "
+                       "(records must arrive in issue order)",
+                       "trace");
+    }
+    return it->second;
+}
+
+void
+TraceWriter::append(const TraceRecord &r)
+{
+    sawStreamRecord = true;
+    StreamState &st = streamFor(r.agent, r.tick);
+    Tick delta = r.tick - st.lastTick;
+    st.lastTick = r.tick;
+
+    std::string b;
+    b.push_back(char(r.op));
+    appendVarint(b, st.index);
+    appendVarint(b, delta);
+    switch (r.op) {
+      case TraceOp::CpuLoad:
+        appendVarint(b, r.addr);
+        b.push_back(char(std::uint8_t(r.size)));
+        break;
+      case TraceOp::CpuStore:
+        appendVarint(b, r.addr);
+        b.push_back(char(std::uint8_t(r.size)));
+        appendVarint(b, r.value);
+        break;
+      case TraceOp::CpuAmo:
+        appendVarint(b, r.addr);
+        b.push_back(char(std::uint8_t(r.size)));
+        b.push_back(char(std::uint8_t(r.amo)));
+        appendVarint(b, r.value);
+        appendVarint(b, r.value2);
+        break;
+      case TraceOp::CpuCompute:
+      case TraceOp::GpuCompute:
+        appendVarint(b, r.value);
+        break;
+      case TraceOp::KernelLaunch:
+        appendVarint(b, r.value);  // ordinal
+        appendVarint(b, r.value2); // workgroups
+        b.push_back(char(r.flag ? 1 : 0));
+        break;
+      case TraceOp::KernelWait:
+      case TraceOp::GpuAcquire:
+      case TraceOp::GpuRelease:
+      case TraceOp::AgentEnd:
+        break;
+      case TraceOp::GpuVload:
+        appendVarint(b, r.addr);
+        appendVarint(b, r.value); // stride
+        b.push_back(char(std::uint8_t(r.size)));
+        break;
+      case TraceOp::GpuVstore:
+        appendVarint(b, r.addr);
+        appendVarint(b, r.value); // stride
+        b.push_back(char(std::uint8_t(r.size)));
+        appendVarint(b, r.lanes.size());
+        for (std::uint64_t v : r.lanes)
+            appendVarint(b, v);
+        break;
+      case TraceOp::GpuLoad:
+        appendVarint(b, r.addr);
+        b.push_back(char(std::uint8_t(r.size)));
+        b.push_back(char(std::uint8_t(r.scope)));
+        break;
+      case TraceOp::GpuStore:
+        appendVarint(b, r.addr);
+        appendVarint(b, r.value);
+        b.push_back(char(std::uint8_t(r.size)));
+        b.push_back(char(std::uint8_t(r.scope)));
+        break;
+      case TraceOp::GpuAmo:
+        appendVarint(b, r.addr);
+        b.push_back(char(std::uint8_t(r.size)));
+        b.push_back(char(std::uint8_t(r.scope)));
+        b.push_back(char(std::uint8_t(r.amo)));
+        appendVarint(b, r.value);
+        appendVarint(b, r.value2);
+        break;
+      case TraceOp::DmaRead:
+        appendVarint(b, r.addr);
+        break;
+      case TraceOp::DmaWrite:
+        appendVarint(b, r.addr);
+        appendVarint(b, r.mask);
+        b.append(reinterpret_cast<const char *>(r.data.data()),
+                 r.data.size());
+        break;
+      case TraceOp::DmaCopy:
+        appendVarint(b, r.addr);
+        appendVarint(b, r.addr2);
+        appendVarint(b, r.value2);
+        break;
+      case TraceOp::MemInit:
+      case TraceOp::AgentDef:
+        panic("trace writer: %s is not a stream record",
+              traceOpName(r.op));
+    }
+    emit(b);
+}
+
+void
+TraceWriter::agentEnd(std::uint64_t agent, Tick tick)
+{
+    TraceRecord r;
+    r.op = TraceOp::AgentEnd;
+    r.agent = agent;
+    r.tick = tick;
+    append(r);
+}
+
+void
+TraceWriter::finalize(std::uint32_t num_cpu_threads, Addr heap_base,
+                      Addr heap_end, bool has_reference,
+                      Cycles ref_cycles, std::uint64_t ref_image_hash)
+{
+    if (finalized)
+        return;
+    finalized = true;
+    TraceHeader h;
+    h.flags = has_reference ? TraceFlagHasReference : 0;
+    h.numCpuThreads = num_cpu_threads;
+    h.heapBase = heap_base;
+    h.heapEnd = heap_end;
+    h.refCycles = ref_cycles;
+    h.refImageHash = ref_image_hash;
+    h.recordCount = count;
+    h.recordHash = hash;
+    std::string bytes = encodeTraceHeader(h);
+    os.seekp(0);
+    os.write(bytes.data(), std::streamsize(bytes.size()));
+    os.seekp(0, std::ios::end);
+    os.flush();
+    fatal_if(!os, "trace writer: output stream failed at finalize");
+}
+
+// --------------------------------------------------------------------
+// TraceReader
+// --------------------------------------------------------------------
+
+TraceReader::TraceReader(std::istream &in, std::size_t max_pending)
+    : is(in), maxPending(max_pending)
+{
+    readHeader();
+    readPrologue();
+}
+
+TraceReader::TraceReader(const std::string &path, std::size_t max_pending)
+    : owned(openIn(path)), is(*owned), maxPending(max_pending)
+{
+    readHeader();
+    readPrologue();
+}
+
+void
+TraceReader::fail(const std::string &why) const
+{
+    throw SimError("trace: " + why, "trace");
+}
+
+void
+TraceReader::readHeader()
+{
+    char raw[TraceHeaderBytes];
+    is.read(raw, TraceHeaderBytes);
+    if (std::size_t(is.gcount()) != TraceHeaderBytes)
+        fail("file shorter than the 80-byte header");
+    if (std::memcmp(raw, TraceMagic, sizeof(TraceMagic)) != 0)
+        fail("bad magic (not an hsct trace)");
+
+    auto le32 = [&](std::size_t off) {
+        std::uint32_t v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= std::uint32_t(std::uint8_t(raw[off + i])) << (8 * i);
+        return v;
+    };
+    auto le64 = [&](std::size_t off) {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= std::uint64_t(std::uint8_t(raw[off + i])) << (8 * i);
+        return v;
+    };
+    std::uint64_t want = le64(TraceHeaderHashOffset);
+    std::uint64_t got = fnvBytes(raw, TraceHeaderHashOffset);
+    if (want != got) {
+        fail("header checksum mismatch (corrupt or torn capture that "
+             "never finalized)");
+    }
+    hdr.version = le32(8);
+    if (hdr.version != TraceVersion) {
+        fail("version skew: file is v" + std::to_string(hdr.version) +
+             ", this reader understands v" +
+             std::to_string(TraceVersion));
+    }
+    hdr.flags = le32(12);
+    hdr.numCpuThreads = le32(16);
+    hdr.heapBase = le64(24);
+    hdr.heapEnd = le64(32);
+    hdr.refCycles = le64(40);
+    hdr.refImageHash = le64(48);
+    hdr.recordCount = le64(56);
+    hdr.recordHash = le64(TraceHeaderHashOffset - 8);
+}
+
+std::uint8_t
+TraceReader::nextByte()
+{
+    int c = is.get();
+    if (c == std::char_traits<char>::eof())
+        fail("truncated mid-record");
+    curBytes.push_back(char(c));
+    return std::uint8_t(c);
+}
+
+std::uint64_t
+TraceReader::readVarint()
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (unsigned i = 0; i < TraceVarintMaxBytes; ++i) {
+        std::uint8_t b = nextByte();
+        if (shift == 63 && (b & 0x7E))
+            fail("varint overflows 64 bits");
+        v |= std::uint64_t(b & 0x7F) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+    }
+    fail("varint longer than 10 bytes");
+}
+
+void
+TraceReader::finishFile()
+{
+    if (atEnd)
+        return;
+    atEnd = true;
+    if (decoded != hdr.recordCount) {
+        fail("record count mismatch: header says " +
+             std::to_string(hdr.recordCount) + ", file holds " +
+             std::to_string(decoded));
+    }
+    if (hash != hdr.recordHash)
+        fail("record checksum mismatch (corrupt record bytes)");
+    if (is.get() != std::char_traits<char>::eof())
+        fail("trailing bytes after the final record");
+}
+
+bool
+TraceReader::readRecord(TraceRecord &out)
+{
+    if (atEnd)
+        return false;
+    if (decoded == hdr.recordCount) {
+        finishFile();
+        return false;
+    }
+    int first = is.get();
+    if (first == std::char_traits<char>::eof()) {
+        // Fewer records than the header promised.
+        finishFile();
+        return false;
+    }
+    curBytes.clear();
+    curBytes.push_back(char(first));
+    auto op = std::uint8_t(first);
+    if (op > std::uint8_t(TraceOp::AgentEnd))
+        fail("unknown opcode " + std::to_string(op));
+    out = TraceRecord{};
+    out.op = TraceOp(op);
+
+    if (out.op == TraceOp::MemInit) {
+        out.addr = readVarint();
+        out.size = nextByte();
+        out.value = readVarint();
+    } else if (out.op == TraceOp::AgentDef) {
+        std::uint64_t key = readVarint();
+        if (agentIndex.count(key))
+            fail("duplicate AgentDef");
+        agentIndex.emplace(key, std::uint32_t(indexAgent.size()));
+        indexAgent.push_back(key);
+        streams.emplace_back();
+    } else {
+        std::uint64_t idx = readVarint();
+        if (idx >= streams.size())
+            fail("record references undefined stream");
+        Stream &st = streams[std::size_t(idx)];
+        if (st.ended)
+            fail("record after the stream's AgentEnd");
+        std::uint64_t delta = readVarint();
+        if (delta > std::uint64_t(-1) - st.lastTick)
+            fail("delta tick overflows the 64-bit timeline");
+        st.lastTick += delta;
+        out.agent = indexAgent[std::size_t(idx)];
+        out.tick = st.lastTick;
+        switch (out.op) {
+          case TraceOp::CpuLoad:
+            out.addr = readVarint();
+            out.size = nextByte();
+            break;
+          case TraceOp::CpuStore:
+            out.addr = readVarint();
+            out.size = nextByte();
+            out.value = readVarint();
+            break;
+          case TraceOp::CpuAmo:
+            out.addr = readVarint();
+            out.size = nextByte();
+            out.amo = AtomicOp(nextByte());
+            out.value = readVarint();
+            out.value2 = readVarint();
+            break;
+          case TraceOp::CpuCompute:
+          case TraceOp::GpuCompute:
+            out.value = readVarint();
+            break;
+          case TraceOp::KernelLaunch:
+            out.value = readVarint();
+            out.value2 = readVarint();
+            out.flag = nextByte() != 0;
+            break;
+          case TraceOp::KernelWait:
+          case TraceOp::GpuAcquire:
+          case TraceOp::GpuRelease:
+            break;
+          case TraceOp::AgentEnd:
+            st.ended = true;
+            break;
+          case TraceOp::GpuVload:
+            out.addr = readVarint();
+            out.value = readVarint();
+            out.size = nextByte();
+            break;
+          case TraceOp::GpuVstore: {
+            out.addr = readVarint();
+            out.value = readVarint();
+            out.size = nextByte();
+            std::uint64_t n = readVarint();
+            if (n > 1024)
+                fail("GpuVstore lane count " + std::to_string(n) +
+                     " is implausible");
+            out.lanes.resize(std::size_t(n));
+            for (auto &v : out.lanes)
+                v = readVarint();
+            break;
+          }
+          case TraceOp::GpuLoad:
+            out.addr = readVarint();
+            out.size = nextByte();
+            out.scope = Scope(nextByte());
+            break;
+          case TraceOp::GpuStore:
+            out.addr = readVarint();
+            out.value = readVarint();
+            out.size = nextByte();
+            out.scope = Scope(nextByte());
+            break;
+          case TraceOp::GpuAmo:
+            out.addr = readVarint();
+            out.size = nextByte();
+            out.scope = Scope(nextByte());
+            out.amo = AtomicOp(nextByte());
+            out.value = readVarint();
+            out.value2 = readVarint();
+            break;
+          case TraceOp::DmaRead:
+            out.addr = readVarint();
+            break;
+          case TraceOp::DmaWrite:
+            out.addr = readVarint();
+            out.mask = readVarint();
+            for (auto &byte : out.data)
+                byte = nextByte();
+            break;
+          case TraceOp::DmaCopy:
+            out.addr = readVarint();
+            out.addr2 = readVarint();
+            out.value2 = readVarint();
+            break;
+          case TraceOp::MemInit:
+          case TraceOp::AgentDef:
+            break; // handled above
+        }
+    }
+    hash = fnvBytes(curBytes.data(), curBytes.size(), hash);
+    ++decoded;
+    if (decoded == hdr.recordCount)
+        finishFile(); // validate the tail eagerly: hash + no trailing bytes
+    return true;
+}
+
+void
+TraceReader::readPrologue()
+{
+    // MemInit records are required to be contiguous at the front, so
+    // the prologue is the only part read eagerly.  Peek-driven: stop
+    // at the first non-MemInit opcode.
+    while (decoded < hdr.recordCount) {
+        int c = is.peek();
+        if (c == std::char_traits<char>::eof())
+            break; // count mismatch surfaces on the first next()
+        if (std::uint8_t(c) != std::uint8_t(TraceOp::MemInit))
+            break;
+        TraceRecord r;
+        if (!readRecord(r))
+            break;
+        inits.push_back(std::move(r));
+    }
+    if (decoded == hdr.recordCount)
+        finishFile();
+}
+
+bool
+TraceReader::next(std::uint64_t agent, TraceRecord &out)
+{
+    while (true) {
+        auto it = agentIndex.find(agent);
+        if (it != agentIndex.end()) {
+            Stream &st = streams[it->second];
+            if (!st.queue.empty()) {
+                TraceRecord r = std::move(st.queue.front());
+                st.queue.pop_front();
+                --pendingTotal;
+                if (r.op == TraceOp::AgentEnd)
+                    return false;
+                out = std::move(r);
+                return true;
+            }
+            if (st.ended)
+                return false;
+        }
+        TraceRecord r;
+        if (!readRecord(r)) {
+            if (it == agentIndex.end()) {
+                fail("agent 0x" + std::to_string(agent) +
+                     " has no stream in this trace");
+            }
+            fail("stream for agent " + std::to_string(agent) +
+                 " is not terminated (truncated capture?)");
+        }
+        if (r.op == TraceOp::AgentDef)
+            continue;
+        if (r.op == TraceOp::MemInit)
+            fail("MemInit after the first stream record");
+        if (r.agent == agent && r.op != TraceOp::AgentEnd &&
+            streams[agentIndex.at(agent)].queue.empty()) {
+            out = std::move(r);
+            return true;
+        }
+        std::uint32_t idx = agentIndex.at(r.agent);
+        if (r.op == TraceOp::AgentEnd)
+            streams[idx].ended = true;
+        streams[idx].queue.push_back(std::move(r));
+        ++pendingTotal;
+        if (pendingTotal > maxPending) {
+            fail("read-ahead window exceeded " +
+                 std::to_string(maxPending) +
+                 " records (stream interleave strays too far from "
+                 "consumption order)");
+        }
+        if (r.op == TraceOp::AgentEnd && r.agent == agent)
+            continue; // next loop pass pops it and returns false
+    }
+}
+
+bool
+TraceReader::fullyConsumed() const
+{
+    if (!atEnd || pendingTotal != 0)
+        return false;
+    for (const Stream &st : streams) {
+        if (!st.ended || !st.queue.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+TraceReader::validateAll(
+    const std::function<void(const TraceRecord &)> &cb)
+{
+    if (cb) {
+        for (const TraceRecord &r : inits)
+            cb(r);
+    }
+    TraceRecord r;
+    while (readRecord(r)) {
+        if (cb && r.op != TraceOp::AgentDef)
+            cb(r);
+    }
+}
+
+} // namespace hsc

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Streaming reader/writer for the hsct binary trace format.
+ *
+ * The writer appends records as agents issue operations, patching the
+ * header (counts, checksums, reference outcome) with one seek at
+ * finalize; the reader pulls records per agent stream with a bounded
+ * read-ahead window, so neither side ever holds a whole trace in
+ * memory.  Both sides work over std::iostream, so tests and the
+ * scenario soaks can round-trip traces through a string without
+ * touching the filesystem.
+ */
+
+#ifndef HSC_TRACE_TRACE_IO_HH
+#define HSC_TRACE_TRACE_IO_HH
+
+#include <deque>
+#include <functional>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <unordered_map>
+
+#include "sim/hash.hh"
+#include "trace/trace_format.hh"
+
+namespace hsc
+{
+
+/**
+ * Appends records to a trace.  Records must arrive in nondecreasing
+ * tick order *per stream* (issue order of one agent); cross-stream
+ * interleave is free.  MemInit records form a prologue: appending one
+ * after any stream record is an error.
+ */
+class TraceWriter
+{
+  public:
+    /** Write through @p os (not owned; must be seekable). */
+    explicit TraceWriter(std::ostream &os);
+
+    /** Own an output file stream at @p path (fatal if unwritable). */
+    explicit TraceWriter(const std::string &path);
+
+    /** Functional word initialisation (prologue). */
+    void memInit(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Append one stream record; @p r.agent and @p r.tick route it.
+     *  Emits the stream's AgentDef on first use. */
+    void append(const TraceRecord &r);
+
+    /** Convenience: append AgentEnd for @p agent at @p tick. */
+    void agentEnd(std::uint64_t agent, Tick tick);
+
+    /** Patch the header and flush.  Idempotent. */
+    void finalize(std::uint32_t num_cpu_threads, Addr heap_base,
+                  Addr heap_end, bool has_reference, Cycles ref_cycles,
+                  std::uint64_t ref_image_hash);
+
+    std::uint64_t recordCount() const { return count; }
+
+  private:
+    struct StreamState
+    {
+        std::uint32_t index = 0;
+        Tick lastTick = 0;
+    };
+
+    void emit(const std::string &bytes);
+    StreamState &streamFor(std::uint64_t agent, Tick tick);
+
+    std::unique_ptr<std::ostream> owned;
+    std::ostream &os;
+    std::unordered_map<std::uint64_t, StreamState> streams;
+    std::uint32_t nextStream = 0;
+    std::uint64_t count = 0;
+    std::uint64_t hash;
+    bool sawStreamRecord = false;
+    bool finalized = false;
+};
+
+/**
+ * Pulls records from a trace, demultiplexed per agent stream.
+ *
+ * The header and the MemInit prologue are decoded eagerly at
+ * construction; everything after streams through a read-ahead window:
+ * next() scans forward only until the requested stream's next record
+ * appears, queueing what it passes.  The window is bounded
+ * (@p max_pending records) — a trace whose stream interleave strays
+ * further from consumption order than that is rejected rather than
+ * buffered without limit.
+ *
+ * All integrity failures (bad magic/version/checksums, truncation,
+ * tick-delta overflow, malformed varints, trailing bytes) raise
+ * SimError with category "trace".
+ */
+class TraceReader
+{
+  public:
+    /** Read from @p is (not owned). */
+    explicit TraceReader(std::istream &is, std::size_t max_pending = 65536);
+
+    /** Own an input file stream at @p path (fatal if unreadable). */
+    explicit TraceReader(const std::string &path,
+                         std::size_t max_pending = 65536);
+
+    const TraceHeader &header() const { return hdr; }
+
+    /** The decoded MemInit prologue. */
+    const std::vector<TraceRecord> &memInits() const { return inits; }
+
+    /**
+     * Next record of @p agent's stream.  Returns false once the
+     * stream's AgentEnd is reached.  Throws if the trace ends without
+     * terminating the stream (or never defines the agent at all).
+     */
+    bool next(std::uint64_t agent, TraceRecord &out);
+
+    /** Every stream ended and the file validated to its last byte. */
+    bool fullyConsumed() const;
+
+    /**
+     * Decode and validate the whole trace in one pass (no windowing),
+     * invoking @p cb (when set) on every stream record.  For tools
+     * and the corruption-corpus tests.
+     */
+    void validateAll(const std::function<void(const TraceRecord &)> &cb =
+                         nullptr);
+
+  private:
+    void readHeader();
+    void readPrologue();
+    /** Decode one record after the prologue; false at a clean EOF. */
+    bool readRecord(TraceRecord &out);
+    void finishFile();
+    [[noreturn]] void fail(const std::string &why) const;
+
+    std::uint8_t nextByte();
+    std::uint64_t readVarint();
+
+    std::unique_ptr<std::istream> owned;
+    std::istream &is;
+    const std::size_t maxPending;
+    TraceHeader hdr;
+    std::vector<TraceRecord> inits;
+
+    struct Stream
+    {
+        std::deque<TraceRecord> queue;
+        Tick lastTick = 0;
+        bool ended = false;
+    };
+    std::unordered_map<std::uint64_t, std::uint32_t> agentIndex;
+    std::vector<std::uint64_t> indexAgent;
+    std::vector<Stream> streams;
+    std::size_t pendingTotal = 0;
+
+    std::uint64_t decoded = 0; ///< records consumed from the file
+    std::uint64_t hash = FnvOffsetBasis;
+    /** Bytes of the record currently being decoded (for the hash). */
+    std::string curBytes;
+    bool atEnd = false;
+};
+
+} // namespace hsc
+
+#endif // HSC_TRACE_TRACE_IO_HH

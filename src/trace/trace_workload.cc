@@ -1,0 +1,217 @@
+#include "trace/trace_workload.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+#include "workloads/registry.hh"
+
+namespace hsc
+{
+
+namespace
+{
+
+/** Wavefront coroutine replaying one recorded stream.  Every launched
+ *  kernel shares this body; the wavefront's agent key (assigned by
+ *  the dispatcher from the launch ordinal, exactly as at capture)
+ *  selects its stream. */
+std::function<SimTask(WaveCtx &)>
+waveBody(std::shared_ptr<TraceReader> rd)
+{
+    return [rd](WaveCtx &wf) -> SimTask {
+        TraceRecord r;
+        while (rd->next(wf.agentKey(), r)) {
+            switch (r.op) {
+              case TraceOp::GpuVload:
+                co_await wf.vload(r.addr, unsigned(r.value), r.size);
+                break;
+              case TraceOp::GpuVstore:
+                co_await wf.vstore(r.addr, unsigned(r.value), r.size,
+                                   r.lanes);
+                break;
+              case TraceOp::GpuLoad:
+                co_await wf.load(r.addr, r.size, r.scope);
+                break;
+              case TraceOp::GpuStore:
+                co_await wf.store(r.addr, r.value, r.size, r.scope);
+                break;
+              case TraceOp::GpuAmo:
+                co_await wf.atomic(r.addr, r.amo, r.value, r.value2,
+                                   r.size, r.scope);
+                break;
+              case TraceOp::GpuCompute:
+                co_await wf.compute(Cycles(r.value));
+                break;
+              case TraceOp::GpuAcquire:
+                co_await wf.acquire();
+                break;
+              case TraceOp::GpuRelease:
+                co_await wf.release();
+                break;
+              default:
+                throw SimError(
+                    std::string("trace replay: ") + traceOpName(r.op) +
+                        " on a wavefront stream",
+                    "trace");
+            }
+        }
+    };
+}
+
+SimTask
+cpuBody(CpuCtx &cpu, HsaSystem *sys, std::shared_ptr<TraceReader> rd)
+{
+    TraceRecord r;
+    while (rd->next(cpu.agentKey(), r)) {
+        switch (r.op) {
+          case TraceOp::CpuLoad:
+            co_await cpu.load(r.addr, r.size);
+            break;
+          case TraceOp::CpuStore:
+            co_await cpu.store(r.addr, r.value, r.size);
+            break;
+          case TraceOp::CpuAmo:
+            co_await cpu.atomic(r.addr, r.amo, r.value, r.value2,
+                                r.size);
+            break;
+          case TraceOp::CpuCompute:
+            co_await cpu.compute(Cycles(r.value));
+            break;
+          case TraceOp::KernelLaunch: {
+            GpuKernel k;
+            k.name = "trace#" + std::to_string(r.value);
+            k.numWorkgroups = unsigned(r.value2);
+            k.body = waveBody(rd);
+            if (r.flag)
+                cpu.launchKernelAsync(k);
+            else
+                co_await cpu.launchKernel(k);
+            break;
+          }
+          case TraceOp::KernelWait:
+            co_await cpu.waitKernels();
+            break;
+          case TraceOp::DmaRead:
+            co_await sys->dma().readBlock(cpu, r.addr);
+            break;
+          case TraceOp::DmaWrite: {
+            DataBlock blk;
+            std::memcpy(blk.raw(), r.data.data(), BlockSizeBytes);
+            co_await sys->dma().writeBlock(cpu, r.addr, blk, r.mask);
+            break;
+          }
+          case TraceOp::DmaCopy:
+            co_await sys->dma().copyAsync(cpu, r.addr, r.addr2,
+                                          r.value2);
+            break;
+          default:
+            throw SimError(std::string("trace replay: ") +
+                               traceOpName(r.op) + " on a CPU stream",
+                           "trace");
+        }
+    }
+}
+
+} // namespace
+
+TraceWorkload::TraceWorkload(const WorkloadParams &p,
+                             const std::string &path)
+    : Workload(p), reader(std::make_shared<TraceReader>(path))
+{
+}
+
+TraceWorkload::TraceWorkload(const WorkloadParams &p,
+                             std::shared_ptr<std::istream> in_)
+    : Workload(p), in(std::move(in_)),
+      reader(std::make_shared<TraceReader>(*in))
+{
+}
+
+void
+TraceWorkload::setup(HsaSystem &sys)
+{
+    const TraceHeader &h = reader->header();
+
+    for (const TraceRecord &r : reader->memInits()) {
+        switch (r.size) {
+          case 1:
+            sys.writeWord<std::uint8_t>(r.addr,
+                                        std::uint8_t(r.value));
+            break;
+          case 2:
+            sys.writeWord<std::uint16_t>(r.addr,
+                                         std::uint16_t(r.value));
+            break;
+          case 4:
+            sys.writeWord<std::uint32_t>(r.addr,
+                                         std::uint32_t(r.value));
+            break;
+          case 8:
+            sys.writeWord<std::uint64_t>(r.addr, r.value);
+            break;
+          default:
+            throw SimError("trace replay: MemInit of size " +
+                               std::to_string(r.size),
+                           "trace");
+        }
+    }
+
+    // Reserve the capture's heap span so a re-capture of this replay
+    // stamps the same heapEnd (and the image hash covers it).
+    if (h.heapEnd > h.heapBase)
+        sys.alloc(h.heapEnd - h.heapBase);
+
+    HsaSystem *sysp = &sys;
+    auto rd = reader;
+    for (std::uint32_t t = 0; t < h.numCpuThreads; ++t) {
+        sys.addCpuThread([sysp, rd](CpuCtx &cpu) {
+            return cpuBody(cpu, sysp, rd);
+        });
+    }
+}
+
+bool
+TraceWorkload::verify(HsaSystem &sys)
+{
+    bool ok = true;
+    if (!reader->fullyConsumed()) {
+        std::printf("trace replay: trace not fully consumed\n");
+        ok = false;
+    }
+    const TraceHeader &h = reader->header();
+    if (h.hasReference()) {
+        Cycles cycles = sys.cpuCycles();
+        std::uint64_t image = sys.imageHash(h.heapBase, h.heapEnd);
+        bool cyclesOk = cycles == h.refCycles;
+        bool imageOk = image == h.refImageHash;
+        std::printf("trace replay: cycles %llu (ref %llu) image %016llx "
+                    "(ref %016llx) -> %s\n",
+                    (unsigned long long)cycles,
+                    (unsigned long long)h.refCycles,
+                    (unsigned long long)image,
+                    (unsigned long long)h.refImageHash,
+                    cyclesOk && imageOk ? "bit-identical"
+                                        : "MISMATCH");
+        ok = ok && cyclesOk && imageOk;
+    }
+    return ok;
+}
+
+HSC_WORKLOAD_TU(trace)
+{
+    WorkloadInfo info;
+    info.id = "trace";
+    info.description =
+        "Replay an hsct memory trace (set --trace-in PATH)";
+    info.tags = TagFrontend;
+    info.make = [](const WorkloadParams &p) {
+        fatal_if(p.tracePath.empty(),
+                 "workload 'trace' needs a trace file (--trace-in)");
+        return std::unique_ptr<Workload>(new TraceWorkload(p, p.tracePath));
+    };
+    reg.addInfo(std::move(info));
+}
+
+} // namespace hsc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * TraceWorkload — the trace-replay frontend.
+ *
+ * Replays an hsct trace through the *same* issue paths the CHAI
+ * generators use: each recorded CPU stream becomes a coroutine over
+ * CpuCtx, each recorded wavefront stream a coroutine over WaveCtx, and
+ * DMA ops go through the attributed DmaEngine awaitables.  Replay is
+ * self-timed — recorded ticks are carried for tooling but the replayed
+ * ops issue as the memory system lets them, which by induction
+ * reproduces the capture's timing exactly (capture→replay is asserted
+ * bit-identical on cycles and the final heap image when the trace
+ * carries a reference outcome).
+ */
+
+#ifndef HSC_TRACE_TRACE_WORKLOAD_HH
+#define HSC_TRACE_TRACE_WORKLOAD_HH
+
+#include <iosfwd>
+#include <memory>
+
+#include "trace/trace_io.hh"
+#include "workloads/workload.hh"
+
+namespace hsc
+{
+
+class TraceWorkload : public Workload
+{
+  public:
+    /** Replay the trace file at @p path. */
+    TraceWorkload(const WorkloadParams &p, const std::string &path);
+
+    /** Replay from @p in (kept alive for the workload's lifetime). */
+    TraceWorkload(const WorkloadParams &p,
+                  std::shared_ptr<std::istream> in);
+
+    std::string name() const override { return "trace"; }
+
+    /** Apply the MemInit prologue, reserve the captured heap span and
+     *  register one CPU thread per recorded stream. */
+    void setup(HsaSystem &sys) override;
+
+    /** The trace must be fully consumed; when it carries a reference
+     *  outcome, cycles and the final heap image must match it. */
+    bool verify(HsaSystem &sys) override;
+
+  private:
+    std::shared_ptr<std::istream> in; ///< istream mode only
+    std::shared_ptr<TraceReader> reader;
+};
+
+} // namespace hsc
+
+#endif // HSC_TRACE_TRACE_WORKLOAD_HH

@@ -128,4 +128,12 @@ BezierSurface::verify(HsaSystem &sys)
     return true;
 }
 
+HSC_WORKLOAD_TU(bs)
+{
+    reg.add<BezierSurface>(
+        "bs", TagChai,
+        "Bezier surface: halves tessellated off read-shared control "
+        "points");
+}
+
 } // namespace hsc

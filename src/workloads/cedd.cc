@@ -209,4 +209,11 @@ CannyEdge::verify(HsaSystem &sys)
     return true;
 }
 
+HSC_WORKLOAD_TU(cedd)
+{
+    reg.add<CannyEdge>(
+        "cedd", TagChai | TagCoherenceActive,
+        "Canny edge pipeline: GPU stages 1-2 hand frames to CPU 3-4");
+}
+
 } // namespace hsc

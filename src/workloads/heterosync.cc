@@ -279,4 +279,17 @@ HsSemaphore::verify(HsaSystem &sys)
            coherentPeek(sys, s.fullCount, 4) == 0;
 }
 
+HSC_WORKLOAD_TU(heterosync)
+{
+    reg.add<HsMutex>(
+        "hs_mutex", TagHeteroSync,
+        "HeteroSync: GPU spin mutex among workgroups");
+    reg.add<HsBarrier>(
+        "hs_barrier", TagHeteroSync,
+        "HeteroSync: GPU atomic barrier among workgroups");
+    reg.add<HsSemaphore>(
+        "hs_sema", TagHeteroSync,
+        "HeteroSync: GPU counting semaphore among workgroups");
+}
+
 } // namespace hsc

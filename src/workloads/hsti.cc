@@ -98,4 +98,11 @@ HistogramInput::verify(HsaSystem &sys)
     return true;
 }
 
+HSC_WORKLOAD_TU(hsti)
+{
+    reg.add<HistogramInput>(
+        "hsti", TagChai,
+        "Histogram, input partitioned: one shared atomic bin array");
+}
+
 } // namespace hsc

@@ -113,4 +113,11 @@ HistogramOutput::verify(HsaSystem &sys)
     return true;
 }
 
+HSC_WORKLOAD_TU(hsto)
+{
+    reg.add<HistogramOutput>(
+        "hsto", TagChai,
+        "Histogram, output partitioned: read-shared input, split bins");
+}
+
 } // namespace hsc

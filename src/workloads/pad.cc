@@ -165,4 +165,11 @@ Padding::verify(HsaSystem &sys)
     return true;
 }
 
+HSC_WORKLOAD_TU(pad)
+{
+    reg.add<Padding>(
+        "pad", TagChai,
+        "In-place row padding: shared counter + source-read flags");
+}
+
 } // namespace hsc

@@ -1,0 +1,79 @@
+#include "workloads/registry.hh"
+
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+/** @{ Translation-unit anchors (defined next to each workload). */
+HSC_WORKLOAD_TU(bs);
+HSC_WORKLOAD_TU(cedd);
+HSC_WORKLOAD_TU(pad);
+HSC_WORKLOAD_TU(sc);
+HSC_WORKLOAD_TU(tq);
+HSC_WORKLOAD_TU(hsti);
+HSC_WORKLOAD_TU(hsto);
+HSC_WORKLOAD_TU(trns);
+HSC_WORKLOAD_TU(rscd);
+HSC_WORKLOAD_TU(rsct);
+HSC_WORKLOAD_TU(heterosync);
+HSC_WORKLOAD_TU(trace);
+/** @} */
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    // The anchor call order below *is* the public iteration order:
+    // the ten CHAI ids in the paper's order, then the HeteroSync
+    // microbenchmarks, then the trace/scenario frontends.
+    static WorkloadRegistry reg = [] {
+        WorkloadRegistry r;
+        hscRegisterWorkloads_bs(r);
+        hscRegisterWorkloads_cedd(r);
+        hscRegisterWorkloads_pad(r);
+        hscRegisterWorkloads_sc(r);
+        hscRegisterWorkloads_tq(r);
+        hscRegisterWorkloads_hsti(r);
+        hscRegisterWorkloads_hsto(r);
+        hscRegisterWorkloads_trns(r);
+        hscRegisterWorkloads_rscd(r);
+        hscRegisterWorkloads_rsct(r);
+        hscRegisterWorkloads_heterosync(r);
+        hscRegisterWorkloads_trace(r);
+        return r;
+    }();
+    return reg;
+}
+
+void
+WorkloadRegistry::addInfo(WorkloadInfo info)
+{
+    fatal_if(info.id.empty() || !info.make,
+             "workload registration needs an id and a factory");
+    fatal_if(find(info.id) != nullptr,
+             "workload id '%s' registered twice", info.id.c_str());
+    entries.push_back(std::move(info));
+}
+
+const WorkloadInfo *
+WorkloadRegistry::find(const std::string &id) const
+{
+    for (const auto &e : entries) {
+        if (e.id == id)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+WorkloadRegistry::idsWithTags(unsigned tags) const
+{
+    std::vector<std::string> ids;
+    for (const auto &e : entries) {
+        if ((e.tags & tags) == tags)
+            ids.push_back(e.id);
+    }
+    return ids;
+}
+
+} // namespace hsc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Self-registering workload factory.
+ *
+ * Each workload translation unit contributes one HSC_WORKLOAD_TU
+ * anchor function that registers its workloads (id, one-line
+ * description, tag set, factory).  registry.cc calls the anchors in a
+ * fixed order on first use, which gives:
+ *
+ *  - no central if/else chain to keep in sync (the stanza lives next
+ *    to the workload it describes);
+ *  - deterministic iteration order (the anchor call order), so id
+ *    lists and --list-workloads output are stable across builds;
+ *  - no reliance on static-initializer side effects, which a static
+ *    library would silently drop for unreferenced translation units.
+ */
+
+#ifndef HSC_WORKLOADS_REGISTRY_HH
+#define HSC_WORKLOADS_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace hsc
+{
+
+/** @{ Workload tag bits (an entry may carry several). */
+constexpr unsigned TagChai = 1u << 0;            ///< the ten CHAI ids
+constexpr unsigned TagHeteroSync = 1u << 1;      ///< GPU-only sync
+constexpr unsigned TagCoherenceActive = 1u << 2; ///< Figs. 6/7 subset
+constexpr unsigned TagFrontend = 1u << 3;        ///< trace/scenario
+/** @} */
+
+struct WorkloadInfo
+{
+    std::string id;
+    std::string description; ///< one line, for --list-workloads
+    unsigned tags = 0;
+    std::function<std::unique_ptr<Workload>(const WorkloadParams &)>
+        make;
+};
+
+class WorkloadRegistry
+{
+  public:
+    /** The process-wide registry, populated on first use. */
+    static WorkloadRegistry &instance();
+
+    /** Register @p W under @p id (fatal on a duplicate). */
+    template <typename W>
+    void
+    add(const char *id, unsigned tags, const char *desc)
+    {
+        addInfo({id, desc, tags, [](const WorkloadParams &p) {
+                     return std::unique_ptr<Workload>(new W(p));
+                 }});
+    }
+
+    /** Register with an explicit factory (frontends with extra
+     *  constructor arguments). */
+    void addInfo(WorkloadInfo info);
+
+    /** Null when @p id is unknown. */
+    const WorkloadInfo *find(const std::string &id) const;
+
+    /** Every entry, in registration (anchor-call) order. */
+    const std::vector<WorkloadInfo> &all() const { return entries; }
+
+    /** The ids carrying every bit of @p tags, in registration order. */
+    std::vector<std::string> idsWithTags(unsigned tags) const;
+
+  private:
+    std::vector<WorkloadInfo> entries;
+};
+
+/** Declares/defines one translation unit's registration anchor. */
+#define HSC_WORKLOAD_TU(tu)                                                \
+    void hscRegisterWorkloads_##tu(::hsc::WorkloadRegistry &reg)
+
+} // namespace hsc
+
+#endif // HSC_WORKLOADS_REGISTRY_HH

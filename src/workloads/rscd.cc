@@ -203,4 +203,11 @@ RansacData::verify(HsaSystem &sys)
     return coherentPeek(sys, s.best, 8) == want_best;
 }
 
+HSC_WORKLOAD_TU(rscd)
+{
+    reg.add<RansacData>(
+        "rscd", TagChai,
+        "RANSAC, data partitioned: model flags + shared inlier count");
+}
+
 } // namespace hsc

@@ -179,4 +179,11 @@ RansacTask::verify(HsaSystem &sys)
     return coherentPeek(sys, s.best, 8) == want;
 }
 
+HSC_WORKLOAD_TU(rsct)
+{
+    reg.add<RansacTask>(
+        "rsct", TagChai | TagCoherenceActive,
+        "RANSAC, task partitioned: iterations claimed off a counter");
+}
+
 } // namespace hsc

@@ -139,4 +139,11 @@ StreamCompaction::verify(HsaSystem &sys)
     return got == want;
 }
 
+HSC_WORKLOAD_TU(sc)
+{
+    reg.add<StreamCompaction>(
+        "sc", TagChai | TagCoherenceActive,
+        "Stream compaction: chunk claiming + atomic output cursor");
+}
+
 } // namespace hsc

@@ -156,4 +156,11 @@ TaskQueue::verify(HsaSystem &sys)
     return true;
 }
 
+HSC_WORKLOAD_TU(tq)
+{
+    reg.add<TaskQueue>(
+        "tq", TagChai | TagCoherenceActive,
+        "Task queues: CPU producers feed GPU consumers through CAS");
+}
+
 } // namespace hsc

@@ -155,4 +155,11 @@ Transposition::verify(HsaSystem &sys)
     return true;
 }
 
+HSC_WORKLOAD_TU(trns)
+{
+    reg.add<Transposition>(
+        "trns", TagChai | TagCoherenceActive,
+        "In-place transposition: per-element flag CAS on cycles");
+}
+
 } // namespace hsc

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/run_report.hh"
+#include "workloads/registry.hh"
 #include "workloads/workload_impl.hh"
 
 namespace hsc
@@ -11,51 +12,25 @@ namespace hsc
 std::unique_ptr<Workload>
 makeWorkload(const std::string &id, const WorkloadParams &p)
 {
-    if (id == "bs")
-        return std::make_unique<BezierSurface>(p);
-    if (id == "cedd")
-        return std::make_unique<CannyEdge>(p);
-    if (id == "pad")
-        return std::make_unique<Padding>(p);
-    if (id == "sc")
-        return std::make_unique<StreamCompaction>(p);
-    if (id == "tq")
-        return std::make_unique<TaskQueue>(p);
-    if (id == "hsti")
-        return std::make_unique<HistogramInput>(p);
-    if (id == "hsto")
-        return std::make_unique<HistogramOutput>(p);
-    if (id == "trns")
-        return std::make_unique<Transposition>(p);
-    if (id == "rscd")
-        return std::make_unique<RansacData>(p);
-    if (id == "rsct")
-        return std::make_unique<RansacTask>(p);
-    if (id == "hs_mutex")
-        return std::make_unique<HsMutex>(p);
-    if (id == "hs_barrier")
-        return std::make_unique<HsBarrier>(p);
-    if (id == "hs_sema")
-        return std::make_unique<HsSemaphore>(p);
-    fatal("unknown workload id '%s'", id.c_str());
+    const WorkloadInfo *info = WorkloadRegistry::instance().find(id);
+    if (!info)
+        fatal("unknown workload id '%s'", id.c_str());
+    return info->make(p);
 }
 
 const std::vector<std::string> &
 workloadIds()
 {
-    static const std::vector<std::string> ids = {
-        "bs", "cedd", "pad", "sc", "tq",
-        "hsti", "hsto", "trns", "rscd", "rsct",
-    };
+    static const std::vector<std::string> ids =
+        WorkloadRegistry::instance().idsWithTags(TagChai);
     return ids;
 }
 
 const std::vector<std::string> &
 heteroSyncIds()
 {
-    static const std::vector<std::string> ids = {
-        "hs_mutex", "hs_barrier", "hs_sema",
-    };
+    static const std::vector<std::string> ids =
+        WorkloadRegistry::instance().idsWithTags(TagHeteroSync);
     return ids;
 }
 
@@ -65,9 +40,8 @@ coherenceActiveIds()
     // The five workloads with the richest CPU-GPU collaboration, used
     // for the state-tracking figures (the paper evaluates tracking on
     // five benchmarks for the same reason).
-    static const std::vector<std::string> ids = {
-        "cedd", "sc", "tq", "trns", "rsct",
-    };
+    static const std::vector<std::string> ids =
+        WorkloadRegistry::instance().idsWithTags(TagCoherenceActive);
     return ids;
 }
 

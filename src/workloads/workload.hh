@@ -31,6 +31,9 @@ struct WorkloadParams
     unsigned cpuThreads = 4;
     unsigned gpuWorkgroups = 8;
     std::uint64_t seed = 7;
+
+    /** The trace replay frontend's input (workload id "trace"). */
+    std::string tracePath;
 };
 
 /**

@@ -9,6 +9,7 @@
 #define HSC_WORKLOADS_WORKLOAD_IMPL_HH
 
 #include "sim/rng.hh"
+#include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
 namespace hsc

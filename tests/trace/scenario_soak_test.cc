@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tier-2 scenario-fleet soaks: one hundred seed-derived synthetic
+ * scenarios replay through the trace frontend on two directory
+ * configurations with the runtime coherence sanitizer ON and must
+ * finish with zero violations; a second fleet replays over a lossy
+ * wire (drop/duplicate/corrupt) behind the reliable transport, which
+ * must recover every loss without the checker noticing anything.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/hsa_system.hh"
+#include "sim/coherence_checker.hh"
+#include "trace/scenario.hh"
+#include "workloads/workload.hh"
+
+namespace hsc
+{
+namespace
+{
+
+constexpr std::uint64_t FleetSeeds = 100;
+constexpr std::uint64_t LossySeeds = 16;
+
+/** Run one scenario with the sanitizer on; fails the test on any
+ *  hang, checker violation or incomplete replay. */
+void
+soakOne(const ScenarioConfig &sc, const SystemConfig &cfg,
+        std::uint64_t *retransmits = nullptr)
+{
+    ASSERT_TRUE(cfg.check);
+    HsaSystem sys(cfg);
+    auto wl = makeScenarioWorkload(sc, WorkloadParams{});
+    wl->setup(sys);
+    bool ran = sys.run();
+    ASSERT_TRUE(ran) << "seed " << sc.seed << " [" << cfg.label
+                     << "]: " << sys.failReason();
+    EXPECT_TRUE(wl->verify(sys))
+        << "seed " << sc.seed << " [" << cfg.label
+        << "]: replay incomplete";
+    ASSERT_NE(sys.checker(), nullptr);
+    EXPECT_FALSE(sys.checker()->violated())
+        << "seed " << sc.seed << " [" << cfg.label << "]";
+    if (retransmits)
+        *retransmits += sys.transportSummary().retransmits;
+}
+
+TEST(ScenarioSoak, HundredSeededScenariosOnTwoConfigsZeroViolations)
+{
+    SystemConfig base = baselineConfig();
+    base.label = "baseline";
+    SystemConfig sharers = sharerTrackingConfig();
+    sharers.label = "sharers";
+
+    for (std::uint64_t seed = 1; seed <= FleetSeeds; ++seed) {
+        ScenarioConfig sc = scenarioFromSeed(seed);
+        soakOne(sc, base);
+        soakOne(sc, sharers);
+        if (seed % 20 == 0)
+            std::printf("  fleet: %llu/%llu seeds clean\n",
+                        (unsigned long long)seed,
+                        (unsigned long long)FleetSeeds);
+    }
+}
+
+TEST(ScenarioSoak, FleetSurvivesLossyTransport)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.label = "lossy";
+    cfg.transport.enabled = true;
+    cfg.fault.enabled = true;
+    cfg.fault.dropPer10k = 100;
+    cfg.fault.dupPer10k = 100;
+    cfg.fault.corruptPer10k = 10;
+
+    std::uint64_t retransmits = 0;
+    for (std::uint64_t seed = 1; seed <= LossySeeds; ++seed) {
+        cfg.fault.seed = seed;
+        ScenarioConfig sc = scenarioFromSeed(seed);
+        soakOne(sc, cfg, &retransmits);
+    }
+    // The wire really was lossy: the transport had to retransmit at
+    // least once somewhere across the fleet.
+    EXPECT_GT(retransmits, 0u);
+}
+
+} // namespace
+} // namespace hsc

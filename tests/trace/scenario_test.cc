@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Scenario-generator and ChampSim-importer units: same config must
+ * yield the same trace bytes, seed-derived configs must stay inside
+ * their documented ranges, the zipfian knob must actually skew the
+ * address stream, every scenario must replay cleanly (and
+ * deterministically) through TraceWorkload, and the text importer
+ * must produce replayable traces while rejecting malformed input with
+ * the offending line number.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/hsa_system.hh"
+#include "mem/data_block.hh"
+#include "sim/sim_error.hh"
+#include "trace/champsim.hh"
+#include "trace/scenario.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_workload.hh"
+#include "workloads/workload.hh"
+
+namespace hsc
+{
+namespace
+{
+
+std::string
+generate(const ScenarioConfig &cfg)
+{
+    std::ostringstream os(std::ios::binary);
+    generateScenarioTrace(cfg, os);
+    return os.str();
+}
+
+TEST(Scenario, SameConfigSameBytes)
+{
+    ScenarioConfig cfg = scenarioFromSeed(7);
+    EXPECT_EQ(generate(cfg), generate(cfg));
+
+    ScenarioConfig other = scenarioFromSeed(8);
+    EXPECT_NE(generate(cfg), generate(other));
+}
+
+TEST(Scenario, SeedDerivedConfigsStayInRange)
+{
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        ScenarioConfig c = scenarioFromSeed(seed);
+        EXPECT_EQ(c.seed, seed);
+        EXPECT_GE(c.cpuThreads, 1u);
+        EXPECT_LE(c.cpuThreads, 6u);
+        EXPECT_LE(c.gpuKernels, 3u);
+        EXPECT_GE(c.workgroupsPerKernel, 2u);
+        EXPECT_LE(c.workgroupsPerKernel, 8u);
+        EXPECT_GE(c.opsPerCpuThread, 32u);
+        EXPECT_LE(c.opsPerCpuThread, 160u);
+        EXPECT_GE(c.workingSetBytes, 4096u);
+        EXPECT_LE(c.workingSetBytes, 64u * 1024);
+        EXPECT_EQ(c.workingSetBytes % BlockSizeBytes, 0u);
+        EXPECT_LE(c.readPct, 100u);
+        EXPECT_LE(c.atomicPct, 100u);
+        EXPECT_LE(c.vectorPct, 100u);
+        EXPECT_LE(c.sharedPct, 100u);
+        EXPECT_LE(c.dmaPct, 100u);
+        EXPECT_GE(c.phases, 1u);
+        EXPECT_GE(c.burstLen, 1u);
+        EXPECT_FALSE(describeScenario(c).empty());
+    }
+}
+
+TEST(Scenario, ZipfAlphaSkewsTheAddressStream)
+{
+    ScenarioConfig cfg;
+    cfg.cpuThreads = 4;
+    cfg.gpuKernels = 0;
+    cfg.opsPerCpuThread = 400;
+    cfg.workingSetBytes = 16384;
+    cfg.sharedPct = 100; // one slice, so histograms are comparable
+    cfg.dmaPct = 0;
+    cfg.phases = 1;
+
+    auto hottestShare = [&](double alpha) {
+        cfg.zipfAlpha = alpha;
+        std::string bytes = generate(cfg);
+        std::istringstream is(bytes, std::ios::binary);
+        TraceReader rd(is);
+        std::map<Addr, unsigned> hist;
+        std::uint64_t total = 0;
+        rd.validateAll([&](const TraceRecord &r) {
+            if (r.op == TraceOp::CpuLoad || r.op == TraceOp::CpuStore ||
+                r.op == TraceOp::CpuAmo) {
+                ++hist[blockAlign(r.addr)];
+                ++total;
+            }
+        });
+        EXPECT_GT(total, 500u);
+        unsigned best = 0;
+        for (const auto &[addr, n] : hist)
+            best = std::max(best, n);
+        return double(best) / double(total);
+    };
+
+    double uniform = hottestShare(0.0);
+    double skewed = hottestShare(1.2);
+    // 256 blocks: uniform puts ~0.4% on the hottest block; alpha=1.2
+    // concentrates an order of magnitude more.
+    EXPECT_GT(skewed, 2.0 * uniform);
+}
+
+Cycles
+runScenario(const ScenarioConfig &sc, const SystemConfig &cfg)
+{
+    HsaSystem sys(cfg);
+    auto wl = makeScenarioWorkload(sc, WorkloadParams{});
+    wl->setup(sys);
+    EXPECT_TRUE(sys.run()) << sys.failReason();
+    EXPECT_TRUE(wl->verify(sys));
+    return sys.cpuCycles();
+}
+
+TEST(Scenario, ReplayIsDeterministic)
+{
+    ScenarioConfig sc = scenarioFromSeed(9);
+    SystemConfig cfg = baselineConfig();
+    Cycles a = runScenario(sc, cfg);
+    Cycles b = runScenario(sc, cfg);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 0u);
+}
+
+TEST(Scenario, ProducerConsumerRunsClean)
+{
+    ScenarioConfig sc = scenarioFromSeed(4);
+    sc.producerConsumer = true;
+    sc.cpuThreads = 4;
+    runScenario(sc, baselineConfig());
+}
+
+// ------------------------------------------------------------------
+// ChampSim text importer
+// ------------------------------------------------------------------
+
+std::string
+convert(const std::string &text, const ChampSimOptions &opts = {})
+{
+    std::istringstream in(text);
+    std::ostringstream out(std::ios::binary);
+    convertChampSim(in, out, opts);
+    return out.str();
+}
+
+TEST(ChampSimImport, ConvertsAndReplays)
+{
+    std::string bytes = convert("# header comment\n"
+                                "0 R 7f001000\n"
+                                "0 W 7f001040 4\n"
+                                "1 R 12345678 2\n"
+                                "1 W 12345678\n"
+                                "7 r 44780 1\n"
+                                "7 w 447c0 8\n");
+    std::istringstream is(bytes, std::ios::binary);
+    TraceReader rd(is);
+    // Sparse tids {0, 1, 7} remap to three dense replay threads.
+    EXPECT_EQ(rd.header().numCpuThreads, 3u);
+    std::uint64_t loads = 0, stores = 0;
+    rd.validateAll([&](const TraceRecord &r) {
+        loads += r.op == TraceOp::CpuLoad;
+        stores += r.op == TraceOp::CpuStore;
+        if (r.op == TraceOp::CpuLoad || r.op == TraceOp::CpuStore) {
+            EXPECT_GE(r.addr, rd.header().heapBase);
+            EXPECT_LT(r.addr, rd.header().heapEnd);
+            EXPECT_EQ(r.addr % r.size, 0u);
+        }
+    });
+    EXPECT_EQ(loads, 3u);
+    EXPECT_EQ(stores, 3u);
+
+    auto in = std::make_shared<std::istringstream>(
+        bytes, std::ios::binary | std::ios::in);
+    HsaSystem sys(baselineConfig());
+    TraceWorkload wl(WorkloadParams{}, in);
+    wl.setup(sys);
+    ASSERT_TRUE(sys.run()) << sys.failReason();
+    EXPECT_TRUE(wl.verify(sys));
+}
+
+TEST(ChampSimImport, MalformedInputNamesTheLine)
+{
+    auto expectBadLine = [](const std::string &text,
+                            const std::string &line_tag) {
+        try {
+            convert(text);
+            FAIL() << "accepted: " << text;
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.context(), "trace");
+            EXPECT_NE(std::string(e.what()).find(line_tag),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+    expectBadLine("0 X 1000\n", "line 1");
+    expectBadLine("0 R 1000\n1 R zzzz\n", "line 2");
+    expectBadLine("0 R\n", "line 1");
+    expectBadLine("0 R 1000 3\n", "line 1"); // size not 1/2/4/8
+}
+
+TEST(ChampSimImport, EmptyInputRejected)
+{
+    EXPECT_THROW(convert("# nothing but comments\n\n"), SimError);
+}
+
+TEST(ChampSimImport, BadWorkingSetRejected)
+{
+    ChampSimOptions opts;
+    opts.workingSetBytes = 100; // not a multiple of the block size
+    EXPECT_THROW(convert("0 R 1000\n", opts), SimError);
+}
+
+TEST(ChampSimImport, AddressesFoldIntoTheWorkingSet)
+{
+    ChampSimOptions opts;
+    opts.workingSetBytes = 4096;
+    std::string bytes =
+        convert("0 R ffffffff12345678\n0 W 0\n", opts);
+    std::istringstream is(bytes, std::ios::binary);
+    TraceReader rd(is);
+    EXPECT_EQ(rd.header().heapEnd - rd.header().heapBase, 4096u);
+    rd.validateAll([&](const TraceRecord &r) {
+        if (r.op == TraceOp::CpuLoad || r.op == TraceOp::CpuStore) {
+            EXPECT_GE(r.addr, rd.header().heapBase);
+            EXPECT_LT(r.addr, rd.header().heapEnd);
+        }
+    });
+}
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,549 @@
+/**
+ * @file
+ * hsct format and IO unit tests: every opcode must round-trip through
+ * TraceWriter/TraceReader bit-exactly, the reader must reject every
+ * truncation and every single-byte corruption of a valid trace with a
+ * structured SimError (category "trace"), version skew must be named
+ * explicitly, hand-crafted records must trip the delta-tick-overflow
+ * and varint guards, and the writer must enforce its per-stream
+ * ordering and prologue invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/hash.hh"
+#include "sim/sim_error.hh"
+#include "sim/snapshot.hh"
+#include "trace/trace_format.hh"
+#include "trace/trace_io.hh"
+
+namespace hsc
+{
+namespace
+{
+
+constexpr std::uint64_t Cpu0 = 0;
+constexpr std::uint64_t Cpu1 = 1;
+const std::uint64_t Wave00 = waveAgentKey(0, 0);
+
+/** A record per opcode, three interleaved agent streams, two
+ *  MemInits.  Returns the stream records in file order. */
+std::vector<TraceRecord>
+sampleRecords()
+{
+    std::vector<TraceRecord> v;
+    auto put = [&](TraceOp op, std::uint64_t agent, Tick tick) ->
+        TraceRecord & {
+        TraceRecord r;
+        r.op = op;
+        r.agent = agent;
+        r.tick = tick;
+        v.push_back(std::move(r));
+        return v.back();
+    };
+
+    {
+        auto &r = put(TraceOp::CpuLoad, Cpu0, 10);
+        r.addr = 0x100000;
+        r.size = 8;
+    }
+    {
+        auto &r = put(TraceOp::CpuAmo, Cpu1, 11);
+        r.addr = 0x100040;
+        r.size = 8;
+        r.amo = AtomicOp::Cas;
+        r.value = 1;
+        r.value2 = 2;
+    }
+    {
+        auto &r = put(TraceOp::CpuStore, Cpu0, 12);
+        r.addr = 0x100008;
+        r.size = 4;
+        r.value = 7;
+    }
+    {
+        auto &r = put(TraceOp::CpuCompute, Cpu0, 20);
+        r.value = 50;
+    }
+    {
+        auto &r = put(TraceOp::KernelLaunch, Cpu0, 30);
+        r.value = 0;  // ordinal
+        r.value2 = 2; // workgroups
+        r.flag = true;
+    }
+    {
+        auto &r = put(TraceOp::GpuVload, Wave00, 31);
+        r.addr = 0x100100;
+        r.value = 8; // stride
+        r.size = 4;
+    }
+    {
+        auto &r = put(TraceOp::GpuVstore, Wave00, 33);
+        r.addr = 0x100200;
+        r.value = 8;
+        r.size = 8;
+        r.lanes = {1, 2, 0xFFFFFFFFFFFFull};
+    }
+    {
+        auto &r = put(TraceOp::GpuLoad, Wave00, 34);
+        r.addr = 0x100300;
+        r.size = 8;
+        r.scope = Scope::Device;
+    }
+    {
+        auto &r = put(TraceOp::GpuStore, Wave00, 35);
+        r.addr = 0x100308;
+        r.value = 9;
+        r.size = 8;
+        r.scope = Scope::System;
+    }
+    {
+        auto &r = put(TraceOp::GpuAmo, Wave00, 36);
+        r.addr = 0x100310;
+        r.size = 8;
+        r.scope = Scope::Device;
+        r.amo = AtomicOp::Add;
+        r.value = 3;
+    }
+    {
+        auto &r = put(TraceOp::GpuCompute, Wave00, 37);
+        r.value = 12;
+    }
+    put(TraceOp::GpuAcquire, Wave00, 38);
+    put(TraceOp::GpuRelease, Wave00, 39);
+    put(TraceOp::AgentEnd, Wave00, 40);
+    put(TraceOp::KernelWait, Cpu0, 45);
+    {
+        auto &r = put(TraceOp::DmaRead, Cpu1, 50);
+        r.addr = 0x100400;
+    }
+    {
+        auto &r = put(TraceOp::DmaWrite, Cpu1, 51);
+        r.addr = 0x100440;
+        r.mask = 0x00FF;
+        for (unsigned i = 0; i < BlockSizeBytes; ++i)
+            r.data[i] = std::uint8_t(i * 3);
+    }
+    {
+        auto &r = put(TraceOp::DmaCopy, Cpu1, 52);
+        r.addr = 0x100480;
+        r.addr2 = 0x100500;
+        r.value2 = 64;
+    }
+    put(TraceOp::AgentEnd, Cpu1, 53);
+    put(TraceOp::AgentEnd, Cpu0, 60);
+    return v;
+}
+
+std::string
+sampleTrace()
+{
+    std::ostringstream os(std::ios::binary);
+    TraceWriter w(os);
+    w.memInit(0x100000, 8, 0xDEADBEEFCAFEF00Dull);
+    w.memInit(0x100008, 4, 42);
+    for (const TraceRecord &r : sampleRecords())
+        w.append(r);
+    w.finalize(2, 0x100000, 0x101000, true, 1234, 0xAB12CD34EF56ull);
+    return os.str();
+}
+
+void
+expectEqualRecords(const TraceRecord &a, const TraceRecord &b,
+                   std::size_t i)
+{
+    EXPECT_EQ(a.op, b.op) << "record " << i;
+    EXPECT_EQ(a.agent, b.agent) << "record " << i;
+    EXPECT_EQ(a.tick, b.tick) << "record " << i;
+    EXPECT_EQ(a.addr, b.addr) << "record " << i;
+    EXPECT_EQ(a.addr2, b.addr2) << "record " << i;
+    EXPECT_EQ(a.value, b.value) << "record " << i;
+    EXPECT_EQ(a.value2, b.value2) << "record " << i;
+    EXPECT_EQ(a.size, b.size) << "record " << i;
+    EXPECT_EQ(a.amo, b.amo) << "record " << i;
+    EXPECT_EQ(a.scope, b.scope) << "record " << i;
+    EXPECT_EQ(a.flag, b.flag) << "record " << i;
+    EXPECT_EQ(a.lanes, b.lanes) << "record " << i;
+    EXPECT_EQ(a.mask, b.mask) << "record " << i;
+    if (a.op == TraceOp::DmaWrite) {
+        EXPECT_EQ(a.data, b.data) << "record " << i;
+    }
+}
+
+/** The reader (construction or full validation) must reject @p bytes
+ *  with a SimError in the "trace" category. */
+void
+expectRejected(const std::string &bytes, const std::string &label)
+{
+    std::istringstream is(bytes, std::ios::binary);
+    try {
+        TraceReader rd(is);
+        rd.validateAll();
+        FAIL() << label << ": accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.context(), "trace") << label;
+    }
+}
+
+TEST(TraceFormat, EveryOpcodeRoundTrips)
+{
+    std::string bytes = sampleTrace();
+    std::istringstream is(bytes, std::ios::binary);
+    TraceReader rd(is);
+
+    const TraceHeader &h = rd.header();
+    EXPECT_EQ(h.version, TraceVersion);
+    EXPECT_EQ(h.numCpuThreads, 2u);
+    EXPECT_EQ(h.heapBase, 0x100000u);
+    EXPECT_EQ(h.heapEnd, 0x101000u);
+    ASSERT_TRUE(h.hasReference());
+    EXPECT_EQ(h.refCycles, 1234u);
+    EXPECT_EQ(h.refImageHash, 0xAB12CD34EF56ull);
+    // 2 MemInit + 3 AgentDef + the stream records
+    EXPECT_EQ(h.recordCount, 2 + 3 + sampleRecords().size());
+
+    ASSERT_EQ(rd.memInits().size(), 2u);
+    EXPECT_EQ(rd.memInits()[0].addr, 0x100000u);
+    EXPECT_EQ(rd.memInits()[0].size, 8u);
+    EXPECT_EQ(rd.memInits()[0].value, 0xDEADBEEFCAFEF00Dull);
+    EXPECT_EQ(rd.memInits()[1].value, 42u);
+
+    std::vector<TraceRecord> expect = sampleRecords();
+    std::vector<TraceRecord> got;
+    rd.validateAll([&](const TraceRecord &r) {
+        if (r.op != TraceOp::MemInit)
+            got.push_back(r);
+    });
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        expectEqualRecords(expect[i], got[i], i);
+}
+
+TEST(TraceFormat, PerAgentDemuxPreservesStreamOrder)
+{
+    std::string bytes = sampleTrace();
+    std::istringstream is(bytes, std::ios::binary);
+    TraceReader rd(is);
+
+    auto drain = [&](std::uint64_t agent) {
+        std::vector<TraceRecord> out;
+        TraceRecord r;
+        while (rd.next(agent, r))
+            out.push_back(r);
+        return out;
+    };
+    std::vector<TraceRecord> cpu0 = drain(Cpu0);
+    std::vector<TraceRecord> wave = drain(Wave00);
+    std::vector<TraceRecord> cpu1 = drain(Cpu1);
+
+    // next() never surfaces the AgentEnd itself.
+    std::vector<TraceRecord> expect0, expectW, expect1;
+    for (const TraceRecord &r : sampleRecords()) {
+        if (r.op == TraceOp::AgentEnd)
+            continue;
+        if (r.agent == Cpu0)
+            expect0.push_back(r);
+        else if (r.agent == Wave00)
+            expectW.push_back(r);
+        else
+            expect1.push_back(r);
+    }
+    ASSERT_EQ(cpu0.size(), expect0.size());
+    ASSERT_EQ(wave.size(), expectW.size());
+    ASSERT_EQ(cpu1.size(), expect1.size());
+    for (std::size_t i = 0; i < expect0.size(); ++i)
+        expectEqualRecords(expect0[i], cpu0[i], i);
+    for (std::size_t i = 0; i < expectW.size(); ++i)
+        expectEqualRecords(expectW[i], wave[i], i);
+    for (std::size_t i = 0; i < expect1.size(); ++i)
+        expectEqualRecords(expect1[i], cpu1[i], i);
+
+    EXPECT_TRUE(rd.fullyConsumed());
+    // A drained stream stays drained.
+    TraceRecord r;
+    EXPECT_FALSE(rd.next(Cpu0, r));
+}
+
+TEST(TraceFormat, EmptyTraceIsValid)
+{
+    std::ostringstream os(std::ios::binary);
+    TraceWriter w(os);
+    w.finalize(0, 0, 0, false, 0, 0);
+    std::string bytes = os.str();
+    EXPECT_EQ(bytes.size(), TraceHeaderBytes);
+
+    std::istringstream is(bytes, std::ios::binary);
+    TraceReader rd(is);
+    EXPECT_EQ(rd.header().recordCount, 0u);
+    EXPECT_FALSE(rd.header().hasReference());
+    EXPECT_NO_THROW(rd.validateAll());
+    EXPECT_TRUE(rd.fullyConsumed());
+}
+
+TEST(TraceFormat, TruncationAtEveryByteRejected)
+{
+    std::string bytes = sampleTrace();
+    ASSERT_GT(bytes.size(), TraceHeaderBytes);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        expectRejected(bytes.substr(0, cut),
+                       "truncation at " + std::to_string(cut));
+    }
+}
+
+TEST(TraceFormat, SingleByteCorruptionRejected)
+{
+    std::string bytes = sampleTrace();
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::string bad = bytes;
+        bad[i] = char(std::uint8_t(bad[i]) ^ 0xFF);
+        expectRejected(bad, "corruption at " + std::to_string(i));
+    }
+}
+
+TEST(TraceFormat, TrailingGarbageRejected)
+{
+    expectRejected(sampleTrace() + "xyz", "trailing garbage");
+}
+
+TEST(TraceFormat, TornCaptureWithoutFinalizeRejected)
+{
+    // A capture that dies before finalize leaves the all-zero
+    // placeholder header; no reader state can accept it.
+    std::ostringstream os(std::ios::binary);
+    TraceWriter w(os);
+    w.memInit(0x100000, 8, 1);
+    TraceRecord r;
+    r.op = TraceOp::CpuLoad;
+    r.agent = 0;
+    r.tick = 1;
+    r.addr = 0x100000;
+    r.size = 8;
+    w.append(r);
+    expectRejected(os.str(), "torn capture");
+}
+
+TEST(TraceFormat, VersionSkewNamedExplicitly)
+{
+    TraceHeader h;
+    h.version = TraceVersion + 1;
+    std::string bytes = encodeTraceHeader(h);
+    std::istringstream is(bytes, std::ios::binary);
+    try {
+        TraceReader rd(is);
+        FAIL() << "future version accepted";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("version skew"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+/** Assemble header + hand-crafted record bytes with a correct record
+ *  hash, so only the guard under test fires. */
+std::string
+craftTrace(const std::string &records, std::uint64_t record_count)
+{
+    TraceHeader h;
+    h.recordCount = record_count;
+    h.recordHash = fnvBytes(records.data(), records.size());
+    return encodeTraceHeader(h) + records;
+}
+
+TEST(TraceFormat, DeltaTickOverflowRejected)
+{
+    std::string recs;
+    recs.push_back(char(TraceOp::AgentDef));
+    appendVarint(recs, 5);
+    // First record jumps the stream clock to the end of time...
+    recs.push_back(char(TraceOp::CpuCompute));
+    appendVarint(recs, 0);                      // stream index
+    appendVarint(recs, ~std::uint64_t(0));      // delta
+    appendVarint(recs, 1);                      // cycles
+    // ...so any further advance overflows the 64-bit timeline.
+    recs.push_back(char(TraceOp::CpuCompute));
+    appendVarint(recs, 0);
+    appendVarint(recs, 1);
+    appendVarint(recs, 1);
+
+    std::string bytes = craftTrace(recs, 3);
+    std::istringstream is(bytes, std::ios::binary);
+    TraceReader rd(is);
+    try {
+        rd.validateAll();
+        FAIL() << "delta overflow accepted";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("delta tick overflows"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceFormat, OverlongAndOverflowingVarintsRejected)
+{
+    {
+        // Eleven continuation bytes: longer than any 64-bit varint.
+        std::string recs;
+        recs.push_back(char(TraceOp::AgentDef));
+        appendVarint(recs, 5);
+        recs.push_back(char(TraceOp::CpuCompute));
+        appendVarint(recs, 0);
+        recs.append(10, char(0x80)); // delta never terminates
+        expectRejected(craftTrace(recs, 2), "overlong varint");
+    }
+    {
+        // Ten bytes whose top groups spill past bit 63.
+        std::string recs;
+        recs.push_back(char(TraceOp::AgentDef));
+        appendVarint(recs, 5);
+        recs.push_back(char(TraceOp::CpuCompute));
+        appendVarint(recs, 0);
+        recs.append(9, char(0x80));
+        recs.push_back(char(0x02)); // value bit at position >= 64
+        expectRejected(craftTrace(recs, 2), "overflowing varint");
+    }
+}
+
+TEST(TraceFormat, StructuralGuardsReject)
+{
+    {
+        // Unknown opcode.
+        std::string recs;
+        recs.push_back(char(0xEE));
+        expectRejected(craftTrace(recs, 1), "unknown opcode");
+    }
+    {
+        // Stream record referencing a never-defined stream.
+        std::string recs;
+        recs.push_back(char(TraceOp::CpuCompute));
+        appendVarint(recs, 3); // no AgentDef established index 3
+        appendVarint(recs, 0);
+        appendVarint(recs, 1);
+        expectRejected(craftTrace(recs, 1), "undefined stream");
+    }
+    {
+        // Duplicate AgentDef for the same agent key.
+        std::string recs;
+        recs.push_back(char(TraceOp::AgentDef));
+        appendVarint(recs, 5);
+        recs.push_back(char(TraceOp::AgentDef));
+        appendVarint(recs, 5);
+        expectRejected(craftTrace(recs, 2), "duplicate AgentDef");
+    }
+    {
+        // A record arriving after its stream's AgentEnd.
+        std::string recs;
+        recs.push_back(char(TraceOp::AgentDef));
+        appendVarint(recs, 5);
+        recs.push_back(char(TraceOp::AgentEnd));
+        appendVarint(recs, 0);
+        appendVarint(recs, 1);
+        recs.push_back(char(TraceOp::CpuCompute));
+        appendVarint(recs, 0);
+        appendVarint(recs, 1);
+        appendVarint(recs, 1);
+        expectRejected(craftTrace(recs, 3), "record after AgentEnd");
+    }
+}
+
+TEST(TraceFormat, WriterEnforcesPerStreamTickOrder)
+{
+    std::ostringstream os(std::ios::binary);
+    TraceWriter w(os);
+    TraceRecord r;
+    r.op = TraceOp::CpuCompute;
+    r.agent = 1;
+    r.tick = 100;
+    r.value = 1;
+    w.append(r);
+    r.tick = 50;
+    EXPECT_THROW(w.append(r), SimError);
+    // Another stream is an independent clock: earlier ticks are fine.
+    r.agent = 2;
+    EXPECT_NO_THROW(w.append(r));
+}
+
+TEST(TraceFormat, WriterRejectsMemInitAfterStreamRecord)
+{
+    std::ostringstream os(std::ios::binary);
+    TraceWriter w(os);
+    w.memInit(0x100000, 8, 1);
+    TraceRecord r;
+    r.op = TraceOp::CpuCompute;
+    r.agent = 0;
+    r.tick = 1;
+    r.value = 1;
+    w.append(r);
+    EXPECT_THROW(w.memInit(0x100008, 8, 2), SimError);
+}
+
+TEST(TraceFormat, UnterminatedStreamSurfacesOnNext)
+{
+    std::ostringstream os(std::ios::binary);
+    TraceWriter w(os);
+    TraceRecord r;
+    r.op = TraceOp::CpuLoad;
+    r.agent = 0;
+    r.tick = 1;
+    r.addr = 0x100000;
+    r.size = 8;
+    w.append(r); // no agentEnd
+    w.finalize(1, 0x100000, 0x100040, false, 0, 0);
+
+    std::istringstream is(os.str(), std::ios::binary);
+    TraceReader rd(is);
+    TraceRecord out;
+    EXPECT_TRUE(rd.next(0, out));
+    EXPECT_THROW(rd.next(0, out), SimError);
+    EXPECT_FALSE(rd.fullyConsumed());
+}
+
+TEST(TraceFormat, UnknownAgentSurfacesOnNext)
+{
+    std::string bytes = sampleTrace();
+    std::istringstream is(bytes, std::ios::binary);
+    TraceReader rd(is);
+    TraceRecord out;
+    EXPECT_THROW(rd.next(999, out), SimError);
+}
+
+TEST(TraceFormat, ReadAheadWindowIsBounded)
+{
+    std::ostringstream os(std::ios::binary);
+    TraceWriter w(os);
+    TraceRecord r;
+    r.op = TraceOp::CpuCompute;
+    r.agent = 0;
+    r.value = 1;
+    for (Tick t = 1; t <= 10; ++t) {
+        r.tick = t;
+        w.append(r);
+    }
+    w.agentEnd(0, 11);
+    r.agent = 1;
+    r.tick = 12;
+    w.append(r);
+    w.agentEnd(1, 13);
+    w.finalize(2, 0, 0, false, 0, 0);
+
+    // Reaching agent 1 means queueing all of agent 0 first — more
+    // than a 4-record window tolerates.
+    std::istringstream is(os.str(), std::ios::binary);
+    TraceReader rd(is, /*max_pending=*/4);
+    TraceRecord out;
+    try {
+        rd.next(1, out);
+        FAIL() << "window bound not enforced";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("read-ahead window"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+} // namespace hsc
