@@ -1,0 +1,215 @@
+/**
+ * @file
+ * pdes_scaling — does the parallel kernel actually go faster?
+ *
+ * Two sweeps over the CPU-heavy tq workload:
+ *
+ *  - events/s vs worker threads on the big64 machine (74 shards):
+ *    the classic sequential kernel, then PDES at 1/2/4/8 workers.
+ *    PDES rows must agree on simulated cycles (thread-count identity
+ *    — asserted here, exhaustively in tests/core/pdes_matrix_test);
+ *    the sequential row legitimately differs by the doorbell
+ *    lookahead on kernel-launch/DMA hops;
+ *  - simulated cycles and events vs machine size (baseline -> big64
+ *    -> big128) at a fixed worker count, showing what the big
+ *    presets add to the working set.
+ *
+ * Host throughput numbers are observations, not simulation results:
+ * they jitter with the machine and are only meaningful relative to
+ * each other on the same host.  The committed BENCH_pdes.json records
+ * the host's hardware_concurrency next to them; regenerate on a
+ * >= 8-core host for a meaningful speedup curve (EXPERIMENTS.md).
+ *
+ *   $ ./bench/pdes_scaling                  # table to stdout
+ *   $ ./bench/pdes_scaling --json out.json  # + machine-readable
+ *   $ ./bench/pdes_scaling --smoke          # quick CI variant
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sim/json.hh"
+
+using namespace hsc;
+using namespace hsc::bench;
+
+namespace
+{
+
+struct ScalingRow
+{
+    std::string config;
+    std::string mode; ///< "sequential" or "pdes"
+    unsigned threads = 0;
+    unsigned shards = 0;
+    RunMetrics m;
+};
+
+ScalingRow
+runOne(const SystemConfig &base, const std::string &wl,
+       const WorkloadParams &wp, bool pdes, unsigned threads)
+{
+    SystemConfig cfg = base;
+    cfg.check = false; // benches measure the model, not the sanitizer
+    cfg.pdes.enabled = pdes;
+    cfg.pdes.threads = threads;
+    ScalingRow row;
+    row.config = cfg.label;
+    row.mode = pdes ? "pdes" : "sequential";
+    row.threads = threads;
+    row.m = benchWorkload(wl, cfg, wp);
+    row.shards = row.m.pdesShards;
+    return row;
+}
+
+double
+eventsPerSec(const RunMetrics &m)
+{
+    return m.hostMs > 0 ? double(m.hostEvents) / (m.hostMs / 1000.0)
+                        : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cerr << "usage: pdes_scaling [--smoke] "
+                         "[--json out.json]\n";
+            return 2;
+        }
+    }
+
+    const std::string wl = "tq";
+    WorkloadParams wp;
+    wp.scale = smoke ? 1 : 4;
+    const std::vector<unsigned> threadCounts =
+        smoke ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4, 8};
+
+    bool all_ok = true;
+
+    // --- events/s vs threads on big64 -----------------------------
+    std::vector<ScalingRow> scaling;
+    scaling.push_back(runOne(big64Config(), wl, wp, false, 0));
+    for (unsigned t : threadCounts)
+        scaling.push_back(runOne(big64Config(), wl, wp, true, t));
+
+    TableWriter tw(std::cout);
+    std::cout << "pdes_scaling: " << wl << " on big64 (scale "
+              << wp.scale << "), host concurrency "
+              << std::thread::hardware_concurrency() << "\n\n";
+    tw.header({"mode", "threads", "shards", "cycles", "events",
+               "host ms", "events/s"});
+    const ScalingRow *pdes1 = nullptr;
+    for (const ScalingRow &r : scaling) {
+        all_ok = all_ok && r.m.ok;
+        tw.row({r.mode,
+                r.mode == "pdes" ? TableWriter::fmt(std::uint64_t(
+                                       r.threads))
+                                 : "-",
+                TableWriter::fmt(std::uint64_t(r.shards)),
+                TableWriter::fmt(std::uint64_t(r.m.cycles)),
+                TableWriter::fmt(r.m.hostEvents),
+                TableWriter::fmt(r.m.hostMs),
+                TableWriter::fmt(eventsPerSec(r.m), 0)});
+        if (r.mode == "pdes") {
+            if (!pdes1) {
+                pdes1 = &r;
+            } else if (r.m.cycles != pdes1->m.cycles) {
+                std::cerr << "ERROR: pdes " << r.threads
+                          << "-thread cycles " << r.m.cycles
+                          << " != 1-thread cycles " << pdes1->m.cycles
+                          << " — thread-count identity broken\n";
+                all_ok = false;
+            }
+        }
+    }
+    if (pdes1 && scaling.back().mode == "pdes") {
+        double base = eventsPerSec(pdes1->m);
+        double top = eventsPerSec(scaling.back().m);
+        if (base > 0)
+            std::cout << "\nspeedup at " << scaling.back().threads
+                      << " threads vs 1: "
+                      << TableWriter::fmt(top / base) << "x\n";
+    }
+
+    // --- cycles vs machine size at a fixed worker count -----------
+    std::vector<SystemConfig> machines = {baselineConfig(),
+                                          big64Config()};
+    if (!smoke)
+        machines.push_back(big128Config());
+    std::vector<ScalingRow> sizes;
+    for (const SystemConfig &cfg : machines)
+        sizes.push_back(runOne(cfg, wl, wp, true, 4));
+
+    std::cout << "\nmachine-size sweep (pdes, 4 threads):\n\n";
+    TableWriter tw2(std::cout);
+    tw2.header({"config", "shards", "cycles", "events", "host ms"});
+    for (const ScalingRow &r : sizes) {
+        all_ok = all_ok && r.m.ok;
+        tw2.row({r.config, TableWriter::fmt(std::uint64_t(r.shards)),
+                 TableWriter::fmt(std::uint64_t(r.m.cycles)),
+                 TableWriter::fmt(r.m.hostEvents),
+                 TableWriter::fmt(r.m.hostMs)});
+    }
+
+    if (!json_path.empty()) {
+        auto rowJson = [](const ScalingRow &r) {
+            JsonValue o = JsonValue::makeObject();
+            o.set("config", JsonValue(r.config));
+            o.set("mode", JsonValue(r.mode));
+            o.set("threads", JsonValue(std::uint64_t(r.threads)));
+            o.set("shards", JsonValue(std::uint64_t(r.shards)));
+            o.set("ok", JsonValue(r.m.ok));
+            o.set("cycles", JsonValue(std::uint64_t(r.m.cycles)));
+            o.set("events", JsonValue(r.m.hostEvents));
+            o.set("hostMs", JsonValue(r.m.hostMs));
+            o.set("eventsPerSec", JsonValue(eventsPerSec(r.m)));
+            return o;
+        };
+        JsonValue report = JsonValue::makeObject();
+        report.set("bench", JsonValue("pdes_scaling"));
+        report.set("workload", JsonValue(wl));
+        report.set("scale", JsonValue(std::uint64_t(wp.scale)));
+        report.set("hostConcurrency",
+                   JsonValue(std::uint64_t(
+                       std::thread::hardware_concurrency())));
+        JsonValue js = JsonValue::makeArray();
+        for (const ScalingRow &r : scaling)
+            js.push(rowJson(r));
+        report.set("scaling", std::move(js));
+        JsonValue jm = JsonValue::makeArray();
+        for (const ScalingRow &r : sizes)
+            jm.push(rowJson(r));
+        report.set("machineSize", std::move(jm));
+        report.set("ok", JsonValue(all_ok));
+        std::ofstream os(json_path);
+        if (!os) {
+            std::cerr << "cannot open " << json_path << '\n';
+            return 2;
+        }
+        report.write(os, 2);
+        os << '\n';
+        std::cout << "\nJSON written to " << json_path << '\n';
+    }
+
+    if (!all_ok) {
+        std::cerr << "FAIL: a run failed verification or identity\n";
+        return 1;
+    }
+    return 0;
+}

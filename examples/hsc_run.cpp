@@ -44,27 +44,9 @@ using namespace hsc;
 namespace
 {
 
-SystemConfig
-configByName(const std::string &name)
-{
-    if (name == "baseline")
-        return baselineConfig();
-    if (name == "earlyResp")
-        return earlyRespConfig();
-    if (name == "noCleanVicMem")
-        return noCleanVicToMemConfig();
-    if (name == "noCleanVicLlc")
-        return noCleanVicToLlcConfig();
-    if (name == "llcWB")
-        return llcWriteBackConfig();
-    if (name == "llcWBuseL3")
-        return llcWriteBackUseL3Config();
-    if (name == "owner")
-        return ownerTrackingConfig();
-    if (name == "sharers")
-        return sharerTrackingConfig();
-    fatal("unknown config '%s' (try --help)", name.c_str());
-}
+// Config lookup lives in the library now (hsc::configByName /
+// hsc::namedConfigs): one table shared by the CLI, the benches and
+// --list-configs, with a SimError on unknown names.
 
 /** CLI config names -> the canonical preset names traces store. */
 std::string
@@ -217,7 +199,14 @@ usage()
         "  --workload <id>     workload to run (default: tq)\n"
         "  --config <name>     baseline | earlyResp | noCleanVicMem |\n"
         "                      noCleanVicLlc | llcWB | llcWBuseL3 |\n"
-        "                      owner | sharers  (default: baseline)\n"
+        "                      owner | sharers | big64 | big128\n"
+        "                      (default: baseline; see --list-configs)\n"
+        "  --pdes              parallel shard-per-thread kernel\n"
+        "                      (DESIGN.md §14); disables --check unless\n"
+        "                      explicitly requested\n"
+        "  --pdes-threads <n>  host worker threads for --pdes (implies\n"
+        "                      it; 0 = HSC_PDES_THREADS env, else all\n"
+        "                      hardware threads)\n"
         "  --scale <n>         problem-size multiplier (default: 2)\n"
         "  --seed <n>          workload seed (default: 7)\n"
         "  --banks <n>         directory banks, power of two (default: 1)\n"
@@ -320,7 +309,8 @@ usage()
         "                      whose name starts with <prefix>\n"
         "                      (implies --stats)\n"
         "  --list              list workload ids and exit\n"
-        "  --list-workloads    list workloads with descriptions and exit");
+        "  --list-workloads    list workloads with descriptions and exit\n"
+        "  --list-configs      list configuration presets and exit");
 }
 
 int run(int argc, char **argv);
@@ -354,7 +344,7 @@ run(int argc, char **argv)
     std::string config = "baseline";
     WorkloadParams params;
     params.scale = 2;
-    unsigned banks = 1;
+    unsigned banks = 0; // 0 = keep the preset's bank count
     unsigned limited_ptrs = 0;
     bool gpu_wb = false;
     bool dump_stats = false;
@@ -371,6 +361,9 @@ run(int argc, char **argv)
     std::vector<std::string> dead_links;
     Cycles watchdog = 0;
     bool check = true;
+    bool check_set = false; // --check / --no-check on the command line
+    bool pdes = false;
+    unsigned pdes_threads = 0;
     bool tester_mode = false;
     bool shrink = false;
     bool shrink_anchored = false;
@@ -455,8 +448,15 @@ run(int argc, char **argv)
             watchdog = Cycles(nextNum());
         } else if (arg == "--check") {
             check = true;
+            check_set = true;
         } else if (arg == "--no-check") {
             check = false;
+            check_set = true;
+        } else if (arg == "--pdes") {
+            pdes = true;
+        } else if (arg == "--pdes-threads") {
+            pdes = true;
+            pdes_threads = unsigned(nextNum());
         } else if (arg == "--tester") {
             tester_mode = true;
         } else if (arg == "--tester-locs") {
@@ -516,6 +516,10 @@ run(int argc, char **argv)
                 std::printf("%-10s  %s\n", e.id.c_str(),
                             e.description.c_str());
             return 0;
+        } else if (arg == "--list-configs") {
+            for (const NamedConfig &nc : namedConfigs())
+                std::printf("%-14s  %s\n", nc.name, nc.summary);
+            return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -527,9 +531,21 @@ run(int argc, char **argv)
     }
 
     SystemConfig cfg = configByName(config);
-    cfg.numDirBanks = banks;
-    cfg.gpuWriteBack = gpu_wb;
+    if (banks)
+        cfg.numDirBanks = banks;
+    if (gpu_wb)
+        cfg.gpuWriteBack = true;
     cfg.check = check;
+    if (pdes) {
+        cfg.pdes.enabled = true;
+        cfg.pdes.threads = pdes_threads;
+        // The sanitizer needs the sequential kernel's global event
+        // order, so --pdes turns it off — unless the user asked for
+        // it explicitly, in which case the config validator explains
+        // the conflict instead of silently dropping the request.
+        if (!check_set)
+            cfg.check = false;
+    }
     if (bug.kind != SeededBug::Kind::None)
         cfg.bug = bug;
     if (limited_ptrs) {

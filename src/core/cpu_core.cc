@@ -1,6 +1,7 @@
 #include "core/cpu_core.hh"
 
 #include "core/kernel_dispatch.hh"
+#include "sim/shard.hh"
 #include "sim/snapshot.hh"
 #include "trace/trace_capture.hh"
 
@@ -198,6 +199,24 @@ AwaitVoid
 CpuCtx::launchKernel(const GpuKernel &kernel)
 {
     panic_if(!dispatcher, "CpuCtx has no kernel dispatcher");
+    if (pdesShards) {
+        // Doorbell to the GPU shard; the completion doorbell rings
+        // back on this context's home shard.  Trace capture (rec) is
+        // rejected under PDES, so no recording here.
+        return AwaitVoid([this, kernel](std::function<void()> cb) {
+            unsigned home = ShardGroup::currentShard();
+            pdesShards->postCall(
+                pdesGpuShard,
+                [this, kernel, home, cb = std::move(cb)]() mutable {
+                    dispatcher->launch(
+                        kernel,
+                        [this, home, cb = std::move(cb)]() mutable {
+                            pdesShards->postCall(home, std::move(cb));
+                        },
+                        agentKey());
+                });
+        });
+    }
     return AwaitVoid([this, kernel](std::function<void()> cb) {
         std::uint64_t ord =
             dispatcher->launch(kernel, std::move(cb), agentKey());
@@ -208,10 +227,36 @@ CpuCtx::launchKernel(const GpuKernel &kernel)
 }
 
 void
+CpuCtx::kernelCompleted()
+{
+    if (--kernelsInFlight == 0 && kernelWaiter) {
+        auto w = std::move(kernelWaiter);
+        kernelWaiter = nullptr;
+        w();
+    }
+}
+
+void
 CpuCtx::launchKernelAsync(const GpuKernel &kernel)
 {
     panic_if(!dispatcher, "CpuCtx has no kernel dispatcher");
     ++kernelsInFlight;
+    if (pdesShards) {
+        // kernelsInFlight and kernelWaiter stay home-shard state:
+        // the count bumps here (synchronously, on the issuing shard)
+        // and drops in a completion doorbell posted back home.
+        unsigned home = ShardGroup::currentShard();
+        pdesShards->postCall(pdesGpuShard, [this, kernel, home] {
+            dispatcher->launch(kernel,
+                               [this, home] {
+                                   pdesShards->postCall(
+                                       home,
+                                       [this] { kernelCompleted(); });
+                               },
+                               agentKey());
+        });
+        return;
+    }
     std::uint64_t ord =
         dispatcher->launch(kernel,
                            [this] {

@@ -21,6 +21,7 @@ namespace hsc
 {
 
 class KernelDispatcher;
+class ShardGroup;
 class SnapshotCoordinator;
 class TraceRecorder;
 struct GpuKernel;
@@ -51,6 +52,17 @@ class CpuCtx
      *  top of its start so the capture sees per-thread program order
      *  exactly once, even across checkpoint drains. */
     void setTraceRecorder(TraceRecorder *r) { rec = r; }
+
+    /** PDES doorbell wiring (DESIGN.md §14): the dispatcher lives on
+     *  the GPU shard, so kernel launches hop there through a shard
+     *  doorbell and completions hop back — one lookahead window of
+     *  latency each way, deterministically.  Null = same-shard calls
+     *  (sequential mode). */
+    void setPdesRouting(ShardGroup *g, unsigned gpu_shard)
+    {
+        pdesShards = g;
+        pdesGpuShard = gpu_shard;
+    }
 
     /**
      * @{ Awaitable memory operations (sizes 1/2/4/8).  The returned
@@ -133,6 +145,9 @@ class CpuCtx
     /** Schedule the compute delay (the live, non-replay path). */
     void computeLive(Cycles cycles, std::function<void()> cb);
 
+    /** Home-shard bookkeeping of one async kernel completion. */
+    void kernelCompleted();
+
     const unsigned tid;
     CorePairController &corePair;
     const unsigned coreIdx;
@@ -143,6 +158,8 @@ class CpuCtx
 
     SnapshotCoordinator *snap = nullptr;
     TraceRecorder *rec = nullptr;
+    ShardGroup *pdesShards = nullptr;
+    unsigned pdesGpuShard = 0;
 
     Addr codePc;
     std::uint64_t opCount = 0;

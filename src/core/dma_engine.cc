@@ -3,11 +3,55 @@
 #include <memory>
 
 #include "core/cpu_core.hh"
+#include "sim/shard.hh"
 #include "sim/snapshot.hh"
 #include "trace/trace_capture.hh"
 
 namespace hsc
 {
+
+void
+DmaEngine::routeRead(Addr addr, std::function<void(DataBlock)> cb)
+{
+    if (pdesShards && ShardGroup::currentShard() != pdesDmaShard) {
+        unsigned home = ShardGroup::currentShard();
+        pdesShards->postCall(
+            pdesDmaShard,
+            [this, addr, home, cb = std::move(cb)]() mutable {
+                ctrl.readBlock(
+                    addr, [this, home, cb = std::move(cb)](
+                              const DataBlock &b) mutable {
+                        pdesShards->postCall(
+                            home, [b, cb = std::move(cb)]() mutable {
+                                cb(b);
+                            });
+                    });
+            });
+        return;
+    }
+    ctrl.readBlock(addr, std::move(cb));
+}
+
+void
+DmaEngine::routeWrite(Addr addr, const DataBlock &data, ByteMask mask,
+                      std::function<void()> cb)
+{
+    if (pdesShards && ShardGroup::currentShard() != pdesDmaShard) {
+        unsigned home = ShardGroup::currentShard();
+        pdesShards->postCall(
+            pdesDmaShard,
+            [this, addr, data, mask, home,
+             cb = std::move(cb)]() mutable {
+                ctrl.writeBlock(
+                    addr, data, mask,
+                    [this, home, cb = std::move(cb)]() mutable {
+                        pdesShards->postCall(home, std::move(cb));
+                    });
+            });
+        return;
+    }
+    ctrl.writeBlock(addr, data, mask, std::move(cb));
+}
 
 void
 DmaEngine::copy(Addr dst, Addr src, std::uint64_t bytes,
@@ -16,6 +60,22 @@ DmaEngine::copy(Addr dst, Addr src, std::uint64_t bytes,
     panic_if(blockOffset(dst) || blockOffset(src) ||
                  bytes % BlockSizeBytes != 0,
              "DMA copy must be block-aligned");
+    if (pdesShards && ShardGroup::currentShard() != pdesDmaShard) {
+        // Hop once for the whole copy: the per-block read/write chain
+        // below then runs entirely on the DMA shard, and only the
+        // final completion doorbells back to the issuing shard.
+        unsigned home = ShardGroup::currentShard();
+        pdesShards->postCall(
+            pdesDmaShard,
+            [this, dst, src, bytes, home,
+             cb = std::move(cb)]() mutable {
+                copy(dst, src, bytes,
+                     [this, home, cb = std::move(cb)]() mutable {
+                         pdesShards->postCall(home, std::move(cb));
+                     });
+            });
+        return;
+    }
     std::uint64_t blocks = bytes / BlockSizeBytes;
     if (blocks == 0) {
         cb();
@@ -52,7 +112,7 @@ void
 DmaEngine::readLive(SnapshotCoordinator *s, std::uint64_t key, Addr addr,
                     std::function<void(DataBlock)> cb)
 {
-    ctrl.readBlock(addr, [s, key, cb = std::move(cb)](const DataBlock &b) {
+    routeRead(addr, [s, key, cb = std::move(cb)](const DataBlock &b) {
         if (s) {
             std::uint64_t words[BlockSizeBytes / 8];
             for (unsigned i = 0; i < BlockSizeBytes / 8; ++i)
@@ -68,7 +128,7 @@ DmaEngine::writeLive(SnapshotCoordinator *s, std::uint64_t key, Addr addr,
                      const DataBlock &data, ByteMask mask,
                      std::function<void()> cb)
 {
-    ctrl.writeBlock(addr, data, mask, [s, key, cb = std::move(cb)] {
+    routeWrite(addr, data, mask, [s, key, cb = std::move(cb)] {
         if (s)
             s->record(key, OpKind::DmaWrite, {});
         cb();

@@ -13,6 +13,7 @@ namespace hsc
 {
 
 class CpuCtx;
+class ShardGroup;
 class SnapshotCoordinator;
 class TraceRecorder;
 
@@ -54,8 +55,8 @@ class DmaEngine
         return Await<DataBlock>(
             [this, addr](std::function<void(DataBlock)> cb) {
                 requireUnattributedOk("readBlock");
-                ctrl.readBlock(addr, [cb = std::move(cb)](
-                                         const DataBlock &b) { cb(b); });
+                routeRead(addr, [cb = std::move(cb)](
+                                    const DataBlock &b) { cb(b); });
             });
     }
 
@@ -66,7 +67,7 @@ class DmaEngine
         return AwaitVoid(
             [this, addr, data, mask](std::function<void()> cb) {
                 requireUnattributedOk("writeBlock");
-                ctrl.writeBlock(addr, data, mask, std::move(cb));
+                routeWrite(addr, data, mask, std::move(cb));
             });
     }
 
@@ -88,10 +89,28 @@ class DmaEngine
      *  so the unattributed variants panic while it's on. */
     void setTraceRecorder(TraceRecorder *r) { rec = r; }
 
+    /** PDES doorbell wiring (DESIGN.md §14): the DMA controller lives
+     *  on its own shard, so every operation issued from another shard
+     *  hops there and its completion hops back — one lookahead window
+     *  of latency each way, deterministically.  Null = direct calls
+     *  (sequential mode). */
+    void setPdesRouting(ShardGroup *g, unsigned dma_shard)
+    {
+        pdesShards = g;
+        pdesDmaShard = dma_shard;
+    }
+
     DmaController &controller() { return ctrl; }
 
   private:
     void requireUnattributedOk(const char *what) const;
+
+    /** @{ Shard-routing choke points: forward to the controller on
+     *  this shard, or doorbell to the DMA shard under PDES. */
+    void routeRead(Addr addr, std::function<void(DataBlock)> cb);
+    void routeWrite(Addr addr, const DataBlock &data, ByteMask mask,
+                    std::function<void()> cb);
+    /** @} */
 
     /** @{ Live (non-replay) paths of the attributed operations. */
     void readLive(SnapshotCoordinator *s, std::uint64_t key, Addr addr,
@@ -106,6 +125,8 @@ class DmaEngine
     DmaController &ctrl;
     SnapshotCoordinator *snap = nullptr;
     TraceRecorder *rec = nullptr;
+    ShardGroup *pdesShards = nullptr;
+    unsigned pdesDmaShard = 0;
 };
 
 } // namespace hsc

@@ -27,6 +27,30 @@ checkedClock(const std::string &sys, const char *which, std::uint64_t mhz)
     return ClockDomain::fromMHz(mhz);
 }
 
+/**
+ * Build the shard container (DESIGN.md §14).  Sequential mode is one
+ * shard whose queue is the classic global queue.  PDES mode is one
+ * shard per directory bank, one per CorePair, one for the GPU complex
+ * and one for DMA, with a conservative lookahead of one cross-shard
+ * link latency.  Runs in the ctor init list, before the clock members
+ * exist and before validateConfig — so the zero cases are only guarded
+ * here (validateConfig reports them with a proper message right after).
+ */
+std::unique_ptr<ShardGroup>
+makeShards(const SystemConfig &cfg)
+{
+    if (!cfg.pdes.enabled)
+        return std::make_unique<ShardGroup>(1, 0);
+    unsigned banks = std::max(1u, cfg.numDirBanks);
+    unsigned n = banks + cfg.topo.numCorePairs + 2;
+    Tick lookahead = 1;
+    if (cfg.cpuMHz != 0 && cfg.linkLatency != 0) {
+        lookahead =
+            ClockDomain::fromMHz(cfg.cpuMHz).toTicks(cfg.linkLatency);
+    }
+    return std::make_unique<ShardGroup>(n, lookahead);
+}
+
 } // namespace
 
 void
@@ -67,16 +91,86 @@ HsaSystem::validateConfig() const
              "%s: trace capture cannot start from a checkpoint restore "
              "(the replayed prefix would be re-recorded); capture a "
              "fresh run instead", cfg.name.c_str());
+
+    unsigned banks = std::max(1u, cfg.numDirBanks);
+    unsigned channels = std::max(1u, cfg.memChannels);
+    fatal_if(banks % channels != 0,
+             "%s: memChannels (%u) must divide numDirBanks (%u) so "
+             "each bank maps to exactly one channel",
+             cfg.name.c_str(), channels, banks);
+    fatal_if(cfg.dir.tracking == DirTracking::Sharers &&
+                 cfg.topo.numClients() > 64,
+             "%s: full-map sharer tracking stores a 64-bit bitmap and "
+             "this machine has %u coherence clients; use owner "
+             "tracking for big machines",
+             cfg.name.c_str(), cfg.topo.numClients());
+
+    // PDES (DESIGN.md §14): every feature that observes or perturbs a
+    // single global event order is rejected up front with a structured
+    // error, not silently de-parallelized or silently wrong.
+    if (cfg.pdes.enabled) {
+        auto rej = [&](bool cond, const char *what) {
+            fatal_if(cond,
+                     "%s: %s is incompatible with pdes.enabled (it "
+                     "needs the single global event order of the "
+                     "sequential kernel)",
+                     cfg.name.c_str(), what);
+        };
+        rej(cfg.check, "the coherence checker (SystemConfig::check)");
+        rej(cfg.obs.enabled || cfg.obs.samplingInterval != 0,
+            "the observability subsystem (SystemConfig::obs)");
+        rej(cfg.trace.enabled(), "memory-trace capture");
+        rej(cfg.ckpt.enabled(), "checkpoint/restore");
+        rej(cfg.transport.enabled, "the reliable link transport");
+        rej(cfg.fault.any(), "fault injection");
+        rej(cfg.storageFault.enabled, "the storage-fault model");
+        rej(cfg.bug.kind != SeededBug::Kind::None,
+            "the seeded protocol bug");
+        fatal_if(cfg.linkLatency == 0,
+                 "%s: pdes requires linkLatency > 0 — it is the "
+                 "conservative lookahead window", cfg.name.c_str());
+        fatal_if(channels != banks,
+                 "%s: pdes requires memChannels == numDirBanks (got "
+                 "%u channels, %u banks) so each bank shard owns its "
+                 "DRAM channel outright",
+                 cfg.name.c_str(), channels, banks);
+    }
 }
 
 HsaSystem::HsaSystem(const SystemConfig &config)
-    : cfg(config), cpuClk(checkedClock(cfg.name, "cpu", cfg.cpuMHz)),
+    : cfg(config), shards(makeShards(cfg)), eq(shards->queue(0)),
+      cpuClk(checkedClock(cfg.name, "cpu", cfg.cpuMHz)),
       gpuClk(checkedClock(cfg.name, "gpu", cfg.gpuMHz))
 {
     validateConfig();
 
     const Topology &topo = cfg.topo;
     Tick link_lat = cpuClk.toTicks(cfg.linkLatency);
+
+    // §VII banking and DESIGN.md §14 sharding both need the bank
+    // count up front.  Shard layout under PDES: bank b => shard b,
+    // then one shard per client in machine-id order (CorePairs, the
+    // GPU complex behind the TCC, DMA).  Sequential mode maps
+    // everything to shard 0 — the classic global queue.
+    unsigned banks = std::max(1u, cfg.numDirBanks);
+    fatal_if(banks & (banks - 1), "numDirBanks must be a power of two");
+    unsigned bank_shift = 0;
+    while ((1u << bank_shift) < banks)
+        ++bank_shift;
+
+    pdesOn = cfg.pdes.enabled;
+    gpuShardIdx = pdesOn ? banks + unsigned(topo.tccId(0)) : 0;
+    dmaShardIdx = pdesOn ? banks + unsigned(topo.dmaId()) : 0;
+    auto bankShard = [&](unsigned b) { return pdesOn ? b : 0u; };
+    auto clientShard = [&](unsigned c) {
+        return pdesOn ? banks + c : 0u;
+    };
+    auto qOfBank = [&](unsigned b) -> EventQueue & {
+        return shards->queue(bankShard(b));
+    };
+    auto qOfClient = [&](unsigned c) -> EventQueue & {
+        return shards->queue(clientShard(c));
+    };
 
     if (cfg.fault.any()) {
         faultInjector = std::make_unique<FaultInjector>(
@@ -114,25 +208,29 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         storagePtr->attachTracer(tracerPtr.get());
     }
 
-    mainMemory = std::make_unique<MainMemory>(
-        cfg.name + ".mem", eq, cpuClk.toTicks(cfg.memLatency),
-        cpuClk.toTicks(cfg.memServicePeriod));
-    mainMemory->regStats(registry);
-    if (storagePtr) {
-        mainMemory->attachStorageFault(
-            storagePtr.get(),
-            storagePtr->registerArray(mainMemory->name()));
+    // DRAM channels: bank b is served by channel (b % channels).  One
+    // channel keeps the classic ".mem" stat name, bit-identical to the
+    // golden; under PDES channels == banks, so channel ch lives on
+    // bank ch's shard.
+    unsigned channels = std::max(1u, cfg.memChannels);
+    for (unsigned ch = 0; ch < channels; ++ch) {
+        std::string mem_name = channels == 1
+            ? cfg.name + ".mem"
+            : cfg.name + ".mem" + std::to_string(ch);
+        mems.push_back(std::make_unique<MainMemory>(
+            mem_name, qOfBank(ch), cpuClk.toTicks(cfg.memLatency),
+            cpuClk.toTicks(cfg.memServicePeriod)));
+        mems.back()->regStats(registry);
+        if (storagePtr) {
+            mems.back()->attachStorageFault(
+                storagePtr.get(),
+                storagePtr->registerArray(mems.back()->name()));
+        }
     }
 
     // §VII: the directory may be banked (address-interleaved).  Each
     // bank owns 1/N of the directory entries and the LLC, skipping the
     // bank-select bits when indexing its arrays.
-    unsigned banks = std::max(1u, cfg.numDirBanks);
-    fatal_if(banks & (banks - 1), "numDirBanks must be a power of two");
-    unsigned bank_shift = 0;
-    while ((1u << bank_shift) < banks)
-        ++bank_shift;
-
     DirParams dp;
     dp.topo = topo;
     dp.cfg = cfg.dir;
@@ -153,7 +251,7 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             ? cfg.name + ".dir"
             : cfg.name + ".dir" + std::to_string(b);
         dirs.push_back(std::make_unique<DirectoryController>(
-            dir_name, eq, cpuClk, dp, *mainMemory));
+            dir_name, qOfBank(b), cpuClk, dp, *mems[b % channels]));
         dirs.back()->attachChecker(checkerPtr.get());
         dirs.back()->attachTracer(tracerPtr.get());
         if (storagePtr) {
@@ -175,13 +273,21 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             std::string suffix =
                 "b" + std::to_string(b) + "c" + std::to_string(i);
             toDir.push_back(std::make_unique<MessageBuffer>(
-                cfg.name + ".toDir." + suffix, eq, link_lat,
+                cfg.name + ".toDir." + suffix, qOfBank(b), link_lat,
                 next_link_id++));
             fromDir.push_back(std::make_unique<MessageBuffer>(
-                cfg.name + ".fromDir." + suffix, eq, link_lat,
+                cfg.name + ".fromDir." + suffix, qOfClient(i), link_lat,
                 next_link_id++));
             MessageBuffer *up = toDir.back().get();
             MessageBuffer *down = fromDir.back().get();
+            if (pdesOn) {
+                // A bank and a client never share a shard, so every
+                // directory link crosses a boundary.
+                up->bindCrossShard(*shards, clientShard(i),
+                                   bankShard(b));
+                down->bindCrossShard(*shards, bankShard(b),
+                                     clientShard(i));
+            }
             if (faultInjector) {
                 up->attachFaultInjector(faultInjector.get());
                 down->attachFaultInjector(faultInjector.get());
@@ -233,8 +339,9 @@ HsaSystem::HsaSystem(const SystemConfig &config)
     for (unsigned i = 0; i < topo.numCorePairs; ++i) {
         MachineId id = topo.l2Id(i);
         corePairs.push_back(std::make_unique<CorePairController>(
-            cfg.name + ".corepair" + std::to_string(i), eq, cpuClk, id,
-            cp_params, *clientSinks[id]));
+            cfg.name + ".corepair" + std::to_string(i),
+            qOfClient(unsigned(id)), cpuClk, id, cp_params,
+            *clientSinks[id]));
         bind_from_dir(unsigned(id), [&](MessageBuffer &buf) {
             corePairs.back()->bindFromDir(buf);
         });
@@ -255,8 +362,8 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         TccParams tcc_params = cfg.tcc;
         tcc_params.writeBack = cfg.gpuWriteBack || tcc_params.writeBack;
         tccCtrl = std::make_unique<TccController>(
-            cfg.name + ".tcc", eq, gpuClk, id, tcc_params,
-            *clientSinks[id]);
+            cfg.name + ".tcc", qOfClient(unsigned(id)), gpuClk, id,
+            tcc_params, *clientSinks[id]);
         bind_from_dir(unsigned(id), [&](MessageBuffer &buf) {
             tccCtrl->bindFromDir(buf);
         });
@@ -269,8 +376,9 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         }
         tccCtrl->regStats(registry);
     }
-    sqcCtrl = std::make_unique<SqcController>(cfg.name + ".sqc", eq, gpuClk,
-                                              cfg.sqc, *tccCtrl);
+    sqcCtrl = std::make_unique<SqcController>(
+        cfg.name + ".sqc", shards->queue(gpuShardIdx), gpuClk, cfg.sqc,
+        *tccCtrl);
     sqcCtrl->attachChecker(checkerPtr.get());
     sqcCtrl->attachTracer(tracerPtr.get());
     sqcCtrl->regStats(registry);
@@ -280,8 +388,9 @@ HsaSystem::HsaSystem(const SystemConfig &config)
     std::vector<GpuCu *> cu_ptrs;
     for (unsigned i = 0; i < cfg.numCus; ++i) {
         cus.push_back(std::make_unique<GpuCu>(
-            cfg.name + ".cu" + std::to_string(i), eq, gpuClk, tcp_params,
-            *tccCtrl, *sqcCtrl, cfg.wavefrontsPerCu, cfg.lanesPerWavefront,
+            cfg.name + ".cu" + std::to_string(i),
+            shards->queue(gpuShardIdx), gpuClk, tcp_params, *tccCtrl,
+            *sqcCtrl, cfg.wavefrontsPerCu, cfg.lanesPerWavefront,
             cfg.injectIfetches));
         cus.back()->tcp().attachChecker(checkerPtr.get());
         cus.back()->tcp().attachTracer(tracerPtr.get());
@@ -303,8 +412,8 @@ HsaSystem::HsaSystem(const SystemConfig &config)
     {
         MachineId id = topo.dmaId();
         dmaCtrl = std::make_unique<DmaController>(
-            cfg.name + ".dma", eq, cpuClk, id, *clientSinks[id],
-            cfg.dmaMaxOutstanding);
+            cfg.name + ".dma", qOfClient(unsigned(id)), cpuClk, id,
+            *clientSinks[id], cfg.dmaMaxOutstanding);
         bind_from_dir(unsigned(id), [&](MessageBuffer &buf) {
             dmaCtrl->bindFromDir(buf);
         });
@@ -315,6 +424,8 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         dmaEngine = std::make_unique<DmaEngine>(*dmaCtrl);
         if (snapCoord)
             dmaEngine->setSnapshot(snapCoord.get());
+        if (pdesOn)
+            dmaEngine->setPdesRouting(shards.get(), dmaShardIdx);
     }
 
     // Trace capture: attach after every recordable subsystem exists
@@ -441,7 +552,7 @@ HsaSystem::imageHash(Addr lo, Addr hi)
             }
         }
         if (!found) {
-            w = mainMemory->functionalRead(blockAlign(a))
+            w = memFor(a).functionalRead(blockAlign(a))
                     .get<std::uint64_t>(blockOffset(a));
         }
         std::uint8_t bytes[8];
@@ -495,9 +606,14 @@ HsaSystem::addCpuThread(CpuThreadFn fn)
     unsigned tid = static_cast<unsigned>(threadFns.size());
     unsigned total_cores = cfg.topo.numCorePairs * 2;
     unsigned core = tid % total_cores;
+    CorePairController &cp = *corePairs[core / 2];
+    // The context schedules on its CorePair's queue: the home shard
+    // under PDES, the global queue otherwise.
     cpuCtxs.push_back(std::make_unique<CpuCtx>(
-        tid, *corePairs[core / 2], core % 2, eq, cpuClk,
+        tid, cp, core % 2, cp.eventQueue(), cpuClk,
         kernelDispatcher.get(), cfg.injectIfetches));
+    if (pdesOn)
+        cpuCtxs.back()->setPdesRouting(shards.get(), gpuShardIdx);
     if (snapCoord)
         cpuCtxs.back()->setSnapshot(snapCoord.get());
     if (traceRecPtr)
@@ -518,12 +634,18 @@ HsaSystem::buildHangReport(HangReport::Kind kind) const
 {
     HangReport r;
     r.kind = kind;
-    r.atTick = eq.curTick();
-    r.lastProgressTick = eq.lastProgress();
-    r.liveTasks = liveTasks;
+    // Under PDES the shards stop at (nearly) the same window edge;
+    // report the most advanced one.  Sequential mode: shard 0 == eq.
+    Tick now = 0;
+    Tick progress = 0;
+    for (unsigned s = 0; s < shards->numShards(); ++s) {
+        now = std::max(now, shards->queue(s).curTick());
+        progress = std::max(progress, shards->queue(s).lastProgress());
+    }
+    r.atTick = now;
+    r.lastProgressTick = progress;
+    r.liveTasks = liveTasks.load();
     r.lastCheckpointTick = lastCkptTick;
-
-    Tick now = eq.curTick();
     for (const ProtocolIntrospect *pi : introspectables) {
         pi->inFlightTransactions(now, r.stalledTxns);
         r.controllerSummaries.push_back(pi->stateSummary());
@@ -565,7 +687,8 @@ HsaSystem::armWatchdog()
                         watchdogTripped = true;
                         warn("watchdog: no progress for %llu ticks "
                              "(%u live tasks)",
-                             (unsigned long long)interval, liveTasks);
+                             (unsigned long long)interval,
+                             liveTasks.load());
                         return; // stop rearming; run() exits via check
                     }
                     armWatchdog();
@@ -634,6 +757,8 @@ HsaSystem::collectObs()
 bool
 HsaSystem::run(Cycles max_cycles)
 {
+    if (cfg.pdes.enabled)
+        return runPdes(max_cycles);
     running = true;
     watchdogTripped = false;
     degradedTripped = false;

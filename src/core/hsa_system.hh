@@ -22,6 +22,7 @@
 #ifndef HSC_CORE_HSA_SYSTEM_HH
 #define HSC_CORE_HSA_SYSTEM_HH
 
+#include <atomic>
 #include <memory>
 #include <ostream>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "sim/coherence_checker.hh"
 #include "sim/fault_injector.hh"
 #include "sim/introspect.hh"
+#include "sim/shard.hh"
 
 namespace hsc
 {
@@ -85,7 +87,7 @@ class HsaSystem
     void
     writeWord(Addr addr, T v)
     {
-        mainMemory->functionalWriteWord<T>(addr, v);
+        memFor(addr).functionalWriteWord<T>(addr, v);
         noteMemInit(addr, unsigned(sizeof(T)), std::uint64_t(v));
     }
 
@@ -101,7 +103,7 @@ class HsaSystem
             notePoisonRead(addr, *blk);
             return blk->get<T>(blockOffset(addr));
         }
-        DataBlock blk = mainMemory->functionalRead(blockAlign(addr));
+        DataBlock blk = memFor(addr).functionalRead(blockAlign(addr));
         notePoisonRead(addr, blk);
         return blk.get<T>(blockOffset(addr));
     }
@@ -247,7 +249,28 @@ class HsaSystem
     /** @{ Component access. */
     EventQueue &eventQueue() { return eq; }
     StatRegistry &stats() { return registry; }
-    MainMemory &memory() { return *mainMemory; }
+
+    /** The shard container; one shard (queue(0) == eventQueue())
+     *  unless SystemConfig::pdes is enabled. */
+    ShardGroup &shardGroup() { return *shards; }
+    unsigned numShards() const { return shards->numShards(); }
+
+    /** Host worker threads the last PDES run used (0 = never ran /
+     *  sequential mode) — printed in the PASS line. */
+    unsigned pdesThreadsUsed() const { return pdesThreads_; }
+
+    /** Events executed so far, summed across every shard queue. */
+    std::uint64_t eventsExecuted() const
+    {
+        return shards->totalExecuted();
+    }
+
+    /** Main memory (channel 0; see memoryFor for interleaving). */
+    MainMemory &memory() { return *mems[0]; }
+
+    /** The DRAM channel owning @p addr (block % memChannels). */
+    MainMemory &memoryFor(Addr addr) { return memFor(addr); }
+    unsigned numMemChannels() const { return unsigned(mems.size()); }
     DirectoryController &directory() { return *dirs[0]; }
     DirectoryController &dirBank(unsigned b) { return *dirs.at(b); }
     unsigned numDirBanks() const { return unsigned(dirs.size()); }
@@ -278,6 +301,17 @@ class HsaSystem
     void collectObs();
     void validateConfig() const;
 
+    /** Parallel run loop (core/hsa_system_pdes.cc). */
+    bool runPdes(Cycles max_cycles);
+
+    MainMemory &
+    memFor(Addr addr)
+    {
+        // memChannels divides numDirBanks, so the channel of a block
+        // agrees with its directory bank's channel assignment.
+        return *mems[std::size_t(addr >> BlockShift) % mems.size()];
+    }
+
     /** Verification reads are a consumption boundary too: reading a
      *  poisoned result block must contain, not silently compare. */
     void notePoisonRead(Addr addr, const DataBlock &blk);
@@ -303,10 +337,31 @@ class HsaSystem
     /** @} */
 
     SystemConfig cfg;
-    EventQueue eq;
+    /** The shard container: one shard in sequential mode (whose
+     *  queue(0) is the classic global queue), one per directory
+     *  bank / CorePair / GPU complex / DMA under PDES. */
+    std::unique_ptr<ShardGroup> shards;
+    /** Shard 0's queue — *the* event queue in sequential mode; under
+     *  PDES only the shard-0 components schedule here. */
+    EventQueue &eq;
     StatRegistry registry;
     ClockDomain cpuClk;
     ClockDomain gpuClk;
+
+    /** @{ PDES shard layout (all 0 when pdes is off): directory bank
+     *  b => shard b; CorePair i => banks + i; the GPU complex (TCC,
+     *  SQC, CUs, dispatcher) => one shard; DMA => one shard. */
+    bool pdesOn = false;
+    unsigned bankShard0 = 0;   ///< shard of bank 0 (= 0)
+    unsigned gpuShardIdx = 0;
+    unsigned dmaShardIdx = 0;
+    unsigned pdesThreads_ = 0; ///< threads used by the last runPdes()
+    bool pdesRanOnce = false;
+    /** Retirement tick of the latest task to finish (atomic max),
+     *  defining cyclesElapsed exactly as the sequential kernel does:
+     *  the tick at which the last task retired. */
+    std::atomic<Tick> retireTick{0};
+    /** @} */
 
     std::unique_ptr<FaultInjector> faultInjector;
     std::unique_ptr<TraceRecorder> traceRec; ///< owned capture sink
@@ -318,7 +373,9 @@ class HsaSystem
     std::unique_ptr<ObsTracer> tracerPtr;
     std::unique_ptr<ObsSampler> samplerPtr;
 
-    std::unique_ptr<MainMemory> mainMemory;
+    /** DRAM channels; [b % memChannels] serves directory bank b.
+     *  One channel (".mem") unless configured otherwise. */
+    std::vector<std::unique_ptr<MainMemory>> mems;
     std::vector<std::unique_ptr<DirectoryController>> dirs;
 
     /** Channels, indexed [bank * numClients + client]. */
@@ -348,7 +405,9 @@ class HsaSystem
 
     static constexpr Addr HeapBase = 0x100000;
     Addr heapNext = HeapBase;
-    unsigned liveTasks = 0;
+    /** Atomic only for the PDES path (tasks retire on any shard);
+     *  the sequential path is single-threaded as before. */
+    std::atomic<unsigned> liveTasks{0};
     bool watchdogTripped = false;
     bool degradedTripped = false;
     bool crashTripped = false;

@@ -182,7 +182,11 @@ HsaSystem::buildSnapshotText() const
         return j;
     };
 
-    p.set("mem", section(*mainMemory));
+    // One channel keeps the legacy flat "mem" key, so old snapshots
+    // stay readable; extra channels get numbered siblings.
+    p.set("mem", section(*mems[0]));
+    for (std::size_t ch = 1; ch < mems.size(); ++ch)
+        p.set("mem" + std::to_string(ch), section(*mems[ch]));
     JsonValue dirsj = JsonValue::makeArray();
     for (const auto &d : dirs)
         dirsj.push(section(*d));
@@ -316,7 +320,9 @@ HsaSystem::restoreFrom(const std::string &path)
         require("dirBanks", dirs.size());
         require("threads", threadFns.size());
 
-        mainMemory->restore(p.at("mem"));
+        mems[0]->restore(p.at("mem"));
+        for (std::size_t ch = 1; ch < mems.size(); ++ch)
+            mems[ch]->restore(p.at("mem" + std::to_string(ch)));
         const JsonValue &dirsj = p.at("dirs");
         for (std::size_t b = 0; b < dirs.size(); ++b)
             dirs[b]->restore(dirsj.at(b));

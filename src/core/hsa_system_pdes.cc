@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The parallel (shard-per-thread) run loop — DESIGN.md §14.
+ *
+ * Only entered when SystemConfig::pdes.enabled; the sequential
+ * kernel in hsa_system.cc is untouched and stays bit-identical to
+ * the committed golden.  validateConfig has already rejected every
+ * feature that needs a single global event order (checker, obs,
+ * trace capture, checkpoints, transport, fault injection), so this
+ * loop only deals in start events, the shard barrier, and the
+ * end-of-run bookkeeping.
+ */
+
+#include "core/hsa_system.hh"
+
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+
+bool
+HsaSystem::runPdes(Cycles max_cycles)
+{
+    fatal_if(pdesRanOnce,
+             "%s: a PDES system runs exactly once (shard clocks do not "
+             "rewind); construct a fresh system instead",
+             cfg.name.c_str());
+    pdesRanOnce = true;
+    running = true;
+    watchdogTripped = false;
+    lastHang = HangReport{};
+    lastError.clear();
+    runStartTick = 0;
+
+    liveTasks = static_cast<unsigned>(threadFns.size());
+    retireTick = 0;
+    for (std::size_t i = 0; i < threadFns.size(); ++i) {
+        unsigned total_cores = cfg.topo.numCorePairs * 2;
+        unsigned core = unsigned(i) % total_cores;
+        EventQueue *q = &corePairs[core / 2]->eventQueue();
+        // Same per-thread staggering as the sequential kernel; each
+        // start event lands on its context's home shard.
+        q->schedule(cpuClk.toTicks(Cycles(unsigned(i))),
+                    [this, i, q] {
+                        SimTask task = threadFns[i](*cpuCtxs[i]);
+                        task.start([this, q] {
+                            // cyclesElapsed is the tick at which the
+                            // last task retired, exactly as in the
+                            // sequential kernel: take an atomic max.
+                            Tick t = q->curTick();
+                            Tick cur = retireTick.load(
+                                std::memory_order_relaxed);
+                            while (t > cur &&
+                                   !retireTick.compare_exchange_weak(
+                                       cur, t,
+                                       std::memory_order_relaxed)) {
+                            }
+                            liveTasks.fetch_sub(
+                                1, std::memory_order_relaxed);
+                        });
+                    },
+                    EventPriority::Default, /*progress=*/true);
+    }
+
+    unsigned threads = ShardGroup::resolveThreads(cfg.pdes.threads);
+    pdesThreads_ = std::min(threads, shards->numShards());
+    ShardGroup::Outcome oc = shards->run(
+        pdesThreads_, cpuClk.toTicks(max_cycles),
+        cpuClk.toTicks(cfg.watchdogCycles), [this] {
+            return liveTasks.load(std::memory_order_relaxed) == 0;
+        });
+    running = false;
+
+    switch (oc.kind) {
+    case ShardGroup::Outcome::Kind::Error:
+        lastError = oc.error;
+        warn("%s: run aborted by fatal error: %s", cfg.name.c_str(),
+             oc.error.c_str());
+        return false;
+    case ShardGroup::Outcome::Kind::Watchdog:
+        watchdogTripped = true;
+        lastHang = buildHangReport(HangReport::Kind::Watchdog);
+        warn("%s: run did not complete: %s", cfg.name.c_str(),
+             lastHang.brief().c_str());
+        return false;
+    case ShardGroup::Outcome::Kind::Hang:
+        // Every queue and channel ran dry with tasks still live: a
+        // deadlock the sequential kernel would also report as a hang.
+        lastHang = buildHangReport(HangReport::Kind::Watchdog);
+        warn("%s: run deadlocked (no pending events, %u live tasks): "
+             "%s",
+             cfg.name.c_str(), liveTasks.load(),
+             lastHang.brief().c_str());
+        return false;
+    case ShardGroup::Outcome::Kind::CycleLimit:
+        lastHang = buildHangReport(HangReport::Kind::CycleLimit);
+        warn("%s: run did not complete: %s", cfg.name.c_str(),
+             lastHang.brief().c_str());
+        return false;
+    case ShardGroup::Outcome::Kind::Completed:
+        break;
+    }
+
+    // Completed means every shard queue and every cross-shard channel
+    // ran dry — the post-run drain the sequential kernel does with
+    // eq.run() has already happened inside the window loop.
+    cyclesElapsed = cpuClk.toCycles(retireTick.load());
+    statSimTicks += retireTick.load();
+    statCpuCycles += cyclesElapsed;
+    threadFns.clear();
+    for (const auto &d : dirs) {
+        if (!d->idle()) {
+            lastHang =
+                buildHangReport(HangReport::Kind::DrainIncomplete);
+            warn("%s: post-run drain incomplete: %s", cfg.name.c_str(),
+                 lastHang.brief().c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace hsc

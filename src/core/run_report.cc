@@ -16,8 +16,19 @@ collectMetrics(HsaSystem &sys, const std::string &workload, bool ok)
     m.workload = workload;
     m.ok = ok;
     m.cycles = sys.cpuCycles();
-    m.memReads = reg.counter(n + ".mem.reads");
-    m.memWrites = reg.counter(n + ".mem.writes");
+    // One channel is the classic flat ".mem"; more are ".mem0..k" and
+    // the prefix match sums them all.
+    if (sys.numMemChannels() == 1) {
+        m.memReads = reg.counter(n + ".mem.reads");
+        m.memWrites = reg.counter(n + ".mem.writes");
+    } else {
+        m.memReads = reg.sumMatching(n + ".mem", ".reads");
+        m.memWrites = reg.sumMatching(n + ".mem", ".writes");
+    }
+    if (sys.config().pdes.enabled) {
+        m.pdesThreads = sys.pdesThreadsUsed();
+        m.pdesShards = sys.numShards();
+    }
     // Directory stats aggregate across banks ("system.dir" matches
     // both the single "system.dir.*" and the banked "system.dirK.*").
     m.probes = reg.sumMatching(n + ".dir", ".probesSent");
@@ -92,7 +103,11 @@ printRunSummary(std::ostream &os, const RunMetrics &m)
        << (m.ok ? "OK" : "FAILED") << "  cycles=" << m.cycles
        << " memR=" << m.memReads << " memW=" << m.memWrites
        << " probes=" << m.probes << " llcHit=" << m.llcHits << "/"
-       << m.llcReads << '\n';
+       << m.llcReads;
+    if (m.pdesShards)
+        os << " pdes=" << m.pdesThreads << "thr/" << m.pdesShards
+           << "sh";
+    os << '\n';
     if (!m.ok && !m.failReason.empty())
         os << "  cause: " << m.failReason << '\n';
 }

@@ -47,6 +47,11 @@ struct RunMetrics
     double hostMs = 0;
     std::uint64_t hostEvents = 0;
     /** @} */
+    /** @{ PDES kernel info (zero when pdes is off): host worker
+     *  threads the run used and the shard count it was split into. */
+    unsigned pdesThreads = 0;
+    unsigned pdesShards = 0;
+    /** @} */
 };
 
 /** Collect the metrics of a completed run. */

@@ -1,5 +1,7 @@
 #include "core/system_config.hh"
 
+#include "sim/sim_error.hh"
+
 namespace hsc
 {
 
@@ -86,6 +88,80 @@ limitedPointerConfig(unsigned pointers)
     cfg.dir.maxSharerPointers = pointers;
     cfg.label = "limitedPtr" + std::to_string(pointers);
     return cfg;
+}
+
+SystemConfig
+big64Config()
+{
+    // 64 CorePairs (128 CPU threads), 256 CUs, 8 directory banks
+    // each owning a DRAM channel, a million-line directory and a
+    // 64 MB LLC split across the banks.  Owner tracking rather than
+    // full-map sharers: the sharer bitmap is 64 bits and this
+    // machine has 66 coherence clients.
+    SystemConfig cfg = ownerTrackingConfig();
+    cfg.topo = Topology{64, 1};
+    cfg.numCus = 256;
+    cfg.numDirBanks = 8;
+    cfg.memChannels = 8;
+    cfg.dir.dirEntries = 1u << 20;
+    cfg.llc.geom = {65536, 16};
+    cfg.label = "big64";
+    return cfg;
+}
+
+SystemConfig
+big128Config()
+{
+    SystemConfig cfg = big64Config();
+    cfg.topo = Topology{128, 1};
+    cfg.numCus = 512;
+    cfg.numDirBanks = 16;
+    cfg.memChannels = 16;
+    cfg.dir.dirEntries = 2u << 20;
+    cfg.llc.geom = {131072, 16};
+    cfg.label = "big128";
+    return cfg;
+}
+
+const std::vector<NamedConfig> &
+namedConfigs()
+{
+    static const std::vector<NamedConfig> table = {
+        {"baseline", "unmodified gem5 HSC model (Tables II/III)",
+         &baselineConfig},
+        {"earlyResp", "§III-A early response on dirty probe ack",
+         &earlyRespConfig},
+        {"noCleanVicMem", "§III-B clean victims skip memory",
+         &noCleanVicToMemConfig},
+        {"noCleanVicLlc", "§III-B1 clean victims skip LLC too",
+         &noCleanVicToLlcConfig},
+        {"llcWB", "§III-C write-back LLC", &llcWriteBackConfig},
+        {"llcWBuseL3", "§III-C + TCC write-throughs into the LLC",
+         &llcWriteBackUseL3Config},
+        {"owner", "§IV-A owner-tracking directory",
+         &ownerTrackingConfig},
+        {"sharers", "§IV-B full-map sharer tracking",
+         &sharerTrackingConfig},
+        {"big64", "64 CorePairs / 256 CUs / 8 banks, 1M-line dir",
+         &big64Config},
+        {"big128", "128 CorePairs / 512 CUs / 16 banks, 2M-line dir",
+         &big128Config},
+    };
+    return table;
+}
+
+SystemConfig
+configByName(const std::string &name)
+{
+    for (const NamedConfig &nc : namedConfigs())
+        if (name == nc.name)
+            return nc.make();
+    std::string known;
+    for (const NamedConfig &nc : namedConfigs())
+        known += std::string(known.empty() ? "" : ", ") + nc.name;
+    throw SimError("unknown config '" + name + "' (known: " + known +
+                       ")",
+                   "config");
 }
 
 void

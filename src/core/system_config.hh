@@ -84,6 +84,29 @@ struct TraceCaptureConfig
     bool enabled() const { return !outPath.empty(); }
 };
 
+/**
+ * Shard-per-thread parallel simulation (sim/shard.hh, DESIGN.md §14).
+ * OFF by default — the sequential kernel stays bit-identical to the
+ * committed golden.  ON partitions the system into one shard per
+ * directory bank (with its memory channel), one per CorePair, one
+ * for the whole GPU complex and one for DMA, each owning a private
+ * calendar EventQueue, synchronized with conservative lookahead
+ * windows of one cross-shard link latency.  Results are
+ * deterministic and independent of the host thread count; features
+ * that observe a single global event order (checker, obs, trace
+ * capture, checkpoints, transport, fault injection) reject PDES with
+ * a structured SimError.
+ */
+struct PdesConfig
+{
+    bool enabled = false;
+
+    /** Host worker threads; 0 = take HSC_PDES_THREADS from the
+     *  environment, else hardware concurrency.  Clamped to the
+     *  shard count at run time. */
+    unsigned threads = 0;
+};
+
 struct SystemConfig
 {
     std::string name = "system";
@@ -123,6 +146,15 @@ struct SystemConfig
      * split across the banks.
      */
     unsigned numDirBanks = 1;
+
+    /**
+     * Independent main-memory channels; directory bank b uses channel
+     * (b % memChannels).  1 = the paper's single channel (stat name
+     * ".mem" unchanged — bit-identical to golden); must divide
+     * numDirBanks.  PDES requires memChannels == numDirBanks so each
+     * bank shard owns its DRAM channel outright.
+     */
+    unsigned memChannels = 1;
 
     /** Directory occupancy: min cycles between transaction starts. */
     Cycles dirServicePeriod = 1;
@@ -189,6 +221,9 @@ struct SystemConfig
      */
     ObsConfig obs{};
 
+    /** Parallel (shard-per-thread) simulation kernel. */
+    PdesConfig pdes{};
+
     /** Short human-readable tag for bench tables. */
     std::string label = "baseline";
 };
@@ -222,7 +257,33 @@ SystemConfig sharerTrackingConfig();
 /** §IV-B limited-pointer sharer tracking with @p pointers entries. */
 SystemConfig limitedPointerConfig(unsigned pointers);
 
+/** @{ Big-machine presets (DESIGN.md §14): configurations far past
+ *  the paper's 4 CorePairs / 8 CUs, sized for the PDES kernel.
+ *  Owner tracking (the full-map sharer bitmap caps at 64 clients),
+ *  one DRAM channel per directory bank, million-line directories. */
+
+/** 64 CorePairs (128 CPU threads), 256 CUs, 8 banks, 1M-line dir. */
+SystemConfig big64Config();
+
+/** 128 CorePairs (256 CPU threads), 512 CUs, 16 banks, 2M-line dir. */
+SystemConfig big128Config();
 /** @} */
+
+/** @} */
+
+/** One row of the named-configuration table. */
+struct NamedConfig
+{
+    const char *name;    ///< CLI name (hsc_run --config / -c)
+    const char *summary; ///< one-liner for --list-configs
+    SystemConfig (*make)();
+};
+
+/** Every named configuration, in CLI/bench order. */
+const std::vector<NamedConfig> &namedConfigs();
+
+/** Look up a preset by CLI name; throws SimError on unknown names. */
+SystemConfig configByName(const std::string &name);
 
 /**
  * Shrink every cache/directory so replacements and back-invalidations

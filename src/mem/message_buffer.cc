@@ -34,6 +34,68 @@ MessageBuffer::enableTransport(const TransportConfig &tcfg,
 }
 
 void
+MessageBuffer::bindCrossShard(ShardGroup &group, unsigned from_shard,
+                              unsigned to_shard)
+{
+    panic_if(xchan != nullptr, "link '%s' already cross-shard",
+             _name.c_str());
+    panic_if(tp != nullptr || dead || fault,
+             "link '%s': cross-shard mode excludes transport and "
+             "fault injection",
+             _name.c_str());
+    panic_if(latency < group.lookahead(),
+             "link '%s': latency %llu below the lookahead %llu — the "
+             "conservative window would miss its deliveries",
+             _name.c_str(), (unsigned long long)latency,
+             (unsigned long long)group.lookahead());
+    xchan = std::make_unique<MsgChannel>(*this);
+    srcEq = &group.queue(from_shard);
+    group.addChannel(to_shard, xchan.get());
+}
+
+void
+MessageBuffer::MsgChannel::push(Tick when, Msg &&m)
+{
+    panic_if(!ring.push(TimedMsg{when, std::move(m)}),
+             "cross-shard link overflow (%zu messages in one window)",
+             Capacity);
+}
+
+void
+MessageBuffer::MsgChannel::drain(Tick bound)
+{
+    // Arrival ticks are monotonic per link (one sender, fixed
+    // latency, FIFO ring): stopping at the first at-or-past-bound
+    // entry drains exactly this window's deliveries, independent of
+    // which same-window pushes happen to be visible already.
+    while (TimedMsg *t = ring.peekFront()) {
+        if (t->when >= bound)
+            break;
+        Tick when = t->when;
+        Msg m = std::move(t->msg);
+        ring.popFront();
+        sink.channelDeliver(when, std::move(m));
+    }
+}
+
+void
+MessageBuffer::channelDeliver(Tick when, Msg &&m)
+{
+    // Arrival ticks are monotonic per link: one sender, fixed
+    // latency, FIFO ring.
+    panic_if(when < lastDelivery,
+             "link '%s': cross-shard FIFO violated (%llu < %llu)",
+             _name.c_str(), (unsigned long long)when,
+             (unsigned long long)lastDelivery);
+    lastDelivery = when;
+    pending.push_back(PendingMsg{std::move(m), when - latency});
+    if (pending.size() > peak)
+        peak = pending.size();
+    eq.schedule(when, [this] { deliverFront(); },
+                EventPriority::Default, /*progress=*/true);
+}
+
+void
 MessageBuffer::regStats(StatRegistry &reg)
 {
     reg.addCounter(_name + ".messages", &numMessages);
@@ -45,7 +107,11 @@ MessageBuffer::regStats(StatRegistry &reg)
 std::size_t
 MessageBuffer::queueDepth() const
 {
-    return tp ? tp->unackedCount() : pending.size();
+    if (tp)
+        return tp->unackedCount();
+    // Cross-shard in-flight entries count too (hang reports walk the
+    // links after the workers have joined, so the read is safe).
+    return pending.size() + (xchan ? xchan->size() : 0);
 }
 
 Tick
@@ -63,6 +129,14 @@ MessageBuffer::enqueue(Msg msg)
         throw SimError("link '" + _name + "' has no consumer",
                        "message-buffer");
     ++numMessages;
+    if (xchan) {
+        // Cross-shard send: the arrival tick is stamped from the
+        // *sending* shard's clock; jitter, dead links and transport
+        // are all rejected under PDES, so the legacy branches below
+        // never apply here.
+        xchan->push(srcEq->curTick() + latency, std::move(msg));
+        return;
+    }
     if (tp) {
         tp->send(std::move(msg));
         peak = std::max(peak, tp->unackedCount());

@@ -48,6 +48,7 @@
 #include "sim/event_queue.hh"
 #include "sim/introspect.hh"
 #include "sim/ring_buffer.hh"
+#include "sim/shard.hh"
 #include "stats/stats.hh"
 
 namespace hsc
@@ -113,6 +114,23 @@ class MessageBuffer : public MsgSink
     const LinkTransport *transport() const { return tp.get(); }
     bool transportEnabled() const { return tp != nullptr; }
 
+    /**
+     * Cross-shard mode (DESIGN.md §14): the sending controller lives
+     * on shard @p from_shard, the consumer on shard @p to_shard of
+     * @p group.  enqueue() then pushes {send tick + latency, msg}
+     * into a lock-free SPSC ring instead of scheduling a delivery
+     * event; the receiving shard drains the ring at the top of each
+     * window.  Requires latency >= the group's lookahead, no
+     * transport, no fault injector, and a consumer that never
+     * changes after construction — HsaSystem::validateConfig rejects
+     * every configuration that would violate those.
+     */
+    void bindCrossShard(ShardGroup &group, unsigned from_shard,
+                        unsigned to_shard);
+
+    /** True when enqueue crosses a shard boundary. */
+    bool crossShard() const { return xchan != nullptr; }
+
     /** Send @p msg; it arrives at the consumer after the latency. */
     void enqueue(Msg msg) override;
 
@@ -164,6 +182,48 @@ class MessageBuffer : public MsgSink
         Tick enqTick = 0;
     };
 
+    /** The SPSC ring between the sending and receiving shard.  The
+     *  producer is the sender's worker thread (enqueue); the consumer
+     *  is the receiver's worker thread (the per-window drain). */
+    class MsgChannel : public ShardChannel
+    {
+      public:
+        explicit MsgChannel(MessageBuffer &sink) : ring(Capacity),
+                                                   sink(sink)
+        {}
+
+        void push(Tick when, Msg &&m);
+        void drain(Tick bound) override;
+        bool empty() const override { return ring.empty(); }
+        Tick
+        earliestArrival() const override
+        {
+            const TimedMsg *e = ring.peekFront();
+            return e ? e->when : MaxTick;
+        }
+        std::size_t size() const { return ring.size(); }
+
+      private:
+        /** Per-window occupancy is bounded by one controller's sends
+         *  on one link within one lookahead window (tens at most);
+         *  512 slots is a generous margin and, allocated lazily,
+         *  ~90 KB per *active* channel even on big128. */
+        static constexpr std::size_t Capacity = 512;
+
+        struct TimedMsg
+        {
+            Tick when = 0;
+            Msg msg;
+        };
+
+        SpscRing<TimedMsg> ring;
+        MessageBuffer &sink;
+    };
+
+    /** Receiver-side arrival of a cross-shard message: park it in the
+     *  pending ring and schedule the delivery event locally. */
+    void channelDeliver(Tick when, Msg &&m);
+
     /** Deliver the front pending message to the consumer. */
     void deliverFront();
 
@@ -184,6 +244,16 @@ class MessageBuffer : public MsgSink
 
     /** Reliable transport; null = legacy direct delivery. */
     std::unique_ptr<LinkTransport> tp;
+
+    /** Cross-shard channel; null = same-shard direct scheduling.
+     *  Counter discipline under PDES: numMessages is written only by
+     *  the sending shard, numDelivered/peak/lastDelivery only by the
+     *  receiving shard — single-writer throughout, merged by reading
+     *  them after the workers join. */
+    std::unique_ptr<MsgChannel> xchan;
+    /** The sending shard's queue (cross-shard mode): send ticks are
+     *  read from here, never from the receiver-owned `eq`. */
+    EventQueue *srcEq = nullptr;
 
     /** Undelivered messages; delivery events only capture [this] and
      *  pop from here, so no Msg ever rides inside a callback. */

@@ -44,7 +44,7 @@ EventQueue::migrateOverflow()
 }
 
 bool
-EventQueue::advanceToPending()
+EventQueue::advanceToPending(std::uint64_t limit_bucket)
 {
     for (;;) {
         if (!bucketFor(_curBucket).drained())
@@ -52,8 +52,13 @@ EventQueue::advanceToPending()
         if (ringCount > 0) {
             // Some later bucket in the horizon has events; walk to it,
             // reclaiming consumed buckets as the horizon base passes
-            // them (their indexes are about to be reused).
+            // them (their indexes are about to be reused).  Stop at
+            // the bound: parking the cursor on a beyond-the-bound
+            // bucket would strand anything a later window schedules
+            // into the range skipped here.
             for (;;) {
+                if (_curBucket >= limit_bucket)
+                    return false; // pending events all beyond the bound
                 bucketFor(_curBucket).reset();
                 ++_curBucket;
                 if (!bucketFor(_curBucket).drained())
@@ -65,9 +70,19 @@ EventQueue::advanceToPending()
         if (overflow.empty())
             return false;
         // Ring empty: jump the horizon base to the earliest far-future
-        // event and pull everything newly in range out of the heap.
+        // event (clamped to the bound) and pull everything newly in
+        // range out of the heap.
         bucketFor(_curBucket).reset();
-        _curBucket = bucketNo(overflow.top().when);
+        std::uint64_t target = bucketNo(overflow.top().when);
+        if (target > limit_bucket) {
+            if (_curBucket < limit_bucket)
+                _curBucket = limit_bucket;
+            migrateOverflow();
+            if (bucketFor(_curBucket).drained())
+                return false; // pending events all beyond the bound
+            continue;
+        }
+        _curBucket = target;
         migrateOverflow();
     }
 }
@@ -105,7 +120,7 @@ std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t n = 0;
-    while (advanceToPending()) {
+    while (advanceToPending(bucketNo(limit))) {
         Bucket &b = bucketFor(_curBucket);
         if (b.entries[b.head].when > limit)
             return n; // events remain beyond the bound
@@ -119,9 +134,31 @@ EventQueue::run(Tick limit)
         ++executed;
         ++n;
     }
-    if (_curTick < limit && limit != MaxTick)
+    if (empty() && _curTick < limit && limit != MaxTick)
         _curTick = limit;
     return n;
+}
+
+Tick
+EventQueue::earliestPending() const
+{
+    Tick best = MaxTick;
+    if (ringCount > 0) {
+        // The first undrained bucket at or after the horizon base
+        // holds the earliest ring event (buckets are sorted and the
+        // ring invariant keeps every event within one horizon lap).
+        for (std::uint64_t no = _curBucket;
+             no < _curBucket + RingBuckets; ++no) {
+            const Bucket &b = ring[no & (RingBuckets - 1)];
+            if (!b.drained()) {
+                best = b.entries[b.head].when;
+                break;
+            }
+        }
+    }
+    if (!overflow.empty() && overflow.top().when < best)
+        best = overflow.top().when;
+    return best;
 }
 
 void
@@ -143,7 +180,7 @@ EventQueue::runUntil(const std::function<bool()> &done, Tick limit)
 {
     if (done())
         return true;
-    while (advanceToPending()) {
+    while (advanceToPending(bucketNo(limit))) {
         Bucket &b = bucketFor(_curBucket);
         if (b.entries[b.head].when > limit)
             return false;

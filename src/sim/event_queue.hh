@@ -109,6 +109,15 @@ class EventQueue
     /** True when no events are pending. */
     bool empty() const { return ringCount == 0 && overflow.empty(); }
 
+    /**
+     * Tick of the earliest pending event, MaxTick when empty.  A pure
+     * observer (no bucket reclamation or overflow migration) so the
+     * PDES window driver (sim/shard.hh) can call it from the
+     * synchronized barrier-completion step while the queue's owning
+     * thread is parked.
+     */
+    Tick earliestPending() const;
+
     /** Number of pending events. */
     std::size_t size() const { return ringCount + overflow.size(); }
 
@@ -208,10 +217,15 @@ class EventQueue
     void migrateOverflow();
     /**
      * Position on the next pending event: advances _curBucket (and
-     * migrates overflow) until bucketFor(_curBucket) has one.
-     * @return false when the queue is empty.
+     * migrates overflow) until bucketFor(_curBucket) has one.  The
+     * cursor is never parked past @p limit_bucket — a bounded
+     * (windowed) run resumes later, and events scheduled between two
+     * windows into the skipped range must stay ahead of the cursor or
+     * the ring's modular indexing loses them.
+     * @return false when the queue is empty or every pending event is
+     *         beyond the bound.
      */
-    bool advanceToPending();
+    bool advanceToPending(std::uint64_t limit_bucket);
     /** Pop the globally next event; caller ensured one is pending. */
     Entry popNext();
 

@@ -14,9 +14,16 @@
  * Each default-constructed allocator owns a fresh pool; rebound and
  * copied allocators share it (shared_ptr), which is exactly the
  * std::unordered_map/std::map usage pattern.  Pools are not
- * thread-safe — each controller's containers are used from a single
- * simulation thread, and parallel sweeps (bench_util runMatrix) give
- * every HsaSystem its own controllers, hence its own pools.
+ * thread-safe — safe anyway, because every pool is private to one
+ * container and every container to one controller:
+ *  - parallel sweeps (bench_util runMatrix) give each HsaSystem its
+ *    own controllers, hence its own pools;
+ *  - under the PDES kernel (DESIGN.md §14) each controller belongs to
+ *    exactly one shard and a shard executes on one worker thread at a
+ *    time, with the window barrier ordering any thread handoff — so
+ *    a pool only ever sees single-threaded use there too.
+ * Nothing cross-shard is ever pool-allocated: messages travel by
+ * value through the SPSC channel rings.
  *
  * Oversized requests (bucket arrays, > MaxBytes nodes) fall through
  * to the global allocator.

@@ -1,0 +1,264 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+thread_local unsigned ShardGroup::tlCurrentShard = ShardGroup::NoShard;
+
+ShardGroup::ShardGroup(unsigned num_shards, Tick lookahead)
+    : window(lookahead)
+{
+    panic_if(num_shards == 0, "ShardGroup needs at least one shard");
+    panic_if(num_shards > 1 && lookahead == 0,
+             "a parallel ShardGroup needs a nonzero lookahead");
+    queues.reserve(num_shards);
+    for (unsigned s = 0; s < num_shards; ++s)
+        queues.push_back(std::make_unique<EventQueue>());
+    inbound.resize(num_shards);
+    if (num_shards > 1) {
+        // Doorbell channels exist for every (from, to) pair so
+        // postCall never takes a lock; their rings stay unallocated
+        // until first use.  Registering them here, before any
+        // MessageBuffer channel, pins them first in the per-window
+        // drain order.
+        calls.resize(std::size_t(num_shards) * num_shards);
+        for (unsigned to = 0; to < num_shards; ++to)
+            for (unsigned from = 0; from < num_shards; ++from) {
+                auto ch = std::make_unique<CallChannel>(*queues[to]);
+                inbound[to].push_back(ch.get());
+                calls[std::size_t(to) * num_shards + from] =
+                    std::move(ch);
+            }
+    }
+}
+
+void
+ShardGroup::addChannel(unsigned to, ShardChannel *ch)
+{
+    panic_if(to >= numShards(), "channel to nonexistent shard %u", to);
+    inbound[to].push_back(ch);
+}
+
+void
+ShardGroup::CallChannel::push(Tick when, std::function<void()> fn)
+{
+    panic_if(!ring.push(CallEntry{when, std::move(fn)}),
+             "doorbell channel overflow (%zu calls in one window)",
+             CallCapacity);
+}
+
+void
+ShardGroup::CallChannel::drain(Tick bound)
+{
+    // Arrival ticks are monotonic per channel (one sender shard with
+    // a nondecreasing clock, fixed +window offset), so stopping at
+    // the first at-or-past-bound entry drains exactly the window's
+    // deliveries.
+    while (CallEntry *e = ring.peekFront()) {
+        if (e->when >= bound)
+            break;
+        sink.schedule(e->when,
+                      [fn = std::move(e->fn)]() mutable { fn(); },
+                      EventPriority::Default, true);
+        ring.popFront();
+    }
+}
+
+void
+ShardGroup::postCall(unsigned to, std::function<void()> fn)
+{
+    unsigned from = tlCurrentShard;
+    panic_if(from == NoShard,
+             "postCall outside shard event execution");
+    panic_if(to >= numShards(), "postCall to nonexistent shard %u", to);
+    CallChannel &ch = *calls[std::size_t(to) * numShards() + from];
+    ch.push(queues[from]->curTick() + window, std::move(fn));
+}
+
+std::uint64_t
+ShardGroup::totalExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues)
+        n += q->numExecuted();
+    return n;
+}
+
+unsigned
+ShardGroup::resolveThreads(unsigned requested)
+{
+    if (requested)
+        return requested;
+    if (const char *env = std::getenv("HSC_PDES_THREADS"))
+        if (int n = std::atoi(env); n > 0)
+            return unsigned(n);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ShardGroup::Outcome
+ShardGroup::run(unsigned threads, Tick limitTick, Tick watchdogTicks,
+                std::function<bool()> donePred)
+{
+    const unsigned n = numShards();
+    panic_if(n > 1 && window == 0, "parallel run without lookahead");
+    const unsigned T = std::min(std::max(threads, 1u), n);
+
+    // Everything below the barrier is single-writer: shard state is
+    // touched only by the worker owning it (fixed s % T assignment),
+    // and the control block only by the barrier-completion step.
+    struct Ctl
+    {
+        Tick windowStart = 0, windowEnd = 0;
+        int stop = 0; ///< 0 = keep going, else Outcome::Kind + 1
+        std::uint64_t windows = 0;
+        std::uint64_t prevExecuted = 0;
+        std::atomic<bool> errored{false};
+    } ctl;
+
+    Tick start = 0;
+    for (auto &q : queues)
+        start = std::max(start, q->curTick());
+    ctl.windowStart = (start / window) * window;
+    ctl.windowEnd = ctl.windowStart + window;
+    const std::uint64_t baseExecuted = totalExecuted();
+    ctl.prevExecuted = baseExecuted;
+
+    std::mutex errMu;
+    std::string errMsg;
+    auto recordError = [&](const char *what) {
+        std::lock_guard<std::mutex> g(errMu);
+        if (errMsg.empty())
+            errMsg = what;
+    };
+
+    auto stopAs = [](Outcome::Kind k) { return int(k) + 1; };
+
+    // Runs on the last thread to arrive at each barrier phase: the
+    // only place that sees every shard's window-k state at once.
+    // Kept O(shards) on the common path (events executed, not done);
+    // the full queue/channel scans only run when a window went idle
+    // or the done predicate holds.
+    auto completion = [&]() noexcept {
+        try {
+            ++ctl.windows;
+            if (ctl.errored.load(std::memory_order_relaxed)) {
+                ctl.stop = stopAs(Outcome::Kind::Error);
+                return;
+            }
+            std::uint64_t exec = 0;
+            for (auto &q : queues)
+                exec += q->numExecuted();
+            const bool idle = exec == ctl.prevExecuted;
+            ctl.prevExecuted = exec;
+            const bool done = donePred();
+            Tick nextStart = ctl.windowEnd;
+            if (idle || done) {
+                Tick earliest = MaxTick;
+                for (auto &q : queues)
+                    earliest = std::min(earliest, q->earliestPending());
+                for (auto &chans : inbound)
+                    for (ShardChannel *ch : chans)
+                        earliest = std::min(earliest,
+                                            ch->earliestArrival());
+                if (earliest == MaxTick) {
+                    // Nothing anywhere: a clean finish, or a global
+                    // deadlock with tasks still live.
+                    ctl.stop = stopAs(done ? Outcome::Kind::Completed
+                                           : Outcome::Kind::Hang);
+                    return;
+                }
+                if (idle && earliest > nextStart)
+                    nextStart = (earliest / window) * window;
+            }
+            if (!done && watchdogTicks &&
+                (idle || (ctl.windows & 1023) == 0)) {
+                Tick lp = 0;
+                for (auto &q : queues)
+                    lp = std::max(lp, q->lastProgress());
+                if (ctl.windowEnd > lp + watchdogTicks) {
+                    ctl.stop = stopAs(Outcome::Kind::Watchdog);
+                    return;
+                }
+            }
+            if (!done && nextStart > limitTick) {
+                ctl.stop = stopAs(Outcome::Kind::CycleLimit);
+                return;
+            }
+            ctl.windowStart = nextStart;
+            ctl.windowEnd = nextStart + window;
+        } catch (const std::exception &e) {
+            recordError(e.what());
+            ctl.errored.store(true, std::memory_order_relaxed);
+            ctl.stop = stopAs(Outcome::Kind::Error);
+        } catch (...) {
+            recordError("unknown error in PDES completion step");
+            ctl.errored.store(true, std::memory_order_relaxed);
+            ctl.stop = stopAs(Outcome::Kind::Error);
+        }
+    };
+
+    std::barrier bar(std::ptrdiff_t(T), completion);
+
+    auto worker = [&](unsigned w) {
+        try {
+            for (;;) {
+                const Tick end = ctl.windowEnd - 1;
+                for (unsigned s = w; s < n; s += T) {
+                    tlCurrentShard = s;
+                    for (ShardChannel *ch : inbound[s])
+                        ch->drain(end + 1);
+                    queues[s]->run(end);
+                }
+                tlCurrentShard = NoShard;
+                bar.arrive_and_wait();
+                if (ctl.stop)
+                    return;
+            }
+        } catch (const std::exception &e) {
+            // Leaving via throw would strand the other workers at the
+            // barrier forever; deregister instead and let the next
+            // completion step broadcast the stop.
+            tlCurrentShard = NoShard;
+            recordError(e.what());
+            ctl.errored.store(true, std::memory_order_release);
+            bar.arrive_and_drop();
+        } catch (...) {
+            tlCurrentShard = NoShard;
+            recordError("unknown error in PDES worker");
+            ctl.errored.store(true, std::memory_order_release);
+            bar.arrive_and_drop();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(T - 1);
+    for (unsigned w = 1; w < T; ++w)
+        pool.emplace_back(worker, w);
+    worker(0);
+    for (auto &t : pool)
+        t.join();
+
+    Outcome oc;
+    oc.kind = Outcome::Kind(ctl.stop - 1);
+    if (ctl.errored.load())
+        oc.kind = Outcome::Kind::Error;
+    oc.windows = ctl.windows;
+    oc.executed = totalExecuted() - baseExecuted;
+    for (auto &q : queues)
+        oc.finalTick = std::max(oc.finalTick, q->curTick());
+    oc.error = errMsg;
+    if (oc.kind == Outcome::Kind::Error && oc.error.empty())
+        oc.error = "PDES worker failed";
+    return oc;
+}
+
+} // namespace hsc

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Shard-per-thread parallel discrete-event kernel (DESIGN.md §14).
+ *
+ * A ShardGroup partitions a system into shards, each owning a private
+ * calendar EventQueue and executing on (at most) one host thread at a
+ * time.  Shards advance in lockstep through fixed windows of length
+ * `lookahead` — the minimum cross-shard link latency — so an event
+ * executed anywhere in window k can only produce cross-shard work for
+ * window k+1 or later.  That makes a window embarrassingly parallel:
+ * inside one, a shard only ever touches its own queue and state.
+ *
+ * Cross-shard communication is restricted to timestamped SPSC channel
+ * pushes (ShardChannel): the sender enqueues {arrival tick, payload}
+ * into a lock-free single-producer/single-consumer ring, and the
+ * receiver drains every channel registered to it at the top of each
+ * window, scheduling the payloads into its own queue at their arrival
+ * ticks.  Because arrival = send tick + latency ≥ window start + L,
+ * every entry pushed during window k is drained before any window
+ * k+1 event executes — conservative synchronization with no null
+ * messages (latencies are static and known at construction).
+ *
+ * Determinism: the partition, the window sequence, the drain order
+ * (channel registration order, then ring FIFO order) and the idle
+ * fast-forward target are all pure functions of simulated state —
+ * the host thread count appears nowhere.  Results are therefore
+ * identical at 1 host thread and at N, which is what the 1-vs-N
+ * identity matrix (tests/core/pdes_identity_test.cc) asserts — and
+ * what makes missed cross-thread state stick out as a mismatch.
+ *
+ * The sequential mode is a ShardGroup of one shard whose queue(0) is
+ * the classic global queue; none of the machinery here is on that
+ * path, keeping it bit-identical to the committed golden.
+ */
+
+#ifndef HSC_SIM_SHARD_HH
+#define HSC_SIM_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace hsc
+{
+
+/**
+ * Fixed-capacity single-producer/single-consumer ring.
+ *
+ * The producer is the sending shard's worker thread; the consumer is
+ * the receiving shard's worker thread (drain) or the synchronized
+ * barrier-completion step (empty / peekFront).  Slot storage is
+ * allocated lazily on the first push: a big-machine config has
+ * thousands of potential channels and only the active ones should
+ * cost memory.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity_pow2) : cap(capacity_pow2) {}
+
+    /** Producer side.  @return false when the ring is full. */
+    bool
+    push(T &&v)
+    {
+        std::size_t t = tail.load(std::memory_order_relaxed);
+        std::size_t h = head.load(std::memory_order_acquire);
+        if (t - h >= cap)
+            return false;
+        if (!slots)
+            slots = std::make_unique<T[]>(cap);
+        slots[t & (cap - 1)] = std::move(v);
+        // Publishes both the slot write and the lazy allocation.
+        tail.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: pop everything currently visible into @p fn. */
+    template <typename F>
+    std::size_t
+    drain(F &&fn)
+    {
+        std::size_t h = head.load(std::memory_order_relaxed);
+        std::size_t t = tail.load(std::memory_order_acquire);
+        std::size_t n = 0;
+        for (; h != t; ++h, ++n) {
+            fn(std::move(slots[h & (cap - 1)]));
+            slots[h & (cap - 1)] = T{};
+        }
+        head.store(h, std::memory_order_release);
+        return n;
+    }
+
+    /** Consumer side: drop the front entry (pair with peekFront). */
+    void
+    popFront()
+    {
+        std::size_t h = head.load(std::memory_order_relaxed);
+        slots[h & (cap - 1)] = T{};
+        head.store(h + 1, std::memory_order_release);
+    }
+
+    bool
+    empty() const
+    {
+        return head.load(std::memory_order_acquire) ==
+               tail.load(std::memory_order_acquire);
+    }
+
+    std::size_t
+    size() const
+    {
+        return tail.load(std::memory_order_acquire) -
+               head.load(std::memory_order_acquire);
+    }
+
+    /** Oldest undrained entry; consumer side or synchronized contexts
+     *  (the barrier-completion step).  nullptr when empty. */
+    T *
+    peekFront()
+    {
+        std::size_t h = head.load(std::memory_order_relaxed);
+        if (h == tail.load(std::memory_order_acquire))
+            return nullptr;
+        return &slots[h & (cap - 1)];
+    }
+
+    const T *
+    peekFront() const
+    {
+        return const_cast<SpscRing *>(this)->peekFront();
+    }
+
+  private:
+    std::size_t cap;
+    std::unique_ptr<T[]> slots; ///< lazy; produced-before-published
+    std::atomic<std::size_t> head{0}, tail{0};
+};
+
+/**
+ * A timestamped cross-shard channel the ShardGroup drains into the
+ * receiving shard's queue at the top of each window.  Concrete
+ * implementations: MessageBuffer's MsgChannel (mem/message_buffer.hh)
+ * and the ShardGroup's own doorbell CallChannel.
+ */
+class ShardChannel
+{
+  public:
+    virtual ~ShardChannel() = default;
+
+    /**
+     * Deliver every entry arriving before @p bound (the current
+     * window's end) into the receiver's queue, in push order.  Runs
+     * on the receiving shard's thread at the top of each window.
+     *
+     * The timestamp cutoff — not mere visibility — decides what is
+     * delivered: a worker that owns both endpoints of a channel can
+     * see entries its sender shard pushed *this* window (arrival ≥
+     * bound, by the lookahead argument), and popping those early
+     * would make receiver-local tie-break sequence numbers depend on
+     * the shard-to-thread assignment.  Entries at or past the bound
+     * stay in the ring for a later window.
+     */
+    virtual void drain(Tick bound) = 0;
+
+    /** True when nothing is in flight (synchronized contexts only). */
+    virtual bool empty() const = 0;
+
+    /** Arrival tick of the oldest in-flight entry, MaxTick when
+     *  empty (synchronized contexts only) — feeds the group's idle
+     *  fast-forward and termination decisions. */
+    virtual Tick earliestArrival() const = 0;
+};
+
+/**
+ * The shard container and parallel window driver.
+ */
+class ShardGroup
+{
+  public:
+    /** Sentinel for "not executing any shard on this thread". */
+    static constexpr unsigned NoShard = ~0u;
+
+    /**
+     * @param num_shards  1 = classic sequential kernel.
+     * @param lookahead   Window length in ticks; must be > 0 when
+     *                    num_shards > 1 (= min cross-shard latency).
+     */
+    ShardGroup(unsigned num_shards, Tick lookahead);
+
+    unsigned numShards() const { return unsigned(queues.size()); }
+    EventQueue &queue(unsigned s) { return *queues[s]; }
+    const EventQueue &queue(unsigned s) const { return *queues[s]; }
+    Tick lookahead() const { return window; }
+
+    /**
+     * Register an inbound channel for shard @p to.  Registration
+     * order is part of the deterministic delivery order: at each
+     * window top, channels drain in registration order and drained
+     * entries take receiver-local sequence numbers in that order.
+     * Construction-time only (not thread-safe against run()).
+     */
+    void addChannel(unsigned to, ShardChannel *ch);
+
+    /**
+     * Post a doorbell call to shard @p to, arriving one lookahead
+     * later.  Must be called while executing an event of some shard
+     * (the sending side of the pair's SPSC ring is that shard's
+     * thread).  Used for the direct cross-shard couplings that are
+     * not MessageBuffers: kernel launches and DMA operations.
+     */
+    void postCall(unsigned to, std::function<void()> fn);
+
+    /** Shard whose event is executing on this thread (run() only);
+     *  NoShard outside run(). */
+    static unsigned currentShard() { return tlCurrentShard; }
+
+    struct Outcome
+    {
+        enum class Kind
+        {
+            Completed,  ///< donePred held and everything drained
+            Hang,       ///< all queues/channels empty but !donePred
+            Watchdog,   ///< no forward progress for watchdogTicks
+            CycleLimit, ///< next window would pass limitTick
+            Error,      ///< a shard threw; message in error
+        };
+        Kind kind = Kind::Completed;
+        Tick finalTick = 0;          ///< max shard tick at stop
+        std::uint64_t windows = 0;   ///< synchronization windows run
+        std::uint64_t executed = 0;  ///< events executed by this run
+        std::string error;
+    };
+
+    /**
+     * Run windows on @p threads host threads (clamped to numShards;
+     * the calling thread is worker 0) until donePred() holds and all
+     * queues and channels drain, or a stop condition hits.
+     *
+     * @p donePred and the stop logic run in the barrier-completion
+     * step — synchronized, but on an arbitrary worker thread, so the
+     * predicate must only read state that shard execution publishes
+     * via the barrier (e.g. an atomic task counter).
+     */
+    Outcome run(unsigned threads, Tick limitTick, Tick watchdogTicks,
+                std::function<bool()> donePred);
+
+    /** Events executed since construction, summed over shards. */
+    std::uint64_t totalExecuted() const;
+
+    /**
+     * Resolve a thread-count request: 0 means take HSC_PDES_THREADS
+     * from the environment, else std::thread::hardware_concurrency.
+     */
+    static unsigned resolveThreads(unsigned requested);
+
+  private:
+    struct CallEntry
+    {
+        Tick when = 0;
+        std::function<void()> fn;
+    };
+
+    /** Doorbell ring for one (from, to) shard pair; drains into the
+     *  receiver's queue as progress-tagged Default-priority events. */
+    class CallChannel : public ShardChannel
+    {
+      public:
+        explicit CallChannel(EventQueue &sink) : ring(CallCapacity),
+                                                 sink(sink)
+        {}
+
+        void push(Tick when, std::function<void()> fn);
+        void drain(Tick bound) override;
+        bool empty() const override { return ring.empty(); }
+        Tick
+        earliestArrival() const override
+        {
+            const CallEntry *e = ring.peekFront();
+            return e ? e->when : MaxTick;
+        }
+
+      private:
+        static constexpr std::size_t CallCapacity = 1024;
+        SpscRing<CallEntry> ring;
+        EventQueue &sink;
+    };
+
+    static thread_local unsigned tlCurrentShard;
+
+    Tick window;
+    std::vector<std::unique_ptr<EventQueue>> queues;
+    /** Inbound channels per receiving shard, registration order. */
+    std::vector<std::vector<ShardChannel *>> inbound;
+    /** Doorbell channels, [to * numShards + from], created eagerly
+     *  (tiny until first use) so postCall is lock-free. */
+    std::vector<std::unique_ptr<CallChannel>> calls;
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_SHARD_HH

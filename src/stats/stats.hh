@@ -103,6 +103,17 @@ class Histogram
 /**
  * Flat registry of named statistics.  Objects register pointers to
  * counters/histograms they own; the registry does not own the stats.
+ *
+ * Threading (DESIGN.md §14): counters are plain uint64 on purpose.
+ * Registration happens at system construction (single-threaded), and
+ * during a PDES run each counter is written only by the worker thread
+ * executing its owning shard — no stat is shared between shards
+ * (cross-shard MessageBuffers split their counters by writer side:
+ * send counts on the sender shard, delivery counts on the receiver).
+ * Registry reads (snapshot/dump/sum*) happen outside run(), after the
+ * workers have joined, so the dump is a pure function of the
+ * simulation — identical at 1 worker thread and at N, which
+ * tests/core/pdes_identity_test.cc asserts byte-for-byte.
  */
 class StatRegistry
 {

@@ -88,7 +88,7 @@ benchWorkload(const std::string &id, const SystemConfig &cfg,
     RunMetrics m = collectMetrics(sys, id, ok);
     m.hostMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
-    m.hostEvents = sys.eventQueue().numExecuted();
+    m.hostEvents = sys.eventsExecuted();
     return m;
 }
 

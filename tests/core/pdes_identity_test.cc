@@ -1,0 +1,195 @@
+/**
+ * @file
+ * PDES kernel identity tests (DESIGN.md §14).
+ *
+ * The parallel shard-per-thread kernel must be deterministic AND
+ * independent of the host worker-thread count: the partition, window
+ * sequence and drain order are pure functions of simulated state.
+ * These tests pin that down three ways:
+ *
+ *  - thread-count invariance: the same run at 1, 2 and 4 workers
+ *    produces identical cycles, an identical final heap image, and a
+ *    byte-identical stat dump (the satellite audit for StatRegistry:
+ *    counters are registered per shard-owned object and written only
+ *    by that shard's thread, so the merged dump cannot depend on T);
+ *  - sequential equivalence: the final coherent memory image matches
+ *    the classic sequential kernel (cycle counts legitimately differ
+ *    by the doorbell lookahead on kernel-launch/DMA hops);
+ *  - rejection: every feature that observes or perturbs the single
+ *    global event order refuses to construct under PDES with a
+ *    structured SimError instead of going silently wrong.
+ *
+ * The full ten-workload acceptance matrix lives in the tier-2
+ * pdes_matrix_test binary.
+ */
+
+#include "pdes_test_util.hh"
+
+#include "sim/sim_error.hh"
+
+namespace hsc
+{
+namespace
+{
+
+using pdes_test::PdesResult;
+using pdes_test::expectThreadCountInvariant;
+using pdes_test::runPdes;
+
+TEST(PdesIdentity, ThreadCountInvarianceQuick)
+{
+    for (const char *wl : {"tq", "sc"}) {
+        expectThreadCountInvariant(wl, baselineConfig(), {1, 2, 4});
+        expectThreadCountInvariant(wl, sharerTrackingConfig(),
+                                   {1, 2, 4});
+    }
+}
+
+TEST(PdesIdentity, StatDumpIdenticalOneVsN)
+{
+    // The satellite audit distilled: the merged stat dump is a pure
+    // function of the simulation, not of the worker count.  (Counters
+    // live in shard-owned objects; cross-shard links split their
+    // counters by writer side; reads happen after the workers join.)
+    PdesResult one = runPdes("tq", baselineConfig(), 1);
+    PdesResult many = runPdes("tq", baselineConfig(), 8);
+    ASSERT_TRUE(one.ok);
+    ASSERT_TRUE(many.ok);
+    EXPECT_FALSE(one.stats.empty());
+    EXPECT_EQ(one.stats, many.stats);
+}
+
+TEST(PdesIdentity, RepeatedRunIsDeterministic)
+{
+    PdesResult a = runPdes("trns", baselineConfig(), 4);
+    PdesResult b = runPdes("trns", baselineConfig(), 4);
+    ASSERT_TRUE(a.ok);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.image, b.image);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(PdesBigMachine, Big64RunsUnderPdes)
+{
+    SystemConfig cfg = big64Config();
+    PdesResult r = runPdes("tq", cfg, 4);
+    ASSERT_TRUE(r.ok);
+    EXPECT_GT(r.cycles, 0u);
+    // 64 CorePairs + 8 bank shards + GPU + DMA.
+    cfg.check = false;
+    cfg.pdes.enabled = true;
+    cfg.pdes.threads = 1;
+    HsaSystem probe(cfg);
+    EXPECT_EQ(probe.numShards(), 74u);
+}
+
+TEST(PdesBigMachine, PresetsAreWellFormed)
+{
+    // The named-config table resolves both big presets, and the
+    // matching CLI error path lists them.
+    EXPECT_EQ(configByName("big64").label, big64Config().label);
+    EXPECT_EQ(configByName("big128").label, big128Config().label);
+    EXPECT_THROW(configByName("nonsense"), SimError);
+}
+
+// --- rejection: incompatible features fail construction loudly ----
+
+SystemConfig
+pdesBase()
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.check = false;
+    cfg.pdes.enabled = true;
+    cfg.pdes.threads = 2;
+    return cfg;
+}
+
+void
+expectRejected(SystemConfig cfg)
+{
+    EXPECT_THROW({ HsaSystem sys(cfg); }, SimError);
+}
+
+TEST(PdesRejection, CoherenceChecker)
+{
+    SystemConfig cfg = pdesBase();
+    cfg.check = true;
+    expectRejected(cfg);
+}
+
+TEST(PdesRejection, Observability)
+{
+    SystemConfig cfg = pdesBase();
+    cfg.obs.enabled = true;
+    expectRejected(cfg);
+    cfg = pdesBase();
+    cfg.obs.samplingInterval = 100;
+    expectRejected(cfg);
+}
+
+TEST(PdesRejection, TraceCapture)
+{
+    SystemConfig cfg = pdesBase();
+    cfg.trace.outPath = "/tmp/never-written.trace";
+    expectRejected(cfg);
+}
+
+TEST(PdesRejection, Checkpointing)
+{
+    SystemConfig cfg = pdesBase();
+    cfg.ckpt.everyCycles = 1000;
+    expectRejected(cfg);
+    cfg = pdesBase();
+    cfg.ckpt.manual = true;
+    expectRejected(cfg);
+}
+
+TEST(PdesRejection, Transport)
+{
+    SystemConfig cfg = pdesBase();
+    cfg.transport.enabled = true;
+    expectRejected(cfg);
+}
+
+TEST(PdesRejection, FaultInjection)
+{
+    SystemConfig cfg = pdesBase();
+    cfg.fault.enabled = true;
+    cfg.fault.maxJitter = 4;
+    expectRejected(cfg);
+    cfg = pdesBase();
+    cfg.fault.deadLinks.push_back("fromDir");
+    expectRejected(cfg);
+}
+
+TEST(PdesRejection, StorageFaults)
+{
+    SystemConfig cfg = pdesBase();
+    cfg.storageFault.enabled = true;
+    expectRejected(cfg);
+}
+
+TEST(PdesRejection, SeededBug)
+{
+    SystemConfig cfg = pdesBase();
+    cfg.bug.kind = SeededBug::Kind::IgnoreInvProbe;
+    expectRejected(cfg);
+}
+
+TEST(PdesRejection, ZeroLinkLatency)
+{
+    SystemConfig cfg = pdesBase();
+    cfg.linkLatency = 0;
+    expectRejected(cfg);
+}
+
+TEST(PdesRejection, ChannelBankMismatch)
+{
+    SystemConfig cfg = pdesBase();
+    cfg.numDirBanks = 4;
+    cfg.memChannels = 1; // legal sequentially, rejected under pdes
+    expectRejected(cfg);
+}
+
+} // namespace
+} // namespace hsc

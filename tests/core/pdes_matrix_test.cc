@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tier-2 PDES acceptance matrix: all ten CHAI workloads x
+ * {baseline, sharersTracking} x {1, 2, 4, 8} worker threads must give
+ * identical cycles, heap images and stat dumps, and the heap image
+ * must match the classic sequential kernel.  This is the matrix the
+ * CI pdes job runs on every change.
+ */
+
+#include "pdes_test_util.hh"
+
+namespace hsc
+{
+namespace
+{
+
+class PdesMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, bool>>
+{
+};
+
+TEST_P(PdesMatrix, IdentityAcrossThreadCounts)
+{
+    const auto &[wl, sharers] = GetParam();
+    SystemConfig cfg =
+        sharers ? sharerTrackingConfig() : baselineConfig();
+    pdes_test::expectThreadCountInvariant(wl, cfg, {1, 2, 4, 8});
+}
+
+std::vector<std::tuple<std::string, bool>>
+matrixParams()
+{
+    std::vector<std::tuple<std::string, bool>> p;
+    for (const std::string &wl : workloadIds())
+        for (bool sharers : {false, true})
+            p.emplace_back(wl, sharers);
+    return p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, PdesMatrix, ::testing::ValuesIn(matrixParams()),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, bool>>
+           &info) {
+        return std::get<0>(info.param) +
+               (std::get<1>(info.param) ? "_sharers" : "_baseline");
+    });
+
+} // namespace
+} // namespace hsc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared helpers for the PDES identity tests (tier-1 quick checks in
+ * pdes_identity_test.cc, the tier-2 acceptance matrix in
+ * pdes_matrix_test.cc).
+ */
+
+#ifndef HSC_TESTS_CORE_PDES_TEST_UTIL_HH
+#define HSC_TESTS_CORE_PDES_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hsa_system.hh"
+#include "workloads/workload.hh"
+
+namespace hsc
+{
+namespace pdes_test
+{
+
+struct PdesResult
+{
+    bool ok = false;
+    Cycles cycles = 0;
+    std::uint64_t image = 0; ///< coherent heap image hash
+    std::string stats;       ///< full registry dump text
+};
+
+inline PdesResult
+runPdes(const std::string &wl, SystemConfig cfg, unsigned threads)
+{
+    cfg.check = false;
+    cfg.pdes.enabled = true;
+    cfg.pdes.threads = threads;
+    WorkloadParams wp;
+    wp.scale = 1;
+    HsaSystem sys(cfg);
+    auto w = makeWorkload(wl, wp);
+    w->setup(sys);
+    PdesResult r;
+    r.ok = sys.run() && w->verify(sys);
+    r.cycles = sys.cpuCycles();
+    r.image = sys.imageHash(sys.heapBase(), sys.heapEnd());
+    std::ostringstream os;
+    sys.stats().dump(os);
+    r.stats = os.str();
+    return r;
+}
+
+inline std::uint64_t
+legacyImage(const std::string &wl, SystemConfig cfg)
+{
+    cfg.check = false;
+    WorkloadParams wp;
+    wp.scale = 1;
+    HsaSystem sys(cfg);
+    auto w = makeWorkload(wl, wp);
+    w->setup(sys);
+    EXPECT_TRUE(sys.run() && w->verify(sys)) << wl << " (sequential)";
+    return sys.imageHash(sys.heapBase(), sys.heapEnd());
+}
+
+/**
+ * One (workload, config) cell of the identity matrix: every thread
+ * count produces identical cycles, heap image and stat dump, and the
+ * image matches the classic sequential kernel (cycle counts
+ * legitimately differ there by the doorbell lookahead).
+ */
+inline void
+expectThreadCountInvariant(const std::string &wl,
+                           const SystemConfig &cfg,
+                           const std::vector<unsigned> &threadCounts)
+{
+    ASSERT_FALSE(threadCounts.empty());
+    PdesResult ref = runPdes(wl, cfg, threadCounts.front());
+    ASSERT_TRUE(ref.ok) << wl << " [" << cfg.label << "] pdes.1";
+    for (std::size_t i = 1; i < threadCounts.size(); ++i) {
+        unsigned t = threadCounts[i];
+        PdesResult r = runPdes(wl, cfg, t);
+        std::string tag =
+            wl + " [" + cfg.label + "] " + std::to_string(t) + "thr";
+        ASSERT_TRUE(r.ok) << tag;
+        EXPECT_EQ(r.cycles, ref.cycles) << tag;
+        EXPECT_EQ(r.image, ref.image) << tag;
+        EXPECT_EQ(r.stats, ref.stats) << tag << ": stat dump differs";
+    }
+    EXPECT_EQ(ref.image, legacyImage(wl, cfg))
+        << wl << " [" << cfg.label
+        << "]: pdes heap image differs from the sequential kernel";
+}
+
+} // namespace pdes_test
+} // namespace hsc
+
+#endif // HSC_TESTS_CORE_PDES_TEST_UTIL_HH

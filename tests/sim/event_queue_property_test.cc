@@ -192,6 +192,77 @@ TEST(EventQueueCalendar, ScheduleIntoCurrentTickFromCallback)
     EXPECT_EQ(eq.curTick(), 512u);
 }
 
+TEST(EventQueueCalendar, BoundedRunLeavesCursorBeforeLaterSchedules)
+{
+    // Regression: run(limit) with the next event far past the limit
+    // used to park the bucket cursor at that event's bucket.  A
+    // subsequent schedule() between the limit and the parked cursor
+    // then looked like the past (unsigned wrap), fell into the
+    // overflow heap, and stayed unreachable until the ring drained —
+    // after which curTick warped backwards.  The cursor must never
+    // pass the run bound.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] { order.push_back(0); });
+    eq.schedule(50000, [&] { order.push_back(2); }); // in-ring, far
+    EXPECT_EQ(eq.run(511), 1u);
+    EXPECT_EQ(eq.curTick(), 100u); // no fast-forward: queue not empty
+    eq.schedule(600, [&] { order.push_back(1); }); // behind old cursor
+    EXPECT_EQ(eq.run(1023), 1u);
+    EXPECT_EQ(eq.curTick(), 600u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.curTick(), 50000u);
+}
+
+TEST(EventQueueCalendar, BoundedRunWithOnlyOverflowPendingStaysPut)
+{
+    // Same trap via the other path: when the ring is empty and the
+    // only pending event lives in the overflow heap, the cursor's
+    // horizon jump must clamp to the run bound instead of leaping to
+    // the overflow event's bucket.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] { order.push_back(0); });
+    eq.schedule(Tick(1) << 20, [&] { order.push_back(2); }); // overflow
+    EXPECT_EQ(eq.run(511), 1u);
+    EXPECT_EQ(eq.curTick(), 100u);
+    eq.schedule(600, [&] { order.push_back(1); });
+    EXPECT_EQ(eq.run(1023), 1u);
+    EXPECT_EQ(eq.curTick(), 600u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueCalendar, RepeatedBoundedRunsMatchSingleRun)
+{
+    // Windowed execution — run(w-1), run(2w-1), ... as the PDES
+    // driver does — must fire the same events in the same order as
+    // one unbounded run, whatever the window size.
+    std::vector<std::pair<Tick, int>> ref;
+    {
+        EventQueue eq;
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(Tick(i) * 397 % 9001, [&, i] {
+                ref.emplace_back(eq.curTick(), i);
+            });
+        EXPECT_EQ(eq.run(), 64u);
+    }
+    for (Tick w : {64u, 512u, 2850u, 4096u}) {
+        EventQueue eq;
+        std::vector<std::pair<Tick, int>> got;
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(Tick(i) * 397 % 9001, [&, i] {
+                got.emplace_back(eq.curTick(), i);
+            });
+        std::uint64_t total = 0;
+        for (Tick end = w - 1; got.size() < 64; end += w)
+            total += eq.run(end);
+        EXPECT_EQ(total, 64u) << "window " << w;
+        EXPECT_EQ(got, ref) << "window " << w;
+    }
+}
+
 TEST(EventQueueCalendar, PrioritiesOrderWithinTickAcrossBuckets)
 {
     // Early/Default/Late must order within a tick even when the tick

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * ShardGroup model tests: the multi-shard analogue of the event-queue
+ * property tests.  A small doorbell-only model system checks the
+ * conservative-lookahead contract directly —
+ *
+ *  - a cross-shard send arrives exactly one lookahead after the send
+ *    tick, i.e. at the earliest tick the window protocol allows, and
+ *    never executes inside the sender's window even when one worker
+ *    owns both endpoints and could already see the push;
+ *  - same-tick arrivals from different senders deliver in channel
+ *    registration order, independent of sender execution order and of
+ *    the thread count;
+ *  - a randomized 2..8-shard doorbell ping-pong soak produces a
+ *    bit-identical per-shard (tick, payload) trace at 1 worker thread
+ *    and at N.
+ *
+ * All model state is shard-owned (per-shard traces, per-shard RNG
+ * streams) except one atomic live-chain counter for the done
+ * predicate, mirroring how HsaSystem uses the group.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/shard.hh"
+
+namespace hsc
+{
+namespace
+{
+
+TEST(ShardGroup, CrossShardCallArrivesAtExactLookaheadHorizon)
+{
+    for (unsigned threads : {1u, 2u}) {
+        ShardGroup g(2, 100);
+        std::vector<Tick> arrivals; // written by shard 1 only
+        std::atomic<int> live{1};
+        g.queue(0).schedule(0, [&] {
+            g.postCall(1, [&] {
+                arrivals.push_back(g.queue(1).curTick());
+                live.fetch_sub(1, std::memory_order_relaxed);
+            });
+        });
+        auto oc = g.run(threads, Tick(1) << 30, 0, [&] {
+            return live.load(std::memory_order_relaxed) == 0;
+        });
+        EXPECT_EQ(oc.kind, ShardGroup::Outcome::Kind::Completed);
+        ASSERT_EQ(arrivals.size(), 1u) << threads << " threads";
+        // Sent at tick 0, lookahead 100: the arrival lands exactly on
+        // the next window's start — the earliest legal cross-shard
+        // tick — not in the sender's own window.
+        EXPECT_EQ(arrivals[0], 100u) << threads << " threads";
+        EXPECT_EQ(oc.executed, 2u);
+    }
+}
+
+TEST(ShardGroup, SameTickArrivalsDeliverInRegistrationOrder)
+{
+    // Senders 2 and 1 both post to shard 0 with the same arrival
+    // tick.  Doorbell channels register in (from = 0, 1, 2) order at
+    // construction, so delivery order is 1 then 2 — even though
+    // sender 2's event executes first at every thread count.
+    for (unsigned threads : {1u, 2u, 3u}) {
+        ShardGroup g(3, 100);
+        std::vector<int> order; // written by shard 0 only
+        std::atomic<int> live{2};
+        auto sendFrom = [&](unsigned s, int id) {
+            g.queue(s).schedule(0, [&, id] {
+                g.postCall(0, [&, id] {
+                    order.push_back(id);
+                    live.fetch_sub(1, std::memory_order_relaxed);
+                });
+            });
+        };
+        sendFrom(2, 2);
+        sendFrom(1, 1);
+        auto oc = g.run(threads, Tick(1) << 30, 0, [&] {
+            return live.load(std::memory_order_relaxed) == 0;
+        });
+        EXPECT_EQ(oc.kind, ShardGroup::Outcome::Kind::Completed);
+        EXPECT_EQ(order, (std::vector<int>{1, 2}))
+            << threads << " threads";
+    }
+}
+
+TEST(ShardGroup, EmptyGroupReportsHang)
+{
+    // Nothing scheduled and the predicate never holds: the group must
+    // diagnose a hang rather than spin.
+    ShardGroup g(2, 100);
+    auto oc = g.run(2, Tick(1) << 30, 0, [] { return false; });
+    EXPECT_EQ(oc.kind, ShardGroup::Outcome::Kind::Hang);
+}
+
+TEST(ShardGroup, CycleLimitStopsBeforeTheBound)
+{
+    // A self-rescheduling chain on shard 0 runs forever; the limit
+    // must stop the group with no window past the bound.
+    ShardGroup g(2, 100);
+    std::function<void()> tick = [&] {
+        g.queue(0).scheduleIn(10, tick);
+    };
+    g.queue(0).schedule(0, tick);
+    auto oc = g.run(2, 5000, 0, [] { return false; });
+    EXPECT_EQ(oc.kind, ShardGroup::Outcome::Kind::CycleLimit);
+    // The limit is enforced at window granularity: the group stops
+    // before starting a window past the bound, so execution overshoots
+    // by less than one lookahead.
+    EXPECT_LT(oc.finalTick, 5000u + 100u);
+}
+
+/**
+ * Randomized doorbell ping-pong: chains hop between shards (or
+ * reschedule locally), each hop recording (tick, chain id) into the
+ * executing shard's private trace.  Every decision draws from the
+ * executing shard's own RNG stream, so the whole run is a pure
+ * function of (shards, seed) — the returned traces must not depend
+ * on the worker-thread count.
+ */
+struct PingPongModel
+{
+    ShardGroup g;
+    std::vector<Rng> rngs;
+    std::vector<std::vector<std::pair<Tick, int>>> trace;
+    std::atomic<int> live{0};
+
+    PingPongModel(unsigned shards, std::uint64_t seed)
+        : g(shards, 64), trace(shards)
+    {
+        rngs.reserve(shards);
+        for (unsigned s = 0; s < shards; ++s)
+            rngs.emplace_back(seed * 1009 + s);
+    }
+
+    void
+    hop(unsigned s, int id, int budget)
+    {
+        trace[s].emplace_back(g.queue(s).curTick(), id);
+        if (budget == 0) {
+            live.fetch_sub(1, std::memory_order_relaxed);
+            return;
+        }
+        unsigned target = unsigned(rngs[s].below(g.numShards()));
+        if (target == s) {
+            Tick d = 1 + rngs[s].below(200);
+            g.queue(s).scheduleIn(
+                d, [this, s, id, budget] { hop(s, id, budget - 1); });
+        } else {
+            g.postCall(target, [this, target, id, budget] {
+                hop(target, id, budget - 1);
+            });
+        }
+    }
+
+    std::vector<std::vector<std::pair<Tick, int>>>
+    run(unsigned threads)
+    {
+        const unsigned n = g.numShards();
+        live.store(int(n), std::memory_order_relaxed);
+        for (unsigned s = 0; s < n; ++s)
+            g.queue(s).schedule(Tick(s) * 7, [this, s] {
+                hop(s, int(s), 40);
+            });
+        auto oc = g.run(threads, Tick(1) << 40, Tick(1) << 20, [this] {
+            return live.load(std::memory_order_relaxed) == 0;
+        });
+        EXPECT_EQ(oc.kind, ShardGroup::Outcome::Kind::Completed);
+        return trace;
+    }
+};
+
+TEST(ShardGroupSoak, TracesIdenticalAcrossThreadCounts)
+{
+    for (unsigned shards = 2; shards <= 8; ++shards) {
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            auto ref = PingPongModel(shards, seed).run(1);
+            std::uint64_t hops = 0;
+            for (const auto &t : ref)
+                hops += t.size();
+            EXPECT_GT(hops, 0u);
+            for (unsigned threads : {2u, shards}) {
+                auto got = PingPongModel(shards, seed).run(threads);
+                EXPECT_EQ(got, ref)
+                    << shards << " shards, seed " << seed << ", "
+                    << threads << " threads";
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace hsc
