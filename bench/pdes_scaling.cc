@@ -5,9 +5,13 @@
  * Two sweeps over the CPU-heavy tq workload:
  *
  *  - events/s vs worker threads on the big64 machine (74 shards):
- *    the classic sequential kernel, then PDES at 1/2/4/8 workers.
+ *    the classic sequential kernel, then PDES at 1/2/4/8 workers,
+ *    each PDES point with the sharded coherence checker off and on.
  *    PDES rows must agree on simulated cycles (thread-count identity
- *    — asserted here, exhaustively in tests/core/pdes_matrix_test);
+ *    — asserted here, exhaustively in tests/core/pdes_matrix_test),
+ *    and the checker-on rows must report the *same* cycles as the
+ *    checker-off rows: the checker is an observer, so turning it on
+ *    may cost host time but must never perturb the simulation;
  *    the sequential row legitimately differs by the doorbell
  *    lookahead on kernel-launch/DMA hops;
  *  - simulated cycles and events vs machine size (baseline -> big64
@@ -46,21 +50,24 @@ struct ScalingRow
     std::string mode; ///< "sequential" or "pdes"
     unsigned threads = 0;
     unsigned shards = 0;
+    bool checker = false;
     RunMetrics m;
 };
 
 ScalingRow
 runOne(const SystemConfig &base, const std::string &wl,
-       const WorkloadParams &wp, bool pdes, unsigned threads)
+       const WorkloadParams &wp, bool pdes, unsigned threads,
+       bool checker = false)
 {
     SystemConfig cfg = base;
-    cfg.check = false; // benches measure the model, not the sanitizer
+    cfg.check = checker;
     cfg.pdes.enabled = pdes;
     cfg.pdes.threads = threads;
     ScalingRow row;
     row.config = cfg.label;
     row.mode = pdes ? "pdes" : "sequential";
     row.threads = threads;
+    row.checker = checker;
     row.m = benchWorkload(wl, cfg, wp);
     row.shards = row.m.pdesShards;
     return row;
@@ -107,42 +114,63 @@ main(int argc, char **argv)
     scaling.push_back(runOne(big64Config(), wl, wp, false, 0));
     for (unsigned t : threadCounts)
         scaling.push_back(runOne(big64Config(), wl, wp, true, t));
+    for (unsigned t : threadCounts)
+        scaling.push_back(
+            runOne(big64Config(), wl, wp, true, t, /*checker=*/true));
 
     TableWriter tw(std::cout);
     std::cout << "pdes_scaling: " << wl << " on big64 (scale "
               << wp.scale << "), host concurrency "
               << std::thread::hardware_concurrency() << "\n\n";
-    tw.header({"mode", "threads", "shards", "cycles", "events",
-               "host ms", "events/s"});
+    tw.header({"mode", "threads", "checker", "shards", "cycles",
+               "events", "host ms", "events/s"});
     const ScalingRow *pdes1 = nullptr;
+    const ScalingRow *pdes1_checked = nullptr;
+    const ScalingRow *last_unchecked = nullptr;
     for (const ScalingRow &r : scaling) {
         all_ok = all_ok && r.m.ok;
         tw.row({r.mode,
                 r.mode == "pdes" ? TableWriter::fmt(std::uint64_t(
                                        r.threads))
                                  : "-",
+                r.checker ? "on" : "off",
                 TableWriter::fmt(std::uint64_t(r.shards)),
                 TableWriter::fmt(std::uint64_t(r.m.cycles)),
                 TableWriter::fmt(r.m.hostEvents),
                 TableWriter::fmt(r.m.hostMs),
                 TableWriter::fmt(eventsPerSec(r.m), 0)});
-        if (r.mode == "pdes") {
-            if (!pdes1) {
-                pdes1 = &r;
-            } else if (r.m.cycles != pdes1->m.cycles) {
-                std::cerr << "ERROR: pdes " << r.threads
-                          << "-thread cycles " << r.m.cycles
-                          << " != 1-thread cycles " << pdes1->m.cycles
-                          << " — thread-count identity broken\n";
-                all_ok = false;
-            }
+        if (r.mode != "pdes")
+            continue;
+        const ScalingRow *&ref = r.checker ? pdes1_checked : pdes1;
+        if (!ref) {
+            ref = &r;
+        } else if (r.m.cycles != ref->m.cycles) {
+            std::cerr << "ERROR: pdes " << r.threads
+                      << "-thread (checker "
+                      << (r.checker ? "on" : "off") << ") cycles "
+                      << r.m.cycles << " != 1-thread cycles "
+                      << ref->m.cycles
+                      << " — thread-count identity broken\n";
+            all_ok = false;
         }
+        if (!r.checker)
+            last_unchecked = &r;
     }
-    if (pdes1 && scaling.back().mode == "pdes") {
+    // The checker-unperturbed guard: a passive observer may cost host
+    // time but must not move a single simulated cycle.
+    if (pdes1 && pdes1_checked &&
+        pdes1->m.cycles != pdes1_checked->m.cycles) {
+        std::cerr << "ERROR: checker-on pdes cycles "
+                  << pdes1_checked->m.cycles
+                  << " != checker-off cycles " << pdes1->m.cycles
+                  << " — the sharded checker perturbed the run\n";
+        all_ok = false;
+    }
+    if (pdes1 && last_unchecked && last_unchecked != pdes1) {
         double base = eventsPerSec(pdes1->m);
-        double top = eventsPerSec(scaling.back().m);
+        double top = eventsPerSec(last_unchecked->m);
         if (base > 0)
-            std::cout << "\nspeedup at " << scaling.back().threads
+            std::cout << "\nspeedup at " << last_unchecked->threads
                       << " threads vs 1: "
                       << TableWriter::fmt(top / base) << "x\n";
     }
@@ -173,6 +201,7 @@ main(int argc, char **argv)
             o.set("config", JsonValue(r.config));
             o.set("mode", JsonValue(r.mode));
             o.set("threads", JsonValue(std::uint64_t(r.threads)));
+            o.set("checker", JsonValue(r.checker));
             o.set("shards", JsonValue(std::uint64_t(r.shards)));
             o.set("ok", JsonValue(r.m.ok));
             o.set("cycles", JsonValue(std::uint64_t(r.m.cycles)));

@@ -202,8 +202,8 @@ usage()
         "                      owner | sharers | big64 | big128\n"
         "                      (default: baseline; see --list-configs)\n"
         "  --pdes              parallel shard-per-thread kernel\n"
-        "                      (DESIGN.md §14); disables --check unless\n"
-        "                      explicitly requested\n"
+        "                      (DESIGN.md §14); the coherence checker\n"
+        "                      shards with it (per directory bank)\n"
         "  --pdes-threads <n>  host worker threads for --pdes (implies\n"
         "                      it; 0 = HSC_PDES_THREADS env, else all\n"
         "                      hardware threads)\n"
@@ -361,7 +361,6 @@ run(int argc, char **argv)
     std::vector<std::string> dead_links;
     Cycles watchdog = 0;
     bool check = true;
-    bool check_set = false; // --check / --no-check on the command line
     bool pdes = false;
     unsigned pdes_threads = 0;
     bool tester_mode = false;
@@ -448,10 +447,8 @@ run(int argc, char **argv)
             watchdog = Cycles(nextNum());
         } else if (arg == "--check") {
             check = true;
-            check_set = true;
         } else if (arg == "--no-check") {
             check = false;
-            check_set = true;
         } else if (arg == "--pdes") {
             pdes = true;
         } else if (arg == "--pdes-threads") {
@@ -539,12 +536,6 @@ run(int argc, char **argv)
     if (pdes) {
         cfg.pdes.enabled = true;
         cfg.pdes.threads = pdes_threads;
-        // The sanitizer needs the sequential kernel's global event
-        // order, so --pdes turns it off — unless the user asked for
-        // it explicitly, in which case the config validator explains
-        // the conflict instead of silently dropping the request.
-        if (!check_set)
-            cfg.check = false;
     }
     if (bug.kind != SeededBug::Kind::None)
         cfg.bug = bug;
@@ -593,6 +584,46 @@ run(int argc, char **argv)
         cfg.fault.seed = fault_seed;
         cfg.fault.crashAtTick = crash_at_tick;
         cfg.fault.crashAfterEvents = crash_after_events;
+    }
+
+    if (pdes) {
+        // Preflight the combinations the config validator will reject,
+        // naming the flag the user actually typed instead of the
+        // SystemConfig field the validator knows it by.
+        auto reject = [](bool cond, const char *flag, const char *why) {
+            if (cond) {
+                std::fprintf(stderr,
+                             "%s is incompatible with --pdes: %s\n",
+                             flag, why);
+            }
+            return cond;
+        };
+        bool bad = false;
+        bad |= reject(obs, "--obs",
+                      "observability spans form one totally-ordered "
+                      "log, which needs the sequential kernel");
+        bad |= reject(!trace_chrome.empty(), "--trace-chrome",
+                      "the Chrome trace is built from observability "
+                      "spans, which need the sequential kernel");
+        bad |= reject(stats_interval != 0, "--stats-interval",
+                      "the interval sampler reads instantaneous "
+                      "cross-shard state in one global order");
+        bad |= reject(!trace_out_mem.empty(), "--trace-out-mem",
+                      "memory-trace capture interleaves all agents "
+                      "into one globally-ordered tape");
+        bad |= reject(ckpt.everyCycles != 0, "--checkpoint-every",
+                      "drain-quiesce checkpoints cut one global "
+                      "event-order point");
+        bad |= reject(!ckpt.atCycles.empty(), "--checkpoint-at",
+                      "drain-quiesce checkpoints cut one global "
+                      "event-order point");
+        bad |= reject(!ckpt.restorePath.empty(), "--restore",
+                      "shard clocks cannot rewind to a restored tick");
+        bad |= reject(storage_flip_at != 0, "--storage-flip-at-tick",
+                      "'first access at or after tick T' reads a "
+                      "global access order; use --storage-flip");
+        if (bad)
+            return 2;
     }
 
     if (tester_mode) {

@@ -7,6 +7,7 @@
 #include "obs/sampler.hh"
 #include "obs/tracer.hh"
 #include "sim/hash.hh"
+#include "sim/sharded_checker.hh"
 #include "sim/sim_error.hh"
 #include "sim/snapshot.hh"
 #include "trace/trace_capture.hh"
@@ -105,27 +106,36 @@ HsaSystem::validateConfig() const
              "tracking for big machines",
              cfg.name.c_str(), cfg.topo.numClients());
 
-    // PDES (DESIGN.md §14): every feature that observes or perturbs a
-    // single global event order is rejected up front with a structured
-    // error, not silently de-parallelized or silently wrong.
+    // PDES (DESIGN.md §14): the checker, the transport, fault
+    // injection, the storage-fault model and the seeded bugs all
+    // shard with the kernel now.  What remains rejected genuinely
+    // needs one global event order, and each rejection says why —
+    // "needs the sequential kernel" is not an answer.
     if (cfg.pdes.enabled) {
-        auto rej = [&](bool cond, const char *what) {
-            fatal_if(cond,
-                     "%s: %s is incompatible with pdes.enabled (it "
-                     "needs the single global event order of the "
-                     "sequential kernel)",
-                     cfg.name.c_str(), what);
-        };
-        rej(cfg.check, "the coherence checker (SystemConfig::check)");
-        rej(cfg.obs.enabled || cfg.obs.samplingInterval != 0,
-            "the observability subsystem (SystemConfig::obs)");
-        rej(cfg.trace.enabled(), "memory-trace capture");
-        rej(cfg.ckpt.enabled(), "checkpoint/restore");
-        rej(cfg.transport.enabled, "the reliable link transport");
-        rej(cfg.fault.any(), "fault injection");
-        rej(cfg.storageFault.enabled, "the storage-fault model");
-        rej(cfg.bug.kind != SeededBug::Kind::None,
-            "the seeded protocol bug");
+        fatal_if(cfg.obs.enabled || cfg.obs.samplingInterval != 0,
+                 "%s: the observability subsystem (SystemConfig::obs) "
+                 "is incompatible with pdes.enabled — spans are "
+                 "appended to one totally-ordered log and the interval "
+                 "sampler reads instantaneous cross-shard state, both "
+                 "of which presume a single global event order",
+                 cfg.name.c_str());
+        fatal_if(cfg.trace.enabled(),
+                 "%s: memory-trace capture is incompatible with "
+                 "pdes.enabled — the recorder interleaves every "
+                 "agent's operations into one globally-ordered tape, "
+                 "which PDES does not define", cfg.name.c_str());
+        fatal_if(cfg.ckpt.enabled(),
+                 "%s: checkpoint/restore is incompatible with "
+                 "pdes.enabled — drain-quiesce snapshots cut the run "
+                 "at one global event-order point, and shard clocks "
+                 "cannot rewind for restore", cfg.name.c_str());
+        fatal_if(cfg.storageFault.enabled &&
+                     cfg.storageFault.flipAtTick != 0,
+                 "%s: storageFault.flipAtTick is incompatible with "
+                 "pdes.enabled — its 'first access at or after tick "
+                 "T' trigger reads the global access order that PDES "
+                 "does not define; use the probabilistic flip modes",
+                 cfg.name.c_str());
         fatal_if(cfg.linkLatency == 0,
                  "%s: pdes requires linkLatency > 0 — it is the "
                  "conservative lookahead window", cfg.name.c_str());
@@ -184,8 +194,19 @@ HsaSystem::HsaSystem(const SystemConfig &config)
     }
 
     if (cfg.check) {
-        checkerPtr = std::make_unique<CoherenceChecker>(
-            cfg.name + ".checker", eq);
+        if (pdesOn) {
+            // One checker bank per directory bank, living on the
+            // bank's shard; cross-shard observations ride note rings
+            // and are merged deterministically (DESIGN.md §14).
+            std::vector<unsigned> bank_shards;
+            for (unsigned b = 0; b < banks; ++b)
+                bank_shards.push_back(bankShard(b));
+            checkerPtr = std::make_unique<ShardedCoherenceChecker>(
+                cfg.name + ".checker", *shards, std::move(bank_shards));
+        } else {
+            checkerPtr = std::make_unique<CoherenceChecker>(
+                cfg.name + ".checker", eq);
+        }
         checkerPtr->regStats(registry);
     }
 
@@ -224,7 +245,8 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         if (storagePtr) {
             mems.back()->attachStorageFault(
                 storagePtr.get(),
-                storagePtr->registerArray(mems.back()->name()));
+                storagePtr->registerArray(mems.back()->name(),
+                                          bankShard(ch)));
         }
     }
 
@@ -257,8 +279,10 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         if (storagePtr) {
             dirs.back()->attachStorageFault(
                 storagePtr.get(),
-                storagePtr->registerMetaArray(dir_name + ".meta"),
-                storagePtr->registerArray(dir_name + ".llc"));
+                storagePtr->registerMetaArray(dir_name + ".meta",
+                                              bankShard(b)),
+                storagePtr->registerArray(dir_name + ".llc",
+                                          bankShard(b)));
         }
     }
 
@@ -280,14 +304,6 @@ HsaSystem::HsaSystem(const SystemConfig &config)
                 next_link_id++));
             MessageBuffer *up = toDir.back().get();
             MessageBuffer *down = fromDir.back().get();
-            if (pdesOn) {
-                // A bank and a client never share a shard, so every
-                // directory link crosses a boundary.
-                up->bindCrossShard(*shards, clientShard(i),
-                                   bankShard(b));
-                down->bindCrossShard(*shards, bankShard(b),
-                                     clientShard(i));
-            }
             if (faultInjector) {
                 up->attachFaultInjector(faultInjector.get());
                 down->attachFaultInjector(faultInjector.get());
@@ -315,10 +331,27 @@ HsaSystem::HsaSystem(const SystemConfig &config)
                                               ObsCtrlKind::Other));
                 }
             }
+            if (pdesOn) {
+                // A bank and a client never share a shard, so every
+                // directory link crosses a boundary.  Bind *last* so
+                // the buffer can delegate to its transport (whose
+                // sender/receiver halves split across the two shards)
+                // and the fault injector is visible for sender-side
+                // jitter draws.
+                up->bindCrossShard(*shards, clientShard(i),
+                                   bankShard(b));
+                down->bindCrossShard(*shards, bankShard(b),
+                                     clientShard(i));
+            }
             dirs[b]->bindFromClient(*up);
             dirs[b]->bindToClient(static_cast<MachineId>(i), *down);
         }
     }
+    // Wire-fate RNG streams are lazily grown per link id sequentially;
+    // under PDES concurrent senders would race that growth, so build
+    // every stream up front (pure function of seed and link id).
+    if (pdesOn && faultInjector)
+        faultInjector->preallocateStreams(next_link_id);
     for (unsigned i = 0; i < topo.numClients(); ++i) {
         std::vector<MessageBuffer *> links;
         for (unsigned b = 0; b < banks; ++b)
@@ -351,7 +384,8 @@ HsaSystem::HsaSystem(const SystemConfig &config)
             corePairs.back()->attachStorageFault(
                 storagePtr.get(),
                 storagePtr->registerArray(corePairs.back()->name() +
-                                          ".l2"));
+                                              ".l2",
+                                          clientShard(unsigned(id))));
         }
         corePairs.back()->regStats(registry);
     }
@@ -372,7 +406,8 @@ HsaSystem::HsaSystem(const SystemConfig &config)
         if (storagePtr) {
             tccCtrl->attachStorageFault(
                 storagePtr.get(),
-                storagePtr->registerArray(tccCtrl->name() + ".array"));
+                storagePtr->registerArray(tccCtrl->name() + ".array",
+                                          clientShard(unsigned(id))));
         }
         tccCtrl->regStats(registry);
     }
@@ -483,6 +518,11 @@ HsaSystem::HsaSystem(const SystemConfig &config)
     for (const auto &cu : cus)
         introspectables.push_back(&cu->tcp());
     introspectables.push_back(dmaCtrl.get());
+
+    // Every protected array is registered; switch the storage-fault
+    // model to per-shard counters and containment slots.
+    if (pdesOn && storagePtr)
+        storagePtr->enterPdesMode(shards->numShards());
 }
 
 HsaSystem::~HsaSystem()
@@ -646,6 +686,15 @@ HsaSystem::buildHangReport(HangReport::Kind kind) const
     r.lastProgressTick = progress;
     r.liveTasks = liveTasks.load();
     r.lastCheckpointTick = lastCkptTick;
+    if (pdesOn) {
+        for (unsigned s = 0; s < shards->numShards(); ++s) {
+            r.shardProgress.push_back(
+                "shard " + std::to_string(s) + ": tick " +
+                std::to_string(shards->queue(s).curTick()) + ", " +
+                std::to_string(shards->queue(s).numExecuted()) +
+                " events");
+        }
+    }
     for (const ProtocolIntrospect *pi : introspectables) {
         pi->inFlightTransactions(now, r.stalledTxns);
         r.controllerSummaries.push_back(pi->stateSummary());
@@ -723,6 +772,14 @@ HsaSystem::armScrubber()
     // scrub cadence can neither reorder protocol events nor keep a
     // wedged run alive past the watchdog.
     Tick interval = cpuClk.toTicks(cfg.storageFault.scrubIntervalCycles);
+    if (pdesOn) {
+        // One scrubber per shard, each sweeping only the arrays its
+        // shard owns — no cross-shard array access, and each cadence
+        // is deterministic in its own shard's virtual time.
+        for (unsigned s = 0; s < shards->numShards(); ++s)
+            armShardScrubber(s, interval);
+        return;
+    }
     eq.schedule(eq.curTick() + interval,
                 [this] {
                     if (!running)
@@ -731,6 +788,25 @@ HsaSystem::armScrubber()
                     armScrubber();
                 },
                 EventPriority::Late);
+}
+
+void
+HsaSystem::armShardScrubber(unsigned s, Tick interval)
+{
+    // Self-rearming aux event: stops at quiesce (ShardGroup raises
+    // `quiescing` once the done predicate first holds) so the drain
+    // terminates; not progress-tagged, so it cannot keep a wedged run
+    // alive past the watchdog.
+    EventQueue &q = shards->queue(s);
+    q.schedule(q.curTick() + interval,
+               [this, s, interval] {
+                   if (shards->quiescing())
+                       return;
+                   storagePtr->scrubSweepShard(
+                       s, shards->queue(s).curTick());
+                   armShardScrubber(s, interval);
+               },
+               EventPriority::Late);
 }
 
 void
@@ -990,16 +1066,54 @@ HsaSystem::failReason() const
     return {};
 }
 
+Tick
+HsaSystem::maxShardTick() const
+{
+    // Sequentially there is one shard, so this is just eq.curTick().
+    Tick now = 0;
+    for (unsigned s = 0; s < shards->numShards(); ++s)
+        now = std::max(now, shards->queue(s).curTick());
+    return now;
+}
+
+bool
+HsaSystem::pdesCrashNow() const
+{
+    // PDES analogue of crashNow(): the tick trigger reads the most
+    // advanced shard clock and the event trigger the group-wide
+    // executed count, both of which are exact at window barriers —
+    // where the fail predicate runs.
+    if (!faultInjector)
+        return false;
+    const FaultConfig &fc = faultInjector->config();
+    if (fc.crashAtTick &&
+        maxShardTick() - runStartTick >= fc.crashAtTick)
+        return true;
+    if (fc.crashAfterEvents &&
+        shards->totalExecuted() >= fc.crashAfterEvents)
+        return true;
+    return false;
+}
+
 DegradedReport
 HsaSystem::buildDegradedReport() const
 {
     DegradedReport r;
-    r.atTick = eq.curTick();
+    r.atTick = maxShardTick();
     r.lastCheckpointTick = lastCkptTick;
     for (const ProtocolIntrospect *pi : introspectables) {
         r.progressSummaries.push_back(
             pi->introspectName() + ": " +
             std::to_string(pi->progressCount()) + " ops done");
+    }
+    if (pdesOn) {
+        for (unsigned s = 0; s < shards->numShards(); ++s) {
+            r.shardProgress.push_back(
+                "shard " + std::to_string(s) + ": tick " +
+                std::to_string(shards->queue(s).curTick()) + ", " +
+                std::to_string(shards->queue(s).numExecuted()) +
+                " events");
+        }
     }
     auto scan = [&](const auto &bufs) {
         for (const auto &mb : bufs) {

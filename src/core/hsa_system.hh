@@ -328,6 +328,13 @@ class HsaSystem
     void scheduleCkptTrigger();
     bool quiescedNow() const;
     bool crashNow() const;
+    /** crashNow() for PDES: max shard clock / group-wide event count,
+     *  evaluated at window barriers via the fail predicate. */
+    bool pdesCrashNow() const;
+    /** Most advanced shard clock (== eq.curTick() sequentially). */
+    Tick maxShardTick() const;
+    /** Self-rearming per-shard scrub sweep (PDES armScrubber). */
+    void armShardScrubber(unsigned s, Tick interval);
     void doCheckpoint();
     std::string buildSnapshotText() const;
     bool restoreFrom(const std::string &path);
@@ -409,7 +416,11 @@ class HsaSystem
      *  the sequential path is single-threaded as before. */
     std::atomic<unsigned> liveTasks{0};
     bool watchdogTripped = false;
-    bool degradedTripped = false;
+    /** Atomic for the PDES path: set by a transport's onDegraded on
+     *  whichever worker runs the sending shard, read by the fail
+     *  predicate at window barriers.  Sequential code keeps using it
+     *  as a plain bool. */
+    std::atomic<bool> degradedTripped{false};
     bool crashTripped = false;
     bool running = false;
     Cycles cyclesElapsed = 0;

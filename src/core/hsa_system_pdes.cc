@@ -4,15 +4,19 @@
  *
  * Only entered when SystemConfig::pdes.enabled; the sequential
  * kernel in hsa_system.cc is untouched and stays bit-identical to
- * the committed golden.  validateConfig has already rejected every
- * feature that needs a single global event order (checker, obs,
- * trace capture, checkpoints, transport, fault injection), so this
- * loop only deals in start events, the shard barrier, and the
- * end-of-run bookkeeping.
+ * the committed golden.  The safety net runs here too: the sharded
+ * coherence checker, the reliable link transport, wire-level fault
+ * injection and the storage-fault model all shard with the kernel.
+ * validateConfig has already rejected the features that genuinely
+ * need a single global event order (obs, trace capture,
+ * checkpoint/restore, storageFault.flipAtTick), so this loop deals
+ * in start events, the shard barrier, the fail predicate, and the
+ * end-of-run merge + bookkeeping.
  */
 
 #include "core/hsa_system.hh"
 
+#include "core/coherence_checker.hh"
 #include "sim/sim_error.hh"
 
 namespace hsc
@@ -28,7 +32,11 @@ HsaSystem::runPdes(Cycles max_cycles)
     pdesRanOnce = true;
     running = true;
     watchdogTripped = false;
+    degradedTripped = false;
+    crashTripped = false;
     lastHang = HangReport{};
+    lastDegraded = DegradedReport{};
+    lastContainment = ContainmentReport{};
     lastError.clear();
     runStartTick = 0;
 
@@ -61,21 +69,68 @@ HsaSystem::runPdes(Cycles max_cycles)
                     },
                     EventPriority::Default, /*progress=*/true);
     }
+    armScrubber();
 
     unsigned threads = ShardGroup::resolveThreads(cfg.pdes.threads);
     pdesThreads_ = std::min(threads, shards->numShards());
     ShardGroup::Outcome oc = shards->run(
         pdesThreads_, cpuClk.toTicks(max_cycles),
-        cpuClk.toTicks(cfg.watchdogCycles), [this] {
+        cpuClk.toTicks(cfg.watchdogCycles),
+        [this] {
             return liveTasks.load(std::memory_order_relaxed) == 0;
+        },
+        // Fail predicate, evaluated at window barriers (all workers
+        // parked — every shard-local flag is safely readable): the
+        // same abort conditions the sequential stop_pred checks.
+        [this] {
+            return (checkerPtr && checkerPtr->violated()) ||
+                   degradedTripped.load(std::memory_order_relaxed) ||
+                   (storagePtr && storagePtr->tripped()) ||
+                   pdesCrashNow();
         });
     running = false;
+
+    // The workers have joined: merge the per-bank checker state and
+    // the per-shard storage-fault state *before* inspecting either,
+    // whatever the outcome — reports and stats must reflect the whole
+    // run even when it aborted.
+    if (checkerPtr)
+        checkerPtr->finalizeParallel();
+    if (storagePtr)
+        storagePtr->mergeParallel();
 
     switch (oc.kind) {
     case ShardGroup::Outcome::Kind::Error:
         lastError = oc.error;
         warn("%s: run aborted by fatal error: %s", cfg.name.c_str(),
              oc.error.c_str());
+        return false;
+    case ShardGroup::Outcome::Kind::Failed:
+        // The fail predicate tripped; report with the sequential
+        // kernel's priority order so failReason() is stable across
+        // kernels.
+        if (checkerPtr && checkerPtr->violated()) {
+            warn("%s: run aborted by coherence checker: %s",
+                 cfg.name.c_str(), checkerPtr->brief().c_str());
+            return false;
+        }
+        if (degradedTripped) {
+            lastDegraded = buildDegradedReport();
+            warn("%s: run aborted by link degradation: %s",
+                 cfg.name.c_str(), lastDegraded.brief().c_str());
+            return false;
+        }
+        if (storagePtr && storagePtr->tripped()) {
+            lastContainment = storagePtr->containmentReport();
+            lastContainment.lastCheckpointTick = lastCkptTick;
+            warn("%s: run aborted by storage-fault containment: %s",
+                 cfg.name.c_str(), lastContainment.brief().c_str());
+            return false;
+        }
+        crashTripped = true;
+        lastError = "crash fault: simulated process kill at tick " +
+                    std::to_string(maxShardTick());
+        warn("%s: %s", cfg.name.c_str(), lastError.c_str());
         return false;
     case ShardGroup::Outcome::Kind::Watchdog:
         watchdogTripped = true;
@@ -103,17 +158,55 @@ HsaSystem::runPdes(Cycles max_cycles)
 
     // Completed means every shard queue and every cross-shard channel
     // ran dry — the post-run drain the sequential kernel does with
-    // eq.run() has already happened inside the window loop.
+    // eq.run() has already happened inside the window loop.  The
+    // drain may still have flagged a late violation or consumed a
+    // poisoned line; mirror the sequential post-drain checks.
     cyclesElapsed = cpuClk.toCycles(retireTick.load());
     statSimTicks += retireTick.load();
     statCpuCycles += cyclesElapsed;
     threadFns.clear();
+    if (checkerPtr && checkerPtr->violated()) {
+        warn("%s: drain flagged a coherence violation: %s",
+             cfg.name.c_str(), checkerPtr->brief().c_str());
+        return false;
+    }
+    if (storagePtr && storagePtr->tripped()) {
+        lastContainment = storagePtr->containmentReport();
+        lastContainment.lastCheckpointTick = lastCkptTick;
+        warn("%s: drain tripped storage-fault containment: %s",
+             cfg.name.c_str(), lastContainment.brief().c_str());
+        return false;
+    }
     for (const auto &d : dirs) {
         if (!d->idle()) {
             lastHang =
                 buildHangReport(HangReport::Kind::DrainIncomplete);
             warn("%s: post-run drain incomplete: %s", cfg.name.c_str(),
                  lastHang.brief().c_str());
+            return false;
+        }
+    }
+
+    // Quiescent sweep, single-threaded on the joined state: with
+    // everything drained, cross-check the stable cache/directory
+    // states and the memory image exactly as the sequential kernel
+    // does.
+    if (checkerPtr) {
+        CheckResult qr = checkCoherenceInvariants(*this);
+        if (storagePtr && storagePtr->tripped()) {
+            // The sweep's verification reads consumed a poisoned line
+            // the workload never touched: containment, not a protocol
+            // violation.
+            lastContainment = storagePtr->containmentReport();
+            lastContainment.lastCheckpointTick = lastCkptTick;
+            warn("%s: quiescent sweep tripped storage-fault "
+                 "containment: %s",
+                 cfg.name.c_str(), lastContainment.brief().c_str());
+            return false;
+        }
+        if (!qr.ok) {
+            lastError = "quiescent coherence check: " + qr.violations[0];
+            warn("%s: %s", cfg.name.c_str(), lastError.c_str());
             return false;
         }
     }

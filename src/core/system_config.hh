@@ -92,10 +92,17 @@ struct TraceCaptureConfig
  * for the whole GPU complex and one for DMA, each owning a private
  * calendar EventQueue, synchronized with conservative lookahead
  * windows of one cross-shard link latency.  Results are
- * deterministic and independent of the host thread count; features
- * that observe a single global event order (checker, obs, trace
- * capture, checkpoints, transport, fault injection) reject PDES with
- * a structured SimError.
+ * deterministic and independent of the host thread count.
+ *
+ * The safety net shards with the kernel: the coherence checker runs
+ * one bank per directory shard (cross-shard observations ride note
+ * rings, merged deterministically), the link transport splits its
+ * sender/receiver halves across the shard boundary, and wire-level
+ * and storage fault injection draw from per-(seed, id) streams owned
+ * by one shard each.  Only features that genuinely observe a single
+ * global event order still reject PDES with a structured SimError:
+ * observability/sampling, memory-trace capture, checkpoint/restore,
+ * and storageFault.flipAtTick.
  */
 struct PdesConfig
 {

@@ -39,17 +39,21 @@ MessageBuffer::bindCrossShard(ShardGroup &group, unsigned from_shard,
 {
     panic_if(xchan != nullptr, "link '%s' already cross-shard",
              _name.c_str());
-    panic_if(tp != nullptr || dead || fault,
-             "link '%s': cross-shard mode excludes transport and "
-             "fault injection",
-             _name.c_str());
     panic_if(latency < group.lookahead(),
              "link '%s': latency %llu below the lookahead %llu — the "
              "conservative window would miss its deliveries",
              _name.c_str(), (unsigned long long)latency,
              (unsigned long long)group.lookahead());
-    xchan = std::make_unique<MsgChannel>(*this);
     srcEq = &group.queue(from_shard);
+    if (tp) {
+        // Transport path: the LinkTransport owns the wire, so it owns
+        // the shard crossing too — its sender half (window, timers,
+        // fault draws) runs on from_shard and its wire ring crosses
+        // to the receiver.  enqueue() keeps handing to tp->send().
+        tp->bindCrossShard(group, from_shard, to_shard);
+        return;
+    }
+    xchan = std::make_unique<MsgChannel>(*this);
     group.addChannel(to_shard, xchan.get());
 }
 
@@ -110,8 +114,9 @@ MessageBuffer::queueDepth() const
     if (tp)
         return tp->unackedCount();
     // Cross-shard in-flight entries count too (hang reports walk the
-    // links after the workers have joined, so the read is safe).
-    return pending.size() + (xchan ? xchan->size() : 0);
+    // links after the workers have joined, so the read is safe), as
+    // do messages a dead cross-shard link swallowed at enqueue.
+    return pending.size() + (xchan ? xchan->size() : 0) + deadDropped;
 }
 
 Tick
@@ -119,7 +124,9 @@ MessageBuffer::oldestPendingAge(Tick now) const
 {
     if (tp)
         return tp->oldestUnackedAge(now);
-    return pending.empty() ? 0 : now - pending.front().enqTick;
+    if (!pending.empty())
+        return now - pending.front().enqTick;
+    return deadDropped ? now - deadOldestEnq : 0;
 }
 
 void
@@ -130,11 +137,21 @@ MessageBuffer::enqueue(Msg msg)
                        "message-buffer");
     ++numMessages;
     if (xchan) {
-        // Cross-shard send: the arrival tick is stamped from the
-        // *sending* shard's clock; jitter, dead links and transport
-        // are all rejected under PDES, so the legacy branches below
-        // never apply here.
-        xchan->push(srcEq->curTick() + latency, std::move(msg));
+        // Cross-shard send, all sender-side: dead links swallow the
+        // message here (tracked for hang reports), jitter is drawn
+        // from the sending shard's stream, and the arrival tick is
+        // stamped from the *sending* shard's clock with the FIFO
+        // clamp applied before the ring (the receiver asserts it).
+        if (dead) {
+            if (deadDropped++ == 0)
+                deadOldestEnq = srcEq->curTick();
+            return;
+        }
+        Tick extra = fault ? fault->extraDelay(_linkId) : 0;
+        Tick when =
+            std::max(srcEq->curTick() + latency + extra, sendClamp);
+        sendClamp = when;
+        xchan->push(when, std::move(msg));
         return;
     }
     if (tp) {

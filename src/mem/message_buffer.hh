@@ -120,10 +120,14 @@ class MessageBuffer : public MsgSink
      * @p group.  enqueue() then pushes {send tick + latency, msg}
      * into a lock-free SPSC ring instead of scheduling a delivery
      * event; the receiving shard drains the ring at the top of each
-     * window.  Requires latency >= the group's lookahead, no
-     * transport, no fault injector, and a consumer that never
-     * changes after construction — HsaSystem::validateConfig rejects
-     * every configuration that would violate those.
+     * window.  Requires latency >= the group's lookahead and a
+     * consumer that never changes after construction.  Composes with
+     * the robustness hooks: with the transport enabled the binding is
+     * delegated to the LinkTransport (whose sender half then runs
+     * entirely on @p from_shard), fault jitter is drawn sender-side
+     * with delivery ticks clamped monotone, and dead links swallow
+     * messages at enqueue.  Call after attachFaultInjector /
+     * enableTransport / pairWith.
      */
     void bindCrossShard(ShardGroup &group, unsigned from_shard,
                         unsigned to_shard);
@@ -254,6 +258,14 @@ class MessageBuffer : public MsgSink
     /** The sending shard's queue (cross-shard mode): send ticks are
      *  read from here, never from the receiver-owned `eq`. */
     EventQueue *srcEq = nullptr;
+    /** @{ Sender-shard-owned cross-shard state: the monotone arrival
+     *  clamp under jitter, and the count/first-tick of messages a
+     *  dead link swallowed (pending stays receiver-owned, so dead
+     *  drops are accounted separately for hang reports). */
+    Tick sendClamp = 0;
+    std::size_t deadDropped = 0;
+    Tick deadOldestEnq = 0;
+    /** @} */
 
     /** Undelivered messages; delivery events only capture [this] and
      *  pop from here, so no Msg ever rides inside a callback. */

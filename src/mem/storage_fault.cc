@@ -1,10 +1,12 @@
 #include "mem/storage_fault.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "obs/tracer.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/shard.hh"
 #include "sim/sim_error.hh"
 
 namespace hsc
@@ -84,21 +86,50 @@ StorageFaultInjector::StorageFaultInjector(const StorageFaultConfig &cfg)
 }
 
 unsigned
-StorageFaultInjector::registerArray(const std::string &name)
+StorageFaultInjector::registerArray(const std::string &name,
+                                    unsigned owner_shard)
 {
     panic_if(arrays.size() >= MaxArrays,
              "storage fault: too many protected arrays");
-    arrays.push_back(ArrayInfo{name, false});
+    arrays.push_back(ArrayInfo{name, false, owner_shard, {}});
     return unsigned(arrays.size() - 1);
 }
 
 unsigned
-StorageFaultInjector::registerMetaArray(const std::string &name)
+StorageFaultInjector::registerMetaArray(const std::string &name,
+                                        unsigned owner_shard)
 {
     panic_if(arrays.size() >= MaxArrays,
              "storage fault: too many protected arrays");
-    arrays.push_back(ArrayInfo{name, true});
+    arrays.push_back(ArrayInfo{name, true, owner_shard, {}});
     return unsigned(arrays.size() - 1);
+}
+
+void
+StorageFaultInjector::enterPdesMode(unsigned num_shards)
+{
+    panic_if(cfg.flipAtTick,
+             "storage fault: flipAtTick is meaningless under PDES "
+             "(no global first-access order) — validateConfig should "
+             "have rejected it");
+    shardCounts.assign(num_shards + 1, LocalCounts{});
+    shardReports.assign(num_shards + 1, ContainmentReport{});
+    // Pre-build every stream: streamFor's on-demand vector growth is
+    // not thread-safe across shards, and with the streams in place
+    // each one is only ever drawn from by its array's owner shard.
+    for (unsigned id = 0; id < arrays.size(); ++id)
+        streamFor(id);
+}
+
+StorageFaultInjector::LocalCounts *
+StorageFaultInjector::pdesCounts()
+{
+    if (shardCounts.empty())
+        return nullptr;
+    unsigned s = ShardGroup::currentShard();
+    return &shardCounts[s == ShardGroup::NoShard
+                            ? shardCounts.size() - 1
+                            : s];
 }
 
 void
@@ -170,11 +201,15 @@ StorageFaultInjector::access(unsigned array_id, Addr addr,
         }
     }
 
-    std::uint64_t k = key(array_id, block);
-    auto it = pending.find(k);
+    auto &pend = arrays[array_id].pending;
+    auto it = pend.find(block);
+    LocalCounts *lc = pdesCounts();
 
     if (inject) {
-        ++statFlips;
+        if (lc)
+            ++lc->flips;
+        else
+            ++statFlips;
         if (!cfg.ecc) {
             // No ECC: the flip lands in the stored bits and the array
             // simply lies from now on.  The coherence checker's
@@ -182,28 +217,34 @@ StorageFaultInjector::access(unsigned array_id, Addr addr,
             corrupt(data, bit, dbl);
             return;
         }
-        if (dbl || it != pending.end()) {
+        if (dbl || it != pend.end()) {
             // Uncorrectable: a double-bit event, or a second flip on
             // a line already carrying a latent one.  Corrupt the
             // stored bytes for real and poison the line.
             corrupt(data, bit, dbl);
-            if (it != pending.end())
-                pending.erase(it);
+            if (it != pend.end())
+                pend.erase(it);
             data.setPoisoned(true);
-            ++statPoisoned;
+            if (lc)
+                ++lc->poisoned;
+            else
+                ++statPoisoned;
             obsEmit(obs_id, ObsPhase::LinePoisoned, block, now);
             return;
         }
-        it = pending.emplace(k, Latent{std::uint16_t(bit)}).first;
+        it = pend.emplace(block, Latent{std::uint16_t(bit)}).first;
     }
 
-    if (!cfg.ecc || it == pending.end())
+    if (!cfg.ecc || it == pend.end())
         return;
 
     // SECDED corrects the latent single on the fly: the consumer sees
     // clean data, but the stored bit stays flipped until the scrubber
     // or a full-line overwrite repairs it.
-    ++statCorrected;
+    if (lc)
+        ++lc->corrected;
+    else
+        ++statCorrected;
     obsEmit(obs_id, ObsPhase::EccCorrected, block, now);
 }
 
@@ -223,18 +264,24 @@ StorageFaultInjector::metaAccess(unsigned array_id, Addr addr, Tick now)
     if (shape % 10000 < cfg.doublePer10k) {
         // No data path exists for poisoned metadata: containment
         // fires right here.
-        ++statMetaUncorrectable;
+        if (auto *lc = pdesCounts())
+            ++lc->metaUncorrectable;
+        else
+            ++statMetaUncorrectable;
         trip(ContainmentReport::Kind::MetadataUncorrectable,
              arrays[array_id].name, blockAlign(addr), now);
     } else {
-        ++statMetaCorrected;
+        if (auto *lc = pdesCounts())
+            ++lc->metaCorrected;
+        else
+            ++statMetaCorrected;
     }
 }
 
 void
 StorageFaultInjector::noteFullOverwrite(unsigned array_id, Addr addr)
 {
-    pending.erase(key(array_id, blockAlign(addr)));
+    arrays[array_id].pending.erase(blockAlign(addr));
 }
 
 void
@@ -244,7 +291,10 @@ StorageFaultInjector::noteConsumption(const std::string &consumer,
 {
     if (!data.poisoned())
         return;
-    ++statPoisonConsumed;
+    if (auto *lc = pdesCounts())
+        ++lc->poisonConsumed;
+    else
+        ++statPoisonConsumed;
     obsEmit(obs_id, ObsPhase::PoisonConsumed, blockAlign(addr), now);
     trip(ContainmentReport::Kind::PoisonConsumed, consumer,
          blockAlign(addr), now);
@@ -256,9 +306,29 @@ StorageFaultInjector::scrubSweep(Tick now)
     (void)now;
     // Every latent fault is a single-bit flip (doubles poison at
     // injection time), so the sweep repairs everything outstanding.
-    std::size_t repaired = pending.size();
-    pending.clear();
+    std::size_t repaired = 0;
+    for (ArrayInfo &a : arrays) {
+        repaired += a.pending.size();
+        a.pending.clear();
+    }
     statScrubRepairs += repaired;
+}
+
+void
+StorageFaultInjector::scrubSweepShard(unsigned shard, Tick now)
+{
+    (void)now;
+    std::size_t repaired = 0;
+    for (ArrayInfo &a : arrays) {
+        if (a.shard != shard)
+            continue;
+        repaired += a.pending.size();
+        a.pending.clear();
+    }
+    if (auto *lc = pdesCounts())
+        lc->scrubRepairs += repaired;
+    else
+        statScrubRepairs += repaired;
 }
 
 void
@@ -266,6 +336,22 @@ StorageFaultInjector::trip(ContainmentReport::Kind kind,
                            const std::string &consumer, Addr addr,
                            Tick now)
 {
+    if (!shardCounts.empty() &&
+        ShardGroup::currentShard() != ShardGroup::NoShard) {
+        // PDES: record the shard's *first* trip in its private slot
+        // and raise the barrier-published flag; mergeParallel elects
+        // the global winner after the workers join.
+        ContainmentReport &slot =
+            shardReports[ShardGroup::currentShard()];
+        if (slot.contained())
+            return;
+        slot.kind = kind;
+        slot.atTick = now;
+        slot.consumer = consumer;
+        slot.addr = addr;
+        trippedFlag.store(true, std::memory_order_relaxed);
+        return;
+    }
     if (report.contained())
         return; // first trip wins; the run is already stopping
     report.kind = kind;
@@ -276,6 +362,58 @@ StorageFaultInjector::trip(ContainmentReport::Kind kind,
     report.poisoned = statPoisoned.value();
     report.scrubRepairs = statScrubRepairs.value();
     report.poisonConsumed = statPoisonConsumed.value();
+}
+
+void
+StorageFaultInjector::mergeParallel()
+{
+    if (shardCounts.empty() || mergedParallel)
+        return;
+    mergedParallel = true;
+
+    for (const LocalCounts &c : shardCounts) {
+        statFlips += c.flips;
+        statCorrected += c.corrected;
+        statPoisoned += c.poisoned;
+        statScrubRepairs += c.scrubRepairs;
+        statPoisonConsumed += c.poisonConsumed;
+        statMetaCorrected += c.metaCorrected;
+        statMetaUncorrectable += c.metaUncorrectable;
+    }
+
+    // Elect the earliest trip; strict < keeps the lowest shard on
+    // ties, so the winner is a pure function of simulated state.
+    const ContainmentReport *win = nullptr;
+    for (const ContainmentReport &r : shardReports) {
+        if (r.contained() && (!win || r.atTick < win->atTick))
+            win = &r;
+    }
+    if (win && !report.contained()) {
+        report = *win;
+        // Error-economy snapshot: under PDES the trip-time global
+        // totals don't exist race-free, so the report carries the
+        // (deterministic) end-of-run totals instead.
+        report.corrected =
+            statCorrected.value() + statMetaCorrected.value();
+        report.poisoned = statPoisoned.value();
+        report.scrubRepairs = statScrubRepairs.value();
+        report.poisonConsumed = statPoisonConsumed.value();
+    }
+
+    // Post-join calls (the quiescent verification sweep, summary())
+    // must hit the registered counters and the merged report directly
+    // — drop the shard slots so the sequential paths take over.
+    shardCounts.clear();
+    shardReports.clear();
+}
+
+std::size_t
+StorageFaultInjector::pendingFlips() const
+{
+    std::size_t n = 0;
+    for (const ArrayInfo &a : arrays)
+        n += a.pending.size();
+    return n;
 }
 
 StorageSummary
@@ -328,11 +466,19 @@ StorageFaultInjector::serialize(JsonValue &out) const
     }
     out.set("streams", std::move(sarr));
 
+    // Latent flips live per array now, but the snapshot keeps the
+    // original [key, bit] rows in global key order, so checkpoint
+    // text is unchanged from the single-map era.
+    std::vector<std::pair<std::uint64_t, std::uint16_t>> rows;
+    for (std::size_t id = 0; id < arrays.size(); ++id)
+        for (const auto &[block, latent] : arrays[id].pending)
+            rows.emplace_back(key(unsigned(id), block), latent.bit);
+    std::sort(rows.begin(), rows.end());
     JsonValue parr = JsonValue::makeArray();
-    for (const auto &[k, latent] : pending) {
+    for (const auto &[k, bit] : rows) {
         JsonValue row = JsonValue::makeArray();
         row.push(JsonValue(k));
-        row.push(JsonValue(std::uint64_t(latent.bit)));
+        row.push(JsonValue(std::uint64_t(bit)));
         parr.push(std::move(row));
     }
     out.set("pending", std::move(parr));
@@ -355,14 +501,21 @@ StorageFaultInjector::restore(const JsonValue &in)
         streamFor(id).setState(st);
     }
 
-    pending.clear();
+    for (ArrayInfo &a : arrays)
+        a.pending.clear();
     for (const JsonValue &row : in.at("pending").items()) {
         if (row.items().size() != 2)
             throw SimError("storage fault restore: malformed latent row",
                            "snapshot");
         std::uint64_t k = row.items().at(0).asUInt();
-        pending.emplace(
-            k, Latent{std::uint16_t(row.items().at(1).asUInt())});
+        unsigned id = unsigned(k & (MaxArrays - 1));
+        Addr block = Addr(k & ~std::uint64_t(MaxArrays - 1));
+        if (id >= arrays.size())
+            throw SimError("storage fault restore: latent row names an "
+                           "unregistered array",
+                           "snapshot");
+        arrays[id].pending.emplace(
+            block, Latent{std::uint16_t(row.items().at(1).asUInt())});
     }
 }
 

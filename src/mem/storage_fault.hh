@@ -35,6 +35,7 @@
 #ifndef HSC_MEM_STORAGE_FAULT_HH
 #define HSC_MEM_STORAGE_FAULT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -151,11 +152,15 @@ class StorageFaultInjector
     explicit StorageFaultInjector(const StorageFaultConfig &cfg);
 
     /** Register a protected data array; returns its dense id.  Call
-     *  order must be deterministic (HsaSystem construction order). */
-    unsigned registerArray(const std::string &name);
+     *  order must be deterministic (HsaSystem construction order).
+     *  @p owner_shard is the PDES shard whose events access the array
+     *  (ignored sequentially — everything runs on shard 0's thread). */
+    unsigned registerArray(const std::string &name,
+                           unsigned owner_shard = 0);
 
     /** Register a metadata array (directory state/sharer bits). */
-    unsigned registerMetaArray(const std::string &name);
+    unsigned registerMetaArray(const std::string &name,
+                               unsigned owner_shard = 0);
 
     /** Attach the observability tracer (null = disabled). */
     void attachTracer(ObsTracer *t);
@@ -188,8 +193,33 @@ class StorageFaultInjector
      *  flip.  Driven by HsaSystem on the configured cadence. */
     void scrubSweep(Tick now);
 
-    /** True once a ContainmentReport has been raised. */
-    bool tripped() const { return report.contained(); }
+    /** @{ PDES mode (DESIGN.md §14).  enterPdesMode() — called once,
+     *  after every registerArray — switches counters and containment
+     *  trips to per-shard slots (each array's state is only touched
+     *  by its owner shard's worker; streams are pre-built so the lazy
+     *  vector growth can't race) and rejects the flipAtTick one-shot,
+     *  whose "first access at or after T" trigger reads the global
+     *  event order that PDES doesn't have.  Per-shard scrubbers call
+     *  scrubSweepShard for the arrays they own.  After the workers
+     *  join, mergeParallel() folds the shard counters into the
+     *  registered ones and elects the earliest trip — ties to the
+     *  lowest shard — as *the* ContainmentReport, so the result is
+     *  bit-identical at 1 worker thread and at N. */
+    void enterPdesMode(unsigned num_shards);
+    void scrubSweepShard(unsigned shard, Tick now);
+    void mergeParallel();
+    /** @} */
+
+    /** True once a ContainmentReport has been raised.  Under PDES the
+     *  atomic covers shard-local trips before mergeParallel() elects
+     *  the winner (read at window barriers — ordering via the
+     *  barrier, hence relaxed). */
+    bool
+    tripped() const
+    {
+        return report.contained() ||
+               trippedFlag.load(std::memory_order_relaxed);
+    }
     const ContainmentReport &containmentReport() const { return report; }
     ContainmentReport &mutableReport() { return report; }
 
@@ -197,7 +227,7 @@ class StorageFaultInjector
     StorageSummary summary() const;
 
     /** Latent (corrected-on-access) flips currently outstanding. */
-    std::size_t pendingFlips() const { return pending.size(); }
+    std::size_t pendingFlips() const;
 
     void regStats(StatRegistry &reg, const std::string &prefix);
 
@@ -208,17 +238,42 @@ class StorageFaultInjector
     /** @} */
 
   private:
-    struct ArrayInfo
-    {
-        std::string name;
-        bool metadata = false;
-    };
-
     /** Latent single-bit flip awaiting scrub/overwrite repair. */
     struct Latent
     {
         std::uint16_t bit = 0;  ///< flipped bit index within the line
     };
+
+    struct ArrayInfo
+    {
+        std::string name;
+        bool metadata = false;
+        /** PDES shard whose worker touches this array (0 sequential). */
+        unsigned shard = 0;
+        /** This array's latent flips, keyed by block address.  Held
+         *  per array (not in one global map) so concurrent shards
+         *  never mutate a shared container. */
+        std::map<Addr, Latent> pending;
+    };
+
+    /** Single-writer counter shadows, one set per shard (plus one for
+     *  outside-shard calls); folded into the registered Counters by
+     *  mergeParallel(). */
+    struct LocalCounts
+    {
+        std::uint64_t flips = 0;
+        std::uint64_t corrected = 0;
+        std::uint64_t poisoned = 0;
+        std::uint64_t scrubRepairs = 0;
+        std::uint64_t poisonConsumed = 0;
+        std::uint64_t metaCorrected = 0;
+        std::uint64_t metaUncorrectable = 0;
+    };
+
+    /** The executing shard's counter shadow, or null when sequential
+     *  (counters then hit the registered Counters directly — the
+     *  enabled-but-sequential path is byte-identical to before). */
+    LocalCounts *pdesCounts();
 
     Rng &streamFor(unsigned array_id);
 
@@ -245,11 +300,15 @@ class StorageFaultInjector
     std::vector<ArrayInfo> arrays;
     std::vector<std::unique_ptr<Rng>> streams;
 
-    /** Ordered so scrub sweeps and serialization are deterministic. */
-    std::map<std::uint64_t, Latent> pending;
-
     bool oneShotArmed;
     ContainmentReport report;
+
+    /** @{ PDES state; empty/false sequentially. */
+    std::vector<LocalCounts> shardCounts;   ///< [numShards] + no-shard
+    std::vector<ContainmentReport> shardReports;  ///< first trip each
+    std::atomic<bool> trippedFlag{false};
+    bool mergedParallel = false;
+    /** @} */
 
     ObsTracer *tracer = nullptr;
     std::uint16_t obsCtrl = 0;

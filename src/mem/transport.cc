@@ -83,11 +83,19 @@ DegradedReport::print(std::ostream &os) const
            << " exhausted its retry budget (" << l.retries
            << " retransmissions, first sent @" << l.firstSendTick
            << ", degraded @" << l.atTick << "), " << l.unacked
-           << " frames stranded\n";
+           << " frames stranded";
+        if (l.shard != ~0u)
+            os << " [shard " << l.shard << "]";
+        os << '\n';
     }
     if (!progressSummaries.empty()) {
         os << "  -- controller progress counters --\n";
         for (const std::string &s : progressSummaries)
+            os << "  " << s << '\n';
+    }
+    if (!shardProgress.empty()) {
+        os << "  -- shard progress --\n";
+        for (const std::string &s : shardProgress)
             os << "  " << s << '\n';
     }
 }
@@ -126,7 +134,7 @@ LinkTransport::send(Msg msg)
 {
     fatal_if(!peer, "link '%s': transport not paired (acks need the "
              "reverse-direction link)", link.name().c_str());
-    Tick now = link.eq.curTick();
+    Tick now = senderEq().curTick();
     Unacked u{nextSeq, std::move(msg), now, now, 0};
     u.msg.tpSeq = nextSeq++;
     if (!degraded_) {
@@ -154,7 +162,7 @@ LinkTransport::transmit(Msg frame, bool retransmission)
 
     if (retransmission && tracer) {
         tracer->emit(frame.obsId, ObsPhase::LinkRetransmit, obsCtrl,
-                     frame.addr, link.eq.curTick());
+                     frame.addr, senderEq().curTick());
     }
 
     if (link.dead) {
@@ -178,6 +186,21 @@ LinkTransport::transmit(Msg frame, bool retransmission)
             frame.tpChecksum ^= 0x80;
         }
     }
+    if (wire) {
+        // Cross-shard wire: schedule the original *before* the
+        // duplicate — the sender-side monotonic clamp in
+        // scheduleArrival would otherwise push the original out to
+        // the duplicate's (strictly later) arrival tick.  A dropped
+        // original still lets its duplicate through, matching the
+        // sequential path.
+        if (fate.drop)
+            ++statWireDrop;
+        else
+            scheduleArrival(frame, fate.extraDelay);
+        if (fate.duplicate)
+            scheduleArrival(frame, fate.dupExtraDelay);
+        return;
+    }
     if (fate.duplicate)
         scheduleArrival(frame, fate.dupExtraDelay);
     if (fate.drop) {
@@ -190,6 +213,20 @@ LinkTransport::transmit(Msg frame, bool retransmission)
 void
 LinkTransport::scheduleArrival(const Msg &frame, Tick extra)
 {
+    if (wire) {
+        // Cross-shard wire: stamp the arrival from the sending
+        // shard's clock and ship the copy through the ring.  The
+        // clamp keeps ring timestamps monotone so the receiver's
+        // drain can stop at the first at-or-past-bound entry; it may
+        // delay a jittered frame slightly relative to the sequential
+        // schedule, which is fine — the PDES determinism contract is
+        // 1-vs-N threads, not PDES-vs-sequential (DESIGN.md §14).
+        Tick when = std::max(senderEq().curTick() + link.latency + extra,
+                             wireClamp);
+        wireClamp = when;
+        wire->push(when, Msg(frame));
+        return;
+    }
     // No FIFO clamp here: drops and retransmissions already reorder
     // the wire, and the receiver's sequence numbers restore order.
     Msg *p = wirePool.allocate(1);
@@ -270,7 +307,10 @@ LinkTransport::deliverReady()
 void
 LinkTransport::onAckReceived(std::uint64_t cum)
 {
-    Tick now = link.eq.curTick();
+    // Sender-side state, but invoked from the *peer's* receive path —
+    // which runs on this transport's sending shard (the pair's halves
+    // are co-located), so senderEq() is the executing shard's clock.
+    Tick now = senderEq().curTick();
     while (!sendQ.empty() && sendQ.front().seq <= cum) {
         ++statAcked;
         if (tracer)
@@ -309,12 +349,14 @@ LinkTransport::armRetxTimer()
     if (retxArmed || degraded_ || sendQ.empty())
         return;
     retxArmed = true;
-    Tick now = link.eq.curTick();
+    Tick now = senderEq().curTick();
     // Bookkeeping only (progress=false): a link retrying into the
-    // void must not keep a wedged run alive past the watchdog.
-    link.eq.schedule(std::max(frontDeadline(), now + 1),
-                     [this] { onRetxTimer(); },
-                     EventPriority::Late, /*progress=*/false);
+    // void must not keep a wedged run alive past the watchdog.  The
+    // timer lives on the *sending* shard's calendar: it reads and
+    // mutates the sender window.
+    senderEq().schedule(std::max(frontDeadline(), now + 1),
+                        [this] { onRetxTimer(); },
+                        EventPriority::Late, /*progress=*/false);
 }
 
 void
@@ -323,7 +365,7 @@ LinkTransport::onRetxTimer()
     retxArmed = false;
     if (degraded_ || sendQ.empty())
         return; // window fully acked; next send() re-arms
-    Tick now = link.eq.curTick();
+    Tick now = senderEq().curTick();
     if (now >= frontDeadline()) {
         Unacked &u = sendQ.front();
         if (u.retries >= cfg.retryBudget) {
@@ -389,13 +431,68 @@ LinkTransport::restore(const JsonValue &in)
 }
 
 void
+LinkTransport::bindCrossShard(ShardGroup &group, unsigned from_shard,
+                              unsigned to_shard)
+{
+    panic_if(wire != nullptr,
+             "link '%s': transport already cross-shard",
+             link.name().c_str());
+    srcEq = &group.queue(from_shard);
+    sendShard = from_shard;
+    wire = std::make_unique<WireChannel>(*this);
+    group.addChannel(to_shard, wire.get());
+}
+
+void
+LinkTransport::WireChannel::push(Tick when, Msg &&m)
+{
+    panic_if(!ring.push(TimedFrame{when, std::move(m)}),
+             "link '%s': cross-shard wire overflow (%zu frames in one "
+             "window)", tp.link.name().c_str(), Capacity);
+}
+
+void
+LinkTransport::WireChannel::drain(Tick bound)
+{
+    // Arrival ticks are monotone (sender-side clamp), and any frame
+    // pushed by the concurrently-executing window satisfies
+    // when >= sender tick + latency >= windowStart + lookahead =
+    // bound, so stopping at the first at-or-past-bound entry never
+    // depends on which same-window pushes are visible yet.
+    while (TimedFrame *t = ring.peekFront()) {
+        if (t->when >= bound)
+            break;
+        Tick when = t->when;
+        park.push_back(std::move(t->msg));
+        ring.popFront();
+        // Pops match schedule order: `when` is monotone across
+        // drains, so same-tick events keep ring FIFO via seq order.
+        tp.link.eq.schedule(when,
+                            [this] {
+                                Msg m = std::move(park.front());
+                                park.pop_front();
+                                tp.onArrival(std::move(m));
+                            },
+                            EventPriority::Default, /*progress=*/true);
+    }
+}
+
+Tick
+LinkTransport::WireChannel::earliestArrival() const
+{
+    const TimedFrame *t = ring.peekFront();
+    return t ? t->when : MaxTick;
+}
+
+void
 LinkTransport::degrade()
 {
     degraded_ = true;
-    Tick now = link.eq.curTick();
+    Tick now = senderEq().curTick();
     const Unacked &u = sendQ.front();
     degradedAt = DegradedLinkInfo{link.name(), u.seq, u.retries,
                                   sendQ.size(), u.firstSend, now};
+    degradedAt.shard = sendShard;
     warn("link '%s': degraded at tick %llu (seq %llu unacked after "
          "%u retransmissions)", link.name().c_str(),
          (unsigned long long)now, (unsigned long long)u.seq, u.retries);

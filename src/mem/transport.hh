@@ -104,6 +104,8 @@ struct DegradedLinkInfo
     std::size_t unacked = 0;   ///< frames stranded in the send window
     Tick firstSendTick = 0;    ///< when the head frame was first sent
     Tick atTick = 0;           ///< when the link degraded
+    /** Sending shard under PDES; ~0u (not printed) sequentially. */
+    unsigned shard = ~0u;
 };
 
 /**
@@ -123,6 +125,10 @@ struct DegradedReport
     /** Per-controller progress counters ("name: N msgs in / M txns"),
      *  so a degradation report shows who was still making headway. */
     std::vector<std::string> progressSummaries;
+
+    /** Per-shard progress lines ("shard S: tick T, N events") — PDES
+     *  runs only, so sequential report text never changes. */
+    std::vector<std::string> shardProgress;
 
     bool degraded() const { return !links.empty(); }
 
@@ -227,6 +233,21 @@ class LinkTransport
     /** Entry point from MessageBuffer::enqueue. */
     void send(Msg msg);
 
+    /**
+     * PDES binding (MessageBuffer::bindCrossShard delegates here when
+     * the transport is enabled).  The whole sender half — window,
+     * retransmit timer, wire-fate draws — runs on @p from_shard, whose
+     * calendar it reads through senderEq(); wire copies cross to
+     * @p to_shard through a timestamped ring drained at window tops,
+     * where the receiver half (dedup, reorder, delivery, ack timer)
+     * lives.  Call after pairWith()/attachFaultInjector: the reverse
+     * transport's receiver state (peer->recvCum etc.) is co-located on
+     * this sender's shard by construction, so the piggyback accesses
+     * in transmit() stay shard-local.
+     */
+    void bindCrossShard(ShardGroup &group, unsigned from_shard,
+                        unsigned to_shard);
+
     /** Register the retransmission stat group with @p reg. */
     void regStats(StatRegistry &reg);
 
@@ -299,6 +320,46 @@ class LinkTransport
     void onAckTimer();
     void degrade();
 
+    /** The calendar the sender half runs on: the sending shard's
+     *  under PDES, the link's own (receiver == sender) sequentially. */
+    EventQueue &senderEq() { return srcEq ? *srcEq : link.eq; }
+
+    /** One wire frame crossing shards, stamped with its arrival tick
+     *  (sender tick + link latency + fault delay, clamped monotone). */
+    struct TimedFrame
+    {
+        Tick when = 0;
+        Msg msg;
+    };
+
+    /**
+     * The PDES wire: sender pushes timed frames, the receiving shard
+     * drains those below the window bound and schedules onArrival at
+     * the recorded tick on its own calendar.  Frames are parked in a
+     * receiver-side buffer between drain and delivery so the event
+     * closure stays within the calendar's inline budget.
+     */
+    class WireChannel : public ShardChannel
+    {
+      public:
+        explicit WireChannel(LinkTransport &tp) : tp(tp), ring(Capacity)
+        {
+        }
+
+        void push(Tick when, Msg &&m);
+        void drain(Tick bound) override;
+        bool empty() const override { return ring.empty(); }
+        Tick earliestArrival() const override;
+
+      private:
+        static constexpr std::size_t Capacity = 512;
+
+        LinkTransport &tp;
+        SpscRing<TimedFrame> ring;
+        /** Receiver-side: frames drained but not yet delivered. */
+        RingBuf<Msg> park;
+    };
+
     MessageBuffer &link;
     const TransportConfig cfg;
     const Tick period;
@@ -328,6 +389,13 @@ class LinkTransport
     /** Frames in flight on the wire (events capture pool pointers,
      *  never whole Msgs — the callback budget is 128 bytes). */
     PoolAllocator<Msg> wirePool;
+
+    /** @{ PDES state (null/idle sequentially — zero behavior change). */
+    EventQueue *srcEq = nullptr;        ///< sending shard's calendar
+    unsigned sendShard = ~0u;           ///< for DegradedLinkInfo
+    Tick wireClamp = 0;                 ///< monotone ring timestamps
+    std::unique_ptr<WireChannel> wire;  ///< cross-shard wire ring
+    /** @} */
 
     /** @{ Retransmission stat group (registered only when the
      *  transport is enabled, so stat hashes of legacy runs never

@@ -117,7 +117,8 @@ CoherenceChecker::traceTail(std::size_t max) const
 }
 
 void
-CoherenceChecker::violation(std::string kind, Addr addr, std::string detail)
+CoherenceChecker::violationAt(Tick tick, std::string kind, Addr addr,
+                              std::string detail)
 {
     ++statViolations;
     if (violationList.size() >= MaxViolations)
@@ -125,7 +126,7 @@ CoherenceChecker::violation(std::string kind, Addr addr, std::string detail)
     ViolationReport r;
     r.kind = std::move(kind);
     r.addr = blockAlign(addr);
-    r.atTick = eq.curTick();
+    r.atTick = tick;
     r.detail = std::move(detail);
     r.history = blockOf(addr).ring;
     warn("%s: %s", checkerName.c_str(), r.brief().c_str());
@@ -200,9 +201,18 @@ CoherenceChecker::noteEvent(CheckerCtrl kind, const std::string &ctrl,
                             Addr addr, std::string_view state,
                             std::string_view event)
 {
+    return applyEvent(eq.curTick(), kind, ctrl, addr, state, event);
+}
+
+bool
+CoherenceChecker::applyEvent(Tick tick, CheckerCtrl kind,
+                             const std::string &ctrl, Addr addr,
+                             std::string_view state,
+                             std::string_view event)
+{
     ++statTransitionsChecked;
     CheckerEvent ev;
-    ev.tick = eq.curTick();
+    ev.tick = tick;
     ev.kind = kind;
     ev.ctrl = ctrl;
     ev.addr = blockAlign(addr);
@@ -215,13 +225,21 @@ CoherenceChecker::noteEvent(CheckerCtrl kind, const std::string &ctrl,
     std::ostringstream os;
     os << ctrl << " received " << event << " in state " << state
        << " (no transition defined)";
-    violation("illegal-event", addr, os.str());
+    violationAt(tick, "illegal-event", addr, os.str());
     return false;
 }
 
 void
 CoherenceChecker::notePermission(const std::string &ctrl, Addr addr,
                                  Perm perm, std::string_view state)
+{
+    applyPermission(eq.curTick(), ctrl, addr, perm, state);
+}
+
+void
+CoherenceChecker::applyPermission(Tick tick, const std::string &ctrl,
+                                  Addr addr, Perm perm,
+                                  std::string_view state)
 {
     ++statTransitionsChecked;
     BlockState &b = blockOf(addr);
@@ -234,14 +252,14 @@ CoherenceChecker::notePermission(const std::string &ctrl, Addr addr,
                    << ") while " << other
                    << " already holds write permission (state "
                    << held.state << ")";
-                violation("swmr", addr, os.str());
+                violationAt(tick, "swmr", addr, os.str());
                 break;
             }
         }
     }
 
     CheckerEvent ev;
-    ev.tick = eq.curTick();
+    ev.tick = tick;
     ev.kind = CheckerCtrl::CorePair;
     ev.ctrl = ctrl;
     ev.addr = blockAlign(addr);
@@ -262,18 +280,34 @@ CoherenceChecker::noteStoreApplied(const std::string &ctrl, Addr addr,
                                    std::string_view state,
                                    bool had_write_perm)
 {
+    applyStoreApplied(eq.curTick(), ctrl, addr, state, had_write_perm);
+}
+
+void
+CoherenceChecker::applyStoreApplied(Tick tick, const std::string &ctrl,
+                                    Addr addr, std::string_view state,
+                                    bool had_write_perm)
+{
     ++statTransitionsChecked;
     if (had_write_perm)
         return;
     std::ostringstream os;
     os << ctrl << " applied a store against state " << state
        << " without write permission";
-    violation("no-write-permission", addr, os.str());
+    violationAt(tick, "no-write-permission", addr, os.str());
 }
 
 void
 CoherenceChecker::noteSystemWrite(const std::string &ctrl, Addr addr,
                                   const DataBlock &data, ByteMask mask)
+{
+    applySystemWrite(eq.curTick(), ctrl, addr, data, mask);
+}
+
+void
+CoherenceChecker::applySystemWrite(Tick tick, const std::string &ctrl,
+                                   Addr addr, const DataBlock &data,
+                                   ByteMask mask)
 {
     ++statTransitionsChecked;
     BlockState &b = blockOf(addr);
@@ -281,7 +315,7 @@ CoherenceChecker::noteSystemWrite(const std::string &ctrl, Addr addr,
     b.known |= mask;
 
     CheckerEvent ev;
-    ev.tick = eq.curTick();
+    ev.tick = tick;
     ev.kind = CheckerCtrl::Directory;
     ev.ctrl = ctrl;
     ev.addr = blockAlign(addr);
@@ -300,11 +334,19 @@ void
 CoherenceChecker::noteCleanData(const std::string &ctrl, Addr addr,
                                 const DataBlock &data, std::string_view what)
 {
+    applyCleanData(eq.curTick(), ctrl, addr, data, what);
+}
+
+void
+CoherenceChecker::applyCleanData(Tick tick, const std::string &ctrl,
+                                 Addr addr, const DataBlock &data,
+                                 std::string_view what)
+{
     ++statTransitionsChecked;
     BlockState &b = blockOf(addr);
 
     CheckerEvent ev;
-    ev.tick = eq.curTick();
+    ev.tick = tick;
     ev.kind = CheckerCtrl::Directory;
     ev.ctrl = ctrl;
     ev.addr = blockAlign(addr);
@@ -337,7 +379,7 @@ CoherenceChecker::noteCleanData(const std::string &ctrl, Addr addr,
                << "system-visible write at byte " << i << ": got 0x"
                << std::hex << unsigned(data.raw()[i]) << " expected 0x"
                << unsigned(b.shadow.raw()[i]) << std::dec;
-            violation("stale-data", addr, os.str());
+            violationAt(tick, "stale-data", addr, os.str());
             return;
         }
     }
@@ -347,7 +389,8 @@ void
 CoherenceChecker::reportViolation(std::string kind, const std::string &ctrl,
                                   Addr addr, std::string detail)
 {
-    violation(std::move(kind), addr, ctrl + ": " + std::move(detail));
+    violationAt(eq.curTick(), std::move(kind), addr,
+                ctrl + ": " + std::move(detail));
 }
 
 void

@@ -91,6 +91,12 @@ struct ViolationReport
  * The runtime checker.  One instance per HsaSystem; controllers hold
  * a raw pointer (null when SystemConfig::check is off) and call the
  * note*() hooks, all of which are no-throw and O(1) amortised.
+ *
+ * The note*() hooks are virtual so the PDES path can substitute a
+ * ShardedCoherenceChecker (sim/sharded_checker.hh) that routes each
+ * observation to the directory bank owning the block; the sequential
+ * base class stamps every observation with its queue's current tick
+ * and applies it immediately via the apply*() methods below.
  */
 class CoherenceChecker
 {
@@ -101,6 +107,7 @@ class CoherenceChecker
     CoherenceChecker(std::string name, EventQueue &eq,
                      unsigned global_ring = 4096,
                      unsigned per_block_ring = 16);
+    virtual ~CoherenceChecker() = default;
 
     /**
      * Record @p event observed by @p ctrl in local @p state, and check
@@ -109,42 +116,82 @@ class CoherenceChecker
      *         flagging an illegal-event violation (callers drop the
      *         message instead of panicking).
      */
-    bool noteEvent(CheckerCtrl kind, const std::string &ctrl, Addr addr,
-                   std::string_view state, std::string_view event);
+    virtual bool noteEvent(CheckerCtrl kind, const std::string &ctrl,
+                           Addr addr, std::string_view state,
+                           std::string_view event);
 
     /**
      * A CorePair L2 line changed state; @p perm is the resulting
      * permission (None when invalidated).  Gaining Write while another
      * controller holds Write is the SWMR violation.
      */
-    void notePermission(const std::string &ctrl, Addr addr, Perm perm,
-                        std::string_view state);
+    virtual void notePermission(const std::string &ctrl, Addr addr,
+                                Perm perm, std::string_view state);
 
     /** A store/atomic was applied against local state @p state. */
-    void noteStoreApplied(const std::string &ctrl, Addr addr,
-                          std::string_view state, bool had_write_perm);
+    virtual void noteStoreApplied(const std::string &ctrl, Addr addr,
+                                  std::string_view state,
+                                  bool had_write_perm);
 
     /**
      * A system-visible write at the ordering point (directory masked
      * write, accepted dirty victim, dirty probe forward): updates the
      * shadow image of the block.
      */
-    void noteSystemWrite(const std::string &ctrl, Addr addr,
-                         const DataBlock &data, ByteMask mask);
+    virtual void noteSystemWrite(const std::string &ctrl, Addr addr,
+                                 const DataBlock &data, ByteMask mask);
 
     /**
      * Clean data observed at a compare point (clean victim, backing
      * response, clean probe forward): every byte the shadow knows must
      * match; unknown bytes seed the shadow.
      */
-    void noteCleanData(const std::string &ctrl, Addr addr,
-                       const DataBlock &data, std::string_view what);
+    virtual void noteCleanData(const std::string &ctrl, Addr addr,
+                               const DataBlock &data,
+                               std::string_view what);
 
     /** Flag a violation detected by a controller's own cross-check. */
-    void reportViolation(std::string kind, const std::string &ctrl,
-                         Addr addr, std::string detail);
+    virtual void reportViolation(std::string kind,
+                                 const std::string &ctrl, Addr addr,
+                                 std::string detail);
 
-    bool violated() const { return !violationList.empty(); }
+    virtual bool violated() const { return !violationList.empty(); }
+
+    /**
+     * Merge any per-shard state into this checker after a parallel
+     * run's workers have joined (violation lists, counters, trace
+     * rings).  A no-op for the sequential checker; HsaSystem calls it
+     * unconditionally after every PDES run, including failed ones.
+     */
+    virtual void finalizeParallel() {}
+
+    /** @{ Explicit-tick variants of the note* hooks.  These hold the
+     *  actual checking logic: the note* entry points stamp
+     *  eq.curTick() and forward here, and the sharded router replays
+     *  cross-shard observations with the tick captured at the
+     *  observing shard.  @p tick must be nondecreasing per block for
+     *  the history rings to read sensibly; the invariant logic itself
+     *  is order-tolerant within a lookahead window. */
+    bool applyEvent(Tick tick, CheckerCtrl kind, const std::string &ctrl,
+                    Addr addr, std::string_view state,
+                    std::string_view event);
+    void applyPermission(Tick tick, const std::string &ctrl, Addr addr,
+                         Perm perm, std::string_view state);
+    void applyStoreApplied(Tick tick, const std::string &ctrl, Addr addr,
+                           std::string_view state, bool had_write_perm);
+    void applySystemWrite(Tick tick, const std::string &ctrl, Addr addr,
+                          const DataBlock &data, ByteMask mask);
+    void applyCleanData(Tick tick, const std::string &ctrl, Addr addr,
+                        const DataBlock &data, std::string_view what);
+    void violationAt(Tick tick, std::string kind, Addr addr,
+                     std::string detail);
+    /** @} */
+
+    /** All violations flagged, including those past the report cap. */
+    std::uint64_t violationsFlagged() const
+    {
+        return statViolations.value();
+    }
     const std::vector<ViolationReport> &violations() const
     {
         return violationList;
@@ -179,7 +226,7 @@ class CoherenceChecker
         return statBlocksShadowed.value();
     }
 
-  private:
+  protected:
     struct HeldPerm
     {
         Perm perm = Perm::None;
@@ -196,9 +243,10 @@ class CoherenceChecker
 
     BlockState &blockOf(Addr addr);
     void record(CheckerEvent ev);
-    void violation(std::string kind, Addr addr, std::string detail);
 
-    /** Family legal-event table; see the .cc for the encoding. */
+    /** Family legal-event table; see the .cc for the encoding.
+     *  Stateless, so the sharded router can return a verdict at the
+     *  observing shard without waiting for the owning bank. */
     static bool legalEvent(CheckerCtrl kind, std::string_view state,
                            std::string_view event);
 

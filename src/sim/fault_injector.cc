@@ -43,6 +43,18 @@ FaultInjector::streamFor(unsigned link_id)
     return *streams[link_id];
 }
 
+void
+FaultInjector::preallocateStreams(unsigned count)
+{
+    if (count > streams.size())
+        streams.resize(count);
+    for (unsigned id = 0; id < count; ++id) {
+        if (!streams[id])
+            streams[id] =
+                std::make_unique<Rng>(mixSeed(cfg.seed, id));
+    }
+}
+
 Tick
 FaultInjector::extraDelay(unsigned link_id)
 {

@@ -136,6 +136,17 @@ class FaultInjector
     /** True when @p link matches a configured dead link. */
     bool isDead(const std::string &link) const;
 
+    /**
+     * Eagerly create the streams for link ids [0, count) — required
+     * before a PDES run: streamFor's on-demand vector growth is not
+     * thread-safe across shards, and with every stream pre-built each
+     * link's RNG is only ever touched by its sender's worker thread.
+     * PDES-only by design: pre-built untouched streams would also
+     * appear in checkpoint serialization (harmless but text-changing),
+     * and checkpoints are rejected under PDES anyway.
+     */
+    void preallocateStreams(unsigned count);
+
     const FaultConfig &config() const { return cfg; }
 
     /** @{ Snapshot hooks: per-link PRNG cursors, so a resumed run

@@ -109,6 +109,11 @@ HangReport::print(std::ostream &os) const
         for (const std::string &s : progressCounters)
             os << "  " << s << '\n';
     }
+    if (!shardProgress.empty()) {
+        os << "-- shard progress --\n";
+        for (const std::string &s : shardProgress)
+            os << "  " << s << '\n';
+    }
     os << "==== end hang report ====\n";
 }
 

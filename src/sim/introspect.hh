@@ -120,6 +120,10 @@ struct HangReport
     /** Livelock and other anomaly diagnostics. */
     std::vector<std::string> diagnostics;
 
+    /** Per-shard progress lines ("shard S: tick T, N events") — PDES
+     *  runs only, so sequential report text never changes. */
+    std::vector<std::string> shardProgress;
+
     bool hung() const { return kind != Kind::None; }
 
     static std::string_view kindName(Kind k);

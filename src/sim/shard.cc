@@ -106,11 +106,13 @@ ShardGroup::resolveThreads(unsigned requested)
 
 ShardGroup::Outcome
 ShardGroup::run(unsigned threads, Tick limitTick, Tick watchdogTicks,
-                std::function<bool()> donePred)
+                std::function<bool()> donePred,
+                std::function<bool()> failPred)
 {
     const unsigned n = numShards();
     panic_if(n > 1 && window == 0, "parallel run without lookahead");
     const unsigned T = std::min(std::max(threads, 1u), n);
+    quiescing_ = false;
 
     // Everything below the barrier is single-writer: shard state is
     // touched only by the worker owning it (fixed s % T assignment),
@@ -154,12 +156,23 @@ ShardGroup::run(unsigned threads, Tick limitTick, Tick watchdogTicks,
                 ctl.stop = stopAs(Outcome::Kind::Error);
                 return;
             }
+            // Trip flags raised during window k (checker violations,
+            // link degradation, fault containment, crash fates) are
+            // published by the barrier and observed here, at window
+            // k's completion — the stop window is a function of
+            // simulated state only, never of the thread count.
+            if (failPred && failPred()) {
+                ctl.stop = stopAs(Outcome::Kind::Failed);
+                return;
+            }
             std::uint64_t exec = 0;
             for (auto &q : queues)
                 exec += q->numExecuted();
             const bool idle = exec == ctl.prevExecuted;
             ctl.prevExecuted = exec;
             const bool done = donePred();
+            if (done)
+                quiescing_ = true;
             Tick nextStart = ctl.windowEnd;
             if (idle || done) {
                 Tick earliest = MaxTick;

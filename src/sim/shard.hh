@@ -230,6 +230,8 @@ class ShardGroup
             Watchdog,   ///< no forward progress for watchdogTicks
             CycleLimit, ///< next window would pass limitTick
             Error,      ///< a shard threw; message in error
+            Failed,     ///< failPred tripped (checker violation,
+                        ///< degraded link, containment, crash fate)
         };
         Kind kind = Kind::Completed;
         Tick finalTick = 0;          ///< max shard tick at stop
@@ -247,9 +249,29 @@ class ShardGroup
      * step — synchronized, but on an arbitrary worker thread, so the
      * predicate must only read state that shard execution publishes
      * via the barrier (e.g. an atomic task counter).
+     *
+     * @p failPred (optional) is evaluated in the same completion step
+     * before anything else; when it returns true the run stops at
+     * that window boundary with Outcome::Kind::Failed.  Because trip
+     * flags raised during window k are published by the barrier and
+     * observed at window k's completion, the stop window — and with
+     * it every counter — is a pure function of simulated state, so a
+     * failing run is as thread-count-invariant as a passing one.
      */
     Outcome run(unsigned threads, Tick limitTick, Tick watchdogTicks,
-                std::function<bool()> donePred);
+                std::function<bool()> donePred,
+                std::function<bool()> failPred = {});
+
+    /**
+     * True once donePred has held at a completion step of the current
+     * run (it stays true through the drain windows that follow).
+     * Self-rearming auxiliary events — the per-shard storage
+     * scrubbers — poll this to stop re-arming, so the drain can run
+     * the queues dry; reading it from shard event execution is safe
+     * (the flag is written in the synchronized completion step and
+     * published by the barrier).
+     */
+    bool quiescing() const { return quiescing_; }
 
     /** Events executed since construction, summed over shards. */
     std::uint64_t totalExecuted() const;
@@ -295,6 +317,8 @@ class ShardGroup
     static thread_local unsigned tlCurrentShard;
 
     Tick window;
+    /** See quiescing(): written only by the completion step. */
+    bool quiescing_ = false;
     std::vector<std::unique_ptr<EventQueue>> queues;
     /** Inbound channels per receiving shard, registration order. */
     std::vector<std::vector<ShardChannel *>> inbound;

@@ -1,0 +1,333 @@
+#include "sim/sharded_checker.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace hsc
+{
+
+ShardedCoherenceChecker::ShardedCoherenceChecker(
+    std::string name, ShardGroup &group,
+    std::vector<unsigned> bank_shards, unsigned ring_notes)
+    : CoherenceChecker(name, group.queue(0)), group(group)
+{
+    panic_if(bank_shards.empty(), "sharded checker needs >= 1 bank");
+    const unsigned n = unsigned(bank_shards.size());
+    banks.reserve(n);
+    channels.reserve(n);
+    for (unsigned b = 0; b < n; ++b) {
+        panic_if(bank_shards[b] >= group.numShards(),
+                 "checker bank %u on nonexistent shard %u", b,
+                 bank_shards[b]);
+        // Same stat prefix as the (single) registered checker so the
+        // warn() lines a violation prints are identical to the
+        // sequential run's; the bank instances never register stats —
+        // finalizeParallel() folds their counters into this object's
+        // registered ones.
+        banks.push_back(std::make_unique<CoherenceChecker>(
+            name, group.queue(bank_shards[b])));
+        channels.push_back(std::make_unique<BankChannel>(
+            *this, b, group.numShards(), ring_notes,
+            group.lookahead()));
+        group.addChannel(bank_shards[b], channels.back().get());
+    }
+}
+
+CoherenceChecker &
+ShardedCoherenceChecker::bankChecker(Addr addr)
+{
+    return *banks[bankOf(addr)];
+}
+
+void
+ShardedCoherenceChecker::post(Addr addr, CheckerNote &&n)
+{
+    const unsigned src = ShardGroup::currentShard();
+    n.tick = group.queue(src).curTick();
+    n.addr = addr;
+    panic_if(!channels[bankOf(addr)]->ring(src).push(std::move(n)),
+             "checker note ring overflow (src shard %u, bank %u): "
+             "raise the sharded checker's ring capacity", src,
+             bankOf(addr));
+}
+
+bool
+ShardedCoherenceChecker::noteEvent(CheckerCtrl kind,
+                                   const std::string &ctrl, Addr addr,
+                                   std::string_view state,
+                                   std::string_view event)
+{
+    if (ShardGroup::currentShard() == ShardGroup::NoShard)
+        return banks[bankOf(addr)]->noteEvent(kind, ctrl, addr, state,
+                                              event);
+    CheckerNote n;
+    n.op = CheckerNote::Op::Event;
+    n.kind = kind;
+    n.ctrl = ctrl;
+    n.state = state;
+    n.event = event;
+    post(addr, std::move(n));
+    // The legality verdict is stateless, so the observing shard can
+    // answer synchronously — exactly what the sequential checker
+    // would have returned.  The bank records the history and flags
+    // the violation when the note arrives.
+    return legalEvent(kind, state, event);
+}
+
+void
+ShardedCoherenceChecker::notePermission(const std::string &ctrl,
+                                        Addr addr, Perm perm,
+                                        std::string_view state)
+{
+    if (ShardGroup::currentShard() == ShardGroup::NoShard) {
+        banks[bankOf(addr)]->notePermission(ctrl, addr, perm, state);
+        return;
+    }
+    CheckerNote n;
+    n.op = CheckerNote::Op::Permission;
+    n.perm = perm;
+    n.ctrl = ctrl;
+    n.state = state;
+    post(addr, std::move(n));
+}
+
+void
+ShardedCoherenceChecker::noteStoreApplied(const std::string &ctrl,
+                                          Addr addr,
+                                          std::string_view state,
+                                          bool had_write_perm)
+{
+    if (ShardGroup::currentShard() == ShardGroup::NoShard) {
+        banks[bankOf(addr)]->noteStoreApplied(ctrl, addr, state,
+                                              had_write_perm);
+        return;
+    }
+    CheckerNote n;
+    n.op = CheckerNote::Op::StoreApplied;
+    n.flag = had_write_perm;
+    n.ctrl = ctrl;
+    n.state = state;
+    post(addr, std::move(n));
+}
+
+void
+ShardedCoherenceChecker::noteSystemWrite(const std::string &ctrl,
+                                         Addr addr,
+                                         const DataBlock &data,
+                                         ByteMask mask)
+{
+    if (ShardGroup::currentShard() == ShardGroup::NoShard) {
+        banks[bankOf(addr)]->noteSystemWrite(ctrl, addr, data, mask);
+        return;
+    }
+    CheckerNote n;
+    n.op = CheckerNote::Op::SystemWrite;
+    n.mask = mask;
+    n.ctrl = ctrl;
+    n.data = std::make_unique<DataBlock>(data);
+    post(addr, std::move(n));
+}
+
+void
+ShardedCoherenceChecker::noteCleanData(const std::string &ctrl,
+                                       Addr addr, const DataBlock &data,
+                                       std::string_view what)
+{
+    if (ShardGroup::currentShard() == ShardGroup::NoShard) {
+        banks[bankOf(addr)]->noteCleanData(ctrl, addr, data, what);
+        return;
+    }
+    CheckerNote n;
+    n.op = CheckerNote::Op::CleanData;
+    n.ctrl = ctrl;
+    n.event = what;
+    n.data = std::make_unique<DataBlock>(data);
+    post(addr, std::move(n));
+}
+
+void
+ShardedCoherenceChecker::reportViolation(std::string kind,
+                                         const std::string &ctrl,
+                                         Addr addr, std::string detail)
+{
+    if (ShardGroup::currentShard() == ShardGroup::NoShard) {
+        banks[bankOf(addr)]->reportViolation(std::move(kind), ctrl,
+                                             addr, std::move(detail));
+        return;
+    }
+    CheckerNote n;
+    n.op = CheckerNote::Op::Violation;
+    n.event = std::move(kind);
+    n.detail = ctrl + ": " + std::move(detail);
+    post(addr, std::move(n));
+}
+
+bool
+ShardedCoherenceChecker::violated() const
+{
+    return anyViol.load(std::memory_order_relaxed) ||
+           !violationList.empty();
+}
+
+void
+ShardedCoherenceChecker::finalizeParallel()
+{
+    if (finalized)
+        return;
+    finalized = true;
+
+    for (auto &ch : channels)
+        ch->drainAll();
+
+    // Violations, oldest first; ties keep bank order.  Each report
+    // already carries its block's history from the owning bank.
+    std::vector<const ViolationReport *> reports;
+    for (auto &b : banks)
+        for (const ViolationReport &r : b->violations())
+            reports.push_back(&r);
+    std::stable_sort(reports.begin(), reports.end(),
+                     [](const ViolationReport *a,
+                        const ViolationReport *b) {
+                         return a->atTick < b->atTick;
+                     });
+    for (const ViolationReport *r : reports) {
+        if (violationList.size() >= MaxViolations)
+            break;
+        violationList.push_back(*r);
+    }
+
+    // Fold the (unregistered) bank counters into the registered ones
+    // so the stat dump carries the sequential names and totals.
+    std::uint64_t trans = 0, shadowed = 0, viols = 0, poison = 0;
+    for (auto &b : banks) {
+        trans += b->transitionsChecked();
+        shadowed += b->blocksShadowed();
+        viols += b->violationsFlagged();
+        poison += b->poisonSkips();
+    }
+    statTransitionsChecked += trans;
+    statBlocksShadowed += shadowed;
+    statViolations += viols;
+    poisonSkipCount += poison;
+
+    // Splice the per-bank trace rings into one tick-ordered tail.
+    std::vector<CheckerEvent> all;
+    for (auto &b : banks) {
+        std::vector<CheckerEvent> tail = b->traceTail();
+        all.insert(all.end(), std::make_move_iterator(tail.begin()),
+                   std::make_move_iterator(tail.end()));
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const CheckerEvent &a, const CheckerEvent &b) {
+                         return a.tick < b.tick;
+                     });
+    if (all.size() > globalRingCap)
+        all.erase(all.begin(), all.end() - long(globalRingCap));
+    globalRing = std::move(all);
+    globalHead = 0;
+    globalWrapped = false;
+}
+
+// --------------------------------------------------------------------
+// BankChannel
+// --------------------------------------------------------------------
+
+ShardedCoherenceChecker::BankChannel::BankChannel(
+    ShardedCoherenceChecker &owner, unsigned bank, unsigned sources,
+    unsigned ring_notes, Tick lookahead)
+    : owner(owner), bank(bank), lookahead(lookahead)
+{
+    panic_if(ring_notes == 0 || (ring_notes & (ring_notes - 1)),
+             "checker note ring capacity must be a power of two");
+    rings.reserve(sources);
+    for (unsigned s = 0; s < sources; ++s)
+        rings.push_back(
+            std::make_unique<SpscRing<CheckerNote>>(ring_notes));
+}
+
+void
+ShardedCoherenceChecker::BankChannel::drain(Tick bound)
+{
+    // Notes are stamped with the *observing* tick, not an arrival
+    // tick, so the visibility cutoff sits one lookahead before the
+    // group's drain bound: a note below it was pushed in a completed
+    // window (published by the barrier), while notes the concurrently
+    // executing window is pushing right now are at or above it —
+    // whether they are visible yet must not influence the merge.
+    mergeBelow(bound > lookahead ? bound - lookahead : 0);
+}
+
+void
+ShardedCoherenceChecker::BankChannel::mergeBelow(Tick cut)
+{
+    bool applied = false;
+    for (;;) {
+        int best = -1;
+        Tick bestTick = MaxTick;
+        for (unsigned s = 0; s < rings.size(); ++s) {
+            const CheckerNote *n = rings[s]->peekFront();
+            if (n && n->tick < cut && n->tick < bestTick) {
+                best = int(s);
+                bestTick = n->tick;
+            }
+        }
+        if (best < 0)
+            break;
+        apply(std::move(*rings[best]->peekFront()));
+        rings[best]->popFront();
+        applied = true;
+    }
+    if (applied && owner.banks[bank]->violated())
+        owner.anyViol.store(true, std::memory_order_relaxed);
+}
+
+void
+ShardedCoherenceChecker::BankChannel::apply(CheckerNote &&n)
+{
+    CoherenceChecker &c = *owner.banks[bank];
+    switch (n.op) {
+      case CheckerNote::Op::Event:
+        // Verdict already returned at the observing shard.
+        c.applyEvent(n.tick, n.kind, n.ctrl, n.addr, n.state, n.event);
+        break;
+      case CheckerNote::Op::Permission:
+        c.applyPermission(n.tick, n.ctrl, n.addr, n.perm, n.state);
+        break;
+      case CheckerNote::Op::StoreApplied:
+        c.applyStoreApplied(n.tick, n.ctrl, n.addr, n.state, n.flag);
+        break;
+      case CheckerNote::Op::SystemWrite:
+        c.applySystemWrite(n.tick, n.ctrl, n.addr, *n.data, n.mask);
+        break;
+      case CheckerNote::Op::CleanData:
+        c.applyCleanData(n.tick, n.ctrl, n.addr, *n.data, n.event);
+        break;
+      case CheckerNote::Op::Violation:
+        c.violationAt(n.tick, std::move(n.event), n.addr,
+                      std::move(n.detail));
+        break;
+    }
+}
+
+bool
+ShardedCoherenceChecker::BankChannel::empty() const
+{
+    for (const auto &r : rings)
+        if (!r->empty())
+            return false;
+    return true;
+}
+
+Tick
+ShardedCoherenceChecker::BankChannel::earliestArrival() const
+{
+    Tick earliest = MaxTick;
+    for (const auto &r : rings)
+        if (const CheckerNote *n = r->peekFront())
+            earliest = std::min(earliest, n->tick + lookahead);
+    return earliest;
+}
+
+} // namespace hsc

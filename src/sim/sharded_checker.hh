@@ -1,0 +1,183 @@
+/**
+ * @file
+ * ShardedCoherenceChecker — the runtime protocol sanitizer under the
+ * PDES kernel (DESIGN.md §14).
+ *
+ * Every invariant the sequential CoherenceChecker enforces — SWMR,
+ * shadow-data value checking, store-permission consistency, the
+ * per-family legal-event tables — partitions by block address: no
+ * check ever relates two different blocks.  The sharded checker
+ * therefore splits its state exactly the way the directory does
+ * (bank = block index mod banks, HsaSystem::dirFor) and gives each
+ * bank its own private CoherenceChecker living on that bank's shard.
+ *
+ * Observations cross shards the same way protocol messages do: the
+ * observing shard stamps its current tick on a CheckerNote and pushes
+ * it into a per-(source shard, bank) SPSC ring; the bank's shard
+ * drains its rings at the top of each window, k-way-merging by
+ * (tick, source index, ring FIFO) — a total order that is a pure
+ * function of simulated state, so the checker verdicts, counters and
+ * violation reports are bit-identical at 1 worker thread and at N.
+ *
+ * Soundness under the one-window delivery delay: SWMR hand-offs are
+ * serialized through the directory, so a permission drop at tick t
+ * and the next grant are at least one link round-trip (≥ 2 windows)
+ * apart — far wider than the ring latency — and shadow-data writes to
+ * one block are serialized at its (single) home bank.  The delayed
+ * merge can therefore reorder observations of *different* blocks, or
+ * diagnostics within a window, but never the per-block sequences the
+ * invariants read.
+ *
+ * Verdict-returning hooks stay synchronous: noteEvent's legality
+ * check is stateless (the static legal-event table), so the observing
+ * shard computes the verdict locally and ships the note purely for
+ * history/violation bookkeeping.
+ *
+ * After the workers join, finalizeParallel() drains every ring,
+ * merges the per-bank violation lists (sorted by tick, then bank),
+ * sums the per-bank counters into the registered sequential stat
+ * names, and splices the trace rings — so post-run reporting code
+ * sees exactly the sequential checker surface.
+ */
+
+#ifndef HSC_SIM_SHARDED_CHECKER_HH
+#define HSC_SIM_SHARDED_CHECKER_HH
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "sim/coherence_checker.hh"
+#include "sim/shard.hh"
+
+namespace hsc
+{
+
+/** One checker observation in flight to the bank owning its block. */
+struct CheckerNote
+{
+    enum class Op : std::uint8_t
+    {
+        Event,
+        Permission,
+        StoreApplied,
+        SystemWrite,
+        CleanData,
+        Violation,
+    };
+
+    Op op = Op::Event;
+    CheckerCtrl kind = CheckerCtrl::Directory;
+    CoherenceChecker::Perm perm = CoherenceChecker::Perm::None;
+    bool flag = false;       ///< StoreApplied: had_write_perm
+    Tick tick = 0;           ///< observing shard's tick at the hook
+    Addr addr = 0;
+    ByteMask mask = 0;       ///< SystemWrite
+    std::string ctrl;        ///< copied: call sites pass temporaries
+    std::string state;
+    std::string event;       ///< Event: name; CleanData: what;
+                             ///< Violation: kind
+    std::string detail;      ///< Violation
+    /** SystemWrite/CleanData payload; heap so the common note stays
+     *  small (the rings hold capacity slots once active). */
+    std::unique_ptr<DataBlock> data;
+};
+
+class ShardedCoherenceChecker : public CoherenceChecker
+{
+  public:
+    /**
+     * @param name        Stat prefix, same as the sequential checker.
+     * @param group       The system's shard group; one note ring per
+     *                    (source shard, bank) and one inbound channel
+     *                    per bank are registered with it.
+     * @param bank_shards Shard id owning each directory bank, in bank
+     *                    order; banks partition blocks by
+     *                    (addr >> BlockShift) % banks.
+     * @param ring_notes  Per-(source, bank) ring capacity: the most
+     *                    notes one shard may emit for one bank inside
+     *                    a single lookahead window.
+     */
+    ShardedCoherenceChecker(std::string name, ShardGroup &group,
+                            std::vector<unsigned> bank_shards,
+                            unsigned ring_notes = 1024);
+
+    bool noteEvent(CheckerCtrl kind, const std::string &ctrl, Addr addr,
+                   std::string_view state,
+                   std::string_view event) override;
+    void notePermission(const std::string &ctrl, Addr addr, Perm perm,
+                        std::string_view state) override;
+    void noteStoreApplied(const std::string &ctrl, Addr addr,
+                          std::string_view state,
+                          bool had_write_perm) override;
+    void noteSystemWrite(const std::string &ctrl, Addr addr,
+                         const DataBlock &data, ByteMask mask) override;
+    void noteCleanData(const std::string &ctrl, Addr addr,
+                       const DataBlock &data,
+                       std::string_view what) override;
+    void reportViolation(std::string kind, const std::string &ctrl,
+                         Addr addr, std::string detail) override;
+
+    /** Polled by the PDES fail predicate at window boundaries: true
+     *  once any bank has flagged (set during the bank's window-top
+     *  drain, published by the barrier) or after finalizeParallel()
+     *  has merged the lists. */
+    bool violated() const override;
+
+    void finalizeParallel() override;
+
+    /** The bank checker owning @p addr (tests / post-run probing). */
+    CoherenceChecker &bankChecker(Addr addr);
+    unsigned numBanks() const { return unsigned(banks.size()); }
+
+  private:
+    /** Inbound note channel of one bank: its per-source rings plus
+     *  the window-top merge that applies them to the bank checker. */
+    class BankChannel : public ShardChannel
+    {
+      public:
+        BankChannel(ShardedCoherenceChecker &owner, unsigned bank,
+                    unsigned sources, unsigned ring_notes,
+                    Tick lookahead);
+
+        SpscRing<CheckerNote> &ring(unsigned src) { return *rings[src]; }
+
+        void drain(Tick bound) override;
+        bool empty() const override;
+        Tick earliestArrival() const override;
+
+        /** Post-join: apply everything left, visibility cutoff only. */
+        void drainAll() { mergeBelow(MaxTick); }
+
+      private:
+        void mergeBelow(Tick cut);
+        void apply(CheckerNote &&n);
+
+        ShardedCoherenceChecker &owner;
+        const unsigned bank;
+        const Tick lookahead;
+        /** One ring per source shard (SpscRing is not movable). */
+        std::vector<std::unique_ptr<SpscRing<CheckerNote>>> rings;
+    };
+
+    unsigned bankOf(Addr addr) const
+    {
+        return unsigned((addr >> BlockShift) % banks.size());
+    }
+
+    /** Stamp + route @p n, or apply it directly when called outside
+     *  shard execution (post-run sweeps, tests). */
+    void post(Addr addr, CheckerNote &&n);
+
+    ShardGroup &group;
+    std::vector<std::unique_ptr<CoherenceChecker>> banks;
+    std::vector<std::unique_ptr<BankChannel>> channels;
+    /** Set by a bank's drain when it flags; read by the completion
+     *  step (ordered by the window barrier, hence relaxed). */
+    std::atomic<bool> anyViol{false};
+    bool finalized = false;
+};
+
+} // namespace hsc
+
+#endif // HSC_SIM_SHARDED_CHECKER_HH

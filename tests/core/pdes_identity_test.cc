@@ -15,9 +15,15 @@
  *  - sequential equivalence: the final coherent memory image matches
  *    the classic sequential kernel (cycle counts legitimately differ
  *    by the doorbell lookahead on kernel-launch/DMA hops);
- *  - rejection: every feature that observes or perturbs the single
- *    global event order refuses to construct under PDES with a
- *    structured SimError instead of going silently wrong.
+ *  - safety net: the sharded coherence checker, the recovery
+ *    transport, wire-level fault injection, the storage-fault model
+ *    and the seeded bugs all construct and run under PDES — including
+ *    a checked run over lossy wires — and a planted protocol bug is
+ *    caught with the same invariant name the sequential checker uses;
+ *  - rejection: the features that genuinely observe the single global
+ *    event order (obs, trace capture, checkpoints, flipAtTick) refuse
+ *    to construct under PDES with a structured SimError instead of
+ *    going silently wrong.
  *
  * The full ten-workload acceptance matrix lives in the tier-2
  * pdes_matrix_test binary.
@@ -33,16 +39,29 @@ namespace
 {
 
 using pdes_test::PdesResult;
+using pdes_test::checkedLossy;
 using pdes_test::expectThreadCountInvariant;
 using pdes_test::runPdes;
+using pdes_test::unchecked;
 
 TEST(PdesIdentity, ThreadCountInvarianceQuick)
 {
     for (const char *wl : {"tq", "sc"}) {
-        expectThreadCountInvariant(wl, baselineConfig(), {1, 2, 4});
-        expectThreadCountInvariant(wl, sharerTrackingConfig(),
+        expectThreadCountInvariant(wl, unchecked(baselineConfig()),
+                                   {1, 2, 4});
+        expectThreadCountInvariant(wl,
+                                   unchecked(sharerTrackingConfig()),
                                    {1, 2, 4});
     }
+}
+
+TEST(PdesIdentity, CheckedLossyThreadCountInvarianceQuick)
+{
+    // The tentpole distilled: sharded checker ON, 1% drop + 1% dup +
+    // 0.1% corrupt wires, and the run is still a pure function of
+    // simulated state — not of the worker count.
+    expectThreadCountInvariant("tq", checkedLossy(baselineConfig()),
+                               {1, 2, 4});
 }
 
 TEST(PdesIdentity, StatDumpIdenticalOneVsN)
@@ -53,6 +72,8 @@ TEST(PdesIdentity, StatDumpIdenticalOneVsN)
     // counters by writer side; reads happen after the workers join.)
     PdesResult one = runPdes("tq", baselineConfig(), 1);
     PdesResult many = runPdes("tq", baselineConfig(), 8);
+    // baselineConfig keeps check=true, so this also exercises the
+    // sharded checker's deterministic merge.
     ASSERT_TRUE(one.ok);
     ASSERT_TRUE(many.ok);
     EXPECT_FALSE(one.stats.empty());
@@ -71,12 +92,11 @@ TEST(PdesIdentity, RepeatedRunIsDeterministic)
 
 TEST(PdesBigMachine, Big64RunsUnderPdes)
 {
-    SystemConfig cfg = big64Config();
+    SystemConfig cfg = unchecked(big64Config());
     PdesResult r = runPdes("tq", cfg, 4);
     ASSERT_TRUE(r.ok);
     EXPECT_GT(r.cycles, 0u);
     // 64 CorePairs + 8 bank shards + GPU + DMA.
-    cfg.check = false;
     cfg.pdes.enabled = true;
     cfg.pdes.threads = 1;
     HsaSystem probe(cfg);
@@ -110,11 +130,44 @@ expectRejected(SystemConfig cfg)
     EXPECT_THROW({ HsaSystem sys(cfg); }, SimError);
 }
 
-TEST(PdesRejection, CoherenceChecker)
+TEST(PdesAccepts, SafetyNetFeaturesConstruct)
 {
-    SystemConfig cfg = pdesBase();
-    cfg.check = true;
-    expectRejected(cfg);
+    // Formerly rejected, now sharded with the kernel: each of these
+    // must construct cleanly under PDES.
+    {
+        SystemConfig cfg = pdesBase();
+        cfg.check = true;
+        HsaSystem sys(cfg);
+        EXPECT_NE(sys.checker(), nullptr);
+    }
+    {
+        SystemConfig cfg = pdesBase();
+        cfg.transport.enabled = true;
+        HsaSystem sys(cfg);
+    }
+    {
+        SystemConfig cfg = pdesBase();
+        cfg.fault.enabled = true;
+        cfg.fault.maxJitter = 4;
+        HsaSystem sys(cfg);
+    }
+    {
+        SystemConfig cfg = pdesBase();
+        cfg.fault.enabled = true;
+        cfg.fault.deadLinks.push_back("fromDir");
+        HsaSystem sys(cfg);
+    }
+    {
+        SystemConfig cfg = pdesBase();
+        cfg.storageFault.enabled = true;
+        cfg.storageFault.flipPer10kAccesses = 1;
+        HsaSystem sys(cfg);
+    }
+    {
+        SystemConfig cfg = pdesBase();
+        cfg.bug.kind = SeededBug::Kind::IgnoreInvProbe;
+        HsaSystem sys(cfg);
+    }
 }
 
 TEST(PdesRejection, Observability)
@@ -144,35 +197,14 @@ TEST(PdesRejection, Checkpointing)
     expectRejected(cfg);
 }
 
-TEST(PdesRejection, Transport)
+TEST(PdesRejection, StorageFlipAtTick)
 {
-    SystemConfig cfg = pdesBase();
-    cfg.transport.enabled = true;
-    expectRejected(cfg);
-}
-
-TEST(PdesRejection, FaultInjection)
-{
-    SystemConfig cfg = pdesBase();
-    cfg.fault.enabled = true;
-    cfg.fault.maxJitter = 4;
-    expectRejected(cfg);
-    cfg = pdesBase();
-    cfg.fault.deadLinks.push_back("fromDir");
-    expectRejected(cfg);
-}
-
-TEST(PdesRejection, StorageFaults)
-{
+    // The probabilistic modes shard fine; the one-shot "first access
+    // at or after tick T" reads a global access order PDES does not
+    // define.
     SystemConfig cfg = pdesBase();
     cfg.storageFault.enabled = true;
-    expectRejected(cfg);
-}
-
-TEST(PdesRejection, SeededBug)
-{
-    SystemConfig cfg = pdesBase();
-    cfg.bug.kind = SeededBug::Kind::IgnoreInvProbe;
+    cfg.storageFault.flipAtTick = 5000;
     expectRejected(cfg);
 }
 
@@ -189,6 +221,69 @@ TEST(PdesRejection, ChannelBankMismatch)
     cfg.numDirBanks = 4;
     cfg.memChannels = 1; // legal sequentially, rejected under pdes
     expectRejected(cfg);
+}
+
+// --- the sharded checker catches a planted protocol bug -----------
+
+// Spin on a flag through the coherence protocol until it reads 1.
+#define AWAIT_FLAG(cpu, flag)                                           \
+    while (co_await (cpu).load(flag) == 0)                              \
+        co_await (cpu).compute(200)
+
+std::string
+runSeededBugScenario(bool pdes, unsigned threads)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.check = true;
+    cfg.bug.kind = SeededBug::Kind::IgnoreInvProbe;
+    cfg.bug.addr = 0x100000;
+    cfg.bug.agent = 0; // only corepair0 ignores the probe
+    if (pdes) {
+        cfg.pdes.enabled = true;
+        cfg.pdes.threads = threads;
+    }
+    HsaSystem sys(cfg);
+    Addr data = sys.alloc(64);
+    Addr flag = sys.alloc(64);
+    EXPECT_EQ(data, 0x100000u);
+
+    // Thread 0 (corepair0) takes the block Modified, then thread 2
+    // (corepair1) writes it too; the ignored invalidation leaves two
+    // L2s with write permission at once.
+    sys.addCpuThread([&, data, flag](CpuCtx &cpu) -> SimTask {
+        co_await cpu.store(data, 0xAAAA'0001);
+        co_await cpu.store(flag, 1);
+    });
+    sys.addCpuThread([](CpuCtx &cpu) -> SimTask {
+        co_await cpu.compute(1);
+    });
+    sys.addCpuThread([&, data, flag](CpuCtx &cpu) -> SimTask {
+        AWAIT_FLAG(cpu, flag);
+        co_await cpu.store(data, 0xBBBB'0002);
+    });
+
+    EXPECT_FALSE(sys.run()) << (pdes ? "pdes" : "sequential");
+    const CoherenceChecker *chk = sys.checker();
+    EXPECT_NE(chk, nullptr);
+    EXPECT_TRUE(chk->violated());
+    if (!chk->violated())
+        return {};
+    const ViolationReport &r = chk->violations().front();
+    EXPECT_EQ(r.addr, 0x100000u);
+    return r.kind;
+}
+
+TEST(PdesShardedChecker, CatchesSeededBugWithSequentialInvariantName)
+{
+    std::string seq_kind = runSeededBugScenario(false, 0);
+    EXPECT_EQ(seq_kind, "swmr");
+    for (unsigned threads : {1u, 4u}) {
+        std::string pdes_kind = runSeededBugScenario(true, threads);
+        EXPECT_EQ(pdes_kind, seq_kind)
+            << "sharded checker classifies the planted bug "
+               "differently at "
+            << threads << " threads";
+    }
 }
 
 } // namespace

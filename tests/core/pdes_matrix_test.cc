@@ -1,10 +1,14 @@
 /**
  * @file
  * Tier-2 PDES acceptance matrix: all ten CHAI workloads x
- * {baseline, sharersTracking} x {1, 2, 4, 8} worker threads must give
- * identical cycles, heap images and stat dumps, and the heap image
- * must match the classic sequential kernel.  This is the matrix the
- * CI pdes job runs on every change.
+ * {baseline, sharersTracking} x {unchecked, checked-lossy} x
+ * {1, 2, 4, 8} worker threads must give identical cycles, heap images
+ * and stat dumps, and the heap image must match the classic
+ * sequential kernel.  The checked-lossy cells run the tentpole
+ * configuration: sharded coherence checker ON over wires dropping 1%,
+ * duplicating 1% and corrupting 0.1% of frames behind the recovery
+ * transport.  This is the matrix the CI pdes job runs on every
+ * change; big64 gets its own checked-lossy cell below.
  */
 
 #include "pdes_test_util.hh"
@@ -15,35 +19,46 @@ namespace
 {
 
 class PdesMatrix
-    : public ::testing::TestWithParam<std::tuple<std::string, bool>>
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, bool, bool>>
 {
 };
 
 TEST_P(PdesMatrix, IdentityAcrossThreadCounts)
 {
-    const auto &[wl, sharers] = GetParam();
+    const auto &[wl, sharers, lossy] = GetParam();
     SystemConfig cfg =
         sharers ? sharerTrackingConfig() : baselineConfig();
+    cfg = lossy ? pdes_test::checkedLossy(cfg)
+                : pdes_test::unchecked(cfg);
     pdes_test::expectThreadCountInvariant(wl, cfg, {1, 2, 4, 8});
 }
 
-std::vector<std::tuple<std::string, bool>>
+std::vector<std::tuple<std::string, bool, bool>>
 matrixParams()
 {
-    std::vector<std::tuple<std::string, bool>> p;
+    std::vector<std::tuple<std::string, bool, bool>> p;
     for (const std::string &wl : workloadIds())
         for (bool sharers : {false, true})
-            p.emplace_back(wl, sharers);
+            for (bool lossy : {false, true})
+                p.emplace_back(wl, sharers, lossy);
     return p;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, PdesMatrix, ::testing::ValuesIn(matrixParams()),
-    [](const ::testing::TestParamInfo<std::tuple<std::string, bool>>
-           &info) {
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, bool, bool>> &info) {
         return std::get<0>(info.param) +
-               (std::get<1>(info.param) ? "_sharers" : "_baseline");
+               (std::get<1>(info.param) ? "_sharers" : "_baseline") +
+               (std::get<2>(info.param) ? "_chklossy" : "");
     });
+
+TEST(PdesMatrixBig, Big64CheckedLossy)
+{
+    pdes_test::expectThreadCountInvariant(
+        "tq", pdes_test::checkedLossy(big64Config()), {1, 2, 4, 8});
+}
 
 } // namespace
 } // namespace hsc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tier-2 PDES recovery soak: RandomTester schedules over lossy wires
+ * (1% drop, 1% dup, 0.1% corrupt behind the recovery transport) with
+ * the sharded coherence checker ON, across {1, 2, 4, 8} worker
+ * threads.  Every thread count must produce identical cycles, an
+ * identical memory image and a byte-identical stat dump — the
+ * retransmit/ack machinery, the wire-fate streams and the checker's
+ * note merge are all pure functions of simulated state.  The
+ * controllers' last-line ingress guards must never fire
+ * (`ingress.dupDrops` == 0): the transport delivers exactly-once even
+ * when its frames cross shard boundaries.
+ *
+ * A PDES system runs exactly once, so the soak drives runSchedule()
+ * (which quiesces at the schedule boundary) rather than the two-run
+ * RandomTester::run(); the checker's quiescent sweep still executes
+ * inside the PDES run loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hsa_system.hh"
+#include "core/random_tester.hh"
+
+namespace hsc
+{
+namespace
+{
+
+struct SoakResult
+{
+    bool ok = false;
+    Cycles cycles = 0;
+    std::uint64_t image = 0;
+    std::string stats;
+    std::uint64_t ingressDups = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t tpDupDrops = 0;
+    std::string failReason;
+};
+
+SystemConfig
+lossyCheckedConfig(unsigned banks)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.check = true;
+    cfg.numDirBanks = banks;
+    cfg.memChannels = banks; // PDES wants one channel per bank
+    cfg.transport.enabled = true;
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 3;
+    cfg.fault.dropPer10k = 100;
+    cfg.fault.dupPer10k = 100;
+    cfg.fault.corruptPer10k = 10;
+    return cfg;
+}
+
+SoakResult
+runSoak(unsigned banks, std::uint64_t seed, unsigned threads)
+{
+    SystemConfig cfg = lossyCheckedConfig(banks);
+    cfg.pdes.enabled = true;
+    cfg.pdes.threads = threads;
+
+    RandomTesterConfig tcfg;
+    tcfg.seed = seed;
+    tcfg.numLocations = 12;
+    tcfg.roundsPerLocation = 4;
+
+    SoakResult r;
+    HsaSystem sys(cfg);
+    RandomTester tester(sys, tcfg);
+    r.ok = tester.runSchedule() && tester.failures().empty();
+    if (!tester.failures().empty())
+        r.failReason = tester.failures().front();
+    r.cycles = sys.cpuCycles();
+    r.image = sys.imageHash(sys.heapBase(), sys.heapEnd());
+    std::ostringstream os;
+    sys.stats().dump(os);
+    r.stats = os.str();
+    for (const auto &[name, value] : sys.stats().snapshot()) {
+        if (name.find(".ingress.dupDrops") != std::string::npos)
+            r.ingressDups += value;
+    }
+    TransportSummary ts = sys.transportSummary();
+    r.retransmits = ts.retransmits;
+    r.tpDupDrops = ts.dupDrops;
+    return r;
+}
+
+void
+soakIdentity(unsigned banks, std::uint64_t seed)
+{
+    SoakResult ref = runSoak(banks, seed, 1);
+    ASSERT_TRUE(ref.ok) << "banks=" << banks << " seed=" << seed
+                        << " 1thr: " << ref.failReason;
+    EXPECT_EQ(ref.ingressDups, 0u)
+        << "a duplicate leaked past the transport at 1 thread";
+    // A soak that never retransmits or dedups proves nothing.
+    EXPECT_GT(ref.retransmits, 0u) << "lossy wire forced no retransmit";
+    EXPECT_GT(ref.tpDupDrops, 0u) << "lossy wire forced no dedup";
+    for (unsigned t : {2u, 4u, 8u}) {
+        SoakResult r = runSoak(banks, seed, t);
+        std::string tag = "banks=" + std::to_string(banks) + " seed=" +
+                          std::to_string(seed) + " " +
+                          std::to_string(t) + "thr";
+        ASSERT_TRUE(r.ok) << tag << ": " << r.failReason;
+        EXPECT_EQ(r.cycles, ref.cycles) << tag;
+        EXPECT_EQ(r.image, ref.image) << tag;
+        EXPECT_EQ(r.stats, ref.stats) << tag << ": stat dump differs";
+        EXPECT_EQ(r.ingressDups, 0u)
+            << tag << ": a duplicate leaked past the transport";
+    }
+}
+
+TEST(PdesRecoverySoak, SingleBankLossyCheckedIdentity)
+{
+    soakIdentity(1, 12345);
+    soakIdentity(1, 777);
+}
+
+TEST(PdesRecoverySoak, BankedLossyCheckedIdentity)
+{
+    // Four directory banks = four bank shards, so checker notes and
+    // transport frames cross shard boundaries in every direction.
+    soakIdentity(4, 12345);
+}
+
+} // namespace
+} // namespace hsc

@@ -30,10 +30,33 @@ struct PdesResult
     std::string stats;       ///< full registry dump text
 };
 
+/** The classic identity-matrix cell: checker off, clean wires. */
+inline SystemConfig
+unchecked(SystemConfig cfg)
+{
+    cfg.check = false;
+    return cfg;
+}
+
+/** The safety-net cell: sharded checker ON over lossy wires (1% drop,
+ *  1% dup, 0.1% corrupt) with the recovery transport — the config the
+ *  tentpole acceptance matrix runs. */
+inline SystemConfig
+checkedLossy(SystemConfig cfg)
+{
+    cfg.check = true;
+    cfg.transport.enabled = true;
+    cfg.fault.enabled = true;
+    cfg.fault.dropPer10k = 100;
+    cfg.fault.dupPer10k = 100;
+    cfg.fault.corruptPer10k = 10;
+    cfg.label += "+chk-lossy";
+    return cfg;
+}
+
 inline PdesResult
 runPdes(const std::string &wl, SystemConfig cfg, unsigned threads)
 {
-    cfg.check = false;
     cfg.pdes.enabled = true;
     cfg.pdes.threads = threads;
     WorkloadParams wp;
@@ -54,7 +77,6 @@ runPdes(const std::string &wl, SystemConfig cfg, unsigned threads)
 inline std::uint64_t
 legacyImage(const std::string &wl, SystemConfig cfg)
 {
-    cfg.check = false;
     WorkloadParams wp;
     wp.scale = 1;
     HsaSystem sys(cfg);
@@ -66,9 +88,14 @@ legacyImage(const std::string &wl, SystemConfig cfg)
 
 /**
  * One (workload, config) cell of the identity matrix: every thread
- * count produces identical cycles, heap image and stat dump, and the
- * image matches the classic sequential kernel (cycle counts
- * legitimately differ there by the doorbell lookahead).
+ * count produces identical cycles, heap image and stat dump, and —
+ * on clean wires — the image matches the classic sequential kernel
+ * (cycle counts legitimately differ there by the doorbell lookahead).
+ * With wire faults enabled only the thread-count invariance is
+ * asserted: per-link wire fates are drawn in physical transmit order,
+ * and the retransmit schedule depends on ack round-trip timing, which
+ * differs between the kernels — the two kernels legitimately run
+ * different (equally valid) fault schedules.
  */
 inline void
 expectThreadCountInvariant(const std::string &wl,
@@ -88,9 +115,11 @@ expectThreadCountInvariant(const std::string &wl,
         EXPECT_EQ(r.image, ref.image) << tag;
         EXPECT_EQ(r.stats, ref.stats) << tag << ": stat dump differs";
     }
-    EXPECT_EQ(ref.image, legacyImage(wl, cfg))
-        << wl << " [" << cfg.label
-        << "]: pdes heap image differs from the sequential kernel";
+    if (!cfg.fault.enabled) {
+        EXPECT_EQ(ref.image, legacyImage(wl, cfg))
+            << wl << " [" << cfg.label
+            << "]: pdes heap image differs from the sequential kernel";
+    }
 }
 
 } // namespace pdes_test
